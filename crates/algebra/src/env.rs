@@ -1,0 +1,395 @@
+//! The `Env` sort — Definition 3 of the paper.
+//!
+//! > An environment is a layered, balanced tree structure ⟨N, A, V⟩ … All
+//! > tree nodes at the same level form a layer. Each layer is associated
+//! > with a variable or a boolean formula. The parent-child relationship
+//! > between layers is either one-to-one or one-to-many, but not mixed.
+//! > A path from the root to a leaf is a **total variable binding**.
+//!
+//! FLWOR clauses build the environment layer by layer (Example 1 / Fig. 2):
+//! a `for` clause adds a **one-to-many** layer (one child per item of the
+//! bound sequence — a leaf whose sequence is empty simply gets no children
+//! and its partial binding dies), a `let` clause adds a **one-to-one** layer
+//! (one child holding the whole sequence), and a `where` clause is a boolean
+//! layer realized by pruning the paths on which the formula is false. The
+//! `return` expression is evaluated once per total binding and the results
+//! are concatenated.
+
+use crate::value::Sequence;
+use std::fmt;
+
+/// How a layer multiplies bindings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// One-to-many (`for $v in …`).
+    For,
+    /// One-to-one (`let $v := …`).
+    Let,
+}
+
+/// Metadata of one layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerMeta {
+    /// The variable this layer binds.
+    pub var: String,
+    /// For or let.
+    pub kind: LayerKind,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<N> {
+    value: Sequence<N>,
+    parent: Option<usize>,
+    /// Layer index, or `None` for the sentinel root.
+    layer: Option<usize>,
+}
+
+/// A layered environment of variable bindings.
+#[derive(Debug, Clone)]
+pub struct Env<N> {
+    layers: Vec<LayerMeta>,
+    slots: Vec<Slot<N>>,
+    /// Slots of the deepest layer whose partial bindings are still alive.
+    frontier: Vec<usize>,
+}
+
+/// A read view of one (partial or total) binding: the variables bound along
+/// a root-to-slot path.
+pub struct Bindings<'a, N> {
+    env: &'a Env<N>,
+    /// Slot ids from the leaf up to (excluding) the sentinel root.
+    chain: Vec<usize>,
+}
+
+impl<'a, N> Bindings<'a, N> {
+    /// Look up a variable; inner layers shadow outer ones.
+    pub fn get(&self, var: &str) -> Option<&'a Sequence<N>> {
+        for &s in &self.chain {
+            let layer = self.env.slots[s].layer.expect("chain never contains the sentinel");
+            if self.env.layers[layer].var == var {
+                return Some(&self.env.slots[s].value);
+            }
+        }
+        None
+    }
+
+    /// All bound `(var, value)` pairs, outermost first.
+    pub fn entries(&self) -> Vec<(&'a str, &'a Sequence<N>)> {
+        self.chain
+            .iter()
+            .rev()
+            .map(|&s| {
+                let layer = self.env.slots[s].layer.expect("no sentinel in chain");
+                (self.env.layers[layer].var.as_str(), &self.env.slots[s].value)
+            })
+            .collect()
+    }
+}
+
+impl<N: Clone> Default for Env<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N: Clone> Env<N> {
+    /// An environment with no layers: exactly one empty total binding.
+    pub fn new() -> Self {
+        Env {
+            layers: Vec::new(),
+            slots: vec![Slot { value: Vec::new(), parent: None, layer: None }],
+            frontier: vec![0],
+        }
+    }
+
+    /// Number of layers (bound variables).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Metadata of layer `i`.
+    pub fn layer(&self, i: usize) -> &LayerMeta {
+        &self.layers[i]
+    }
+
+    /// Number of total bindings (root-to-leaf paths still alive).
+    pub fn total_binding_count(&self) -> usize {
+        self.frontier.len()
+    }
+
+    fn bindings_for(&self, slot: usize) -> Bindings<'_, N> {
+        let mut chain = Vec::new();
+        let mut cur = Some(slot);
+        while let Some(s) = cur {
+            if self.slots[s].layer.is_some() {
+                chain.push(s);
+            }
+            cur = self.slots[s].parent;
+        }
+        Bindings { env: self, chain }
+    }
+
+    /// Add a one-to-many (`for`) layer: `source` is evaluated once per
+    /// current total binding; each item of the result becomes one child
+    /// binding. Empty results kill the path.
+    pub fn extend_for(
+        &mut self,
+        var: impl Into<String>,
+        mut source: impl FnMut(&Bindings<'_, N>) -> Sequence<N>,
+    ) {
+        let layer = self.layers.len();
+        self.layers.push(LayerMeta { var: var.into(), kind: LayerKind::For });
+        let frontier = std::mem::take(&mut self.frontier);
+        let mut next = Vec::new();
+        for leaf in frontier {
+            let seq = source(&self.bindings_for(leaf));
+            for item in seq {
+                let id = self.slots.len();
+                self.slots.push(Slot {
+                    value: vec![item],
+                    parent: Some(leaf),
+                    layer: Some(layer),
+                });
+                next.push(id);
+            }
+        }
+        self.frontier = next;
+    }
+
+    /// Add a one-to-one (`let`) layer: each binding gets one child holding
+    /// the whole result sequence (possibly empty — `let` never kills paths).
+    pub fn extend_let(
+        &mut self,
+        var: impl Into<String>,
+        mut source: impl FnMut(&Bindings<'_, N>) -> Sequence<N>,
+    ) {
+        let layer = self.layers.len();
+        self.layers.push(LayerMeta { var: var.into(), kind: LayerKind::Let });
+        let frontier = std::mem::take(&mut self.frontier);
+        let mut next = Vec::with_capacity(frontier.len());
+        for leaf in frontier {
+            let seq = source(&self.bindings_for(leaf));
+            let id = self.slots.len();
+            self.slots.push(Slot { value: seq, parent: Some(leaf), layer: Some(layer) });
+            next.push(id);
+        }
+        self.frontier = next;
+    }
+
+    /// Apply a boolean (`where`) layer: prune total bindings on which the
+    /// formula is false.
+    pub fn filter(&mut self, mut pred: impl FnMut(&Bindings<'_, N>) -> bool) {
+        let frontier = std::mem::take(&mut self.frontier);
+        self.frontier = frontier
+            .into_iter()
+            .filter(|&leaf| pred(&self.bindings_for(leaf)))
+            .collect();
+    }
+
+    /// Reorder total bindings by a sort key (`order by`); stable.
+    pub fn sort_bindings_by<K: Ord>(
+        &mut self,
+        mut key: impl FnMut(&Bindings<'_, N>) -> K,
+    ) {
+        let mut keyed: Vec<(K, usize)> = std::mem::take(&mut self.frontier)
+            .into_iter()
+            .map(|leaf| (key(&self.bindings_for(leaf)), leaf))
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        self.frontier = keyed.into_iter().map(|(_, l)| l).collect();
+    }
+
+    /// Evaluate `f` once per total binding, in order, collecting results.
+    pub fn map_bindings<T>(&self, mut f: impl FnMut(&Bindings<'_, N>) -> T) -> Vec<T> {
+        self.frontier.iter().map(|&leaf| f(&self.bindings_for(leaf))).collect()
+    }
+
+    /// Nodes in layer `i` (for structure inspection / the Fig. 2 test).
+    pub fn layer_width(&self, i: usize) -> usize {
+        self.slots.iter().filter(|s| s.layer == Some(i)).count()
+    }
+}
+
+impl<N: Clone + fmt::Debug> fmt::Display for Env<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, l) in self.layers.iter().enumerate() {
+            let kind = match l.kind {
+                LayerKind::For => "in",
+                LayerKind::Let => ":=",
+            };
+            writeln!(f, "layer {}: ${} {} …  width {}", i, l.var, kind, self.layer_width(i))?;
+        }
+        writeln!(f, "total bindings: {}", self.total_binding_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Item;
+    use xqp_xml::Atomic;
+
+    fn atoms(vals: &[i64]) -> Sequence<u32> {
+        vals.iter().map(|&v| Item::Atom(Atomic::Integer(v))).collect()
+    }
+
+    fn label(s: &str) -> Sequence<u32> {
+        vec![Item::Atom(Atomic::Str(s.into()))]
+    }
+
+    #[test]
+    fn empty_env_has_one_binding() {
+        let e: Env<u32> = Env::new();
+        assert_eq!(e.total_binding_count(), 1);
+        assert_eq!(e.layer_count(), 0);
+    }
+
+    #[test]
+    fn for_layer_multiplies() {
+        let mut e: Env<u32> = Env::new();
+        e.extend_for("a", |_| atoms(&[1, 2, 3]));
+        assert_eq!(e.total_binding_count(), 3);
+        e.extend_for("b", |_| atoms(&[10, 20]));
+        assert_eq!(e.total_binding_count(), 6);
+        assert_eq!(e.layer(0).kind, LayerKind::For);
+    }
+
+    #[test]
+    fn let_layer_is_one_to_one() {
+        let mut e: Env<u32> = Env::new();
+        e.extend_for("a", |_| atoms(&[1, 2]));
+        e.extend_let("s", |b| {
+            // $s := ($a, $a)
+            let a = b.get("a").unwrap().clone();
+            let mut out = a.clone();
+            out.extend(a);
+            out
+        });
+        assert_eq!(e.total_binding_count(), 2);
+        let lens = e.map_bindings(|b| b.get("s").unwrap().len());
+        assert_eq!(lens, [2, 2]);
+    }
+
+    #[test]
+    fn empty_for_kills_path_but_empty_let_does_not() {
+        let mut e: Env<u32> = Env::new();
+        e.extend_for("a", |_| atoms(&[1, 2, 3]));
+        e.extend_for("b", |b| {
+            // only even $a get children
+            match b.get("a").unwrap()[0].as_atom().unwrap() {
+                Atomic::Integer(i) if i % 2 == 0 => atoms(&[100]),
+                _ => vec![],
+            }
+        });
+        assert_eq!(e.total_binding_count(), 1);
+        let mut e2: Env<u32> = Env::new();
+        e2.extend_for("a", |_| atoms(&[1, 2]));
+        e2.extend_let("l", |_| vec![]);
+        assert_eq!(e2.total_binding_count(), 2);
+    }
+
+    #[test]
+    fn fig2_environment_has_13_total_bindings() {
+        // The paper's Fig. 2: $a in E1 (3 roots a1,a2,a3); $b in E2 with
+        // fan-outs (2,1,3); let $c, let $d; $e in E5 with fan-outs
+        // b11→3, b12→2, b21→2, b31→2, b32→3, b33→1  ⇒ 13 paths.
+        let mut e: Env<u32> = Env::new();
+        e.extend_for("a", |_| {
+            ["a1", "a2", "a3"].iter().map(|s| Item::Atom(Atomic::Str((*s).into()))).collect()
+        });
+        e.extend_for("b", |b| {
+            let a = b.get("a").unwrap()[0].as_atom().unwrap().as_string();
+            let labels: &[&str] = match a.as_str() {
+                "a1" => &["b11", "b12"],
+                "a2" => &["b21"],
+                _ => &["b31", "b32", "b33"],
+            };
+            labels.iter().map(|s| Item::Atom(Atomic::Str((*s).into()))).collect()
+        });
+        e.extend_let("c", |b| {
+            let bv = b.get("b").unwrap()[0].as_atom().unwrap().as_string();
+            label(&format!("c{}", &bv[1..]))
+        });
+        e.extend_let("d", |b| {
+            let bv = b.get("b").unwrap()[0].as_atom().unwrap().as_string();
+            label(&format!("d{}", &bv[1..]))
+        });
+        e.extend_for("e", |b| {
+            let bv = b.get("b").unwrap()[0].as_atom().unwrap().as_string();
+            let n = match bv.as_str() {
+                "b11" => 3,
+                "b12" => 2,
+                "b21" => 2,
+                "b31" => 2,
+                "b32" => 3,
+                "b33" => 1,
+                _ => 0,
+            };
+            (0..n).map(|i| Item::Atom(Atomic::Str(format!("e{}{}", &bv[1..], i + 1)))).collect()
+        });
+        assert_eq!(e.layer_count(), 5);
+        assert_eq!(e.total_binding_count(), 13);
+        // Layer widths: 3 roots, 6 b's, 6 c's, 6 d's, 13 e's.
+        assert_eq!(e.layer_width(0), 3);
+        assert_eq!(e.layer_width(1), 6);
+        assert_eq!(e.layer_width(2), 6);
+        assert_eq!(e.layer_width(3), 6);
+        assert_eq!(e.layer_width(4), 13);
+        // Every total binding sees all five variables.
+        let complete = e.map_bindings(|b| {
+            ["a", "b", "c", "d", "e"].iter().all(|v| b.get(v).is_some())
+        });
+        assert!(complete.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn where_prunes_paths() {
+        let mut e: Env<u32> = Env::new();
+        e.extend_for("x", |_| atoms(&[1, 2, 3, 4]));
+        e.filter(|b| {
+            matches!(b.get("x").unwrap()[0].as_atom().unwrap(), Atomic::Integer(i) if i % 2 == 0)
+        });
+        assert_eq!(e.total_binding_count(), 2);
+        let vals = e.map_bindings(|b| b.get("x").unwrap()[0].as_atom().unwrap().as_string());
+        assert_eq!(vals, ["2", "4"]);
+    }
+
+    #[test]
+    fn shadowing_resolves_to_innermost() {
+        let mut e: Env<u32> = Env::new();
+        e.extend_for("x", |_| atoms(&[1]));
+        e.extend_for("x", |_| atoms(&[99]));
+        let vals = e.map_bindings(|b| b.get("x").unwrap()[0].as_atom().unwrap().as_string());
+        assert_eq!(vals, ["99"]);
+    }
+
+    #[test]
+    fn sort_bindings_reorders() {
+        let mut e: Env<u32> = Env::new();
+        e.extend_for("x", |_| atoms(&[3, 1, 2]));
+        e.sort_bindings_by(|b| match b.get("x").unwrap()[0].as_atom().unwrap() {
+            Atomic::Integer(i) => *i,
+            _ => 0,
+        });
+        let vals = e.map_bindings(|b| b.get("x").unwrap()[0].as_atom().unwrap().as_string());
+        assert_eq!(vals, ["1", "2", "3"]);
+    }
+
+    #[test]
+    fn entries_lists_outermost_first() {
+        let mut e: Env<u32> = Env::new();
+        e.extend_for("a", |_| atoms(&[1]));
+        e.extend_let("b", |_| atoms(&[2]));
+        let names = e.map_bindings(|b| {
+            b.entries().iter().map(|(n, _)| n.to_string()).collect::<Vec<_>>()
+        });
+        assert_eq!(names[0], ["a", "b"]);
+    }
+
+    #[test]
+    fn missing_variable_is_none() {
+        let e: Env<u32> = Env::new();
+        let found = e.map_bindings(|b| b.get("nope").is_some());
+        assert_eq!(found, [false]);
+    }
+}

@@ -1,0 +1,375 @@
+//! Scalar/sequence expressions of the algebra.
+//!
+//! [`Expr`] is the expression language the FLWOR operators of
+//! [`crate::plan::LogicalPlan`] bind, filter and return over. Path
+//! expressions occur in two forms: the surface form [`Expr::Path`] produced
+//! by translation, and the compiled form [`Expr::CompiledPath`] produced by
+//! the optimizer, whose body is a [`crate::plan::PathOp`] operator tree over
+//! the Table-1 operators.
+
+use crate::plan::{LogicalPlan, PathOp};
+use crate::schema::SchemaTree;
+use std::collections::HashSet;
+use std::fmt;
+use xqp_xml::Atomic;
+use xqp_xpath::{CmpOp, PathExpr};
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+}
+
+impl ArithOp {
+    /// Source form.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "div",
+            ArithOp::Mod => "mod",
+        }
+    }
+
+    /// Apply to two atomics (`None` on type errors / division by zero).
+    pub fn apply(self, l: &Atomic, r: &Atomic) -> Option<Atomic> {
+        match self {
+            ArithOp::Add => l.add(r),
+            ArithOp::Sub => l.sub(r),
+            ArithOp::Mul => l.mul(r),
+            ArithOp::Div => l.div(r),
+            ArithOp::Mod => l.int_mod(r),
+        }
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal atomic.
+    Literal(Atomic),
+    /// A variable reference `$name`.
+    Var(String),
+    /// The queried document (`doc(…)` / the implicit context document).
+    ContextDoc,
+    /// A path applied to a base expression; absolute paths have
+    /// [`Expr::ContextDoc`] as base.
+    Path {
+        /// The expression the path starts from.
+        base: Box<Expr>,
+        /// The steps.
+        path: PathExpr,
+    },
+    /// An optimizer-compiled path: a [`PathOp`] tree over Table-1 operators.
+    /// The original path is kept for the navigational fallback (e.g. when
+    /// the context is a constructed node outside the succinct store).
+    CompiledPath {
+        /// The expression the plan's `Input` leaf binds to.
+        base: Box<Expr>,
+        /// The surface path this plan was compiled from.
+        path: PathExpr,
+        /// The operator tree.
+        plan: Box<PathOp>,
+    },
+    /// Binary arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// General comparison (existential over sequences).
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical and (effective boolean values).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+    /// `if (cond) then … else …`.
+    If {
+        /// Condition (EBV).
+        cond: Box<Expr>,
+        /// Then branch.
+        then_branch: Box<Expr>,
+        /// Else branch.
+        else_branch: Box<Expr>,
+    },
+    /// Built-in function call (`count`, `sum`, `avg`, `min`, `max`,
+    /// `string`, `number`, `concat`, `contains`, `starts-with`,
+    /// `string-length`, `name`, `empty`, `exists`, `distinct-values`, …).
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Sequence construction `(e1, e2, …)`.
+    SequenceExpr(Vec<Expr>),
+    /// An element constructor — the SchemaTree the γ operator labels its
+    /// input with (Definition 2).
+    Construct(Box<SchemaTree>),
+    /// A nested FLWOR expression.
+    Flwor(Box<LogicalPlan>),
+}
+
+impl Expr {
+    /// Shorthand literal.
+    pub fn lit(a: impl Into<Atomic>) -> Expr {
+        Expr::Literal(a.into())
+    }
+
+    /// Shorthand variable.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// A path from the context document.
+    pub fn doc_path(path: PathExpr) -> Expr {
+        Expr::Path { base: Box::new(Expr::ContextDoc), path }
+    }
+
+    /// A path from a variable.
+    pub fn var_path(var: impl Into<String>, path: PathExpr) -> Expr {
+        Expr::Path { base: Box::new(Expr::Var(var.into())), path }
+    }
+
+    /// Free variables referenced anywhere in this expression (including
+    /// nested FLWORs, minus their own bindings).
+    pub fn free_vars(&self) -> HashSet<String> {
+        let mut out = HashSet::new();
+        self.collect_free(&mut out, &mut Vec::new());
+        out
+    }
+
+    /// True if `$var` occurs free.
+    pub fn uses_var(&self, var: &str) -> bool {
+        self.free_vars().contains(var)
+    }
+
+    pub(crate) fn collect_free(&self, out: &mut HashSet<String>, bound: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !bound.iter().any(|b| b == v) {
+                    out.insert(v.clone());
+                }
+            }
+            Expr::Literal(_) | Expr::ContextDoc => {}
+            Expr::Path { base, path } | Expr::CompiledPath { base, path, .. } => {
+                base.collect_free(out, bound);
+                // `$var` references inside path predicates are free uses too.
+                let mut referenced = Vec::new();
+                path.referenced_vars(&mut referenced);
+                for v in referenced {
+                    if !bound.iter().any(|b| *b == v) {
+                        out.insert(v);
+                    }
+                }
+            }
+            Expr::Arith { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+                lhs.collect_free(out, bound);
+                rhs.collect_free(out, bound);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_free(out, bound);
+                b.collect_free(out, bound);
+            }
+            Expr::Not(a) => a.collect_free(out, bound),
+            Expr::If { cond, then_branch, else_branch } => {
+                cond.collect_free(out, bound);
+                then_branch.collect_free(out, bound);
+                else_branch.collect_free(out, bound);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_free(out, bound);
+                }
+            }
+            Expr::SequenceExpr(items) => {
+                for i in items {
+                    i.collect_free(out, bound);
+                }
+            }
+            Expr::Construct(tree) => tree.visit_exprs(&mut |e| e.collect_free(out, bound)),
+            Expr::Flwor(plan) => plan.collect_free(out, bound),  // restores `bound` itself
+        }
+    }
+
+    /// Apply `f` to every direct child expression (not recursive).
+    pub fn map_children(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+        match self {
+            Expr::Path { base, path } => Expr::Path { base: Box::new(f(*base)), path },
+            Expr::CompiledPath { base, path, plan } => {
+                Expr::CompiledPath { base: Box::new(f(*base)), path, plan }
+            }
+            Expr::Arith { op, lhs, rhs } => {
+                Expr::Arith { op, lhs: Box::new(f(*lhs)), rhs: Box::new(f(*rhs)) }
+            }
+            Expr::Cmp { op, lhs, rhs } => {
+                Expr::Cmp { op, lhs: Box::new(f(*lhs)), rhs: Box::new(f(*rhs)) }
+            }
+            Expr::And(a, b) => Expr::And(Box::new(f(*a)), Box::new(f(*b))),
+            Expr::Or(a, b) => Expr::Or(Box::new(f(*a)), Box::new(f(*b))),
+            Expr::Not(a) => Expr::Not(Box::new(f(*a))),
+            Expr::If { cond, then_branch, else_branch } => Expr::If {
+                cond: Box::new(f(*cond)),
+                then_branch: Box::new(f(*then_branch)),
+                else_branch: Box::new(f(*else_branch)),
+            },
+            Expr::Call { name, args } => {
+                Expr::Call { name, args: args.into_iter().map(|a| f(a)).collect() }
+            }
+            Expr::SequenceExpr(items) => {
+                Expr::SequenceExpr(items.into_iter().map(|a| f(a)).collect())
+            }
+            Expr::Construct(mut tree) => {
+                tree.map_exprs(f);
+                Expr::Construct(tree)
+            }
+            leaf @ (Expr::Literal(_) | Expr::Var(_) | Expr::ContextDoc) => leaf,
+            Expr::Flwor(plan) => Expr::Flwor(Box::new(plan.map_exprs(f))),
+        }
+    }
+
+    /// True if the expression is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Expr::Literal(_))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(Atomic::Str(s)) => write!(f, "\"{s}\""),
+            Expr::Literal(a) => write!(f, "{a}"),
+            Expr::Var(v) => write!(f, "${v}"),
+            Expr::ContextDoc => write!(f, "doc()"),
+            Expr::Path { base, path } => {
+                let sep = if path.absolute { "" } else { "/" };
+                match base.as_ref() {
+                    Expr::ContextDoc => write!(f, "doc(){sep}{path}"),
+                    other => write!(f, "{other}{sep}{path}"),
+                }
+            }
+            Expr::CompiledPath { base, plan, .. } => write!(f, "{base} ⊳ {plan}"),
+            Expr::Arith { op, lhs, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
+            Expr::Cmp { op, lhs, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
+            Expr::And(a, b) => write!(f, "({a} and {b})"),
+            Expr::Or(a, b) => write!(f, "({a} or {b})"),
+            Expr::Not(a) => write!(f, "not({a})"),
+            Expr::If { cond, then_branch, else_branch } => {
+                write!(f, "if ({cond}) then {then_branch} else {else_branch}")
+            }
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::SequenceExpr(items) => {
+                write!(f, "(")?;
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Construct(tree) => write!(f, "γ[{}]", tree.root_name()),
+            Expr::Flwor(_) => write!(f, "flwor{{…}}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_xpath::parse_path;
+
+    #[test]
+    fn free_vars_basic() {
+        let e = Expr::Arith {
+            op: ArithOp::Add,
+            lhs: Box::new(Expr::var("x")),
+            rhs: Box::new(Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs: Box::new(Expr::var("y")),
+                rhs: Box::new(Expr::lit(1i64)),
+            }),
+        };
+        let fv = e.free_vars();
+        assert!(fv.contains("x") && fv.contains("y"));
+        assert_eq!(fv.len(), 2);
+        assert!(e.uses_var("x"));
+        assert!(!e.uses_var("z"));
+    }
+
+    #[test]
+    fn path_base_vars() {
+        let e = Expr::var_path("b", parse_path("title").unwrap());
+        assert!(e.uses_var("b"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Expr::lit(42i64).to_string(), "42");
+        assert_eq!(Expr::lit("hi").to_string(), "\"hi\"");
+        assert_eq!(Expr::var("b").to_string(), "$b");
+        let p = Expr::doc_path(parse_path("/bib/book").unwrap());
+        assert_eq!(p.to_string(), "doc()/bib/book");
+        let vp = Expr::var_path("b", parse_path("title").unwrap());
+        assert_eq!(vp.to_string(), "$b/title");
+        let call = Expr::Call { name: "count".into(), args: vec![Expr::var("x")] };
+        assert_eq!(call.to_string(), "count($x)");
+    }
+
+    #[test]
+    fn arith_apply() {
+        assert_eq!(
+            ArithOp::Add.apply(&Atomic::Integer(2), &Atomic::Integer(3)),
+            Some(Atomic::Integer(5))
+        );
+        assert_eq!(ArithOp::Div.apply(&Atomic::Integer(1), &Atomic::Integer(0)), None);
+        assert_eq!(
+            ArithOp::Mod.apply(&Atomic::Integer(7), &Atomic::Integer(4)),
+            Some(Atomic::Integer(3))
+        );
+    }
+
+    #[test]
+    fn map_children_rewrites() {
+        let e = Expr::And(Box::new(Expr::var("a")), Box::new(Expr::var("b")));
+        let renamed = e.map_children(&mut |c| match c {
+            Expr::Var(v) => Expr::Var(format!("{v}2")),
+            other => other,
+        });
+        assert_eq!(
+            renamed,
+            Expr::And(Box::new(Expr::var("a2")), Box::new(Expr::var("b2")))
+        );
+    }
+}

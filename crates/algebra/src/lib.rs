@@ -1,0 +1,42 @@
+//! # xqp-algebra — the paper's logical algebra for XQuery
+//!
+//! §3 of the paper defines a logical algebra whose sorts and operators this
+//! crate implements:
+//!
+//! * **Sorts** (§3.2): flat [`Sequence`]s of [`Item`]s, [`Nested`] lists
+//!   (`NestedList`), labeled trees (the arena `Document` of `xqp-xml`),
+//!   pattern graphs (Definition 1, from `xqp-xpath`), **schema trees**
+//!   (Definition 2, [`schema::SchemaTree`]) and **environments**
+//!   (Definition 3, [`env::Env`]) — the layered balanced tree of FLWOR
+//!   variable bindings whose root-to-leaf paths are the total bindings.
+//! * **Operators** (Table 1): σs, ⋈s, πs (structure-based), σv, ⋈v
+//!   (value-based) and the hybrid τ (tree pattern matching) and γ (tree
+//!   construction), as the [`plan::PathOp`] and [`plan::LogicalPlan`]
+//!   operator trees. τ sits at the bottom of a plan, γ at the top, exactly
+//!   as §3.2 prescribes.
+//! * **Rewrite rules** (the paper's §6 "planned work", realized here):
+//!   navigation-to-TPM fusion, predicate pushdown into pattern graphs,
+//!   constant folding, dead-binding elimination and join-order selection —
+//!   see [`rewrite`].
+//! * **Cost model** (left as future work in the paper; built here as the
+//!   natural extension): per-tag cardinality statistics driving join order
+//!   and access-method choice — see [`cost`].
+//!
+//! The crate is purely logical: physical evaluation lives in `xqp-exec`,
+//! which interprets these trees against the succinct storage.
+
+pub mod cost;
+pub mod env;
+pub mod expr;
+pub mod plan;
+pub mod rewrite;
+pub mod schema;
+pub mod value;
+
+pub use cost::{CostModel, DocStatistics};
+pub use env::Env;
+pub use expr::Expr;
+pub use plan::{JoinSide, LogicalPlan, OrderKey, PathOp, TpmVar};
+pub use rewrite::{optimize, optimize_expr, optimize_path, RewriteReport, RuleSet};
+pub use schema::{SchemaNode, SchemaTree};
+pub use value::{Item, Nested, Sequence};

@@ -1,0 +1,517 @@
+//! Logical operator trees.
+//!
+//! Two levels, mirroring the paper's plan shape (§3.2: τ at the bottom, γ at
+//! the top, list operators in between):
+//!
+//! * [`PathOp`] — the Table-1 operator tree evaluating one path expression
+//!   over a context sequence: navigation steps (πs/σs), value selections
+//!   (σv), tree pattern matching (τ), structural joins (⋈s), value joins
+//!   (⋈v) and document-order dedup.
+//! * [`LogicalPlan`] — the FLWOR pipeline building the [`crate::env::Env`]
+//!   (Definition 3) layer by layer: `EnvRoot → ForBind/LetBind* → Where? →
+//!   OrderBy? → ReturnClause`. The rewrite rule R5 can replace a prefix of
+//!   bindings with a single [`LogicalPlan::TpmBind`], evaluating several
+//!   bindings in one tree-pattern scan (the Fig. 1 list-comprehension
+//!   argument).
+
+use crate::expr::Expr;
+use std::collections::HashSet;
+use std::fmt;
+use xqp_xpath::{CmpOp, PathExpr, PatternGraph, PRel, Step, ValueConstraint};
+
+/// Which side of a structural join is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// Return the ancestor-side nodes.
+    Anc,
+    /// Return the descendant-side nodes.
+    Desc,
+}
+
+/// One sort key of an `order by` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Key expression.
+    pub expr: Expr,
+    /// Descending order?
+    pub descending: bool,
+}
+
+/// One variable bound by a [`LogicalPlan::TpmBind`] operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpmVar {
+    /// Variable name (without `$`).
+    pub var: String,
+    /// The pattern vertex whose matches bind the variable.
+    pub vertex: usize,
+    /// `true` for a `for`-style (one binding per match) variable, `false`
+    /// for a `let`-style variable (all matches under the same outer binding
+    /// collected into one sequence).
+    pub one_to_many: bool,
+}
+
+/// A path-evaluation operator tree (the Table-1 operators).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathOp {
+    /// The context sequence the path is applied to.
+    Input,
+    /// One navigation step (πs along the axis composed with σs on the name
+    /// test, plus the step's predicates) — the naive navigational form.
+    Step {
+        /// Upstream operator.
+        input: Box<PathOp>,
+        /// The location step.
+        step: Step,
+    },
+    /// τ applied to each context node: match the pattern graph in the
+    /// node's subtree and return the single output vertex's matches.
+    TpmFrom {
+        /// Upstream operator.
+        input: Box<PathOp>,
+        /// Pattern graph (Definition 1) with exactly one output vertex.
+        pattern: PatternGraph,
+    },
+    /// σs — keep nodes whose tag matches.
+    SelectTag {
+        /// Upstream operator.
+        input: Box<PathOp>,
+        /// Name test (`*` allowed).
+        test: String,
+    },
+    /// σv — keep nodes whose typed value satisfies the constraint.
+    SelectValue {
+        /// Upstream operator.
+        input: Box<PathOp>,
+        /// The ⟨op, literal⟩ constraint.
+        constraint: ValueConstraint,
+    },
+    /// ⋈s — structural join of two node sets.
+    StructuralJoin {
+        /// Ancestor/parent side.
+        anc: Box<PathOp>,
+        /// Descendant/child side.
+        desc: Box<PathOp>,
+        /// Parent-child or ancestor-descendant.
+        rel: PRel,
+        /// Which side is returned.
+        output: JoinSide,
+    },
+    /// ⋈v — join two node sets on their typed values.
+    ValueJoin {
+        /// Left side.
+        left: Box<PathOp>,
+        /// Right side.
+        right: Box<PathOp>,
+        /// Comparison operator.
+        op: CmpOp,
+    },
+    /// Sort into document order and remove duplicates (path-expression
+    /// result normalization).
+    DedupSort {
+        /// Upstream operator.
+        input: Box<PathOp>,
+    },
+}
+
+impl PathOp {
+    /// The naive navigational plan for a path: one [`PathOp::Step`] per
+    /// location step, wrapped in a final dedup/sort.
+    pub fn compile_naive(path: &PathExpr) -> PathOp {
+        let mut op = PathOp::Input;
+        for step in &path.steps {
+            op = PathOp::Step { input: Box::new(op), step: step.clone() };
+        }
+        PathOp::DedupSort { input: Box::new(op) }
+    }
+
+    /// Count operators of each interesting kind (used by rewrite tests and
+    /// EXPLAIN summaries): `(steps, tpms, structural_joins)`.
+    pub fn op_counts(&self) -> (usize, usize, usize) {
+        let mut steps = 0;
+        let mut tpms = 0;
+        let mut joins = 0;
+        self.visit(&mut |op| match op {
+            PathOp::Step { .. } => steps += 1,
+            PathOp::TpmFrom { .. } => tpms += 1,
+            PathOp::StructuralJoin { .. } => joins += 1,
+            _ => {}
+        });
+        (steps, tpms, joins)
+    }
+
+    /// Visit every operator, children first.
+    pub fn visit(&self, f: &mut impl FnMut(&PathOp)) {
+        match self {
+            PathOp::Input => {}
+            PathOp::Step { input, .. }
+            | PathOp::TpmFrom { input, .. }
+            | PathOp::SelectTag { input, .. }
+            | PathOp::SelectValue { input, .. }
+            | PathOp::DedupSort { input } => input.visit(f),
+            PathOp::StructuralJoin { anc, desc, .. } => {
+                anc.visit(f);
+                desc.visit(f);
+            }
+            PathOp::ValueJoin { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+        }
+        f(self);
+    }
+}
+
+impl fmt::Display for PathOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathOp::Input => write!(f, "input"),
+            PathOp::Step { input, step } => {
+                let axis = step.axis.keyword();
+                write!(f, "π[{}::{}]({input})", axis, step.test.label())
+            }
+            PathOp::TpmFrom { input, pattern } => {
+                write!(f, "τ[{} vertices]({input})", pattern.pattern_size())
+            }
+            PathOp::SelectTag { input, test } => write!(f, "σs[{test}]({input})"),
+            PathOp::SelectValue { input, constraint } => {
+                write!(f, "σv[{} {}]({input})", constraint.op.symbol(), constraint.literal)
+            }
+            PathOp::StructuralJoin { anc, desc, rel, output } => {
+                let r = match rel {
+                    PRel::Child => "/",
+                    PRel::Descendant => "//",
+                };
+                let side = match output {
+                    JoinSide::Anc => "anc",
+                    JoinSide::Desc => "desc",
+                };
+                write!(f, "⋈s[{r}→{side}]({anc}, {desc})")
+            }
+            PathOp::ValueJoin { left, right, op } => {
+                write!(f, "⋈v[{}]({left}, {right})", op.symbol())
+            }
+            PathOp::DedupSort { input } => write!(f, "dedup({input})"),
+        }
+    }
+}
+
+/// A FLWOR logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// The empty environment (one empty total binding).
+    EnvRoot,
+    /// `for $var in source` — a one-to-many Env layer.
+    ForBind {
+        /// Upstream plan.
+        input: Box<LogicalPlan>,
+        /// Variable name (without `$`).
+        var: String,
+        /// Binding sequence, evaluated per upstream binding.
+        source: Expr,
+    },
+    /// `let $var := source` — a one-to-one Env layer.
+    LetBind {
+        /// Upstream plan.
+        input: Box<LogicalPlan>,
+        /// Variable name.
+        var: String,
+        /// Bound expression.
+        source: Expr,
+    },
+    /// `where cond` — a boolean layer pruning bindings.
+    Where {
+        /// Upstream plan.
+        input: Box<LogicalPlan>,
+        /// Condition (effective boolean value).
+        cond: Expr,
+    },
+    /// `order by` — reorder total bindings.
+    OrderBy {
+        /// Upstream plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys, major first.
+        keys: Vec<OrderKey>,
+    },
+    /// `return expr` — evaluate once per total binding, concatenating.
+    ReturnClause {
+        /// Upstream plan.
+        input: Box<LogicalPlan>,
+        /// Returned expression.
+        expr: Expr,
+    },
+    /// Several for/let bindings evaluated by a **single tree-pattern scan**
+    /// (rewrite R5): each `(var, vertex)` pair binds the variable to that
+    /// pattern vertex's match in each embedding.
+    TpmBind {
+        /// Upstream plan.
+        input: Box<LogicalPlan>,
+        /// Merged pattern graph over all bindings.
+        pattern: PatternGraph,
+        /// Variable bindings, outermost variable first.
+        vars: Vec<TpmVar>,
+    },
+}
+
+impl LogicalPlan {
+    /// The upstream plan, if any.
+    pub fn input(&self) -> Option<&LogicalPlan> {
+        match self {
+            LogicalPlan::EnvRoot => None,
+            LogicalPlan::ForBind { input, .. }
+            | LogicalPlan::LetBind { input, .. }
+            | LogicalPlan::Where { input, .. }
+            | LogicalPlan::OrderBy { input, .. }
+            | LogicalPlan::ReturnClause { input, .. }
+            | LogicalPlan::TpmBind { input, .. } => Some(input),
+        }
+    }
+
+    /// Free variables of the whole plan (variables referenced but not bound
+    /// by its own for/let/TPM layers).
+    pub fn free_vars(&self) -> HashSet<String> {
+        let mut out = HashSet::new();
+        let mut bound = Vec::new();
+        self.collect_free(&mut out, &mut bound);
+        out
+    }
+
+    /// Collect free variables; restores `bound` before returning.
+    pub fn collect_free(&self, out: &mut HashSet<String>, bound: &mut Vec<String>) {
+        let depth = bound.len();
+        self.collect_free_inner(out, bound);
+        bound.truncate(depth);
+    }
+
+    fn collect_free_inner(&self, out: &mut HashSet<String>, bound: &mut Vec<String>) {
+        match self {
+            LogicalPlan::EnvRoot => {}
+            LogicalPlan::ForBind { input, var, source }
+            | LogicalPlan::LetBind { input, var, source } => {
+                input.collect_free_inner(out, bound);
+                source.collect_free(out, bound);
+                bound.push(var.clone());
+            }
+            LogicalPlan::Where { input, cond } => {
+                input.collect_free_inner(out, bound);
+                cond.collect_free(out, bound);
+            }
+            LogicalPlan::OrderBy { input, keys } => {
+                input.collect_free_inner(out, bound);
+                for k in keys {
+                    k.expr.collect_free(out, bound);
+                }
+            }
+            LogicalPlan::ReturnClause { input, expr } => {
+                input.collect_free_inner(out, bound);
+                expr.collect_free(out, bound);
+            }
+            LogicalPlan::TpmBind { input, vars, .. } => {
+                input.collect_free_inner(out, bound);
+                for v in vars {
+                    bound.push(v.var.clone());
+                }
+            }
+        }
+    }
+
+    /// Rewrite every embedded expression bottom-up.
+    pub fn map_exprs(self, f: &mut impl FnMut(Expr) -> Expr) -> LogicalPlan {
+        match self {
+            LogicalPlan::EnvRoot => LogicalPlan::EnvRoot,
+            LogicalPlan::ForBind { input, var, source } => LogicalPlan::ForBind {
+                input: Box::new(input.map_exprs(f)),
+                var,
+                source: f(source),
+            },
+            LogicalPlan::LetBind { input, var, source } => LogicalPlan::LetBind {
+                input: Box::new(input.map_exprs(f)),
+                var,
+                source: f(source),
+            },
+            LogicalPlan::Where { input, cond } => {
+                LogicalPlan::Where { input: Box::new(input.map_exprs(f)), cond: f(cond) }
+            }
+            LogicalPlan::OrderBy { input, keys } => LogicalPlan::OrderBy {
+                input: Box::new(input.map_exprs(f)),
+                keys: keys
+                    .into_iter()
+                    .map(|k| OrderKey { expr: f(k.expr), descending: k.descending })
+                    .collect(),
+            },
+            LogicalPlan::ReturnClause { input, expr } => LogicalPlan::ReturnClause {
+                input: Box::new(input.map_exprs(f)),
+                expr: f(expr),
+            },
+            LogicalPlan::TpmBind { input, pattern, vars } => LogicalPlan::TpmBind {
+                input: Box::new(input.map_exprs(f)),
+                pattern,
+                vars,
+            },
+        }
+    }
+
+    /// Number of operators in the pipeline (EnvRoot included).
+    pub fn len(&self) -> usize {
+        1 + self.input().map_or(0, LogicalPlan::len)
+    }
+
+    /// Always false — a plan has at least `EnvRoot`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Multi-line EXPLAIN rendering, top operator first.
+    pub fn explain(&self) -> String {
+        let mut lines = Vec::new();
+        self.explain_into(&mut lines);
+        let mut out = String::new();
+        for (i, l) in lines.iter().enumerate() {
+            out.push_str(&"  ".repeat(i));
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn explain_into(&self, lines: &mut Vec<String>) {
+        let line = match self {
+            LogicalPlan::EnvRoot => "env-root".to_string(),
+            LogicalPlan::ForBind { var, source, .. } => format!("for ${var} in {source}"),
+            LogicalPlan::LetBind { var, source, .. } => format!("let ${var} := {source}"),
+            LogicalPlan::Where { cond, .. } => format!("where {cond}"),
+            LogicalPlan::OrderBy { keys, .. } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| {
+                        format!("{}{}", k.expr, if k.descending { " descending" } else { "" })
+                    })
+                    .collect();
+                format!("order by {}", ks.join(", "))
+            }
+            LogicalPlan::ReturnClause { expr, .. } => format!("return {expr}"),
+            LogicalPlan::TpmBind { vars, pattern, .. } => {
+                let vs: Vec<String> = vars
+                    .iter()
+                    .map(|v| format!("${}←v{}", v.var, v.vertex))
+                    .collect();
+                format!("tpm-bind [{}] over pattern({} vertices)", vs.join(", "), pattern.pattern_size())
+            }
+        };
+        lines.push(line);
+        if let Some(i) = self.input() {
+            i.explain_into(lines);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_xpath::parse_path;
+
+    fn fig1_plan() -> LogicalPlan {
+        // for $b in doc()/bib/book let $t := $b/title let $a := $b/author
+        // return <result>{$t}{$a}</result> (constructor elided here)
+        LogicalPlan::ReturnClause {
+            input: Box::new(LogicalPlan::LetBind {
+                input: Box::new(LogicalPlan::LetBind {
+                    input: Box::new(LogicalPlan::ForBind {
+                        input: Box::new(LogicalPlan::EnvRoot),
+                        var: "b".into(),
+                        source: Expr::doc_path(parse_path("/bib/book").unwrap()),
+                    }),
+                    var: "t".into(),
+                    source: Expr::var_path("b", parse_path("title").unwrap()),
+                }),
+                var: "a".into(),
+                source: Expr::var_path("b", parse_path("author").unwrap()),
+            }),
+            expr: Expr::SequenceExpr(vec![Expr::var("t"), Expr::var("a")]),
+        }
+    }
+
+    #[test]
+    fn naive_path_compilation() {
+        let p = parse_path("/bib/book[author]/title").unwrap();
+        let op = PathOp::compile_naive(&p);
+        let (steps, tpms, joins) = op.op_counts();
+        assert_eq!((steps, tpms, joins), (3, 0, 0));
+        assert!(matches!(op, PathOp::DedupSort { .. }));
+    }
+
+    #[test]
+    fn plan_free_vars_respect_binding_order() {
+        let plan = fig1_plan();
+        // $b, $t, $a are all bound inside; nothing is free.
+        assert!(plan.free_vars().is_empty());
+    }
+
+    #[test]
+    fn unbound_var_is_free() {
+        let plan = LogicalPlan::ReturnClause {
+            input: Box::new(LogicalPlan::EnvRoot),
+            expr: Expr::var("ghost"),
+        };
+        assert_eq!(plan.free_vars().len(), 1);
+        assert!(plan.free_vars().contains("ghost"));
+    }
+
+    #[test]
+    fn var_used_before_binding_is_free() {
+        // for $x in $y/... — $y unbound
+        let plan = LogicalPlan::ForBind {
+            input: Box::new(LogicalPlan::EnvRoot),
+            var: "x".into(),
+            source: Expr::var_path("y", parse_path("a").unwrap()),
+        };
+        assert!(plan.free_vars().contains("y"));
+        assert!(!plan.free_vars().contains("x"));
+    }
+
+    #[test]
+    fn plan_len_and_explain() {
+        let plan = fig1_plan();
+        assert_eq!(plan.len(), 5);
+        let ex = plan.explain();
+        let lines: Vec<&str> = ex.lines().collect();
+        assert!(lines[0].starts_with("return"));
+        assert!(lines[4].trim_start().starts_with("env-root"));
+        assert!(ex.contains("for $b in doc()/bib/book"));
+        assert!(ex.contains("let $t := $b/title"));
+    }
+
+    #[test]
+    fn map_exprs_rewrites_all_clauses() {
+        let plan = fig1_plan();
+        let mut count = 0;
+        let _ = plan.map_exprs(&mut |e| {
+            count += 1;
+            e
+        });
+        // for-source, two let-sources, return expr
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn pathop_display_is_informative() {
+        let p = parse_path("/a//b").unwrap();
+        let op = PathOp::compile_naive(&p);
+        let s = op.to_string();
+        assert!(s.contains("dedup"));
+        assert!(s.contains("π["));
+        assert!(s.contains("input"));
+    }
+
+    #[test]
+    fn structural_join_display() {
+        let j = PathOp::StructuralJoin {
+            anc: Box::new(PathOp::Input),
+            desc: Box::new(PathOp::Input),
+            rel: PRel::Descendant,
+            output: JoinSide::Desc,
+        };
+        assert_eq!(j.to_string(), "⋈s[//→desc](input, input)");
+        let (_, _, joins) = j.op_counts();
+        assert_eq!(joins, 1);
+    }
+}

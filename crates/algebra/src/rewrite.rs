@@ -1,0 +1,1064 @@
+//! Rewrite rules — the logical optimization the paper plans in §6.
+//!
+//! | rule | name | what it does |
+//! |------|------|--------------|
+//! | R1 | navigation→TPM fusion | a cascade of navigation steps (πs/σs) becomes one τ over a pattern graph |
+//! | R2 | value-predicate pushdown | comparison predicates become vertex constraints inside the pattern graph (σv fused into τ) |
+//! | R5 | FLWOR→TPM | a run of for/let bindings over connected paths becomes a single [`LogicalPlan::TpmBind`] — the Fig. 1 list-comprehension evaluated by one tree-pattern scan (generalized tree patterns, cf. [9]) |
+//! | R6 | output pruning | TPM output vertices whose variable is never referenced downstream stop being materialized |
+//! | R7 | dead-binding elimination | `let` bindings never referenced downstream are removed |
+//! | R8 | constant folding | literal-only subexpressions are evaluated at plan time (a `where` folded to false empties the whole FLWOR) |
+//! | R9 | where-pushdown | conjuncts of a `where` clause that compare a path from a fused `for` variable against a literal become constraints inside the TPM pattern |
+//!
+//! R3 (NoK partitioning) and R4 (structural-join ordering) are *physical*
+//! choices made by the executor's planner; [`RuleSet`] carries their flags so
+//! one switch block drives the whole ablation experiment (E11).
+
+use crate::expr::Expr;
+use crate::plan::{LogicalPlan, OrderKey, PathOp, TpmVar};
+use crate::value::effective_boolean;
+use std::collections::HashSet;
+use xqp_xml::Atomic;
+use xqp_xpath::{PathExpr, PatternGraph, PredOperand, Predicate};
+
+/// Which rewrite rules are enabled. `Default` enables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet {
+    /// R1: fuse navigation cascades into τ.
+    pub fuse_tpm: bool,
+    /// R2: push value predicates into pattern-graph constraints.
+    pub pushdown_values: bool,
+    /// R3: partition τ into NoK subpatterns joined structurally (physical).
+    pub nok_partition: bool,
+    /// R4: order structural joins by estimated cardinality (physical).
+    pub join_order: bool,
+    /// R5: fuse FLWOR binding runs into one TPM scan.
+    pub flwor_to_tpm: bool,
+    /// R6: stop materializing unused TPM outputs.
+    pub prune_outputs: bool,
+    /// R7: eliminate dead `let` bindings.
+    pub dead_let: bool,
+    /// R8: fold constants.
+    pub const_fold: bool,
+    /// R9: push where-clause conjuncts into fused TPM patterns.
+    pub where_pushdown: bool,
+}
+
+impl RuleSet {
+    /// Every rule on.
+    pub fn all() -> Self {
+        RuleSet {
+            fuse_tpm: true,
+            pushdown_values: true,
+            nok_partition: true,
+            join_order: true,
+            flwor_to_tpm: true,
+            prune_outputs: true,
+            dead_let: true,
+            const_fold: true,
+            where_pushdown: true,
+        }
+    }
+
+    /// Every rule off — the naive baseline.
+    pub fn none() -> Self {
+        RuleSet {
+            fuse_tpm: false,
+            pushdown_values: false,
+            nok_partition: false,
+            join_order: false,
+            flwor_to_tpm: false,
+            prune_outputs: false,
+            dead_let: false,
+            const_fold: false,
+            where_pushdown: false,
+        }
+    }
+
+    /// All rules except one (ablation helper); `rule` is the R-number (1–8).
+    pub fn all_except(rule: u8) -> Self {
+        let mut r = RuleSet::all();
+        match rule {
+            1 => r.fuse_tpm = false,
+            2 => r.pushdown_values = false,
+            3 => r.nok_partition = false,
+            4 => r.join_order = false,
+            5 => r.flwor_to_tpm = false,
+            6 => r.prune_outputs = false,
+            7 => r.dead_let = false,
+            8 => r.const_fold = false,
+            9 => r.where_pushdown = false,
+            _ => {}
+        }
+        r
+    }
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        RuleSet::all()
+    }
+}
+
+/// Which rules fired, in application order (duplicates = multiple firings).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RewriteReport {
+    /// Rule tags such as `"R1"`, `"R5"`.
+    pub applied: Vec<&'static str>,
+}
+
+impl RewriteReport {
+    /// How many times `rule` fired.
+    pub fn count(&self, rule: &str) -> usize {
+        self.applied.iter().filter(|r| **r == rule).count()
+    }
+}
+
+/// Optimize a FLWOR plan under the given rules (nested FLWOR expressions
+/// are optimized recursively).
+pub fn optimize(plan: LogicalPlan, rules: &RuleSet) -> (LogicalPlan, RewriteReport) {
+    let mut report = RewriteReport::default();
+    let plan = optimize_plan(plan, rules, &mut report);
+    (plan, report)
+}
+
+/// Optimize a whole expression (queries whose body is not a FLWOR). The
+/// expression is wrapped in a trivial `return` clause, optimized, and
+/// unwrapped.
+pub fn optimize_expr(expr: Expr, rules: &RuleSet) -> (Expr, RewriteReport) {
+    let plan = LogicalPlan::ReturnClause { input: Box::new(LogicalPlan::EnvRoot), expr };
+    let (plan, report) = optimize(plan, rules);
+    match plan {
+        LogicalPlan::ReturnClause { expr, .. } => (expr, report),
+        other => (Expr::Flwor(Box::new(other)), report),
+    }
+}
+
+fn optimize_plan(
+    plan: LogicalPlan,
+    rules: &RuleSet,
+    report: &mut RewriteReport,
+) -> LogicalPlan {
+    let mut plan = plan;
+    if rules.const_fold {
+        plan = plan.map_exprs(&mut |e| fold_expr(e, report));
+        plan = short_circuit_false_where(plan, report);
+    }
+    if rules.dead_let {
+        plan = prune_pass(plan, &HashSet::new(), rules, report);
+    }
+    if rules.flwor_to_tpm {
+        plan = flwor_to_tpm(plan, rules, report);
+    }
+    if rules.prune_outputs {
+        plan = prune_pass(plan, &HashSet::new(), rules, report);
+    }
+    compile_paths_in_plan(plan, rules, report)
+}
+
+/// Optimize a standalone path expression into a [`PathOp`] tree (R1/R2 for
+/// pure path queries; the executor applies R3/R4 physically).
+pub fn optimize_path(path: &PathExpr, rules: &RuleSet) -> (PathOp, RewriteReport) {
+    let mut report = RewriteReport::default();
+    let op = compile_path(path, rules, &mut report);
+    (op, report)
+}
+
+// ---- R8: constant folding ----------------------------------------------------
+
+/// Fold constants bottom-up in one expression tree.
+fn fold_expr(e: Expr, report: &mut RewriteReport) -> Expr {
+    let e = e.map_children(&mut |c| fold_expr(c, report));
+    match e {
+        Expr::Arith { op, lhs, rhs } => {
+            if let (Expr::Literal(a), Expr::Literal(b)) = (lhs.as_ref(), rhs.as_ref()) {
+                if let Some(v) = op.apply(a, b) {
+                    report.applied.push("R8");
+                    return Expr::Literal(v);
+                }
+            }
+            Expr::Arith { op, lhs, rhs }
+        }
+        Expr::Cmp { op, lhs, rhs } => {
+            if let (Expr::Literal(a), Expr::Literal(b)) = (lhs.as_ref(), rhs.as_ref()) {
+                if let Some(ord) = a.compare(b) {
+                    report.applied.push("R8");
+                    return Expr::Literal(Atomic::Boolean(op.eval(ord)));
+                }
+            }
+            Expr::Cmp { op, lhs, rhs }
+        }
+        Expr::And(a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Literal(l), _) => {
+                report.applied.push("R8");
+                if ebv_lit(l) {
+                    *b
+                } else {
+                    Expr::Literal(Atomic::Boolean(false))
+                }
+            }
+            (_, Expr::Literal(l)) if ebv_lit(l) => {
+                report.applied.push("R8");
+                *a
+            }
+            _ => Expr::And(a, b),
+        },
+        Expr::Or(a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Literal(l), _) => {
+                report.applied.push("R8");
+                if ebv_lit(l) {
+                    Expr::Literal(Atomic::Boolean(true))
+                } else {
+                    *b
+                }
+            }
+            (_, Expr::Literal(l)) if !ebv_lit(l) => {
+                report.applied.push("R8");
+                *a
+            }
+            _ => Expr::Or(a, b),
+        },
+        Expr::Not(a) => {
+            if let Expr::Literal(l) = a.as_ref() {
+                report.applied.push("R8");
+                Expr::Literal(Atomic::Boolean(!ebv_lit(l)))
+            } else {
+                Expr::Not(a)
+            }
+        }
+        Expr::If { cond, then_branch, else_branch } => {
+            if let Expr::Literal(l) = cond.as_ref() {
+                report.applied.push("R8");
+                if ebv_lit(l) {
+                    *then_branch
+                } else {
+                    *else_branch
+                }
+            } else {
+                Expr::If { cond, then_branch, else_branch }
+            }
+        }
+        other => other,
+    }
+}
+
+fn ebv_lit(a: &Atomic) -> bool {
+    effective_boolean::<u32>(&vec![crate::value::Item::Atom(a.clone())])
+}
+
+/// Part of R8: a `where` clause folded to a false constant empties the
+/// whole FLWOR — no binding survives, so nothing below or above needs to
+/// run.
+fn short_circuit_false_where(plan: LogicalPlan, report: &mut RewriteReport) -> LogicalPlan {
+    fn has_false_where(plan: &LogicalPlan) -> bool {
+        match plan {
+            LogicalPlan::Where { input, cond } => {
+                matches!(cond, Expr::Literal(l) if !ebv_lit(l)) || has_false_where(input)
+            }
+            LogicalPlan::EnvRoot => false,
+            other => other.input().is_some_and(has_false_where),
+        }
+    }
+    if has_false_where(&plan) {
+        report.applied.push("R8");
+        return LogicalPlan::ReturnClause {
+            input: Box::new(LogicalPlan::EnvRoot),
+            expr: Expr::SequenceExpr(vec![]),
+        };
+    }
+    plan
+}
+
+// ---- R7 + R6: dead bindings and unused outputs --------------------------------
+
+/// Top-down pass tracking which variables the operators *above* each clause
+/// still need. Removes dead `let` bindings (R7) and unused TPM output
+/// variables (R6).
+fn prune_pass(
+    plan: LogicalPlan,
+    needed_above: &HashSet<String>,
+    rules: &RuleSet,
+    report: &mut RewriteReport,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::EnvRoot => LogicalPlan::EnvRoot,
+        LogicalPlan::ReturnClause { input, expr } => {
+            let mut needed = needed_above.clone();
+            needed.extend(expr.free_vars());
+            LogicalPlan::ReturnClause {
+                input: Box::new(prune_pass(*input, &needed, rules, report)),
+                expr,
+            }
+        }
+        LogicalPlan::Where { input, cond } => {
+            let mut needed = needed_above.clone();
+            needed.extend(cond.free_vars());
+            LogicalPlan::Where {
+                input: Box::new(prune_pass(*input, &needed, rules, report)),
+                cond,
+            }
+        }
+        LogicalPlan::OrderBy { input, keys } => {
+            let mut needed = needed_above.clone();
+            for k in &keys {
+                needed.extend(k.expr.free_vars());
+            }
+            LogicalPlan::OrderBy {
+                input: Box::new(prune_pass(*input, &needed, rules, report)),
+                keys,
+            }
+        }
+        LogicalPlan::ForBind { input, var, source } => {
+            let mut needed = needed_above.clone();
+            needed.remove(&var);
+            needed.extend(source.free_vars());
+            LogicalPlan::ForBind {
+                input: Box::new(prune_pass(*input, &needed, rules, report)),
+                var,
+                source,
+            }
+        }
+        LogicalPlan::LetBind { input, var, source } => {
+            if rules.dead_let && !needed_above.contains(&var) {
+                report.applied.push("R7");
+                return prune_pass(*input, needed_above, rules, report);
+            }
+            let mut needed = needed_above.clone();
+            needed.remove(&var);
+            needed.extend(source.free_vars());
+            LogicalPlan::LetBind {
+                input: Box::new(prune_pass(*input, &needed, rules, report)),
+                var,
+                source,
+            }
+        }
+        LogicalPlan::TpmBind { input, pattern, vars } => {
+            let mut pattern = pattern;
+            let vars: Vec<TpmVar> = vars
+                .into_iter()
+                .filter(|v| {
+                    // Unused let-style outputs stop being materialized; the
+                    // vertex stays in the pattern as an (optional) branch.
+                    let keep =
+                        v.one_to_many || !rules.prune_outputs || needed_above.contains(&v.var);
+                    if !keep {
+                        report.applied.push("R6");
+                        pattern.vertices[v.vertex].output = false;
+                    }
+                    keep
+                })
+                .collect();
+            let mut needed = needed_above.clone();
+            for v in &vars {
+                needed.remove(&v.var);
+            }
+            LogicalPlan::TpmBind {
+                input: Box::new(prune_pass(*input, &needed, rules, report)),
+                pattern,
+                vars,
+            }
+        }
+    }
+}
+
+// ---- R5: FLWOR → TPM ----------------------------------------------------------
+
+/// Clause list form of a plan, bottom-up.
+enum Clause {
+    For(String, Expr),
+    Let(String, Expr),
+    WhereC(Expr),
+    OrderByC(Vec<OrderKey>),
+    ReturnC(Expr),
+    TpmC(PatternGraph, Vec<TpmVar>),
+}
+
+fn to_clauses(plan: LogicalPlan, out: &mut Vec<Clause>) {
+    match plan {
+        LogicalPlan::EnvRoot => {}
+        LogicalPlan::ForBind { input, var, source } => {
+            to_clauses(*input, out);
+            out.push(Clause::For(var, source));
+        }
+        LogicalPlan::LetBind { input, var, source } => {
+            to_clauses(*input, out);
+            out.push(Clause::Let(var, source));
+        }
+        LogicalPlan::Where { input, cond } => {
+            to_clauses(*input, out);
+            out.push(Clause::WhereC(cond));
+        }
+        LogicalPlan::OrderBy { input, keys } => {
+            to_clauses(*input, out);
+            out.push(Clause::OrderByC(keys));
+        }
+        LogicalPlan::ReturnClause { input, expr } => {
+            to_clauses(*input, out);
+            out.push(Clause::ReturnC(expr));
+        }
+        LogicalPlan::TpmBind { input, pattern, vars } => {
+            to_clauses(*input, out);
+            out.push(Clause::TpmC(pattern, vars));
+        }
+    }
+}
+
+fn from_clauses(clauses: Vec<Clause>) -> LogicalPlan {
+    let mut plan = LogicalPlan::EnvRoot;
+    for c in clauses {
+        plan = match c {
+            Clause::For(var, source) => {
+                LogicalPlan::ForBind { input: Box::new(plan), var, source }
+            }
+            Clause::Let(var, source) => {
+                LogicalPlan::LetBind { input: Box::new(plan), var, source }
+            }
+            Clause::WhereC(cond) => LogicalPlan::Where { input: Box::new(plan), cond },
+            Clause::OrderByC(keys) => LogicalPlan::OrderBy { input: Box::new(plan), keys },
+            Clause::ReturnC(expr) => {
+                LogicalPlan::ReturnClause { input: Box::new(plan), expr }
+            }
+            Clause::TpmC(pattern, vars) => {
+                LogicalPlan::TpmBind { input: Box::new(plan), pattern, vars }
+            }
+        };
+    }
+    plan
+}
+
+/// True when every predicate in the path is TPM-compatible under the rules
+/// (conjunctive, downward, position-free; value comparisons only if R2 on).
+fn tpm_compatible(path: &PathExpr, rules: &RuleSet) -> bool {
+    if !path.is_downward() {
+        return false;
+    }
+    fn preds_ok(preds: &[Predicate], rules: &RuleSet) -> bool {
+        preds.iter().all(|p| match p {
+            Predicate::Exists(sub) => sub.steps.iter().all(|s| preds_ok(&s.predicates, rules)),
+            Predicate::Compare { lhs, rhs, .. } => {
+                rules.pushdown_values
+                    && !matches!(
+                        (lhs, rhs),
+                        (PredOperand::Path(_), PredOperand::Path(_))
+                    )
+            }
+            Predicate::Position(_) | Predicate::Or(_, _) | Predicate::Not(_) => false,
+            Predicate::And(a, b) => {
+                preds_ok(std::slice::from_ref(a.as_ref()), rules)
+                    && preds_ok(std::slice::from_ref(b.as_ref()), rules)
+            }
+        })
+    }
+    path.steps.iter().all(|s| preds_ok(&s.predicates, rules))
+}
+
+/// Fuse the leading run of for/let clauses over connected downward paths
+/// into one `TpmBind` (≥ 2 clauses required to be worth it).
+fn flwor_to_tpm(
+    plan: LogicalPlan,
+    rules: &RuleSet,
+    report: &mut RewriteReport,
+) -> LogicalPlan {
+    let mut clauses = Vec::new();
+    to_clauses(plan, &mut clauses);
+
+    let mut pattern = PatternGraph::empty();
+    let mut vars: Vec<TpmVar> = Vec::new();
+    let mut fused = 0usize;
+
+    for clause in &clauses {
+        let (var, source, one_to_many) = match clause {
+            Clause::For(v, s) => (v, s, true),
+            Clause::Let(v, s) => (v, s, false),
+            _ => break,
+        };
+        let Expr::Path { base, path } = source else { break };
+        if !tpm_compatible(path, rules) {
+            break;
+        }
+        let context = match base.as_ref() {
+            Expr::ContextDoc if path.absolute => pattern.root(),
+            Expr::Var(u) if !path.absolute => {
+                match vars.iter().find(|tv| &tv.var == u) {
+                    Some(tv) => tv.vertex,
+                    None => break,
+                }
+            }
+            _ => break,
+        };
+        let before = pattern.vertices.len();
+        let Ok(Some(vertex)) = pattern.graft_path(context, path) else { break };
+        if !one_to_many {
+            // let-grafted vertices are optional: an empty match must not
+            // kill the binding (generalized-tree-pattern semantics).
+            for v in before..pattern.vertices.len() {
+                pattern.vertices[v].optional = true;
+            }
+        }
+        pattern.mark_output(vertex);
+        vars.push(TpmVar { var: var.clone(), vertex, one_to_many });
+        fused += 1;
+    }
+
+    if fused < 2 {
+        return from_clauses(clauses);
+    }
+    report.applied.push("R5");
+    let mut rest = clauses.split_off(fused);
+
+    // R9: a `where` clause immediately after the fused run can donate
+    // conjuncts of the form `$v/path ⊙ literal` (or bare existence paths
+    // `$v/path`) as pattern constraints, provided $v is a one-to-many
+    // (for-bound) variable — its binding is then a single node, so the
+    // conjunct is exactly an existential branch of that node's pattern.
+    if rules.where_pushdown {
+        if let Some(Clause::WhereC(cond)) = rest.first() {
+            let mut kept: Vec<Expr> = Vec::new();
+            let mut pushed = 0usize;
+            for conjunct in split_conjuncts(cond.clone()) {
+                if push_conjunct(&mut pattern, &vars, &conjunct, rules) {
+                    pushed += 1;
+                } else {
+                    kept.push(conjunct);
+                }
+            }
+            if pushed > 0 {
+                report.applied.push("R9");
+                rest.remove(0);
+                if let Some(new_cond) = rebuild_conjunction(kept) {
+                    rest.insert(0, Clause::WhereC(new_cond));
+                }
+            }
+        }
+    }
+
+    let mut new_clauses = vec![Clause::TpmC(pattern, vars)];
+    new_clauses.extend(rest);
+    from_clauses(new_clauses)
+}
+
+/// Flatten a conjunction into its conjuncts.
+fn split_conjuncts(e: Expr) -> Vec<Expr> {
+    match e {
+        Expr::And(a, b) => {
+            let mut out = split_conjuncts(*a);
+            out.extend(split_conjuncts(*b));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+fn rebuild_conjunction(mut conjuncts: Vec<Expr>) -> Option<Expr> {
+    let mut acc = conjuncts.pop()?;
+    while let Some(next) = conjuncts.pop() {
+        acc = Expr::And(Box::new(next), Box::new(acc));
+    }
+    Some(acc)
+}
+
+/// Try to absorb one where-conjunct into the pattern. Returns true when the
+/// conjunct is fully captured by the graft (and may be dropped).
+fn push_conjunct(
+    pattern: &mut PatternGraph,
+    vars: &[TpmVar],
+    conjunct: &Expr,
+    rules: &RuleSet,
+) -> bool {
+    use xqp_xpath::CmpOp;
+    // Accept `$v/path op literal`, `literal op $v/path`, bare `$v/path`
+    // (existence via EBV) and `exists($v/path)`.
+    let (var, path, constraint): (&str, &PathExpr, Option<(CmpOp, Atomic)>) = match conjunct {
+        Expr::Cmp { op, lhs, rhs } => match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Path { base, path }, Expr::Literal(l)) => match base.as_ref() {
+                Expr::Var(v) if !path.absolute => (v, path, Some((*op, l.clone()))),
+                _ => return false,
+            },
+            (Expr::Literal(l), Expr::Path { base, path }) => match base.as_ref() {
+                Expr::Var(v) if !path.absolute => (v, path, Some((op.flipped(), l.clone()))),
+                _ => return false,
+            },
+            _ => return false,
+        },
+        Expr::Path { base, path } => match base.as_ref() {
+            Expr::Var(v) if !path.absolute => (v, path, None),
+            _ => return false,
+        },
+        Expr::Call { name, args } if name == "exists" && args.len() == 1 => match &args[0] {
+            Expr::Path { base, path } => match base.as_ref() {
+                Expr::Var(v) if !path.absolute => (v, path, None),
+                _ => return false,
+            },
+            _ => return false,
+        },
+        _ => return false,
+    };
+    // Only one-to-many variables: a for-binding is a single pattern match,
+    // so the conjunct is an existential branch of exactly that vertex.
+    let Some(tv) = vars.iter().find(|tv| tv.var == var && tv.one_to_many) else {
+        return false;
+    };
+    if !tpm_compatible(path, rules) {
+        return false;
+    }
+    match pattern.graft_path(tv.vertex, path) {
+        Ok(Some(target)) => {
+            if let Some((op, literal)) = constraint {
+                pattern.vertices[target]
+                    .constraints
+                    .push(xqp_xpath::ValueConstraint { op, literal });
+            }
+            true
+        }
+        // `tpm_compatible` pre-checks every failure mode, so grafting never
+        // fails here; the empty path case cannot arise (the parser rejects
+        // `$v/`).
+        _ => false,
+    }
+}
+
+// ---- R1/R2: path compilation ----------------------------------------------------
+
+fn compile_paths_in_plan(
+    plan: LogicalPlan,
+    rules: &RuleSet,
+    report: &mut RewriteReport,
+) -> LogicalPlan {
+    plan.map_exprs(&mut |e| compile_paths_in_expr(e, rules, report))
+}
+
+fn compile_paths_in_expr(e: Expr, rules: &RuleSet, report: &mut RewriteReport) -> Expr {
+    // Nested FLWORs get the full plan pipeline (R5/R6/R7 included).
+    if let Expr::Flwor(plan) = e {
+        return Expr::Flwor(Box::new(optimize_plan(*plan, rules, report)));
+    }
+    let e = e.map_children(&mut |c| compile_paths_in_expr(c, rules, report));
+    match e {
+        Expr::Path { base, path } => {
+            let plan = compile_path(&path, rules, report);
+            Expr::CompiledPath { base, path, plan: Box::new(plan) }
+        }
+        other => other,
+    }
+}
+
+/// Is fusing this path into a τ worth it? Single bare child steps are
+/// cheaper as a direct scan of the context's children; fusion pays when it
+/// removes intermediate results (multiple steps, predicates, descendants).
+fn fusion_profitable(path: &PathExpr) -> bool {
+    path.steps.len() >= 2
+        || path
+            .steps
+            .first()
+            .is_some_and(|s| !s.predicates.is_empty() || !matches!(s.axis, xqp_xpath::Axis::Child | xqp_xpath::Axis::Attribute))
+}
+
+/// Compile one path under the rules: fused τ when eligible, else the naive
+/// navigation cascade.
+fn compile_path(path: &PathExpr, rules: &RuleSet, report: &mut RewriteReport) -> PathOp {
+    if rules.fuse_tpm && fusion_profitable(path) && tpm_compatible(path, rules) {
+        let mut g = PatternGraph::empty();
+        if let Ok(Some(last)) = g.graft_path(g.root(), path) {
+            g.mark_output(last);
+            report.applied.push("R1");
+            if g.vertices.iter().any(|v| !v.constraints.is_empty()) {
+                report.applied.push("R2");
+            }
+            return PathOp::TpmFrom { input: Box::new(PathOp::Input), pattern: g };
+        }
+    }
+    PathOp::compile_naive(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ArithOp;
+    use xqp_xpath::parse_path;
+
+    fn for_bind(input: LogicalPlan, var: &str, source: Expr) -> LogicalPlan {
+        LogicalPlan::ForBind { input: Box::new(input), var: var.into(), source }
+    }
+
+    fn let_bind(input: LogicalPlan, var: &str, source: Expr) -> LogicalPlan {
+        LogicalPlan::LetBind { input: Box::new(input), var: var.into(), source }
+    }
+
+    fn ret(input: LogicalPlan, expr: Expr) -> LogicalPlan {
+        LogicalPlan::ReturnClause { input: Box::new(input), expr }
+    }
+
+    #[test]
+    fn r8_folds_arithmetic_and_comparisons() {
+        let plan = ret(
+            LogicalPlan::EnvRoot,
+            Expr::Arith {
+                op: ArithOp::Add,
+                lhs: Box::new(Expr::lit(1i64)),
+                rhs: Box::new(Expr::Arith {
+                    op: ArithOp::Mul,
+                    lhs: Box::new(Expr::lit(2i64)),
+                    rhs: Box::new(Expr::lit(3i64)),
+                }),
+            },
+        );
+        let (opt, rep) = optimize(plan, &RuleSet::all());
+        assert_eq!(rep.count("R8"), 2);
+        match opt {
+            LogicalPlan::ReturnClause { expr, .. } => {
+                assert_eq!(expr, Expr::lit(7i64));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn r8_short_circuits_booleans() {
+        let e = Expr::And(
+            Box::new(Expr::Literal(Atomic::Boolean(false))),
+            Box::new(Expr::var("x")),
+        );
+        let mut rep = RewriteReport::default();
+        assert_eq!(fold_expr(e, &mut rep), Expr::Literal(Atomic::Boolean(false)));
+        let e = Expr::Or(
+            Box::new(Expr::Literal(Atomic::Boolean(false))),
+            Box::new(Expr::var("x")),
+        );
+        assert_eq!(fold_expr(e, &mut rep), Expr::var("x"));
+        let e = Expr::If {
+            cond: Box::new(Expr::lit(1i64)),
+            then_branch: Box::new(Expr::var("t")),
+            else_branch: Box::new(Expr::var("e")),
+        };
+        assert_eq!(fold_expr(e, &mut rep), Expr::var("t"));
+    }
+
+    #[test]
+    fn r7_removes_dead_let() {
+        let plan = ret(
+            let_bind(
+                for_bind(
+                    LogicalPlan::EnvRoot,
+                    "b",
+                    Expr::doc_path(parse_path("/bib/book").unwrap()),
+                ),
+                "dead",
+                Expr::var_path("b", parse_path("title").unwrap()),
+            ),
+            Expr::var("b"),
+        );
+        let rules = RuleSet { flwor_to_tpm: false, ..RuleSet::all() };
+        let (opt, rep) = optimize(plan, &rules);
+        assert_eq!(rep.count("R7"), 1);
+        // The let is gone: return(for(env-root)).
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn r7_keeps_live_let_and_transitive_uses() {
+        // $t is used by return; $b is used by $t's source.
+        let plan = ret(
+            let_bind(
+                for_bind(
+                    LogicalPlan::EnvRoot,
+                    "b",
+                    Expr::doc_path(parse_path("/bib/book").unwrap()),
+                ),
+                "t",
+                Expr::var_path("b", parse_path("title").unwrap()),
+            ),
+            Expr::var("t"),
+        );
+        let rules = RuleSet { flwor_to_tpm: false, ..RuleSet::all() };
+        let (opt, rep) = optimize(plan, &rules);
+        assert_eq!(rep.count("R7"), 0);
+        assert_eq!(opt.len(), 4);
+    }
+
+    #[test]
+    fn r1_fuses_downward_paths() {
+        let (op, rep) = optimize_path(&parse_path("/bib/book[author]/title").unwrap(), &RuleSet::all());
+        assert_eq!(rep.count("R1"), 1);
+        let (steps, tpms, _) = op.op_counts();
+        assert_eq!(steps, 0);
+        assert_eq!(tpms, 1);
+    }
+
+    #[test]
+    fn r1_disabled_keeps_naive_chain() {
+        let rules = RuleSet { fuse_tpm: false, ..RuleSet::all() };
+        let (op, rep) = optimize_path(&parse_path("/bib/book/title").unwrap(), &rules);
+        assert_eq!(rep.count("R1"), 0);
+        let (steps, tpms, _) = op.op_counts();
+        assert_eq!((steps, tpms), (3, 0));
+    }
+
+    #[test]
+    fn r1_falls_back_on_upward_axis() {
+        let (op, rep) = optimize_path(&parse_path("/a/b/../c").unwrap(), &RuleSet::all());
+        assert_eq!(rep.count("R1"), 0);
+        let (steps, _, _) = op.op_counts();
+        assert_eq!(steps, 4);
+    }
+
+    #[test]
+    fn r2_reported_when_constraints_pushed() {
+        let (_, rep) =
+            optimize_path(&parse_path("/book[@year > 1994]").unwrap(), &RuleSet::all());
+        assert_eq!(rep.count("R1"), 1);
+        assert_eq!(rep.count("R2"), 1);
+        // Without R2, the value predicate blocks fusion entirely.
+        let rules = RuleSet { pushdown_values: false, ..RuleSet::all() };
+        let (op, rep) = optimize_path(&parse_path("/book[@year > 1994]").unwrap(), &rules);
+        assert_eq!(rep.count("R1"), 0);
+        let (steps, _, _) = op.op_counts();
+        assert_eq!(steps, 1);
+        let _ = op;
+    }
+
+    #[test]
+    fn r5_fuses_fig1_bindings() {
+        // for $b in /bib/book  let $t := $b/title  let $a := $b/author
+        let plan = ret(
+            let_bind(
+                let_bind(
+                    for_bind(
+                        LogicalPlan::EnvRoot,
+                        "b",
+                        Expr::doc_path(parse_path("/bib/book").unwrap()),
+                    ),
+                    "t",
+                    Expr::var_path("b", parse_path("title").unwrap()),
+                ),
+                "a",
+                Expr::var_path("b", parse_path("author").unwrap()),
+            ),
+            Expr::SequenceExpr(vec![Expr::var("b"), Expr::var("t"), Expr::var("a")]),
+        );
+        let (opt, rep) = optimize(plan, &RuleSet::all());
+        assert_eq!(rep.count("R5"), 1);
+        // return(tpm-bind(env-root))
+        assert_eq!(opt.len(), 3);
+        match &opt {
+            LogicalPlan::ReturnClause { input, .. } => match input.as_ref() {
+                LogicalPlan::TpmBind { pattern, vars, .. } => {
+                    assert_eq!(vars.len(), 3);
+                    assert!(vars[0].one_to_many);
+                    assert!(!vars[1].one_to_many);
+                    // let-grafted vertices are optional
+                    let t_vertex = vars[1].vertex;
+                    assert!(pattern.vertices[t_vertex].optional);
+                    let b_vertex = vars[0].vertex;
+                    assert!(!pattern.vertices[b_vertex].optional);
+                    assert_eq!(pattern.outputs().len(), 3);
+                }
+                other => panic!("expected TpmBind, got {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn r5_stops_at_incompatible_clause() {
+        // Second binding uses an unbound var → no fusion (needs ≥ 2).
+        let plan = ret(
+            for_bind(
+                for_bind(
+                    LogicalPlan::EnvRoot,
+                    "b",
+                    Expr::doc_path(parse_path("/bib/book").unwrap()),
+                ),
+                "x",
+                Expr::var_path("ghost", parse_path("y").unwrap()),
+            ),
+            Expr::var("x"),
+        );
+        let (_, rep) = optimize(plan, &RuleSet::all());
+        assert_eq!(rep.count("R5"), 0);
+    }
+
+    #[test]
+    fn r6_prunes_unused_let_output() {
+        // $t fused into TPM but never used downstream → dropped from vars.
+        let plan = ret(
+            let_bind(
+                for_bind(
+                    LogicalPlan::EnvRoot,
+                    "b",
+                    Expr::doc_path(parse_path("/bib/book").unwrap()),
+                ),
+                "t",
+                Expr::var_path("b", parse_path("title").unwrap()),
+            ),
+            Expr::var("b"),
+        );
+        // Disable R7 so the dead let survives to be fused + pruned by R6.
+        let rules = RuleSet { dead_let: false, ..RuleSet::all() };
+        let (opt, rep) = optimize(plan, &rules);
+        assert_eq!(rep.count("R5"), 1);
+        assert_eq!(rep.count("R6"), 1);
+        match &opt {
+            LogicalPlan::ReturnClause { input, .. } => match input.as_ref() {
+                LogicalPlan::TpmBind { vars, pattern, .. } => {
+                    assert_eq!(vars.len(), 1);
+                    assert_eq!(vars[0].var, "b");
+                    assert_eq!(pattern.outputs().len(), 1);
+                }
+                other => panic!("expected TpmBind, got {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_absolute_fors_fuse_as_siblings() {
+        let plan = ret(
+            for_bind(
+                for_bind(
+                    LogicalPlan::EnvRoot,
+                    "a",
+                    Expr::doc_path(parse_path("/r/x").unwrap()),
+                ),
+                "b",
+                Expr::doc_path(parse_path("/r/y").unwrap()),
+            ),
+            Expr::SequenceExpr(vec![Expr::var("a"), Expr::var("b")]),
+        );
+        let (opt, rep) = optimize(plan, &RuleSet::all());
+        assert_eq!(rep.count("R5"), 1);
+        match &opt {
+            LogicalPlan::ReturnClause { input, .. } => match input.as_ref() {
+                LogicalPlan::TpmBind { pattern, vars, .. } => {
+                    assert_eq!(vars.len(), 2);
+                    // Both x and y branch off the shared r vertex? No — each
+                    // graft creates its own r vertex chain from the root; the
+                    // pattern still has a single root.
+                    assert!(pattern.pattern_size() >= 4);
+                }
+                other => panic!("expected TpmBind, got {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn r9_pushes_where_conjuncts_into_pattern() {
+        // for $b in /bib/book let $t := $b/title
+        // where $b/price > 50 and $b/@year = 1994 and count($t) > 0
+        let plan = ret(
+            LogicalPlan::Where {
+                input: Box::new(let_bind(
+                    for_bind(
+                        LogicalPlan::EnvRoot,
+                        "b",
+                        Expr::doc_path(parse_path("/bib/book").unwrap()),
+                    ),
+                    "t",
+                    Expr::var_path("b", parse_path("title").unwrap()),
+                )),
+                cond: Expr::And(
+                    Box::new(Expr::And(
+                        Box::new(Expr::Cmp {
+                            op: xqp_xpath::CmpOp::Gt,
+                            lhs: Box::new(Expr::var_path("b", parse_path("price").unwrap())),
+                            rhs: Box::new(Expr::lit(50i64)),
+                        }),
+                        Box::new(Expr::Cmp {
+                            op: xqp_xpath::CmpOp::Eq,
+                            lhs: Box::new(Expr::var_path("b", parse_path("@year").unwrap())),
+                            rhs: Box::new(Expr::lit(1994i64)),
+                        }),
+                    )),
+                    // Not pushable: function over a let variable.
+                    Box::new(Expr::Cmp {
+                        op: xqp_xpath::CmpOp::Gt,
+                        lhs: Box::new(Expr::Call {
+                            name: "count".into(),
+                            args: vec![Expr::var("t")],
+                        }),
+                        rhs: Box::new(Expr::lit(0i64)),
+                    }),
+                ),
+            },
+            Expr::var("t"),
+        );
+        let (opt, rep) = optimize(plan, &RuleSet::all());
+        assert_eq!(rep.count("R5"), 1);
+        assert_eq!(rep.count("R9"), 1);
+        // The Where clause survives with only the unpushable conjunct.
+        match &opt {
+            LogicalPlan::ReturnClause { input, .. } => match input.as_ref() {
+                LogicalPlan::Where { input, cond } => {
+                    assert!(matches!(cond, Expr::Cmp { .. }), "{cond:?}");
+                    match input.as_ref() {
+                        LogicalPlan::TpmBind { pattern, .. } => {
+                            // price and year vertices carry constraints.
+                            let constrained = pattern
+                                .vertices
+                                .iter()
+                                .filter(|v| !v.constraints.is_empty())
+                                .count();
+                            assert_eq!(constrained, 2, "{pattern}");
+                        }
+                        other => panic!("expected TpmBind, got {other:?}"),
+                    }
+                }
+                other => panic!("expected residual Where, got {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn r9_drops_where_when_fully_pushed() {
+        let plan = ret(
+            LogicalPlan::Where {
+                input: Box::new(for_bind(
+                    for_bind(
+                        LogicalPlan::EnvRoot,
+                        "b",
+                        Expr::doc_path(parse_path("/bib/book").unwrap()),
+                    ),
+                    "a",
+                    Expr::var_path("b", parse_path("author").unwrap()),
+                )),
+                cond: Expr::var_path("b", parse_path("price").unwrap()),
+            },
+            Expr::var("a"),
+        );
+        let (opt, rep) = optimize(plan, &RuleSet::all());
+        assert_eq!(rep.count("R9"), 1);
+        // return(tpm-bind(env-root)) — the Where is gone.
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn r9_disabled_keeps_where() {
+        let plan = ret(
+            LogicalPlan::Where {
+                input: Box::new(for_bind(
+                    for_bind(
+                        LogicalPlan::EnvRoot,
+                        "b",
+                        Expr::doc_path(parse_path("/bib/book").unwrap()),
+                    ),
+                    "a",
+                    Expr::var_path("b", parse_path("author").unwrap()),
+                )),
+                cond: Expr::var_path("b", parse_path("price").unwrap()),
+            },
+            Expr::var("a"),
+        );
+        let (opt, rep) = optimize(plan, &RuleSet::all_except(9));
+        assert_eq!(rep.count("R9"), 0);
+        assert_eq!(opt.len(), 4); // Where survives
+    }
+
+    #[test]
+    fn ruleset_all_except() {
+        assert!(!RuleSet::all_except(1).fuse_tpm);
+        assert!(RuleSet::all_except(1).pushdown_values);
+        assert!(!RuleSet::all_except(5).flwor_to_tpm);
+        assert_eq!(RuleSet::default(), RuleSet::all());
+    }
+}

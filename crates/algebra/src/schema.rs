@@ -1,0 +1,274 @@
+//! Schema trees — Definition 2 of the paper.
+//!
+//! > A SchemaTree ⟨Σ, N, A, E⟩ is a labeled tree extracted from XQuery
+//! > constructor expressions. … Each leaf node is labeled with a character in
+//! > Σ (an empty element) or an expression in E (a **placeholder**). Each
+//! > non-leaf node is labeled with a character in Σ (a **constructor-node**)
+//! > or a boolean-valued expression (an **if-node**).
+//!
+//! This is the γ operator's second input: γ takes a NestedList of
+//! intermediate results plus a SchemaTree and produces a labeled output tree
+//! (Fig. 1(b): `results / result* / {$t} {$a}`).
+
+use crate::expr::Expr;
+use std::fmt;
+
+/// A node of a schema tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaNode {
+    /// A constructor-node: `<name attr₁={e}…>children</name>`.
+    Element {
+        /// Element name.
+        name: String,
+        /// Attribute constructors: name plus value expression.
+        attributes: Vec<(String, Expr)>,
+        /// Child schema nodes in order.
+        children: Vec<SchemaNode>,
+    },
+    /// A placeholder leaf `{ expr }` — replaced by the expression's value.
+    Placeholder(Expr),
+    /// Literal character data.
+    Text(String),
+    /// An if-node: children materialize only when the condition holds.
+    If {
+        /// Boolean-valued expression.
+        cond: Expr,
+        /// Children when true.
+        then_children: Vec<SchemaNode>,
+        /// Children when false.
+        else_children: Vec<SchemaNode>,
+    },
+}
+
+impl SchemaNode {
+    /// Visit every embedded expression (depth-first).
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            SchemaNode::Element { attributes, children, .. } => {
+                for (_, e) in attributes {
+                    f(e);
+                }
+                for c in children {
+                    c.visit_exprs(f);
+                }
+            }
+            SchemaNode::Placeholder(e) => f(e),
+            SchemaNode::Text(_) => {}
+            SchemaNode::If { cond, then_children, else_children } => {
+                f(cond);
+                for c in then_children.iter().chain(else_children) {
+                    c.visit_exprs(f);
+                }
+            }
+        }
+    }
+
+    /// Rewrite every embedded expression in place.
+    pub fn map_exprs(&mut self, f: &mut impl FnMut(Expr) -> Expr) {
+        match self {
+            SchemaNode::Element { attributes, children, .. } => {
+                for (_, e) in attributes.iter_mut() {
+                    let old = std::mem::replace(e, Expr::ContextDoc);
+                    *e = f(old);
+                }
+                for c in children {
+                    c.map_exprs(f);
+                }
+            }
+            SchemaNode::Placeholder(e) => {
+                let old = std::mem::replace(e, Expr::ContextDoc);
+                *e = f(old);
+            }
+            SchemaNode::Text(_) => {}
+            SchemaNode::If { cond, then_children, else_children } => {
+                let old = std::mem::replace(cond, Expr::ContextDoc);
+                *cond = f(old);
+                for c in then_children.iter_mut().chain(else_children) {
+                    c.map_exprs(f);
+                }
+            }
+        }
+    }
+
+    fn count_placeholders(&self) -> usize {
+        match self {
+            SchemaNode::Placeholder(_) => 1,
+            SchemaNode::Text(_) => 0,
+            SchemaNode::Element { children, .. } => {
+                children.iter().map(SchemaNode::count_placeholders).sum()
+            }
+            SchemaNode::If { then_children, else_children, .. } => then_children
+                .iter()
+                .chain(else_children)
+                .map(SchemaNode::count_placeholders)
+                .sum(),
+        }
+    }
+
+    fn fmt_tree(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            SchemaNode::Element { name, attributes, children } => {
+                write!(f, "{pad}{name}")?;
+                for (a, e) in attributes {
+                    write!(f, " @{a}={{{e}}}")?;
+                }
+                writeln!(f)?;
+                for c in children {
+                    c.fmt_tree(f, depth + 1)?;
+                }
+                Ok(())
+            }
+            SchemaNode::Placeholder(e) => writeln!(f, "{pad}{{ {e} }}"),
+            SchemaNode::Text(t) => writeln!(f, "{pad}\"{t}\""),
+            SchemaNode::If { cond, then_children, else_children } => {
+                writeln!(f, "{pad}if {cond}")?;
+                for c in then_children {
+                    c.fmt_tree(f, depth + 1)?;
+                }
+                if !else_children.is_empty() {
+                    writeln!(f, "{pad}else")?;
+                    for c in else_children {
+                        c.fmt_tree(f, depth + 1)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A schema tree: the output template of a constructor expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaTree {
+    /// The root schema node.
+    pub root: SchemaNode,
+}
+
+impl SchemaTree {
+    /// Wrap a root node.
+    pub fn new(root: SchemaNode) -> Self {
+        SchemaTree { root }
+    }
+
+    /// Name of the root constructor, or a descriptive tag for other roots.
+    pub fn root_name(&self) -> &str {
+        match &self.root {
+            SchemaNode::Element { name, .. } => name,
+            SchemaNode::Placeholder(_) => "{…}",
+            SchemaNode::Text(_) => "#text",
+            SchemaNode::If { .. } => "if",
+        }
+    }
+
+    /// Number of placeholder leaves.
+    pub fn placeholder_count(&self) -> usize {
+        self.root.count_placeholders()
+    }
+
+    /// Visit every embedded expression.
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        self.root.visit_exprs(f);
+    }
+
+    /// Rewrite every embedded expression.
+    pub fn map_exprs(&mut self, f: &mut impl FnMut(Expr) -> Expr) {
+        self.root.map_exprs(f);
+    }
+}
+
+impl fmt::Display for SchemaTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.root.fmt_tree(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 1(b) schema: results / result / {$t} {$a}.
+    fn fig1b() -> SchemaTree {
+        SchemaTree::new(SchemaNode::Element {
+            name: "results".into(),
+            attributes: vec![],
+            children: vec![SchemaNode::Element {
+                name: "result".into(),
+                attributes: vec![],
+                children: vec![
+                    SchemaNode::Placeholder(Expr::var("t")),
+                    SchemaNode::Placeholder(Expr::var("a")),
+                ],
+            }],
+        })
+    }
+
+    #[test]
+    fn fig1b_structure() {
+        let t = fig1b();
+        assert_eq!(t.root_name(), "results");
+        assert_eq!(t.placeholder_count(), 2);
+    }
+
+    #[test]
+    fn visit_collects_placeholder_exprs() {
+        let t = fig1b();
+        let mut vars = Vec::new();
+        t.visit_exprs(&mut |e| {
+            if let Expr::Var(v) = e {
+                vars.push(v.clone());
+            }
+        });
+        assert_eq!(vars, ["t", "a"]);
+    }
+
+    #[test]
+    fn map_rewrites_expressions() {
+        let mut t = fig1b();
+        t.map_exprs(&mut |e| match e {
+            Expr::Var(v) => Expr::Var(format!("{v}_renamed")),
+            other => other,
+        });
+        let mut vars = Vec::new();
+        t.visit_exprs(&mut |e| {
+            if let Expr::Var(v) = e {
+                vars.push(v.clone());
+            }
+        });
+        assert_eq!(vars, ["t_renamed", "a_renamed"]);
+    }
+
+    #[test]
+    fn if_node_expressions_visited() {
+        let t = SchemaTree::new(SchemaNode::If {
+            cond: Expr::var("c"),
+            then_children: vec![SchemaNode::Text("yes".into())],
+            else_children: vec![SchemaNode::Placeholder(Expr::var("e"))],
+        });
+        assert_eq!(t.placeholder_count(), 1);
+        let mut n = 0;
+        t.visit_exprs(&mut |_| n += 1);
+        assert_eq!(n, 2); // cond + placeholder
+        assert_eq!(t.root_name(), "if");
+    }
+
+    #[test]
+    fn attributes_carry_expressions() {
+        let t = SchemaTree::new(SchemaNode::Element {
+            name: "r".into(),
+            attributes: vec![("id".into(), Expr::var("i"))],
+            children: vec![],
+        });
+        let mut n = 0;
+        t.visit_exprs(&mut |_| n += 1);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn display_renders_template() {
+        let s = fig1b().to_string();
+        assert!(s.contains("results"));
+        assert!(s.contains("result"));
+        assert!(s.contains("{ $t }"));
+    }
+}

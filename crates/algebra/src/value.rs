@@ -1,0 +1,190 @@
+//! Value sorts: items, flat sequences and nested lists.
+//!
+//! The W3C data model admits only *flat* sequences of items. §3.2 argues this
+//! is insufficient: the list comprehension of Fig. 1 produces a list of
+//! 2-tuples, and a tree-pattern-matching operator that evaluates such a
+//! comprehension in a single scan needs to return a **nested list**. Hence
+//! the sort [`Nested`] alongside the flat [`Sequence`].
+//!
+//! Node handles are generic (`N`): the executor instantiates them with
+//! `SNodeId` for stored documents and with `(doc-handle, NodeId)` pairs for
+//! constructed trees.
+
+use xqp_xml::Atomic;
+
+/// One item: a node reference or an atomic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item<N> {
+    /// A reference to a tree node.
+    Node(N),
+    /// An atomic value.
+    Atom(Atomic),
+}
+
+impl<N> Item<N> {
+    /// The node handle, if this is a node.
+    pub fn as_node(&self) -> Option<&N> {
+        match self {
+            Item::Node(n) => Some(n),
+            Item::Atom(_) => None,
+        }
+    }
+
+    /// The atomic, if this is an atom.
+    pub fn as_atom(&self) -> Option<&Atomic> {
+        match self {
+            Item::Atom(a) => Some(a),
+            Item::Node(_) => None,
+        }
+    }
+}
+
+/// A flat sequence — the `List` sort. Every XQuery value is one of these;
+/// single items are singleton sequences.
+pub type Sequence<N> = Vec<Item<N>>;
+
+/// The `NestedList` sort: arbitrary-depth nesting over items.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Nested<N> {
+    /// A leaf item.
+    Leaf(Item<N>),
+    /// A nested list.
+    List(Vec<Nested<N>>),
+}
+
+impl<N: Clone> Nested<N> {
+    /// The empty nested list.
+    pub fn empty() -> Self {
+        Nested::List(Vec::new())
+    }
+
+    /// Wrap a flat sequence one level deep.
+    pub fn from_sequence(seq: Sequence<N>) -> Self {
+        Nested::List(seq.into_iter().map(Nested::Leaf).collect())
+    }
+
+    /// Flatten to a sequence in left-to-right order — the coercion back to
+    /// the W3C data model at the top of a plan.
+    pub fn flatten(&self) -> Sequence<N> {
+        let mut out = Vec::new();
+        self.flatten_into(&mut out);
+        out
+    }
+
+    fn flatten_into(&self, out: &mut Sequence<N>) {
+        match self {
+            Nested::Leaf(item) => out.push(item.clone()),
+            Nested::List(items) => {
+                for i in items {
+                    i.flatten_into(out);
+                }
+            }
+        }
+    }
+
+    /// Number of leaf items.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Nested::Leaf(_) => 1,
+            Nested::List(items) => items.iter().map(Nested::leaf_count).sum(),
+        }
+    }
+
+    /// Maximum nesting depth (a leaf has depth 0, `[]` has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Nested::Leaf(_) => 0,
+            Nested::List(items) => {
+                1 + items.iter().map(Nested::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The children if this is a list, or a singleton slice view semantics
+    /// for a leaf (leaves have no children).
+    pub fn as_list(&self) -> Option<&[Nested<N>]> {
+        match self {
+            Nested::List(items) => Some(items),
+            Nested::Leaf(_) => None,
+        }
+    }
+}
+
+/// Effective boolean value of a sequence (`fn:boolean`): false for empty,
+/// true when the first item is a node, otherwise the single atomic's EBV.
+pub fn effective_boolean<N>(seq: &Sequence<N>) -> bool {
+    match seq.first() {
+        None => false,
+        Some(Item::Node(_)) => true,
+        Some(Item::Atom(a)) => {
+            if seq.len() == 1 {
+                a.effective_boolean()
+            } else {
+                // Mixed/multi-atom sequences have no EBV per spec; the
+                // practical convention (and ours) is "non-empty ⇒ true".
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type It = Item<u32>;
+
+    fn atom(i: i64) -> It {
+        Item::Atom(Atomic::Integer(i))
+    }
+
+    #[test]
+    fn item_accessors() {
+        let n: Item<u32> = Item::Node(7);
+        assert_eq!(n.as_node(), Some(&7));
+        assert_eq!(n.as_atom(), None);
+        let a = atom(1);
+        assert!(a.as_atom().is_some());
+        assert!(a.as_node().is_none());
+    }
+
+    #[test]
+    fn nested_flatten_preserves_order() {
+        // ((1,2),(3),(),4)
+        let n = Nested::List(vec![
+            Nested::List(vec![Nested::Leaf(atom(1)), Nested::Leaf(atom(2))]),
+            Nested::List(vec![Nested::Leaf(atom(3))]),
+            Nested::List(vec![]),
+            Nested::Leaf(atom(4)),
+        ]);
+        let flat = n.flatten();
+        assert_eq!(flat, vec![atom(1), atom(2), atom(3), atom(4)]);
+        assert_eq!(n.leaf_count(), 4);
+    }
+
+    #[test]
+    fn nested_depth() {
+        assert_eq!(Nested::<u32>::Leaf(atom(1)).depth(), 0);
+        assert_eq!(Nested::<u32>::empty().depth(), 1);
+        let two = Nested::List(vec![Nested::List(vec![Nested::Leaf(atom(1))])]);
+        assert_eq!(two.depth(), 2);
+    }
+
+    #[test]
+    fn from_sequence_roundtrip() {
+        let seq = vec![atom(1), Item::Node(9), atom(2)];
+        let n = Nested::from_sequence(seq.clone());
+        assert_eq!(n.depth(), 1);
+        assert_eq!(n.flatten(), seq);
+        assert_eq!(n.as_list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn effective_boolean_rules() {
+        assert!(!effective_boolean::<u32>(&vec![]));
+        assert!(effective_boolean(&vec![Item::<u32>::Node(0)]));
+        assert!(!effective_boolean::<u32>(&vec![Item::Atom(Atomic::Integer(0))]));
+        assert!(effective_boolean::<u32>(&vec![Item::Atom(Atomic::Str("x".into()))]));
+        assert!(effective_boolean::<u32>(&vec![atom(0), atom(0)])); // multi ⇒ true
+    }
+}

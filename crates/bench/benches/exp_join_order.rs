@@ -1,0 +1,61 @@
+//! E8 — structural-join order selection (rewrite R4 / Wu et al. [5]).
+//!
+//! On a linear path whose middle tag is rare, joining the rare pair first
+//! (the cost model's ascending-cardinality order) shrinks intermediates;
+//! the worst order keeps the two huge streams alive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xqp_algebra::CostModel;
+use xqp_exec::{structural, ExecContext};
+use xqp_storage::SuccinctDoc;
+use xqp_xml::Document;
+
+/// Many `a`s each with several `b`s; `c`s are rare — joining the rare
+/// (b,c) pair first keeps intermediates tiny.
+fn skewed_doc(n: usize) -> SuccinctDoc {
+    let mut doc = Document::new();
+    let root = doc.append_element(doc.root(), "r");
+    for i in 0..n {
+        let a = doc.append_element(root, "a");
+        for j in 0..5 {
+            let b = doc.append_element(a, "b");
+            if i % 50 == 0 && j == 0 {
+                for _ in 0..3 {
+                    let c = doc.append_element(b, "c");
+                    doc.append_text(c, "x");
+                }
+            }
+        }
+    }
+    SuccinctDoc::from_document(&doc)
+}
+
+fn bench(c: &mut Criterion) {
+    let sdoc = skewed_doc(4000);
+    let ctx = ExecContext::new(&sdoc);
+    let tags = ["a", "b", "c"];
+    // Cost-model order (R4): join the pair involving the rare `b` first.
+    let cards: Vec<f64> = {
+        let stats = ctx.stats();
+        tags.iter().map(|t| stats.tag_count(t) as f64).collect()
+    };
+    let stats = ctx.stats();
+    let cm = CostModel::new(&stats);
+    let good_first = if cards[1] < cards[0] { [1usize, 0] } else { [0, 1] };
+    let _ = cm.choose_join_order(&cards);
+    let bad_first = [good_first[1], good_first[0]];
+
+    let mut g = c.benchmark_group("E8_join_order");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("cost_model_order", "a_b_c"), &good_first, |b, ord| {
+        b.iter(|| black_box(structural::eval_linear_pairs(&ctx, &tags, ord)))
+    });
+    g.bench_with_input(BenchmarkId::new("worst_order", "a_b_c"), &bad_first, |b, ord| {
+        b.iter(|| black_box(structural::eval_linear_pairs(&ctx, &tags, ord)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

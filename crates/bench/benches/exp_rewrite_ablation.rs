@@ -1,0 +1,38 @@
+//! E11 — rewrite-rule ablation: the Fig. 1-style FLWOR under the full rule
+//! set vs. each rule disabled, plus the no-rules baseline. Times include
+//! optimization + execution (rewrites are cheap; their payoff is in the
+//! physical plan they enable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xqp_algebra::RuleSet;
+use xqp_bench::xmark_at;
+use xqp_exec::Executor;
+
+const QUERY: &str = "for $i in doc()//item \
+     let $k := $i//keyword \
+     let $e := $i//emph \
+     let $m := $i//mail \
+     return <i>{count($k)} {count($e)} {count($m)}</i>";
+
+fn bench(c: &mut Criterion) {
+    let sdoc = xmark_at(0.2);
+    let mut g = c.benchmark_group("E11_rewrite_ablation");
+    g.sample_size(10);
+    let cases: Vec<(String, RuleSet)> = std::iter::once(("all_rules".to_string(), RuleSet::all()))
+        .chain([1u8, 2, 5, 7, 8].iter().map(|&r| (format!("minus_R{r}"), RuleSet::all_except(r))))
+        .chain(std::iter::once(("no_rules".to_string(), RuleSet::none())))
+        .collect();
+    for (name, rules) in cases {
+        g.bench_with_input(BenchmarkId::new(name, "person_query"), &rules, |b, rules| {
+            b.iter(|| {
+                let ex = Executor::new(&sdoc).with_rules(*rules);
+                black_box(ex.query_items(QUERY).unwrap().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

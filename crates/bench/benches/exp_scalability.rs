@@ -1,0 +1,32 @@
+//! E6 — scalability: evaluation time vs. document size for a fixed query
+//! set. The NoK scan must grow linearly with the document (§4.2's
+//! single-scan claim); the holistic join grows with its streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xqp_bench::{run_path, xmark_at, SCALES};
+use xqp_exec::Strategy;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E6_scalability");
+    g.sample_size(10);
+    for scale in SCALES {
+        let sdoc = xmark_at(scale);
+        g.throughput(Throughput::Elements(sdoc.node_count() as u64));
+        for (name, strat) in [("nok", Strategy::NoK), ("twig", Strategy::TwigStack)] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("scale{scale}")),
+                &sdoc,
+                |b, sdoc| {
+                    b.iter(|| {
+                        black_box(run_path(sdoc, strat, "//open_auction[bidder/increase > 20]/reserve"))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

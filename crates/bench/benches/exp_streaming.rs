@@ -1,0 +1,42 @@
+//! E9 — streaming evaluation: the NoK matcher over a live event stream vs.
+//! the same pattern over the stored document (results are identical; this
+//! measures the cost of each mode, and of parsing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xqp_exec::{nok, streaming, ExecContext};
+use xqp_gen::{gen_xmark, XmarkConfig};
+use xqp_storage::SuccinctDoc;
+use xqp_xml::{serialize, Event, Parser};
+use xqp_xpath::{parse_path, PatternGraph};
+
+fn bench(c: &mut Criterion) {
+    let xml = serialize(&gen_xmark(&XmarkConfig::scale(0.2)));
+    let events: Vec<Event> = Parser::new(&xml).collect::<Result<_, _>>().unwrap();
+    let sdoc = SuccinctDoc::parse(&xml).unwrap();
+    let pattern =
+        PatternGraph::from_path(&parse_path("//person[profile/age > 30]/name").unwrap()).unwrap();
+
+    let mut g = c.benchmark_group("E9_streaming");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.bench_with_input(BenchmarkId::new("stream_match", "xmark0.2"), &events, |b, evs| {
+        b.iter(|| black_box(streaming::match_stream(evs.iter(), &pattern)))
+    });
+    g.bench_with_input(BenchmarkId::new("stored_match", "xmark0.2"), &sdoc, |b, sdoc| {
+        b.iter(|| {
+            let ctx = ExecContext::new(sdoc);
+            black_box(nok::eval_single_output(&ctx, &pattern, None))
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("parse_only", "xmark0.2"), &xml, |b, xml| {
+        b.iter(|| {
+            let evs: Vec<Event> = Parser::new(xml).collect::<Result<_, _>>().unwrap();
+            black_box(evs.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Shared fixtures for the experiment benches and the `report` binary.
+//!
+//! Every experiment (see DESIGN.md §6 and EXPERIMENTS.md) uses the same
+//! documents and query sets, built here so the criterion benches and the
+//! table-printing harness measure identical work.
+
+use xqp_exec::{Executor, Strategy};
+use xqp_gen::{gen_xmark, XmarkConfig};
+use xqp_storage::SuccinctDoc;
+use xqp_xml::Document;
+
+/// The four physical strategies every comparison sweeps.
+pub const STRATEGIES: [Strategy; 4] =
+    [Strategy::NoK, Strategy::TwigStack, Strategy::BinaryJoin, Strategy::Naive];
+
+/// Standard XMark document scales for the size sweeps (E5/E6).
+pub const SCALES: [f64; 4] = [0.05, 0.1, 0.2, 0.4];
+
+/// Build the stored form of an XMark document at `scale`.
+pub fn xmark_at(scale: f64) -> SuccinctDoc {
+    SuccinctDoc::from_document(&gen_xmark(&XmarkConfig::scale(scale)))
+}
+
+/// Build both the DOM and stored forms (for the update experiment).
+pub fn xmark_both(scale: f64) -> (Document, SuccinctDoc) {
+    let dom = gen_xmark(&XmarkConfig::scale(scale));
+    let sdoc = SuccinctDoc::from_document(&dom);
+    (dom, sdoc)
+}
+
+/// Run a path query once under one strategy, returning the hit count.
+pub fn run_path(sdoc: &SuccinctDoc, strategy: Strategy, path: &str) -> usize {
+    Executor::new(sdoc)
+        .with_strategy(strategy)
+        .eval_path_str(path)
+        .expect("benchmark query evaluates")
+        .len()
+}
+
+/// Median wall-clock of `iters` runs of `f` (the report binary's measure;
+/// criterion handles its own statistics).
+pub fn median_time(iters: usize, mut f: impl FnMut()) -> std::time::Duration {
+    let mut times: Vec<std::time::Duration> = (0..iters)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_queries_run() {
+        let sdoc = xmark_at(0.02);
+        for strat in STRATEGIES {
+            assert!(run_path(&sdoc, strat, "//keyword") > 0);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! `xqp` — command-line query processor.
+//!
+//! ```text
+//! xqp query  <file.xml> <xquery>  [--strategy S] [--no-rules] [--pretty]
+//! xqp select <file.xml> <path>    [--strategy S]
+//! xqp explain <file.xml> <xquery> [--no-rules]
+//! xqp search <file.xml> <needle>            # substring search (suffix array)
+//! xqp stats  <file.xml>                     # storage-size report
+//! xqp race   <file.xml> <path>              # time all four strategies
+//! ```
+//!
+//! `S` ∈ auto | nok | twigstack | binaryjoin | naive (default: auto).
+
+use std::process::ExitCode;
+use std::time::Instant;
+use xqp::{Database, RuleSet, Strategy};
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+struct Cli {
+    command: String,
+    file: String,
+    arg: Option<String>,
+    strategy: Strategy,
+    rules: RuleSet,
+    pretty: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut pos: Vec<&String> = Vec::new();
+    let mut strategy = Strategy::Auto;
+    let mut rules = RuleSet::all();
+    let mut pretty = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--strategy" => {
+                let v = it.next().ok_or("--strategy needs a value")?;
+                strategy = Strategy::from_name(v)
+                    .ok_or_else(|| format!("unknown strategy `{v}`"))?;
+            }
+            "--no-rules" => rules = RuleSet::none(),
+            "--pretty" => pretty = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            _ => pos.push(a),
+        }
+    }
+    let [command, file, rest @ ..] = pos.as_slice() else {
+        return Err("usage: xqp <command> <file.xml> [arg…] (see --help)".into());
+    };
+    let arg = match rest {
+        [] => None,
+        [one] => Some((*one).clone()),
+        _ => return Err("too many positional arguments".into()),
+    };
+    Ok(Cli {
+        command: (*command).clone(),
+        file: (*file).clone(),
+        arg,
+        strategy,
+        rules,
+        pretty,
+    })
+}
+
+const USAGE: &str = "xqp — XML query processing and optimization
+
+USAGE:
+  xqp query   <file.xml> <xquery>  [--strategy S] [--no-rules] [--pretty]
+  xqp select  <file.xml> <path>    [--strategy S]
+  xqp explain <file.xml> <xquery>  [--no-rules]
+  xqp search  <file.xml> <needle>
+  xqp stats   <file.xml>
+  xqp race    <file.xml> <path>
+
+  S = auto | nok | twigstack | binaryjoin | naive";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cli = parse_args(args)?;
+    let xml = std::fs::read_to_string(&cli.file)
+        .map_err(|e| format!("cannot read {}: {e}", cli.file))?;
+    let mut db = Database::new();
+    db.load_str("doc", &xml).map_err(|e| e.to_string())?;
+    db.set_strategy(cli.strategy);
+    db.set_rules(cli.rules);
+
+    let need = |what: &str| -> Result<&String, String> {
+        cli.arg.as_ref().ok_or_else(|| format!("`{}` needs {what}", cli.command))
+    };
+
+    match cli.command.as_str() {
+        "query" => {
+            let q = need("an XQuery expression")?;
+            let t = Instant::now();
+            let out = db.query("doc", q).map_err(|e| e.to_string())?;
+            let dt = t.elapsed();
+            if cli.pretty {
+                // Re-parse the fragment for indentation when it is one tree.
+                match xqp::xml::parse_document(&out) {
+                    Ok(d) => print!("{}", xqp::xml::serialize_pretty(&d, 2)),
+                    Err(_) => println!("{out}"),
+                }
+            } else {
+                println!("{out}");
+            }
+            eprintln!("-- {dt:.2?} ({})", cli.strategy.name());
+            Ok(())
+        }
+        "select" => {
+            let p = need("a path expression")?;
+            let t = Instant::now();
+            let hits = db.select("doc", p).map_err(|e| e.to_string())?;
+            let dt = t.elapsed();
+            let sdoc = db.document("doc").map_err(|e| e.to_string())?;
+            for n in &hits {
+                println!("{n}\t{}", xqp::exec::engine::serialize_stored(sdoc, *n));
+            }
+            eprintln!("-- {} node(s) in {dt:.2?} ({})", hits.len(), cli.strategy.name());
+            Ok(())
+        }
+        "explain" => {
+            let q = need("an XQuery expression")?;
+            let (plan, report) = db.explain("doc", q).map_err(|e| e.to_string())?;
+            print!("{plan}");
+            eprintln!("-- rules fired: {:?}", report.applied);
+            Ok(())
+        }
+        "search" => {
+            let needle = need("a substring")?;
+            db.create_suffix_index("doc").map_err(|e| e.to_string())?;
+            let hits = db.contains_search("doc", needle).map_err(|e| e.to_string())?;
+            let sdoc = db.document("doc").map_err(|e| e.to_string())?;
+            for n in &hits {
+                println!("{n}\t{}", sdoc.string_value(*n));
+            }
+            eprintln!("-- {} node(s)", hits.len());
+            Ok(())
+        }
+        "stats" => {
+            let st = db.storage_stats("doc").map_err(|e| e.to_string())?;
+            println!("nodes:               {}", st.nodes);
+            println!("succinct structure:  {} B ({:.2} bits/node)", st.succinct_structure, st.structure_bits_per_node());
+            println!("succinct schema:     {} B", st.succinct_schema);
+            println!("succinct content:    {} B", st.succinct_content);
+            println!("succinct total:      {} B", st.succinct_total());
+            println!("DOM estimate:        {} B", st.dom_bytes);
+            println!("interval tables:     {} B", st.interval_bytes);
+            Ok(())
+        }
+        "race" => {
+            let p = need("a path expression")?;
+            for s in [Strategy::NoK, Strategy::TwigStack, Strategy::BinaryJoin, Strategy::Naive] {
+                db.set_strategy(s);
+                let t = Instant::now();
+                let hits = db.select("doc", p).map_err(|e| e.to_string())?;
+                println!("{:<11} {:>10.2?}  {} hit(s)", s.name(), t.elapsed(), hits.len());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_basic_command() {
+        let cli = parse_args(&sv(&["query", "f.xml", "/a/b"])).unwrap();
+        assert_eq!(cli.command, "query");
+        assert_eq!(cli.file, "f.xml");
+        assert_eq!(cli.arg.as_deref(), Some("/a/b"));
+        assert_eq!(cli.strategy, Strategy::Auto);
+        assert_eq!(cli.rules, RuleSet::all());
+        assert!(!cli.pretty);
+    }
+
+    #[test]
+    fn parses_flags_anywhere() {
+        let cli = parse_args(&sv(&[
+            "--strategy", "nok", "select", "f.xml", "//x", "--pretty", "--no-rules",
+        ]))
+        .unwrap();
+        assert_eq!(cli.command, "select");
+        assert_eq!(cli.strategy, Strategy::NoK);
+        assert_eq!(cli.rules, RuleSet::none());
+        assert!(cli.pretty);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&sv(&["query"])).is_err());
+        assert!(parse_args(&sv(&["query", "f.xml", "a", "b"])).is_err());
+        assert!(parse_args(&sv(&["query", "f.xml", "--strategy"])).is_err());
+        assert!(parse_args(&sv(&["query", "f.xml", "--strategy", "warp"])).is_err());
+        assert!(parse_args(&sv(&["query", "f.xml", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn stats_command_needs_no_arg() {
+        let cli = parse_args(&sv(&["stats", "f.xml"])).unwrap();
+        assert_eq!(cli.arg, None);
+    }
+}

@@ -1,0 +1,476 @@
+//! # xqp — XML query processing and optimization
+//!
+//! The public face of the system reproduced from *"XML Query Processing and
+//! Optimization"* (Ning Zhang, EDBT 2004 PhD Workshop): a native XML store
+//! with succinct physical storage, a logical algebra over pattern graphs,
+//! schema trees and environments, rewrite-rule optimization, and four
+//! interchangeable physical access methods for tree patterns.
+//!
+//! ```
+//! use xqp::Database;
+//!
+//! let mut db = Database::new();
+//! db.load_str("bib", "<bib><book year=\"1994\"><title>TCP/IP</title></book></bib>")
+//!     .unwrap();
+//! let titles = db.query("bib", "/bib/book[@year = 1994]/title").unwrap();
+//! assert_eq!(titles, "<title>TCP/IP</title>");
+//!
+//! let out = db
+//!     .query(
+//!         "bib",
+//!         "for $b in doc()/bib/book return <r>{$b/title}</r>",
+//!     )
+//!     .unwrap();
+//! assert_eq!(out, "<r><title>TCP/IP</title></r>");
+//! ```
+//!
+//! Lower layers are re-exported for power users: [`storage`] (succinct
+//! structures, B+-trees, updates), [`algebra`] (sorts, operators, rewrite
+//! rules, cost model), [`xpath`] (pattern graphs, NoK partitioning),
+//! [`exec`] (the physical operators) and [`gen`]-erated workloads live in
+//! their own crates.
+
+pub use xqp_algebra as algebra;
+pub use xqp_exec as exec;
+pub use xqp_storage as storage;
+pub use xqp_xml as xml;
+pub use xqp_xpath as xpath;
+pub use xqp_xquery as xquery;
+
+pub use xqp_algebra::{RewriteReport, RuleSet};
+pub use xqp_exec::Strategy;
+pub use xqp_storage::{SNodeId, StorageStats, SuccinctDoc, SuffixIndex, ValueIndex};
+
+use std::collections::BTreeMap;
+use std::fmt;
+use xqp_exec::Executor;
+use xqp_xml::Document;
+
+/// Unified error type of the public API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// XML parsing failed.
+    Xml(xqp_xml::Error),
+    /// Query parsing or execution failed.
+    Query(String),
+    /// No document with that name is loaded.
+    UnknownDocument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Xml(e) => write!(f, "{e}"),
+            Error::Query(e) => write!(f, "{e}"),
+            Error::UnknownDocument(d) => write!(f, "unknown document `{d}`"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<xqp_xml::Error> for Error {
+    fn from(e: xqp_xml::Error) -> Self {
+        Error::Xml(e)
+    }
+}
+
+impl From<xqp_exec::XqError> for Error {
+    fn from(e: xqp_exec::XqError) -> Self {
+        Error::Query(e.to_string())
+    }
+}
+
+/// One stored document plus its optional content indexes.
+struct Stored {
+    sdoc: SuccinctDoc,
+    index: Option<ValueIndex>,
+    suffix: Option<SuffixIndex>,
+}
+
+/// A collection of named documents with query, update and index management.
+#[derive(Default)]
+pub struct Database {
+    docs: BTreeMap<String, Stored>,
+    strategy: Strategy,
+    rules: RuleSet,
+}
+
+impl Database {
+    /// An empty database (auto strategy, all rewrite rules on).
+    pub fn new() -> Self {
+        Database { docs: BTreeMap::new(), strategy: Strategy::Auto, rules: RuleSet::all() }
+    }
+
+    /// Set the physical strategy for subsequent queries.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    /// Set the rewrite-rule set for subsequent queries.
+    pub fn set_rules(&mut self, rules: RuleSet) {
+        self.rules = rules;
+    }
+
+    /// Parse and store a document under `name` (replacing any previous one).
+    pub fn load_str(&mut self, name: &str, xml: &str) -> Result<(), Error> {
+        let sdoc = SuccinctDoc::parse(xml)?;
+        self.docs
+            .insert(name.to_string(), Stored { sdoc, index: None, suffix: None });
+        Ok(())
+    }
+
+    /// Store an already-built DOM under `name`.
+    pub fn load_document(&mut self, name: &str, doc: &Document) {
+        let sdoc = SuccinctDoc::from_document(doc);
+        self.docs
+            .insert(name.to_string(), Stored { sdoc, index: None, suffix: None });
+    }
+
+    /// Names of loaded documents, sorted.
+    pub fn document_names(&self) -> Vec<&str> {
+        self.docs.keys().map(String::as_str).collect()
+    }
+
+    /// Remove a document.
+    pub fn drop_document(&mut self, name: &str) -> bool {
+        self.docs.remove(name).is_some()
+    }
+
+    /// Access the stored form of a document.
+    pub fn document(&self, name: &str) -> Result<&SuccinctDoc, Error> {
+        self.docs
+            .get(name)
+            .map(|s| &s.sdoc)
+            .ok_or_else(|| Error::UnknownDocument(name.to_string()))
+    }
+
+    fn stored(&self, name: &str) -> Result<&Stored, Error> {
+        self.docs.get(name).ok_or_else(|| Error::UnknownDocument(name.to_string()))
+    }
+
+    /// Build (or rebuild) the content index for `name`.
+    pub fn create_index(&mut self, name: &str) -> Result<(), Error> {
+        let s = self
+            .docs
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownDocument(name.to_string()))?;
+        s.index = Some(ValueIndex::build(&s.sdoc));
+        Ok(())
+    }
+
+    /// Drop the content index for `name`.
+    pub fn drop_index(&mut self, name: &str) -> Result<(), Error> {
+        let s = self
+            .docs
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownDocument(name.to_string()))?;
+        s.index = None;
+        Ok(())
+    }
+
+    /// Build (or rebuild) the substring (suffix-array) index for `name`.
+    pub fn create_suffix_index(&mut self, name: &str) -> Result<(), Error> {
+        let s = self
+            .docs
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownDocument(name.to_string()))?;
+        s.suffix = Some(SuffixIndex::build(&s.sdoc));
+        Ok(())
+    }
+
+    /// Content-bearing nodes whose content contains `needle` (suffix index
+    /// when built, content-store scan otherwise), in document order.
+    pub fn contains_search(&self, doc: &str, needle: &str) -> Result<Vec<SNodeId>, Error> {
+        let s = self.stored(doc)?;
+        if let Some(idx) = &s.suffix {
+            return Ok(idx.find(&s.sdoc, needle));
+        }
+        let mut out: Vec<SNodeId> = (0..s.sdoc.node_count() as u32)
+            .map(SNodeId)
+            .filter(|&n| {
+                s.sdoc.content(n).is_some_and(|c| c.contains(needle))
+            })
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Elements whose string value contains `needle` (requires the suffix
+    /// index for sub-linear search; falls back to a scan).
+    pub fn contains_elements(&self, doc: &str, needle: &str) -> Result<Vec<SNodeId>, Error> {
+        let s = self.stored(doc)?;
+        if let Some(idx) = &s.suffix {
+            return Ok(idx.find_elements(&s.sdoc, needle));
+        }
+        let mut out: Vec<SNodeId> = (0..s.sdoc.node_count() as u32)
+            .map(SNodeId)
+            .filter(|&n| {
+                s.sdoc.is_element(n) && s.sdoc.string_value(n).contains(needle)
+            })
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn executor<'a>(&'a self, s: &'a Stored) -> Executor<'a> {
+        let mut ex = Executor::new(&s.sdoc)
+            .with_strategy(self.strategy)
+            .with_rules(self.rules);
+        if let Some(idx) = &s.index {
+            ex = ex.with_index(idx);
+        }
+        ex
+    }
+
+    /// Run an XQuery (or bare path) against `doc`, returning serialized XML.
+    pub fn query(&self, doc: &str, query: &str) -> Result<String, Error> {
+        let s = self.stored(doc)?;
+        Ok(self.executor(s).query(query)?)
+    }
+
+    /// Evaluate a bare path to node ids.
+    pub fn select(&self, doc: &str, path: &str) -> Result<Vec<SNodeId>, Error> {
+        let s = self.stored(doc)?;
+        Ok(self.executor(s).eval_path_str(path)?)
+    }
+
+    /// Show the optimized plan and the rules that fired.
+    pub fn explain(&self, doc: &str, query: &str) -> Result<(String, RewriteReport), Error> {
+        let s = self.stored(doc)?;
+        Ok(self.executor(s).explain(query)?)
+    }
+
+    /// Storage-size report for a document (succinct vs. DOM vs. intervals).
+    pub fn storage_stats(&self, doc: &str) -> Result<StorageStats, Error> {
+        let s = self.stored(doc)?;
+        let dom = s.sdoc.to_document();
+        Ok(StorageStats::measure(&dom, &s.sdoc))
+    }
+
+    // ---- updates (local splices on the succinct store) -----------------------
+
+    /// Delete every subtree matched by `path`. Returns how many were
+    /// removed. The root element cannot be deleted.
+    pub fn delete_matching(&mut self, doc: &str, path: &str) -> Result<usize, Error> {
+        let hits = self.select(doc, path)?;
+        let s = self
+            .docs
+            .get_mut(doc)
+            .ok_or_else(|| Error::UnknownDocument(doc.to_string()))?;
+        // Descending rank order keeps earlier ranks stable across splices;
+        // nested matches vanish with their ancestors (subtree_size guards).
+        let mut removed = 0usize;
+        let mut targets: Vec<SNodeId> = hits;
+        targets.sort_unstable_by(|a, b| b.cmp(a));
+        for t in targets {
+            if t.index() == 0 {
+                return Err(Error::Query("cannot delete the document root".into()));
+            }
+            if t.index() >= s.sdoc.node_count() {
+                continue; // vanished inside a previously deleted subtree
+            }
+            s.sdoc = xqp_storage::update::delete_subtree(&s.sdoc, t);
+            removed += 1;
+        }
+        if removed > 0 {
+            if let Some(idx) = &mut s.index {
+                *idx = ValueIndex::build(&s.sdoc);
+            }
+            if let Some(sfx) = &mut s.suffix {
+                *sfx = SuffixIndex::build(&s.sdoc);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Insert `fragment` (an XML string with one root element) as the last
+    /// child of every element matched by `path`. Returns the number of
+    /// insertions.
+    pub fn insert_into(
+        &mut self,
+        doc: &str,
+        path: &str,
+        fragment: &str,
+    ) -> Result<usize, Error> {
+        let frag = xqp_xml::parse_document(fragment)?;
+        let hits = self.select(doc, path)?;
+        let s = self
+            .docs
+            .get_mut(doc)
+            .ok_or_else(|| Error::UnknownDocument(doc.to_string()))?;
+        // Descending order keeps earlier target ranks valid.
+        let mut targets = hits;
+        targets.sort_unstable_by(|a, b| b.cmp(a));
+        let mut inserted = 0usize;
+        for t in &targets {
+            if !s.sdoc.is_element(*t) {
+                continue;
+            }
+            s.sdoc = xqp_storage::update::insert_subtree(&s.sdoc, *t, &frag);
+            inserted += 1;
+        }
+        if inserted > 0 {
+            if let Some(idx) = &mut s.index {
+                *idx = ValueIndex::build(&s.sdoc);
+            }
+            if let Some(sfx) = &mut s.suffix {
+                *sfx = SuffixIndex::build(&s.sdoc);
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// Serialize a whole document back to XML.
+    pub fn serialize(&self, doc: &str) -> Result<String, Error> {
+        let s = self.stored(doc)?;
+        Ok(xqp_xml::serialize(&s.sdoc.to_document()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = "<bib>\
+        <book year=\"1994\"><title>TCP</title><price>65</price></book>\
+        <book year=\"2000\"><title>Data</title><price>39</price></book>\
+        </bib>";
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.load_str("bib", BIB).unwrap();
+        d
+    }
+
+    #[test]
+    fn load_query_roundtrip() {
+        let d = db();
+        assert_eq!(d.query("bib", "/bib/book[1]/title").unwrap(), "<title>TCP</title>");
+        assert_eq!(d.document_names(), ["bib"]);
+    }
+
+    #[test]
+    fn flwor_query() {
+        let d = db();
+        let out = d
+            .query("bib", "for $b in doc()/bib/book where $b/price < 50 return $b/title")
+            .unwrap();
+        assert_eq!(out, "<title>Data</title>");
+    }
+
+    #[test]
+    fn unknown_document_error() {
+        let d = db();
+        assert!(matches!(d.query("nope", "/a"), Err(Error::UnknownDocument(_))));
+    }
+
+    #[test]
+    fn select_returns_node_ids() {
+        let d = db();
+        let hits = d.select("bib", "//book").unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn index_lifecycle() {
+        let mut d = db();
+        d.create_index("bib").unwrap();
+        assert_eq!(d.query("bib", "/bib/book[price > 50]/title").unwrap(), "<title>TCP</title>");
+        d.drop_index("bib").unwrap();
+        assert!(d.create_index("ghost").is_err());
+    }
+
+    #[test]
+    fn delete_matching_updates_document() {
+        let mut d = db();
+        let removed = d.delete_matching("bib", "/bib/book[@year = 1994]").unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(d.select("bib", "//book").unwrap().len(), 1);
+        assert_eq!(
+            d.serialize("bib").unwrap(),
+            "<bib><book year=\"2000\"><title>Data</title><price>39</price></book></bib>"
+        );
+    }
+
+    #[test]
+    fn delete_nested_matches_is_safe() {
+        let mut d = Database::new();
+        d.load_str("x", "<r><a><a/></a><a/></r>").unwrap();
+        let removed = d.delete_matching("x", "//a").unwrap();
+        // Outer deletions swallow inner ones; at least the two top-level
+        // subtrees go away and the result is empty of `a`s.
+        assert!(removed >= 2);
+        assert_eq!(d.select("x", "//a").unwrap().len(), 0);
+        assert_eq!(d.serialize("x").unwrap(), "<r/>");
+    }
+
+    #[test]
+    fn insert_into_appends_fragments() {
+        let mut d = db();
+        let n = d.insert_into("bib", "/bib/book", "<tag>new</tag>").unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(d.select("bib", "//tag").unwrap().len(), 2);
+        // Queries see the update.
+        let out = d.query("bib", "/bib/book[1]/tag").unwrap();
+        assert_eq!(out, "<tag>new</tag>");
+    }
+
+    #[test]
+    fn explain_surfaces_plan() {
+        let d = db();
+        let (plan, report) = d
+            .explain("bib", "for $b in doc()/bib/book let $t := $b/title return $t")
+            .unwrap();
+        assert!(plan.contains("tpm-bind"));
+        assert!(report.count("R5") > 0);
+    }
+
+    #[test]
+    fn strategy_and_rules_are_configurable() {
+        let mut d = db();
+        d.set_strategy(Strategy::BinaryJoin);
+        d.set_rules(RuleSet::all_except(5));
+        let out = d.query("bib", "/bib/book[price > 50]/title").unwrap();
+        assert_eq!(out, "<title>TCP</title>");
+    }
+
+    #[test]
+    fn storage_stats_report() {
+        let d = db();
+        let st = d.storage_stats("bib").unwrap();
+        assert!(st.nodes > 0);
+        assert!(st.succinct_total() > 0);
+    }
+
+    #[test]
+    fn substring_search_with_and_without_suffix_index() {
+        let mut d = db();
+        let plain = d.contains_search("bib", "TCP").unwrap();
+        assert_eq!(plain.len(), 1);
+        d.create_suffix_index("bib").unwrap();
+        assert_eq!(d.contains_search("bib", "TCP").unwrap(), plain);
+        // Element form: title → book → bib chain.
+        let els = d.contains_elements("bib", "TCP").unwrap();
+        assert_eq!(els.len(), 3);
+        // Suffix index survives updates.
+        d.insert_into("bib", "/bib", "<book><title>TCP turbo</title></book>")
+            .unwrap();
+        assert_eq!(d.contains_search("bib", "TCP").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn drop_document() {
+        let mut d = db();
+        assert!(d.drop_document("bib"));
+        assert!(!d.drop_document("bib"));
+        assert!(d.document("bib").is_err());
+    }
+
+    #[test]
+    fn root_delete_rejected() {
+        let mut d = db();
+        let err = d.delete_matching("bib", "/bib").unwrap_err();
+        assert!(matches!(err, Error::Query(_)));
+    }
+}

@@ -1,0 +1,314 @@
+//! The γ operator — tree construction (Definition 2 applied).
+//!
+//! γ takes the intermediate results (variable bindings / nested lists) and
+//! the SchemaTree extracted from the constructor expression, and produces a
+//! labeled output tree (§3.2: "the γ operator takes the intermediate results
+//! together with the output schema, and produces the resulting XML
+//! document"). Placeholders are replaced by their expressions' values:
+//! node items are **copied** into the output arena (XQuery constructor
+//! semantics), adjacent atomic values are joined with single spaces, and
+//! if-nodes materialize the branch their condition selects.
+
+use crate::context::{ExecContext, NodeRef, Val, XqError};
+use xqp_algebra::{Item, SchemaNode, SchemaTree};
+use xqp_storage::{SKind, SNodeId};
+use xqp_xml::NodeId;
+
+/// Evaluate placeholder expressions through this callback.
+pub type EvalFn<'f> = dyn FnMut(&xqp_algebra::Expr) -> Result<Val, XqError> + 'f;
+
+/// Build the tree for `schema`, returning the root of the constructed
+/// subtree in the output arena.
+pub fn build(
+    ctx: &ExecContext<'_>,
+    schema: &SchemaTree,
+    eval: &mut EvalFn<'_>,
+) -> Result<NodeRef, XqError> {
+    match &schema.root {
+        SchemaNode::Element { .. } => {
+            let arena_root = ctx.with_built_mut(|d| d.root());
+            let id = build_node(ctx, &schema.root, arena_root, eval)?
+                .expect("element constructor builds a node");
+            Ok(NodeRef::Built(id))
+        }
+        other => Err(XqError::new(format!(
+            "top-level constructor must be an element, found {other:?}"
+        ))),
+    }
+}
+
+/// Build one schema node under `parent`; returns the created node id for
+/// elements (content nodes return `None`).
+fn build_node(
+    ctx: &ExecContext<'_>,
+    node: &SchemaNode,
+    parent: NodeId,
+    eval: &mut EvalFn<'_>,
+) -> Result<Option<NodeId>, XqError> {
+    match node {
+        SchemaNode::Element { name, attributes, children } => {
+            let el = ctx.with_built_mut(|d| d.append_element(parent, name.clone()));
+            for (attr, expr) in attributes {
+                let v = eval(expr)?;
+                let s = space_joined(ctx, &v);
+                ctx.with_built_mut(|d| d.set_attribute(el, attr.clone(), s));
+            }
+            for c in children {
+                build_node(ctx, c, el, eval)?;
+            }
+            Ok(Some(el))
+        }
+        SchemaNode::Text(t) => {
+            ctx.with_built_mut(|d| d.append_text(parent, t.clone()));
+            Ok(None)
+        }
+        SchemaNode::Placeholder(expr) => {
+            let v = eval(expr)?;
+            insert_value(ctx, parent, &v)?;
+            Ok(None)
+        }
+        SchemaNode::If { cond, then_children, else_children } => {
+            let c = eval(cond)?;
+            let branch = if crate::naive::ebv(&c) { then_children } else { else_children };
+            for b in branch {
+                build_node(ctx, b, parent, eval)?;
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Attribute-value rendering: atomize everything, join with single spaces
+/// (nodes contribute their string values).
+fn space_joined(ctx: &ExecContext<'_>, v: &Val) -> String {
+    ctx.atomize(v)
+        .iter()
+        .map(|a| a.as_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Insert a placeholder's value: nodes are deep-copied, runs of atoms become
+/// one space-separated text node.
+fn insert_value(ctx: &ExecContext<'_>, parent: NodeId, v: &Val) -> Result<(), XqError> {
+    let mut atom_run: Vec<String> = Vec::new();
+    let flush = |run: &mut Vec<String>, ctx: &ExecContext<'_>| {
+        if !run.is_empty() {
+            let text = run.join(" ");
+            ctx.with_built_mut(|d| d.append_text(parent, text));
+            run.clear();
+        }
+    };
+    for item in v {
+        match item {
+            Item::Atom(a) => atom_run.push(a.as_string()),
+            Item::Node(n) => {
+                flush(&mut atom_run, ctx);
+                copy_node(ctx, *n, parent)?;
+            }
+        }
+    }
+    flush(&mut atom_run, ctx);
+    Ok(())
+}
+
+/// Deep-copy any node into the output arena under `parent`.
+pub fn copy_node(ctx: &ExecContext<'_>, n: NodeRef, parent: NodeId) -> Result<(), XqError> {
+    match n {
+        NodeRef::Stored(s) => copy_stored(ctx, s, parent),
+        NodeRef::Built(b) => {
+            // Copy within the arena: snapshot the source subtree first (the
+            // arena grows while we write).
+            let snapshot = ctx.with_built(|d| d.clone());
+            copy_built(ctx, &snapshot, b, parent);
+            Ok(())
+        }
+    }
+}
+
+fn copy_stored(ctx: &ExecContext<'_>, s: SNodeId, parent: NodeId) -> Result<(), XqError> {
+    match ctx.sdoc.kind(s) {
+        SKind::Element => {
+            let name = ctx.sdoc.name(s).to_string();
+            let el = ctx.with_built_mut(|d| d.append_element(parent, name));
+            let kids: Vec<SNodeId> = ctx.sdoc.children(s).collect();
+            for c in kids {
+                if ctx.sdoc.is_attribute(c) {
+                    let an = ctx.sdoc.name(c).to_string();
+                    let av = ctx.sdoc.content(c).unwrap_or_default().to_string();
+                    ctx.with_built_mut(|d| d.set_attribute(el, an, av));
+                } else {
+                    copy_stored(ctx, c, el)?;
+                }
+            }
+            Ok(())
+        }
+        SKind::Text => {
+            let t = ctx.sdoc.content(s).unwrap_or_default().to_string();
+            ctx.with_built_mut(|d| d.append_text(parent, t));
+            Ok(())
+        }
+        SKind::Attribute => {
+            // An attribute item in element content attaches to the element.
+            let an = ctx.sdoc.name(s).to_string();
+            let av = ctx.sdoc.content(s).unwrap_or_default().to_string();
+            ctx.with_built_mut(|d| {
+                if d.is_element(parent) {
+                    d.set_attribute(parent, an, av);
+                }
+            });
+            Ok(())
+        }
+    }
+}
+
+fn copy_built(ctx: &ExecContext<'_>, src: &xqp_xml::Document, b: NodeId, parent: NodeId) {
+    use xqp_xml::NodeKind;
+    match &src.node(b).kind {
+        NodeKind::Element { name, attributes } => {
+            let el =
+                ctx.with_built_mut(|d| d.append_element(parent, name.as_lexical()));
+            for &aid in attributes {
+                if let NodeKind::Attribute { name, value } = &src.node(aid).kind {
+                    let (an, av) = (name.as_lexical(), value.clone());
+                    ctx.with_built_mut(|d| d.set_attribute(el, an, av));
+                }
+            }
+            for c in src.children(b) {
+                copy_built(ctx, src, c, el);
+            }
+        }
+        NodeKind::Text(t) => {
+            let t = t.clone();
+            ctx.with_built_mut(|d| d.append_text(parent, t));
+        }
+        NodeKind::Attribute { name, value } => {
+            let (an, av) = (name.as_lexical(), value.clone());
+            ctx.with_built_mut(|d| {
+                if d.is_element(parent) {
+                    d.set_attribute(parent, an, av);
+                }
+            });
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_algebra::Expr;
+    use xqp_storage::SuccinctDoc;
+    use xqp_xml::{serialize_node, Atomic};
+
+    fn render(ctx: &ExecContext<'_>, n: NodeRef) -> String {
+        match n {
+            NodeRef::Built(b) => ctx.with_built(|d| serialize_node(d, b)),
+            NodeRef::Stored(_) => unreachable!("construction builds arena nodes"),
+        }
+    }
+
+    fn schema(src: &str) -> SchemaTree {
+        match xqp_xquery::parse_query(src).unwrap().body {
+            Expr::Construct(t) => *t,
+            other => panic!("expected constructor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_construction() {
+        let sdoc = SuccinctDoc::parse("<unused/>").unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let t = schema("<a x=\"1\"><b>hi</b></a>");
+        // The eval callback must at least handle literals (attribute
+        // templates are expressions).
+        let n = build(&ctx, &t, &mut |e| match e {
+            Expr::Literal(a) => Ok(vec![Item::Atom(a.clone())]),
+            _ => Ok(vec![]),
+        })
+        .unwrap();
+        assert_eq!(render(&ctx, n), "<a x=\"1\"><b>hi</b></a>");
+    }
+
+    #[test]
+    fn placeholder_atoms_join_with_spaces() {
+        let sdoc = SuccinctDoc::parse("<unused/>").unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let t = schema("<n>{$x}</n>");
+        let n = build(&ctx, &t, &mut |_| {
+            Ok(vec![
+                Item::Atom(Atomic::Integer(1)),
+                Item::Atom(Atomic::Integer(2)),
+                Item::Atom(Atomic::Str("three".into())),
+            ])
+        })
+        .unwrap();
+        assert_eq!(render(&ctx, n), "<n>1 2 three</n>");
+    }
+
+    #[test]
+    fn placeholder_copies_stored_subtrees() {
+        let sdoc = SuccinctDoc::parse("<bib><book y=\"1\"><t>A</t></book></bib>").unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let book = sdoc.child_elements(sdoc.root().unwrap()).next().unwrap();
+        let t = schema("<out>{$b}</out>");
+        let n = build(&ctx, &t, &mut |_| {
+            Ok(vec![Item::Node(NodeRef::Stored(book))])
+        })
+        .unwrap();
+        assert_eq!(render(&ctx, n), "<out><book y=\"1\"><t>A</t></book></out>");
+    }
+
+    #[test]
+    fn attribute_templates_evaluate() {
+        let sdoc = SuccinctDoc::parse("<u/>").unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let t = schema("<r id=\"{$i}\"/>");
+        let n = build(&ctx, &t, &mut |_| Ok(vec![Item::Atom(Atomic::Integer(9))])).unwrap();
+        assert_eq!(render(&ctx, n), "<r id=\"9\"/>");
+    }
+
+    #[test]
+    fn if_nodes_choose_branch() {
+        let sdoc = SuccinctDoc::parse("<u/>").unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let t = schema("<r>{ if ($c) then <yes/> else () }</r>");
+        let n = build(&ctx, &t, &mut |e| match e {
+            Expr::Var(v) if v == "c" => Ok(vec![Item::Atom(Atomic::Boolean(true))]),
+            _ => Ok(vec![]),
+        })
+        .unwrap();
+        assert_eq!(render(&ctx, n), "<r><yes/></r>");
+        let n2 = build(&ctx, &t, &mut |e| match e {
+            Expr::Var(v) if v == "c" => Ok(vec![Item::Atom(Atomic::Boolean(false))]),
+            _ => Ok(vec![]),
+        })
+        .unwrap();
+        assert_eq!(render(&ctx, n2), "<r/>");
+    }
+
+    #[test]
+    fn copying_built_nodes() {
+        let sdoc = SuccinctDoc::parse("<u/>").unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        // Build an inner node first, then embed it in an outer constructor.
+        let inner = build(&ctx, &schema("<inner>x</inner>"), &mut |_| Ok(vec![])).unwrap();
+        let outer = build(&ctx, &schema("<outer>{$i}</outer>"), &mut |_| {
+            Ok(vec![Item::Node(inner)])
+        })
+        .unwrap();
+        assert_eq!(render(&ctx, outer), "<outer><inner>x</inner></outer>");
+    }
+
+    #[test]
+    fn nested_constructor_roundtrip_via_parser() {
+        let sdoc = SuccinctDoc::parse("<u/>").unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let t = schema("<results><result><title>T</title></result></results>");
+        let n = build(&ctx, &t, &mut |_| Ok(vec![])).unwrap();
+        assert_eq!(
+            render(&ctx, n),
+            "<results><result><title>T</title></result></results>"
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Execution context, node references and runtime values.
+
+use std::cell::{Cell, Ref, RefCell};
+use std::fmt;
+use xqp_algebra::{DocStatistics, Item, Sequence};
+use xqp_storage::{SNodeId, SuccinctDoc, TagStreams, ValueIndex};
+use xqp_xml::{Atomic, Document, NodeId};
+
+/// A reference to a node: either in the stored (succinct) document or in the
+/// executor's output arena (a node built by a constructor).
+///
+/// Ordering is document order, with all stored nodes before all built nodes
+/// (constructed trees have implementation-defined order; this one is stable
+/// and total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeRef {
+    /// A node of the queried document.
+    Stored(SNodeId),
+    /// A node in the output arena.
+    Built(NodeId),
+}
+
+/// A runtime value: a flat sequence of items over [`NodeRef`]s.
+pub type Val = Sequence<NodeRef>;
+
+/// Runtime failure (unknown function, type error, unsupported form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XqError(pub String);
+
+impl XqError {
+    /// Build from anything stringy.
+    pub fn new(msg: impl Into<String>) -> Self {
+        XqError(msg.into())
+    }
+}
+
+impl fmt::Display for XqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XqError {}
+
+/// Work counters, the timing-independent effort measure the experiments use
+/// (node visits survive machine noise; wall-clock comes from criterion).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Document nodes touched by navigation/scans.
+    pub nodes_visited: u64,
+    /// Intervals consumed by join-based operators.
+    pub stream_items: u64,
+    /// Binary structural joins performed.
+    pub structural_joins: u64,
+}
+
+#[derive(Default)]
+struct CounterCells {
+    nodes_visited: Cell<u64>,
+    stream_items: Cell<u64>,
+    structural_joins: Cell<u64>,
+}
+
+/// Everything evaluation needs: the stored document, optional indexes,
+/// lazily-built tag streams, statistics and the output arena.
+pub struct ExecContext<'a> {
+    /// The queried document in succinct storage.
+    pub sdoc: &'a SuccinctDoc,
+    /// Optional content index (σv pushdown probes it).
+    pub index: Option<&'a ValueIndex>,
+    streams: RefCell<Option<TagStreams>>,
+    stats: RefCell<Option<DocStatistics>>,
+    built: RefCell<Document>,
+    counters: CounterCells,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Create a context over a stored document. Statistics and tag streams
+    /// are built lazily — query setup must not pay O(n) unless the cost
+    /// model or a join-based operator actually runs.
+    pub fn new(sdoc: &'a SuccinctDoc) -> Self {
+        ExecContext {
+            sdoc,
+            index: None,
+            streams: RefCell::new(None),
+            stats: RefCell::new(None),
+            built: RefCell::new(Document::new()),
+            counters: CounterCells::default(),
+        }
+    }
+
+    /// Cardinality statistics (built on first use).
+    pub fn stats(&self) -> Ref<'_, DocStatistics> {
+        if self.stats.borrow().is_none() {
+            *self.stats.borrow_mut() = Some(statistics_of(self.sdoc));
+        }
+        Ref::map(self.stats.borrow(), |o| o.as_ref().expect("stats just built"))
+    }
+
+    /// Attach a value index.
+    pub fn with_index(mut self, index: &'a ValueIndex) -> Self {
+        self.index = Some(index);
+        self
+    }
+
+    /// The tag streams, built on first use (join-based operators only).
+    pub fn streams(&self) -> std::cell::Ref<'_, TagStreams> {
+        if self.streams.borrow().is_none() {
+            *self.streams.borrow_mut() = Some(TagStreams::build(self.sdoc));
+        }
+        std::cell::Ref::map(self.streams.borrow(), |o| {
+            o.as_ref().expect("streams just built")
+        })
+    }
+
+    /// Count `n` node visits.
+    #[inline]
+    pub fn visit(&self, n: u64) {
+        self.counters.nodes_visited.set(self.counters.nodes_visited.get() + n);
+    }
+
+    /// Count `n` stream items consumed.
+    #[inline]
+    pub fn consume_stream(&self, n: u64) {
+        self.counters.stream_items.set(self.counters.stream_items.get() + n);
+    }
+
+    /// Count one structural join.
+    #[inline]
+    pub fn count_join(&self) {
+        self.counters.structural_joins.set(self.counters.structural_joins.get() + 1);
+    }
+
+    /// Snapshot the counters.
+    pub fn counters(&self) -> ExecCounters {
+        ExecCounters {
+            nodes_visited: self.counters.nodes_visited.get(),
+            stream_items: self.counters.stream_items.get(),
+            structural_joins: self.counters.structural_joins.get(),
+        }
+    }
+
+    /// Reset the counters (between measured runs).
+    pub fn reset_counters(&self) {
+        self.counters.nodes_visited.set(0);
+        self.counters.stream_items.set(0);
+        self.counters.structural_joins.set(0);
+    }
+
+    // ---- output arena -------------------------------------------------------
+
+    /// Run `f` with mutable access to the output arena.
+    pub fn with_built_mut<T>(&self, f: impl FnOnce(&mut Document) -> T) -> T {
+        f(&mut self.built.borrow_mut())
+    }
+
+    /// Run `f` with shared access to the output arena.
+    pub fn with_built<T>(&self, f: impl FnOnce(&Document) -> T) -> T {
+        f(&self.built.borrow())
+    }
+
+    // ---- node accessors (dispatch over NodeRef) ------------------------------
+
+    /// XPath string value of a node.
+    pub fn string_value(&self, n: NodeRef) -> String {
+        match n {
+            NodeRef::Stored(s) => self.sdoc.string_value(s),
+            NodeRef::Built(b) => self.with_built(|d| d.string_value(b)),
+        }
+    }
+
+    /// Atomized value of a node: **untyped** (a string), per the XQuery data
+    /// model — comparisons and arithmetic promote it as needed. Eagerly
+    /// typing here would corrupt string contexts (`"11e1"` is not `110`).
+    pub fn typed_value(&self, n: NodeRef) -> Atomic {
+        Atomic::Str(self.string_value(n))
+    }
+
+    /// Element/attribute name, if any.
+    pub fn name_of(&self, n: NodeRef) -> Option<String> {
+        match n {
+            NodeRef::Stored(s) => {
+                if self.sdoc.is_text(s) {
+                    None
+                } else {
+                    Some(self.sdoc.name(s).to_string())
+                }
+            }
+            NodeRef::Built(b) => self.with_built(|d| d.name(b).map(|q| q.as_lexical())),
+        }
+    }
+
+    /// True if the node is an element.
+    pub fn is_element(&self, n: NodeRef) -> bool {
+        match n {
+            NodeRef::Stored(s) => self.sdoc.is_element(s),
+            NodeRef::Built(b) => self.with_built(|d| d.is_element(b)),
+        }
+    }
+
+    /// Atomize a whole sequence (nodes → typed values, atoms pass through).
+    pub fn atomize(&self, v: &Val) -> Vec<Atomic> {
+        v.iter()
+            .map(|item| match item {
+                Item::Node(n) => self.typed_value(*n),
+                Item::Atom(a) => a.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Derive cost-model statistics directly from the succinct document.
+fn statistics_of(sdoc: &SuccinctDoc) -> DocStatistics {
+    let mut tag_counts = std::collections::HashMap::new();
+    let mut elements = 0usize;
+    let mut max_depth = 0usize;
+    for n in (0..sdoc.node_count() as u32).map(SNodeId) {
+        if sdoc.is_text(n) {
+            continue;
+        }
+        if sdoc.is_element(n) {
+            elements += 1;
+            max_depth = max_depth.max(sdoc.depth(n));
+        }
+        *tag_counts.entry(sdoc.name(n).to_string()).or_insert(0) += 1;
+    }
+    DocStatistics::from_counts(sdoc.node_count(), elements, tag_counts, max_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_doc() -> SuccinctDoc {
+        SuccinctDoc::parse("<a x=\"1\"><b>7</b><c>hi</c></a>").unwrap()
+    }
+
+    #[test]
+    fn noderef_ordering_stored_before_built() {
+        assert!(NodeRef::Stored(SNodeId(100)) < NodeRef::Built(NodeId(0)));
+        assert!(NodeRef::Stored(SNodeId(1)) < NodeRef::Stored(SNodeId(2)));
+        assert!(NodeRef::Built(NodeId(1)) < NodeRef::Built(NodeId(2)));
+    }
+
+    #[test]
+    fn context_accessors() {
+        let sdoc = ctx_doc();
+        let ctx = ExecContext::new(&sdoc);
+        let root = NodeRef::Stored(sdoc.root().unwrap());
+        assert_eq!(ctx.string_value(root), "7hi");
+        assert_eq!(ctx.name_of(root), Some("a".into()));
+        assert!(ctx.is_element(root));
+    }
+
+    #[test]
+    fn built_nodes_work_too() {
+        let sdoc = ctx_doc();
+        let ctx = ExecContext::new(&sdoc);
+        let built = ctx.with_built_mut(|d| {
+            let root = d.root();
+            let el = d.append_element(root, "out");
+            d.append_text(el, "42");
+            el
+        });
+        let r = NodeRef::Built(built);
+        assert_eq!(ctx.string_value(r), "42");
+        assert_eq!(ctx.typed_value(r), Atomic::Str("42".into()));
+        assert_eq!(ctx.name_of(r), Some("out".into()));
+    }
+
+    #[test]
+    fn statistics_derived_from_storage() {
+        let sdoc = ctx_doc();
+        let ctx = ExecContext::new(&sdoc);
+        assert_eq!(ctx.stats().tag_count("b"), 1);
+        assert_eq!(ctx.stats().tag_count("x"), 1);
+        assert_eq!(ctx.stats().tag_count("*"), 3);
+        assert!(ctx.stats().max_depth >= 2);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let sdoc = ctx_doc();
+        let ctx = ExecContext::new(&sdoc);
+        ctx.visit(5);
+        ctx.count_join();
+        ctx.consume_stream(3);
+        let c = ctx.counters();
+        assert_eq!(c.nodes_visited, 5);
+        assert_eq!(c.structural_joins, 1);
+        assert_eq!(c.stream_items, 3);
+        ctx.reset_counters();
+        assert_eq!(ctx.counters(), ExecCounters::default());
+    }
+
+    #[test]
+    fn streams_built_lazily() {
+        let sdoc = ctx_doc();
+        let ctx = ExecContext::new(&sdoc);
+        let s = ctx.streams();
+        assert!(s.total_len() > 0);
+    }
+
+    #[test]
+    fn atomize_mixed_sequence() {
+        let sdoc = ctx_doc();
+        let ctx = ExecContext::new(&sdoc);
+        let b = sdoc.child_elements(sdoc.root().unwrap()).next().unwrap();
+        let v: Val = vec![
+            Item::Node(NodeRef::Stored(b)),
+            Item::Atom(Atomic::Str("x".into())),
+        ];
+        let atoms = ctx.atomize(&v);
+        assert_eq!(atoms, vec![Atomic::Str("7".into()), Atomic::Str("x".into())]);
+    }
+}

@@ -1,0 +1,333 @@
+//! The executor — parse → optimize → evaluate → serialize.
+
+use crate::context::{ExecContext, ExecCounters, NodeRef, Val, XqError};
+use crate::eval::{Evaluator, Scope};
+use crate::planner::Strategy;
+use xqp_algebra::{optimize_expr, Item, RewriteReport, RuleSet};
+use xqp_storage::{SKind, SNodeId, SuccinctDoc, ValueIndex};
+use xqp_xml::serialize::{escape_attr, escape_text};
+
+/// A configured query executor over one stored document.
+pub struct Executor<'a> {
+    ctx: ExecContext<'a>,
+    strategy: Strategy,
+    rules: RuleSet,
+}
+
+impl<'a> Executor<'a> {
+    /// An executor with the default (all rules, auto strategy) configuration.
+    pub fn new(doc: &'a SuccinctDoc) -> Self {
+        Executor { ctx: ExecContext::new(doc), strategy: Strategy::Auto, rules: RuleSet::all() }
+    }
+
+    /// Attach a value index (σv probes).
+    pub fn with_index(mut self, index: &'a ValueIndex) -> Self {
+        self.ctx = self.ctx.with_index(index);
+        self
+    }
+
+    /// Fix the physical strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Fix the rewrite-rule set.
+    pub fn with_rules(mut self, rules: RuleSet) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// The execution context (counters, statistics).
+    pub fn context(&self) -> &ExecContext<'a> {
+        &self.ctx
+    }
+
+    /// Work counters accumulated so far.
+    pub fn counters(&self) -> ExecCounters {
+        self.ctx.counters()
+    }
+
+    /// Reset work counters.
+    pub fn reset_counters(&self) {
+        self.ctx.reset_counters()
+    }
+
+    /// Run a query, returning the result sequence as items.
+    pub fn query_items(&self, query: &str) -> Result<Val, XqError> {
+        let body = xqp_xquery::parse_query(query)
+            .map_err(|e| XqError::new(e.to_string()))?
+            .body;
+        let (body, _) = optimize_expr(body, &self.rules);
+        let ev = Evaluator::new(&self.ctx, self.strategy);
+        ev.eval(&body, &Scope::root())
+    }
+
+    /// Run a query, returning serialized XML (items separated per XQuery
+    /// serialization: adjacent atoms space-joined, nodes concatenated).
+    pub fn query(&self, query: &str) -> Result<String, XqError> {
+        let items = self.query_items(query)?;
+        Ok(self.serialize_items(&items))
+    }
+
+    /// Optimize without executing; returns the plan rendering and which
+    /// rules fired.
+    pub fn explain(&self, query: &str) -> Result<(String, RewriteReport), XqError> {
+        let body = xqp_xquery::parse_query(query)
+            .map_err(|e| XqError::new(e.to_string()))?
+            .body;
+        let (body, report) = optimize_expr(body, &self.rules);
+        let rendering = render_plan(&body);
+        Ok((rendering, report))
+    }
+
+    /// Evaluate a bare path expression to node ids (strategy-dispatched).
+    pub fn eval_path_str(&self, path: &str) -> Result<Vec<SNodeId>, XqError> {
+        let parsed =
+            xqp_xpath::parse_path(path).map_err(|e| XqError::new(e.to_string()))?;
+        if self.strategy != Strategy::Naive && self.rules.fuse_tpm {
+            let (op, _) = xqp_algebra::optimize_path(&parsed, &self.rules);
+            if let xqp_algebra::PathOp::TpmFrom { pattern, .. } = &op {
+                return Ok(crate::planner::eval_pattern(
+                    &self.ctx,
+                    pattern,
+                    None,
+                    self.strategy,
+                ));
+            }
+        }
+        let out = crate::naive::eval_path(&self.ctx, &[], &parsed)?;
+        Ok(out
+            .into_iter()
+            .map(|n| match n {
+                NodeRef::Stored(s) => s,
+                NodeRef::Built(_) => unreachable!("paths over the stored document"),
+            })
+            .collect())
+    }
+
+    /// Serialize a result sequence.
+    pub fn serialize_items(&self, items: &Val) -> String {
+        let mut out = String::new();
+        let mut prev_atom = false;
+        for item in items {
+            match item {
+                Item::Atom(a) => {
+                    if prev_atom {
+                        out.push(' ');
+                    }
+                    out.push_str(&a.as_string());
+                    prev_atom = true;
+                }
+                Item::Node(n) => {
+                    out.push_str(&self.serialize_node(*n));
+                    prev_atom = false;
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialize one node (stored or constructed).
+    pub fn serialize_node(&self, n: NodeRef) -> String {
+        match n {
+            NodeRef::Stored(s) => serialize_stored(self.ctx.sdoc, s),
+            NodeRef::Built(b) => self.ctx.with_built(|d| xqp_xml::serialize_node(d, b)),
+        }
+    }
+}
+
+/// Render an optimized query body: FLWOR pipelines expand to their plan,
+/// and a constructor-topped query (γ over a FLWOR placeholder, the paper's
+/// Fig. 1 shape) shows the γ line above the embedded pipeline.
+fn render_plan(body: &xqp_algebra::Expr) -> String {
+    use xqp_algebra::{Expr, SchemaNode, SchemaTree};
+    fn first_flwor(tree: &SchemaTree) -> Option<&xqp_algebra::LogicalPlan> {
+        fn rec(n: &SchemaNode) -> Option<&xqp_algebra::LogicalPlan> {
+            match n {
+                SchemaNode::Placeholder(Expr::Flwor(p)) => Some(p),
+                SchemaNode::Element { children, .. } => children.iter().find_map(rec),
+                SchemaNode::If { then_children, else_children, .. } => {
+                    then_children.iter().chain(else_children).find_map(rec)
+                }
+                _ => None,
+            }
+        }
+        rec(&tree.root)
+    }
+    match body {
+        Expr::Flwor(plan) => plan.explain(),
+        Expr::Construct(tree) => match first_flwor(tree) {
+            Some(plan) => {
+                let mut out = format!("γ[{}]\n", tree.root_name());
+                for line in plan.explain().lines() {
+                    out.push_str("  ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                out
+            }
+            None => format!("γ[{}]\n", tree.root_name()),
+        },
+        other => format!("{other}\n"),
+    }
+}
+
+/// Serialize a stored subtree without materializing a DOM.
+pub fn serialize_stored(sdoc: &SuccinctDoc, n: SNodeId) -> String {
+    let mut out = String::new();
+    write_stored(sdoc, n, &mut out);
+    out
+}
+
+fn write_stored(sdoc: &SuccinctDoc, n: SNodeId, out: &mut String) {
+    match sdoc.kind(n) {
+        SKind::Text => out.push_str(&escape_text(sdoc.content(n).unwrap_or_default())),
+        SKind::Attribute => {
+            // A bare attribute serializes as name="value".
+            out.push_str(sdoc.name(n));
+            out.push_str("=\"");
+            out.push_str(&escape_attr(sdoc.content(n).unwrap_or_default()));
+            out.push('"');
+        }
+        SKind::Element => {
+            out.push('<');
+            out.push_str(sdoc.name(n));
+            let mut has_children = false;
+            let kids: Vec<SNodeId> = sdoc.children(n).collect();
+            for &c in &kids {
+                if sdoc.is_attribute(c) {
+                    out.push(' ');
+                    out.push_str(sdoc.name(c));
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(sdoc.content(c).unwrap_or_default()));
+                    out.push('"');
+                } else {
+                    has_children = true;
+                }
+            }
+            if !has_children {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            for &c in &kids {
+                if !sdoc.is_attribute(c) {
+                    write_stored(sdoc, c, out);
+                }
+            }
+            out.push_str("</");
+            out.push_str(sdoc.name(n));
+            out.push('>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = "<bib>\
+        <book year=\"1994\"><title>TCP</title><author>Stevens</author><price>65</price></book>\
+        <book year=\"2000\"><title>Data</title><author>Abiteboul</author><author>Buneman</author><price>39</price></book>\
+        </bib>";
+
+    fn exec(doc: &SuccinctDoc) -> Executor<'_> {
+        Executor::new(doc)
+    }
+
+    #[test]
+    fn fig1_use_case_end_to_end() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let out = exec(&d)
+            .query(
+                "<results> { for $b in doc(\"bib.xml\")/bib/book \
+                 let $t := $b/title let $a := $b/author \
+                 return <result> {$t} {$a} </result> } </results>",
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            "<results><result><title>TCP</title><author>Stevens</author></result>\
+             <result><title>Data</title><author>Abiteboul</author><author>Buneman</author></result></results>"
+                .replace("</result>\\\n             <result>", "</result><result>")
+        );
+    }
+
+    #[test]
+    fn path_query_serialization() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let out = exec(&d).query("/bib/book/title").unwrap();
+        assert_eq!(out, "<title>TCP</title><title>Data</title>");
+    }
+
+    #[test]
+    fn attribute_results_serialize_as_pairs() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let out = exec(&d).query("/bib/book/@year").unwrap();
+        assert_eq!(out, "year=\"1994\"year=\"2000\"");
+    }
+
+    #[test]
+    fn atom_results_space_joined() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let out = exec(&d).query("(1, 2, \"x\")").unwrap();
+        assert_eq!(out, "1 2 x");
+    }
+
+    #[test]
+    fn eval_path_str_matches_across_strategies() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        for s in [Strategy::Auto, Strategy::NoK, Strategy::TwigStack, Strategy::BinaryJoin, Strategy::Naive] {
+            let e = Executor::new(&d).with_strategy(s);
+            let hits = e.eval_path_str("//book[price > 50]/title").unwrap();
+            assert_eq!(hits.len(), 1, "strategy {s:?}");
+            assert_eq!(d.string_value(hits[0]), "TCP");
+        }
+    }
+
+    #[test]
+    fn explain_reports_rules() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let (plan, report) = exec(&d)
+            .explain("for $b in doc()/bib/book let $t := $b/title return $t")
+            .unwrap();
+        assert!(plan.contains("tpm-bind"), "{plan}");
+        assert_eq!(report.count("R5"), 1);
+    }
+
+    #[test]
+    fn explain_without_rules_shows_plain_pipeline() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let e = Executor::new(&d).with_rules(RuleSet::none());
+        let (plan, report) = e
+            .explain("for $b in doc()/bib/book let $t := $b/title return $t")
+            .unwrap();
+        assert!(plan.contains("for $b"), "{plan}");
+        assert!(plan.contains("let $t"), "{plan}");
+        assert!(report.applied.is_empty());
+    }
+
+    #[test]
+    fn serialize_stored_escapes() {
+        let d = SuccinctDoc::parse("<a x=\"&quot;&amp;\">a&lt;b</a>").unwrap();
+        let s = serialize_stored(&d, d.root().unwrap());
+        assert_eq!(s, "<a x=\"&quot;&amp;\">a&lt;b</a>");
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        assert!(exec(&d).query("for $x in").is_err());
+        assert!(exec(&d).eval_path_str("//a[").is_err());
+    }
+
+    #[test]
+    fn counters_accessible() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let e = exec(&d);
+        e.reset_counters();
+        let _ = e.query("/bib/book/title").unwrap();
+        assert!(e.counters().nodes_visited > 0 || e.counters().stream_items > 0);
+    }
+}

@@ -1,0 +1,868 @@
+//! Expression and FLWOR evaluation over the environment sort.
+//!
+//! [`Evaluator::eval`] interprets `xqp-algebra` expressions; FLWOR plans
+//! build an [`Env`] (Definition 3) layer by layer and evaluate the `return`
+//! clause once per total binding — Example 1's semantics executed directly.
+//! A [`LogicalPlan::TpmBind`] operator instead runs **one tree-pattern
+//! match** ([`crate::nok`]) and derives all its variable layers from the
+//! confirmed match sets, realizing the paper's argument that the Fig. 1
+//! list comprehension "could be implemented … with a single scan of the
+//! input data without the need for structural joins".
+
+use crate::construct;
+use crate::context::{ExecContext, NodeRef, Val, XqError};
+use crate::naive;
+use crate::nok;
+use crate::planner::{self, Strategy};
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use xqp_algebra::env::{Bindings, Env};
+use xqp_algebra::expr::ArithOp;
+use xqp_algebra::plan::{OrderKey, TpmVar};
+use xqp_algebra::{Expr, Item, LogicalPlan, PathOp};
+use xqp_storage::SNodeId;
+use xqp_xml::Atomic;
+use xqp_xpath::{PathExpr, PatternGraph};
+
+/// Lexical scope chain for variable lookup across nested FLWORs.
+pub struct Scope<'p> {
+    vars: Vec<(String, Val)>,
+    parent: Option<&'p Scope<'p>>,
+}
+
+impl<'p> Scope<'p> {
+    /// The empty outermost scope.
+    pub fn root() -> Scope<'static> {
+        Scope { vars: Vec::new(), parent: None }
+    }
+
+    /// A child scope with additional bindings (innermost wins).
+    pub fn child(&'p self, vars: Vec<(String, Val)>) -> Scope<'p> {
+        Scope { vars, parent: Some(self) }
+    }
+
+    /// Look up a variable.
+    pub fn lookup(&self, name: &str) -> Option<&Val> {
+        for (v, val) in self.vars.iter().rev() {
+            if v == name {
+                return Some(val);
+            }
+        }
+        self.parent.and_then(|p| p.lookup(name))
+    }
+}
+
+fn scope_from_bindings<'p>(
+    outer: &'p Scope<'p>,
+    b: &Bindings<'_, NodeRef>,
+) -> Scope<'p> {
+    let vars = b
+        .entries()
+        .into_iter()
+        .map(|(name, val)| (name.to_string(), val.clone()))
+        .collect();
+    outer.child(vars)
+}
+
+/// The expression/plan evaluator.
+pub struct Evaluator<'c, 'a> {
+    /// Execution context.
+    pub ctx: &'c ExecContext<'a>,
+    /// Physical strategy for compiled tree patterns.
+    pub strategy: Strategy,
+}
+
+impl<'c, 'a> Evaluator<'c, 'a> {
+    /// Create an evaluator.
+    pub fn new(ctx: &'c ExecContext<'a>, strategy: Strategy) -> Self {
+        Evaluator { ctx, strategy }
+    }
+
+    /// Evaluate an expression in a scope.
+    pub fn eval(&self, e: &Expr, scope: &Scope<'_>) -> Result<Val, XqError> {
+        match e {
+            Expr::Literal(a) => Ok(vec![Item::Atom(a.clone())]),
+            Expr::Var(v) => scope
+                .lookup(v)
+                .cloned()
+                .ok_or_else(|| XqError::new(format!("unbound variable ${v}"))),
+            Expr::ContextDoc => Ok(self
+                .ctx
+                .sdoc
+                .root()
+                .map(|r| vec![Item::Node(NodeRef::Stored(r))])
+                .unwrap_or_default()),
+            Expr::Path { base, path } => {
+                let input = self.path_context(base, scope)?;
+                let lookup = |name: &str| scope.lookup(name).cloned();
+                let out = naive::eval_path_with_vars(self.ctx, &input, path, &lookup)?;
+                Ok(naive::to_items(out))
+            }
+            Expr::CompiledPath { base, path, plan } => {
+                self.eval_compiled_path(base, path, plan, scope)
+            }
+            Expr::Arith { op, lhs, rhs } => {
+                let l = self.eval(lhs, scope)?;
+                let r = self.eval(rhs, scope)?;
+                self.arith(*op, &l, &r)
+            }
+            Expr::Cmp { op, lhs, rhs } => {
+                let l = self.ctx.atomize(&self.eval(lhs, scope)?);
+                let r = self.ctx.atomize(&self.eval(rhs, scope)?);
+                Ok(vec![Item::Atom(Atomic::Boolean(naive::general_compare(&l, *op, &r)))])
+            }
+            Expr::And(a, b) => {
+                let l = naive::ebv(&self.eval(a, scope)?);
+                let v = l && naive::ebv(&self.eval(b, scope)?);
+                Ok(vec![Item::Atom(Atomic::Boolean(v))])
+            }
+            Expr::Or(a, b) => {
+                let l = naive::ebv(&self.eval(a, scope)?);
+                let v = l || naive::ebv(&self.eval(b, scope)?);
+                Ok(vec![Item::Atom(Atomic::Boolean(v))])
+            }
+            Expr::Not(a) => {
+                let v = !naive::ebv(&self.eval(a, scope)?);
+                Ok(vec![Item::Atom(Atomic::Boolean(v))])
+            }
+            Expr::If { cond, then_branch, else_branch } => {
+                if naive::ebv(&self.eval(cond, scope)?) {
+                    self.eval(then_branch, scope)
+                } else {
+                    self.eval(else_branch, scope)
+                }
+            }
+            Expr::Call { name, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, scope)?);
+                }
+                self.call(name, &vals)
+            }
+            Expr::SequenceExpr(items) => {
+                let mut out = Vec::new();
+                for i in items {
+                    out.extend(self.eval(i, scope)?);
+                }
+                Ok(out)
+            }
+            Expr::Construct(tree) => {
+                let node = construct::build(self.ctx, tree, &mut |e| self.eval(e, scope))?;
+                Ok(vec![Item::Node(node)])
+            }
+            Expr::Flwor(plan) => self.eval_plan(plan, scope),
+        }
+    }
+
+    /// Evaluate a FLWOR plan to its result sequence.
+    pub fn eval_plan(&self, plan: &LogicalPlan, scope: &Scope<'_>) -> Result<Val, XqError> {
+        match plan {
+            LogicalPlan::ReturnClause { input, expr } => {
+                let env = self.build_env(input, scope)?;
+                let err: RefCell<Option<XqError>> = RefCell::new(None);
+                let results: Vec<Val> = env.map_bindings(|b| {
+                    let s = scope_from_bindings(scope, b);
+                    match self.eval(expr, &s) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            err.borrow_mut().get_or_insert(e);
+                            Vec::new()
+                        }
+                    }
+                });
+                if let Some(e) = err.into_inner() {
+                    return Err(e);
+                }
+                Ok(results.into_iter().flatten().collect())
+            }
+            other => {
+                // A FLWOR without return is not producible by the parser;
+                // evaluate as if `return ()`-less: error clearly.
+                Err(XqError::new(format!(
+                    "plan must end in a return clause, found {other:?}"
+                )))
+            }
+        }
+    }
+
+    /// Build the environment for the clause pipeline below a return.
+    fn build_env(
+        &self,
+        plan: &LogicalPlan,
+        scope: &Scope<'_>,
+    ) -> Result<Env<NodeRef>, XqError> {
+        match plan {
+            LogicalPlan::EnvRoot => Ok(Env::new()),
+            LogicalPlan::ForBind { input, var, source } => {
+                let mut env = self.build_env(input, scope)?;
+                self.extend(&mut env, var, source, scope, true)?;
+                Ok(env)
+            }
+            LogicalPlan::LetBind { input, var, source } => {
+                let mut env = self.build_env(input, scope)?;
+                self.extend(&mut env, var, source, scope, false)?;
+                Ok(env)
+            }
+            LogicalPlan::Where { input, cond } => {
+                let mut env = self.build_env(input, scope)?;
+                let err: RefCell<Option<XqError>> = RefCell::new(None);
+                env.filter(|b| {
+                    let s = scope_from_bindings(scope, b);
+                    match self.eval(cond, &s) {
+                        Ok(v) => naive::ebv(&v),
+                        Err(e) => {
+                            err.borrow_mut().get_or_insert(e);
+                            false
+                        }
+                    }
+                });
+                if let Some(e) = err.into_inner() {
+                    return Err(e);
+                }
+                Ok(env)
+            }
+            LogicalPlan::OrderBy { input, keys } => {
+                let mut env = self.build_env(input, scope)?;
+                let err: RefCell<Option<XqError>> = RefCell::new(None);
+                env.sort_bindings_by(|b| {
+                    let s = scope_from_bindings(scope, b);
+                    SortKey(
+                        keys.iter()
+                            .map(|k: &OrderKey| {
+                                let atom = match self.eval(&k.expr, &s) {
+                                    Ok(v) => self.ctx.atomize(&v).into_iter().next(),
+                                    Err(e) => {
+                                        err.borrow_mut().get_or_insert(e);
+                                        None
+                                    }
+                                };
+                                (atom, k.descending)
+                            })
+                            .collect(),
+                    )
+                });
+                if let Some(e) = err.into_inner() {
+                    return Err(e);
+                }
+                Ok(env)
+            }
+            LogicalPlan::TpmBind { input, pattern, vars } => {
+                let mut env = self.build_env(input, scope)?;
+                self.tpm_bind(&mut env, pattern, vars)?;
+                Ok(env)
+            }
+            LogicalPlan::ReturnClause { .. } => {
+                Err(XqError::new("nested return clause in binding pipeline"))
+            }
+        }
+    }
+
+    fn extend(
+        &self,
+        env: &mut Env<NodeRef>,
+        var: &str,
+        source: &Expr,
+        scope: &Scope<'_>,
+        one_to_many: bool,
+    ) -> Result<(), XqError> {
+        let err: RefCell<Option<XqError>> = RefCell::new(None);
+        let eval_source = |b: &Bindings<'_, NodeRef>| {
+            let s = scope_from_bindings(scope, b);
+            match self.eval(source, &s) {
+                Ok(v) => v,
+                Err(e) => {
+                    err.borrow_mut().get_or_insert(e);
+                    Vec::new()
+                }
+            }
+        };
+        if one_to_many {
+            env.extend_for(var, eval_source);
+        } else {
+            env.extend_let(var, eval_source);
+        }
+        if let Some(e) = err.into_inner() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Execute a TpmBind: one pattern match, then one Env layer per bound
+    /// variable, reading the confirmed match sets.
+    fn tpm_bind(
+        &self,
+        env: &mut Env<NodeRef>,
+        pattern: &PatternGraph,
+        vars: &[TpmVar],
+    ) -> Result<(), XqError> {
+        let result = nok::match_pattern(self.ctx, pattern, None);
+        // vertex → variable name for anchor resolution.
+        let mut vertex_var: Vec<(usize, String)> = Vec::new();
+        for tv in vars {
+            // Find the nearest ancestor vertex already bound to a variable.
+            let (anchor_vertex, anchor_var) = {
+                let mut cur = tv.vertex;
+                let mut found: Option<(usize, String)> = None;
+                while let Some(arc) = pattern.incoming(cur) {
+                    cur = arc.from;
+                    if let Some((_, name)) =
+                        vertex_var.iter().find(|(vx, _)| *vx == cur)
+                    {
+                        found = Some((cur, name.clone()));
+                        break;
+                    }
+                }
+                match found {
+                    Some((vx, name)) => (vx, Some(name)),
+                    None => (pattern.root(), None),
+                }
+            };
+            let source = |b: &Bindings<'_, NodeRef>| -> Val {
+                let anchors: Vec<Option<SNodeId>> = match &anchor_var {
+                    None => vec![None],
+                    Some(name) => match b.get(name) {
+                        Some(val) => val
+                            .iter()
+                            .filter_map(|i| match i {
+                                Item::Node(NodeRef::Stored(s)) => Some(Some(*s)),
+                                _ => None,
+                            })
+                            .collect(),
+                        None => Vec::new(),
+                    },
+                };
+                let mut nodes: Vec<SNodeId> = Vec::new();
+                for a in anchors {
+                    nodes.extend(nok::matches_between(
+                        self.ctx,
+                        pattern,
+                        &result,
+                        anchor_vertex,
+                        tv.vertex,
+                        a,
+                    ));
+                }
+                nodes.sort_unstable();
+                nodes.dedup();
+                nodes.into_iter().map(|n| Item::Node(NodeRef::Stored(n))).collect()
+            };
+            if tv.one_to_many {
+                env.extend_for(&tv.var, source);
+            } else {
+                env.extend_let(&tv.var, source);
+            }
+            vertex_var.push((tv.vertex, tv.var.clone()));
+        }
+        Ok(())
+    }
+
+    // ---- paths ---------------------------------------------------------------
+
+    /// Context nodes for a path's base expression.
+    fn path_context(&self, base: &Expr, scope: &Scope<'_>) -> Result<Vec<NodeRef>, XqError> {
+        let v = self.eval(base, scope)?;
+        Ok(v.iter().filter_map(|i| i.as_node().copied()).collect())
+    }
+
+    fn eval_compiled_path(
+        &self,
+        base: &Expr,
+        path: &PathExpr,
+        plan: &PathOp,
+        scope: &Scope<'_>,
+    ) -> Result<Val, XqError> {
+        // Fused pattern: strategy-dispatched TPM.
+        if let PathOp::TpmFrom { pattern, .. } = plan {
+            if self.strategy != Strategy::Naive {
+                let mut out: Vec<NodeRef> = Vec::new();
+                if matches!(base, Expr::ContextDoc) {
+                    // Absolute: the virtual document node is the context.
+                    out.extend(
+                        planner::eval_pattern(self.ctx, pattern, None, self.strategy)
+                            .into_iter()
+                            .map(NodeRef::Stored),
+                    );
+                } else {
+                    // Per-binding evaluation: prepare the matcher once and
+                    // reuse it across the (possibly many) context nodes.
+                    let prepared = nok::PreparedPattern::new(pattern);
+                    for n in self.path_context(base, scope)? {
+                        match n {
+                            NodeRef::Stored(s) => out.extend(
+                                prepared
+                                    .eval_single_output(self.ctx, Some(s))
+                                    .into_iter()
+                                    .map(NodeRef::Stored),
+                            ),
+                            // Constructed contexts fall back to navigation.
+                            built @ NodeRef::Built(_) => {
+                                let lookup = |name: &str| scope.lookup(name).cloned();
+                                out.extend(naive::eval_path_with_vars(
+                                    self.ctx,
+                                    &[built],
+                                    path,
+                                    &lookup,
+                                )?)
+                            }
+                        }
+                    }
+                }
+                naive::dedup_doc_order(&mut out);
+                return Ok(naive::to_items(out));
+            }
+        }
+        // Naive chain (or Naive strategy): interpret the surface path.
+        let input = if matches!(base, Expr::ContextDoc) {
+            Vec::new() // absolute paths ignore context
+        } else {
+            self.path_context(base, scope)?
+        };
+        let lookup = |name: &str| scope.lookup(name).cloned();
+        let out = naive::eval_path_with_vars(self.ctx, &input, path, &lookup)?;
+        Ok(naive::to_items(out))
+    }
+
+    // ---- arithmetic and functions ---------------------------------------------
+
+    fn arith(&self, op: ArithOp, l: &Val, r: &Val) -> Result<Val, XqError> {
+        let la = self.ctx.atomize(l);
+        let ra = self.ctx.atomize(r);
+        // Empty operand ⇒ empty result (XQuery arithmetic on ()).
+        let (Some(lv), Some(rv)) = (la.first(), ra.first()) else {
+            return Ok(Vec::new());
+        };
+        if la.len() > 1 || ra.len() > 1 {
+            return Err(XqError::new("arithmetic on a sequence of more than one item"));
+        }
+        match op.apply(lv, rv) {
+            Some(v) => Ok(vec![Item::Atom(v)]),
+            None => Err(XqError::new(format!(
+                "cannot compute {lv} {} {rv}",
+                op.symbol()
+            ))),
+        }
+    }
+
+    fn call(&self, name: &str, args: &[Val]) -> Result<Val, XqError> {
+        let atom = |a: Atomic| Ok(vec![Item::Atom(a)]);
+        let arg = |i: usize| -> &Val {
+            args.get(i).map(|v| v as &Val).unwrap_or(EMPTY)
+        };
+        static EMPTY_VEC: Vec<Item<NodeRef>> = Vec::new();
+        const EMPTY: &Vec<Item<NodeRef>> = &EMPTY_VEC;
+        let str0 = |s: &Self, i: usize| -> String {
+            s.ctx.atomize(arg(i)).first().map(|a| a.as_string()).unwrap_or_default()
+        };
+        match name {
+            "count" => atom(Atomic::Integer(arg(0).len() as i64)),
+            "empty" => atom(Atomic::Boolean(arg(0).is_empty())),
+            "exists" => atom(Atomic::Boolean(!arg(0).is_empty())),
+            "boolean" => atom(Atomic::Boolean(naive::ebv(arg(0)))),
+            "sum" => {
+                let mut total = 0.0;
+                let mut all_int = true;
+                for a in self.ctx.atomize(arg(0)) {
+                    let n = a
+                        .as_number()
+                        .ok_or_else(|| XqError::new(format!("sum over non-number `{a}`")))?;
+                    if !matches!(a, Atomic::Integer(_)) {
+                        all_int = false;
+                    }
+                    total += n;
+                }
+                if all_int && total.fract() == 0.0 {
+                    atom(Atomic::Integer(total as i64))
+                } else {
+                    atom(Atomic::Double(total))
+                }
+            }
+            "avg" => {
+                let atoms = self.ctx.atomize(arg(0));
+                if atoms.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let mut total = 0.0;
+                for a in &atoms {
+                    total += a
+                        .as_number()
+                        .ok_or_else(|| XqError::new(format!("avg over non-number `{a}`")))?;
+                }
+                atom(Atomic::Double(total / atoms.len() as f64))
+            }
+            "min" | "max" => {
+                let mut atoms = self.ctx.atomize(arg(0));
+                if atoms.is_empty() {
+                    return Ok(Vec::new());
+                }
+                atoms.sort_by(|a, b| a.order_key_cmp(b));
+                let chosen = if name == "min" {
+                    atoms.into_iter().next()
+                } else {
+                    atoms.into_iter().next_back()
+                };
+                atom(chosen.expect("non-empty"))
+            }
+            "string" => atom(Atomic::Str(str0(self, 0))),
+            "number" => {
+                let n = self
+                    .ctx
+                    .atomize(arg(0))
+                    .first()
+                    .and_then(Atomic::as_number)
+                    .unwrap_or(f64::NAN);
+                atom(Atomic::Double(n))
+            }
+            "data" => Ok(self.ctx.atomize(arg(0)).into_iter().map(Item::Atom).collect()),
+            "concat" => {
+                let mut s = String::new();
+                for v in args {
+                    for a in self.ctx.atomize(v) {
+                        s.push_str(&a.as_string());
+                    }
+                }
+                atom(Atomic::Str(s))
+            }
+            "string-join" => {
+                let sep = str0(self, 1);
+                let parts: Vec<String> =
+                    self.ctx.atomize(arg(0)).iter().map(|a| a.as_string()).collect();
+                atom(Atomic::Str(parts.join(&sep)))
+            }
+            "contains" => atom(Atomic::Boolean(str0(self, 0).contains(&str0(self, 1)))),
+            "starts-with" => {
+                atom(Atomic::Boolean(str0(self, 0).starts_with(&str0(self, 1))))
+            }
+            "ends-with" => atom(Atomic::Boolean(str0(self, 0).ends_with(&str0(self, 1)))),
+            "string-length" => {
+                atom(Atomic::Integer(str0(self, 0).chars().count() as i64))
+            }
+            "normalize-space" => {
+                let s = str0(self, 0);
+                atom(Atomic::Str(s.split_whitespace().collect::<Vec<_>>().join(" ")))
+            }
+            "substring" => {
+                let s = str0(self, 0);
+                let chars: Vec<char> = s.chars().collect();
+                let start = self
+                    .ctx
+                    .atomize(arg(1))
+                    .first()
+                    .and_then(Atomic::as_number)
+                    .unwrap_or(1.0)
+                    .round() as i64;
+                let len = if args.len() > 2 {
+                    self.ctx
+                        .atomize(arg(2))
+                        .first()
+                        .and_then(Atomic::as_number)
+                        .unwrap_or(0.0)
+                        .round() as i64
+                } else {
+                    chars.len() as i64
+                };
+                let from = (start - 1).max(0) as usize;
+                let to = ((start - 1 + len).max(0) as usize).min(chars.len());
+                let out: String = chars.get(from..to.max(from)).unwrap_or(&[]).iter().collect();
+                atom(Atomic::Str(out))
+            }
+            "name" | "local-name" => {
+                let n = arg(0)
+                    .first()
+                    .and_then(|i| i.as_node())
+                    .and_then(|&n| self.ctx.name_of(n))
+                    .unwrap_or_default();
+                let n = if name == "local-name" {
+                    n.rsplit(':').next().unwrap_or("").to_string()
+                } else {
+                    n
+                };
+                atom(Atomic::Str(n))
+            }
+            "distinct-values" => {
+                let mut atoms = self.ctx.atomize(arg(0));
+                atoms.sort_by(|a, b| a.order_key_cmp(b));
+                atoms.dedup_by(|a, b| a.order_key_cmp(b) == Ordering::Equal);
+                Ok(atoms.into_iter().map(Item::Atom).collect())
+            }
+            "round" | "floor" | "ceiling" | "abs" => {
+                let Some(a) = self.ctx.atomize(arg(0)).into_iter().next() else {
+                    return Ok(Vec::new());
+                };
+                let n = a
+                    .as_number()
+                    .ok_or_else(|| XqError::new(format!("{name} of non-number `{a}`")))?;
+                let r = match name {
+                    "round" => n.round(),
+                    "floor" => n.floor(),
+                    "ceiling" => n.ceil(),
+                    _ => n.abs(),
+                };
+                if matches!(a, Atomic::Integer(_)) {
+                    atom(Atomic::Integer(r as i64))
+                } else {
+                    atom(Atomic::Double(r))
+                }
+            }
+            "not" => atom(Atomic::Boolean(!naive::ebv(arg(0)))),
+            other => Err(XqError::new(format!("unknown function `{other}()`"))),
+        }
+    }
+}
+
+/// Sort key for `order by`: empty keys sort least; descending flips.
+struct SortKey(Vec<(Option<Atomic>, bool)>);
+
+impl PartialEq for SortKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for SortKey {}
+
+impl PartialOrd for SortKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SortKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for ((a, desc), (b, _)) in self.0.iter().zip(&other.0) {
+            let ord = match (a, b) {
+                (None, None) => Ordering::Equal,
+                (None, Some(_)) => Ordering::Less,
+                (Some(_), None) => Ordering::Greater,
+                (Some(x), Some(y)) => x.order_key_cmp(y),
+            };
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_algebra::{optimize_expr, RuleSet};
+    use xqp_storage::SuccinctDoc;
+
+    const BIB: &str = "<bib>\
+        <book year=\"1994\"><title>TCP</title><author>Stevens</author><price>65</price></book>\
+        <book year=\"2000\"><title>Data</title><author>Abiteboul</author><author>Buneman</author><price>39</price></book>\
+        </bib>";
+
+    fn run(xml: &str, query: &str) -> Vec<String> {
+        run_with(xml, query, &RuleSet::all(), Strategy::Auto)
+    }
+
+    fn run_with(xml: &str, query: &str, rules: &RuleSet, strategy: Strategy) -> Vec<String> {
+        let sdoc = SuccinctDoc::parse(xml).unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let body = xqp_xquery::parse_query(query).unwrap().body;
+        let (body, _) = optimize_expr(body, rules);
+        let ev = Evaluator::new(&ctx, strategy);
+        let v = ev.eval(&body, &Scope::root()).unwrap();
+        v.iter()
+            .map(|i| match i {
+                Item::Atom(a) => a.as_string(),
+                Item::Node(n) => ctx.string_value(*n),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_flwor() {
+        let out = run(BIB, "for $b in doc()/bib/book return $b/title");
+        assert_eq!(out, ["TCP", "Data"]);
+    }
+
+    #[test]
+    fn flwor_with_where() {
+        let out = run(BIB, "for $b in doc()/bib/book where $b/price > 50 return $b/title");
+        assert_eq!(out, ["TCP"]);
+    }
+
+    #[test]
+    fn flwor_with_let_and_count() {
+        let out = run(
+            BIB,
+            "for $b in doc()/bib/book let $a := $b/author return count($a)",
+        );
+        assert_eq!(out, ["1", "2"]);
+    }
+
+    #[test]
+    fn order_by_ascending_and_descending() {
+        let out = run(
+            BIB,
+            "for $b in doc()/bib/book order by $b/price return $b/title",
+        );
+        assert_eq!(out, ["Data", "TCP"]);
+        let out = run(
+            BIB,
+            "for $b in doc()/bib/book order by $b/price descending return $b/title",
+        );
+        assert_eq!(out, ["TCP", "Data"]);
+    }
+
+    #[test]
+    fn arithmetic_and_literals() {
+        assert_eq!(run(BIB, "1 + 2 * 3"), ["7"]);
+        assert_eq!(run(BIB, "(10 - 4) div 2"), ["3"]);
+        assert_eq!(run(BIB, "7 mod 4"), ["3"]);
+        assert_eq!(run(BIB, "-5 + 2"), ["-3"]);
+    }
+
+    #[test]
+    fn comparisons_are_existential() {
+        assert_eq!(run(BIB, "doc()/bib/book/price > 50"), ["true"]);
+        assert_eq!(run(BIB, "doc()/bib/book/price > 100"), ["false"]);
+    }
+
+    #[test]
+    fn aggregates() {
+        assert_eq!(run(BIB, "sum(doc()/bib/book/price)"), ["104"]);
+        assert_eq!(run(BIB, "avg(doc()/bib/book/price)"), ["52"]);
+        assert_eq!(run(BIB, "min(doc()/bib/book/price)"), ["39"]);
+        assert_eq!(run(BIB, "max(doc()/bib/book/price)"), ["65"]);
+        assert_eq!(run(BIB, "count(doc()//author)"), ["3"]);
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(run(BIB, "concat(\"a\", \"b\", 1)"), ["ab1"]);
+        assert_eq!(run(BIB, "contains(\"hello\", \"ell\")"), ["true"]);
+        assert_eq!(run(BIB, "starts-with(\"hello\", \"he\")"), ["true"]);
+        assert_eq!(run(BIB, "string-length(\"héllo\")"), ["5"]);
+        assert_eq!(run(BIB, "substring(\"hello\", 2, 3)"), ["ell"]);
+        assert_eq!(run(BIB, "normalize-space(\"  a   b \")"), ["a b"]);
+        assert_eq!(run(BIB, "string-join((\"a\",\"b\",\"c\"), \"-\")"), ["a-b-c"]);
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(run(BIB, "round(2.5)"), ["3"]);
+        assert_eq!(run(BIB, "floor(2.9)"), ["2"]);
+        assert_eq!(run(BIB, "ceiling(2.1)"), ["3"]);
+        assert_eq!(run(BIB, "abs(1 - 5)"), ["4"]);
+    }
+
+    #[test]
+    fn distinct_values() {
+        let out = run(
+            "<r><x>b</x><x>a</x><x>b</x></r>",
+            "distinct-values(doc()/r/x)",
+        );
+        assert_eq!(out, ["a", "b"]);
+    }
+
+    #[test]
+    fn if_then_else() {
+        let out = run(
+            BIB,
+            "for $b in doc()/bib/book return if ($b/price > 50) then \"pricey\" else \"cheap\"",
+        );
+        assert_eq!(out, ["pricey", "cheap"]);
+    }
+
+    #[test]
+    fn nested_flwor_with_outer_variable() {
+        let out = run(
+            BIB,
+            "for $b in doc()/bib/book return for $a in $b/author return concat($a, \"!\")",
+        );
+        assert_eq!(out, ["Stevens!", "Abiteboul!", "Buneman!"]);
+    }
+
+    #[test]
+    fn name_functions() {
+        assert_eq!(run(BIB, "name(doc()/bib/book[1])"), ["book"]);
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let sdoc = SuccinctDoc::parse(BIB).unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let ev = Evaluator::new(&ctx, Strategy::Auto);
+        let err = ev.eval(&Expr::var("ghost"), &Scope::root()).unwrap_err();
+        assert!(err.0.contains("ghost"));
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let sdoc = SuccinctDoc::parse(BIB).unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let ev = Evaluator::new(&ctx, Strategy::Auto);
+        let e = Expr::Call { name: "frobnicate".into(), args: vec![] };
+        assert!(ev.eval(&e, &Scope::root()).is_err());
+    }
+
+    #[test]
+    fn all_strategies_and_rule_sets_agree() {
+        let queries = [
+            "for $b in doc()/bib/book return $b/title",
+            "for $b in doc()/bib/book where $b/price > 50 return $b/title",
+            "for $b in doc()/bib/book let $a := $b/author return count($a)",
+            "count(doc()//author)",
+        ];
+        for q in &queries {
+            let reference = run_with(BIB, q, &RuleSet::none(), Strategy::Naive);
+            for rules in [RuleSet::all(), RuleSet::none(), RuleSet::all_except(5)] {
+                for strat in [
+                    Strategy::Auto,
+                    Strategy::NoK,
+                    Strategy::TwigStack,
+                    Strategy::BinaryJoin,
+                    Strategy::Naive,
+                ] {
+                    assert_eq!(
+                        run_with(BIB, q, &rules, strat),
+                        reference,
+                        "query `{q}` rules {rules:?} strategy {strat:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tpm_bind_executes_fig1_style_query() {
+        // Force R5 and check the fused plan produces the right bindings.
+        let q = "for $b in doc()/bib/book let $t := $b/title let $a := $b/author \
+                 return count($a)";
+        let fused = run_with(BIB, q, &RuleSet::all(), Strategy::NoK);
+        let plain = run_with(BIB, q, &RuleSet::none(), Strategy::Naive);
+        assert_eq!(fused, plain);
+        assert_eq!(fused, ["1", "2"]);
+    }
+
+    #[test]
+    fn r9_where_pushdown_preserves_semantics() {
+        let q = "for $b in doc()/bib/book let $t := $b/title \
+                 where $b/price > 50 and $b/@year = 1994 return $t";
+        let reference = run_with(BIB, q, &RuleSet::none(), Strategy::Naive);
+        assert_eq!(reference, ["TCP"]);
+        for rules in [RuleSet::all(), RuleSet::all_except(9), RuleSet::all_except(5)] {
+            for strat in [Strategy::NoK, Strategy::TwigStack, Strategy::Auto] {
+                assert_eq!(
+                    run_with(BIB, q, &rules, strat),
+                    reference,
+                    "rules {rules:?} strategy {strat:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn let_over_empty_match_survives_in_tpm_bind() {
+        let xml = "<r><p><q>1</q></p><p/></r>";
+        let q = "for $p in doc()/r/p let $q := $p/q return count($q)";
+        let fused = run_with(xml, q, &RuleSet::all(), Strategy::NoK);
+        assert_eq!(fused, ["1", "0"]);
+        assert_eq!(fused, run_with(xml, q, &RuleSet::none(), Strategy::Naive));
+    }
+}

@@ -1,0 +1,41 @@
+//! # xqp-exec — physical operators and the query executor
+//!
+//! The physical layer beneath the logical algebra (§4 of the paper). One
+//! logical operator maps to several physical access methods with different
+//! costs; this crate implements them all so the planner — and the
+//! experiments — can compare them:
+//!
+//! * [`nok`] — the **NoK navigational pattern matcher**: pure next-of-kin
+//!   patterns are evaluated in a *single pre-order scan* of the succinct
+//!   structure, with no structural joins (§4.2); general patterns are
+//!   partitioned into NoK subpatterns reconnected by structural joins (the
+//!   hybrid approach, rewrite R3).
+//! * [`structural`] — binary **stack-tree structural joins** over interval
+//!   (region-encoded) tag streams (Al-Khalifa et al.), the join-based
+//!   baseline, with join-order selection by the cost model (R4).
+//! * [`twig`] — **PathStack / TwigStack** holistic twig joins (Bruno et
+//!   al.), the strongest join-based baseline.
+//! * [`naive`] — classic node-at-a-time navigation over all XPath axes: the
+//!   "mature navigational engine" comparator and the semantic reference the
+//!   property tests check every other method against. Its worst case is the
+//!   exponential blow-up of experiment E4 ([4] in the paper).
+//! * [`streaming`] — the NoK matcher running over a live SAX event stream,
+//!   exploiting that pre-order storage coincides with arrival order.
+//! * [`construct`] — the γ operator: SchemaTree + bindings → output tree.
+//! * [`eval`] — the expression/FLWOR evaluator over `Env`, gluing it all
+//!   together; [`engine::Executor`] is the crate's front door.
+
+pub mod construct;
+pub mod context;
+pub mod engine;
+pub mod eval;
+pub mod naive;
+pub mod nok;
+pub mod planner;
+pub mod streaming;
+pub mod structural;
+pub mod twig;
+
+pub use context::{ExecContext, ExecCounters, NodeRef, Val, XqError};
+pub use engine::Executor;
+pub use planner::Strategy;

@@ -1,0 +1,608 @@
+//! Naive navigational path evaluation.
+//!
+//! Node-at-a-time interpretation of the full path AST — every axis, every
+//! predicate form. This is three things at once:
+//!
+//! 1. the **semantic reference**: every other access method is checked
+//!    against it in the soundness tests (E10);
+//! 2. the **comparator** standing in for a mature navigational engine (§5's
+//!    related work; the commercial system of [6]'s experiments);
+//! 3. the **fallback** for paths outside the pattern-graph fragment
+//!    (upward/sideways axes, disjunctive or positional predicates).
+//!
+//! Its pipelined evaluation exhibits the worst-case exponential behaviour of
+//! Gottlob et al. [4] that experiment E4 reproduces: predicates are
+//! re-evaluated per context node with no sharing.
+
+use crate::context::{ExecContext, NodeRef, Val, XqError};
+use xqp_algebra::value::effective_boolean;
+use xqp_algebra::Item;
+use xqp_storage::SNodeId;
+use xqp_xml::Atomic;
+use xqp_xpath::{Axis, CmpOp, NodeTest, PathExpr, PredOperand, Predicate};
+
+/// Resolves `$var` references inside path predicates; returns `None` for
+/// unbound names (which evaluation reports as an error).
+pub type VarLookup<'a> = &'a dyn Fn(&str) -> Option<Val>;
+
+/// Evaluate a path with no variable scope (bare XPath).
+pub fn eval_path(
+    ctx: &ExecContext<'_>,
+    context: &[NodeRef],
+    path: &PathExpr,
+) -> Result<Vec<NodeRef>, XqError> {
+    eval_path_with_vars(ctx, context, path, &|_| None)
+}
+
+/// Evaluate a path against a context sequence. Absolute paths ignore the
+/// context and start at the document root. The result is in document order
+/// without duplicates. `vars` resolves `$var` predicate operands.
+pub fn eval_path_with_vars(
+    ctx: &ExecContext<'_>,
+    context: &[NodeRef],
+    path: &PathExpr,
+    vars: VarLookup<'_>,
+) -> Result<Vec<NodeRef>, XqError> {
+    let mut current: Vec<Ctx> = if path.absolute {
+        vec![Ctx::DocRoot]
+    } else {
+        context.iter().map(|&n| Ctx::Node(n)).collect()
+    };
+    for step in &path.steps {
+        let mut next: Vec<NodeRef> = Vec::new();
+        let mut keep_doc_root = false;
+        for c in &current {
+            // The virtual document node survives `self`/`descendant-or-self`
+            // node() steps (so `//x` can match the root element).
+            if *c == Ctx::DocRoot
+                && step.test == NodeTest::AnyNode
+                && matches!(step.axis, Axis::SelfAxis | Axis::DescendantOrSelf)
+                && step.predicates.is_empty()
+            {
+                keep_doc_root = true;
+            }
+            let mut candidates = axis_candidates(ctx, *c, step.axis, &step.test);
+            for pred in &step.predicates {
+                candidates = filter_predicate(ctx, candidates, pred, vars)?;
+            }
+            next.extend(candidates);
+        }
+        dedup_doc_order(&mut next);
+        current = next.into_iter().map(Ctx::Node).collect();
+        if keep_doc_root {
+            current.insert(0, Ctx::DocRoot);
+        }
+    }
+    let mut out: Vec<NodeRef> = current
+        .into_iter()
+        .filter_map(|c| match c {
+            Ctx::Node(n) => Some(n),
+            // `/` alone (or a trailing node() self step): the root element
+            // stands in for the document node.
+            Ctx::DocRoot => ctx.sdoc.root().map(NodeRef::Stored),
+        })
+        .collect();
+    dedup_doc_order(&mut out);
+    Ok(out)
+}
+
+/// Sort into document order and drop duplicates.
+pub fn dedup_doc_order(nodes: &mut Vec<NodeRef>) {
+    nodes.sort_unstable();
+    nodes.dedup();
+}
+
+/// A context position: a real node or the virtual document root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctx {
+    DocRoot,
+    Node(NodeRef),
+}
+
+/// Nodes reached from `c` along `axis`, filtered by `test`, in axis order
+/// (reverse axes yield nearest-first, as XPath positions require).
+fn axis_candidates(ctx: &ExecContext<'_>, c: Ctx, axis: Axis, test: &NodeTest) -> Vec<NodeRef> {
+    let mut out = Vec::new();
+    match c {
+        Ctx::DocRoot => axis_from_doc_root(ctx, axis, test, &mut out),
+        Ctx::Node(n) => axis_from_node(ctx, n, axis, test, &mut out),
+    }
+    out
+}
+
+fn axis_from_doc_root(
+    ctx: &ExecContext<'_>,
+    axis: Axis,
+    test: &NodeTest,
+    out: &mut Vec<NodeRef>,
+) {
+    let Some(root) = ctx.sdoc.root() else { return };
+    match axis {
+        Axis::Child => {
+            ctx.visit(1);
+            push_if(ctx, NodeRef::Stored(root), test, out, Principal::Element);
+        }
+        Axis::Descendant => {
+            // All stored nodes except attributes.
+            for n in (0..ctx.sdoc.node_count() as u32).map(SNodeId) {
+                ctx.visit(1);
+                if !ctx.sdoc.is_attribute(n) {
+                    push_if(ctx, NodeRef::Stored(n), test, out, Principal::Element);
+                }
+            }
+        }
+        Axis::DescendantOrSelf => {
+            // The document node itself never matches a name test; descend.
+            axis_from_doc_root(ctx, Axis::Descendant, test, out);
+        }
+        Axis::SelfAxis if *test == NodeTest::AnyNode => {
+            // Virtual root as self: keep nothing representable; the `/` case
+            // is handled by eval_path's final mapping.
+        }
+        _ => {}
+    }
+}
+
+fn axis_from_node(
+    ctx: &ExecContext<'_>,
+    n: NodeRef,
+    axis: Axis,
+    test: &NodeTest,
+    out: &mut Vec<NodeRef>,
+) {
+    match axis {
+        Axis::SelfAxis => push_if(ctx, n, test, out, Principal::Element),
+        Axis::Child => {
+            for c in children_of(ctx, n) {
+                ctx.visit(1);
+                push_if(ctx, c, test, out, Principal::Element);
+            }
+        }
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            if axis == Axis::DescendantOrSelf {
+                push_if(ctx, n, test, out, Principal::Element);
+            }
+            descend(ctx, n, test, out);
+        }
+        Axis::Attribute => {
+            for a in attributes_of(ctx, n) {
+                ctx.visit(1);
+                push_if(ctx, a, test, out, Principal::Attribute);
+            }
+        }
+        Axis::Parent => {
+            if let Some(p) = parent_of(ctx, n) {
+                ctx.visit(1);
+                push_if(ctx, p, test, out, Principal::Element);
+            }
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            if axis == Axis::AncestorOrSelf {
+                push_if(ctx, n, test, out, Principal::Element);
+            }
+            let mut cur = parent_of(ctx, n);
+            while let Some(p) = cur {
+                ctx.visit(1);
+                push_if(ctx, p, test, out, Principal::Element);
+                cur = parent_of(ctx, p);
+            }
+        }
+        Axis::FollowingSibling => {
+            let mut cur = next_sibling_of(ctx, n);
+            while let Some(s) = cur {
+                ctx.visit(1);
+                push_if(ctx, s, test, out, Principal::Element);
+                cur = next_sibling_of(ctx, s);
+            }
+        }
+        Axis::PrecedingSibling => {
+            // Nearest-first (reverse document order), per axis semantics.
+            let mut cur = prev_sibling_of(ctx, n);
+            while let Some(s) = cur {
+                ctx.visit(1);
+                push_if(ctx, s, test, out, Principal::Element);
+                cur = prev_sibling_of(ctx, s);
+            }
+        }
+    }
+}
+
+fn descend(ctx: &ExecContext<'_>, n: NodeRef, test: &NodeTest, out: &mut Vec<NodeRef>) {
+    for c in children_of(ctx, n) {
+        ctx.visit(1);
+        push_if(ctx, c, test, out, Principal::Element);
+        descend(ctx, c, test, out);
+    }
+}
+
+/// Which node kind a name test selects on this axis.
+#[derive(Clone, Copy, PartialEq)]
+enum Principal {
+    Element,
+    Attribute,
+}
+
+fn push_if(
+    ctx: &ExecContext<'_>,
+    n: NodeRef,
+    test: &NodeTest,
+    out: &mut Vec<NodeRef>,
+    principal: Principal,
+) {
+    let ok = match test {
+        NodeTest::AnyNode => true,
+        NodeTest::Text => is_text(ctx, n),
+        NodeTest::Name(t) => match principal {
+            Principal::Element => {
+                is_element(ctx, n) && name_matches(ctx, n, t)
+            }
+            Principal::Attribute => is_attribute(ctx, n) && name_matches(ctx, n, t),
+        },
+    };
+    if ok {
+        out.push(n);
+    }
+}
+
+// ---- raw navigation over both arenas ------------------------------------------
+
+pub(crate) fn children_of(ctx: &ExecContext<'_>, n: NodeRef) -> Vec<NodeRef> {
+    match n {
+        NodeRef::Stored(s) => {
+            if !ctx.sdoc.is_element(s) {
+                return Vec::new();
+            }
+            ctx.sdoc
+                .children(s)
+                .filter(|&c| !ctx.sdoc.is_attribute(c))
+                .map(NodeRef::Stored)
+                .collect()
+        }
+        NodeRef::Built(b) => {
+            ctx.with_built(|d| d.children(b).map(NodeRef::Built).collect())
+        }
+    }
+}
+
+pub(crate) fn attributes_of(ctx: &ExecContext<'_>, n: NodeRef) -> Vec<NodeRef> {
+    match n {
+        NodeRef::Stored(s) => {
+            if !ctx.sdoc.is_element(s) {
+                return Vec::new();
+            }
+            ctx.sdoc.attributes(s).map(NodeRef::Stored).collect()
+        }
+        NodeRef::Built(b) => {
+            ctx.with_built(|d| d.attributes(b).iter().copied().map(NodeRef::Built).collect())
+        }
+    }
+}
+
+pub(crate) fn parent_of(ctx: &ExecContext<'_>, n: NodeRef) -> Option<NodeRef> {
+    match n {
+        NodeRef::Stored(s) => ctx.sdoc.parent(s).map(NodeRef::Stored),
+        NodeRef::Built(b) => ctx.with_built(|d| {
+            d.node(b).parent.filter(|&p| p != d.root()).map(NodeRef::Built)
+        }),
+    }
+}
+
+fn next_sibling_of(ctx: &ExecContext<'_>, n: NodeRef) -> Option<NodeRef> {
+    match n {
+        NodeRef::Stored(s) => ctx.sdoc.next_sibling(s).map(NodeRef::Stored),
+        NodeRef::Built(b) => ctx.with_built(|d| d.node(b).next_sibling.map(NodeRef::Built)),
+    }
+}
+
+fn prev_sibling_of(ctx: &ExecContext<'_>, n: NodeRef) -> Option<NodeRef> {
+    match n {
+        NodeRef::Stored(s) => {
+            // The succinct structure has no prev-sibling primitive; go via
+            // the parent's child list (attributes skipped).
+            let p = ctx.sdoc.parent(s)?;
+            let mut prev = None;
+            for c in ctx.sdoc.children(p) {
+                if c == s {
+                    return prev.map(NodeRef::Stored);
+                }
+                if !ctx.sdoc.is_attribute(c) {
+                    prev = Some(c);
+                }
+            }
+            None
+        }
+        NodeRef::Built(b) => ctx.with_built(|d| d.node(b).prev_sibling.map(NodeRef::Built)),
+    }
+}
+
+fn is_element(ctx: &ExecContext<'_>, n: NodeRef) -> bool {
+    ctx.is_element(n)
+}
+
+fn is_text(ctx: &ExecContext<'_>, n: NodeRef) -> bool {
+    match n {
+        NodeRef::Stored(s) => ctx.sdoc.is_text(s),
+        NodeRef::Built(b) => ctx.with_built(|d| d.is_text(b)),
+    }
+}
+
+fn is_attribute(ctx: &ExecContext<'_>, n: NodeRef) -> bool {
+    match n {
+        NodeRef::Stored(s) => ctx.sdoc.is_attribute(s),
+        NodeRef::Built(b) => ctx.with_built(|d| d.is_attribute(b)),
+    }
+}
+
+fn name_matches(ctx: &ExecContext<'_>, n: NodeRef, test: &str) -> bool {
+    test == "*" || ctx.name_of(n).as_deref() == Some(test)
+}
+
+// ---- predicates ---------------------------------------------------------------
+
+/// Filter a candidate list through one predicate; positions are 1-based
+/// within the list (axis order).
+fn filter_predicate(
+    ctx: &ExecContext<'_>,
+    candidates: Vec<NodeRef>,
+    pred: &Predicate,
+    vars: VarLookup<'_>,
+) -> Result<Vec<NodeRef>, XqError> {
+    let size = candidates.len();
+    let mut out = Vec::with_capacity(size);
+    for (i, n) in candidates.into_iter().enumerate() {
+        if eval_predicate(ctx, n, pred, i + 1, size, vars)? {
+            out.push(n);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate one predicate on one node.
+pub fn eval_predicate(
+    ctx: &ExecContext<'_>,
+    node: NodeRef,
+    pred: &Predicate,
+    pos: usize,
+    size: usize,
+    vars: VarLookup<'_>,
+) -> Result<bool, XqError> {
+    match pred {
+        Predicate::Exists(path) => {
+            Ok(!eval_path_with_vars(ctx, &[node], path, vars)?.is_empty())
+        }
+        Predicate::Position(-1) => Ok(pos == size),
+        Predicate::Position(p) => Ok(*p >= 1 && pos == *p as usize),
+        Predicate::And(a, b) => Ok(eval_predicate(ctx, node, a, pos, size, vars)?
+            && eval_predicate(ctx, node, b, pos, size, vars)?),
+        Predicate::Or(a, b) => Ok(eval_predicate(ctx, node, a, pos, size, vars)?
+            || eval_predicate(ctx, node, b, pos, size, vars)?),
+        Predicate::Not(a) => Ok(!eval_predicate(ctx, node, a, pos, size, vars)?),
+        Predicate::Compare { lhs, op, rhs } => {
+            let l = operand_atoms(ctx, node, lhs, vars)?;
+            let r = operand_atoms(ctx, node, rhs, vars)?;
+            Ok(general_compare(&l, *op, &r))
+        }
+    }
+}
+
+fn operand_atoms(
+    ctx: &ExecContext<'_>,
+    node: NodeRef,
+    op: &PredOperand,
+    vars: VarLookup<'_>,
+) -> Result<Vec<Atomic>, XqError> {
+    match op {
+        PredOperand::Literal(a) => Ok(vec![a.clone()]),
+        PredOperand::Path(p) => {
+            let nodes = eval_path_with_vars(ctx, &[node], p, vars)?;
+            Ok(nodes.into_iter().map(|n| ctx.typed_value(n)).collect())
+        }
+        PredOperand::Var { name, path } => {
+            let val = vars(name)
+                .ok_or_else(|| XqError::new(format!("unbound variable ${name} in predicate")))?;
+            if path.steps.is_empty() {
+                return Ok(ctx.atomize(&val));
+            }
+            let roots: Vec<NodeRef> =
+                val.iter().filter_map(|i| i.as_node().copied()).collect();
+            let nodes = eval_path_with_vars(ctx, &roots, path, vars)?;
+            Ok(nodes.into_iter().map(|n| ctx.typed_value(n)).collect())
+        }
+    }
+}
+
+/// XQuery general comparison: true iff some pair of atoms satisfies the
+/// operator.
+pub fn general_compare(left: &[Atomic], op: CmpOp, right: &[Atomic]) -> bool {
+    left.iter().any(|l| {
+        right
+            .iter()
+            .any(|r| l.compare(r).is_some_and(|ord| op.eval(ord)))
+    })
+}
+
+/// Effective boolean value of a node/atom sequence.
+pub fn ebv(v: &crate::context::Val) -> bool {
+    effective_boolean(v)
+}
+
+/// Convenience: wrap node ids as items (used by callers and tests).
+pub fn to_items(nodes: Vec<NodeRef>) -> crate::context::Val {
+    nodes.into_iter().map(Item::Node).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_storage::SuccinctDoc;
+    use xqp_xpath::parse_path;
+
+    const BIB: &str = "<bib>\
+        <book year=\"1994\"><title>TCP</title><author>Stevens</author><price>65</price></book>\
+        <book year=\"2000\"><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author><price>39</price></book>\
+        <article><title>X</title></article>\
+        </bib>";
+
+    fn run(doc: &SuccinctDoc, path: &str) -> Vec<String> {
+        let ctx = ExecContext::new(doc);
+        let p = parse_path(path).unwrap();
+        eval_path(&ctx, &[], &p)
+            .unwrap()
+            .into_iter()
+            .map(|n| ctx.string_value(n))
+            .collect()
+    }
+
+    fn names(doc: &SuccinctDoc, path: &str) -> Vec<String> {
+        let ctx = ExecContext::new(doc);
+        let p = parse_path(path).unwrap();
+        eval_path(&ctx, &[], &p)
+            .unwrap()
+            .into_iter()
+            .map(|n| ctx.name_of(n).unwrap_or_else(|| "#text".into()))
+            .collect()
+    }
+
+    fn bib() -> SuccinctDoc {
+        SuccinctDoc::parse(BIB).unwrap()
+    }
+
+    #[test]
+    fn simple_child_paths() {
+        let d = bib();
+        assert_eq!(run(&d, "/bib/book/title"), ["TCP", "Data on the Web"]);
+        assert_eq!(run(&d, "/bib/article/title"), ["X"]);
+        assert_eq!(run(&d, "/nope"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn descendant_paths() {
+        let d = bib();
+        assert_eq!(run(&d, "//title").len(), 3);
+        assert_eq!(run(&d, "//author").len(), 3);
+        assert_eq!(run(&d, "/bib//price"), ["65", "39"]);
+    }
+
+    #[test]
+    fn wildcard_and_node_tests() {
+        let d = bib();
+        assert_eq!(names(&d, "/bib/*"), ["book", "book", "article"]);
+        assert_eq!(run(&d, "/bib/book/title/text()"), ["TCP", "Data on the Web"]);
+        // node() on child axis: elements + texts, not attributes.
+        assert_eq!(names(&d, "/bib/book/node()").len(), 7);
+    }
+
+    #[test]
+    fn attribute_axis() {
+        let d = bib();
+        assert_eq!(run(&d, "/bib/book/@year"), ["1994", "2000"]);
+        assert_eq!(run(&d, "/bib/book/@*"), ["1994", "2000"]);
+        assert_eq!(run(&d, "/bib/article/@year"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn existence_predicates() {
+        let d = bib();
+        // Books with >0 authors: both; articles have none.
+        assert_eq!(run(&d, "/bib/book[author]/title").len(), 2);
+        assert_eq!(run(&d, "/bib/*[author]/title").len(), 2);
+        assert_eq!(run(&d, "/bib/book[editor]").len(), 0);
+        assert_eq!(run(&d, "/bib/book[@year]").len(), 2);
+    }
+
+    #[test]
+    fn value_predicates() {
+        let d = bib();
+        assert_eq!(run(&d, "/bib/book[price > 50]/title"), ["TCP"]);
+        assert_eq!(run(&d, "/bib/book[price < 50]/title"), ["Data on the Web"]);
+        assert_eq!(run(&d, "/bib/book[@year = 1994]/title"), ["TCP"]);
+        assert_eq!(run(&d, "/bib/book[@year = \"1994\"]/title"), ["TCP"]);
+        assert_eq!(run(&d, "/bib/book[author = \"Buneman\"]/@year"), ["2000"]);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let d = bib();
+        assert_eq!(run(&d, "/bib/book[1]/title"), ["TCP"]);
+        assert_eq!(run(&d, "/bib/book[2]/title"), ["Data on the Web"]);
+        assert_eq!(run(&d, "/bib/book[last()]/title"), ["Data on the Web"]);
+        assert_eq!(run(&d, "/bib/book[3]"), Vec::<String>::new());
+        assert_eq!(run(&d, "/bib/book/author[2]"), ["Buneman"]);
+    }
+
+    #[test]
+    fn boolean_predicates() {
+        let d = bib();
+        assert_eq!(
+            run(&d, "/bib/book[price > 50 or @year = 2000]/title").len(),
+            2
+        );
+        assert_eq!(run(&d, "/bib/book[price > 50 and @year = 2000]").len(), 0);
+        assert_eq!(run(&d, "/bib/book[not(price > 50)]/title"), ["Data on the Web"]);
+    }
+
+    #[test]
+    fn parent_and_ancestor_axes() {
+        let d = bib();
+        assert_eq!(names(&d, "/bib/book/title/.."), ["book", "book"]);
+        assert_eq!(names(&d, "//author/ancestor::bib"), ["bib"]);
+        assert_eq!(names(&d, "//author/ancestor-or-self::*"), ["bib", "book", "author", "book", "author", "author"]);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let d = bib();
+        assert_eq!(names(&d, "/bib/book[1]/following-sibling::*"), ["book", "article"]);
+        assert_eq!(names(&d, "/bib/article/preceding-sibling::*"), ["book", "book"]);
+        assert_eq!(run(&d, "/bib/book/title/following-sibling::price"), ["65", "39"]);
+        // Nearest-first positions on reverse axes:
+        assert_eq!(names(&d, "/bib/article/preceding-sibling::*[1]/@year"), ["year"]);
+        assert_eq!(run(&d, "/bib/article/preceding-sibling::*[1]/@year"), ["2000"]);
+    }
+
+    #[test]
+    fn dedup_across_contexts() {
+        let d = SuccinctDoc::parse("<r><a><x/></a><a><x/></a></r>").unwrap();
+        // //a//x and //x same nodes, no duplicates
+        assert_eq!(run(&d, "//a/ancestor::r").len(), 1);
+        assert_eq!(run(&d, "//x").len(), 2);
+    }
+
+    #[test]
+    fn nested_path_predicates() {
+        let d = bib();
+        assert_eq!(
+            run(&d, "/bib[book/author = \"Stevens\"]/article/title"),
+            ["X"]
+        );
+        assert_eq!(run(&d, "/bib/book[title = author]").len(), 0); // path-path compare
+    }
+
+    #[test]
+    fn general_compare_existential() {
+        // {3,5} > {4}: 5>4 true.
+        let l = [Atomic::Integer(3), Atomic::Integer(5)];
+        let r = [Atomic::Integer(4)];
+        assert!(general_compare(&l, CmpOp::Gt, &r));
+        assert!(general_compare(&l, CmpOp::Lt, &r));
+        assert!(!general_compare(&[], CmpOp::Eq, &r));
+    }
+
+    #[test]
+    fn counters_track_visits() {
+        let d = bib();
+        let ctx = ExecContext::new(&d);
+        let p = parse_path("//title").unwrap();
+        eval_path(&ctx, &[], &p).unwrap();
+        assert!(ctx.counters().nodes_visited as usize >= d.node_count());
+    }
+
+    #[test]
+    fn self_and_dotdot() {
+        let d = bib();
+        assert_eq!(names(&d, "/bib/book/."), ["book", "book"]);
+        assert_eq!(names(&d, "/bib/book/../article"), ["article"]);
+        assert_eq!(run(&d, "/bib/book/self::book/@year"), ["1994", "2000"]);
+        assert_eq!(run(&d, "/bib/book/self::article").len(), 0);
+    }
+}

@@ -1,0 +1,810 @@
+//! The NoK tree-pattern matcher — §4.2 of the paper.
+//!
+//! A *next-of-kin* pattern uses only local relations (parent-child,
+//! attribute), so it is matched **in a single pre-order scan** of the
+//! succinct structure with no structural joins. General patterns are first
+//! partitioned at their ancestor–descendant arcs ([`NokPartition`], rewrite
+//! R3); this matcher still needs only **one pass**:
+//!
+//! * every non-root partition's root is a *floating* vertex, tried at every
+//!   element during the scan;
+//! * a vertex with a cut descendant arc checks "did the target partition's
+//!   confirmation list grow while my subtree was open?" — an O(1)
+//!   stack-snapshot test that plays the role of a structural semi-join
+//!   (pops are post-order, so every confirmation added between push and pop
+//!   is a descendant);
+//! * `optional` vertices (generalized tree patterns, let-bindings) never
+//!   block satisfaction.
+//!
+//! The scan yields, per pattern vertex, the sorted list of document nodes
+//! that root a valid match of that vertex's sub-pattern ([`TpmResult`]).
+//! [`eval_single_output`] then filters the output vertex's list by the
+//! root-to-output ancestor chain; [`matches_between`] supports per-binding
+//! enumeration for the FLWOR→TPM operator.
+
+use crate::context::ExecContext;
+use xqp_storage::{SKind, SNodeId};
+use xqp_xpath::{NokPartition, PatternGraph, PRel, VertexKind};
+
+/// Per-vertex confirmed sub-pattern matches, each list in document order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpmResult {
+    /// `confirmed[v]` = nodes rooting a valid match of the sub-pattern at
+    /// vertex `v` (cross-partition descendant constraints included).
+    pub confirmed: Vec<Vec<SNodeId>>,
+}
+
+impl TpmResult {
+    /// Matches of one vertex.
+    pub fn of(&self, v: usize) -> &[SNodeId] {
+        &self.confirmed[v]
+    }
+}
+
+/// Does `node` locally satisfy vertex `v` (kind, label, value constraints)?
+fn local_match(ctx: &ExecContext<'_>, g: &PatternGraph, v: usize, node: SNodeId) -> bool {
+    let vert = &g.vertices[v];
+    let kind_ok = match vert.kind {
+        VertexKind::Element => ctx.sdoc.kind(node) == SKind::Element,
+        VertexKind::Attribute => ctx.sdoc.kind(node) == SKind::Attribute,
+        VertexKind::Text => ctx.sdoc.kind(node) == SKind::Text,
+        VertexKind::Root => return false, // the root matches the virtual doc only
+    };
+    if !kind_ok {
+        return false;
+    }
+    if vert.kind != VertexKind::Text && !vert.label_matches(ctx.sdoc.name(node)) {
+        return false;
+    }
+    if !vert.constraints.is_empty() {
+        let value = ctx.sdoc.typed_value(node);
+        if !vert.constraints.iter().all(|c| c.matches(&value)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Static matcher tables derived from the pattern once per evaluation.
+struct Tables {
+    /// Child-arc children per vertex.
+    kids: Vec<Vec<usize>>,
+    /// Mandatory (non-optional) child-arc children per vertex.
+    mandatory: Vec<Vec<usize>>,
+    /// Descendant-arc targets (partition roots) per vertex, mandatory only.
+    desc_targets: Vec<Vec<usize>>,
+    /// All floating roots (non-root partition roots).
+    floating: Vec<usize>,
+}
+
+impl Tables {
+    fn build(g: &PatternGraph) -> Tables {
+        let n = g.vertices.len();
+        let mut kids = vec![Vec::new(); n];
+        let mut mandatory = vec![Vec::new(); n];
+        let mut desc_targets = vec![Vec::new(); n];
+        for arc in &g.arcs {
+            match arc.rel {
+                PRel::Child => {
+                    kids[arc.from].push(arc.to);
+                    if !g.vertices[arc.to].optional {
+                        mandatory[arc.from].push(arc.to);
+                    }
+                }
+                PRel::Descendant => {
+                    if !g.vertices[arc.to].optional {
+                        desc_targets[arc.from].push(arc.to);
+                    }
+                }
+            }
+        }
+        let parts = NokPartition::partition(g);
+        let floating = parts.patterns.iter().skip(1).map(|p| p.root).collect();
+        Tables { kids, mandatory, desc_targets, floating }
+    }
+}
+
+/// A pattern compiled for repeated matching: shape tables are built once
+/// and scratch buffers are pooled, so per-context evaluation (e.g. once per
+/// FLWOR binding) costs no setup allocations.
+pub struct PreparedPattern<'g> {
+    g: &'g PatternGraph,
+    t: Tables,
+}
+
+impl<'g> PreparedPattern<'g> {
+    /// Build the matcher tables for `g`.
+    pub fn new(g: &'g PatternGraph) -> Self {
+        PreparedPattern { g, t: Tables::build(g) }
+    }
+
+    /// The underlying pattern.
+    pub fn pattern(&self) -> &'g PatternGraph {
+        self.g
+    }
+
+    /// Run the single-scan matcher over the subtree of `context` (`None` =
+    /// the whole document, the pattern root matching the virtual document
+    /// node). Returns per-vertex confirmed match lists.
+    pub fn match_pattern(&self, ctx: &ExecContext<'_>, context: Option<SNodeId>) -> TpmResult {
+        let g = self.g;
+        let n = g.vertices.len();
+        let mut confirmed: Vec<Vec<SNodeId>> = vec![Vec::new(); n];
+        if g.unsatisfiable || ctx.sdoc.is_empty() {
+            return TpmResult { confirmed };
+        }
+        let tables = &self.t;
+        let mut scan = Scan {
+            ctx,
+            g,
+            t: tables,
+            confirmed: &mut confirmed,
+            bool_pool: Vec::new(),
+            usize_pool: Vec::new(),
+        };
+
+        // The virtual frame for the pattern root.
+        let top_candidates = root_candidates(tables, g.root());
+        let mut sat_root: Vec<bool> = vec![false; n];
+        let snapshots: Vec<usize> = tables.desc_targets[g.root()]
+            .iter()
+            .map(|&tgt| scan.confirmed[tgt].len())
+            .collect();
+        // Walk the context's children by parenthesis position: the first
+        // child of rank r at open position p is (r+1, p+1); siblings follow
+        // the matching close.
+        let bp = ctx.sdoc.bp();
+        let (mut child_id, mut child_pos, stop) = match context {
+            Some(c) => {
+                let p = ctx.sdoc.pos(c);
+                (SNodeId(c.0 + 1), p + 1, bp.find_close(p))
+            }
+            None => (SNodeId(0), 0, bp.len()),
+        };
+        while child_pos < stop && bp.is_open(child_pos) {
+            scan.visit(child_id, child_pos, &top_candidates, &mut sat_root);
+            let close = bp.find_close(child_pos);
+            child_id = SNodeId(child_id.0 + ((close - child_pos + 1) / 2) as u32);
+            child_pos = close + 1;
+        }
+        // Root satisfaction: mandatory child arcs + descendant arcs.
+        let root_ok = tables.mandatory[g.root()].iter().all(|&c| sat_root[c])
+            && tables.desc_targets[g.root()]
+                .iter()
+                .zip(&snapshots)
+                .all(|(&tgt, &snap)| scan.confirmed[tgt].len() > snap);
+        if root_ok {
+            // The root "match" is the context itself (the root element
+            // stands in for the virtual document node).
+            if let Some(c) = context {
+                confirmed[g.root()].push(c);
+            } else if let Some(r) = ctx.sdoc.root() {
+                confirmed[g.root()].push(r);
+            }
+        } else {
+            confirmed[g.root()].clear();
+        }
+        for list in confirmed.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        TpmResult { confirmed }
+    }
+
+    /// Evaluate a single-output pattern against one context.
+    pub fn eval_single_output(
+        &self,
+        ctx: &ExecContext<'_>,
+        context: Option<SNodeId>,
+    ) -> Vec<SNodeId> {
+        let outputs = self.g.outputs();
+        assert_eq!(outputs.len(), 1, "eval_single_output needs exactly one output vertex");
+        let result = self.match_pattern(ctx, context);
+        filter_by_chain(ctx, self.g, &result, outputs[0], context)
+    }
+}
+
+/// One-shot convenience wrapper over [`PreparedPattern::match_pattern`].
+pub fn match_pattern(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    context: Option<SNodeId>,
+) -> TpmResult {
+    PreparedPattern::new(g).match_pattern(ctx, context)
+}
+
+fn root_candidates(t: &Tables, root: usize) -> Vec<usize> {
+    let mut c = t.kids[root].clone();
+    for &f in &t.floating {
+        if !c.contains(&f) {
+            c.push(f);
+        }
+    }
+    c
+}
+
+struct Scan<'a, 'b> {
+    ctx: &'a ExecContext<'b>,
+    g: &'a PatternGraph,
+    t: &'a Tables,
+    confirmed: &'a mut Vec<Vec<SNodeId>>,
+    /// Scratch pools: recursion frames borrow buffers instead of allocating.
+    bool_pool: Vec<Vec<bool>>,
+    usize_pool: Vec<Vec<usize>>,
+}
+
+impl Scan<'_, '_> {
+    fn take_bools(&mut self) -> Vec<bool> {
+        let mut b = self.bool_pool.pop().unwrap_or_default();
+        b.clear();
+        b.resize(self.g.vertices.len(), false);
+        b
+    }
+
+    fn take_usizes(&mut self) -> Vec<usize> {
+        let mut b = self.usize_pool.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    /// Visit the node at open parenthesis `pos` with the given candidate
+    /// vertices; sets `parent_sat[v]` for every vertex whose sub-pattern the
+    /// node satisfies.
+    fn visit(
+        &mut self,
+        node: SNodeId,
+        pos: usize,
+        candidates: &[usize],
+        parent_sat: &mut [bool],
+    ) {
+        self.ctx.visit(1);
+        let mut locally = self.take_usizes();
+        locally.extend(
+            candidates.iter().copied().filter(|&v| local_match(self.ctx, self.g, v, node)),
+        );
+
+        if locally.is_empty() && self.t.floating.is_empty() {
+            // Nothing can match here or below: skip the whole subtree.
+            self.usize_pool.push(locally);
+            return;
+        }
+
+        // Candidate vertices for the children of `node`.
+        let mut child_candidates = self.take_usizes();
+        for &v in &locally {
+            child_candidates.extend_from_slice(&self.t.kids[v]);
+        }
+        for &f in &self.t.floating {
+            if !child_candidates.contains(&f) {
+                child_candidates.push(f);
+            }
+        }
+
+        // Snapshot descendant-target confirmation counts (push time),
+        // flattened in `locally` × `desc_targets` order.
+        let mut snapshots = self.take_usizes();
+        for &v in &locally {
+            for &tgt in &self.t.desc_targets[v] {
+                snapshots.push(self.confirmed[tgt].len());
+            }
+        }
+
+        // Recurse by parenthesis position — pruned entirely when no child
+        // candidates exist.
+        let mut child_sat = self.take_bools();
+        if !child_candidates.is_empty() {
+            let bp = self.ctx.sdoc.bp();
+            let mut child_pos = pos + 1;
+            let mut child_id = SNodeId(node.0 + 1);
+            while bp.is_open(child_pos) {
+                self.visit(child_id, child_pos, &child_candidates, &mut child_sat);
+                let close = self.ctx.sdoc.bp().find_close(child_pos);
+                child_id = SNodeId(child_id.0 + ((close - child_pos + 1) / 2) as u32);
+                child_pos = close + 1;
+            }
+        }
+
+        // Pop: decide satisfaction for every locally matched vertex first,
+        // then record — otherwise a node confirming one vertex could count
+        // as its own descendant for another vertex in the same pop.
+        let mut satisfied = self.take_usizes();
+        let mut snap_i = 0;
+        for &v in &locally {
+            let kids_ok = self.t.mandatory[v].iter().all(|&c| child_sat[c]);
+            let mut desc_ok = true;
+            for &tgt in &self.t.desc_targets[v] {
+                desc_ok &= self.confirmed[tgt].len() > snapshots[snap_i];
+                snap_i += 1;
+            }
+            if kids_ok && desc_ok {
+                satisfied.push(v);
+            }
+        }
+        for &v in &satisfied {
+            self.confirmed[v].push(node);
+            parent_sat[v] = true;
+        }
+
+        self.usize_pool.push(locally);
+        self.usize_pool.push(child_candidates);
+        self.usize_pool.push(snapshots);
+        self.usize_pool.push(satisfied);
+        self.bool_pool.push(child_sat);
+    }
+}
+
+/// Evaluate a single-output pattern: scan, then filter the output vertex's
+/// matches by the root-to-output ancestor chain.
+pub fn eval_single_output(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    context: Option<SNodeId>,
+) -> Vec<SNodeId> {
+    let outputs = g.outputs();
+    assert_eq!(outputs.len(), 1, "eval_single_output needs exactly one output vertex");
+    let result = match_pattern(ctx, g, context);
+    filter_by_chain(ctx, g, &result, outputs[0], context)
+}
+
+/// Keep only the `target` matches that lie on a valid root-to-target chain.
+pub fn filter_by_chain(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    result: &TpmResult,
+    target: usize,
+    context: Option<SNodeId>,
+) -> Vec<SNodeId> {
+    // Collect the vertex chain root → target.
+    let mut chain = vec![target];
+    let mut cur = target;
+    while let Some(arc) = g.incoming(cur) {
+        chain.push(arc.from);
+        cur = arc.from;
+    }
+    chain.reverse(); // root first
+    if chain[0] != g.root() {
+        // Disconnected target (cannot happen for grafted patterns).
+        return result.of(target).to_vec();
+    }
+    if result.of(g.root()).is_empty() {
+        return Vec::new();
+    }
+
+    // valid sets flow down the chain.
+    use std::collections::HashSet;
+    let mut valid: HashSet<SNodeId> = match context {
+        Some(c) => [c].into_iter().collect(),
+        None => HashSet::new(), // virtual doc: checked specially below
+    };
+    let mut at_doc_root = context.is_none();
+    for win in chain.windows(2) {
+        let (from, to) = (win[0], win[1]);
+        let rel = g
+            .incoming(to)
+            .expect("chain vertices have incoming arcs")
+            .rel;
+        let mut next: HashSet<SNodeId> = HashSet::new();
+        for &n in result.of(to) {
+            let ok = if at_doc_root {
+                match rel {
+                    // Child of the virtual document node = the root element.
+                    PRel::Child => ctx.sdoc.parent(n).is_none(),
+                    PRel::Descendant => true,
+                }
+            } else {
+                match rel {
+                    PRel::Child => {
+                        ctx.sdoc.parent(n).is_some_and(|p| valid.contains(&p))
+                    }
+                    PRel::Descendant => {
+                        // Walk ancestors; depth is small in practice.
+                        let mut anc = ctx.sdoc.parent(n);
+                        let mut hit = false;
+                        while let Some(a) = anc {
+                            if valid.contains(&a) {
+                                hit = true;
+                                break;
+                            }
+                            anc = ctx.sdoc.parent(a);
+                        }
+                        hit
+                    }
+                }
+            };
+            if ok {
+                next.insert(n);
+            }
+        }
+        let _ = from;
+        valid = next;
+        at_doc_root = false;
+        if valid.is_empty() {
+            return Vec::new();
+        }
+    }
+    let mut out: Vec<SNodeId> = valid.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Arrange a document-ordered node list into the paper's **NestedList**
+/// output sort (§3.2): "two nodes are immediately nested in the output
+/// nested list iff they are in (immediate) ancestor-descendant relationship
+/// in the input tree". A node with nested matches becomes the group
+/// `List([Leaf(n), entry…])`; an isolated match stays a `Leaf`. Because
+/// every entry is again a leaf or a group, inner lists are unambiguously
+/// groups (only the outermost container is a plain sequence).
+pub fn nest_by_structure(
+    ctx: &ExecContext<'_>,
+    nodes: &[SNodeId],
+) -> xqp_algebra::Nested<SNodeId> {
+    use xqp_algebra::{Item, Nested};
+
+    struct Frame {
+        node: SNodeId,
+        /// Exclusive end of the node's rank range.
+        end: u32,
+        children: Vec<Nested<SNodeId>>,
+    }
+
+    fn close(frame: Frame) -> Nested<SNodeId> {
+        if frame.children.is_empty() {
+            Nested::Leaf(Item::Node(frame.node))
+        } else {
+            let mut items = Vec::with_capacity(frame.children.len() + 1);
+            items.push(Nested::Leaf(Item::Node(frame.node)));
+            items.extend(frame.children);
+            Nested::List(items)
+        }
+    }
+
+    let mut top: Vec<Nested<SNodeId>> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    for &n in nodes {
+        // Pop frames that do not contain n.
+        while let Some(f) = stack.last() {
+            if n.0 >= f.end {
+                let done = close(stack.pop().expect("checked non-empty"));
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(done),
+                    None => top.push(done),
+                }
+            } else {
+                break;
+            }
+        }
+        let end = n.0 + ctx.sdoc.subtree_size(n) as u32;
+        stack.push(Frame { node: n, end, children: Vec::new() });
+    }
+    while let Some(f) = stack.pop() {
+        let done = close(f);
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(done),
+            None => top.push(done),
+        }
+    }
+    Nested::List(top)
+}
+
+/// τ with the paper's NestedList result: the single output vertex's matches
+/// arranged by their structural relationships.
+pub fn eval_single_output_nested(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    context: Option<SNodeId>,
+) -> xqp_algebra::Nested<SNodeId> {
+    let flat = eval_single_output(ctx, g, context);
+    nest_by_structure(ctx, &flat)
+}
+
+/// Enumerate the nodes matching `to_vertex` that are reachable from
+/// `anchor` (a concrete match of `from_vertex`; `None` = the virtual doc
+/// node) through the pattern's arc chain, consistent with the confirmed
+/// sets. Used by the FLWOR→TPM binder.
+pub fn matches_between(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    result: &TpmResult,
+    from_vertex: usize,
+    to_vertex: usize,
+    anchor: Option<SNodeId>,
+) -> Vec<SNodeId> {
+    // Chain from to_vertex up to from_vertex.
+    let mut chain = vec![to_vertex];
+    let mut cur = to_vertex;
+    while cur != from_vertex {
+        let Some(arc) = g.incoming(cur) else { return Vec::new() };
+        cur = arc.from;
+        if cur != from_vertex {
+            chain.push(cur);
+        }
+    }
+    chain.reverse(); // nearest-to-from first … to_vertex last
+
+    let mut current: Vec<Option<SNodeId>> = vec![anchor];
+    for &vertex in &chain {
+        let rel = g.incoming(vertex).expect("chain vertex has incoming arc").rel;
+        let matches = result.of(vertex);
+        let mut next: Vec<Option<SNodeId>> = Vec::new();
+        for src in &current {
+            match (src, rel) {
+                (None, PRel::Child) => {
+                    // Children of the virtual doc node: the root element.
+                    next.extend(
+                        matches
+                            .iter()
+                            .copied()
+                            .filter(|&m| ctx.sdoc.parent(m).is_none())
+                            .map(Some),
+                    );
+                }
+                (None, PRel::Descendant) => {
+                    next.extend(matches.iter().copied().map(Some));
+                }
+                (Some(a), PRel::Child) => {
+                    // Restrict to the subtree's rank range first (sorted
+                    // lists, binary search), then check direct parenthood.
+                    let lo = a.0 + 1;
+                    let hi = a.0 + ctx.sdoc.subtree_size(*a) as u32;
+                    let start = matches.partition_point(|m| m.0 < lo);
+                    let end = matches.partition_point(|m| m.0 < hi);
+                    next.extend(
+                        matches[start..end]
+                            .iter()
+                            .copied()
+                            .filter(|&m| ctx.sdoc.parent(m) == Some(*a))
+                            .map(Some),
+                    );
+                }
+                (Some(a), PRel::Descendant) => {
+                    // Confirmed lists are sorted by pre-order rank, and a
+                    // subtree is a contiguous rank range: binary search.
+                    let lo = a.0 + 1;
+                    let hi = a.0 + ctx.sdoc.subtree_size(*a) as u32;
+                    let start = matches.partition_point(|m| m.0 < lo);
+                    let end = matches.partition_point(|m| m.0 < hi);
+                    next.extend(matches[start..end].iter().copied().map(Some));
+                }
+            }
+        }
+        let mut flat: Vec<SNodeId> = next.into_iter().flatten().collect();
+        flat.sort_unstable();
+        flat.dedup();
+        current = flat.into_iter().map(Some).collect();
+        if current.is_empty() {
+            return Vec::new();
+        }
+    }
+    current.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use crate::context::NodeRef;
+    use xqp_storage::SuccinctDoc;
+    use xqp_xpath::{parse_path, PatternGraph};
+
+    const BIB: &str = "<bib>\
+        <book year=\"1994\"><title>TCP</title><author>Stevens</author><price>65</price></book>\
+        <book year=\"2000\"><title>Data</title><author>Abiteboul</author><author>Buneman</author><price>39</price></book>\
+        <article><title>X</title><keyword>xml</keyword></article>\
+        </bib>";
+
+    fn nok_eval(doc: &SuccinctDoc, path: &str) -> Vec<SNodeId> {
+        let ctx = ExecContext::new(doc);
+        let g = PatternGraph::from_path(&parse_path(path).unwrap()).unwrap();
+        eval_single_output(&ctx, &g, None)
+    }
+
+    fn naive_eval(doc: &SuccinctDoc, path: &str) -> Vec<SNodeId> {
+        let ctx = ExecContext::new(doc);
+        let p = parse_path(path).unwrap();
+        naive::eval_path(&ctx, &[], &p)
+            .unwrap()
+            .into_iter()
+            .map(|n| match n {
+                NodeRef::Stored(s) => s,
+                NodeRef::Built(_) => unreachable!("no construction here"),
+            })
+            .collect()
+    }
+
+    fn assert_same(doc: &SuccinctDoc, path: &str) {
+        assert_eq!(nok_eval(doc, path), naive_eval(doc, path), "path `{path}`");
+    }
+
+    #[test]
+    fn pure_nok_queries_match_naive() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        for p in [
+            "/bib/book/title",
+            "/bib/book[author]/title",
+            "/bib/book[author][price]/title",
+            "/bib/book/@year",
+            "/bib/book[@year = 1994]/title",
+            "/bib/book[price > 50]/title",
+            "/bib/article/keyword",
+            "/bib/*[title]/title",
+            "/nothing/here",
+            "/bib/book[editor]",
+        ] {
+            assert_same(&d, p);
+        }
+    }
+
+    #[test]
+    fn descendant_patterns_match_naive() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        for p in [
+            "//title",
+            "//book/title",
+            "/bib//author",
+            "//book[author = \"Buneman\"]/title",
+            "//*[keyword]/title",
+            "//book//text()",
+            "/bib/book//author",
+        ] {
+            assert_same(&d, p);
+        }
+    }
+
+    #[test]
+    fn deeper_nesting_with_multiple_partitions() {
+        let d = SuccinctDoc::parse(
+            "<r><a><b><c><d>1</d></c></b></a><a><x><c><d>2</d></c></x></a><c><d>3</d></c></r>",
+        )
+        .unwrap();
+        for p in ["//a//c/d", "//a//c//d", "/r//c/d", "//a/b//d", "/r/a//d"] {
+            assert_same(&d, p);
+        }
+    }
+
+    #[test]
+    fn recursive_same_tag_nesting() {
+        // The classic hard case: a//a with nested a's.
+        let d = SuccinctDoc::parse("<a><a><a><b/></a></a><b/></a>").unwrap();
+        for p in ["//a//a", "//a[b]", "//a//b", "//a/a[b]"] {
+            assert_same(&d, p);
+        }
+    }
+
+    #[test]
+    fn text_and_wildcard_vertices() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        for p in ["//title/text()", "/bib/*/title", "//*[@year]/price"] {
+            assert_same(&d, p);
+        }
+    }
+
+    #[test]
+    fn context_rooted_matching() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let ctx = ExecContext::new(&d);
+        let bib = d.root().unwrap();
+        let book2 = d.child_elements(bib).nth(1).unwrap();
+        // Relative pattern `author` under the second book.
+        let mut g = PatternGraph::empty();
+        let last = g
+            .graft_path(g.root(), &parse_path("author").unwrap())
+            .unwrap()
+            .unwrap();
+        g.mark_output(last);
+        let m = eval_single_output(&ctx, &g, Some(book2));
+        assert_eq!(m.len(), 2);
+        for n in m {
+            assert_eq!(d.name(n), "author");
+            assert!(d.is_ancestor(book2, n));
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_pattern_is_empty() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let ctx = ExecContext::new(&d);
+        let g = PatternGraph::from_path(&parse_path("/bib[1 = 2]").unwrap()).unwrap();
+        assert!(eval_single_output(&ctx, &g, None).is_empty());
+    }
+
+    #[test]
+    fn optional_vertices_do_not_block() {
+        let d = SuccinctDoc::parse("<r><p><q>1</q></p><p/></r>").unwrap();
+        let ctx = ExecContext::new(&d);
+        // /r/p with an optional q child: both p's match.
+        let mut g = PatternGraph::from_path(&parse_path("/r/p[q]").unwrap()).unwrap();
+        let q = g.vertices.iter().position(|v| v.label == "q").unwrap();
+        // Mandatory: only the first p matches.
+        assert_eq!(eval_single_output(&ctx, &g, None).len(), 1);
+        g.vertices[q].optional = true;
+        let m = eval_single_output(&ctx, &g, None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn matches_between_child_and_descendant() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let ctx = ExecContext::new(&d);
+        let mut g = PatternGraph::from_path(&parse_path("/bib/book").unwrap()).unwrap();
+        let book_v = g.outputs()[0];
+        let author_v = g
+            .graft_path(book_v, &parse_path("author").unwrap())
+            .unwrap()
+            .unwrap();
+        g.mark_output(author_v);
+        let result = match_pattern(&ctx, &g, None);
+        // books from the virtual doc root:
+        let books = matches_between(&ctx, &g, &result, g.root(), book_v, None);
+        assert_eq!(books.len(), 2);
+        // authors per book:
+        let a1 = matches_between(&ctx, &g, &result, book_v, author_v, Some(books[0]));
+        let a2 = matches_between(&ctx, &g, &result, book_v, author_v, Some(books[1]));
+        assert_eq!(a1.len(), 1);
+        assert_eq!(a2.len(), 2);
+    }
+
+    #[test]
+    fn single_scan_visits_each_node_once_for_nok() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let ctx = ExecContext::new(&d);
+        let g = PatternGraph::from_path(&parse_path("/bib/book[author]/title").unwrap()).unwrap();
+        ctx.reset_counters();
+        let _ = match_pattern(&ctx, &g, None);
+        // At most one visit per stored node (pruning may skip subtrees).
+        assert!(ctx.counters().nodes_visited as usize <= d.node_count());
+    }
+
+    #[test]
+    fn floating_scan_still_one_pass() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let ctx = ExecContext::new(&d);
+        let g = PatternGraph::from_path(&parse_path("//book//author").unwrap()).unwrap();
+        ctx.reset_counters();
+        let _ = match_pattern(&ctx, &g, None);
+        assert!(ctx.counters().nodes_visited as usize <= d.node_count());
+    }
+
+    #[test]
+    fn value_constraints_in_scan() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        for p in [
+            "//book[price > 50]/title",
+            "//book[price >= 39][price <= 65]/title",
+            "//book[@year != 1994]/author",
+        ] {
+            assert_same(&d, p);
+        }
+    }
+
+    #[test]
+    fn nested_output_reflects_structure() {
+        let d = SuccinctDoc::parse("<a><a><a><b/></a></a><a/></a>").unwrap();
+        let ctx = ExecContext::new(&d);
+        let g = PatternGraph::from_path(&parse_path("//a").unwrap()).unwrap();
+        let nested = eval_single_output_nested(&ctx, &g, None);
+        // Flattening gives back the flat result in document order.
+        let flat = eval_single_output(&ctx, &g, None);
+        let flattened: Vec<SNodeId> = nested
+            .flatten()
+            .into_iter()
+            .filter_map(|i| match i {
+                xqp_algebra::Item::Node(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flattened, flat);
+        // Nesting depth: a/a/a chain → ≥3 levels of list nesting.
+        assert!(nested.depth() >= 3, "depth {}", nested.depth());
+    }
+
+    #[test]
+    fn nested_output_of_disjoint_matches_is_flat() {
+        let d = SuccinctDoc::parse("<r><x/><x/><x/></r>").unwrap();
+        let ctx = ExecContext::new(&d);
+        let g = PatternGraph::from_path(&parse_path("//x").unwrap()).unwrap();
+        let nested = eval_single_output_nested(&ctx, &g, None);
+        assert_eq!(nested.depth(), 1); // one list of three leaves
+        assert_eq!(nested.leaf_count(), 3);
+    }
+}
+

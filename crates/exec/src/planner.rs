@@ -1,0 +1,147 @@
+//! Physical access-method selection for tree patterns.
+//!
+//! One logical τ, four physical operators (§2: "for each logical operator,
+//! many physical operators that implement the same functionalities could be
+//! defined … a cost model is needed as a basis of choosing the optimal
+//! physical query plan"):
+//!
+//! | strategy | operator | module |
+//! |----------|----------|--------|
+//! | `NoK` | single-scan navigational matcher (hybrid with R3 partitioning) | [`crate::nok`] |
+//! | `TwigStack` | holistic twig join over tag streams | [`crate::twig`] |
+//! | `BinaryJoin` | per-arc stack-tree structural joins | [`crate::structural`] |
+//! | `Naive` | node-at-a-time navigation of the surface path | [`crate::naive`] |
+//! | `Auto` | cost-model choice among the above | here |
+
+use crate::context::ExecContext;
+use crate::{nok, structural, twig};
+use xqp_algebra::CostModel;
+use xqp_storage::SNodeId;
+use xqp_xpath::PatternGraph;
+
+/// Which physical operator evaluates tree patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Cost-based choice.
+    #[default]
+    Auto,
+    /// NoK navigational matching (the paper's approach).
+    NoK,
+    /// Holistic twig join.
+    TwigStack,
+    /// Binary structural-join pipeline.
+    BinaryJoin,
+    /// Surface-path navigation (set on the Executor, resolved before
+    /// pattern evaluation — patterns reaching this module fall back to NoK).
+    Naive,
+}
+
+impl Strategy {
+    /// Parse from a CLI-ish name.
+    pub fn from_name(name: &str) -> Option<Strategy> {
+        match name.to_ascii_lowercase().as_str() {
+            "auto" => Some(Strategy::Auto),
+            "nok" => Some(Strategy::NoK),
+            "twigstack" | "twig" => Some(Strategy::TwigStack),
+            "binaryjoin" | "binary" | "join" => Some(Strategy::BinaryJoin),
+            "naive" => Some(Strategy::Naive),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Auto => "auto",
+            Strategy::NoK => "nok",
+            Strategy::TwigStack => "twigstack",
+            Strategy::BinaryJoin => "binaryjoin",
+            Strategy::Naive => "naive",
+        }
+    }
+}
+
+/// Cost-model choice for one pattern (the `Auto` policy): a pure NoK
+/// pattern takes the single scan; otherwise the cheaper of the NoK hybrid
+/// scan and the holistic twig join by estimated work.
+pub fn choose(ctx: &ExecContext<'_>, g: &PatternGraph) -> Strategy {
+    if g.is_nok_only() {
+        return Strategy::NoK;
+    }
+    let stats = ctx.stats();
+    let cm = CostModel::new(&stats);
+    let scan = cm.nok_scan_cost(g);
+    let twig = cm.twig_cost(g);
+    // The holistic join touches only the pattern's tag streams; when those
+    // are much smaller than the document, stream-merging wins.
+    if twig < scan * 0.5 {
+        Strategy::TwigStack
+    } else {
+        Strategy::NoK
+    }
+}
+
+/// Evaluate a single-output pattern with the given strategy.
+pub fn eval_pattern(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    context: Option<SNodeId>,
+    strategy: Strategy,
+) -> Vec<SNodeId> {
+    match strategy {
+        Strategy::Auto => {
+            let s = choose(ctx, g);
+            eval_pattern(ctx, g, context, s)
+        }
+        Strategy::NoK | Strategy::Naive => nok::eval_single_output(ctx, g, context),
+        Strategy::TwigStack => twig::eval_pattern_holistic(ctx, g, context),
+        Strategy::BinaryJoin => structural::eval_pattern_binary(ctx, g, context),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_storage::SuccinctDoc;
+    use xqp_xpath::parse_path;
+
+    const DOC: &str = "<r><a><b>1</b></a><a><b>2</b><c/></a><d/></r>";
+
+    #[test]
+    fn strategy_names_roundtrip() {
+        for s in [
+            Strategy::Auto,
+            Strategy::NoK,
+            Strategy::TwigStack,
+            Strategy::BinaryJoin,
+            Strategy::Naive,
+        ] {
+            assert_eq!(Strategy::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Strategy::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn auto_prefers_nok_for_pure_nok_patterns() {
+        let d = SuccinctDoc::parse(DOC).unwrap();
+        let ctx = ExecContext::new(&d);
+        let g = PatternGraph::from_path(&parse_path("/r/a[b]/c").unwrap()).unwrap();
+        assert_eq!(choose(&ctx, &g), Strategy::NoK);
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let d = SuccinctDoc::parse(DOC).unwrap();
+        let ctx = ExecContext::new(&d);
+        for path in ["/r/a/b", "//a[c]/b", "//b", "/r//c"] {
+            let g = PatternGraph::from_path(&parse_path(path).unwrap()).unwrap();
+            let nok = eval_pattern(&ctx, &g, None, Strategy::NoK);
+            let twig = eval_pattern(&ctx, &g, None, Strategy::TwigStack);
+            let joins = eval_pattern(&ctx, &g, None, Strategy::BinaryJoin);
+            let auto = eval_pattern(&ctx, &g, None, Strategy::Auto);
+            assert_eq!(nok, twig, "{path}");
+            assert_eq!(nok, joins, "{path}");
+            assert_eq!(nok, auto, "{path}");
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Streaming NoK evaluation — §4.2's observation made executable.
+//!
+//! "Pre-order of the tree nodes coincides with the streaming XML element
+//! arrival order. So the path query evaluation algorithm can also be used in
+//! the streaming context." This module runs the same stack discipline as
+//! [`crate::nok`] directly over parse [`Event`]s — no document is ever
+//! materialized; node identities are the pre-order ranks the succinct store
+//! would assign, so results are bit-compatible with stored evaluation.
+//!
+//! Chain validity (a floating match needs proper ancestors) cannot use
+//! random access here; instead each confirmed chain-vertex match records the
+//! ranks of its candidate chain parents from the live stack, and a final
+//! resolution pass intersects them with the parents' own confirmations.
+
+use std::collections::{HashMap, HashSet};
+use xqp_storage::SNodeId;
+use xqp_xml::{Atomic, Event};
+use xqp_xpath::{NokPartition, PatternGraph, PRel, VertexKind};
+
+/// Match a single-output pattern over an event stream; returns the
+/// pre-order ranks (succinct-store node ids) of the output matches.
+pub fn match_stream<'e>(
+    events: impl IntoIterator<Item = &'e Event>,
+    g: &PatternGraph,
+) -> Vec<SNodeId> {
+    let outputs = g.outputs();
+    assert_eq!(outputs.len(), 1, "streaming evaluation needs one output vertex");
+    if g.unsatisfiable {
+        return Vec::new();
+    }
+    let mut m = Matcher::new(g);
+    for ev in events {
+        m.push_event(ev);
+    }
+    m.finish()
+}
+
+/// The root-to-output vertex chain, root first.
+fn chain_of(g: &PatternGraph, output: usize) -> Vec<usize> {
+    let mut chain = vec![output];
+    let mut cur = output;
+    while let Some(arc) = g.incoming(cur) {
+        chain.push(arc.from);
+        cur = arc.from;
+    }
+    chain.reverse();
+    chain
+}
+
+struct Tables {
+    kids: Vec<Vec<usize>>,
+    mandatory: Vec<Vec<usize>>,
+    desc_targets: Vec<Vec<usize>>,
+    floating: Vec<usize>,
+    /// position in the output chain per vertex (None if off-chain).
+    chain_pos: Vec<Option<usize>>,
+    chain: Vec<usize>,
+}
+
+struct Frame {
+    rank: u32,
+    /// Vertices this node locally matches.
+    locally: Vec<usize>,
+    /// Snapshots of desc-target confirmation counts per locally matched
+    /// vertex (aligned with `locally`).
+    snapshots: Vec<Vec<usize>>,
+    /// Pattern children satisfied by this node's children.
+    child_sat: HashSet<usize>,
+    /// Accumulated descendant text, kept only when some locally matched
+    /// element vertex has value constraints.
+    text: Option<String>,
+    /// Candidate vertices for this node's children (cached).
+    child_candidates: Vec<usize>,
+}
+
+struct Matcher<'g> {
+    g: &'g PatternGraph,
+    t: Tables,
+    stack: Vec<Frame>,
+    /// confirmed[v]: ranks (ascending by pop close ordering… resolved later).
+    confirmed: Vec<Vec<u32>>,
+    /// For chain vertices: rank → candidate chain-parent ranks.
+    chain_parents: HashMap<(usize, u32), Vec<u32>>,
+    next_rank: u32,
+    root_child_sat: HashSet<usize>,
+    root_snapshots: Vec<usize>,
+    output: usize,
+}
+
+impl<'g> Matcher<'g> {
+    fn new(g: &'g PatternGraph) -> Self {
+        let n = g.vertices.len();
+        let mut kids = vec![Vec::new(); n];
+        let mut mandatory = vec![Vec::new(); n];
+        let mut desc_targets = vec![Vec::new(); n];
+        for arc in &g.arcs {
+            match arc.rel {
+                PRel::Child => {
+                    kids[arc.from].push(arc.to);
+                    if !g.vertices[arc.to].optional {
+                        mandatory[arc.from].push(arc.to);
+                    }
+                }
+                PRel::Descendant => {
+                    if !g.vertices[arc.to].optional {
+                        desc_targets[arc.from].push(arc.to);
+                    }
+                }
+            }
+        }
+        let parts = NokPartition::partition(g);
+        let floating: Vec<usize> = parts.patterns.iter().skip(1).map(|p| p.root).collect();
+        let output = g.outputs()[0];
+        let chain = chain_of(g, output);
+        let mut chain_pos = vec![None; n];
+        for (i, &v) in chain.iter().enumerate() {
+            chain_pos[v] = Some(i);
+        }
+        let root_snapshots = vec![0; desc_targets[g.root()].len()];
+        Matcher {
+            g,
+            t: Tables { kids, mandatory, desc_targets, floating, chain_pos, chain },
+            stack: Vec::new(),
+            confirmed: vec![Vec::new(); n],
+            chain_parents: HashMap::new(),
+            next_rank: 0,
+            root_child_sat: HashSet::new(),
+            root_snapshots,
+            output,
+        }
+    }
+
+    fn local_match(&self, v: usize, kind: VertexKind, name: &str, value: Option<&str>) -> bool {
+        let vert = &self.g.vertices[v];
+        if vert.kind != kind {
+            return false;
+        }
+        if kind != VertexKind::Text && !vert.label_matches(name) {
+            return false;
+        }
+        if !vert.constraints.is_empty() {
+            match value {
+                Some(val) => {
+                    let atom = Atomic::Str(val.to_string());
+                    if !vert.constraints.iter().all(|c| c.matches(&atom)) {
+                        return false;
+                    }
+                }
+                // Element constraints are deferred to pop (subtree text).
+                None => {}
+            }
+        }
+        true
+    }
+
+    fn current_candidates(&self) -> Vec<usize> {
+        let mut c: Vec<usize> = match self.stack.last() {
+            Some(f) => f.child_candidates.clone(),
+            None => self.t.kids[self.g.root()].clone(),
+        };
+        for &f in &self.t.floating {
+            if !c.contains(&f) {
+                c.push(f);
+            }
+        }
+        c
+    }
+
+    /// Record candidate chain parents for a chain vertex matched at `rank`.
+    fn record_chain_parents(&mut self, v: usize, rank: u32) {
+        let Some(pos) = self.t.chain_pos[v] else { return };
+        if pos == 0 {
+            return; // the root
+        }
+        let parent_vertex = self.t.chain[pos - 1];
+        let rel = self.g.incoming(v).expect("chain vertex").rel;
+        let mut parents = Vec::new();
+        if parent_vertex == self.g.root() {
+            // Virtual root: child arc ⇒ must be a top-level node (empty
+            // stack below); descendant ⇒ always fine. Encode as u32::MAX.
+            let ok = match rel {
+                PRel::Child => self.stack.is_empty(),
+                PRel::Descendant => true,
+            };
+            if ok {
+                parents.push(u32::MAX);
+            }
+        } else {
+            match rel {
+                PRel::Child => {
+                    if let Some(f) = self.stack.last() {
+                        if f.locally.contains(&parent_vertex) {
+                            parents.push(f.rank);
+                        }
+                    }
+                }
+                PRel::Descendant => {
+                    for f in &self.stack {
+                        if f.locally.contains(&parent_vertex) {
+                            parents.push(f.rank);
+                        }
+                    }
+                }
+            }
+        }
+        self.chain_parents.insert((v, rank), parents);
+    }
+
+    /// A leaf-ish node (attribute or text) arrives and closes immediately.
+    fn leaf_node(&mut self, kind: VertexKind, name: &str, value: &str) {
+        let rank = self.next_rank;
+        self.next_rank += 1;
+        let candidates = self.current_candidates();
+        let mut satisfied = Vec::new();
+        for v in candidates {
+            // Leaves satisfy only childless pattern vertices.
+            if self.t.kids[v].is_empty()
+                && self.t.desc_targets[v].is_empty()
+                && self.local_match(v, kind, name, Some(value))
+            {
+                satisfied.push(v);
+            }
+        }
+        for v in satisfied {
+            // Stack still shows this leaf's ancestors: record before confirm.
+            self.record_chain_parents(v, rank);
+            self.confirmed[v].push(rank);
+            match self.stack.last_mut() {
+                Some(f) => {
+                    f.child_sat.insert(v);
+                }
+                None => {
+                    self.root_child_sat.insert(v);
+                }
+            }
+        }
+        // Text accumulates into every open frame that tracks it.
+        if kind == VertexKind::Text {
+            for f in self.stack.iter_mut() {
+                if let Some(buf) = &mut f.text {
+                    buf.push_str(value);
+                }
+            }
+        }
+    }
+
+    fn open_element(&mut self, name: &str) {
+        let rank = self.next_rank;
+        self.next_rank += 1;
+        let candidates = self.current_candidates();
+        let locally: Vec<usize> = candidates
+            .into_iter()
+            .filter(|&v| self.local_match(v, VertexKind::Element, name, None))
+            .collect();
+        let snapshots = locally
+            .iter()
+            .map(|&v| {
+                self.t.desc_targets[v].iter().map(|&tgt| self.confirmed[tgt].len()).collect()
+            })
+            .collect();
+        let needs_text =
+            locally.iter().any(|&v| !self.g.vertices[v].constraints.is_empty());
+        let mut child_candidates = Vec::new();
+        for &v in &locally {
+            child_candidates.extend_from_slice(&self.t.kids[v]);
+        }
+        // Chain parents must be recorded at open (ancestors still on stack).
+        for &v in &locally {
+            self.record_chain_parents(v, rank);
+        }
+        self.stack.push(Frame {
+            rank,
+            locally,
+            snapshots,
+            child_sat: HashSet::new(),
+            text: needs_text.then(String::new),
+            child_candidates,
+        });
+    }
+
+    fn close_element(&mut self) {
+        let frame = self.stack.pop().expect("balanced events");
+        let value = frame.text.map(Atomic::Str);
+        let mut satisfied = Vec::new();
+        for (i, &v) in frame.locally.iter().enumerate() {
+            let vert = &self.g.vertices[v];
+            if let Some(val) = &value {
+                if !vert.constraints.iter().all(|c| c.matches(val)) {
+                    continue;
+                }
+            }
+            let kids_ok = self.t.mandatory[v].iter().all(|c| frame.child_sat.contains(c));
+            let desc_ok = self.t.desc_targets[v]
+                .iter()
+                .zip(&frame.snapshots[i])
+                .all(|(&tgt, &snap)| self.confirmed[tgt].len() > snap);
+            if kids_ok && desc_ok {
+                satisfied.push(v);
+            }
+        }
+        // No upward text propagation needed: text events already accumulate
+        // into every open buffered frame at arrival time.
+        for v in satisfied {
+            self.confirmed[v].push(frame.rank);
+            match self.stack.last_mut() {
+                Some(f) => {
+                    f.child_sat.insert(v);
+                }
+                None => {
+                    self.root_child_sat.insert(v);
+                }
+            }
+        }
+    }
+
+    fn push_event(&mut self, ev: &Event) {
+        match ev {
+            Event::StartElement { name, attributes, self_closing } => {
+                self.open_element(&name.as_lexical());
+                for a in attributes {
+                    self.leaf_node(VertexKind::Attribute, &a.name.as_lexical(), &a.value);
+                }
+                if *self_closing {
+                    self.close_element();
+                }
+            }
+            Event::EndElement { .. } => self.close_element(),
+            Event::Text(t) => self.leaf_node(VertexKind::Text, "#text", t),
+            Event::Comment(_) | Event::ProcessingInstruction { .. } => {}
+        }
+    }
+
+    fn finish(self) -> Vec<SNodeId> {
+        // Root satisfaction.
+        let root = self.g.root();
+        let root_ok = self.t.mandatory[root].iter().all(|c| self.root_child_sat.contains(c))
+            && self.t.desc_targets[root]
+                .iter()
+                .zip(&self.root_snapshots)
+                .all(|(&tgt, &snap)| self.confirmed[tgt].len() > snap);
+        if !root_ok {
+            return Vec::new();
+        }
+        // Chain resolution: valid sets flow down the chain. The virtual root
+        // is encoded as rank u32::MAX.
+        let mut valid: HashSet<u32> = [u32::MAX].into_iter().collect();
+        for &v in self.t.chain.iter().skip(1) {
+            let confirmed: HashSet<u32> = self.confirmed[v].iter().copied().collect();
+            let mut next = HashSet::new();
+            for &rank in &self.confirmed[v] {
+                if let Some(parents) = self.chain_parents.get(&(v, rank)) {
+                    if parents.iter().any(|p| valid.contains(p)) && confirmed.contains(&rank) {
+                        next.insert(rank);
+                    }
+                }
+            }
+            valid = next;
+            if valid.is_empty() {
+                return Vec::new();
+            }
+        }
+        let _ = self.output;
+        let mut out: Vec<SNodeId> = valid.into_iter().map(SNodeId).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExecContext;
+    use crate::nok;
+    use xqp_storage::SuccinctDoc;
+    use xqp_xml::Parser;
+    use xqp_xpath::parse_path;
+
+    const BIB: &str = "<bib>\
+        <book year=\"1994\"><title>TCP</title><author>Stevens</author><price>65</price></book>\
+        <book year=\"2000\"><title>Data</title><author>Abiteboul</author><author>Buneman</author><price>39</price></book>\
+        <article><title>X</title><keyword>xml</keyword></article>\
+        </bib>";
+
+    fn stream_eval(xml: &str, path: &str) -> Vec<SNodeId> {
+        let events: Vec<Event> = Parser::new(xml).collect::<Result<_, _>>().unwrap();
+        let g = PatternGraph::from_path(&parse_path(path).unwrap()).unwrap();
+        match_stream(events.iter(), &g)
+    }
+
+    fn stored_eval(xml: &str, path: &str) -> Vec<SNodeId> {
+        let d = SuccinctDoc::parse(xml).unwrap();
+        let ctx = ExecContext::new(&d);
+        let g = PatternGraph::from_path(&parse_path(path).unwrap()).unwrap();
+        nok::eval_single_output(&ctx, &g, None)
+    }
+
+    fn assert_same(xml: &str, path: &str) {
+        assert_eq!(stream_eval(xml, path), stored_eval(xml, path), "path `{path}`");
+    }
+
+    #[test]
+    fn streaming_equals_stored_on_nok_queries() {
+        for p in [
+            "/bib/book/title",
+            "/bib/book[author]/title",
+            "/bib/book/@year",
+            "/bib/book[@year = 1994]/title",
+            "/bib/article/keyword",
+        ] {
+            assert_same(BIB, p);
+        }
+    }
+
+    #[test]
+    fn streaming_equals_stored_on_descendant_queries() {
+        for p in [
+            "//title",
+            "//book/title",
+            "/bib//author",
+            "//book[price > 50]/title",
+            "//*[keyword]/title",
+        ] {
+            assert_same(BIB, p);
+        }
+    }
+
+    #[test]
+    fn streaming_handles_recursion() {
+        let xml = "<a><a><a><b/></a></a><b/></a>";
+        for p in ["//a//a", "//a//b", "//a[b]", "//a/a"] {
+            assert_same(xml, p);
+        }
+    }
+
+    #[test]
+    fn element_value_constraints_use_subtree_text() {
+        let xml = "<r><x><deep>42</deep></x><x><deep>7</deep></x></r>";
+        assert_same(xml, "/r/x[deep = 42]");
+        assert_same(xml, "//x[deep > 10]/deep");
+    }
+
+    #[test]
+    fn text_vertex_matching() {
+        assert_same(BIB, "//title/text()");
+    }
+
+    #[test]
+    fn empty_results() {
+        assert_same(BIB, "/bib/nothing");
+        assert_same(BIB, "//book[editor]/title");
+    }
+
+    #[test]
+    fn ranks_are_store_compatible() {
+        // The streaming ranks must be usable as succinct-store node ids.
+        let hits = stream_eval(BIB, "//author");
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        for h in hits {
+            assert_eq!(d.name(h), "author");
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Holistic twig joins — the PathStack / TwigStack baseline family.
+//!
+//! Bruno et al. (SIGMOD'02) evaluate a whole twig against the per-tag
+//! interval streams with one synchronized pass and chained stacks, never
+//! materializing binary-join intermediates. This module implements that
+//! holistic scheme:
+//!
+//! * one **global merge by start position** over all vertex streams;
+//! * per-vertex **stacks with parent pointers** encoding all open partial
+//!   paths in linear space;
+//! * **path solutions expanded at leaf pushes** (PathStack), then
+//! * **merge-joined across leaf paths** on their shared prefix vertices to
+//!   form twig matches (TwigStack's phase 2), projecting the output vertex.
+//!
+//! The getNext skip heuristic of full TwigStack is omitted — it prunes
+//! provably-useless pushes but does not change results; the complexity
+//! story the experiments compare (holistic streams vs. per-arc binary
+//! joins vs. NoK single scan) is unaffected.
+
+use crate::context::ExecContext;
+use crate::structural::candidates;
+use std::collections::HashMap;
+use xqp_storage::{Interval, SNodeId};
+use xqp_xpath::{PatternGraph, PRel};
+
+/// One expanded root-to-leaf path solution: `(vertex, node)` pairs, root
+/// side first (the synthetic root is omitted).
+type PathSolution = Vec<(usize, SNodeId)>;
+
+/// Evaluate a single-output pattern holistically. `context` restricts the
+/// match to a subtree.
+pub fn eval_pattern_holistic(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    context: Option<SNodeId>,
+) -> Vec<SNodeId> {
+    let outputs = g.outputs();
+    assert_eq!(outputs.len(), 1, "holistic evaluation needs one output vertex");
+    let output = outputs[0];
+    if g.unsatisfiable || ctx.sdoc.is_empty() {
+        return Vec::new();
+    }
+
+    let n = g.vertices.len();
+    // Vertex streams (σs/σv applied), restricted to the context subtree.
+    let mut streams: Vec<Vec<Interval>> = (0..n).map(|v| candidates(ctx, g, v)).collect();
+    if let Some(c) = context {
+        let (cs, ce, _) = ctx.sdoc.interval(c);
+        for s in streams.iter_mut().skip(1) {
+            s.retain(|iv| cs < iv.start && iv.end < ce);
+        }
+    }
+    // Synthetic stream for the virtual root: one interval spanning it all.
+    let (root_iv, _root_level) = match context {
+        Some(c) => {
+            let (s, e, l) = ctx.sdoc.interval(c);
+            (Interval { start: s, end: e, level: l, node: c }, l)
+        }
+        None => (
+            Interval {
+                start: 0,
+                end: u32::MAX,
+                level: 0,
+                node: SNodeId(u32::MAX), // never projected
+            },
+            0,
+        ),
+    };
+    streams[g.root()] = vec![root_iv];
+
+    // Pattern shape tables.
+    let parent: Vec<Option<(usize, PRel)>> =
+        (0..n).map(|v| g.incoming(v).map(|a| (a.from, a.rel))).collect();
+    let is_leaf: Vec<bool> = (0..n).map(|v| g.children(v).next().is_none()).collect();
+    // Leaves on fully-mandatory chains constrain the match; optional-chain
+    // leaves don't (generalized patterns — not produced for this baseline,
+    // but stay sound if they appear).
+    let mandatory_leaf: Vec<usize> = (0..n)
+        .filter(|&v| is_leaf[v] && chain_is_mandatory(g, v))
+        .collect();
+
+    // Global merge by start position.
+    let mut events: Vec<(u32, usize, Interval)> = Vec::new();
+    for (v, s) in streams.iter().enumerate() {
+        for iv in s {
+            events.push((iv.start, v, *iv));
+        }
+    }
+    events.sort_by_key(|(s, _, _)| *s);
+    ctx.consume_stream(events.len() as u64);
+
+    // Stacks: (interval, index of parent-stack top at push time or usize::MAX).
+    let mut stacks: Vec<Vec<(Interval, usize)>> = vec![Vec::new(); n];
+    let mut solutions: HashMap<usize, Vec<PathSolution>> =
+        mandatory_leaf.iter().map(|&l| (l, Vec::new())).collect();
+
+    for (start, v, iv) in events {
+        // Pop closed entries everywhere (start positions only grow).
+        for s in stacks.iter_mut() {
+            while let Some((top, _)) = s.last() {
+                if top.end < start {
+                    s.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+        let ptr = match parent[v] {
+            Some((p, _)) => {
+                if stacks[p].is_empty() {
+                    continue; // no open parent: cannot participate
+                }
+                stacks[p].len() - 1
+            }
+            None => usize::MAX,
+        };
+        stacks[v].push((iv, ptr));
+        if solutions.contains_key(&v) {
+            // Expand all root-to-leaf paths ending at this push.
+            let mut acc = Vec::new();
+            expand_paths(g, &parent, &stacks, v, stacks[v].len() - 1, &mut Vec::new(), &mut acc);
+            solutions.get_mut(&v).expect("leaf key").extend(acc);
+        }
+    }
+
+    // Phase 2: merge path solutions across mandatory leaves.
+    let mut merged: Vec<HashMap<usize, SNodeId>> = vec![HashMap::new()];
+    for leaf in &mandatory_leaf {
+        let paths = &solutions[leaf];
+        let mut next: Vec<HashMap<usize, SNodeId>> = Vec::new();
+        for partial in &merged {
+            for path in paths {
+                if path
+                    .iter()
+                    .all(|(v, node)| partial.get(v).is_none_or(|have| have == node))
+                {
+                    let mut m = partial.clone();
+                    for (v, node) in path {
+                        m.insert(*v, *node);
+                    }
+                    next.push(m);
+                }
+            }
+        }
+        merged = next;
+        if merged.is_empty() {
+            return Vec::new();
+        }
+    }
+
+    let mut out: Vec<SNodeId> = merged.iter().filter_map(|m| m.get(&output).copied()).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn chain_is_mandatory(g: &PatternGraph, mut v: usize) -> bool {
+    loop {
+        if g.vertices[v].optional {
+            return false;
+        }
+        match g.incoming(v) {
+            Some(arc) => v = arc.from,
+            None => return true,
+        }
+    }
+}
+
+/// Recursively expand all ancestor combinations for the stack entry
+/// `(vertex, slot)`, respecting arc relations (levels for parent-child).
+fn expand_paths(
+    g: &PatternGraph,
+    parent: &[Option<(usize, PRel)>],
+    stacks: &[Vec<(Interval, usize)>],
+    vertex: usize,
+    slot: usize,
+    suffix: &mut Vec<(usize, SNodeId)>,
+    out: &mut Vec<PathSolution>,
+) {
+    let (iv, ptr) = stacks[vertex][slot];
+    suffix.push((vertex, iv.node));
+    match parent[vertex] {
+        None => {
+            // Synthetic root reached: record (root omitted from the path).
+            let mut sol: PathSolution =
+                suffix.iter().rev().filter(|(v, _)| *v != g.root()).copied().collect();
+            sol.shrink_to_fit();
+            out.push(sol);
+        }
+        Some((p, rel)) => {
+            for pslot in 0..=ptr {
+                let (piv, _) = stacks[p][pslot];
+                let ok = match rel {
+                    // Strict: a node is not its own ancestor.
+                    PRel::Descendant => piv.start < iv.start && iv.end < piv.end,
+                    PRel::Child => piv.level + 1 == iv.level && piv.start < iv.start && iv.end < piv.end,
+                };
+                // The synthetic root interval contains everything.
+                let ok = ok || (p == g.root() && rel == PRel::Descendant);
+                let ok = if p == g.root() && rel == PRel::Child {
+                    // Child of the virtual root: top-level element (level 1)
+                    // or, with a context node, a direct child of it.
+                    iv.level == piv.level + 1 || (piv.node == SNodeId(u32::MAX) && iv.level == 1)
+                } else {
+                    ok
+                };
+                if ok {
+                    expand_paths(g, parent, stacks, p, pslot, suffix, out);
+                }
+            }
+        }
+    }
+    suffix.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::NodeRef;
+    use crate::naive;
+    use xqp_storage::SuccinctDoc;
+    use xqp_xpath::parse_path;
+
+    const BIB: &str = "<bib>\
+        <book year=\"1994\"><title>TCP</title><author>Stevens</author><price>65</price></book>\
+        <book year=\"2000\"><title>Data</title><author>Abiteboul</author><author>Buneman</author><price>39</price></book>\
+        <article><title>X</title><keyword>xml</keyword></article>\
+        </bib>";
+
+    fn twig_eval(doc: &SuccinctDoc, path: &str) -> Vec<SNodeId> {
+        let ctx = ExecContext::new(doc);
+        let g = PatternGraph::from_path(&parse_path(path).unwrap()).unwrap();
+        eval_pattern_holistic(&ctx, &g, None)
+    }
+
+    fn naive_eval(doc: &SuccinctDoc, path: &str) -> Vec<SNodeId> {
+        let ctx = ExecContext::new(doc);
+        naive::eval_path(&ctx, &[], &parse_path(path).unwrap())
+            .unwrap()
+            .into_iter()
+            .map(|n| match n {
+                NodeRef::Stored(s) => s,
+                NodeRef::Built(_) => unreachable!(),
+            })
+            .collect()
+    }
+
+    fn assert_same(doc: &SuccinctDoc, path: &str) {
+        assert_eq!(twig_eval(doc, path), naive_eval(doc, path), "path `{path}`");
+    }
+
+    #[test]
+    fn linear_paths_match_naive() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        for p in ["//title", "//book/title", "/bib/book/title", "/bib//author", "//missing"] {
+            assert_same(&d, p);
+        }
+    }
+
+    #[test]
+    fn twigs_match_naive() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        for p in [
+            "/bib/book[author]/title",
+            "//book[@year = 1994]/title",
+            "//book[price > 50]/title",
+            "//*[keyword]/title",
+            "/bib/book[author][price]/title",
+        ] {
+            assert_same(&d, p);
+        }
+    }
+
+    #[test]
+    fn recursive_nesting() {
+        let d = SuccinctDoc::parse("<a><a><a><b/></a></a><b/></a>").unwrap();
+        for p in ["//a//a", "//a//b", "//a[b]", "//a/a/b"] {
+            assert_same(&d, p);
+        }
+    }
+
+    #[test]
+    fn deep_mixed_relations() {
+        let d = SuccinctDoc::parse(
+            "<r><a><b><c><d>1</d></c></b></a><a><x><c><d>2</d></c></x></a><c><d>3</d></c></r>",
+        )
+        .unwrap();
+        for p in ["//a//c/d", "//a//c//d", "/r//c/d", "//a/b//d"] {
+            assert_same(&d, p);
+        }
+    }
+
+    #[test]
+    fn context_restriction() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let ctx = ExecContext::new(&d);
+        let bib = d.root().unwrap();
+        let book2 = d.child_elements(bib).nth(1).unwrap();
+        let mut g = PatternGraph::empty();
+        let last = g.graft_path(g.root(), &parse_path("author").unwrap()).unwrap().unwrap();
+        g.mark_output(last);
+        let m = eval_pattern_holistic(&ctx, &g, Some(book2));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn stream_counter_ticks() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let ctx = ExecContext::new(&d);
+        let g = PatternGraph::from_path(&parse_path("//book[author]/title").unwrap()).unwrap();
+        ctx.reset_counters();
+        let _ = eval_pattern_holistic(&ctx, &g, None);
+        assert!(ctx.counters().stream_items > 0);
+        // Holistic: zero binary structural joins.
+        assert_eq!(ctx.counters().structural_joins, 0);
+    }
+}

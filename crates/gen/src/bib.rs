@@ -1,0 +1,128 @@
+//! Bibliography documents in the `bib.xml` schema of the paper's Fig. 1.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xqp_xml::Document;
+
+/// The literal four-book sample of the W3C XQuery Use Cases — the document
+/// Fig. 1's query runs against.
+pub fn bib_sample() -> Document {
+    xqp_xml::parse_document(
+        r#"<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix environment</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology and Content for Digital TV</title>
+    <editor><last>Gerbarg</last><first>Darcy</first><affiliation>CITI</affiliation></editor>
+    <publisher>Kluwer Academic Publishers</publisher>
+    <price>129.95</price>
+  </book>
+</bib>"#,
+    )
+    .expect("sample is well-formed")
+}
+
+const SURNAMES: &[&str] = &[
+    "Stevens", "Abiteboul", "Buneman", "Suciu", "Codd", "Gray", "Stonebraker", "Ullman",
+    "Widom", "Jagadish", "Naughton", "DeWitt",
+];
+
+const TITLE_WORDS: &[&str] = &[
+    "Advanced", "Foundations", "Principles", "Systems", "Databases", "Queries", "Streams",
+    "Indexing", "Storage", "Trees", "Patterns", "Optimization",
+];
+
+const PUBLISHERS: &[&str] =
+    &["Addison-Wesley", "Morgan Kaufmann", "Springer", "MIT Press", "Kluwer"];
+
+/// Generate a bibliography with `n` books (deterministic under `seed`).
+pub fn gen_bib(n: usize, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut doc = Document::new();
+    let bib = doc.append_element(doc.root(), "bib");
+    for _ in 0..n {
+        let book = doc.append_element(bib, "book");
+        doc.set_attribute(book, "year", rng.gen_range(1985..2005).to_string());
+        let title = doc.append_element(book, "title");
+        let t = format!(
+            "{} {} {}",
+            TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())],
+            TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())],
+            TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())]
+        );
+        doc.append_text(title, t);
+        for _ in 0..rng.gen_range(1..4usize) {
+            let author = doc.append_element(book, "author");
+            let last = doc.append_element(author, "last");
+            doc.append_text(last, SURNAMES[rng.gen_range(0..SURNAMES.len())]);
+            let first = doc.append_element(author, "first");
+            doc.append_text(first, "A.");
+        }
+        let publisher = doc.append_element(book, "publisher");
+        doc.append_text(publisher, PUBLISHERS[rng.gen_range(0..PUBLISHERS.len())]);
+        let price = doc.append_element(book, "price");
+        doc.append_text(price, format!("{:.2}", rng.gen_range(19.0..150.0)));
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_has_four_books() {
+        let d = bib_sample();
+        let bib = d.root_element().unwrap();
+        assert_eq!(d.child_elements(bib).count(), 4);
+        // One book has an editor instead of authors.
+        let editors = d
+            .descendants_or_self(d.root())
+            .filter(|&n| d.name(n).map(|q| q.local.as_str()) == Some("editor"))
+            .count();
+        assert_eq!(editors, 1);
+    }
+
+    #[test]
+    fn generated_bib_counts() {
+        let d = gen_bib(25, 3);
+        let bib = d.root_element().unwrap();
+        assert_eq!(d.child_elements(bib).count(), 25);
+        for book in d.child_elements(bib) {
+            assert!(d.attribute(book, "year").is_some());
+            let kids: Vec<&str> = d
+                .child_elements(book)
+                .map(|c| d.name(c).unwrap().local.as_str())
+                .collect();
+            assert!(kids.contains(&"title"));
+            assert!(kids.contains(&"author"));
+            assert!(kids.contains(&"price"));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            xqp_xml::serialize(&gen_bib(10, 9)),
+            xqp_xml::serialize(&gen_bib(10, 9))
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # xqp-gen — synthetic documents and query workloads
+//!
+//! The paper's companion experiments run on XMark auction documents and the
+//! W3C Use-Case bibliography. Neither generator ships with this repository,
+//! so this crate provides faithful stand-ins (see DESIGN.md §2):
+//!
+//! * [`xmark`] — an auction-site document generator with XMark's element
+//!   skeleton (`site / regions / people / open_auctions / closed_auctions /
+//!   categories`), realistic fan-outs, attributes, and mixed-content
+//!   descriptions; size is controlled by a scale factor and everything is
+//!   deterministic under a seed;
+//! * [`bib`] — bibliographies in the `bib.xml` schema of the paper's Fig. 1,
+//!   plus the literal four-book sample from the XQuery Use Cases;
+//! * [`synth`] — structure-extreme trees (deep chains, flat fans) and the
+//!   Gottlob-Koch-Pichler **exponential blow-up family** for experiment E4:
+//!   documents and queries for which naive pipelined navigation takes time
+//!   exponential in the query size while one TPM scan stays linear;
+//! * [`workload`] — the named query sets each experiment sweeps.
+
+pub mod bib;
+pub mod synth;
+pub mod workload;
+pub mod xmark;
+
+pub use bib::{bib_sample, gen_bib};
+pub use synth::{blowup_doc, blowup_query, deep_chain, wide_flat};
+pub use workload::{xmark_queries, QuerySpec};
+pub use xmark::{gen_xmark, XmarkConfig};

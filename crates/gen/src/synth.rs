@@ -1,0 +1,113 @@
+//! Structure-extreme synthetic trees and the E4 blow-up family.
+
+use xqp_xml::Document;
+
+/// A single chain `a/a/…/a` of the given depth, each node also carrying a
+/// `b` child — the document of the exponential blow-up family.
+pub fn blowup_doc(depth: usize) -> Document {
+    let mut doc = Document::new();
+    let mut cur = doc.append_element(doc.root(), "a");
+    let b = doc.append_element(cur, "b");
+    let _ = b;
+    for _ in 1..depth {
+        let next = doc.append_element(cur, "a");
+        doc.append_element(next, "b");
+        cur = next;
+    }
+    doc
+}
+
+/// The query family of Gottlob, Koch & Pichler [4]: nested existential
+/// predicates `//a[b and .//a[b and .//a[… [b] …]]]`.
+///
+/// Pipelined navigation re-evaluates each `.//a[…]` predicate per context
+/// node, giving Θ(dⁿ) work on [`blowup_doc`]`(d)`; a tree-pattern scan
+/// evaluates the same query in one pass.
+pub fn blowup_query(n: usize) -> String {
+    assert!(n >= 1);
+    let mut q = String::from("[b]");
+    for _ in 1..n {
+        q = format!("[b and .//a{q}]");
+    }
+    format!("//a{q}")
+}
+
+/// A chain `t0/t1/…` cycling through `tags`, `depth` nodes deep, with a
+/// text payload at the leaf.
+pub fn deep_chain(depth: usize, tags: &[&str]) -> Document {
+    assert!(!tags.is_empty());
+    let mut doc = Document::new();
+    let mut cur = doc.append_element(doc.root(), tags[0]);
+    for i in 1..depth {
+        cur = doc.append_element(cur, tags[i % tags.len()]);
+    }
+    doc.append_text(cur, "leaf");
+    doc
+}
+
+/// A flat fan: `root` with `n` children cycling through `tags`, each with a
+/// numeric payload `0..n` (usable for selectivity sweeps).
+pub fn wide_flat(n: usize, tags: &[&str]) -> Document {
+    assert!(!tags.is_empty());
+    let mut doc = Document::new();
+    let root = doc.append_element(doc.root(), "root");
+    for i in 0..n {
+        let c = doc.append_element(root, tags[i % tags.len()]);
+        doc.append_text(c, i.to_string());
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blowup_doc_shape() {
+        let d = blowup_doc(5);
+        // 5 a's + 5 b's
+        assert_eq!(d.element_count(), 10);
+        let mut depth = 0;
+        let mut cur = d.root_element();
+        while let Some(n) = cur {
+            assert_eq!(d.name(n).unwrap().local, "a");
+            depth += 1;
+            cur = d.child_elements(n).find(|&c| d.name(c).unwrap().local == "a");
+        }
+        assert_eq!(depth, 5);
+    }
+
+    #[test]
+    fn blowup_query_nesting() {
+        assert_eq!(blowup_query(1), "//a[b]");
+        assert_eq!(blowup_query(2), "//a[b and .//a[b]]");
+        let q5 = blowup_query(5);
+        assert_eq!(q5.matches(".//a").count(), 4);
+        // And it parses.
+        xqp_xpath::parse_path(&q5).unwrap();
+    }
+
+    #[test]
+    fn deep_chain_depth() {
+        let d = deep_chain(100, &["x", "y"]);
+        let leaf_depths: Vec<usize> = d
+            .descendants_or_self(d.root())
+            .filter(|&n| d.is_text(n))
+            .map(|n| d.depth(n))
+            .collect();
+        assert_eq!(leaf_depths, [101]); // 100 elements + text
+    }
+
+    #[test]
+    fn wide_flat_fanout() {
+        let d = wide_flat(50, &["a", "b"]);
+        let root = d.root_element().unwrap();
+        assert_eq!(d.child_elements(root).count(), 50);
+        assert_eq!(
+            d.child_elements(root)
+                .filter(|&c| d.name(c).unwrap().local == "a")
+                .count(),
+            25
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Named query workloads for the experiments.
+
+/// One benchmark query: an id, the path text, and what it stresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Short id used in result tables (`X1` …).
+    pub id: &'static str,
+    /// The path expression.
+    pub path: &'static str,
+    /// Why it is in the suite.
+    pub stresses: &'static str,
+}
+
+/// The six path queries of the NoK-vs-joins experiment (E5), mirroring the
+/// companion paper's mix: shallow child chains, deep descendants, twigs with
+/// existence branches, and value predicates of different selectivities.
+pub fn xmark_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            id: "X1",
+            path: "/site/regions/africa/item/name",
+            stresses: "pure NoK chain (child steps only)",
+        },
+        QuerySpec {
+            id: "X2",
+            path: "//keyword",
+            stresses: "single descendant step, large result",
+        },
+        QuerySpec {
+            id: "X3",
+            path: "/site/people/person[profile/age > 30]/name",
+            stresses: "NoK twig with a value predicate",
+        },
+        QuerySpec {
+            id: "X4",
+            path: "//open_auction[bidder/increase > 20]/reserve",
+            stresses: "descendant twig with value predicate",
+        },
+        QuerySpec {
+            id: "X5",
+            path: "/site/closed_auctions/closed_auction[price > 40]/date",
+            stresses: "selective value predicate on a child chain",
+        },
+        QuerySpec {
+            id: "X6",
+            path: "//item[mailbox/mail]//keyword",
+            stresses: "two descendant partitions (NoK + structural join)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmark::{gen_xmark, XmarkConfig};
+    use xqp_xpath::{parse_path, PatternGraph};
+
+    #[test]
+    fn all_queries_parse_and_pattern() {
+        for q in xmark_queries() {
+            let p = parse_path(q.path).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            PatternGraph::from_path(&p).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        }
+    }
+
+    #[test]
+    fn queries_have_nonempty_results_on_default_doc() {
+        use xqp_storage::SuccinctDoc;
+        let doc = gen_xmark(&XmarkConfig::scale(0.05));
+        let sdoc = SuccinctDoc::from_document(&doc);
+        let ids_with_hits: Vec<&str> = xmark_queries()
+            .iter()
+            .filter(|q| {
+                let ex = xqp_exec::Executor::new(&sdoc);
+                !ex.eval_path_str(q.path).unwrap().is_empty()
+            })
+            .map(|q| q.id)
+            .collect();
+        // Every query should find something at this scale.
+        assert_eq!(ids_with_hits.len(), xmark_queries().len(), "{ids_with_hits:?}");
+    }
+}

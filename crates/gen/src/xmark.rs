@@ -1,0 +1,376 @@
+//! XMark-style auction-site document generator.
+//!
+//! Reproduces the element skeleton and cardinality feel of the XMark
+//! benchmark's `xmlgen` without its proprietary text corpus: regions hold
+//! items with mixed-content descriptions and keyword spans, people carry
+//! profiles with ages/incomes/interests, auctions reference people and items
+//! by id. All draws come from a seeded [`StdRng`], so a `(config, seed)`
+//! pair always produces byte-identical documents.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xqp_xml::{Document, NodeId};
+
+/// Word pool for generated prose (fixed, so text statistics are stable).
+const WORDS: &[&str] = &[
+    "quartz", "marble", "copper", "violet", "amber", "willow", "harbor", "meadow", "ember",
+    "granite", "velvet", "cedar", "prairie", "lantern", "mosaic", "drift", "cobalt", "fable",
+    "garnet", "hollow", "ivory", "juniper", "keel", "lattice", "moss", "nectar", "onyx",
+    "pewter", "quill", "russet",
+];
+
+const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+const CITIES: &[&str] =
+    &["Aldebaran", "Bellatrix", "Capella", "Deneb", "Electra", "Fomalhaut", "Gemma", "Hadar"];
+
+/// Size knobs for one generated document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XmarkConfig {
+    /// Items per region (6 regions).
+    pub items_per_region: usize,
+    /// Registered people.
+    pub people: usize,
+    /// Open auctions.
+    pub open_auctions: usize,
+    /// Closed auctions.
+    pub closed_auctions: usize,
+    /// Categories.
+    pub categories: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl XmarkConfig {
+    /// Roughly XMark's scale mapping: `scale(1.0)` is a medium document
+    /// (tens of thousands of nodes); sizes grow linearly.
+    pub fn scale(f: f64) -> Self {
+        let s = |base: f64| ((base * f).round() as usize).max(1);
+        XmarkConfig {
+            items_per_region: s(120.0),
+            people: s(500.0),
+            open_auctions: s(240.0),
+            closed_auctions: s(200.0),
+            categories: s(20.0),
+            seed: 42,
+        }
+    }
+
+    /// Same sizes, different randomness.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig::scale(0.1)
+    }
+}
+
+/// Generate an auction document.
+pub fn gen_xmark(cfg: &XmarkConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut doc = Document::new();
+    let site = doc.append_element(doc.root(), "site");
+
+    // regions / <continent> / item*
+    let regions = doc.append_element(site, "regions");
+    let total_items = cfg.items_per_region * REGIONS.len();
+    let mut item_no = 0usize;
+    for &region in REGIONS {
+        let r = doc.append_element(regions, region);
+        for _ in 0..cfg.items_per_region {
+            gen_item(&mut doc, &mut rng, r, item_no, cfg.categories);
+            item_no += 1;
+        }
+    }
+
+    // categories / category*
+    let categories = doc.append_element(site, "categories");
+    for c in 0..cfg.categories {
+        let cat = doc.append_element(categories, "category");
+        doc.set_attribute(cat, "id", format!("category{c}"));
+        let name = doc.append_element(cat, "name");
+        let w = words(&mut rng, 2);
+        doc.append_text(name, w);
+        let descr = doc.append_element(cat, "description");
+        gen_text_block(&mut doc, &mut rng, descr);
+    }
+
+    // people / person*
+    let people = doc.append_element(site, "people");
+    for p in 0..cfg.people {
+        gen_person(&mut doc, &mut rng, people, p, cfg.categories);
+    }
+
+    // open_auctions / open_auction*
+    let opens = doc.append_element(site, "open_auctions");
+    for a in 0..cfg.open_auctions {
+        gen_open_auction(&mut doc, &mut rng, opens, a, cfg.people, total_items);
+    }
+
+    // closed_auctions / closed_auction*
+    let closeds = doc.append_element(site, "closed_auctions");
+    for a in 0..cfg.closed_auctions {
+        gen_closed_auction(&mut doc, &mut rng, closeds, a, cfg.people, total_items);
+    }
+
+    doc
+}
+
+fn words(rng: &mut StdRng, n: usize) -> String {
+    (0..n)
+        .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Mixed-content description: text, keyword spans, emphasis — the XMark
+/// `parlist` flavour that stresses mixed-content handling.
+fn gen_text_block(doc: &mut Document, rng: &mut StdRng, parent: NodeId) {
+    let text = doc.append_element(parent, "text");
+    let sentences = rng.gen_range(1..4);
+    for _ in 0..sentences {
+        let n = rng.gen_range(3..9);
+        doc.append_text(text, words(rng, n));
+        if rng.gen_bool(0.6) {
+            let kw = doc.append_element(text, "keyword");
+            doc.append_text(kw, words(rng, 1));
+        }
+        if rng.gen_bool(0.25) {
+            let em = doc.append_element(text, "emph");
+            doc.append_text(em, words(rng, 1));
+        }
+        let n = rng.gen_range(2..6);
+        doc.append_text(text, format!(" {}. ", words(rng, n)));
+    }
+}
+
+fn gen_item(doc: &mut Document, rng: &mut StdRng, region: NodeId, no: usize, categories: usize) {
+    let item = doc.append_element(region, "item");
+    doc.set_attribute(item, "id", format!("item{no}"));
+    let location = doc.append_element(item, "location");
+    doc.append_text(location, CITIES[rng.gen_range(0..CITIES.len())]);
+    let quantity = doc.append_element(item, "quantity");
+    doc.append_text(quantity, rng.gen_range(1..10).to_string());
+    let name = doc.append_element(item, "name");
+    doc.append_text(name, words(rng, 2));
+    let payment = doc.append_element(item, "payment");
+    doc.append_text(payment, "Cash");
+    let description = doc.append_element(item, "description");
+    gen_text_block(doc, rng, description);
+    let shipping = doc.append_element(item, "shipping");
+    doc.append_text(shipping, "Will ship internationally");
+    let n_cats = rng.gen_range(1..4usize);
+    for _ in 0..n_cats {
+        let inc = doc.append_element(item, "incategory");
+        doc.set_attribute(inc, "category", format!("category{}", rng.gen_range(0..categories)));
+    }
+    if rng.gen_bool(0.5) {
+        let mailbox = doc.append_element(item, "mailbox");
+        for _ in 0..rng.gen_range(1..3) {
+            let mail = doc.append_element(mailbox, "mail");
+            let from = doc.append_element(mail, "from");
+            doc.append_text(from, words(rng, 2));
+            let date = doc.append_element(mail, "date");
+            doc.append_text(
+                date,
+                format!("{:02}/{:02}/2003", rng.gen_range(1..13), rng.gen_range(1..29)),
+            );
+            gen_text_block(doc, rng, mail);
+        }
+    }
+}
+
+fn gen_person(doc: &mut Document, rng: &mut StdRng, people: NodeId, no: usize, categories: usize) {
+    let person = doc.append_element(people, "person");
+    doc.set_attribute(person, "id", format!("person{no}"));
+    let name = doc.append_element(person, "name");
+    doc.append_text(name, format!("{} {}", words(rng, 1), words(rng, 1)));
+    let email = doc.append_element(person, "emailaddress");
+    doc.append_text(email, format!("mailto:user{no}@example.org"));
+    if rng.gen_bool(0.7) {
+        let phone = doc.append_element(person, "phone");
+        doc.append_text(phone, format!("+1 ({}) {}", rng.gen_range(100..999), rng.gen_range(1000000..9999999)));
+    }
+    if rng.gen_bool(0.6) {
+        let address = doc.append_element(person, "address");
+        let street = doc.append_element(address, "street");
+        doc.append_text(street, format!("{} {} St", rng.gen_range(1..99), words(rng, 1)));
+        let city = doc.append_element(address, "city");
+        doc.append_text(city, CITIES[rng.gen_range(0..CITIES.len())]);
+        let country = doc.append_element(address, "country");
+        doc.append_text(country, "United States");
+    }
+    if rng.gen_bool(0.8) {
+        let profile = doc.append_element(person, "profile");
+        doc.set_attribute(profile, "income", format!("{:.2}", rng.gen_range(9876.0..99999.0)));
+        for _ in 0..rng.gen_range(0..3usize) {
+            let interest = doc.append_element(profile, "interest");
+            doc.set_attribute(
+                interest,
+                "category",
+                format!("category{}", rng.gen_range(0..categories)),
+            );
+        }
+        if rng.gen_bool(0.5) {
+            let education = doc.append_element(profile, "education");
+            doc.append_text(education, "Graduate School");
+        }
+        let gender = doc.append_element(profile, "gender");
+        doc.append_text(gender, if rng.gen_bool(0.5) { "male" } else { "female" });
+        let age = doc.append_element(profile, "age");
+        doc.append_text(age, rng.gen_range(18..80).to_string());
+    }
+}
+
+fn gen_open_auction(
+    doc: &mut Document,
+    rng: &mut StdRng,
+    opens: NodeId,
+    no: usize,
+    people: usize,
+    items: usize,
+) {
+    let auction = doc.append_element(opens, "open_auction");
+    doc.set_attribute(auction, "id", format!("open_auction{no}"));
+    let initial = doc.append_element(auction, "initial");
+    doc.append_text(initial, format!("{:.2}", rng.gen_range(1.0..100.0)));
+    if rng.gen_bool(0.4) {
+        let reserve = doc.append_element(auction, "reserve");
+        doc.append_text(reserve, format!("{:.2}", rng.gen_range(50.0..300.0)));
+    }
+    for _ in 0..rng.gen_range(0..5usize) {
+        let bidder = doc.append_element(auction, "bidder");
+        let date = doc.append_element(bidder, "date");
+        doc.append_text(
+            date,
+            format!("{:02}/{:02}/2003", rng.gen_range(1..13), rng.gen_range(1..29)),
+        );
+        let personref = doc.append_element(bidder, "personref");
+        doc.set_attribute(personref, "person", format!("person{}", rng.gen_range(0..people)));
+        let increase = doc.append_element(bidder, "increase");
+        doc.append_text(increase, format!("{:.2}", rng.gen_range(1.5..50.0)));
+    }
+    let current = doc.append_element(auction, "current");
+    doc.append_text(current, format!("{:.2}", rng.gen_range(1.0..500.0)));
+    let itemref = doc.append_element(auction, "itemref");
+    doc.set_attribute(itemref, "item", format!("item{}", rng.gen_range(0..items)));
+    let seller = doc.append_element(auction, "seller");
+    doc.set_attribute(seller, "person", format!("person{}", rng.gen_range(0..people)));
+    let annotation = doc.append_element(auction, "annotation");
+    let adesc = doc.append_element(annotation, "description");
+    gen_text_block(doc, rng, adesc);
+    let quantity = doc.append_element(auction, "quantity");
+    doc.append_text(quantity, rng.gen_range(1..5).to_string());
+    let atype = doc.append_element(auction, "type");
+    doc.append_text(atype, "Regular");
+    let interval = doc.append_element(auction, "interval");
+    let start = doc.append_element(interval, "start");
+    doc.append_text(start, "01/01/2003");
+    let end = doc.append_element(interval, "end");
+    doc.append_text(end, "12/31/2003");
+}
+
+fn gen_closed_auction(
+    doc: &mut Document,
+    rng: &mut StdRng,
+    closeds: NodeId,
+    _no: usize,
+    people: usize,
+    items: usize,
+) {
+    let auction = doc.append_element(closeds, "closed_auction");
+    let seller = doc.append_element(auction, "seller");
+    doc.set_attribute(seller, "person", format!("person{}", rng.gen_range(0..people)));
+    let buyer = doc.append_element(auction, "buyer");
+    doc.set_attribute(buyer, "person", format!("person{}", rng.gen_range(0..people)));
+    let itemref = doc.append_element(auction, "itemref");
+    doc.set_attribute(itemref, "item", format!("item{}", rng.gen_range(0..items)));
+    let price = doc.append_element(auction, "price");
+    doc.append_text(price, format!("{:.2}", rng.gen_range(5.0..500.0)));
+    let date = doc.append_element(auction, "date");
+    doc.append_text(
+        date,
+        format!("{:02}/{:02}/2003", rng.gen_range(1..13), rng.gen_range(1..29)),
+    );
+    let quantity = doc.append_element(auction, "quantity");
+    doc.append_text(quantity, rng.gen_range(1..5).to_string());
+    let atype = doc.append_element(auction, "type");
+    doc.append_text(atype, "Regular");
+    let annotations = doc.append_element(auction, "annotation");
+    let adesc = doc.append_element(annotations, "description");
+    gen_text_block(doc, rng, adesc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_xml::serialize;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = XmarkConfig::scale(0.02);
+        let a = serialize(&gen_xmark(&cfg));
+        let b = serialize(&gen_xmark(&cfg));
+        assert_eq!(a, b);
+        let c = serialize(&gen_xmark(&cfg.with_seed(7)));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skeleton_sections_exist() {
+        let doc = gen_xmark(&XmarkConfig::scale(0.02));
+        let site = doc.root_element().unwrap();
+        assert_eq!(doc.name(site).unwrap().local, "site");
+        let sections: Vec<String> = doc
+            .child_elements(site)
+            .map(|c| doc.name(c).unwrap().local.clone())
+            .collect();
+        assert_eq!(
+            sections,
+            ["regions", "categories", "people", "open_auctions", "closed_auctions"]
+        );
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = XmarkConfig {
+            items_per_region: 3,
+            people: 5,
+            open_auctions: 4,
+            closed_auctions: 2,
+            categories: 2,
+            seed: 1,
+        };
+        let doc = gen_xmark(&cfg);
+        let count = |name: &str| {
+            doc.descendants_or_self(doc.root())
+                .filter(|&n| doc.name(n).map(|q| q.local.as_str()) == Some(name))
+                .count()
+        };
+        assert_eq!(count("item"), 18);
+        assert_eq!(count("person"), 5);
+        assert_eq!(count("open_auction"), 4);
+        assert_eq!(count("closed_auction"), 2);
+        assert_eq!(count("category"), 2);
+    }
+
+    #[test]
+    fn scale_grows_linearly() {
+        let small = gen_xmark(&XmarkConfig::scale(0.02));
+        let large = gen_xmark(&XmarkConfig::scale(0.08));
+        let ratio = large.element_count() as f64 / small.element_count() as f64;
+        assert!(ratio > 2.5 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn output_reparses() {
+        let doc = gen_xmark(&XmarkConfig::scale(0.02));
+        let xml = serialize(&doc);
+        let re = xqp_xml::parse_document(&xml).unwrap();
+        assert_eq!(re.element_count(), doc.element_count());
+    }
+}

@@ -1,0 +1,581 @@
+//! Balanced parentheses with O(log n) navigation.
+//!
+//! The paper's storage scheme linearizes the XML tree in pre-order and keeps
+//! "balanced parentheses to denote the beginning and ending of a subtree"
+//! (§4.2). [`Bp`] is that sequence — open = 1, close = 0 — augmented with a
+//! **range-min-max tree** over fixed-size blocks of the excess sequence, the
+//! standard succinct-tree machinery (Navarro & Sadakane): `find_close`,
+//! `find_open` and `enclose` run in O(log n) worst case and O(1) when the
+//! answer falls in the same 256-bit block, which for the local (NoK) axes is
+//! the common case.
+//!
+//! Tree-shape operations are derived from the primitives:
+//! `first_child(p) = p+1` (if open), `next_sibling(p) = find_close(p)+1`
+//! (if open), `parent(p) = enclose(p)` — exactly the next-of-kin
+//! relationships the NoK evaluator navigates.
+
+use crate::bitvec::BitVec;
+
+/// Bits per range-min-max block.
+const BLOCK_BITS: usize = 256;
+
+/// Aggregate of one block (or subtree of blocks) of the excess sequence.
+/// `min`/`max` are relative to the excess at the block's start; `total` is
+/// the block's net excess change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Agg {
+    total: i32,
+    min: i32,
+    max: i32,
+}
+
+impl Agg {
+    /// Identity element: skipping this block changes nothing and can never
+    /// contain a target excess.
+    const NEUTRAL: Agg = Agg { total: 0, min: i32::MAX, max: i32::MIN };
+
+    fn merge(l: Agg, r: Agg) -> Agg {
+        if l.min == i32::MAX {
+            return r;
+        }
+        if r.min == i32::MAX {
+            return l;
+        }
+        Agg {
+            total: l.total + r.total,
+            min: l.min.min(l.total + r.min),
+            max: l.max.max(l.total + r.max),
+        }
+    }
+}
+
+/// A balanced-parentheses tree encoding with rank/select and range-min-max
+/// navigation.
+#[derive(Debug, Clone)]
+pub struct Bp {
+    bits: BitVec,
+    /// Heap-layout segment tree over blocks; `tree[1]` is the root and the
+    /// leaves start at `leaf_base`.
+    tree: Vec<Agg>,
+    leaf_base: usize,
+    n_blocks: usize,
+}
+
+impl Bp {
+    /// Build from a finished parentheses bit sequence (must be balanced —
+    /// checked in debug builds).
+    pub fn new(bits: BitVec) -> Self {
+        debug_assert_eq!(bits.len() % 2, 0, "parentheses sequence has odd length");
+        let n_blocks = bits.len().div_ceil(BLOCK_BITS).max(1);
+        let leaf_base = n_blocks.next_power_of_two();
+        let mut tree = vec![Agg::NEUTRAL; 2 * leaf_base];
+        for b in 0..n_blocks {
+            let start = b * BLOCK_BITS;
+            let end = (start + BLOCK_BITS).min(bits.len());
+            let mut e = 0i32;
+            let mut mn = i32::MAX;
+            let mut mx = i32::MIN;
+            for i in start..end {
+                e += if bits.get(i) { 1 } else { -1 };
+                mn = mn.min(e);
+                mx = mx.max(e);
+            }
+            if start < end {
+                tree[leaf_base + b] = Agg { total: e, min: mn, max: mx };
+            }
+        }
+        for v in (1..leaf_base).rev() {
+            tree[v] = Agg::merge(tree[2 * v], tree[2 * v + 1]);
+        }
+        debug_assert_eq!(
+            tree[1].total, 0,
+            "parentheses sequence is unbalanced (net excess {})",
+            tree[1].total
+        );
+        Bp { bits, tree, leaf_base, n_blocks }
+    }
+
+    /// Build directly from a boolean iterator (open = true).
+    pub fn from_bits(bits: impl IntoIterator<Item = bool>) -> Self {
+        Bp::new(BitVec::from_bits(bits))
+    }
+
+    /// The underlying bit vector.
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Length of the sequence in parentheses (bits).
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of tree nodes (open parentheses).
+    pub fn node_count(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// True if position `p` holds an open parenthesis.
+    #[inline]
+    pub fn is_open(&self, p: usize) -> bool {
+        self.bits.get(p)
+    }
+
+    /// Excess after the first `i` bits: `#open − #close` in `[0, i)`.
+    #[inline]
+    pub fn excess(&self, i: usize) -> i64 {
+        2 * self.bits.rank1(i) as i64 - i as i64
+    }
+
+    /// Pre-order rank (0-based) of the node opened at `p`.
+    #[inline]
+    pub fn node_rank(&self, p: usize) -> usize {
+        debug_assert!(self.is_open(p));
+        self.bits.rank1(p)
+    }
+
+    /// Open-parenthesis position of the node with pre-order rank `r`.
+    #[inline]
+    pub fn node_select(&self, r: usize) -> Option<usize> {
+        self.bits.select1(r)
+    }
+
+    /// Matching close parenthesis of the open at `p`.
+    pub fn find_close(&self, p: usize) -> usize {
+        debug_assert!(self.is_open(p), "find_close on a close paren at {p}");
+        // Target: first j > p with excess(j+1) == excess(p+1) - 1.
+        let target = self.excess(p + 1) - 1;
+        self.fwd_search(p + 1, target)
+            .expect("balanced sequence always has a matching close")
+    }
+
+    /// Matching open parenthesis of the close at `c`.
+    pub fn find_open(&self, c: usize) -> usize {
+        debug_assert!(!self.is_open(c), "find_open on an open paren at {c}");
+        let t = self.excess(c + 1);
+        match self.bwd_search(c, t) {
+            Some(j) => j + 1,
+            // Virtual position −1 has excess 0.
+            None if t == 0 => 0,
+            None => unreachable!("balanced sequence always has a matching open"),
+        }
+    }
+
+    /// Open position of the parent of the node opened at `p`; `None` for the
+    /// root.
+    pub fn enclose(&self, p: usize) -> Option<usize> {
+        debug_assert!(self.is_open(p));
+        let t = self.excess(p + 1) - 2;
+        if t < 0 {
+            return None; // root
+        }
+        match self.bwd_search(p, t) {
+            Some(j) => Some(j + 1),
+            None if t == 0 => Some(0),
+            None => None,
+        }
+    }
+
+    // ---- tree-shape operations --------------------------------------------
+
+    /// First child of the node at open position `p`.
+    #[inline]
+    pub fn first_child(&self, p: usize) -> Option<usize> {
+        let q = p + 1;
+        (q < self.len() && self.is_open(q)).then_some(q)
+    }
+
+    /// Next sibling of the node at open position `p`.
+    #[inline]
+    pub fn next_sibling(&self, p: usize) -> Option<usize> {
+        let q = self.find_close(p) + 1;
+        (q < self.len() && self.is_open(q)).then_some(q)
+    }
+
+    /// Parent of the node at open position `p`.
+    #[inline]
+    pub fn parent(&self, p: usize) -> Option<usize> {
+        self.enclose(p)
+    }
+
+    /// Number of nodes in the subtree rooted at `p` (inclusive).
+    #[inline]
+    pub fn subtree_size(&self, p: usize) -> usize {
+        (self.find_close(p) - p + 1) / 2
+    }
+
+    /// True if the node at `p` has no children.
+    #[inline]
+    pub fn is_leaf(&self, p: usize) -> bool {
+        !self.is_open(p + 1)
+    }
+
+    /// Depth of the node at `p` (the root has depth 1).
+    #[inline]
+    pub fn depth(&self, p: usize) -> i64 {
+        self.excess(p + 1)
+    }
+
+    /// True if the node opened at `a` is a proper ancestor of the node at
+    /// `d` — the containment test interval joins use, here for free from the
+    /// parenthesis positions.
+    #[inline]
+    pub fn is_ancestor(&self, a: usize, d: usize) -> bool {
+        a < d && d < self.find_close(a)
+    }
+
+    // ---- excess searches ----------------------------------------------------
+
+    /// Smallest `j >= from` with `excess(j+1) == target`.
+    fn fwd_search(&self, from: usize, target: i64) -> Option<usize> {
+        if from >= self.len() {
+            return None;
+        }
+        let block = from / BLOCK_BITS;
+        let block_end = ((block + 1) * BLOCK_BITS).min(self.len());
+        // Scan the rest of the starting block.
+        let mut e = self.excess(from);
+        for j in from..block_end {
+            e += if self.bits.get(j) { 1 } else { -1 };
+            if e == target {
+                return Some(j);
+            }
+        }
+        // Climb the range-min-max tree looking right.
+        let mut v = self.leaf_base + block;
+        loop {
+            while v > 1 && (v & 1) == 1 {
+                v >>= 1;
+            }
+            if v <= 1 {
+                return None;
+            }
+            v += 1;
+            let a = self.tree[v];
+            if a.min != i32::MAX
+                && e + a.min as i64 <= target
+                && target <= e + a.max as i64
+            {
+                // Descend to the leftmost leaf containing the target.
+                while v < self.leaf_base {
+                    let l = 2 * v;
+                    let la = self.tree[l];
+                    if la.min != i32::MAX
+                        && e + la.min as i64 <= target
+                        && target <= e + la.max as i64
+                    {
+                        v = l;
+                    } else {
+                        if la.min != i32::MAX {
+                            e += la.total as i64;
+                        }
+                        v = 2 * v + 1;
+                    }
+                }
+                let b = v - self.leaf_base;
+                let start = b * BLOCK_BITS;
+                let end = (start + BLOCK_BITS).min(self.len());
+                for j in start..end {
+                    e += if self.bits.get(j) { 1 } else { -1 };
+                    if e == target {
+                        return Some(j);
+                    }
+                }
+                unreachable!("range-min-max tree said the block contains the target");
+            } else if a.min != i32::MAX {
+                e += a.total as i64;
+            }
+        }
+    }
+
+    /// Largest `j < before` with `excess(j+1) == target`; `None` if only the
+    /// virtual position −1 (excess 0) would match.
+    fn bwd_search(&self, before: usize, target: i64) -> Option<usize> {
+        if before == 0 {
+            return None;
+        }
+        let block = (before - 1) / BLOCK_BITS;
+        let block_start = block * BLOCK_BITS;
+        // Scan leftwards through the starting block.
+        let mut e = self.excess(before); // excess after position before-1
+        for j in (block_start..before).rev() {
+            if e == target {
+                return Some(j);
+            }
+            e -= if self.bits.get(j) { 1 } else { -1 };
+        }
+        // e is now the excess at the start of `block`.
+        let mut v = self.leaf_base + block;
+        loop {
+            while v > 1 && (v & 1) == 0 {
+                v >>= 1;
+            }
+            if v <= 1 {
+                return None;
+            }
+            v -= 1;
+            let a = self.tree[v];
+            // Excess values inside this subtree range over
+            // [e_start + min, e_start + max] with e_start = e − total, where
+            // `e` is the excess at the END of this subtree's range (it abuts
+            // the region already scanned).
+            if a.min != i32::MAX {
+                let e_start = e - a.total as i64;
+                if e_start + a.min as i64 <= target && target <= e_start + a.max as i64 {
+                    // Descend right-first.
+                    while v < self.leaf_base {
+                        let r = 2 * v + 1;
+                        let ra = self.tree[r];
+                        if ra.min != i32::MAX {
+                            let r_start = e - ra.total as i64;
+                            if r_start + ra.min as i64 <= target
+                                && target <= r_start + ra.max as i64
+                            {
+                                v = r;
+                                continue;
+                            }
+                            e -= ra.total as i64;
+                        }
+                        v = 2 * v;
+                    }
+                    let b = v - self.leaf_base;
+                    let start = b * BLOCK_BITS;
+                    let end = (start + BLOCK_BITS).min(self.len());
+                    for j in (start..end).rev() {
+                        if e == target {
+                            return Some(j);
+                        }
+                        e -= if self.bits.get(j) { 1 } else { -1 };
+                    }
+                    unreachable!("range-min-max tree said the block contains the target");
+                }
+                // Not in this subtree: rewind the excess past it and keep
+                // climbing leftwards.
+                e -= a.total as i64;
+            }
+        }
+    }
+
+    /// Heap bytes of the structure (bits + directory + min-max tree).
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.heap_bytes() + self.tree.len() * std::mem::size_of::<Agg>()
+    }
+
+    /// Number of range-min-max blocks (for tests).
+    pub fn block_count(&self) -> usize {
+        self.n_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(n) matcher used as the differential oracle.
+    struct Naive {
+        bits: Vec<bool>,
+    }
+
+    impl Naive {
+        fn find_close(&self, p: usize) -> usize {
+            let mut d = 0i64;
+            for (j, &b) in self.bits.iter().enumerate().skip(p) {
+                d += if b { 1 } else { -1 };
+                if d == 0 {
+                    return j;
+                }
+            }
+            panic!("unbalanced");
+        }
+
+        fn enclose(&self, p: usize) -> Option<usize> {
+            let mut d = 0i64;
+            for j in (0..p).rev() {
+                d += if self.bits[j] { 1 } else { -1 };
+                if d == 1 {
+                    return Some(j);
+                }
+            }
+            None
+        }
+    }
+
+    /// Deterministic pseudo-random balanced sequence with n nodes.
+    fn random_tree_bits(n: usize, seed: u64) -> Vec<bool> {
+        let mut x = seed | 1;
+        let mut bits = Vec::with_capacity(2 * n);
+        let mut opened = 0usize;
+        let mut closed = 0usize;
+        let mut depth = 0usize;
+        while closed < n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let open = opened < n && (depth == 0 || x % 5 < 3);
+            if open {
+                bits.push(true);
+                opened += 1;
+                depth += 1;
+            } else {
+                bits.push(false);
+                closed += 1;
+                depth -= 1;
+            }
+        }
+        bits
+    }
+
+    fn check_against_naive(bits: Vec<bool>) {
+        let naive = Naive { bits: bits.clone() };
+        let bp = Bp::from_bits(bits.iter().copied());
+        for p in 0..bits.len() {
+            if bits[p] {
+                let c = bp.find_close(p);
+                assert_eq!(c, naive.find_close(p), "find_close({p})");
+                assert_eq!(bp.find_open(c), p, "find_open({c})");
+                assert_eq!(bp.enclose(p), naive.enclose(p), "enclose({p})");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_sequences() {
+        check_against_naive(vec![true, false]);
+        check_against_naive(vec![true, true, false, false]);
+        check_against_naive(vec![true, true, false, true, false, false]);
+    }
+
+    #[test]
+    fn forest_like_single_root_deep() {
+        // ((((...))))
+        let n = 600; // spans multiple blocks
+        let bits: Vec<bool> = std::iter::repeat(true)
+            .take(n)
+            .chain(std::iter::repeat(false).take(n))
+            .collect();
+        check_against_naive(bits);
+    }
+
+    #[test]
+    fn wide_flat_tree() {
+        // ( ()()()... )
+        let mut bits = vec![true];
+        for _ in 0..1000 {
+            bits.push(true);
+            bits.push(false);
+        }
+        bits.push(false);
+        check_against_naive(bits);
+    }
+
+    #[test]
+    fn random_trees_match_naive() {
+        for seed in 1..6u64 {
+            check_against_naive(random_tree_bits(800, seed));
+        }
+    }
+
+    #[test]
+    fn large_random_tree_spot_checks() {
+        let bits = random_tree_bits(30_000, 99);
+        let naive = Naive { bits: bits.clone() };
+        let bp = Bp::from_bits(bits.iter().copied());
+        for p in (0..bits.len()).step_by(37) {
+            if bits[p] {
+                assert_eq!(bp.find_close(p), naive.find_close(p));
+                assert_eq!(bp.enclose(p), naive.enclose(p));
+            }
+        }
+    }
+
+    #[test]
+    fn navigation_on_known_tree() {
+        // Tree: a(b(c), d) → ( ( ( ) ) ( ) )
+        let bp = Bp::from_bits([true, true, true, false, false, true, false, false]);
+        let a = 0;
+        let b = bp.first_child(a).unwrap();
+        assert_eq!(b, 1);
+        let c = bp.first_child(b).unwrap();
+        assert_eq!(c, 2);
+        assert!(bp.is_leaf(c));
+        assert_eq!(bp.next_sibling(c), None);
+        let d = bp.next_sibling(b).unwrap();
+        assert_eq!(d, 5);
+        assert!(bp.is_leaf(d));
+        assert_eq!(bp.next_sibling(d), None);
+        assert_eq!(bp.parent(d), Some(a));
+        assert_eq!(bp.parent(c), Some(b));
+        assert_eq!(bp.parent(a), None);
+        assert_eq!(bp.subtree_size(a), 4);
+        assert_eq!(bp.subtree_size(b), 2);
+        assert_eq!(bp.depth(a), 1);
+        assert_eq!(bp.depth(c), 3);
+    }
+
+    #[test]
+    fn node_rank_select_roundtrip() {
+        let bits = random_tree_bits(500, 7);
+        let bp = Bp::from_bits(bits.iter().copied());
+        for r in 0..bp.node_count() {
+            let p = bp.node_select(r).unwrap();
+            assert!(bp.is_open(p));
+            assert_eq!(bp.node_rank(p), r);
+        }
+    }
+
+    #[test]
+    fn is_ancestor_matches_definition() {
+        let bits = random_tree_bits(200, 3);
+        let bp = Bp::from_bits(bits.iter().copied());
+        let opens: Vec<usize> = (0..bits.len()).filter(|&p| bits[p]).collect();
+        for &a in opens.iter().step_by(7) {
+            for &d in opens.iter().step_by(5) {
+                let expected = {
+                    // d's open position lies strictly inside a's range
+                    a != d && a < d && d < bp.find_close(a)
+                };
+                assert_eq!(bp.is_ancestor(a, d), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_equals_ancestor_count() {
+        let bits = random_tree_bits(300, 11);
+        let bp = Bp::from_bits(bits.iter().copied());
+        for p in (0..bits.len()).filter(|&p| bits[p]).step_by(3) {
+            let mut depth = 1;
+            let mut cur = p;
+            while let Some(par) = bp.parent(cur) {
+                depth += 1;
+                cur = par;
+            }
+            assert_eq!(bp.depth(p), depth as i64, "depth({p})");
+        }
+    }
+
+    #[test]
+    fn block_boundary_find_close() {
+        // A node whose close is exactly at a block boundary.
+        let n = BLOCK_BITS / 2; // close of root at bit 2n-1 = 255
+        let bits: Vec<bool> = std::iter::repeat(true)
+            .take(n)
+            .chain(std::iter::repeat(false).take(n))
+            .collect();
+        let bp = Bp::from_bits(bits.iter().copied());
+        assert_eq!(bp.find_close(0), 2 * n - 1);
+        assert_eq!(bp.find_close(n - 1), n);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let bp = Bp::from_bits(std::iter::empty());
+        assert!(bp.is_empty());
+        assert_eq!(bp.node_count(), 0);
+    }
+}

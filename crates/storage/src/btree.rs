@@ -1,0 +1,516 @@
+//! A from-scratch, in-memory B+-tree.
+//!
+//! The paper calls for "content-based indexes (such as B+ trees …) created
+//! only on the content information" (§4.2). This is that index structure:
+//! fixed-fanout pages in a node arena, values only in leaves, leaves chained
+//! for range scans. Keys are duplicated per distinct value list (a multimap:
+//! one key maps to a posting list of values), matching secondary-index use.
+//!
+//! Deletion is *lazy* (values are removed, pages may go underfull; an empty
+//! root collapses) — the same strategy production B-trees such as
+//! PostgreSQL's use, and sufficient because the engine rebuilds indexes on
+//! bulk updates.
+
+use std::fmt::Debug;
+use std::ops::Bound;
+
+/// Maximum keys per page. 2·ORDER keys force a split.
+const ORDER: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Page<K, V> {
+    Internal { keys: Vec<K>, children: Vec<usize> },
+    Leaf { keys: Vec<K>, postings: Vec<Vec<V>>, next: Option<usize> },
+}
+
+/// A B+-tree multimap from `K` to posting lists of `V`.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    pages: Vec<Page<K, V>>,
+    root: usize,
+    /// Number of stored values (not distinct keys).
+    len: usize,
+}
+
+impl<K: Ord + Clone + Debug, V: Clone + PartialEq> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone + Debug, V: Clone + PartialEq> BPlusTree<K, V> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            pages: vec![Page::Leaf { keys: Vec::new(), postings: Vec::new(), next: None }],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (a lone leaf has height 1).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut p = self.root;
+        while let Page::Internal { children, .. } = &self.pages[p] {
+            p = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    /// Insert one value under `key`.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.len += 1;
+        if let Some((sep, right)) = self.insert_into(self.root, key, value) {
+            let old_root = self.root;
+            self.pages.push(Page::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.root = self.pages.len() - 1;
+        }
+    }
+
+    /// Recursive insert; returns `(separator, new_right_page)` on split.
+    fn insert_into(&mut self, page: usize, key: K, value: V) -> Option<(K, usize)> {
+        match &mut self.pages[page] {
+            Page::Leaf { keys, postings, .. } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => {
+                        postings[i].push(value);
+                        None
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        postings.insert(i, vec![value]);
+                        if keys.len() > 2 * ORDER {
+                            Some(self.split_leaf(page))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            Page::Internal { keys, children } => {
+                // Equal keys descend right so they land after the separator.
+                let i = keys.partition_point(|k| *k <= key);
+                let child = children[i];
+                let split = self.insert_into(child, key, value)?;
+                let (sep, right) = split;
+                if let Page::Internal { keys, children } = &mut self.pages[page] {
+                    let i = keys.partition_point(|k| *k <= sep);
+                    keys.insert(i, sep);
+                    children.insert(i + 1, right);
+                    if keys.len() > 2 * ORDER {
+                        return Some(self.split_internal(page));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, page: usize) -> (K, usize) {
+        let (rk, rp, old_next) = match &mut self.pages[page] {
+            Page::Leaf { keys, postings, next } => {
+                let mid = keys.len() / 2;
+                (keys.split_off(mid), postings.split_off(mid), *next)
+            }
+            _ => unreachable!("split_leaf on internal page"),
+        };
+        let sep = rk[0].clone();
+        self.pages.push(Page::Leaf { keys: rk, postings: rp, next: old_next });
+        let right = self.pages.len() - 1;
+        if let Page::Leaf { next, .. } = &mut self.pages[page] {
+            *next = Some(right);
+        }
+        (sep, right)
+    }
+
+    fn split_internal(&mut self, page: usize) -> (K, usize) {
+        let (sep, rk, rc) = match &mut self.pages[page] {
+            Page::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let sep = keys[mid].clone();
+                let rk = keys.split_off(mid + 1);
+                keys.pop(); // the separator moves up
+                let rc = children.split_off(mid + 1);
+                (sep, rk, rc)
+            }
+            _ => unreachable!("split_internal on leaf page"),
+        };
+        self.pages.push(Page::Internal { keys: rk, children: rc });
+        (sep, self.pages.len() - 1)
+    }
+
+    fn leaf_for(&self, key: &K) -> usize {
+        let mut p = self.root;
+        loop {
+            match &self.pages[p] {
+                Page::Internal { keys, children } => {
+                    let i = keys.partition_point(|k| k <= key);
+                    p = children[i];
+                }
+                Page::Leaf { .. } => return p,
+            }
+        }
+    }
+
+    /// The posting list for `key` (empty slice if absent).
+    pub fn get(&self, key: &K) -> &[V] {
+        let leaf = self.leaf_for(key);
+        match &self.pages[leaf] {
+            Page::Leaf { keys, postings, .. } => match keys.binary_search(key) {
+                Ok(i) => &postings[i],
+                Err(_) => &[],
+            },
+            _ => unreachable!("leaf_for returned internal page"),
+        }
+    }
+
+    /// True if any value is stored under `key`.
+    pub fn contains_key(&self, key: &K) -> bool {
+        !self.get(key).is_empty()
+    }
+
+    /// Iterate `(key, posting)` pairs with keys in the given bounds,
+    /// ascending.
+    pub fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> RangeIter<'_, K, V> {
+        // Find the starting leaf and slot.
+        let (mut leaf, mut slot) = match lo {
+            Bound::Unbounded => (self.leftmost_leaf(), 0),
+            Bound::Included(k) | Bound::Excluded(k) => {
+                let l = self.leaf_for(k);
+                let s = match &self.pages[l] {
+                    Page::Leaf { keys, .. } => match (keys.binary_search(k), lo) {
+                        (Ok(i), Bound::Included(_)) => i,
+                        (Ok(i), _) => i + 1,
+                        (Err(i), _) => i,
+                    },
+                    _ => unreachable!(),
+                };
+                (l, s)
+            }
+        };
+        // Normalize: if slot runs off the leaf, advance.
+        loop {
+            match &self.pages[leaf] {
+                Page::Leaf { keys, next, .. } if slot >= keys.len() => match next {
+                    Some(n) => {
+                        leaf = *n;
+                        slot = 0;
+                    }
+                    None => break,
+                },
+                _ => break,
+            }
+        }
+        RangeIter { tree: self, leaf, slot, hi: clone_bound(hi), done: false }
+    }
+
+    /// Iterate all `(key, posting)` pairs ascending.
+    pub fn iter(&self) -> RangeIter<'_, K, V> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    fn leftmost_leaf(&self) -> usize {
+        let mut p = self.root;
+        while let Page::Internal { children, .. } = &self.pages[p] {
+            p = children[0];
+        }
+        p
+    }
+
+    /// Remove every value equal to `value` under `key`. Returns how many
+    /// were removed. Lazy: pages are not merged.
+    pub fn remove_value(&mut self, key: &K, value: &V) -> usize {
+        let leaf = self.leaf_for(key);
+        let removed = match &mut self.pages[leaf] {
+            Page::Leaf { keys, postings, .. } => match keys.binary_search(key) {
+                Ok(i) => {
+                    let before = postings[i].len();
+                    postings[i].retain(|v| v != value);
+                    let removed = before - postings[i].len();
+                    if postings[i].is_empty() {
+                        postings.remove(i);
+                        keys.remove(i);
+                    }
+                    removed
+                }
+                Err(_) => 0,
+            },
+            _ => unreachable!(),
+        };
+        self.len -= removed;
+        removed
+    }
+
+    /// Remove the whole posting list of `key`; returns it if present.
+    pub fn remove_key(&mut self, key: &K) -> Option<Vec<V>> {
+        let leaf = self.leaf_for(key);
+        match &mut self.pages[leaf] {
+            Page::Leaf { keys, postings, .. } => match keys.binary_search(key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    let vs = postings.remove(i);
+                    self.len -= vs.len();
+                    Some(vs)
+                }
+                Err(_) => None,
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    /// Approximate heap bytes (for storage accounting).
+    pub fn heap_bytes(&self) -> usize {
+        let mut total = self.pages.capacity() * std::mem::size_of::<Page<K, V>>();
+        for p in &self.pages {
+            match p {
+                Page::Internal { keys, children } => {
+                    total += keys.capacity() * std::mem::size_of::<K>()
+                        + children.capacity() * std::mem::size_of::<usize>();
+                }
+                Page::Leaf { keys, postings, .. } => {
+                    total += keys.capacity() * std::mem::size_of::<K>();
+                    for pl in postings {
+                        total += pl.capacity() * std::mem::size_of::<V>();
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+fn clone_bound<K: Clone>(b: Bound<&K>) -> Bound<K> {
+    match b {
+        Bound::Included(k) => Bound::Included(k.clone()),
+        Bound::Excluded(k) => Bound::Excluded(k.clone()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// Ascending iterator over `(key, posting-list)` pairs.
+pub struct RangeIter<'a, K, V> {
+    tree: &'a BPlusTree<K, V>,
+    leaf: usize,
+    slot: usize,
+    hi: Bound<K>,
+    done: bool,
+}
+
+impl<'a, K: Ord + Clone + Debug, V: Clone + PartialEq> Iterator for RangeIter<'a, K, V> {
+    type Item = (&'a K, &'a [V]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match &self.tree.pages[self.leaf] {
+                Page::Leaf { keys, postings, next } => {
+                    if self.slot < keys.len() {
+                        let k = &keys[self.slot];
+                        let in_range = match &self.hi {
+                            Bound::Unbounded => true,
+                            Bound::Included(h) => k <= h,
+                            Bound::Excluded(h) => k < h,
+                        };
+                        if !in_range {
+                            self.done = true;
+                            return None;
+                        }
+                        let item = (k, postings[self.slot].as_slice());
+                        self.slot += 1;
+                        return Some(item);
+                    }
+                    match next {
+                        Some(n) => {
+                            self.leaf = *n;
+                            self.slot = 0;
+                        }
+                        None => {
+                            self.done = true;
+                            return None;
+                        }
+                    }
+                }
+                _ => unreachable!("range iterator on internal page"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::ops::Bound::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<i64, u32> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&5), &[]);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_and_get_small() {
+        let mut t = BPlusTree::new();
+        t.insert(3, "c");
+        t.insert(1, "a");
+        t.insert(2, "b");
+        assert_eq!(t.get(&1), &["a"]);
+        assert_eq!(t.get(&2), &["b"]);
+        assert_eq!(t.get(&3), &["c"]);
+        assert_eq!(t.get(&4), &[] as &[&str]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_keys_accumulate_postings() {
+        let mut t = BPlusTree::new();
+        t.insert("k", 1);
+        t.insert("k", 2);
+        t.insert("k", 3);
+        assert_eq!(t.get(&"k"), &[1, 2, 3]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn many_inserts_force_splits() {
+        let mut t = BPlusTree::new();
+        let n = 10_000i64;
+        for i in 0..n {
+            // Insertion order that is neither sorted nor reverse-sorted.
+            let k = (i * 7919) % n;
+            t.insert(k, k * 2);
+        }
+        assert!(t.height() >= 3, "height {} should reflect splits", t.height());
+        for k in 0..n {
+            assert_eq!(t.get(&k), &[k * 2], "key {k}");
+        }
+    }
+
+    #[test]
+    fn sorted_insertion_order() {
+        let mut t = BPlusTree::new();
+        for i in 0..2000 {
+            t.insert(i, i);
+        }
+        let collected: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(collected, (0..2000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reverse_insertion_order() {
+        let mut t = BPlusTree::new();
+        for i in (0..2000).rev() {
+            t.insert(i, ());
+        }
+        let collected: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(collected, (0..2000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut t = BPlusTree::new();
+        for i in 0..100 {
+            t.insert(i, ());
+        }
+        let keys = |lo, hi| t.range(lo, hi).map(|(k, _)| *k).collect::<Vec<i32>>();
+        assert_eq!(keys(Included(&10), Included(&13)), [10, 11, 12, 13]);
+        assert_eq!(keys(Excluded(&10), Excluded(&13)), [11, 12]);
+        assert_eq!(keys(Included(&97), Unbounded), [97, 98, 99]);
+        assert_eq!(keys(Unbounded, Excluded(&3)), [0, 1, 2]);
+        assert_eq!(keys(Included(&200), Unbounded), Vec::<i32>::new());
+        assert_eq!(keys(Included(&50), Included(&50)), [50]);
+    }
+
+    #[test]
+    fn range_on_missing_keys() {
+        let mut t = BPlusTree::new();
+        for i in (0..100).step_by(10) {
+            t.insert(i, ());
+        }
+        let keys: Vec<i32> = t.range(Included(&15), Included(&45)).map(|(k, _)| *k).collect();
+        assert_eq!(keys, [20, 30, 40]);
+    }
+
+    #[test]
+    fn remove_value_and_key() {
+        let mut t = BPlusTree::new();
+        t.insert(1, "a");
+        t.insert(1, "b");
+        t.insert(2, "c");
+        assert_eq!(t.remove_value(&1, &"a"), 1);
+        assert_eq!(t.get(&1), &["b"]);
+        assert_eq!(t.remove_value(&1, &"zz"), 0);
+        assert_eq!(t.remove_value(&1, &"b"), 1);
+        assert!(!t.contains_key(&1));
+        assert_eq!(t.remove_key(&2), Some(vec!["c"]));
+        assert_eq!(t.remove_key(&2), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn differential_against_std_btreemap() {
+        let mut t = BPlusTree::new();
+        let mut oracle: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let mut x = 0x243f6a8885a308d3u64;
+        for _ in 0..5000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 512;
+            let v = x % 1000;
+            t.insert(k, v);
+            oracle.entry(k).or_default().push(v);
+        }
+        assert_eq!(t.len(), 5000);
+        for (k, vs) in &oracle {
+            assert_eq!(t.get(k), vs.as_slice(), "key {k}");
+        }
+        // Range sweep comparison.
+        let got: Vec<(u64, Vec<u64>)> =
+            t.range(Included(&100), Excluded(&300)).map(|(k, v)| (*k, v.to_vec())).collect();
+        let want: Vec<(u64, Vec<u64>)> =
+            oracle.range(100..300).map(|(k, v)| (*k, v.clone())).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut t = BPlusTree::new();
+        for w in ["pear", "apple", "fig", "banana", "date"] {
+            t.insert(w.to_string(), w.len());
+        }
+        let keys: Vec<String> = t.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, ["apple", "banana", "date", "fig", "pear"]);
+        let prefix_b: Vec<String> = t
+            .range(Included(&"b".to_string()), Excluded(&"c".to_string()))
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(prefix_b, ["banana"]);
+    }
+
+    #[test]
+    fn heap_bytes_positive_after_inserts() {
+        let mut t = BPlusTree::new();
+        for i in 0..100 {
+            t.insert(i, i);
+        }
+        assert!(t.heap_bytes() > 0);
+    }
+}

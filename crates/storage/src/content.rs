@@ -1,0 +1,132 @@
+//! Content store: the "data information" half of the storage split.
+//!
+//! Text and attribute values are appended to one string arena; each content-
+//! bearing node stores a `(offset, len)` span. Separating content from
+//! structure is what lets the engine scan structure without touching
+//! variable-length data, and lets content indexes (B+-trees) be built over
+//! this store alone (§4.2).
+
+/// Append-only string arena addressed by content rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContentStore {
+    arena: String,
+    spans: Vec<(u32, u32)>,
+}
+
+impl ContentStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one content string; returns its content rank.
+    pub fn push(&mut self, s: &str) -> usize {
+        let off = self.arena.len() as u32;
+        self.arena.push_str(s);
+        self.spans.push((off, s.len() as u32));
+        self.spans.len() - 1
+    }
+
+    /// The content string at `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of bounds.
+    pub fn get(&self, rank: usize) -> &str {
+        let (off, len) = self.spans[rank];
+        &self.arena[off as usize..(off + len) as usize]
+    }
+
+    /// Number of stored strings.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Iterate `(rank, text)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        (0..self.spans.len()).map(move |r| (r, self.get(r)))
+    }
+
+    /// Rebuild the store keeping only ranks where `keep(rank)` is true and
+    /// splicing `inserted` strings at `at` (in rank space). Returns the store
+    /// used by subtree updates: content is re-packed so spans stay compact.
+    pub fn splice(&self, at: usize, removed: usize, inserted: &[&str]) -> ContentStore {
+        let mut out = ContentStore::new();
+        for r in 0..at {
+            out.push(self.get(r));
+        }
+        for s in inserted {
+            out.push(s);
+        }
+        for r in at + removed..self.len() {
+            out.push(self.get(r));
+        }
+        out
+    }
+
+    /// Heap bytes used (arena + spans).
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.len() + self.spans.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut c = ContentStore::new();
+        let a = c.push("hello");
+        let b = c.push("");
+        let d = c.push("wörld");
+        assert_eq!(c.get(a), "hello");
+        assert_eq!(c.get(b), "");
+        assert_eq!(c.get(d), "wörld");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn iter_in_rank_order() {
+        let mut c = ContentStore::new();
+        c.push("a");
+        c.push("b");
+        let v: Vec<(usize, &str)> = c.iter().collect();
+        assert_eq!(v, [(0, "a"), (1, "b")]);
+    }
+
+    #[test]
+    fn splice_replaces_middle() {
+        let mut c = ContentStore::new();
+        for s in ["a", "b", "c", "d"] {
+            c.push(s);
+        }
+        let out = c.splice(1, 2, &["X", "Y", "Z"]);
+        let v: Vec<&str> = out.iter().map(|(_, s)| s).collect();
+        assert_eq!(v, ["a", "X", "Y", "Z", "d"]);
+    }
+
+    #[test]
+    fn splice_at_ends() {
+        let mut c = ContentStore::new();
+        c.push("m");
+        let front = c.splice(0, 0, &["f"]);
+        assert_eq!(front.iter().map(|(_, s)| s).collect::<Vec<_>>(), ["f", "m"]);
+        let back = c.splice(1, 0, &["b"]);
+        assert_eq!(back.iter().map(|(_, s)| s).collect::<Vec<_>>(), ["m", "b"]);
+        let gone = c.splice(0, 1, &[]);
+        assert!(gone.is_empty());
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_content() {
+        let mut c = ContentStore::new();
+        let before = c.heap_bytes();
+        c.push("0123456789");
+        assert!(c.heap_bytes() > before);
+    }
+}

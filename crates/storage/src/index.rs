@@ -1,0 +1,267 @@
+//! Content-based value indexes.
+//!
+//! A [`ValueIndex`] is the paper's "content-based indexes … created only on
+//! the content information" (§4.2): B+-trees over the content store keyed by
+//! `(tag, value)`, one lexicographic (string) tree and one numeric tree. The
+//! executor's σv operator probes these instead of scanning when a predicate
+//! compares a tagged value against a literal.
+//!
+//! What gets indexed:
+//! * every **attribute** node under `(attribute-tag, value)`;
+//! * every **element** under `(element-tag, string-value)` — predicates
+//!   compare full string values, so completeness requires indexing even
+//!   elements whose text lives deeper in their subtree.
+
+use crate::btree::BPlusTree;
+use crate::succinct::{SKind, SNodeId, SuccinctDoc};
+use crate::tags::TagId;
+use std::cmp::Ordering;
+use std::ops::Bound;
+use xqp_xml::Atomic;
+
+/// Totally ordered `f64` key (orders NaN last, like `f64::total_cmp`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Secondary index over a document's values.
+#[derive(Debug, Clone)]
+pub struct ValueIndex {
+    strings: BPlusTree<(TagId, String), SNodeId>,
+    numbers: BPlusTree<(TagId, OrdF64), SNodeId>,
+    entries: usize,
+}
+
+impl ValueIndex {
+    /// Build both trees in one pass over the document.
+    pub fn build(doc: &SuccinctDoc) -> Self {
+        let mut strings = BPlusTree::new();
+        let mut numbers = BPlusTree::new();
+        let mut entries = 0usize;
+        for n in (0..doc.node_count() as u32).map(SNodeId) {
+            let (tag, value): (TagId, String) = match doc.kind(n) {
+                SKind::Attribute => (doc.tag(n), doc.content(n).unwrap_or_default().to_string()),
+                SKind::Element => (doc.tag(n), doc.string_value(n)),
+                SKind::Text => continue,
+            };
+            strings.insert((tag, value.clone()), n);
+            if let Ok(num) = value.trim().parse::<f64>() {
+                numbers.insert((tag, OrdF64(num)), n);
+            }
+            entries += 1;
+        }
+        ValueIndex { strings, numbers, entries }
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Nodes whose tag is `tag` and whose value equals `value`, in document
+    /// order. Numeric atoms probe the numeric tree (so `42` matches `"42.0"`),
+    /// strings probe the string tree.
+    pub fn lookup_eq(&self, tag: TagId, value: &Atomic) -> Vec<SNodeId> {
+        let mut out: Vec<SNodeId> = match value {
+            Atomic::Integer(_) | Atomic::Double(_) => {
+                let k = (tag, OrdF64(value.as_number().expect("numeric atom")));
+                self.numbers.get(&k).to_vec()
+            }
+            _ => {
+                let k = (tag, value.as_string());
+                self.strings.get(&k).to_vec()
+            }
+        };
+        out.sort_unstable();
+        out
+    }
+
+    /// Nodes whose tag is `tag` and whose numeric value lies in the bounds,
+    /// in document order.
+    pub fn lookup_numeric_range(
+        &self,
+        tag: TagId,
+        lo: Bound<f64>,
+        hi: Bound<f64>,
+    ) -> Vec<SNodeId> {
+        let lo_key = match lo {
+            Bound::Included(v) => Bound::Included((tag, OrdF64(v))),
+            Bound::Excluded(v) => Bound::Excluded((tag, OrdF64(v))),
+            Bound::Unbounded => Bound::Included((tag, OrdF64(f64::NEG_INFINITY))),
+        };
+        let hi_key = match hi {
+            Bound::Included(v) => Bound::Included((tag, OrdF64(v))),
+            Bound::Excluded(v) => Bound::Excluded((tag, OrdF64(v))),
+            Bound::Unbounded => Bound::Included((tag, OrdF64(f64::INFINITY))),
+        };
+        let mut out: Vec<SNodeId> = self
+            .numbers
+            .range(as_ref_bound(&lo_key), as_ref_bound(&hi_key))
+            .flat_map(|(_, nodes)| nodes.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// All string-tree entries for `tag` within a lexicographic range —
+    /// supports prefix probes by the caller.
+    pub fn lookup_string_range(
+        &self,
+        tag: TagId,
+        lo: Bound<&str>,
+        hi: Bound<&str>,
+    ) -> Vec<SNodeId> {
+        let lo_key = match lo {
+            Bound::Included(v) => Bound::Included((tag, v.to_string())),
+            Bound::Excluded(v) => Bound::Excluded((tag, v.to_string())),
+            Bound::Unbounded => Bound::Included((tag, String::new())),
+        };
+        let hi_key = match hi {
+            Bound::Included(v) => Bound::Included((tag, v.to_string())),
+            Bound::Excluded(v) => Bound::Excluded((tag, v.to_string())),
+            // No string is above (tag, \u{10FFFF}...) for keys of this tag —
+            // use the exclusive next tag id instead.
+            Bound::Unbounded => Bound::Excluded((TagId(tag.0 + 1), String::new())),
+        };
+        let mut out: Vec<SNodeId> = self
+            .strings
+            .range(as_ref_bound(&lo_key), as_ref_bound(&hi_key))
+            .flat_map(|(_, nodes)| nodes.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Heap bytes of both trees.
+    pub fn heap_bytes(&self) -> usize {
+        self.strings.heap_bytes() + self.numbers.heap_bytes()
+    }
+}
+
+fn as_ref_bound<K>(b: &Bound<K>) -> Bound<&K> {
+    match b {
+        Bound::Included(k) => Bound::Included(k),
+        Bound::Excluded(k) => Bound::Excluded(k),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "<inventory>\
+        <item sku=\"A1\"><price>10</price><name>bolt</name></item>\
+        <item sku=\"A2\"><price>25</price><name>nut</name></item>\
+        <item sku=\"B1\"><price>25.0</price><name>washer</name></item>\
+        <item sku=\"B2\"><price>99</price><name>bolt</name></item>\
+    </inventory>";
+
+    fn setup() -> (SuccinctDoc, ValueIndex) {
+        let doc = SuccinctDoc::parse(SAMPLE).unwrap();
+        let idx = ValueIndex::build(&doc);
+        (doc, idx)
+    }
+
+    #[test]
+    fn index_covers_attributes_and_all_elements() {
+        let (_, idx) = setup();
+        // 4 sku attrs + 13 elements (inventory, 4×item, 4×price, 4×name)
+        assert_eq!(idx.len(), 17);
+    }
+
+    #[test]
+    fn string_eq_lookup() {
+        let (doc, idx) = setup();
+        let name = doc.tag_table().lookup("name").unwrap();
+        let hits = idx.lookup_eq(name, &Atomic::Str("bolt".into()));
+        assert_eq!(hits.len(), 2);
+        for h in &hits {
+            assert_eq!(doc.string_value(*h), "bolt");
+        }
+        assert!(idx.lookup_eq(name, &Atomic::Str("screw".into())).is_empty());
+    }
+
+    #[test]
+    fn attribute_eq_lookup() {
+        let (doc, idx) = setup();
+        let sku = doc.tag_table().lookup("sku").unwrap();
+        let hits = idx.lookup_eq(sku, &Atomic::Str("B1".into()));
+        assert_eq!(hits.len(), 1);
+        assert!(doc.is_attribute(hits[0]));
+    }
+
+    #[test]
+    fn numeric_eq_matches_across_lexical_forms() {
+        let (doc, idx) = setup();
+        let price = doc.tag_table().lookup("price").unwrap();
+        // 25 matches both "25" and "25.0".
+        let hits = idx.lookup_eq(price, &Atomic::Integer(25));
+        assert_eq!(hits.len(), 2);
+        for h in hits {
+            assert_eq!(doc.typed_value(h).as_number(), Some(25.0));
+        }
+    }
+
+    #[test]
+    fn numeric_range_lookup() {
+        let (doc, idx) = setup();
+        let price = doc.tag_table().lookup("price").unwrap();
+        let hits =
+            idx.lookup_numeric_range(price, Bound::Excluded(10.0), Bound::Included(99.0));
+        assert_eq!(hits.len(), 3); // 25, 25.0, 99
+        let unbounded = idx.lookup_numeric_range(price, Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(unbounded.len(), 4);
+        // Results in document order.
+        assert!(hits.windows(2).all(|w| w[0] < w[1]));
+        let _ = doc;
+    }
+
+    #[test]
+    fn string_range_scopes_to_tag() {
+        let (doc, idx) = setup();
+        let sku = doc.tag_table().lookup("sku").unwrap();
+        let a_prefixed =
+            idx.lookup_string_range(sku, Bound::Included("A"), Bound::Excluded("B"));
+        assert_eq!(a_prefixed.len(), 2);
+        let all = idx.lookup_string_range(sku, Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn range_does_not_leak_other_tags() {
+        let (doc, idx) = setup();
+        let name = doc.tag_table().lookup("name").unwrap();
+        // names are not numeric, so a numeric sweep over `name` finds nothing
+        let hits = idx.lookup_numeric_range(name, Bound::Unbounded, Bound::Unbounded);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn deep_text_elements_are_indexed_by_string_value() {
+        let doc = SuccinctDoc::parse("<a><b><c>leaf</c></b></a>").unwrap();
+        let idx = ValueIndex::build(&doc);
+        assert_eq!(idx.len(), 3); // a, b, c — all by their string values
+        let b = doc.tag_table().lookup("b").unwrap();
+        // `b[. = "leaf"]` must be answerable from the index.
+        assert_eq!(idx.lookup_eq(b, &Atomic::Str("leaf".into())).len(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # xqp-storage — succinct physical storage for XML
+//!
+//! Implements the storage scheme of the paper's §4.2 (and its companion
+//! ICDE'04 paper): **structure and content are stored separately**.
+//!
+//! * The tree structure is linearized in **pre-order as a balanced
+//!   parentheses sequence** — 2 bits per node — kept in a [`BitVec`] with a
+//!   rank/select directory and a range-min-max tree ([`bp::Bp`]) providing
+//!   `find_close` / `find_open` / `enclose` in O(log n) worst case (O(1)
+//!   within a block in practice). Pre-order coincides with streaming XML
+//!   arrival order, so a [`SuccinctDoc`] can be built directly from a parse
+//!   event stream.
+//! * Tags live in a [`tags::TagTable`] symbol table plus one `TagId` per node.
+//! * Element contents hang off the leaves in a [`content::ContentStore`]
+//!   string arena, indexed by content rank.
+//! * Content-based secondary indexes are from-scratch **B+-trees**
+//!   ([`btree::BPlusTree`], wrapped by [`index::ValueIndex`]).
+//! * For the join-based baselines, [`interval::TagStreams`] derives the
+//!   classic **region (interval) encoding** `(start, end, level)` per element
+//!   — the representation extended-relational systems shred into.
+//! * [`update`] implements local subtree insertion/deletion by splicing the
+//!   parentheses substring (the paper's update argument), and [`stats`]
+//!   accounts storage size for the encoding-size experiment (E12).
+
+pub mod bitvec;
+pub mod bp;
+pub mod btree;
+pub mod content;
+pub mod index;
+pub mod interval;
+pub mod stats;
+pub mod succinct;
+pub mod suffix;
+pub mod tags;
+pub mod update;
+
+pub use bitvec::BitVec;
+pub use bp::Bp;
+pub use btree::BPlusTree;
+pub use index::ValueIndex;
+pub use interval::{Interval, TagStreams};
+pub use stats::StorageStats;
+pub use succinct::{SKind, SNodeId, SuccinctDoc};
+pub use suffix::SuffixIndex;
+pub use tags::{TagId, TagTable};

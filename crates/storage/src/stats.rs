@@ -1,0 +1,132 @@
+//! Storage-size accounting (experiment E12).
+//!
+//! The paper's storage claim is that the succinct scheme — 2 bits/node of
+//! structure plus dense tag ids — is far smaller than either a pointer-based
+//! DOM or the shredded interval tables relational approaches use.
+//! [`StorageStats`] measures all three representations of the same document
+//! so the `report` harness can print the comparison.
+
+use crate::interval::TagStreams;
+use crate::succinct::SuccinctDoc;
+use xqp_xml::{Document, NodeKind};
+
+/// Byte sizes of one document under the three physical representations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Stored nodes (elements + attributes + texts).
+    pub nodes: usize,
+    /// Succinct structure: parentheses + rank directory + min-max tree.
+    pub succinct_structure: usize,
+    /// Tag ids + kind/content bit vectors + symbol table.
+    pub succinct_schema: usize,
+    /// Content arena + spans.
+    pub succinct_content: usize,
+    /// Pointer-based arena DOM estimate for the same document.
+    pub dom_bytes: usize,
+    /// Interval-table (shredded relational) estimate: per-tag streams +
+    /// content.
+    pub interval_bytes: usize,
+}
+
+impl StorageStats {
+    /// Measure `sdoc` and the equivalent DOM/interval representations.
+    pub fn measure(doc: &Document, sdoc: &SuccinctDoc) -> Self {
+        let streams = TagStreams::build(sdoc);
+        let succinct_structure = sdoc.bp().heap_bytes();
+        let succinct_schema = sdoc.raw_tags().len() * 4
+            + sdoc.raw_is_attr().heap_bytes()
+            + sdoc.raw_has_content().heap_bytes()
+            + sdoc.tag_table().heap_bytes();
+        let succinct_content = sdoc.content_store().heap_bytes();
+        StorageStats {
+            nodes: sdoc.node_count(),
+            succinct_structure,
+            succinct_schema,
+            succinct_content,
+            dom_bytes: dom_bytes(doc),
+            interval_bytes: streams.heap_bytes() + succinct_content,
+        }
+    }
+
+    /// Total bytes of the succinct representation.
+    pub fn succinct_total(&self) -> usize {
+        self.succinct_structure + self.succinct_schema + self.succinct_content
+    }
+
+    /// Structure bits per node in the succinct encoding (paper target: 2 + o(1)
+    /// per parenthesis pair, i.e. a small constant).
+    pub fn structure_bits_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        (self.succinct_structure * 8) as f64 / self.nodes as f64
+    }
+}
+
+/// Estimate the heap footprint of the arena DOM.
+fn dom_bytes(doc: &Document) -> usize {
+    let mut total = doc.len() * std::mem::size_of::<xqp_xml::Node>();
+    for i in 0..doc.len() as u32 {
+        let id = xqp_xml::NodeId(i);
+        match &doc.node(id).kind {
+            NodeKind::Element { name, attributes } => {
+                total += name.local.len() + attributes.capacity() * 4;
+            }
+            NodeKind::Attribute { name, value } => total += name.local.len() + value.len(),
+            NodeKind::Text(t) | NodeKind::Comment(t) => total += t.len(),
+            NodeKind::Pi { target, data } => total += target.len() + data.len(),
+            NodeKind::Document => {}
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_xml::parse_document;
+
+    fn flat_doc(n: usize) -> String {
+        let mut s = String::from("<root>");
+        for i in 0..n {
+            s.push_str(&format!("<item id=\"{i}\"><v>{i}</v></item>"));
+        }
+        s.push_str("</root>");
+        s
+    }
+
+    #[test]
+    fn succinct_structure_beats_dom_and_intervals() {
+        let xml = flat_doc(2000);
+        let doc = parse_document(&xml).unwrap();
+        let sdoc = SuccinctDoc::from_document(&doc);
+        let st = StorageStats::measure(&doc, &sdoc);
+        // The structural part of the succinct encoding must be dramatically
+        // smaller than the DOM (pointers) and the interval tables.
+        assert!(st.succinct_structure * 8 < st.dom_bytes, "{st:?}");
+        assert!(st.succinct_structure * 4 < st.interval_bytes, "{st:?}");
+    }
+
+    #[test]
+    fn structure_bits_per_node_is_small_constant() {
+        let xml = flat_doc(5000);
+        let doc = parse_document(&xml).unwrap();
+        let sdoc = SuccinctDoc::from_document(&doc);
+        let st = StorageStats::measure(&doc, &sdoc);
+        let bpn = st.structure_bits_per_node();
+        // 2 bits of parentheses + directory + min-max tree ≈ well under 8.
+        assert!(bpn > 1.9 && bpn < 8.0, "bits/node = {bpn}");
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let doc = parse_document("<a><b>x</b></a>").unwrap();
+        let sdoc = SuccinctDoc::from_document(&doc);
+        let st = StorageStats::measure(&doc, &sdoc);
+        assert_eq!(
+            st.succinct_total(),
+            st.succinct_structure + st.succinct_schema + st.succinct_content
+        );
+        assert_eq!(st.nodes, 3);
+    }
+}

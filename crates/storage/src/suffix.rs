@@ -1,0 +1,205 @@
+//! Substring (contains) index over the content store.
+//!
+//! §4.2 motivates the structure/content split precisely so that
+//! "content-based indexes (such as B+ trees and suffix trees) can be created
+//! only on the content information". This is the suffix-side companion to
+//! [`crate::index::ValueIndex`]: a **suffix array** over the content arena
+//! (the classical array form of the suffix tree — same queries, a fraction
+//! of the space). `find` answers "which nodes' content contains this
+//! substring?" with binary search, in O(|pattern| · log n) comparisons.
+//!
+//! Construction sorts every suffix of every content string — O(n log n)
+//! comparisons of average O(|overlap|) cost, fine for the document sizes the
+//! engine targets and entirely offline. The index stores `(content-rank,
+//! offset)` pairs only; the text stays in the content store.
+
+use crate::succinct::{SNodeId, SuccinctDoc};
+
+/// A suffix array over a document's content store.
+#[derive(Debug, Clone)]
+pub struct SuffixIndex {
+    /// `(content_rank, byte_offset)` per suffix, sorted lexicographically by
+    /// the suffix text.
+    suffixes: Vec<(u32, u32)>,
+}
+
+impl SuffixIndex {
+    /// Build the index for `doc`'s content store.
+    pub fn build(doc: &SuccinctDoc) -> Self {
+        let store = doc.content_store();
+        let mut suffixes: Vec<(u32, u32)> = Vec::new();
+        for (rank, text) in store.iter() {
+            for (off, _) in text.char_indices() {
+                suffixes.push((rank as u32, off as u32));
+            }
+        }
+        suffixes.sort_by(|&(ra, oa), &(rb, ob)| {
+            let sa = &store.get(ra as usize)[oa as usize..];
+            let sb = &store.get(rb as usize)[ob as usize..];
+            sa.cmp(sb)
+        });
+        SuffixIndex { suffixes }
+    }
+
+    /// Number of indexed suffixes.
+    pub fn len(&self) -> usize {
+        self.suffixes.len()
+    }
+
+    /// True if no content is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.suffixes.is_empty()
+    }
+
+    fn suffix_at<'d>(&self, doc: &'d SuccinctDoc, i: usize) -> &'d str {
+        let (rank, off) = self.suffixes[i];
+        &doc.content_store().get(rank as usize)[off as usize..]
+    }
+
+    /// Content-bearing nodes (text and attribute nodes) whose content
+    /// contains `pattern`, in document order. The empty pattern matches
+    /// every content node.
+    pub fn find(&self, doc: &SuccinctDoc, pattern: &str) -> Vec<SNodeId> {
+        if pattern.is_empty() {
+            let mut all: Vec<SNodeId> = (0..doc.content_store().len())
+                .filter_map(|r| doc.node_of_content_rank(r))
+                .collect();
+            all.sort_unstable();
+            return all;
+        }
+        // Binary search the range of suffixes starting with `pattern`.
+        let lo = self.partition(doc, |s| s < pattern);
+        let hi = self.partition(doc, |s| s < pattern || s.starts_with(pattern));
+        let mut ranks: Vec<u32> = self.suffixes[lo..hi].iter().map(|&(r, _)| r).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        let mut nodes: Vec<SNodeId> = ranks
+            .into_iter()
+            .filter_map(|r| doc.node_of_content_rank(r as usize))
+            .collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Elements (in document order) whose **string value** contains
+    /// `pattern` — the accelerated form of `…[contains(., "pattern")]`,
+    /// derived by walking matching content nodes up to their ancestors.
+    pub fn find_elements(&self, doc: &SuccinctDoc, pattern: &str) -> Vec<SNodeId> {
+        let mut out: Vec<SNodeId> = Vec::new();
+        for n in self.find(doc, pattern) {
+            if doc.is_attribute(n) {
+                continue; // attribute content is not part of element string values
+            }
+            let mut cur = doc.parent(n);
+            while let Some(p) = cur {
+                out.push(p);
+                cur = doc.parent(p);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn partition(&self, doc: &SuccinctDoc, mut below: impl FnMut(&str) -> bool) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.suffixes.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if below(self.suffix_at(doc, mid)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Heap bytes of the index (8 bytes per suffix).
+    pub fn heap_bytes(&self) -> usize {
+        self.suffixes.capacity() * std::mem::size_of::<(u32, u32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "<lib>\
+        <book title=\"banana republic\"><note>yellow banana</note></book>\
+        <book title=\"anagram\"><note>nan bread</note></book>\
+        <book title=\"plain\"><note>nothing here</note></book>\
+        </lib>";
+
+    fn setup() -> (SuccinctDoc, SuffixIndex) {
+        let doc = SuccinctDoc::parse(DOC).unwrap();
+        let idx = SuffixIndex::build(&doc);
+        (doc, idx)
+    }
+
+    /// Brute-force oracle: scan every content node.
+    fn brute(doc: &SuccinctDoc, pattern: &str) -> Vec<SNodeId> {
+        let mut out: Vec<SNodeId> = (0..doc.node_count() as u32)
+            .map(SNodeId)
+            .filter(|&n| doc.content(n).is_some_and(|c| c.contains(pattern)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn find_matches_brute_force() {
+        let (doc, idx) = setup();
+        for pat in ["banana", "nan", "an", "bread", "x", "nothing here", "republic", ""] {
+            assert_eq!(idx.find(&doc, pat), brute(&doc, pat), "pattern `{pat}`");
+        }
+    }
+
+    #[test]
+    fn overlapping_occurrences_dedup() {
+        let doc = SuccinctDoc::parse("<a>aaaa</a>").unwrap();
+        let idx = SuffixIndex::build(&doc);
+        // "aa" occurs 3 times in the single text node — one hit.
+        assert_eq!(idx.find(&doc, "aa").len(), 1);
+    }
+
+    #[test]
+    fn attributes_are_searchable() {
+        let (doc, idx) = setup();
+        let hits = idx.find(&doc, "republic");
+        assert_eq!(hits.len(), 1);
+        assert!(doc.is_attribute(hits[0]));
+    }
+
+    #[test]
+    fn find_elements_walks_ancestors() {
+        let (doc, idx) = setup();
+        let els = idx.find_elements(&doc, "banana");
+        // note → book → lib for the text hit; the attribute hit is excluded.
+        let names: Vec<&str> = els.iter().map(|&n| doc.name(n)).collect();
+        assert_eq!(names, ["lib", "book", "note"]);
+    }
+
+    #[test]
+    fn missing_pattern_is_empty() {
+        let (doc, idx) = setup();
+        assert!(idx.find(&doc, "zebra").is_empty());
+        assert!(idx.find_elements(&doc, "zebra").is_empty());
+    }
+
+    #[test]
+    fn unicode_content() {
+        let doc = SuccinctDoc::parse("<a>héllo wörld</a>").unwrap();
+        let idx = SuffixIndex::build(&doc);
+        assert_eq!(idx.find(&doc, "ör").len(), 1);
+        assert_eq!(idx.find(&doc, "é").len(), 1);
+    }
+
+    #[test]
+    fn empty_document() {
+        let doc = SuccinctDoc::parse("<a/>").unwrap();
+        let idx = SuffixIndex::build(&doc);
+        assert!(idx.is_empty());
+        assert!(idx.find(&doc, "x").is_empty());
+    }
+}

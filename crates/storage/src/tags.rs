@@ -1,0 +1,143 @@
+//! Tag symbol table.
+//!
+//! The storage scheme separates "schema information (tree structure
+//! consisting of tags)" from content (§4.2). Tags are interned once into a
+//! [`TagTable`]; the structure then stores one dense [`TagId`] per node, so
+//! tag-name selection (σs) is an integer comparison and per-tag streams for
+//! the join baselines are cheap to build.
+
+use std::collections::HashMap;
+
+/// Dense id of an interned tag name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagId(pub u32);
+
+impl TagId {
+    /// Reserved id for text nodes (they carry no tag).
+    pub const TEXT: TagId = TagId(0);
+
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns tag names to dense [`TagId`]s. Id 0 is reserved for text nodes.
+#[derive(Debug, Clone)]
+pub struct TagTable {
+    names: Vec<String>,
+    ids: HashMap<String, TagId>,
+}
+
+impl Default for TagTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TagTable {
+    /// A table with only the reserved `#text` entry.
+    pub fn new() -> Self {
+        let mut t = TagTable { names: Vec::new(), ids: HashMap::new() };
+        let text = t.intern("#text");
+        debug_assert_eq!(text, TagId::TEXT);
+        t
+    }
+
+    /// Intern `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = TagId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<TagId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of `id`.
+    ///
+    /// # Panics
+    /// Panics on an id not minted by this table.
+    pub fn name(&self, id: TagId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct tags (including `#text`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if only the reserved entry exists.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Iterate over `(TagId, name)` pairs, skipping the reserved text id.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, n)| (TagId(i as u32), n.as_str()))
+    }
+
+    /// Heap bytes used by the table.
+    pub fn heap_bytes(&self) -> usize {
+        self.names.iter().map(|n| n.len() + std::mem::size_of::<String>()).sum::<usize>()
+            + self.ids.len()
+                * (std::mem::size_of::<String>() + std::mem::size_of::<TagId>() + 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = TagTable::new();
+        let a1 = t.intern("book");
+        let a2 = t.intern("book");
+        assert_eq!(a1, a2);
+        assert_eq!(t.name(a1), "book");
+    }
+
+    #[test]
+    fn text_id_is_reserved() {
+        let t = TagTable::new();
+        assert_eq!(t.lookup("#text"), Some(TagId::TEXT));
+        assert_eq!(t.name(TagId::TEXT), "#text");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let mut t = TagTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 3); // #text, a, b
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn lookup_missing() {
+        let t = TagTable::new();
+        assert_eq!(t.lookup("nope"), None);
+    }
+
+    #[test]
+    fn iter_skips_text() {
+        let mut t = TagTable::new();
+        t.intern("x");
+        t.intern("y");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["x", "y"]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Local subtree updates on the succinct encoding.
+//!
+//! The paper's argument for parentheses clustering (§4.2): "this clustering
+//! method makes update easier since each update only affects a local
+//! sub-string". These functions realize that: deleting or inserting a subtree
+//! splices a contiguous run of parentheses/tags/contents and leaves the rest
+//! of the byte sequences untouched — only the small rank directories are
+//! recomputed. Experiment E7 benchmarks this splice against re-encoding the
+//! whole document from a DOM.
+
+use crate::bitvec::BitVec;
+use crate::content::ContentStore;
+use crate::succinct::{SNodeId, SuccinctDoc};
+use crate::tags::{TagId, TagTable};
+use xqp_xml::{Document, NodeId, NodeKind};
+
+/// A fragment encoded against a tag table, ready to splice in.
+struct EncodedFragment {
+    bits: Vec<bool>,
+    tags: Vec<TagId>,
+    is_attr: Vec<bool>,
+    contents: Vec<Option<String>>, // per node
+}
+
+fn encode_fragment(doc: &Document, root: NodeId, table: &mut TagTable) -> EncodedFragment {
+    let mut f = EncodedFragment {
+        bits: Vec::new(),
+        tags: Vec::new(),
+        is_attr: Vec::new(),
+        contents: Vec::new(),
+    };
+    walk(doc, root, table, &mut f);
+    f
+}
+
+fn walk(doc: &Document, id: NodeId, table: &mut TagTable, f: &mut EncodedFragment) {
+    match &doc.node(id).kind {
+        NodeKind::Element { name, attributes } => {
+            f.bits.push(true);
+            f.tags.push(table.intern(&name.as_lexical()));
+            f.is_attr.push(false);
+            f.contents.push(None);
+            for &aid in attributes {
+                if let NodeKind::Attribute { name, value } = &doc.node(aid).kind {
+                    f.bits.push(true);
+                    f.tags.push(table.intern(&name.as_lexical()));
+                    f.is_attr.push(true);
+                    f.contents.push(Some(value.clone()));
+                    f.bits.push(false);
+                }
+            }
+            for child in doc.children(id) {
+                walk(doc, child, table, f);
+            }
+            f.bits.push(false);
+        }
+        NodeKind::Text(t) => {
+            f.bits.push(true);
+            f.tags.push(TagId::TEXT);
+            f.is_attr.push(false);
+            f.contents.push(Some(t.clone()));
+            f.bits.push(false);
+        }
+        _ => {}
+    }
+}
+
+/// Splice helper over the per-node vectors: remove node ranks
+/// `[at, at+removed)` and insert the fragment's nodes at `at`; parentheses
+/// are spliced at `bit_at` with `bit_removed` bits dropped.
+fn splice_parts(
+    doc: &SuccinctDoc,
+    bit_at: usize,
+    bit_removed: usize,
+    at: usize,
+    removed: usize,
+    frag: &EncodedFragment,
+    table: TagTable,
+) -> SuccinctDoc {
+    // Parentheses.
+    let mut bits = doc.bp().bits().clone();
+    bits.splice(bit_at, bit_removed, &frag.bits);
+    bits.finish();
+
+    // Tags.
+    let mut tags = doc.raw_tags().to_vec();
+    tags.splice(at..at + removed, frag.tags.iter().copied());
+
+    // Attribute flags.
+    let old_attr = doc.raw_is_attr();
+    let mut is_attr = BitVec::new();
+    for i in 0..at {
+        is_attr.push(old_attr.get(i));
+    }
+    for &b in &frag.is_attr {
+        is_attr.push(b);
+    }
+    for i in at + removed..doc.node_count() {
+        is_attr.push(old_attr.get(i));
+    }
+    is_attr.finish();
+
+    // Content flags + store.
+    let old_has = doc.raw_has_content();
+    let content_at = old_has.rank1(at);
+    let content_removed = old_has.rank1(at + removed) - content_at;
+    let inserted: Vec<&str> =
+        frag.contents.iter().filter_map(|c| c.as_deref()).collect();
+    let content: ContentStore =
+        doc.content_store().splice(content_at, content_removed, &inserted);
+    let mut has_content = BitVec::new();
+    for i in 0..at {
+        has_content.push(old_has.get(i));
+    }
+    for c in &frag.contents {
+        has_content.push(c.is_some());
+    }
+    for i in at + removed..doc.node_count() {
+        has_content.push(old_has.get(i));
+    }
+    has_content.finish();
+
+    SuccinctDoc::from_parts(bits, tags, is_attr, has_content, content, table)
+}
+
+/// Delete the subtree rooted at `n`, returning the updated document.
+///
+/// # Panics
+/// Panics if `n` is the root element (deleting the root would leave an
+/// empty document; drop the [`SuccinctDoc`] instead).
+pub fn delete_subtree(doc: &SuccinctDoc, n: SNodeId) -> SuccinctDoc {
+    assert!(n.index() != 0, "cannot delete the root element");
+    let open = doc.pos(n);
+    let close = doc.bp().find_close(open);
+    let size = doc.subtree_size(n);
+    let empty = EncodedFragment {
+        bits: Vec::new(),
+        tags: Vec::new(),
+        is_attr: Vec::new(),
+        contents: Vec::new(),
+    };
+    splice_parts(doc, open, close - open + 1, n.index(), size, &empty, doc.tag_table().clone())
+}
+
+/// Insert the root element of `fragment` as the **last child** of `parent`,
+/// returning the updated document.
+///
+/// # Panics
+/// Panics if `parent` is not an element or `fragment` has no root element.
+pub fn insert_subtree(doc: &SuccinctDoc, parent: SNodeId, fragment: &Document) -> SuccinctDoc {
+    assert!(doc.is_element(parent), "insert target must be an element");
+    let frag_root = fragment.root_element().expect("fragment has a root element");
+    let mut table = doc.tag_table().clone();
+    let frag = encode_fragment(fragment, frag_root, &mut table);
+    // Insertion point: just before the parent's close parenthesis; in rank
+    // space that is right after the parent's whole subtree.
+    let close = doc.bp().find_close(doc.pos(parent));
+    let at = parent.index() + doc.subtree_size(parent);
+    splice_parts(doc, close, 0, at, 0, &frag, table)
+}
+
+/// Re-encode the whole document from a DOM — the non-local alternative the
+/// update benchmark (E7) compares against.
+pub fn rebuild_full(doc: &Document) -> SuccinctDoc {
+    SuccinctDoc::from_document(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_xml::{parse_document, serialize};
+
+    fn sdoc(s: &str) -> SuccinctDoc {
+        SuccinctDoc::parse(s).unwrap()
+    }
+
+    fn as_xml(d: &SuccinctDoc) -> String {
+        serialize(&d.to_document())
+    }
+
+    #[test]
+    fn delete_leaf() {
+        let d = sdoc("<a><b/><c/></a>");
+        let a = d.root().unwrap();
+        let b = d.first_child(a).unwrap();
+        let d2 = delete_subtree(&d, b);
+        assert_eq!(as_xml(&d2), "<a><c/></a>");
+        assert_eq!(d2.node_count(), 2);
+    }
+
+    #[test]
+    fn delete_subtree_with_content() {
+        let d = sdoc("<bib><book year=\"1\"><t>x</t></book><book year=\"2\"><t>y</t></book></bib>");
+        let bib = d.root().unwrap();
+        let book1 = d.child_elements(bib).next().unwrap();
+        let d2 = delete_subtree(&d, book1);
+        assert_eq!(as_xml(&d2), "<bib><book year=\"2\"><t>y</t></book></bib>");
+        // Content of the second book survives with correct ranks.
+        let book = d2.child_elements(d2.root().unwrap()).next().unwrap();
+        assert_eq!(d2.attribute(book, "year"), Some("2"));
+        assert_eq!(d2.string_value(book), "y");
+    }
+
+    #[test]
+    fn delete_middle_sibling() {
+        let d = sdoc("<a><x>1</x><y>2</y><z>3</z></a>");
+        let a = d.root().unwrap();
+        let y = d.child_elements(a).nth(1).unwrap();
+        let d2 = delete_subtree(&d, y);
+        assert_eq!(as_xml(&d2), "<a><x>1</x><z>3</z></a>");
+        assert_eq!(d2.string_value(d2.root().unwrap()), "13");
+    }
+
+    #[test]
+    #[should_panic(expected = "root")]
+    fn delete_root_panics() {
+        let d = sdoc("<a/>");
+        delete_subtree(&d, d.root().unwrap());
+    }
+
+    #[test]
+    fn insert_into_empty_parent() {
+        let d = sdoc("<a><b/></a>");
+        let frag = parse_document("<c attr=\"v\">text</c>").unwrap();
+        let a = d.root().unwrap();
+        let b = d.first_child(a).unwrap();
+        let d2 = insert_subtree(&d, b, &frag);
+        assert_eq!(as_xml(&d2), "<a><b><c attr=\"v\">text</c></b></a>");
+    }
+
+    #[test]
+    fn insert_as_last_child() {
+        let d = sdoc("<list><item>1</item></list>");
+        let frag = parse_document("<item>2</item>").unwrap();
+        let d2 = insert_subtree(&d, d.root().unwrap(), &frag);
+        assert_eq!(as_xml(&d2), "<list><item>1</item><item>2</item></list>");
+        // And again — repeated local updates compose.
+        let frag3 = parse_document("<item>3</item>").unwrap();
+        let d3 = insert_subtree(&d2, d2.root().unwrap(), &frag3);
+        assert_eq!(as_xml(&d3), "<list><item>1</item><item>2</item><item>3</item></list>");
+    }
+
+    #[test]
+    fn insert_interns_new_tags() {
+        let d = sdoc("<a/>");
+        let frag = parse_document("<brand-new x=\"1\"/>").unwrap();
+        let d2 = insert_subtree(&d, d.root().unwrap(), &frag);
+        assert!(d2.tag_table().lookup("brand-new").is_some());
+        assert_eq!(as_xml(&d2), "<a><brand-new x=\"1\"/></a>");
+    }
+
+    #[test]
+    fn insert_then_delete_roundtrip() {
+        let original = "<a><b>keep</b></a>";
+        let d = sdoc(original);
+        let frag = parse_document("<tmp><deep><er/></deep></tmp>").unwrap();
+        let d2 = insert_subtree(&d, d.root().unwrap(), &frag);
+        let tmp = d2.child_elements(d2.root().unwrap()).nth(1).unwrap();
+        assert_eq!(d2.name(tmp), "tmp");
+        let d3 = delete_subtree(&d2, tmp);
+        assert_eq!(as_xml(&d3), original);
+    }
+
+    #[test]
+    fn update_equals_rebuild() {
+        // The spliced document must be behaviourally identical to a fresh
+        // encode of the same logical document.
+        let d = sdoc("<r><a>1</a><b>2</b></r>");
+        let frag = parse_document("<c>3</c>").unwrap();
+        let spliced = insert_subtree(&d, d.root().unwrap(), &frag);
+        let rebuilt = rebuild_full(&parse_document("<r><a>1</a><b>2</b><c>3</c></r>").unwrap());
+        assert_eq!(as_xml(&spliced), as_xml(&rebuilt));
+        assert_eq!(spliced.node_count(), rebuilt.node_count());
+        // Navigation still works after splice.
+        let c = spliced.child_elements(spliced.root().unwrap()).nth(2).unwrap();
+        assert_eq!(spliced.name(c), "c");
+        assert_eq!(spliced.string_value(c), "3");
+        assert_eq!(spliced.depth(c), 2);
+    }
+
+    #[test]
+    fn navigation_after_delete() {
+        let d = sdoc("<r><a><x/></a><b><y/></b><c><z/></c></r>");
+        let r = d.root().unwrap();
+        let b = d.child_elements(r).nth(1).unwrap();
+        let d2 = delete_subtree(&d, b);
+        let r2 = d2.root().unwrap();
+        let names: Vec<&str> = d2.child_elements(r2).map(|c| d2.name(c)).collect();
+        assert_eq!(names, ["a", "c"]);
+        let c = d2.child_elements(r2).nth(1).unwrap();
+        let z = d2.first_child(c).unwrap();
+        assert_eq!(d2.name(z), "z");
+        assert_eq!(d2.parent(z), Some(c));
+    }
+}

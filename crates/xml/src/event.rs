@@ -1,0 +1,93 @@
+//! Streaming parse events.
+//!
+//! The parser yields a flat stream of [`Event`]s in document order. The
+//! paper's storage scheme (§4.2) exploits the fact that pre-order tree
+//! linearization coincides with this arrival order, so the same NoK
+//! evaluation algorithm runs over a stored succinct tree or a live stream.
+
+use crate::name::QName;
+
+/// One attribute on a start tag: name plus already-unescaped value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: QName,
+    /// Attribute value with entity references resolved.
+    pub value: String,
+}
+
+/// A streaming XML event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v" ...>`; `self_closing` is true for `<name/>`, in which
+    /// case no matching [`Event::EndElement`] follows.
+    StartElement {
+        /// Element name.
+        name: QName,
+        /// Attributes in source order.
+        attributes: Vec<Attribute>,
+        /// Whether the tag was written as `<name/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndElement {
+        /// Element name (checked against the matching start tag).
+        name: QName,
+    },
+    /// Character data between tags, with entities resolved. Adjacent text and
+    /// CDATA runs are merged into one event.
+    Text(String),
+    /// `<!-- ... -->`.
+    Comment(String),
+    /// `<?target data?>`.
+    ProcessingInstruction {
+        /// The PI target (first name after `<?`).
+        target: String,
+        /// Everything between the target and `?>`, trimmed of one leading space.
+        data: String,
+    },
+}
+
+impl Event {
+    /// The element name if this is a start or end element event.
+    pub fn element_name(&self) -> Option<&QName> {
+        match self {
+            Event::StartElement { name, .. } | Event::EndElement { name } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// True if this event opens an element.
+    pub fn is_start(&self) -> bool {
+        matches!(self, Event::StartElement { .. })
+    }
+
+    /// True if this event closes an element (self-closing start tags count as
+    /// both open and close and are reported as a single start event).
+    pub fn is_end(&self) -> bool {
+        matches!(self, Event::EndElement { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_name_accessor() {
+        let s = Event::StartElement {
+            name: QName::local("a"),
+            attributes: vec![],
+            self_closing: false,
+        };
+        assert_eq!(s.element_name(), Some(&QName::local("a")));
+        assert!(s.is_start());
+        assert!(!s.is_end());
+
+        let e = Event::EndElement { name: QName::local("a") };
+        assert_eq!(e.element_name(), Some(&QName::local("a")));
+        assert!(e.is_end());
+
+        assert_eq!(Event::Text("x".into()).element_name(), None);
+    }
+}

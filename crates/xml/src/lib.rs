@@ -1,0 +1,37 @@
+//! # xqp-xml — XML data model, parser and serializer
+//!
+//! This crate is the data-model substrate for the `xqp` XML query processor.
+//! It implements, from scratch:
+//!
+//! * an **arena DOM** ([`Document`], [`NodeId`]) in which nodes live in a
+//!   `Vec` and are addressed by dense `u32` ids whose order *is* document
+//!   (pre-) order — the property every structural operator in the engine
+//!   relies on;
+//! * a **streaming event parser** ([`Parser`], [`Event`]) for a practical XML
+//!   subset (elements, attributes, text, CDATA, comments, processing
+//!   instructions, the five predefined entities and numeric character
+//!   references);
+//! * a **serializer** ([`serialize`]) that round-trips documents;
+//! * the **atomic value** universe of the XQuery data model ([`Atomic`]) with
+//!   the comparison/promotion semantics the algebra's value operators need.
+//!
+//! The W3C data model says every XQuery value is a flat sequence of items;
+//! the paper (§3.2) extends this with nested lists and labeled trees. Those
+//! higher sorts live in `xqp-algebra`; this crate provides the trees and the
+//! atoms they are built from.
+
+pub mod error;
+pub mod event;
+pub mod name;
+pub mod parser;
+pub mod serialize;
+pub mod tree;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use event::Event;
+pub use name::QName;
+pub use parser::{parse_document, Parser};
+pub use serialize::{serialize, serialize_node, serialize_pretty};
+pub use tree::{Document, Node, NodeId, NodeKind, TreeBuilder};
+pub use value::Atomic;

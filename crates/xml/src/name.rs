@@ -1,0 +1,138 @@
+//! Qualified names.
+//!
+//! The engine keeps namespace handling deliberately light: a [`QName`] is a
+//! `prefix:local` pair compared textually. This matches the paper's data
+//! model, where pattern-graph vertices are labeled with plain element names
+//! drawn from a finite alphabet Σ (Definition 1). Full URI-based namespace
+//! resolution is orthogonal to the query-processing techniques under study
+//! and would only obscure the tag symbol table in `xqp-storage`.
+
+use std::fmt;
+
+/// A qualified XML name: optional prefix plus local part.
+///
+/// Ordering and equality are textual on `(prefix, local)`, which makes
+/// `QName` directly usable as a key in the storage layer's tag symbol table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    /// Optional namespace prefix (the part before `:`), e.g. `xs` in `xs:int`.
+    pub prefix: Option<String>,
+    /// Local part of the name.
+    pub local: String,
+}
+
+impl QName {
+    /// A name with no prefix.
+    pub fn local(name: impl Into<String>) -> Self {
+        QName { prefix: None, local: name.into() }
+    }
+
+    /// A name with a prefix.
+    pub fn prefixed(prefix: impl Into<String>, name: impl Into<String>) -> Self {
+        QName { prefix: Some(prefix.into()), local: name.into() }
+    }
+
+    /// Parse `prefix:local` or `local` from a raw lexical name.
+    ///
+    /// The split is on the first `:`; further colons stay in the local part
+    /// (they are invalid XML anyway and the parser rejects them upstream).
+    pub fn parse(raw: &str) -> Self {
+        match raw.find(':') {
+            Some(i) => QName::prefixed(&raw[..i], &raw[i + 1..]),
+            None => QName::local(raw),
+        }
+    }
+
+    /// The full lexical form, `prefix:local` or `local`.
+    pub fn as_lexical(&self) -> String {
+        match &self.prefix {
+            Some(p) => format!("{}:{}", p, self.local),
+            None => self.local.clone(),
+        }
+    }
+
+    /// Whether this name matches a name test, where the test may be the
+    /// wildcard `*`, a plain local name, or a full `prefix:local` form.
+    pub fn matches_test(&self, test: &str) -> bool {
+        if test == "*" {
+            return true;
+        }
+        match test.find(':') {
+            Some(i) => {
+                self.prefix.as_deref() == Some(&test[..i]) && self.local == test[i + 1..]
+            }
+            None => self.prefix.is_none() && self.local == test,
+        }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prefix {
+            Some(p) => write!(f, "{}:{}", p, self.local),
+            None => write!(f, "{}", self.local),
+        }
+    }
+}
+
+/// Returns true if `c` may start an XML name.
+pub fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Returns true if `c` may continue an XML name (colon excluded — the parser
+/// handles prefix splitting itself).
+pub fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_unprefixed() {
+        let q = QName::parse("book");
+        assert_eq!(q, QName::local("book"));
+        assert_eq!(q.to_string(), "book");
+    }
+
+    #[test]
+    fn parse_prefixed() {
+        let q = QName::parse("bib:book");
+        assert_eq!(q, QName::prefixed("bib", "book"));
+        assert_eq!(q.as_lexical(), "bib:book");
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        assert!(QName::local("a").matches_test("*"));
+        assert!(QName::prefixed("p", "a").matches_test("*"));
+    }
+
+    #[test]
+    fn name_test_respects_prefix() {
+        assert!(QName::local("a").matches_test("a"));
+        assert!(!QName::prefixed("p", "a").matches_test("a"));
+        assert!(QName::prefixed("p", "a").matches_test("p:a"));
+        assert!(!QName::local("a").matches_test("p:a"));
+    }
+
+    #[test]
+    fn ordering_is_textual() {
+        assert!(QName::local("a") < QName::local("b"));
+        // `None` prefix sorts before `Some`.
+        assert!(QName::local("z") < QName::prefixed("a", "a"));
+    }
+
+    #[test]
+    fn name_char_classes() {
+        assert!(is_name_start('a'));
+        assert!(is_name_start('_'));
+        assert!(!is_name_start('1'));
+        assert!(is_name_char('1'));
+        assert!(is_name_char('-'));
+        assert!(is_name_char('.'));
+        assert!(!is_name_char(' '));
+    }
+}

@@ -1,0 +1,646 @@
+//! A hand-written, pull-based XML parser.
+//!
+//! [`Parser`] is an iterator over [`Event`]s; [`parse_document`] drives it to
+//! completion and builds an arena [`Document`](crate::tree::Document).
+//!
+//! Supported: prolog, `DOCTYPE` (skipped, including an internal subset),
+//! elements, attributes (single or double quoted), character data, CDATA
+//! sections, comments, processing instructions, the five predefined entities
+//! and decimal/hex character references. Well-formedness is enforced: tags
+//! must nest, attribute names must be unique per element, exactly one root
+//! element must exist.
+//!
+//! Not supported (rejected or ignored by design — see DESIGN.md): external
+//! entities, custom entity definitions, namespace URI resolution.
+
+use crate::error::{Error, Result};
+use crate::event::{Attribute, Event};
+use crate::name::{is_name_char, is_name_start, QName};
+use crate::tree::{Document, TreeBuilder};
+
+/// Pull parser over an in-memory XML string.
+///
+/// ```
+/// use xqp_xml::{Parser, Event};
+/// let mut p = Parser::new("<a x='1'>hi</a>");
+/// let ev = p.next_event().unwrap().unwrap();
+/// assert!(matches!(ev, Event::StartElement { .. }));
+/// ```
+pub struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    /// Open-element stack for well-formedness checking.
+    stack: Vec<QName>,
+    /// Whether the single root element has been seen and closed.
+    root_done: bool,
+    /// Whether any root element has been opened yet.
+    root_seen: bool,
+    finished: bool,
+}
+
+impl<'a> Parser<'a> {
+    /// Create a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            stack: Vec::new(),
+            root_done: false,
+            root_seen: false,
+            finished: false,
+        }
+    }
+
+    /// Current byte offset (for error reporting and testing).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Depth of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::new(self.pos, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\r' || b == b'\n' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        if self.starts_with(s) {
+            self.bump(s.len());
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    /// Read a raw XML name (possibly containing one colon).
+    fn read_name(&mut self) -> Result<QName> {
+        let start = self.pos;
+        let mut chars = self.input[self.pos..].char_indices();
+        match chars.next() {
+            Some((_, c)) if is_name_start(c) => {}
+            _ => return Err(self.err("expected name")),
+        }
+        let mut end = self.input.len();
+        let mut colons = 0usize;
+        for (i, c) in self.input[self.pos..].char_indices() {
+            let ok = if i == 0 {
+                is_name_start(c)
+            } else if c == ':' {
+                colons += 1;
+                colons <= 1
+            } else {
+                is_name_char(c)
+            };
+            if !ok {
+                if c == ':' {
+                    return Err(self.err("multiple colons in name"));
+                }
+                end = self.pos + i;
+                break;
+            }
+        }
+        let raw = &self.input[start..end];
+        self.pos = end;
+        if raw.ends_with(':') {
+            return Err(self.err("name may not end with `:`"));
+        }
+        Ok(QName::parse(raw))
+    }
+
+    /// Resolve entity and character references in `raw`.
+    fn unescape(&self, raw: &str, base: usize) -> Result<String> {
+        if !raw.contains('&') {
+            return Ok(raw.to_string());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        let mut off = base;
+        while let Some(i) = rest.find('&') {
+            out.push_str(&rest[..i]);
+            off += i;
+            let tail = &rest[i..];
+            let semi = tail
+                .find(';')
+                .ok_or_else(|| Error::new(off, "unterminated entity reference"))?;
+            let ent = &tail[1..semi];
+            match ent {
+                "amp" => out.push('&'),
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "apos" => out.push('\''),
+                "quot" => out.push('"'),
+                _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                    let cp = u32::from_str_radix(&ent[2..], 16)
+                        .map_err(|_| Error::new(off, "bad hex character reference"))?;
+                    out.push(
+                        char::from_u32(cp)
+                            .ok_or_else(|| Error::new(off, "invalid code point"))?,
+                    );
+                }
+                _ if ent.starts_with('#') => {
+                    let cp: u32 = ent[1..]
+                        .parse()
+                        .map_err(|_| Error::new(off, "bad decimal character reference"))?;
+                    out.push(
+                        char::from_u32(cp)
+                            .ok_or_else(|| Error::new(off, "invalid code point"))?,
+                    );
+                }
+                _ => {
+                    return Err(Error::new(off, format!("unknown entity `&{ent};`")));
+                }
+            }
+            rest = &tail[semi + 1..];
+            off += semi + 1;
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+
+    /// Skip `<?xml ...?>`, whitespace, comments and a DOCTYPE before/after
+    /// the root element. Returns the next content event, if any.
+    fn parse_misc(&mut self) -> Result<Option<Event>> {
+        loop {
+            self.skip_ws();
+            if self.pos >= self.input.len() {
+                return Ok(None);
+            }
+            if self.starts_with("<?xml") {
+                let end = self.input[self.pos..]
+                    .find("?>")
+                    .ok_or_else(|| self.err("unterminated XML declaration"))?;
+                self.bump(end + 2);
+                continue;
+            }
+            if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+                continue;
+            }
+            if self.starts_with("<!--") {
+                return self.parse_comment().map(Some);
+            }
+            if self.starts_with("<?") {
+                return self.parse_pi().map(Some);
+            }
+            if self.peek() == Some(b'<') {
+                return Ok(None); // root element start; handled by caller
+            }
+            return Err(self.err("content not allowed outside root element"));
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<()> {
+        // Skip to the matching `>`, allowing one `[ ... ]` internal subset.
+        self.expect("<!DOCTYPE")?;
+        let mut in_subset = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'[' => {
+                    in_subset = true;
+                    self.pos += 1;
+                }
+                b']' => {
+                    in_subset = false;
+                    self.pos += 1;
+                }
+                b'>' if !in_subset => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Err(self.err("unterminated DOCTYPE"))
+    }
+
+    fn parse_comment(&mut self) -> Result<Event> {
+        self.expect("<!--")?;
+        let end = self.input[self.pos..]
+            .find("-->")
+            .ok_or_else(|| self.err("unterminated comment"))?;
+        let text = &self.input[self.pos..self.pos + end];
+        if text.contains("--") {
+            return Err(self.err("`--` not allowed inside comment"));
+        }
+        let ev = Event::Comment(text.to_string());
+        self.bump(end + 3);
+        Ok(ev)
+    }
+
+    fn parse_pi(&mut self) -> Result<Event> {
+        self.expect("<?")?;
+        let target = self.read_name()?;
+        if target.prefix.is_none() && target.local.eq_ignore_ascii_case("xml") {
+            return Err(self.err("`<?xml` only allowed at document start"));
+        }
+        let end = self.input[self.pos..]
+            .find("?>")
+            .ok_or_else(|| self.err("unterminated processing instruction"))?;
+        let mut data = &self.input[self.pos..self.pos + end];
+        data = data.strip_prefix(' ').unwrap_or(data);
+        let ev = Event::ProcessingInstruction {
+            target: target.as_lexical(),
+            data: data.to_string(),
+        };
+        self.bump(end + 2);
+        Ok(ev)
+    }
+
+    fn parse_start_tag(&mut self) -> Result<Event> {
+        self.expect("<")?;
+        let name = self.read_name()?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            let before = self.pos;
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.stack.push(name.clone());
+                    self.root_seen = true;
+                    return Ok(Event::StartElement { name, attributes, self_closing: false });
+                }
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    self.root_seen = true;
+                    if self.stack.is_empty() {
+                        self.root_done = true;
+                    }
+                    return Ok(Event::StartElement { name, attributes, self_closing: true });
+                }
+                Some(_) => {
+                    if before == self.pos {
+                        return Err(self.err("expected whitespace before attribute"));
+                    }
+                    let attr_name = self.read_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    let close = self.input[self.pos..]
+                        .find(quote as char)
+                        .ok_or_else(|| self.err("unterminated attribute value"))?;
+                    let raw = &self.input[vstart..vstart + close];
+                    if raw.contains('<') {
+                        return Err(self.err("`<` not allowed in attribute value"));
+                    }
+                    let value = self.unescape(raw, vstart)?;
+                    self.pos = vstart + close + 1;
+                    if attributes.iter().any(|a| a.name == attr_name) {
+                        return Err(self.err(format!("duplicate attribute `{attr_name}`")));
+                    }
+                    attributes.push(Attribute { name: attr_name, value });
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+    }
+
+    fn parse_end_tag(&mut self) -> Result<Event> {
+        self.expect("</")?;
+        let name = self.read_name()?;
+        self.skip_ws();
+        self.expect(">")?;
+        match self.stack.pop() {
+            Some(open) if open == name => {
+                if self.stack.is_empty() {
+                    self.root_done = true;
+                }
+                Ok(Event::EndElement { name })
+            }
+            Some(open) => Err(self.err(format!("mismatched tag: expected `</{open}>`, found `</{name}>`"))),
+            None => Err(self.err(format!("unexpected closing tag `</{name}>`"))),
+        }
+    }
+
+    /// Parse character data (plus any embedded CDATA sections) until the next
+    /// markup. Returns `None` if the run is empty.
+    fn parse_text(&mut self) -> Result<Option<Event>> {
+        let mut out = String::new();
+        loop {
+            if self.starts_with("<![CDATA[") {
+                self.bump(9);
+                let end = self.input[self.pos..]
+                    .find("]]>")
+                    .ok_or_else(|| self.err("unterminated CDATA section"))?;
+                out.push_str(&self.input[self.pos..self.pos + end]);
+                self.bump(end + 3);
+                continue;
+            }
+            match self.peek() {
+                None | Some(b'<') => break,
+                _ => {
+                    let rest = &self.input[self.pos..];
+                    let next = rest.find('<').unwrap_or(rest.len());
+                    let raw = &rest[..next];
+                    if raw.contains("]]>") {
+                        return Err(self.err("`]]>` not allowed in character data"));
+                    }
+                    let text = self.unescape(raw, self.pos)?;
+                    out.push_str(&text);
+                    self.bump(next);
+                }
+            }
+        }
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(Event::Text(out)))
+        }
+    }
+
+    /// Produce the next event, or `None` at a well-formed end of input.
+    pub fn next_event(&mut self) -> Result<Option<Event>> {
+        if self.finished {
+            return Ok(None);
+        }
+        if self.stack.is_empty() {
+            // Before the root or after it: misc only.
+            if let Some(ev) = self.parse_misc()? {
+                return Ok(Some(ev));
+            }
+            if self.pos >= self.input.len() {
+                if !self.root_seen {
+                    return Err(self.err("no root element"));
+                }
+                self.finished = true;
+                return Ok(None);
+            }
+            if self.root_done {
+                return Err(self.err("content after root element"));
+            }
+            return self.parse_start_tag().map(Some);
+        }
+        // Inside the root.
+        if self.starts_with("<!--") {
+            return self.parse_comment().map(Some);
+        }
+        if self.starts_with("<![CDATA[") || self.peek() != Some(b'<') {
+            if self.pos >= self.input.len() {
+                return Err(self.err("unexpected end of input inside element"));
+            }
+            if let Some(ev) = self.parse_text()? {
+                return Ok(Some(ev));
+            }
+            // Empty text run: fall through to markup.
+            return self.next_event();
+        }
+        if self.starts_with("</") {
+            return self.parse_end_tag().map(Some);
+        }
+        if self.starts_with("<?") {
+            return self.parse_pi().map(Some);
+        }
+        self.parse_start_tag().map(Some)
+    }
+}
+
+impl<'a> Iterator for Parser<'a> {
+    type Item = Result<Event>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_event() {
+            Ok(Some(ev)) => Some(Ok(ev)),
+            Ok(None) => None,
+            Err(e) => {
+                self.finished = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Parse a complete document into an arena [`Document`].
+pub fn parse_document(input: &str) -> Result<Document> {
+    let mut builder = TreeBuilder::new();
+    let mut parser = Parser::new(input);
+    while let Some(ev) = parser.next_event()? {
+        builder
+            .push_event(&ev)
+            .map_err(|msg| Error::new(parser.offset(), msg))?;
+    }
+    builder.finish().map_err(|msg| Error::new(parser.offset(), msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event as E;
+
+    fn events(s: &str) -> Vec<E> {
+        Parser::new(s).collect::<Result<Vec<_>>>().unwrap()
+    }
+
+    fn parse_err(s: &str) -> Error {
+        match Parser::new(s).collect::<Result<Vec<_>>>() {
+            Err(e) => e,
+            Ok(evs) => panic!("expected error, got {evs:?}"),
+        }
+    }
+
+    #[test]
+    fn minimal_document() {
+        let evs = events("<a/>");
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(&evs[0], E::StartElement { self_closing: true, .. }));
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let evs = events("<a><b>hi</b></a>");
+        assert_eq!(evs.len(), 5);
+        assert_eq!(evs[2], E::Text("hi".into()));
+        assert!(evs[4].is_end());
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let evs = events(r#"<a x="1" y='two'/>"#);
+        match &evs[0] {
+            E::StartElement { attributes, .. } => {
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0].value, "1");
+                assert_eq!(attributes[1].value, "two");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_in_text_and_attributes() {
+        let evs = events("<a x='&lt;&amp;&gt;'>&quot;&apos;&#65;&#x42;</a>");
+        match &evs[0] {
+            E::StartElement { attributes, .. } => assert_eq!(attributes[0].value, "<&>"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(evs[1], E::Text("\"'AB".into()));
+    }
+
+    #[test]
+    fn cdata_merges_with_text() {
+        let evs = events("<a>x<![CDATA[<raw&>]]>y</a>");
+        assert_eq!(evs[1], E::Text("x<raw&>y".into()));
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let evs = events("<?xml version=\"1.0\"?><!-- top --><a><?go now?><!--in--></a><!--after-->");
+        assert_eq!(evs[0], E::Comment(" top ".into()));
+        assert_eq!(
+            evs[2],
+            E::ProcessingInstruction { target: "go".into(), data: "now".into() }
+        );
+        assert_eq!(evs[3], E::Comment("in".into()));
+        assert_eq!(evs[5], E::Comment("after".into()));
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let evs = events("<!DOCTYPE bib [ <!ELEMENT bib (book*)> ]><bib/>");
+        assert_eq!(evs.len(), 1);
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let evs = events("<p:a p:x='1'></p:a>");
+        match &evs[0] {
+            E::StartElement { name, attributes, .. } => {
+                assert_eq!(name, &QName::prefixed("p", "a"));
+                assert_eq!(attributes[0].name, QName::prefixed("p", "x"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let e = parse_err("<a><b></a></b>");
+        assert!(e.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn rejects_unclosed_root() {
+        let e = parse_err("<a><b></b>");
+        assert!(e.message.contains("unexpected end of input"));
+    }
+
+    #[test]
+    fn rejects_content_after_root() {
+        let e = parse_err("<a/><b/>");
+        assert!(e.message.contains("after root"));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let e = parse_err("   ");
+        assert!(e.message.contains("no root"));
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        let e = parse_err("<a x='1' x='2'/>");
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        let e = parse_err("<a>&nope;</a>");
+        assert!(e.message.contains("unknown entity"));
+    }
+
+    #[test]
+    fn rejects_bare_ampersand() {
+        let e = parse_err("<a>fish & chips</a>");
+        assert!(e.message.contains("entity"));
+    }
+
+    #[test]
+    fn rejects_lt_in_attribute() {
+        let e = parse_err("<a x='<'/>");
+        assert!(e.message.contains("not allowed"));
+    }
+
+    #[test]
+    fn rejects_cdata_end_in_text() {
+        let e = parse_err("<a>]]></a>");
+        assert!(e.message.contains("]]>"));
+    }
+
+    #[test]
+    fn whitespace_only_text_is_preserved() {
+        let evs = events("<a> <b/> </a>");
+        assert_eq!(evs[1], E::Text(" ".into()));
+        assert_eq!(evs[3], E::Text(" ".into()));
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let mut p = Parser::new("<a><b/></a>");
+        p.next_event().unwrap();
+        assert_eq!(p.depth(), 1);
+        p.next_event().unwrap(); // <b/> self-closing: depth unchanged
+        assert_eq!(p.depth(), 1);
+        p.next_event().unwrap();
+        assert_eq!(p.depth(), 0);
+    }
+
+    #[test]
+    fn parse_document_smoke() {
+        let doc = parse_document("<bib><book year='1994'><title>TCP/IP</title></book></bib>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root).unwrap().local, "bib");
+    }
+
+    #[test]
+    fn crlf_whitespace_in_tags() {
+        let evs = events("<a\n  x='1'\r\n  y='2'\t/>");
+        match &evs[0] {
+            E::StartElement { attributes, .. } => assert_eq!(attributes.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deeply_nested_does_not_overflow() {
+        let mut s = String::new();
+        for _ in 0..2000 {
+            s.push_str("<d>");
+        }
+        for _ in 0..2000 {
+            s.push_str("</d>");
+        }
+        let evs = events(&s);
+        assert_eq!(evs.len(), 4000);
+    }
+}

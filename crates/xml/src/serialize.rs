@@ -1,0 +1,251 @@
+//! Document serialization.
+//!
+//! Two modes: compact ([`serialize`]) writes with no added whitespace and
+//! round-trips through the parser; pretty ([`serialize_pretty`]) indents
+//! element-only content for human output (examples, EXPLAIN).
+
+use crate::tree::{Document, NodeId, NodeKind};
+
+/// Escape character data for text content (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value for inclusion in double quotes.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize the whole document compactly.
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::new();
+    for child in doc.children(doc.root()) {
+        write_node(doc, child, &mut out);
+    }
+    out
+}
+
+/// Serialize the subtree rooted at `id` compactly.
+pub fn serialize_node(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, id, &mut out);
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).kind {
+        NodeKind::Document => {
+            for child in doc.children(id) {
+                write_node(doc, child, out);
+            }
+        }
+        NodeKind::Element { name, attributes } => {
+            out.push('<');
+            out.push_str(&name.as_lexical());
+            for &aid in attributes {
+                if let NodeKind::Attribute { name, value } = &doc.node(aid).kind {
+                    out.push(' ');
+                    out.push_str(&name.as_lexical());
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(value));
+                    out.push('"');
+                }
+            }
+            if doc.node(id).first_child.is_none() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for child in doc.children(id) {
+                    write_node(doc, child, out);
+                }
+                out.push_str("</");
+                out.push_str(&name.as_lexical());
+                out.push('>');
+            }
+        }
+        NodeKind::Attribute { name, value } => {
+            // A bare attribute serializes as name="value" (useful when query
+            // results contain attribute items).
+            out.push_str(&name.as_lexical());
+            out.push_str("=\"");
+            out.push_str(&escape_attr(value));
+            out.push('"');
+        }
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Comment(t) => {
+            out.push_str("<!--");
+            out.push_str(t);
+            out.push_str("-->");
+        }
+        NodeKind::Pi { target, data } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+/// Serialize with indentation. Text nodes suppress indentation of their
+/// siblings so mixed content keeps its exact character data.
+pub fn serialize_pretty(doc: &Document, indent: usize) -> String {
+    let mut out = String::new();
+    for child in doc.children(doc.root()) {
+        write_pretty(doc, child, 0, indent, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn has_text_child(doc: &Document, id: NodeId) -> bool {
+    doc.children(id).any(|c| doc.is_text(c))
+}
+
+fn write_pretty(doc: &Document, id: NodeId, level: usize, indent: usize, out: &mut String) {
+    let pad = " ".repeat(level * indent);
+    match &doc.node(id).kind {
+        NodeKind::Element { .. } if !has_text_child(doc, id) && doc.node(id).first_child.is_some() => {
+            // Element-only content: open tag, children each on own line.
+            let name = doc.name(id).expect("element has name").as_lexical();
+            out.push_str(&pad);
+            out.push('<');
+            out.push_str(&name);
+            write_attrs(doc, id, out);
+            out.push('>');
+            for child in doc.children(id) {
+                out.push('\n');
+                write_pretty(doc, child, level + 1, indent, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push_str("</");
+            out.push_str(&name);
+            out.push('>');
+        }
+        _ => {
+            // Leaf or mixed content: compact form on one line.
+            out.push_str(&pad);
+            write_node(doc, id, out);
+        }
+    }
+}
+
+fn write_attrs(doc: &Document, id: NodeId, out: &mut String) {
+    for &aid in doc.attributes(id) {
+        if let NodeKind::Attribute { name, value } = &doc.node(aid).kind {
+            out.push(' ');
+            out.push_str(&name.as_lexical());
+            out.push_str("=\"");
+            out.push_str(&escape_attr(value));
+            out.push('"');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn roundtrip(s: &str) -> String {
+        serialize(&parse_document(s).unwrap())
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        assert_eq!(roundtrip("<a><b>hi</b></a>"), "<a><b>hi</b></a>");
+    }
+
+    #[test]
+    fn empty_element_collapses() {
+        assert_eq!(roundtrip("<a></a>"), "<a/>");
+        assert_eq!(roundtrip("<a/>"), "<a/>");
+    }
+
+    #[test]
+    fn attributes_normalize_to_double_quotes() {
+        assert_eq!(roundtrip("<a x='1'/>"), "<a x=\"1\"/>");
+    }
+
+    #[test]
+    fn text_escaping() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(roundtrip("<a>&lt;&amp;&gt;</a>"), "<a>&lt;&amp;&gt;</a>");
+    }
+
+    #[test]
+    fn attr_escaping() {
+        assert_eq!(escape_attr(r#"say "hi" & <go>"#), "say &quot;hi&quot; &amp; &lt;go>");
+        let d = parse_document("<a x='&quot;&amp;'/>").unwrap();
+        assert_eq!(serialize(&d), "<a x=\"&quot;&amp;\"/>");
+    }
+
+    #[test]
+    fn comments_and_pis_roundtrip() {
+        assert_eq!(
+            roundtrip("<a><!--note--><?go fast?></a>"),
+            "<a><!--note--><?go fast?></a>"
+        );
+    }
+
+    #[test]
+    fn serialize_subtree() {
+        let d = parse_document("<a><b>x</b><c/></a>").unwrap();
+        let a = d.root_element().unwrap();
+        let b = d.children(a).next().unwrap();
+        assert_eq!(serialize_node(&d, b), "<b>x</b>");
+    }
+
+    #[test]
+    fn serialize_preserves_whitespace_text() {
+        assert_eq!(roundtrip("<a> x </a>"), "<a> x </a>");
+    }
+
+    #[test]
+    fn double_roundtrip_is_fixpoint() {
+        let once = roundtrip("<a  x='1'><b/>t<!--c--></a>");
+        let twice = roundtrip(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn pretty_indents_element_content() {
+        let d = parse_document("<a><b><c/></b><d>text</d></a>").unwrap();
+        let p = serialize_pretty(&d, 2);
+        let lines: Vec<&str> = p.lines().collect();
+        assert_eq!(lines[0], "<a>");
+        assert_eq!(lines[1], "  <b>");
+        assert_eq!(lines[2], "    <c/>");
+        assert_eq!(lines[3], "  </b>");
+        assert_eq!(lines[4], "  <d>text</d>");
+        assert_eq!(lines[5], "</a>");
+    }
+
+    #[test]
+    fn pretty_keeps_mixed_content_compact() {
+        let d = parse_document("<a>x<b/>y</a>").unwrap();
+        let p = serialize_pretty(&d, 2);
+        assert_eq!(p.trim_end(), "<a>x<b/>y</a>");
+    }
+}

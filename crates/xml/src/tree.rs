@@ -1,0 +1,661 @@
+//! Arena DOM.
+//!
+//! All nodes of a [`Document`] live in one `Vec<Node>` and are addressed by
+//! dense [`NodeId`]s. Nodes are appended during a pre-order construction
+//! traversal, so **`NodeId` order is document order** — the invariant the
+//! structural operators in `xqp-exec` and the succinct encoding in
+//! `xqp-storage` both build on. Attribute nodes are allocated immediately
+//! after their owner element, matching the XPath rule that attributes follow
+//! their element and precede its children in document order.
+
+use crate::event::Event;
+use crate::name::QName;
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena.
+///
+/// Ids are dense, start at 0 (the document node) and increase in document
+/// order. Comparing two ids from the *same* document compares document order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The document node: the invisible root above the root element.
+    Document,
+    /// An element; attributes are separate [`NodeKind::Attribute`] nodes
+    /// listed in `attributes`.
+    Element {
+        /// Tag name.
+        name: QName,
+        /// Attribute node ids in source order.
+        attributes: Vec<NodeId>,
+    },
+    /// An attribute node (never appears in child lists).
+    Attribute {
+        /// Attribute name.
+        name: QName,
+        /// Unescaped value.
+        value: String,
+    },
+    /// A text node.
+    Text(String),
+    /// A comment node.
+    Comment(String),
+    /// A processing-instruction node.
+    Pi {
+        /// PI target.
+        target: String,
+        /// PI data.
+        data: String,
+    },
+}
+
+/// One node in the arena: its kind plus structural links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Node payload.
+    pub kind: NodeKind,
+    /// Parent node (None only for the document node).
+    pub parent: Option<NodeId>,
+    /// First child, if any.
+    pub first_child: Option<NodeId>,
+    /// Last child, if any.
+    pub last_child: Option<NodeId>,
+    /// Next sibling in the parent's child list.
+    pub next_sibling: Option<NodeId>,
+    /// Previous sibling in the parent's child list.
+    pub prev_sibling: Option<NodeId>,
+}
+
+impl Node {
+    fn new(kind: NodeKind, parent: Option<NodeId>) -> Self {
+        Node {
+            kind,
+            parent,
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+        }
+    }
+}
+
+/// An XML document stored as a node arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// An empty document containing only the document node.
+    pub fn new() -> Self {
+        Document { nodes: vec![Node::new(NodeKind::Document, None)] }
+    }
+
+    /// The document node id (always `NodeId(0)`).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The root *element*, if the document has one.
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.children(self.root())
+            .find(|&id| matches!(self.node(id).kind, NodeKind::Element { .. }))
+    }
+
+    /// Total number of nodes, including the document node and attributes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document holds only the document node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds (ids are only ever minted by this
+    /// document, so an out-of-bounds id is a logic error).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The element/attribute name of `id`, if it has one.
+    pub fn name(&self, id: NodeId) -> Option<&QName> {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } | NodeKind::Attribute { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// True if `id` is an element.
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Element { .. })
+    }
+
+    /// True if `id` is a text node.
+    pub fn is_text(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Text(_))
+    }
+
+    /// True if `id` is an attribute node.
+    pub fn is_attribute(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Attribute { .. })
+    }
+
+    /// Iterate over the children of `id` (attributes excluded).
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children { doc: self, next: self.node(id).first_child }
+    }
+
+    /// Iterate over the element children of `id`.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id).filter(move |&c| self.is_element(c))
+    }
+
+    /// The attribute node ids of an element (empty for non-elements).
+    pub fn attributes(&self, id: NodeId) -> &[NodeId] {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            _ => &[],
+        }
+    }
+
+    /// Look up an attribute value by name test on element `id`.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attributes(id).iter().find_map(|&aid| match &self.node(aid).kind {
+            NodeKind::Attribute { name: n, value } if n.matches_test(name) => {
+                Some(value.as_str())
+            }
+            _ => None,
+        })
+    }
+
+    /// Pre-order traversal of the subtree rooted at `id`, including `id`
+    /// itself; attributes are *not* visited (use [`Document::attributes`]).
+    pub fn descendants_or_self(&self, id: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, root: id, next: Some(id) }
+    }
+
+    /// Pre-order traversal excluding `id` itself.
+    pub fn descendants(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.descendants_or_self(id).skip(1)
+    }
+
+    /// Ancestors of `id`, nearest first, ending at the document node.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors { doc: self, next: self.node(id).parent }
+    }
+
+    /// Depth of `id`: the document node has depth 0, the root element 1.
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// True if `anc` is a proper ancestor of `desc`.
+    pub fn is_ancestor(&self, anc: NodeId, desc: NodeId) -> bool {
+        self.ancestors(desc).any(|a| a == anc)
+    }
+
+    /// The *string value* of a node: for elements/documents the concatenation
+    /// of all descendant text, for text/attribute/comment nodes their own
+    /// content, for PIs their data.
+    pub fn string_value(&self, id: NodeId) -> String {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => t.clone(),
+            NodeKind::Comment(t) => t.clone(),
+            NodeKind::Attribute { value, .. } => value.clone(),
+            NodeKind::Pi { data, .. } => data.clone(),
+            NodeKind::Element { .. } | NodeKind::Document => {
+                let mut out = String::new();
+                for d in self.descendants_or_self(id) {
+                    if let NodeKind::Text(t) = &self.node(d).kind {
+                        out.push_str(t);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Number of element nodes in the document.
+    pub fn element_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Element { .. }))
+            .count()
+    }
+
+    // ---- construction -----------------------------------------------------
+
+    /// Append a child node of the given kind under `parent`, returning its id.
+    ///
+    /// Construction must proceed in document order (always appending under
+    /// the most recently relevant parent) to preserve the id-order invariant;
+    /// [`TreeBuilder`] guarantees this for parsed input.
+    pub fn append_child(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(kind, Some(parent)));
+        let prev_last = self.node(parent).last_child;
+        match prev_last {
+            Some(last) => {
+                self.node_mut(last).next_sibling = Some(id);
+                self.node_mut(id).prev_sibling = Some(last);
+            }
+            None => self.node_mut(parent).first_child = Some(id),
+        }
+        self.node_mut(parent).last_child = Some(id);
+        id
+    }
+
+    /// Append an element child with no attributes; convenience for builders
+    /// and tests.
+    pub fn append_element(&mut self, parent: NodeId, name: impl Into<String>) -> NodeId {
+        self.append_child(
+            parent,
+            NodeKind::Element { name: QName::parse(&name.into()), attributes: vec![] },
+        )
+    }
+
+    /// Append a text child; convenience for builders and tests.
+    pub fn append_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        self.append_child(parent, NodeKind::Text(text.into()))
+    }
+
+    /// Attach an attribute to element `element`.
+    ///
+    /// # Panics
+    /// Panics if `element` is not an element node.
+    pub fn set_attribute(
+        &mut self,
+        element: NodeId,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(
+            NodeKind::Attribute { name: QName::parse(&name.into()), value: value.into() },
+            Some(element),
+        ));
+        match &mut self.node_mut(element).kind {
+            NodeKind::Element { attributes, .. } => attributes.push(id),
+            other => panic!("set_attribute on non-element node {other:?}"),
+        }
+        id
+    }
+}
+
+/// Iterator over a node's children.
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> Iterator for Children<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).next_sibling;
+        Some(id)
+    }
+}
+
+/// Pre-order iterator over a subtree.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    root: NodeId,
+    next: Option<NodeId>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        // Advance: first child, else next sibling, else climb until a next
+        // sibling exists — stopping at the subtree root.
+        let node = self.doc.node(id);
+        self.next = if let Some(c) = node.first_child {
+            Some(c)
+        } else {
+            let mut cur = id;
+            loop {
+                if cur == self.root {
+                    break None;
+                }
+                if let Some(s) = self.doc.node(cur).next_sibling {
+                    break Some(s);
+                }
+                match self.doc.node(cur).parent {
+                    Some(p) => cur = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(id)
+    }
+}
+
+/// Iterator over ancestors, nearest first.
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> Iterator for Ancestors<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).parent;
+        Some(id)
+    }
+}
+
+/// Builds a [`Document`] from a stream of [`Event`]s.
+///
+/// Adjacent text events are merged, matching the XQuery data model rule that
+/// no two text siblings are adjacent.
+pub struct TreeBuilder {
+    doc: Document,
+    stack: Vec<NodeId>,
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeBuilder {
+    /// A builder with an empty document.
+    pub fn new() -> Self {
+        let doc = Document::new();
+        let root = doc.root();
+        TreeBuilder { doc, stack: vec![root] }
+    }
+
+    fn top(&self) -> NodeId {
+        *self.stack.last().expect("builder stack never empty")
+    }
+
+    /// Feed one event. Returns a message on structural misuse (the event
+    /// parser normally prevents these; direct users of the builder get the
+    /// same protection).
+    pub fn push_event(&mut self, ev: &Event) -> std::result::Result<(), String> {
+        match ev {
+            Event::StartElement { name, attributes, self_closing } => {
+                let parent = self.top();
+                let id = self.doc.append_child(
+                    parent,
+                    NodeKind::Element { name: name.clone(), attributes: vec![] },
+                );
+                for attr in attributes {
+                    self.doc.set_attribute(id, attr.name.as_lexical(), attr.value.clone());
+                }
+                if !self_closing {
+                    self.stack.push(id);
+                }
+                Ok(())
+            }
+            Event::EndElement { name } => {
+                if self.stack.len() <= 1 {
+                    return Err(format!("unmatched end element `{name}`"));
+                }
+                let top = self.stack.pop().expect("checked non-empty");
+                match self.doc.name(top) {
+                    Some(open) if open == name => Ok(()),
+                    Some(open) => Err(format!("end `{name}` does not match open `{open}`")),
+                    None => Err("end element closes a non-element".to_string()),
+                }
+            }
+            Event::Text(t) => {
+                let parent = self.top();
+                if let Some(last) = self.doc.node(parent).last_child {
+                    if let NodeKind::Text(prev) = &mut self.doc.node_mut(last).kind {
+                        prev.push_str(t);
+                        return Ok(());
+                    }
+                }
+                self.doc.append_child(parent, NodeKind::Text(t.clone()));
+                Ok(())
+            }
+            Event::Comment(t) => {
+                let parent = self.top();
+                self.doc.append_child(parent, NodeKind::Comment(t.clone()));
+                Ok(())
+            }
+            Event::ProcessingInstruction { target, data } => {
+                let parent = self.top();
+                self.doc.append_child(
+                    parent,
+                    NodeKind::Pi { target: target.clone(), data: data.clone() },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Finish building; fails if elements are still open or no root element
+    /// was produced.
+    pub fn finish(self) -> std::result::Result<Document, String> {
+        if self.stack.len() != 1 {
+            return Err(format!("{} unclosed element(s)", self.stack.len() - 1));
+        }
+        if self.doc.root_element().is_none() {
+            return Err("document has no root element".to_string());
+        }
+        Ok(self.doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn doc(s: &str) -> Document {
+        parse_document(s).unwrap()
+    }
+
+    #[test]
+    fn ids_are_document_order() {
+        let d = doc("<a><b><c/></b><d/>tail</a>");
+        let order: Vec<NodeId> = d.descendants_or_self(d.root()).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn attributes_follow_owner_in_id_order() {
+        let d = doc("<a x='1'><b/></a>");
+        let a = d.root_element().unwrap();
+        let attr = d.attributes(a)[0];
+        let b = d.children(a).next().unwrap();
+        assert!(a < attr && attr < b);
+    }
+
+    #[test]
+    fn children_iteration() {
+        let d = doc("<a><b/>text<c/><!--x--></a>");
+        let a = d.root_element().unwrap();
+        let kids: Vec<_> = d.children(a).collect();
+        assert_eq!(kids.len(), 4);
+        assert!(d.is_element(kids[0]));
+        assert!(d.is_text(kids[1]));
+        assert!(d.is_element(kids[2]));
+        assert!(matches!(d.node(kids[3]).kind, NodeKind::Comment(_)));
+    }
+
+    #[test]
+    fn child_elements_filters() {
+        let d = doc("<a><b/>text<c/></a>");
+        let a = d.root_element().unwrap();
+        let names: Vec<_> = d
+            .child_elements(a)
+            .map(|c| d.name(c).unwrap().local.clone())
+            .collect();
+        assert_eq!(names, ["b", "c"]);
+    }
+
+    #[test]
+    fn descendants_pre_order() {
+        let d = doc("<a><b><c/></b><d/></a>");
+        let a = d.root_element().unwrap();
+        let names: Vec<_> = d
+            .descendants_or_self(a)
+            .filter(|&n| d.is_element(n))
+            .map(|n| d.name(n).unwrap().local.clone())
+            .collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn descendants_stop_at_subtree() {
+        let d = doc("<a><b><c/></b><d/></a>");
+        let a = d.root_element().unwrap();
+        let b = d.children(a).next().unwrap();
+        let names: Vec<_> = d
+            .descendants_or_self(b)
+            .map(|n| d.name(n).unwrap().local.clone())
+            .collect();
+        assert_eq!(names, ["b", "c"]);
+    }
+
+    #[test]
+    fn ancestors_and_depth() {
+        let d = doc("<a><b><c/></b></a>");
+        let a = d.root_element().unwrap();
+        let b = d.children(a).next().unwrap();
+        let c = d.children(b).next().unwrap();
+        assert_eq!(d.depth(c), 3);
+        let anc: Vec<_> = d.ancestors(c).collect();
+        assert_eq!(anc, [b, a, d.root()]);
+        assert!(d.is_ancestor(a, c));
+        assert!(!d.is_ancestor(c, a));
+        assert!(!d.is_ancestor(c, c));
+    }
+
+    #[test]
+    fn string_value_concatenates_descendant_text() {
+        let d = doc("<a>x<b>y<c>z</c></b>w</a>");
+        let a = d.root_element().unwrap();
+        assert_eq!(d.string_value(a), "xyzw");
+    }
+
+    #[test]
+    fn string_value_of_leaves() {
+        let d = doc("<a x='v'>t<!--c--><?p d?></a>");
+        let a = d.root_element().unwrap();
+        let attr = d.attributes(a)[0];
+        assert_eq!(d.string_value(attr), "v");
+        let kids: Vec<_> = d.children(a).collect();
+        assert_eq!(d.string_value(kids[0]), "t");
+        assert_eq!(d.string_value(kids[1]), "c");
+        assert_eq!(d.string_value(kids[2]), "d");
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let d = doc("<a x='1' y='2'/>");
+        let a = d.root_element().unwrap();
+        assert_eq!(d.attribute(a, "x"), Some("1"));
+        assert_eq!(d.attribute(a, "y"), Some("2"));
+        assert_eq!(d.attribute(a, "z"), None);
+        assert_eq!(d.attribute(a, "*"), Some("1"));
+    }
+
+    #[test]
+    fn adjacent_text_events_merge() {
+        let mut b = TreeBuilder::new();
+        b.push_event(&Event::StartElement {
+            name: QName::local("a"),
+            attributes: vec![],
+            self_closing: false,
+        })
+        .unwrap();
+        b.push_event(&Event::Text("x".into())).unwrap();
+        b.push_event(&Event::Text("y".into())).unwrap();
+        b.push_event(&Event::EndElement { name: QName::local("a") }).unwrap();
+        let d = b.finish().unwrap();
+        let a = d.root_element().unwrap();
+        let kids: Vec<_> = d.children(a).collect();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(d.string_value(kids[0]), "xy");
+    }
+
+    #[test]
+    fn builder_rejects_unmatched_end() {
+        let mut b = TreeBuilder::new();
+        let r = b.push_event(&Event::EndElement { name: QName::local("a") });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn builder_rejects_unclosed() {
+        let mut b = TreeBuilder::new();
+        b.push_event(&Event::StartElement {
+            name: QName::local("a"),
+            attributes: vec![],
+            self_closing: false,
+        })
+        .unwrap();
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn manual_construction() {
+        let mut d = Document::new();
+        let root = d.root();
+        let a = d.append_element(root, "a");
+        d.set_attribute(a, "k", "v");
+        let b = d.append_element(a, "b");
+        d.append_text(b, "hello");
+        assert_eq!(d.element_count(), 2);
+        assert_eq!(d.string_value(a), "hello");
+        assert_eq!(d.attribute(a, "k"), Some("v"));
+    }
+
+    #[test]
+    fn element_count() {
+        let d = doc("<a><b/><c><d/></c></a>");
+        assert_eq!(d.element_count(), 4);
+    }
+
+    #[test]
+    fn empty_document_has_len_one() {
+        let d = Document::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 1);
+        assert!(d.root_element().is_none());
+    }
+}

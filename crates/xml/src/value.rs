@@ -1,0 +1,352 @@
+//! Atomic values of the XQuery data model.
+//!
+//! The paper's value-based operators (σv, ⋈v in Table 1) compare element and
+//! attribute contents against literals. Content in XML is untyped text, so
+//! the comparison semantics follow XQuery general comparisons: when one
+//! operand is numeric, the untyped operand is cast to a number; otherwise
+//! comparison is on strings. [`Atomic`] carries that logic so the algebra,
+//! executor and storage index all agree on it.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An atomic value: the primitive sorts of §3.2 plus `Double`, which the
+/// XQuery data model requires for non-integral numerics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atomic {
+    /// `xs:integer`.
+    Integer(i64),
+    /// `xs:double`.
+    Double(f64),
+    /// `xs:boolean`.
+    Boolean(bool),
+    /// `xs:string` — also the type of untyped node content.
+    Str(String),
+}
+
+impl Atomic {
+    /// Interpret a lexical token the way XQuery casts untyped data: integer
+    /// if it parses as one, double if it parses as one, otherwise a string.
+    pub fn from_lexical(s: &str) -> Atomic {
+        let t = s.trim();
+        if let Ok(i) = t.parse::<i64>() {
+            return Atomic::Integer(i);
+        }
+        if let Ok(d) = t.parse::<f64>() {
+            return Atomic::Double(d);
+        }
+        Atomic::Str(s.to_string())
+    }
+
+    /// The numeric view of this value, if it has one (strings are parsed;
+    /// booleans are not numbers).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Atomic::Integer(i) => Some(*i as f64),
+            Atomic::Double(d) => Some(*d),
+            Atomic::Str(s) => s.trim().parse::<f64>().ok(),
+            Atomic::Boolean(_) => None,
+        }
+    }
+
+    /// The string view (XQuery `fn:string`).
+    pub fn as_string(&self) -> String {
+        match self {
+            Atomic::Integer(i) => i.to_string(),
+            Atomic::Double(d) => format_double(*d),
+            Atomic::Boolean(b) => b.to_string(),
+            Atomic::Str(s) => s.clone(),
+        }
+    }
+
+    /// Effective boolean value of a single atomic (XQuery `fn:boolean`):
+    /// false for `false`, zero, NaN and the empty string.
+    pub fn effective_boolean(&self) -> bool {
+        match self {
+            Atomic::Boolean(b) => *b,
+            Atomic::Integer(i) => *i != 0,
+            Atomic::Double(d) => *d != 0.0 && !d.is_nan(),
+            Atomic::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// True if this is a numeric type (not merely numeric-parsable).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Atomic::Integer(_) | Atomic::Double(_))
+    }
+
+    /// XQuery general-comparison ordering with untyped promotion:
+    ///
+    /// * two numerics (or numeric vs. numeric-parsable string) compare as
+    ///   doubles — `None` if the string side does not parse;
+    /// * two strings compare lexicographically;
+    /// * booleans compare with booleans only;
+    /// * anything else is incomparable (`None`), which general comparisons
+    ///   treat as "this pair does not match".
+    pub fn compare(&self, other: &Atomic) -> Option<Ordering> {
+        use Atomic::*;
+        match (self, other) {
+            (Boolean(a), Boolean(b)) => Some(a.cmp(b)),
+            (Boolean(_), _) | (_, Boolean(_)) => None,
+            (Str(a), Str(b)) => Some(a.as_str().cmp(b.as_str())),
+            _ => {
+                // At least one side is a declared number: promote both.
+                let a = self.as_number()?;
+                let b = other.as_number()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Total ordering used by `order by`: the natural comparison when
+    /// defined, otherwise type-rank then string form. Keeps sorting stable
+    /// and panic-free on heterogeneous sequences.
+    pub fn order_key_cmp(&self, other: &Atomic) -> Ordering {
+        if let Some(o) = self.compare(other) {
+            return o;
+        }
+        fn rank(a: &Atomic) -> u8 {
+            match a {
+                Atomic::Boolean(_) => 0,
+                Atomic::Integer(_) | Atomic::Double(_) => 1,
+                Atomic::Str(_) => 2,
+            }
+        }
+        rank(self)
+            .cmp(&rank(other))
+            .then_with(|| self.as_string().cmp(&other.as_string()))
+    }
+
+    /// Numeric addition with integer preservation.
+    pub fn add(&self, other: &Atomic) -> Option<Atomic> {
+        numeric_op(self, other, |a, b| a.checked_add(b), |a, b| a + b)
+    }
+
+    /// Numeric subtraction with integer preservation.
+    pub fn sub(&self, other: &Atomic) -> Option<Atomic> {
+        numeric_op(self, other, |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    /// Numeric multiplication with integer preservation.
+    pub fn mul(&self, other: &Atomic) -> Option<Atomic> {
+        numeric_op(self, other, |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// Division — always a double, per XQuery `div` on mixed input; integer
+    /// division by zero yields `None`.
+    pub fn div(&self, other: &Atomic) -> Option<Atomic> {
+        let a = self.as_number()?;
+        let b = other.as_number()?;
+        if b == 0.0 {
+            return None;
+        }
+        Some(Atomic::Double(a / b))
+    }
+
+    /// Integer modulus (`mod`); `None` on zero divisor or non-integers.
+    pub fn int_mod(&self, other: &Atomic) -> Option<Atomic> {
+        match (self.as_integer(), other.as_integer()) {
+            (Some(a), Some(b)) if b != 0 => Some(Atomic::Integer(a % b)),
+            _ => None,
+        }
+    }
+
+    /// The integer view, if exactly representable.
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Atomic::Integer(i) => Some(*i),
+            Atomic::Double(d) if d.fract() == 0.0 && d.is_finite() => Some(*d as i64),
+            Atomic::Str(s) => s.trim().parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+fn numeric_op(
+    a: &Atomic,
+    b: &Atomic,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    dbl_op: impl Fn(f64, f64) -> f64,
+) -> Option<Atomic> {
+    if let (Atomic::Integer(x), Atomic::Integer(y)) = (a, b) {
+        if let Some(r) = int_op(*x, *y) {
+            return Some(Atomic::Integer(r));
+        }
+    }
+    Some(Atomic::Double(dbl_op(a.as_number()?, b.as_number()?)))
+}
+
+/// XQuery-style double formatting: integral doubles print without `.0`.
+fn format_double(d: f64) -> String {
+    if d.is_finite() && d.fract() == 0.0 && d.abs() < 1e15 {
+        format!("{}", d as i64)
+    } else {
+        format!("{d}")
+    }
+}
+
+impl fmt::Display for Atomic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_string())
+    }
+}
+
+impl From<i64> for Atomic {
+    fn from(v: i64) -> Self {
+        Atomic::Integer(v)
+    }
+}
+
+impl From<f64> for Atomic {
+    fn from(v: f64) -> Self {
+        Atomic::Double(v)
+    }
+}
+
+impl From<bool> for Atomic {
+    fn from(v: bool) -> Self {
+        Atomic::Boolean(v)
+    }
+}
+
+impl From<&str> for Atomic {
+    fn from(v: &str) -> Self {
+        Atomic::Str(v.to_string())
+    }
+}
+
+impl From<String> for Atomic {
+    fn from(v: String) -> Self {
+        Atomic::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_lexical_detects_types() {
+        assert_eq!(Atomic::from_lexical("42"), Atomic::Integer(42));
+        assert_eq!(Atomic::from_lexical(" -7 "), Atomic::Integer(-7));
+        assert_eq!(Atomic::from_lexical("3.5"), Atomic::Double(3.5));
+        assert_eq!(Atomic::from_lexical("abc"), Atomic::Str("abc".into()));
+        // Leading zeros still parse as integers.
+        assert_eq!(Atomic::from_lexical("007"), Atomic::Integer(7));
+    }
+
+    #[test]
+    fn numeric_string_promotion_in_compare() {
+        let n = Atomic::Integer(10);
+        let s = Atomic::Str("9.5".into());
+        assert_eq!(n.compare(&s), Some(Ordering::Greater));
+        assert_eq!(s.compare(&n), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn string_string_is_lexicographic() {
+        // "10" < "9" as strings even though 10 > 9 numerically.
+        let a = Atomic::Str("10".into());
+        let b = Atomic::Str("9".into());
+        assert_eq!(a.compare(&b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn incomparable_pairs() {
+        assert_eq!(Atomic::Integer(1).compare(&Atomic::Str("abc".into())), None);
+        assert_eq!(Atomic::Boolean(true).compare(&Atomic::Integer(1)), None);
+    }
+
+    #[test]
+    fn boolean_compare() {
+        assert_eq!(
+            Atomic::Boolean(false).compare(&Atomic::Boolean(true)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn effective_boolean_values() {
+        assert!(!Atomic::Integer(0).effective_boolean());
+        assert!(Atomic::Integer(-1).effective_boolean());
+        assert!(!Atomic::Double(f64::NAN).effective_boolean());
+        assert!(!Atomic::Str("".into()).effective_boolean());
+        assert!(Atomic::Str("false".into()).effective_boolean()); // non-empty string
+        assert!(!Atomic::Boolean(false).effective_boolean());
+    }
+
+    #[test]
+    fn arithmetic_preserves_integers() {
+        assert_eq!(
+            Atomic::Integer(2).add(&Atomic::Integer(3)),
+            Some(Atomic::Integer(5))
+        );
+        assert_eq!(
+            Atomic::Integer(2).mul(&Atomic::Double(1.5)),
+            Some(Atomic::Double(3.0))
+        );
+        // Untyped (string) operands promote to double, per XQuery arithmetic.
+        assert_eq!(
+            Atomic::Integer(7).sub(&Atomic::Str("2".into())),
+            Some(Atomic::Double(5.0))
+        );
+    }
+
+    #[test]
+    fn integer_overflow_widens_to_double() {
+        let big = Atomic::Integer(i64::MAX);
+        match big.add(&Atomic::Integer(1)) {
+            Some(Atomic::Double(d)) => assert!(d >= i64::MAX as f64),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_semantics() {
+        assert_eq!(
+            Atomic::Integer(7).div(&Atomic::Integer(2)),
+            Some(Atomic::Double(3.5))
+        );
+        assert_eq!(Atomic::Integer(1).div(&Atomic::Integer(0)), None);
+        assert_eq!(
+            Atomic::Integer(7).int_mod(&Atomic::Integer(3)),
+            Some(Atomic::Integer(1))
+        );
+        assert_eq!(Atomic::Integer(7).int_mod(&Atomic::Integer(0)), None);
+    }
+
+    #[test]
+    fn string_rendering() {
+        assert_eq!(Atomic::Double(3.0).as_string(), "3");
+        assert_eq!(Atomic::Double(3.25).as_string(), "3.25");
+        assert_eq!(Atomic::Boolean(true).as_string(), "true");
+        assert_eq!(Atomic::Integer(-4).to_string(), "-4");
+    }
+
+    #[test]
+    fn order_key_is_total() {
+        let mut vals = vec![
+            Atomic::Str("b".into()),
+            Atomic::Integer(2),
+            Atomic::Boolean(true),
+            Atomic::Str("a".into()),
+            Atomic::Double(1.5),
+            Atomic::Boolean(false),
+        ];
+        vals.sort_by(|a, b| a.order_key_cmp(b));
+        // booleans, then numbers, then non-numeric strings
+        assert_eq!(vals[0], Atomic::Boolean(false));
+        assert_eq!(vals[1], Atomic::Boolean(true));
+        assert_eq!(vals[2], Atomic::Double(1.5));
+        assert_eq!(vals[3], Atomic::Integer(2));
+        assert_eq!(vals[4], Atomic::Str("a".into()));
+    }
+
+    #[test]
+    fn as_integer_views() {
+        assert_eq!(Atomic::Double(4.0).as_integer(), Some(4));
+        assert_eq!(Atomic::Double(4.5).as_integer(), None);
+        assert_eq!(Atomic::Str(" 12 ".into()).as_integer(), Some(12));
+        assert_eq!(Atomic::Boolean(true).as_integer(), None);
+    }
+}

@@ -1,0 +1,419 @@
+//! Abstract syntax for path expressions.
+
+use std::fmt;
+use xqp_xml::Atomic;
+
+/// An XPath axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `child::` (the default axis).
+    Child,
+    /// `descendant::`.
+    Descendant,
+    /// `descendant-or-self::` (what `//` expands through).
+    DescendantOrSelf,
+    /// `self::` (`.`).
+    SelfAxis,
+    /// `attribute::` (`@`).
+    Attribute,
+    /// `parent::` (`..`).
+    Parent,
+    /// `ancestor::`.
+    Ancestor,
+    /// `ancestor-or-self::`.
+    AncestorOrSelf,
+    /// `following-sibling::`.
+    FollowingSibling,
+    /// `preceding-sibling::`.
+    PrecedingSibling,
+}
+
+impl Axis {
+    /// True for the downward axes a tree-pattern graph can express
+    /// (child/descendant/attribute families); upward and sideways axes force
+    /// the navigational fallback.
+    pub fn is_downward(self) -> bool {
+        matches!(
+            self,
+            Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::SelfAxis | Axis::Attribute
+        )
+    }
+
+    /// The axis keyword as written in full syntax.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::SelfAxis => "self",
+            Axis::Attribute => "attribute",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+        }
+    }
+}
+
+/// A node test within a step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// A (possibly wildcard `*`, possibly prefixed) name test.
+    Name(String),
+    /// `text()`.
+    Text,
+    /// `node()`.
+    AnyNode,
+}
+
+impl NodeTest {
+    /// The label a pattern-graph vertex gets for this test (`*` for both the
+    /// wildcard and `node()`).
+    pub fn label(&self) -> &str {
+        match self {
+            NodeTest::Name(n) => n,
+            NodeTest::Text | NodeTest::AnyNode => "*",
+        }
+    }
+}
+
+/// Comparison operators of general comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an ordering result per XQuery general-comparison semantics.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The mirrored operator (for `literal op path` normalization).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Source form.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// One operand of a comparison predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredOperand {
+    /// A relative path evaluated from the step's context node (`.`,
+    /// `price`, `@id`, `a/b`, …).
+    Path(PathExpr),
+    /// A literal.
+    Literal(Atomic),
+    /// A variable reference with an optional relative continuation:
+    /// `$o/@sku`, `$limit`. Resolved against the enclosing query's scope;
+    /// evaluation outside a scope (bare XPath) reports an unbound variable.
+    Var {
+        /// Variable name (without `$`).
+        name: String,
+        /// Continuation steps applied to the variable's nodes (may be empty).
+        path: PathExpr,
+    },
+}
+
+/// A predicate inside `[...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Existence of at least one result of a relative path: `[b//c]`, `[@id]`.
+    Exists(PathExpr),
+    /// General comparison: `[price > 50]`, `[. = "x"]`.
+    Compare {
+        /// Left operand.
+        lhs: PredOperand,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: PredOperand,
+    },
+    /// Positional predicate `[3]` (1-based) or `[last()]` (encoded as -1).
+    Position(i64),
+    /// `p1 and p2`.
+    And(Box<Predicate>, Box<Predicate>),
+    /// `p1 or p2`.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// `not(p)`.
+    Not(Box<Predicate>),
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Conjoined predicates in source order.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Step {
+    /// A bare `child::name` step.
+    pub fn child(name: impl Into<String>) -> Step {
+        Step { axis: Axis::Child, test: NodeTest::Name(name.into()), predicates: vec![] }
+    }
+
+    /// A bare `descendant::name` step.
+    pub fn descendant(name: impl Into<String>) -> Step {
+        Step { axis: Axis::Descendant, test: NodeTest::Name(name.into()), predicates: vec![] }
+    }
+}
+
+/// A parsed path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    /// True for `/...` and `//...` paths rooted at the document.
+    pub absolute: bool,
+    /// The steps in order.
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    /// Collect every `$var` referenced by predicates anywhere in the path
+    /// (including nested predicate paths) — needed by free-variable
+    /// analysis in the algebra layer.
+    pub fn referenced_vars(&self, out: &mut Vec<String>) {
+        fn preds(ps: &[Predicate], out: &mut Vec<String>) {
+            for p in ps {
+                match p {
+                    Predicate::Exists(path) => path.referenced_vars(out),
+                    Predicate::Compare { lhs, rhs, .. } => {
+                        for o in [lhs, rhs] {
+                            match o {
+                                PredOperand::Var { name, path } => {
+                                    out.push(name.clone());
+                                    path.referenced_vars(out);
+                                }
+                                PredOperand::Path(path) => path.referenced_vars(out),
+                                PredOperand::Literal(_) => {}
+                            }
+                        }
+                    }
+                    Predicate::Position(_) => {}
+                    Predicate::And(a, b) | Predicate::Or(a, b) => {
+                        preds(std::slice::from_ref(a.as_ref()), out);
+                        preds(std::slice::from_ref(b.as_ref()), out);
+                    }
+                    Predicate::Not(a) => preds(std::slice::from_ref(a.as_ref()), out),
+                }
+            }
+        }
+        for s in &self.steps {
+            preds(&s.predicates, out);
+        }
+    }
+
+    /// True if every step uses a downward axis — the precondition for
+    /// pattern-graph (and hence TPM/NoK) evaluation.
+    pub fn is_downward(&self) -> bool {
+        self.steps.iter().all(|s| s.axis.is_downward() && Self::preds_downward(&s.predicates))
+    }
+
+    fn preds_downward(preds: &[Predicate]) -> bool {
+        preds.iter().all(|p| match p {
+            Predicate::Exists(path) => path.is_downward(),
+            Predicate::Compare { lhs, rhs, .. } => {
+                let ok = |o: &PredOperand| match o {
+                    PredOperand::Path(p) => p.is_downward(),
+                    PredOperand::Literal(_) => true,
+                    // Variable operands need the evaluator's scope.
+                    PredOperand::Var { .. } => false,
+                };
+                ok(lhs) && ok(rhs)
+            }
+            Predicate::Position(_) => true,
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                Self::preds_downward(std::slice::from_ref(a.as_ref()))
+                    && Self::preds_downward(std::slice::from_ref(b.as_ref()))
+            }
+            Predicate::Not(a) => Self::preds_downward(std::slice::from_ref(a.as_ref())),
+        })
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.absolute && self.steps.is_empty() {
+            return write!(f, "/");
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 || self.absolute {
+                write!(f, "/")?;
+            }
+            write!(f, "{}", StepDisplay(s))?;
+        }
+        Ok(())
+    }
+}
+
+struct StepDisplay<'a>(&'a Step);
+
+impl fmt::Display for StepDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        match (s.axis, &s.test) {
+            (Axis::Attribute, NodeTest::Name(n)) => write!(f, "@{n}")?,
+            (Axis::Child, t) => write!(f, "{}", test_str(t))?,
+            (Axis::SelfAxis, NodeTest::AnyNode) => write!(f, ".")?,
+            (Axis::Parent, NodeTest::AnyNode) => write!(f, "..")?,
+            (axis, t) => write!(f, "{}::{}", axis.keyword(), test_str(t))?,
+        }
+        for p in &s.predicates {
+            write!(f, "[{}]", PredDisplay(p))?;
+        }
+        Ok(())
+    }
+}
+
+fn test_str(t: &NodeTest) -> String {
+    match t {
+        NodeTest::Name(n) => n.clone(),
+        NodeTest::Text => "text()".to_string(),
+        NodeTest::AnyNode => "node()".to_string(),
+    }
+}
+
+struct PredDisplay<'a>(&'a Predicate);
+
+impl fmt::Display for PredDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Predicate::Exists(p) => write!(f, "{p}"),
+            Predicate::Compare { lhs, op, rhs } => {
+                let side = |o: &PredOperand| match o {
+                    PredOperand::Path(p) => format!("{p}"),
+                    PredOperand::Literal(Atomic::Str(s)) => format!("\"{s}\""),
+                    PredOperand::Literal(a) => a.to_string(),
+                    PredOperand::Var { name, path } if path.steps.is_empty() => {
+                        format!("${name}")
+                    }
+                    PredOperand::Var { name, path } => format!("${name}/{path}"),
+                };
+                write!(f, "{} {} {}", side(lhs), op.symbol(), side(rhs))
+            }
+            Predicate::Position(-1) => write!(f, "last()"),
+            Predicate::Position(i) => write!(f, "{i}"),
+            Predicate::And(a, b) => write!(f, "{} and {}", PredDisplay(a), PredDisplay(b)),
+            Predicate::Or(a, b) => write!(f, "({} or {})", PredDisplay(a), PredDisplay(b)),
+            Predicate::Not(a) => write!(f, "not({})", PredDisplay(a)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_downward_classification() {
+        assert!(Axis::Child.is_downward());
+        assert!(Axis::Descendant.is_downward());
+        assert!(Axis::Attribute.is_downward());
+        assert!(!Axis::Parent.is_downward());
+        assert!(!Axis::FollowingSibling.is_downward());
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(!CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Le.eval(Less));
+        assert!(!CmpOp::Le.eval(Greater));
+        assert!(CmpOp::Ne.eval(Greater));
+    }
+
+    #[test]
+    fn cmp_op_flip() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Ge.flipped(), CmpOp::Le);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn path_downward_check() {
+        let down = PathExpr {
+            absolute: true,
+            steps: vec![Step::child("a"), Step::descendant("b")],
+        };
+        assert!(down.is_downward());
+        let up = PathExpr {
+            absolute: true,
+            steps: vec![Step {
+                axis: Axis::Parent,
+                test: NodeTest::AnyNode,
+                predicates: vec![],
+            }],
+        };
+        assert!(!up.is_downward());
+    }
+
+    #[test]
+    fn display_roundtrips_simple_forms() {
+        let p = PathExpr {
+            absolute: true,
+            steps: vec![
+                Step::child("bib"),
+                Step {
+                    axis: Axis::Child,
+                    test: NodeTest::Name("book".into()),
+                    predicates: vec![Predicate::Compare {
+                        lhs: PredOperand::Path(PathExpr {
+                            absolute: false,
+                            steps: vec![Step {
+                                axis: Axis::Attribute,
+                                test: NodeTest::Name("year".into()),
+                                predicates: vec![],
+                            }],
+                        }),
+                        op: CmpOp::Gt,
+                        rhs: PredOperand::Literal(Atomic::Integer(1994)),
+                    }],
+                },
+            ],
+        };
+        assert_eq!(p.to_string(), "/bib/book[@year > 1994]");
+    }
+}

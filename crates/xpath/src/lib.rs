@@ -1,0 +1,30 @@
+//! # xqp-xpath — path expressions, pattern graphs and NoK partitioning
+//!
+//! Path expressions are "arguably the most natural way to query
+//! tree-structured data" and "one of the most heavily used expressions in
+//! XQuery" (§4.1). This crate provides:
+//!
+//! * a hand-written lexer/parser for a practical XPath subset — the axes
+//!   `child`, `descendant`, `descendant-or-self`, `self`, `attribute`,
+//!   `parent`, `ancestor`, `ancestor-or-self`, `following-sibling`,
+//!   `preceding-sibling`, abbreviations (`//`, `@`, `.`, `..`), name tests
+//!   with wildcards, and predicates combining existence paths, value
+//!   comparisons, positions, `and`/`or`/`not` ([`parse_path`], [`ast`]);
+//! * **pattern graphs** (Definition 1 of the paper): the labeled directed
+//!   graphs that τ, the tree-pattern-matching operator, consumes
+//!   ([`pattern::PatternGraph`]);
+//! * **NoK partitioning** (§4.2): splitting a pattern graph into maximal
+//!   *next-of-kin* subpatterns — connected by local relations only
+//!   (parent-child, attribute) — that a navigational matcher evaluates in a
+//!   single scan, plus the ancestor–descendant join edges that reconnect
+//!   them ([`nok`]).
+
+pub mod ast;
+pub mod nok;
+pub mod parser;
+pub mod pattern;
+
+pub use ast::{Axis, CmpOp, NodeTest, PathExpr, PredOperand, Predicate, Step};
+pub use nok::{NokPartition, NokPattern};
+pub use parser::{parse_path, ParseError};
+pub use pattern::{PArc, PRel, PVertex, PatternGraph, ValueConstraint, VertexKind};

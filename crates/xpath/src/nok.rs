@@ -1,0 +1,178 @@
+//! NoK (next-of-kin) partitioning — §4.2 of the paper.
+//!
+//! A *NoK expression* uses only local structural relationships, so it can be
+//! evaluated "using a navigational technique … without the need for
+//! structural joins". A general pattern is partitioned "into interconnected
+//! NoK expressions, to which we apply the more efficient navigational pattern
+//! matching algorithm. Then, we join the results of the NoK pattern matching
+//! based on their structural relationships."
+//!
+//! [`NokPartition::partition`] cuts a [`PatternGraph`] at its
+//! ancestor–descendant arcs: each resulting [`NokPattern`] is a maximal
+//! subtree connected purely by parent-child arcs, and each cut arc becomes a
+//! *join edge* reconnecting a vertex of one partition to the root of another.
+
+use crate::pattern::{PatternGraph, PRel};
+
+/// One maximal parent-child-connected subpattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NokPattern {
+    /// Local root: the vertex (global index) every other vertex descends
+    /// from via child arcs.
+    pub root: usize,
+    /// All vertices (global indices) in this partition, pre-order.
+    pub vertices: Vec<usize>,
+}
+
+/// A cut ancestor–descendant arc between two partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Vertex (global index) on the ancestor side.
+    pub from_vertex: usize,
+    /// Partition index whose root is the descendant side.
+    pub to_partition: usize,
+}
+
+/// The partitioning of a pattern graph into NoK subpatterns plus the join
+/// edges that reconnect them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NokPartition {
+    /// Partitions; index 0 contains the pattern root.
+    pub patterns: Vec<NokPattern>,
+    /// Cut arcs, each an ancestor-descendant join between partitions.
+    pub joins: Vec<JoinEdge>,
+}
+
+impl NokPartition {
+    /// Partition `graph` at its descendant arcs.
+    pub fn partition(graph: &PatternGraph) -> NokPartition {
+        let mut result = NokPartition { patterns: Vec::new(), joins: Vec::new() };
+        // Partition 0 grows from the graph root; every descendant arc target
+        // seeds a new partition (queued with the vertex it joins from).
+        let mut queue: Vec<(usize, Option<usize>)> = vec![(graph.root(), None)];
+        let mut qi = 0;
+        while qi < queue.len() {
+            let (part_root, join_from) = queue[qi];
+            qi += 1;
+            let part_idx = result.patterns.len();
+            let mut vertices = Vec::new();
+            // DFS along child arcs only.
+            let mut stack = vec![part_root];
+            while let Some(v) = stack.pop() {
+                vertices.push(v);
+                // Collect children in reverse so the pre-order comes out in
+                // arc order.
+                let kids: Vec<(usize, PRel)> = graph.children(v).collect();
+                for (c, rel) in kids.iter().rev() {
+                    match rel {
+                        PRel::Child => stack.push(*c),
+                        PRel::Descendant => queue.push((*c, Some(v))),
+                    }
+                }
+            }
+            result.patterns.push(NokPattern { root: part_root, vertices });
+            if let Some(from_vertex) = join_from {
+                result.joins.push(JoinEdge { from_vertex, to_partition: part_idx });
+            }
+        }
+        result
+    }
+
+    /// Number of structural joins the partitioned evaluation needs — one per
+    /// cut arc (versus one per *arc* in the fully join-based approach).
+    pub fn join_count(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// The partition containing vertex `v`.
+    pub fn partition_of(&self, v: usize) -> Option<usize> {
+        self.patterns.iter().position(|p| p.vertices.contains(&v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+    use crate::pattern::PatternGraph;
+
+    fn partition(src: &str) -> (PatternGraph, NokPartition) {
+        let g = PatternGraph::from_path(&parse_path(src).unwrap()).unwrap();
+        let p = NokPartition::partition(&g);
+        (g, p)
+    }
+
+    #[test]
+    fn pure_nok_is_single_partition() {
+        let (g, p) = partition("/bib/book[author][title]/price");
+        assert_eq!(p.patterns.len(), 1);
+        assert_eq!(p.joins.len(), 0);
+        // Every vertex is in the single partition.
+        assert_eq!(p.patterns[0].vertices.len(), g.vertices.len());
+    }
+
+    #[test]
+    fn descendant_arc_cuts() {
+        let (g, p) = partition("/a//b/c");
+        assert_eq!(p.patterns.len(), 2);
+        assert_eq!(p.joins.len(), 1);
+        // Partition 0: root + a; partition 1: b + c.
+        assert_eq!(p.patterns[0].vertices.len(), 2);
+        assert_eq!(p.patterns[1].vertices.len(), 2);
+        let a = g.vertices.iter().position(|v| v.label == "a").unwrap();
+        let b = g.vertices.iter().position(|v| v.label == "b").unwrap();
+        assert_eq!(p.joins[0].from_vertex, a);
+        assert_eq!(p.patterns[p.joins[0].to_partition].root, b);
+    }
+
+    #[test]
+    fn multiple_descendants_fan_out() {
+        let (_, p) = partition("//a//b//c");
+        // root | a | b | c
+        assert_eq!(p.patterns.len(), 4);
+        assert_eq!(p.join_count(), 3);
+    }
+
+    #[test]
+    fn branch_with_mixed_relations() {
+        // /site/people/person[.//profile/age > 30]/name
+        let (g, p) = partition("/site/people/person[profile//age > 30]/name");
+        // Cut at profile//age only.
+        assert_eq!(p.patterns.len(), 2);
+        assert_eq!(p.join_count(), 1);
+        let profile = g.vertices.iter().position(|v| v.label == "profile").unwrap();
+        assert_eq!(p.joins[0].from_vertex, profile);
+        let age_part = &p.patterns[p.joins[0].to_partition];
+        assert_eq!(g.vertices[age_part.root].label, "age");
+    }
+
+    #[test]
+    fn partition_of_lookup() {
+        let (g, p) = partition("/a//b");
+        let a = g.vertices.iter().position(|v| v.label == "a").unwrap();
+        let b = g.vertices.iter().position(|v| v.label == "b").unwrap();
+        assert_eq!(p.partition_of(a), Some(0));
+        assert_eq!(p.partition_of(b), Some(1));
+        assert_eq!(p.partition_of(999), None);
+    }
+
+    #[test]
+    fn preorder_within_partition() {
+        let (g, p) = partition("/a[b][c]/d");
+        let labels: Vec<&str> = p.patterns[0]
+            .vertices
+            .iter()
+            .map(|&v| g.vertices[v].label.as_str())
+            .collect();
+        assert_eq!(labels, ["/", "a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn join_count_beats_arc_count() {
+        // The headline claim: NoK needs far fewer joins than the fully
+        // join-based plan (which joins per arc).
+        let (g, p) = partition("/site/regions/africa/item[location]/description//keyword");
+        assert!(p.join_count() < g.arcs.len());
+        assert_eq!(p.join_count(), 1);
+    }
+}

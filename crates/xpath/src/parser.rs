@@ -1,0 +1,748 @@
+//! Recursive-descent parser for the path-expression subset.
+//!
+//! Grammar (abbreviated and full syntax):
+//!
+//! ```text
+//! path      := ("/" | "//")? step (("/" | "//") step)*
+//! step      := axis-spec? node-test predicate*   |  "."  |  ".."
+//! axis-spec := AXIS "::"  |  "@"
+//! node-test := NAME | "*" | PREFIX ":" NAME | "text()" | "node()"
+//! predicate := "[" or-expr "]"
+//! or-expr   := and-expr ("or" and-expr)*
+//! and-expr  := boolean ("and" boolean)*
+//! boolean   := "not" "(" or-expr ")" | "(" or-expr ")" | comparison
+//! comparison:= operand (CMP operand)? | INTEGER | "last()"
+//! operand   := rel-path | literal
+//! literal   := STRING | NUMBER
+//! ```
+//!
+//! A bare integer predicate is positional (`[3]`); `last()` is the special
+//! position −1.
+
+use crate::ast::{Axis, CmpOp, NodeTest, PathExpr, PredOperand, Predicate, Step};
+use std::fmt;
+use xqp_xml::Atomic;
+
+/// Parse failure with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path parse error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a path expression.
+pub fn parse_path(input: &str) -> Result<PathExpr, ParseError> {
+    let mut p = P::new(input);
+    let path = p.path()?;
+    p.skip_ws();
+    if p.pos < p.input.len() {
+        return Err(p.err("trailing input after path expression"));
+    }
+    Ok(path)
+}
+
+/// Parse a path at the start of `input`, returning it together with the
+/// number of bytes consumed. Used by the XQuery parser to embed paths inside
+/// larger expressions.
+pub fn parse_path_prefix(input: &str) -> Result<(PathExpr, usize), ParseError> {
+    let mut p = P::new(input);
+    let path = p.path()?;
+    Ok((path, p.pos))
+}
+
+/// Parse a path *continuation* — `("/" | "//") step (…)*` — as a relative
+/// path, returning it and the bytes consumed. This is how `$var/title` style
+/// expressions hand their tail to the path parser.
+pub fn parse_path_continuation(input: &str) -> Result<(PathExpr, usize), ParseError> {
+    let mut p = P::new(input);
+    p.skip_ws();
+    let mut steps = Vec::new();
+    let dos = || Step {
+        axis: Axis::DescendantOrSelf,
+        test: NodeTest::AnyNode,
+        predicates: vec![],
+    };
+    if p.eat("//") {
+        steps.push(dos());
+    } else if !p.eat("/") {
+        return Err(p.err("expected `/` or `//`"));
+    }
+    steps.push(p.step()?);
+    loop {
+        let save = p.pos;
+        p.skip_ws();
+        if p.eat("//") {
+            steps.push(dos());
+            steps.push(p.step()?);
+        } else if p.eat("/") {
+            steps.push(p.step()?);
+        } else {
+            p.pos = save;
+            break;
+        }
+    }
+    Ok((PathExpr { absolute: false, steps }, p.pos))
+}
+
+/// Internal cursor; also used by `xqp-xquery`, which embeds relative paths.
+pub(crate) struct P<'a> {
+    pub(crate) input: &'a str,
+    pub(crate) pos: usize,
+}
+
+impl<'a> P<'a> {
+    pub(crate) fn new(input: &'a str) -> Self {
+        P { input, pos: 0 }
+    }
+
+    pub(crate) fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: msg.into() }
+    }
+
+    pub(crate) fn skip_ws(&mut self) {
+        while self.input[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn name(&mut self) -> Option<String> {
+        let rest = &self.input[self.pos..];
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+            };
+            if !ok {
+                break;
+            }
+            end = i + c.len_utf8();
+        }
+        if end == 0 {
+            return None;
+        }
+        let n = rest[..end].to_string();
+        self.pos += end;
+        Some(n)
+    }
+
+    /// Parse a full path (absolute or relative).
+    pub(crate) fn path(&mut self) -> Result<PathExpr, ParseError> {
+        self.skip_ws();
+        let mut steps = Vec::new();
+        let absolute = if self.eat("//") {
+            steps.push(Step {
+                axis: Axis::DescendantOrSelf,
+                test: NodeTest::AnyNode,
+                predicates: vec![],
+            });
+            true
+        } else {
+            self.eat("/")
+        };
+        // Absolute-root-only path `/`.
+        self.skip_ws();
+        if absolute && steps.is_empty() && (self.peek().is_none() || !self.step_starts_here()) {
+            return Ok(PathExpr { absolute, steps });
+        }
+        steps.push(self.step()?);
+        loop {
+            self.skip_ws();
+            if self.eat("//") {
+                steps.push(Step {
+                    axis: Axis::DescendantOrSelf,
+                    test: NodeTest::AnyNode,
+                    predicates: vec![],
+                });
+                steps.push(self.step()?);
+            } else if self.eat("/") {
+                steps.push(self.step()?);
+            } else {
+                break;
+            }
+        }
+        Ok(PathExpr { absolute, steps })
+    }
+
+    fn step_starts_here(&self) -> bool {
+        matches!(self.peek(), Some(c) if c.is_alphabetic() || matches!(c, '_' | '*' | '@' | '.'))
+    }
+
+    fn step(&mut self) -> Result<Step, ParseError> {
+        self.skip_ws();
+        // Abbreviations.
+        if self.eat("..") {
+            return Ok(self.with_predicates(Axis::Parent, NodeTest::AnyNode)?);
+        }
+        if self.peek() == Some('.') {
+            // `.` but not a number like `.5` (we have no leading-dot numbers).
+            self.pos += 1;
+            return Ok(self.with_predicates(Axis::SelfAxis, NodeTest::AnyNode)?);
+        }
+        if self.eat("@") {
+            let test = self.node_test()?;
+            return Ok(self.with_predicates(Axis::Attribute, test)?);
+        }
+        // Full `axis::` form?
+        let save = self.pos;
+        if let Some(word) = self.name() {
+            if self.eat("::") {
+                let axis = match word.as_str() {
+                    "child" => Axis::Child,
+                    "descendant" => Axis::Descendant,
+                    "descendant-or-self" => Axis::DescendantOrSelf,
+                    "self" => Axis::SelfAxis,
+                    "attribute" => Axis::Attribute,
+                    "parent" => Axis::Parent,
+                    "ancestor" => Axis::Ancestor,
+                    "ancestor-or-self" => Axis::AncestorOrSelf,
+                    "following-sibling" => Axis::FollowingSibling,
+                    "preceding-sibling" => Axis::PrecedingSibling,
+                    other => return Err(self.err(format!("unknown axis `{other}`"))),
+                };
+                let test = self.node_test()?;
+                return Ok(self.with_predicates(axis, test)?);
+            }
+            self.pos = save;
+        }
+        let test = self.node_test()?;
+        self.with_predicates(Axis::Child, test)
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest, ParseError> {
+        self.skip_ws();
+        if self.eat("*") {
+            return Ok(NodeTest::Name("*".into()));
+        }
+        let Some(mut name) = self.name() else {
+            return Err(self.err("expected a node test"));
+        };
+        // Prefixed name?
+        if self.peek() == Some(':') && !self.input[self.pos..].starts_with("::") {
+            self.pos += 1;
+            let Some(local) = self.name() else {
+                return Err(self.err("expected local name after prefix"));
+            };
+            name = format!("{name}:{local}");
+            return Ok(NodeTest::Name(name));
+        }
+        // Kind tests.
+        if self.input[self.pos..].starts_with("()") {
+            match name.as_str() {
+                "text" => {
+                    self.pos += 2;
+                    return Ok(NodeTest::Text);
+                }
+                "node" => {
+                    self.pos += 2;
+                    return Ok(NodeTest::AnyNode);
+                }
+                _ => {}
+            }
+        }
+        Ok(NodeTest::Name(name))
+    }
+
+    fn with_predicates(&mut self, axis: Axis, test: NodeTest) -> Result<Step, ParseError> {
+        let mut predicates = Vec::new();
+        loop {
+            self.skip_ws();
+            if !self.eat("[") {
+                break;
+            }
+            let p = self.or_expr()?;
+            self.skip_ws();
+            self.expect("]")?;
+            predicates.push(p);
+        }
+        Ok(Step { axis, test, predicates })
+    }
+
+    fn or_expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.and_expr()?;
+        loop {
+            self.skip_ws();
+            if self.keyword("or") {
+                let right = self.and_expr()?;
+                left = Predicate::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.boolean()?;
+        loop {
+            self.skip_ws();
+            if self.keyword("and") {
+                let right = self.boolean()?;
+                left = Predicate::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// Match a keyword followed by a non-name character.
+    fn keyword(&mut self, kw: &str) -> bool {
+        let rest = &self.input[self.pos..];
+        if rest.starts_with(kw) {
+            let after = rest[kw.len()..].chars().next();
+            if !matches!(after, Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn boolean(&mut self) -> Result<Predicate, ParseError> {
+        self.skip_ws();
+        if self.keyword("not") {
+            self.skip_ws();
+            self.expect("(")?;
+            let inner = self.or_expr()?;
+            self.skip_ws();
+            self.expect(")")?;
+            return Ok(Predicate::Not(Box::new(inner)));
+        }
+        if self.peek() == Some('(') {
+            self.pos += 1;
+            let inner = self.or_expr()?;
+            self.skip_ws();
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        if self.keyword("last") {
+            self.skip_ws();
+            self.expect("(")?;
+            self.skip_ws();
+            self.expect(")")?;
+            return Ok(Predicate::Position(-1));
+        }
+        // A number is positional when bare (`[3]`), or the lhs of a
+        // comparison (`[5 < v]`).
+        if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            let (atom, all_int) = self.number()?;
+            self.skip_ws();
+            if matches!(self.peek(), Some(']')) {
+                return match (all_int, atom) {
+                    (true, Atomic::Integer(i)) => Ok(Predicate::Position(i)),
+                    _ => Err(self.err("non-integer positional predicate")),
+                };
+            }
+            return self.comparison_tail(PredOperand::Literal(atom));
+        }
+        // Comparison or existence.
+        let lhs = self.operand()?;
+        self.comparison_tail(lhs)
+    }
+
+    /// Finish a predicate after its left operand: parse an optional operator
+    /// and right operand, or fall back to an existence test.
+    fn comparison_tail(&mut self, lhs: PredOperand) -> Result<Predicate, ParseError> {
+        self.skip_ws();
+        let op = if self.eat("!=") {
+            Some(CmpOp::Ne)
+        } else if self.eat("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat(">=") {
+            Some(CmpOp::Ge)
+        } else if self.eat("=") {
+            Some(CmpOp::Eq)
+        } else if self.eat("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let rhs = self.operand()?;
+                Ok(Predicate::Compare { lhs, op, rhs })
+            }
+            None => match lhs {
+                PredOperand::Path(p) => Ok(Predicate::Exists(p)),
+                PredOperand::Literal(_) => {
+                    Err(self.err("literal predicate must be part of a comparison"))
+                }
+                PredOperand::Var { .. } => {
+                    Err(self.err("variable predicate must be part of a comparison"))
+                }
+            },
+        }
+    }
+
+    fn operand(&mut self) -> Result<PredOperand, ParseError> {
+        self.skip_ws();
+        if self.eat("$") {
+            let Some(name) = self.name() else {
+                return Err(self.err("expected variable name after `$`"));
+            };
+            let path = if self.input[self.pos..].starts_with('/') {
+                let (p, used) = parse_path_continuation(&self.input[self.pos..])
+                    .map_err(|e| ParseError {
+                        offset: self.pos + e.offset,
+                        message: e.message,
+                    })?;
+                self.pos += used;
+                p
+            } else {
+                PathExpr { absolute: false, steps: Vec::new() }
+            };
+            return Ok(PredOperand::Var { name, path });
+        }
+        match self.peek() {
+            Some('"') | Some('\'') => {
+                let q = self.peek().expect("peeked");
+                self.pos += 1;
+                let rest = &self.input[self.pos..];
+                let end = rest
+                    .find(q)
+                    .ok_or_else(|| self.err("unterminated string literal"))?;
+                let s = rest[..end].to_string();
+                self.pos += end + 1;
+                Ok(PredOperand::Literal(Atomic::Str(s)))
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let (atom, _) = self.number()?;
+                Ok(PredOperand::Literal(atom))
+            }
+            Some('-') => {
+                self.pos += 1;
+                let (atom, _) = self.number()?;
+                let neg = match atom {
+                    Atomic::Integer(i) => Atomic::Integer(-i),
+                    Atomic::Double(d) => Atomic::Double(-d),
+                    other => other,
+                };
+                Ok(PredOperand::Literal(neg))
+            }
+            _ => {
+                let path = self.path()?;
+                if path.steps.is_empty() && !path.absolute {
+                    return Err(self.err("expected a comparison operand"));
+                }
+                Ok(PredOperand::Path(path))
+            }
+        }
+    }
+
+    /// Parse a number; the bool says whether it was an integer literal.
+    fn number(&mut self) -> Result<(Atomic, bool), ParseError> {
+        let rest = &self.input[self.pos..];
+        let mut end = 0;
+        let mut saw_dot = false;
+        for (i, c) in rest.char_indices() {
+            if c.is_ascii_digit() {
+                end = i + 1;
+            } else if c == '.' && !saw_dot {
+                saw_dot = true;
+                end = i + 1;
+            } else {
+                break;
+            }
+        }
+        if end == 0 {
+            return Err(self.err("expected a number"));
+        }
+        let text = &rest[..end];
+        self.pos += end;
+        if saw_dot {
+            let d: f64 = text.parse().map_err(|_| self.err("bad number"))?;
+            Ok((Atomic::Double(d), false))
+        } else {
+            let i: i64 = text.parse().map_err(|_| self.err("bad number"))?;
+            Ok((Atomic::Integer(i), true))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> PathExpr {
+        parse_path(s).unwrap_or_else(|e| panic!("parse `{s}`: {e}"))
+    }
+
+    #[test]
+    fn simple_absolute_path() {
+        let p = parse("/bib/book/title");
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[0], Step::child("bib"));
+        assert_eq!(p.to_string(), "/bib/book/title");
+    }
+
+    #[test]
+    fn relative_path() {
+        let p = parse("book/title");
+        assert!(!p.absolute);
+        assert_eq!(p.steps.len(), 2);
+    }
+
+    #[test]
+    fn double_slash_expands() {
+        let p = parse("//book");
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].axis, Axis::DescendantOrSelf);
+        assert_eq!(p.steps[0].test, NodeTest::AnyNode);
+        assert_eq!(p.steps[1], Step::child("book"));
+    }
+
+    #[test]
+    fn interior_double_slash() {
+        let p = parse("/a//b");
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[1].axis, Axis::DescendantOrSelf);
+    }
+
+    #[test]
+    fn attribute_abbreviation() {
+        let p = parse("/book/@year");
+        assert_eq!(p.steps[1].axis, Axis::Attribute);
+        assert_eq!(p.steps[1].test, NodeTest::Name("year".into()));
+    }
+
+    #[test]
+    fn dot_and_dotdot() {
+        let p = parse("./a/../b");
+        assert_eq!(p.steps[0].axis, Axis::SelfAxis);
+        assert_eq!(p.steps[2].axis, Axis::Parent);
+    }
+
+    #[test]
+    fn full_axis_syntax() {
+        let p = parse("/child::a/descendant::b/following-sibling::c/ancestor-or-self::*");
+        assert_eq!(p.steps[0].axis, Axis::Child);
+        assert_eq!(p.steps[1].axis, Axis::Descendant);
+        assert_eq!(p.steps[2].axis, Axis::FollowingSibling);
+        assert_eq!(p.steps[3].axis, Axis::AncestorOrSelf);
+        assert_eq!(p.steps[3].test, NodeTest::Name("*".into()));
+    }
+
+    #[test]
+    fn kind_tests() {
+        let p = parse("/a/text()");
+        assert_eq!(p.steps[1].test, NodeTest::Text);
+        let p = parse("/a/node()");
+        assert_eq!(p.steps[1].test, NodeTest::AnyNode);
+    }
+
+    #[test]
+    fn wildcard_and_prefixed_names() {
+        let p = parse("/*/p:item");
+        assert_eq!(p.steps[0].test, NodeTest::Name("*".into()));
+        assert_eq!(p.steps[1].test, NodeTest::Name("p:item".into()));
+    }
+
+    #[test]
+    fn existence_predicate() {
+        let p = parse("/bib/book[author]");
+        assert_eq!(p.steps[1].predicates.len(), 1);
+        match &p.steps[1].predicates[0] {
+            Predicate::Exists(path) => assert_eq!(path.steps[0], Step::child("author")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_path_predicate() {
+        let p = parse("/a[b//c/@d]");
+        match &p.steps[0].predicates[0] {
+            Predicate::Exists(path) => {
+                assert_eq!(path.steps.len(), 4);
+                assert_eq!(path.steps[3].axis, Axis::Attribute);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_predicates() {
+        let p = parse("/book[price > 49.99]");
+        match &p.steps[0].predicates[0] {
+            Predicate::Compare { op, rhs, .. } => {
+                assert_eq!(*op, CmpOp::Gt);
+                assert_eq!(*rhs, PredOperand::Literal(Atomic::Double(49.99)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let p = parse("/book[@year != \"1994\"]");
+        match &p.steps[0].predicates[0] {
+            Predicate::Compare { op, rhs, .. } => {
+                assert_eq!(*op, CmpOp::Ne);
+                assert_eq!(*rhs, PredOperand::Literal(Atomic::Str("1994".into())));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dot_comparison() {
+        let p = parse("/a/b[. = 'x']");
+        match &p.steps[1].predicates[0] {
+            Predicate::Compare { lhs: PredOperand::Path(lp), .. } => {
+                assert_eq!(lp.steps[0].axis, Axis::SelfAxis);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let p = parse("/a/b[2]");
+        assert_eq!(p.steps[1].predicates[0], Predicate::Position(2));
+        let p = parse("/a/b[last()]");
+        assert_eq!(p.steps[1].predicates[0], Predicate::Position(-1));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let p = parse("/b[x and y or not(z)]");
+        match &p.steps[0].predicates[0] {
+            Predicate::Or(l, r) => {
+                assert!(matches!(**l, Predicate::And(_, _)));
+                assert!(matches!(**r, Predicate::Not(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let p = parse("/b[x and (y or z)]");
+        match &p.steps[0].predicates[0] {
+            Predicate::And(_, r) => assert!(matches!(**r, Predicate::Or(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_predicates_on_one_step() {
+        let p = parse("/a[b][c][2]");
+        assert_eq!(p.steps[0].predicates.len(), 3);
+    }
+
+    #[test]
+    fn negative_literal() {
+        let p = parse("/t[v > -5]");
+        match &p.steps[0].predicates[0] {
+            Predicate::Compare { rhs, .. } => {
+                assert_eq!(*rhs, PredOperand::Literal(Atomic::Integer(-5)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let p = parse("  / bib / book [ @year = 1994 ] ");
+        assert_eq!(p.steps.len(), 2);
+    }
+
+    #[test]
+    fn root_only_path() {
+        let p = parse("/");
+        assert!(p.absolute);
+        assert!(p.steps.is_empty());
+    }
+
+    #[test]
+    fn path_to_path_comparison() {
+        let p = parse("/a[b = c/d]");
+        match &p.steps[0].predicates[0] {
+            Predicate::Compare {
+                lhs: PredOperand::Path(l),
+                rhs: PredOperand::Path(r),
+                ..
+            } => {
+                assert_eq!(l.steps.len(), 1);
+                assert_eq!(r.steps.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_operands_in_predicates() {
+        let p = parse("/inv/item[@sku = $o/@sku]");
+        match &p.steps[1].predicates[0] {
+            Predicate::Compare { rhs: PredOperand::Var { name, path }, .. } => {
+                assert_eq!(name, "o");
+                assert_eq!(path.steps.len(), 1);
+                assert_eq!(path.steps[0].axis, Axis::Attribute);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let p = parse("/a/b[. < $limit]");
+        match &p.steps[1].predicates[0] {
+            Predicate::Compare { rhs: PredOperand::Var { name, path }, .. } => {
+                assert_eq!(name, "limit");
+                assert!(path.steps.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Bare `$v` predicates need a comparison.
+        assert!(parse_path("/a[$v]").is_err());
+        // Variable predicates are not downward (no TPM fusion).
+        assert!(!parse("/a/b[. < $limit]").is_downward());
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse_path("/a[").is_err());
+        assert!(parse_path("/a]").is_err());
+        assert!(parse_path("/a[1.5]").is_err());
+        assert!(parse_path("/a[@]").is_err());
+        assert!(parse_path("/a[b <]").is_err());
+        assert!(parse_path("/unknown::a").is_err());
+        assert!(parse_path("/a['unterminated]").is_err());
+        assert!(parse_path("").is_err());
+    }
+
+    #[test]
+    fn display_of_predicates_roundtrips_through_parser() {
+        for src in [
+            "/bib/book[@year > 1994]/title",
+            "/a//b[c][2]",
+            "/site/people/person[name = \"alice\"]",
+        ] {
+            let once = parse(src);
+            let again = parse(&once.to_string());
+            assert_eq!(once, again, "src `{src}` → `{once}`");
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! Pattern graphs — Definition 1 of the paper.
+//!
+//! > A PatternGraph is a labeled, directed graph `P = ⟨Σ, V, A, R, O⟩`, where
+//! > Σ is a finite alphabet of element names, V and A are vertices and arcs,
+//! > R the binary relations between vertices, and O ⊆ V the output vertices.
+//! > Each vertex is labeled with `*` or names from Σ and carries a list of
+//! > `⟨⊙, l⟩` comparison constraints; each arc is labeled with a relation.
+//!
+//! Patterns built from path expressions are tree-shaped (the general graph
+//! form arises when several paths over shared variables are merged — the
+//! FLWOR translation in `xqp-algebra` does that by grafting onto existing
+//! vertices). Relations R are parent-child ([`PRel::Child`]) and
+//! ancestor-descendant ([`PRel::Descendant`]); attributes are child arcs to
+//! [`VertexKind::Attribute`] vertices.
+//!
+//! Conversion from the AST ([`PatternGraph::from_path`]) succeeds only for
+//! the conjunctive, downward, position-free fragment that tree-pattern
+//! matching evaluates; everything else reports [`PatternError`] and the
+//! engine falls back to navigational evaluation.
+
+use crate::ast::{Axis, CmpOp, NodeTest, PathExpr, PredOperand, Predicate, Step};
+use std::fmt;
+use xqp_xml::Atomic;
+
+/// Arc relation (the R of Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PRel {
+    /// Parent-child (`/`) — a *local* (next-of-kin) relation.
+    Child,
+    /// Ancestor-descendant (`//`) — the non-local relation that separates
+    /// NoK partitions.
+    Descendant,
+}
+
+/// What kind of tree node a vertex matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VertexKind {
+    /// The virtual document root.
+    Root,
+    /// An element node.
+    Element,
+    /// An attribute node.
+    Attribute,
+    /// A text node.
+    Text,
+}
+
+/// One `⟨⊙, l⟩` pair: compare the matched node's typed value to a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueConstraint {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub literal: Atomic,
+}
+
+impl ValueConstraint {
+    /// Test a node's atomized value against this constraint; incomparable
+    /// pairs fail (general-comparison semantics).
+    pub fn matches(&self, value: &Atomic) -> bool {
+        value.compare(&self.literal).is_some_and(|o| self.op.eval(o))
+    }
+}
+
+/// A pattern vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PVertex {
+    /// Name label: a tag name or `*`.
+    pub label: String,
+    /// Node kind this vertex matches.
+    pub kind: VertexKind,
+    /// Conjunctive value constraints.
+    pub constraints: Vec<ValueConstraint>,
+    /// Whether matches of this vertex are returned (the O set).
+    pub output: bool,
+    /// Optional vertices (generalized tree patterns, cf. the paper's [9]):
+    /// an embedding survives even when no tree node matches this vertex.
+    /// Set by the FLWOR→TPM rewrite for `let`-grafted branches.
+    pub optional: bool,
+}
+
+impl PVertex {
+    fn named(label: impl Into<String>, kind: VertexKind) -> Self {
+        PVertex { label: label.into(), kind, constraints: vec![], output: false, optional: false }
+    }
+
+    /// True if this vertex's name test accepts `name`.
+    pub fn label_matches(&self, name: &str) -> bool {
+        self.label == "*" || self.label == name
+    }
+}
+
+/// A pattern arc `(from, to)` labeled with its relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PArc {
+    /// Source vertex index.
+    pub from: usize,
+    /// Target vertex index.
+    pub to: usize,
+    /// Structural relation.
+    pub rel: PRel,
+}
+
+/// Why a path expression cannot become a pattern graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// An upward or sideways axis appears.
+    NonDownwardAxis(Axis),
+    /// A positional predicate appears.
+    Positional,
+    /// `or` / `not` appear (pattern graphs are conjunctive).
+    NonConjunctive,
+    /// Both comparison operands are paths.
+    PathToPathComparison,
+    /// A predicate references a variable (needs the evaluator's scope).
+    Variable,
+    /// The path is relative but no context vertex was provided.
+    RelativeWithoutContext,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::NonDownwardAxis(a) => {
+                write!(f, "axis `{}` is not expressible in a tree pattern", a.keyword())
+            }
+            PatternError::Positional => write!(f, "positional predicates need navigational evaluation"),
+            PatternError::NonConjunctive => write!(f, "or/not predicates are not conjunctive"),
+            PatternError::PathToPathComparison => {
+                write!(f, "path-to-path comparisons need the value-join operator")
+            }
+            PatternError::Variable => {
+                write!(f, "variable predicates need the evaluator's scope")
+            }
+            PatternError::RelativeWithoutContext => {
+                write!(f, "relative path requires a context vertex")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A pattern graph (Definition 1). Vertex 0 is always the virtual root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternGraph {
+    /// All vertices; index 0 is the virtual document root.
+    pub vertices: Vec<PVertex>,
+    /// All arcs; for patterns built from single paths this forms a tree.
+    pub arcs: Vec<PArc>,
+    /// Set when a constant predicate evaluated to false: the pattern can
+    /// never match anything.
+    pub unsatisfiable: bool,
+}
+
+impl PatternGraph {
+    /// A pattern containing only the virtual root.
+    pub fn empty() -> Self {
+        PatternGraph {
+            vertices: vec![PVertex::named("/", VertexKind::Root)],
+            arcs: vec![],
+            unsatisfiable: false,
+        }
+    }
+
+    /// The virtual-root vertex index.
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Build from an absolute, downward, conjunctive path expression. The
+    /// final step's vertex becomes the single output vertex.
+    pub fn from_path(path: &PathExpr) -> Result<Self, PatternError> {
+        if !path.absolute {
+            return Err(PatternError::RelativeWithoutContext);
+        }
+        let mut g = PatternGraph::empty();
+        let last = g.graft_path(0, path)?;
+        if let Some(v) = last {
+            g.vertices[v].output = true;
+        }
+        Ok(g)
+    }
+
+    /// Graft a (relative or absolute) path below `context`, returning the
+    /// vertex of the final step (`None` for the empty path `/`). Used by the
+    /// FLWOR translation, which merges several paths into one graph.
+    pub fn graft_path(
+        &mut self,
+        context: usize,
+        path: &PathExpr,
+    ) -> Result<Option<usize>, PatternError> {
+        let mut cur = if path.absolute { self.root() } else { context };
+        let mut pending = PRel::Child;
+        let mut last = None;
+        for step in &path.steps {
+            match self.apply_step(cur, step, &mut pending)? {
+                Some(v) => {
+                    cur = v;
+                    last = Some(v);
+                }
+                None => {
+                    // self-step: stays on `cur`.
+                    last = Some(cur);
+                }
+            }
+        }
+        Ok(last)
+    }
+
+    /// Apply one step; returns the new vertex, or `None` for a merged
+    /// self-step.
+    fn apply_step(
+        &mut self,
+        cur: usize,
+        step: &Step,
+        pending: &mut PRel,
+    ) -> Result<Option<usize>, PatternError> {
+        match step.axis {
+            Axis::DescendantOrSelf if step.test == NodeTest::AnyNode
+                && step.predicates.is_empty() =>
+            {
+                *pending = PRel::Descendant;
+                return Ok(None);
+            }
+            Axis::SelfAxis => {
+                // Merge the test + predicates into the current vertex.
+                if let NodeTest::Name(n) = &step.test {
+                    if n != "*" {
+                        if self.vertices[cur].label == "*" {
+                            self.vertices[cur].label = n.clone();
+                        } else if &self.vertices[cur].label != n {
+                            self.unsatisfiable = true;
+                        }
+                    }
+                }
+                self.apply_predicates(cur, &step.predicates)?;
+                return Ok(None);
+            }
+            Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::Attribute => {}
+            other => return Err(PatternError::NonDownwardAxis(other)),
+        }
+
+        let rel = match (step.axis, *pending) {
+            (_, PRel::Descendant) => PRel::Descendant,
+            (Axis::Descendant | Axis::DescendantOrSelf, _) => PRel::Descendant,
+            _ => PRel::Child,
+        };
+        *pending = PRel::Child;
+
+        let kind = match (step.axis, &step.test) {
+            (Axis::Attribute, _) => VertexKind::Attribute,
+            (_, NodeTest::Text) => VertexKind::Text,
+            _ => VertexKind::Element,
+        };
+        let label = step.test.label().to_string();
+        let v = self.vertices.len();
+        self.vertices.push(PVertex::named(label, kind));
+        self.arcs.push(PArc { from: cur, to: v, rel });
+        self.apply_predicates(v, &step.predicates)?;
+        Ok(Some(v))
+    }
+
+    fn apply_predicates(
+        &mut self,
+        v: usize,
+        preds: &[Predicate],
+    ) -> Result<(), PatternError> {
+        for p in preds {
+            self.apply_predicate(v, p)?;
+        }
+        Ok(())
+    }
+
+    fn apply_predicate(&mut self, v: usize, pred: &Predicate) -> Result<(), PatternError> {
+        match pred {
+            Predicate::Exists(path) => {
+                self.graft_path(v, path)?;
+                Ok(())
+            }
+            Predicate::Compare { lhs, op, rhs } => {
+                let (path, op, lit) = match (lhs, rhs) {
+                    (PredOperand::Path(p), PredOperand::Literal(l)) => (p, *op, l.clone()),
+                    (PredOperand::Literal(l), PredOperand::Path(p)) => {
+                        (p, op.flipped(), l.clone())
+                    }
+                    (PredOperand::Literal(a), PredOperand::Literal(b)) => {
+                        let holds = a.compare(b).is_some_and(|o| op.eval(o));
+                        if !holds {
+                            self.unsatisfiable = true;
+                        }
+                        return Ok(());
+                    }
+                    (PredOperand::Path(_), PredOperand::Path(_)) => {
+                        return Err(PatternError::PathToPathComparison)
+                    }
+                    (PredOperand::Var { .. }, _) | (_, PredOperand::Var { .. }) => {
+                        return Err(PatternError::Variable)
+                    }
+                };
+                let target = self.graft_path(v, path)?.unwrap_or(v);
+                self.vertices[target]
+                    .constraints
+                    .push(ValueConstraint { op, literal: lit });
+                Ok(())
+            }
+            Predicate::Position(_) => Err(PatternError::Positional),
+            Predicate::And(a, b) => {
+                self.apply_predicate(v, a)?;
+                self.apply_predicate(v, b)
+            }
+            Predicate::Or(_, _) | Predicate::Not(_) => Err(PatternError::NonConjunctive),
+        }
+    }
+
+    // ---- structure queries --------------------------------------------------
+
+    /// Children of vertex `v` with their arc relations.
+    pub fn children(&self, v: usize) -> impl Iterator<Item = (usize, PRel)> + '_ {
+        self.arcs.iter().filter(move |a| a.from == v).map(|a| (a.to, a.rel))
+    }
+
+    /// The incoming arc of `v`, if any (vertex 0 has none).
+    pub fn incoming(&self, v: usize) -> Option<PArc> {
+        self.arcs.iter().copied().find(|a| a.to == v)
+    }
+
+    /// Output vertex indices, ascending.
+    pub fn outputs(&self) -> Vec<usize> {
+        (0..self.vertices.len()).filter(|&v| self.vertices[v].output).collect()
+    }
+
+    /// Number of vertices excluding the virtual root.
+    pub fn pattern_size(&self) -> usize {
+        self.vertices.len() - 1
+    }
+
+    /// True if all arcs are local (parent-child): the pattern is a pure NoK
+    /// expression evaluable in a single navigational scan.
+    pub fn is_nok_only(&self) -> bool {
+        self.arcs.iter().all(|a| a.rel == PRel::Child)
+    }
+
+    /// Mark vertex `v` as an output vertex.
+    pub fn mark_output(&mut self, v: usize) {
+        self.vertices[v].output = true;
+    }
+}
+
+impl fmt::Display for PatternGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(
+            g: &PatternGraph,
+            v: usize,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let vert = &g.vertices[v];
+            let marker = if vert.output { " *" } else { "" };
+            let kind = match vert.kind {
+                VertexKind::Root => "root",
+                VertexKind::Element => "elem",
+                VertexKind::Attribute => "attr",
+                VertexKind::Text => "text",
+            };
+            writeln!(f, "{}{} [{}]{}", "  ".repeat(depth), vert.label, kind, marker)?;
+            for (c, rel) in g.children(v) {
+                let sym = match rel {
+                    PRel::Child => "/",
+                    PRel::Descendant => "//",
+                };
+                write!(f, "{}{} ", "  ".repeat(depth + 1), sym)?;
+                rec(g, c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        rec(self, 0, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+
+    fn graph(src: &str) -> PatternGraph {
+        PatternGraph::from_path(&parse_path(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fig1_example_pattern() {
+        // The paper's /a[b][c] example: four vertices root,a,b,c; three child
+        // arcs; `a` is the output vertex.
+        let g = graph("/a[b][c]");
+        assert_eq!(g.vertices.len(), 4);
+        assert_eq!(g.arcs.len(), 3);
+        assert!(g.arcs.iter().all(|a| a.rel == PRel::Child));
+        let a = g.arcs[0].to;
+        assert!(g.vertices[a].output);
+        assert_eq!(g.outputs(), vec![a]);
+        assert_eq!(g.vertices[a].label, "a");
+        let kids: Vec<usize> = g.children(a).map(|(c, _)| c).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(g.vertices[kids[0]].label, "b");
+        assert_eq!(g.vertices[kids[1]].label, "c");
+    }
+
+    #[test]
+    fn double_slash_becomes_descendant_arc() {
+        let g = graph("//book/title");
+        // root --desc--> book --child--> title
+        assert_eq!(g.arcs[0].rel, PRel::Descendant);
+        assert_eq!(g.arcs[1].rel, PRel::Child);
+        assert_eq!(g.vertices[g.arcs[1].to].label, "title");
+        assert!(!g.is_nok_only());
+    }
+
+    #[test]
+    fn child_only_pattern_is_nok() {
+        let g = graph("/bib/book[author]/title");
+        assert!(g.is_nok_only());
+        assert_eq!(g.pattern_size(), 4);
+    }
+
+    #[test]
+    fn value_constraint_on_attribute() {
+        let g = graph("/book[@year > 1994]");
+        let attr = g
+            .vertices
+            .iter()
+            .position(|v| v.kind == VertexKind::Attribute)
+            .expect("attribute vertex");
+        assert_eq!(g.vertices[attr].label, "year");
+        assert_eq!(g.vertices[attr].constraints.len(), 1);
+        let c = &g.vertices[attr].constraints[0];
+        assert_eq!(c.op, CmpOp::Gt);
+        assert_eq!(c.literal, Atomic::Integer(1994));
+    }
+
+    #[test]
+    fn dot_comparison_constrains_step_vertex() {
+        let g = graph("/a/b[. = \"x\"]");
+        let b = g.vertices.iter().position(|v| v.label == "b").unwrap();
+        assert_eq!(g.vertices[b].constraints.len(), 1);
+    }
+
+    #[test]
+    fn flipped_literal_comparison() {
+        let g = graph("/t[5 < v]");
+        let v = g.vertices.iter().position(|x| x.label == "v").unwrap();
+        assert_eq!(g.vertices[v].constraints[0].op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn constant_predicates_fold() {
+        let g = graph("/a[1 = 1]");
+        assert!(!g.unsatisfiable);
+        assert_eq!(g.pattern_size(), 1);
+        let g = graph("/a[1 = 2]");
+        assert!(g.unsatisfiable);
+    }
+
+    #[test]
+    fn self_step_merges() {
+        let g = graph("/a/.[b]");
+        // `.` adds no vertex; predicate b hangs off a.
+        assert_eq!(g.pattern_size(), 2);
+        let a = g.vertices.iter().position(|v| v.label == "a").unwrap();
+        let kids: Vec<_> = g.children(a).collect();
+        assert_eq!(kids.len(), 1);
+    }
+
+    #[test]
+    fn text_vertex_kind() {
+        let g = graph("/a/text()");
+        let t = g.vertices.iter().position(|v| v.kind == VertexKind::Text).unwrap();
+        assert!(g.vertices[t].output);
+    }
+
+    #[test]
+    fn rejects_non_downward() {
+        let p = parse_path("/a/../b").unwrap();
+        assert_eq!(
+            PatternGraph::from_path(&p),
+            Err(PatternError::NonDownwardAxis(Axis::Parent))
+        );
+    }
+
+    #[test]
+    fn rejects_positional() {
+        let p = parse_path("/a/b[2]").unwrap();
+        assert_eq!(PatternGraph::from_path(&p), Err(PatternError::Positional));
+    }
+
+    #[test]
+    fn rejects_disjunction() {
+        let p = parse_path("/a[b or c]").unwrap();
+        assert_eq!(PatternGraph::from_path(&p), Err(PatternError::NonConjunctive));
+    }
+
+    #[test]
+    fn rejects_relative_without_context() {
+        let p = parse_path("a/b").unwrap();
+        assert_eq!(
+            PatternGraph::from_path(&p),
+            Err(PatternError::RelativeWithoutContext)
+        );
+    }
+
+    #[test]
+    fn value_constraint_matching() {
+        let c = ValueConstraint { op: CmpOp::Ge, literal: Atomic::Integer(10) };
+        assert!(c.matches(&Atomic::Integer(10)));
+        assert!(c.matches(&Atomic::Str("11".into())));
+        assert!(!c.matches(&Atomic::Integer(9)));
+        assert!(!c.matches(&Atomic::Str("abc".into()))); // incomparable fails
+    }
+
+    #[test]
+    fn graft_merges_multiple_paths() {
+        // Simulate a FLWOR binding: $b := /bib/book, then $b/title and
+        // $b/author grafted on the same vertex.
+        let mut g = graph("/bib/book");
+        let book = g.outputs()[0];
+        let title = g
+            .graft_path(book, &parse_path("title").unwrap_or_else(|_| unreachable!()))
+            .ok()
+            .flatten();
+        // relative parse: "title" is relative, parse_path rejects nothing — it
+        // returns a relative PathExpr
+        let title = title.expect("grafted title vertex");
+        g.mark_output(title);
+        assert_eq!(g.outputs().len(), 2);
+        assert_eq!(g.vertices[title].label, "title");
+        assert_eq!(g.incoming(title).unwrap().from, book);
+    }
+
+    #[test]
+    fn interior_descendant_pattern() {
+        let g = graph("/site//item[@id = \"i1\"]/name");
+        assert!(!g.is_nok_only());
+        let rels: Vec<PRel> = g.arcs.iter().map(|a| a.rel).collect();
+        assert!(rels.contains(&PRel::Descendant));
+        assert!(rels.contains(&PRel::Child));
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let g = graph("/a//b[@x = 1]");
+        let s = g.to_string();
+        assert!(s.contains("a [elem]"));
+        assert!(s.contains("// "));
+        assert!(s.contains("x [attr]"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # xqp-xquery — the XQuery-subset frontend
+//!
+//! Parses the recursion-free XQuery fragment the paper's algebra targets
+//! (§3.1: "I identify a subclass of XQuery that does not include recursive
+//! functions, and define a complete algebra for this subclass") and
+//! translates it directly into `xqp-algebra` terms:
+//!
+//! * **FLWOR expressions** (`for` / `let` / `where` / `order by` / `return`)
+//!   become [`xqp_algebra::LogicalPlan`] pipelines building the `Env` sort;
+//! * **path expressions** become [`xqp_algebra::Expr::Path`] nodes whose
+//!   steps come from the `xqp-xpath` parser;
+//! * **constructor expressions** (`<result>{$t}{$a}</result>`) become
+//!   [`xqp_algebra::SchemaTree`]s — Definition 2, extracted exactly as in the
+//!   paper's Fig. 1(b);
+//! * arithmetic / comparison / logical expressions, `if/then/else`, literals
+//!   and built-in function calls become the corresponding [`Expr`] nodes.
+//!
+//! Out of scope (rejected with a parse error): user-defined functions,
+//! recursion, type declarations — per the paper, "type checking and
+//! error/exception handling are outside the scope".
+
+pub mod parser;
+
+pub use parser::{parse_query, ParseError};
+
+use xqp_algebra::Expr;
+
+/// A parsed query: always an expression (FLWORs appear as
+/// [`Expr::Flwor`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The query body.
+    pub body: Expr,
+}

@@ -1,0 +1,960 @@
+//! Recursive-descent parser and translator for the XQuery subset.
+//!
+//! Parsing and translation are one pass: the parser emits `xqp-algebra`
+//! [`Expr`]s and [`LogicalPlan`]s directly. Grammar (simplified):
+//!
+//! ```text
+//! query      := expr
+//! expr       := flwor | ifExpr | orExpr
+//! flwor      := (forClause | letClause)+ ("where" expr)?
+//!               ("order" "by" orderKey ("," orderKey)*)? "return" expr
+//! forClause  := "for" "$" NAME "in" expr ("," "$" NAME "in" expr)*
+//! letClause  := "let" "$" NAME ":=" expr ("," "$" NAME ":=" expr)*
+//! ifExpr     := "if" "(" expr ")" "then" expr "else" expr
+//! orExpr     := andExpr ("or" andExpr)*
+//! andExpr    := cmpExpr ("and" cmpExpr)*
+//! cmpExpr    := addExpr (CMP addExpr)?
+//! addExpr    := mulExpr (("+" | "-") mulExpr)*
+//! mulExpr    := unary (("*" | "div" | "mod") unary)*
+//! unary      := "-" unary | postfix
+//! postfix    := primary pathContinuation?
+//! primary    := literal | "$" NAME | "(" exprList? ")" | constructor
+//!             | "doc" "(" STRING ")" | FN "(" exprList? ")" | absolutePath
+//! constructor:= "<" NAME (NAME "=" quotedTemplate)* ("/>" | ">" content "</" NAME ">")
+//! content    := (text | "{" expr "}" | constructor)*
+//! ```
+//!
+//! XQuery comments `(: … :)` (nesting allowed) are whitespace.
+
+use xqp_algebra::expr::ArithOp;
+use xqp_algebra::plan::OrderKey;
+use xqp_algebra::{Expr, LogicalPlan, SchemaNode, SchemaTree};
+use xqp_xml::Atomic;
+use xqp_xpath::parser::{parse_path_continuation, parse_path_prefix};
+use xqp_xpath::CmpOp;
+
+use crate::Query;
+use std::fmt;
+
+/// XQuery parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XQuery parse error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete query.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut q = Q { input, pos: 0 };
+    let body = q.expr()?;
+    q.skip_ws();
+    if q.pos < input.len() {
+        return Err(q.err("trailing input after query"));
+    }
+    Ok(Query { body })
+}
+
+struct Q<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Q<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: msg.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let before = self.pos;
+            while self.rest().starts_with(|c: char| c.is_whitespace()) {
+                self.pos += 1;
+            }
+            // XQuery comments `(: … :)`, possibly nested.
+            if self.rest().starts_with("(:") {
+                self.pos += 2;
+                let mut depth = 1;
+                while depth > 0 {
+                    if self.rest().starts_with("(:") {
+                        depth += 1;
+                        self.pos += 2;
+                    } else if self.rest().starts_with(":)") {
+                        depth -= 1;
+                        self.pos += 2;
+                    } else if self.pos >= self.input.len() {
+                        return; // unterminated comment: caller errors next
+                    } else {
+                        self.pos += self.peek().map_or(1, char::len_utf8);
+                    }
+                }
+            }
+            if self.pos == before {
+                return;
+            }
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    /// Match a keyword followed by a non-name character.
+    fn keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.starts_with(kw) {
+            let after = rest[kw.len()..].chars().next();
+            if !matches!(after, Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        let save = self.pos;
+        let hit = self.keyword(kw);
+        self.pos = save;
+        hit
+    }
+
+    fn name(&mut self) -> Option<String> {
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+            };
+            if !ok {
+                break;
+            }
+            end = i + c.len_utf8();
+        }
+        if end == 0 {
+            return None;
+        }
+        let n = rest[..end].to_string();
+        self.pos += end;
+        Some(n)
+    }
+
+    fn var_name(&mut self) -> Result<String, ParseError> {
+        self.expect("$")?;
+        self.name().ok_or_else(|| self.err("expected variable name after `$`"))
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        if self.peek_keyword("for") || self.peek_keyword("let") {
+            return self.flwor();
+        }
+        if self.peek_keyword("if") {
+            return self.if_expr();
+        }
+        self.or_expr()
+    }
+
+    fn flwor(&mut self) -> Result<Expr, ParseError> {
+        let mut plan = LogicalPlan::EnvRoot;
+        let mut any = false;
+        loop {
+            if self.keyword("for") {
+                loop {
+                    let var = self.var_name()?;
+                    if !self.keyword("in") {
+                        return Err(self.err("expected `in` in for clause"));
+                    }
+                    let source = self.expr()?;
+                    plan = LogicalPlan::ForBind { input: Box::new(plan), var, source };
+                    self.skip_ws();
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                any = true;
+            } else if self.keyword("let") {
+                loop {
+                    let var = self.var_name()?;
+                    self.expect(":=")?;
+                    let source = self.expr()?;
+                    plan = LogicalPlan::LetBind { input: Box::new(plan), var, source };
+                    self.skip_ws();
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                any = true;
+            } else {
+                break;
+            }
+        }
+        if !any {
+            return Err(self.err("expected for/let clause"));
+        }
+        if self.keyword("where") {
+            let cond = self.expr()?;
+            plan = LogicalPlan::Where { input: Box::new(plan), cond };
+        }
+        if self.keyword("order") {
+            if !self.keyword("by") {
+                return Err(self.err("expected `by` after `order`"));
+            }
+            let mut keys = Vec::new();
+            loop {
+                let expr = self.expr()?;
+                let descending = if self.keyword("descending") {
+                    true
+                } else {
+                    let _ = self.keyword("ascending");
+                    false
+                };
+                keys.push(OrderKey { expr, descending });
+                self.skip_ws();
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            plan = LogicalPlan::OrderBy { input: Box::new(plan), keys };
+        }
+        if !self.keyword("return") {
+            return Err(self.err("expected `return` clause"));
+        }
+        let expr = self.expr()?;
+        plan = LogicalPlan::ReturnClause { input: Box::new(plan), expr };
+        Ok(Expr::Flwor(Box::new(plan)))
+    }
+
+    fn if_expr(&mut self) -> Result<Expr, ParseError> {
+        if !self.keyword("if") {
+            return Err(self.err("expected `if`"));
+        }
+        self.expect("(")?;
+        let cond = self.expr()?;
+        self.expect(")")?;
+        if !self.keyword("then") {
+            return Err(self.err("expected `then`"));
+        }
+        let then_branch = self.expr()?;
+        if !self.keyword("else") {
+            return Err(self.err("expected `else`"));
+        }
+        let else_branch = self.expr()?;
+        Ok(Expr::If {
+            cond: Box::new(cond),
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(else_branch),
+        })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.keyword("or") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.cmp_expr()?;
+        while self.keyword("and") {
+            let right = self.cmp_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.add_expr()?;
+        self.skip_ws();
+        let op = if self.eat("!=") {
+            Some(CmpOp::Ne)
+        } else if self.eat("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat(">=") {
+            Some(CmpOp::Ge)
+        } else if self.eat("=") {
+            Some(CmpOp::Eq)
+        } else if self.rest().starts_with('<') && !self.rest().starts_with("<<") {
+            // `<` here is a comparison: constructors only start at primary
+            // position, which add_expr already consumed past.
+            self.pos += 1;
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let right = self.add_expr()?;
+                Ok(Expr::Cmp { op, lhs: Box::new(left), rhs: Box::new(right) })
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            self.skip_ws();
+            let op = if self.eat("+") {
+                ArithOp::Add
+            } else if self.eat("-") {
+                ArithOp::Sub
+            } else {
+                return Ok(left);
+            };
+            let right = self.mul_expr()?;
+            left = Expr::Arith { op, lhs: Box::new(left), rhs: Box::new(right) };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            self.skip_ws();
+            let op = if self.eat("*") {
+                ArithOp::Mul
+            } else if self.keyword("div") {
+                ArithOp::Div
+            } else if self.keyword("mod") {
+                ArithOp::Mod
+            } else {
+                return Ok(left);
+            };
+            let right = self.unary()?;
+            left = Expr::Arith { op, lhs: Box::new(left), rhs: Box::new(right) };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        if self.eat("-") {
+            let inner = self.unary()?;
+            return Ok(Expr::Arith {
+                op: ArithOp::Sub,
+                lhs: Box::new(Expr::lit(0i64)),
+                rhs: Box::new(inner),
+            });
+        }
+        self.postfix()
+    }
+
+    /// A primary expression plus an optional path continuation.
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let primary = self.primary()?;
+        self.skip_ws();
+        if self.rest().starts_with('/') {
+            let (mut path, used) = parse_path_continuation(self.rest())
+                .map_err(|e| ParseError { offset: self.pos + e.offset, message: e.message })?;
+            self.pos += used;
+            // `doc(…)/a/b` is an absolute path: the document node is the
+            // context, so the continuation is rooted.
+            if matches!(primary, Expr::ContextDoc) {
+                path.absolute = true;
+            }
+            return Ok(Expr::Path { base: Box::new(primary), path });
+        }
+        Ok(primary)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') | Some('\'') => {
+                let s = self.string_literal()?;
+                Ok(Expr::Literal(Atomic::Str(s)))
+            }
+            Some(c) if c.is_ascii_digit() => self.number(),
+            Some('$') => {
+                let var = self.var_name()?;
+                Ok(Expr::Var(var))
+            }
+            Some('(') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.eat(")") {
+                    return Ok(Expr::SequenceExpr(vec![]));
+                }
+                let mut items = vec![self.expr()?];
+                loop {
+                    self.skip_ws();
+                    if self.eat(",") {
+                        items.push(self.expr()?);
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(")")?;
+                if items.len() == 1 {
+                    Ok(items.pop().expect("one item"))
+                } else {
+                    Ok(Expr::SequenceExpr(items))
+                }
+            }
+            Some('<') => self.constructor().map(|n| Expr::Construct(Box::new(SchemaTree::new(n)))),
+            Some('/') => {
+                let (path, used) = parse_path_prefix(self.rest())
+                    .map_err(|e| ParseError { offset: self.pos + e.offset, message: e.message })?;
+                self.pos += used;
+                Ok(Expr::doc_path(path))
+            }
+            _ => self.name_led(),
+        }
+    }
+
+    /// Primary expressions beginning with a name: `doc("…")`, `true()`,
+    /// function calls — or an error for relative paths, which need a `$var`
+    /// context in this subset.
+    fn name_led(&mut self) -> Result<Expr, ParseError> {
+        let start = self.pos;
+        let Some(word) = self.name() else {
+            return Err(self.err("expected an expression"));
+        };
+        self.skip_ws();
+        if self.rest().starts_with('(') {
+            match word.as_str() {
+                "doc" | "document" => {
+                    self.expect("(")?;
+                    self.skip_ws();
+                    // The document URI is accepted and ignored: the engine
+                    // binds the context document at execution time.
+                    if matches!(self.peek(), Some('"') | Some('\'')) {
+                        let _uri = self.string_literal()?;
+                    }
+                    self.expect(")")?;
+                    return Ok(Expr::ContextDoc);
+                }
+                "true" => {
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    return Ok(Expr::Literal(Atomic::Boolean(true)));
+                }
+                "false" => {
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    return Ok(Expr::Literal(Atomic::Boolean(false)));
+                }
+                _ => {
+                    self.expect("(")?;
+                    self.skip_ws();
+                    let mut args = Vec::new();
+                    if !self.eat(")") {
+                        args.push(self.expr()?);
+                        loop {
+                            self.skip_ws();
+                            if self.eat(",") {
+                                args.push(self.expr()?);
+                            } else {
+                                break;
+                            }
+                        }
+                        self.expect(")")?;
+                    }
+                    if word == "not" && args.len() == 1 {
+                        return Ok(Expr::Not(Box::new(args.pop().expect("one arg"))));
+                    }
+                    return Ok(Expr::Call { name: word, args });
+                }
+            }
+        }
+        self.pos = start;
+        Err(self.err(format!(
+            "relative path `{word}…` needs a variable context in this subset (use $var/{word})"
+        )))
+    }
+
+    fn string_literal(&mut self) -> Result<String, ParseError> {
+        let q = match self.peek() {
+            Some(c @ ('"' | '\'')) => c,
+            _ => return Err(self.err("expected string literal")),
+        };
+        self.pos += 1;
+        let rest = self.rest();
+        let end = rest.find(q).ok_or_else(|| self.err("unterminated string literal"))?;
+        let s = rest[..end].to_string();
+        self.pos += end + 1;
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<Expr, ParseError> {
+        let rest = self.rest();
+        let mut end = 0;
+        let mut saw_dot = false;
+        for (i, c) in rest.char_indices() {
+            if c.is_ascii_digit() {
+                end = i + 1;
+            } else if c == '.' && !saw_dot {
+                saw_dot = true;
+                end = i + 1;
+            } else {
+                break;
+            }
+        }
+        let text = &rest[..end];
+        self.pos += end;
+        if saw_dot {
+            let d: f64 = text.parse().map_err(|_| self.err("bad number"))?;
+            Ok(Expr::Literal(Atomic::Double(d)))
+        } else {
+            let i: i64 = text.parse().map_err(|_| self.err("bad number"))?;
+            Ok(Expr::Literal(Atomic::Integer(i)))
+        }
+    }
+
+    // ---- constructors (SchemaTree extraction, Fig. 1(b)) -------------------
+
+    fn constructor(&mut self) -> Result<SchemaNode, ParseError> {
+        self.expect("<")?;
+        let name = self.name().ok_or_else(|| self.err("expected element name"))?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat("/>") {
+                return Ok(SchemaNode::Element { name, attributes, children: vec![] });
+            }
+            if self.eat(">") {
+                break;
+            }
+            let attr = self.name().ok_or_else(|| self.err("expected attribute name"))?;
+            self.skip_ws();
+            self.expect("=")?;
+            self.skip_ws();
+            let value = self.attr_template()?;
+            attributes.push((attr, value));
+        }
+        let children = self.content(&name)?;
+        Ok(SchemaNode::Element { name, attributes, children })
+    }
+
+    /// Attribute value template: literal text with embedded `{expr}` parts.
+    fn attr_template(&mut self) -> Result<Expr, ParseError> {
+        let q = match self.peek() {
+            Some(c @ ('"' | '\'')) => c,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let mut parts: Vec<Expr> = Vec::new();
+        let mut lit = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(c) if c == q => {
+                    self.pos += 1;
+                    break;
+                }
+                Some('{') if self.rest().starts_with("{{") => {
+                    lit.push('{');
+                    self.pos += 2;
+                }
+                Some('{') => {
+                    if !lit.is_empty() {
+                        parts.push(Expr::Literal(Atomic::Str(std::mem::take(&mut lit))));
+                    }
+                    self.pos += 1;
+                    let e = self.expr()?;
+                    self.expect("}")?;
+                    parts.push(e);
+                }
+                Some('}') if self.rest().starts_with("}}") => {
+                    lit.push('}');
+                    self.pos += 2;
+                }
+                Some(c) => {
+                    lit.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        if !lit.is_empty() || parts.is_empty() {
+            parts.push(Expr::Literal(Atomic::Str(lit)));
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().expect("one part"))
+        } else {
+            Ok(Expr::Call { name: "concat".into(), args: parts })
+        }
+    }
+
+    /// Element content until the matching end tag.
+    fn content(&mut self, open: &str) -> Result<Vec<SchemaNode>, ParseError> {
+        let mut out = Vec::new();
+        let mut text = String::new();
+        macro_rules! flush_text {
+            () => {
+                if !text.trim().is_empty() {
+                    // Boundary whitespace is stripped (XQuery default); inner
+                    // text keeps its spacing.
+                    out.push(SchemaNode::Text(std::mem::take(&mut text)));
+                } else {
+                    text.clear();
+                }
+            };
+        }
+        loop {
+            match self.peek() {
+                None => return Err(self.err(format!("unterminated constructor <{open}>"))),
+                Some('<') if self.rest().starts_with("</") => {
+                    flush_text!();
+                    self.pos += 2;
+                    let close =
+                        self.name().ok_or_else(|| self.err("expected closing tag name"))?;
+                    if close != open {
+                        return Err(self.err(format!(
+                            "mismatched constructor tags: <{open}> … </{close}>"
+                        )));
+                    }
+                    self.skip_ws();
+                    self.expect(">")?;
+                    return Ok(out);
+                }
+                Some('<') => {
+                    flush_text!();
+                    out.push(self.constructor()?);
+                }
+                Some('{') if self.rest().starts_with("{{") => {
+                    text.push('{');
+                    self.pos += 2;
+                }
+                Some('{') => {
+                    flush_text!();
+                    self.pos += 1;
+                    let e = self.expr()?;
+                    self.expect("}")?;
+                    out.push(placeholder_node(e));
+                }
+                Some('}') if self.rest().starts_with("}}") => {
+                    text.push('}');
+                    self.pos += 2;
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// Wrap a placeholder expression; conditional constructors become proper
+/// if-nodes (Definition 2).
+fn placeholder_node(e: Expr) -> SchemaNode {
+    if let Expr::If { cond, then_branch, else_branch } = e {
+        let to_children = |e: Expr| -> Option<Vec<SchemaNode>> {
+            match e {
+                Expr::Construct(tree) => Some(vec![tree.root]),
+                Expr::SequenceExpr(items) if items.is_empty() => Some(vec![]),
+                _ => None,
+            }
+        };
+        let then_c = to_children((*then_branch).clone());
+        let else_c = to_children((*else_branch).clone());
+        if let (Some(t), Some(el)) = (then_c, else_c) {
+            return SchemaNode::If { cond: *cond, then_children: t, else_children: el };
+        }
+        return SchemaNode::Placeholder(Expr::If { cond, then_branch, else_branch });
+    }
+    SchemaNode::Placeholder(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_algebra::plan::LogicalPlan as LP;
+
+    fn parse(s: &str) -> Expr {
+        parse_query(s).unwrap_or_else(|e| panic!("parse `{s}`: {e}")).body
+    }
+
+    /// The paper's Fig. 1(a) query.
+    const FIG1: &str = r#"
+        <results> {
+            for $b in document("bib.xml")/bib/book
+            let $t := $b/title
+            let $a := $b/author
+            return <result> {$t} {$a} </result>
+        } </results>
+    "#;
+
+    #[test]
+    fn fig1_parses_to_constructor_with_flwor() {
+        let e = parse(FIG1);
+        let Expr::Construct(tree) = e else { panic!("expected constructor") };
+        assert_eq!(tree.root_name(), "results");
+        // One placeholder child holding the FLWOR.
+        let SchemaNode::Element { children, .. } = &tree.root else { unreachable!() };
+        assert_eq!(children.len(), 1);
+        let SchemaNode::Placeholder(Expr::Flwor(plan)) = &children[0] else {
+            panic!("expected FLWOR placeholder, got {children:?}")
+        };
+        // return(let(let(for(env-root))))
+        assert_eq!(plan.len(), 5);
+        let ex = plan.explain();
+        assert!(ex.contains("for $b in doc()/bib/book"));
+        assert!(ex.contains("return"));
+    }
+
+    #[test]
+    fn fig1_inner_schema_tree() {
+        let e = parse(FIG1);
+        let Expr::Construct(tree) = e else { panic!() };
+        let SchemaNode::Element { children, .. } = &tree.root else { unreachable!() };
+        let SchemaNode::Placeholder(Expr::Flwor(plan)) = &children[0] else { panic!() };
+        let LP::ReturnClause { expr, .. } = plan.as_ref() else { panic!() };
+        let Expr::Construct(inner) = expr else { panic!("return is a constructor") };
+        assert_eq!(inner.root_name(), "result");
+        assert_eq!(inner.placeholder_count(), 2);
+    }
+
+    #[test]
+    fn for_with_where_and_order() {
+        let e = parse(
+            "for $b in doc()/bib/book where $b/price > 50 order by $b/title descending return $b",
+        );
+        let Expr::Flwor(plan) = e else { panic!() };
+        let LP::ReturnClause { input, .. } = plan.as_ref() else { panic!() };
+        let LP::OrderBy { input, keys } = input.as_ref() else { panic!("order by") };
+        assert_eq!(keys.len(), 1);
+        assert!(keys[0].descending);
+        let LP::Where { cond, .. } = input.as_ref() else { panic!("where") };
+        assert!(matches!(cond, Expr::Cmp { op: CmpOp::Gt, .. }));
+    }
+
+    #[test]
+    fn multi_variable_for_clause() {
+        let e = parse("for $a in doc()/r/x, $b in $a/y return $b");
+        let Expr::Flwor(plan) = e else { panic!() };
+        // return(for $b(for $a(env-root)))
+        assert_eq!(plan.len(), 4);
+    }
+
+    #[test]
+    fn let_clause_with_comma() {
+        let e = parse("for $b in doc()/r let $t := $b/t, $u := $b/u return ($t, $u)");
+        let Expr::Flwor(plan) = e else { panic!() };
+        assert_eq!(plan.len(), 5);
+        assert!(plan.free_vars().is_empty());
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse("for $x in doc()/r return 1 + 2 * 3");
+        let Expr::Flwor(plan) = e else { panic!() };
+        let LP::ReturnClause { expr, .. } = plan.as_ref() else { panic!() };
+        // + at top, * nested.
+        let Expr::Arith { op: ArithOp::Add, rhs, .. } = expr else { panic!("{expr:?}") };
+        assert!(matches!(rhs.as_ref(), Expr::Arith { op: ArithOp::Mul, .. }));
+    }
+
+    #[test]
+    fn comparison_and_boolean_operators() {
+        let e = parse("if ($x < 3 and $y >= 2 or not($z)) then 1 else 2");
+        let Expr::If { cond, .. } = e else { panic!() };
+        assert!(matches!(cond.as_ref(), Expr::Or(_, _)));
+    }
+
+    #[test]
+    fn doc_function_with_path() {
+        let e = parse("doc(\"bib.xml\")/bib/book");
+        match e {
+            Expr::Path { base, path } => {
+                assert_eq!(*base, Expr::ContextDoc);
+                assert_eq!(path.steps.len(), 2);
+                assert!(path.absolute); // doc() continuations are rooted
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_absolute_path() {
+        let e = parse("/site//item[@id = \"i1\"]");
+        match e {
+            Expr::Path { base, path } => {
+                assert_eq!(*base, Expr::ContextDoc);
+                assert!(path.absolute);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn var_path_with_predicates() {
+        let e = parse("for $b in doc()/bib/book return $b/author[1]");
+        let Expr::Flwor(plan) = e else { panic!() };
+        let LP::ReturnClause { expr, .. } = plan.as_ref() else { panic!() };
+        let Expr::Path { base, path } = expr else { panic!() };
+        assert_eq!(**base, Expr::Var("b".into()));
+        assert_eq!(path.steps[0].predicates.len(), 1);
+    }
+
+    #[test]
+    fn function_calls() {
+        let e = parse("count(doc()/bib/book)");
+        let Expr::Call { name, args } = e else { panic!() };
+        assert_eq!(name, "count");
+        assert_eq!(args.len(), 1);
+        let e = parse("concat(\"a\", \"b\", \"c\")");
+        let Expr::Call { args, .. } = e else { panic!() };
+        assert_eq!(args.len(), 3);
+    }
+
+    #[test]
+    fn not_becomes_expr_not() {
+        let e = parse("not(true())");
+        assert_eq!(e, Expr::Not(Box::new(Expr::Literal(Atomic::Boolean(true)))));
+    }
+
+    #[test]
+    fn true_false_literals() {
+        assert_eq!(parse("true()"), Expr::Literal(Atomic::Boolean(true)));
+        assert_eq!(parse("false()"), Expr::Literal(Atomic::Boolean(false)));
+    }
+
+    #[test]
+    fn sequences_and_empty_sequence() {
+        assert_eq!(parse("()"), Expr::SequenceExpr(vec![]));
+        let e = parse("(1, 2, 3)");
+        let Expr::SequenceExpr(items) = e else { panic!() };
+        assert_eq!(items.len(), 3);
+        assert_eq!(parse("(5)"), Expr::Literal(Atomic::Integer(5)));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse("-5");
+        assert!(matches!(e, Expr::Arith { op: ArithOp::Sub, .. }));
+    }
+
+    #[test]
+    fn constructor_attributes_with_templates() {
+        let e = parse(r#"<item id="{$i}" label="x{$n}y" fixed="plain"/>"#);
+        let Expr::Construct(tree) = e else { panic!() };
+        let SchemaNode::Element { attributes, .. } = &tree.root else { panic!() };
+        assert_eq!(attributes.len(), 3);
+        assert_eq!(attributes[0].1, Expr::Var("i".into()));
+        assert!(matches!(&attributes[1].1, Expr::Call { name, args } if name == "concat" && args.len() == 3));
+        assert_eq!(attributes[2].1, Expr::Literal(Atomic::Str("plain".into())));
+    }
+
+    #[test]
+    fn nested_constructors_and_text() {
+        let e = parse("<a><b>hello</b><c/></a>");
+        let Expr::Construct(tree) = e else { panic!() };
+        let SchemaNode::Element { children, .. } = &tree.root else { panic!() };
+        assert_eq!(children.len(), 2);
+        let SchemaNode::Element { name, children: bc, .. } = &children[0] else { panic!() };
+        assert_eq!(name, "b");
+        assert_eq!(bc[0], SchemaNode::Text("hello".into()));
+    }
+
+    #[test]
+    fn boundary_whitespace_stripped() {
+        let e = parse("<a>  <b/>  </a>");
+        let Expr::Construct(tree) = e else { panic!() };
+        let SchemaNode::Element { children, .. } = &tree.root else { panic!() };
+        assert_eq!(children.len(), 1);
+    }
+
+    #[test]
+    fn escaped_braces_in_content() {
+        let e = parse("<a>brace {{x}} here</a>");
+        let Expr::Construct(tree) = e else { panic!() };
+        let SchemaNode::Element { children, .. } = &tree.root else { panic!() };
+        assert_eq!(children[0], SchemaNode::Text("brace {x} here".into()));
+    }
+
+    #[test]
+    fn conditional_content_becomes_if_node() {
+        let e = parse("<a>{ if ($x > 1) then <big/> else () }</a>");
+        let Expr::Construct(tree) = e else { panic!() };
+        let SchemaNode::Element { children, .. } = &tree.root else { panic!() };
+        let SchemaNode::If { then_children, else_children, .. } = &children[0] else {
+            panic!("expected if-node, got {children:?}")
+        };
+        assert_eq!(then_children.len(), 1);
+        assert!(else_children.is_empty());
+    }
+
+    #[test]
+    fn comments_are_whitespace() {
+        let e = parse("(: outer (: nested :) :) for $x in doc()/r return (: mid :) $x");
+        assert!(matches!(e, Expr::Flwor(_)));
+    }
+
+    #[test]
+    fn nested_flwor() {
+        let e = parse(
+            "for $a in doc()/r/x return for $b in $a/y return ($a, $b)",
+        );
+        let Expr::Flwor(plan) = e else { panic!() };
+        let LP::ReturnClause { expr, .. } = plan.as_ref() else { panic!() };
+        assert!(matches!(expr, Expr::Flwor(_)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("for $x in").is_err());
+        assert!(parse_query("for $x doc()/r return $x").is_err());
+        assert!(parse_query("for $x in doc()/r").is_err()); // missing return
+        assert!(parse_query("if (1) then 2").is_err()); // missing else
+        assert!(parse_query("<a><b></a></b>").is_err());
+        assert!(parse_query("title/author").is_err()); // relative without context
+        assert!(parse_query("$x junk").is_err());
+        assert!(parse_query("").is_err());
+    }
+
+    #[test]
+    fn string_literals_both_quotes() {
+        assert_eq!(parse("\"abc\""), Expr::Literal(Atomic::Str("abc".into())));
+        assert_eq!(parse("'abc'"), Expr::Literal(Atomic::Str("abc".into())));
+    }
+
+    #[test]
+    fn where_with_contains() {
+        let e = parse(
+            "for $p in doc()/people/person where contains($p/name, \"Ali\") return $p/name",
+        );
+        let Expr::Flwor(plan) = e else { panic!() };
+        let ex = plan.explain();
+        assert!(ex.contains("contains("));
+    }
+}

@@ -1,0 +1,84 @@
+//! Auction analytics over an XMark-style document — the workload the
+//! paper's intro motivates (large heterogeneous data interchange).
+//!
+//! Generates a synthetic auction site, then answers analyst questions with
+//! FLWOR queries and compares the physical strategies on one of the paths.
+//!
+//! ```sh
+//! cargo run --release --example auction_analytics
+//! ```
+
+use std::time::Instant;
+use xqp::{Database, Strategy, SuccinctDoc};
+use xqp_exec::Executor;
+use xqp_gen::{gen_xmark, XmarkConfig};
+
+fn main() {
+    let cfg = XmarkConfig::scale(0.3);
+    println!("generating auction site (scale 0.3, seed {}) …", cfg.seed);
+    let doc = gen_xmark(&cfg);
+    println!(
+        "  {} elements, {} people, {} open auctions\n",
+        doc.element_count(),
+        cfg.people,
+        cfg.open_auctions
+    );
+
+    let mut db = Database::new();
+    db.load_document("site", &doc);
+    db.create_index("site").unwrap();
+
+    // Q1: how many items per region?
+    for region in ["africa", "asia", "europe"] {
+        let q = format!("count(/site/regions/{region}/item)");
+        println!("items in {region}: {}", db.query("site", &q).unwrap());
+    }
+
+    // Q2: names of people over 60 with an address.
+    let seniors = db
+        .query(
+            "site",
+            "for $p in doc()/site/people/person \
+             where $p/profile/age > 60 and exists($p/address) \
+             return <senior>{$p/name}{$p/address/city}</senior>",
+        )
+        .unwrap();
+    let count = seniors.matches("<senior>").count();
+    println!("\nseniors with an address: {count}");
+
+    // Q3: auctions whose current price doubled the initial price.
+    let hot = db
+        .query(
+            "site",
+            "count(for $a in doc()/site/open_auctions/open_auction \
+             where $a/current > $a/initial * 2 return $a)",
+        )
+        .unwrap();
+    println!("auctions with current > 2×initial: {hot}");
+
+    // Q4: average closing price, and the most expensive sale.
+    let avg = db.query("site", "avg(doc()//closed_auction/price)").unwrap();
+    let max = db.query("site", "max(doc()//closed_auction/price)").unwrap();
+    println!("closed auctions: avg price {avg}, max price {max}");
+
+    // --- strategy shoot-out on one twig query ---------------------------------
+    let sdoc = SuccinctDoc::from_document(&doc);
+    let path = "//open_auction[bidder/increase > 20]/reserve";
+    println!("\nstrategy comparison for `{path}`:");
+    for strat in [Strategy::NoK, Strategy::TwigStack, Strategy::BinaryJoin, Strategy::Naive] {
+        let ex = Executor::new(&sdoc).with_strategy(strat);
+        let t = Instant::now();
+        let hits = ex.eval_path_str(path).unwrap();
+        let dt = t.elapsed();
+        let c = ex.counters();
+        println!(
+            "  {:<11} {:>4} hits  {:>9.2?}  visits={:<8} stream={:<8} joins={}",
+            strat.name(),
+            hits.len(),
+            dt,
+            c.nodes_visited,
+            c.stream_items,
+            c.structural_joins
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! A living bibliography: queries, updates and indexing on one document.
+//!
+//! Shows the update path of the succinct store — inserts and deletes are
+//! local parenthesis-substring splices (§4.2 of the paper) — staying
+//! consistent with queries and indexes.
+//!
+//! ```sh
+//! cargo run --example bibliography
+//! ```
+
+use xqp::Database;
+use xqp_gen::gen_bib;
+
+fn main() {
+    let mut db = Database::new();
+    db.load_document("bib", &gen_bib(12, 7));
+    db.create_index("bib").unwrap();
+
+    let total = db.query("bib", "count(/bib/book)").unwrap();
+    println!("books: {total}");
+
+    // Reading list: cheap books, newest first.
+    let list = db
+        .query(
+            "bib",
+            "for $b in doc()/bib/book where $b/price < 60 \
+             order by $b/@year descending \
+             return <pick year=\"{$b/@year}\">{$b/title}</pick>",
+        )
+        .unwrap();
+    println!("\ncheap picks, newest first:");
+    for line in list.split("</pick>").filter(|s| !s.is_empty()) {
+        println!("  {line}</pick>");
+    }
+
+    // Update 1: a new book arrives (a local splice, not a re-encode).
+    db.insert_into(
+        "bib",
+        "/bib",
+        "<book year=\"2004\"><title>Succinct XML Storage</title>\
+         <author><last>Zhang</last><first>N.</first></author>\
+         <publisher>UW</publisher><price>0.00</price></book>",
+    )
+    .unwrap();
+    println!("\nafter insert: {} books", db.query("bib", "count(/bib/book)").unwrap());
+    println!(
+        "the free book: {}",
+        db.query("bib", "/bib/book[price = 0]/title").unwrap()
+    );
+
+    // Update 2: purge everything over 100.
+    let removed = db.delete_matching("bib", "/bib/book[price > 100]").unwrap();
+    println!("\nremoved {removed} overpriced book(s)");
+    println!("remaining: {}", db.query("bib", "count(/bib/book)").unwrap());
+
+    // Storage accounting after the updates.
+    let st = db.storage_stats("bib").unwrap();
+    println!(
+        "\nstorage: {} nodes; succinct structure {} B ({:.2} bits/node), \
+         schema {} B, content {} B — DOM would be {} B, interval tables {} B",
+        st.nodes,
+        st.succinct_structure,
+        st.structure_bits_per_node(),
+        st.succinct_schema,
+        st.succinct_content,
+        st.dom_bytes,
+        st.interval_bytes
+    );
+}

@@ -1,0 +1,2 @@
+//! Root re-export shim; the real API lives in the workspace crates.
+pub use xqp as engine;

@@ -1,0 +1,231 @@
+//! End-to-end XQuery corpus: use-case-style queries with exact expected
+//! serializations, exercising the full parse → optimize → evaluate →
+//! construct → serialize pipeline.
+
+use xqp::Database;
+
+const STORE: &str = r#"<store>
+<inventory>
+<item sku="A1"><name>bolt</name><price>10</price><qty>500</qty></item>
+<item sku="A2"><name>nut</name><price>5</price><qty>800</qty></item>
+<item sku="B1"><name>washer</name><price>2</price><qty>50</qty></item>
+<item sku="B2"><name>gear</name><price>120</price><qty>7</qty></item>
+</inventory>
+<orders>
+<order id="o1" sku="A1" units="20"/>
+<order id="o2" sku="B2" units="2"/>
+<order id="o3" sku="A1" units="5"/>
+</orders>
+</store>"#;
+
+fn db() -> Database {
+    let mut d = Database::new();
+    // Strip pretty-printing whitespace for stable expectations.
+    let compact: String = STORE.lines().collect();
+    d.load_str("store", &compact).unwrap();
+    d
+}
+
+#[test]
+fn projection_with_computed_attributes() {
+    let out = db()
+        .query(
+            "store",
+            "for $i in doc()/store/inventory/item \
+             where $i/price >= 10 \
+             return <line sku=\"{$i/@sku}\" cost=\"{$i/price}\">{$i/name}</line>",
+        )
+        .unwrap();
+    assert_eq!(
+        out,
+        "<line sku=\"A1\" cost=\"10\"><name>bolt</name></line>\
+         <line sku=\"B2\" cost=\"120\"><name>gear</name></line>"
+    );
+}
+
+#[test]
+fn join_between_orders_and_inventory() {
+    let out = db()
+        .query(
+            "store",
+            "for $o in doc()/store/orders/order \
+             for $i in doc()/store/inventory/item \
+             where $i/@sku = $o/@sku \
+             return <fulfilled order=\"{$o/@id}\">{$i/name}</fulfilled>",
+        )
+        .unwrap();
+    assert_eq!(
+        out,
+        "<fulfilled order=\"o1\"><name>bolt</name></fulfilled>\
+         <fulfilled order=\"o2\"><name>gear</name></fulfilled>\
+         <fulfilled order=\"o3\"><name>bolt</name></fulfilled>"
+    );
+}
+
+#[test]
+fn aggregation_with_arithmetic() {
+    // Total order value: 20×10 + 2×120 + 5×10 = 490.
+    let out = db()
+        .query(
+            "store",
+            "sum(for $o in doc()/store/orders/order \
+             for $i in doc()/store/inventory/item \
+             where $i/@sku = $o/@sku \
+             return $o/@units * $i/price)",
+        )
+        .unwrap();
+    assert_eq!(out, "490");
+}
+
+#[test]
+fn variables_inside_path_predicates() {
+    // The same join written with the variable in the predicate.
+    let out = db()
+        .query(
+            "store",
+            "sum(for $o in doc()/store/orders/order \
+             for $i in doc()/store/inventory/item[@sku = $o/@sku] \
+             return $o/@units * $i/price)",
+        )
+        .unwrap();
+    assert_eq!(out, "490");
+    // Bare variable comparison. Note the `+ 0`: comparing two *untyped*
+    // values is a string comparison per the XQuery data model ("5" > "10"!);
+    // the addition makes $limit numeric, which promotes the other side.
+    let out = db()
+        .query(
+            "store",
+            "let $limit := sum(doc()/store/inventory/item[name = \"bolt\"]/price) + 0 \
+             return doc()/store/inventory/item[price > $limit]/name",
+        )
+        .unwrap();
+    assert_eq!(out, "<name>gear</name>");
+    // Unbound variables in predicates are reported.
+    assert!(db().query("store", "/store/inventory/item[@sku = $ghost]").is_err());
+}
+
+#[test]
+fn conditional_construction() {
+    let out = db()
+        .query(
+            "store",
+            "for $i in doc()/store/inventory/item order by $i/name \
+             return <stock name=\"{$i/name}\">{ \
+                if ($i/qty < 100) then <low/> else <ok/> }</stock>",
+        )
+        .unwrap();
+    assert_eq!(
+        out,
+        "<stock name=\"bolt\"><ok/></stock><stock name=\"gear\"><low/></stock>\
+         <stock name=\"nut\"><ok/></stock><stock name=\"washer\"><low/></stock>"
+    );
+}
+
+#[test]
+fn nested_flwor_grouping() {
+    // Group orders per item (nested FLWOR referencing the outer variable).
+    let out = db()
+        .query(
+            "store",
+            "for $i in doc()/store/inventory/item \
+             let $os := (for $o in doc()/store/orders/order \
+                         where $o/@sku = $i/@sku return $o) \
+             where exists($os) \
+             return <demand sku=\"{$i/@sku}\" orders=\"{count($os)}\"/>",
+        )
+        .unwrap();
+    assert_eq!(out, "<demand sku=\"A1\" orders=\"2\"/><demand sku=\"B2\" orders=\"1\"/>");
+}
+
+#[test]
+fn string_processing() {
+    let out = db()
+        .query(
+            "store",
+            "for $i in doc()/store/inventory/item \
+             where starts-with($i/name, \"b\") or contains($i/name, \"ash\") \
+             return string($i/name)",
+        )
+        .unwrap();
+    assert_eq!(out, "bolt washer");
+}
+
+#[test]
+fn order_by_multiple_keys() {
+    let mut d = Database::new();
+    d.load_str(
+        "x",
+        "<r><p a=\"2\" b=\"1\"/><p a=\"1\" b=\"2\"/><p a=\"2\" b=\"0\"/><p a=\"1\" b=\"1\"/></r>",
+    )
+    .unwrap();
+    let out = d
+        .query(
+            "x",
+            "for $p in doc()/r/p order by $p/@a, $p/@b descending \
+             return concat($p/@a, $p/@b, \" \")",
+        )
+        .unwrap();
+    assert_eq!(out.split_whitespace().collect::<Vec<_>>(), ["12", "11", "21", "20"]);
+}
+
+#[test]
+fn deeply_nested_constructors() {
+    let out = db()
+        .query(
+            "store",
+            "<report><summary><total>{count(doc()//item)}</total>\
+             <value>{sum(doc()//item/price)}</value></summary></report>",
+        )
+        .unwrap();
+    assert_eq!(
+        out,
+        "<report><summary><total>4</total><value>137</value></summary></report>"
+    );
+}
+
+#[test]
+fn quantifier_style_filters() {
+    // every/some emulated with count/exists.
+    let all_cheap = db()
+        .query("store", "count(doc()//item[price > 200]) = 0")
+        .unwrap();
+    assert_eq!(all_cheap, "true");
+    let some_low = db()
+        .query("store", "exists(doc()//item[qty < 10])")
+        .unwrap();
+    assert_eq!(some_low, "true");
+}
+
+#[test]
+fn distinct_values_over_attributes() {
+    let out = db()
+        .query("store", "distinct-values(doc()/store/orders/order/@sku)")
+        .unwrap();
+    assert_eq!(out, "A1 B2");
+}
+
+#[test]
+fn queries_on_constructed_nodes() {
+    // A path applied to a constructed element navigates the built arena.
+    let out = db()
+        .query(
+            "store",
+            "let $x := <wrap><inner>deep</inner></wrap> return $x/inner",
+        )
+        .unwrap();
+    assert_eq!(out, "<inner>deep</inner>");
+}
+
+#[test]
+fn division_and_mod_in_queries() {
+    assert_eq!(db().query("store", "(7 div 2)").unwrap(), "3.5");
+    assert_eq!(db().query("store", "(7 mod 2)").unwrap(), "1");
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let d = db();
+    assert!(d.query("store", "frobnicate(1)").is_err());
+    assert!(d.query("store", "for $x in").is_err());
+    assert!(d.query("store", "$undefined").is_err());
+}

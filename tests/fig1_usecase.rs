@@ -1,0 +1,98 @@
+//! E1 — the paper's Fig. 1: query, output schema, and optimized plan.
+
+use xqp::{Database, RuleSet, Strategy};
+use xqp_algebra::{Expr, LogicalPlan, SchemaNode};
+
+const FIG1_QUERY: &str = r#"
+    <results> {
+        for $b in document("bib.xml")/bib/book
+        let $t := $b/title
+        let $a := $b/author
+        return <result> {$t} {$a} </result>
+    } </results>
+"#;
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.load_document("bib", &xqp_gen::bib_sample());
+    db
+}
+
+#[test]
+fn fig1_produces_the_expected_document() {
+    let out = db().query("bib", FIG1_QUERY).unwrap();
+    // Every book contributes one <result>; the editor-only book has a title
+    // but no authors (its let-binding is empty, not missing).
+    assert_eq!(out.matches("<result>").count(), 4);
+    assert_eq!(out.matches("<title>").count(), 4);
+    assert_eq!(out.matches("<author>").count(), 5);
+    assert!(out.starts_with("<results>"));
+    assert!(out.ends_with("</results>"));
+    assert!(out.contains(
+        "<result><title>Data on the Web</title><author><last>Abiteboul</last>"
+    ));
+    assert!(out.contains(
+        "<result><title>The Economics of Technology and Content for Digital TV</title></result>"
+    ));
+}
+
+#[test]
+fn fig1_output_schema_tree_matches_fig1b() {
+    // The extracted SchemaTree must be: results / { flwor → result / {$t}{$a} }.
+    let q = xqp_xquery::parse_query(FIG1_QUERY).unwrap();
+    let Expr::Construct(tree) = q.body else { panic!("constructor") };
+    assert_eq!(tree.root_name(), "results");
+    let SchemaNode::Element { children, .. } = &tree.root else { unreachable!() };
+    let SchemaNode::Placeholder(Expr::Flwor(plan)) = &children[0] else {
+        panic!("FLWOR placeholder")
+    };
+    let LogicalPlan::ReturnClause { expr, .. } = plan.as_ref() else { panic!() };
+    let Expr::Construct(inner) = expr else { panic!("inner constructor") };
+    assert_eq!(inner.root_name(), "result");
+    assert_eq!(inner.placeholder_count(), 2);
+    let SchemaNode::Element { children, .. } = &inner.root else { unreachable!() };
+    let labels: Vec<String> = children
+        .iter()
+        .map(|c| match c {
+            SchemaNode::Placeholder(e) => e.to_string(),
+            other => format!("{other:?}"),
+        })
+        .collect();
+    assert_eq!(labels, ["$t", "$a"]);
+}
+
+#[test]
+fn fig1_plan_fuses_into_one_tpm() {
+    let (plan, report) = db().explain("bib", FIG1_QUERY).unwrap();
+    // The plan lives inside the constructor; rules must include R5.
+    assert_eq!(report.count("R5"), 1, "plan: {plan}");
+}
+
+#[test]
+fn fig1_same_answer_under_every_configuration() {
+    let reference = {
+        let mut d = db();
+        d.set_rules(RuleSet::none());
+        d.set_strategy(Strategy::Naive);
+        d.query("bib", FIG1_QUERY).unwrap()
+    };
+    for rules in [RuleSet::all(), RuleSet::none(), RuleSet::all_except(5), RuleSet::all_except(1)]
+    {
+        for strat in [
+            Strategy::Auto,
+            Strategy::NoK,
+            Strategy::TwigStack,
+            Strategy::BinaryJoin,
+            Strategy::Naive,
+        ] {
+            let mut d = db();
+            d.set_rules(rules);
+            d.set_strategy(strat);
+            assert_eq!(
+                d.query("bib", FIG1_QUERY).unwrap(),
+                reference,
+                "rules {rules:?} strategy {strat:?}"
+            );
+        }
+    }
+}

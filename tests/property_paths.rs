@@ -1,0 +1,128 @@
+//! Property tests over query evaluation: randomly generated documents and
+//! randomly generated downward path expressions give identical results under
+//! every physical strategy — and streaming agrees with stored evaluation.
+
+use proptest::prelude::*;
+use xqp_exec::{streaming, Executor, Strategy as ExecStrategy};
+use xqp_storage::{SNodeId, SuccinctDoc};
+use xqp_xml::{Document, NodeId};
+use xqp_xpath::{parse_path, PatternGraph};
+
+// ---- random documents (small tag alphabet so paths actually match) -----------
+
+fn arb_doc() -> impl Strategy<Value = Document> {
+    #[derive(Debug, Clone)]
+    enum T {
+        El(u8, Vec<T>),
+        Txt(u8),
+    }
+    let leaf = prop_oneof![any::<u8>().prop_map(T::Txt), any::<u8>().prop_map(|t| T::El(t, vec![]))];
+    let tree = leaf.prop_recursive(5, 80, 6, |inner| {
+        (any::<u8>(), prop::collection::vec(inner, 0..6)).prop_map(|(t, c)| T::El(t, c))
+    });
+    tree.prop_map(|t| {
+        fn rec(doc: &mut Document, parent: NodeId, t: &T) {
+            match t {
+                T::El(tag, children) => {
+                    let el = doc.append_element(parent, format!("t{}", tag % 4));
+                    if tag % 3 == 0 {
+                        doc.set_attribute(el, "k", (tag % 7).to_string());
+                    }
+                    for c in children {
+                        rec(doc, el, c);
+                    }
+                }
+                T::Txt(v) => {
+                    let needs = match doc.node(parent).last_child {
+                        Some(last) => !doc.is_text(last),
+                        None => true,
+                    };
+                    if needs {
+                        doc.append_text(parent, (v % 50).to_string());
+                    }
+                }
+            }
+        }
+        let mut doc = Document::new();
+        let root = doc.root();
+        match &t {
+            T::El(..) => rec(&mut doc, root, &t),
+            T::Txt(_) => {
+                doc.append_element(root, "t0");
+            }
+        }
+        doc
+    })
+}
+
+// ---- random downward paths ------------------------------------------------------
+
+fn arb_path() -> impl Strategy<Value = String> {
+    let tag = prop_oneof![
+        Just("t0".to_string()),
+        Just("t1".to_string()),
+        Just("t2".to_string()),
+        Just("t3".to_string()),
+        Just("*".to_string()),
+    ];
+    let pred = prop_oneof![
+        Just(String::new()),
+        tag.clone().prop_map(|t| format!("[{t}]")),
+        Just("[@k]".to_string()),
+        (0u8..7).prop_map(|v| format!("[@k = {v}]")),
+        (0u8..50).prop_map(|v| format!("[. = {v}]")),
+        (0u8..50).prop_map(|v| format!("[. > {v}]")),
+    ];
+    let step = (prop_oneof![Just("/"), Just("//")], tag, pred)
+        .prop_map(|(sep, t, p)| format!("{sep}{t}{p}"));
+    prop::collection::vec(step, 1..4).prop_map(|steps| steps.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_strategies_agree_on_random_inputs(doc in arb_doc(), path in arb_path()) {
+        let sdoc = SuccinctDoc::from_document(&doc);
+        let reference: Vec<SNodeId> = Executor::new(&sdoc)
+            .with_strategy(ExecStrategy::Naive)
+            .eval_path_str(&path)
+            .unwrap();
+        for strat in [ExecStrategy::NoK, ExecStrategy::TwigStack, ExecStrategy::BinaryJoin, ExecStrategy::Auto] {
+            let got = Executor::new(&sdoc).with_strategy(strat).eval_path_str(&path).unwrap();
+            prop_assert_eq!(
+                &got, &reference,
+                "doc `{}` path `{}` strategy {:?}",
+                xqp_xml::serialize(&doc), path, strat
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_agrees_with_stored(doc in arb_doc(), path in arb_path()) {
+        let xml = xqp_xml::serialize(&doc);
+        let sdoc = SuccinctDoc::from_document(&doc);
+        let pattern = PatternGraph::from_path(&parse_path(&path).unwrap()).unwrap();
+        let events: Vec<xqp_xml::Event> =
+            xqp_xml::Parser::new(&xml).collect::<Result<_, _>>().unwrap();
+        let streamed = streaming::match_stream(events.iter(), &pattern);
+        let ctx = xqp_exec::ExecContext::new(&sdoc);
+        let stored = xqp_exec::nok::eval_single_output(&ctx, &pattern, None);
+        prop_assert_eq!(streamed, stored, "doc `{}` path `{}`", xml, path);
+    }
+
+    #[test]
+    fn documents_roundtrip_through_queries(doc in arb_doc()) {
+        // `//*` must return every element, `//text()` every text node.
+        let sdoc = SuccinctDoc::from_document(&doc);
+        let ex = Executor::new(&sdoc);
+        let elements = ex.eval_path_str("//*").unwrap();
+        prop_assert_eq!(elements.len(), doc.element_count());
+        let texts = ex.eval_path_str("//text()").unwrap();
+        let dom_texts = doc
+            .descendants_or_self(doc.root())
+            .filter(|&n| doc.is_text(n))
+            .count();
+        prop_assert_eq!(texts.len(), dom_texts);
+    }
+}

@@ -1,0 +1,176 @@
+//! E10 — soundness: every access method and every rule set computes the
+//! same answers as the naive reference, across documents of very different
+//! shapes.
+
+use xqp_exec::{ExecContext, Executor, Strategy};
+use xqp_gen::{blowup_doc, deep_chain, gen_bib, gen_xmark, wide_flat, XmarkConfig};
+use xqp_storage::{SNodeId, SuccinctDoc};
+use xqp_xml::Document;
+
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::Auto,
+    Strategy::NoK,
+    Strategy::TwigStack,
+    Strategy::BinaryJoin,
+    Strategy::Naive,
+];
+
+fn check_paths(doc: &Document, paths: &[&str]) {
+    let sdoc = SuccinctDoc::from_document(doc);
+    for path in paths {
+        let reference: Vec<SNodeId> = Executor::new(&sdoc)
+            .with_strategy(Strategy::Naive)
+            .eval_path_str(path)
+            .unwrap();
+        for strat in STRATEGIES {
+            let got = Executor::new(&sdoc).with_strategy(strat).eval_path_str(path).unwrap();
+            assert_eq!(got, reference, "path `{path}` strategy {strat:?}");
+        }
+    }
+}
+
+#[test]
+fn xmark_document_all_strategies() {
+    let doc = gen_xmark(&XmarkConfig::scale(0.08));
+    check_paths(
+        &doc,
+        &[
+            "/site/regions/africa/item/name",
+            "//keyword",
+            "/site/people/person[profile/age > 30]/name",
+            "//open_auction[bidder/increase > 20]/reserve",
+            "/site/closed_auctions/closed_auction[price > 40]/date",
+            "//item[mailbox/mail]//keyword",
+            "//person[@id = \"person3\"]/name",
+            "/site/*/item",
+            "//bidder/personref",
+            "//interest",
+            "//text/keyword",
+            "//nothing//here",
+        ],
+    );
+}
+
+#[test]
+fn bibliography_document_all_strategies() {
+    let doc = gen_bib(60, 11);
+    check_paths(
+        &doc,
+        &[
+            "/bib/book/title",
+            "/bib/book[author]/title",
+            "//author/last",
+            "/bib/book[@year > 1995][price < 100]/title",
+            "//book[publisher = \"Springer\"]/@year",
+        ],
+    );
+}
+
+#[test]
+fn extreme_shapes_all_strategies() {
+    check_paths(&deep_chain(200, &["x", "y", "z"]), &["//z", "/x/y/z", "//x//z", "//y[z]"]);
+    check_paths(&wide_flat(500, &["a", "b", "c"]), &["//b", "/root/a", "/root/*[. > 250]"]);
+    check_paths(&blowup_doc(12), &["//a[b]", "//a//b", "//a[b and .//a[b]]"]);
+}
+
+#[test]
+fn queries_with_fallback_axes_still_work() {
+    // Upward/sideways axes force the navigational fallback in every
+    // strategy; answers must be identical (and non-trivial).
+    let doc = gen_bib(20, 5);
+    let sdoc = SuccinctDoc::from_document(&doc);
+    for path in [
+        "//last/parent::author",
+        "//title/following-sibling::price",
+        "//price/ancestor::book/@year",
+        "//author[1]/last",
+    ] {
+        let reference = Executor::new(&sdoc)
+            .with_strategy(Strategy::Naive)
+            .eval_path_str(path)
+            .unwrap();
+        assert!(!reference.is_empty(), "`{path}` found nothing");
+        for strat in STRATEGIES {
+            let got = Executor::new(&sdoc).with_strategy(strat).eval_path_str(path).unwrap();
+            assert_eq!(got, reference, "path `{path}` strategy {strat:?}");
+        }
+    }
+}
+
+#[test]
+fn counters_confirm_the_methods_differ() {
+    // Not just same answers — genuinely different physical work profiles.
+    let doc = gen_xmark(&XmarkConfig::scale(0.1));
+    let sdoc = SuccinctDoc::from_document(&doc);
+    let path = "//open_auction[bidder/increase > 20]/reserve";
+
+    let nok = Executor::new(&sdoc).with_strategy(Strategy::NoK);
+    nok.eval_path_str(path).unwrap();
+    assert!(nok.counters().nodes_visited > 0);
+    assert_eq!(nok.counters().structural_joins, 0, "NoK does no joins");
+
+    let twig = Executor::new(&sdoc).with_strategy(Strategy::TwigStack);
+    twig.eval_path_str(path).unwrap();
+    assert_eq!(twig.counters().nodes_visited, 0, "holistic never walks the tree");
+    assert!(twig.counters().stream_items > 0);
+
+    let joins = Executor::new(&sdoc).with_strategy(Strategy::BinaryJoin);
+    joins.eval_path_str(path).unwrap();
+    assert!(joins.counters().structural_joins > 0);
+}
+
+#[test]
+fn index_backed_evaluation_agrees() {
+    use xqp_storage::ValueIndex;
+    let doc = gen_xmark(&XmarkConfig::scale(0.08));
+    let sdoc = SuccinctDoc::from_document(&doc);
+    let index = ValueIndex::build(&sdoc);
+    for path in [
+        "//person[@id = \"person3\"]/name",
+        "//item[location = \"Capella\"]/name",
+        "/site/people/person[profile/gender = \"male\"]/name",
+        "//incategory[@category = \"category1\"]",
+        // Element whose matching text lives deeper in the subtree.
+        "//item[description = \"\"]",
+        // Range probes over the numeric tree.
+        "//person[profile/age > 60]/name",
+        "//open_auction[reserve >= 100]/current",
+        "//closed_auction[price < 20]/date",
+    ] {
+        let reference = Executor::new(&sdoc)
+            .with_strategy(Strategy::Naive)
+            .eval_path_str(path)
+            .unwrap();
+        for strat in [Strategy::TwigStack, Strategy::BinaryJoin] {
+            let got = Executor::new(&sdoc)
+                .with_index(&index)
+                .with_strategy(strat)
+                .eval_path_str(path)
+                .unwrap();
+            assert_eq!(got, reference, "path `{path}` strategy {strat:?} (indexed)");
+        }
+    }
+}
+
+#[test]
+fn context_rooted_patterns_agree() {
+    use xqp_xpath::{parse_path, PatternGraph};
+    let doc = gen_xmark(&XmarkConfig::scale(0.05));
+    let sdoc = SuccinctDoc::from_document(&doc);
+    let ctx = ExecContext::new(&sdoc);
+    // Pick each person as context, evaluate a relative pattern.
+    let mut g = PatternGraph::empty();
+    let last = g
+        .graft_path(g.root(), &parse_path("profile/age").unwrap())
+        .unwrap()
+        .unwrap();
+    g.mark_output(last);
+    let people = Executor::new(&sdoc).eval_path_str("//person").unwrap();
+    for p in people.iter().take(30) {
+        let nok = xqp_exec::nok::eval_single_output(&ctx, &g, Some(*p));
+        let twig = xqp_exec::twig::eval_pattern_holistic(&ctx, &g, Some(*p));
+        let bj = xqp_exec::structural::eval_pattern_binary(&ctx, &g, Some(*p));
+        assert_eq!(nok, twig, "person {p}");
+        assert_eq!(nok, bj, "person {p}");
+    }
+}

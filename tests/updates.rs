@@ -1,0 +1,107 @@
+//! Update behaviour (E7's correctness side): long sequences of local
+//! splices stay equivalent to re-encoding, and queries/indexes stay
+//! consistent across updates.
+
+use xqp::Database;
+use xqp_gen::gen_bib;
+use xqp_storage::{update, SuccinctDoc};
+use xqp_xml::{parse_document, serialize};
+
+#[test]
+fn many_inserts_then_deletes_roundtrip() {
+    let mut sdoc = SuccinctDoc::parse("<log/>").unwrap();
+    // 50 appended entries, each a local splice.
+    for i in 0..50 {
+        let frag = parse_document(&format!("<entry seq=\"{i}\"><msg>event {i}</msg></entry>"))
+            .unwrap();
+        let root = sdoc.root().unwrap();
+        sdoc = update::insert_subtree(&sdoc, root, &frag);
+    }
+    assert_eq!(sdoc.child_elements(sdoc.root().unwrap()).count(), 50);
+    // Equivalent to the re-encoded version.
+    let rebuilt = update::rebuild_full(&sdoc.to_document());
+    assert_eq!(serialize(&sdoc.to_document()), serialize(&rebuilt.to_document()));
+    assert_eq!(sdoc.node_count(), rebuilt.node_count());
+    // Delete every other entry (descending keeps ranks valid).
+    let victims: Vec<_> = sdoc
+        .child_elements(sdoc.root().unwrap())
+        .enumerate()
+        .filter_map(|(i, n)| (i % 2 == 1).then_some(n))
+        .collect();
+    for v in victims.into_iter().rev() {
+        sdoc = update::delete_subtree(&sdoc, v);
+    }
+    assert_eq!(sdoc.child_elements(sdoc.root().unwrap()).count(), 25);
+    // Sequence numbers that remain are the even ones.
+    let root = sdoc.root().unwrap();
+    let seqs: Vec<String> = sdoc
+        .child_elements(root)
+        .map(|e| sdoc.attribute(e, "seq").unwrap().to_string())
+        .collect();
+    assert!(seqs.iter().all(|s| s.parse::<u32>().unwrap() % 2 == 0));
+}
+
+#[test]
+fn queries_see_updates_immediately() {
+    let mut db = Database::new();
+    db.load_document("bib", &gen_bib(10, 1));
+    let before: usize = db.query("bib", "count(/bib/book)").unwrap().parse().unwrap();
+    db.insert_into("bib", "/bib", "<book year=\"2024\"><title>New</title><price>1</price></book>")
+        .unwrap();
+    let after: usize = db.query("bib", "count(/bib/book)").unwrap().parse().unwrap();
+    assert_eq!(after, before + 1);
+    assert_eq!(db.query("bib", "/bib/book[@year = 2024]/title").unwrap(), "<title>New</title>");
+    db.delete_matching("bib", "/bib/book[@year = 2024]").unwrap();
+    let end: usize = db.query("bib", "count(/bib/book)").unwrap().parse().unwrap();
+    assert_eq!(end, before);
+}
+
+#[test]
+fn index_rebuilt_after_updates() {
+    let mut db = Database::new();
+    db.load_document("bib", &gen_bib(10, 2));
+    db.create_index("bib").unwrap();
+    db.insert_into(
+        "bib",
+        "/bib",
+        "<book year=\"2030\"><title>Future</title><price>777.00</price></book>",
+    )
+    .unwrap();
+    // Index-backed value predicate finds the new book.
+    assert_eq!(
+        db.query("bib", "/bib/book[price = 777]/title").unwrap(),
+        "<title>Future</title>"
+    );
+    db.delete_matching("bib", "/bib/book[price = 777]").unwrap();
+    assert_eq!(db.query("bib", "/bib/book[price = 777]/title").unwrap(), "");
+}
+
+#[test]
+fn interleaved_updates_preserve_navigation_invariants() {
+    let mut sdoc = SuccinctDoc::parse("<r><a><b>1</b></a><c/></r>").unwrap();
+    for round in 0..10 {
+        let frag = parse_document(&format!("<x n=\"{round}\"><y/></x>")).unwrap();
+        let root = sdoc.root().unwrap();
+        let target = sdoc.child_elements(root).next().unwrap();
+        sdoc = update::insert_subtree(&sdoc, target, &frag);
+        // Every parent/child/depth relation must stay coherent.
+        for i in 0..sdoc.node_count() as u32 {
+            let n = xqp_storage::SNodeId(i);
+            if let Some(p) = sdoc.parent(n) {
+                assert!(sdoc.is_ancestor(p, n), "round {round}, node {n}");
+                assert_eq!(sdoc.depth(p) + 1, sdoc.depth(n));
+            }
+            let size = sdoc.subtree_size(n);
+            assert!(i as usize + size <= sdoc.node_count());
+        }
+    }
+    // 10 x-children appended under <a>.
+    let root = sdoc.root().unwrap();
+    let a = sdoc.child_elements(root).next().unwrap();
+    assert_eq!(
+        sdoc.child_elements(a)
+            .filter(|&c| sdoc.name(c) == "x")
+            .count(),
+        10
+    );
+}
