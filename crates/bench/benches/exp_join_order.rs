@@ -4,7 +4,8 @@
 //! (the cost model's ascending-cardinality order) shrinks intermediates;
 //! the worst order keeps the two huge streams alive.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqp_bench::harness::{BenchmarkId, Criterion};
+use xqp_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use xqp_algebra::CostModel;
 use xqp_exec::{structural, ExecContext};

@@ -6,7 +6,8 @@
 //! Criterion sweeps the query size n; the naive series grows geometrically
 //! while the NoK series stays flat.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqp_bench::harness::{BenchmarkId, Criterion};
+use xqp_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use xqp_bench::run_path;
 use xqp_exec::Strategy;

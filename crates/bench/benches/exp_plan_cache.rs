@@ -1,0 +1,60 @@
+//! E10 — plan-cache payoff: repeated queries with and without a shared
+//! compiled-plan cache. Under steady traffic the same query texts recur,
+//! so the parse → rewrite front end amortizes to a map lookup; this bench
+//! measures that amortization and verifies (via `ExecCounters`) that the
+//! repeated run really is served from the cache.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use xqp_bench::harness::{BenchmarkId, Criterion};
+use xqp_bench::{criterion_group, criterion_main, xmark_at};
+use xqp_exec::{Executor, PlanCache};
+
+const QUERIES: [&str; 3] = [
+    "for $a in doc()//open_auction where $a/current > 100 return $a/seller",
+    "for $p in doc()//person return <n>{$p/name}</n>",
+    "//item[incategory]/name",
+];
+
+fn bench(c: &mut Criterion) {
+    let sdoc = xmark_at(0.05);
+    let mut g = c.benchmark_group("E10_plan_cache");
+    g.sample_size(10);
+
+    // Cold: a fresh cache per executor, so every query compiles.
+    g.bench_with_input(BenchmarkId::new("cold", "fresh-cache"), &sdoc, |b, sdoc| {
+        b.iter(|| {
+            let ex = Executor::new(sdoc);
+            for q in QUERIES {
+                black_box(ex.query(q).expect("bench query runs"));
+            }
+        })
+    });
+
+    // Warm: one shared cache across executors (the Database arrangement).
+    let shared = Arc::new(PlanCache::default());
+    g.bench_with_input(BenchmarkId::new("warm", "shared-cache"), &sdoc, |b, sdoc| {
+        b.iter(|| {
+            let ex = Executor::new(sdoc).with_plan_cache(Arc::clone(&shared));
+            for q in QUERIES {
+                black_box(ex.query(q).expect("bench query runs"));
+            }
+        })
+    });
+    g.finish();
+
+    let ex = Executor::new(&sdoc).with_plan_cache(Arc::clone(&shared));
+    let counters = ex.counters();
+    println!(
+        "plan cache after warm runs: hits={} misses={} evictions={}",
+        counters.plan_hits, counters.plan_misses, counters.plan_evictions
+    );
+    assert!(
+        counters.plan_hits > 0,
+        "repeated queries must be served from the plan cache"
+    );
+    assert_eq!(counters.plan_misses, QUERIES.len() as u64);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

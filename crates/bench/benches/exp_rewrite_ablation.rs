@@ -3,7 +3,8 @@
 //! optimization + execution (rewrites are cheap; their payoff is in the
 //! physical plan they enable).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqp_bench::harness::{BenchmarkId, Criterion};
+use xqp_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use xqp_algebra::RuleSet;
 use xqp_bench::xmark_at;

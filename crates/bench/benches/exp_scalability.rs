@@ -2,7 +2,8 @@
 //! set. The NoK scan must grow linearly with the document (§4.2's
 //! single-scan claim); the holistic join grows with its streams.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xqp_bench::harness::{BenchmarkId, Criterion, Throughput};
+use xqp_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use xqp_bench::{run_path, xmark_at, SCALES};
 use xqp_exec::Strategy;
@@ -13,7 +14,11 @@ fn bench(c: &mut Criterion) {
     for scale in SCALES {
         let sdoc = xmark_at(scale);
         g.throughput(Throughput::Elements(sdoc.node_count() as u64));
-        for (name, strat) in [("nok", Strategy::NoK), ("twig", Strategy::TwigStack)] {
+        for (name, strat) in [
+            ("nok", Strategy::NoK),
+            ("twig", Strategy::TwigStack),
+            ("parallel", Strategy::Parallel { threads: 0 }),
+        ] {
             g.bench_with_input(
                 BenchmarkId::new(name, format!("scale{scale}")),
                 &sdoc,

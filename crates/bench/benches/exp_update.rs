@@ -1,7 +1,8 @@
 //! E7 — update cost: a local parenthesis-substring splice (§4.2's update
 //! argument) vs. re-encoding the whole document from a DOM.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqp_bench::harness::{BenchmarkId, Criterion};
+use xqp_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use xqp_bench::xmark_both;
 use xqp_storage::update;

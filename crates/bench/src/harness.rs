@@ -1,0 +1,217 @@
+//! A minimal, std-only benchmark harness with a criterion-shaped API.
+//!
+//! The build environment resolves no registry crates, so the experiment
+//! benches cannot link the real `criterion`. This module provides the
+//! small slice of its API the benches use — `Criterion::benchmark_group`,
+//! `sample_size`, `throughput`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter` — plus [`criterion_group!`]/[`criterion_main!`] macros
+//! at the crate root, so a bench file ports by changing only its `use`
+//! lines. Timing is [`std::time::Instant`]; each sample times one
+//! invocation of the routine and the report shows min/median/max (median
+//! is robust to scheduler noise, which is all these experiments need —
+//! they compare orders of magnitude, not nanoseconds).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each bench function (criterion-compatible shape).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { _c: self, name, sample_size: 10, throughput: None }
+    }
+}
+
+/// Throughput annotation: per-sample rates reported next to the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per routine invocation.
+    Elements(u64),
+    /// Bytes processed per routine invocation.
+    Bytes(u64),
+}
+
+/// A benchmark id: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `new("nok", "scale0.1")` → `nok/scale0.1`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// A group of measurements sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 2; default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure `routine(bencher, input)`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        routine(&mut b, input);
+        self.report(&id.into().id, &b.samples);
+        self
+    }
+
+    /// Measure `routine(bencher)`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        routine(&mut b);
+        self.report(&id.into().id, &b.samples);
+        self
+    }
+
+    /// End the group (parity with criterion; reporting happens per bench).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let mut line = format!(
+            "{}/{id}: median {median:.2?} (min {min:.2?}, max {max:.2?}, n={})",
+            self.name,
+            sorted.len(),
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64();
+                let _ = write!(line, ", {rate:.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+                let _ = write!(line, ", {rate:.1} MiB/s");
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample (after one untimed warm-up call).
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let _ = routine(); // warm-up: page in streams, caches, allocations
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            let v = routine();
+            self.samples.push(t.elapsed());
+            drop(v);
+        }
+    }
+}
+
+/// Collect bench functions into a runnable group (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_with_input(BenchmarkId::new("f", 1), &7u32, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn sample_size_floor() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(0);
+        let mut calls = 0u32;
+        g.bench_function("f", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 3, "floor of 2 samples + warm-up");
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("nok", "scale0.1").id, "nok/scale0.1");
+    }
+}

@@ -1,15 +1,19 @@
 //! Shared fixtures for the experiment benches and the `report` binary.
 //!
 //! Every experiment (see DESIGN.md §6 and EXPERIMENTS.md) uses the same
-//! documents and query sets, built here so the criterion benches and the
-//! table-printing harness measure identical work.
+//! documents and query sets, built here so the benches and the
+//! table-printing harness measure identical work. The [`harness`] module
+//! is the std-only stand-in for criterion (the build environment is
+//! offline; no registry crates resolve).
+
+pub mod harness;
 
 use xqp_exec::{Executor, Strategy};
 use xqp_gen::{gen_xmark, XmarkConfig};
 use xqp_storage::SuccinctDoc;
 use xqp_xml::Document;
 
-/// The four physical strategies every comparison sweeps.
+/// The serial physical strategies every comparison sweeps.
 pub const STRATEGIES: [Strategy; 4] =
     [Strategy::NoK, Strategy::TwigStack, Strategy::BinaryJoin, Strategy::Naive];
 

@@ -9,7 +9,8 @@
 //! xqp race   <file.xml> <path>              # time all four strategies
 //! ```
 //!
-//! `S` ∈ auto | nok | twigstack | binaryjoin | naive (default: auto).
+//! `S` ∈ auto | nok | twigstack | binaryjoin | naive | parallel[:N]
+//! (default: auto; `parallel` alone sizes itself to the hardware).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -75,7 +76,9 @@ USAGE:
   xqp stats   <file.xml>
   xqp race    <file.xml> <path>
 
-  S = auto | nok | twigstack | binaryjoin | naive";
+  S = auto | nok | twigstack | binaryjoin | naive | parallel[:N]
+      (parallel:N runs the join-based sweep on N worker threads; bare
+       parallel uses one worker per hardware thread)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -166,7 +169,14 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "race" => {
             let p = need("a path expression")?;
-            for s in [Strategy::NoK, Strategy::TwigStack, Strategy::BinaryJoin, Strategy::Naive] {
+            let contenders = [
+                Strategy::NoK,
+                Strategy::TwigStack,
+                Strategy::BinaryJoin,
+                Strategy::Naive,
+                Strategy::Parallel { threads: 0 },
+            ];
+            for s in contenders {
                 db.set_strategy(s);
                 let t = Instant::now();
                 let hits = db.select("doc", p).map_err(|e| e.to_string())?;
@@ -216,6 +226,15 @@ mod tests {
         assert!(parse_args(&sv(&["query", "f.xml", "--strategy"])).is_err());
         assert!(parse_args(&sv(&["query", "f.xml", "--strategy", "warp"])).is_err());
         assert!(parse_args(&sv(&["query", "f.xml", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_parallel_strategy() {
+        let cli = parse_args(&sv(&["select", "f.xml", "//x", "--strategy", "parallel"])).unwrap();
+        assert_eq!(cli.strategy, Strategy::Parallel { threads: 0 });
+        let cli = parse_args(&sv(&["select", "f.xml", "//x", "--strategy", "parallel:8"])).unwrap();
+        assert_eq!(cli.strategy, Strategy::Parallel { threads: 8 });
+        assert!(parse_args(&sv(&["select", "f.xml", "//x", "--strategy", "parallel:many"])).is_err());
     }
 
     #[test]

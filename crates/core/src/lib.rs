@@ -38,12 +38,13 @@ pub use xqp_xpath as xpath;
 pub use xqp_xquery as xquery;
 
 pub use xqp_algebra::{RewriteReport, RuleSet};
-pub use xqp_exec::Strategy;
+pub use xqp_exec::{ExecCounters, PlanCache as ExecPlanCache, Strategy};
 pub use xqp_storage::{SNodeId, StorageStats, SuccinctDoc, SuffixIndex, ValueIndex};
 
 use std::collections::BTreeMap;
 use std::fmt;
-use xqp_exec::Executor;
+use std::sync::Arc;
+use xqp_exec::{Executor, PlanCache};
 use xqp_xml::Document;
 
 /// Unified error type of the public API.
@@ -81,11 +82,20 @@ impl From<xqp_exec::XqError> for Error {
     }
 }
 
-/// One stored document plus its optional content indexes.
+/// One stored document plus its optional content indexes and its
+/// compiled-plan cache (shared by every executor built for the document;
+/// invalidated whenever the document is updated).
 struct Stored {
     sdoc: SuccinctDoc,
     index: Option<ValueIndex>,
     suffix: Option<SuffixIndex>,
+    cache: Arc<PlanCache>,
+}
+
+impl Stored {
+    fn new(sdoc: SuccinctDoc) -> Self {
+        Stored { sdoc, index: None, suffix: None, cache: Arc::new(PlanCache::default()) }
+    }
 }
 
 /// A collection of named documents with query, update and index management.
@@ -115,16 +125,14 @@ impl Database {
     /// Parse and store a document under `name` (replacing any previous one).
     pub fn load_str(&mut self, name: &str, xml: &str) -> Result<(), Error> {
         let sdoc = SuccinctDoc::parse(xml)?;
-        self.docs
-            .insert(name.to_string(), Stored { sdoc, index: None, suffix: None });
+        self.docs.insert(name.to_string(), Stored::new(sdoc));
         Ok(())
     }
 
     /// Store an already-built DOM under `name`.
     pub fn load_document(&mut self, name: &str, doc: &Document) {
         let sdoc = SuccinctDoc::from_document(doc);
-        self.docs
-            .insert(name.to_string(), Stored { sdoc, index: None, suffix: None });
+        self.docs.insert(name.to_string(), Stored::new(sdoc));
     }
 
     /// Names of loaded documents, sorted.
@@ -216,11 +224,17 @@ impl Database {
     fn executor<'a>(&'a self, s: &'a Stored) -> Executor<'a> {
         let mut ex = Executor::new(&s.sdoc)
             .with_strategy(self.strategy)
-            .with_rules(self.rules);
+            .with_rules(self.rules)
+            .with_plan_cache(Arc::clone(&s.cache));
         if let Some(idx) = &s.index {
             ex = ex.with_index(idx);
         }
         ex
+    }
+
+    /// Plan-cache traffic for `doc`: (hits, misses, evictions).
+    pub fn plan_cache_stats(&self, doc: &str) -> Result<(u64, u64, u64), Error> {
+        Ok(self.stored(doc)?.cache.stats())
     }
 
     /// Run an XQuery (or bare path) against `doc`, returning serialized XML.
@@ -280,6 +294,7 @@ impl Database {
             if let Some(sfx) = &mut s.suffix {
                 *sfx = SuffixIndex::build(&s.sdoc);
             }
+            s.cache.invalidate();
         }
         Ok(removed)
     }
@@ -317,6 +332,7 @@ impl Database {
             if let Some(sfx) = &mut s.suffix {
                 *sfx = SuffixIndex::build(&s.sdoc);
             }
+            s.cache.invalidate();
         }
         Ok(inserted)
     }

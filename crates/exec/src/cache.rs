@@ -1,0 +1,341 @@
+//! Compiled-plan cache: memoizes the parse → rewrite pipeline.
+//!
+//! Under steady traffic the same query texts recur (dashboards, stored
+//! reports, API endpoints), and for small documents the parse + rewrite
+//! front end dominates evaluation. The cache keys on *normalized* query
+//! text — whitespace runs outside string literals collapse to one space, so
+//! reformatting a query does not defeat the cache — plus a fingerprint of
+//! the active rewrite-rule set, since the same text optimizes differently
+//! under different rules.
+//!
+//! Concurrency: an `RwLock`-guarded map, sized by an LRU cap. Hits take
+//! only the read lock (the recency stamp is a per-entry atomic, writable
+//! through a shared reference), so concurrent readers never serialize;
+//! inserts and evictions take the write lock. Counters are atomics and are
+//! surfaced through [`crate::ExecCounters`] and `Executor::explain`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use xqp_algebra::{Expr, RewriteReport, RuleSet};
+
+/// A fully front-ended query: the optimized body plus the rewrite report
+/// (which `explain` surfaces). Cloned out of the cache per execution; `Expr`
+/// is a plain tree, so a clone is cheap relative to parse + rewrite.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    /// Optimized query body, ready for the evaluator.
+    pub body: Expr,
+    /// Which rewrite rules fired during optimization.
+    pub report: RewriteReport,
+}
+
+struct Entry {
+    plan: CompiledPlan,
+    /// Logical timestamp of the last hit (for LRU eviction). An atomic so
+    /// the read-lock path can refresh it.
+    last_used: AtomicU64,
+}
+
+/// Default number of compiled plans kept per document.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+/// An LRU cache of compiled plans, safe to share across threads.
+pub struct PlanCache {
+    map: RwLock<HashMap<String, Entry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            map: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up the plan for `query` under `rules`, compiling and inserting
+    /// it on a miss. Compilation runs outside any lock; if two threads miss
+    /// on the same key simultaneously, both compile and one insert wins —
+    /// duplicated work, never a wrong result.
+    pub fn get_or_compile<E>(
+        &self,
+        query: &str,
+        rules: &RuleSet,
+        compile: impl FnOnce() -> Result<CompiledPlan, E>,
+    ) -> Result<CompiledPlan, E> {
+        let key = cache_key(query, rules);
+        {
+            let map = self.map.read().expect("plan cache poisoned");
+            if let Some(entry) = map.get(&key) {
+                let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                entry.last_used.store(now, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry.plan.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = compile()?;
+        let mut map = self.map.write().expect("plan cache poisoned");
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            // Evict the stalest entry. O(n) over a small, capped map.
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        map.insert(
+            key,
+            Entry { plan: plan.clone(), last_used: AtomicU64::new(now) },
+        );
+        Ok(plan)
+    }
+
+    /// Drop every cached plan. Called after the underlying document changes
+    /// (a cached plan may embed document-dependent planning decisions, and
+    /// keeping stale entries would charge hits against the wrong document
+    /// generation).
+    pub fn invalidate(&self) {
+        self.map.write().expect("plan cache poisoned").clear();
+    }
+
+    /// Number of plans currently cached.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("plan cache poisoned").len()
+    }
+
+    /// True if no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The LRU capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of (hits, misses, evictions).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The cache key: rule fingerprint plus normalized query text.
+fn cache_key(query: &str, rules: &RuleSet) -> String {
+    format!("{:03x}|{}", rules_fingerprint(rules), normalize_query(query))
+}
+
+/// One bit per rewrite rule, R1 lowest.
+fn rules_fingerprint(r: &RuleSet) -> u32 {
+    [
+        r.fuse_tpm,
+        r.pushdown_values,
+        r.nok_partition,
+        r.join_order,
+        r.flwor_to_tpm,
+        r.prune_outputs,
+        r.dead_let,
+        r.const_fold,
+        r.where_pushdown,
+    ]
+    .iter()
+    .enumerate()
+    .fold(0u32, |acc, (i, &on)| acc | ((on as u32) << i))
+}
+
+/// Collapse whitespace runs outside string literals to a single space and
+/// trim the ends, so `for $x in //a return $x` and its pretty-printed
+/// variants share a cache slot. Whitespace inside quotes is semantic
+/// (string content) and is preserved verbatim; both quote styles and
+/// XQuery's doubled-quote escapes (`""` inside `"…"`) are honoured.
+pub fn normalize_query(q: &str) -> String {
+    let mut out = String::with_capacity(q.len());
+    let mut chars = q.chars().peekable();
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' | '\'' => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                let quote = c;
+                out.push(quote);
+                while let Some(&n) = chars.peek() {
+                    chars.next();
+                    out.push(n);
+                    if n == quote {
+                        // XQuery escapes a quote by doubling it.
+                        if chars.peek() == Some(&quote) {
+                            chars.next();
+                            out.push(quote);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            c if c.is_whitespace() => pending_space = true,
+            c => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_named(tag: &str) -> CompiledPlan {
+        CompiledPlan {
+            body: Expr::Literal(xqp_xml::Atomic::Str(tag.into())),
+            report: RewriteReport::default(),
+        }
+    }
+
+    fn plan_tag(p: &CompiledPlan) -> String {
+        match &p.body {
+            Expr::Literal(xqp_xml::Atomic::Str(s)) => s.clone(),
+            other => panic!("unexpected plan body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalization_collapses_outer_whitespace_only() {
+        assert_eq!(normalize_query("  //a  /  b  "), "//a / b");
+        assert_eq!(
+            normalize_query("for   $x\n\tin //a\nreturn $x"),
+            "for $x in //a return $x"
+        );
+        assert_eq!(normalize_query("//a[. = \"x  y\"]"), "//a[. = \"x  y\"]");
+        assert_eq!(normalize_query("//a[. = 'p  q']"), "//a[. = 'p  q']");
+        // Doubled-quote escape: the literal continues past the "" pair.
+        assert_eq!(
+            normalize_query("\"he said \"\"hi   there\"\"\"   //a"),
+            "\"he said \"\"hi   there\"\"\" //a"
+        );
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = PlanCache::new(4);
+        let rules = RuleSet::all();
+        let mut compiled = 0;
+        for _ in 0..3 {
+            let p = cache
+                .get_or_compile::<()>("//a", &rules, || {
+                    compiled += 1;
+                    Ok(plan_named("p1"))
+                })
+                .unwrap();
+            assert_eq!(plan_tag(&p), "p1");
+        }
+        assert_eq!(compiled, 1);
+        assert_eq!(cache.stats(), (2, 1, 0));
+        // Reformatted text hits the same slot.
+        let p = cache
+            .get_or_compile::<()>("  //a  ", &rules, || panic!("should hit"))
+            .unwrap();
+        assert_eq!(plan_tag(&p), "p1");
+        assert_eq!(cache.stats(), (3, 1, 0));
+    }
+
+    #[test]
+    fn different_rules_do_not_share_plans() {
+        let cache = PlanCache::new(4);
+        cache
+            .get_or_compile::<()>("//a", &RuleSet::all(), || Ok(plan_named("all")))
+            .unwrap();
+        let p = cache
+            .get_or_compile::<()>("//a", &RuleSet::none(), || Ok(plan_named("none")))
+            .unwrap();
+        assert_eq!(plan_tag(&p), "none");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let cache = PlanCache::new(2);
+        let rules = RuleSet::all();
+        cache.get_or_compile::<()>("//a", &rules, || Ok(plan_named("a"))).unwrap();
+        cache.get_or_compile::<()>("//b", &rules, || Ok(plan_named("b"))).unwrap();
+        // Touch //a so //b is the LRU victim.
+        cache.get_or_compile::<()>("//a", &rules, || panic!("hit")).unwrap();
+        cache.get_or_compile::<()>("//c", &rules, || Ok(plan_named("c"))).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().2, 1, "one eviction");
+        // //a survived, //b was evicted.
+        cache.get_or_compile::<()>("//a", &rules, || panic!("hit")).unwrap();
+        let mut recompiled = false;
+        cache
+            .get_or_compile::<()>("//b", &rules, || {
+                recompiled = true;
+                Ok(plan_named("b"))
+            })
+            .unwrap();
+        assert!(recompiled, "//b must have been evicted");
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let cache = PlanCache::new(4);
+        let rules = RuleSet::all();
+        let r: Result<_, String> =
+            cache.get_or_compile("//bad", &rules, || Err("syntax".to_string()));
+        assert!(r.is_err());
+        assert_eq!(cache.len(), 0);
+        // The next attempt compiles again (and may succeed).
+        let r: Result<_, String> = cache.get_or_compile("//bad", &rules, || Ok(plan_named("ok")));
+        assert!(r.is_ok());
+        assert_eq!(cache.stats().1, 2, "both attempts were misses");
+    }
+
+    #[test]
+    fn invalidate_clears_entries_but_keeps_counters() {
+        let cache = PlanCache::new(4);
+        let rules = RuleSet::all();
+        cache.get_or_compile::<()>("//a", &rules, || Ok(plan_named("a"))).unwrap();
+        cache.get_or_compile::<()>("//a", &rules, || panic!("hit")).unwrap();
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (1, 1, 0));
+        let mut recompiled = false;
+        cache
+            .get_or_compile::<()>("//a", &rules, || {
+                recompiled = true;
+                Ok(plan_named("a"))
+            })
+            .unwrap();
+        assert!(recompiled);
+    }
+}

@@ -1,7 +1,8 @@
 //! Execution context, node references and runtime values.
 
-use std::cell::{Cell, Ref, RefCell};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use xqp_algebra::{DocStatistics, Item, Sequence};
 use xqp_storage::{SNodeId, SuccinctDoc, TagStreams, ValueIndex};
 use xqp_xml::{Atomic, Document, NodeId};
@@ -43,7 +44,8 @@ impl fmt::Display for XqError {
 impl std::error::Error for XqError {}
 
 /// Work counters, the timing-independent effort measure the experiments use
-/// (node visits survive machine noise; wall-clock comes from criterion).
+/// (node visits survive machine noise; wall-clock comes from the bench
+/// harness).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecCounters {
     /// Document nodes touched by navigation/scans.
@@ -52,27 +54,49 @@ pub struct ExecCounters {
     pub stream_items: u64,
     /// Binary structural joins performed.
     pub structural_joins: u64,
+    /// Compiled plans served from the plan cache.
+    pub plan_hits: u64,
+    /// Queries that had to be compiled from scratch.
+    pub plan_misses: u64,
+    /// Compiled plans evicted to stay within cache capacity.
+    pub plan_evictions: u64,
 }
 
+/// Shared counter storage. Relaxed atomics: every counter is an independent
+/// monotone tally — threads never coordinate through them, we only need each
+/// increment to land exactly once.
 #[derive(Default)]
 struct CounterCells {
-    nodes_visited: Cell<u64>,
-    stream_items: Cell<u64>,
-    structural_joins: Cell<u64>,
+    nodes_visited: AtomicU64,
+    stream_items: AtomicU64,
+    structural_joins: AtomicU64,
 }
 
 /// Everything evaluation needs: the stored document, optional indexes,
 /// lazily-built tag streams, statistics and the output arena.
+///
+/// `Send + Sync`: the stored document and indexes are shared immutable
+/// borrows, lazy statistics/streams are `OnceLock`s, counters are atomics,
+/// and the output arena sits behind a `Mutex` — so one context can be shared
+/// by the scoped worker threads of [`crate::parallel`] and by callers running
+/// whole queries from multiple threads.
 pub struct ExecContext<'a> {
     /// The queried document in succinct storage.
     pub sdoc: &'a SuccinctDoc,
     /// Optional content index (σv pushdown probes it).
     pub index: Option<&'a ValueIndex>,
-    streams: RefCell<Option<TagStreams>>,
-    stats: RefCell<Option<DocStatistics>>,
-    built: RefCell<Document>,
+    streams: OnceLock<TagStreams>,
+    stats: OnceLock<DocStatistics>,
+    built: Mutex<Document>,
     counters: CounterCells,
 }
+
+// Compile-time proof that the context (and hence the executor) can cross
+// threads; if a non-Sync field sneaks back in, this fails to build.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ExecContext<'_>>();
+};
 
 impl<'a> ExecContext<'a> {
     /// Create a context over a stored document. Statistics and tag streams
@@ -82,19 +106,16 @@ impl<'a> ExecContext<'a> {
         ExecContext {
             sdoc,
             index: None,
-            streams: RefCell::new(None),
-            stats: RefCell::new(None),
-            built: RefCell::new(Document::new()),
+            streams: OnceLock::new(),
+            stats: OnceLock::new(),
+            built: Mutex::new(Document::new()),
             counters: CounterCells::default(),
         }
     }
 
     /// Cardinality statistics (built on first use).
-    pub fn stats(&self) -> Ref<'_, DocStatistics> {
-        if self.stats.borrow().is_none() {
-            *self.stats.borrow_mut() = Some(statistics_of(self.sdoc));
-        }
-        Ref::map(self.stats.borrow(), |o| o.as_ref().expect("stats just built"))
+    pub fn stats(&self) -> &DocStatistics {
+        self.stats.get_or_init(|| statistics_of(self.sdoc))
     }
 
     /// Attach a value index.
@@ -104,59 +125,58 @@ impl<'a> ExecContext<'a> {
     }
 
     /// The tag streams, built on first use (join-based operators only).
-    pub fn streams(&self) -> std::cell::Ref<'_, TagStreams> {
-        if self.streams.borrow().is_none() {
-            *self.streams.borrow_mut() = Some(TagStreams::build(self.sdoc));
-        }
-        std::cell::Ref::map(self.streams.borrow(), |o| {
-            o.as_ref().expect("streams just built")
-        })
+    pub fn streams(&self) -> &TagStreams {
+        self.streams.get_or_init(|| TagStreams::build(self.sdoc))
     }
 
     /// Count `n` node visits.
     #[inline]
     pub fn visit(&self, n: u64) {
-        self.counters.nodes_visited.set(self.counters.nodes_visited.get() + n);
+        self.counters.nodes_visited.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Count `n` stream items consumed.
     #[inline]
     pub fn consume_stream(&self, n: u64) {
-        self.counters.stream_items.set(self.counters.stream_items.get() + n);
+        self.counters.stream_items.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Count one structural join.
     #[inline]
     pub fn count_join(&self) {
-        self.counters.structural_joins.set(self.counters.structural_joins.get() + 1);
+        self.counters.structural_joins.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot the counters.
     pub fn counters(&self) -> ExecCounters {
         ExecCounters {
-            nodes_visited: self.counters.nodes_visited.get(),
-            stream_items: self.counters.stream_items.get(),
-            structural_joins: self.counters.structural_joins.get(),
+            nodes_visited: self.counters.nodes_visited.load(Ordering::Relaxed),
+            stream_items: self.counters.stream_items.load(Ordering::Relaxed),
+            structural_joins: self.counters.structural_joins.load(Ordering::Relaxed),
+            ..ExecCounters::default()
         }
     }
 
     /// Reset the counters (between measured runs).
     pub fn reset_counters(&self) {
-        self.counters.nodes_visited.set(0);
-        self.counters.stream_items.set(0);
-        self.counters.structural_joins.set(0);
+        self.counters.nodes_visited.store(0, Ordering::Relaxed);
+        self.counters.stream_items.store(0, Ordering::Relaxed);
+        self.counters.structural_joins.store(0, Ordering::Relaxed);
     }
 
     // ---- output arena -------------------------------------------------------
 
     /// Run `f` with mutable access to the output arena.
+    ///
+    /// The arena lock is held only for the duration of `f`; do not call
+    /// [`Self::with_built`]/[`Self::with_built_mut`] re-entrantly from `f`.
     pub fn with_built_mut<T>(&self, f: impl FnOnce(&mut Document) -> T) -> T {
-        f(&mut self.built.borrow_mut())
+        f(&mut self.built.lock().expect("built arena poisoned"))
     }
 
     /// Run `f` with shared access to the output arena.
     pub fn with_built<T>(&self, f: impl FnOnce(&Document) -> T) -> T {
-        f(&self.built.borrow())
+        f(&self.built.lock().expect("built arena poisoned"))
     }
 
     // ---- node accessors (dispatch over NodeRef) ------------------------------

@@ -1,23 +1,41 @@
 //! The executor — parse → optimize → evaluate → serialize.
 
+use crate::cache::{CompiledPlan, PlanCache};
 use crate::context::{ExecContext, ExecCounters, NodeRef, Val, XqError};
 use crate::eval::{Evaluator, Scope};
 use crate::planner::Strategy;
+use std::sync::Arc;
 use xqp_algebra::{optimize_expr, Item, RewriteReport, RuleSet};
 use xqp_storage::{SKind, SNodeId, SuccinctDoc, ValueIndex};
 use xqp_xml::serialize::{escape_attr, escape_text};
 
 /// A configured query executor over one stored document.
+///
+/// `Send + Sync`: one executor can serve queries from many threads at once
+/// (see `tests/concurrency.rs`), and `Strategy::Parallel` fans single
+/// queries out over scoped worker threads.
 pub struct Executor<'a> {
     ctx: ExecContext<'a>,
     strategy: Strategy,
     rules: RuleSet,
+    plan_cache: Arc<PlanCache>,
 }
 
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Executor<'_>>();
+};
+
 impl<'a> Executor<'a> {
-    /// An executor with the default (all rules, auto strategy) configuration.
+    /// An executor with the default (all rules, auto strategy) configuration
+    /// and a private plan cache.
     pub fn new(doc: &'a SuccinctDoc) -> Self {
-        Executor { ctx: ExecContext::new(doc), strategy: Strategy::Auto, rules: RuleSet::all() }
+        Executor {
+            ctx: ExecContext::new(doc),
+            strategy: Strategy::Auto,
+            rules: RuleSet::all(),
+            plan_cache: Arc::new(PlanCache::default()),
+        }
     }
 
     /// Attach a value index (σv probes).
@@ -38,14 +56,33 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Share a plan cache with this executor. `xqp::Database` keeps one
+    /// cache per stored document so compiled plans survive across the
+    /// short-lived executors it builds per query.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = cache;
+        self
+    }
+
+    /// The plan cache in use.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
+    }
+
     /// The execution context (counters, statistics).
     pub fn context(&self) -> &ExecContext<'a> {
         &self.ctx
     }
 
-    /// Work counters accumulated so far.
+    /// Work counters accumulated so far (evaluation work from the context,
+    /// plan-cache traffic from the cache).
     pub fn counters(&self) -> ExecCounters {
-        self.ctx.counters()
+        let mut c = self.ctx.counters();
+        let (hits, misses, evictions) = self.plan_cache.stats();
+        c.plan_hits = hits;
+        c.plan_misses = misses;
+        c.plan_evictions = evictions;
+        c
     }
 
     /// Reset work counters.
@@ -53,14 +90,22 @@ impl<'a> Executor<'a> {
         self.ctx.reset_counters()
     }
 
+    /// Front end: parse + rewrite `query`, consulting the plan cache.
+    fn compile(&self, query: &str) -> Result<CompiledPlan, XqError> {
+        self.plan_cache.get_or_compile(query, &self.rules, || {
+            let body = xqp_xquery::parse_query(query)
+                .map_err(|e| XqError::new(e.to_string()))?
+                .body;
+            let (body, report) = optimize_expr(body, &self.rules);
+            Ok(CompiledPlan { body, report })
+        })
+    }
+
     /// Run a query, returning the result sequence as items.
     pub fn query_items(&self, query: &str) -> Result<Val, XqError> {
-        let body = xqp_xquery::parse_query(query)
-            .map_err(|e| XqError::new(e.to_string()))?
-            .body;
-        let (body, _) = optimize_expr(body, &self.rules);
+        let plan = self.compile(query)?;
         let ev = Evaluator::new(&self.ctx, self.strategy);
-        ev.eval(&body, &Scope::root())
+        ev.eval(&plan.body, &Scope::root())
     }
 
     /// Run a query, returning serialized XML (items separated per XQuery
@@ -70,15 +115,21 @@ impl<'a> Executor<'a> {
         Ok(self.serialize_items(&items))
     }
 
-    /// Optimize without executing; returns the plan rendering and which
-    /// rules fired.
+    /// Optimize without executing; returns the plan rendering (including a
+    /// plan-cache traffic line) and which rules fired.
     pub fn explain(&self, query: &str) -> Result<(String, RewriteReport), XqError> {
-        let body = xqp_xquery::parse_query(query)
-            .map_err(|e| XqError::new(e.to_string()))?
-            .body;
-        let (body, report) = optimize_expr(body, &self.rules);
-        let rendering = render_plan(&body);
-        Ok((rendering, report))
+        let plan = self.compile(query)?;
+        let mut rendering = render_plan(&plan.body);
+        if !rendering.ends_with('\n') {
+            rendering.push('\n');
+        }
+        let (hits, misses, evictions) = self.plan_cache.stats();
+        rendering.push_str(&format!(
+            "-- plan cache: hits={hits} misses={misses} evictions={evictions} entries={}/{}\n",
+            self.plan_cache.len(),
+            self.plan_cache.capacity(),
+        ));
+        Ok((rendering, plan.report))
     }
 
     /// Evaluate a bare path expression to node ids (strategy-dispatched).
@@ -320,6 +371,31 @@ mod tests {
         let d = SuccinctDoc::parse(BIB).unwrap();
         assert!(exec(&d).query("for $x in").is_err());
         assert!(exec(&d).eval_path_str("//a[").is_err());
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_plan_cache() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let e = exec(&d);
+        let a = e.query("/bib/book/title").unwrap();
+        let b = e.query("/bib/book/title").unwrap();
+        let c = e.query("  /bib/book/title  ").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        let counters = e.counters();
+        assert_eq!(counters.plan_misses, 1);
+        assert_eq!(counters.plan_hits, 2);
+    }
+
+    #[test]
+    fn explain_shows_plan_cache_line() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let e = exec(&d);
+        let (plan, _) = e.explain("/bib/book/title").unwrap();
+        assert!(plan.contains("-- plan cache: hits=0 misses=1"), "{plan}");
+        let (plan, _) = e.explain("/bib/book/title").unwrap();
+        assert!(plan.contains("hits=1"), "{plan}");
+        assert!(plan.contains("entries=1/"), "{plan}");
     }
 
     #[test]

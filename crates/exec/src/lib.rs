@@ -25,17 +25,20 @@
 //! * [`eval`] — the expression/FLWOR evaluator over `Env`, gluing it all
 //!   together; [`engine::Executor`] is the crate's front door.
 
+pub mod cache;
 pub mod construct;
 pub mod context;
 pub mod engine;
 pub mod eval;
 pub mod naive;
 pub mod nok;
+pub mod parallel;
 pub mod planner;
 pub mod streaming;
 pub mod structural;
 pub mod twig;
 
+pub use cache::{CompiledPlan, PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use context::{ExecContext, ExecCounters, NodeRef, Val, XqError};
 pub use engine::Executor;
 pub use planner::Strategy;

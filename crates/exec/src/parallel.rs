@@ -1,0 +1,240 @@
+//! Partitioned parallel pattern evaluation (`Strategy::Parallel`).
+//!
+//! The join-based physical operators split a pattern match into per-vertex
+//! candidate interval lists and a sweep over them. Because the sweep is
+//! exact with respect to its inputs, restricting the **output vertex's**
+//! list to a subset S and sweeping yields exactly the matches whose output
+//! node lies in S — the other vertex lists stay whole, so no cross-chunk
+//! match is lost, and no false positive can appear (every thread result is
+//! a subset of the full sweep's). Partitioning the output list into
+//! contiguous document-order chunks therefore gives an embarrassingly
+//! parallel decomposition whose union is the serial answer; this is the
+//! per-subtree independence that makes τ/⋈s work distributable (cf. join
+//! graph isolation, Grust et al.).
+//!
+//! Workers run under [`std::thread::scope`] sharing one [`ExecContext`]
+//! (`Sync`: atomic counters, `OnceLock` lazy state). Each worker clones the
+//! non-output candidate lists — O(total candidates) extra memory per
+//! thread, bounded by the same streams the serial sweep reads. Per-chunk
+//! results come back ordered and are combined by a k-way merge that
+//! preserves document order.
+
+use crate::context::ExecContext;
+use crate::{structural, twig};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use xqp_algebra::CostModel;
+use xqp_storage::{Interval, SNodeId};
+use xqp_xpath::PatternGraph;
+
+/// Below this many output candidates per worker, thread spawn overhead
+/// outweighs the sweep; the partitioner caps the worker count accordingly.
+const MIN_CHUNK: usize = 64;
+
+/// Resolve a requested thread count: `0` means one worker per available
+/// hardware thread.
+pub fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Evaluate a single-output pattern with up to `threads` workers
+/// (`0` = auto). Results are identical to the serial join-based operators:
+/// document-ordered, deduplicated output-node ids.
+pub fn eval_pattern_parallel(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    context: Option<SNodeId>,
+    threads: usize,
+) -> Vec<SNodeId> {
+    let outputs = g.outputs();
+    assert_eq!(outputs.len(), 1, "parallel evaluation needs one output vertex");
+    let output = outputs[0];
+    if g.unsatisfiable || ctx.sdoc.is_empty() {
+        return Vec::new();
+    }
+    let threads = effective_threads(threads);
+
+    // Physical sweep choice, by the same cost-model signal the serial Auto
+    // policy uses: the holistic twig join when its stream estimate is well
+    // under the scan cost, the binary semi-join sweep otherwise. (The NoK
+    // single-scan matcher has no candidate lists to partition, so the
+    // parallel strategy always runs a join-based sweep.)
+    let cm = CostModel::new(ctx.stats());
+    let use_twig = cm.twig_cost(g) < cm.nok_scan_cost(g) * 0.5;
+
+    if output == g.root() {
+        // Degenerate pattern (output is the virtual root): nothing to
+        // partition, run the serial operator.
+        return if use_twig {
+            twig::eval_pattern_holistic(ctx, g, context)
+        } else {
+            structural::eval_pattern_binary(ctx, g, context)
+        };
+    }
+
+    if use_twig {
+        let streams = twig::holistic_streams(ctx, g, context);
+        run_partitioned(ctx, g, streams, output, threads, twig::holistic_sweep)
+    } else {
+        let cand = structural::pattern_candidates(ctx, g, context);
+        run_partitioned(ctx, g, cand, output, threads, structural::sweep)
+    }
+}
+
+/// Partition `base[output]` into contiguous chunks, sweep each chunk on its
+/// own scoped thread, and k-way-merge the ordered per-chunk results.
+fn run_partitioned(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    base: Vec<Vec<Interval>>,
+    output: usize,
+    threads: usize,
+    sweep: for<'c, 'd> fn(&'c ExecContext<'d>, &'c PatternGraph, Vec<Vec<Interval>>) -> Vec<SNodeId>,
+) -> Vec<SNodeId> {
+    let chunks = partition(&base[output], threads);
+    if chunks.len() <= 1 {
+        // One worker (or an empty output stream): no point spawning.
+        return sweep(ctx, g, base);
+    }
+    let parts: Vec<Vec<SNodeId>> = std::thread::scope(|scope| {
+        let base = &base;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut mine = base.clone();
+                    mine[output] = chunk;
+                    sweep(ctx, g, mine)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel sweep worker panicked"))
+            .collect()
+    });
+    kway_merge(parts)
+}
+
+/// Split a document-ordered interval list into at most `threads` contiguous
+/// chunks of at least [`MIN_CHUNK`] intervals (the last chunk takes the
+/// remainder). Returns no more chunks than items.
+fn partition(list: &[Interval], threads: usize) -> Vec<Vec<Interval>> {
+    if list.is_empty() {
+        return Vec::new();
+    }
+    let workers = threads.min(list.len().div_ceil(MIN_CHUNK)).max(1);
+    let chunk = list.len().div_ceil(workers);
+    list.chunks(chunk).map(<[Interval]>::to_vec).collect()
+}
+
+/// Merge ordered, duplicate-free id lists into one ordered, duplicate-free
+/// list. The partitioned chunks produce disjoint ranges, but the merge does
+/// not rely on that — it orders by a min-heap over the list heads and drops
+/// duplicates, so any ordered inputs combine correctly.
+pub fn kway_merge(mut parts: Vec<Vec<SNodeId>>) -> Vec<SNodeId> {
+    match parts.len() {
+        0 => return Vec::new(),
+        1 => return parts.pop().expect("one part"),
+        _ => {}
+    }
+    let total = parts.iter().map(Vec::len).sum();
+    let mut heap: BinaryHeap<Reverse<(SNodeId, usize)>> = parts
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.is_empty())
+        .map(|(i, p)| Reverse((p[0], i)))
+        .collect();
+    let mut cursor = vec![1usize; parts.len()];
+    let mut out: Vec<SNodeId> = Vec::with_capacity(total);
+    while let Some(Reverse((node, i))) = heap.pop() {
+        if out.last() != Some(&node) {
+            out.push(node);
+        }
+        let c = cursor[i];
+        if c < parts[i].len() {
+            heap.push(Reverse((parts[i][c], i)));
+            cursor[i] = c + 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_storage::SuccinctDoc;
+    use xqp_xpath::parse_path;
+
+    const DOC: &str = "<r><a><b>1</b></a><a><b>2</b><c/></a><a><b>3</b></a><d/></r>";
+
+    fn pattern(path: &str) -> PatternGraph {
+        PatternGraph::from_path(&parse_path(path).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn parallel_matches_serial_operators() {
+        let d = SuccinctDoc::parse(DOC).unwrap();
+        let ctx = ExecContext::new(&d);
+        for path in ["/r/a/b", "//a[c]/b", "//b", "/r//c", "//missing"] {
+            let g = pattern(path);
+            let serial = structural::eval_pattern_binary(&ctx, &g, None);
+            for threads in [1, 2, 8] {
+                let par = eval_pattern_parallel(&ctx, &g, None, threads);
+                assert_eq!(par, serial, "path `{path}` threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_context_restriction() {
+        let d = SuccinctDoc::parse(DOC).unwrap();
+        let ctx = ExecContext::new(&d);
+        let r = d.root().unwrap();
+        let a2 = d.child_elements(r).nth(1).unwrap();
+        let mut g = PatternGraph::empty();
+        let last = g.graft_path(g.root(), &parse_path("b").unwrap()).unwrap().unwrap();
+        g.mark_output(last);
+        let serial = structural::eval_pattern_binary(&ctx, &g, Some(a2));
+        let par = eval_pattern_parallel(&ctx, &g, Some(a2), 4);
+        assert_eq!(par, serial);
+        assert_eq!(par.len(), 1);
+    }
+
+    #[test]
+    fn partition_bounds() {
+        let iv = |i: u32| Interval { start: i, end: i, level: 1, node: SNodeId(i) };
+        let list: Vec<Interval> = (0..10).map(iv).collect();
+        // Few items: one chunk regardless of thread count.
+        assert_eq!(partition(&list, 8).len(), 1);
+        assert!(partition(&[], 8).is_empty());
+        let big: Vec<Interval> = (0..1000).map(iv).collect();
+        let chunks = partition(&big, 4);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks.iter().map(Vec::len).sum::<usize>(), 1000);
+        // Contiguity: concatenation reproduces the input order.
+        let flat: Vec<u32> = chunks.iter().flatten().map(|iv| iv.start).collect();
+        assert_eq!(flat, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kway_merge_orders_and_dedups() {
+        let ids = |v: &[u32]| v.iter().map(|&i| SNodeId(i)).collect::<Vec<_>>();
+        assert_eq!(kway_merge(vec![]), ids(&[]));
+        assert_eq!(kway_merge(vec![ids(&[1, 3])]), ids(&[1, 3]));
+        assert_eq!(
+            kway_merge(vec![ids(&[1, 4, 9]), ids(&[2, 4]), ids(&[]), ids(&[3, 10])]),
+            ids(&[1, 2, 3, 4, 9, 10])
+        );
+    }
+}

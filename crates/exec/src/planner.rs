@@ -34,22 +34,34 @@ pub enum Strategy {
     /// Surface-path navigation (set on the Executor, resolved before
     /// pattern evaluation — patterns reaching this module fall back to NoK).
     Naive,
+    /// Partitioned parallel join-based evaluation over scoped threads
+    /// (`threads == 0` means one worker per hardware thread).
+    Parallel {
+        /// Worker-thread count; `0` = auto.
+        threads: usize,
+    },
 }
 
 impl Strategy {
-    /// Parse from a CLI-ish name.
+    /// Parse from a CLI-ish name. `parallel` takes an optional worker count
+    /// after a colon: `parallel:4` (bare `parallel` = auto).
     pub fn from_name(name: &str) -> Option<Strategy> {
-        match name.to_ascii_lowercase().as_str() {
+        let lower = name.to_ascii_lowercase();
+        if let Some(n) = lower.strip_prefix("parallel:") {
+            return n.parse().ok().map(|threads| Strategy::Parallel { threads });
+        }
+        match lower.as_str() {
             "auto" => Some(Strategy::Auto),
             "nok" => Some(Strategy::NoK),
             "twigstack" | "twig" => Some(Strategy::TwigStack),
             "binaryjoin" | "binary" | "join" => Some(Strategy::BinaryJoin),
             "naive" => Some(Strategy::Naive),
+            "parallel" => Some(Strategy::Parallel { threads: 0 }),
             _ => None,
         }
     }
 
-    /// Display name.
+    /// Display name (the worker count of `Parallel` is not rendered).
     pub fn name(self) -> &'static str {
         match self {
             Strategy::Auto => "auto",
@@ -57,6 +69,7 @@ impl Strategy {
             Strategy::TwigStack => "twigstack",
             Strategy::BinaryJoin => "binaryjoin",
             Strategy::Naive => "naive",
+            Strategy::Parallel { .. } => "parallel",
         }
     }
 }
@@ -96,6 +109,9 @@ pub fn eval_pattern(
         Strategy::NoK | Strategy::Naive => nok::eval_single_output(ctx, g, context),
         Strategy::TwigStack => twig::eval_pattern_holistic(ctx, g, context),
         Strategy::BinaryJoin => structural::eval_pattern_binary(ctx, g, context),
+        Strategy::Parallel { threads } => {
+            crate::parallel::eval_pattern_parallel(ctx, g, context, threads)
+        }
     }
 }
 
@@ -115,10 +131,13 @@ mod tests {
             Strategy::TwigStack,
             Strategy::BinaryJoin,
             Strategy::Naive,
+            Strategy::Parallel { threads: 0 },
         ] {
             assert_eq!(Strategy::from_name(s.name()), Some(s));
         }
+        assert_eq!(Strategy::from_name("parallel:4"), Some(Strategy::Parallel { threads: 4 }));
         assert_eq!(Strategy::from_name("bogus"), None);
+        assert_eq!(Strategy::from_name("parallel:x"), None);
     }
 
     #[test]
@@ -139,9 +158,11 @@ mod tests {
             let twig = eval_pattern(&ctx, &g, None, Strategy::TwigStack);
             let joins = eval_pattern(&ctx, &g, None, Strategy::BinaryJoin);
             let auto = eval_pattern(&ctx, &g, None, Strategy::Auto);
+            let par = eval_pattern(&ctx, &g, None, Strategy::Parallel { threads: 4 });
             assert_eq!(nok, twig, "{path}");
             assert_eq!(nok, joins, "{path}");
             assert_eq!(nok, auto, "{path}");
+            assert_eq!(nok, par, "{path}");
         }
     }
 }

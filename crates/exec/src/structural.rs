@@ -228,19 +228,16 @@ pub fn semijoin_keep_anc(
         .collect()
 }
 
-/// Evaluate a single-output pattern entirely with binary structural joins:
-/// σs/σv per vertex, then a bottom-up semi-join sweep (existence) and a
-/// top-down sweep (connectivity). `context` restricts matches to a subtree.
-pub fn eval_pattern_binary(
+/// Per-vertex candidate lists with the context restriction and the root's
+/// Child-arc level filter applied — the front half of
+/// [`eval_pattern_binary`], shared with [`crate::parallel`] (which
+/// partitions the output vertex's list across worker threads before
+/// running [`sweep`] per chunk).
+pub fn pattern_candidates(
     ctx: &ExecContext<'_>,
     g: &PatternGraph,
     context: Option<SNodeId>,
-) -> Vec<SNodeId> {
-    let outputs = g.outputs();
-    assert_eq!(outputs.len(), 1, "binary-join evaluation needs one output vertex");
-    if g.unsatisfiable || ctx.sdoc.is_empty() {
-        return Vec::new();
-    }
+) -> Vec<Vec<Interval>> {
     let n = g.vertices.len();
     let mut cand: Vec<Vec<Interval>> = (0..n).map(|v| candidates(ctx, g, v)).collect();
 
@@ -257,6 +254,32 @@ pub fn eval_pattern_binary(
             cand[child].retain(|iv| iv.level == context_level + 1);
         }
     }
+    cand
+}
+
+/// Evaluate a single-output pattern entirely with binary structural joins:
+/// σs/σv per vertex, then a bottom-up semi-join sweep (existence) and a
+/// top-down sweep (connectivity). `context` restricts matches to a subtree.
+pub fn eval_pattern_binary(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    context: Option<SNodeId>,
+) -> Vec<SNodeId> {
+    let outputs = g.outputs();
+    assert_eq!(outputs.len(), 1, "binary-join evaluation needs one output vertex");
+    if g.unsatisfiable || ctx.sdoc.is_empty() {
+        return Vec::new();
+    }
+    let cand = pattern_candidates(ctx, g, context);
+    sweep(ctx, g, cand)
+}
+
+/// The semi-join sweep over prepared candidate lists — the back half of
+/// [`eval_pattern_binary`]. Exact with respect to its inputs: the result is
+/// every node in the output vertex's list that participates in a full
+/// pattern match drawn from the given lists, in document order.
+pub fn sweep(ctx: &ExecContext<'_>, g: &PatternGraph, mut cand: Vec<Vec<Interval>>) -> Vec<SNodeId> {
+    let outputs = g.outputs();
 
     // Bottom-up: a vertex keeps only candidates with every mandatory child
     // arc satisfied (post-order over the pattern tree).
@@ -324,7 +347,6 @@ pub fn eval_linear_ordered(
         .iter()
         .map(|t| streams.stream_by_name(ctx.sdoc, t).to_vec())
         .collect();
-    drop(streams);
     for list in &lists {
         ctx.consume_stream(list.len() as u64);
     }

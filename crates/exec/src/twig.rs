@@ -36,11 +36,22 @@ pub fn eval_pattern_holistic(
 ) -> Vec<SNodeId> {
     let outputs = g.outputs();
     assert_eq!(outputs.len(), 1, "holistic evaluation needs one output vertex");
-    let output = outputs[0];
     if g.unsatisfiable || ctx.sdoc.is_empty() {
         return Vec::new();
     }
+    let streams = holistic_streams(ctx, g, context);
+    holistic_sweep(ctx, g, streams)
+}
 
+/// Per-vertex interval streams prepared for the holistic join (σs/σv
+/// applied, context restriction, synthetic root stream in slot `g.root()`)
+/// — the front half of [`eval_pattern_holistic`], shared with
+/// [`crate::parallel`].
+pub fn holistic_streams(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    context: Option<SNodeId>,
+) -> Vec<Vec<Interval>> {
     let n = g.vertices.len();
     // Vertex streams (σs/σv applied), restricted to the context subtree.
     let mut streams: Vec<Vec<Interval>> = (0..n).map(|v| candidates(ctx, g, v)).collect();
@@ -51,22 +62,33 @@ pub fn eval_pattern_holistic(
         }
     }
     // Synthetic stream for the virtual root: one interval spanning it all.
-    let (root_iv, _root_level) = match context {
+    let root_iv = match context {
         Some(c) => {
             let (s, e, l) = ctx.sdoc.interval(c);
-            (Interval { start: s, end: e, level: l, node: c }, l)
+            Interval { start: s, end: e, level: l, node: c }
         }
-        None => (
-            Interval {
-                start: 0,
-                end: u32::MAX,
-                level: 0,
-                node: SNodeId(u32::MAX), // never projected
-            },
-            0,
-        ),
+        None => Interval {
+            start: 0,
+            end: u32::MAX,
+            level: 0,
+            node: SNodeId(u32::MAX), // never projected
+        },
     };
     streams[g.root()] = vec![root_iv];
+    streams
+}
+
+/// The stack-chained twig join over prepared streams — the back half of
+/// [`eval_pattern_holistic`]. Exact with respect to its inputs: returns
+/// every node in the output vertex's stream participating in a full twig
+/// match drawn from the given streams, sorted and deduplicated.
+pub fn holistic_sweep(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    streams: Vec<Vec<Interval>>,
+) -> Vec<SNodeId> {
+    let output = g.outputs()[0];
+    let n = g.vertices.len();
 
     // Pattern shape tables.
     let parent: Vec<Option<(usize, PRel)>> =

@@ -1,7 +1,6 @@
 //! Bibliography documents in the `bib.xml` schema of the paper's Fig. 1.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Prng;
 use xqp_xml::Document;
 
 /// The literal four-book sample of the W3C XQuery Use Cases — the document
@@ -55,7 +54,7 @@ const PUBLISHERS: &[&str] =
 
 /// Generate a bibliography with `n` books (deterministic under `seed`).
 pub fn gen_bib(n: usize, seed: u64) -> Document {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut doc = Document::new();
     let bib = doc.append_element(doc.root(), "bib");
     for _ in 0..n {

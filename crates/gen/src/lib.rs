@@ -18,11 +18,13 @@
 //! * [`workload`] — the named query sets each experiment sweeps.
 
 pub mod bib;
+pub mod rng;
 pub mod synth;
 pub mod workload;
 pub mod xmark;
 
 pub use bib::{bib_sample, gen_bib};
+pub use rng::Prng;
 pub use synth::{blowup_doc, blowup_query, deep_chain, wide_flat};
 pub use workload::{xmark_queries, QuerySpec};
 pub use xmark::{gen_xmark, XmarkConfig};

@@ -1,0 +1,155 @@
+//! A small deterministic PRNG so the generators (and the property tests)
+//! need no external `rand` crate — the build environment is offline and
+//! every registry dependency must be avoidable.
+//!
+//! The core is SplitMix64 (Steele et al., "Fast splittable pseudorandom
+//! number generators", OOPSLA'14): a 64-bit counter passed through a
+//! finalizer with full avalanche. It is not cryptographic, but it is fast,
+//! seedable, has a 2^64 period, and — crucially for reproducible
+//! experiments — a `(seed, call sequence)` pair always yields the same
+//! stream on every platform.
+
+use std::ops::Range;
+
+/// Deterministic pseudo-random number generator (SplitMix64).
+///
+/// The API mirrors the subset of `rand::Rng` the generators use
+/// (`gen_range` over half-open ranges, `gen_bool`), so call sites read the
+/// same as they would against the external crate.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Seed the generator. Equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Prng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A double in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from a non-empty half-open range.
+    pub fn gen_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_range(0..items.len())]
+    }
+}
+
+/// Types samplable from a half-open `Range` by [`Prng::gen_range`].
+pub trait RangeSample: Copy {
+    /// Uniform draw from `range` (panics on an empty range).
+    fn sample(rng: &mut Prng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_int_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample(rng: &mut Prng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range over an empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Multiply-shift bounded draw (Lemire); the tiny modulo bias
+                // of plain `% span` would be fine for workloads, but this is
+                // just as cheap and exact for spans below 2^64.
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (range.start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl RangeSample for f64 {
+    fn sample(rng: &mut Prng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range over an empty range");
+        range.start + rng.next_f64() * (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Prng::seed_from_u64(7);
+        let mut b = Prng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Prng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Prng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let u = rng.gen_range(0..3usize);
+            assert!(u < 3);
+            let f = rng.gen_range(1.5..2.5f64);
+            assert!((1.5..2.5).contains(&f));
+            let neg = rng.gen_range(-5..-1);
+            assert!((-5..-1).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn full_width_ranges_cover_both_halves() {
+        let mut rng = Prng::seed_from_u64(3);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0u64..u64::MAX);
+            if v < u64::MAX / 2 {
+                lo = true;
+            } else {
+                hi = true;
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Prng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_picks_every_element_eventually() {
+        let mut rng = Prng::seed_from_u64(5);
+        let items = ["a", "b", "c"];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(*rng.choose(&items));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

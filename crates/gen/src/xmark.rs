@@ -4,11 +4,10 @@
 //! benchmark's `xmlgen` without its proprietary text corpus: regions hold
 //! items with mixed-content descriptions and keyword spans, people carry
 //! profiles with ages/incomes/interests, auctions reference people and items
-//! by id. All draws come from a seeded [`StdRng`], so a `(config, seed)`
+//! by id. All draws come from a seeded [`Prng`], so a `(config, seed)`
 //! pair always produces byte-identical documents.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Prng;
 use xqp_xml::{Document, NodeId};
 
 /// Word pool for generated prose (fixed, so text statistics are stable).
@@ -71,7 +70,7 @@ impl Default for XmarkConfig {
 
 /// Generate an auction document.
 pub fn gen_xmark(cfg: &XmarkConfig) -> Document {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Prng::seed_from_u64(cfg.seed);
     let mut doc = Document::new();
     let site = doc.append_element(doc.root(), "site");
 
@@ -120,7 +119,7 @@ pub fn gen_xmark(cfg: &XmarkConfig) -> Document {
     doc
 }
 
-fn words(rng: &mut StdRng, n: usize) -> String {
+fn words(rng: &mut Prng, n: usize) -> String {
     (0..n)
         .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
         .collect::<Vec<_>>()
@@ -129,7 +128,7 @@ fn words(rng: &mut StdRng, n: usize) -> String {
 
 /// Mixed-content description: text, keyword spans, emphasis — the XMark
 /// `parlist` flavour that stresses mixed-content handling.
-fn gen_text_block(doc: &mut Document, rng: &mut StdRng, parent: NodeId) {
+fn gen_text_block(doc: &mut Document, rng: &mut Prng, parent: NodeId) {
     let text = doc.append_element(parent, "text");
     let sentences = rng.gen_range(1..4);
     for _ in 0..sentences {
@@ -148,7 +147,7 @@ fn gen_text_block(doc: &mut Document, rng: &mut StdRng, parent: NodeId) {
     }
 }
 
-fn gen_item(doc: &mut Document, rng: &mut StdRng, region: NodeId, no: usize, categories: usize) {
+fn gen_item(doc: &mut Document, rng: &mut Prng, region: NodeId, no: usize, categories: usize) {
     let item = doc.append_element(region, "item");
     doc.set_attribute(item, "id", format!("item{no}"));
     let location = doc.append_element(item, "location");
@@ -184,7 +183,7 @@ fn gen_item(doc: &mut Document, rng: &mut StdRng, region: NodeId, no: usize, cat
     }
 }
 
-fn gen_person(doc: &mut Document, rng: &mut StdRng, people: NodeId, no: usize, categories: usize) {
+fn gen_person(doc: &mut Document, rng: &mut Prng, people: NodeId, no: usize, categories: usize) {
     let person = doc.append_element(people, "person");
     doc.set_attribute(person, "id", format!("person{no}"));
     let name = doc.append_element(person, "name");
@@ -228,7 +227,7 @@ fn gen_person(doc: &mut Document, rng: &mut StdRng, people: NodeId, no: usize, c
 
 fn gen_open_auction(
     doc: &mut Document,
-    rng: &mut StdRng,
+    rng: &mut Prng,
     opens: NodeId,
     no: usize,
     people: usize,
@@ -276,7 +275,7 @@ fn gen_open_auction(
 
 fn gen_closed_auction(
     doc: &mut Document,
-    rng: &mut StdRng,
+    rng: &mut Prng,
     closeds: NodeId,
     _no: usize,
     people: usize,

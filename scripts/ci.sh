@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate for the repo. Everything runs fully offline — the workspace has no
+# registry dependencies by default (see the `proptest` feature note in the
+# root Cargo.toml), so `--offline` must always succeed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 gate: release build + test =="
+cargo build --release
+cargo test -q
+
+echo "== full workspace, offline =="
+cargo test --workspace --offline
+
+echo "== benches compile (std harness, no criterion) =="
+cargo build --offline --benches -p xqp-bench
+
+echo "CI gate passed."

@@ -1,0 +1,121 @@
+//! Concurrency smoke test: one `Executor` shared by reference across eight
+//! OS threads running a mixed query workload. The executor's read paths are
+//! `Send + Sync` (atomic counters, lock-guarded lazy state), so this must
+//! complete with no panics, every thread seeing correct results, and the
+//! merged `ExecCounters` consistent with the work done.
+
+use std::sync::Arc;
+use xqp_exec::{Executor, PlanCache, Strategy};
+use xqp_storage::SuccinctDoc;
+
+const STORE: &str = "<store>\
+<inventory>\
+<item sku=\"A1\"><name>bolt</name><price>10</price><qty>500</qty></item>\
+<item sku=\"A2\"><name>nut</name><price>5</price><qty>800</qty></item>\
+<item sku=\"B1\"><name>washer</name><price>2</price><qty>50</qty></item>\
+<item sku=\"B2\"><name>gear</name><price>120</price><qty>7</qty></item>\
+</inventory>\
+<orders>\
+<order id=\"o1\" sku=\"A1\" units=\"20\"/>\
+<order id=\"o2\" sku=\"B2\" units=\"2\"/>\
+<order id=\"o3\" sku=\"A1\" units=\"5\"/>\
+</orders>\
+</store>";
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 12;
+
+/// (query, expected serialization) — a mix of paths, FLWORs and aggregates.
+const WORKLOAD: &[(&str, &str)] = &[
+    ("//item[price > 100]/name", "<name>gear</name>"),
+    ("count(doc()//item)", "4"),
+    (
+        "for $i in doc()/store/inventory/item where $i/qty < 100 \
+         return string($i/name)",
+        "washer gear",
+    ),
+    ("sum(doc()//item/price)", "137"),
+    ("distinct-values(doc()/store/orders/order/@sku)", "A1 B2"),
+    ("exists(doc()//order[@units = 2])", "true"),
+];
+
+#[test]
+fn one_executor_shared_across_threads() {
+    let sdoc = SuccinctDoc::parse(STORE).unwrap();
+    let ex = Executor::new(&sdoc);
+    let before = ex.counters();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let ex = &ex;
+            scope.spawn(move || {
+                for r in 0..ROUNDS {
+                    // Stagger so threads hit different queries simultaneously.
+                    let (q, want) = WORKLOAD[(t + r) % WORKLOAD.len()];
+                    let got = ex.query(q).expect("query evaluates");
+                    assert_eq!(got, want, "thread {t} round {r} query `{q}`");
+                }
+            });
+        }
+    });
+
+    let after = ex.counters();
+    // Counters only move forward, and the workload did real work.
+    assert!(after.nodes_visited >= before.nodes_visited);
+    assert!(after.stream_items >= before.stream_items);
+    assert!(after.plan_misses >= before.plan_misses);
+
+    // Every distinct query text compiles at most once per cache slot; with
+    // 8 threads × 12 rounds over 6 queries the cache must have hits, and
+    // hits + misses equals the number of compile requests that went through
+    // the cache. (Misses can exceed 6 only through a benign first-use race.)
+    let total = after.plan_hits + after.plan_misses;
+    assert!(after.plan_hits > 0, "repeated queries should hit the plan cache");
+    assert!(after.plan_misses >= WORKLOAD.len() as u64);
+    assert!(total >= (THREADS * ROUNDS) as u64, "every query consults the cache");
+}
+
+#[test]
+fn parallel_strategy_is_itself_thread_safe() {
+    // Nested parallelism: concurrent callers each fanning out their own
+    // scoped worker threads must not interfere.
+    let sdoc = SuccinctDoc::parse(STORE).unwrap();
+    let ex = Executor::new(&sdoc).with_strategy(Strategy::Parallel { threads: 2 });
+    let want = ex.eval_path_str("//item[price > 10]/name").unwrap();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let ex = &ex;
+            let want = &want;
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    let got = ex.eval_path_str("//item[price > 10]/name").unwrap();
+                    assert_eq!(&got, want);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn shared_plan_cache_across_executors_and_threads() {
+    // The Database arrangement: short-lived executors, one long-lived cache.
+    let sdoc = SuccinctDoc::parse(STORE).unwrap();
+    let cache = Arc::new(PlanCache::default());
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let sdoc = &sdoc;
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                for r in 0..ROUNDS {
+                    let ex = Executor::new(sdoc).with_plan_cache(Arc::clone(&cache));
+                    let (q, want) = WORKLOAD[r % WORKLOAD.len()];
+                    assert_eq!(ex.query(q).expect("query evaluates"), want);
+                }
+            });
+        }
+    });
+    let (hits, misses, _evictions) = cache.stats();
+    assert!(hits > 0);
+    assert!(misses >= WORKLOAD.len() as u64);
+    assert_eq!(hits + misses, (THREADS * ROUNDS) as u64);
+}

@@ -1,0 +1,175 @@
+//! The parallel executor must be a drop-in replacement: every query in the
+//! end-to-end corpus (`tests/engine_queries.rs`) serializes byte-identically
+//! under `Strategy::Parallel` at 1, 2 and 8 threads as under the serial
+//! default. Document order of results is part of the contract — the k-way
+//! merge in `xqp_exec::parallel` has to reconstruct exactly what the serial
+//! sweep would have produced.
+
+use xqp::{Database, Strategy};
+
+const STORE: &str = r#"<store>
+<inventory>
+<item sku="A1"><name>bolt</name><price>10</price><qty>500</qty></item>
+<item sku="A2"><name>nut</name><price>5</price><qty>800</qty></item>
+<item sku="B1"><name>washer</name><price>2</price><qty>50</qty></item>
+<item sku="B2"><name>gear</name><price>120</price><qty>7</qty></item>
+</inventory>
+<orders>
+<order id="o1" sku="A1" units="20"/>
+<order id="o2" sku="B2" units="2"/>
+<order id="o3" sku="A1" units="5"/>
+</orders>
+</store>"#;
+
+const MULTI: &str =
+    "<r><p a=\"2\" b=\"1\"/><p a=\"1\" b=\"2\"/><p a=\"2\" b=\"0\"/><p a=\"1\" b=\"1\"/></r>";
+
+/// Every (document, query) pair from the engine corpus that produces output.
+const QUERIES: &[(&str, &str)] = &[
+    (
+        "store",
+        "for $i in doc()/store/inventory/item \
+         where $i/price >= 10 \
+         return <line sku=\"{$i/@sku}\" cost=\"{$i/price}\">{$i/name}</line>",
+    ),
+    (
+        "store",
+        "for $o in doc()/store/orders/order \
+         for $i in doc()/store/inventory/item \
+         where $i/@sku = $o/@sku \
+         return <fulfilled order=\"{$o/@id}\">{$i/name}</fulfilled>",
+    ),
+    (
+        "store",
+        "sum(for $o in doc()/store/orders/order \
+         for $i in doc()/store/inventory/item \
+         where $i/@sku = $o/@sku \
+         return $o/@units * $i/price)",
+    ),
+    (
+        "store",
+        "sum(for $o in doc()/store/orders/order \
+         for $i in doc()/store/inventory/item[@sku = $o/@sku] \
+         return $o/@units * $i/price)",
+    ),
+    (
+        "store",
+        "let $limit := sum(doc()/store/inventory/item[name = \"bolt\"]/price) + 0 \
+         return doc()/store/inventory/item[price > $limit]/name",
+    ),
+    (
+        "store",
+        "for $i in doc()/store/inventory/item order by $i/name \
+         return <stock name=\"{$i/name}\">{ \
+            if ($i/qty < 100) then <low/> else <ok/> }</stock>",
+    ),
+    (
+        "store",
+        "for $i in doc()/store/inventory/item \
+         let $os := (for $o in doc()/store/orders/order \
+                     where $o/@sku = $i/@sku return $o) \
+         where exists($os) \
+         return <demand sku=\"{$i/@sku}\" orders=\"{count($os)}\"/>",
+    ),
+    (
+        "store",
+        "for $i in doc()/store/inventory/item \
+         where starts-with($i/name, \"b\") or contains($i/name, \"ash\") \
+         return string($i/name)",
+    ),
+    (
+        "x",
+        "for $p in doc()/r/p order by $p/@a, $p/@b descending \
+         return concat($p/@a, $p/@b, \" \")",
+    ),
+    (
+        "store",
+        "<report><summary><total>{count(doc()//item)}</total>\
+         <value>{sum(doc()//item/price)}</value></summary></report>",
+    ),
+    ("store", "count(doc()//item[price > 200]) = 0"),
+    ("store", "exists(doc()//item[qty < 10])"),
+    ("store", "distinct-values(doc()/store/orders/order/@sku)"),
+    ("store", "let $x := <wrap><inner>deep</inner></wrap> return $x/inner"),
+    ("store", "(7 div 2)"),
+    ("store", "(7 mod 2)"),
+];
+
+/// Queries that must fail identically (same error class, no panic).
+const ERROR_QUERIES: &[(&str, &str)] = &[
+    ("store", "/store/inventory/item[@sku = $ghost]"),
+    ("store", "frobnicate(1)"),
+    ("store", "for $x in"),
+    ("store", "$undefined"),
+];
+
+/// Bare paths, compared through `select` (node ids, so ordering is explicit).
+const PATHS: &[(&str, &str)] = &[
+    ("store", "//item"),
+    ("store", "//item[price > 10]/name"),
+    ("store", "/store/orders/order"),
+    ("store", "//item[name]/qty"),
+    ("store", "//nothing"),
+    ("x", "//p[@a = 1]"),
+];
+
+fn db() -> Database {
+    let mut d = Database::new();
+    let compact: String = STORE.lines().collect();
+    d.load_str("store", &compact).unwrap();
+    d.load_str("x", MULTI).unwrap();
+    d
+}
+
+#[test]
+fn parallel_matches_serial_on_engine_corpus() {
+    let serial = db();
+    for threads in [1usize, 2, 8] {
+        let mut par = db();
+        par.set_strategy(Strategy::Parallel { threads });
+        for (doc, q) in QUERIES {
+            let want = serial.query(doc, q).unwrap();
+            let got = par.query(doc, q).unwrap();
+            assert_eq!(got, want, "threads={threads} doc={doc} query=`{q}`");
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_on_bare_paths() {
+    let serial = db();
+    for threads in [1usize, 2, 8] {
+        let mut par = db();
+        par.set_strategy(Strategy::Parallel { threads });
+        for (doc, p) in PATHS {
+            let want = serial.select(doc, p).unwrap();
+            let got = par.select(doc, p).unwrap();
+            assert_eq!(got, want, "threads={threads} doc={doc} path=`{p}`");
+        }
+    }
+}
+
+#[test]
+fn parallel_reports_the_same_errors() {
+    for threads in [1usize, 2, 8] {
+        let mut par = db();
+        par.set_strategy(Strategy::Parallel { threads });
+        for (doc, q) in ERROR_QUERIES {
+            assert!(
+                par.query(doc, q).is_err(),
+                "threads={threads} doc={doc} query=`{q}` should fail"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_threads_matches_serial_too() {
+    // threads: 0 resolves to available_parallelism at run time.
+    let serial = db();
+    let mut par = db();
+    par.set_strategy(Strategy::Parallel { threads: 0 });
+    for (doc, q) in QUERIES {
+        assert_eq!(par.query(doc, q).unwrap(), serial.query(doc, q).unwrap(), "query=`{q}`");
+    }
+}

@@ -1,0 +1,128 @@
+//! Database-level plan-cache behaviour: the per-document compiled-plan cache
+//! survives across the short-lived executors `Database` builds per query,
+//! counts hits and misses, evicts LRU entries at capacity, and is
+//! invalidated by the storage update path (`delete_matching` / `insert_into`
+//! splices through `crates/storage/src/update.rs`).
+
+use xqp::Database;
+
+const BIB: &str = "<bib>\
+    <book year=\"1994\"><title>TCP</title><price>65</price></book>\
+    <book year=\"2000\"><title>Data</title><price>39</price></book>\
+    </bib>";
+
+fn db() -> Database {
+    let mut d = Database::new();
+    d.load_str("bib", BIB).unwrap();
+    d
+}
+
+#[test]
+fn repeated_queries_hit_across_executors() {
+    let d = db();
+    // Each `query` call builds a fresh Executor; the cache lives on the
+    // stored document, so the second and third runs must hit.
+    for _ in 0..3 {
+        let out = d.query("bib", "/bib/book/title").unwrap();
+        assert_eq!(out, "<title>TCP</title><title>Data</title>");
+    }
+    let (hits, misses, evictions) = d.plan_cache_stats("bib").unwrap();
+    assert_eq!(misses, 1);
+    assert_eq!(hits, 2);
+    assert_eq!(evictions, 0);
+}
+
+#[test]
+fn whitespace_variants_share_a_slot() {
+    let d = db();
+    d.query("bib", "for $b in doc()/bib/book return $b/title").unwrap();
+    d.query("bib", "for  $b   in doc()/bib/book\n  return  $b/title").unwrap();
+    let (hits, misses, _) = d.plan_cache_stats("bib").unwrap();
+    assert_eq!((hits, misses), (1, 1), "normalization must merge the variants");
+}
+
+#[test]
+fn distinct_documents_have_distinct_caches() {
+    let mut d = db();
+    d.load_str("other", "<r><x>1</x></r>").unwrap();
+    d.query("bib", "count(doc()//book)").unwrap();
+    d.query("other", "count(doc()//x)").unwrap();
+    assert_eq!(d.plan_cache_stats("bib").unwrap(), (0, 1, 0));
+    assert_eq!(d.plan_cache_stats("other").unwrap(), (0, 1, 0));
+}
+
+#[test]
+fn lru_eviction_at_capacity() {
+    let d = db();
+    let cap = xqp::ExecPlanCache::default().capacity();
+    // Fill past capacity with distinct query texts…
+    for i in 0..cap + 8 {
+        d.query("bib", &format!("count(doc()//tag{i})")).unwrap();
+    }
+    let (_, misses, evictions) = d.plan_cache_stats("bib").unwrap();
+    assert_eq!(misses, (cap + 8) as u64);
+    assert_eq!(evictions, 8, "each insert past capacity evicts the LRU entry");
+    // …and the earliest (least recently used) texts recompile on re-query.
+    d.query("bib", "count(doc()//tag0)").unwrap();
+    let (_, misses_after, _) = d.plan_cache_stats("bib").unwrap();
+    assert_eq!(misses_after, misses + 1, "evicted plan must be a fresh miss");
+}
+
+#[test]
+fn delete_invalidates_the_cache() {
+    let mut d = db();
+    let q = "for $b in doc()/bib/book return $b/title";
+    assert_eq!(d.query("bib", q).unwrap(), "<title>TCP</title><title>Data</title>");
+    d.query("bib", q).unwrap(); // 1 miss, 1 hit
+    let removed = d.delete_matching("bib", "/bib/book[@year = 1994]").unwrap();
+    assert_eq!(removed, 1);
+    // The document changed, so the cached plan was dropped: next run is a
+    // miss, and it sees the updated document.
+    assert_eq!(d.query("bib", q).unwrap(), "<title>Data</title>");
+    let (hits, misses, _) = d.plan_cache_stats("bib").unwrap();
+    assert_eq!(misses, 2, "post-update run recompiles");
+    assert_eq!(hits, 1);
+}
+
+#[test]
+fn insert_invalidates_the_cache() {
+    let mut d = db();
+    let q = "count(doc()//book)";
+    assert_eq!(d.query("bib", q).unwrap(), "2");
+    let n = d.insert_into("bib", "/bib", "<book><title>New</title></book>").unwrap();
+    assert_eq!(n, 1);
+    assert_eq!(d.query("bib", q).unwrap(), "3");
+    let (hits, misses, _) = d.plan_cache_stats("bib").unwrap();
+    assert_eq!(misses, 2, "post-insert run recompiles");
+    assert_eq!(hits, 0);
+}
+
+#[test]
+fn failed_updates_keep_the_cache_warm() {
+    let mut d = db();
+    let q = "count(doc()//book)";
+    d.query("bib", q).unwrap();
+    // A delete that matches nothing must not invalidate.
+    assert_eq!(d.delete_matching("bib", "//nonexistent").unwrap(), 0);
+    d.query("bib", q).unwrap();
+    let (hits, misses, _) = d.plan_cache_stats("bib").unwrap();
+    assert_eq!((hits, misses), (1, 1), "no-op update keeps cached plans");
+}
+
+#[test]
+fn reload_resets_the_cache() {
+    let mut d = db();
+    d.query("bib", "count(doc()//book)").unwrap();
+    // Re-loading a document replaces the Stored entry wholesale — stats
+    // start over with it.
+    d.load_str("bib", BIB).unwrap();
+    assert_eq!(d.plan_cache_stats("bib").unwrap(), (0, 0, 0));
+}
+
+#[test]
+fn explain_surfaces_cache_traffic() {
+    let d = db();
+    d.query("bib", "/bib/book/title").unwrap();
+    let (plan, _) = d.explain("bib", "/bib/book/title").unwrap();
+    assert!(plan.contains("-- plan cache: hits=1 misses=1"), "{plan}");
+}

@@ -1,105 +1,129 @@
-//! Property tests over query evaluation: randomly generated documents and
+//! Randomized tests over query evaluation: randomly generated documents and
 //! randomly generated downward path expressions give identical results under
-//! every physical strategy — and streaming agrees with stored evaluation.
+//! every physical strategy (serial and parallel) — and streaming agrees with
+//! stored evaluation.
+//!
+//! The generators are driven by the repo's own deterministic [`xqp_gen::Prng`]
+//! (SplitMix64) so the suite runs fully offline with no `proptest` dependency;
+//! fixed seeds make every run reproduce the same case set. The original
+//! proptest version of this suite is preserved behind the opt-in `proptest`
+//! cargo feature (see the root `Cargo.toml` for how to re-enable it).
 
-use proptest::prelude::*;
 use xqp_exec::{streaming, Executor, Strategy as ExecStrategy};
+use xqp_gen::Prng;
 use xqp_storage::{SNodeId, SuccinctDoc};
 use xqp_xml::{Document, NodeId};
 use xqp_xpath::{parse_path, PatternGraph};
 
+const CASES: u64 = 96;
+
 // ---- random documents (small tag alphabet so paths actually match) -----------
 
-fn arb_doc() -> impl Strategy<Value = Document> {
-    #[derive(Debug, Clone)]
-    enum T {
-        El(u8, Vec<T>),
-        Txt(u8),
+/// Append a random subtree under `parent`: tags `t0`–`t3`, an occasional
+/// `k` attribute, text values `0..50` with no two adjacent text siblings.
+fn gen_subtree(rng: &mut Prng, doc: &mut Document, parent: NodeId, depth: u32) {
+    let tag = rng.gen_range(0u16..256) as u8; // full byte, mirrors any::<u8>()
+    let el = doc.append_element(parent, format!("t{}", tag % 4));
+    if tag % 3 == 0 {
+        doc.set_attribute(el, "k", (tag % 7).to_string());
     }
-    let leaf = prop_oneof![any::<u8>().prop_map(T::Txt), any::<u8>().prop_map(|t| T::El(t, vec![]))];
-    let tree = leaf.prop_recursive(5, 80, 6, |inner| {
-        (any::<u8>(), prop::collection::vec(inner, 0..6)).prop_map(|(t, c)| T::El(t, c))
-    });
-    tree.prop_map(|t| {
-        fn rec(doc: &mut Document, parent: NodeId, t: &T) {
-            match t {
-                T::El(tag, children) => {
-                    let el = doc.append_element(parent, format!("t{}", tag % 4));
-                    if tag % 3 == 0 {
-                        doc.set_attribute(el, "k", (tag % 7).to_string());
-                    }
-                    for c in children {
-                        rec(doc, el, c);
-                    }
-                }
-                T::Txt(v) => {
-                    let needs = match doc.node(parent).last_child {
-                        Some(last) => !doc.is_text(last),
-                        None => true,
-                    };
-                    if needs {
-                        doc.append_text(parent, (v % 50).to_string());
-                    }
-                }
+    if depth == 0 {
+        return;
+    }
+    let children = rng.gen_range(0usize..6);
+    for _ in 0..children {
+        if rng.gen_bool(0.25) {
+            // Text child, respecting the merge-adjacent-text invariant.
+            let needs = match doc.node(el).last_child {
+                Some(last) => !doc.is_text(last),
+                None => true,
+            };
+            if needs {
+                let v: u8 = rng.gen_range(0u8..50);
+                doc.append_text(el, v.to_string());
             }
+        } else {
+            gen_subtree(rng, doc, el, depth - 1);
         }
-        let mut doc = Document::new();
-        let root = doc.root();
-        match &t {
-            T::El(..) => rec(&mut doc, root, &t),
-            T::Txt(_) => {
-                doc.append_element(root, "t0");
-            }
-        }
-        doc
-    })
+    }
+}
+
+fn gen_doc(rng: &mut Prng) -> Document {
+    let mut doc = Document::new();
+    let root = doc.root();
+    gen_subtree(rng, &mut doc, root, 5);
+    doc
 }
 
 // ---- random downward paths ------------------------------------------------------
 
-fn arb_path() -> impl Strategy<Value = String> {
-    let tag = prop_oneof![
-        Just("t0".to_string()),
-        Just("t1".to_string()),
-        Just("t2".to_string()),
-        Just("t3".to_string()),
-        Just("*".to_string()),
-    ];
-    let pred = prop_oneof![
-        Just(String::new()),
-        tag.clone().prop_map(|t| format!("[{t}]")),
-        Just("[@k]".to_string()),
-        (0u8..7).prop_map(|v| format!("[@k = {v}]")),
-        (0u8..50).prop_map(|v| format!("[. = {v}]")),
-        (0u8..50).prop_map(|v| format!("[. > {v}]")),
-    ];
-    let step = (prop_oneof![Just("/"), Just("//")], tag, pred)
-        .prop_map(|(sep, t, p)| format!("{sep}{t}{p}"));
-    prop::collection::vec(step, 1..4).prop_map(|steps| steps.concat())
+fn gen_tag(rng: &mut Prng) -> String {
+    (*rng.choose(&["t0", "t1", "t2", "t3", "*"])).to_string()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn gen_pred(rng: &mut Prng) -> String {
+    match rng.gen_range(0u8..6) {
+        0 => String::new(),
+        1 => format!("[{}]", gen_tag(rng)),
+        2 => "[@k]".to_string(),
+        3 => format!("[@k = {}]", rng.gen_range(0u8..7)),
+        4 => format!("[. = {}]", rng.gen_range(0u8..50)),
+        _ => format!("[. > {}]", rng.gen_range(0u8..50)),
+    }
+}
 
-    #[test]
-    fn all_strategies_agree_on_random_inputs(doc in arb_doc(), path in arb_path()) {
+fn gen_path(rng: &mut Prng) -> String {
+    let steps = rng.gen_range(1usize..4);
+    let mut path = String::new();
+    for _ in 0..steps {
+        let sep = if rng.gen_bool(0.5) { "/" } else { "//" };
+        path.push_str(sep);
+        path.push_str(&gen_tag(rng));
+        path.push_str(&gen_pred(rng));
+    }
+    path
+}
+
+// ---- properties -----------------------------------------------------------------
+
+#[test]
+fn all_strategies_agree_on_random_inputs() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xA11_5EED ^ case);
+        let doc = gen_doc(&mut rng);
+        let path = gen_path(&mut rng);
         let sdoc = SuccinctDoc::from_document(&doc);
         let reference: Vec<SNodeId> = Executor::new(&sdoc)
             .with_strategy(ExecStrategy::Naive)
             .eval_path_str(&path)
             .unwrap();
-        for strat in [ExecStrategy::NoK, ExecStrategy::TwigStack, ExecStrategy::BinaryJoin, ExecStrategy::Auto] {
+        for strat in [
+            ExecStrategy::NoK,
+            ExecStrategy::TwigStack,
+            ExecStrategy::BinaryJoin,
+            ExecStrategy::Auto,
+            ExecStrategy::Parallel { threads: 2 },
+            ExecStrategy::Parallel { threads: 8 },
+        ] {
             let got = Executor::new(&sdoc).with_strategy(strat).eval_path_str(&path).unwrap();
-            prop_assert_eq!(
-                &got, &reference,
-                "doc `{}` path `{}` strategy {:?}",
-                xqp_xml::serialize(&doc), path, strat
+            assert_eq!(
+                got,
+                reference,
+                "case {case}: doc `{}` path `{}` strategy {:?}",
+                xqp_xml::serialize(&doc),
+                path,
+                strat
             );
         }
     }
+}
 
-    #[test]
-    fn streaming_agrees_with_stored(doc in arb_doc(), path in arb_path()) {
+#[test]
+fn streaming_agrees_with_stored() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x57E4_A11 ^ case);
+        let doc = gen_doc(&mut rng);
+        let path = gen_path(&mut rng);
         let xml = xqp_xml::serialize(&doc);
         let sdoc = SuccinctDoc::from_document(&doc);
         let pattern = PatternGraph::from_path(&parse_path(&path).unwrap()).unwrap();
@@ -108,21 +132,150 @@ proptest! {
         let streamed = streaming::match_stream(events.iter(), &pattern);
         let ctx = xqp_exec::ExecContext::new(&sdoc);
         let stored = xqp_exec::nok::eval_single_output(&ctx, &pattern, None);
-        prop_assert_eq!(streamed, stored, "doc `{}` path `{}`", xml, path);
+        assert_eq!(streamed, stored, "case {case}: doc `{xml}` path `{path}`");
     }
+}
 
-    #[test]
-    fn documents_roundtrip_through_queries(doc in arb_doc()) {
+#[test]
+fn documents_roundtrip_through_queries() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xD0C_5EED ^ case);
+        let doc = gen_doc(&mut rng);
         // `//*` must return every element, `//text()` every text node.
         let sdoc = SuccinctDoc::from_document(&doc);
         let ex = Executor::new(&sdoc);
         let elements = ex.eval_path_str("//*").unwrap();
-        prop_assert_eq!(elements.len(), doc.element_count());
+        assert_eq!(elements.len(), doc.element_count(), "case {case}");
         let texts = ex.eval_path_str("//text()").unwrap();
-        let dom_texts = doc
-            .descendants_or_self(doc.root())
-            .filter(|&n| doc.is_text(n))
-            .count();
-        prop_assert_eq!(texts.len(), dom_texts);
+        let dom_texts =
+            doc.descendants_or_self(doc.root()).filter(|&n| doc.is_text(n)).count();
+        assert_eq!(texts.len(), dom_texts, "case {case}");
+    }
+}
+
+// ---- original proptest suite (opt-in; needs the `proptest` dependency) ----------
+
+#[cfg(feature = "proptest")]
+mod proptest_suite {
+    use proptest::prelude::*;
+    use xqp_exec::{streaming, Executor, Strategy as ExecStrategy};
+    use xqp_storage::{SNodeId, SuccinctDoc};
+    use xqp_xml::{Document, NodeId};
+    use xqp_xpath::{parse_path, PatternGraph};
+
+    fn arb_doc() -> impl Strategy<Value = Document> {
+        #[derive(Debug, Clone)]
+        enum T {
+            El(u8, Vec<T>),
+            Txt(u8),
+        }
+        let leaf =
+            prop_oneof![any::<u8>().prop_map(T::Txt), any::<u8>().prop_map(|t| T::El(t, vec![]))];
+        let tree = leaf.prop_recursive(5, 80, 6, |inner| {
+            (any::<u8>(), prop::collection::vec(inner, 0..6)).prop_map(|(t, c)| T::El(t, c))
+        });
+        tree.prop_map(|t| {
+            fn rec(doc: &mut Document, parent: NodeId, t: &T) {
+                match t {
+                    T::El(tag, children) => {
+                        let el = doc.append_element(parent, format!("t{}", tag % 4));
+                        if tag % 3 == 0 {
+                            doc.set_attribute(el, "k", (tag % 7).to_string());
+                        }
+                        for c in children {
+                            rec(doc, el, c);
+                        }
+                    }
+                    T::Txt(v) => {
+                        let needs = match doc.node(parent).last_child {
+                            Some(last) => !doc.is_text(last),
+                            None => true,
+                        };
+                        if needs {
+                            doc.append_text(parent, (v % 50).to_string());
+                        }
+                    }
+                }
+            }
+            let mut doc = Document::new();
+            let root = doc.root();
+            match &t {
+                T::El(..) => rec(&mut doc, root, &t),
+                T::Txt(_) => {
+                    doc.append_element(root, "t0");
+                }
+            }
+            doc
+        })
+    }
+
+    fn arb_path() -> impl Strategy<Value = String> {
+        let tag = prop_oneof![
+            Just("t0".to_string()),
+            Just("t1".to_string()),
+            Just("t2".to_string()),
+            Just("t3".to_string()),
+            Just("*".to_string()),
+        ];
+        let pred = prop_oneof![
+            Just(String::new()),
+            tag.clone().prop_map(|t| format!("[{t}]")),
+            Just("[@k]".to_string()),
+            (0u8..7).prop_map(|v| format!("[@k = {v}]")),
+            (0u8..50).prop_map(|v| format!("[. = {v}]")),
+            (0u8..50).prop_map(|v| format!("[. > {v}]")),
+        ];
+        let step = (prop_oneof![Just("/"), Just("//")], tag, pred)
+            .prop_map(|(sep, t, p)| format!("{sep}{t}{p}"));
+        prop::collection::vec(step, 1..4).prop_map(|steps| steps.concat())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn all_strategies_agree_on_random_inputs(doc in arb_doc(), path in arb_path()) {
+            let sdoc = SuccinctDoc::from_document(&doc);
+            let reference: Vec<SNodeId> = Executor::new(&sdoc)
+                .with_strategy(ExecStrategy::Naive)
+                .eval_path_str(&path)
+                .unwrap();
+            for strat in [ExecStrategy::NoK, ExecStrategy::TwigStack, ExecStrategy::BinaryJoin, ExecStrategy::Auto] {
+                let got = Executor::new(&sdoc).with_strategy(strat).eval_path_str(&path).unwrap();
+                prop_assert_eq!(
+                    &got, &reference,
+                    "doc `{}` path `{}` strategy {:?}",
+                    xqp_xml::serialize(&doc), path, strat
+                );
+            }
+        }
+
+        #[test]
+        fn streaming_agrees_with_stored(doc in arb_doc(), path in arb_path()) {
+            let xml = xqp_xml::serialize(&doc);
+            let sdoc = SuccinctDoc::from_document(&doc);
+            let pattern = PatternGraph::from_path(&parse_path(&path).unwrap()).unwrap();
+            let events: Vec<xqp_xml::Event> =
+                xqp_xml::Parser::new(&xml).collect::<Result<_, _>>().unwrap();
+            let streamed = streaming::match_stream(events.iter(), &pattern);
+            let ctx = xqp_exec::ExecContext::new(&sdoc);
+            let stored = xqp_exec::nok::eval_single_output(&ctx, &pattern, None);
+            prop_assert_eq!(streamed, stored, "doc `{}` path `{}`", xml, path);
+        }
+
+        #[test]
+        fn documents_roundtrip_through_queries(doc in arb_doc()) {
+            // `//*` must return every element, `//text()` every text node.
+            let sdoc = SuccinctDoc::from_document(&doc);
+            let ex = Executor::new(&sdoc);
+            let elements = ex.eval_path_str("//*").unwrap();
+            prop_assert_eq!(elements.len(), doc.element_count());
+            let texts = ex.eval_path_str("//text()").unwrap();
+            let dom_texts = doc
+                .descendants_or_self(doc.root())
+                .filter(|&n| doc.is_text(n))
+                .count();
+            prop_assert_eq!(texts.len(), dom_texts);
+        }
     }
 }

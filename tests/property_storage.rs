@@ -1,18 +1,19 @@
-//! Property tests over the storage substrate: random documents round-trip
+//! Randomized tests over the storage substrate: random documents round-trip
 //! through the succinct encoding, navigation agrees with the DOM, local
 //! splices equal full re-encodes, and the B+-tree mirrors `BTreeMap`.
+//!
+//! Driven by the repo's deterministic [`xqp_gen::Prng`] so the suite runs
+//! fully offline with no `proptest` dependency; fixed seeds make every run
+//! reproduce the same case set. The original proptest version is preserved
+//! behind the opt-in `proptest` cargo feature.
 
-use proptest::prelude::*;
-use xqp_storage::{update, BPlusTree, SuccinctDoc};
+use xqp_gen::Prng;
+use xqp_storage::{update, BPlusTree, SNodeId, SuccinctDoc};
 use xqp_xml::{serialize, Document, NodeId};
 
-// ---- random document generator -------------------------------------------------
+const CASES: u64 = 64;
 
-#[derive(Debug, Clone)]
-enum Tree {
-    El { tag: u8, attrs: Vec<(u8, String)>, children: Vec<Tree> },
-    Text(String),
-}
+// ---- random document generator -------------------------------------------------
 
 fn tag_name(t: u8) -> String {
     format!("t{}", t % 5)
@@ -22,193 +23,203 @@ fn attr_name(a: u8) -> String {
     format!("k{}", a % 3)
 }
 
-fn arb_tree() -> impl Strategy<Value = Tree> {
-    let leaf = prop_oneof![
-        "[a-z ]{0,8}".prop_map(Tree::Text),
-        (any::<u8>(), prop::collection::vec((any::<u8>(), "[a-z]{0,4}"), 0..3)).prop_map(
-            |(tag, attrs)| Tree::El { tag, attrs, children: vec![] }
-        ),
-    ];
-    leaf.prop_recursive(4, 64, 5, |inner| {
-        (
-            any::<u8>(),
-            prop::collection::vec((any::<u8>(), "[a-z]{0,4}"), 0..3),
-            prop::collection::vec(inner, 0..5),
-        )
-            .prop_map(|(tag, attrs, children)| Tree::El { tag, attrs, children })
-    })
+fn rand_word(rng: &mut Prng, max_len: usize) -> String {
+    let len = rng.gen_range(0usize..max_len + 1);
+    (0..len).map(|_| (b'a' + rng.gen_range(0u8..26)) as char).collect()
 }
 
-fn build(tree: &Tree) -> Document {
-    fn rec(doc: &mut Document, parent: NodeId, t: &Tree) {
-        match t {
-            Tree::El { tag, attrs, children } => {
-                let el = doc.append_element(parent, tag_name(*tag));
-                let mut seen = Vec::new();
-                for (a, v) in attrs {
-                    let name = attr_name(*a);
-                    if !seen.contains(&name) {
-                        doc.set_attribute(el, name.clone(), v.clone());
-                        seen.push(name);
-                    }
-                }
-                for c in children {
-                    rec(doc, el, c);
-                }
-            }
-            Tree::Text(s) => {
-                // Merge-adjacent-text invariant: only append when the last
-                // child is not already text.
-                let needs = match doc.node(parent).last_child {
-                    Some(last) => !doc.is_text(last),
-                    None => true,
-                };
-                if needs && !s.is_empty() {
-                    doc.append_text(parent, s.clone());
-                }
-            }
+/// Append a randomly tagged element with random attributes under `parent`,
+/// then recurse for up to 5 children per level, 4 levels deep — same shape
+/// the proptest generator produced. Text children respect the
+/// merge-adjacent-text invariant.
+fn gen_element(rng: &mut Prng, doc: &mut Document, parent: NodeId, depth: u32) {
+    let tag = rng.gen_range(0u16..256) as u8;
+    let el = doc.append_element(parent, tag_name(tag));
+    let attrs = rng.gen_range(0usize..3);
+    let mut seen = Vec::new();
+    for _ in 0..attrs {
+        let name = attr_name(rng.gen_range(0u16..256) as u8);
+        if !seen.contains(&name) {
+            let value = rand_word(rng, 4);
+            doc.set_attribute(el, name.clone(), value);
+            seen.push(name);
         }
     }
+    if depth == 0 {
+        return;
+    }
+    let children = rng.gen_range(0usize..5);
+    for _ in 0..children {
+        if rng.gen_bool(0.3) {
+            let needs = match doc.node(el).last_child {
+                Some(last) => !doc.is_text(last),
+                None => true,
+            };
+            let text = {
+                let len = rng.gen_range(0usize..9);
+                (0..len)
+                    .map(|_| *rng.choose(&[b' ', b'a', b'b', b'c', b'x', b'y', b'z']) as char)
+                    .collect::<String>()
+            };
+            if needs && !text.is_empty() {
+                doc.append_text(el, text);
+            }
+        } else {
+            gen_element(rng, doc, el, depth - 1);
+        }
+    }
+}
+
+fn gen_doc(rng: &mut Prng) -> Document {
     let mut doc = Document::new();
     let root = doc.root();
-    // Force an element root.
-    match tree {
-        t @ Tree::El { .. } => rec(&mut doc, root, t),
-        Tree::Text(_) => {
-            doc.append_element(root, "t0");
-        }
-    }
+    gen_element(rng, &mut doc, root, 4);
     doc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// ---- properties -----------------------------------------------------------------
 
-    #[test]
-    fn succinct_roundtrip(tree in arb_tree()) {
-        let doc = build(&tree);
+#[test]
+fn succinct_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5101_AC ^ case);
+        let doc = gen_doc(&mut rng);
         let sdoc = SuccinctDoc::from_document(&doc);
         let back = sdoc.to_document();
-        prop_assert_eq!(serialize(&doc), serialize(&back));
+        assert_eq!(serialize(&doc), serialize(&back), "case {case}");
     }
+}
 
-    #[test]
-    fn navigation_agrees_with_dom(tree in arb_tree()) {
-        let doc = build(&tree);
+#[test]
+fn navigation_agrees_with_dom() {
+    fn cmp(doc: &Document, dn: NodeId, sdoc: &SuccinctDoc, sn: SNodeId, case: u64) {
+        assert_eq!(
+            doc.name(dn).map(|q| q.as_lexical()),
+            Some(sdoc.name(sn).to_string()),
+            "case {case}"
+        );
+        assert_eq!(doc.string_value(dn), sdoc.string_value(sn), "case {case}");
+        assert_eq!(doc.depth(dn), sdoc.depth(sn), "case {case}");
+        let dkids: Vec<NodeId> = doc.child_elements(dn).collect();
+        let skids: Vec<SNodeId> = sdoc.child_elements(sn).collect();
+        assert_eq!(dkids.len(), skids.len(), "case {case}");
+        for &aid in doc.attributes(dn) {
+            if let xqp_xml::NodeKind::Attribute { name, value } = &doc.node(aid).kind {
+                assert_eq!(
+                    sdoc.attribute(sn, &name.as_lexical()),
+                    Some(value.as_str()),
+                    "case {case}"
+                );
+            }
+        }
+        for (d, s) in dkids.into_iter().zip(skids) {
+            cmp(doc, d, sdoc, s, case);
+        }
+    }
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xA4_B1D ^ case);
+        let doc = gen_doc(&mut rng);
         let sdoc = SuccinctDoc::from_document(&doc);
-        // Walk both trees in parallel and compare structure + values.
-        fn cmp(
-            doc: &Document,
-            dn: NodeId,
-            sdoc: &SuccinctDoc,
-            sn: xqp_storage::SNodeId,
-        ) -> Result<(), TestCaseError> {
-            prop_assert_eq!(
-                doc.name(dn).map(|q| q.as_lexical()),
-                Some(sdoc.name(sn).to_string())
-            );
-            prop_assert_eq!(doc.string_value(dn), sdoc.string_value(sn));
-            prop_assert_eq!(doc.depth(dn), sdoc.depth(sn));
-            let dkids: Vec<NodeId> = doc.child_elements(dn).collect();
-            let skids: Vec<xqp_storage::SNodeId> = sdoc.child_elements(sn).collect();
-            prop_assert_eq!(dkids.len(), skids.len());
-            // attribute values agree
-            for &aid in doc.attributes(dn) {
-                if let xqp_xml::NodeKind::Attribute { name, value } = &doc.node(aid).kind {
-                    prop_assert_eq!(
-                        sdoc.attribute(sn, &name.as_lexical()),
-                        Some(value.as_str())
-                    );
-                }
-            }
-            for (d, s) in dkids.into_iter().zip(skids) {
-                cmp(doc, d, sdoc, s)?;
-            }
-            Ok(())
-        }
         if let (Some(d), Some(s)) = (doc.root_element(), sdoc.root()) {
-            cmp(&doc, d, &sdoc, s)?;
+            cmp(&doc, d, &sdoc, s, case);
         }
     }
+}
 
-    #[test]
-    fn subtree_sizes_and_parents_consistent(tree in arb_tree()) {
-        let doc = build(&tree);
+#[test]
+fn subtree_sizes_and_parents_consistent() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5B_7EE ^ case);
+        let doc = gen_doc(&mut rng);
         let sdoc = SuccinctDoc::from_document(&doc);
         for i in 0..sdoc.node_count() as u32 {
-            let n = xqp_storage::SNodeId(i);
-            // subtree is a contiguous rank range and every member's ancestor
+            let n = SNodeId(i);
+            // Subtree is a contiguous rank range and every member's ancestor
             // chain passes through n.
             let size = sdoc.subtree_size(n);
-            prop_assert!(i as usize + size <= sdoc.node_count());
+            assert!(i as usize + size <= sdoc.node_count(), "case {case}");
             if size > 1 {
-                let last = xqp_storage::SNodeId(i + size as u32 - 1);
-                prop_assert!(sdoc.is_ancestor(n, last));
+                let last = SNodeId(i + size as u32 - 1);
+                assert!(sdoc.is_ancestor(n, last), "case {case}");
             }
             if let Some(p) = sdoc.parent(n) {
-                prop_assert!(sdoc.is_ancestor(p, n));
-                prop_assert_eq!(sdoc.depth(p) + 1, sdoc.depth(n));
+                assert!(sdoc.is_ancestor(p, n), "case {case}");
+                assert_eq!(sdoc.depth(p) + 1, sdoc.depth(n), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn splice_insert_equals_reencode(tree in arb_tree(), frag in arb_tree()) {
-        let doc = build(&tree);
-        let frag_doc = build(&frag);
+#[test]
+fn splice_insert_equals_reencode() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x1A5_E27 ^ case);
+        let doc = gen_doc(&mut rng);
+        let frag_doc = gen_doc(&mut rng);
         let sdoc = SuccinctDoc::from_document(&doc);
-        let Some(root) = sdoc.root() else { return Ok(()) };
+        let Some(root) = sdoc.root() else { continue };
         let spliced = update::insert_subtree(&sdoc, root, &frag_doc);
         // Reference: append to the DOM and re-encode.
         let mut ref_doc = doc.clone();
         let target = ref_doc.root_element().expect("root");
         clone_into(&frag_doc, frag_doc.root_element().expect("frag root"), &mut ref_doc, target);
         let reencoded = SuccinctDoc::from_document(&ref_doc);
-        prop_assert_eq!(
+        assert_eq!(
             serialize(&spliced.to_document()),
-            serialize(&reencoded.to_document())
+            serialize(&reencoded.to_document()),
+            "case {case}"
         );
-        prop_assert_eq!(spliced.node_count(), reencoded.node_count());
+        assert_eq!(spliced.node_count(), reencoded.node_count(), "case {case}");
     }
+}
 
-    #[test]
-    fn splice_delete_equals_reencode(tree in arb_tree(), pick in any::<prop::sample::Index>()) {
-        let doc = build(&tree);
+#[test]
+fn splice_delete_equals_reencode() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xDE1_E7E ^ case);
+        let doc = gen_doc(&mut rng);
         let sdoc = SuccinctDoc::from_document(&doc);
         if sdoc.node_count() < 2 {
-            return Ok(());
+            continue;
         }
-        let victim = xqp_storage::SNodeId(1 + pick.index(sdoc.node_count() - 1) as u32);
+        let victim = SNodeId(1 + rng.gen_range(0usize..sdoc.node_count() - 1) as u32);
         let deleted = update::delete_subtree(&sdoc, victim);
         let round = SuccinctDoc::from_document(&deleted.to_document());
-        prop_assert_eq!(
+        assert_eq!(
             serialize(&deleted.to_document()),
-            serialize(&round.to_document())
+            serialize(&round.to_document()),
+            "case {case}"
         );
-        prop_assert_eq!(deleted.node_count(), round.node_count());
+        assert_eq!(deleted.node_count(), round.node_count(), "case {case}");
         // Navigation still consistent after the splice.
         for i in 0..deleted.node_count() as u32 {
-            let n = xqp_storage::SNodeId(i);
+            let n = SNodeId(i);
             if let Some(p) = deleted.parent(n) {
-                prop_assert!(deleted.is_ancestor(p, n));
+                assert!(deleted.is_ancestor(p, n), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn btree_matches_std_btreemap(ops in prop::collection::vec((any::<u16>(), any::<u8>()), 1..400)) {
+#[test]
+fn btree_matches_std_btreemap() {
+    for case in 0..16 {
+        let mut rng = Prng::seed_from_u64(0xB7_2EE ^ case);
+        let n_ops = rng.gen_range(1usize..400);
         let mut tree: BPlusTree<u16, u8> = BPlusTree::new();
         let mut oracle: std::collections::BTreeMap<u16, Vec<u8>> = Default::default();
-        for (k, v) in &ops {
-            tree.insert(*k, *v);
-            oracle.entry(*k).or_default().push(*v);
+        for _ in 0..n_ops {
+            let k = rng.gen_range(0u16..u16::MAX);
+            let v = rng.gen_range(0u16..256) as u8;
+            tree.insert(k, v);
+            oracle.entry(k).or_default().push(v);
         }
         for (k, vs) in &oracle {
-            prop_assert_eq!(tree.get(k), vs.as_slice());
+            assert_eq!(tree.get(k), vs.as_slice(), "case {case}");
         }
         let all: Vec<u16> = tree.iter().map(|(k, _)| *k).collect();
         let expect: Vec<u16> = oracle.keys().copied().collect();
-        prop_assert_eq!(all, expect);
+        assert_eq!(all, expect, "case {case}");
     }
 }
 
@@ -232,5 +243,123 @@ fn clone_into(src: &Document, from: NodeId, dst: &mut Document, under: NodeId) {
             dst.append_text(under, t.clone());
         }
         _ => {}
+    }
+}
+
+// ---- original proptest suite (opt-in; needs the `proptest` dependency) ----------
+
+#[cfg(feature = "proptest")]
+mod proptest_suite {
+    use proptest::prelude::*;
+    use xqp_storage::{update, BPlusTree, SuccinctDoc};
+    use xqp_xml::{serialize, Document, NodeId};
+
+    use super::clone_into;
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        El { tag: u8, attrs: Vec<(u8, String)>, children: Vec<Tree> },
+        Text(String),
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = prop_oneof![
+            "[a-z ]{0,8}".prop_map(Tree::Text),
+            (any::<u8>(), prop::collection::vec((any::<u8>(), "[a-z]{0,4}"), 0..3)).prop_map(
+                |(tag, attrs)| Tree::El { tag, attrs, children: vec![] }
+            ),
+        ];
+        leaf.prop_recursive(4, 64, 5, |inner| {
+            (
+                any::<u8>(),
+                prop::collection::vec((any::<u8>(), "[a-z]{0,4}"), 0..3),
+                prop::collection::vec(inner, 0..5),
+            )
+                .prop_map(|(tag, attrs, children)| Tree::El { tag, attrs, children })
+        })
+    }
+
+    fn build(tree: &Tree) -> Document {
+        fn rec(doc: &mut Document, parent: NodeId, t: &Tree) {
+            match t {
+                Tree::El { tag, attrs, children } => {
+                    let el = doc.append_element(parent, super::tag_name(*tag));
+                    let mut seen = Vec::new();
+                    for (a, v) in attrs {
+                        let name = super::attr_name(*a);
+                        if !seen.contains(&name) {
+                            doc.set_attribute(el, name.clone(), v.clone());
+                            seen.push(name);
+                        }
+                    }
+                    for c in children {
+                        rec(doc, el, c);
+                    }
+                }
+                Tree::Text(s) => {
+                    let needs = match doc.node(parent).last_child {
+                        Some(last) => !doc.is_text(last),
+                        None => true,
+                    };
+                    if needs && !s.is_empty() {
+                        doc.append_text(parent, s.clone());
+                    }
+                }
+            }
+        }
+        let mut doc = Document::new();
+        let root = doc.root();
+        match tree {
+            t @ Tree::El { .. } => rec(&mut doc, root, t),
+            Tree::Text(_) => {
+                doc.append_element(root, "t0");
+            }
+        }
+        doc
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn succinct_roundtrip(tree in arb_tree()) {
+            let doc = build(&tree);
+            let sdoc = SuccinctDoc::from_document(&doc);
+            let back = sdoc.to_document();
+            prop_assert_eq!(serialize(&doc), serialize(&back));
+        }
+
+        #[test]
+        fn splice_insert_equals_reencode(tree in arb_tree(), frag in arb_tree()) {
+            let doc = build(&tree);
+            let frag_doc = build(&frag);
+            let sdoc = SuccinctDoc::from_document(&doc);
+            let Some(root) = sdoc.root() else { return Ok(()) };
+            let spliced = update::insert_subtree(&sdoc, root, &frag_doc);
+            let mut ref_doc = doc.clone();
+            let target = ref_doc.root_element().expect("root");
+            clone_into(&frag_doc, frag_doc.root_element().expect("frag root"), &mut ref_doc, target);
+            let reencoded = SuccinctDoc::from_document(&ref_doc);
+            prop_assert_eq!(
+                serialize(&spliced.to_document()),
+                serialize(&reencoded.to_document())
+            );
+        }
+
+        #[test]
+        fn btree_matches_std_btreemap(ops in prop::collection::vec((any::<u16>(), any::<u8>()), 1..400)) {
+            let mut tree: BPlusTree<u16, u8> = BPlusTree::new();
+            let mut oracle: std::collections::BTreeMap<u16, Vec<u8>> = Default::default();
+            for (k, v) in &ops {
+                tree.insert(*k, *v);
+                oracle.entry(*k).or_default().push(*v);
+            }
+            for (k, vs) in &oracle {
+                prop_assert_eq!(tree.get(k), vs.as_slice());
+            }
+            let all: Vec<u16> = tree.iter().map(|(k, _)| *k).collect();
+            let expect: Vec<u16> = oracle.keys().copied().collect();
+            prop_assert_eq!(all, expect);
+        }
     }
 }
