@@ -1,0 +1,69 @@
+//! E15 — persistence cost: snapshot write, cold open (snapshot decode +
+//! rank-directory rebuild) and WAL replay throughput, against the baseline
+//! of re-parsing the full XML text from scratch.
+
+use std::fs;
+use std::hint::black_box;
+use std::path::PathBuf;
+use xqp_bench::harness::{BenchmarkId, Criterion};
+use xqp_bench::xmark_both;
+use xqp_bench::{criterion_group, criterion_main};
+use xqp_storage::persist::{decode_snapshot, encode_snapshot, DocStore, WalOp};
+use xqp_storage::SuccinctDoc;
+use xqp_xml::serialize;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("xqp-bench-persist-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E15_persist");
+    g.sample_size(10);
+
+    for scale in [0.1, 0.4] {
+        let (dom, sdoc) = xmark_both(scale);
+        let xml = serialize(&dom);
+        let param = format!("scale{scale}");
+
+        // Snapshot write: encode + fsync + rename.
+        let dir = scratch(&format!("write-{scale}"));
+        g.bench_with_input(BenchmarkId::new("snapshot_write", &param), &sdoc, |b, sdoc| {
+            b.iter(|| black_box(DocStore::create(&dir, sdoc).unwrap()))
+        });
+
+        // Cold open from snapshot bytes (decode + directory rebuild) vs
+        // re-parsing the original XML text.
+        let bytes = encode_snapshot(&sdoc, 0);
+        g.bench_with_input(BenchmarkId::new("snapshot_open", &param), &bytes, |b, bytes| {
+            b.iter(|| black_box(decode_snapshot(bytes).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("xml_reparse", &param), &xml, |b, xml| {
+            b.iter(|| black_box(SuccinctDoc::parse(xml).unwrap()))
+        });
+
+        // WAL replay throughput: open a store whose log holds 64 inserts.
+        let dir = scratch(&format!("replay-{scale}"));
+        let mut store = DocStore::create(&dir, &sdoc).unwrap();
+        let mut live = sdoc.clone();
+        for i in 0..64 {
+            let op = WalOp::Insert {
+                parent: 0,
+                fragment_xml: format!("<x n=\"{i}\"><v>payload {i}</v></x>"),
+            };
+            live = xqp_storage::persist::apply_op(&live, &op).unwrap();
+            store.log(&op).unwrap();
+        }
+        drop(store);
+        g.bench_function(BenchmarkId::new("wal_replay_64", &param), |b| {
+            b.iter(|| black_box(DocStore::open(&dir).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
         let (dom, sdoc) = xmark_both(scale);
         let root = sdoc.root().unwrap();
         g.bench_with_input(BenchmarkId::new("splice_insert", format!("scale{scale}")), &sdoc, |b, sdoc| {
-            b.iter(|| black_box(update::insert_subtree(sdoc, root, &frag)))
+            b.iter(|| black_box(update::insert_subtree(sdoc, root, &frag).unwrap()))
         });
         g.bench_with_input(BenchmarkId::new("full_reencode", format!("scale{scale}")), &dom, |b, dom| {
             b.iter(|| black_box(update::rebuild_full(dom)))
@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
             .eval_path_str("/site/people/person")
             .unwrap()[0];
         g.bench_with_input(BenchmarkId::new("splice_delete", format!("scale{scale}")), &sdoc, |b, sdoc| {
-            b.iter(|| black_box(update::delete_subtree(sdoc, victim)))
+            b.iter(|| black_box(update::delete_subtree(sdoc, victim).unwrap()))
         });
     }
     g.finish();

@@ -144,10 +144,10 @@ fn t7_update() {
         let root = sdoc.root().unwrap();
         let victim = Executor::new(&sdoc).eval_path_str("/site/people/person").unwrap()[0];
         let ins = median_time(5, || {
-            update::insert_subtree(&sdoc, root, &frag);
+            update::insert_subtree(&sdoc, root, &frag).unwrap();
         });
         let del = median_time(5, || {
-            update::delete_subtree(&sdoc, victim);
+            update::delete_subtree(&sdoc, victim).unwrap();
         });
         let re = median_time(3, || {
             update::rebuild_full(&dom);

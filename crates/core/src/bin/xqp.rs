@@ -7,7 +7,12 @@
 //! xqp search <file.xml> <needle>            # substring search (suffix array)
 //! xqp stats  <file.xml>                     # storage-size report
 //! xqp race   <file.xml> <path>              # time all four strategies
+//! xqp save   <file.xml> <dir>               # persist to a durable store
+//! xqp open   <dir> <xquery>                 # query a durable store
 //! ```
+//!
+//! `save` writes a snapshot + write-ahead log under `<dir>`; `open` recovers
+//! from them (replaying the log) without re-parsing any XML.
 //!
 //! `S` ∈ auto | nok | twigstack | binaryjoin | naive | parallel[:N]
 //! (default: auto; `parallel` alone sizes itself to the hardware).
@@ -75,6 +80,8 @@ USAGE:
   xqp search  <file.xml> <needle>
   xqp stats   <file.xml>
   xqp race    <file.xml> <path>
+  xqp save    <file.xml> <dir>
+  xqp open    <dir> <xquery>
 
   S = auto | nok | twigstack | binaryjoin | naive | parallel[:N]
       (parallel:N runs the join-based sweep on N worker threads; bare
@@ -97,12 +104,34 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let cli = parse_args(args)?;
-    let xml = std::fs::read_to_string(&cli.file)
-        .map_err(|e| format!("cannot read {}: {e}", cli.file))?;
-    let mut db = Database::new();
-    db.load_str("doc", &xml).map_err(|e| e.to_string())?;
+    // `open` takes a store directory, not an XML file; everything else
+    // parses the XML up front.
+    let mut db = if cli.command == "open" {
+        let t = Instant::now();
+        let db = Database::open(std::path::Path::new(&cli.file)).map_err(|e| e.to_string())?;
+        let stats = db
+            .document_names()
+            .first()
+            .and_then(|n| db.persist_stats(n).ok())
+            .unwrap_or_default();
+        eprintln!(
+            "-- opened {} in {:.2?} ({} WAL record(s) replayed)",
+            cli.file,
+            t.elapsed(),
+            stats.records_replayed
+        );
+        db
+    } else {
+        let xml = std::fs::read_to_string(&cli.file)
+            .map_err(|e| format!("cannot read {}: {e}", cli.file))?;
+        let mut db = Database::new();
+        db.load_str("doc", &xml).map_err(|e| e.to_string())?;
+        db
+    };
     db.set_strategy(cli.strategy);
     db.set_rules(cli.rules);
+    // A freshly opened store keeps its on-disk name; the CLI always stores
+    // a single document as "doc", so both paths agree.
 
     let need = |what: &str| -> Result<&String, String> {
         cli.arg.as_ref().ok_or_else(|| format!("`{}` needs {what}", cli.command))
@@ -165,6 +194,39 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("succinct total:      {} B", st.succinct_total());
             println!("DOM estimate:        {} B", st.dom_bytes);
             println!("interval tables:     {} B", st.interval_bytes);
+            Ok(())
+        }
+        "save" => {
+            let dir = need("a target directory")?;
+            let t = Instant::now();
+            db.persist_to(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+            let stats = db.persist_stats("doc").map_err(|e| e.to_string())?;
+            eprintln!(
+                "-- saved to {dir} in {:.2?} ({} byte(s) written)",
+                t.elapsed(),
+                stats.bytes_written
+            );
+            Ok(())
+        }
+        "open" => {
+            let q = need("an XQuery expression")?;
+            let name = db
+                .document_names()
+                .first()
+                .map(|s| s.to_string())
+                .ok_or("store holds no documents")?;
+            let t = Instant::now();
+            let out = db.query(&name, q).map_err(|e| e.to_string())?;
+            let dt = t.elapsed();
+            if cli.pretty {
+                match xqp::xml::parse_document(&out) {
+                    Ok(d) => print!("{}", xqp::xml::serialize_pretty(&d, 2)),
+                    Err(_) => println!("{out}"),
+                }
+            } else {
+                println!("{out}");
+            }
+            eprintln!("-- {dt:.2?} ({})", cli.strategy.name());
             Ok(())
         }
         "race" => {

@@ -39,12 +39,20 @@ pub use xqp_xquery as xquery;
 
 pub use xqp_algebra::{RewriteReport, RuleSet};
 pub use xqp_exec::{ExecCounters, PlanCache as ExecPlanCache, Strategy};
-pub use xqp_storage::{SNodeId, StorageStats, SuccinctDoc, SuffixIndex, ValueIndex};
+pub use xqp_storage::{
+    PersistError, ReplayReport, SNodeId, StorageStats, StoreCounters, SuccinctDoc,
+    SuffixIndex, UpdateError, ValueIndex, WalOp,
+};
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use xqp_exec::{Executor, PlanCache};
+use xqp_storage::persist::format::{crc32, put_str, put_u32, Reader};
+use xqp_storage::persist::DocStore;
 use xqp_xml::Document;
 
 /// Unified error type of the public API.
@@ -56,6 +64,10 @@ pub enum Error {
     Query(String),
     /// No document with that name is loaded.
     UnknownDocument(String),
+    /// A structural update was rejected (root deletion, bad target…).
+    Update(UpdateError),
+    /// The durable store failed (I/O, corrupt file, unappliable WAL).
+    Persist(String),
 }
 
 impl fmt::Display for Error {
@@ -64,6 +76,8 @@ impl fmt::Display for Error {
             Error::Xml(e) => write!(f, "{e}"),
             Error::Query(e) => write!(f, "{e}"),
             Error::UnknownDocument(d) => write!(f, "unknown document `{d}`"),
+            Error::Update(e) => write!(f, "update rejected: {e}"),
+            Error::Persist(e) => write!(f, "{e}"),
         }
     }
 }
@@ -82,34 +96,153 @@ impl From<xqp_exec::XqError> for Error {
     }
 }
 
-/// One stored document plus its optional content indexes and its
+impl From<UpdateError> for Error {
+    fn from(e: UpdateError) -> Self {
+        Error::Update(e)
+    }
+}
+
+impl From<PersistError> for Error {
+    fn from(e: PersistError) -> Self {
+        Error::Persist(e.to_string())
+    }
+}
+
+/// One stored document plus its optional content indexes, its
 /// compiled-plan cache (shared by every executor built for the document;
-/// invalidated whenever the document is updated).
+/// invalidated whenever the document is updated) and, when the database is
+/// durable, the [`DocStore`] that logs every update.
 struct Stored {
     sdoc: SuccinctDoc,
     index: Option<ValueIndex>,
     suffix: Option<SuffixIndex>,
     cache: Arc<PlanCache>,
+    store: Option<DocStore>,
 }
 
 impl Stored {
     fn new(sdoc: SuccinctDoc) -> Self {
-        Stored { sdoc, index: None, suffix: None, cache: Arc::new(PlanCache::default()) }
+        Stored {
+            sdoc,
+            index: None,
+            suffix: None,
+            cache: Arc::new(PlanCache::default()),
+            store: None,
+        }
+    }
+
+    /// Rebuild derived state after the document changed: content indexes
+    /// follow the new ranks and every cached plan is invalidated.
+    fn after_update(&mut self) {
+        if let Some(idx) = &mut self.index {
+            *idx = ValueIndex::build(&self.sdoc);
+        }
+        if let Some(sfx) = &mut self.suffix {
+            *sfx = SuffixIndex::build(&self.sdoc);
+        }
+        self.cache.invalidate();
     }
 }
 
-/// A collection of named documents with query, update and index management.
-#[derive(Default)]
+/// Default WAL-records threshold above which updates trigger a compaction.
+const DEFAULT_COMPACT_THRESHOLD: u64 = 1024;
+
+/// Manifest file name at the root of a durable database directory.
+const MANIFEST_FILE: &str = "MANIFEST";
+/// First 8 bytes of the manifest.
+const MANIFEST_MAGIC: &[u8; 8] = b"XQPMANI1";
+/// Current manifest format version.
+const MANIFEST_VERSION: u32 = 1;
+
+/// Write the `name → slot directory` manifest atomically (temp + rename),
+/// framed and checksummed like the other persisted files.
+fn write_manifest(root: &Path, entries: &[(String, String)]) -> Result<(), Error> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MANIFEST_MAGIC);
+    put_u32(&mut out, MANIFEST_VERSION);
+    put_u32(&mut out, entries.len() as u32);
+    for (name, slot) in entries {
+        put_str(&mut out, name);
+        put_str(&mut out, slot);
+    }
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    let io = |e: std::io::Error| Error::Persist(format!("manifest write: {e}"));
+    let tmp = root.join(format!("{MANIFEST_FILE}.tmp"));
+    {
+        let mut f = fs::File::create(&tmp).map_err(io)?;
+        f.write_all(&out).map_err(io)?;
+        f.sync_all().map_err(io)?;
+    }
+    fs::rename(&tmp, root.join(MANIFEST_FILE)).map_err(io)?;
+    if let Ok(d) = fs::File::open(root) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Read and validate the manifest at `root`.
+fn read_manifest(root: &Path) -> Result<Vec<(String, String)>, Error> {
+    let path = root.join(MANIFEST_FILE);
+    let bytes = fs::read(&path)
+        .map_err(|e| Error::Persist(format!("cannot read {}: {e}", path.display())))?;
+    let fail = |m: String| Error::Persist(format!("manifest: {m}"));
+    if bytes.len() < 4 {
+        return Err(fail("shorter than its checksum".into()));
+    }
+    let (payload, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if stored != crc32(payload) {
+        return Err(fail("checksum mismatch".into()));
+    }
+    let mut r = Reader::new(payload);
+    r.expect_magic(MANIFEST_MAGIC).map_err(Error::from)?;
+    let version = r.u32("manifest version").map_err(Error::from)?;
+    if version != MANIFEST_VERSION {
+        return Err(fail(format!("unsupported version {version}")));
+    }
+    let count = r.u32("entry count").map_err(Error::from)?;
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let name = r.len_str("document name").map_err(Error::from)?.to_string();
+        let slot = r.len_str("slot directory").map_err(Error::from)?.to_string();
+        if slot.contains(['/', '\\']) || slot == ".." {
+            return Err(fail(format!("slot {slot:?} escapes the database root")));
+        }
+        entries.push((name, slot));
+    }
+    if r.remaining() != 0 {
+        return Err(fail(format!("{} trailing bytes", r.remaining())));
+    }
+    Ok(entries)
+}
+
+/// A collection of named documents with query, update and index management,
+/// optionally durable ([`Database::open`] / [`Database::persist_to`]).
 pub struct Database {
     docs: BTreeMap<String, Stored>,
     strategy: Strategy,
     rules: RuleSet,
+    root: Option<PathBuf>,
+    compact_threshold: u64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
 }
 
 impl Database {
-    /// An empty database (auto strategy, all rewrite rules on).
+    /// An empty, in-memory database (auto strategy, all rewrite rules on).
     pub fn new() -> Self {
-        Database { docs: BTreeMap::new(), strategy: Strategy::Auto, rules: RuleSet::all() }
+        Database {
+            docs: BTreeMap::new(),
+            strategy: Strategy::Auto,
+            rules: RuleSet::all(),
+            root: None,
+            compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+        }
     }
 
     /// Set the physical strategy for subsequent queries.
@@ -229,6 +362,9 @@ impl Database {
         if let Some(idx) = &s.index {
             ex = ex.with_index(idx);
         }
+        if let Some(st) = &s.store {
+            ex = ex.with_persist_stats(st.counters());
+        }
         ex
     }
 
@@ -278,23 +414,18 @@ impl Database {
         let mut targets: Vec<SNodeId> = hits;
         targets.sort_unstable_by(|a, b| b.cmp(a));
         for t in targets {
-            if t.index() == 0 {
-                return Err(Error::Query("cannot delete the document root".into()));
-            }
-            if t.index() >= s.sdoc.node_count() {
+            if t.index() != 0 && t.index() >= s.sdoc.node_count() {
                 continue; // vanished inside a previously deleted subtree
             }
-            s.sdoc = xqp_storage::update::delete_subtree(&s.sdoc, t);
+            s.sdoc = xqp_storage::update::delete_subtree(&s.sdoc, t)?;
+            if let Some(st) = &mut s.store {
+                st.log(&WalOp::Delete { node: t.0 })?;
+            }
             removed += 1;
         }
         if removed > 0 {
-            if let Some(idx) = &mut s.index {
-                *idx = ValueIndex::build(&s.sdoc);
-            }
-            if let Some(sfx) = &mut s.suffix {
-                *sfx = SuffixIndex::build(&s.sdoc);
-            }
-            s.cache.invalidate();
+            s.after_update();
+            self.maybe_compact(doc)?;
         }
         Ok(removed)
     }
@@ -309,6 +440,8 @@ impl Database {
         fragment: &str,
     ) -> Result<usize, Error> {
         let frag = xqp_xml::parse_document(fragment)?;
+        // Canonical fragment text for the WAL: replay re-parses exactly this.
+        let frag_xml = xqp_xml::serialize(&frag);
         let hits = self.select(doc, path)?;
         let s = self
             .docs
@@ -322,19 +455,116 @@ impl Database {
             if !s.sdoc.is_element(*t) {
                 continue;
             }
-            s.sdoc = xqp_storage::update::insert_subtree(&s.sdoc, *t, &frag);
+            s.sdoc = xqp_storage::update::insert_subtree(&s.sdoc, *t, &frag)?;
+            if let Some(st) = &mut s.store {
+                st.log(&WalOp::Insert { parent: t.0, fragment_xml: frag_xml.clone() })?;
+            }
             inserted += 1;
         }
         if inserted > 0 {
-            if let Some(idx) = &mut s.index {
-                *idx = ValueIndex::build(&s.sdoc);
-            }
-            if let Some(sfx) = &mut s.suffix {
-                *sfx = SuffixIndex::build(&s.sdoc);
-            }
-            s.cache.invalidate();
+            s.after_update();
+            self.maybe_compact(doc)?;
         }
         Ok(inserted)
+    }
+
+    // ---- persistence (snapshot + WAL via xqp_storage::persist) ---------------
+
+    /// Open a durable database previously created with
+    /// [`Database::persist_to`]. Each document's snapshot is loaded, its
+    /// WAL replayed (recovering from a torn tail), and the handle stays
+    /// attached: subsequent updates are logged durably before returning.
+    pub fn open(path: &Path) -> Result<Database, Error> {
+        let mut db = Database::new();
+        for (name, slot) in read_manifest(path)? {
+            let (store, sdoc, report) = DocStore::open(&path.join(&slot))?;
+            let mut stored = Stored::new(sdoc);
+            // Replayed updates invalidate any compiled plans (the cache is
+            // fresh here, but the invariant is cheap to state and keep).
+            if report.records_applied > 0 {
+                stored.cache.invalidate();
+            }
+            stored.store = Some(store);
+            db.docs.insert(name, stored);
+        }
+        db.root = Some(path.to_path_buf());
+        Ok(db)
+    }
+
+    /// Persist every loaded document under `path` (created if needed):
+    /// one slot directory per document (snapshot + empty WAL) plus a
+    /// manifest mapping names to slots. The database becomes durable —
+    /// later updates are WAL-logged, and compaction folds the log back
+    /// into the snapshot.
+    pub fn persist_to(&mut self, path: &Path) -> Result<(), Error> {
+        fs::create_dir_all(path)
+            .map_err(|e| Error::Persist(format!("cannot create {}: {e}", path.display())))?;
+        let mut entries = Vec::new();
+        for (i, (name, s)) in self.docs.iter_mut().enumerate() {
+            let slot = format!("d{i:03}");
+            let store = DocStore::create(&path.join(&slot), &s.sdoc)?;
+            s.store = Some(store);
+            entries.push((name.clone(), slot));
+        }
+        write_manifest(path, &entries)?;
+        self.root = Some(path.to_path_buf());
+        Ok(())
+    }
+
+    /// The durable root directory, if this database is persistent.
+    pub fn persist_root(&self) -> Option<&Path> {
+        self.root.as_deref()
+    }
+
+    /// Whether `doc` has a durable store attached.
+    pub fn is_durable(&self, doc: &str) -> Result<bool, Error> {
+        Ok(self.stored(doc)?.store.is_some())
+    }
+
+    /// Persistence-traffic counters for `doc` (zeros when not durable).
+    pub fn persist_stats(&self, doc: &str) -> Result<StoreCounters, Error> {
+        Ok(self
+            .stored(doc)?
+            .store
+            .as_ref()
+            .map(|st| st.counters())
+            .unwrap_or_default())
+    }
+
+    /// WAL records pending since the last compaction (0 when not durable).
+    pub fn wal_records(&self, doc: &str) -> Result<u64, Error> {
+        Ok(self.stored(doc)?.store.as_ref().map(|st| st.wal_records()).unwrap_or(0))
+    }
+
+    /// Updates between compactions: once a document's WAL holds this many
+    /// records, the next update folds it into a fresh snapshot.
+    pub fn set_compaction_threshold(&mut self, records: u64) {
+        self.compact_threshold = records.max(1);
+    }
+
+    /// Fold `doc`'s WAL into a fresh snapshot now. No-op when not durable.
+    pub fn compact(&mut self, doc: &str) -> Result<(), Error> {
+        let s = self
+            .docs
+            .get_mut(doc)
+            .ok_or_else(|| Error::UnknownDocument(doc.to_string()))?;
+        if let Some(st) = &mut s.store {
+            st.compact(&s.sdoc)?;
+        }
+        Ok(())
+    }
+
+    /// Compact when the WAL has grown past the threshold.
+    fn maybe_compact(&mut self, doc: &str) -> Result<(), Error> {
+        let threshold = self.compact_threshold;
+        if let Some(s) = self.docs.get_mut(doc) {
+            if let Some(st) = &mut s.store {
+                if st.wal_records() >= threshold {
+                    st.compact(&s.sdoc)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Serialize a whole document back to XML.
@@ -487,6 +717,67 @@ mod tests {
     fn root_delete_rejected() {
         let mut d = db();
         let err = d.delete_matching("bib", "/bib").unwrap_err();
-        assert!(matches!(err, Error::Query(_)));
+        assert_eq!(err, Error::Update(UpdateError::DeleteRoot));
+    }
+
+    fn tmp_db_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("xqp-core-unit-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persist_open_roundtrip() {
+        let dir = tmp_db_dir("roundtrip");
+        let mut d = db();
+        d.load_str("tiny", "<t><x/></t>").unwrap();
+        d.persist_to(&dir).unwrap();
+        assert!(d.is_durable("bib").unwrap());
+
+        let back = Database::open(&dir).unwrap();
+        assert_eq!(back.document_names(), ["bib", "tiny"]);
+        assert_eq!(back.serialize("bib").unwrap(), d.serialize("bib").unwrap());
+        assert_eq!(
+            back.query("bib", "/bib/book[1]/title").unwrap(),
+            "<title>TCP</title>"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn updates_are_logged_and_survive_reopen() {
+        let dir = tmp_db_dir("wal");
+        let mut d = db();
+        d.persist_to(&dir).unwrap();
+        d.insert_into("bib", "/bib/book", "<tag>new</tag>").unwrap();
+        d.delete_matching("bib", "/bib/book[@year = 1994]").unwrap();
+        assert_eq!(d.wal_records("bib").unwrap(), 3);
+        let expect = d.serialize("bib").unwrap();
+        drop(d);
+
+        let back = Database::open(&dir).unwrap();
+        assert_eq!(back.serialize("bib").unwrap(), expect);
+        assert_eq!(back.persist_stats("bib").unwrap().records_replayed, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_threshold_folds_wal() {
+        let dir = tmp_db_dir("compact");
+        let mut d = db();
+        d.persist_to(&dir).unwrap();
+        d.set_compaction_threshold(2);
+        d.insert_into("bib", "/bib/book", "<tag>new</tag>").unwrap();
+        // Two records ≥ threshold → auto-compaction emptied the WAL.
+        assert_eq!(d.wal_records("bib").unwrap(), 0);
+        assert_eq!(d.persist_stats("bib").unwrap().compactions, 1);
+        let expect = d.serialize("bib").unwrap();
+        drop(d);
+
+        let back = Database::open(&dir).unwrap();
+        assert_eq!(back.serialize("bib").unwrap(), expect);
+        assert_eq!(back.persist_stats("bib").unwrap().records_replayed, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

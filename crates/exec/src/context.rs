@@ -60,6 +60,13 @@ pub struct ExecCounters {
     pub plan_misses: u64,
     /// Compiled plans evicted to stay within cache capacity.
     pub plan_evictions: u64,
+    /// Bytes written by the persistence layer (snapshots + WAL records);
+    /// zero unless the document has a durable store attached.
+    pub persist_bytes_written: u64,
+    /// WAL records replayed when the durable store was opened.
+    pub persist_records_replayed: u64,
+    /// Log compactions performed by the durable store.
+    pub persist_compactions: u64,
 }
 
 /// Shared counter storage. Relaxed atomics: every counter is an independent

@@ -6,7 +6,7 @@ use crate::eval::{Evaluator, Scope};
 use crate::planner::Strategy;
 use std::sync::Arc;
 use xqp_algebra::{optimize_expr, Item, RewriteReport, RuleSet};
-use xqp_storage::{SKind, SNodeId, SuccinctDoc, ValueIndex};
+use xqp_storage::{SKind, SNodeId, StoreCounters, SuccinctDoc, ValueIndex};
 use xqp_xml::serialize::{escape_attr, escape_text};
 
 /// A configured query executor over one stored document.
@@ -19,6 +19,7 @@ pub struct Executor<'a> {
     strategy: Strategy,
     rules: RuleSet,
     plan_cache: Arc<PlanCache>,
+    persist: Option<StoreCounters>,
 }
 
 const _: () = {
@@ -35,6 +36,7 @@ impl<'a> Executor<'a> {
             strategy: Strategy::Auto,
             rules: RuleSet::all(),
             plan_cache: Arc::new(PlanCache::default()),
+            persist: None,
         }
     }
 
@@ -69,6 +71,14 @@ impl<'a> Executor<'a> {
         &self.plan_cache
     }
 
+    /// Attach persistence-traffic counters (from the document's durable
+    /// store) so they surface through [`Executor::counters`] and the
+    /// `explain` rendering next to the plan-cache line.
+    pub fn with_persist_stats(mut self, counters: StoreCounters) -> Self {
+        self.persist = Some(counters);
+        self
+    }
+
     /// The execution context (counters, statistics).
     pub fn context(&self) -> &ExecContext<'a> {
         &self.ctx
@@ -82,6 +92,11 @@ impl<'a> Executor<'a> {
         c.plan_hits = hits;
         c.plan_misses = misses;
         c.plan_evictions = evictions;
+        if let Some(p) = self.persist {
+            c.persist_bytes_written = p.bytes_written;
+            c.persist_records_replayed = p.records_replayed;
+            c.persist_compactions = p.compactions;
+        }
         c
     }
 
@@ -129,6 +144,12 @@ impl<'a> Executor<'a> {
             self.plan_cache.len(),
             self.plan_cache.capacity(),
         ));
+        if let Some(p) = self.persist {
+            rendering.push_str(&format!(
+                "-- persistence: bytes_written={} records_replayed={} compactions={}\n",
+                p.bytes_written, p.records_replayed, p.compactions,
+            ));
+        }
         Ok((rendering, plan.report))
     }
 

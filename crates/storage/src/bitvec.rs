@@ -41,6 +41,22 @@ impl BitVec {
         v
     }
 
+    /// Rebuild from raw words and a bit length (the snapshot decode path).
+    /// Bits at positions `>= len` in the last word are cleared, then the
+    /// rank directory is built.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        words.truncate(len.div_ceil(64));
+        debug_assert_eq!(words.len(), len.div_ceil(64), "too few words for {len} bits");
+        if len % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        let mut v = BitVec { words, len, super_ranks: Vec::new(), ones: 0 };
+        v.finish();
+        v
+    }
+
     /// Append one bit. Invalidates the directory until [`BitVec::finish`].
     pub fn push(&mut self, bit: bool) {
         let word = self.len / 64;

@@ -21,6 +21,9 @@
 //! * [`update`] implements local subtree insertion/deletion by splicing the
 //!   parentheses substring (the paper's update argument), and [`stats`]
 //!   accounts storage size for the encoding-size experiment (E12).
+//! * [`persist`] makes documents durable: a versioned, checksummed snapshot
+//!   format plus a write-ahead log of logical updates, with crash recovery
+//!   (torn-tail truncation) and atomic log compaction ([`persist::DocStore`]).
 
 pub mod bitvec;
 pub mod bp;
@@ -28,6 +31,7 @@ pub mod btree;
 pub mod content;
 pub mod index;
 pub mod interval;
+pub mod persist;
 pub mod stats;
 pub mod succinct;
 pub mod suffix;
@@ -39,7 +43,9 @@ pub use bp::Bp;
 pub use btree::BPlusTree;
 pub use index::ValueIndex;
 pub use interval::{Interval, TagStreams};
+pub use persist::{DocStore, PersistError, ReplayReport, StoreCounters, WalOp};
 pub use stats::StorageStats;
 pub use succinct::{SKind, SNodeId, SuccinctDoc};
 pub use suffix::SuffixIndex;
 pub use tags::{TagId, TagTable};
+pub use update::UpdateError;

@@ -1,0 +1,234 @@
+//! On-disk framing primitives shared by the snapshot and WAL formats.
+//!
+//! Everything on disk is explicit **little-endian** with length-prefixed
+//! variable fields — no serde, no external codecs. Integrity is a CRC-32
+//! (IEEE 802.3, the reflected 0xEDB88320 polynomial) over the framed bytes;
+//! both formats put the checksum *after* the data it covers so a torn write
+//! is indistinguishable from a corrupt one and both are handled the same
+//! way by recovery.
+
+use std::fmt;
+
+/// Why a persisted file could not be used.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The operating system said no (open/read/write/fsync/rename).
+    Io(std::io::Error),
+    /// The bytes do not parse as the format claims (bad magic, bad
+    /// version, framing overrun, checksum mismatch).
+    Format(String),
+    /// A WAL record decoded cleanly but could not be applied to the
+    /// document state (logical corruption — never auto-truncated).
+    Apply(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persistence I/O error: {e}"),
+            PersistError::Format(m) => write!(f, "persistence format error: {m}"),
+            PersistError::Apply(m) => write!(f, "WAL apply error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Shorthand used across the persist modules.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+// ---- CRC-32 -----------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---- writing ----------------------------------------------------------------
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed (`u32`) byte string.
+pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_u32(out, v.len() as u32);
+    out.extend_from_slice(v);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, v: &str) {
+    put_bytes(out, v.as_bytes());
+}
+
+// ---- reading ----------------------------------------------------------------
+
+/// Cursor over a framed byte slice; every read is bounds-checked and a
+/// failure names what was being read, so corrupt files produce actionable
+/// [`PersistError::Format`] messages instead of panics.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PersistError::Format(format!(
+                "unexpected end of data reading {what}: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        self.take(n, what)
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn len_bytes(&mut self, what: &str) -> Result<&'a [u8]> {
+        let n = self.u32(what)? as usize;
+        self.take(n, what)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn len_str(&mut self, what: &str) -> Result<&'a str> {
+        let b = self.len_bytes(what)?;
+        std::str::from_utf8(b)
+            .map_err(|e| PersistError::Format(format!("{what} is not UTF-8: {e}")))
+    }
+
+    /// Fail unless exactly `magic` comes next.
+    pub fn expect_magic(&mut self, magic: &[u8; 8]) -> Result<()> {
+        let got = self.take(8, "magic")?;
+        if got != magic {
+            return Err(PersistError::Format(format!(
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(magic),
+                String::from_utf8_lossy(got)
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_str(&mut buf, "héllo");
+        put_bytes(&mut buf, &[1, 2, 3]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(r.len_str("d").unwrap(), "héllo");
+        assert_eq!(r.len_bytes("e").unwrap(), &[1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reads_are_bounds_checked() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(r.u32("x").is_err());
+        let mut r = Reader::new(&[255, 255, 255, 255]);
+        // Length prefix claims 4 GiB; the take must fail, not panic.
+        assert!(r.len_bytes("y").is_err());
+    }
+
+    #[test]
+    fn magic_mismatch_reports_both() {
+        let mut r = Reader::new(b"XQPWRONGrest");
+        let err = r.expect_magic(b"XQPSNAP1").unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+        assert!(err.to_string().contains("XQPSNAP1"));
+    }
+}

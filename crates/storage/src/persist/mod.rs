@@ -1,0 +1,37 @@
+//! # Durable persistence for succinct documents
+//!
+//! A [`SuccinctDoc`](crate::succinct::SuccinctDoc) normally lives only as
+//! long as the process that parsed it. This module gives it a durable home
+//! with the classic snapshot + write-ahead-log split:
+//!
+//! * [`snapshot`] — the whole document, serialized with explicit
+//!   little-endian framing, versioned, and sealed with a trailing CRC-32.
+//!   Written atomically (temp file + rename). Rank/select directories and
+//!   secondary indexes are derived state and are rebuilt on load.
+//! * [`wal`] — logical update records (`insert` / `delete`) appended with a
+//!   per-record CRC and fsynced before the update is acknowledged. Replayed
+//!   on open; a torn or corrupt *tail* is truncated (crash mid-append),
+//!   while a corrupt *interior* record that decodes but cannot apply is a
+//!   hard error (logical corruption is never silently dropped).
+//! * [`store`] — [`DocStore`] ties the two together per document directory
+//!   and implements compaction: fold the WAL into a fresh snapshot, then
+//!   reset the log. A generation stamp shared by both file headers closes
+//!   the crash window between those two steps.
+//! * [`format`] — the shared framing/CRC primitives and [`PersistError`].
+//!
+//! No serde, no external codecs: the container is offline and the formats
+//! are small enough that hand-rolled framing is both simpler and exactly
+//! specified (see `DESIGN.md` § Persistence for the byte layouts).
+
+pub mod format;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use format::{crc32, PersistError, Reader};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
+pub use store::{DocStore, StoreCounters, SNAPSHOT_FILE, WAL_FILE};
+pub use wal::{apply_op, ReplayReport, Wal, WalOp, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION};

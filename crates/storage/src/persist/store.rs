@@ -1,0 +1,245 @@
+//! `DocStore` — one document's durable home: a snapshot plus a WAL.
+//!
+//! Directory layout:
+//!
+//! ```text
+//! <dir>/snapshot.xqp   — last compacted state (see [`super::snapshot`])
+//! <dir>/wal.xqp        — logical updates since that snapshot ([`super::wal`])
+//! ```
+//!
+//! Invariants the store maintains:
+//!
+//! 1. **Recovery equation**: on-disk state = `replay(wal, snapshot)`. Every
+//!    acknowledged [`DocStore::log`] is fsynced, so the equation holds after
+//!    a crash at any instant (modulo a torn tail, which replay truncates).
+//! 2. **Atomic compaction**: [`DocStore::compact`] writes the folded
+//!    snapshot (generation G+1) to a temp file, renames it over
+//!    `snapshot.xqp`, and only then resets the WAL header to G+1. A crash
+//!    between the two steps leaves a G+1 snapshot next to a generation-G
+//!    WAL whose records are already folded in; replaying them would
+//!    double-apply. The generation stamp in both headers detects exactly
+//!    this: on open, a WAL whose generation differs from the snapshot's is
+//!    discarded, never replayed.
+
+use super::format::Result;
+use super::snapshot::{read_snapshot, write_snapshot};
+use super::wal::{ReplayReport, Wal, WalOp};
+use crate::succinct::SuccinctDoc;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.xqp";
+/// WAL file name inside a store directory.
+pub const WAL_FILE: &str = "wal.xqp";
+
+/// Monotone persistence-traffic counters, surfaced through
+/// `ExecCounters`/`explain` in the engine layers above.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Bytes written to disk (snapshots + WAL records) by this handle.
+    pub bytes_written: u64,
+    /// WAL records replayed when the store was opened.
+    pub records_replayed: u64,
+    /// Compactions performed by this handle.
+    pub compactions: u64,
+}
+
+/// A durable store for one document.
+#[derive(Debug)]
+pub struct DocStore {
+    dir: PathBuf,
+    wal: Wal,
+    generation: u64,
+    counters: StoreCounters,
+}
+
+impl DocStore {
+    /// Initialize `dir` with a snapshot of `doc` and an empty WAL,
+    /// creating the directory if needed. Any previous store there is
+    /// replaced.
+    pub fn create(dir: &Path, doc: &SuccinctDoc) -> Result<DocStore> {
+        fs::create_dir_all(dir)?;
+        let written = write_snapshot(&dir.join(SNAPSHOT_FILE), doc, 0)?;
+        let wal = Wal::create(&dir.join(WAL_FILE), 0)?;
+        let counters = StoreCounters {
+            bytes_written: written + wal.len_bytes(),
+            ..StoreCounters::default()
+        };
+        Ok(DocStore { dir: dir.to_path_buf(), wal, generation: 0, counters })
+    }
+
+    /// Open the store at `dir`: read the snapshot, replay the WAL
+    /// (truncating a torn/corrupt tail), and return the recovered document
+    /// with the positioned store. A store saved with no WAL file (e.g. a
+    /// snapshot copied from elsewhere) gets a fresh, empty log.
+    pub fn open(dir: &Path) -> Result<(DocStore, SuccinctDoc, ReplayReport)> {
+        let (doc, generation) = read_snapshot(&dir.join(SNAPSHOT_FILE))?;
+        let wal_path = dir.join(WAL_FILE);
+        let (wal, doc, report) = if wal_path.exists() {
+            Wal::open_replay(&wal_path, generation, doc)?
+        } else {
+            (Wal::create(&wal_path, generation)?, doc, ReplayReport::default())
+        };
+        let counters = StoreCounters {
+            records_replayed: report.records_applied,
+            ..StoreCounters::default()
+        };
+        Ok((DocStore { dir: dir.to_path_buf(), wal, generation, counters }, doc, report))
+    }
+
+    /// Durably log one update (the caller has already applied it in
+    /// memory). Fsynced before returning.
+    pub fn log(&mut self, op: &WalOp) -> Result<()> {
+        let written = self.wal.append(op)?;
+        self.counters.bytes_written += written;
+        Ok(())
+    }
+
+    /// Fold the WAL into a fresh snapshot of `doc` (the current in-memory
+    /// state), advancing the generation. Ordering: the generation-G+1
+    /// snapshot lands atomically first (write-temp-then-rename); only then
+    /// is the WAL reset to G+1. A crash between the two leaves a stale
+    /// generation-G WAL beside the G+1 snapshot — `open` detects the
+    /// mismatch and discards the log rather than double-applying records
+    /// the snapshot already contains.
+    pub fn compact(&mut self, doc: &SuccinctDoc) -> Result<()> {
+        let next = self.generation + 1;
+        let written = write_snapshot(&self.dir.join(SNAPSHOT_FILE), doc, next)?;
+        self.wal.reset(next)?;
+        self.generation = next;
+        self.counters.bytes_written += written;
+        self.counters.compactions += 1;
+        Ok(())
+    }
+
+    /// The store's compaction generation (0 until the first compaction).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Records currently in the WAL (pending since the last compaction).
+    pub fn wal_records(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// WAL file size in bytes (header included).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Persistence-traffic counters for this handle.
+    pub fn counters(&self) -> StoreCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_xml::serialize;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("xqp-store-unit-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn as_xml(d: &SuccinctDoc) -> String {
+        serialize(&d.to_document())
+    }
+
+    #[test]
+    fn create_log_open_roundtrip() {
+        let dir = tmp("roundtrip");
+        let base = SuccinctDoc::parse("<db><u id=\"1\"/></db>").unwrap();
+        let mut store = DocStore::create(&dir, &base).unwrap();
+        let op = WalOp::Insert { parent: 0, fragment_xml: "<u id=\"2\"/>".into() };
+        let live = super::super::wal::apply_op(&base, &op).unwrap();
+        store.log(&op).unwrap();
+        assert!(store.counters().bytes_written > 0);
+        drop(store);
+
+        let (store, doc, report) = DocStore::open(&dir).unwrap();
+        assert_eq!(report.records_applied, 1);
+        assert_eq!(as_xml(&doc), as_xml(&live));
+        assert_eq!(store.counters().records_replayed, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_folds_and_resets() {
+        let dir = tmp("compact");
+        let base = SuccinctDoc::parse("<db/>").unwrap();
+        let mut store = DocStore::create(&dir, &base).unwrap();
+        let mut live = base;
+        for i in 0..10 {
+            let op = WalOp::Insert { parent: 0, fragment_xml: format!("<r i=\"{i}\"/>") };
+            live = super::super::wal::apply_op(&live, &op).unwrap();
+            store.log(&op).unwrap();
+        }
+        assert_eq!(store.wal_records(), 10);
+        store.compact(&live).unwrap();
+        assert_eq!(store.wal_records(), 0);
+        assert_eq!(store.counters().compactions, 1);
+        drop(store);
+
+        // Reopen: no replay needed, state identical.
+        let (_, doc, report) = DocStore::open(&dir).unwrap();
+        assert_eq!(report.records_applied, 0);
+        assert_eq!(as_xml(&doc), as_xml(&live));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_without_wal_gets_a_fresh_log() {
+        let dir = tmp("nowal");
+        let base = SuccinctDoc::parse("<solo/>").unwrap();
+        DocStore::create(&dir, &base).unwrap();
+        fs::remove_file(dir.join(WAL_FILE)).unwrap();
+        let (store, doc, report) = DocStore::open(&dir).unwrap();
+        assert_eq!(report.records_applied, 0);
+        assert_eq!(as_xml(&doc), "<solo/>");
+        assert!(dir.join(WAL_FILE).exists());
+        assert_eq!(store.wal_records(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_wal_after_compaction_crash_is_discarded() {
+        let dir = tmp("stale");
+        let base = SuccinctDoc::parse("<db/>").unwrap();
+        let mut store = DocStore::create(&dir, &base).unwrap();
+        let op = WalOp::Insert { parent: 0, fragment_xml: "<r/>".into() };
+        let live = super::super::wal::apply_op(&base, &op).unwrap();
+        store.log(&op).unwrap();
+        // Simulate the crash window: keep the pre-compaction WAL bytes,
+        // compact, then put the stale WAL back.
+        let stale_wal = fs::read(dir.join(WAL_FILE)).unwrap();
+        store.compact(&live).unwrap();
+        drop(store);
+        fs::write(dir.join(WAL_FILE), &stale_wal).unwrap();
+
+        let (store, doc, report) = DocStore::open(&dir).unwrap();
+        // The record is NOT replayed (the snapshot already contains it).
+        assert_eq!(report.records_applied, 0);
+        assert!(report.bytes_truncated > 0);
+        assert_eq!(as_xml(&doc), as_xml(&live));
+        assert_eq!(store.generation(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_an_error() {
+        let dir = tmp("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(DocStore::open(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,460 @@
+//! Write-ahead log of logical update operations.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header : "XQPWAL01" (8) + version u32 + generation u64
+//! record : body_len u32 | body | crc32(body) u32
+//! body   : seq u64 | op u8 | payload
+//!   op 1 = insert: parent rank u32, fragment XML (len u32 + utf8)
+//!   op 2 = delete: node rank u32
+//! ```
+//!
+//! Appends are flushed **and fsynced** before [`Wal::append`] returns, so a
+//! record that was acknowledged survives a crash. Replay walks records from
+//! the front; the first record that is incomplete (torn write at the tail)
+//! or fails its CRC ends the log — the file is truncated back to the last
+//! good record and appending continues from there (*truncate-and-continue*
+//! recovery). A record that decodes cleanly but cannot be applied is
+//! **not** truncated: that is logical corruption and surfaces as
+//! [`PersistError::Apply`].
+//!
+//! The header's **generation** is the compaction generation of the
+//! snapshot this log applies to. A log whose generation does not match its
+//! snapshot is *stale* — the crash fell between a compaction's snapshot
+//! rename and its WAL reset — and replaying it would double-apply folded
+//! updates, so [`Wal::open_replay`] discards it instead.
+
+use super::format::{
+    crc32, put_str, put_u32, put_u64, put_u8, PersistError, Reader, Result,
+};
+use crate::succinct::{SNodeId, SuccinctDoc};
+use crate::update;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+/// First 8 bytes of every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"XQPWAL01";
+/// Current WAL format version.
+pub const WAL_VERSION: u32 = 1;
+/// Header length: magic + version + generation.
+pub const WAL_HEADER_LEN: u64 = 20;
+
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// One logical update, as logged and replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Insert `fragment_xml` (one root element) as the last child of the
+    /// element at pre-order rank `parent`.
+    Insert {
+        /// Pre-order rank of the target element at apply time.
+        parent: u32,
+        /// The fragment, serialized; re-parsed on replay.
+        fragment_xml: String,
+    },
+    /// Delete the subtree rooted at pre-order rank `node`.
+    Delete {
+        /// Pre-order rank of the subtree root at apply time.
+        node: u32,
+    },
+}
+
+/// Apply one logged operation to `doc`, producing the post-state.
+pub fn apply_op(doc: &SuccinctDoc, op: &WalOp) -> Result<SuccinctDoc> {
+    match op {
+        WalOp::Insert { parent, fragment_xml } => {
+            let frag = xqp_xml::parse_document(fragment_xml).map_err(|e| {
+                PersistError::Apply(format!("logged fragment does not parse: {e}"))
+            })?;
+            update::insert_subtree(doc, SNodeId(*parent), &frag)
+                .map_err(|e| PersistError::Apply(e.to_string()))
+        }
+        WalOp::Delete { node } => update::delete_subtree(doc, SNodeId(*node))
+            .map_err(|e| PersistError::Apply(e.to_string())),
+    }
+}
+
+fn encode_body(seq: u64, op: &WalOp) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u64(&mut body, seq);
+    match op {
+        WalOp::Insert { parent, fragment_xml } => {
+            put_u8(&mut body, OP_INSERT);
+            put_u32(&mut body, *parent);
+            put_str(&mut body, fragment_xml);
+        }
+        WalOp::Delete { node } => {
+            put_u8(&mut body, OP_DELETE);
+            put_u32(&mut body, *node);
+        }
+    }
+    body
+}
+
+/// Frame one record: `len | body | crc`.
+pub fn encode_record(seq: u64, op: &WalOp) -> Vec<u8> {
+    let body = encode_body(seq, op);
+    let mut rec = Vec::with_capacity(body.len() + 8);
+    put_u32(&mut rec, body.len() as u32);
+    rec.extend_from_slice(&body);
+    put_u32(&mut rec, crc32(&body));
+    rec
+}
+
+fn decode_body(body: &[u8]) -> Result<(u64, WalOp)> {
+    let mut r = Reader::new(body);
+    let seq = r.u64("record seq")?;
+    let op = match r.u8("record op")? {
+        OP_INSERT => WalOp::Insert {
+            parent: r.u32("insert parent rank")?,
+            fragment_xml: r.len_str("insert fragment")?.to_string(),
+        },
+        OP_DELETE => WalOp::Delete { node: r.u32("delete node rank")? },
+        other => {
+            return Err(PersistError::Format(format!("unknown WAL opcode {other}")))
+        }
+    };
+    if r.remaining() != 0 {
+        return Err(PersistError::Format(format!(
+            "{} trailing bytes inside WAL record body",
+            r.remaining()
+        )));
+    }
+    Ok((seq, op))
+}
+
+/// What replay found in the log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Complete, checksummed records applied to the snapshot state.
+    pub records_applied: u64,
+    /// Bytes dropped from the tail (torn or checksum-failing suffix).
+    pub bytes_truncated: u64,
+}
+
+/// An open write-ahead log: replayed on open, append-only afterwards.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    generation: u64,
+    next_seq: u64,
+    len: u64,
+}
+
+impl Wal {
+    /// Create a fresh (empty) log at `path` for snapshot `generation`,
+    /// truncating any existing file. The header is written and fsynced
+    /// before returning.
+    pub fn create(path: &Path, generation: u64) -> Result<Wal> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+        header.extend_from_slice(WAL_MAGIC);
+        put_u32(&mut header, WAL_VERSION);
+        put_u64(&mut header, generation);
+        file.write_all(&header)?;
+        file.sync_all()?;
+        Ok(Wal { file, path: path.to_path_buf(), generation, next_seq: 0, len: WAL_HEADER_LEN })
+    }
+
+    /// Open the log at `path` and replay it over `doc` (the snapshot
+    /// state), returning the recovered document, the positioned log, and a
+    /// report of what was applied and what was dropped.
+    ///
+    /// Torn or checksum-failing tails are truncated off the file (crash
+    /// recovery); a record that fails to *apply* aborts the open instead.
+    pub fn open_replay(
+        path: &Path,
+        snapshot_generation: u64,
+        mut doc: SuccinctDoc,
+    ) -> Result<(Wal, SuccinctDoc, ReplayReport)> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < WAL_HEADER_LEN as usize {
+            // A crash during header creation tore the header; nothing was
+            // ever acknowledged through this log, so start it fresh.
+            drop(file);
+            let wal = Wal::create(path, snapshot_generation)?;
+            let report = ReplayReport { records_applied: 0, bytes_truncated: bytes.len() as u64 };
+            return Ok((wal, doc, report));
+        }
+        {
+            let mut r = Reader::new(&bytes);
+            r.expect_magic(WAL_MAGIC)?;
+            let version = r.u32("WAL version")?;
+            if version != WAL_VERSION {
+                return Err(PersistError::Format(format!(
+                    "unsupported WAL version {version} (this build reads {WAL_VERSION})"
+                )));
+            }
+            let generation = r.u64("WAL generation")?;
+            if generation != snapshot_generation {
+                // Stale log: the crash fell between a compaction's snapshot
+                // rename and its WAL reset. The snapshot already contains
+                // these records' effects — discard, do not double-apply.
+                drop(file);
+                let dropped = bytes.len() as u64 - WAL_HEADER_LEN;
+                let wal = Wal::create(path, snapshot_generation)?;
+                let report = ReplayReport { records_applied: 0, bytes_truncated: dropped };
+                return Ok((wal, doc, report));
+            }
+        }
+
+        let mut report = ReplayReport::default();
+        let mut good_end = WAL_HEADER_LEN as usize;
+        let mut next_seq = 0u64;
+        let mut pos = good_end;
+        loop {
+            // A complete record needs 4 (len) + body_len + 4 (crc) bytes.
+            if bytes.len() - pos < 4 {
+                break; // torn length prefix
+            }
+            let body_len =
+                u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            if bytes.len() - pos < 4 + body_len + 4 {
+                break; // torn body or checksum
+            }
+            let body = &bytes[pos + 4..pos + 4 + body_len];
+            let stored_crc = u32::from_le_bytes(
+                bytes[pos + 4 + body_len..pos + 8 + body_len].try_into().unwrap(),
+            );
+            if crc32(body) != stored_crc {
+                break; // corrupt record: drop it and everything after
+            }
+            let (seq, op) = match decode_body(body) {
+                Ok(v) => v,
+                // CRC passed but the body does not parse — treat as
+                // corruption at this point and drop the tail.
+                Err(_) => break,
+            };
+            // Applying is NOT tail-dropped: the record is intact, so a
+            // failure here means the log disagrees with the snapshot.
+            doc = apply_op(&doc, &op)
+                .map_err(|e| PersistError::Apply(format!("record seq {seq}: {e}")))?;
+            report.records_applied += 1;
+            next_seq = seq + 1;
+            pos += 4 + body_len + 4;
+            good_end = pos;
+        }
+
+        report.bytes_truncated = (bytes.len() - good_end) as u64;
+        if report.bytes_truncated > 0 {
+            file.set_len(good_end as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(good_end as u64))?;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                generation: snapshot_generation,
+                next_seq,
+                len: good_end as u64,
+            },
+            doc,
+            report,
+        ))
+    }
+
+    /// Append one operation; flushed and fsynced before returning. Returns
+    /// the number of bytes appended.
+    pub fn append(&mut self, op: &WalOp) -> Result<u64> {
+        let rec = encode_record(self.next_seq, op);
+        self.file.write_all(&rec)?;
+        self.file.sync_all()?;
+        self.next_seq += 1;
+        self.len += rec.len() as u64;
+        Ok(rec.len() as u64)
+    }
+
+    /// Reset to an empty log for snapshot `generation` (after compaction
+    /// folded the records into that snapshot). Rewrites the header in
+    /// place, then truncates; fsynced before returning.
+    pub fn reset(&mut self, generation: u64) -> Result<()> {
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+        header.extend_from_slice(WAL_MAGIC);
+        put_u32(&mut header, WAL_VERSION);
+        put_u64(&mut header, generation);
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header)?;
+        self.file.set_len(WAL_HEADER_LEN)?;
+        self.file.sync_all()?;
+        self.generation = generation;
+        self.next_seq = 0;
+        self.len = WAL_HEADER_LEN;
+        Ok(())
+    }
+
+    /// The snapshot generation this log applies to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Sequence number the next append will carry (= records in the log).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Current file length in bytes (header included).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use xqp_xml::serialize;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("xqp-wal-unit-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("doc.wal")
+    }
+
+    fn as_xml(d: &SuccinctDoc) -> String {
+        serialize(&d.to_document())
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let ops = [
+            WalOp::Insert { parent: 0, fragment_xml: "<x a=\"1\">t</x>".into() },
+            WalOp::Delete { node: 7 },
+        ];
+        for (i, op) in ops.iter().enumerate() {
+            let rec = encode_record(i as u64, op);
+            let body = &rec[4..rec.len() - 4];
+            let (seq, back) = decode_body(body).unwrap();
+            assert_eq!(seq, i as u64);
+            assert_eq!(&back, op);
+        }
+    }
+
+    #[test]
+    fn append_then_replay_reconstructs_state() {
+        let path = tmp("replay");
+        let base = SuccinctDoc::parse("<log/>").unwrap();
+        let mut live = base.clone();
+        {
+            let mut wal = Wal::create(&path, 0).unwrap();
+            for i in 0..5 {
+                let op = WalOp::Insert {
+                    parent: 0,
+                    fragment_xml: format!("<e n=\"{i}\"/>"),
+                };
+                live = apply_op(&live, &op).unwrap();
+                wal.append(&op).unwrap();
+            }
+            let del = WalOp::Delete { node: live.node_count() as u32 - 2 };
+            live = apply_op(&live, &del).unwrap();
+            wal.append(&del).unwrap();
+        }
+        let (wal, recovered, report) = Wal::open_replay(&path, 0, base).unwrap();
+        assert_eq!(report.records_applied, 6);
+        assert_eq!(report.bytes_truncated, 0);
+        assert_eq!(as_xml(&recovered), as_xml(&live));
+        assert_eq!(wal.next_seq(), 6);
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_stays_usable() {
+        let path = tmp("torn");
+        let base = SuccinctDoc::parse("<log/>").unwrap();
+        {
+            let mut wal = Wal::create(&path, 0).unwrap();
+            wal.append(&WalOp::Insert { parent: 0, fragment_xml: "<a/>".into() }).unwrap();
+            wal.append(&WalOp::Insert { parent: 0, fragment_xml: "<b/>".into() }).unwrap();
+        }
+        // Tear 3 bytes off the last record.
+        let full = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+
+        let (mut wal, doc, report) = Wal::open_replay(&path, 0, base.clone()).unwrap();
+        assert_eq!(report.records_applied, 1);
+        assert!(report.bytes_truncated > 0);
+        assert_eq!(as_xml(&doc), "<log><a/></log>");
+        // The file was truncated back to the good prefix…
+        assert_eq!(fs::metadata(&path).unwrap().len(), wal.len_bytes());
+        // …and appending after recovery works.
+        wal.append(&WalOp::Insert { parent: 0, fragment_xml: "<c/>".into() }).unwrap();
+        drop(wal);
+        let (_, doc, report) = Wal::open_replay(&path, 0, base).unwrap();
+        assert_eq!(report.records_applied, 2);
+        assert_eq!(as_xml(&doc), "<log><a/><c/></log>");
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn crc_corruption_drops_the_tail() {
+        let path = tmp("crc");
+        let base = SuccinctDoc::parse("<log/>").unwrap();
+        {
+            let mut wal = Wal::create(&path, 0).unwrap();
+            wal.append(&WalOp::Insert { parent: 0, fragment_xml: "<a/>".into() }).unwrap();
+            wal.append(&WalOp::Insert { parent: 0, fragment_xml: "<b/>".into() }).unwrap();
+        }
+        // Flip one byte inside the second record's body.
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 6] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let (_, doc, report) = Wal::open_replay(&path, 0, base).unwrap();
+        assert_eq!(report.records_applied, 1);
+        assert!(report.bytes_truncated > 0);
+        assert_eq!(as_xml(&doc), "<log><a/></log>");
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn unappliable_record_is_an_error_not_a_truncate() {
+        let path = tmp("apply");
+        let base = SuccinctDoc::parse("<log/>").unwrap();
+        {
+            let mut wal = Wal::create(&path, 0).unwrap();
+            // Rank 99 does not exist: intact record, impossible op.
+            wal.append(&WalOp::Delete { node: 99 }).unwrap();
+        }
+        let err = Wal::open_replay(&path, 0, base).unwrap_err();
+        assert!(matches!(err, PersistError::Apply(_)), "{err}");
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = tmp("reset");
+        let base = SuccinctDoc::parse("<log/>").unwrap();
+        let mut wal = Wal::create(&path, 0).unwrap();
+        wal.append(&WalOp::Insert { parent: 0, fragment_xml: "<a/>".into() }).unwrap();
+        wal.reset(1).unwrap();
+        assert_eq!(wal.next_seq(), 0);
+        wal.append(&WalOp::Insert { parent: 0, fragment_xml: "<z/>".into() }).unwrap();
+        drop(wal);
+        let (_, doc, report) = Wal::open_replay(&path, 1, base.clone()).unwrap();
+        assert_eq!(report.records_applied, 1);
+        assert_eq!(as_xml(&doc), "<log><z/></log>");
+        // Opening with a mismatched generation discards the stale log.
+        let (wal, doc, report) = Wal::open_replay(&path, 2, base).unwrap();
+        assert_eq!(report.records_applied, 0);
+        assert!(report.bytes_truncated > 0);
+        assert_eq!(as_xml(&doc), "<log/>");
+        assert_eq!(wal.generation(), 2);
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}

@@ -12,7 +12,37 @@ use crate::bitvec::BitVec;
 use crate::content::ContentStore;
 use crate::succinct::{SNodeId, SuccinctDoc};
 use crate::tags::{TagId, TagTable};
+use std::fmt;
 use xqp_xml::{Document, NodeId, NodeKind};
+
+/// Why a local update could not be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    /// Deleting the root element would leave an empty document; drop the
+    /// [`SuccinctDoc`] instead.
+    DeleteRoot,
+    /// The node rank does not exist in this document.
+    NodeOutOfRange(SNodeId),
+    /// The insertion target is not an element node.
+    NotAnElement(SNodeId),
+    /// The fragment to insert has no root element.
+    EmptyFragment,
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::DeleteRoot => write!(f, "cannot delete the root element"),
+            UpdateError::NodeOutOfRange(n) => write!(f, "node {n} is out of range"),
+            UpdateError::NotAnElement(n) => {
+                write!(f, "insert target {n} is not an element")
+            }
+            UpdateError::EmptyFragment => write!(f, "fragment has no root element"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
 
 /// A fragment encoded against a tag table, ready to splice in.
 struct EncodedFragment {
@@ -125,11 +155,16 @@ fn splice_parts(
 
 /// Delete the subtree rooted at `n`, returning the updated document.
 ///
-/// # Panics
-/// Panics if `n` is the root element (deleting the root would leave an
-/// empty document; drop the [`SuccinctDoc`] instead).
-pub fn delete_subtree(doc: &SuccinctDoc, n: SNodeId) -> SuccinctDoc {
-    assert!(n.index() != 0, "cannot delete the root element");
+/// Fails with [`UpdateError::DeleteRoot`] on the root element (deleting the
+/// root would leave an empty document) and [`UpdateError::NodeOutOfRange`]
+/// on a rank the document does not contain.
+pub fn delete_subtree(doc: &SuccinctDoc, n: SNodeId) -> Result<SuccinctDoc, UpdateError> {
+    if n.index() == 0 {
+        return Err(UpdateError::DeleteRoot);
+    }
+    if n.index() >= doc.node_count() {
+        return Err(UpdateError::NodeOutOfRange(n));
+    }
     let open = doc.pos(n);
     let close = doc.bp().find_close(open);
     let size = doc.subtree_size(n);
@@ -139,24 +174,33 @@ pub fn delete_subtree(doc: &SuccinctDoc, n: SNodeId) -> SuccinctDoc {
         is_attr: Vec::new(),
         contents: Vec::new(),
     };
-    splice_parts(doc, open, close - open + 1, n.index(), size, &empty, doc.tag_table().clone())
+    Ok(splice_parts(doc, open, close - open + 1, n.index(), size, &empty, doc.tag_table().clone()))
 }
 
 /// Insert the root element of `fragment` as the **last child** of `parent`,
 /// returning the updated document.
 ///
-/// # Panics
-/// Panics if `parent` is not an element or `fragment` has no root element.
-pub fn insert_subtree(doc: &SuccinctDoc, parent: SNodeId, fragment: &Document) -> SuccinctDoc {
-    assert!(doc.is_element(parent), "insert target must be an element");
-    let frag_root = fragment.root_element().expect("fragment has a root element");
+/// Fails with [`UpdateError::NotAnElement`] when `parent` is not an element
+/// and [`UpdateError::EmptyFragment`] when `fragment` has no root element.
+pub fn insert_subtree(
+    doc: &SuccinctDoc,
+    parent: SNodeId,
+    fragment: &Document,
+) -> Result<SuccinctDoc, UpdateError> {
+    if parent.index() >= doc.node_count() {
+        return Err(UpdateError::NodeOutOfRange(parent));
+    }
+    if !doc.is_element(parent) {
+        return Err(UpdateError::NotAnElement(parent));
+    }
+    let frag_root = fragment.root_element().ok_or(UpdateError::EmptyFragment)?;
     let mut table = doc.tag_table().clone();
     let frag = encode_fragment(fragment, frag_root, &mut table);
     // Insertion point: just before the parent's close parenthesis; in rank
     // space that is right after the parent's whole subtree.
     let close = doc.bp().find_close(doc.pos(parent));
     let at = parent.index() + doc.subtree_size(parent);
-    splice_parts(doc, close, 0, at, 0, &frag, table)
+    Ok(splice_parts(doc, close, 0, at, 0, &frag, table))
 }
 
 /// Re-encode the whole document from a DOM — the non-local alternative the
@@ -183,7 +227,7 @@ mod tests {
         let d = sdoc("<a><b/><c/></a>");
         let a = d.root().unwrap();
         let b = d.first_child(a).unwrap();
-        let d2 = delete_subtree(&d, b);
+        let d2 = delete_subtree(&d, b).unwrap();
         assert_eq!(as_xml(&d2), "<a><c/></a>");
         assert_eq!(d2.node_count(), 2);
     }
@@ -193,7 +237,7 @@ mod tests {
         let d = sdoc("<bib><book year=\"1\"><t>x</t></book><book year=\"2\"><t>y</t></book></bib>");
         let bib = d.root().unwrap();
         let book1 = d.child_elements(bib).next().unwrap();
-        let d2 = delete_subtree(&d, book1);
+        let d2 = delete_subtree(&d, book1).unwrap();
         assert_eq!(as_xml(&d2), "<bib><book year=\"2\"><t>y</t></book></bib>");
         // Content of the second book survives with correct ranks.
         let book = d2.child_elements(d2.root().unwrap()).next().unwrap();
@@ -206,16 +250,27 @@ mod tests {
         let d = sdoc("<a><x>1</x><y>2</y><z>3</z></a>");
         let a = d.root().unwrap();
         let y = d.child_elements(a).nth(1).unwrap();
-        let d2 = delete_subtree(&d, y);
+        let d2 = delete_subtree(&d, y).unwrap();
         assert_eq!(as_xml(&d2), "<a><x>1</x><z>3</z></a>");
         assert_eq!(d2.string_value(d2.root().unwrap()), "13");
     }
 
     #[test]
-    #[should_panic(expected = "root")]
-    fn delete_root_panics() {
+    fn delete_root_is_a_typed_error() {
         let d = sdoc("<a/>");
-        delete_subtree(&d, d.root().unwrap());
+        assert_eq!(delete_subtree(&d, d.root().unwrap()).unwrap_err(), UpdateError::DeleteRoot);
+    }
+
+    #[test]
+    fn out_of_range_and_bad_targets_are_typed_errors() {
+        let d = sdoc("<a>text</a>");
+        assert_eq!(delete_subtree(&d, SNodeId(99)).unwrap_err(), UpdateError::NodeOutOfRange(SNodeId(99)));
+        let frag = parse_document("<x/>").unwrap();
+        let text = d.first_child(d.root().unwrap()).unwrap();
+        assert_eq!(insert_subtree(&d, text, &frag).unwrap_err(), UpdateError::NotAnElement(text));
+        assert_eq!(insert_subtree(&d, SNodeId(99), &frag).unwrap_err(), UpdateError::NodeOutOfRange(SNodeId(99)));
+        let empty = Document::new();
+        assert_eq!(insert_subtree(&d, d.root().unwrap(), &empty).unwrap_err(), UpdateError::EmptyFragment);
     }
 
     #[test]
@@ -224,7 +279,7 @@ mod tests {
         let frag = parse_document("<c attr=\"v\">text</c>").unwrap();
         let a = d.root().unwrap();
         let b = d.first_child(a).unwrap();
-        let d2 = insert_subtree(&d, b, &frag);
+        let d2 = insert_subtree(&d, b, &frag).unwrap();
         assert_eq!(as_xml(&d2), "<a><b><c attr=\"v\">text</c></b></a>");
     }
 
@@ -232,11 +287,11 @@ mod tests {
     fn insert_as_last_child() {
         let d = sdoc("<list><item>1</item></list>");
         let frag = parse_document("<item>2</item>").unwrap();
-        let d2 = insert_subtree(&d, d.root().unwrap(), &frag);
+        let d2 = insert_subtree(&d, d.root().unwrap(), &frag).unwrap();
         assert_eq!(as_xml(&d2), "<list><item>1</item><item>2</item></list>");
         // And again — repeated local updates compose.
         let frag3 = parse_document("<item>3</item>").unwrap();
-        let d3 = insert_subtree(&d2, d2.root().unwrap(), &frag3);
+        let d3 = insert_subtree(&d2, d2.root().unwrap(), &frag3).unwrap();
         assert_eq!(as_xml(&d3), "<list><item>1</item><item>2</item><item>3</item></list>");
     }
 
@@ -244,7 +299,7 @@ mod tests {
     fn insert_interns_new_tags() {
         let d = sdoc("<a/>");
         let frag = parse_document("<brand-new x=\"1\"/>").unwrap();
-        let d2 = insert_subtree(&d, d.root().unwrap(), &frag);
+        let d2 = insert_subtree(&d, d.root().unwrap(), &frag).unwrap();
         assert!(d2.tag_table().lookup("brand-new").is_some());
         assert_eq!(as_xml(&d2), "<a><brand-new x=\"1\"/></a>");
     }
@@ -254,10 +309,10 @@ mod tests {
         let original = "<a><b>keep</b></a>";
         let d = sdoc(original);
         let frag = parse_document("<tmp><deep><er/></deep></tmp>").unwrap();
-        let d2 = insert_subtree(&d, d.root().unwrap(), &frag);
+        let d2 = insert_subtree(&d, d.root().unwrap(), &frag).unwrap();
         let tmp = d2.child_elements(d2.root().unwrap()).nth(1).unwrap();
         assert_eq!(d2.name(tmp), "tmp");
-        let d3 = delete_subtree(&d2, tmp);
+        let d3 = delete_subtree(&d2, tmp).unwrap();
         assert_eq!(as_xml(&d3), original);
     }
 
@@ -267,7 +322,7 @@ mod tests {
         // encode of the same logical document.
         let d = sdoc("<r><a>1</a><b>2</b></r>");
         let frag = parse_document("<c>3</c>").unwrap();
-        let spliced = insert_subtree(&d, d.root().unwrap(), &frag);
+        let spliced = insert_subtree(&d, d.root().unwrap(), &frag).unwrap();
         let rebuilt = rebuild_full(&parse_document("<r><a>1</a><b>2</b><c>3</c></r>").unwrap());
         assert_eq!(as_xml(&spliced), as_xml(&rebuilt));
         assert_eq!(spliced.node_count(), rebuilt.node_count());
@@ -283,7 +338,7 @@ mod tests {
         let d = sdoc("<r><a><x/></a><b><y/></b><c><z/></c></r>");
         let r = d.root().unwrap();
         let b = d.child_elements(r).nth(1).unwrap();
-        let d2 = delete_subtree(&d, b);
+        let d2 = delete_subtree(&d, b).unwrap();
         let r2 = d2.root().unwrap();
         let names: Vec<&str> = d2.child_elements(r2).map(|c| d2.name(c)).collect();
         assert_eq!(names, ["a", "c"]);

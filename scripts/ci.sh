@@ -12,6 +12,12 @@ cargo test -q
 echo "== full workspace, offline =="
 cargo test --workspace --offline
 
+echo "== crash-recovery suite =="
+cargo test --offline --test recovery --test persistence
+
+echo "== release CLI builds =="
+cargo build --release --offline -p xqp --bin xqp
+
 echo "== benches compile (std harness, no criterion) =="
 cargo build --offline --benches -p xqp-bench
 

@@ -1,0 +1,142 @@
+//! Snapshot round-trip equivalence over the engine corpus: save → open must
+//! reproduce a byte-identical serialization, and tier-1 queries must return
+//! identical answers on the reopened database.
+
+use std::fs;
+use std::path::PathBuf;
+use xqp::{Database, SuccinctDoc};
+use xqp_gen::{deep_chain, gen_bib, gen_xmark, wide_flat, XmarkConfig};
+use xqp_storage::persist::{decode_snapshot, encode_snapshot};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("xqp-persistence-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The corpus the store must round-trip: hand-written documents covering
+/// attributes/text/nesting plus generated bib, XMark, deep and wide shapes.
+fn corpus() -> Vec<(String, String)> {
+    let mut docs = vec![
+        ("minimal".to_string(), "<r/>".to_string()),
+        (
+            "store".to_string(),
+            "<store><inventory><item sku=\"A1\"><name>bolt</name><price>10</price></item>\
+             <item sku=\"B2\"><name>gear</name><price>120</price></item></inventory>\
+             <orders><order id=\"o1\" sku=\"A1\" units=\"20\"/></orders></store>"
+                .to_string(),
+        ),
+        (
+            "unicode".to_string(),
+            "<doc lang=\"grüße\"><p>héllo &amp; wörld</p><p>∀x∈S</p></doc>".to_string(),
+        ),
+    ];
+    docs.push(("bib".into(), xqp::xml::serialize(&gen_bib(25, 7))));
+    docs.push(("xmark".into(), xqp::xml::serialize(&gen_xmark(&XmarkConfig::scale(0.05)))));
+    docs.push(("deep".into(), xqp::xml::serialize(&deep_chain(40, &["a", "b", "c"]))));
+    docs.push(("wide".into(), xqp::xml::serialize(&wide_flat(120, &["x", "y"]))));
+    docs
+}
+
+#[test]
+fn snapshot_roundtrip_is_byte_identical_for_corpus() {
+    for (name, xml) in corpus() {
+        let doc = SuccinctDoc::parse(&xml).unwrap();
+        let bytes = encode_snapshot(&doc, 0);
+        let (back, generation) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(generation, 0, "{name}");
+        // Serialization identical…
+        assert_eq!(
+            xqp::xml::serialize(&back.to_document()),
+            xqp::xml::serialize(&doc.to_document()),
+            "{name}: reopened document serializes differently"
+        );
+        // …and the re-encode is byte-identical (deterministic format).
+        assert_eq!(bytes, encode_snapshot(&back, 0), "{name}: snapshot not canonical");
+    }
+}
+
+#[test]
+fn saved_database_reopens_byte_identical() {
+    let dir = tmp("reopen");
+    let mut db = Database::new();
+    let mut originals = Vec::new();
+    for (name, xml) in corpus() {
+        db.load_str(&name, &xml).unwrap();
+        originals.push((name.clone(), db.serialize(&name).unwrap()));
+    }
+    db.persist_to(&dir).unwrap();
+    drop(db);
+
+    let back = Database::open(&dir).unwrap();
+    for (name, xml) in &originals {
+        assert_eq!(&back.serialize(name).unwrap(), xml, "{name}");
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn queries_agree_between_live_and_reopened_database() {
+    let dir = tmp("queries");
+    let mut db = Database::new();
+    for (name, xml) in corpus() {
+        db.load_str(&name, &xml).unwrap();
+    }
+    db.persist_to(&dir).unwrap();
+
+    let queries: &[(&str, &str)] = &[
+        ("store", "/store/inventory/item[price > 50]/name"),
+        ("store", "for $i in doc()/store/inventory/item return <n>{$i/name}</n>"),
+        ("store", "//order[@sku = \"A1\"]"),
+        ("bib", "//book[1]/title"),
+        ("bib", "count(//book)"),
+        ("xmark", "count(//item)"),
+        ("deep", "//c"),
+        ("wide", "count(/*/*)"),
+        ("unicode", "/doc/p[2]"),
+    ];
+    let reopened = Database::open(&dir).unwrap();
+    for (doc, q) in queries {
+        assert_eq!(
+            db.query(doc, q).unwrap(),
+            reopened.query(doc, q).unwrap(),
+            "{doc}: {q}"
+        );
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn updates_after_save_survive_reopen_and_match_live_state() {
+    let dir = tmp("updates");
+    let mut db = Database::new();
+    db.load_str("store", &corpus()[1].1).unwrap();
+    db.persist_to(&dir).unwrap();
+
+    db.insert_into("store", "/store/orders", "<order id=\"o9\" sku=\"B2\" units=\"1\"/>")
+        .unwrap();
+    db.delete_matching("store", "//item[@sku = \"A1\"]").unwrap();
+    let live = db.serialize("store").unwrap();
+    drop(db);
+
+    let back = Database::open(&dir).unwrap();
+    assert_eq!(back.serialize("store").unwrap(), live);
+    assert_eq!(back.query("store", "count(//order)").unwrap(), "2");
+    assert_eq!(back.query("store", "count(//item)").unwrap(), "1");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn explain_shows_persistence_line_only_when_durable() {
+    let dir = tmp("explain");
+    let mut db = Database::new();
+    db.load_str("store", &corpus()[1].1).unwrap();
+    let (plan, _) = db.explain("store", "/store/inventory/item/name").unwrap();
+    assert!(!plan.contains("-- persistence:"), "{plan}");
+
+    db.persist_to(&dir).unwrap();
+    let (plan, _) = db.explain("store", "/store/inventory/item/name").unwrap();
+    assert!(plan.contains("-- persistence: bytes_written="), "{plan}");
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -158,7 +158,7 @@ fn splice_insert_equals_reencode() {
         let frag_doc = gen_doc(&mut rng);
         let sdoc = SuccinctDoc::from_document(&doc);
         let Some(root) = sdoc.root() else { continue };
-        let spliced = update::insert_subtree(&sdoc, root, &frag_doc);
+        let spliced = update::insert_subtree(&sdoc, root, &frag_doc).unwrap();
         // Reference: append to the DOM and re-encode.
         let mut ref_doc = doc.clone();
         let target = ref_doc.root_element().expect("root");
@@ -183,7 +183,7 @@ fn splice_delete_equals_reencode() {
             continue;
         }
         let victim = SNodeId(1 + rng.gen_range(0usize..sdoc.node_count() - 1) as u32);
-        let deleted = update::delete_subtree(&sdoc, victim);
+        let deleted = update::delete_subtree(&sdoc, victim).unwrap();
         let round = SuccinctDoc::from_document(&deleted.to_document());
         assert_eq!(
             serialize(&deleted.to_document()),
@@ -335,7 +335,7 @@ mod proptest_suite {
             let frag_doc = build(&frag);
             let sdoc = SuccinctDoc::from_document(&doc);
             let Some(root) = sdoc.root() else { return Ok(()) };
-            let spliced = update::insert_subtree(&sdoc, root, &frag_doc);
+            let spliced = update::insert_subtree(&sdoc, root, &frag_doc).unwrap();
             let mut ref_doc = doc.clone();
             let target = ref_doc.root_element().expect("root");
             clone_into(&frag_doc, frag_doc.root_element().expect("frag root"), &mut ref_doc, target);

@@ -1,0 +1,168 @@
+//! Crash-recovery suite: a WAL torn at *every* byte offset of its last
+//! record must recover to the last complete record, and a corrupted CRC
+//! must drop the tail — never misapply it.
+
+use std::fs;
+use std::path::PathBuf;
+use xqp::Database;
+
+const STORE: &str = "<store><inventory>\
+    <item sku=\"A1\"><name>bolt</name></item>\
+    <item sku=\"A2\"><name>nut</name></item>\
+    </inventory><orders/></store>";
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("xqp-recovery-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Build a durable single-document store and apply two updates, returning
+/// `(dir, wal_path, len_after_first, full_wal_bytes, state_after_first,
+/// state_after_second)`.
+fn two_record_store(name: &str) -> (PathBuf, PathBuf, u64, Vec<u8>, String, String) {
+    let dir = tmp(name);
+    let mut db = Database::new();
+    db.load_str("store", STORE).unwrap();
+    db.persist_to(&dir).unwrap();
+    let wal = dir.join("d000").join("wal.xqp");
+
+    db.insert_into("store", "/store/orders", "<order id=\"o1\" sku=\"A1\"/>")
+        .unwrap();
+    let state_a = db.serialize("store").unwrap();
+    let len_a = fs::metadata(&wal).unwrap().len();
+
+    db.delete_matching("store", "//item[@sku = \"A2\"]").unwrap();
+    let state_b = db.serialize("store").unwrap();
+    drop(db);
+
+    let full = fs::read(&wal).unwrap();
+    assert!(full.len() as u64 > len_a, "second record must extend the log");
+    (dir, wal, len_a, full, state_a, state_b)
+}
+
+#[test]
+fn torn_tail_recovers_to_last_complete_record_at_every_offset() {
+    let (dir, wal, len_a, full, state_a, state_b) = two_record_store("torn");
+
+    // Intact log sanity check first.
+    let back = Database::open(&dir).unwrap();
+    assert_eq!(back.serialize("store").unwrap(), state_b);
+    drop(back);
+
+    // Tear the second record at every byte offset: each open must land
+    // exactly on the state after the first record.
+    for cut in len_a as usize..full.len() {
+        fs::write(&wal, &full[..cut]).unwrap();
+        let back = Database::open(&dir)
+            .unwrap_or_else(|e| panic!("cut at {cut}: open failed: {e}"));
+        let expect = if cut == full.len() { &state_b } else { &state_a };
+        assert_eq!(
+            &back.serialize("store").unwrap(),
+            expect,
+            "cut at {cut} recovered to the wrong state"
+        );
+        assert_eq!(
+            back.persist_stats("store").unwrap().records_replayed,
+            if cut == full.len() { 2 } else { 1 },
+            "cut at {cut}"
+        );
+        // Recovery must have truncated the torn bytes so the log is
+        // append-able again.
+        assert_eq!(fs::metadata(&wal).unwrap().len(), len_a, "cut at {cut}");
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_header_recovers_with_an_empty_log() {
+    let (dir, wal, _, full, _, _) = two_record_store("torn-header");
+    // Tear inside the 20-byte header: nothing replayable survives, and the
+    // snapshot state (no updates) must come back with a fresh log.
+    for cut in [0usize, 1, 7, 19] {
+        fs::write(&wal, &full[..cut]).unwrap();
+        let back = Database::open(&dir)
+            .unwrap_or_else(|e| panic!("cut at {cut}: open failed: {e}"));
+        assert_eq!(back.persist_stats("store").unwrap().records_replayed, 0);
+        assert_eq!(back.query("store", "count(//order)").unwrap(), "0");
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_crc_drops_the_tail_instead_of_misapplying_it() {
+    let (dir, wal, len_a, full, state_a, _) = two_record_store("crc");
+
+    // Flip one byte inside the second record's body: the length framing is
+    // intact, so only the CRC can catch it.
+    let mut bad = full.clone();
+    let mid = len_a as usize + (full.len() - len_a as usize) / 2;
+    bad[mid] ^= 0xFF;
+    fs::write(&wal, &bad).unwrap();
+
+    let back = Database::open(&dir).unwrap();
+    assert_eq!(back.serialize("store").unwrap(), state_a);
+    assert_eq!(back.persist_stats("store").unwrap().records_replayed, 1);
+    // The corrupt record is gone from disk, not lying in wait.
+    assert_eq!(fs::metadata(&wal).unwrap().len(), len_a);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_first_record_drops_everything_after_it() {
+    let (dir, wal, _, full, _, _) = two_record_store("crc-first");
+    let mut bad = full.clone();
+    bad[24] ^= 0xFF; // inside record 1's body (header is bytes 0..20)
+    fs::write(&wal, &bad).unwrap();
+
+    let back = Database::open(&dir).unwrap();
+    // Both records dropped: recovery cannot trust anything after the first
+    // corrupt record.
+    assert_eq!(back.persist_stats("store").unwrap().records_replayed, 0);
+    assert_eq!(back.query("store", "count(//order)").unwrap(), "0");
+    assert_eq!(back.query("store", "count(//item)").unwrap(), "2");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovered_store_accepts_new_updates_durably() {
+    let (dir, wal, len_a, full, _, _) = two_record_store("continue");
+    // Tear the last record, recover, then keep writing.
+    fs::write(&wal, &full[..full.len() - 3]).unwrap();
+    let mut back = Database::open(&dir).unwrap();
+    assert_eq!(fs::metadata(&wal).unwrap().len(), len_a);
+    back.insert_into("store", "/store/orders", "<order id=\"o2\" sku=\"A2\"/>")
+        .unwrap();
+    let live = back.serialize("store").unwrap();
+    drop(back);
+
+    let again = Database::open(&dir).unwrap();
+    assert_eq!(again.serialize("store").unwrap(), live);
+    assert_eq!(again.persist_stats("store").unwrap().records_replayed, 2);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stale_wal_from_a_compaction_crash_is_never_double_applied() {
+    let dir = tmp("stale-compaction");
+    let mut db = Database::new();
+    db.load_str("store", STORE).unwrap();
+    db.persist_to(&dir).unwrap();
+    let wal = dir.join("d000").join("wal.xqp");
+
+    db.insert_into("store", "/store/orders", "<order id=\"o1\" sku=\"A1\"/>")
+        .unwrap();
+    let stale = fs::read(&wal).unwrap();
+    db.compact("store").unwrap();
+    let live = db.serialize("store").unwrap();
+    drop(db);
+    // Crash window: the folded snapshot landed but the WAL reset did not.
+    fs::write(&wal, &stale).unwrap();
+
+    let back = Database::open(&dir).unwrap();
+    assert_eq!(back.serialize("store").unwrap(), live);
+    assert_eq!(back.persist_stats("store").unwrap().records_replayed, 0);
+    assert_eq!(back.query("store", "count(//order)").unwrap(), "1");
+    fs::remove_dir_all(&dir).unwrap();
+}

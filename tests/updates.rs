@@ -15,7 +15,7 @@ fn many_inserts_then_deletes_roundtrip() {
         let frag = parse_document(&format!("<entry seq=\"{i}\"><msg>event {i}</msg></entry>"))
             .unwrap();
         let root = sdoc.root().unwrap();
-        sdoc = update::insert_subtree(&sdoc, root, &frag);
+        sdoc = update::insert_subtree(&sdoc, root, &frag).unwrap();
     }
     assert_eq!(sdoc.child_elements(sdoc.root().unwrap()).count(), 50);
     // Equivalent to the re-encoded version.
@@ -29,7 +29,7 @@ fn many_inserts_then_deletes_roundtrip() {
         .filter_map(|(i, n)| (i % 2 == 1).then_some(n))
         .collect();
     for v in victims.into_iter().rev() {
-        sdoc = update::delete_subtree(&sdoc, v);
+        sdoc = update::delete_subtree(&sdoc, v).unwrap();
     }
     assert_eq!(sdoc.child_elements(sdoc.root().unwrap()).count(), 25);
     // Sequence numbers that remain are the even ones.
@@ -83,7 +83,7 @@ fn interleaved_updates_preserve_navigation_invariants() {
         let frag = parse_document(&format!("<x n=\"{round}\"><y/></x>")).unwrap();
         let root = sdoc.root().unwrap();
         let target = sdoc.child_elements(root).next().unwrap();
-        sdoc = update::insert_subtree(&sdoc, target, &frag);
+        sdoc = update::insert_subtree(&sdoc, target, &frag).unwrap();
         // Every parent/child/depth relation must stay coherent.
         for i in 0..sdoc.node_count() as u32 {
             let n = xqp_storage::SNodeId(i);
