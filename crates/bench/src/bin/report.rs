@@ -13,7 +13,7 @@ use xqp_algebra::RuleSet;
 use xqp_bench::{median_time, run_path, xmark_at, xmark_both, STRATEGIES};
 use xqp_exec::{nok, streaming, structural, ExecContext, Executor, Strategy};
 use xqp_gen::{blowup_doc, blowup_query, gen_xmark, xmark_queries, XmarkConfig};
-use xqp_storage::{update, StorageStats, SuccinctDoc};
+use xqp_storage::{update, DocStore, StorageStats, SuccinctDoc, WalOp};
 use xqp_xml::{parse_document, serialize, Event, Parser};
 use xqp_xpath::{parse_path, PatternGraph};
 
@@ -40,6 +40,7 @@ fn main() {
     t12_storage();
     t13_index();
     t14_suffix();
+    t15_persist();
 }
 
 fn t4_pipeline_blowup() {
@@ -429,4 +430,58 @@ fn t14_suffix() {
     );
     println!("  suffix-array probe {:>10}", fmt_d(t_idx));
     println!("  content scan       {:>10}", fmt_d(t_scan));
+    println!();
+}
+
+fn t15_persist() {
+    println!("== T15 (exp_persist): durable store — snapshot write / cold open / WAL replay ==");
+    println!("baseline: what a non-durable engine pays on every start — full XML re-parse");
+    const REPLAYED: usize = 64;
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>12} {:>14} {:>8}",
+        "scale", "nodes", "re-parse", "snap write", "cold open", "open+64 wal", "open/rp"
+    );
+    let dir = std::env::temp_dir().join(format!("xqp-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for scale in [0.05, 0.1, 0.2] {
+        let (dom, sdoc) = xmark_both(scale);
+        let xml = serialize(&dom);
+        let slot = dir.join(format!("s{:03}", (scale * 1000.0) as u32));
+        let rp = median_time(3, || {
+            SuccinctDoc::parse(&xml).unwrap();
+        });
+        let w = median_time(3, || {
+            DocStore::create(&slot, &sdoc).unwrap();
+        });
+        let cold = median_time(3, || {
+            DocStore::open(&slot).unwrap();
+        });
+        // Replay throughput: a log of root-level inserts folded in on open.
+        {
+            let mut store = DocStore::create(&slot, &sdoc).unwrap();
+            for i in 0..REPLAYED {
+                store
+                    .log(&WalOp::Insert {
+                        parent: 0,
+                        fragment_xml: format!("<bench i=\"{i}\"/>"),
+                    })
+                    .unwrap();
+            }
+        }
+        let replay = median_time(3, || {
+            DocStore::open(&slot).unwrap();
+        });
+        println!(
+            "{:<8} {:>10} {:>12} {:>12} {:>12} {:>14} {:>7.1}x",
+            scale,
+            sdoc.node_count(),
+            fmt_d(rp),
+            fmt_d(w),
+            fmt_d(cold),
+            fmt_d(replay),
+            rp.as_secs_f64() / cold.as_secs_f64().max(1e-9)
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("(open/rp = re-parse / cold open — what the snapshot saves at start-up)");
 }

@@ -255,17 +255,65 @@ impl Database {
         self.rules = rules;
     }
 
-    /// Parse and store a document under `name` (replacing any previous one).
+    /// Parse and store a document under `name` (replacing any previous
+    /// one). On a durable database the newcomer gets its own slot
+    /// (snapshot + WAL) and a manifest entry, so it survives
+    /// [`Database::open`] like every other document.
     pub fn load_str(&mut self, name: &str, xml: &str) -> Result<(), Error> {
         let sdoc = SuccinctDoc::parse(xml)?;
-        self.docs.insert(name.to_string(), Stored::new(sdoc));
+        self.insert_stored(name, sdoc)
+    }
+
+    /// Store an already-built DOM under `name`. Durable like
+    /// [`Database::load_str`]; the `Err` case can only occur on a durable
+    /// database (slot creation or manifest write failing).
+    pub fn load_document(&mut self, name: &str, doc: &Document) -> Result<(), Error> {
+        self.insert_stored(name, SuccinctDoc::from_document(doc))
+    }
+
+    /// Store `sdoc` under `name`; on a durable database, attach a
+    /// `DocStore` (reusing the replaced document's slot when there is one)
+    /// and rewrite the manifest before acknowledging.
+    fn insert_stored(&mut self, name: &str, sdoc: SuccinctDoc) -> Result<(), Error> {
+        let mut stored = Stored::new(sdoc);
+        if let Some(root) = self.root.clone() {
+            let slot_dir = match self.docs.get(name).and_then(|old| old.store.as_ref()) {
+                Some(st) => st.dir().to_path_buf(),
+                None => root.join(Self::fresh_slot(&root)),
+            };
+            stored.store = Some(DocStore::create(&slot_dir, &stored.sdoc)?);
+            self.docs.insert(name.to_string(), stored);
+            self.rewrite_manifest()?;
+        } else {
+            self.docs.insert(name.to_string(), stored);
+        }
         Ok(())
     }
 
-    /// Store an already-built DOM under `name`.
-    pub fn load_document(&mut self, name: &str, doc: &Document) {
-        let sdoc = SuccinctDoc::from_document(doc);
-        self.docs.insert(name.to_string(), Stored::new(sdoc));
+    /// First `dNNN` slot name with no directory under `root` yet.
+    fn fresh_slot(root: &Path) -> String {
+        (0u32..)
+            .map(|i| format!("d{i:03}"))
+            .find(|slot| !root.join(slot).exists())
+            .expect("u32 slot space exhausted")
+    }
+
+    /// Re-derive the manifest from the in-memory name → slot mapping and
+    /// write it atomically. No-op on an in-memory database.
+    fn rewrite_manifest(&self) -> Result<(), Error> {
+        let Some(root) = &self.root else { return Ok(()) };
+        let mut entries = Vec::new();
+        for (name, s) in &self.docs {
+            if let Some(st) = &s.store {
+                let slot = st
+                    .dir()
+                    .file_name()
+                    .map(|f| f.to_string_lossy().into_owned())
+                    .ok_or_else(|| Error::Persist("slot directory has no name".into()))?;
+                entries.push((name.clone(), slot));
+            }
+        }
+        write_manifest(root, &entries)
     }
 
     /// Names of loaded documents, sorted.
@@ -273,9 +321,19 @@ impl Database {
         self.docs.keys().map(String::as_str).collect()
     }
 
-    /// Remove a document.
-    pub fn drop_document(&mut self, name: &str) -> bool {
-        self.docs.remove(name).is_some()
+    /// Remove a document (and, on a durable database, its manifest entry
+    /// and slot directory, so it does not reappear on reopen). Returns
+    /// whether a document with that name existed.
+    pub fn drop_document(&mut self, name: &str) -> Result<bool, Error> {
+        let Some(old) = self.docs.remove(name) else { return Ok(false) };
+        if let Some(st) = &old.store {
+            let dir = st.dir().to_path_buf();
+            self.rewrite_manifest()?;
+            // The manifest no longer references the slot; removing the
+            // files is cleanup, not correctness.
+            let _ = fs::remove_dir_all(dir);
+        }
+        Ok(true)
     }
 
     /// Access the stored form of a document.
@@ -411,20 +469,42 @@ impl Database {
         // Descending rank order keeps earlier ranks stable across splices;
         // nested matches vanish with their ancestors (subtree_size guards).
         let mut removed = 0usize;
+        let mut failed: Option<Error> = None;
         let mut targets: Vec<SNodeId> = hits;
         targets.sort_unstable_by(|a, b| b.cmp(a));
         for t in targets {
             if t.index() != 0 && t.index() >= s.sdoc.node_count() {
                 continue; // vanished inside a previously deleted subtree
             }
-            s.sdoc = xqp_storage::update::delete_subtree(&s.sdoc, t)?;
+            // Splice into a scratch copy and log *before* committing in
+            // memory: a failed log must not leave the in-memory document
+            // ahead of the durable log (acknowledged state == replay state).
+            let next = match xqp_storage::update::delete_subtree(&s.sdoc, t) {
+                Ok(d) => d,
+                Err(e) => {
+                    failed = Some(e.into());
+                    break;
+                }
+            };
             if let Some(st) = &mut s.store {
-                st.log(&WalOp::Delete { node: t.0 })?;
+                if let Err(e) = st.log(&WalOp::Delete { node: t.0 }) {
+                    failed = Some(e.into());
+                    break;
+                }
             }
+            s.sdoc = next;
             removed += 1;
         }
+        // Rebuild derived state even when the loop failed part-way (e.g.
+        // the root sorted last behind already-applied deletions): stale
+        // indexes and cached plans would serve wrong answers afterwards.
         if removed > 0 {
             s.after_update();
+        }
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        if removed > 0 {
             self.maybe_compact(doc)?;
         }
         Ok(removed)
@@ -451,18 +531,38 @@ impl Database {
         let mut targets = hits;
         targets.sort_unstable_by(|a, b| b.cmp(a));
         let mut inserted = 0usize;
+        let mut failed: Option<Error> = None;
         for t in &targets {
             if !s.sdoc.is_element(*t) {
                 continue;
             }
-            s.sdoc = xqp_storage::update::insert_subtree(&s.sdoc, *t, &frag)?;
+            // Same commit discipline as delete_matching: splice scratch,
+            // log durably, only then publish to memory.
+            let next = match xqp_storage::update::insert_subtree(&s.sdoc, *t, &frag) {
+                Ok(d) => d,
+                Err(e) => {
+                    failed = Some(e.into());
+                    break;
+                }
+            };
             if let Some(st) = &mut s.store {
-                st.log(&WalOp::Insert { parent: t.0, fragment_xml: frag_xml.clone() })?;
+                if let Err(e) =
+                    st.log(&WalOp::Insert { parent: t.0, fragment_xml: frag_xml.clone() })
+                {
+                    failed = Some(e.into());
+                    break;
+                }
             }
+            s.sdoc = next;
             inserted += 1;
         }
         if inserted > 0 {
             s.after_update();
+        }
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        if inserted > 0 {
             self.maybe_compact(doc)?;
         }
         Ok(inserted)
@@ -708,8 +808,8 @@ mod tests {
     #[test]
     fn drop_document() {
         let mut d = db();
-        assert!(d.drop_document("bib"));
-        assert!(!d.drop_document("bib"));
+        assert!(d.drop_document("bib").unwrap());
+        assert!(!d.drop_document("bib").unwrap());
         assert!(d.document("bib").is_err());
     }
 
@@ -759,6 +859,56 @@ mod tests {
         let back = Database::open(&dir).unwrap();
         assert_eq!(back.serialize("bib").unwrap(), expect);
         assert_eq!(back.persist_stats("bib").unwrap().records_replayed, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_update_mid_loop_still_rebuilds_derived_state() {
+        // `//*` matches the root too; descending rank order deletes the
+        // children first, then hits DeleteRoot. The error must not leave
+        // the indexes describing the pre-delete ranks.
+        let mut d = Database::new();
+        d.load_str("x", "<r><a>alpha</a><b>beta</b></r>").unwrap();
+        d.create_index("x").unwrap();
+        d.create_suffix_index("x").unwrap();
+        let err = d.delete_matching("x", "//*").unwrap_err();
+        assert_eq!(err, Error::Update(UpdateError::DeleteRoot));
+        // The children were already spliced out before the root failed…
+        assert_eq!(d.serialize("x").unwrap(), "<r/>");
+        // …and every piece of derived state followed the document.
+        assert_eq!(d.contains_search("x", "alpha").unwrap(), Vec::<SNodeId>::new());
+        assert_eq!(d.select("x", "//a").unwrap().len(), 0);
+        assert_eq!(d.query("x", "/r").unwrap(), "<r/>");
+    }
+
+    #[test]
+    fn documents_loaded_after_persist_are_durable() {
+        let dir = tmp_db_dir("late-load");
+        let mut d = db();
+        d.persist_to(&dir).unwrap();
+        d.load_str("extra", "<e><f/></e>").unwrap();
+        assert!(d.is_durable("extra").unwrap());
+        d.insert_into("extra", "/e", "<g/>").unwrap();
+        let expect = d.serialize("extra").unwrap();
+        drop(d);
+
+        let back = Database::open(&dir).unwrap();
+        assert_eq!(back.document_names(), ["bib", "extra"]);
+        assert_eq!(back.serialize("extra").unwrap(), expect);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropped_documents_stay_dropped_after_reopen() {
+        let dir = tmp_db_dir("drop-durable");
+        let mut d = db();
+        d.load_str("extra", "<e/>").unwrap();
+        d.persist_to(&dir).unwrap();
+        assert!(d.drop_document("extra").unwrap());
+        drop(d);
+
+        let back = Database::open(&dir).unwrap();
+        assert_eq!(back.document_names(), ["bib"]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -134,6 +134,29 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(SuccinctDoc, u64)> {
             "structure parentheses are not balanced".into(),
         ));
     }
+    // The popcount above only proves opens == closes; a shuffled sequence
+    // with the right counts (e.g. one starting with a close) would pass it
+    // and panic later inside rank/select/find_close. Walk the excess:
+    // depth never dips below zero, and it stays positive until the final
+    // bit (the encoding is one tree, not a forest).
+    let mut depth = 0usize;
+    for i in 0..bits.len() {
+        if bits.get(i) {
+            depth += 1;
+        } else {
+            if depth == 0 {
+                return Err(PersistError::Format(
+                    "structure parentheses are malformed: close before open".into(),
+                ));
+            }
+            depth -= 1;
+            if depth == 0 && i + 1 != bits.len() {
+                return Err(PersistError::Format(
+                    "structure parentheses encode a forest, not one tree".into(),
+                ));
+            }
+        }
+    }
 
     let mut tags = Vec::with_capacity(node_count);
     for _ in 0..node_count {
@@ -273,6 +296,27 @@ mod tests {
         let bytes = encode_snapshot(&d, 0);
         for cut in [0, 1, 7, bytes.len() / 2, bytes.len() - 1] {
             assert!(decode_snapshot(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn malformed_nesting_with_balanced_popcount_is_rejected() {
+        // Two nodes → 4 structure bits in one word, at a fixed offset:
+        // magic 8 + version 4 + generation 8 + node_count 4 + bit_len 8 +
+        // word_count 8 = 40.
+        let d = SuccinctDoc::parse("<a>t</a>").unwrap();
+        let bytes = encode_snapshot(&d, 0);
+        assert!(decode_snapshot(&bytes).is_ok());
+        // popcount 2 (== node_count) but a close comes first / the tree
+        // closes early: both must fail decode, not panic later.
+        for (word, what) in [(0b0110u64, "close before open"), (0b0101u64, "forest")] {
+            let mut bad = bytes.clone();
+            bad[40..48].copy_from_slice(&word.to_le_bytes());
+            let n = bad.len();
+            let crc = crc32(&bad[..n - 4]);
+            bad[n - 4..].copy_from_slice(&crc.to_le_bytes());
+            let err = decode_snapshot(&bad).unwrap_err();
+            assert!(err.to_string().contains(what), "{what}: {err}");
         }
     }
 

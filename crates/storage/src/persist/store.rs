@@ -14,12 +14,15 @@
 //!    a crash at any instant (modulo a torn tail, which replay truncates).
 //! 2. **Atomic compaction**: [`DocStore::compact`] writes the folded
 //!    snapshot (generation G+1) to a temp file, renames it over
-//!    `snapshot.xqp`, and only then resets the WAL header to G+1. A crash
+//!    `snapshot.xqp`, and only then resets the WAL to G+1. A crash
 //!    between the two steps leaves a G+1 snapshot next to a generation-G
 //!    WAL whose records are already folded in; replaying them would
 //!    double-apply. The generation stamp in both headers detects exactly
 //!    this: on open, a WAL whose generation differs from the snapshot's is
-//!    discarded, never replayed.
+//!    discarded, never replayed. The reset itself is two fsync barriers
+//!    (truncate under the old generation, then stamp the new one), so no
+//!    crash instant can leave a generation-matching header over
+//!    pre-compaction records — see [`super::wal::Wal::reset`].
 
 use super::format::Result;
 use super::snapshot::{read_snapshot, write_snapshot};

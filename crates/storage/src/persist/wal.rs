@@ -149,9 +149,23 @@ impl Wal {
     /// Create a fresh (empty) log at `path` for snapshot `generation`,
     /// truncating any existing file. The header is written and fsynced
     /// before returning.
+    ///
+    /// When an old log is being overwritten (the stale-log discard path of
+    /// [`Wal::open_replay`]), the truncation is made durable **before** any
+    /// header byte is written: size updates and data writes have no
+    /// ordering guarantee under a single fsync, so a crash mid-create could
+    /// otherwise persist a generation-matching header over the old records
+    /// and replay them against a snapshot that already contains their
+    /// effects.
     pub fn create(path: &Path, generation: u64) -> Result<Wal> {
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        // Barrier 1: persist the truncation alone. A crash from here until
+        // the header fsync completes leaves a file shorter than a header
+        // (or an empty log at worst) — open_replay starts those fresh, and
+        // no stale record can survive past this point.
+        file.sync_all()?;
+        // Barrier 2: the header.
         let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
         header.extend_from_slice(WAL_MAGIC);
         put_u32(&mut header, WAL_VERSION);
@@ -273,16 +287,30 @@ impl Wal {
     }
 
     /// Reset to an empty log for snapshot `generation` (after compaction
-    /// folded the records into that snapshot). Rewrites the header in
-    /// place, then truncates; fsynced before returning.
+    /// folded the records into that snapshot), in two fsync barriers.
+    ///
+    /// The truncation and the new-generation header must not share a
+    /// single fsync: the data write and the inode size update have no
+    /// ordering guarantee before `sync_all` returns, so a crash could
+    /// persist the new header while the old records are still in the file
+    /// — a generation-*matching* log whose records the new snapshot
+    /// already contains, which replay would double-apply. Truncating
+    /// first, under the **old** generation, makes every intermediate crash
+    /// state safe: an empty stale-generation log is discarded on open, and
+    /// by the time the new generation is stamped no old record can still
+    /// be on disk.
     pub fn reset(&mut self, generation: u64) -> Result<()> {
+        // Barrier 1: durably drop the folded records, keeping the old
+        // generation in the header.
+        self.file.set_len(WAL_HEADER_LEN)?;
+        self.file.sync_all()?;
+        // Barrier 2: stamp the new generation on the now-empty log.
         let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
         header.extend_from_slice(WAL_MAGIC);
         put_u32(&mut header, WAL_VERSION);
         put_u64(&mut header, generation);
         self.file.seek(SeekFrom::Start(0))?;
         self.file.write_all(&header)?;
-        self.file.set_len(WAL_HEADER_LEN)?;
         self.file.sync_all()?;
         self.generation = generation;
         self.next_seq = 0;
@@ -433,6 +461,28 @@ mod tests {
         }
         let err = Wal::open_replay(&path, 0, base).unwrap_err();
         assert!(matches!(err, PersistError::Apply(_)), "{err}");
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn crash_between_reset_barriers_is_discarded_safely() {
+        // Simulate a crash after reset's first barrier (truncate persisted,
+        // new generation not yet stamped): the log is empty and still
+        // carries the old generation. Opening against the new-generation
+        // snapshot must discard it and replay nothing.
+        let path = tmp("reset-crash");
+        let base = SuccinctDoc::parse("<log/>").unwrap();
+        {
+            let mut wal = Wal::create(&path, 0).unwrap();
+            wal.append(&WalOp::Insert { parent: 0, fragment_xml: "<a/>".into() }).unwrap();
+        }
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(WAL_HEADER_LEN).unwrap();
+        drop(f);
+        let (wal, doc, report) = Wal::open_replay(&path, 1, base).unwrap();
+        assert_eq!(report.records_applied, 0);
+        assert_eq!(as_xml(&doc), "<log/>");
+        assert_eq!(wal.generation(), 1);
         fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 

@@ -25,7 +25,7 @@ fn main() {
     );
 
     let mut db = Database::new();
-    db.load_document("site", &doc);
+    db.load_document("site", &doc).unwrap();
     db.create_index("site").unwrap();
 
     // Q1: how many items per region?

@@ -13,7 +13,7 @@ use xqp_gen::gen_bib;
 
 fn main() {
     let mut db = Database::new();
-    db.load_document("bib", &gen_bib(12, 7));
+    db.load_document("bib", &gen_bib(12, 7)).unwrap();
     db.create_index("bib").unwrap();
 
     let total = db.query("bib", "count(/bib/book)").unwrap();

@@ -21,7 +21,7 @@ fn show(db: &mut Database, label: &str, rules: RuleSet, query: &str) {
 
 fn main() {
     let mut db = Database::new();
-    db.load_document("bib", &bib_sample());
+    db.load_document("bib", &bib_sample()).unwrap();
 
     let fig1 = "for $b in doc()/bib/book let $t := $b/title let $a := $b/author \
                 return <result>{$t}{$a}</result>";

@@ -12,7 +12,7 @@ fn main() {
 
     // The four-book sample from the W3C XQuery Use Cases (paper Fig. 1).
     let bib = xqp_gen::bib_sample();
-    db.load_document("bib", &bib);
+    db.load_document("bib", &bib).unwrap();
 
     // --- a path query -------------------------------------------------------
     let titles = db.query("bib", "/bib/book[@year > 1991]/title").unwrap();

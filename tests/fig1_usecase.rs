@@ -14,7 +14,7 @@ const FIG1_QUERY: &str = r#"
 
 fn db() -> Database {
     let mut db = Database::new();
-    db.load_document("bib", &xqp_gen::bib_sample());
+    db.load_document("bib", &xqp_gen::bib_sample()).unwrap();
     db
 }
 
