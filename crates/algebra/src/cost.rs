@@ -8,14 +8,69 @@
 //! estimated input size (rule R4 / experiment E8) and (b) choose between a
 //! NoK scan, a holistic twig join and a binary-join pipeline per pattern.
 
+use crate::expr::Expr;
+use crate::plan::LogicalPlan;
 use std::collections::HashMap;
 use xqp_xml::{Document, NodeKind};
-use xqp_xpath::{PatternGraph, VertexKind};
+use xqp_xpath::{PathExpr, PatternGraph, VertexKind};
 
 /// Default selectivity of an equality value constraint.
 const SEL_VALUE_EQ: f64 = 0.1;
 /// Default selectivity of a range value constraint.
 const SEL_VALUE_RANGE: f64 = 0.3;
+/// Default selectivity of a `where` clause whose condition the model cannot
+/// decompose.
+const SEL_WHERE: f64 = 0.5;
+
+/// The physical access methods a τ (tree-pattern-matching) operator can be
+/// lowered to. The logical τ is one operator; these are its physical
+/// implementations in `xqp-exec` (§2: "for each logical operator, many
+/// physical operators that implement the same functionalities").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpmAccess {
+    /// Single pre-order navigational scan (the paper's NoK matcher).
+    NokScan,
+    /// Holistic twig join over region-encoded tag streams.
+    TwigStack,
+    /// Pairwise stack-tree structural joins, R4-ordered.
+    BinaryJoin,
+}
+
+impl TpmAccess {
+    /// Display name used by EXPLAIN renderings.
+    pub fn name(self) -> &'static str {
+        match self {
+            TpmAccess::NokScan => "nok",
+            TpmAccess::TwigStack => "twigstack",
+            TpmAccess::BinaryJoin => "binaryjoin",
+        }
+    }
+}
+
+/// Per-clause estimate produced by [`CostModel::cost_plan`], in the same
+/// bottom-up order as [`LogicalPlan::clauses`] (EnvRoot first).
+#[derive(Debug, Clone)]
+pub struct ClauseEstimate {
+    /// Estimated total bindings flowing *out* of this clause.
+    pub rows: f64,
+    /// Estimated work of this clause alone.
+    pub cost: f64,
+    /// For τ clauses: the chosen access method and its cost.
+    pub access: Option<(TpmAccess, f64)>,
+}
+
+/// Whole-plan cost estimate: cardinality propagated through every clause of
+/// a FLWOR pipeline, so join ordering (R4) and τ access-method choice come
+/// out of one planning pass.
+#[derive(Debug, Clone)]
+pub struct PlanCostReport {
+    /// One estimate per clause, bottom-up (EnvRoot first).
+    pub clauses: Vec<ClauseEstimate>,
+    /// Estimated bindings the pipeline delivers to its consumer.
+    pub out_rows: f64,
+    /// Sum of the per-clause costs.
+    pub total_cost: f64,
+}
 
 /// Per-document cardinality statistics.
 #[derive(Debug, Clone, Default)]
@@ -168,11 +223,130 @@ impl<'a> CostModel<'a> {
         idx.sort_by(|&a, &b| cards[a].total_cmp(&cards[b]));
         idx
     }
+
+    /// Cost of evaluating `g` with a specific access method. The binary
+    /// pipeline is costed in its R4 join order.
+    pub fn access_cost(&self, g: &PatternGraph, access: TpmAccess) -> f64 {
+        match access {
+            TpmAccess::NokScan => self.nok_scan_cost(g),
+            TpmAccess::TwigStack => self.twig_cost(g),
+            TpmAccess::BinaryJoin => {
+                let cards: Vec<f64> =
+                    (0..g.vertices.len()).map(|v| self.vertex_cardinality(g, v)).collect();
+                let ordered: Vec<f64> =
+                    self.choose_join_order(&cards).into_iter().map(|i| cards[i]).collect();
+                self.binary_join_pipeline_cost(&ordered)
+            }
+        }
+    }
+
+    /// The `Auto` policy for one τ: a pure NoK pattern takes the single
+    /// scan; otherwise the cheaper of the hybrid scan and the holistic twig
+    /// join (the twig must win clearly — its constant factors are worse).
+    pub fn choose_access(&self, g: &PatternGraph) -> (TpmAccess, f64) {
+        let scan = self.nok_scan_cost(g);
+        if g.is_nok_only() {
+            return (TpmAccess::NokScan, scan);
+        }
+        let twig = self.twig_cost(g);
+        if twig < scan * 0.5 {
+            (TpmAccess::TwigStack, twig)
+        } else {
+            (TpmAccess::NokScan, scan)
+        }
+    }
+
+    /// Estimated result cardinality of a path: the final step's tag count
+    /// (document-wide — the caller decides whether that total is spread
+    /// across outer bindings or multiplied by them).
+    pub fn path_cardinality(&self, path: &PathExpr) -> f64 {
+        match path.steps.last() {
+            Some(step) => (self.stats.tag_count(step.test.label()) as f64).max(0.0),
+            None => 1.0,
+        }
+    }
+
+    /// Estimated result cardinality of an arbitrary expression: paths and
+    /// compiled patterns use the statistics; scalars estimate 1.
+    pub fn expr_cardinality(&self, e: &Expr) -> f64 {
+        match e {
+            Expr::Path { path, .. } => self.path_cardinality(path),
+            Expr::CompiledPath { path, plan, .. } => {
+                if let crate::plan::PathOp::TpmFrom { pattern, .. } = plan.as_ref() {
+                    self.pattern_cardinality(pattern)
+                } else {
+                    self.path_cardinality(path)
+                }
+            }
+            Expr::SequenceExpr(items) => items.iter().map(|i| self.expr_cardinality(i)).sum(),
+            Expr::If { then_branch, else_branch, .. } => {
+                self.expr_cardinality(then_branch).max(self.expr_cardinality(else_branch))
+            }
+            Expr::Flwor(plan) => self.cost_plan(plan).out_rows,
+            _ => 1.0,
+        }
+    }
+
+    /// Whole-plan costing: walk the clause pipeline bottom-up, propagating
+    /// the estimated binding count through every for/let/where/order-by/τ
+    /// layer. This is where R4-style ordering information and the τ access
+    /// choice meet in a single pass — the physical planner in `xqp-exec`
+    /// annotates its operators directly from this report.
+    pub fn cost_plan(&self, plan: &LogicalPlan) -> PlanCostReport {
+        let mut clauses = Vec::new();
+        let mut rows = 0.0f64;
+        for clause in plan.clauses() {
+            let est = match clause {
+                LogicalPlan::EnvRoot => ClauseEstimate { rows: 1.0, cost: 0.0, access: None },
+                LogicalPlan::ForBind { source, .. } => {
+                    let total = self.expr_cardinality(source).max(0.0);
+                    // A correlated source (`$b/author`) spreads its total
+                    // matches across the upstream bindings; an independent
+                    // source re-produces them per binding.
+                    let out = if source.free_vars().is_empty() { rows * total } else { total };
+                    ClauseEstimate { rows: out, cost: rows + out, access: None }
+                }
+                LogicalPlan::LetBind { .. } => ClauseEstimate { rows, cost: rows, access: None },
+                LogicalPlan::Where { .. } => {
+                    ClauseEstimate { rows: rows * SEL_WHERE, cost: rows, access: None }
+                }
+                LogicalPlan::OrderBy { .. } => {
+                    let n = rows.max(1.0);
+                    ClauseEstimate { rows, cost: n * n.log2().max(1.0), access: None }
+                }
+                LogicalPlan::TpmBind { pattern, vars, .. } => {
+                    let (access, acc_cost) = self.choose_access(pattern);
+                    let mut out = rows;
+                    let mut anchor = 1.0f64;
+                    for tv in vars {
+                        let c = self.vertex_cardinality(pattern, tv.vertex).max(0.0);
+                        if tv.one_to_many {
+                            out *= (c / anchor).max(1e-6);
+                            anchor = c.max(1e-9);
+                        }
+                    }
+                    ClauseEstimate {
+                        rows: out,
+                        cost: acc_cost + out,
+                        access: Some((access, acc_cost)),
+                    }
+                }
+                LogicalPlan::ReturnClause { .. } => {
+                    ClauseEstimate { rows, cost: rows, access: None }
+                }
+            };
+            rows = est.rows;
+            clauses.push(est);
+        }
+        let total_cost = clauses.iter().map(|c| c.cost).sum();
+        PlanCostReport { clauses, out_rows: rows, total_cost }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::TpmVar;
     use xqp_xml::parse_document;
     use xqp_xpath::{parse_path, PatternGraph};
 
@@ -259,6 +433,96 @@ mod tests {
         // A twig over rare tags costs less than a full scan; over every tag
         // it can cost more. Here streams are small:
         assert!(cm.twig_cost(&g) < cm.nok_scan_cost(&g) * 2.0);
+    }
+
+    #[test]
+    fn choose_access_prefers_nok_for_nok_only_patterns() {
+        let s = stats();
+        let cm = CostModel::new(&s);
+        let g = PatternGraph::from_path(&parse_path("/bib/book/title").unwrap()).unwrap();
+        assert!(g.is_nok_only());
+        let (access, cost) = cm.choose_access(&g);
+        assert_eq!(access, TpmAccess::NokScan);
+        assert_eq!(cost, cm.nok_scan_cost(&g));
+    }
+
+    #[test]
+    fn choose_access_picks_twig_when_streams_are_sparse() {
+        // 1000 nodes but the queried tags are rare → twig beats the scan.
+        let mut tags = HashMap::new();
+        tags.insert("bib".to_string(), 1usize);
+        tags.insert("book".to_string(), 3);
+        tags.insert("title".to_string(), 3);
+        let s = DocStatistics::from_counts(1000, 900, tags, 4);
+        let cm = CostModel::new(&s);
+        let g = PatternGraph::from_path(&parse_path("/bib//book/title").unwrap()).unwrap();
+        assert!(!g.is_nok_only());
+        let (access, cost) = cm.choose_access(&g);
+        assert_eq!(access, TpmAccess::TwigStack);
+        assert_eq!(cost, cm.twig_cost(&g));
+        // Every named access method has a finite cost.
+        for a in [TpmAccess::NokScan, TpmAccess::TwigStack, TpmAccess::BinaryJoin] {
+            assert!(cm.access_cost(&g, a).is_finite());
+        }
+    }
+
+    #[test]
+    fn expr_cardinality_uses_last_step_tag() {
+        let s = stats();
+        let cm = CostModel::new(&s);
+        let authors = Expr::doc_path(parse_path("/bib/book/author").unwrap());
+        assert_eq!(cm.expr_cardinality(&authors), 3.0);
+        assert_eq!(cm.expr_cardinality(&Expr::lit(1i64)), 1.0);
+        let seq = Expr::SequenceExpr(vec![authors.clone(), authors]);
+        assert_eq!(cm.expr_cardinality(&seq), 6.0);
+    }
+
+    #[test]
+    fn cost_plan_propagates_cardinality_through_clauses() {
+        let s = stats();
+        let cm = CostModel::new(&s);
+        // for $b in doc()/bib/book  where …  return $b/title
+        let plan = LogicalPlan::ReturnClause {
+            input: Box::new(LogicalPlan::Where {
+                input: Box::new(LogicalPlan::ForBind {
+                    input: Box::new(LogicalPlan::EnvRoot),
+                    var: "b".into(),
+                    source: Expr::doc_path(parse_path("/bib/book").unwrap()),
+                }),
+                cond: Expr::lit(true),
+            }),
+            expr: Expr::var_path("b", parse_path("title").unwrap()),
+        };
+        let report = cm.cost_plan(&plan);
+        assert_eq!(report.clauses.len(), 4);
+        // EnvRoot → 1 row, for → 2 books, where → damped, return unchanged.
+        assert_eq!(report.clauses[0].rows, 1.0);
+        assert_eq!(report.clauses[1].rows, 2.0);
+        assert!(report.clauses[2].rows < 2.0);
+        assert_eq!(report.out_rows, report.clauses[3].rows);
+        assert!(report.total_cost > 0.0);
+    }
+
+    #[test]
+    fn cost_plan_tpm_bind_reports_access_choice() {
+        let s = stats();
+        let cm = CostModel::new(&s);
+        let g = PatternGraph::from_path(&parse_path("/bib/book/author").unwrap()).unwrap();
+        let book = g.vertices.iter().position(|v| v.label == "book").unwrap();
+        let plan = LogicalPlan::ReturnClause {
+            input: Box::new(LogicalPlan::TpmBind {
+                input: Box::new(LogicalPlan::EnvRoot),
+                pattern: g,
+                vars: vec![TpmVar { var: "b".into(), vertex: book, one_to_many: true }],
+            }),
+            expr: Expr::var("b"),
+        };
+        let report = cm.cost_plan(&plan);
+        let tpm = &report.clauses[1];
+        let (access, cost) = tpm.access.expect("τ clause must report its access method");
+        assert_eq!(access, TpmAccess::NokScan);
+        assert!(cost > 0.0);
+        assert!((tpm.rows - 2.0).abs() < 1e-9); // two books
     }
 
     #[test]

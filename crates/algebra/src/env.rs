@@ -145,11 +145,7 @@ impl<N: Clone> Env<N> {
             let seq = source(&self.bindings_for(leaf));
             for item in seq {
                 let id = self.slots.len();
-                self.slots.push(Slot {
-                    value: vec![item],
-                    parent: Some(leaf),
-                    layer: Some(layer),
-                });
+                self.slots.push(Slot { value: vec![item], parent: Some(leaf), layer: Some(layer) });
                 next.push(id);
             }
         }
@@ -180,17 +176,12 @@ impl<N: Clone> Env<N> {
     /// formula is false.
     pub fn filter(&mut self, mut pred: impl FnMut(&Bindings<'_, N>) -> bool) {
         let frontier = std::mem::take(&mut self.frontier);
-        self.frontier = frontier
-            .into_iter()
-            .filter(|&leaf| pred(&self.bindings_for(leaf)))
-            .collect();
+        self.frontier =
+            frontier.into_iter().filter(|&leaf| pred(&self.bindings_for(leaf))).collect();
     }
 
     /// Reorder total bindings by a sort key (`order by`); stable.
-    pub fn sort_bindings_by<K: Ord>(
-        &mut self,
-        mut key: impl FnMut(&Bindings<'_, N>) -> K,
-    ) {
+    pub fn sort_bindings_by<K: Ord>(&mut self, mut key: impl FnMut(&Bindings<'_, N>) -> K) {
         let mut keyed: Vec<(K, usize)> = std::mem::take(&mut self.frontier)
             .into_iter()
             .map(|leaf| (key(&self.bindings_for(leaf)), leaf))
@@ -336,9 +327,8 @@ mod tests {
         assert_eq!(e.layer_width(3), 6);
         assert_eq!(e.layer_width(4), 13);
         // Every total binding sees all five variables.
-        let complete = e.map_bindings(|b| {
-            ["a", "b", "c", "d", "e"].iter().all(|v| b.get(v).is_some())
-        });
+        let complete =
+            e.map_bindings(|b| ["a", "b", "c", "d", "e"].iter().all(|v| b.get(v).is_some()));
         assert!(complete.iter().all(|&ok| ok));
     }
 
@@ -380,9 +370,8 @@ mod tests {
         let mut e: Env<u32> = Env::new();
         e.extend_for("a", |_| atoms(&[1]));
         e.extend_let("b", |_| atoms(&[2]));
-        let names = e.map_bindings(|b| {
-            b.entries().iter().map(|(n, _)| n.to_string()).collect::<Vec<_>>()
-        });
+        let names =
+            e.map_bindings(|b| b.entries().iter().map(|(n, _)| n.to_string()).collect::<Vec<_>>());
         assert_eq!(names[0], ["a", "b"]);
     }
 

@@ -180,7 +180,7 @@ impl Expr {
                 let mut referenced = Vec::new();
                 path.referenced_vars(&mut referenced);
                 for v in referenced {
-                    if !bound.iter().any(|b| *b == v) {
+                    if !bound.contains(&v) {
                         out.insert(v);
                     }
                 }
@@ -210,7 +210,7 @@ impl Expr {
                 }
             }
             Expr::Construct(tree) => tree.visit_exprs(&mut |e| e.collect_free(out, bound)),
-            Expr::Flwor(plan) => plan.collect_free(out, bound),  // restores `bound` itself
+            Expr::Flwor(plan) => plan.collect_free(out, bound), // restores `bound` itself
         }
     }
 
@@ -236,11 +236,9 @@ impl Expr {
                 else_branch: Box::new(f(*else_branch)),
             },
             Expr::Call { name, args } => {
-                Expr::Call { name, args: args.into_iter().map(|a| f(a)).collect() }
+                Expr::Call { name, args: args.into_iter().map(f).collect() }
             }
-            Expr::SequenceExpr(items) => {
-                Expr::SequenceExpr(items.into_iter().map(|a| f(a)).collect())
-            }
+            Expr::SequenceExpr(items) => Expr::SequenceExpr(items.into_iter().map(f).collect()),
             Expr::Construct(mut tree) => {
                 tree.map_exprs(f);
                 Expr::Construct(tree)
@@ -367,9 +365,6 @@ mod tests {
             Expr::Var(v) => Expr::Var(format!("{v}2")),
             other => other,
         });
-        assert_eq!(
-            renamed,
-            Expr::And(Box::new(Expr::var("a2")), Box::new(Expr::var("b2")))
-        );
+        assert_eq!(renamed, Expr::And(Box::new(Expr::var("a2")), Box::new(Expr::var("b2"))));
     }
 }

@@ -33,7 +33,7 @@ pub mod rewrite;
 pub mod schema;
 pub mod value;
 
-pub use cost::{CostModel, DocStatistics};
+pub use cost::{ClauseEstimate, CostModel, DocStatistics, PlanCostReport, TpmAccess};
 pub use env::Env;
 pub use expr::Expr;
 pub use plan::{JoinSide, LogicalPlan, OrderKey, PathOp, TpmVar};

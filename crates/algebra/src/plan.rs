@@ -17,7 +17,7 @@
 use crate::expr::Expr;
 use std::collections::HashSet;
 use std::fmt;
-use xqp_xpath::{CmpOp, PathExpr, PatternGraph, PRel, Step, ValueConstraint};
+use xqp_xpath::{CmpOp, PRel, PathExpr, PatternGraph, Step, ValueConstraint};
 
 /// Which side of a structural join is returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -318,16 +318,12 @@ impl LogicalPlan {
     pub fn map_exprs(self, f: &mut impl FnMut(Expr) -> Expr) -> LogicalPlan {
         match self {
             LogicalPlan::EnvRoot => LogicalPlan::EnvRoot,
-            LogicalPlan::ForBind { input, var, source } => LogicalPlan::ForBind {
-                input: Box::new(input.map_exprs(f)),
-                var,
-                source: f(source),
-            },
-            LogicalPlan::LetBind { input, var, source } => LogicalPlan::LetBind {
-                input: Box::new(input.map_exprs(f)),
-                var,
-                source: f(source),
-            },
+            LogicalPlan::ForBind { input, var, source } => {
+                LogicalPlan::ForBind { input: Box::new(input.map_exprs(f)), var, source: f(source) }
+            }
+            LogicalPlan::LetBind { input, var, source } => {
+                LogicalPlan::LetBind { input: Box::new(input.map_exprs(f)), var, source: f(source) }
+            }
             LogicalPlan::Where { input, cond } => {
                 LogicalPlan::Where { input: Box::new(input.map_exprs(f)), cond: f(cond) }
             }
@@ -338,21 +334,32 @@ impl LogicalPlan {
                     .map(|k| OrderKey { expr: f(k.expr), descending: k.descending })
                     .collect(),
             },
-            LogicalPlan::ReturnClause { input, expr } => LogicalPlan::ReturnClause {
-                input: Box::new(input.map_exprs(f)),
-                expr: f(expr),
-            },
-            LogicalPlan::TpmBind { input, pattern, vars } => LogicalPlan::TpmBind {
-                input: Box::new(input.map_exprs(f)),
-                pattern,
-                vars,
-            },
+            LogicalPlan::ReturnClause { input, expr } => {
+                LogicalPlan::ReturnClause { input: Box::new(input.map_exprs(f)), expr: f(expr) }
+            }
+            LogicalPlan::TpmBind { input, pattern, vars } => {
+                LogicalPlan::TpmBind { input: Box::new(input.map_exprs(f)), pattern, vars }
+            }
         }
     }
 
     /// Number of operators in the pipeline (EnvRoot included).
     pub fn len(&self) -> usize {
         1 + self.input().map_or(0, LogicalPlan::len)
+    }
+
+    /// The clause pipeline bottom-up: `EnvRoot` first, this clause last.
+    /// This is the order data flows in, and the order
+    /// [`crate::cost::CostModel::cost_plan`] reports estimates in.
+    pub fn clauses(&self) -> Vec<&LogicalPlan> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut cur = Some(self);
+        while let Some(c) = cur {
+            out.push(c);
+            cur = c.input();
+        }
+        out.reverse();
+        out
     }
 
     /// Always false — a plan has at least `EnvRoot`.
@@ -382,19 +389,19 @@ impl LogicalPlan {
             LogicalPlan::OrderBy { keys, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
-                    .map(|k| {
-                        format!("{}{}", k.expr, if k.descending { " descending" } else { "" })
-                    })
+                    .map(|k| format!("{}{}", k.expr, if k.descending { " descending" } else { "" }))
                     .collect();
                 format!("order by {}", ks.join(", "))
             }
             LogicalPlan::ReturnClause { expr, .. } => format!("return {expr}"),
             LogicalPlan::TpmBind { vars, pattern, .. } => {
-                let vs: Vec<String> = vars
-                    .iter()
-                    .map(|v| format!("${}←v{}", v.var, v.vertex))
-                    .collect();
-                format!("tpm-bind [{}] over pattern({} vertices)", vs.join(", "), pattern.pattern_size())
+                let vs: Vec<String> =
+                    vars.iter().map(|v| format!("${}←v{}", v.var, v.vertex)).collect();
+                format!(
+                    "tpm-bind [{}] over pattern({} vertices)",
+                    vs.join(", "),
+                    pattern.pattern_size()
+                )
             }
         };
         lines.push(line);

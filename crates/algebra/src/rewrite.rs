@@ -134,11 +134,7 @@ pub fn optimize_expr(expr: Expr, rules: &RuleSet) -> (Expr, RewriteReport) {
     }
 }
 
-fn optimize_plan(
-    plan: LogicalPlan,
-    rules: &RuleSet,
-    report: &mut RewriteReport,
-) -> LogicalPlan {
+fn optimize_plan(plan: LogicalPlan, rules: &RuleSet, report: &mut RewriteReport) -> LogicalPlan {
     let mut plan = plan;
     if rules.const_fold {
         plan = plan.map_exprs(&mut |e| fold_expr(e, report));
@@ -293,10 +289,7 @@ fn prune_pass(
         LogicalPlan::Where { input, cond } => {
             let mut needed = needed_above.clone();
             needed.extend(cond.free_vars());
-            LogicalPlan::Where {
-                input: Box::new(prune_pass(*input, &needed, rules, report)),
-                cond,
-            }
+            LogicalPlan::Where { input: Box::new(prune_pass(*input, &needed, rules, report)), cond }
         }
         LogicalPlan::OrderBy { input, keys } => {
             let mut needed = needed_above.clone();
@@ -407,17 +400,11 @@ fn from_clauses(clauses: Vec<Clause>) -> LogicalPlan {
     let mut plan = LogicalPlan::EnvRoot;
     for c in clauses {
         plan = match c {
-            Clause::For(var, source) => {
-                LogicalPlan::ForBind { input: Box::new(plan), var, source }
-            }
-            Clause::Let(var, source) => {
-                LogicalPlan::LetBind { input: Box::new(plan), var, source }
-            }
+            Clause::For(var, source) => LogicalPlan::ForBind { input: Box::new(plan), var, source },
+            Clause::Let(var, source) => LogicalPlan::LetBind { input: Box::new(plan), var, source },
             Clause::WhereC(cond) => LogicalPlan::Where { input: Box::new(plan), cond },
             Clause::OrderByC(keys) => LogicalPlan::OrderBy { input: Box::new(plan), keys },
-            Clause::ReturnC(expr) => {
-                LogicalPlan::ReturnClause { input: Box::new(plan), expr }
-            }
+            Clause::ReturnC(expr) => LogicalPlan::ReturnClause { input: Box::new(plan), expr },
             Clause::TpmC(pattern, vars) => {
                 LogicalPlan::TpmBind { input: Box::new(plan), pattern, vars }
             }
@@ -437,10 +424,7 @@ fn tpm_compatible(path: &PathExpr, rules: &RuleSet) -> bool {
             Predicate::Exists(sub) => sub.steps.iter().all(|s| preds_ok(&s.predicates, rules)),
             Predicate::Compare { lhs, rhs, .. } => {
                 rules.pushdown_values
-                    && !matches!(
-                        (lhs, rhs),
-                        (PredOperand::Path(_), PredOperand::Path(_))
-                    )
+                    && !matches!((lhs, rhs), (PredOperand::Path(_), PredOperand::Path(_)))
             }
             Predicate::Position(_) | Predicate::Or(_, _) | Predicate::Not(_) => false,
             Predicate::And(a, b) => {
@@ -454,11 +438,7 @@ fn tpm_compatible(path: &PathExpr, rules: &RuleSet) -> bool {
 
 /// Fuse the leading run of for/let clauses over connected downward paths
 /// into one `TpmBind` (≥ 2 clauses required to be worth it).
-fn flwor_to_tpm(
-    plan: LogicalPlan,
-    rules: &RuleSet,
-    report: &mut RewriteReport,
-) -> LogicalPlan {
+fn flwor_to_tpm(plan: LogicalPlan, rules: &RuleSet, report: &mut RewriteReport) -> LogicalPlan {
     let mut clauses = Vec::new();
     to_clauses(plan, &mut clauses);
 
@@ -478,12 +458,10 @@ fn flwor_to_tpm(
         }
         let context = match base.as_ref() {
             Expr::ContextDoc if path.absolute => pattern.root(),
-            Expr::Var(u) if !path.absolute => {
-                match vars.iter().find(|tv| &tv.var == u) {
-                    Some(tv) => tv.vertex,
-                    None => break,
-                }
-            }
+            Expr::Var(u) if !path.absolute => match vars.iter().find(|tv| &tv.var == u) {
+                Some(tv) => tv.vertex,
+                None => break,
+            },
             _ => break,
         };
         let before = pattern.vertices.len();
@@ -647,10 +625,10 @@ fn compile_paths_in_expr(e: Expr, rules: &RuleSet, report: &mut RewriteReport) -
 /// removes intermediate results (multiple steps, predicates, descendants).
 fn fusion_profitable(path: &PathExpr) -> bool {
     path.steps.len() >= 2
-        || path
-            .steps
-            .first()
-            .is_some_and(|s| !s.predicates.is_empty() || !matches!(s.axis, xqp_xpath::Axis::Child | xqp_xpath::Axis::Attribute))
+        || path.steps.first().is_some_and(|s| {
+            !s.predicates.is_empty()
+                || !matches!(s.axis, xqp_xpath::Axis::Child | xqp_xpath::Axis::Attribute)
+        })
 }
 
 /// Compile one path under the rules: fused τ when eligible, else the naive
@@ -714,16 +692,11 @@ mod tests {
 
     #[test]
     fn r8_short_circuits_booleans() {
-        let e = Expr::And(
-            Box::new(Expr::Literal(Atomic::Boolean(false))),
-            Box::new(Expr::var("x")),
-        );
+        let e =
+            Expr::And(Box::new(Expr::Literal(Atomic::Boolean(false))), Box::new(Expr::var("x")));
         let mut rep = RewriteReport::default();
         assert_eq!(fold_expr(e, &mut rep), Expr::Literal(Atomic::Boolean(false)));
-        let e = Expr::Or(
-            Box::new(Expr::Literal(Atomic::Boolean(false))),
-            Box::new(Expr::var("x")),
-        );
+        let e = Expr::Or(Box::new(Expr::Literal(Atomic::Boolean(false))), Box::new(Expr::var("x")));
         assert_eq!(fold_expr(e, &mut rep), Expr::var("x"));
         let e = Expr::If {
             cond: Box::new(Expr::lit(1i64)),
@@ -777,7 +750,8 @@ mod tests {
 
     #[test]
     fn r1_fuses_downward_paths() {
-        let (op, rep) = optimize_path(&parse_path("/bib/book[author]/title").unwrap(), &RuleSet::all());
+        let (op, rep) =
+            optimize_path(&parse_path("/bib/book[author]/title").unwrap(), &RuleSet::all());
         assert_eq!(rep.count("R1"), 1);
         let (steps, tpms, _) = op.op_counts();
         assert_eq!(steps, 0);
@@ -803,8 +777,7 @@ mod tests {
 
     #[test]
     fn r2_reported_when_constraints_pushed() {
-        let (_, rep) =
-            optimize_path(&parse_path("/book[@year > 1994]").unwrap(), &RuleSet::all());
+        let (_, rep) = optimize_path(&parse_path("/book[@year > 1994]").unwrap(), &RuleSet::all());
         assert_eq!(rep.count("R1"), 1);
         assert_eq!(rep.count("R2"), 1);
         // Without R2, the value predicate blocks fusion entirely.
@@ -914,11 +887,7 @@ mod tests {
     fn two_absolute_fors_fuse_as_siblings() {
         let plan = ret(
             for_bind(
-                for_bind(
-                    LogicalPlan::EnvRoot,
-                    "a",
-                    Expr::doc_path(parse_path("/r/x").unwrap()),
-                ),
+                for_bind(LogicalPlan::EnvRoot, "a", Expr::doc_path(parse_path("/r/x").unwrap())),
                 "b",
                 Expr::doc_path(parse_path("/r/y").unwrap()),
             ),

@@ -97,11 +97,9 @@ impl SchemaNode {
             SchemaNode::Element { children, .. } => {
                 children.iter().map(SchemaNode::count_placeholders).sum()
             }
-            SchemaNode::If { then_children, else_children, .. } => then_children
-                .iter()
-                .chain(else_children)
-                .map(SchemaNode::count_placeholders)
-                .sum(),
+            SchemaNode::If { then_children, else_children, .. } => {
+                then_children.iter().chain(else_children).map(SchemaNode::count_placeholders).sum()
+            }
         }
     }
 

@@ -94,9 +94,7 @@ impl<N: Clone> Nested<N> {
     pub fn depth(&self) -> usize {
         match self {
             Nested::Leaf(_) => 0,
-            Nested::List(items) => {
-                1 + items.iter().map(Nested::depth).max().unwrap_or(0)
-            }
+            Nested::List(items) => 1 + items.iter().map(Nested::depth).max().unwrap_or(0),
         }
     }
 

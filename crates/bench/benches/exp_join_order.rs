@@ -4,10 +4,10 @@
 //! (the cost model's ascending-cardinality order) shrinks intermediates;
 //! the worst order keeps the two huge streams alive.
 
-use xqp_bench::harness::{BenchmarkId, Criterion};
-use xqp_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use xqp_algebra::CostModel;
+use xqp_bench::harness::{BenchmarkId, Criterion};
+use xqp_bench::{criterion_group, criterion_main};
 use xqp_exec::{structural, ExecContext};
 use xqp_storage::SuccinctDoc;
 use xqp_xml::Document;
@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
         tags.iter().map(|t| stats.tag_count(t) as f64).collect()
     };
     let stats = ctx.stats();
-    let cm = CostModel::new(&stats);
+    let cm = CostModel::new(stats);
     let good_first = if cards[1] < cards[0] { [1usize, 0] } else { [0, 1] };
     let _ = cm.choose_join_order(&cards);
     let bad_first = [good_first[1], good_first[0]];

@@ -4,9 +4,9 @@
 //! Six XMark path queries (X1–X6, `xqp_gen::workload`) under all four
 //! physical strategies on a fixed-scale document.
 
+use std::hint::black_box;
 use xqp_bench::harness::{BenchmarkId, Criterion};
 use xqp_bench::{criterion_group, criterion_main};
-use std::hint::black_box;
 use xqp_bench::{run_path, xmark_at, STRATEGIES};
 
 fn bench(c: &mut Criterion) {

@@ -13,8 +13,7 @@ use xqp_storage::SuccinctDoc;
 use xqp_xml::serialize;
 
 fn scratch(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir()
-        .join(format!("xqp-bench-persist-{}-{name}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("xqp-bench-persist-{}-{name}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).unwrap();
     dir

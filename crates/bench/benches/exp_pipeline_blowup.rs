@@ -6,10 +6,10 @@
 //! Criterion sweeps the query size n; the naive series grows geometrically
 //! while the NoK series stays flat.
 
-use xqp_bench::harness::{BenchmarkId, Criterion};
-use xqp_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
+use xqp_bench::harness::{BenchmarkId, Criterion};
 use xqp_bench::run_path;
+use xqp_bench::{criterion_group, criterion_main};
 use xqp_exec::Strategy;
 use xqp_gen::{blowup_doc, blowup_query};
 use xqp_storage::SuccinctDoc;

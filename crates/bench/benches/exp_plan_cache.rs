@@ -49,10 +49,7 @@ fn bench(c: &mut Criterion) {
         "plan cache after warm runs: hits={} misses={} evictions={}",
         counters.plan_hits, counters.plan_misses, counters.plan_evictions
     );
-    assert!(
-        counters.plan_hits > 0,
-        "repeated queries must be served from the plan cache"
-    );
+    assert!(counters.plan_hits > 0, "repeated queries must be served from the plan cache");
     assert_eq!(counters.plan_misses, QUERIES.len() as u64);
 }
 

@@ -3,11 +3,11 @@
 //! optimization + execution (rewrites are cheap; their payoff is in the
 //! physical plan they enable).
 
-use xqp_bench::harness::{BenchmarkId, Criterion};
-use xqp_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use xqp_algebra::RuleSet;
+use xqp_bench::harness::{BenchmarkId, Criterion};
 use xqp_bench::xmark_at;
+use xqp_bench::{criterion_group, criterion_main};
 use xqp_exec::Executor;
 
 const QUERY: &str = "for $i in doc()//item \

@@ -2,9 +2,9 @@
 //! set. The NoK scan must grow linearly with the document (§4.2's
 //! single-scan claim); the holistic join grows with its streams.
 
+use std::hint::black_box;
 use xqp_bench::harness::{BenchmarkId, Criterion, Throughput};
 use xqp_bench::{criterion_group, criterion_main};
-use std::hint::black_box;
 use xqp_bench::{run_path, xmark_at, SCALES};
 use xqp_exec::Strategy;
 
@@ -24,7 +24,11 @@ fn bench(c: &mut Criterion) {
                 &sdoc,
                 |b, sdoc| {
                     b.iter(|| {
-                        black_box(run_path(sdoc, strat, "//open_auction[bidder/increase > 20]/reserve"))
+                        black_box(run_path(
+                            sdoc,
+                            strat,
+                            "//open_auction[bidder/increase > 20]/reserve",
+                        ))
                     })
                 },
             );

@@ -2,9 +2,9 @@
 //! the same pattern over the stored document (results are identical; this
 //! measures the cost of each mode, and of parsing).
 
+use std::hint::black_box;
 use xqp_bench::harness::{BenchmarkId, Criterion, Throughput};
 use xqp_bench::{criterion_group, criterion_main};
-use std::hint::black_box;
 use xqp_exec::{nok, streaming, ExecContext};
 use xqp_gen::{gen_xmark, XmarkConfig};
 use xqp_storage::SuccinctDoc;

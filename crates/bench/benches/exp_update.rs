@@ -1,10 +1,10 @@
 //! E7 — update cost: a local parenthesis-substring splice (§4.2's update
 //! argument) vs. re-encoding the whole document from a DOM.
 
-use xqp_bench::harness::{BenchmarkId, Criterion};
-use xqp_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
+use xqp_bench::harness::{BenchmarkId, Criterion};
 use xqp_bench::xmark_both;
+use xqp_bench::{criterion_group, criterion_main};
 use xqp_storage::update;
 use xqp_xml::parse_document;
 
@@ -19,19 +19,24 @@ fn bench(c: &mut Criterion) {
     for scale in [0.1, 0.4] {
         let (dom, sdoc) = xmark_both(scale);
         let root = sdoc.root().unwrap();
-        g.bench_with_input(BenchmarkId::new("splice_insert", format!("scale{scale}")), &sdoc, |b, sdoc| {
-            b.iter(|| black_box(update::insert_subtree(sdoc, root, &frag).unwrap()))
-        });
-        g.bench_with_input(BenchmarkId::new("full_reencode", format!("scale{scale}")), &dom, |b, dom| {
-            b.iter(|| black_box(update::rebuild_full(dom)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("splice_insert", format!("scale{scale}")),
+            &sdoc,
+            |b, sdoc| b.iter(|| black_box(update::insert_subtree(sdoc, root, &frag).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_reencode", format!("scale{scale}")),
+            &dom,
+            |b, dom| b.iter(|| black_box(update::rebuild_full(dom))),
+        );
         // Delete a mid-document subtree (one person).
-        let victim = xqp_exec::Executor::new(&sdoc)
-            .eval_path_str("/site/people/person")
-            .unwrap()[0];
-        g.bench_with_input(BenchmarkId::new("splice_delete", format!("scale{scale}")), &sdoc, |b, sdoc| {
-            b.iter(|| black_box(update::delete_subtree(sdoc, victim).unwrap()))
-        });
+        let victim =
+            xqp_exec::Executor::new(&sdoc).eval_path_str("/site/people/person").unwrap()[0];
+        g.bench_with_input(
+            BenchmarkId::new("splice_delete", format!("scale{scale}")),
+            &sdoc,
+            |b, sdoc| b.iter(|| black_box(update::delete_subtree(sdoc, victim).unwrap())),
+        );
     }
     g.finish();
 }

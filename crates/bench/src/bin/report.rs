@@ -299,12 +299,7 @@ fn t11_ablation() {
     let t = median_time(3, || {
         ex.query_items(query).unwrap();
     });
-    println!(
-        "{:<12} {:>12} {:>9.2}x",
-        "none",
-        fmt_d(t),
-        t.as_secs_f64() / base.as_secs_f64()
-    );
+    println!("{:<12} {:>12} {:>9.2}x", "none", fmt_d(t), t.as_secs_f64() / base.as_secs_f64());
 
     // R7 and R8 are no-ops above; show them on queries they apply to.
     let dead_let = "for $i in doc()//item \
@@ -392,12 +387,7 @@ fn t13_index() {
         });
         ex.reset_counters();
         ex.eval_path_str(path).unwrap();
-        println!(
-            "  {:<24} {:>10}   {} stream items",
-            label,
-            fmt_d(t),
-            ex.counters().stream_items
-        );
+        println!("  {:<24} {:>10}   {} stream items", label, fmt_d(t), ex.counters().stream_items);
     }
     println!();
 }
@@ -461,10 +451,7 @@ fn t15_persist() {
             let mut store = DocStore::create(&slot, &sdoc).unwrap();
             for i in 0..REPLAYED {
                 store
-                    .log(&WalOp::Insert {
-                        parent: 0,
-                        fragment_xml: format!("<bench i=\"{i}\"/>"),
-                    })
+                    .log(&WalOp::Insert { parent: 0, fragment_xml: format!("<bench i=\"{i}\"/>") })
                     .unwrap();
             }
         }

@@ -1,9 +1,9 @@
 //! `xqp` — command-line query processor.
 //!
 //! ```text
-//! xqp query  <file.xml> <xquery>  [--strategy S] [--no-rules] [--pretty]
+//! xqp query  <file.xml> <xquery>  [--strategy S] [--no-rules] [--materialize] [--pretty]
 //! xqp select <file.xml> <path>    [--strategy S]
-//! xqp explain <file.xml> <xquery> [--no-rules]
+//! xqp explain <file.xml> <xquery> [--no-rules] [--materialize]
 //! xqp search <file.xml> <needle>            # substring search (suffix array)
 //! xqp stats  <file.xml>                     # storage-size report
 //! xqp race   <file.xml> <path>              # time all four strategies
@@ -19,7 +19,7 @@
 
 use std::process::ExitCode;
 use std::time::Instant;
-use xqp::{Database, RuleSet, Strategy};
+use xqp::{Database, EvalMode, RuleSet, Strategy};
 
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
@@ -29,6 +29,7 @@ struct Cli {
     arg: Option<String>,
     strategy: Strategy,
     rules: RuleSet,
+    mode: EvalMode,
     pretty: bool,
 }
 
@@ -36,16 +37,18 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut pos: Vec<&String> = Vec::new();
     let mut strategy = Strategy::Auto;
     let mut rules = RuleSet::all();
+    let mut mode = EvalMode::default();
     let mut pretty = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--strategy" => {
                 let v = it.next().ok_or("--strategy needs a value")?;
-                strategy = Strategy::from_name(v)
-                    .ok_or_else(|| format!("unknown strategy `{v}`"))?;
+                strategy =
+                    Strategy::from_name(v).ok_or_else(|| format!("unknown strategy `{v}`"))?;
             }
             "--no-rules" => rules = RuleSet::none(),
+            "--materialize" => mode = EvalMode::Materializing,
             "--pretty" => pretty = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`"));
@@ -67,6 +70,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         arg,
         strategy,
         rules,
+        mode,
         pretty,
     })
 }
@@ -74,9 +78,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 const USAGE: &str = "xqp — XML query processing and optimization
 
 USAGE:
-  xqp query   <file.xml> <xquery>  [--strategy S] [--no-rules] [--pretty]
+  xqp query   <file.xml> <xquery>  [--strategy S] [--no-rules] [--materialize] [--pretty]
   xqp select  <file.xml> <path>    [--strategy S]
-  xqp explain <file.xml> <xquery>  [--no-rules]
+  xqp explain <file.xml> <xquery>  [--no-rules] [--materialize]
   xqp search  <file.xml> <needle>
   xqp stats   <file.xml>
   xqp race    <file.xml> <path>
@@ -109,11 +113,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut db = if cli.command == "open" {
         let t = Instant::now();
         let db = Database::open(std::path::Path::new(&cli.file)).map_err(|e| e.to_string())?;
-        let stats = db
-            .document_names()
-            .first()
-            .and_then(|n| db.persist_stats(n).ok())
-            .unwrap_or_default();
+        let stats =
+            db.document_names().first().and_then(|n| db.persist_stats(n).ok()).unwrap_or_default();
         eprintln!(
             "-- opened {} in {:.2?} ({} WAL record(s) replayed)",
             cli.file,
@@ -130,6 +131,7 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     db.set_strategy(cli.strategy);
     db.set_rules(cli.rules);
+    db.set_eval_mode(cli.mode);
     // A freshly opened store keeps its on-disk name; the CLI always stores
     // a single document as "doc", so both paths agree.
 
@@ -188,7 +190,11 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => {
             let st = db.storage_stats("doc").map_err(|e| e.to_string())?;
             println!("nodes:               {}", st.nodes);
-            println!("succinct structure:  {} B ({:.2} bits/node)", st.succinct_structure, st.structure_bits_per_node());
+            println!(
+                "succinct structure:  {} B ({:.2} bits/node)",
+                st.succinct_structure,
+                st.structure_bits_per_node()
+            );
             println!("succinct schema:     {} B", st.succinct_schema);
             println!("succinct content:    {} B", st.succinct_content);
             println!("succinct total:      {} B", st.succinct_total());
@@ -266,19 +272,32 @@ mod tests {
         assert_eq!(cli.arg.as_deref(), Some("/a/b"));
         assert_eq!(cli.strategy, Strategy::Auto);
         assert_eq!(cli.rules, RuleSet::all());
+        assert_eq!(cli.mode, EvalMode::Streaming);
         assert!(!cli.pretty);
     }
 
     #[test]
     fn parses_flags_anywhere() {
         let cli = parse_args(&sv(&[
-            "--strategy", "nok", "select", "f.xml", "//x", "--pretty", "--no-rules",
+            "--strategy",
+            "nok",
+            "select",
+            "f.xml",
+            "//x",
+            "--pretty",
+            "--no-rules",
         ]))
         .unwrap();
         assert_eq!(cli.command, "select");
         assert_eq!(cli.strategy, Strategy::NoK);
         assert_eq!(cli.rules, RuleSet::none());
         assert!(cli.pretty);
+    }
+
+    #[test]
+    fn parses_materialize_flag() {
+        let cli = parse_args(&sv(&["query", "f.xml", "//x", "--materialize"])).unwrap();
+        assert_eq!(cli.mode, EvalMode::Materializing);
     }
 
     #[test]
@@ -296,7 +315,9 @@ mod tests {
         assert_eq!(cli.strategy, Strategy::Parallel { threads: 0 });
         let cli = parse_args(&sv(&["select", "f.xml", "//x", "--strategy", "parallel:8"])).unwrap();
         assert_eq!(cli.strategy, Strategy::Parallel { threads: 8 });
-        assert!(parse_args(&sv(&["select", "f.xml", "//x", "--strategy", "parallel:many"])).is_err());
+        assert!(
+            parse_args(&sv(&["select", "f.xml", "//x", "--strategy", "parallel:many"])).is_err()
+        );
     }
 
     #[test]

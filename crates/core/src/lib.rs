@@ -37,11 +37,11 @@ pub use xqp_xml as xml;
 pub use xqp_xpath as xpath;
 pub use xqp_xquery as xquery;
 
-pub use xqp_algebra::{RewriteReport, RuleSet};
-pub use xqp_exec::{ExecCounters, PlanCache as ExecPlanCache, Strategy};
+pub use xqp_algebra::{DocStatistics, RewriteReport, RuleSet};
+pub use xqp_exec::{EvalMode, ExecCounters, PlanCache as ExecPlanCache, Strategy};
 pub use xqp_storage::{
-    PersistError, ReplayReport, SNodeId, StorageStats, StoreCounters, SuccinctDoc,
-    SuffixIndex, UpdateError, ValueIndex, WalOp,
+    PersistError, ReplayReport, SNodeId, StorageStats, StoreCounters, SuccinctDoc, SuffixIndex,
+    UpdateError, ValueIndex, WalOp,
 };
 
 use std::collections::BTreeMap;
@@ -49,7 +49,7 @@ use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use xqp_exec::{Executor, PlanCache};
 use xqp_storage::persist::format::{crc32, put_str, put_u32, Reader};
 use xqp_storage::persist::DocStore;
@@ -117,6 +117,10 @@ struct Stored {
     index: Option<ValueIndex>,
     suffix: Option<SuffixIndex>,
     cache: Arc<PlanCache>,
+    /// Planner statistics, computed once per document generation and shared
+    /// with every executor; cleared by [`Stored::after_update`] so the
+    /// planner never costs against stale tag counts.
+    stats: OnceLock<Arc<DocStatistics>>,
     store: Option<DocStore>,
 }
 
@@ -127,12 +131,21 @@ impl Stored {
             index: None,
             suffix: None,
             cache: Arc::new(PlanCache::default()),
+            stats: OnceLock::new(),
             store: None,
         }
     }
 
+    /// The document's cost-model statistics, derived on first use.
+    fn statistics(&self) -> Arc<DocStatistics> {
+        Arc::clone(
+            self.stats.get_or_init(|| Arc::new(xqp_exec::context::statistics_of(&self.sdoc))),
+        )
+    }
+
     /// Rebuild derived state after the document changed: content indexes
-    /// follow the new ranks and every cached plan is invalidated.
+    /// follow the new ranks, planner statistics are recomputed on next use,
+    /// and every cached plan is invalidated.
     fn after_update(&mut self) {
         if let Some(idx) = &mut self.index {
             *idx = ValueIndex::build(&self.sdoc);
@@ -140,6 +153,7 @@ impl Stored {
         if let Some(sfx) = &mut self.suffix {
             *sfx = SuffixIndex::build(&self.sdoc);
         }
+        self.stats = OnceLock::new();
         self.cache.invalidate();
     }
 }
@@ -223,6 +237,7 @@ pub struct Database {
     docs: BTreeMap<String, Stored>,
     strategy: Strategy,
     rules: RuleSet,
+    mode: EvalMode,
     root: Option<PathBuf>,
     compact_threshold: u64,
 }
@@ -240,6 +255,7 @@ impl Database {
             docs: BTreeMap::new(),
             strategy: Strategy::Auto,
             rules: RuleSet::all(),
+            mode: EvalMode::default(),
             root: None,
             compact_threshold: DEFAULT_COMPACT_THRESHOLD,
         }
@@ -248,6 +264,12 @@ impl Database {
     /// Set the physical strategy for subsequent queries.
     pub fn set_strategy(&mut self, strategy: Strategy) {
         self.strategy = strategy;
+    }
+
+    /// Set how FLWOR plans execute: streamed through the physical pipeline
+    /// (default) or materialized clause-at-a-time.
+    pub fn set_eval_mode(&mut self, mode: EvalMode) {
+        self.mode = mode;
     }
 
     /// Set the rewrite-rule set for subsequent queries.
@@ -338,10 +360,7 @@ impl Database {
 
     /// Access the stored form of a document.
     pub fn document(&self, name: &str) -> Result<&SuccinctDoc, Error> {
-        self.docs
-            .get(name)
-            .map(|s| &s.sdoc)
-            .ok_or_else(|| Error::UnknownDocument(name.to_string()))
+        self.docs.get(name).map(|s| &s.sdoc).ok_or_else(|| Error::UnknownDocument(name.to_string()))
     }
 
     fn stored(&self, name: &str) -> Result<&Stored, Error> {
@@ -350,30 +369,21 @@ impl Database {
 
     /// Build (or rebuild) the content index for `name`.
     pub fn create_index(&mut self, name: &str) -> Result<(), Error> {
-        let s = self
-            .docs
-            .get_mut(name)
-            .ok_or_else(|| Error::UnknownDocument(name.to_string()))?;
+        let s = self.docs.get_mut(name).ok_or_else(|| Error::UnknownDocument(name.to_string()))?;
         s.index = Some(ValueIndex::build(&s.sdoc));
         Ok(())
     }
 
     /// Drop the content index for `name`.
     pub fn drop_index(&mut self, name: &str) -> Result<(), Error> {
-        let s = self
-            .docs
-            .get_mut(name)
-            .ok_or_else(|| Error::UnknownDocument(name.to_string()))?;
+        let s = self.docs.get_mut(name).ok_or_else(|| Error::UnknownDocument(name.to_string()))?;
         s.index = None;
         Ok(())
     }
 
     /// Build (or rebuild) the substring (suffix-array) index for `name`.
     pub fn create_suffix_index(&mut self, name: &str) -> Result<(), Error> {
-        let s = self
-            .docs
-            .get_mut(name)
-            .ok_or_else(|| Error::UnknownDocument(name.to_string()))?;
+        let s = self.docs.get_mut(name).ok_or_else(|| Error::UnknownDocument(name.to_string()))?;
         s.suffix = Some(SuffixIndex::build(&s.sdoc));
         Ok(())
     }
@@ -387,9 +397,7 @@ impl Database {
         }
         let mut out: Vec<SNodeId> = (0..s.sdoc.node_count() as u32)
             .map(SNodeId)
-            .filter(|&n| {
-                s.sdoc.content(n).is_some_and(|c| c.contains(needle))
-            })
+            .filter(|&n| s.sdoc.content(n).is_some_and(|c| c.contains(needle)))
             .collect();
         out.sort_unstable();
         Ok(out)
@@ -404,9 +412,7 @@ impl Database {
         }
         let mut out: Vec<SNodeId> = (0..s.sdoc.node_count() as u32)
             .map(SNodeId)
-            .filter(|&n| {
-                s.sdoc.is_element(n) && s.sdoc.string_value(n).contains(needle)
-            })
+            .filter(|&n| s.sdoc.is_element(n) && s.sdoc.string_value(n).contains(needle))
             .collect();
         out.sort_unstable();
         Ok(out)
@@ -416,6 +422,8 @@ impl Database {
         let mut ex = Executor::new(&s.sdoc)
             .with_strategy(self.strategy)
             .with_rules(self.rules)
+            .with_eval_mode(self.mode)
+            .with_statistics(s.statistics())
             .with_plan_cache(Arc::clone(&s.cache));
         if let Some(idx) = &s.index {
             ex = ex.with_index(idx);
@@ -424,6 +432,12 @@ impl Database {
             ex = ex.with_persist_stats(st.counters());
         }
         ex
+    }
+
+    /// Cost-model statistics the planner sees for `doc` (cached per
+    /// document generation; recomputed after updates).
+    pub fn statistics(&self, doc: &str) -> Result<Arc<DocStatistics>, Error> {
+        Ok(self.stored(doc)?.statistics())
     }
 
     /// Plan-cache traffic for `doc`: (hits, misses, evictions).
@@ -462,10 +476,7 @@ impl Database {
     /// removed. The root element cannot be deleted.
     pub fn delete_matching(&mut self, doc: &str, path: &str) -> Result<usize, Error> {
         let hits = self.select(doc, path)?;
-        let s = self
-            .docs
-            .get_mut(doc)
-            .ok_or_else(|| Error::UnknownDocument(doc.to_string()))?;
+        let s = self.docs.get_mut(doc).ok_or_else(|| Error::UnknownDocument(doc.to_string()))?;
         // Descending rank order keeps earlier ranks stable across splices;
         // nested matches vanish with their ancestors (subtree_size guards).
         let mut removed = 0usize;
@@ -513,20 +524,12 @@ impl Database {
     /// Insert `fragment` (an XML string with one root element) as the last
     /// child of every element matched by `path`. Returns the number of
     /// insertions.
-    pub fn insert_into(
-        &mut self,
-        doc: &str,
-        path: &str,
-        fragment: &str,
-    ) -> Result<usize, Error> {
+    pub fn insert_into(&mut self, doc: &str, path: &str, fragment: &str) -> Result<usize, Error> {
         let frag = xqp_xml::parse_document(fragment)?;
         // Canonical fragment text for the WAL: replay re-parses exactly this.
         let frag_xml = xqp_xml::serialize(&frag);
         let hits = self.select(doc, path)?;
-        let s = self
-            .docs
-            .get_mut(doc)
-            .ok_or_else(|| Error::UnknownDocument(doc.to_string()))?;
+        let s = self.docs.get_mut(doc).ok_or_else(|| Error::UnknownDocument(doc.to_string()))?;
         // Descending order keeps earlier target ranks valid.
         let mut targets = hits;
         targets.sort_unstable_by(|a, b| b.cmp(a));
@@ -623,12 +626,7 @@ impl Database {
 
     /// Persistence-traffic counters for `doc` (zeros when not durable).
     pub fn persist_stats(&self, doc: &str) -> Result<StoreCounters, Error> {
-        Ok(self
-            .stored(doc)?
-            .store
-            .as_ref()
-            .map(|st| st.counters())
-            .unwrap_or_default())
+        Ok(self.stored(doc)?.store.as_ref().map(|st| st.counters()).unwrap_or_default())
     }
 
     /// WAL records pending since the last compaction (0 when not durable).
@@ -644,10 +642,7 @@ impl Database {
 
     /// Fold `doc`'s WAL into a fresh snapshot now. No-op when not durable.
     pub fn compact(&mut self, doc: &str) -> Result<(), Error> {
-        let s = self
-            .docs
-            .get_mut(doc)
-            .ok_or_else(|| Error::UnknownDocument(doc.to_string()))?;
+        let s = self.docs.get_mut(doc).ok_or_else(|| Error::UnknownDocument(doc.to_string()))?;
         if let Some(st) = &mut s.store {
             st.compact(&s.sdoc)?;
         }
@@ -699,9 +694,8 @@ mod tests {
     #[test]
     fn flwor_query() {
         let d = db();
-        let out = d
-            .query("bib", "for $b in doc()/bib/book where $b/price < 50 return $b/title")
-            .unwrap();
+        let out =
+            d.query("bib", "for $b in doc()/bib/book where $b/price < 50 return $b/title").unwrap();
         assert_eq!(out, "<title>Data</title>");
     }
 
@@ -765,11 +759,31 @@ mod tests {
     #[test]
     fn explain_surfaces_plan() {
         let d = db();
-        let (plan, report) = d
-            .explain("bib", "for $b in doc()/bib/book let $t := $b/title return $t")
-            .unwrap();
+        let (plan, report) =
+            d.explain("bib", "for $b in doc()/bib/book let $t := $b/title return $t").unwrap();
         assert!(plan.contains("tpm-bind"));
         assert!(report.count("R5") > 0);
+    }
+
+    #[test]
+    fn statistics_refresh_after_updates() {
+        let mut d = db();
+        assert_eq!(d.statistics("bib").unwrap().tag_count("book"), 2);
+        d.insert_into("bib", "/bib", "<book><title>New</title></book>").unwrap();
+        assert_eq!(d.statistics("bib").unwrap().tag_count("book"), 3);
+        d.delete_matching("bib", "/bib/book[@year = 1994]").unwrap();
+        assert_eq!(d.statistics("bib").unwrap().tag_count("book"), 2);
+    }
+
+    #[test]
+    fn eval_mode_is_configurable() {
+        let mut d = db();
+        let q = "for $b in doc()/bib/book order by $b/price return $b/title";
+        let streaming = d.query("bib", q).unwrap();
+        d.set_eval_mode(EvalMode::Materializing);
+        assert_eq!(d.query("bib", q).unwrap(), streaming);
+        let (plan, _) = d.explain("bib", q).unwrap();
+        assert!(plan.contains("materializing"), "{plan}");
     }
 
     #[test]
@@ -800,8 +814,7 @@ mod tests {
         let els = d.contains_elements("bib", "TCP").unwrap();
         assert_eq!(els.len(), 3);
         // Suffix index survives updates.
-        d.insert_into("bib", "/bib", "<book><title>TCP turbo</title></book>")
-            .unwrap();
+        d.insert_into("bib", "/bib", "<book><title>TCP turbo</title></book>").unwrap();
         assert_eq!(d.contains_search("bib", "TCP").unwrap().len(), 2);
     }
 
@@ -821,8 +834,7 @@ mod tests {
     }
 
     fn tmp_db_dir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("xqp-core-unit-{}-{name}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("xqp-core-unit-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -838,10 +850,7 @@ mod tests {
         let back = Database::open(&dir).unwrap();
         assert_eq!(back.document_names(), ["bib", "tiny"]);
         assert_eq!(back.serialize("bib").unwrap(), d.serialize("bib").unwrap());
-        assert_eq!(
-            back.query("bib", "/bib/book[1]/title").unwrap(),
-            "<title>TCP</title>"
-        );
+        assert_eq!(back.query("bib", "/bib/book[1]/title").unwrap(), "<title>TCP</title>");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -5,8 +5,9 @@
 //! front end dominates evaluation. The cache keys on *normalized* query
 //! text — whitespace runs outside string literals collapse to one space, so
 //! reformatting a query does not defeat the cache — plus a fingerprint of
-//! the active rewrite-rule set, since the same text optimizes differently
-//! under different rules.
+//! the active rewrite-rule set (the same text optimizes differently under
+//! different rules) and the executor's strategy variant (a cached physical
+//! plan embeds strategy-dependent access-method annotations).
 //!
 //! Concurrency: an `RwLock`-guarded map, sized by an LRU cap. Hits take
 //! only the read lock (the recency stamp is a per-entry atomic, writable
@@ -14,20 +15,26 @@
 //! inserts and evictions take the write lock. Counters are atomics and are
 //! surfaced through [`crate::ExecCounters`] and `Executor::explain`.
 
+use crate::physical::PhysicalPlan;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use xqp_algebra::{Expr, RewriteReport, RuleSet};
 
-/// A fully front-ended query: the optimized body plus the rewrite report
-/// (which `explain` surfaces). Cloned out of the cache per execution; `Expr`
-/// is a plain tree, so a clone is cheap relative to parse + rewrite.
+/// A fully front-ended query: the optimized body, the rewrite report (which
+/// `explain` surfaces), and the lowered physical pipeline for the top-level
+/// FLWOR, if the body has one. Cloned out of the cache per execution; `Expr`
+/// is a plain tree and the physical plan is shared behind an `Arc`, so a
+/// clone is cheap relative to parse + rewrite + lowering.
 #[derive(Debug, Clone)]
 pub struct CompiledPlan {
     /// Optimized query body, ready for the evaluator.
     pub body: Expr,
     /// Which rewrite rules fired during optimization.
     pub report: RewriteReport,
+    /// Physical pipeline lowered from the body's FLWOR, if any. Shared so
+    /// repeated executions accumulate actual row counts for `explain`.
+    pub physical: Option<Arc<PhysicalPlan>>,
 }
 
 struct Entry {
@@ -69,17 +76,21 @@ impl PlanCache {
         }
     }
 
-    /// Look up the plan for `query` under `rules`, compiling and inserting
-    /// it on a miss. Compilation runs outside any lock; if two threads miss
-    /// on the same key simultaneously, both compile and one insert wins —
-    /// duplicated work, never a wrong result.
+    /// Look up the plan for `query` under `rules` and the planning
+    /// `variant` (the executor's strategy tag — lowered physical plans
+    /// embed strategy-dependent access annotations, so different strategies
+    /// must not share a slot). Compiles and inserts on a miss. Compilation
+    /// runs outside any lock; if two threads miss on the same key
+    /// simultaneously, both compile and one insert wins — duplicated work,
+    /// never a wrong result.
     pub fn get_or_compile<E>(
         &self,
         query: &str,
+        variant: &str,
         rules: &RuleSet,
         compile: impl FnOnce() -> Result<CompiledPlan, E>,
     ) -> Result<CompiledPlan, E> {
-        let key = cache_key(query, rules);
+        let key = cache_key(query, variant, rules);
         {
             let map = self.map.read().expect("plan cache poisoned");
             if let Some(entry) = map.get(&key) {
@@ -104,10 +115,7 @@ impl PlanCache {
             }
         }
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        map.insert(
-            key,
-            Entry { plan: plan.clone(), last_used: AtomicU64::new(now) },
-        );
+        map.insert(key, Entry { plan: plan.clone(), last_used: AtomicU64::new(now) });
         Ok(plan)
     }
 
@@ -144,9 +152,9 @@ impl PlanCache {
     }
 }
 
-/// The cache key: rule fingerprint plus normalized query text.
-fn cache_key(query: &str, rules: &RuleSet) -> String {
-    format!("{:03x}|{}", rules_fingerprint(rules), normalize_query(query))
+/// The cache key: rule fingerprint, planning variant, normalized query text.
+fn cache_key(query: &str, variant: &str, rules: &RuleSet) -> String {
+    format!("{:03x}|{variant}|{}", rules_fingerprint(rules), normalize_query(query))
 }
 
 /// One bit per rewrite rule, R1 lowest.
@@ -220,6 +228,7 @@ mod tests {
         CompiledPlan {
             body: Expr::Literal(xqp_xml::Atomic::Str(tag.into())),
             report: RewriteReport::default(),
+            physical: None,
         }
     }
 
@@ -233,10 +242,7 @@ mod tests {
     #[test]
     fn normalization_collapses_outer_whitespace_only() {
         assert_eq!(normalize_query("  //a  /  b  "), "//a / b");
-        assert_eq!(
-            normalize_query("for   $x\n\tin //a\nreturn $x"),
-            "for $x in //a return $x"
-        );
+        assert_eq!(normalize_query("for   $x\n\tin //a\nreturn $x"), "for $x in //a return $x");
         assert_eq!(normalize_query("//a[. = \"x  y\"]"), "//a[. = \"x  y\"]");
         assert_eq!(normalize_query("//a[. = 'p  q']"), "//a[. = 'p  q']");
         // Doubled-quote escape: the literal continues past the "" pair.
@@ -253,7 +259,7 @@ mod tests {
         let mut compiled = 0;
         for _ in 0..3 {
             let p = cache
-                .get_or_compile::<()>("//a", &rules, || {
+                .get_or_compile::<()>("//a", "auto", &rules, || {
                     compiled += 1;
                     Ok(plan_named("p1"))
                 })
@@ -263,9 +269,8 @@ mod tests {
         assert_eq!(compiled, 1);
         assert_eq!(cache.stats(), (2, 1, 0));
         // Reformatted text hits the same slot.
-        let p = cache
-            .get_or_compile::<()>("  //a  ", &rules, || panic!("should hit"))
-            .unwrap();
+        let p =
+            cache.get_or_compile::<()>("  //a  ", "auto", &rules, || panic!("should hit")).unwrap();
         assert_eq!(plan_tag(&p), "p1");
         assert_eq!(cache.stats(), (3, 1, 0));
     }
@@ -274,31 +279,48 @@ mod tests {
     fn different_rules_do_not_share_plans() {
         let cache = PlanCache::new(4);
         cache
-            .get_or_compile::<()>("//a", &RuleSet::all(), || Ok(plan_named("all")))
+            .get_or_compile::<()>("//a", "auto", &RuleSet::all(), || Ok(plan_named("all")))
             .unwrap();
         let p = cache
-            .get_or_compile::<()>("//a", &RuleSet::none(), || Ok(plan_named("none")))
+            .get_or_compile::<()>("//a", "auto", &RuleSet::none(), || Ok(plan_named("none")))
             .unwrap();
         assert_eq!(plan_tag(&p), "none");
         assert_eq!(cache.len(), 2);
     }
 
     #[test]
+    fn different_variants_do_not_share_plans() {
+        let cache = PlanCache::new(4);
+        let rules = RuleSet::all();
+        cache.get_or_compile::<()>("//a", "auto", &rules, || Ok(plan_named("auto"))).unwrap();
+        let p = cache
+            .get_or_compile::<()>("//a", "parallel:4", &rules, || Ok(plan_named("par")))
+            .unwrap();
+        assert_eq!(plan_tag(&p), "par");
+        assert_eq!(cache.len(), 2);
+        // Same variant still hits.
+        let p = cache
+            .get_or_compile::<()>("//a", "parallel:4", &rules, || panic!("should hit"))
+            .unwrap();
+        assert_eq!(plan_tag(&p), "par");
+    }
+
+    #[test]
     fn lru_eviction_at_capacity() {
         let cache = PlanCache::new(2);
         let rules = RuleSet::all();
-        cache.get_or_compile::<()>("//a", &rules, || Ok(plan_named("a"))).unwrap();
-        cache.get_or_compile::<()>("//b", &rules, || Ok(plan_named("b"))).unwrap();
+        cache.get_or_compile::<()>("//a", "auto", &rules, || Ok(plan_named("a"))).unwrap();
+        cache.get_or_compile::<()>("//b", "auto", &rules, || Ok(plan_named("b"))).unwrap();
         // Touch //a so //b is the LRU victim.
-        cache.get_or_compile::<()>("//a", &rules, || panic!("hit")).unwrap();
-        cache.get_or_compile::<()>("//c", &rules, || Ok(plan_named("c"))).unwrap();
+        cache.get_or_compile::<()>("//a", "auto", &rules, || panic!("hit")).unwrap();
+        cache.get_or_compile::<()>("//c", "auto", &rules, || Ok(plan_named("c"))).unwrap();
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().2, 1, "one eviction");
         // //a survived, //b was evicted.
-        cache.get_or_compile::<()>("//a", &rules, || panic!("hit")).unwrap();
+        cache.get_or_compile::<()>("//a", "auto", &rules, || panic!("hit")).unwrap();
         let mut recompiled = false;
         cache
-            .get_or_compile::<()>("//b", &rules, || {
+            .get_or_compile::<()>("//b", "auto", &rules, || {
                 recompiled = true;
                 Ok(plan_named("b"))
             })
@@ -311,11 +333,12 @@ mod tests {
         let cache = PlanCache::new(4);
         let rules = RuleSet::all();
         let r: Result<_, String> =
-            cache.get_or_compile("//bad", &rules, || Err("syntax".to_string()));
+            cache.get_or_compile("//bad", "auto", &rules, || Err("syntax".to_string()));
         assert!(r.is_err());
         assert_eq!(cache.len(), 0);
         // The next attempt compiles again (and may succeed).
-        let r: Result<_, String> = cache.get_or_compile("//bad", &rules, || Ok(plan_named("ok")));
+        let r: Result<_, String> =
+            cache.get_or_compile("//bad", "auto", &rules, || Ok(plan_named("ok")));
         assert!(r.is_ok());
         assert_eq!(cache.stats().1, 2, "both attempts were misses");
     }
@@ -324,14 +347,14 @@ mod tests {
     fn invalidate_clears_entries_but_keeps_counters() {
         let cache = PlanCache::new(4);
         let rules = RuleSet::all();
-        cache.get_or_compile::<()>("//a", &rules, || Ok(plan_named("a"))).unwrap();
-        cache.get_or_compile::<()>("//a", &rules, || panic!("hit")).unwrap();
+        cache.get_or_compile::<()>("//a", "auto", &rules, || Ok(plan_named("a"))).unwrap();
+        cache.get_or_compile::<()>("//a", "auto", &rules, || panic!("hit")).unwrap();
         cache.invalidate();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), (1, 1, 0));
         let mut recompiled = false;
         cache
-            .get_or_compile::<()>("//a", &rules, || {
+            .get_or_compile::<()>("//a", "auto", &rules, || {
                 recompiled = true;
                 Ok(plan_named("a"))
             })

@@ -31,9 +31,9 @@ pub fn build(
                 .expect("element constructor builds a node");
             Ok(NodeRef::Built(id))
         }
-        other => Err(XqError::new(format!(
-            "top-level constructor must be an element, found {other:?}"
-        ))),
+        other => {
+            Err(XqError::new(format!("top-level constructor must be an element, found {other:?}")))
+        }
     }
 }
 
@@ -81,11 +81,7 @@ fn build_node(
 /// Attribute-value rendering: atomize everything, join with single spaces
 /// (nodes contribute their string values).
 fn space_joined(ctx: &ExecContext<'_>, v: &Val) -> String {
-    ctx.atomize(v)
-        .iter()
-        .map(|a| a.as_string())
-        .collect::<Vec<_>>()
-        .join(" ")
+    ctx.atomize(v).iter().map(|a| a.as_string()).collect::<Vec<_>>().join(" ")
 }
 
 /// Insert a placeholder's value: nodes are deep-copied, runs of atoms become
@@ -166,8 +162,7 @@ fn copy_built(ctx: &ExecContext<'_>, src: &xqp_xml::Document, b: NodeId, parent:
     use xqp_xml::NodeKind;
     match &src.node(b).kind {
         NodeKind::Element { name, attributes } => {
-            let el =
-                ctx.with_built_mut(|d| d.append_element(parent, name.as_lexical()));
+            let el = ctx.with_built_mut(|d| d.append_element(parent, name.as_lexical()));
             for &aid in attributes {
                 if let NodeKind::Attribute { name, value } = &src.node(aid).kind {
                     let (an, av) = (name.as_lexical(), value.clone());
@@ -252,10 +247,7 @@ mod tests {
         let ctx = ExecContext::new(&sdoc);
         let book = sdoc.child_elements(sdoc.root().unwrap()).next().unwrap();
         let t = schema("<out>{$b}</out>");
-        let n = build(&ctx, &t, &mut |_| {
-            Ok(vec![Item::Node(NodeRef::Stored(book))])
-        })
-        .unwrap();
+        let n = build(&ctx, &t, &mut |_| Ok(vec![Item::Node(NodeRef::Stored(book))])).unwrap();
         assert_eq!(render(&ctx, n), "<out><book y=\"1\"><t>A</t></book></out>");
     }
 
@@ -293,10 +285,9 @@ mod tests {
         let ctx = ExecContext::new(&sdoc);
         // Build an inner node first, then embed it in an outer constructor.
         let inner = build(&ctx, &schema("<inner>x</inner>"), &mut |_| Ok(vec![])).unwrap();
-        let outer = build(&ctx, &schema("<outer>{$i}</outer>"), &mut |_| {
-            Ok(vec![Item::Node(inner)])
-        })
-        .unwrap();
+        let outer =
+            build(&ctx, &schema("<outer>{$i}</outer>"), &mut |_| Ok(vec![Item::Node(inner)]))
+                .unwrap();
         assert_eq!(render(&ctx, outer), "<outer><inner>x</inner></outer>");
     }
 
@@ -306,9 +297,6 @@ mod tests {
         let ctx = ExecContext::new(&sdoc);
         let t = schema("<results><result><title>T</title></result></results>");
         let n = build(&ctx, &t, &mut |_| Ok(vec![])).unwrap();
-        assert_eq!(
-            render(&ctx, n),
-            "<results><result><title>T</title></result></results>"
-        );
+        assert_eq!(render(&ctx, n), "<results><result><title>T</title></result></results>");
     }
 }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use xqp_algebra::{DocStatistics, Item, Sequence};
 use xqp_storage::{SNodeId, SuccinctDoc, TagStreams, ValueIndex};
 use xqp_xml::{Atomic, Document, NodeId};
@@ -67,6 +67,14 @@ pub struct ExecCounters {
     pub persist_records_replayed: u64,
     /// Log compactions performed by the durable store.
     pub persist_compactions: u64,
+    /// Rows (total bindings) emitted by physical operators.
+    pub phys_rows: u64,
+    /// Batches pulled through the physical pipeline.
+    pub phys_batches: u64,
+    /// High-water mark of simultaneously-live intermediate bindings — the
+    /// memory-shaped number experiment E16 compares between the streaming
+    /// pipeline and the materializing interpreter.
+    pub peak_bindings: u64,
 }
 
 /// Shared counter storage. Relaxed atomics: every counter is an independent
@@ -77,6 +85,12 @@ struct CounterCells {
     nodes_visited: AtomicU64,
     stream_items: AtomicU64,
     structural_joins: AtomicU64,
+    phys_rows: AtomicU64,
+    phys_batches: AtomicU64,
+    /// Gauge of currently-live intermediate bindings (not a snapshot field —
+    /// only its high-water mark is reported).
+    live_bindings: AtomicU64,
+    peak_bindings: AtomicU64,
 }
 
 /// Everything evaluation needs: the stored document, optional indexes,
@@ -93,7 +107,7 @@ pub struct ExecContext<'a> {
     /// Optional content index (σv pushdown probes it).
     pub index: Option<&'a ValueIndex>,
     streams: OnceLock<TagStreams>,
-    stats: OnceLock<DocStatistics>,
+    stats: OnceLock<Arc<DocStatistics>>,
     built: Mutex<Document>,
     counters: CounterCells,
 }
@@ -120,14 +134,24 @@ impl<'a> ExecContext<'a> {
         }
     }
 
-    /// Cardinality statistics (built on first use).
+    /// Cardinality statistics (built on first use unless seeded by
+    /// [`Self::with_stats`]).
     pub fn stats(&self) -> &DocStatistics {
-        self.stats.get_or_init(|| statistics_of(self.sdoc))
+        self.stats.get_or_init(|| Arc::new(statistics_of(self.sdoc)))
     }
 
     /// Attach a value index.
     pub fn with_index(mut self, index: &'a ValueIndex) -> Self {
         self.index = Some(index);
+        self
+    }
+
+    /// Seed the statistics with a pre-computed (typically per-document,
+    /// cached-by-the-database) snapshot, so repeated queries don't re-derive
+    /// them and updates can invalidate them centrally. A no-op if statistics
+    /// were already initialized.
+    pub fn with_stats(self, stats: Arc<DocStatistics>) -> Self {
+        let _ = self.stats.set(stats);
         self
     }
 
@@ -154,12 +178,50 @@ impl<'a> ExecContext<'a> {
         self.counters.structural_joins.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count `n` rows emitted by a physical operator.
+    #[inline]
+    pub fn count_phys_rows(&self, n: u64) {
+        self.counters.phys_rows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one batch pulled through the physical pipeline.
+    #[inline]
+    pub fn count_phys_batch(&self) {
+        self.counters.phys_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Register `n` intermediate bindings becoming live, updating the
+    /// high-water mark. Pair with [`Self::bindings_dead`].
+    #[inline]
+    pub fn bindings_live(&self, n: u64) {
+        let now = self.counters.live_bindings.fetch_add(n, Ordering::Relaxed) + n;
+        self.counters.peak_bindings.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Register `n` intermediate bindings going dead (consumed/dropped).
+    #[inline]
+    pub fn bindings_dead(&self, n: u64) {
+        self.counters.live_bindings.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Register `n` bindings transiently live on top of the long-lived ones
+    /// (a batch in flight, a materialized clause output): bumps the
+    /// high-water mark without moving the live gauge.
+    #[inline]
+    pub fn bindings_pulse(&self, n: u64) {
+        let now = self.counters.live_bindings.load(Ordering::Relaxed) + n;
+        self.counters.peak_bindings.fetch_max(now, Ordering::Relaxed);
+    }
+
     /// Snapshot the counters.
     pub fn counters(&self) -> ExecCounters {
         ExecCounters {
             nodes_visited: self.counters.nodes_visited.load(Ordering::Relaxed),
             stream_items: self.counters.stream_items.load(Ordering::Relaxed),
             structural_joins: self.counters.structural_joins.load(Ordering::Relaxed),
+            phys_rows: self.counters.phys_rows.load(Ordering::Relaxed),
+            phys_batches: self.counters.phys_batches.load(Ordering::Relaxed),
+            peak_bindings: self.counters.peak_bindings.load(Ordering::Relaxed),
             ..ExecCounters::default()
         }
     }
@@ -169,6 +231,10 @@ impl<'a> ExecContext<'a> {
         self.counters.nodes_visited.store(0, Ordering::Relaxed);
         self.counters.stream_items.store(0, Ordering::Relaxed);
         self.counters.structural_joins.store(0, Ordering::Relaxed);
+        self.counters.phys_rows.store(0, Ordering::Relaxed);
+        self.counters.phys_batches.store(0, Ordering::Relaxed);
+        self.counters.live_bindings.store(0, Ordering::Relaxed);
+        self.counters.peak_bindings.store(0, Ordering::Relaxed);
     }
 
     // ---- output arena -------------------------------------------------------
@@ -236,8 +302,10 @@ impl<'a> ExecContext<'a> {
     }
 }
 
-/// Derive cost-model statistics directly from the succinct document.
-fn statistics_of(sdoc: &SuccinctDoc) -> DocStatistics {
+/// Derive cost-model statistics directly from the succinct document. Public
+/// so the database layer can compute (and cache) them once per document
+/// generation and seed every context via [`ExecContext::with_stats`].
+pub fn statistics_of(sdoc: &SuccinctDoc) -> DocStatistics {
     let mut tag_counts = std::collections::HashMap::new();
     let mut elements = 0usize;
     let mut max_depth = 0usize;
@@ -321,6 +389,35 @@ mod tests {
     }
 
     #[test]
+    fn binding_gauge_tracks_high_water_mark() {
+        let sdoc = ctx_doc();
+        let ctx = ExecContext::new(&sdoc);
+        ctx.bindings_live(10);
+        ctx.bindings_live(5);
+        ctx.bindings_dead(12);
+        ctx.bindings_live(2);
+        let c = ctx.counters();
+        assert_eq!(c.peak_bindings, 15, "peak is the max of the live gauge");
+        ctx.count_phys_rows(7);
+        ctx.count_phys_batch();
+        let c = ctx.counters();
+        assert_eq!(c.phys_rows, 7);
+        assert_eq!(c.phys_batches, 1);
+        ctx.reset_counters();
+        assert_eq!(ctx.counters(), ExecCounters::default());
+    }
+
+    #[test]
+    fn injected_stats_are_used() {
+        let sdoc = ctx_doc();
+        let mut tags = std::collections::HashMap::new();
+        tags.insert("fake".to_string(), 99usize);
+        let seeded = Arc::new(DocStatistics::from_counts(1, 1, tags, 1));
+        let ctx = ExecContext::new(&sdoc).with_stats(seeded);
+        assert_eq!(ctx.stats().tag_count("fake"), 99);
+    }
+
+    #[test]
     fn streams_built_lazily() {
         let sdoc = ctx_doc();
         let ctx = ExecContext::new(&sdoc);
@@ -333,10 +430,7 @@ mod tests {
         let sdoc = ctx_doc();
         let ctx = ExecContext::new(&sdoc);
         let b = sdoc.child_elements(sdoc.root().unwrap()).next().unwrap();
-        let v: Val = vec![
-            Item::Node(NodeRef::Stored(b)),
-            Item::Atom(Atomic::Str("x".into())),
-        ];
+        let v: Val = vec![Item::Node(NodeRef::Stored(b)), Item::Atom(Atomic::Str("x".into()))];
         let atoms = ctx.atomize(&v);
         assert_eq!(atoms, vec![Atomic::Str("7".into()), Atomic::Str("x".into())]);
     }

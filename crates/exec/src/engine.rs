@@ -3,9 +3,11 @@
 use crate::cache::{CompiledPlan, PlanCache};
 use crate::context::{ExecContext, ExecCounters, NodeRef, Val, XqError};
 use crate::eval::{Evaluator, Scope};
+use crate::physical::{self, EvalMode};
 use crate::planner::Strategy;
 use std::sync::Arc;
-use xqp_algebra::{optimize_expr, Item, RewriteReport, RuleSet};
+use xqp_algebra::{optimize_expr, Expr, Item, LogicalPlan, RewriteReport, RuleSet};
+use xqp_algebra::{SchemaNode, SchemaTree};
 use xqp_storage::{SKind, SNodeId, StoreCounters, SuccinctDoc, ValueIndex};
 use xqp_xml::serialize::{escape_attr, escape_text};
 
@@ -18,6 +20,7 @@ pub struct Executor<'a> {
     ctx: ExecContext<'a>,
     strategy: Strategy,
     rules: RuleSet,
+    mode: EvalMode,
     plan_cache: Arc<PlanCache>,
     persist: Option<StoreCounters>,
 }
@@ -35,6 +38,7 @@ impl<'a> Executor<'a> {
             ctx: ExecContext::new(doc),
             strategy: Strategy::Auto,
             rules: RuleSet::all(),
+            mode: EvalMode::default(),
             plan_cache: Arc::new(PlanCache::default()),
             persist: None,
         }
@@ -43,6 +47,14 @@ impl<'a> Executor<'a> {
     /// Attach a value index (σv probes).
     pub fn with_index(mut self, index: &'a ValueIndex) -> Self {
         self.ctx = self.ctx.with_index(index);
+        self
+    }
+
+    /// Inject pre-computed document statistics (e.g. a cached-by-the-
+    /// database snapshot) so the planner does not re-derive them per query.
+    /// Callers must invalidate their snapshot when the document changes.
+    pub fn with_statistics(mut self, stats: Arc<xqp_algebra::DocStatistics>) -> Self {
+        self.ctx = self.ctx.with_stats(stats);
         self
     }
 
@@ -55,6 +67,13 @@ impl<'a> Executor<'a> {
     /// Fix the rewrite-rule set.
     pub fn with_rules(mut self, rules: RuleSet) -> Self {
         self.rules = rules;
+        self
+    }
+
+    /// Select how FLWOR plans execute: streamed through the physical
+    /// pipeline (default) or materialized clause-at-a-time.
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -105,21 +124,35 @@ impl<'a> Executor<'a> {
         self.ctx.reset_counters()
     }
 
-    /// Front end: parse + rewrite `query`, consulting the plan cache.
+    /// The plan-cache variant tag: the strategy, with the worker count kept
+    /// for `Parallel` since it changes the lowered plan's annotations.
+    fn variant(&self) -> String {
+        match self.strategy {
+            Strategy::Parallel { threads } => format!("parallel:{threads}"),
+            s => s.name().to_string(),
+        }
+    }
+
+    /// Front end: parse + rewrite `query` and lower its FLWOR (if any) to
+    /// the physical pipeline, consulting the plan cache.
     fn compile(&self, query: &str) -> Result<CompiledPlan, XqError> {
-        self.plan_cache.get_or_compile(query, &self.rules, || {
-            let body = xqp_xquery::parse_query(query)
-                .map_err(|e| XqError::new(e.to_string()))?
-                .body;
+        self.plan_cache.get_or_compile(query, &self.variant(), &self.rules, || {
+            let body =
+                xqp_xquery::parse_query(query).map_err(|e| XqError::new(e.to_string()))?.body;
             let (body, report) = optimize_expr(body, &self.rules);
-            Ok(CompiledPlan { body, report })
+            let physical = flwor_of(&body)
+                .and_then(|plan| physical::lower(plan, &self.ctx, self.strategy).ok())
+                .map(Arc::new);
+            Ok(CompiledPlan { body, report, physical })
         })
     }
 
     /// Run a query, returning the result sequence as items.
     pub fn query_items(&self, query: &str) -> Result<Val, XqError> {
         let plan = self.compile(query)?;
-        let ev = Evaluator::new(&self.ctx, self.strategy);
+        let ev = Evaluator::new(&self.ctx, self.strategy)
+            .with_mode(self.mode)
+            .with_physical(plan.physical.clone());
         ev.eval(&plan.body, &Scope::root())
     }
 
@@ -138,6 +171,9 @@ impl<'a> Executor<'a> {
         if !rendering.ends_with('\n') {
             rendering.push('\n');
         }
+        if let Some(phys) = &plan.physical {
+            rendering.push_str(&phys.render(self.mode));
+        }
         let (hits, misses, evictions) = self.plan_cache.stats();
         rendering.push_str(&format!(
             "-- plan cache: hits={hits} misses={misses} evictions={evictions} entries={}/{}\n",
@@ -155,17 +191,11 @@ impl<'a> Executor<'a> {
 
     /// Evaluate a bare path expression to node ids (strategy-dispatched).
     pub fn eval_path_str(&self, path: &str) -> Result<Vec<SNodeId>, XqError> {
-        let parsed =
-            xqp_xpath::parse_path(path).map_err(|e| XqError::new(e.to_string()))?;
+        let parsed = xqp_xpath::parse_path(path).map_err(|e| XqError::new(e.to_string()))?;
         if self.strategy != Strategy::Naive && self.rules.fuse_tpm {
             let (op, _) = xqp_algebra::optimize_path(&parsed, &self.rules);
             if let xqp_algebra::PathOp::TpmFrom { pattern, .. } = &op {
-                return Ok(crate::planner::eval_pattern(
-                    &self.ctx,
-                    pattern,
-                    None,
-                    self.strategy,
-                ));
+                return Ok(crate::planner::eval_pattern(&self.ctx, pattern, None, self.strategy));
             }
         }
         let out = crate::naive::eval_path(&self.ctx, &[], &parsed)?;
@@ -209,24 +239,35 @@ impl<'a> Executor<'a> {
     }
 }
 
+/// The first FLWOR pipeline embedded in a constructor's schema tree — the
+/// paper's Fig. 1 γ-over-pipeline shape.
+fn first_flwor(tree: &SchemaTree) -> Option<&LogicalPlan> {
+    fn rec(n: &SchemaNode) -> Option<&LogicalPlan> {
+        match n {
+            SchemaNode::Placeholder(Expr::Flwor(p)) => Some(p),
+            SchemaNode::Element { children, .. } => children.iter().find_map(rec),
+            SchemaNode::If { then_children, else_children, .. } => {
+                then_children.iter().chain(else_children).find_map(rec)
+            }
+            _ => None,
+        }
+    }
+    rec(&tree.root)
+}
+
+/// The FLWOR pipeline a query body runs — direct, or embedded in a γ.
+fn flwor_of(body: &Expr) -> Option<&LogicalPlan> {
+    match body {
+        Expr::Flwor(plan) => Some(plan),
+        Expr::Construct(tree) => first_flwor(tree),
+        _ => None,
+    }
+}
+
 /// Render an optimized query body: FLWOR pipelines expand to their plan,
 /// and a constructor-topped query (γ over a FLWOR placeholder, the paper's
 /// Fig. 1 shape) shows the γ line above the embedded pipeline.
-fn render_plan(body: &xqp_algebra::Expr) -> String {
-    use xqp_algebra::{Expr, SchemaNode, SchemaTree};
-    fn first_flwor(tree: &SchemaTree) -> Option<&xqp_algebra::LogicalPlan> {
-        fn rec(n: &SchemaNode) -> Option<&xqp_algebra::LogicalPlan> {
-            match n {
-                SchemaNode::Placeholder(Expr::Flwor(p)) => Some(p),
-                SchemaNode::Element { children, .. } => children.iter().find_map(rec),
-                SchemaNode::If { then_children, else_children, .. } => {
-                    then_children.iter().chain(else_children).find_map(rec)
-                }
-                _ => None,
-            }
-        }
-        rec(&tree.root)
-    }
+fn render_plan(body: &Expr) -> String {
     match body {
         Expr::Flwor(plan) => plan.explain(),
         Expr::Construct(tree) => match first_flwor(tree) {
@@ -350,7 +391,13 @@ mod tests {
     #[test]
     fn eval_path_str_matches_across_strategies() {
         let d = SuccinctDoc::parse(BIB).unwrap();
-        for s in [Strategy::Auto, Strategy::NoK, Strategy::TwigStack, Strategy::BinaryJoin, Strategy::Naive] {
+        for s in [
+            Strategy::Auto,
+            Strategy::NoK,
+            Strategy::TwigStack,
+            Strategy::BinaryJoin,
+            Strategy::Naive,
+        ] {
             let e = Executor::new(&d).with_strategy(s);
             let hits = e.eval_path_str("//book[price > 50]/title").unwrap();
             assert_eq!(hits.len(), 1, "strategy {s:?}");
@@ -361,9 +408,8 @@ mod tests {
     #[test]
     fn explain_reports_rules() {
         let d = SuccinctDoc::parse(BIB).unwrap();
-        let (plan, report) = exec(&d)
-            .explain("for $b in doc()/bib/book let $t := $b/title return $t")
-            .unwrap();
+        let (plan, report) =
+            exec(&d).explain("for $b in doc()/bib/book let $t := $b/title return $t").unwrap();
         assert!(plan.contains("tpm-bind"), "{plan}");
         assert_eq!(report.count("R5"), 1);
     }
@@ -372,9 +418,8 @@ mod tests {
     fn explain_without_rules_shows_plain_pipeline() {
         let d = SuccinctDoc::parse(BIB).unwrap();
         let e = Executor::new(&d).with_rules(RuleSet::none());
-        let (plan, report) = e
-            .explain("for $b in doc()/bib/book let $t := $b/title return $t")
-            .unwrap();
+        let (plan, report) =
+            e.explain("for $b in doc()/bib/book let $t := $b/title return $t").unwrap();
         assert!(plan.contains("for $b"), "{plan}");
         assert!(plan.contains("let $t"), "{plan}");
         assert!(report.applied.is_empty());
@@ -406,6 +451,31 @@ mod tests {
         let counters = e.counters();
         assert_eq!(counters.plan_misses, 1);
         assert_eq!(counters.plan_hits, 2);
+    }
+
+    #[test]
+    fn explain_shows_physical_plan_with_actuals_after_execution() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let e = exec(&d);
+        let q = "for $b in doc()/bib/book where $b/price > 50 return $b/title";
+        let (plan, _) = e.explain(q).unwrap();
+        assert!(plan.contains("-- physical plan (streaming, batch=64)"), "{plan}");
+        assert!(plan.contains("construct"), "{plan}");
+        assert!(plan.contains("actual 0 rows"), "explain alone must not execute: {plan}");
+        e.query(q).unwrap();
+        let (plan, _) = e.explain(q).unwrap();
+        assert!(plan.contains("actual 1 rows"), "{plan}");
+    }
+
+    #[test]
+    fn materializing_mode_matches_streaming() {
+        let d = SuccinctDoc::parse(BIB).unwrap();
+        let q = "for $b in doc()/bib/book order by $b/price return $b/title";
+        let streaming = exec(&d).query(q).unwrap();
+        let materializing = exec(&d).with_eval_mode(EvalMode::Materializing).query(q).unwrap();
+        assert_eq!(streaming, materializing);
+        let (plan, _) = exec(&d).with_eval_mode(EvalMode::Materializing).explain(q).unwrap();
+        assert!(plan.contains("(materializing, batch=64)"), "{plan}");
     }
 
     #[test]

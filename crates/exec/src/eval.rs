@@ -13,16 +13,16 @@ use crate::construct;
 use crate::context::{ExecContext, NodeRef, Val, XqError};
 use crate::naive;
 use crate::nok;
+use crate::physical::{EvalMode, PhysicalPlan};
 use crate::planner::{self, Strategy};
-use std::cell::RefCell;
 use std::cmp::Ordering;
-use xqp_algebra::env::{Bindings, Env};
+use std::sync::Arc;
+use xqp_algebra::env::Bindings;
 use xqp_algebra::expr::ArithOp;
-use xqp_algebra::plan::{OrderKey, TpmVar};
-use xqp_algebra::{Expr, Item, LogicalPlan, PathOp};
-use xqp_storage::SNodeId;
+use xqp_algebra::plan::OrderKey;
+use xqp_algebra::{Expr, Item, PathOp};
 use xqp_xml::Atomic;
-use xqp_xpath::{PathExpr, PatternGraph};
+use xqp_xpath::PathExpr;
 
 /// Lexical scope chain for variable lookup across nested FLWORs.
 pub struct Scope<'p> {
@@ -52,15 +52,11 @@ impl<'p> Scope<'p> {
     }
 }
 
-fn scope_from_bindings<'p>(
+pub(crate) fn scope_from_bindings<'p>(
     outer: &'p Scope<'p>,
     b: &Bindings<'_, NodeRef>,
 ) -> Scope<'p> {
-    let vars = b
-        .entries()
-        .into_iter()
-        .map(|(name, val)| (name.to_string(), val.clone()))
-        .collect();
+    let vars = b.entries().into_iter().map(|(name, val)| (name.to_string(), val.clone())).collect();
     outer.child(vars)
 }
 
@@ -70,12 +66,30 @@ pub struct Evaluator<'c, 'a> {
     pub ctx: &'c ExecContext<'a>,
     /// Physical strategy for compiled tree patterns.
     pub strategy: Strategy,
+    /// How FLWOR plans run: streamed through the physical pipeline
+    /// (default) or materialized through the `Env` interpreter.
+    pub mode: EvalMode,
+    /// A pre-lowered physical plan for the query's top-level FLWOR; its
+    /// shared operator stats accumulate actuals for `explain`.
+    pub(crate) physical: Option<Arc<PhysicalPlan>>,
 }
 
 impl<'c, 'a> Evaluator<'c, 'a> {
     /// Create an evaluator.
     pub fn new(ctx: &'c ExecContext<'a>, strategy: Strategy) -> Self {
-        Evaluator { ctx, strategy }
+        Evaluator { ctx, strategy, mode: EvalMode::default(), physical: None }
+    }
+
+    /// Select the FLWOR evaluation mode.
+    pub fn with_mode(mut self, mode: EvalMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Attach a pre-lowered physical plan (from the plan cache).
+    pub fn with_physical(mut self, physical: Option<Arc<PhysicalPlan>>) -> Self {
+        self.physical = physical;
+        self
     }
 
     /// Evaluate an expression in a scope.
@@ -150,210 +164,25 @@ impl<'c, 'a> Evaluator<'c, 'a> {
                 let node = construct::build(self.ctx, tree, &mut |e| self.eval(e, scope))?;
                 Ok(vec![Item::Node(node)])
             }
-            Expr::Flwor(plan) => self.eval_plan(plan, scope),
+            Expr::Flwor(plan) => match self.mode {
+                EvalMode::Streaming => self.eval_plan_streaming(plan, scope),
+                EvalMode::Materializing => self.eval_plan(plan, scope),
+            },
         }
     }
 
-    /// Evaluate a FLWOR plan to its result sequence.
-    pub fn eval_plan(&self, plan: &LogicalPlan, scope: &Scope<'_>) -> Result<Val, XqError> {
-        match plan {
-            LogicalPlan::ReturnClause { input, expr } => {
-                let env = self.build_env(input, scope)?;
-                let err: RefCell<Option<XqError>> = RefCell::new(None);
-                let results: Vec<Val> = env.map_bindings(|b| {
-                    let s = scope_from_bindings(scope, b);
-                    match self.eval(expr, &s) {
-                        Ok(v) => v,
-                        Err(e) => {
-                            err.borrow_mut().get_or_insert(e);
-                            Vec::new()
-                        }
-                    }
-                });
-                if let Some(e) = err.into_inner() {
-                    return Err(e);
-                }
-                Ok(results.into_iter().flatten().collect())
-            }
-            other => {
-                // A FLWOR without return is not producible by the parser;
-                // evaluate as if `return ()`-less: error clearly.
-                Err(XqError::new(format!(
-                    "plan must end in a return clause, found {other:?}"
-                )))
-            }
-        }
-    }
-
-    /// Build the environment for the clause pipeline below a return.
-    fn build_env(
+    /// Compute the `order by` sort key for the current scope.
+    pub(crate) fn order_key(
         &self,
-        plan: &LogicalPlan,
+        keys: &[OrderKey],
         scope: &Scope<'_>,
-    ) -> Result<Env<NodeRef>, XqError> {
-        match plan {
-            LogicalPlan::EnvRoot => Ok(Env::new()),
-            LogicalPlan::ForBind { input, var, source } => {
-                let mut env = self.build_env(input, scope)?;
-                self.extend(&mut env, var, source, scope, true)?;
-                Ok(env)
-            }
-            LogicalPlan::LetBind { input, var, source } => {
-                let mut env = self.build_env(input, scope)?;
-                self.extend(&mut env, var, source, scope, false)?;
-                Ok(env)
-            }
-            LogicalPlan::Where { input, cond } => {
-                let mut env = self.build_env(input, scope)?;
-                let err: RefCell<Option<XqError>> = RefCell::new(None);
-                env.filter(|b| {
-                    let s = scope_from_bindings(scope, b);
-                    match self.eval(cond, &s) {
-                        Ok(v) => naive::ebv(&v),
-                        Err(e) => {
-                            err.borrow_mut().get_or_insert(e);
-                            false
-                        }
-                    }
-                });
-                if let Some(e) = err.into_inner() {
-                    return Err(e);
-                }
-                Ok(env)
-            }
-            LogicalPlan::OrderBy { input, keys } => {
-                let mut env = self.build_env(input, scope)?;
-                let err: RefCell<Option<XqError>> = RefCell::new(None);
-                env.sort_bindings_by(|b| {
-                    let s = scope_from_bindings(scope, b);
-                    SortKey(
-                        keys.iter()
-                            .map(|k: &OrderKey| {
-                                let atom = match self.eval(&k.expr, &s) {
-                                    Ok(v) => self.ctx.atomize(&v).into_iter().next(),
-                                    Err(e) => {
-                                        err.borrow_mut().get_or_insert(e);
-                                        None
-                                    }
-                                };
-                                (atom, k.descending)
-                            })
-                            .collect(),
-                    )
-                });
-                if let Some(e) = err.into_inner() {
-                    return Err(e);
-                }
-                Ok(env)
-            }
-            LogicalPlan::TpmBind { input, pattern, vars } => {
-                let mut env = self.build_env(input, scope)?;
-                self.tpm_bind(&mut env, pattern, vars)?;
-                Ok(env)
-            }
-            LogicalPlan::ReturnClause { .. } => {
-                Err(XqError::new("nested return clause in binding pipeline"))
-            }
+    ) -> Result<SortKey, XqError> {
+        let mut parts = Vec::with_capacity(keys.len());
+        for k in keys {
+            let atom = self.ctx.atomize(&self.eval(&k.expr, scope)?).into_iter().next();
+            parts.push((atom, k.descending));
         }
-    }
-
-    fn extend(
-        &self,
-        env: &mut Env<NodeRef>,
-        var: &str,
-        source: &Expr,
-        scope: &Scope<'_>,
-        one_to_many: bool,
-    ) -> Result<(), XqError> {
-        let err: RefCell<Option<XqError>> = RefCell::new(None);
-        let eval_source = |b: &Bindings<'_, NodeRef>| {
-            let s = scope_from_bindings(scope, b);
-            match self.eval(source, &s) {
-                Ok(v) => v,
-                Err(e) => {
-                    err.borrow_mut().get_or_insert(e);
-                    Vec::new()
-                }
-            }
-        };
-        if one_to_many {
-            env.extend_for(var, eval_source);
-        } else {
-            env.extend_let(var, eval_source);
-        }
-        if let Some(e) = err.into_inner() {
-            return Err(e);
-        }
-        Ok(())
-    }
-
-    /// Execute a TpmBind: one pattern match, then one Env layer per bound
-    /// variable, reading the confirmed match sets.
-    fn tpm_bind(
-        &self,
-        env: &mut Env<NodeRef>,
-        pattern: &PatternGraph,
-        vars: &[TpmVar],
-    ) -> Result<(), XqError> {
-        let result = nok::match_pattern(self.ctx, pattern, None);
-        // vertex → variable name for anchor resolution.
-        let mut vertex_var: Vec<(usize, String)> = Vec::new();
-        for tv in vars {
-            // Find the nearest ancestor vertex already bound to a variable.
-            let (anchor_vertex, anchor_var) = {
-                let mut cur = tv.vertex;
-                let mut found: Option<(usize, String)> = None;
-                while let Some(arc) = pattern.incoming(cur) {
-                    cur = arc.from;
-                    if let Some((_, name)) =
-                        vertex_var.iter().find(|(vx, _)| *vx == cur)
-                    {
-                        found = Some((cur, name.clone()));
-                        break;
-                    }
-                }
-                match found {
-                    Some((vx, name)) => (vx, Some(name)),
-                    None => (pattern.root(), None),
-                }
-            };
-            let source = |b: &Bindings<'_, NodeRef>| -> Val {
-                let anchors: Vec<Option<SNodeId>> = match &anchor_var {
-                    None => vec![None],
-                    Some(name) => match b.get(name) {
-                        Some(val) => val
-                            .iter()
-                            .filter_map(|i| match i {
-                                Item::Node(NodeRef::Stored(s)) => Some(Some(*s)),
-                                _ => None,
-                            })
-                            .collect(),
-                        None => Vec::new(),
-                    },
-                };
-                let mut nodes: Vec<SNodeId> = Vec::new();
-                for a in anchors {
-                    nodes.extend(nok::matches_between(
-                        self.ctx,
-                        pattern,
-                        &result,
-                        anchor_vertex,
-                        tv.vertex,
-                        a,
-                    ));
-                }
-                nodes.sort_unstable();
-                nodes.dedup();
-                nodes.into_iter().map(|n| Item::Node(NodeRef::Stored(n))).collect()
-            };
-            if tv.one_to_many {
-                env.extend_for(&tv.var, source);
-            } else {
-                env.extend_let(&tv.var, source);
-            }
-            vertex_var.push((tv.vertex, tv.var.clone()));
-        }
-        Ok(())
+        Ok(SortKey(parts))
     }
 
     // ---- paths ---------------------------------------------------------------
@@ -436,18 +265,13 @@ impl<'c, 'a> Evaluator<'c, 'a> {
         }
         match op.apply(lv, rv) {
             Some(v) => Ok(vec![Item::Atom(v)]),
-            None => Err(XqError::new(format!(
-                "cannot compute {lv} {} {rv}",
-                op.symbol()
-            ))),
+            None => Err(XqError::new(format!("cannot compute {lv} {} {rv}", op.symbol()))),
         }
     }
 
     fn call(&self, name: &str, args: &[Val]) -> Result<Val, XqError> {
         let atom = |a: Atomic| Ok(vec![Item::Atom(a)]);
-        let arg = |i: usize| -> &Val {
-            args.get(i).map(|v| v as &Val).unwrap_or(EMPTY)
-        };
+        let arg = |i: usize| -> &Val { args.get(i).map(|v| v as &Val).unwrap_or(EMPTY) };
         static EMPTY_VEC: Vec<Item<NodeRef>> = Vec::new();
         const EMPTY: &Vec<Item<NodeRef>> = &EMPTY_VEC;
         let str0 = |s: &Self, i: usize| -> String {
@@ -529,13 +353,9 @@ impl<'c, 'a> Evaluator<'c, 'a> {
                 atom(Atomic::Str(parts.join(&sep)))
             }
             "contains" => atom(Atomic::Boolean(str0(self, 0).contains(&str0(self, 1)))),
-            "starts-with" => {
-                atom(Atomic::Boolean(str0(self, 0).starts_with(&str0(self, 1))))
-            }
+            "starts-with" => atom(Atomic::Boolean(str0(self, 0).starts_with(&str0(self, 1)))),
             "ends-with" => atom(Atomic::Boolean(str0(self, 0).ends_with(&str0(self, 1)))),
-            "string-length" => {
-                atom(Atomic::Integer(str0(self, 0).chars().count() as i64))
-            }
+            "string-length" => atom(Atomic::Integer(str0(self, 0).chars().count() as i64)),
             "normalize-space" => {
                 let s = str0(self, 0);
                 atom(Atomic::Str(s.split_whitespace().collect::<Vec<_>>().join(" ")))
@@ -610,7 +430,7 @@ impl<'c, 'a> Evaluator<'c, 'a> {
 }
 
 /// Sort key for `order by`: empty keys sort least; descending flips.
-struct SortKey(Vec<(Option<Atomic>, bool)>);
+pub(crate) struct SortKey(pub(crate) Vec<(Option<Atomic>, bool)>);
 
 impl PartialEq for SortKey {
     fn eq(&self, other: &Self) -> bool {
@@ -688,24 +508,15 @@ mod tests {
 
     #[test]
     fn flwor_with_let_and_count() {
-        let out = run(
-            BIB,
-            "for $b in doc()/bib/book let $a := $b/author return count($a)",
-        );
+        let out = run(BIB, "for $b in doc()/bib/book let $a := $b/author return count($a)");
         assert_eq!(out, ["1", "2"]);
     }
 
     #[test]
     fn order_by_ascending_and_descending() {
-        let out = run(
-            BIB,
-            "for $b in doc()/bib/book order by $b/price return $b/title",
-        );
+        let out = run(BIB, "for $b in doc()/bib/book order by $b/price return $b/title");
         assert_eq!(out, ["Data", "TCP"]);
-        let out = run(
-            BIB,
-            "for $b in doc()/bib/book order by $b/price descending return $b/title",
-        );
+        let out = run(BIB, "for $b in doc()/bib/book order by $b/price descending return $b/title");
         assert_eq!(out, ["TCP", "Data"]);
     }
 
@@ -753,10 +564,7 @@ mod tests {
 
     #[test]
     fn distinct_values() {
-        let out = run(
-            "<r><x>b</x><x>a</x><x>b</x></r>",
-            "distinct-values(doc()/r/x)",
-        );
+        let out = run("<r><x>b</x><x>a</x><x>b</x></r>", "distinct-values(doc()/r/x)");
         assert_eq!(out, ["a", "b"]);
     }
 

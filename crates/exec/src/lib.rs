@@ -22,17 +22,26 @@
 //! * [`streaming`] — the NoK matcher running over a live SAX event stream,
 //!   exploiting that pre-order storage coincides with arrival order.
 //! * [`construct`] — the γ operator: SchemaTree + bindings → output tree.
-//! * [`eval`] — the expression/FLWOR evaluator over `Env`, gluing it all
-//!   together; [`engine::Executor`] is the crate's front door.
+//! * [`eval`] — the scalar expression evaluator (paths, arithmetic,
+//!   functions, constructors), invoked per binding by either FLWOR backend.
+//! * [`physical`] — the **streaming physical pipeline** for FLWOR plans:
+//!   `LogicalPlan` clauses lower to pull-based operators that stream total
+//!   bindings batch-at-a-time, annotated by the whole-plan cost model.
+//! * [`materialize`] — the materializing `Env` interpreter: the reference
+//!   semantics the pipeline is checked against, and the E16 baseline.
+//!
+//! [`engine::Executor`] is the crate's front door.
 
 pub mod cache;
 pub mod construct;
 pub mod context;
 pub mod engine;
 pub mod eval;
+pub mod materialize;
 pub mod naive;
 pub mod nok;
 pub mod parallel;
+pub mod physical;
 pub mod planner;
 pub mod streaming;
 pub mod structural;
@@ -41,4 +50,5 @@ pub mod twig;
 pub use cache::{CompiledPlan, PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use context::{ExecContext, ExecCounters, NodeRef, Val, XqError};
 pub use engine::Executor;
+pub use physical::{EvalMode, PhysicalPlan, BATCH_SIZE};
 pub use planner::Strategy;

@@ -1,0 +1,224 @@
+//! The materializing FLWOR interpreter: the reference semantics.
+//!
+//! This is the original clause-at-a-time evaluation over the layered
+//! [`Env`] sort (Definition 3): each clause fully materializes its output
+//! environment before the next clause runs. The streaming physical pipeline
+//! ([`crate::physical`]) must agree with it byte-for-byte; it stays
+//! selectable (`EvalMode::Materializing`) both as the semantic oracle for
+//! the equivalence suite and as the baseline of experiment E16, which
+//! measures the peak intermediate binding count the pipeline avoids.
+//!
+//! The interpreter reports that peak through
+//! [`crate::context::ExecContext::bindings_pulse`] after every clause.
+
+use crate::context::{NodeRef, Val, XqError};
+use crate::eval::{scope_from_bindings, Evaluator, Scope, SortKey};
+use crate::naive;
+use crate::nok;
+use crate::planner;
+use std::cell::RefCell;
+use xqp_algebra::env::{Bindings, Env};
+use xqp_algebra::plan::TpmVar;
+use xqp_algebra::{Expr, Item, LogicalPlan};
+use xqp_storage::SNodeId;
+use xqp_xpath::PatternGraph;
+
+impl Evaluator<'_, '_> {
+    /// Evaluate a FLWOR plan to its result sequence by materializing the
+    /// full environment, then mapping the return clause over its total
+    /// bindings.
+    pub fn eval_plan(&self, plan: &LogicalPlan, scope: &Scope<'_>) -> Result<Val, XqError> {
+        match plan {
+            LogicalPlan::ReturnClause { input, expr } => {
+                let env = self.build_env(input, scope)?;
+                let err: RefCell<Option<XqError>> = RefCell::new(None);
+                let results: Vec<Val> = env.map_bindings(|b| {
+                    let s = scope_from_bindings(scope, b);
+                    match self.eval(expr, &s) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            err.borrow_mut().get_or_insert(e);
+                            Vec::new()
+                        }
+                    }
+                });
+                if let Some(e) = err.into_inner() {
+                    return Err(e);
+                }
+                Ok(results.into_iter().flatten().collect())
+            }
+            other => {
+                // A FLWOR without return is not producible by the parser;
+                // evaluate as if `return ()`-less: error clearly.
+                Err(XqError::new(format!("plan must end in a return clause, found {other:?}")))
+            }
+        }
+    }
+
+    /// Build the environment for the clause pipeline below a return.
+    fn build_env(&self, plan: &LogicalPlan, scope: &Scope<'_>) -> Result<Env<NodeRef>, XqError> {
+        let env = match plan {
+            LogicalPlan::EnvRoot => Env::new(),
+            LogicalPlan::ForBind { input, var, source } => {
+                let mut env = self.build_env(input, scope)?;
+                self.extend(&mut env, var, source, scope, true)?;
+                env
+            }
+            LogicalPlan::LetBind { input, var, source } => {
+                let mut env = self.build_env(input, scope)?;
+                self.extend(&mut env, var, source, scope, false)?;
+                env
+            }
+            LogicalPlan::Where { input, cond } => {
+                let mut env = self.build_env(input, scope)?;
+                let err: RefCell<Option<XqError>> = RefCell::new(None);
+                env.filter(|b| {
+                    let s = scope_from_bindings(scope, b);
+                    match self.eval(cond, &s) {
+                        Ok(v) => naive::ebv(&v),
+                        Err(e) => {
+                            err.borrow_mut().get_or_insert(e);
+                            false
+                        }
+                    }
+                });
+                if let Some(e) = err.into_inner() {
+                    return Err(e);
+                }
+                env
+            }
+            LogicalPlan::OrderBy { input, keys } => {
+                let mut env = self.build_env(input, scope)?;
+                let err: RefCell<Option<XqError>> = RefCell::new(None);
+                env.sort_bindings_by(|b| {
+                    let s = scope_from_bindings(scope, b);
+                    match self.order_key(keys, &s) {
+                        Ok(k) => k,
+                        Err(e) => {
+                            err.borrow_mut().get_or_insert(e);
+                            SortKey(Vec::new())
+                        }
+                    }
+                });
+                if let Some(e) = err.into_inner() {
+                    return Err(e);
+                }
+                env
+            }
+            LogicalPlan::TpmBind { input, pattern, vars } => {
+                let mut env = self.build_env(input, scope)?;
+                self.tpm_bind(&mut env, pattern, vars)?;
+                env
+            }
+            LogicalPlan::ReturnClause { .. } => {
+                return Err(XqError::new("nested return clause in binding pipeline"))
+            }
+        };
+        // The whole clause output is live at once — that is the point of
+        // comparison with the streaming pipeline (experiment E16).
+        self.ctx.bindings_pulse(env.total_binding_count() as u64);
+        Ok(env)
+    }
+
+    fn extend(
+        &self,
+        env: &mut Env<NodeRef>,
+        var: &str,
+        source: &Expr,
+        scope: &Scope<'_>,
+        one_to_many: bool,
+    ) -> Result<(), XqError> {
+        let err: RefCell<Option<XqError>> = RefCell::new(None);
+        let eval_source = |b: &Bindings<'_, NodeRef>| {
+            let s = scope_from_bindings(scope, b);
+            match self.eval(source, &s) {
+                Ok(v) => v,
+                Err(e) => {
+                    err.borrow_mut().get_or_insert(e);
+                    Vec::new()
+                }
+            }
+        };
+        if one_to_many {
+            env.extend_for(var, eval_source);
+        } else {
+            env.extend_let(var, eval_source);
+        }
+        if let Some(e) = err.into_inner() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Execute a TpmBind: one pattern match, then one Env layer per bound
+    /// variable, reading the confirmed match sets.
+    fn tpm_bind(
+        &self,
+        env: &mut Env<NodeRef>,
+        pattern: &PatternGraph,
+        vars: &[TpmVar],
+    ) -> Result<(), XqError> {
+        let result = nok::match_pattern(self.ctx, pattern, None);
+        let anchors = planner::tpm_anchor_chain(pattern, vars);
+        for (tv, (anchor_vertex, anchor_var)) in vars.iter().zip(&anchors) {
+            let source = |b: &Bindings<'_, NodeRef>| -> Val {
+                let anchor_nodes: Vec<Option<SNodeId>> = match anchor_var {
+                    None => vec![None],
+                    Some(name) => match b.get(name) {
+                        Some(val) => val
+                            .iter()
+                            .filter_map(|i| match i {
+                                Item::Node(NodeRef::Stored(s)) => Some(Some(*s)),
+                                _ => None,
+                            })
+                            .collect(),
+                        None => Vec::new(),
+                    },
+                };
+                let mut nodes: Vec<SNodeId> = Vec::new();
+                for a in anchor_nodes {
+                    nodes.extend(nok::matches_between(
+                        self.ctx,
+                        pattern,
+                        &result,
+                        *anchor_vertex,
+                        tv.vertex,
+                        a,
+                    ));
+                }
+                nodes.sort_unstable();
+                nodes.dedup();
+                nodes.into_iter().map(|n| Item::Node(NodeRef::Stored(n))).collect()
+            };
+            if tv.one_to_many {
+                env.extend_for(&tv.var, source);
+            } else {
+                env.extend_let(&tv.var, source);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExecContext;
+    use crate::planner::Strategy;
+    use xqp_algebra::{optimize_expr, RuleSet};
+    use xqp_storage::SuccinctDoc;
+
+    #[test]
+    fn materializing_mode_reports_peak_bindings() {
+        let xml = "<r><x>1</x><x>2</x><x>3</x></r>";
+        let sdoc = SuccinctDoc::parse(xml).unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let body = xqp_xquery::parse_query("for $x in doc()/r/x return $x").unwrap().body;
+        let (body, _) = optimize_expr(body, &RuleSet::none());
+        Evaluator::new(&ctx, Strategy::Auto)
+            .with_mode(crate::physical::EvalMode::Materializing)
+            .eval(&body, &Scope::root())
+            .unwrap();
+        assert!(ctx.counters().peak_bindings >= 3);
+    }
+}

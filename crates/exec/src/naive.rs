@@ -110,12 +110,7 @@ fn axis_candidates(ctx: &ExecContext<'_>, c: Ctx, axis: Axis, test: &NodeTest) -
     out
 }
 
-fn axis_from_doc_root(
-    ctx: &ExecContext<'_>,
-    axis: Axis,
-    test: &NodeTest,
-    out: &mut Vec<NodeRef>,
-) {
+fn axis_from_doc_root(ctx: &ExecContext<'_>, axis: Axis, test: &NodeTest, out: &mut Vec<NodeRef>) {
     let Some(root) = ctx.sdoc.root() else { return };
     match axis {
         Axis::Child => {
@@ -233,9 +228,7 @@ fn push_if(
         NodeTest::AnyNode => true,
         NodeTest::Text => is_text(ctx, n),
         NodeTest::Name(t) => match principal {
-            Principal::Element => {
-                is_element(ctx, n) && name_matches(ctx, n, t)
-            }
+            Principal::Element => is_element(ctx, n) && name_matches(ctx, n, t),
             Principal::Attribute => is_attribute(ctx, n) && name_matches(ctx, n, t),
         },
     };
@@ -258,9 +251,7 @@ pub(crate) fn children_of(ctx: &ExecContext<'_>, n: NodeRef) -> Vec<NodeRef> {
                 .map(NodeRef::Stored)
                 .collect()
         }
-        NodeRef::Built(b) => {
-            ctx.with_built(|d| d.children(b).map(NodeRef::Built).collect())
-        }
+        NodeRef::Built(b) => ctx.with_built(|d| d.children(b).map(NodeRef::Built).collect()),
     }
 }
 
@@ -281,9 +272,9 @@ pub(crate) fn attributes_of(ctx: &ExecContext<'_>, n: NodeRef) -> Vec<NodeRef> {
 pub(crate) fn parent_of(ctx: &ExecContext<'_>, n: NodeRef) -> Option<NodeRef> {
     match n {
         NodeRef::Stored(s) => ctx.sdoc.parent(s).map(NodeRef::Stored),
-        NodeRef::Built(b) => ctx.with_built(|d| {
-            d.node(b).parent.filter(|&p| p != d.root()).map(NodeRef::Built)
-        }),
+        NodeRef::Built(b) => {
+            ctx.with_built(|d| d.node(b).parent.filter(|&p| p != d.root()).map(NodeRef::Built))
+        }
     }
 }
 
@@ -367,9 +358,7 @@ pub fn eval_predicate(
     vars: VarLookup<'_>,
 ) -> Result<bool, XqError> {
     match pred {
-        Predicate::Exists(path) => {
-            Ok(!eval_path_with_vars(ctx, &[node], path, vars)?.is_empty())
-        }
+        Predicate::Exists(path) => Ok(!eval_path_with_vars(ctx, &[node], path, vars)?.is_empty()),
         Predicate::Position(-1) => Ok(pos == size),
         Predicate::Position(p) => Ok(*p >= 1 && pos == *p as usize),
         Predicate::And(a, b) => Ok(eval_predicate(ctx, node, a, pos, size, vars)?
@@ -403,8 +392,7 @@ fn operand_atoms(
             if path.steps.is_empty() {
                 return Ok(ctx.atomize(&val));
             }
-            let roots: Vec<NodeRef> =
-                val.iter().filter_map(|i| i.as_node().copied()).collect();
+            let roots: Vec<NodeRef> = val.iter().filter_map(|i| i.as_node().copied()).collect();
             let nodes = eval_path_with_vars(ctx, &roots, path, vars)?;
             Ok(nodes.into_iter().map(|n| ctx.typed_value(n)).collect())
         }
@@ -414,11 +402,7 @@ fn operand_atoms(
 /// XQuery general comparison: true iff some pair of atoms satisfies the
 /// operator.
 pub fn general_compare(left: &[Atomic], op: CmpOp, right: &[Atomic]) -> bool {
-    left.iter().any(|l| {
-        right
-            .iter()
-            .any(|r| l.compare(r).is_some_and(|ord| op.eval(ord)))
-    })
+    left.iter().any(|l| right.iter().any(|r| l.compare(r).is_some_and(|ord| op.eval(ord))))
 }
 
 /// Effective boolean value of a node/atom sequence.
@@ -446,11 +430,7 @@ mod tests {
     fn run(doc: &SuccinctDoc, path: &str) -> Vec<String> {
         let ctx = ExecContext::new(doc);
         let p = parse_path(path).unwrap();
-        eval_path(&ctx, &[], &p)
-            .unwrap()
-            .into_iter()
-            .map(|n| ctx.string_value(n))
-            .collect()
+        eval_path(&ctx, &[], &p).unwrap().into_iter().map(|n| ctx.string_value(n)).collect()
     }
 
     fn names(doc: &SuccinctDoc, path: &str) -> Vec<String> {
@@ -533,10 +513,7 @@ mod tests {
     #[test]
     fn boolean_predicates() {
         let d = bib();
-        assert_eq!(
-            run(&d, "/bib/book[price > 50 or @year = 2000]/title").len(),
-            2
-        );
+        assert_eq!(run(&d, "/bib/book[price > 50 or @year = 2000]/title").len(), 2);
         assert_eq!(run(&d, "/bib/book[price > 50 and @year = 2000]").len(), 0);
         assert_eq!(run(&d, "/bib/book[not(price > 50)]/title"), ["Data on the Web"]);
     }
@@ -546,7 +523,10 @@ mod tests {
         let d = bib();
         assert_eq!(names(&d, "/bib/book/title/.."), ["book", "book"]);
         assert_eq!(names(&d, "//author/ancestor::bib"), ["bib"]);
-        assert_eq!(names(&d, "//author/ancestor-or-self::*"), ["bib", "book", "author", "book", "author", "author"]);
+        assert_eq!(
+            names(&d, "//author/ancestor-or-self::*"),
+            ["bib", "book", "author", "book", "author", "author"]
+        );
     }
 
     #[test]
@@ -571,10 +551,7 @@ mod tests {
     #[test]
     fn nested_path_predicates() {
         let d = bib();
-        assert_eq!(
-            run(&d, "/bib[book/author = \"Stevens\"]/article/title"),
-            ["X"]
-        );
+        assert_eq!(run(&d, "/bib[book/author = \"Stevens\"]/article/title"), ["X"]);
         assert_eq!(run(&d, "/bib/book[title = author]").len(), 0); // path-path compare
     }
 

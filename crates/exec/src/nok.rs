@@ -24,7 +24,7 @@
 
 use crate::context::ExecContext;
 use xqp_storage::{SKind, SNodeId};
-use xqp_xpath::{NokPartition, PatternGraph, PRel, VertexKind};
+use xqp_xpath::{NokPartition, PRel, PatternGraph, VertexKind};
 
 /// Per-vertex confirmed sub-pattern matches, each list in document order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -146,10 +146,8 @@ impl<'g> PreparedPattern<'g> {
         // The virtual frame for the pattern root.
         let top_candidates = root_candidates(tables, g.root());
         let mut sat_root: Vec<bool> = vec![false; n];
-        let snapshots: Vec<usize> = tables.desc_targets[g.root()]
-            .iter()
-            .map(|&tgt| scan.confirmed[tgt].len())
-            .collect();
+        let snapshots: Vec<usize> =
+            tables.desc_targets[g.root()].iter().map(|&tgt| scan.confirmed[tgt].len()).collect();
         // Walk the context's children by parenthesis position: the first
         // child of rank r at open position p is (r+1, p+1); siblings follow
         // the matching close.
@@ -164,7 +162,7 @@ impl<'g> PreparedPattern<'g> {
         while child_pos < stop && bp.is_open(child_pos) {
             scan.visit(child_id, child_pos, &top_candidates, &mut sat_root);
             let close = bp.find_close(child_pos);
-            child_id = SNodeId(child_id.0 + ((close - child_pos + 1) / 2) as u32);
+            child_id = SNodeId(child_id.0 + ((close - child_pos).div_ceil(2)) as u32);
             child_pos = close + 1;
         }
         // Root satisfaction: mandatory child arcs + descendant arcs.
@@ -250,18 +248,11 @@ impl Scan<'_, '_> {
     /// Visit the node at open parenthesis `pos` with the given candidate
     /// vertices; sets `parent_sat[v]` for every vertex whose sub-pattern the
     /// node satisfies.
-    fn visit(
-        &mut self,
-        node: SNodeId,
-        pos: usize,
-        candidates: &[usize],
-        parent_sat: &mut [bool],
-    ) {
+    fn visit(&mut self, node: SNodeId, pos: usize, candidates: &[usize], parent_sat: &mut [bool]) {
         self.ctx.visit(1);
         let mut locally = self.take_usizes();
-        locally.extend(
-            candidates.iter().copied().filter(|&v| local_match(self.ctx, self.g, v, node)),
-        );
+        locally
+            .extend(candidates.iter().copied().filter(|&v| local_match(self.ctx, self.g, v, node)));
 
         if locally.is_empty() && self.t.floating.is_empty() {
             // Nothing can match here or below: skip the whole subtree.
@@ -299,7 +290,7 @@ impl Scan<'_, '_> {
             while bp.is_open(child_pos) {
                 self.visit(child_id, child_pos, &child_candidates, &mut child_sat);
                 let close = self.ctx.sdoc.bp().find_close(child_pos);
-                child_id = SNodeId(child_id.0 + ((close - child_pos + 1) / 2) as u32);
+                child_id = SNodeId(child_id.0 + ((close - child_pos).div_ceil(2)) as u32);
                 child_pos = close + 1;
             }
         }
@@ -379,10 +370,7 @@ pub fn filter_by_chain(
     let mut at_doc_root = context.is_none();
     for win in chain.windows(2) {
         let (from, to) = (win[0], win[1]);
-        let rel = g
-            .incoming(to)
-            .expect("chain vertices have incoming arcs")
-            .rel;
+        let rel = g.incoming(to).expect("chain vertices have incoming arcs").rel;
         let mut next: HashSet<SNodeId> = HashSet::new();
         for &n in result.of(to) {
             let ok = if at_doc_root {
@@ -393,9 +381,7 @@ pub fn filter_by_chain(
                 }
             } else {
                 match rel {
-                    PRel::Child => {
-                        ctx.sdoc.parent(n).is_some_and(|p| valid.contains(&p))
-                    }
+                    PRel::Child => ctx.sdoc.parent(n).is_some_and(|p| valid.contains(&p)),
                     PRel::Descendant => {
                         // Walk ancestors; depth is small in practice.
                         let mut anc = ctx.sdoc.parent(n);
@@ -434,10 +420,7 @@ pub fn filter_by_chain(
 /// `List([Leaf(n), entry…])`; an isolated match stays a `Leaf`. Because
 /// every entry is again a leaf or a group, inner lists are unambiguously
 /// groups (only the outermost container is a plain sequence).
-pub fn nest_by_structure(
-    ctx: &ExecContext<'_>,
-    nodes: &[SNodeId],
-) -> xqp_algebra::Nested<SNodeId> {
+pub fn nest_by_structure(ctx: &ExecContext<'_>, nodes: &[SNodeId]) -> xqp_algebra::Nested<SNodeId> {
     use xqp_algebra::{Item, Nested};
 
     struct Frame {
@@ -531,11 +514,7 @@ pub fn matches_between(
                 (None, PRel::Child) => {
                     // Children of the virtual doc node: the root element.
                     next.extend(
-                        matches
-                            .iter()
-                            .copied()
-                            .filter(|&m| ctx.sdoc.parent(m).is_none())
-                            .map(Some),
+                        matches.iter().copied().filter(|&m| ctx.sdoc.parent(m).is_none()).map(Some),
                     );
                 }
                 (None, PRel::Descendant) => {
@@ -581,8 +560,8 @@ pub fn matches_between(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::naive;
     use crate::context::NodeRef;
+    use crate::naive;
     use xqp_storage::SuccinctDoc;
     use xqp_xpath::{parse_path, PatternGraph};
 
@@ -686,10 +665,7 @@ mod tests {
         let book2 = d.child_elements(bib).nth(1).unwrap();
         // Relative pattern `author` under the second book.
         let mut g = PatternGraph::empty();
-        let last = g
-            .graft_path(g.root(), &parse_path("author").unwrap())
-            .unwrap()
-            .unwrap();
+        let last = g.graft_path(g.root(), &parse_path("author").unwrap()).unwrap().unwrap();
         g.mark_output(last);
         let m = eval_single_output(&ctx, &g, Some(book2));
         assert_eq!(m.len(), 2);
@@ -727,10 +703,7 @@ mod tests {
         let ctx = ExecContext::new(&d);
         let mut g = PatternGraph::from_path(&parse_path("/bib/book").unwrap()).unwrap();
         let book_v = g.outputs()[0];
-        let author_v = g
-            .graft_path(book_v, &parse_path("author").unwrap())
-            .unwrap()
-            .unwrap();
+        let author_v = g.graft_path(book_v, &parse_path("author").unwrap()).unwrap().unwrap();
         g.mark_output(author_v);
         let result = match_pattern(&ctx, &g, None);
         // books from the virtual doc root:
@@ -807,4 +780,3 @@ mod tests {
         assert_eq!(nested.leaf_count(), 3);
     }
 }
-

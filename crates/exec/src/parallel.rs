@@ -23,7 +23,7 @@ use crate::context::ExecContext;
 use crate::{structural, twig};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use xqp_algebra::CostModel;
+use xqp_algebra::{CostModel, TpmAccess};
 use xqp_storage::{Interval, SNodeId};
 use xqp_xpath::PatternGraph;
 
@@ -58,13 +58,13 @@ pub fn eval_pattern_parallel(
     }
     let threads = effective_threads(threads);
 
-    // Physical sweep choice, by the same cost-model signal the serial Auto
-    // policy uses: the holistic twig join when its stream estimate is well
-    // under the scan cost, the binary semi-join sweep otherwise. (The NoK
-    // single-scan matcher has no candidate lists to partition, so the
-    // parallel strategy always runs a join-based sweep.)
+    // Physical sweep choice, by the same cost-model policy the serial Auto
+    // strategy uses: the holistic twig join when the model picks it, the
+    // binary semi-join sweep otherwise. (The NoK single-scan matcher has no
+    // candidate lists to partition, so the parallel strategy always runs a
+    // join-based sweep.)
     let cm = CostModel::new(ctx.stats());
-    let use_twig = cm.twig_cost(g) < cm.nok_scan_cost(g) * 0.5;
+    let use_twig = matches!(cm.choose_access(g), (TpmAccess::TwigStack, _));
 
     if output == g.root() {
         // Degenerate pattern (output is the virtual root): nothing to
@@ -93,7 +93,11 @@ fn run_partitioned(
     base: Vec<Vec<Interval>>,
     output: usize,
     threads: usize,
-    sweep: for<'c, 'd> fn(&'c ExecContext<'d>, &'c PatternGraph, Vec<Vec<Interval>>) -> Vec<SNodeId>,
+    sweep: for<'c, 'd> fn(
+        &'c ExecContext<'d>,
+        &'c PatternGraph,
+        Vec<Vec<Interval>>,
+    ) -> Vec<SNodeId>,
 ) -> Vec<SNodeId> {
     let chunks = partition(&base[output], threads);
     if chunks.len() <= 1 {
@@ -112,10 +116,7 @@ fn run_partitioned(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel sweep worker panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("parallel sweep worker panicked")).collect()
     });
     kway_merge(parts)
 }

@@ -1,0 +1,949 @@
+//! The streaming physical-operator pipeline for FLWOR plans.
+//!
+//! The paper's two-layer design (§2) asks for "many physical operators that
+//! implement the same [logical] functionalities", chosen by a cost model.
+//! This module supplies the physical layer for the *list* operators: a
+//! [`LogicalPlan`] pipeline is lowered by [`lower`] into a [`PhysicalPlan`]
+//! of pull-based (Volcano-style) operators — [`PhysNode::EnvRoot`],
+//! [`PhysNode::ForScan`], [`PhysNode::LetEval`], [`PhysNode::Filter`],
+//! [`PhysNode::Sort`], [`PhysNode::TpmScan`] and [`PhysNode::Construct`] —
+//! that stream total bindings batch-at-a-time through `next_batch()` instead
+//! of materializing a whole [`xqp_algebra::Env`] between clauses.
+//!
+//! **Batch protocol.** A batch is a `Vec<Row>` of at most (softly)
+//! [`BATCH_SIZE`] rows; a [`Row`] is one total binding, stored as a
+//! persistent linked list so extending a binding shares its prefix with
+//! every sibling — the same sharing the layered `Env` tree provides, without
+//! keeping dead layers alive. `next_batch()` returns `Ok(None)` when an
+//! operator is exhausted. `Sort` is the only pipeline breaker; `ForScan`
+//! bounds its working set with a pull-through queue.
+//!
+//! **Costing.** [`lower`] runs [`CostModel::cost_plan`] once and annotates
+//! every operator with its estimated rows and cost; execution fills in the
+//! actual row/batch counts (shared `Arc<OpStats>`, so a cached plan
+//! accumulates across runs) which `explain` renders side by side.
+//!
+//! **τ access.** A `TpmScan` always executes through the NoK matcher — it
+//! is the only access method that produces the per-vertex confirmed sets
+//! multi-variable binding derivation needs, and the only one that gives
+//! optional vertices let-over-empty-match semantics. The cost model's
+//! per-method estimates are still shown so the choice is auditable, and
+//! compiled patterns *inside* for/let sources genuinely dispatch by
+//! strategy (see [`crate::planner::eval_pattern`]).
+
+use crate::context::{NodeRef, Val, XqError};
+use crate::eval::{Evaluator, Scope};
+use crate::naive;
+use crate::nok;
+use crate::planner::{self, Strategy};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xqp_algebra::plan::{OrderKey, TpmVar};
+use xqp_algebra::{CostModel, Expr, Item, LogicalPlan, PathOp, TpmAccess};
+use xqp_storage::SNodeId;
+use xqp_xpath::PatternGraph;
+
+/// Soft cap on rows per batch. Small enough to keep intermediate bindings
+/// bounded (experiment E16), large enough to amortize per-batch dispatch.
+pub const BATCH_SIZE: usize = 64;
+
+/// How the executor runs FLWOR plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Lower to the physical pipeline and stream batches (the default).
+    #[default]
+    Streaming,
+    /// Interpret the logical plan directly, materializing the full `Env`
+    /// between clauses — the reference semantics and the E16 baseline.
+    Materializing,
+}
+
+impl EvalMode {
+    /// Display name used by EXPLAIN renderings.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalMode::Streaming => "streaming",
+            EvalMode::Materializing => "materializing",
+        }
+    }
+}
+
+/// One total binding flowing through the pipeline: a persistent linked list
+/// of `(var, value)` cells, so `bind` is O(1) and siblings share prefixes.
+#[derive(Debug, Clone, Default)]
+pub struct Row(Option<Arc<RowCell>>);
+
+#[derive(Debug)]
+struct RowCell {
+    var: String,
+    value: Val,
+    parent: Row,
+}
+
+impl Row {
+    /// The empty total binding (the `EnvRoot` row).
+    pub fn empty() -> Row {
+        Row(None)
+    }
+
+    /// Extend with one binding; the receiver is shared, not copied.
+    pub fn bind(&self, var: &str, value: Val) -> Row {
+        Row(Some(Arc::new(RowCell { var: var.to_string(), value, parent: self.clone() })))
+    }
+
+    /// Look up a variable; inner bindings shadow outer ones.
+    pub fn get(&self, var: &str) -> Option<&Val> {
+        let mut cur = &self.0;
+        while let Some(cell) = cur {
+            if cell.var == var {
+                return Some(&cell.value);
+            }
+            cur = &cell.parent.0;
+        }
+        None
+    }
+
+    /// All bound `(var, value)` pairs, outermost first.
+    pub fn entries(&self) -> Vec<(String, Val)> {
+        let mut out = Vec::new();
+        let mut cur = &self.0;
+        while let Some(cell) = cur {
+            out.push((cell.var.clone(), cell.value.clone()));
+            cur = &cell.parent.0;
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// Actual row/batch tallies of one operator, shared (`Arc`) between the
+/// cached plan and its executions so `explain` can show accumulated actuals.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    /// Rows emitted so far.
+    pub rows: AtomicU64,
+    /// Batches emitted so far.
+    pub batches: AtomicU64,
+}
+
+/// Estimate + actuals attached to every physical operator.
+#[derive(Debug, Clone)]
+pub struct OpInfo {
+    /// Cost-model estimated output rows.
+    pub est_rows: f64,
+    /// Cost-model estimated work of this operator.
+    pub est_cost: f64,
+    /// Actual tallies (shared across executions of a cached plan).
+    pub stats: Arc<OpStats>,
+}
+
+impl OpInfo {
+    fn record(&self, ev: &Evaluator<'_, '_>, rows: usize) {
+        self.stats.rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        ev.ctx.count_phys_rows(rows as u64);
+        ev.ctx.count_phys_batch();
+        ev.ctx.bindings_pulse(rows as u64);
+    }
+}
+
+/// A physical operator node. Each wraps its upstream input (except
+/// `EnvRoot`) and carries its [`OpInfo`] annotation.
+#[derive(Debug, Clone)]
+pub enum PhysNode {
+    /// Emits exactly one empty row: the one empty total binding.
+    EnvRoot {
+        /// Estimate/actuals annotation.
+        info: OpInfo,
+    },
+    /// `for $var in source` — evaluates the source per input row and emits
+    /// one extended row per item, pulling input on demand.
+    ForScan {
+        /// Upstream operator.
+        input: Box<PhysNode>,
+        /// Bound variable.
+        var: String,
+        /// Source expression.
+        source: Expr,
+        /// Access method of an embedded compiled τ, if the source is one.
+        tau: Option<(&'static str, f64)>,
+        /// Estimate/actuals annotation.
+        info: OpInfo,
+    },
+    /// `let $var := source` — one extended row per input row.
+    LetEval {
+        /// Upstream operator.
+        input: Box<PhysNode>,
+        /// Bound variable.
+        var: String,
+        /// Source expression.
+        source: Expr,
+        /// Access method of an embedded compiled τ, if the source is one.
+        tau: Option<(&'static str, f64)>,
+        /// Estimate/actuals annotation.
+        info: OpInfo,
+    },
+    /// `where cond` — drops rows whose condition is false.
+    Filter {
+        /// Upstream operator.
+        input: Box<PhysNode>,
+        /// Condition (effective boolean value).
+        cond: Expr,
+        /// Estimate/actuals annotation.
+        info: OpInfo,
+    },
+    /// `order by` — the pipeline breaker: drains its input, stable-sorts,
+    /// re-emits in batches.
+    Sort {
+        /// Upstream operator.
+        input: Box<PhysNode>,
+        /// Sort keys, major first.
+        keys: Vec<OrderKey>,
+        /// Estimate/actuals annotation.
+        info: OpInfo,
+    },
+    /// A fused multi-variable τ (rewrite R5): one pattern match shared by
+    /// all executions, rows expanded per confirmed match sets.
+    TpmScan {
+        /// Upstream operator.
+        input: Box<PhysNode>,
+        /// The pattern graph.
+        pattern: PatternGraph,
+        /// Variables bound from pattern vertices, outermost first.
+        vars: Vec<TpmVar>,
+        /// The executed access method (always the NoK matcher — see the
+        /// module docs) and the cost model's per-method estimates for the
+        /// audit trail: `(nok, twigstack, binaryjoin)`.
+        access: TpmAccess,
+        /// Estimated cost of each access method: `(nok, twig, binary)`.
+        alt_costs: (f64, f64, f64),
+        /// Estimate/actuals annotation.
+        info: OpInfo,
+    },
+    /// `return expr` — evaluates the return expression once per row and
+    /// concatenates (γ when the expression is a constructor).
+    Construct {
+        /// Upstream operator.
+        input: Box<PhysNode>,
+        /// Returned expression.
+        expr: Expr,
+        /// Estimate/actuals annotation.
+        info: OpInfo,
+    },
+}
+
+impl PhysNode {
+    /// The upstream operator, if any.
+    pub fn input(&self) -> Option<&PhysNode> {
+        match self {
+            PhysNode::EnvRoot { .. } => None,
+            PhysNode::ForScan { input, .. }
+            | PhysNode::LetEval { input, .. }
+            | PhysNode::Filter { input, .. }
+            | PhysNode::Sort { input, .. }
+            | PhysNode::TpmScan { input, .. }
+            | PhysNode::Construct { input, .. } => Some(input),
+        }
+    }
+
+    /// This operator's annotation.
+    pub fn info(&self) -> &OpInfo {
+        match self {
+            PhysNode::EnvRoot { info }
+            | PhysNode::ForScan { info, .. }
+            | PhysNode::LetEval { info, .. }
+            | PhysNode::Filter { info, .. }
+            | PhysNode::Sort { info, .. }
+            | PhysNode::TpmScan { info, .. }
+            | PhysNode::Construct { info, .. } => info,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            PhysNode::EnvRoot { .. } => "env-root".to_string(),
+            PhysNode::ForScan { var, source, tau, .. } => match tau {
+                Some((name, cost)) => {
+                    format!("for-scan ${var} in {source} τ={name}(cost {})", fmt_est(*cost))
+                }
+                None => format!("for-scan ${var} in {source}"),
+            },
+            PhysNode::LetEval { var, source, tau, .. } => match tau {
+                Some((name, cost)) => {
+                    format!("let-eval ${var} := {source} τ={name}(cost {})", fmt_est(*cost))
+                }
+                None => format!("let-eval ${var} := {source}"),
+            },
+            PhysNode::Filter { cond, .. } => format!("filter {cond}"),
+            PhysNode::Sort { keys, .. } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.expr, if k.descending { " descending" } else { "" }))
+                    .collect();
+                format!("sort [{}]", ks.join(", "))
+            }
+            PhysNode::TpmScan { vars, pattern, access, alt_costs, .. } => {
+                let vs: Vec<String> =
+                    vars.iter().map(|v| format!("${}←v{}", v.var, v.vertex)).collect();
+                let (n, t, b) = alt_costs;
+                format!(
+                    "tpm-scan [{}] over pattern({} vertices) access={} costs[nok={}, twig={}, binary={}]",
+                    vs.join(", "),
+                    pattern.pattern_size(),
+                    access.name(),
+                    fmt_est(*n),
+                    fmt_est(*t),
+                    fmt_est(*b),
+                )
+            }
+            PhysNode::Construct { expr, .. } => format!("construct {expr}"),
+        }
+    }
+}
+
+/// A compiled physical plan: the operator tree plus whole-plan estimates and
+/// the logical plan it was lowered from (used to match γ-embedded FLWORs
+/// back to their cached pipeline).
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// The logical pipeline this plan was lowered from.
+    pub source: LogicalPlan,
+    /// Top operator (always a [`PhysNode::Construct`]).
+    pub root: PhysNode,
+    /// Estimated rows delivered to the consumer.
+    pub est_out_rows: f64,
+    /// Estimated total cost of the pipeline.
+    pub est_total_cost: f64,
+}
+
+impl PhysicalPlan {
+    /// Multi-line EXPLAIN rendering: a header line, then the operator tree
+    /// top-first with per-operator estimated vs actual rows.
+    pub fn render(&self, mode: EvalMode) -> String {
+        let mut out = format!(
+            "-- physical plan ({}, batch={BATCH_SIZE}): est {} rows out, total cost {}\n",
+            mode.name(),
+            fmt_est(self.est_out_rows),
+            fmt_est(self.est_total_cost),
+        );
+        let mut chain = Vec::new();
+        let mut cur = Some(&self.root);
+        while let Some(n) = cur {
+            chain.push(n);
+            cur = n.input();
+        }
+        for (depth, node) in chain.iter().enumerate() {
+            let info = node.info();
+            let rows = info.stats.rows.load(Ordering::Relaxed);
+            let batches = info.stats.batches.load(Ordering::Relaxed);
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!(
+                "{}  (est {} rows, cost {}; actual {} rows / {} batches)\n",
+                node.label(),
+                fmt_est(info.est_rows),
+                fmt_est(info.est_cost),
+                rows,
+                batches,
+            ));
+        }
+        out
+    }
+}
+
+/// Format an estimate: whole numbers plain, fractions to one decimal.
+fn fmt_est(v: f64) -> String {
+    if v.fract().abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// The access method (display name + estimated cost) a compiled-τ source
+/// expression resolves to under `strategy`. `None` when the source is not a
+/// compiled pattern, or the strategy evaluates it outside the three costed
+/// methods (`naive` navigation, `parallel` partitioned sweeps).
+fn expr_tau(cm: &CostModel<'_>, strategy: Strategy, e: &Expr) -> Option<(&'static str, f64)> {
+    let Expr::CompiledPath { plan, .. } = e else { return None };
+    let PathOp::TpmFrom { pattern, .. } = plan.as_ref() else { return None };
+    let (access, cost) = match strategy {
+        Strategy::Auto => cm.choose_access(pattern),
+        Strategy::NoK => (TpmAccess::NokScan, cm.access_cost(pattern, TpmAccess::NokScan)),
+        Strategy::TwigStack => {
+            (TpmAccess::TwigStack, cm.access_cost(pattern, TpmAccess::TwigStack))
+        }
+        Strategy::BinaryJoin => {
+            (TpmAccess::BinaryJoin, cm.access_cost(pattern, TpmAccess::BinaryJoin))
+        }
+        Strategy::Naive => return Some(("naive", cm.nok_scan_cost(pattern))),
+        Strategy::Parallel { .. } => {
+            // The partitioned sweep is join-based; report it under its own
+            // name with the join-pipeline estimate.
+            return Some(("parallel", cm.access_cost(pattern, TpmAccess::BinaryJoin)));
+        }
+    };
+    Some((access.name(), cost))
+}
+
+/// Lower a logical FLWOR pipeline to a physical plan, annotating every
+/// operator from one whole-plan [`CostModel::cost_plan`] pass.
+pub fn lower(
+    plan: &LogicalPlan,
+    ctx: &crate::context::ExecContext<'_>,
+    strategy: Strategy,
+) -> Result<PhysicalPlan, XqError> {
+    let stats = ctx.stats();
+    let cm = CostModel::new(stats);
+    let report = cm.cost_plan(plan);
+    let clauses = plan.clauses();
+    let mut node: Option<PhysNode> = None;
+    let boxed = |n: Option<PhysNode>| -> Result<Box<PhysNode>, XqError> {
+        n.map(Box::new).ok_or_else(|| XqError::new("plan clause with no upstream input"))
+    };
+    for (i, (clause, est)) in clauses.iter().zip(&report.clauses).enumerate() {
+        let last = i + 1 == clauses.len();
+        let info =
+            OpInfo { est_rows: est.rows, est_cost: est.cost, stats: Arc::new(OpStats::default()) };
+        if matches!(clause, LogicalPlan::ReturnClause { .. }) != last {
+            return Err(XqError::new(if last {
+                format!("plan must end in a return clause, found {clause:?}")
+            } else {
+                "nested return clause in binding pipeline".to_string()
+            }));
+        }
+        node = Some(match clause {
+            LogicalPlan::EnvRoot => PhysNode::EnvRoot { info },
+            LogicalPlan::ForBind { var, source, .. } => PhysNode::ForScan {
+                input: boxed(node)?,
+                var: var.clone(),
+                source: source.clone(),
+                tau: expr_tau(&cm, strategy, source),
+                info,
+            },
+            LogicalPlan::LetBind { var, source, .. } => PhysNode::LetEval {
+                input: boxed(node)?,
+                var: var.clone(),
+                source: source.clone(),
+                tau: expr_tau(&cm, strategy, source),
+                info,
+            },
+            LogicalPlan::Where { cond, .. } => {
+                PhysNode::Filter { input: boxed(node)?, cond: cond.clone(), info }
+            }
+            LogicalPlan::OrderBy { keys, .. } => {
+                PhysNode::Sort { input: boxed(node)?, keys: keys.clone(), info }
+            }
+            LogicalPlan::TpmBind { pattern, vars, .. } => PhysNode::TpmScan {
+                input: boxed(node)?,
+                pattern: pattern.clone(),
+                vars: vars.clone(),
+                access: TpmAccess::NokScan,
+                alt_costs: (
+                    cm.access_cost(pattern, TpmAccess::NokScan),
+                    cm.access_cost(pattern, TpmAccess::TwigStack),
+                    cm.access_cost(pattern, TpmAccess::BinaryJoin),
+                ),
+                info,
+            },
+            LogicalPlan::ReturnClause { expr, .. } => {
+                PhysNode::Construct { input: boxed(node)?, expr: expr.clone(), info }
+            }
+        });
+    }
+    Ok(PhysicalPlan {
+        source: plan.clone(),
+        root: node.ok_or_else(|| XqError::new("empty plan"))?,
+        est_out_rows: report.out_rows,
+        est_total_cost: report.total_cost,
+    })
+}
+
+/// Per-operator pull state. Borrows the plan (`'x`); the evaluator and outer
+/// scope are threaded through `next_batch` so the state carries no extra
+/// lifetimes.
+enum Src<'x> {
+    Root {
+        emitted: bool,
+        info: &'x OpInfo,
+    },
+    For {
+        input: Box<Src<'x>>,
+        var: &'x str,
+        source: &'x Expr,
+        queue: VecDeque<Row>,
+        done: bool,
+        info: &'x OpInfo,
+    },
+    Let {
+        input: Box<Src<'x>>,
+        var: &'x str,
+        source: &'x Expr,
+        info: &'x OpInfo,
+    },
+    Filter {
+        input: Box<Src<'x>>,
+        cond: &'x Expr,
+        info: &'x OpInfo,
+    },
+    Sort {
+        input: Box<Src<'x>>,
+        keys: &'x [OrderKey],
+        buffer: Option<VecDeque<Row>>,
+        info: &'x OpInfo,
+    },
+    Tpm {
+        input: Box<Src<'x>>,
+        pattern: &'x PatternGraph,
+        vars: &'x [TpmVar],
+        /// Per variable: `(anchor_vertex, anchor_var)` — resolved once.
+        anchors: Vec<(usize, Option<String>)>,
+        result: Option<nok::TpmResult>,
+        /// Input rows awaiting expansion (live-counted while queued).
+        queue: VecDeque<Row>,
+        /// Depth-first expansion stack of `(next_var_layer, partial_row)`
+        /// frames. Its size is bounded by the *sum* of per-layer fan-outs,
+        /// not their product — this is what keeps a fused multi-`for` τ
+        /// from materializing the whole cross product at once.
+        work: Vec<(usize, Row)>,
+        done: bool,
+        info: &'x OpInfo,
+    },
+}
+
+/// Scope for evaluating expressions under one row's bindings.
+fn row_scope<'p>(outer: &'p Scope<'p>, row: &Row) -> Scope<'p> {
+    outer.child(row.entries())
+}
+
+impl<'x> Src<'x> {
+    fn build(node: &'x PhysNode) -> Result<Src<'x>, XqError> {
+        Ok(match node {
+            PhysNode::EnvRoot { info } => Src::Root { emitted: false, info },
+            PhysNode::ForScan { input, var, source, info, .. } => Src::For {
+                input: Box::new(Src::build(input)?),
+                var,
+                source,
+                queue: VecDeque::new(),
+                done: false,
+                info,
+            },
+            PhysNode::LetEval { input, var, source, info, .. } => {
+                Src::Let { input: Box::new(Src::build(input)?), var, source, info }
+            }
+            PhysNode::Filter { input, cond, info } => {
+                Src::Filter { input: Box::new(Src::build(input)?), cond, info }
+            }
+            PhysNode::Sort { input, keys, info } => {
+                Src::Sort { input: Box::new(Src::build(input)?), keys, buffer: None, info }
+            }
+            PhysNode::TpmScan { input, pattern, vars, info, .. } => Src::Tpm {
+                input: Box::new(Src::build(input)?),
+                pattern,
+                vars,
+                anchors: planner::tpm_anchor_chain(pattern, vars),
+                result: None,
+                queue: VecDeque::new(),
+                work: Vec::new(),
+                done: false,
+                info,
+            },
+            PhysNode::Construct { .. } => {
+                return Err(XqError::new("construct is driven by execute(), not pulled"))
+            }
+        })
+    }
+
+    /// Pull the next batch of rows; `Ok(None)` when exhausted.
+    fn next_batch(
+        &mut self,
+        ev: &Evaluator<'_, '_>,
+        scope: &Scope<'_>,
+    ) -> Result<Option<Vec<Row>>, XqError> {
+        match self {
+            Src::Root { emitted, info } => {
+                if *emitted {
+                    return Ok(None);
+                }
+                *emitted = true;
+                let out = vec![Row::empty()];
+                info.record(ev, out.len());
+                Ok(Some(out))
+            }
+            Src::For { input, var, source, queue, done, info } => {
+                let mut out = Vec::new();
+                loop {
+                    while out.len() < BATCH_SIZE {
+                        let Some(row) = queue.pop_front() else { break };
+                        ev.ctx.bindings_dead(1);
+                        let s = row_scope(scope, &row);
+                        for item in ev.eval(source, &s)? {
+                            out.push(row.bind(var, vec![item]));
+                        }
+                    }
+                    if out.len() >= BATCH_SIZE || *done {
+                        break;
+                    }
+                    match input.next_batch(ev, scope)? {
+                        Some(batch) => {
+                            ev.ctx.bindings_live(batch.len() as u64);
+                            queue.extend(batch);
+                        }
+                        None => *done = true,
+                    }
+                }
+                if out.is_empty() {
+                    return Ok(None);
+                }
+                info.record(ev, out.len());
+                Ok(Some(out))
+            }
+            Src::Let { input, var, source, info } => match input.next_batch(ev, scope)? {
+                None => Ok(None),
+                Some(batch) => {
+                    let mut out = Vec::with_capacity(batch.len());
+                    for row in batch {
+                        let s = row_scope(scope, &row);
+                        let seq = ev.eval(source, &s)?;
+                        out.push(row.bind(var, seq));
+                    }
+                    info.record(ev, out.len());
+                    Ok(Some(out))
+                }
+            },
+            Src::Filter { input, cond, info } => loop {
+                match input.next_batch(ev, scope)? {
+                    None => return Ok(None),
+                    Some(batch) => {
+                        let mut out = Vec::new();
+                        for row in batch {
+                            let s = row_scope(scope, &row);
+                            if naive::ebv(&ev.eval(cond, &s)?) {
+                                out.push(row);
+                            }
+                        }
+                        if !out.is_empty() {
+                            info.record(ev, out.len());
+                            return Ok(Some(out));
+                        }
+                    }
+                }
+            },
+            Src::Sort { input, keys, buffer, info } => {
+                if buffer.is_none() {
+                    let mut all: Vec<Row> = Vec::new();
+                    while let Some(batch) = input.next_batch(ev, scope)? {
+                        ev.ctx.bindings_live(batch.len() as u64);
+                        all.extend(batch);
+                    }
+                    let mut keyed = Vec::with_capacity(all.len());
+                    for row in all {
+                        let s = row_scope(scope, &row);
+                        let key = ev.order_key(keys, &s)?;
+                        keyed.push((key, row));
+                    }
+                    keyed.sort_by(|a, b| a.0.cmp(&b.0)); // stable
+                    *buffer = Some(keyed.into_iter().map(|(_, r)| r).collect());
+                }
+                let buf = buffer.as_mut().expect("just filled");
+                let n = buf.len().min(BATCH_SIZE);
+                if n == 0 {
+                    return Ok(None);
+                }
+                let out: Vec<Row> = buf.drain(..n).collect();
+                ev.ctx.bindings_dead(out.len() as u64);
+                info.record(ev, out.len());
+                Ok(Some(out))
+            }
+            Src::Tpm { input, pattern, vars, anchors, result, queue, work, done, info } => {
+                let mut out = Vec::new();
+                loop {
+                    // Drain the depth-first expansion before touching the
+                    // input: each frame either emits a finished row or pushes
+                    // the next layer's bindings for one partial row.
+                    while out.len() < BATCH_SIZE {
+                        if let Some((layer, row)) = work.pop() {
+                            if layer == vars.len() {
+                                out.push(row);
+                            } else {
+                                let res = result
+                                    .as_ref()
+                                    .expect("match result precedes expansion frames");
+                                expand_tpm_layer(
+                                    ev, pattern, vars, anchors, res, layer, &row, work,
+                                );
+                            }
+                        } else if let Some(row) = queue.pop_front() {
+                            ev.ctx.bindings_dead(1);
+                            result.get_or_insert_with(|| nok::match_pattern(ev.ctx, pattern, None));
+                            work.push((0, row));
+                        } else {
+                            break;
+                        }
+                    }
+                    if out.len() >= BATCH_SIZE || *done {
+                        break;
+                    }
+                    match input.next_batch(ev, scope)? {
+                        Some(batch) => {
+                            ev.ctx.bindings_live(batch.len() as u64);
+                            queue.extend(batch);
+                        }
+                        None => *done = true,
+                    }
+                }
+                if out.is_empty() {
+                    return Ok(None);
+                }
+                info.record(ev, out.len());
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+/// Expand one depth-first frame: bind `vars[layer]` for `row` through the
+/// confirmed match sets of the τ and push the successor frames. Successors
+/// go on the stack in reverse, so the first binding pops first — the
+/// depth-first drain emits finished rows in the same lexicographic order
+/// as layer-wise `Env` extension, and the streaming and materializing
+/// pipelines agree exactly.
+#[allow(clippy::too_many_arguments)]
+fn expand_tpm_layer(
+    ev: &Evaluator<'_, '_>,
+    pattern: &PatternGraph,
+    vars: &[TpmVar],
+    anchors: &[(usize, Option<String>)],
+    result: &nok::TpmResult,
+    layer: usize,
+    row: &Row,
+    work: &mut Vec<(usize, Row)>,
+) {
+    let tv = &vars[layer];
+    let (anchor_vertex, anchor_var) = &anchors[layer];
+    let anchor_nodes: Vec<Option<SNodeId>> = match anchor_var {
+        None => vec![None],
+        Some(name) => match row.get(name) {
+            Some(val) => val
+                .iter()
+                .filter_map(|i| match i {
+                    Item::Node(NodeRef::Stored(s)) => Some(Some(*s)),
+                    _ => None,
+                })
+                .collect(),
+            None => Vec::new(),
+        },
+    };
+    let mut nodes: Vec<SNodeId> = Vec::new();
+    for a in anchor_nodes {
+        nodes.extend(nok::matches_between(ev.ctx, pattern, result, *anchor_vertex, tv.vertex, a));
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    if tv.one_to_many {
+        for n in nodes.into_iter().rev() {
+            work.push((layer + 1, row.bind(&tv.var, vec![Item::Node(NodeRef::Stored(n))])));
+        }
+    } else {
+        work.push((
+            layer + 1,
+            row.bind(&tv.var, nodes.into_iter().map(|n| Item::Node(NodeRef::Stored(n))).collect()),
+        ));
+    }
+}
+
+/// Drive a physical plan to its full result sequence: pull batches from the
+/// pipeline below the `Construct` root and evaluate the return expression
+/// once per row.
+pub fn execute(
+    plan: &PhysicalPlan,
+    ev: &Evaluator<'_, '_>,
+    scope: &Scope<'_>,
+) -> Result<Val, XqError> {
+    let PhysNode::Construct { input, expr, info } = &plan.root else {
+        return Err(XqError::new("physical plan must be rooted in a construct operator"));
+    };
+    let mut src = Src::build(input)?;
+    let mut out: Val = Vec::new();
+    while let Some(batch) = src.next_batch(ev, scope)? {
+        let n = batch.len();
+        for row in batch {
+            let s = row_scope(scope, &row);
+            out.extend(ev.eval(expr, &s)?);
+        }
+        info.record(ev, n);
+    }
+    Ok(out)
+}
+
+impl Evaluator<'_, '_> {
+    /// Run a FLWOR plan through the streaming pipeline. Reuses the cached
+    /// pre-lowered plan when it matches (so its shared operator stats
+    /// accumulate actuals for `explain` — including γ-embedded FLWORs,
+    /// whose plan is cached from the constructor body); otherwise lowers
+    /// fresh, e.g. for FLWORs nested inside other expressions.
+    pub(crate) fn eval_plan_streaming(
+        &self,
+        plan: &LogicalPlan,
+        scope: &Scope<'_>,
+    ) -> Result<Val, XqError> {
+        if let Some(phys) = &self.physical {
+            if phys.source == *plan {
+                return execute(phys, self, scope);
+            }
+        }
+        let phys = lower(plan, self.ctx, self.strategy)?;
+        execute(&phys, self, scope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExecContext;
+    use xqp_algebra::{optimize_expr, RuleSet};
+    use xqp_storage::SuccinctDoc;
+
+    const BIB: &str = "<bib>\
+        <book year=\"1994\"><title>TCP</title><author>Stevens</author><price>65</price></book>\
+        <book year=\"2000\"><title>Data</title><author>Abiteboul</author><author>Buneman</author><price>39</price></book>\
+        </bib>";
+
+    fn lowered(query: &str, rules: &RuleSet) -> (SuccinctDoc, LogicalPlan) {
+        let sdoc = SuccinctDoc::parse(BIB).unwrap();
+        let body = xqp_xquery::parse_query(query).unwrap().body;
+        let (body, _) = optimize_expr(body, rules);
+        let Expr::Flwor(plan) = body else { panic!("expected a FLWOR body") };
+        (sdoc, *plan)
+    }
+
+    #[test]
+    fn row_binding_and_shadowing() {
+        let r = Row::empty();
+        assert!(r.get("x").is_none());
+        let r1 = r.bind("x", vec![Item::Atom(xqp_xml::Atomic::Integer(1))]);
+        let r2 = r1.bind("x", vec![Item::Atom(xqp_xml::Atomic::Integer(2))]);
+        assert_eq!(r1.get("x").unwrap().len(), 1);
+        match &r2.get("x").unwrap()[0] {
+            Item::Atom(xqp_xml::Atomic::Integer(i)) => assert_eq!(*i, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        let entries = r2.bind("y", vec![]).entries();
+        let names: Vec<&str> = entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["x", "x", "y"], "outermost first");
+    }
+
+    #[test]
+    fn lower_annotates_every_clause() {
+        let (sdoc, plan) = lowered(
+            "for $b in doc()/bib/book where $b/price > 50 return $b/title",
+            &RuleSet::none(),
+        );
+        let ctx = ExecContext::new(&sdoc);
+        let phys = lower(&plan, &ctx, Strategy::Auto).unwrap();
+        assert!(matches!(phys.root, PhysNode::Construct { .. }));
+        let rendering = phys.render(EvalMode::Streaming);
+        assert!(rendering.contains("-- physical plan (streaming, batch=64)"), "{rendering}");
+        assert!(rendering.contains("construct"), "{rendering}");
+        assert!(rendering.contains("filter"), "{rendering}");
+        assert!(rendering.contains("for-scan $b"), "{rendering}");
+        assert!(rendering.contains("env-root"), "{rendering}");
+        assert!(rendering.contains("est "), "{rendering}");
+        assert!(phys.est_total_cost > 0.0);
+    }
+
+    #[test]
+    fn lower_reports_tpm_access_costs() {
+        let (sdoc, plan) =
+            lowered("for $b in doc()/bib/book let $t := $b/title return $t", &RuleSet::all());
+        let ctx = ExecContext::new(&sdoc);
+        let phys = lower(&plan, &ctx, Strategy::Auto).unwrap();
+        let rendering = phys.render(EvalMode::Streaming);
+        assert!(rendering.contains("tpm-scan"), "{rendering}");
+        assert!(rendering.contains("access=nok"), "{rendering}");
+        assert!(rendering.contains("costs[nok="), "{rendering}");
+    }
+
+    #[test]
+    fn streaming_execution_matches_materializing() {
+        let queries = [
+            ("for $b in doc()/bib/book return $b/title", RuleSet::none()),
+            ("for $b in doc()/bib/book where $b/price > 50 return $b/title", RuleSet::none()),
+            ("for $b in doc()/bib/book order by $b/price return $b/title", RuleSet::none()),
+            ("for $b in doc()/bib/book let $a := $b/author return count($a)", RuleSet::all()),
+        ];
+        let sdoc = SuccinctDoc::parse(BIB).unwrap();
+        for (q, rules) in queries {
+            let ctx = ExecContext::new(&sdoc);
+            let body = xqp_xquery::parse_query(q).unwrap().body;
+            let (body, _) = optimize_expr(body, &rules);
+            let streaming =
+                Evaluator::new(&ctx, Strategy::Auto).eval(&body, &Scope::root()).unwrap();
+            let materializing = Evaluator::new(&ctx, Strategy::Auto)
+                .with_mode(EvalMode::Materializing)
+                .eval(&body, &Scope::root())
+                .unwrap();
+            assert_eq!(streaming, materializing, "query `{q}`");
+        }
+    }
+
+    #[test]
+    fn errors_propagate_identically() {
+        let sdoc = SuccinctDoc::parse(BIB).unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let q = "for $b in doc()/bib/book return frobnicate($b)";
+        let body = xqp_xquery::parse_query(q).unwrap().body;
+        let (body, _) = optimize_expr(body, &RuleSet::none());
+        let streaming =
+            Evaluator::new(&ctx, Strategy::Auto).eval(&body, &Scope::root()).unwrap_err();
+        let materializing = Evaluator::new(&ctx, Strategy::Auto)
+            .with_mode(EvalMode::Materializing)
+            .eval(&body, &Scope::root())
+            .unwrap_err();
+        assert_eq!(streaming, materializing);
+    }
+
+    #[test]
+    fn streaming_keeps_peak_bindings_below_materializing() {
+        // A two-level for nest: the materializing Env peaks at the cross
+        // product; the streaming pipeline holds only batches.
+        let wide: String = {
+            let items: String = (0..50).map(|i| format!("<x><y>{i}</y></x>")).collect();
+            format!("<r>{items}</r>")
+        };
+        let q = "for $a in doc()/r/x for $b in doc()/r/x/y return 1";
+        let sdoc = SuccinctDoc::parse(&wide).unwrap();
+        let body = xqp_xquery::parse_query(q).unwrap().body;
+        let (body, _) = optimize_expr(body, &RuleSet::none());
+
+        let ctx = ExecContext::new(&sdoc);
+        Evaluator::new(&ctx, Strategy::Auto)
+            .with_mode(EvalMode::Materializing)
+            .eval(&body, &Scope::root())
+            .unwrap();
+        let mat_peak = ctx.counters().peak_bindings;
+
+        let ctx = ExecContext::new(&sdoc);
+        Evaluator::new(&ctx, Strategy::Auto).eval(&body, &Scope::root()).unwrap();
+        let stream_peak = ctx.counters().peak_bindings;
+
+        assert!(mat_peak >= 2500, "materializing peak {mat_peak} covers the cross product");
+        assert!(
+            stream_peak < mat_peak,
+            "streaming peak {stream_peak} must stay below materializing {mat_peak}"
+        );
+    }
+
+    #[test]
+    fn phys_counters_tick() {
+        let sdoc = SuccinctDoc::parse(BIB).unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let body =
+            xqp_xquery::parse_query("for $b in doc()/bib/book return $b/title").unwrap().body;
+        let (body, _) = optimize_expr(body, &RuleSet::none());
+        Evaluator::new(&ctx, Strategy::Auto).eval(&body, &Scope::root()).unwrap();
+        let c = ctx.counters();
+        assert!(c.phys_rows > 0, "{c:?}");
+        assert!(c.phys_batches > 0, "{c:?}");
+    }
+}

@@ -15,7 +15,8 @@
 
 use crate::context::ExecContext;
 use crate::{nok, structural, twig};
-use xqp_algebra::CostModel;
+use xqp_algebra::plan::TpmVar;
+use xqp_algebra::{CostModel, TpmAccess};
 use xqp_storage::SNodeId;
 use xqp_xpath::PatternGraph;
 
@@ -78,20 +79,43 @@ impl Strategy {
 /// pattern takes the single scan; otherwise the cheaper of the NoK hybrid
 /// scan and the holistic twig join by estimated work.
 pub fn choose(ctx: &ExecContext<'_>, g: &PatternGraph) -> Strategy {
-    if g.is_nok_only() {
-        return Strategy::NoK;
-    }
     let stats = ctx.stats();
-    let cm = CostModel::new(&stats);
-    let scan = cm.nok_scan_cost(g);
-    let twig = cm.twig_cost(g);
-    // The holistic join touches only the pattern's tag streams; when those
-    // are much smaller than the document, stream-merging wins.
-    if twig < scan * 0.5 {
-        Strategy::TwigStack
-    } else {
-        Strategy::NoK
+    let cm = CostModel::new(stats);
+    match cm.choose_access(g) {
+        (TpmAccess::TwigStack, _) => Strategy::TwigStack,
+        (TpmAccess::BinaryJoin, _) => Strategy::BinaryJoin,
+        (TpmAccess::NokScan, _) => Strategy::NoK,
     }
+}
+
+/// Resolve, for each τ output variable, the vertex it anchors under and the
+/// previously-bound variable naming that vertex (`None` ⇒ anchored at the
+/// pattern root). Shared by the materializing `TpmBind` interpreter and the
+/// streaming `TpmScan` operator so both derive identical binding layers.
+pub(crate) fn tpm_anchor_chain(
+    pattern: &PatternGraph,
+    vars: &[TpmVar],
+) -> Vec<(usize, Option<String>)> {
+    let mut vertex_var: Vec<(usize, String)> = Vec::new();
+    let mut out = Vec::with_capacity(vars.len());
+    for tv in vars {
+        // Find the nearest ancestor vertex already bound to a variable.
+        let mut cur = tv.vertex;
+        let mut found: Option<(usize, String)> = None;
+        while let Some(arc) = pattern.incoming(cur) {
+            cur = arc.from;
+            if let Some((_, name)) = vertex_var.iter().find(|(vx, _)| *vx == cur) {
+                found = Some((cur, name.clone()));
+                break;
+            }
+        }
+        out.push(match found {
+            Some((vx, name)) => (vx, Some(name)),
+            None => (pattern.root(), None),
+        });
+        vertex_var.push((tv.vertex, tv.var.clone()));
+    }
+    out
 }
 
 /// Evaluate a single-output pattern with the given strategy.

@@ -15,7 +15,7 @@
 use std::collections::{HashMap, HashSet};
 use xqp_storage::SNodeId;
 use xqp_xml::{Atomic, Event};
-use xqp_xpath::{NokPartition, PatternGraph, PRel, VertexKind};
+use xqp_xpath::{NokPartition, PRel, PatternGraph, VertexKind};
 
 /// Match a single-output pattern over an event stream; returns the
 /// pre-order ranks (succinct-store node ids) of the output matches.
@@ -139,15 +139,12 @@ impl<'g> Matcher<'g> {
             return false;
         }
         if !vert.constraints.is_empty() {
-            match value {
-                Some(val) => {
-                    let atom = Atomic::Str(val.to_string());
-                    if !vert.constraints.iter().all(|c| c.matches(&atom)) {
-                        return false;
-                    }
+            // Element constraints (value `None`) defer to pop (subtree text).
+            if let Some(val) = value {
+                let atom = Atomic::Str(val.to_string());
+                if !vert.constraints.iter().all(|c| c.matches(&atom)) {
+                    return false;
                 }
-                // Element constraints are deferred to pop (subtree text).
-                None => {}
             }
         }
         true
@@ -254,12 +251,9 @@ impl<'g> Matcher<'g> {
             .collect();
         let snapshots = locally
             .iter()
-            .map(|&v| {
-                self.t.desc_targets[v].iter().map(|&tgt| self.confirmed[tgt].len()).collect()
-            })
+            .map(|&v| self.t.desc_targets[v].iter().map(|&tgt| self.confirmed[tgt].len()).collect())
             .collect();
-        let needs_text =
-            locally.iter().any(|&v| !self.g.vertices[v].constraints.is_empty());
+        let needs_text = locally.iter().any(|&v| !self.g.vertices[v].constraints.is_empty());
         let mut child_candidates = Vec::new();
         for &v in &locally {
             child_candidates.extend_from_slice(&self.t.kids[v]);

@@ -15,7 +15,7 @@
 
 use crate::context::ExecContext;
 use xqp_storage::{Interval, SNodeId};
-use xqp_xpath::{PatternGraph, PRel, VertexKind};
+use xqp_xpath::{PRel, PatternGraph, VertexKind};
 
 /// Candidate intervals for a pattern vertex: its tag stream filtered by
 /// kind and value constraints (σs + σv applied to the stream). When the
@@ -222,10 +222,7 @@ pub fn semijoin_keep_anc(
             }
         }
     }
-    anc.iter()
-        .zip(alive)
-        .filter_map(|(a, keep)| keep.then_some(*a))
-        .collect()
+    anc.iter().zip(alive).filter_map(|(a, keep)| keep.then_some(*a)).collect()
 }
 
 /// Per-vertex candidate lists with the context restriction and the root's
@@ -278,7 +275,11 @@ pub fn eval_pattern_binary(
 /// [`eval_pattern_binary`]. Exact with respect to its inputs: the result is
 /// every node in the output vertex's list that participates in a full
 /// pattern match drawn from the given lists, in document order.
-pub fn sweep(ctx: &ExecContext<'_>, g: &PatternGraph, mut cand: Vec<Vec<Interval>>) -> Vec<SNodeId> {
+pub fn sweep(
+    ctx: &ExecContext<'_>,
+    g: &PatternGraph,
+    mut cand: Vec<Vec<Interval>>,
+) -> Vec<SNodeId> {
     let outputs = g.outputs();
 
     // Bottom-up: a vertex keeps only candidates with every mandatory child
@@ -343,10 +344,8 @@ pub fn eval_linear_ordered(
     assert!(tags.len() >= 2);
     assert_eq!(arc_order.len(), tags.len() - 1);
     let streams = ctx.streams();
-    let mut lists: Vec<Vec<Interval>> = tags
-        .iter()
-        .map(|t| streams.stream_by_name(ctx.sdoc, t).to_vec())
-        .collect();
+    let mut lists: Vec<Vec<Interval>> =
+        tags.iter().map(|t| streams.stream_by_name(ctx.sdoc, t).to_vec()).collect();
     for list in &lists {
         ctx.consume_stream(list.len() as u64);
     }
@@ -461,9 +460,7 @@ pub fn eval_linear_pairs(
                 rows = next;
             }
             (true, true) => {
-                rows.retain(|row| {
-                    row[l].expect("bound").contains(&row[r].expect("bound"))
-                });
+                rows.retain(|row| row[l].expect("bound").contains(&row[r].expect("bound")));
             }
         }
         bound[l] = true;
@@ -472,8 +469,7 @@ pub fn eval_linear_pairs(
         ctx.consume_stream(rows.len() as u64);
     }
     let last = tags.len() - 1;
-    let mut out: Vec<SNodeId> =
-        rows.iter().filter_map(|r| r[last].map(|iv| iv.node)).collect();
+    let mut out: Vec<SNodeId> = rows.iter().filter_map(|r| r[last].map(|iv| iv.node)).collect();
     out.sort_unstable();
     out.dedup();
     (out, intermediates)
@@ -549,7 +545,6 @@ mod tests {
         let streams = ctx.streams();
         let books = streams.stream_by_name(&d, "book").to_vec();
         let authors = streams.stream_by_name(&d, "author").to_vec();
-        drop(streams);
         let kept = semijoin_keep_desc(&ctx, &books, &authors, PRel::Descendant);
         assert_eq!(kept.len(), 3);
         let kept_pc = semijoin_keep_desc(&ctx, &books, &authors, PRel::Child);
@@ -573,7 +568,6 @@ mod tests {
             v
         };
         let keywords = streams.stream_by_name(&d, "keyword").to_vec();
-        drop(streams);
         // Elements with a keyword descendant: bib + article.
         let kept = semijoin_keep_anc(&ctx, &all_elems, &keywords, PRel::Descendant);
         assert_eq!(kept.len(), 2);
@@ -596,10 +590,9 @@ mod tests {
 
     #[test]
     fn linear_ordered_any_order_is_exact() {
-        let d = SuccinctDoc::parse(
-            "<r><a><b><c>1</c></b></a><a><b/></a><b><c>2</c></b><c>3</c></r>",
-        )
-        .unwrap();
+        let d =
+            SuccinctDoc::parse("<r><a><b><c>1</c></b></a><a><b/></a><b><c>2</c></b><c>3</c></r>")
+                .unwrap();
         let ctx = ExecContext::new(&d);
         let expect = naive_eval(&d, "//a//b//c");
         for order in [[0, 1], [1, 0]] {
@@ -630,10 +623,7 @@ mod tests {
         assert_eq!(good, expect);
         assert_eq!(bad, expect);
         // The cost-model order (rare pair first) materializes far less.
-        assert!(
-            good_tuples * 2 < bad_tuples,
-            "good {good_tuples} vs bad {bad_tuples}"
-        );
+        assert!(good_tuples * 2 < bad_tuples, "good {good_tuples} vs bad {bad_tuples}");
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::context::ExecContext;
 use crate::structural::candidates;
 use std::collections::HashMap;
 use xqp_storage::{Interval, SNodeId};
-use xqp_xpath::{PatternGraph, PRel};
+use xqp_xpath::{PRel, PatternGraph};
 
 /// One expanded root-to-leaf path solution: `(vertex, node)` pairs, root
 /// side first (the synthetic root is omitted).
@@ -97,9 +97,8 @@ pub fn holistic_sweep(
     // Leaves on fully-mandatory chains constrain the match; optional-chain
     // leaves don't (generalized patterns — not produced for this baseline,
     // but stay sound if they appear).
-    let mandatory_leaf: Vec<usize> = (0..n)
-        .filter(|&v| is_leaf[v] && chain_is_mandatory(g, v))
-        .collect();
+    let mandatory_leaf: Vec<usize> =
+        (0..n).filter(|&v| is_leaf[v] && chain_is_mandatory(g, v)).collect();
 
     // Global merge by start position.
     let mut events: Vec<(u32, usize, Interval)> = Vec::new();
@@ -152,10 +151,7 @@ pub fn holistic_sweep(
         let mut next: Vec<HashMap<usize, SNodeId>> = Vec::new();
         for partial in &merged {
             for path in paths {
-                if path
-                    .iter()
-                    .all(|(v, node)| partial.get(v).is_none_or(|have| have == node))
-                {
+                if path.iter().all(|(v, node)| partial.get(v).is_none_or(|have| have == node)) {
                     let mut m = partial.clone();
                     for (v, node) in path {
                         m.insert(*v, *node);
@@ -215,7 +211,9 @@ fn expand_paths(
                 let ok = match rel {
                     // Strict: a node is not its own ancestor.
                     PRel::Descendant => piv.start < iv.start && iv.end < piv.end,
-                    PRel::Child => piv.level + 1 == iv.level && piv.start < iv.start && iv.end < piv.end,
+                    PRel::Child => {
+                        piv.level + 1 == iv.level && piv.start < iv.start && iv.end < piv.end
+                    }
                 };
                 // The synthetic root interval contains everything.
                 let ok = ok || (p == g.root() && rel == PRel::Descendant);

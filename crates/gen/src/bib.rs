@@ -40,13 +40,33 @@ pub fn bib_sample() -> Document {
 }
 
 const SURNAMES: &[&str] = &[
-    "Stevens", "Abiteboul", "Buneman", "Suciu", "Codd", "Gray", "Stonebraker", "Ullman",
-    "Widom", "Jagadish", "Naughton", "DeWitt",
+    "Stevens",
+    "Abiteboul",
+    "Buneman",
+    "Suciu",
+    "Codd",
+    "Gray",
+    "Stonebraker",
+    "Ullman",
+    "Widom",
+    "Jagadish",
+    "Naughton",
+    "DeWitt",
 ];
 
 const TITLE_WORDS: &[&str] = &[
-    "Advanced", "Foundations", "Principles", "Systems", "Databases", "Queries", "Streams",
-    "Indexing", "Storage", "Trees", "Patterns", "Optimization",
+    "Advanced",
+    "Foundations",
+    "Principles",
+    "Systems",
+    "Databases",
+    "Queries",
+    "Streams",
+    "Indexing",
+    "Storage",
+    "Trees",
+    "Patterns",
+    "Optimization",
 ];
 
 const PUBLISHERS: &[&str] =
@@ -107,10 +127,8 @@ mod tests {
         assert_eq!(d.child_elements(bib).count(), 25);
         for book in d.child_elements(bib) {
             assert!(d.attribute(book, "year").is_some());
-            let kids: Vec<&str> = d
-                .child_elements(book)
-                .map(|c| d.name(c).unwrap().local.as_str())
-                .collect();
+            let kids: Vec<&str> =
+                d.child_elements(book).map(|c| d.name(c).unwrap().local.as_str()).collect();
             assert!(kids.contains(&"title"));
             assert!(kids.contains(&"author"));
             assert!(kids.contains(&"price"));
@@ -119,9 +137,6 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            xqp_xml::serialize(&gen_bib(10, 9)),
-            xqp_xml::serialize(&gen_bib(10, 9))
-        );
+        assert_eq!(xqp_xml::serialize(&gen_bib(10, 9)), xqp_xml::serialize(&gen_bib(10, 9)));
     }
 }

@@ -90,11 +90,8 @@ mod tests {
     #[test]
     fn deep_chain_depth() {
         let d = deep_chain(100, &["x", "y"]);
-        let leaf_depths: Vec<usize> = d
-            .descendants_or_self(d.root())
-            .filter(|&n| d.is_text(n))
-            .map(|n| d.depth(n))
-            .collect();
+        let leaf_depths: Vec<usize> =
+            d.descendants_or_self(d.root()).filter(|&n| d.is_text(n)).map(|n| d.depth(n)).collect();
         assert_eq!(leaf_depths, [101]); // 100 elements + text
     }
 
@@ -103,11 +100,6 @@ mod tests {
         let d = wide_flat(50, &["a", "b"]);
         let root = d.root_element().unwrap();
         assert_eq!(d.child_elements(root).count(), 50);
-        assert_eq!(
-            d.child_elements(root)
-                .filter(|&c| d.name(c).unwrap().local == "a")
-                .count(),
-            25
-        );
+        assert_eq!(d.child_elements(root).filter(|&c| d.name(c).unwrap().local == "a").count(), 25);
     }
 }

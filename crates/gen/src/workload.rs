@@ -21,11 +21,7 @@ pub fn xmark_queries() -> Vec<QuerySpec> {
             path: "/site/regions/africa/item/name",
             stresses: "pure NoK chain (child steps only)",
         },
-        QuerySpec {
-            id: "X2",
-            path: "//keyword",
-            stresses: "single descendant step, large result",
-        },
+        QuerySpec { id: "X2", path: "//keyword", stresses: "single descendant step, large result" },
         QuerySpec {
             id: "X3",
             path: "/site/people/person[profile/age > 30]/name",

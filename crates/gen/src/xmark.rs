@@ -14,8 +14,8 @@ use xqp_xml::{Document, NodeId};
 const WORDS: &[&str] = &[
     "quartz", "marble", "copper", "violet", "amber", "willow", "harbor", "meadow", "ember",
     "granite", "velvet", "cedar", "prairie", "lantern", "mosaic", "drift", "cobalt", "fable",
-    "garnet", "hollow", "ivory", "juniper", "keel", "lattice", "moss", "nectar", "onyx",
-    "pewter", "quill", "russet",
+    "garnet", "hollow", "ivory", "juniper", "keel", "lattice", "moss", "nectar", "onyx", "pewter",
+    "quill", "russet",
 ];
 
 const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
@@ -120,10 +120,7 @@ pub fn gen_xmark(cfg: &XmarkConfig) -> Document {
 }
 
 fn words(rng: &mut Prng, n: usize) -> String {
-    (0..n)
-        .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
-        .collect::<Vec<_>>()
-        .join(" ")
+    (0..n).map(|_| WORDS[rng.gen_range(0..WORDS.len())]).collect::<Vec<_>>().join(" ")
 }
 
 /// Mixed-content description: text, keyword spans, emphasis — the XMark
@@ -192,7 +189,10 @@ fn gen_person(doc: &mut Document, rng: &mut Prng, people: NodeId, no: usize, cat
     doc.append_text(email, format!("mailto:user{no}@example.org"));
     if rng.gen_bool(0.7) {
         let phone = doc.append_element(person, "phone");
-        doc.append_text(phone, format!("+1 ({}) {}", rng.gen_range(100..999), rng.gen_range(1000000..9999999)));
+        doc.append_text(
+            phone,
+            format!("+1 ({}) {}", rng.gen_range(100..999), rng.gen_range(1000000..9999999)),
+        );
     }
     if rng.gen_bool(0.6) {
         let address = doc.append_element(person, "address");
@@ -291,10 +291,7 @@ fn gen_closed_auction(
     let price = doc.append_element(auction, "price");
     doc.append_text(price, format!("{:.2}", rng.gen_range(5.0..500.0)));
     let date = doc.append_element(auction, "date");
-    doc.append_text(
-        date,
-        format!("{:02}/{:02}/2003", rng.gen_range(1..13), rng.gen_range(1..29)),
-    );
+    doc.append_text(date, format!("{:02}/{:02}/2003", rng.gen_range(1..13), rng.gen_range(1..29)));
     let quantity = doc.append_element(auction, "quantity");
     doc.append_text(quantity, rng.gen_range(1..5).to_string());
     let atype = doc.append_element(auction, "type");
@@ -324,10 +321,8 @@ mod tests {
         let doc = gen_xmark(&XmarkConfig::scale(0.02));
         let site = doc.root_element().unwrap();
         assert_eq!(doc.name(site).unwrap().local, "site");
-        let sections: Vec<String> = doc
-            .child_elements(site)
-            .map(|c| doc.name(c).unwrap().local.clone())
-            .collect();
+        let sections: Vec<String> =
+            doc.child_elements(site).map(|c| doc.name(c).unwrap().local.clone()).collect();
         assert_eq!(
             sections,
             ["regions", "categories", "people", "open_auctions", "closed_auctions"]

@@ -47,7 +47,7 @@ impl BitVec {
     pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
         words.truncate(len.div_ceil(64));
         debug_assert_eq!(words.len(), len.div_ceil(64), "too few words for {len} bits");
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             if let Some(last) = words.last_mut() {
                 *last &= (1u64 << (len % 64)) - 1;
             }
@@ -219,7 +219,7 @@ impl BitVec {
         let mut tail: Vec<bool> = (start + count..self.len).map(|i| self.get(i)).collect();
         self.len = start;
         self.words.truncate(start.div_ceil(64));
-        if start % 64 != 0 {
+        if !start.is_multiple_of(64) {
             let last = self.words.len() - 1;
             self.words[last] &= (1u64 << (start % 64)) - 1;
         }
@@ -306,10 +306,10 @@ mod tests {
 
     #[test]
     fn all_ones_and_all_zeros() {
-        let ones = BitVec::from_bits(std::iter::repeat(true).take(700));
+        let ones = BitVec::from_bits(std::iter::repeat_n(true, 700));
         assert_eq!(ones.rank1(700), 700);
         assert_eq!(ones.select1(699), Some(699));
-        let zeros = BitVec::from_bits(std::iter::repeat(false).take(700));
+        let zeros = BitVec::from_bits(std::iter::repeat_n(false, 700));
         assert_eq!(zeros.rank1(700), 0);
         assert_eq!(zeros.select1(0), None);
         assert_eq!(zeros.select0(699), Some(699));

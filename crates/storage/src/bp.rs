@@ -150,8 +150,7 @@ impl Bp {
         debug_assert!(self.is_open(p), "find_close on a close paren at {p}");
         // Target: first j > p with excess(j+1) == excess(p+1) - 1.
         let target = self.excess(p + 1) - 1;
-        self.fwd_search(p + 1, target)
-            .expect("balanced sequence always has a matching close")
+        self.fwd_search(p + 1, target).expect("balanced sequence always has a matching close")
     }
 
     /// Matching open parenthesis of the close at `c`.
@@ -206,7 +205,7 @@ impl Bp {
     /// Number of nodes in the subtree rooted at `p` (inclusive).
     #[inline]
     pub fn subtree_size(&self, p: usize) -> usize {
-        (self.find_close(p) - p + 1) / 2
+        (self.find_close(p) - p).div_ceil(2)
     }
 
     /// True if the node at `p` has no children.
@@ -257,10 +256,7 @@ impl Bp {
             }
             v += 1;
             let a = self.tree[v];
-            if a.min != i32::MAX
-                && e + a.min as i64 <= target
-                && target <= e + a.max as i64
-            {
+            if a.min != i32::MAX && e + a.min as i64 <= target && target <= e + a.max as i64 {
                 // Descend to the leftmost leaf containing the target.
                 while v < self.leaf_base {
                     let l = 2 * v;
@@ -341,7 +337,7 @@ impl Bp {
                             }
                             e -= ra.total as i64;
                         }
-                        v = 2 * v;
+                        v *= 2;
                     }
                     let b = v - self.leaf_base;
                     let start = b * BLOCK_BITS;
@@ -433,8 +429,8 @@ mod tests {
     fn check_against_naive(bits: Vec<bool>) {
         let naive = Naive { bits: bits.clone() };
         let bp = Bp::from_bits(bits.iter().copied());
-        for p in 0..bits.len() {
-            if bits[p] {
+        for (p, &bit) in bits.iter().enumerate() {
+            if bit {
                 let c = bp.find_close(p);
                 assert_eq!(c, naive.find_close(p), "find_close({p})");
                 assert_eq!(bp.find_open(c), p, "find_open({c})");
@@ -454,10 +450,8 @@ mod tests {
     fn forest_like_single_root_deep() {
         // ((((...))))
         let n = 600; // spans multiple blocks
-        let bits: Vec<bool> = std::iter::repeat(true)
-            .take(n)
-            .chain(std::iter::repeat(false).take(n))
-            .collect();
+        let bits: Vec<bool> =
+            std::iter::repeat_n(true, n).chain(std::iter::repeat_n(false, n)).collect();
         check_against_naive(bits);
     }
 
@@ -563,10 +557,8 @@ mod tests {
     fn block_boundary_find_close() {
         // A node whose close is exactly at a block boundary.
         let n = BLOCK_BITS / 2; // close of root at bit 2n-1 = 255
-        let bits: Vec<bool> = std::iter::repeat(true)
-            .take(n)
-            .chain(std::iter::repeat(false).take(n))
-            .collect();
+        let bits: Vec<bool> =
+            std::iter::repeat_n(true, n).chain(std::iter::repeat_n(false, n)).collect();
         let bp = Bp::from_bits(bits.iter().copied());
         assert_eq!(bp.find_close(0), 2 * n - 1);
         assert_eq!(bp.find_close(n - 1), n);

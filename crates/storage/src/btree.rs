@@ -82,23 +82,21 @@ impl<K: Ord + Clone + Debug, V: Clone + PartialEq> BPlusTree<K, V> {
     /// Recursive insert; returns `(separator, new_right_page)` on split.
     fn insert_into(&mut self, page: usize, key: K, value: V) -> Option<(K, usize)> {
         match &mut self.pages[page] {
-            Page::Leaf { keys, postings, .. } => {
-                match keys.binary_search(&key) {
-                    Ok(i) => {
-                        postings[i].push(value);
+            Page::Leaf { keys, postings, .. } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    postings[i].push(value);
+                    None
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    postings.insert(i, vec![value]);
+                    if keys.len() > 2 * ORDER {
+                        Some(self.split_leaf(page))
+                    } else {
                         None
                     }
-                    Err(i) => {
-                        keys.insert(i, key);
-                        postings.insert(i, vec![value]);
-                        if keys.len() > 2 * ORDER {
-                            Some(self.split_leaf(page))
-                        } else {
-                            None
-                        }
-                    }
                 }
-            }
+            },
             Page::Internal { keys, children } => {
                 // Equal keys descend right so they land after the separator.
                 let i = keys.partition_point(|k| *k <= key);
@@ -203,13 +201,10 @@ impl<K: Ord + Clone + Debug, V: Clone + PartialEq> BPlusTree<K, V> {
         // Normalize: if slot runs off the leaf, advance.
         loop {
             match &self.pages[leaf] {
-                Page::Leaf { keys, next, .. } if slot >= keys.len() => match next {
-                    Some(n) => {
-                        leaf = *n;
-                        slot = 0;
-                    }
-                    None => break,
-                },
+                Page::Leaf { keys, next: Some(n), .. } if slot >= keys.len() => {
+                    leaf = *n;
+                    slot = 0;
+                }
                 _ => break,
             }
         }

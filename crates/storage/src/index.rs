@@ -96,12 +96,7 @@ impl ValueIndex {
 
     /// Nodes whose tag is `tag` and whose numeric value lies in the bounds,
     /// in document order.
-    pub fn lookup_numeric_range(
-        &self,
-        tag: TagId,
-        lo: Bound<f64>,
-        hi: Bound<f64>,
-    ) -> Vec<SNodeId> {
+    pub fn lookup_numeric_range(&self, tag: TagId, lo: Bound<f64>, hi: Bound<f64>) -> Vec<SNodeId> {
         let lo_key = match lo {
             Bound::Included(v) => Bound::Included((tag, OrdF64(v))),
             Bound::Excluded(v) => Bound::Excluded((tag, OrdF64(v))),
@@ -225,8 +220,7 @@ mod tests {
     fn numeric_range_lookup() {
         let (doc, idx) = setup();
         let price = doc.tag_table().lookup("price").unwrap();
-        let hits =
-            idx.lookup_numeric_range(price, Bound::Excluded(10.0), Bound::Included(99.0));
+        let hits = idx.lookup_numeric_range(price, Bound::Excluded(10.0), Bound::Included(99.0));
         assert_eq!(hits.len(), 3); // 25, 25.0, 99
         let unbounded = idx.lookup_numeric_range(price, Bound::Unbounded, Bound::Unbounded);
         assert_eq!(unbounded.len(), 4);
@@ -239,8 +233,7 @@ mod tests {
     fn string_range_scopes_to_tag() {
         let (doc, idx) = setup();
         let sku = doc.tag_table().lookup("sku").unwrap();
-        let a_prefixed =
-            idx.lookup_string_range(sku, Bound::Included("A"), Bound::Excluded("B"));
+        let a_prefixed = idx.lookup_string_range(sku, Bound::Included("A"), Bound::Excluded("B"));
         assert_eq!(a_prefixed.len(), 2);
         let all = idx.lookup_string_range(sku, Bound::Unbounded, Bound::Unbounded);
         assert_eq!(all.len(), 4);

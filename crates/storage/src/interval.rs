@@ -64,17 +64,12 @@ impl TagStreams {
                 continue;
             }
             let (start, end, level) = doc.interval(n);
-            streams
-                .entry(doc.tag(n))
-                .or_default()
-                .push(Interval { start, end, level, node: n });
+            streams.entry(doc.tag(n)).or_default().push(Interval { start, end, level, node: n });
             total += 1;
         }
         // Pre-order construction already yields document order, but make the
         // invariant explicit and cheap to verify.
-        debug_assert!(streams
-            .values()
-            .all(|s| s.windows(2).all(|w| w[0].start < w[1].start)));
+        debug_assert!(streams.values().all(|s| s.windows(2).all(|w| w[0].start < w[1].start)));
         TagStreams { streams, total }
     }
 
@@ -105,10 +100,7 @@ impl TagStreams {
     /// 16 bytes — the shredded-relational representation the paper compares
     /// its 2-bits-per-node structure against.
     pub fn heap_bytes(&self) -> usize {
-        self.streams
-            .values()
-            .map(|s| s.capacity() * std::mem::size_of::<Interval>())
-            .sum::<usize>()
+        self.streams.values().map(|s| s.capacity() * std::mem::size_of::<Interval>()).sum::<usize>()
             + self.streams.len() * 48
     }
 }

@@ -28,9 +28,7 @@
 //! match the node count, tag ids resolve, parentheses balance) before
 //! handing out a document, so a corrupt snapshot fails closed.
 
-use super::format::{
-    crc32, put_str, put_u32, put_u64, PersistError, Reader, Result,
-};
+use super::format::{crc32, put_str, put_u32, put_u64, PersistError, Reader, Result};
 use crate::bitvec::BitVec;
 use crate::content::ContentStore;
 use crate::succinct::SuccinctDoc;
@@ -130,9 +128,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(SuccinctDoc, u64)> {
         )));
     }
     if bits.count_ones() != node_count {
-        return Err(PersistError::Format(
-            "structure parentheses are not balanced".into(),
-        ));
+        return Err(PersistError::Format("structure parentheses are not balanced".into()));
     }
     // The popcount above only proves opens == closes; a shuffled sequence
     // with the right counts (e.g. one starting with a close) would pass it
@@ -250,8 +246,7 @@ mod tests {
          <author>Stevens</author></book><book year=\"2000\"><title>Data</title></book></bib>";
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("xqp-snap-unit-{}-{name}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("xqp-snap-unit-{}-{name}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir.join("doc.snap")
@@ -283,10 +278,7 @@ mod tests {
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 0xFF;
-            assert!(
-                decode_snapshot(&bad).is_err(),
-                "flipping byte {i} went undetected"
-            );
+            assert!(decode_snapshot(&bad).is_err(), "flipping byte {i} went undetected");
         }
     }
 
@@ -325,7 +317,7 @@ mod tests {
         let d = SuccinctDoc::parse("<a/>").unwrap();
         let mut bytes = encode_snapshot(&d, 0);
         bytes[8] = 99; // version field, first byte
-        // Re-seal the checksum so only the version check can fire.
+                       // Re-seal the checksum so only the version check can fire.
         let n = bytes.len();
         let crc = crc32(&bytes[..n - 4]);
         bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());

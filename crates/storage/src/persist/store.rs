@@ -65,10 +65,8 @@ impl DocStore {
         fs::create_dir_all(dir)?;
         let written = write_snapshot(&dir.join(SNAPSHOT_FILE), doc, 0)?;
         let wal = Wal::create(&dir.join(WAL_FILE), 0)?;
-        let counters = StoreCounters {
-            bytes_written: written + wal.len_bytes(),
-            ..StoreCounters::default()
-        };
+        let counters =
+            StoreCounters { bytes_written: written + wal.len_bytes(), ..StoreCounters::default() };
         Ok(DocStore { dir: dir.to_path_buf(), wal, generation: 0, counters })
     }
 
@@ -84,10 +82,8 @@ impl DocStore {
         } else {
             (Wal::create(&wal_path, generation)?, doc, ReplayReport::default())
         };
-        let counters = StoreCounters {
-            records_replayed: report.records_applied,
-            ..StoreCounters::default()
-        };
+        let counters =
+            StoreCounters { records_replayed: report.records_applied, ..StoreCounters::default() };
         Ok((DocStore { dir: dir.to_path_buf(), wal, generation, counters }, doc, report))
     }
 
@@ -148,8 +144,8 @@ mod tests {
     use xqp_xml::serialize;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("xqp-store-unit-{}-{name}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("xqp-store-unit-{}-{name}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

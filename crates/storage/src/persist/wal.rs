@@ -25,9 +25,7 @@
 //! rename and its WAL reset — and replaying it would double-apply folded
 //! updates, so [`Wal::open_replay`] discards it instead.
 
-use super::format::{
-    crc32, put_str, put_u32, put_u64, put_u8, PersistError, Reader, Result,
-};
+use super::format::{crc32, put_str, put_u32, put_u64, put_u8, PersistError, Reader, Result};
 use crate::succinct::{SNodeId, SuccinctDoc};
 use crate::update;
 use std::fs::{File, OpenOptions};
@@ -66,9 +64,8 @@ pub enum WalOp {
 pub fn apply_op(doc: &SuccinctDoc, op: &WalOp) -> Result<SuccinctDoc> {
     match op {
         WalOp::Insert { parent, fragment_xml } => {
-            let frag = xqp_xml::parse_document(fragment_xml).map_err(|e| {
-                PersistError::Apply(format!("logged fragment does not parse: {e}"))
-            })?;
+            let frag = xqp_xml::parse_document(fragment_xml)
+                .map_err(|e| PersistError::Apply(format!("logged fragment does not parse: {e}")))?;
             update::insert_subtree(doc, SNodeId(*parent), &frag)
                 .map_err(|e| PersistError::Apply(e.to_string()))
         }
@@ -113,9 +110,7 @@ fn decode_body(body: &[u8]) -> Result<(u64, WalOp)> {
             fragment_xml: r.len_str("insert fragment")?.to_string(),
         },
         OP_DELETE => WalOp::Delete { node: r.u32("delete node rank")? },
-        other => {
-            return Err(PersistError::Format(format!("unknown WAL opcode {other}")))
-        }
+        other => return Err(PersistError::Format(format!("unknown WAL opcode {other}"))),
     };
     if r.remaining() != 0 {
         return Err(PersistError::Format(format!(
@@ -228,8 +223,7 @@ impl Wal {
             if bytes.len() - pos < 4 {
                 break; // torn length prefix
             }
-            let body_len =
-                u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let body_len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
             if bytes.len() - pos < 4 + body_len + 4 {
                 break; // torn body or checksum
             }
@@ -346,8 +340,7 @@ mod tests {
     use xqp_xml::serialize;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("xqp-wal-unit-{}-{name}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("xqp-wal-unit-{}-{name}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir.join("doc.wal")
@@ -380,10 +373,7 @@ mod tests {
         {
             let mut wal = Wal::create(&path, 0).unwrap();
             for i in 0..5 {
-                let op = WalOp::Insert {
-                    parent: 0,
-                    fragment_xml: format!("<e n=\"{i}\"/>"),
-                };
+                let op = WalOp::Insert { parent: 0, fragment_xml: format!("<e n=\"{i}\"/>") };
                 live = apply_op(&live, &op).unwrap();
                 wal.append(&op).unwrap();
             }

@@ -270,25 +270,19 @@ impl SuccinctDoc {
     /// Attribute value by name test.
     pub fn attribute(&self, n: SNodeId, name: &str) -> Option<&str> {
         // Collect first to drop the iterator borrow before calling content().
-        let hit = self.attributes(n).find(|&a| {
-            name == "*" || self.name(a) == name
-        })?;
+        let hit = self.attributes(n).find(|&a| name == "*" || self.name(a) == name)?;
         self.content(hit)
     }
 
     /// All element nodes in document order.
     pub fn elements(&self) -> impl Iterator<Item = SNodeId> + '_ {
-        (0..self.node_count() as u32)
-            .map(SNodeId)
-            .filter(move |&n| self.is_element(n))
+        (0..self.node_count() as u32).map(SNodeId).filter(move |&n| self.is_element(n))
     }
 
     /// All nodes with the given tag, in document order (a per-tag scan; the
     /// indexed variant lives in [`crate::interval::TagStreams`]).
     pub fn nodes_with_tag(&self, tag: TagId) -> impl Iterator<Item = SNodeId> + '_ {
-        (0..self.node_count() as u32)
-            .map(SNodeId)
-            .filter(move |&n| self.tags[n.index()] == tag)
+        (0..self.node_count() as u32).map(SNodeId).filter(move |&n| self.tags[n.index()] == tag)
     }
 
     // ---- values --------------------------------------------------------------
@@ -297,9 +291,7 @@ impl SuccinctDoc {
     /// content for text/attribute nodes.
     pub fn string_value(&self, n: SNodeId) -> String {
         match self.kind(n) {
-            SKind::Text | SKind::Attribute => {
-                self.content(n).unwrap_or_default().to_string()
-            }
+            SKind::Text | SKind::Attribute => self.content(n).unwrap_or_default().to_string(),
             SKind::Element => {
                 let mut out = String::new();
                 for d in self.subtree(n) {

@@ -73,10 +73,8 @@ impl SuffixIndex {
         let mut ranks: Vec<u32> = self.suffixes[lo..hi].iter().map(|&(r, _)| r).collect();
         ranks.sort_unstable();
         ranks.dedup();
-        let mut nodes: Vec<SNodeId> = ranks
-            .into_iter()
-            .filter_map(|r| doc.node_of_content_rank(r as usize))
-            .collect();
+        let mut nodes: Vec<SNodeId> =
+            ranks.into_iter().filter_map(|r| doc.node_of_content_rank(r as usize)).collect();
         nodes.sort_unstable();
         nodes
     }

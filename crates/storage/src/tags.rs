@@ -80,18 +80,13 @@ impl TagTable {
 
     /// Iterate over `(TagId, name)` pairs, skipping the reserved text id.
     pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .skip(1)
-            .map(|(i, n)| (TagId(i as u32), n.as_str()))
+        self.names.iter().enumerate().skip(1).map(|(i, n)| (TagId(i as u32), n.as_str()))
     }
 
     /// Heap bytes used by the table.
     pub fn heap_bytes(&self) -> usize {
         self.names.iter().map(|n| n.len() + std::mem::size_of::<String>()).sum::<usize>()
-            + self.ids.len()
-                * (std::mem::size_of::<String>() + std::mem::size_of::<TagId>() + 16)
+            + self.ids.len() * (std::mem::size_of::<String>() + std::mem::size_of::<TagId>() + 16)
     }
 }
 

@@ -134,10 +134,8 @@ fn splice_parts(
     let old_has = doc.raw_has_content();
     let content_at = old_has.rank1(at);
     let content_removed = old_has.rank1(at + removed) - content_at;
-    let inserted: Vec<&str> =
-        frag.contents.iter().filter_map(|c| c.as_deref()).collect();
-    let content: ContentStore =
-        doc.content_store().splice(content_at, content_removed, &inserted);
+    let inserted: Vec<&str> = frag.contents.iter().filter_map(|c| c.as_deref()).collect();
+    let content: ContentStore = doc.content_store().splice(content_at, content_removed, &inserted);
     let mut has_content = BitVec::new();
     for i in 0..at {
         has_content.push(old_has.get(i));
@@ -264,13 +262,22 @@ mod tests {
     #[test]
     fn out_of_range_and_bad_targets_are_typed_errors() {
         let d = sdoc("<a>text</a>");
-        assert_eq!(delete_subtree(&d, SNodeId(99)).unwrap_err(), UpdateError::NodeOutOfRange(SNodeId(99)));
+        assert_eq!(
+            delete_subtree(&d, SNodeId(99)).unwrap_err(),
+            UpdateError::NodeOutOfRange(SNodeId(99))
+        );
         let frag = parse_document("<x/>").unwrap();
         let text = d.first_child(d.root().unwrap()).unwrap();
         assert_eq!(insert_subtree(&d, text, &frag).unwrap_err(), UpdateError::NotAnElement(text));
-        assert_eq!(insert_subtree(&d, SNodeId(99), &frag).unwrap_err(), UpdateError::NodeOutOfRange(SNodeId(99)));
+        assert_eq!(
+            insert_subtree(&d, SNodeId(99), &frag).unwrap_err(),
+            UpdateError::NodeOutOfRange(SNodeId(99))
+        );
         let empty = Document::new();
-        assert_eq!(insert_subtree(&d, d.root().unwrap(), &empty).unwrap_err(), UpdateError::EmptyFragment);
+        assert_eq!(
+            insert_subtree(&d, d.root().unwrap(), &empty).unwrap_err(),
+            UpdateError::EmptyFragment
+        );
     }
 
     #[test]

@@ -58,9 +58,7 @@ impl QName {
             return true;
         }
         match test.find(':') {
-            Some(i) => {
-                self.prefix.as_deref() == Some(&test[..i]) && self.local == test[i + 1..]
-            }
+            Some(i) => self.prefix.as_deref() == Some(&test[..i]) && self.local == test[i + 1..],
             None => self.prefix.is_none() && self.local == test,
         }
     }

@@ -145,9 +145,8 @@ impl<'a> Parser<'a> {
             out.push_str(&rest[..i]);
             off += i;
             let tail = &rest[i..];
-            let semi = tail
-                .find(';')
-                .ok_or_else(|| Error::new(off, "unterminated entity reference"))?;
+            let semi =
+                tail.find(';').ok_or_else(|| Error::new(off, "unterminated entity reference"))?;
             let ent = &tail[1..semi];
             match ent {
                 "amp" => out.push('&'),
@@ -159,8 +158,7 @@ impl<'a> Parser<'a> {
                     let cp = u32::from_str_radix(&ent[2..], 16)
                         .map_err(|_| Error::new(off, "bad hex character reference"))?;
                     out.push(
-                        char::from_u32(cp)
-                            .ok_or_else(|| Error::new(off, "invalid code point"))?,
+                        char::from_u32(cp).ok_or_else(|| Error::new(off, "invalid code point"))?,
                     );
                 }
                 _ if ent.starts_with('#') => {
@@ -168,8 +166,7 @@ impl<'a> Parser<'a> {
                         .parse()
                         .map_err(|_| Error::new(off, "bad decimal character reference"))?;
                     out.push(
-                        char::from_u32(cp)
-                            .ok_or_else(|| Error::new(off, "invalid code point"))?,
+                        char::from_u32(cp).ok_or_else(|| Error::new(off, "invalid code point"))?,
                     );
                 }
                 _ => {
@@ -241,9 +238,8 @@ impl<'a> Parser<'a> {
 
     fn parse_comment(&mut self) -> Result<Event> {
         self.expect("<!--")?;
-        let end = self.input[self.pos..]
-            .find("-->")
-            .ok_or_else(|| self.err("unterminated comment"))?;
+        let end =
+            self.input[self.pos..].find("-->").ok_or_else(|| self.err("unterminated comment"))?;
         let text = &self.input[self.pos..self.pos + end];
         if text.contains("--") {
             return Err(self.err("`--` not allowed inside comment"));
@@ -264,10 +260,8 @@ impl<'a> Parser<'a> {
             .ok_or_else(|| self.err("unterminated processing instruction"))?;
         let mut data = &self.input[self.pos..self.pos + end];
         data = data.strip_prefix(' ').unwrap_or(data);
-        let ev = Event::ProcessingInstruction {
-            target: target.as_lexical(),
-            data: data.to_string(),
-        };
+        let ev =
+            Event::ProcessingInstruction { target: target.as_lexical(), data: data.to_string() };
         self.bump(end + 2);
         Ok(ev)
     }
@@ -339,7 +333,9 @@ impl<'a> Parser<'a> {
                 }
                 Ok(Event::EndElement { name })
             }
-            Some(open) => Err(self.err(format!("mismatched tag: expected `</{open}>`, found `</{name}>`"))),
+            Some(open) => {
+                Err(self.err(format!("mismatched tag: expected `</{open}>`, found `</{name}>`")))
+            }
             None => Err(self.err(format!("unexpected closing tag `</{name}>`"))),
         }
     }
@@ -446,9 +442,7 @@ pub fn parse_document(input: &str) -> Result<Document> {
     let mut builder = TreeBuilder::new();
     let mut parser = Parser::new(input);
     while let Some(ev) = parser.next_event()? {
-        builder
-            .push_event(&ev)
-            .map_err(|msg| Error::new(parser.offset(), msg))?;
+        builder.push_event(&ev).map_err(|msg| Error::new(parser.offset(), msg))?;
     }
     builder.finish().map_err(|msg| Error::new(parser.offset(), msg))
 }
@@ -515,12 +509,10 @@ mod tests {
 
     #[test]
     fn comments_and_pis() {
-        let evs = events("<?xml version=\"1.0\"?><!-- top --><a><?go now?><!--in--></a><!--after-->");
+        let evs =
+            events("<?xml version=\"1.0\"?><!-- top --><a><?go now?><!--in--></a><!--after-->");
         assert_eq!(evs[0], E::Comment(" top ".into()));
-        assert_eq!(
-            evs[2],
-            E::ProcessingInstruction { target: "go".into(), data: "now".into() }
-        );
+        assert_eq!(evs[2], E::ProcessingInstruction { target: "go".into(), data: "now".into() });
         assert_eq!(evs[3], E::Comment("in".into()));
         assert_eq!(evs[5], E::Comment("after".into()));
     }
@@ -617,7 +609,8 @@ mod tests {
 
     #[test]
     fn parse_document_smoke() {
-        let doc = parse_document("<bib><book year='1994'><title>TCP/IP</title></book></bib>").unwrap();
+        let doc =
+            parse_document("<bib><book year='1994'><title>TCP/IP</title></book></bib>").unwrap();
         let root = doc.root_element().unwrap();
         assert_eq!(doc.name(root).unwrap().local, "bib");
     }

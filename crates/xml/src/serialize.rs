@@ -125,7 +125,9 @@ fn has_text_child(doc: &Document, id: NodeId) -> bool {
 fn write_pretty(doc: &Document, id: NodeId, level: usize, indent: usize, out: &mut String) {
     let pad = " ".repeat(level * indent);
     match &doc.node(id).kind {
-        NodeKind::Element { .. } if !has_text_child(doc, id) && doc.node(id).first_child.is_some() => {
+        NodeKind::Element { .. }
+            if !has_text_child(doc, id) && doc.node(id).first_child.is_some() =>
+        {
             // Element-only content: open tag, children each on own line.
             let name = doc.name(id).expect("element has name").as_lexical();
             out.push_str(&pad);
@@ -203,10 +205,7 @@ mod tests {
 
     #[test]
     fn comments_and_pis_roundtrip() {
-        assert_eq!(
-            roundtrip("<a><!--note--><?go fast?></a>"),
-            "<a><!--note--><?go fast?></a>"
-        );
+        assert_eq!(roundtrip("<a><!--note--><?go fast?></a>"), "<a><!--note--><?go fast?></a>");
     }
 
     #[test]

@@ -191,9 +191,7 @@ impl Document {
     /// Look up an attribute value by name test on element `id`.
     pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
         self.attributes(id).iter().find_map(|&aid| match &self.node(aid).kind {
-            NodeKind::Attribute { name: n, value } if n.matches_test(name) => {
-                Some(value.as_str())
-            }
+            NodeKind::Attribute { name: n, value } if n.matches_test(name) => Some(value.as_str()),
             _ => None,
         })
     }
@@ -247,10 +245,7 @@ impl Document {
 
     /// Number of element nodes in the document.
     pub fn element_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n.kind, NodeKind::Element { .. }))
-            .count()
+        self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Element { .. })).count()
     }
 
     // ---- construction -----------------------------------------------------
@@ -520,10 +515,7 @@ mod tests {
     fn child_elements_filters() {
         let d = doc("<a><b/>text<c/></a>");
         let a = d.root_element().unwrap();
-        let names: Vec<_> = d
-            .child_elements(a)
-            .map(|c| d.name(c).unwrap().local.clone())
-            .collect();
+        let names: Vec<_> = d.child_elements(a).map(|c| d.name(c).unwrap().local.clone()).collect();
         assert_eq!(names, ["b", "c"]);
     }
 
@@ -544,10 +536,8 @@ mod tests {
         let d = doc("<a><b><c/></b><d/></a>");
         let a = d.root_element().unwrap();
         let b = d.children(a).next().unwrap();
-        let names: Vec<_> = d
-            .descendants_or_self(b)
-            .map(|n| d.name(n).unwrap().local.clone())
-            .collect();
+        let names: Vec<_> =
+            d.descendants_or_self(b).map(|n| d.name(n).unwrap().local.clone()).collect();
         assert_eq!(names, ["b", "c"]);
     }
 

@@ -112,9 +112,7 @@ impl Atomic {
                 Atomic::Str(_) => 2,
             }
         }
-        rank(self)
-            .cmp(&rank(other))
-            .then_with(|| self.as_string().cmp(&other.as_string()))
+        rank(self).cmp(&rank(other)).then_with(|| self.as_string().cmp(&other.as_string()))
     }
 
     /// Numeric addition with integer preservation.
@@ -259,10 +257,7 @@ mod tests {
 
     #[test]
     fn boolean_compare() {
-        assert_eq!(
-            Atomic::Boolean(false).compare(&Atomic::Boolean(true)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Atomic::Boolean(false).compare(&Atomic::Boolean(true)), Some(Ordering::Less));
     }
 
     #[test]
@@ -277,19 +272,10 @@ mod tests {
 
     #[test]
     fn arithmetic_preserves_integers() {
-        assert_eq!(
-            Atomic::Integer(2).add(&Atomic::Integer(3)),
-            Some(Atomic::Integer(5))
-        );
-        assert_eq!(
-            Atomic::Integer(2).mul(&Atomic::Double(1.5)),
-            Some(Atomic::Double(3.0))
-        );
+        assert_eq!(Atomic::Integer(2).add(&Atomic::Integer(3)), Some(Atomic::Integer(5)));
+        assert_eq!(Atomic::Integer(2).mul(&Atomic::Double(1.5)), Some(Atomic::Double(3.0)));
         // Untyped (string) operands promote to double, per XQuery arithmetic.
-        assert_eq!(
-            Atomic::Integer(7).sub(&Atomic::Str("2".into())),
-            Some(Atomic::Double(5.0))
-        );
+        assert_eq!(Atomic::Integer(7).sub(&Atomic::Str("2".into())), Some(Atomic::Double(5.0)));
     }
 
     #[test]
@@ -303,15 +289,9 @@ mod tests {
 
     #[test]
     fn division_semantics() {
-        assert_eq!(
-            Atomic::Integer(7).div(&Atomic::Integer(2)),
-            Some(Atomic::Double(3.5))
-        );
+        assert_eq!(Atomic::Integer(7).div(&Atomic::Integer(2)), Some(Atomic::Double(3.5)));
         assert_eq!(Atomic::Integer(1).div(&Atomic::Integer(0)), None);
-        assert_eq!(
-            Atomic::Integer(7).int_mod(&Atomic::Integer(3)),
-            Some(Atomic::Integer(1))
-        );
+        assert_eq!(Atomic::Integer(7).int_mod(&Atomic::Integer(3)), Some(Atomic::Integer(1)));
         assert_eq!(Atomic::Integer(7).int_mod(&Atomic::Integer(0)), None);
     }
 
@@ -325,7 +305,7 @@ mod tests {
 
     #[test]
     fn order_key_is_total() {
-        let mut vals = vec![
+        let mut vals = [
             Atomic::Str("b".into()),
             Atomic::Integer(2),
             Atomic::Boolean(true),

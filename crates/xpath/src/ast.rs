@@ -35,7 +35,11 @@ impl Axis {
     pub fn is_downward(self) -> bool {
         matches!(
             self,
-            Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::SelfAxis | Axis::Attribute
+            Axis::Child
+                | Axis::Descendant
+                | Axis::DescendantOrSelf
+                | Axis::SelfAxis
+                | Axis::Attribute
         )
     }
 
@@ -374,18 +378,12 @@ mod tests {
 
     #[test]
     fn path_downward_check() {
-        let down = PathExpr {
-            absolute: true,
-            steps: vec![Step::child("a"), Step::descendant("b")],
-        };
+        let down =
+            PathExpr { absolute: true, steps: vec![Step::child("a"), Step::descendant("b")] };
         assert!(down.is_downward());
         let up = PathExpr {
             absolute: true,
-            steps: vec![Step {
-                axis: Axis::Parent,
-                test: NodeTest::AnyNode,
-                predicates: vec![],
-            }],
+            steps: vec![Step { axis: Axis::Parent, test: NodeTest::AnyNode, predicates: vec![] }],
         };
         assert!(!up.is_downward());
     }

@@ -12,7 +12,7 @@
 //! subtree connected purely by parent-child arcs, and each cut arc becomes a
 //! *join edge* reconnecting a vertex of one partition to the root of another.
 
-use crate::pattern::{PatternGraph, PRel};
+use crate::pattern::{PRel, PatternGraph};
 
 /// One maximal parent-child-connected subpattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -159,11 +159,8 @@ mod tests {
     #[test]
     fn preorder_within_partition() {
         let (g, p) = partition("/a[b][c]/d");
-        let labels: Vec<&str> = p.patterns[0]
-            .vertices
-            .iter()
-            .map(|&v| g.vertices[v].label.as_str())
-            .collect();
+        let labels: Vec<&str> =
+            p.patterns[0].vertices.iter().map(|&v| g.vertices[v].label.as_str()).collect();
         assert_eq!(labels, ["/", "a", "b", "c", "d"]);
     }
 

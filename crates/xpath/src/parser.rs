@@ -67,11 +67,7 @@ pub fn parse_path_continuation(input: &str) -> Result<(PathExpr, usize), ParseEr
     let mut p = P::new(input);
     p.skip_ws();
     let mut steps = Vec::new();
-    let dos = || Step {
-        axis: Axis::DescendantOrSelf,
-        test: NodeTest::AnyNode,
-        predicates: vec![],
-    };
+    let dos = || Step { axis: Axis::DescendantOrSelf, test: NodeTest::AnyNode, predicates: vec![] };
     if p.eat("//") {
         steps.push(dos());
     } else if !p.eat("/") {
@@ -204,16 +200,16 @@ impl<'a> P<'a> {
         self.skip_ws();
         // Abbreviations.
         if self.eat("..") {
-            return Ok(self.with_predicates(Axis::Parent, NodeTest::AnyNode)?);
+            return self.with_predicates(Axis::Parent, NodeTest::AnyNode);
         }
         if self.peek() == Some('.') {
             // `.` but not a number like `.5` (we have no leading-dot numbers).
             self.pos += 1;
-            return Ok(self.with_predicates(Axis::SelfAxis, NodeTest::AnyNode)?);
+            return self.with_predicates(Axis::SelfAxis, NodeTest::AnyNode);
         }
         if self.eat("@") {
             let test = self.node_test()?;
-            return Ok(self.with_predicates(Axis::Attribute, test)?);
+            return self.with_predicates(Axis::Attribute, test);
         }
         // Full `axis::` form?
         let save = self.pos;
@@ -233,7 +229,7 @@ impl<'a> P<'a> {
                     other => return Err(self.err(format!("unknown axis `{other}`"))),
                 };
                 let test = self.node_test()?;
-                return Ok(self.with_predicates(axis, test)?);
+                return self.with_predicates(axis, test);
             }
             self.pos = save;
         }
@@ -319,8 +315,8 @@ impl<'a> P<'a> {
     /// Match a keyword followed by a non-name character.
     fn keyword(&mut self, kw: &str) -> bool {
         let rest = &self.input[self.pos..];
-        if rest.starts_with(kw) {
-            let after = rest[kw.len()..].chars().next();
+        if let Some(tail) = rest.strip_prefix(kw) {
+            let after = tail.chars().next();
             if !matches!(after, Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
                 self.pos += kw.len();
                 return true;
@@ -415,10 +411,7 @@ impl<'a> P<'a> {
             };
             let path = if self.input[self.pos..].starts_with('/') {
                 let (p, used) = parse_path_continuation(&self.input[self.pos..])
-                    .map_err(|e| ParseError {
-                        offset: self.pos + e.offset,
-                        message: e.message,
-                    })?;
+                    .map_err(|e| ParseError { offset: self.pos + e.offset, message: e.message })?;
                 self.pos += used;
                 p
             } else {
@@ -431,9 +424,7 @@ impl<'a> P<'a> {
                 let q = self.peek().expect("peeked");
                 self.pos += 1;
                 let rest = &self.input[self.pos..];
-                let end = rest
-                    .find(q)
-                    .ok_or_else(|| self.err("unterminated string literal"))?;
+                let end = rest.find(q).ok_or_else(|| self.err("unterminated string literal"))?;
                 let s = rest[..end].to_string();
                 self.pos += end + 1;
                 Ok(PredOperand::Literal(Atomic::Str(s)))
@@ -684,11 +675,7 @@ mod tests {
     fn path_to_path_comparison() {
         let p = parse("/a[b = c/d]");
         match &p.steps[0].predicates[0] {
-            Predicate::Compare {
-                lhs: PredOperand::Path(l),
-                rhs: PredOperand::Path(r),
-                ..
-            } => {
+            Predicate::Compare { lhs: PredOperand::Path(l), rhs: PredOperand::Path(r), .. } => {
                 assert_eq!(l.steps.len(), 1);
                 assert_eq!(r.steps.len(), 2);
             }

@@ -124,7 +124,9 @@ impl fmt::Display for PatternError {
             PatternError::NonDownwardAxis(a) => {
                 write!(f, "axis `{}` is not expressible in a tree pattern", a.keyword())
             }
-            PatternError::Positional => write!(f, "positional predicates need navigational evaluation"),
+            PatternError::Positional => {
+                write!(f, "positional predicates need navigational evaluation")
+            }
             PatternError::NonConjunctive => write!(f, "or/not predicates are not conjunctive"),
             PatternError::PathToPathComparison => {
                 write!(f, "path-to-path comparisons need the value-join operator")
@@ -217,8 +219,8 @@ impl PatternGraph {
         pending: &mut PRel,
     ) -> Result<Option<usize>, PatternError> {
         match step.axis {
-            Axis::DescendantOrSelf if step.test == NodeTest::AnyNode
-                && step.predicates.is_empty() =>
+            Axis::DescendantOrSelf
+                if step.test == NodeTest::AnyNode && step.predicates.is_empty() =>
             {
                 *pending = PRel::Descendant;
                 return Ok(None);
@@ -261,11 +263,7 @@ impl PatternGraph {
         Ok(Some(v))
     }
 
-    fn apply_predicates(
-        &mut self,
-        v: usize,
-        preds: &[Predicate],
-    ) -> Result<(), PatternError> {
+    fn apply_predicates(&mut self, v: usize, preds: &[Predicate]) -> Result<(), PatternError> {
         for p in preds {
             self.apply_predicate(v, p)?;
         }
@@ -281,9 +279,7 @@ impl PatternGraph {
             Predicate::Compare { lhs, op, rhs } => {
                 let (path, op, lit) = match (lhs, rhs) {
                     (PredOperand::Path(p), PredOperand::Literal(l)) => (p, *op, l.clone()),
-                    (PredOperand::Literal(l), PredOperand::Path(p)) => {
-                        (p, op.flipped(), l.clone())
-                    }
+                    (PredOperand::Literal(l), PredOperand::Path(p)) => (p, op.flipped(), l.clone()),
                     (PredOperand::Literal(a), PredOperand::Literal(b)) => {
                         let holds = a.compare(b).is_some_and(|o| op.eval(o));
                         if !holds {
@@ -299,9 +295,7 @@ impl PatternGraph {
                     }
                 };
                 let target = self.graft_path(v, path)?.unwrap_or(v);
-                self.vertices[target]
-                    .constraints
-                    .push(ValueConstraint { op, literal: lit });
+                self.vertices[target].constraints.push(ValueConstraint { op, literal: lit });
                 Ok(())
             }
             Predicate::Position(_) => Err(PatternError::Positional),
@@ -480,10 +474,7 @@ mod tests {
     #[test]
     fn rejects_non_downward() {
         let p = parse_path("/a/../b").unwrap();
-        assert_eq!(
-            PatternGraph::from_path(&p),
-            Err(PatternError::NonDownwardAxis(Axis::Parent))
-        );
+        assert_eq!(PatternGraph::from_path(&p), Err(PatternError::NonDownwardAxis(Axis::Parent)));
     }
 
     #[test]
@@ -501,10 +492,7 @@ mod tests {
     #[test]
     fn rejects_relative_without_context() {
         let p = parse_path("a/b").unwrap();
-        assert_eq!(
-            PatternGraph::from_path(&p),
-            Err(PatternError::RelativeWithoutContext)
-        );
+        assert_eq!(PatternGraph::from_path(&p), Err(PatternError::RelativeWithoutContext));
     }
 
     #[test]

@@ -134,8 +134,8 @@ impl<'a> Q<'a> {
     fn keyword(&mut self, kw: &str) -> bool {
         self.skip_ws();
         let rest = self.rest();
-        if rest.starts_with(kw) {
-            let after = rest[kw.len()..].chars().next();
+        if let Some(tail) = rest.strip_prefix(kw) {
+            let after = tail.chars().next();
             if !matches!(after, Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
                 self.pos += kw.len();
                 return true;
@@ -635,12 +635,11 @@ impl<'a> Q<'a> {
                 Some('<') if self.rest().starts_with("</") => {
                     flush_text!();
                     self.pos += 2;
-                    let close =
-                        self.name().ok_or_else(|| self.err("expected closing tag name"))?;
+                    let close = self.name().ok_or_else(|| self.err("expected closing tag name"))?;
                     if close != open {
-                        return Err(self.err(format!(
-                            "mismatched constructor tags: <{open}> … </{close}>"
-                        )));
+                        return Err(
+                            self.err(format!("mismatched constructor tags: <{open}> … </{close}>"))
+                        );
                     }
                     self.skip_ws();
                     self.expect(">")?;
@@ -871,7 +870,9 @@ mod tests {
         let SchemaNode::Element { attributes, .. } = &tree.root else { panic!() };
         assert_eq!(attributes.len(), 3);
         assert_eq!(attributes[0].1, Expr::Var("i".into()));
-        assert!(matches!(&attributes[1].1, Expr::Call { name, args } if name == "concat" && args.len() == 3));
+        assert!(
+            matches!(&attributes[1].1, Expr::Call { name, args } if name == "concat" && args.len() == 3)
+        );
         assert_eq!(attributes[2].1, Expr::Literal(Atomic::Str("plain".into())));
     }
 
@@ -922,9 +923,7 @@ mod tests {
 
     #[test]
     fn nested_flwor() {
-        let e = parse(
-            "for $a in doc()/r/x return for $b in $a/y return ($a, $b)",
-        );
+        let e = parse("for $a in doc()/r/x return for $b in $a/y return ($a, $b)");
         let Expr::Flwor(plan) = e else { panic!() };
         let LP::ReturnClause { expr, .. } = plan.as_ref() else { panic!() };
         assert!(matches!(expr, Expr::Flwor(_)));
@@ -950,9 +949,8 @@ mod tests {
 
     #[test]
     fn where_with_contains() {
-        let e = parse(
-            "for $p in doc()/people/person where contains($p/name, \"Ali\") return $p/name",
-        );
+        let e =
+            parse("for $p in doc()/people/person where contains($p/name, \"Ali\") return $p/name");
         let Expr::Flwor(plan) = e else { panic!() };
         let ex = plan.explain();
         assert!(ex.contains("contains("));

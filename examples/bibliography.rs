@@ -43,10 +43,7 @@ fn main() {
     )
     .unwrap();
     println!("\nafter insert: {} books", db.query("bib", "count(/bib/book)").unwrap());
-    println!(
-        "the free book: {}",
-        db.query("bib", "/bib/book[price = 0]/title").unwrap()
-    );
+    println!("the free book: {}", db.query("bib", "/bib/book[price = 0]/title").unwrap());
 
     // Update 2: purge everything over 100.
     let removed = db.delete_matching("bib", "/bib/book[price > 100]").unwrap();

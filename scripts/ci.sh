@@ -5,6 +5,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format gate =="
+cargo fmt --check
+
+echo "== lint gate: clippy, warnings are errors =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== tier-1 gate: release build + test =="
 cargo build --release
 cargo test -q
@@ -20,5 +26,8 @@ cargo build --release --offline -p xqp --bin xqp
 
 echo "== benches compile (std harness, no criterion) =="
 cargo build --offline --benches -p xqp-bench
+
+echo "== E16 smoke: streaming vs materializing pipeline (release) =="
+cargo bench --offline -p xqp-bench --bench exp_flwor_pipeline
 
 echo "CI gate passed."

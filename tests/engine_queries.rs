@@ -177,42 +177,29 @@ fn deeply_nested_constructors() {
              <value>{sum(doc()//item/price)}</value></summary></report>",
         )
         .unwrap();
-    assert_eq!(
-        out,
-        "<report><summary><total>4</total><value>137</value></summary></report>"
-    );
+    assert_eq!(out, "<report><summary><total>4</total><value>137</value></summary></report>");
 }
 
 #[test]
 fn quantifier_style_filters() {
     // every/some emulated with count/exists.
-    let all_cheap = db()
-        .query("store", "count(doc()//item[price > 200]) = 0")
-        .unwrap();
+    let all_cheap = db().query("store", "count(doc()//item[price > 200]) = 0").unwrap();
     assert_eq!(all_cheap, "true");
-    let some_low = db()
-        .query("store", "exists(doc()//item[qty < 10])")
-        .unwrap();
+    let some_low = db().query("store", "exists(doc()//item[qty < 10])").unwrap();
     assert_eq!(some_low, "true");
 }
 
 #[test]
 fn distinct_values_over_attributes() {
-    let out = db()
-        .query("store", "distinct-values(doc()/store/orders/order/@sku)")
-        .unwrap();
+    let out = db().query("store", "distinct-values(doc()/store/orders/order/@sku)").unwrap();
     assert_eq!(out, "A1 B2");
 }
 
 #[test]
 fn queries_on_constructed_nodes() {
     // A path applied to a constructed element navigates the built arena.
-    let out = db()
-        .query(
-            "store",
-            "let $x := <wrap><inner>deep</inner></wrap> return $x/inner",
-        )
-        .unwrap();
+    let out =
+        db().query("store", "let $x := <wrap><inner>deep</inner></wrap> return $x/inner").unwrap();
     assert_eq!(out, "<inner>deep</inner>");
 }
 

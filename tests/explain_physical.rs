@@ -1,0 +1,136 @@
+//! Snapshot tests for the physical-plan section of `explain`.
+//!
+//! Each case pins the lowered operator tree for a representative FLWOR:
+//! the operator labels and their nesting, the access method chosen per τ
+//! (with the alternative costs the model rejected), and the
+//! `est … rows` vs `actual … rows` annotations before and after the query
+//! actually runs. The estimates come from `CostModel::cost_plan`; the
+//! actuals accumulate in the cached plan's shared `OpStats`, so running
+//! the query and re-explaining must show non-zero row counts.
+
+use xqp::{Database, EvalMode};
+
+const STORE: &str = "<store><inventory>\
+    <item sku=\"A1\"><name>bolt</name><price>10</price><qty>500</qty></item>\
+    <item sku=\"B2\"><name>gear</name><price>120</price><qty>7</qty></item>\
+    </inventory></store>";
+
+fn db() -> Database {
+    let mut d = Database::new();
+    d.load_str("doc", STORE).unwrap();
+    d
+}
+
+/// Explain `q`, assert every needle appears, and return the rendering.
+fn explain_contains(db: &Database, q: &str, needles: &[&str]) -> String {
+    let (plan, _) = db.explain("doc", q).unwrap();
+    for needle in needles {
+        assert!(plan.contains(needle), "explain for `{q}` misses `{needle}`:\n{plan}");
+    }
+    plan
+}
+
+/// The operator tree lines (label + annotation) of the physical section,
+/// with leading indentation stripped.
+fn physical_ops(plan: &str) -> Vec<&str> {
+    plan.lines()
+        .skip_while(|l| !l.starts_with("-- physical plan"))
+        .skip(1)
+        .take_while(|l| !l.starts_with("--"))
+        .map(str::trim_start)
+        .collect()
+}
+
+#[test]
+fn filter_sort_pipeline_renders_every_operator() {
+    let db = db();
+    let q = "for $i in doc()/store/inventory/item where $i/price >= 10 \
+             order by $i/name return <line>{$i/name}</line>";
+    let plan = explain_contains(
+        &db,
+        q,
+        &[
+            "-- physical plan (streaming, batch=64)",
+            "construct γ[line]",
+            "sort [$i ⊳ dedup(π[child::name](input))]",
+            "filter ($i ⊳ dedup(π[child::price](input)) >= 10)",
+            "for-scan $i in",
+            "τ=nok(cost ",
+            "env-root",
+        ],
+    );
+    // Operator nesting: construct pulls from sort, sort from filter, filter
+    // from the for-scan, which scans over the singleton environment root.
+    let ops = physical_ops(&plan);
+    assert_eq!(ops.len(), 5, "expected 5 operators:\n{plan}");
+    for (line, label) in ops.iter().zip(["construct", "sort", "filter", "for-scan", "env-root"]) {
+        assert!(line.starts_with(label), "expected `{label}` in `{line}`");
+    }
+    // Before execution the plan has estimates but no actuals.
+    for line in &ops {
+        assert!(line.contains("(est "), "missing estimate in `{line}`");
+        assert!(line.contains("actual 0 rows / 0 batches"), "stale actuals in `{line}`");
+    }
+}
+
+#[test]
+fn tpm_scan_shows_access_method_and_rejected_costs() {
+    let db = db();
+    // `let $p := $i/price` fuses into the tree-pattern bind, so the plan
+    // carries a tpm-scan with two output vertices.
+    let plan = explain_contains(
+        &db,
+        "for $i in doc()//item let $p := $i/price return <x>{$p}</x>",
+        &[
+            "tpm-scan [$i←v1, $p←v2] over pattern(2 vertices)",
+            "access=nok",
+            "costs[nok=",
+            ", twig=",
+            ", binary=",
+        ],
+    );
+    let ops = physical_ops(&plan);
+    assert_eq!(ops.len(), 3, "construct / tpm-scan / env-root:\n{plan}");
+}
+
+#[test]
+fn cost_model_picks_twigstack_for_predicated_path_source() {
+    let db = db();
+    // The for-binding source keeps its predicate as a compiled τ; the cost
+    // model prefers the holistic twig join for this selective 2-vertex
+    // pattern, and the annotation records that choice.
+    explain_contains(
+        &db,
+        "for $i in doc()//item[price > 5] return $i/name",
+        &["for-scan $i in", "τ=twigstack(cost ", "est 0.6 rows"],
+    );
+}
+
+#[test]
+fn actual_rows_accumulate_after_execution() {
+    let db = db();
+    let q = "for $b in doc()//item where $b/qty < 100 return string($b/name)";
+    explain_contains(&db, q, &["actual 0 rows / 0 batches"]);
+    assert_eq!(db.query("doc", q).unwrap(), "gear");
+    let plan = explain_contains(&db, q, &["-- physical plan (streaming, batch=64)"]);
+    let ops = physical_ops(&plan);
+    // The for-scan produced both items; the filter passed only the one
+    // low-stock row through to the construct.
+    let for_scan = ops.iter().find(|l| l.starts_with("for-scan")).unwrap();
+    assert!(for_scan.contains("actual 2 rows / 1 batches"), "{for_scan}");
+    let filter = ops.iter().find(|l| l.starts_with("filter")).unwrap();
+    assert!(filter.contains("actual 1 rows / 1 batches"), "{filter}");
+    let construct = ops.iter().find(|l| l.starts_with("construct")).unwrap();
+    assert!(construct.contains("actual 1 rows / 1 batches"), "{construct}");
+}
+
+#[test]
+fn materializing_mode_is_labelled_in_the_header() {
+    let mut d = db();
+    d.set_eval_mode(EvalMode::Materializing);
+    explain_contains(
+        &d,
+        "for $i in doc()//item return $i/name",
+        &["-- physical plan (materializing, batch=64)"],
+    );
+}

@@ -28,9 +28,7 @@ fn fig1_produces_the_expected_document() {
     assert_eq!(out.matches("<author>").count(), 5);
     assert!(out.starts_with("<results>"));
     assert!(out.ends_with("</results>"));
-    assert!(out.contains(
-        "<result><title>Data on the Web</title><author><last>Abiteboul</last>"
-    ));
+    assert!(out.contains("<result><title>Data on the Web</title><author><last>Abiteboul</last>"));
     assert!(out.contains(
         "<result><title>The Economics of Technology and Content for Digital TV</title></result>"
     ));
@@ -76,8 +74,7 @@ fn fig1_same_answer_under_every_configuration() {
         d.set_strategy(Strategy::Naive);
         d.query("bib", FIG1_QUERY).unwrap()
     };
-    for rules in [RuleSet::all(), RuleSet::none(), RuleSet::all_except(5), RuleSet::all_except(1)]
-    {
+    for rules in [RuleSet::all(), RuleSet::none(), RuleSet::all_except(5), RuleSet::all_except(1)] {
         for strat in [
             Strategy::Auto,
             Strategy::NoK,

@@ -8,8 +8,7 @@ use xqp::Database;
 /// `d` values and an `e` fan-out of (3, 2 | 2 | 2, 3, 1).
 fn fig2_doc() -> String {
     let b = |name: &str, es: usize| {
-        let e_elems: String =
-            (1..=es).map(|i| format!("<e>{name}e{i}</e>")).collect();
+        let e_elems: String = (1..=es).map(|i| format!("<e>{name}e{i}</e>")).collect();
         format!("<b><c>c{name}</c><d>d{name}</d>{e_elems}</b>")
     };
     format!(
@@ -49,10 +48,7 @@ fn bindings_follow_nested_loop_order() {
     let mut db = Database::new();
     db.load_str("fig2", &fig2_doc()).unwrap();
     let out = db
-        .query(
-            "fig2",
-            "for $a in doc()/r/a for $b in $a/b for $e in $b/e return concat($e, \";\")",
-        )
+        .query("fig2", "for $a in doc()/r/a for $b in $a/b for $e in $b/e return concat($e, \";\")")
         .unwrap();
     let order: Vec<&str> = out.split_whitespace().collect();
     assert_eq!(

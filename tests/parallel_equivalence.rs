@@ -1,11 +1,24 @@
-//! The parallel executor must be a drop-in replacement: every query in the
-//! end-to-end corpus (`tests/engine_queries.rs`) serializes byte-identically
-//! under `Strategy::Parallel` at 1, 2 and 8 threads as under the serial
-//! default. Document order of results is part of the contract — the k-way
-//! merge in `xqp_exec::parallel` has to reconstruct exactly what the serial
-//! sweep would have produced.
+//! Strategy-equivalence matrix: every query in the end-to-end corpus
+//! (`tests/engine_queries.rs`) must serialize byte-identically under every
+//! physical strategy — Auto, NoK, TwigStack, BinaryJoin, Naive and Parallel
+//! (at 1, 2 and 8 threads) — and under both FLWOR evaluation modes (the
+//! streaming physical pipeline and the materializing `Env` interpreter).
+//! Document order of results is part of the contract — the k-way merge in
+//! `xqp_exec::parallel` has to reconstruct exactly what the serial sweep
+//! would have produced, and the batch pipeline exactly what the
+//! materializing reference produces.
 
-use xqp::{Database, Strategy};
+use xqp::{Database, EvalMode, Strategy};
+
+/// The full strategy axis of the matrix.
+const STRATEGIES: &[Strategy] = &[
+    Strategy::Auto,
+    Strategy::NoK,
+    Strategy::TwigStack,
+    Strategy::BinaryJoin,
+    Strategy::Naive,
+    Strategy::Parallel { threads: 2 },
+];
 
 const STORE: &str = r#"<store>
 <inventory>
@@ -159,6 +172,58 @@ fn parallel_reports_the_same_errors() {
                 par.query(doc, q).is_err(),
                 "threads={threads} doc={doc} query=`{q}` should fail"
             );
+        }
+    }
+}
+
+#[test]
+fn strategy_matrix_serializes_identically() {
+    // Reference: the naive strategy through the materializing interpreter —
+    // the simplest, most literal semantics in the system.
+    let mut reference = db();
+    reference.set_strategy(Strategy::Naive);
+    reference.set_eval_mode(EvalMode::Materializing);
+    for &strat in STRATEGIES {
+        for mode in [EvalMode::Streaming, EvalMode::Materializing] {
+            let mut d = db();
+            d.set_strategy(strat);
+            d.set_eval_mode(mode);
+            for (doc, q) in QUERIES {
+                let want = reference.query(doc, q).unwrap();
+                let got = d.query(doc, q).unwrap();
+                assert_eq!(got, want, "strategy={strat:?} mode={mode:?} doc={doc} query=`{q}`");
+            }
+        }
+    }
+}
+
+#[test]
+fn strategy_matrix_agrees_on_bare_paths() {
+    let reference = db(); // bare paths bypass FLWOR evaluation modes
+    for &strat in STRATEGIES {
+        let mut d = db();
+        d.set_strategy(strat);
+        for (doc, p) in PATHS {
+            let want = reference.select(doc, p).unwrap();
+            let got = d.select(doc, p).unwrap();
+            assert_eq!(got, want, "strategy={strat:?} doc={doc} path=`{p}`");
+        }
+    }
+}
+
+#[test]
+fn error_queries_fail_under_every_strategy_and_mode() {
+    for &strat in STRATEGIES {
+        for mode in [EvalMode::Streaming, EvalMode::Materializing] {
+            let mut d = db();
+            d.set_strategy(strat);
+            d.set_eval_mode(mode);
+            for (doc, q) in ERROR_QUERIES {
+                assert!(
+                    d.query(doc, q).is_err(),
+                    "strategy={strat:?} mode={mode:?} doc={doc} query=`{q}` should fail"
+                );
+            }
         }
     }
 }

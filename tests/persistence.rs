@@ -9,8 +9,7 @@ use xqp_gen::{deep_chain, gen_bib, gen_xmark, wide_flat, XmarkConfig};
 use xqp_storage::persist::{decode_snapshot, encode_snapshot};
 
 fn tmp(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir()
-        .join(format!("xqp-persistence-{}-{name}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("xqp-persistence-{}-{name}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     dir
 }
@@ -98,11 +97,7 @@ fn queries_agree_between_live_and_reopened_database() {
     ];
     let reopened = Database::open(&dir).unwrap();
     for (doc, q) in queries {
-        assert_eq!(
-            db.query(doc, q).unwrap(),
-            reopened.query(doc, q).unwrap(),
-            "{doc}: {q}"
-        );
+        assert_eq!(db.query(doc, q).unwrap(), reopened.query(doc, q).unwrap(), "{doc}: {q}");
     }
     fs::remove_dir_all(&dir).unwrap();
 }
@@ -114,8 +109,7 @@ fn updates_after_save_survive_reopen_and_match_live_state() {
     db.load_str("store", &corpus()[1].1).unwrap();
     db.persist_to(&dir).unwrap();
 
-    db.insert_into("store", "/store/orders", "<order id=\"o9\" sku=\"B2\" units=\"1\"/>")
-        .unwrap();
+    db.insert_into("store", "/store/orders", "<order id=\"o9\" sku=\"B2\" units=\"1\"/>").unwrap();
     db.delete_matching("store", "//item[@sku = \"A1\"]").unwrap();
     let live = db.serialize("store").unwrap();
     drop(db);

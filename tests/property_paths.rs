@@ -24,7 +24,7 @@ const CASES: u64 = 96;
 fn gen_subtree(rng: &mut Prng, doc: &mut Document, parent: NodeId, depth: u32) {
     let tag = rng.gen_range(0u16..256) as u8; // full byte, mirrors any::<u8>()
     let el = doc.append_element(parent, format!("t{}", tag % 4));
-    if tag % 3 == 0 {
+    if tag.is_multiple_of(3) {
         doc.set_attribute(el, "k", (tag % 7).to_string());
     }
     if depth == 0 {
@@ -93,10 +93,8 @@ fn all_strategies_agree_on_random_inputs() {
         let doc = gen_doc(&mut rng);
         let path = gen_path(&mut rng);
         let sdoc = SuccinctDoc::from_document(&doc);
-        let reference: Vec<SNodeId> = Executor::new(&sdoc)
-            .with_strategy(ExecStrategy::Naive)
-            .eval_path_str(&path)
-            .unwrap();
+        let reference: Vec<SNodeId> =
+            Executor::new(&sdoc).with_strategy(ExecStrategy::Naive).eval_path_str(&path).unwrap();
         for strat in [
             ExecStrategy::NoK,
             ExecStrategy::TwigStack,
@@ -121,7 +119,7 @@ fn all_strategies_agree_on_random_inputs() {
 #[test]
 fn streaming_agrees_with_stored() {
     for case in 0..CASES {
-        let mut rng = Prng::seed_from_u64(0x57E4_A11 ^ case);
+        let mut rng = Prng::seed_from_u64(0x057E_4A11 ^ case);
         let doc = gen_doc(&mut rng);
         let path = gen_path(&mut rng);
         let xml = xqp_xml::serialize(&doc);
@@ -147,8 +145,7 @@ fn documents_roundtrip_through_queries() {
         let elements = ex.eval_path_str("//*").unwrap();
         assert_eq!(elements.len(), doc.element_count(), "case {case}");
         let texts = ex.eval_path_str("//text()").unwrap();
-        let dom_texts =
-            doc.descendants_or_self(doc.root()).filter(|&n| doc.is_text(n)).count();
+        let dom_texts = doc.descendants_or_self(doc.root()).filter(|&n| doc.is_text(n)).count();
         assert_eq!(texts.len(), dom_texts, "case {case}");
     }
 }
@@ -179,7 +176,7 @@ mod proptest_suite {
                 match t {
                     T::El(tag, children) => {
                         let el = doc.append_element(parent, format!("t{}", tag % 4));
-                        if tag % 3 == 0 {
+                        if tag.is_multiple_of(3) {
                             doc.set_attribute(el, "k", (tag % 7).to_string());
                         }
                         for c in children {

@@ -57,9 +57,7 @@ fn gen_element(rng: &mut Prng, doc: &mut Document, parent: NodeId, depth: u32) {
             };
             let text = {
                 let len = rng.gen_range(0usize..9);
-                (0..len)
-                    .map(|_| *rng.choose(&[b' ', b'a', b'b', b'c', b'x', b'y', b'z']) as char)
-                    .collect::<String>()
+                (0..len).map(|_| *rng.choose(b" abcxyz") as char).collect::<String>()
             };
             if needs && !text.is_empty() {
                 doc.append_text(el, text);
@@ -82,7 +80,7 @@ fn gen_doc(rng: &mut Prng) -> Document {
 #[test]
 fn succinct_roundtrip() {
     for case in 0..CASES {
-        let mut rng = Prng::seed_from_u64(0x5101_AC ^ case);
+        let mut rng = Prng::seed_from_u64(0x0051_01AC ^ case);
         let doc = gen_doc(&mut rng);
         let sdoc = SuccinctDoc::from_document(&doc);
         let back = sdoc.to_document();
@@ -265,9 +263,8 @@ mod proptest_suite {
     fn arb_tree() -> impl Strategy<Value = Tree> {
         let leaf = prop_oneof![
             "[a-z ]{0,8}".prop_map(Tree::Text),
-            (any::<u8>(), prop::collection::vec((any::<u8>(), "[a-z]{0,4}"), 0..3)).prop_map(
-                |(tag, attrs)| Tree::El { tag, attrs, children: vec![] }
-            ),
+            (any::<u8>(), prop::collection::vec((any::<u8>(), "[a-z]{0,4}"), 0..3))
+                .prop_map(|(tag, attrs)| Tree::El { tag, attrs, children: vec![] }),
         ];
         leaf.prop_recursive(4, 64, 5, |inner| {
             (

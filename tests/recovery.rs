@@ -12,8 +12,7 @@ const STORE: &str = "<store><inventory>\
     </inventory><orders/></store>";
 
 fn tmp(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir()
-        .join(format!("xqp-recovery-{}-{name}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("xqp-recovery-{}-{name}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     dir
 }
@@ -28,8 +27,7 @@ fn two_record_store(name: &str) -> (PathBuf, PathBuf, u64, Vec<u8>, String, Stri
     db.persist_to(&dir).unwrap();
     let wal = dir.join("d000").join("wal.xqp");
 
-    db.insert_into("store", "/store/orders", "<order id=\"o1\" sku=\"A1\"/>")
-        .unwrap();
+    db.insert_into("store", "/store/orders", "<order id=\"o1\" sku=\"A1\"/>").unwrap();
     let state_a = db.serialize("store").unwrap();
     let len_a = fs::metadata(&wal).unwrap().len();
 
@@ -55,8 +53,8 @@ fn torn_tail_recovers_to_last_complete_record_at_every_offset() {
     // exactly on the state after the first record.
     for cut in len_a as usize..full.len() {
         fs::write(&wal, &full[..cut]).unwrap();
-        let back = Database::open(&dir)
-            .unwrap_or_else(|e| panic!("cut at {cut}: open failed: {e}"));
+        let back =
+            Database::open(&dir).unwrap_or_else(|e| panic!("cut at {cut}: open failed: {e}"));
         let expect = if cut == full.len() { &state_b } else { &state_a };
         assert_eq!(
             &back.serialize("store").unwrap(),
@@ -82,8 +80,8 @@ fn torn_header_recovers_with_an_empty_log() {
     // snapshot state (no updates) must come back with a fresh log.
     for cut in [0usize, 1, 7, 19] {
         fs::write(&wal, &full[..cut]).unwrap();
-        let back = Database::open(&dir)
-            .unwrap_or_else(|e| panic!("cut at {cut}: open failed: {e}"));
+        let back =
+            Database::open(&dir).unwrap_or_else(|e| panic!("cut at {cut}: open failed: {e}"));
         assert_eq!(back.persist_stats("store").unwrap().records_replayed, 0);
         assert_eq!(back.query("store", "count(//order)").unwrap(), "0");
     }
@@ -132,8 +130,7 @@ fn recovered_store_accepts_new_updates_durably() {
     fs::write(&wal, &full[..full.len() - 3]).unwrap();
     let mut back = Database::open(&dir).unwrap();
     assert_eq!(fs::metadata(&wal).unwrap().len(), len_a);
-    back.insert_into("store", "/store/orders", "<order id=\"o2\" sku=\"A2\"/>")
-        .unwrap();
+    back.insert_into("store", "/store/orders", "<order id=\"o2\" sku=\"A2\"/>").unwrap();
     let live = back.serialize("store").unwrap();
     drop(back);
 
@@ -151,8 +148,7 @@ fn stale_wal_from_a_compaction_crash_is_never_double_applied() {
     db.persist_to(&dir).unwrap();
     let wal = dir.join("d000").join("wal.xqp");
 
-    db.insert_into("store", "/store/orders", "<order id=\"o1\" sku=\"A1\"/>")
-        .unwrap();
+    db.insert_into("store", "/store/orders", "<order id=\"o1\" sku=\"A1\"/>").unwrap();
     let stale = fs::read(&wal).unwrap();
     db.compact("store").unwrap();
     let live = db.serialize("store").unwrap();

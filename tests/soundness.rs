@@ -7,21 +7,14 @@ use xqp_gen::{blowup_doc, deep_chain, gen_bib, gen_xmark, wide_flat, XmarkConfig
 use xqp_storage::{SNodeId, SuccinctDoc};
 use xqp_xml::Document;
 
-const STRATEGIES: [Strategy; 5] = [
-    Strategy::Auto,
-    Strategy::NoK,
-    Strategy::TwigStack,
-    Strategy::BinaryJoin,
-    Strategy::Naive,
-];
+const STRATEGIES: [Strategy; 5] =
+    [Strategy::Auto, Strategy::NoK, Strategy::TwigStack, Strategy::BinaryJoin, Strategy::Naive];
 
 fn check_paths(doc: &Document, paths: &[&str]) {
     let sdoc = SuccinctDoc::from_document(doc);
     for path in paths {
-        let reference: Vec<SNodeId> = Executor::new(&sdoc)
-            .with_strategy(Strategy::Naive)
-            .eval_path_str(path)
-            .unwrap();
+        let reference: Vec<SNodeId> =
+            Executor::new(&sdoc).with_strategy(Strategy::Naive).eval_path_str(path).unwrap();
         for strat in STRATEGIES {
             let got = Executor::new(&sdoc).with_strategy(strat).eval_path_str(path).unwrap();
             assert_eq!(got, reference, "path `{path}` strategy {strat:?}");
@@ -85,10 +78,8 @@ fn queries_with_fallback_axes_still_work() {
         "//price/ancestor::book/@year",
         "//author[1]/last",
     ] {
-        let reference = Executor::new(&sdoc)
-            .with_strategy(Strategy::Naive)
-            .eval_path_str(path)
-            .unwrap();
+        let reference =
+            Executor::new(&sdoc).with_strategy(Strategy::Naive).eval_path_str(path).unwrap();
         assert!(!reference.is_empty(), "`{path}` found nothing");
         for strat in STRATEGIES {
             let got = Executor::new(&sdoc).with_strategy(strat).eval_path_str(path).unwrap();
@@ -137,10 +128,8 @@ fn index_backed_evaluation_agrees() {
         "//open_auction[reserve >= 100]/current",
         "//closed_auction[price < 20]/date",
     ] {
-        let reference = Executor::new(&sdoc)
-            .with_strategy(Strategy::Naive)
-            .eval_path_str(path)
-            .unwrap();
+        let reference =
+            Executor::new(&sdoc).with_strategy(Strategy::Naive).eval_path_str(path).unwrap();
         for strat in [Strategy::TwigStack, Strategy::BinaryJoin] {
             let got = Executor::new(&sdoc)
                 .with_index(&index)
@@ -160,10 +149,7 @@ fn context_rooted_patterns_agree() {
     let ctx = ExecContext::new(&sdoc);
     // Pick each person as context, evaluate a relative pattern.
     let mut g = PatternGraph::empty();
-    let last = g
-        .graft_path(g.root(), &parse_path("profile/age").unwrap())
-        .unwrap()
-        .unwrap();
+    let last = g.graft_path(g.root(), &parse_path("profile/age").unwrap()).unwrap().unwrap();
     g.mark_output(last);
     let people = Executor::new(&sdoc).eval_path_str("//person").unwrap();
     for p in people.iter().take(30) {

@@ -4,7 +4,7 @@
 use xqp_algebra::{Item, Nested};
 use xqp_exec::{naive, nok, structural, ExecContext, NodeRef};
 use xqp_storage::{SNodeId, SuccinctDoc};
-use xqp_xpath::{parse_path, CmpOp, PatternGraph, PRel, ValueConstraint};
+use xqp_xpath::{parse_path, CmpOp, PRel, PatternGraph, ValueConstraint};
 
 const DOC: &str = "<bib>\
     <book year=\"1994\"><title>TCP</title><author>Stevens</author><price>65</price></book>\
@@ -35,9 +35,7 @@ fn sigma_v_selects_by_value() {
     let ctx = ExecContext::new(&d);
     let mut g = PatternGraph::from_path(&parse_path("//price").unwrap()).unwrap();
     let v = g.outputs()[0];
-    g.vertices[v]
-        .constraints
-        .push(ValueConstraint { op: CmpOp::Gt, literal: 50i64.into() });
+    g.vertices[v].constraints.push(ValueConstraint { op: CmpOp::Gt, literal: 50i64.into() });
     let stream = structural::candidates(&ctx, &g, v);
     assert_eq!(stream.len(), 1);
     assert_eq!(d.string_value(stream[0].node), "65");
@@ -50,8 +48,7 @@ fn pi_s_navigates_axes() {
     let d = sdoc();
     let ctx = ExecContext::new(&d);
     let books = naive::eval_path(&ctx, &[], &parse_path("/bib/book").unwrap()).unwrap();
-    let titles =
-        naive::eval_path(&ctx, &books, &parse_path("title").unwrap()).unwrap();
+    let titles = naive::eval_path(&ctx, &books, &parse_path("title").unwrap()).unwrap();
     assert_eq!(titles.len(), 2);
     for t in titles {
         if let NodeRef::Stored(s) = t {
@@ -68,7 +65,6 @@ fn join_s_structural() {
     let streams = ctx.streams();
     let books = streams.stream_by_name(&d, "book").to_vec();
     let authors = streams.stream_by_name(&d, "author").to_vec();
-    drop(streams);
     // Ancestors with ≥1 author vs. authors under a book.
     let with_author = structural::semijoin_keep_anc(&ctx, &books, &authors, PRel::Child);
     assert_eq!(with_author.len(), 2);
@@ -80,11 +76,7 @@ fn join_s_structural() {
 #[test]
 fn join_v_value_based() {
     let mut db = xqp::Database::new();
-    db.load_str(
-        "x",
-        "<r><l><k>1</k><k>2</k></l><rt><k>2</k><k>3</k></rt></r>",
-    )
-    .unwrap();
+    db.load_str("x", "<r><l><k>1</k><k>2</k></l><rt><k>2</k><k>3</k></rt></r>").unwrap();
     let out = db
         .query(
             "x",
@@ -161,10 +153,7 @@ fn plan_shape_tau_bottom_gamma_top() {
     let mut db = xqp::Database::new();
     db.load_str("bib", DOC).unwrap();
     let (plan, report) = db
-        .explain(
-            "bib",
-            "for $b in doc()/bib/book let $t := $b/title return <r>{$t}</r>",
-        )
+        .explain("bib", "for $b in doc()/bib/book let $t := $b/title return <r>{$t}</r>")
         .unwrap();
     // Bottom: the TPM binding scan; top: the γ constructor in the return.
     assert!(plan.contains("tpm-bind"), "{plan}");

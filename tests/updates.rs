@@ -12,8 +12,8 @@ fn many_inserts_then_deletes_roundtrip() {
     let mut sdoc = SuccinctDoc::parse("<log/>").unwrap();
     // 50 appended entries, each a local splice.
     for i in 0..50 {
-        let frag = parse_document(&format!("<entry seq=\"{i}\"><msg>event {i}</msg></entry>"))
-            .unwrap();
+        let frag =
+            parse_document(&format!("<entry seq=\"{i}\"><msg>event {i}</msg></entry>")).unwrap();
         let root = sdoc.root().unwrap();
         sdoc = update::insert_subtree(&sdoc, root, &frag).unwrap();
     }
@@ -34,10 +34,8 @@ fn many_inserts_then_deletes_roundtrip() {
     assert_eq!(sdoc.child_elements(sdoc.root().unwrap()).count(), 25);
     // Sequence numbers that remain are the even ones.
     let root = sdoc.root().unwrap();
-    let seqs: Vec<String> = sdoc
-        .child_elements(root)
-        .map(|e| sdoc.attribute(e, "seq").unwrap().to_string())
-        .collect();
+    let seqs: Vec<String> =
+        sdoc.child_elements(root).map(|e| sdoc.attribute(e, "seq").unwrap().to_string()).collect();
     assert!(seqs.iter().all(|s| s.parse::<u32>().unwrap() % 2 == 0));
 }
 
@@ -68,10 +66,7 @@ fn index_rebuilt_after_updates() {
     )
     .unwrap();
     // Index-backed value predicate finds the new book.
-    assert_eq!(
-        db.query("bib", "/bib/book[price = 777]/title").unwrap(),
-        "<title>Future</title>"
-    );
+    assert_eq!(db.query("bib", "/bib/book[price = 777]/title").unwrap(), "<title>Future</title>");
     db.delete_matching("bib", "/bib/book[price = 777]").unwrap();
     assert_eq!(db.query("bib", "/bib/book[price = 777]/title").unwrap(), "");
 }
@@ -98,10 +93,5 @@ fn interleaved_updates_preserve_navigation_invariants() {
     // 10 x-children appended under <a>.
     let root = sdoc.root().unwrap();
     let a = sdoc.child_elements(root).next().unwrap();
-    assert_eq!(
-        sdoc.child_elements(a)
-            .filter(|&c| sdoc.name(c) == "x")
-            .count(),
-        10
-    );
+    assert_eq!(sdoc.child_elements(a).filter(|&c| sdoc.name(c) == "x").count(), 10);
 }
