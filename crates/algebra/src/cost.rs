@@ -147,7 +147,13 @@ impl<'a> CostModel<'a> {
         let vert = &g.vertices[v];
         let base = match vert.kind {
             VertexKind::Root => 1.0,
-            VertexKind::Text => (self.stats.node_count - self.stats.element_count) as f64,
+            // Saturating: `from_counts` callers can hand in element counts
+            // that exceed the node total (and an empty document has zero of
+            // both); a wrapped subtraction here turns into a 2^64 cardinality
+            // that poisons every downstream estimate.
+            VertexKind::Text => {
+                self.stats.node_count.saturating_sub(self.stats.element_count) as f64
+            }
             _ => self.stats.tag_count(&vert.label) as f64,
         };
         let sel: f64 = vert
@@ -523,6 +529,57 @@ mod tests {
         assert_eq!(access, TpmAccess::NokScan);
         assert!(cost > 0.0);
         assert!((tpm.rows - 2.0).abs() < 1e-9); // two books
+    }
+
+    #[test]
+    fn costing_an_empty_document_is_finite() {
+        // Zero nodes, zero elements, no tags: every estimate must come out
+        // finite and non-negative — no division by zero, no underflow.
+        let s = DocStatistics::default();
+        let cm = CostModel::new(&s);
+        let g =
+            PatternGraph::from_path(&parse_path("/bib//book[@year = 1]/text()").unwrap()).unwrap();
+        for v in 0..g.vertices.len() {
+            let c = cm.vertex_cardinality(&g, v);
+            assert!(c.is_finite() && c >= 0.0, "vertex {v}: {c}");
+        }
+        assert!(cm.pattern_cardinality(&g).is_finite());
+        for a in [TpmAccess::NokScan, TpmAccess::TwigStack, TpmAccess::BinaryJoin] {
+            let c = cm.access_cost(&g, a);
+            assert!(c.is_finite() && c >= 0.0, "{a:?}: {c}");
+        }
+        let (_, cost) = cm.choose_access(&g);
+        assert!(cost.is_finite());
+        // Whole-plan costing over the empty document.
+        let plan = LogicalPlan::ReturnClause {
+            input: Box::new(LogicalPlan::OrderBy {
+                input: Box::new(LogicalPlan::ForBind {
+                    input: Box::new(LogicalPlan::EnvRoot),
+                    var: "b".into(),
+                    source: Expr::doc_path(parse_path("/bib/book").unwrap()),
+                }),
+                keys: vec![],
+            }),
+            expr: Expr::var("b"),
+        };
+        let report = cm.cost_plan(&plan);
+        assert!(report.total_cost.is_finite() && report.total_cost >= 0.0);
+        assert!(report.out_rows.is_finite());
+    }
+
+    #[test]
+    fn text_cardinality_saturates_on_inconsistent_counts() {
+        // element_count > node_count (a from_counts caller bug) must clamp
+        // to zero, not wrap to 2^64.
+        let s = DocStatistics::from_counts(3, 10, HashMap::new(), 2);
+        let cm = CostModel::new(&s);
+        let g = PatternGraph::from_path(&parse_path("/a/text()").unwrap()).unwrap();
+        let text = g
+            .vertices
+            .iter()
+            .position(|v| matches!(v.kind, VertexKind::Text))
+            .expect("pattern has a text vertex");
+        assert_eq!(cm.vertex_cardinality(&g, text), 0.0);
     }
 
     #[test]

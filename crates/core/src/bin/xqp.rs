@@ -9,7 +9,12 @@
 //! xqp race   <file.xml> <path>              # time all four strategies
 //! xqp save   <file.xml> <dir>               # persist to a durable store
 //! xqp open   <dir> <xquery>                 # query a durable store
+//! xqp fuzz   [--seed N] [--iters K] [--replay CASE_SEED]   # differential fuzzing
 //! ```
+//!
+//! `fuzz` cross-checks random FLWOR workloads over every strategy ×
+//! evaluation-mode combination (persistence round trip included) and
+//! reports shrunk minimal repros for any divergence or panic.
 //!
 //! `save` writes a snapshot + write-ahead log under `<dir>`; `open` recovers
 //! from them (replaying the log) without re-parsing any XML.
@@ -25,12 +30,18 @@ use xqp::{Database, EvalMode, RuleSet, Strategy};
 #[derive(Debug, PartialEq)]
 struct Cli {
     command: String,
-    file: String,
+    /// XML file (or store directory); absent for `fuzz`.
+    file: Option<String>,
     arg: Option<String>,
     strategy: Strategy,
     rules: RuleSet,
     mode: EvalMode,
     pretty: bool,
+    seed: u64,
+    iters: u64,
+    /// Exact case seed to replay (`fuzz --replay`), bypassing the master
+    /// PRNG entirely.
+    replay: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -39,6 +50,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut rules = RuleSet::all();
     let mut mode = EvalMode::default();
     let mut pretty = false;
+    let mut seed = 1u64;
+    let mut iters = 100u64;
+    let mut replay = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -50,14 +64,39 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--no-rules" => rules = RuleSet::none(),
             "--materialize" => mode = EvalMode::Materializing,
             "--pretty" => pretty = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--iters" => {
+                let v = it.next().ok_or("--iters needs a value")?;
+                iters = v.parse().map_err(|_| format!("bad iteration count `{v}`"))?;
+            }
+            "--replay" => {
+                let v = it.next().ok_or("--replay needs a case seed")?;
+                replay = Some(v.parse().map_err(|_| format!("bad case seed `{v}`"))?);
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`"));
             }
             _ => pos.push(a),
         }
     }
-    let [command, file, rest @ ..] = pos.as_slice() else {
+    let [command, rest @ ..] = pos.as_slice() else {
         return Err("usage: xqp <command> <file.xml> [arg…] (see --help)".into());
+    };
+    // `fuzz` generates its own inputs; every other command reads a file
+    // (or, for `open`, a store directory) first.
+    let (file, rest) = if *command == "fuzz" {
+        if !rest.is_empty() {
+            return Err("`fuzz` takes no positional arguments".into());
+        }
+        (None, rest)
+    } else {
+        let [file, rest @ ..] = rest else {
+            return Err("usage: xqp <command> <file.xml> [arg…] (see --help)".into());
+        };
+        (Some((*file).clone()), rest)
     };
     let arg = match rest {
         [] => None,
@@ -66,12 +105,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     };
     Ok(Cli {
         command: (*command).clone(),
-        file: (*file).clone(),
+        file,
         arg,
         strategy,
         rules,
         mode,
         pretty,
+        seed,
+        iters,
+        replay,
     })
 }
 
@@ -86,6 +128,12 @@ USAGE:
   xqp race    <file.xml> <path>
   xqp save    <file.xml> <dir>
   xqp open    <dir> <xquery>
+  xqp fuzz    [--seed N] [--iters K] [--replay CASE_SEED]
+
+  `fuzz` cross-checks K random FLWOR workloads across every strategy ×
+  evaluation mode (and a save/open round trip), shrinking any divergence
+  or panic to a minimal repro; exits non-zero when one is found.
+  `--replay` re-runs one case seed from a failure report.
 
   S = auto | nok | twigstack | binaryjoin | naive | parallel[:N]
       (parallel:N runs the join-based sweep on N worker threads; bare
@@ -108,23 +156,26 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let cli = parse_args(args)?;
+    if cli.command == "fuzz" {
+        return run_fuzz(&cli);
+    }
+    let file = cli.file.as_deref().ok_or("missing file argument")?;
     // `open` takes a store directory, not an XML file; everything else
     // parses the XML up front.
     let mut db = if cli.command == "open" {
         let t = Instant::now();
-        let db = Database::open(std::path::Path::new(&cli.file)).map_err(|e| e.to_string())?;
+        let db = Database::open(std::path::Path::new(file)).map_err(|e| e.to_string())?;
         let stats =
             db.document_names().first().and_then(|n| db.persist_stats(n).ok()).unwrap_or_default();
         eprintln!(
             "-- opened {} in {:.2?} ({} WAL record(s) replayed)",
-            cli.file,
+            file,
             t.elapsed(),
             stats.records_replayed
         );
         db
     } else {
-        let xml = std::fs::read_to_string(&cli.file)
-            .map_err(|e| format!("cannot read {}: {e}", cli.file))?;
+        let xml = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
         let mut db = Database::new();
         db.load_str("doc", &xml).map_err(|e| e.to_string())?;
         db
@@ -256,6 +307,50 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `xqp fuzz`: run the differential fuzzer and report minimized repros.
+fn run_fuzz(cli: &Cli) -> Result<(), String> {
+    use xqp::fuzz::{fuzz, run_seed, with_quiet_panics, FuzzConfig};
+    // `--replay N` re-runs exactly one *case* seed (as printed in a failure
+    // report) — distinct from `--seed`, which seeds the master PRNG that
+    // case seeds are drawn from.
+    if let Some(case_seed) = cli.replay {
+        let cfg = FuzzConfig::default();
+        eprintln!("-- fuzz: replaying case seed {case_seed}");
+        return match with_quiet_panics(|| run_seed(case_seed, &cfg)) {
+            None => {
+                eprintln!("-- fuzz: case seed {case_seed} agreed across the engine matrix");
+                Ok(())
+            }
+            Some(failure) => {
+                println!("{failure}");
+                Err(format!("fuzz: case seed {case_seed} still diverges"))
+            }
+        };
+    }
+    let cfg = FuzzConfig { seed: cli.seed, iters: cli.iters, ..FuzzConfig::default() };
+    eprintln!("-- fuzz: {} iteration(s) from master seed {}", cfg.iters, cfg.seed);
+    let t = Instant::now();
+    let summary = fuzz(&cfg);
+    let dt = t.elapsed();
+    for failure in &summary.failures {
+        println!("{failure}");
+    }
+    if summary.ok() {
+        eprintln!(
+            "-- fuzz: all {} iteration(s) agreed across the engine matrix in {dt:.2?}",
+            summary.iters_run
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "fuzz: {} failure(s) in {} iteration(s); replay one with `xqp fuzz --replay <case \
+             seed>` after fixing",
+            summary.failures.len(),
+            summary.iters_run
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,7 +363,7 @@ mod tests {
     fn parses_basic_command() {
         let cli = parse_args(&sv(&["query", "f.xml", "/a/b"])).unwrap();
         assert_eq!(cli.command, "query");
-        assert_eq!(cli.file, "f.xml");
+        assert_eq!(cli.file.as_deref(), Some("f.xml"));
         assert_eq!(cli.arg.as_deref(), Some("/a/b"));
         assert_eq!(cli.strategy, Strategy::Auto);
         assert_eq!(cli.rules, RuleSet::all());
@@ -324,5 +419,33 @@ mod tests {
     fn stats_command_needs_no_arg() {
         let cli = parse_args(&sv(&["stats", "f.xml"])).unwrap();
         assert_eq!(cli.arg, None);
+    }
+
+    #[test]
+    fn parses_fuzz_without_file() {
+        let cli = parse_args(&sv(&["fuzz"])).unwrap();
+        assert_eq!(cli.command, "fuzz");
+        assert_eq!(cli.file, None);
+        assert_eq!(cli.seed, 1);
+        assert_eq!(cli.iters, 100);
+    }
+
+    #[test]
+    fn parses_fuzz_flags() {
+        let cli = parse_args(&sv(&["fuzz", "--seed", "42", "--iters", "5000"])).unwrap();
+        assert_eq!(cli.seed, 42);
+        assert_eq!(cli.iters, 5000);
+        assert!(parse_args(&sv(&["fuzz", "--seed", "not-a-number"])).is_err());
+        assert!(parse_args(&sv(&["fuzz", "--iters"])).is_err());
+        // Stray positionals after `fuzz` are rejected.
+        assert!(parse_args(&sv(&["fuzz", "f.xml"])).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz_replay() {
+        let cli = parse_args(&sv(&["fuzz", "--replay", "12345"])).unwrap();
+        assert_eq!(cli.replay, Some(12345));
+        assert!(parse_args(&sv(&["fuzz", "--replay"])).is_err());
+        assert!(parse_args(&sv(&["fuzz", "--replay", "-3"])).is_err());
     }
 }

@@ -1,0 +1,337 @@
+//! The differential query fuzzer (`xqp fuzz`).
+//!
+//! Each iteration derives a random *(document, query)* case from a seed
+//! ([`xqp_gen::qgen`]), executes it under the full `Strategy × EvalMode`
+//! matrix ([`xqp_exec::differential`]), and additionally pushes it through
+//! the durable store — fresh load, a `persist_to`/`Database::open` round
+//! trip, and an index-accelerated re-run — so persistence and σv probes sit
+//! inside the oracle too. Any disagreement (or panic, anywhere) is shrunk
+//! greedily to a minimal repro and reported with the case seed, which can
+//! be checked into `tests/differential.rs` as a named regression.
+//!
+//! Everything is deterministic: `fuzz(seed, iters)` replays identically,
+//! and a single failing case replays through [`run_seed`].
+
+use crate::Database;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use xqp_exec::differential::{check_matrix, check_select_matrix, Outcome};
+use xqp_gen::qgen::{gen_case, GenCase};
+use xqp_gen::Prng;
+use xqp_storage::SuccinctDoc;
+
+/// Fuzzer configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed: per-iteration case seeds derive from it.
+    pub seed: u64,
+    /// Iterations to run.
+    pub iters: u64,
+    /// Also run each case through the durable-store round trip.
+    pub check_persistence: bool,
+    /// Cap on re-checks spent shrinking one failure.
+    pub max_shrink_steps: usize,
+    /// Stop after this many distinct failures.
+    pub max_failures: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 1,
+            iters: 100,
+            check_persistence: true,
+            max_shrink_steps: 160,
+            max_failures: 5,
+        }
+    }
+}
+
+/// One minimized fuzz failure.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The case seed that produced it (replayable via [`run_seed`]).
+    pub case_seed: u64,
+    /// Minimized document.
+    pub doc_xml: String,
+    /// Minimized query.
+    pub query: String,
+    /// Minimized select-plane probe path, when one survived shrinking.
+    pub probe: Option<String>,
+    /// The divergence report for the minimized case.
+    pub report: String,
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "case seed {}:", self.case_seed)?;
+        writeln!(f, "  doc:   {}", self.doc_xml)?;
+        writeln!(f, "  query: {}", self.query)?;
+        if let Some(probe) = &self.probe {
+            writeln!(f, "  probe: {probe}")?;
+        }
+        for line in self.report.lines() {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of a fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzSummary {
+    /// Iterations executed.
+    pub iters_run: u64,
+    /// Minimized failures, at most `max_failures`.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzSummary {
+    /// True when every iteration agreed across the whole matrix.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Check one explicit (document, query) pair across the full engine matrix
+/// plus (optionally) the durable-store round trip. `Err` carries a
+/// human-readable divergence report.
+pub fn check_case(xml: &str, query: &str, persistence: bool) -> Result<(), String> {
+    let doc = match SuccinctDoc::parse(xml) {
+        Ok(d) => d,
+        Err(e) => return Err(format!("document failed to parse: {e}")),
+    };
+    let want = match check_matrix(&doc, query) {
+        Ok(outcome) => outcome,
+        Err(divergence) => return Err(divergence.to_string()),
+    };
+    if persistence {
+        let legs = persistence_outcomes(xml, query)?;
+        let mut report = String::new();
+        for (label, got) in &legs {
+            if !got.agrees_with(&want) {
+                report.push_str(&format!("  {label}: {got}\n"));
+            }
+        }
+        if !report.is_empty() {
+            return Err(format!("reference naive+materializing: {want}\n{report}"));
+        }
+    }
+    Ok(())
+}
+
+/// Check one bare path across every pattern-matching strategy on the
+/// select plane (`Executor::eval_path_str`). Paths bypass the FLWOR
+/// evaluation modes, so this matrix is strategy-only, with `Naive` as the
+/// reference. `Err` carries a human-readable divergence report.
+pub fn check_path(xml: &str, path: &str) -> Result<(), String> {
+    let doc = match SuccinctDoc::parse(xml) {
+        Ok(d) => d,
+        Err(e) => return Err(format!("document failed to parse: {e}")),
+    };
+    match check_select_matrix(&doc, path) {
+        Ok(_) => Ok(()),
+        Err(divergence) => Err(format!("select probe `{path}`:\n{divergence}")),
+    }
+}
+
+/// Unique-per-process scratch directories for the persistence leg.
+fn fresh_tmp_dir() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("xqp-fuzz-{}-{n}", std::process::id()))
+}
+
+/// Run `query` through the `Database` layer three ways: freshly loaded,
+/// after a save/open round trip, and with value + suffix indexes built.
+/// `Err` reports a panic (panics inside the legs are caught).
+fn persistence_outcomes(xml: &str, query: &str) -> Result<Vec<(&'static str, Outcome)>, String> {
+    let dir = fresh_tmp_dir();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut out = Vec::new();
+        let mut db = Database::new();
+        if let Err(e) = db.load_str("doc", xml) {
+            let err = Outcome::Error(e.to_string());
+            return vec![
+                ("persist:fresh", err.clone()),
+                ("persist:reopened", err.clone()),
+                ("persist:indexed", err),
+            ];
+        }
+        out.push(("persist:fresh", outcome_of(db.query("doc", query))));
+        let reopened = db
+            .persist_to(&dir)
+            .map_err(|e| e.to_string())
+            .and_then(|()| {
+                drop(db);
+                Database::open(&dir).map_err(|e| e.to_string())
+            })
+            .map_err(Outcome::Error);
+        match reopened {
+            Ok(mut db) => {
+                out.push(("persist:reopened", outcome_of(db.query("doc", query))));
+                let indexed = db
+                    .create_index("doc")
+                    .and_then(|()| db.create_suffix_index("doc"))
+                    .map_err(|e| Outcome::Error(e.to_string()));
+                match indexed {
+                    Ok(()) => out.push(("persist:indexed", outcome_of(db.query("doc", query)))),
+                    Err(e) => out.push(("persist:indexed", e)),
+                }
+            }
+            Err(e) => {
+                out.push(("persist:reopened", e.clone()));
+                out.push(("persist:indexed", e));
+            }
+        }
+        out
+    }));
+    let _ = std::fs::remove_dir_all(&dir);
+    match result {
+        Ok(legs) => Ok(legs),
+        Err(payload) => Err(format!(
+            "persistence leg panicked: {}",
+            xqp_exec::differential::panic_message(payload)
+        )),
+    }
+}
+
+fn outcome_of(res: Result<String, crate::Error>) -> Outcome {
+    match res {
+        Ok(v) => Outcome::Value(v),
+        Err(e) => Outcome::Error(e.to_string()),
+    }
+}
+
+/// Generate, check, and (on failure) shrink the case for one seed.
+pub fn run_seed(case_seed: u64, cfg: &FuzzConfig) -> Option<FuzzFailure> {
+    let case = gen_case(case_seed);
+    let report = check_one(&case, cfg)?;
+    let (min_case, min_report) = shrink(case, report, cfg);
+    Some(FuzzFailure {
+        case_seed,
+        doc_xml: min_case.doc_xml(),
+        query: min_case.query_text(),
+        probe: min_case.probe.as_ref().map(|p| p.render()),
+        report: min_report,
+    })
+}
+
+fn check_one(case: &GenCase, cfg: &FuzzConfig) -> Option<String> {
+    let xml = case.doc_xml();
+    if let Err(report) = check_case(&xml, &case.query_text(), cfg.check_persistence) {
+        return Some(report);
+    }
+    if let Some(probe) = &case.probe {
+        if let Err(report) = check_path(&xml, &probe.render()) {
+            return Some(report);
+        }
+    }
+    None
+}
+
+/// Greedy shrink: keep the first candidate that still fails, iterate to a
+/// fixpoint (or the step budget).
+fn shrink(mut case: GenCase, mut report: String, cfg: &FuzzConfig) -> (GenCase, String) {
+    let mut steps = 0usize;
+    'outer: loop {
+        for cand in case.shrink_candidates() {
+            if steps >= cfg.max_shrink_steps {
+                break 'outer;
+            }
+            steps += 1;
+            if let Some(r) = check_one(&cand, cfg) {
+                case = cand;
+                report = r;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (case, report)
+}
+
+/// Run the fuzzer: `cfg.iters` random cases derived from `cfg.seed`.
+/// Panics raised inside engines are captured (and silenced — the default
+/// panic hook is suspended for the duration of the run).
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzSummary {
+    with_quiet_panics(|| {
+        let mut master = Prng::seed_from_u64(cfg.seed);
+        let mut summary = FuzzSummary::default();
+        for _ in 0..cfg.iters {
+            let case_seed = master.next_u64();
+            summary.iters_run += 1;
+            if let Some(failure) = run_seed(case_seed, cfg) {
+                summary.failures.push(failure);
+                if summary.failures.len() >= cfg.max_failures {
+                    break;
+                }
+            }
+        }
+        summary
+    })
+}
+
+/// Suspend the default panic hook (which prints a backtrace per panic —
+/// noise, when the fuzzer catches panics by design) around `f`.
+pub fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    let _ = std::panic::take_hook();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// Test helper: assert one (document, query) pair agrees across the full
+/// engine matrix *and* the durable-store round trip. Panics with the full
+/// divergence report on disagreement.
+pub fn assert_all_engines_agree(xml: &str, query: &str) {
+    if let Err(report) = check_case(xml, query, true) {
+        panic!("engines disagree\n  doc:   {xml}\n  query: {query}\n{report}");
+    }
+}
+
+/// Test helper: assert one bare path selects identical node sequences under
+/// every pattern-matching strategy. Panics with the divergence report on
+/// disagreement.
+pub fn assert_all_strategies_select(xml: &str, path: &str) {
+    if let Err(report) = check_path(xml, path) {
+        panic!("strategies disagree\n  doc:  {xml}\n  path: {path}\n{report}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_case_agrees() {
+        assert_all_engines_agree("<r><a>1</a></r>", "for $v0 in doc()/a return $v0");
+    }
+
+    #[test]
+    fn check_case_reports_unparseable_documents() {
+        let err = check_case("<r>", "for $v0 in doc()/a return $v0", false).unwrap_err();
+        assert!(err.contains("parse"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_is_deterministic() {
+        let cfg = FuzzConfig { iters: 5, check_persistence: false, ..FuzzConfig::default() };
+        let a = fuzz(&cfg);
+        let b = fuzz(&cfg);
+        assert_eq!(a.iters_run, b.iters_run);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn with_quiet_panics_restores_hook() {
+        let caught = with_quiet_panics(|| catch_unwind(|| panic!("silent")).is_err());
+        assert!(caught);
+        // After restoration a caught panic still works.
+        assert!(catch_unwind(|| panic!("loud")).is_err());
+    }
+}

@@ -30,6 +30,8 @@
 //! [`exec`] (the physical operators) and [`gen`]-erated workloads live in
 //! their own crates.
 
+pub mod fuzz;
+
 pub use xqp_algebra as algebra;
 pub use xqp_exec as exec;
 pub use xqp_storage as storage;

@@ -1,0 +1,347 @@
+//! Differential execution: one query, every engine, one verdict.
+//!
+//! The engine has three independently implemented evaluation paths (the
+//! materializing `Env` interpreter, the streaming physical pipeline, and
+//! the per-strategy pattern matchers behind them). The paper's algebra
+//! claims they are semantically equivalent; this module checks that claim
+//! mechanically by running a query under the full `Strategy × EvalMode`
+//! matrix and comparing byte-identical serialized results against the
+//! reference configuration (`Naive` + `Materializing` — node-at-a-time
+//! navigation through the clause-at-a-time interpreter, the simplest and
+//! most thoroughly specified path).
+//!
+//! Outcomes are three-valued: a serialized [`Outcome::Value`], a typed
+//! [`Outcome::Error`] (two engines may word an error differently, so errors
+//! agree as a *class*), or a caught [`Outcome::Panic`] — which never agrees
+//! with anything, including another panic.
+
+use crate::engine::Executor;
+use crate::physical::EvalMode;
+use crate::planner::Strategy;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use xqp_storage::SuccinctDoc;
+
+/// One engine configuration of the differential matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Pattern-matching strategy.
+    pub strategy: Strategy,
+    /// FLWOR evaluation mode.
+    pub mode: EvalMode,
+}
+
+impl EngineConfig {
+    /// Short display label, e.g. `twigstack+streaming`.
+    pub fn label(&self) -> String {
+        let s = match self.strategy {
+            Strategy::Parallel { threads } => format!("parallel:{threads}"),
+            other => other.name().to_string(),
+        };
+        format!("{s}+{}", self.mode.name())
+    }
+}
+
+impl fmt::Display for EngineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The reference configuration every other engine is compared against.
+pub fn reference() -> EngineConfig {
+    EngineConfig { strategy: Strategy::Naive, mode: EvalMode::Materializing }
+}
+
+/// The full `Strategy × EvalMode` matrix (reference included).
+pub fn full_matrix() -> Vec<EngineConfig> {
+    let strategies = [
+        Strategy::Naive,
+        Strategy::Auto,
+        Strategy::NoK,
+        Strategy::TwigStack,
+        Strategy::BinaryJoin,
+        Strategy::Parallel { threads: 2 },
+    ];
+    let mut out = Vec::with_capacity(strategies.len() * 2);
+    for strategy in strategies {
+        for mode in [EvalMode::Materializing, EvalMode::Streaming] {
+            out.push(EngineConfig { strategy, mode });
+        }
+    }
+    out
+}
+
+/// What one engine produced for one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Serialized result sequence.
+    Value(String),
+    /// Query evaluation returned an error.
+    Error(String),
+    /// The engine panicked (message recovered when possible).
+    Panic(String),
+}
+
+impl Outcome {
+    /// Differential agreement: values must be byte-identical; errors agree
+    /// with errors regardless of wording (engines traverse in different
+    /// orders, so the *first* error reached may legitimately differ); a
+    /// panic agrees with nothing.
+    pub fn agrees_with(&self, other: &Outcome) -> bool {
+        match (self, other) {
+            (Outcome::Value(a), Outcome::Value(b)) => a == b,
+            (Outcome::Error(_), Outcome::Error(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// One-word class tag for reports.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Outcome::Value(_) => "value",
+            Outcome::Error(_) => "error",
+            Outcome::Panic(_) => "panic",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Value(v) => write!(f, "value: {v:?}"),
+            Outcome::Error(e) => write!(f, "error: {e}"),
+            Outcome::Panic(p) => write!(f, "panic: {p}"),
+        }
+    }
+}
+
+/// Recover a printable message from a panic payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `query` under one configuration, capturing panics. Each run gets a
+/// fresh executor (and so a fresh plan cache): differential runs must not
+/// leak compiled state between configurations.
+pub fn run_config(doc: &SuccinctDoc, query: &str, cfg: EngineConfig) -> Outcome {
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        Executor::new(doc).with_strategy(cfg.strategy).with_eval_mode(cfg.mode).query(query)
+    }));
+    match res {
+        Ok(Ok(v)) => Outcome::Value(v),
+        Ok(Err(e)) => Outcome::Error(e.to_string()),
+        Err(payload) => Outcome::Panic(panic_message(payload)),
+    }
+}
+
+/// The strategy axis for bare-path (`select`) evaluation. Paths bypass the
+/// FLWOR evaluation modes entirely — `eval_path_str` dispatches straight to
+/// the per-strategy pattern matchers — so this matrix is one-dimensional,
+/// with `Naive` as the reference.
+pub fn select_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Naive,
+        Strategy::Auto,
+        Strategy::NoK,
+        Strategy::TwigStack,
+        Strategy::BinaryJoin,
+        Strategy::Parallel { threads: 2 },
+    ]
+}
+
+/// Run one bare path under one strategy, capturing panics. The value is the
+/// space-joined node-id list — ids are stable per document, so byte equality
+/// is exactly "same nodes in the same order".
+pub fn run_select(doc: &SuccinctDoc, path: &str, strategy: Strategy) -> Outcome {
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        Executor::new(doc)
+            .with_strategy(strategy)
+            .eval_path_str(path)
+            .map(|ids| ids.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" "))
+    }));
+    match res {
+        Ok(Ok(v)) => Outcome::Value(v),
+        Ok(Err(e)) => Outcome::Error(e.to_string()),
+        Err(payload) => Outcome::Panic(panic_message(payload)),
+    }
+}
+
+/// Run a bare path under every strategy and compare against `Naive`. This is
+/// the select-plane counterpart of [`check_matrix`]: the two planes share
+/// pattern compilation but diverge in how they root paths and dispatch
+/// matches, so both need independent differential coverage.
+pub fn check_select_matrix(doc: &SuccinctDoc, path: &str) -> Result<Outcome, Divergence> {
+    let ref_strategy = Strategy::Naive;
+    let ref_cfg = EngineConfig { strategy: ref_strategy, mode: EvalMode::Materializing };
+    let want = run_select(doc, path, ref_strategy);
+    let mut disagreements = Vec::new();
+    if matches!(want, Outcome::Panic(_)) {
+        disagreements.push((ref_cfg, want.clone()));
+    }
+    for strategy in select_strategies() {
+        if strategy == ref_strategy {
+            continue;
+        }
+        let got = run_select(doc, path, strategy);
+        if !got.agrees_with(&want) {
+            disagreements.push((EngineConfig { strategy, mode: EvalMode::Materializing }, got));
+        }
+    }
+    if disagreements.is_empty() {
+        Ok(want)
+    } else {
+        Err(Divergence { reference: (ref_cfg, want), disagreements })
+    }
+}
+
+/// A matrix disagreement: the reference outcome plus every configuration
+/// that failed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The reference configuration's outcome.
+    pub reference: (EngineConfig, Outcome),
+    /// Configurations whose outcome disagreed with the reference.
+    pub disagreements: Vec<(EngineConfig, Outcome)>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "reference {}: {}", self.reference.0, self.reference.1)?;
+        for (cfg, outcome) in &self.disagreements {
+            writeln!(f, "  {cfg}: {outcome}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Run the full matrix over `doc`; `Ok` carries the agreed reference
+/// outcome, `Err` the divergence report. A panic anywhere — including in
+/// the reference itself — is always a divergence.
+pub fn check_matrix(doc: &SuccinctDoc, query: &str) -> Result<Outcome, Divergence> {
+    let ref_cfg = reference();
+    let want = run_config(doc, query, ref_cfg);
+    let mut disagreements = Vec::new();
+    if matches!(want, Outcome::Panic(_)) {
+        disagreements.push((ref_cfg, want.clone()));
+    }
+    for cfg in full_matrix() {
+        if cfg == ref_cfg {
+            continue;
+        }
+        let got = run_config(doc, query, cfg);
+        if !got.agrees_with(&want) {
+            disagreements.push((cfg, got));
+        }
+    }
+    if disagreements.is_empty() {
+        Ok(want)
+    } else {
+        Err(Divergence { reference: (ref_cfg, want), disagreements })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "<r><a k=\"1\"><b>2</b></a><a><b>3</b><c>x</c></a></r>";
+
+    fn sdoc() -> SuccinctDoc {
+        SuccinctDoc::parse(DOC).unwrap()
+    }
+
+    #[test]
+    fn matrix_covers_all_strategies_and_modes() {
+        let m = full_matrix();
+        assert_eq!(m.len(), 12);
+        assert!(m.contains(&reference()));
+        let labels: Vec<String> = m.iter().map(EngineConfig::label).collect();
+        assert!(labels.contains(&"parallel:2+streaming".to_string()), "{labels:?}");
+    }
+
+    #[test]
+    fn agreeing_query_reports_reference_value() {
+        let d = sdoc();
+        let out = check_matrix(&d, "for $x in doc()//a/b order by $x return $x").unwrap();
+        assert_eq!(out, Outcome::Value("<b>2</b><b>3</b>".into()));
+    }
+
+    #[test]
+    fn errors_agree_as_a_class() {
+        let d = sdoc();
+        // Division by zero errors in every engine; wording may differ.
+        let out = check_matrix(&d, "for $x in doc()/a let $y := 1 div 0 return $y");
+        match out {
+            Ok(Outcome::Error(_)) | Ok(Outcome::Value(_)) => {}
+            other => panic!("expected agreement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_agreement_rules() {
+        let v1 = Outcome::Value("a".into());
+        let v2 = Outcome::Value("b".into());
+        let e1 = Outcome::Error("x".into());
+        let e2 = Outcome::Error("y".into());
+        let p = Outcome::Panic("boom".into());
+        assert!(v1.agrees_with(&v1.clone()));
+        assert!(!v1.agrees_with(&v2));
+        assert!(e1.agrees_with(&e2));
+        assert!(!v1.agrees_with(&e1));
+        assert!(!p.agrees_with(&p.clone()));
+    }
+
+    #[test]
+    fn run_config_captures_panics() {
+        // A hand-rolled panic inside serialization is not reachable from
+        // here; instead check the plumbing via panic_message directly.
+        assert_eq!(panic_message(Box::new("boom")), "boom");
+        assert_eq!(panic_message(Box::new("boom".to_string())), "boom");
+        assert_eq!(panic_message(Box::new(42u32)), "<non-string panic payload>");
+    }
+
+    #[test]
+    fn select_matrix_agrees_on_absolute_and_relative_paths() {
+        let d = sdoc();
+        for p in ["/r/a/b", "//b", "//a[@k]/b", "descendant::b", "b/c", "//zzz"] {
+            let out = check_select_matrix(&d, p)
+                .unwrap_or_else(|div| panic!("select plane diverged on `{p}`:\n{div}"));
+            assert!(matches!(out, Outcome::Value(_)), "{p}: {out}");
+        }
+        // Relative paths have no context at the select plane: empty result.
+        assert_eq!(
+            check_select_matrix(&d, "descendant::b").unwrap(),
+            Outcome::Value(String::new())
+        );
+    }
+
+    #[test]
+    fn select_matrix_reports_parse_errors_as_agreeing_class() {
+        let d = sdoc();
+        match check_select_matrix(&d, "///") {
+            Ok(Outcome::Error(_)) => {}
+            other => panic!("expected agreeing error class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergence_renders_reference_and_disagreements() {
+        let d = Divergence {
+            reference: (reference(), Outcome::Value("ok".into())),
+            disagreements: vec![(
+                EngineConfig { strategy: Strategy::TwigStack, mode: EvalMode::Streaming },
+                Outcome::Value("bad".into()),
+            )],
+        };
+        let s = d.to_string();
+        assert!(s.contains("naive+materializing"), "{s}");
+        assert!(s.contains("twigstack+streaming"), "{s}");
+    }
+}

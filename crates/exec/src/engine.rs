@@ -192,7 +192,14 @@ impl<'a> Executor<'a> {
     /// Evaluate a bare path expression to node ids (strategy-dispatched).
     pub fn eval_path_str(&self, path: &str) -> Result<Vec<SNodeId>, XqError> {
         let parsed = xqp_xpath::parse_path(path).map_err(|e| XqError::new(e.to_string()))?;
-        if self.strategy != Strategy::Naive && self.rules.fuse_tpm {
+        // Relative paths have no context here, so they select nothing (the
+        // naive cascade's semantics). Compiling one to a pattern would
+        // silently root it at the document instead — the pattern graph has
+        // no way to say "relative" — so only absolute paths take the TPM
+        // fast path. Found by the differential strategy sweep: `select
+        // descendant::b` returned every `b` under NoK/TwigStack/BinaryJoin
+        // but nothing under Naive.
+        if parsed.absolute && self.strategy != Strategy::Naive && self.rules.fuse_tpm {
             let (op, _) = xqp_algebra::optimize_path(&parsed, &self.rules);
             if let xqp_algebra::PathOp::TpmFrom { pattern, .. } = &op {
                 return Ok(crate::planner::eval_pattern(&self.ctx, pattern, None, self.strategy));

@@ -35,6 +35,7 @@
 pub mod cache;
 pub mod construct;
 pub mod context;
+pub mod differential;
 pub mod engine;
 pub mod eval;
 pub mod materialize;
@@ -50,5 +51,5 @@ pub mod twig;
 pub use cache::{CompiledPlan, PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use context::{ExecContext, ExecCounters, NodeRef, Val, XqError};
 pub use engine::Executor;
-pub use physical::{EvalMode, PhysicalPlan, BATCH_SIZE};
+pub use physical::{EvalError, EvalMode, PhysicalPlan, BATCH_SIZE};
 pub use planner::Strategy;

@@ -69,6 +69,42 @@ impl EvalMode {
     }
 }
 
+/// Typed pipeline-integrity failures. These states are unreachable through
+/// [`lower`] on a well-formed plan, but a malformed or hand-built plan must
+/// degrade into an error result — not a panic that poisons a fuzz run or a
+/// server thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalError {
+    /// `Sort` was pulled and found its buffer unfilled after the fill phase.
+    SortBufferMissing,
+    /// A τ expansion frame was queued without a pattern-match result.
+    TpmResultMissing,
+}
+
+impl EvalError {
+    /// Human-readable description.
+    pub fn message(self) -> &'static str {
+        match self {
+            EvalError::SortBufferMissing => "physical pipeline: sort buffer missing after fill",
+            EvalError::TpmResultMissing => {
+                "physical pipeline: τ expansion frame without a pattern-match result"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl From<EvalError> for XqError {
+    fn from(e: EvalError) -> XqError {
+        XqError::new(e.message())
+    }
+}
+
 /// One total binding flowing through the pipeline: a persistent linked list
 /// of `(var, value)` cells, so `bind` is O(1) and siblings share prefixes.
 #[derive(Debug, Clone, Default)]
@@ -645,7 +681,9 @@ impl<'x> Src<'x> {
                     keyed.sort_by(|a, b| a.0.cmp(&b.0)); // stable
                     *buffer = Some(keyed.into_iter().map(|(_, r)| r).collect());
                 }
-                let buf = buffer.as_mut().expect("just filled");
+                let Some(buf) = buffer.as_mut() else {
+                    return Err(EvalError::SortBufferMissing.into());
+                };
                 let n = buf.len().min(BATCH_SIZE);
                 if n == 0 {
                     return Ok(None);
@@ -666,9 +704,9 @@ impl<'x> Src<'x> {
                             if layer == vars.len() {
                                 out.push(row);
                             } else {
-                                let res = result
-                                    .as_ref()
-                                    .expect("match result precedes expansion frames");
+                                let Some(res) = result.as_ref() else {
+                                    return Err(EvalError::TpmResultMissing.into());
+                                };
                                 expand_tpm_layer(
                                     ev, pattern, vars, anchors, res, layer, &row, work,
                                 );

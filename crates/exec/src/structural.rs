@@ -108,23 +108,47 @@ fn index_probe(
     constraints: &[xqp_xpath::ValueConstraint],
 ) -> Option<Vec<SNodeId>> {
     use std::ops::Bound;
+    use xqp_xml::Atomic;
     use xqp_xpath::CmpOp;
-    if let Some(eq) = constraints.iter().find(|c| c.op == CmpOp::Eq) {
+    // Stored values atomize as untyped strings, so the semantics the probe
+    // must reproduce depend on the literal's *declared* type (see
+    // `Atomic::compare`): a declared number promotes the node value
+    // (non-parseable ⇒ incomparable ⇒ false), while a string literal
+    // compares lexicographically over every string value — including
+    // numeric-looking ones and the empty string. Probing the numeric tree
+    // for a numeric-looking *string* literal silently drops those; the
+    // differential fuzzer caught exactly that (`//e[c < "5"]` over `<c/>`:
+    // "" < "5" lexicographically, but "" is not in the numeric tree).
+    if let Some(eq) =
+        constraints.iter().find(|c| c.op == CmpOp::Eq && !matches!(c.literal, Atomic::Boolean(_)))
+    {
         return Some(index.lookup_eq(tag, &eq.literal));
     }
     for c in constraints {
-        let Some(v) = c.literal.as_number() else { continue };
-        let (lo, hi) = match c.op {
-            CmpOp::Gt => (Bound::Excluded(v), Bound::Unbounded),
-            CmpOp::Ge => (Bound::Included(v), Bound::Unbounded),
-            CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(v)),
-            CmpOp::Le => (Bound::Unbounded, Bound::Included(v)),
-            _ => continue,
-        };
-        // Sound: a numeric-range constraint is false on every value that
-        // does not parse as a number, and the numeric tree indexes exactly
-        // the parseable values.
-        return Some(index.lookup_numeric_range(tag, lo, hi));
+        match &c.literal {
+            Atomic::Integer(_) | Atomic::Double(_) => {
+                let v = c.literal.as_number().expect("declared number has a numeric view");
+                let (lo, hi) = match c.op {
+                    CmpOp::Gt => (Bound::Excluded(v), Bound::Unbounded),
+                    CmpOp::Ge => (Bound::Included(v), Bound::Unbounded),
+                    CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(v)),
+                    CmpOp::Le => (Bound::Unbounded, Bound::Included(v)),
+                    _ => continue,
+                };
+                return Some(index.lookup_numeric_range(tag, lo, hi));
+            }
+            Atomic::Str(s) => {
+                let (lo, hi) = match c.op {
+                    CmpOp::Gt => (Bound::Excluded(s.as_str()), Bound::Unbounded),
+                    CmpOp::Ge => (Bound::Included(s.as_str()), Bound::Unbounded),
+                    CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(s.as_str())),
+                    CmpOp::Le => (Bound::Unbounded, Bound::Included(s.as_str())),
+                    _ => continue,
+                };
+                return Some(index.lookup_string_range(tag, lo, hi));
+            }
+            Atomic::Boolean(_) => continue,
+        }
     }
     None
 }
@@ -624,6 +648,42 @@ mod tests {
         assert_eq!(bad, expect);
         // The cost-model order (rare pair first) materializes far less.
         assert!(good_tuples * 2 < bad_tuples, "good {good_tuples} vs bad {bad_tuples}");
+    }
+
+    #[test]
+    fn index_probe_matches_scan_for_every_literal_type() {
+        // Values chosen so lexicographic and numeric order disagree: "" and
+        // "4x" sort below "5" as strings but are absent from the numeric
+        // tree, "12" sorts below "5" as a string but above as a number.
+        let d =
+            SuccinctDoc::parse("<r><c/><c>abc</c><c>4x</c><c>12</c><c>7</c><c>5</c><c>5.0</c></r>")
+                .unwrap();
+        let index = xqp_storage::ValueIndex::build(&d);
+        let scan_ctx = ExecContext::new(&d);
+        let probe_ctx = ExecContext::new(&d).with_index(&index);
+        for pred in [
+            "c < \"5\"",
+            "c <= \"5\"",
+            "c > \"5\"",
+            "c >= \"12\"",
+            "c = \"\"",
+            "c = \"5\"",
+            "c < 5",
+            "c <= 5",
+            "c > 5",
+            "c >= 12",
+            "c = 5",
+        ] {
+            let path = format!("//*[{pred}]");
+            let g = PatternGraph::from_path(&parse_path(&path).unwrap()).unwrap();
+            // Vertex 1 under the root arc is the constrained `c` graft.
+            let v = (0..g.vertices.len())
+                .find(|&i| !g.vertices[i].constraints.is_empty())
+                .expect("predicate produced a constrained vertex");
+            let scanned = candidates(&scan_ctx, &g, v);
+            let probed = candidates(&probe_ctx, &g, v);
+            assert_eq!(probed, scanned, "pred `{pred}`");
+        }
     }
 
     #[test]

@@ -15,15 +15,19 @@
 //!   Gottlob-Koch-Pichler **exponential blow-up family** for experiment E4:
 //!   documents and queries for which naive pipelined navigation takes time
 //!   exponential in the query size while one TPM scan stays linear;
-//! * [`workload`] — the named query sets each experiment sweeps.
+//! * [`workload`] — the named query sets each experiment sweeps;
+//! * [`qgen`] — seeded random FLWOR queries paired with random documents,
+//!   with test-case shrinking, for the differential fuzzer (`xqp fuzz`).
 
 pub mod bib;
+pub mod qgen;
 pub mod rng;
 pub mod synth;
 pub mod workload;
 pub mod xmark;
 
 pub use bib::{bib_sample, gen_bib};
+pub use qgen::{gen_case, GenCase};
 pub use rng::Prng;
 pub use synth::{blowup_doc, blowup_query, deep_chain, wide_flat};
 pub use workload::{xmark_queries, QuerySpec};

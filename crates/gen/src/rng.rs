@@ -55,6 +55,11 @@ impl Prng {
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         &items[self.gen_range(0..items.len())]
     }
+
+    /// Like [`Prng::choose`], but returns the element by value.
+    pub fn pick<T: Copy>(&mut self, items: &[T]) -> T {
+        items[self.gen_range(0..items.len())]
+    }
 }
 
 /// Types samplable from a half-open `Range` by [`Prng::gen_range`].

@@ -98,21 +98,38 @@ impl Atomic {
         }
     }
 
-    /// Total ordering used by `order by`: the natural comparison when
-    /// defined, otherwise type-rank then string form. Keeps sorting stable
-    /// and panic-free on heterogeneous sequences.
+    /// Total ordering used by `order by`: booleans, then numbers (NaN
+    /// last), then strings lexicographically.
+    ///
+    /// Unlike [`Atomic::compare`], this must be a genuine total order —
+    /// `sort` requires transitivity, and mixing the numeric promotion of
+    /// `compare` (`5 = "5"`, `7 < "30"`) with lexicographic string
+    /// comparison (`"30" < "5"`) creates cycles. The standard library's
+    /// sort detects such cycles on large enough inputs and panics with
+    /// "comparison function does not correctly implement a total order";
+    /// the differential fuzzer hit exactly that with heterogeneous `order
+    /// by` keys. So here types never promote across the number/string
+    /// divide: a numeric *string* sorts as a string, after every declared
+    /// number.
     pub fn order_key_cmp(&self, other: &Atomic) -> Ordering {
-        if let Some(o) = self.compare(other) {
-            return o;
-        }
+        use Atomic::*;
         fn rank(a: &Atomic) -> u8 {
             match a {
-                Atomic::Boolean(_) => 0,
-                Atomic::Integer(_) | Atomic::Double(_) => 1,
-                Atomic::Str(_) => 2,
+                Boolean(_) => 0,
+                Integer(_) | Double(_) => 1,
+                Str(_) => 2,
             }
         }
-        rank(self).cmp(&rank(other)).then_with(|| self.as_string().cmp(&other.as_string()))
+        match (self, other) {
+            (Boolean(a), Boolean(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.as_str().cmp(b.as_str()),
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                let (x, y) = (a.as_number().unwrap_or(f64::NAN), b.as_number().unwrap_or(f64::NAN));
+                // NaN sorts after every number and equal to itself.
+                x.partial_cmp(&y).unwrap_or_else(|| x.is_nan().cmp(&y.is_nan()))
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
     }
 
     /// Numeric addition with integer preservation.

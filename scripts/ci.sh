@@ -24,6 +24,15 @@ cargo test --offline --test recovery --test persistence
 echo "== release CLI builds =="
 cargo build --release --offline -p xqp --bin xqp
 
+echo "== differential regression corpus =="
+cargo test --offline --test differential -q
+
+echo "== differential fuzz smoke: 200 fresh cases across the engine matrix =="
+# Seed from the commit so every CI run explores a different slice of the
+# case space while staying reproducible from the log line it prints.
+FUZZ_SEED=$((16#$(git rev-parse --short=8 HEAD 2>/dev/null || echo 1)))
+./target/release/xqp fuzz --seed "$FUZZ_SEED" --iters 200
+
 echo "== benches compile (std harness, no criterion) =="
 cargo build --offline --benches -p xqp-bench
 

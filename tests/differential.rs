@@ -1,0 +1,289 @@
+//! Differential regression corpus: every case here is checked across the
+//! full `Strategy × EvalMode` matrix *and* the durable-store round trip via
+//! [`xqp::fuzz::assert_all_engines_agree`] — byte-identical serialization,
+//! agreeing error classes, no panics anywhere.
+//!
+//! Two corpora live here:
+//!
+//! * **hand-written repros** — edge cases worth pinning independently of
+//!   the generator (empty inputs, positional predicates, mixed-type order
+//!   keys, arithmetic extremes);
+//! * **regression seeds** — seeds that once made `xqp fuzz` fail. Each is
+//!   named after the bug it caught and replays the *generated* case through
+//!   [`xqp::fuzz::run_seed`], so the generator grammar and the fix stay
+//!   coupled. When the fuzzer finds a new divergence, minimize it, fix it,
+//!   and append the seed here.
+//!
+//! A bounded smoke run keeps the whole loop (generate → matrix → shrink)
+//! exercised in every `cargo test`.
+
+use xqp::fuzz::{
+    assert_all_engines_agree, assert_all_strategies_select, fuzz, run_seed, FuzzConfig,
+};
+
+// ---------------------------------------------------------------------------
+// Hand-written repros
+// ---------------------------------------------------------------------------
+
+const TREE: &str = "<r><a k=\"1\"><b>x</b><b>y</b></a><a k=\"2\"><b>z</b></a><a k=\"1\"/></r>";
+
+/// Empty binding sequences must flow through every clause without erroring:
+/// a for-scan over no nodes, `order by` on an empty batch, and predicates
+/// over variables bound to empty sequences all produce the empty result.
+#[test]
+fn empty_inputs_agree() {
+    for q in [
+        "for $v0 in doc()/r/zzz return $v0",
+        "for $v0 in doc()//zzz order by $v0/k return $v0",
+        "for $v0 in doc()//zzz order by $v0/k descending return <out>{$v0}</out>",
+        "for $v0 in doc()/r/a where $v0/zzz = 1 return $v0",
+        "for $v0 in doc()/r/a let $v1 := $v0/zzz where $v1 = 1 return $v0",
+        "for $v0 in doc()/r/a let $v1 := $v0/zzz return count($v1)",
+        "for $v0 in doc()/r/a[zzz] return $v0",
+        "for $v0 in doc()/r/zzz for $v1 in doc()/r/a return $v1",
+        "for $v0 in doc()/r/a for $v1 in $v0/zzz return $v1",
+        "let $v0 := doc()/r/zzz return <out n=\"{count($v0)}\">{$v0}</out>",
+        "let $v0 := doc()/r/zzz order by $v0 return 1",
+        "sum(doc()//zzz)",
+        "for $v0 in doc()//zzz where not($v0 = 1) return $v0",
+    ] {
+        assert_all_engines_agree(TREE, q);
+    }
+}
+
+/// Positional predicates, `last()`, and predicates after `//` steps.
+#[test]
+fn positional_predicates_agree() {
+    for q in [
+        "doc()//b[1]",
+        "doc()//b[2]",
+        "doc()//b[99]",
+        "doc()//b[last()]",
+        "doc()/r/a[last()]/b[last()]",
+        "doc()/r/a[2]/b[1]",
+        "doc()//a[b][1]",
+        "for $v0 in doc()//a[1]/b return $v0",
+        "for $v0 in doc()/r/a return count($v0/b[last()])",
+    ] {
+        assert_all_engines_agree(TREE, q);
+    }
+}
+
+/// `order by` with duplicate keys (stability), descending ties, multiple
+/// keys, and keys of heterogeneous types across bindings.
+#[test]
+fn order_by_edges_agree() {
+    for q in [
+        "for $v0 in doc()/r/a order by $v0/@k return <o>{$v0/b}</o>",
+        "for $v0 in doc()/r/a order by $v0/@k descending return <o>{$v0/b}</o>",
+        "for $v0 in doc()/r/a order by $v0/@k, count($v0/b) descending return count($v0/b)",
+        "for $v0 in doc()//b order by $v0 descending return $v0",
+        "for $v0 in doc()/r/a order by count($v0/zzz) return $v0/@k",
+        "for $v0 in doc()/r/a order by $v0/zzz return $v0/@k",
+        "for $v0 in doc()/r/a order by number($v0/@k) return $v0/@k",
+        "for $v0 in doc()/r/a order by number($v0/b) return count($v0/b)",
+    ] {
+        assert_all_engines_agree(TREE, q);
+    }
+}
+
+/// Arithmetic extremes: division by zero, `mod` by zero, i64 overflow —
+/// must be the same error (or the same value) everywhere, never a panic.
+#[test]
+fn arithmetic_edges_agree() {
+    for q in [
+        "1 div 0",
+        "1 mod 0",
+        "0 div 7",
+        "9223372036854775807 + 1",
+        "9223372036854775807 * 2",
+        "0 - 9223372036854775807 - 1",
+        "for $v0 in doc()/r/a return $v0/@k div count($v0/zzz)",
+        "for $v0 in doc()/r/a where $v0/@k mod 2 = 1 return $v0/@k",
+    ] {
+        assert_all_engines_agree(TREE, q);
+    }
+}
+
+/// Mixed-type general comparisons: numeric strings against numbers,
+/// non-numeric strings against numbers, boolean mismatches.
+#[test]
+fn mixed_type_comparisons_agree() {
+    for q in [
+        "for $v0 in doc()//b where $v0 = \"x\" return $v0",
+        "for $v0 in doc()/r/a where $v0/@k = 1 return count($v0/b)",
+        "for $v0 in doc()/r/a where $v0/@k < \"2\" return $v0/@k",
+        "for $v0 in doc()//b where $v0 < 5 return $v0",
+        "for $v0 in doc()/r/a where $v0/b = $v0/@k return $v0",
+        "count(doc()//b) = \"3\"",
+    ] {
+        assert_all_engines_agree(TREE, q);
+    }
+}
+
+/// Constructors around empty content, nested FLWOR, and `if` arms.
+#[test]
+fn constructor_edges_agree() {
+    for q in [
+        "<out>{doc()//zzz}</out>",
+        "<out a=\"{count(doc()//zzz)}\"/>",
+        "for $v0 in doc()/r/a return <o k=\"{$v0/@k}\">{for $v1 in $v0/b return <i>{$v1}</i>}</o>",
+        "for $v0 in doc()/r/a return if ($v0/b) then <some/> else <none/>",
+        "if (doc()//zzz) then 1 else 2",
+    ] {
+        assert_all_engines_agree(TREE, q);
+    }
+}
+
+/// Bare-path (`select`) probes: the select plane dispatches to the
+/// per-strategy matchers directly, so it has its own differential corpus.
+/// The relative / axis-prefixed forms pin the TPM-rooting bug: `compile_path`
+/// grafts every path at the document root, so relative paths (which have no
+/// context at the select plane and must select nothing) returned *all*
+/// matching descendants under NoK/TwigStack/BinaryJoin while Naive returned
+/// the empty sequence.
+#[test]
+fn select_plane_paths_agree() {
+    for p in [
+        "/r/a/b",
+        "//b",
+        "//a[@k]/b",
+        "//a[@k = 1]//b",
+        "//b[1]",
+        "//b[last()]",
+        "//*",
+        "/r//@k",
+        // Relative and axis-prefixed forms (no context ⇒ empty everywhere).
+        "b",
+        "a/b",
+        "descendant::b",
+        "descendant-or-self::a",
+        "child::a",
+        "descendant::*",
+    ] {
+        assert_all_strategies_select(TREE, p);
+    }
+}
+
+/// `order by` keys must be sorted with a *total* order. The old
+/// `Atomic::order_key_cmp` fell back to the general comparison, which
+/// promotes numeric strings against numbers (`7 < "30"`, `"5" <= 7`) while
+/// comparing string pairs lexicographically (`"30" < "5"`) — a cycle. On
+/// sequences past the standard library's detection threshold (and in an
+/// unlucky element order — this exact one), driftsort panics with
+/// "user-provided comparison function does not correctly implement a total
+/// order" in both evaluation modes.
+#[test]
+fn order_by_mixed_int_and_numeric_strings_is_total() {
+    // 60 <a> elements: k="1" sorts by the integer 7, k="0" by its <t> text
+    // ("30" or "5"), interleaved in the order that tripped the detector.
+    let doc = concat!(
+        "<r><a k=\"0\"><t>30</t></a><a k=\"1\"/><a k=\"0\"><t>30</t></a><a k=\"0\"><t>5</t></a>",
+        "<a k=\"1\"/><a k=\"1\"/><a k=\"0\"><t>5</t></a><a k=\"1\"/><a k=\"0\"><t>30</t></a>",
+        "<a k=\"0\"><t>5</t></a><a k=\"1\"/><a k=\"0\"><t>5</t></a><a k=\"1\"/><a k=\"1\"/>",
+        "<a k=\"1\"/><a k=\"0\"><t>30</t></a><a k=\"0\"><t>30</t></a><a k=\"1\"/><a k=\"1\"/>",
+        "<a k=\"1\"/><a k=\"0\"><t>5</t></a><a k=\"0\"><t>30</t></a><a k=\"1\"/>",
+        "<a k=\"0\"><t>5</t></a><a k=\"1\"/><a k=\"1\"/><a k=\"0\"><t>5</t></a>",
+        "<a k=\"0\"><t>5</t></a><a k=\"0\"><t>5</t></a><a k=\"1\"/><a k=\"0\"><t>5</t></a>",
+        "<a k=\"0\"><t>5</t></a><a k=\"0\"><t>30</t></a><a k=\"1\"/><a k=\"1\"/><a k=\"1\"/>",
+        "<a k=\"0\"><t>5</t></a><a k=\"1\"/><a k=\"0\"><t>30</t></a><a k=\"0\"><t>30</t></a>",
+        "<a k=\"1\"/><a k=\"0\"><t>5</t></a><a k=\"1\"/><a k=\"0\"><t>5</t></a>",
+        "<a k=\"0\"><t>30</t></a><a k=\"0\"><t>5</t></a><a k=\"0\"><t>5</t></a><a k=\"1\"/>",
+        "<a k=\"1\"/><a k=\"0\"><t>5</t></a><a k=\"0\"><t>5</t></a><a k=\"0\"><t>5</t></a>",
+        "<a k=\"1\"/><a k=\"0\"><t>30</t></a><a k=\"1\"/><a k=\"0\"><t>5</t></a>",
+        "<a k=\"0\"><t>5</t></a><a k=\"1\"/><a k=\"0\"><t>5</t></a><a k=\"1\"/></r>"
+    );
+    assert_all_engines_agree(
+        doc,
+        "for $v0 in doc()/r/a order by (if ($v0/@k = 1) then 7 else $v0/t) return <o>{$v0/@k}</o>",
+    );
+}
+
+/// The value-index probe must reproduce the scan's comparison semantics.
+/// Stored values atomize as untyped strings, so a *string* literal compares
+/// lexicographically against every string value — but the old probe saw that
+/// the literal parsed as a number and translated `c < "5"` into a
+/// numeric-tree range scan, silently dropping values that don't parse
+/// (`""`, `"abc"`, `"4x"`), all of which sort below `"5"` lexicographically.
+/// Only the indexed engine leg diverged, so only the durable-store round
+/// trip with indexes built caught it.
+#[test]
+fn string_literal_inequalities_agree_under_value_index() {
+    let doc = "<r><e><c n=\"0\"/></e><e><c>abc</c></e><e><c>4x</c></e>\
+               <e><c>12</c></e><e><c>7</c></e><e><c>5</c></e></r>";
+    for q in [
+        "for $v0 in doc()//e[c < \"5\"] return <o>{$v0/c}</o>",
+        "for $v0 in doc()//e[c <= \"5\"] return <o>{$v0/c}</o>",
+        "for $v0 in doc()//e[c > \"5\"] return <o>{$v0/c}</o>",
+        "for $v0 in doc()//e[c >= \"12\"] return <o>{$v0/c}</o>",
+        "for $v0 in doc()//e[c = \"\"] return <o>found</o>",
+        // Declared-number literals keep numeric-range semantics: values
+        // that don't parse are incomparable and must stay excluded.
+        "for $v0 in doc()//e[c < 5] return <o>{$v0/c}</o>",
+        "for $v0 in doc()//e[c >= 7] return <o>{$v0/c}</o>",
+    ] {
+        assert_all_engines_agree(doc, q);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-found regression seeds
+// ---------------------------------------------------------------------------
+
+/// Replay a fuzz case seed and fail loudly if any engine disagrees again.
+fn assert_seed_clean(case_seed: u64) {
+    let cfg = FuzzConfig::default();
+    if let Some(failure) = xqp::fuzz::with_quiet_panics(|| run_seed(case_seed, &cfg)) {
+        panic!("regression seed {case_seed} failed again:\n{failure}");
+    }
+}
+
+/// Seeds harvested by running `xqp fuzz` against the TPM-rooting bug (the
+/// relative-path gate in `Executor::eval_path_str` removed): each generated
+/// case's select probe shrank to a bare axis step — `descendant::e`,
+/// `descendant::category`, `descendant-or-self::d`, `descendant-or-self::a`,
+/// `descendant::*` — that selected every matching node under the pattern
+/// strategies but nothing under the naive reference. All five fail on the
+/// unfixed engine and pass on the fixed one.
+#[test]
+fn seed_relative_path_tpm_rooting() {
+    for seed in [
+        15040563541741120241,
+        8097875853865443356,
+        11198091096121768623,
+        1261203858117736319,
+        17942927344426079605,
+    ] {
+        assert_seed_clean(seed);
+    }
+}
+
+/// Found by `xqp fuzz --seed 99 --iters 3000`, shrunk to
+/// `<r><e><c n="0"/></e></r>` with `for $v0 in doc()//e[c < "5"] return 0`:
+/// the reference returns `0` (`"" < "5"` lexicographically) but the
+/// `persist:indexed` leg returned nothing — the σv index probe turned the
+/// string-literal `<` into a numeric-only range scan
+/// (`string_literal_inequalities_agree_under_value_index` is the hand repro).
+#[test]
+fn seed_index_probe_string_range() {
+    assert_seed_clean(13317283848084137822);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded smoke run
+// ---------------------------------------------------------------------------
+
+/// A short deterministic fuzz run inside the test suite: keeps the whole
+/// generate → matrix → persistence → shrink loop compiling and honest.
+#[test]
+fn fuzz_smoke_run_is_clean() {
+    let cfg = FuzzConfig { seed: 0xD1FF, iters: 40, ..FuzzConfig::default() };
+    let summary = fuzz(&cfg);
+    assert_eq!(summary.iters_run, 40);
+    assert!(
+        summary.ok(),
+        "fuzz smoke run found {} failure(s):\n{}",
+        summary.failures.len(),
+        summary.failures.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -7,18 +7,16 @@
 //! `xqp_exec::parallel` has to reconstruct exactly what the serial sweep
 //! would have produced, and the batch pipeline exactly what the
 //! materializing reference produces.
+//!
+//! The matrix itself is [`xqp::fuzz::assert_all_engines_agree`] — the same
+//! oracle the differential fuzzer uses (`tests/differential.rs` replays its
+//! found seeds through it), so this corpus also rides through the
+//! durable-store round trip and catches panics as first-class failures. The
+//! remaining hand-rolled loops cover what the fixed matrix does not: the
+//! parallel strategy at 1, 8, and hardware-sized thread counts.
 
-use xqp::{Database, EvalMode, Strategy};
-
-/// The full strategy axis of the matrix.
-const STRATEGIES: &[Strategy] = &[
-    Strategy::Auto,
-    Strategy::NoK,
-    Strategy::TwigStack,
-    Strategy::BinaryJoin,
-    Strategy::Naive,
-    Strategy::Parallel { threads: 2 },
-];
+use xqp::fuzz::{assert_all_engines_agree, assert_all_strategies_select};
+use xqp::{Database, Strategy};
 
 const STORE: &str = r#"<store>
 <inventory>
@@ -124,12 +122,26 @@ const PATHS: &[(&str, &str)] = &[
     ("store", "//item[name]/qty"),
     ("store", "//nothing"),
     ("x", "//p[@a = 1]"),
+    // Relative and axis-prefixed paths have no context at the select plane
+    // and must come back empty under every strategy — the pattern matchers
+    // used to root them at the document and return every match.
+    ("store", "item"),
+    ("store", "descendant::item"),
+    ("store", "descendant-or-self::order"),
+    ("store", "child::inventory"),
 ];
+
+fn doc_xml(name: &str) -> String {
+    match name {
+        "store" => STORE.lines().collect(),
+        "x" => MULTI.to_string(),
+        other => panic!("unknown corpus document `{other}`"),
+    }
+}
 
 fn db() -> Database {
     let mut d = Database::new();
-    let compact: String = STORE.lines().collect();
-    d.load_str("store", &compact).unwrap();
+    d.load_str("store", &doc_xml("store")).unwrap();
     d.load_str("x", MULTI).unwrap();
     d
 }
@@ -178,53 +190,29 @@ fn parallel_reports_the_same_errors() {
 
 #[test]
 fn strategy_matrix_serializes_identically() {
-    // Reference: the naive strategy through the materializing interpreter —
-    // the simplest, most literal semantics in the system.
-    let mut reference = db();
-    reference.set_strategy(Strategy::Naive);
-    reference.set_eval_mode(EvalMode::Materializing);
-    for &strat in STRATEGIES {
-        for mode in [EvalMode::Streaming, EvalMode::Materializing] {
-            let mut d = db();
-            d.set_strategy(strat);
-            d.set_eval_mode(mode);
-            for (doc, q) in QUERIES {
-                let want = reference.query(doc, q).unwrap();
-                let got = d.query(doc, q).unwrap();
-                assert_eq!(got, want, "strategy={strat:?} mode={mode:?} doc={doc} query=`{q}`");
-            }
-        }
+    // The full Strategy × EvalMode matrix plus the durable-store round
+    // trip, against the naive+materializing reference.
+    for (doc, q) in QUERIES {
+        assert_all_engines_agree(&doc_xml(doc), q);
     }
 }
 
 #[test]
 fn strategy_matrix_agrees_on_bare_paths() {
-    let reference = db(); // bare paths bypass FLWOR evaluation modes
-    for &strat in STRATEGIES {
-        let mut d = db();
-        d.set_strategy(strat);
-        for (doc, p) in PATHS {
-            let want = reference.select(doc, p).unwrap();
-            let got = d.select(doc, p).unwrap();
-            assert_eq!(got, want, "strategy={strat:?} doc={doc} path=`{p}`");
-        }
+    // Bare paths bypass FLWOR evaluation modes; the select-plane matrix is
+    // strategy-only.
+    for (doc, p) in PATHS {
+        assert_all_strategies_select(&doc_xml(doc), p);
     }
 }
 
 #[test]
 fn error_queries_fail_under_every_strategy_and_mode() {
-    for &strat in STRATEGIES {
-        for mode in [EvalMode::Streaming, EvalMode::Materializing] {
-            let mut d = db();
-            d.set_strategy(strat);
-            d.set_eval_mode(mode);
-            for (doc, q) in ERROR_QUERIES {
-                assert!(
-                    d.query(doc, q).is_err(),
-                    "strategy={strat:?} mode={mode:?} doc={doc} query=`{q}` should fail"
-                );
-            }
-        }
+    // The oracle requires errors to agree as a *class* across the whole
+    // matrix — a strategy that succeeded (or panicked) where the reference
+    // errored would be a divergence.
+    for (doc, q) in ERROR_QUERIES {
+        assert_all_engines_agree(&doc_xml(doc), q);
     }
 }
 
