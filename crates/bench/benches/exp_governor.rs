@@ -1,0 +1,108 @@
+//! T17 — resource-governor overhead on the E16 FLWOR workloads.
+//!
+//! The governor threads a cancellation/budget check through every pull of
+//! the physical pipeline, the materializing interpreter's clause loop, and
+//! the pattern matchers' sweep loops. Those checks run whether or not any
+//! limit is set — an attached governor with unlimited budgets is the
+//! worst case for pure overhead, since every check is executed and none
+//! ever trips. This bench runs the E16 query suite twice per mode, with
+//! and without an (unlimited) governor attached, so the delta isolates the
+//! per-check cost: a few atomic loads per batch or poll interval.
+//!
+//! The acceptance bar is <= 5% on these workloads; the per-run numbers are
+//! recorded under T17 in EXPERIMENTS.md.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use xqp_bench::harness::{BenchmarkId, Criterion};
+use xqp_bench::{criterion_group, criterion_main, xmark_at};
+use xqp_exec::{EvalMode, Executor, QueryLimits, ResourceGovernor};
+use xqp_gen::gen_bib;
+use xqp_storage::SuccinctDoc;
+
+/// The E16 workloads, verbatim (see `exp_flwor_pipeline`).
+const BIB_NESTED: &str = "for $b in doc()/bib/book \
+     for $a in doc()/bib/book/author \
+     where $b/price >= 1 \
+     return <pair>{$a/last}</pair>";
+
+const XMARK_JOIN: &str = "for $i in doc()//item \
+     for $c in doc()//category \
+     where $i/incategory/@category = $c/@id \
+     return <hit>{$i/name}</hit>";
+
+const XMARK_KEYWORDS: &str = "for $k in doc()//keyword \
+     let $t := string($k) \
+     where $t != \"\" \
+     return <kw>{$t}</kw>";
+
+const MODES: [EvalMode; 2] = [EvalMode::Streaming, EvalMode::Materializing];
+
+fn executor(sdoc: &SuccinctDoc, mode: EvalMode, governed: bool) -> Executor<'_> {
+    let mut ex = Executor::new(sdoc).with_eval_mode(mode);
+    if governed {
+        // Attached but unlimited: every check runs, none can trip.
+        ex = ex.with_governor(Arc::new(ResourceGovernor::new(QueryLimits::none())));
+    }
+    ex
+}
+
+fn bench(c: &mut Criterion) {
+    let bib = SuccinctDoc::from_document(&gen_bib(120, 42));
+    let xmark = xmark_at(0.4);
+    let cases: [(&str, &SuccinctDoc, &str); 3] = [
+        ("bib_nested", &bib, BIB_NESTED),
+        ("xmark_join", &xmark, XMARK_JOIN),
+        ("xmark_keywords_flat", &xmark, XMARK_KEYWORDS),
+    ];
+
+    let mut g = c.benchmark_group("T17_governor_overhead");
+    g.sample_size(10);
+    for (name, sdoc, q) in cases {
+        for mode in MODES {
+            for governed in [false, true] {
+                let label =
+                    format!("{}_{}", mode.name(), if governed { "governed" } else { "ungoverned" });
+                g.bench_with_input(BenchmarkId::new(label, name), &q, |b, q| {
+                    let ex = executor(sdoc, mode, governed);
+                    b.iter(|| black_box(ex.query(q).expect("bench query evaluates").len()))
+                });
+            }
+        }
+    }
+    g.finish();
+
+    // Headline ratio, timed directly so the summary is self-contained.
+    // Interleaved min-of-runs: alternating governed/ungoverned cancels
+    // machine drift, and the minimum is the noise-robust estimate of the
+    // true cost on a shared box.
+    println!("\n== T17 governor overhead (attached + unlimited vs none) ==");
+    for (name, sdoc, q) in cases {
+        for mode in MODES {
+            let one = |governed: bool| {
+                let ex = executor(sdoc, mode, governed);
+                let t = Instant::now();
+                black_box(ex.query(q).expect("bench query evaluates").len());
+                t.elapsed().as_secs_f64()
+            };
+            one(false); // warm caches
+            one(true);
+            let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+            for _ in 0..20 {
+                off = off.min(one(false));
+                on = on.min(one(true));
+            }
+            println!(
+                "{name} ({}): off {:.3} ms, on {:.3} ms ({:+.1}%)",
+                mode.name(),
+                off * 1e3,
+                on * 1e3,
+                (on / off - 1.0) * 100.0
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,21 +10,30 @@
 //! xqp save   <file.xml> <dir>               # persist to a durable store
 //! xqp open   <dir> <xquery>                 # query a durable store
 //! xqp fuzz   [--seed N] [--iters K] [--replay CASE_SEED]   # differential fuzzing
+//! xqp torture [--seed N] [--iters K]         # I/O fault-injection torture
 //! ```
 //!
 //! `fuzz` cross-checks random FLWOR workloads over every strategy ×
 //! evaluation-mode combination (persistence round trip included) and
 //! reports shrunk minimal repros for any divergence or panic.
 //!
+//! `torture` replays durable-store update workloads with a fault injected
+//! at every reachable I/O point (soft and crash flavors), asserting the
+//! recovery invariants after each one.
+//!
 //! `save` writes a snapshot + write-ahead log under `<dir>`; `open` recovers
 //! from them (replaying the log) without re-parsing any XML.
+//!
+//! Query commands accept resource limits: `--timeout-ms N`, `--max-memory N`
+//! (live binding cells), `--max-rows N`. A query over budget fails with a
+//! `resource governor` error instead of running away.
 //!
 //! `S` ∈ auto | nok | twigstack | binaryjoin | naive | parallel[:N]
 //! (default: auto; `parallel` alone sizes itself to the hardware).
 
 use std::process::ExitCode;
-use std::time::Instant;
-use xqp::{Database, EvalMode, RuleSet, Strategy};
+use std::time::{Duration, Instant};
+use xqp::{Database, EvalMode, QueryLimits, RuleSet, Strategy};
 
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
@@ -42,6 +51,8 @@ struct Cli {
     /// Exact case seed to replay (`fuzz --replay`), bypassing the master
     /// PRNG entirely.
     replay: Option<u64>,
+    /// Resource limits applied to query commands (none by default).
+    limits: QueryLimits,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -53,6 +64,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut seed = 1u64;
     let mut iters = 100u64;
     let mut replay = None;
+    let mut limits = QueryLimits::none();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -76,6 +88,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let v = it.next().ok_or("--replay needs a case seed")?;
                 replay = Some(v.parse().map_err(|_| format!("bad case seed `{v}`"))?);
             }
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad timeout `{v}`"))?;
+                limits = limits.with_timeout(Duration::from_millis(ms));
+            }
+            "--max-memory" => {
+                let v = it.next().ok_or("--max-memory needs a value")?;
+                limits = limits
+                    .with_max_memory(v.parse().map_err(|_| format!("bad memory budget `{v}`"))?);
+            }
+            "--max-rows" => {
+                let v = it.next().ok_or("--max-rows needs a value")?;
+                limits = limits.with_max_rows(v.parse().map_err(|_| format!("bad row cap `{v}`"))?);
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`"));
             }
@@ -85,11 +111,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let [command, rest @ ..] = pos.as_slice() else {
         return Err("usage: xqp <command> <file.xml> [arg…] (see --help)".into());
     };
-    // `fuzz` generates its own inputs; every other command reads a file
-    // (or, for `open`, a store directory) first.
-    let (file, rest) = if *command == "fuzz" {
+    // `fuzz` and `torture` generate their own inputs; every other command
+    // reads a file (or, for `open`, a store directory) first.
+    let (file, rest) = if *command == "fuzz" || *command == "torture" {
         if !rest.is_empty() {
-            return Err("`fuzz` takes no positional arguments".into());
+            return Err(format!("`{command}` takes no positional arguments"));
         }
         (None, rest)
     } else {
@@ -114,6 +140,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         seed,
         iters,
         replay,
+        limits,
     })
 }
 
@@ -129,11 +156,22 @@ USAGE:
   xqp save    <file.xml> <dir>
   xqp open    <dir> <xquery>
   xqp fuzz    [--seed N] [--iters K] [--replay CASE_SEED]
+  xqp torture [--seed N] [--iters K]
 
   `fuzz` cross-checks K random FLWOR workloads across every strategy ×
   evaluation mode (and a save/open round trip), shrinking any divergence
   or panic to a minimal repro; exits non-zero when one is found.
   `--replay` re-runs one case seed from a failure report.
+
+  `torture` replays K injected I/O faults (soft + simulated power cut)
+  against durable-store update workloads, asserting that every fault
+  recovers to a consistent state; exits non-zero on a violation.
+
+  Query commands accept resource limits — the query fails cleanly with a
+  `resource governor` error once any budget is exceeded:
+    --timeout-ms N    wall-clock deadline
+    --max-memory N    live FLWOR binding-cell budget
+    --max-rows N      result-row cap
 
   S = auto | nok | twigstack | binaryjoin | naive | parallel[:N]
       (parallel:N runs the join-based sweep on N worker threads; bare
@@ -159,6 +197,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if cli.command == "fuzz" {
         return run_fuzz(&cli);
     }
+    if cli.command == "torture" {
+        return run_torture(&cli);
+    }
     let file = cli.file.as_deref().ok_or("missing file argument")?;
     // `open` takes a store directory, not an XML file; everything else
     // parses the XML up front.
@@ -183,6 +224,7 @@ fn run(args: &[String]) -> Result<(), String> {
     db.set_strategy(cli.strategy);
     db.set_rules(cli.rules);
     db.set_eval_mode(cli.mode);
+    db.set_limits(cli.limits);
     // A freshly opened store keeps its on-disk name; the CLI always stores
     // a single document as "doc", so both paths agree.
 
@@ -351,6 +393,34 @@ fn run_fuzz(cli: &Cli) -> Result<(), String> {
     }
 }
 
+/// `xqp torture`: inject I/O faults into durable-store workloads and
+/// verify recovery.
+fn run_torture(cli: &Cli) -> Result<(), String> {
+    use xqp::torture::{torture, TortureConfig};
+    let cfg = TortureConfig { seed: cli.seed, iters: cli.iters };
+    eprintln!("-- torture: >= {} fault point(s) from master seed {}", cfg.iters, cfg.seed);
+    let t = Instant::now();
+    let report = torture(&cfg);
+    let dt = t.elapsed();
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if report.is_clean() {
+        eprintln!(
+            "-- torture: {} fault point(s) over {} scenario(s) recovered cleanly in {dt:.2?}",
+            report.fault_points, report.scenarios
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "torture: {} violation(s) in {} fault point(s); rerun with `xqp torture --seed {}`",
+            report.violations.len(),
+            report.fault_points,
+            cli.seed
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +509,43 @@ mod tests {
         assert!(parse_args(&sv(&["fuzz", "--iters"])).is_err());
         // Stray positionals after `fuzz` are rejected.
         assert!(parse_args(&sv(&["fuzz", "f.xml"])).is_err());
+    }
+
+    #[test]
+    fn parses_resource_limit_flags() {
+        let cli = parse_args(&sv(&[
+            "query",
+            "f.xml",
+            "//x",
+            "--timeout-ms",
+            "250",
+            "--max-memory",
+            "1024",
+            "--max-rows",
+            "10",
+        ]))
+        .unwrap();
+        assert_eq!(cli.limits.timeout, Some(Duration::from_millis(250)));
+        assert_eq!(cli.limits.max_memory, Some(1024));
+        assert_eq!(cli.limits.max_rows, Some(10));
+        assert!(parse_args(&sv(&["query", "f.xml", "//x", "--timeout-ms"])).is_err());
+        assert!(parse_args(&sv(&["query", "f.xml", "//x", "--max-rows", "lots"])).is_err());
+    }
+
+    #[test]
+    fn limits_default_to_unlimited() {
+        let cli = parse_args(&sv(&["query", "f.xml", "//x"])).unwrap();
+        assert!(cli.limits.is_unlimited());
+    }
+
+    #[test]
+    fn parses_torture_command() {
+        let cli = parse_args(&sv(&["torture", "--seed", "9", "--iters", "500"])).unwrap();
+        assert_eq!(cli.command, "torture");
+        assert_eq!(cli.file, None);
+        assert_eq!(cli.seed, 9);
+        assert_eq!(cli.iters, 500);
+        assert!(parse_args(&sv(&["torture", "f.xml"])).is_err());
     }
 
     #[test]

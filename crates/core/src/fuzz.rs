@@ -17,7 +17,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use xqp_exec::differential::{check_matrix, check_select_matrix, Outcome};
+use xqp_exec::differential::{check_budget_matrix, check_matrix, check_select_matrix, Outcome};
 use xqp_gen::qgen::{gen_case, GenCase};
 use xqp_gen::Prng;
 use xqp_storage::SuccinctDoc;
@@ -107,6 +107,12 @@ pub fn check_case(xml: &str, query: &str, persistence: bool) -> Result<(), Strin
         Ok(outcome) => outcome,
         Err(divergence) => return Err(divergence.to_string()),
     };
+    // Budget leg: the same case under tight resource limits. Every
+    // configuration must trip as a limit-class error or return the full
+    // value — a silently truncated result is a divergence.
+    if let Err(divergence) = check_budget_matrix(&doc, query) {
+        return Err(format!("governor budget leg:\n{divergence}"));
+    }
     if persistence {
         let legs = persistence_outcomes(xml, query)?;
         let mut report = String::new();

@@ -31,6 +31,7 @@
 //! their own crates.
 
 pub mod fuzz;
+pub mod torture;
 
 pub use xqp_algebra as algebra;
 pub use xqp_exec as exec;
@@ -40,7 +41,9 @@ pub use xqp_xpath as xpath;
 pub use xqp_xquery as xquery;
 
 pub use xqp_algebra::{DocStatistics, RewriteReport, RuleSet};
-pub use xqp_exec::{EvalMode, ExecCounters, PlanCache as ExecPlanCache, Strategy};
+pub use xqp_exec::{
+    CancelToken, EvalMode, ExecCounters, PlanCache as ExecPlanCache, QueryLimits, Strategy,
+};
 pub use xqp_storage::{
     PersistError, ReplayReport, SNodeId, StorageStats, StoreCounters, SuccinctDoc, SuffixIndex,
     UpdateError, ValueIndex, WalOp,
@@ -49,12 +52,11 @@ pub use xqp_storage::{
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
-use xqp_exec::{Executor, PlanCache};
+use xqp_exec::{Executor, PlanCache, ResourceGovernor};
 use xqp_storage::persist::format::{crc32, put_str, put_u32, Reader};
-use xqp_storage::persist::DocStore;
+use xqp_storage::persist::{failpoint, DocStore, IoOp};
 use xqp_xml::Document;
 
 /// Unified error type of the public API.
@@ -186,13 +188,19 @@ fn write_manifest(root: &Path, entries: &[(String, String)]) -> Result<(), Error
     let io = |e: std::io::Error| Error::Persist(format!("manifest write: {e}"));
     let tmp = root.join(format!("{MANIFEST_FILE}.tmp"));
     {
+        failpoint::check(IoOp::Create).map_err(io)?;
         let mut f = fs::File::create(&tmp).map_err(io)?;
-        f.write_all(&out).map_err(io)?;
+        failpoint::write_all(&mut f, &out).map_err(io)?;
+        failpoint::check(IoOp::Fsync).map_err(io)?;
         f.sync_all().map_err(io)?;
     }
+    failpoint::check(IoOp::Rename).map_err(io)?;
     fs::rename(&tmp, root.join(MANIFEST_FILE)).map_err(io)?;
-    if let Ok(d) = fs::File::open(root) {
-        let _ = d.sync_all();
+    // Best-effort directory fsync (see write_snapshot for the rationale).
+    if failpoint::check(IoOp::Fsync).is_ok() {
+        if let Ok(d) = fs::File::open(root) {
+            let _ = d.sync_all();
+        }
     }
     Ok(())
 }
@@ -200,6 +208,8 @@ fn write_manifest(root: &Path, entries: &[(String, String)]) -> Result<(), Error
 /// Read and validate the manifest at `root`.
 fn read_manifest(root: &Path) -> Result<Vec<(String, String)>, Error> {
     let path = root.join(MANIFEST_FILE);
+    failpoint::check(IoOp::Read)
+        .map_err(|e| Error::Persist(format!("cannot read {}: {e}", path.display())))?;
     let bytes = fs::read(&path)
         .map_err(|e| Error::Persist(format!("cannot read {}: {e}", path.display())))?;
     let fail = |m: String| Error::Persist(format!("manifest: {m}"));
@@ -240,6 +250,7 @@ pub struct Database {
     strategy: Strategy,
     rules: RuleSet,
     mode: EvalMode,
+    limits: QueryLimits,
     root: Option<PathBuf>,
     compact_threshold: u64,
 }
@@ -258,6 +269,7 @@ impl Database {
             strategy: Strategy::Auto,
             rules: RuleSet::all(),
             mode: EvalMode::default(),
+            limits: QueryLimits::none(),
             root: None,
             compact_threshold: DEFAULT_COMPACT_THRESHOLD,
         }
@@ -277,6 +289,19 @@ impl Database {
     /// Set the rewrite-rule set for subsequent queries.
     pub fn set_rules(&mut self, rules: RuleSet) {
         self.rules = rules;
+    }
+
+    /// Set default resource limits for subsequent queries. Each query gets
+    /// a fresh [`xqp_exec::ResourceGovernor`], so the deadline clock starts
+    /// when the query starts, not when the limits were set. Pass
+    /// [`QueryLimits::none`] to lift all limits.
+    pub fn set_limits(&mut self, limits: QueryLimits) {
+        self.limits = limits;
+    }
+
+    /// The database-wide default resource limits.
+    pub fn limits(&self) -> QueryLimits {
+        self.limits
     }
 
     /// Parse and store a document under `name` (replacing any previous
@@ -421,6 +446,10 @@ impl Database {
     }
 
     fn executor<'a>(&'a self, s: &'a Stored) -> Executor<'a> {
+        self.executor_with_limits(s, self.limits)
+    }
+
+    fn executor_with_limits<'a>(&'a self, s: &'a Stored, limits: QueryLimits) -> Executor<'a> {
         let mut ex = Executor::new(&s.sdoc)
             .with_strategy(self.strategy)
             .with_rules(self.rules)
@@ -432,6 +461,9 @@ impl Database {
         }
         if let Some(st) = &s.store {
             ex = ex.with_persist_stats(st.counters());
+        }
+        if !limits.is_unlimited() {
+            ex = ex.with_governor(Arc::new(ResourceGovernor::new(limits)));
         }
         ex
     }
@@ -451,6 +483,19 @@ impl Database {
     pub fn query(&self, doc: &str, query: &str) -> Result<String, Error> {
         let s = self.stored(doc)?;
         Ok(self.executor(s).query(query)?)
+    }
+
+    /// Run an XQuery against `doc` under per-query resource `limits`,
+    /// overriding (not merging with) the database-wide defaults from
+    /// [`Database::set_limits`].
+    pub fn query_with_limits(
+        &self,
+        doc: &str,
+        query: &str,
+        limits: QueryLimits,
+    ) -> Result<String, Error> {
+        let s = self.stored(doc)?;
+        Ok(self.executor_with_limits(s, limits).query(query)?)
     }
 
     /// Evaluate a bare path to node ids.
@@ -582,7 +627,15 @@ impl Database {
     pub fn open(path: &Path) -> Result<Database, Error> {
         let mut db = Database::new();
         for (name, slot) in read_manifest(path)? {
-            let (store, sdoc, report) = DocStore::open(&path.join(&slot))?;
+            let slot_dir = path.join(&slot);
+            if !slot_dir.is_dir() {
+                return Err(Error::Persist(format!(
+                    "manifest references missing slot directory `{slot}` for document \
+                     `{name}` under {} — the slot was deleted or the manifest is stale",
+                    path.display()
+                )));
+            }
+            let (store, sdoc, report) = DocStore::open(&slot_dir)?;
             let mut stored = Stored::new(sdoc);
             // Replayed updates invalidate any compiled plans (the cache is
             // fresh here, but the invariant is cheap to state and keep).

@@ -45,6 +45,10 @@ fn build_node(
     parent: NodeId,
     eval: &mut EvalFn<'_>,
 ) -> Result<Option<NodeId>, XqError> {
+    // γ construction can copy arbitrarily large subtrees per placeholder;
+    // one governor check per constructed schema node bounds the interval
+    // between cancellation points.
+    ctx.governor_check()?;
     match node {
         SchemaNode::Element { name, attributes, children } => {
             let el = ctx.with_built_mut(|d| d.append_element(parent, name.clone()));

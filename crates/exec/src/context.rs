@@ -1,5 +1,7 @@
 //! Execution context, node references and runtime values.
 
+use crate::governor::ResourceGovernor;
+use crate::physical::EvalError;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -32,6 +34,15 @@ impl XqError {
     /// Build from anything stringy.
     pub fn new(msg: impl Into<String>) -> Self {
         XqError(msg.into())
+    }
+
+    /// Did this error originate from a resource-governor limit trip
+    /// (deadline, memory budget, row cap, or cancellation)? The check is on
+    /// the stable `"resource governor"` message marker, so it survives the
+    /// flattening from [`EvalError`] and any diagnostic decoration the
+    /// engine adds on top.
+    pub fn is_resource_limit(&self) -> bool {
+        self.0.contains("resource governor")
     }
 }
 
@@ -75,6 +86,11 @@ pub struct ExecCounters {
     /// memory-shaped number experiment E16 compares between the streaming
     /// pipeline and the materializing interpreter.
     pub peak_bindings: u64,
+    /// Cooperative resource-governor checks performed; zero when no governor
+    /// was attached.
+    pub governor_checks: u64,
+    /// Governor limit trips recorded (sticky: 0 or 1 per governed query).
+    pub governor_trips: u64,
 }
 
 /// Shared counter storage. Relaxed atomics: every counter is an independent
@@ -110,6 +126,7 @@ pub struct ExecContext<'a> {
     stats: OnceLock<Arc<DocStatistics>>,
     built: Mutex<Document>,
     counters: CounterCells,
+    governor: Option<Arc<ResourceGovernor>>,
 }
 
 // Compile-time proof that the context (and hence the executor) can cross
@@ -131,6 +148,7 @@ impl<'a> ExecContext<'a> {
             stats: OnceLock::new(),
             built: Mutex::new(Document::new()),
             counters: CounterCells::default(),
+            governor: None,
         }
     }
 
@@ -158,6 +176,73 @@ impl<'a> ExecContext<'a> {
     /// The tag streams, built on first use (join-based operators only).
     pub fn streams(&self) -> &TagStreams {
         self.streams.get_or_init(|| TagStreams::build(self.sdoc))
+    }
+
+    // ---- resource governor --------------------------------------------------
+
+    /// Attach a per-query resource governor; every cooperative check point
+    /// in the evaluation paths consults it through this context.
+    pub fn with_governor(mut self, governor: Arc<ResourceGovernor>) -> Self {
+        self.governor = Some(governor);
+        self
+    }
+
+    /// The attached governor, if any.
+    pub fn governor(&self) -> Option<&Arc<ResourceGovernor>> {
+        self.governor.as_ref()
+    }
+
+    /// Cooperative governor check against the current live-binding gauge.
+    /// One `Option` test when ungoverned.
+    #[inline]
+    pub fn governor_check(&self) -> Result<(), EvalError> {
+        match &self.governor {
+            None => Ok(()),
+            Some(g) => g.check(self.counters.live_bindings.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Governor check against the live gauge **plus** `extra` transient
+    /// bindings the caller is holding (a materialized environment, a τ
+    /// expansion stack) — the governor-facing twin of
+    /// [`Self::bindings_pulse`].
+    #[inline]
+    pub fn governor_check_mem(&self, extra: u64) -> Result<(), EvalError> {
+        match &self.governor {
+            None => Ok(()),
+            Some(g) => g.check(self.counters.live_bindings.load(Ordering::Relaxed) + extra),
+        }
+    }
+
+    /// Polling form for loops that cannot return `Result` (the sweep
+    /// function pointers shared with the parallel partitioner). `true` means
+    /// stop early with partial state; the sticky trip is re-raised by the
+    /// next `Result`-bearing check.
+    #[inline]
+    pub fn governor_should_stop(&self) -> bool {
+        match &self.governor {
+            None => false,
+            Some(g) => g.should_stop(self.counters.live_bindings.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Account `n` emitted result items against the governor's row cap.
+    #[inline]
+    pub fn governor_note_rows(&self, n: u64) -> Result<(), EvalError> {
+        match &self.governor {
+            None => Ok(()),
+            Some(g) => g.note_rows(n),
+        }
+    }
+
+    /// Enforce the row cap against the final, absolute result size (no
+    /// accumulation — safe after streaming paths already noted their rows).
+    #[inline]
+    pub fn governor_check_total_rows(&self, total: u64) -> Result<(), EvalError> {
+        match &self.governor {
+            None => Ok(()),
+            Some(g) => g.check_total_rows(total),
+        }
     }
 
     /// Count `n` node visits.
@@ -215,6 +300,7 @@ impl<'a> ExecContext<'a> {
 
     /// Snapshot the counters.
     pub fn counters(&self) -> ExecCounters {
+        let gov = self.governor.as_ref().map(|g| g.stats()).unwrap_or_default();
         ExecCounters {
             nodes_visited: self.counters.nodes_visited.load(Ordering::Relaxed),
             stream_items: self.counters.stream_items.load(Ordering::Relaxed),
@@ -222,6 +308,8 @@ impl<'a> ExecContext<'a> {
             phys_rows: self.counters.phys_rows.load(Ordering::Relaxed),
             phys_batches: self.counters.phys_batches.load(Ordering::Relaxed),
             peak_bindings: self.counters.peak_bindings.load(Ordering::Relaxed),
+            governor_checks: gov.checks,
+            governor_trips: gov.trips,
             ..ExecCounters::default()
         }
     }

@@ -16,10 +16,13 @@
 //! with anything, including another panic.
 
 use crate::engine::Executor;
+use crate::governor::{QueryLimits, ResourceGovernor};
 use crate::physical::EvalMode;
 use crate::planner::Strategy;
+use crate::XqError;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use xqp_storage::SuccinctDoc;
 
 /// One engine configuration of the differential matrix.
@@ -138,6 +141,71 @@ pub fn run_config(doc: &SuccinctDoc, query: &str, cfg: EngineConfig) -> Outcome 
         Ok(Ok(v)) => Outcome::Value(v),
         Ok(Err(e)) => Outcome::Error(e.to_string()),
         Err(payload) => Outcome::Panic(panic_message(payload)),
+    }
+}
+
+/// Run `query` under one configuration with resource `limits` attached,
+/// capturing panics. The governor (and its deadline clock) is fresh per
+/// run, like a per-query limit override in the database layer.
+pub fn run_config_limited(
+    doc: &SuccinctDoc,
+    query: &str,
+    cfg: EngineConfig,
+    limits: QueryLimits,
+) -> Outcome {
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        Executor::new(doc)
+            .with_strategy(cfg.strategy)
+            .with_eval_mode(cfg.mode)
+            .with_governor(Arc::new(ResourceGovernor::new(limits)))
+            .query(query)
+    }));
+    match res {
+        Ok(Ok(v)) => Outcome::Value(v),
+        Ok(Err(e)) => Outcome::Error(e.to_string()),
+        Err(payload) => Outcome::Panic(panic_message(payload)),
+    }
+}
+
+/// The deterministic budgets of the differential oracle's governor leg:
+/// tight enough that realistic multi-row cases trip, and time-free so
+/// replays are exact (a wall-clock deadline would flake under load).
+pub fn budget_limits() -> Vec<QueryLimits> {
+    vec![QueryLimits::none().with_max_rows(1), QueryLimits::none().with_max_memory(8)]
+}
+
+/// Budget leg of the differential oracle: re-run the full matrix under
+/// each tight limit from [`budget_limits`]. Every configuration must
+/// either return the reference's **full** (unlimited) value — the budget
+/// happened to suffice — or fail with a resource-limit-class error. A
+/// truncated value, a non-limit error, or a panic is a divergence: no
+/// configuration may silently return partial results when over budget.
+///
+/// A reference that errors or panics without limits is owned by
+/// [`check_matrix`]; this leg skips such cases.
+pub fn check_budget_matrix(doc: &SuccinctDoc, query: &str) -> Result<(), Divergence> {
+    let ref_cfg = reference();
+    let want = run_config(doc, query, ref_cfg);
+    let Outcome::Value(full) = &want else { return Ok(()) };
+    let mut disagreements = Vec::new();
+    for limits in budget_limits() {
+        for cfg in full_matrix() {
+            let got = run_config_limited(doc, query, cfg, limits);
+            let ok = match &got {
+                Outcome::Value(v) => v == full,
+                // Single-source the limit classification through XqError.
+                Outcome::Error(e) => XqError::new(e.as_str()).is_resource_limit(),
+                Outcome::Panic(_) => false,
+            };
+            if !ok {
+                disagreements.push((cfg, got));
+            }
+        }
+    }
+    if disagreements.is_empty() {
+        Ok(())
+    } else {
+        Err(Divergence { reference: (ref_cfg, want), disagreements })
     }
 }
 
@@ -305,6 +373,37 @@ mod tests {
         assert_eq!(panic_message(Box::new("boom")), "boom");
         assert_eq!(panic_message(Box::new("boom".to_string())), "boom");
         assert_eq!(panic_message(Box::new(42u32)), "<non-string panic payload>");
+    }
+
+    #[test]
+    fn budget_matrix_trips_as_a_class_on_multi_row_results() {
+        let d = sdoc();
+        // Two result rows against a one-row cap: every configuration must
+        // fail with a governor error — none may return one row and call it
+        // a value.
+        check_budget_matrix(&d, "for $x in doc()//a/b order by $x return $x")
+            .unwrap_or_else(|div| panic!("budget leg diverged:\n{div}"));
+    }
+
+    #[test]
+    fn budget_matrix_is_ok_when_reference_errors() {
+        let d = sdoc();
+        // The unlimited reference errors; the plain matrix owns that case.
+        check_budget_matrix(&d, "for $x in doc()/a let $y := 1 div 0 return $y").unwrap();
+    }
+
+    #[test]
+    fn limited_run_with_roomy_budget_matches_unlimited() {
+        let d = sdoc();
+        let q = "for $x in doc()//c return $x";
+        let want = run_config(&d, q, reference());
+        let got = run_config_limited(
+            &d,
+            q,
+            reference(),
+            QueryLimits::none().with_max_rows(1000).with_max_memory(100_000),
+        );
+        assert_eq!(got, want);
     }
 
     #[test]

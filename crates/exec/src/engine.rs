@@ -3,9 +3,11 @@
 use crate::cache::{CompiledPlan, PlanCache};
 use crate::context::{ExecContext, ExecCounters, NodeRef, Val, XqError};
 use crate::eval::{Evaluator, Scope};
+use crate::governor::ResourceGovernor;
 use crate::physical::{self, EvalMode};
 use crate::planner::Strategy;
 use std::sync::Arc;
+use std::time::Instant;
 use xqp_algebra::{optimize_expr, Expr, Item, LogicalPlan, RewriteReport, RuleSet};
 use xqp_algebra::{SchemaNode, SchemaTree};
 use xqp_storage::{SKind, SNodeId, StoreCounters, SuccinctDoc, ValueIndex};
@@ -90,6 +92,14 @@ impl<'a> Executor<'a> {
         &self.plan_cache
     }
 
+    /// Attach a per-query resource governor (deadline, memory budget, row
+    /// cap, cancellation). The governor's deadline clock starts when the
+    /// governor was created, so build it just before running the query.
+    pub fn with_governor(mut self, governor: Arc<ResourceGovernor>) -> Self {
+        self.ctx = self.ctx.with_governor(governor);
+        self
+    }
+
     /// Attach persistence-traffic counters (from the document's durable
     /// store) so they surface through [`Executor::counters`] and the
     /// `explain` rendering next to the plan-cache line.
@@ -148,12 +158,30 @@ impl<'a> Executor<'a> {
     }
 
     /// Run a query, returning the result sequence as items.
+    ///
+    /// Errors — including governor limit trips — come back decorated with
+    /// the query text and the elapsed wall-clock time, so a CLI user can
+    /// tell *which* query hit *what* after how long. The decoration keeps
+    /// the stable `"resource governor"` class marker intact
+    /// ([`XqError::is_resource_limit`] still classifies correctly).
     pub fn query_items(&self, query: &str) -> Result<Val, XqError> {
+        let started = Instant::now();
+        self.query_items_inner(query).map_err(|e| decorate_error(e, query, started))
+    }
+
+    fn query_items_inner(&self, query: &str) -> Result<Val, XqError> {
         let plan = self.compile(query)?;
         let ev = Evaluator::new(&self.ctx, self.strategy)
             .with_mode(self.mode)
             .with_physical(plan.physical.clone());
-        ev.eval(&plan.body, &Scope::root())
+        let items = ev.eval(&plan.body, &Scope::root())?;
+        // Backstop: sweep loops that cannot return `Result` bail out early
+        // on a trip, so the sticky trip must resurface here — a truncated
+        // result never escapes. The absolute row-cap check covers paths
+        // that do not stream their output through `note_rows`.
+        self.ctx.governor_check()?;
+        self.ctx.governor_check_total_rows(items.len() as u64)?;
+        Ok(items)
     }
 
     /// Run a query, returning serialized XML (items separated per XQuery
@@ -180,6 +208,11 @@ impl<'a> Executor<'a> {
             self.plan_cache.len(),
             self.plan_cache.capacity(),
         ));
+        let c = self.ctx.counters();
+        rendering.push_str(&format!(
+            "-- governor: checks={} trips={}\n",
+            c.governor_checks, c.governor_trips,
+        ));
         if let Some(p) = self.persist {
             rendering.push_str(&format!(
                 "-- persistence: bytes_written={} records_replayed={} compactions={}\n",
@@ -202,10 +235,15 @@ impl<'a> Executor<'a> {
         if parsed.absolute && self.strategy != Strategy::Naive && self.rules.fuse_tpm {
             let (op, _) = xqp_algebra::optimize_path(&parsed, &self.rules);
             if let xqp_algebra::PathOp::TpmFrom { pattern, .. } = &op {
-                return Ok(crate::planner::eval_pattern(&self.ctx, pattern, None, self.strategy));
+                let hits = crate::planner::eval_pattern(&self.ctx, pattern, None, self.strategy);
+                self.ctx.governor_check()?;
+                return Ok(hits);
             }
         }
         let out = crate::naive::eval_path(&self.ctx, &[], &parsed)?;
+        // Same backstop as `query_items`: poll-based sweep bail-outs must
+        // not pass off a partial node set as the answer.
+        self.ctx.governor_check()?;
         Ok(out
             .into_iter()
             .map(|n| match n {
@@ -244,6 +282,19 @@ impl<'a> Executor<'a> {
             NodeRef::Built(b) => self.ctx.with_built(|d| xqp_xml::serialize_node(d, b)),
         }
     }
+}
+
+/// Attach the query text (trimmed and truncated) and the elapsed wall-clock
+/// time to an error — actionable diagnostics for CLI users, most useful for
+/// governor deadline trips ("what ran too long, and for how long").
+fn decorate_error(e: XqError, query: &str, started: Instant) -> XqError {
+    let elapsed = started.elapsed().as_millis();
+    let trimmed = query.trim();
+    let mut q: String = trimmed.chars().take(80).collect();
+    if trimmed.chars().count() > 80 {
+        q.push('…');
+    }
+    XqError::new(format!("{} (query `{q}`, after {elapsed} ms)", e.0))
 }
 
 /// The first FLWOR pipeline embedded in a constructor's schema tree — the

@@ -94,6 +94,11 @@ impl<'c, 'a> Evaluator<'c, 'a> {
 
     /// Evaluate an expression in a scope.
     pub fn eval(&self, e: &Expr, scope: &Scope<'_>) -> Result<Val, XqError> {
+        // Cooperative governor check: eval() is the one funnel every
+        // evaluation path re-enters per binding (sources, filters, return
+        // clauses, nested FLWORs), so checking here bounds the work any
+        // query can do between limit observations.
+        self.ctx.governor_check()?;
         match e {
             Expr::Literal(a) => Ok(vec![Item::Atom(a.clone())]),
             Expr::Var(v) => scope

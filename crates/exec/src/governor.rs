@@ -1,0 +1,365 @@
+//! Per-query resource governance: deadlines, memory budgets, row caps, and
+//! cooperative cancellation.
+//!
+//! The paper's algebra admits plans whose intermediate `NestedList`s explode
+//! combinatorially (Koch: even the non-recursive fragment is inherently
+//! expensive in the worst case), so an engine serving untrusted queries needs
+//! a way to stop one without killing the process. A [`ResourceGovernor`] is
+//! attached to the `ExecContext` of one query and checked **cooperatively**
+//! at bounded intervals by every evaluation path — each batch pull in the
+//! streaming pipeline, each expression evaluation, the materializing
+//! interpreter's binding pulses, TPM expansion stacks, γ construction, and
+//! the structural/holistic sweep loops (including their parallel chunk
+//! workers, which share the governor through the `Sync` context).
+//!
+//! Design points:
+//!
+//! * **Sticky first trip.** The first limit that fires is recorded with a
+//!   compare-and-swap; every later check reports that same
+//!   [`EvalError`](crate::physical::EvalError) variant. Evaluation paths that
+//!   cannot return `Result` (the sweep function pointers shared with the
+//!   parallel partitioner) instead *poll* [`ResourceGovernor::should_stop`]
+//!   and bail out early with partial results — the next check in a
+//!   `Result`-bearing layer converts the sticky trip into the error, so a
+//!   truncated result can never escape to the caller.
+//! * **Unwind, never panic.** Trips surface as typed `EvalError` variants
+//!   carrying a stable `"resource governor:"` message prefix, so callers (and
+//!   the differential oracle) can classify them without string plumbing.
+//! * **Near-zero cost when idle.** With no governor attached a check is one
+//!   `Option` test; with a governor attached but no limits set it is a few
+//!   relaxed atomic loads and no clock read (`Instant::now` is only consulted
+//!   when a deadline exists).
+
+use crate::physical::EvalError;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag; clone it out of a governor (or create one
+/// up front) and flip it from any thread to stop the query at its next
+/// governor check.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`CancelToken::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Declarative per-query limits; `None` everywhere means ungoverned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryLimits {
+    /// Wall-clock budget, measured from governor creation.
+    pub timeout: Option<Duration>,
+    /// Memory budget in **live binding cells** (rows × bound variables held
+    /// by the pipeline, or the materialized environment size) — the unit the
+    /// engine's `peak_bindings` counter already reports.
+    pub max_memory: Option<u64>,
+    /// Cap on result items a query may produce.
+    pub max_rows: Option<u64>,
+}
+
+impl QueryLimits {
+    /// No limits at all.
+    pub fn none() -> QueryLimits {
+        QueryLimits::default()
+    }
+
+    /// Set the wall-clock budget.
+    pub fn with_timeout(mut self, d: Duration) -> QueryLimits {
+        self.timeout = Some(d);
+        self
+    }
+
+    /// Set the live-binding memory budget.
+    pub fn with_max_memory(mut self, cells: u64) -> QueryLimits {
+        self.max_memory = Some(cells);
+        self
+    }
+
+    /// Set the result-item cap.
+    pub fn with_max_rows(mut self, rows: u64) -> QueryLimits {
+        self.max_rows = Some(rows);
+        self
+    }
+
+    /// True when every limit is unset (attaching a governor would only ever
+    /// serve its cancel token).
+    pub fn is_unlimited(&self) -> bool {
+        self.timeout.is_none() && self.max_memory.is_none() && self.max_rows.is_none()
+    }
+}
+
+/// Snapshot of a governor's activity, merged into `ExecCounters`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorStats {
+    /// Cooperative checks performed.
+    pub checks: u64,
+    /// Limit trips recorded (sticky: 0 or 1 per query).
+    pub trips: u64,
+}
+
+const TRIP_NONE: u8 = 0;
+const TRIP_DEADLINE: u8 = 1;
+const TRIP_MEMORY: u8 = 2;
+const TRIP_ROWS: u8 = 3;
+const TRIP_CANCELLED: u8 = 4;
+
+fn trip_code(e: EvalError) -> u8 {
+    match e {
+        EvalError::DeadlineExceeded => TRIP_DEADLINE,
+        EvalError::MemoryBudgetExceeded => TRIP_MEMORY,
+        EvalError::ResultLimitExceeded => TRIP_ROWS,
+        EvalError::Cancelled => TRIP_CANCELLED,
+        // Non-limit variants never trip a governor.
+        EvalError::SortBufferMissing | EvalError::TpmResultMissing => TRIP_NONE,
+    }
+}
+
+fn trip_error(code: u8) -> Option<EvalError> {
+    match code {
+        TRIP_DEADLINE => Some(EvalError::DeadlineExceeded),
+        TRIP_MEMORY => Some(EvalError::MemoryBudgetExceeded),
+        TRIP_ROWS => Some(EvalError::ResultLimitExceeded),
+        TRIP_CANCELLED => Some(EvalError::Cancelled),
+        _ => None,
+    }
+}
+
+/// The per-query governor. Thread-safe: parallel sweep workers share it
+/// through the `Sync` execution context.
+#[derive(Debug)]
+pub struct ResourceGovernor {
+    deadline: Option<Instant>,
+    max_memory: Option<u64>,
+    max_rows: Option<u64>,
+    cancel: CancelToken,
+    rows_emitted: AtomicU64,
+    checks: AtomicU64,
+    tripped: AtomicU8,
+}
+
+impl ResourceGovernor {
+    /// Governor for `limits` with a fresh cancel token. The deadline clock
+    /// starts now.
+    pub fn new(limits: QueryLimits) -> ResourceGovernor {
+        ResourceGovernor::with_cancel(limits, CancelToken::new())
+    }
+
+    /// Governor for `limits` observing an externally held cancel token.
+    pub fn with_cancel(limits: QueryLimits, cancel: CancelToken) -> ResourceGovernor {
+        ResourceGovernor {
+            deadline: limits.timeout.map(|t| Instant::now() + t),
+            max_memory: limits.max_memory,
+            max_rows: limits.max_rows,
+            cancel,
+            rows_emitted: AtomicU64::new(0),
+            checks: AtomicU64::new(0),
+            tripped: AtomicU8::new(TRIP_NONE),
+        }
+    }
+
+    /// A clone of the governor's cancel token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Record the first trip; concurrent racers all return the winner so the
+    /// reported error class is deterministic within one query.
+    fn trip(&self, e: EvalError) -> EvalError {
+        match self.tripped.compare_exchange(
+            TRIP_NONE,
+            trip_code(e),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => e,
+            Err(prev) => trip_error(prev).unwrap_or(e),
+        }
+    }
+
+    /// The sticky trip, if any limit has fired.
+    pub fn tripped(&self) -> Option<EvalError> {
+        trip_error(self.tripped.load(Ordering::Relaxed))
+    }
+
+    /// One cooperative check. `live_memory` is the caller's current live
+    /// binding-cell count (the pipeline gauge or a materialized-environment
+    /// pulse). Returns the sticky trip once any limit has fired.
+    pub fn check(&self, live_memory: u64) -> Result<(), EvalError> {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        if let Some(e) = self.tripped() {
+            return Err(e);
+        }
+        if self.cancel.is_cancelled() {
+            return Err(self.trip(EvalError::Cancelled));
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(self.trip(EvalError::DeadlineExceeded));
+            }
+        }
+        if let Some(m) = self.max_memory {
+            if live_memory > m {
+                return Err(self.trip(EvalError::MemoryBudgetExceeded));
+            }
+        }
+        Ok(())
+    }
+
+    /// Polling form of [`ResourceGovernor::check`] for loops that cannot
+    /// return `Result` (the sweep function pointers). A `true` means: stop
+    /// producing, unwind with whatever partial state you have — a later
+    /// `Result`-bearing check will surface the recorded trip.
+    pub fn should_stop(&self, live_memory: u64) -> bool {
+        self.check(live_memory).is_err()
+    }
+
+    /// Account `n` emitted result items against the row cap.
+    pub fn note_rows(&self, n: u64) -> Result<(), EvalError> {
+        if let Some(e) = self.tripped() {
+            return Err(e);
+        }
+        let total = self.rows_emitted.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(cap) = self.max_rows {
+            if total > cap {
+                return Err(self.trip(EvalError::ResultLimitExceeded));
+            }
+        }
+        Ok(())
+    }
+
+    /// Enforce the row cap against an **absolute** result size without
+    /// accumulating it — the engine's final backstop for evaluation paths
+    /// that do not stream their output through
+    /// [`ResourceGovernor::note_rows`]. Safe to call after streaming paths
+    /// already accounted the same rows.
+    pub fn check_total_rows(&self, total: u64) -> Result<(), EvalError> {
+        if let Some(e) = self.tripped() {
+            return Err(e);
+        }
+        if let Some(cap) = self.max_rows {
+            if total > cap {
+                return Err(self.trip(EvalError::ResultLimitExceeded));
+            }
+        }
+        Ok(())
+    }
+
+    /// Result items accounted so far.
+    pub fn rows_emitted(&self) -> u64 {
+        self.rows_emitted.load(Ordering::Relaxed)
+    }
+
+    /// Activity snapshot for counter merging.
+    pub fn stats(&self) -> GovernorStats {
+        GovernorStats {
+            checks: self.checks.load(Ordering::Relaxed),
+            trips: u64::from(self.tripped.load(Ordering::Relaxed) != TRIP_NONE),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ungoverned_checks_pass() {
+        let g = ResourceGovernor::new(QueryLimits::none());
+        for _ in 0..10 {
+            assert!(g.check(u64::MAX).is_ok());
+        }
+        assert!(g.note_rows(1_000_000).is_ok());
+        assert_eq!(g.tripped(), None);
+        assert_eq!(g.stats().trips, 0);
+        assert_eq!(g.stats().checks, 10);
+    }
+
+    #[test]
+    fn deadline_trips_and_sticks() {
+        let g = ResourceGovernor::new(QueryLimits::none().with_timeout(Duration::ZERO));
+        assert_eq!(g.check(0), Err(EvalError::DeadlineExceeded));
+        // Sticky: later checks report the same trip even with zero usage.
+        assert_eq!(g.check(0), Err(EvalError::DeadlineExceeded));
+        assert_eq!(g.tripped(), Some(EvalError::DeadlineExceeded));
+        assert_eq!(g.stats().trips, 1);
+    }
+
+    #[test]
+    fn memory_budget_trips() {
+        let g = ResourceGovernor::new(QueryLimits::none().with_max_memory(100));
+        assert!(g.check(100).is_ok());
+        assert_eq!(g.check(101), Err(EvalError::MemoryBudgetExceeded));
+        assert!(g.should_stop(0));
+    }
+
+    #[test]
+    fn row_cap_trips() {
+        let g = ResourceGovernor::new(QueryLimits::none().with_max_rows(3));
+        assert!(g.note_rows(2).is_ok());
+        assert!(g.note_rows(1).is_ok());
+        assert_eq!(g.note_rows(1), Err(EvalError::ResultLimitExceeded));
+        assert_eq!(g.rows_emitted(), 4);
+        // The trip is visible to plain checks too.
+        assert_eq!(g.check(0), Err(EvalError::ResultLimitExceeded));
+    }
+
+    #[test]
+    fn absolute_row_check_does_not_accumulate() {
+        let g = ResourceGovernor::new(QueryLimits::none().with_max_rows(3));
+        assert!(g.note_rows(3).is_ok());
+        // Absolute: checking the same final size again is not a second emit.
+        assert!(g.check_total_rows(3).is_ok());
+        assert_eq!(g.check_total_rows(4), Err(EvalError::ResultLimitExceeded));
+    }
+
+    #[test]
+    fn cancellation_is_cooperative() {
+        let g = ResourceGovernor::new(QueryLimits::none());
+        let token = g.cancel_token();
+        assert!(g.check(0).is_ok());
+        token.cancel();
+        assert_eq!(g.check(0), Err(EvalError::Cancelled));
+    }
+
+    #[test]
+    fn first_trip_wins() {
+        let g = ResourceGovernor::new(QueryLimits::none().with_max_memory(10).with_max_rows(1));
+        assert_eq!(g.check(11), Err(EvalError::MemoryBudgetExceeded));
+        // A later row-cap overrun still reports the original trip.
+        assert_eq!(g.note_rows(5), Err(EvalError::MemoryBudgetExceeded));
+    }
+
+    #[test]
+    fn limits_builder_and_unlimited() {
+        assert!(QueryLimits::none().is_unlimited());
+        let l = QueryLimits::none()
+            .with_timeout(Duration::from_millis(5))
+            .with_max_memory(7)
+            .with_max_rows(9);
+        assert!(!l.is_unlimited());
+        assert_eq!(l.timeout, Some(Duration::from_millis(5)));
+        assert_eq!(l.max_memory, Some(7));
+        assert_eq!(l.max_rows, Some(9));
+    }
+
+    #[test]
+    fn governor_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ResourceGovernor>();
+        assert_send_sync::<CancelToken>();
+    }
+}

@@ -38,6 +38,7 @@ pub mod context;
 pub mod differential;
 pub mod engine;
 pub mod eval;
+pub mod governor;
 pub mod materialize;
 pub mod naive;
 pub mod nok;
@@ -51,5 +52,6 @@ pub mod twig;
 pub use cache::{CompiledPlan, PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use context::{ExecContext, ExecCounters, NodeRef, Val, XqError};
 pub use engine::Executor;
+pub use governor::{CancelToken, GovernorStats, QueryLimits, ResourceGovernor};
 pub use physical::{EvalError, EvalMode, PhysicalPlan, BATCH_SIZE};
 pub use planner::Strategy;

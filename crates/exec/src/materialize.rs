@@ -45,7 +45,9 @@ impl Evaluator<'_, '_> {
                 if let Some(e) = err.into_inner() {
                     return Err(e);
                 }
-                Ok(results.into_iter().flatten().collect())
+                let flat: Val = results.into_iter().flatten().collect();
+                self.ctx.governor_note_rows(flat.len() as u64)?;
+                Ok(flat)
             }
             other => {
                 // A FLWOR without return is not producible by the parser;
@@ -115,8 +117,10 @@ impl Evaluator<'_, '_> {
             }
         };
         // The whole clause output is live at once — that is the point of
-        // comparison with the streaming pipeline (experiment E16).
+        // comparison with the streaming pipeline (experiment E16), and the
+        // quantity the governor's memory budget is charged for here.
         self.ctx.bindings_pulse(env.total_binding_count() as u64);
+        self.ctx.governor_check_mem(env.total_binding_count() as u64)?;
         Ok(env)
     }
 

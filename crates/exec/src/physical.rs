@@ -69,16 +69,29 @@ impl EvalMode {
     }
 }
 
-/// Typed pipeline-integrity failures. These states are unreachable through
-/// [`lower`] on a well-formed plan, but a malformed or hand-built plan must
-/// degrade into an error result — not a panic that poisons a fuzz run or a
-/// server thread.
+/// Typed evaluation failures. The pipeline-integrity variants are
+/// unreachable through [`lower`] on a well-formed plan, but a malformed or
+/// hand-built plan must degrade into an error result — not a panic that
+/// poisons a fuzz run or a server thread. The resource-governor variants are
+/// the cooperative limit trips raised by
+/// [`crate::governor::ResourceGovernor`]; their messages share the stable
+/// `"resource governor:"` prefix so callers can classify a limit trip after
+/// the error has been flattened into an [`XqError`] (see
+/// [`XqError::is_resource_limit`](crate::context::XqError::is_resource_limit)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvalError {
     /// `Sort` was pulled and found its buffer unfilled after the fill phase.
     SortBufferMissing,
     /// A τ expansion frame was queued without a pattern-match result.
     TpmResultMissing,
+    /// The query's wall-clock deadline passed.
+    DeadlineExceeded,
+    /// Live bindings exceeded the query's memory budget.
+    MemoryBudgetExceeded,
+    /// The query produced more result items than its row cap allows.
+    ResultLimitExceeded,
+    /// The query's cancel token was flipped.
+    Cancelled,
 }
 
 impl EvalError {
@@ -89,7 +102,23 @@ impl EvalError {
             EvalError::TpmResultMissing => {
                 "physical pipeline: τ expansion frame without a pattern-match result"
             }
+            EvalError::DeadlineExceeded => "resource governor: deadline exceeded",
+            EvalError::MemoryBudgetExceeded => "resource governor: memory budget exceeded",
+            EvalError::ResultLimitExceeded => "resource governor: result limit exceeded",
+            EvalError::Cancelled => "resource governor: query cancelled",
         }
+    }
+
+    /// Is this one of the governor's limit trips (as opposed to a
+    /// pipeline-integrity failure)?
+    pub fn is_limit(self) -> bool {
+        matches!(
+            self,
+            EvalError::DeadlineExceeded
+                | EvalError::MemoryBudgetExceeded
+                | EvalError::ResultLimitExceeded
+                | EvalError::Cancelled
+        )
     }
 }
 
@@ -596,6 +625,10 @@ impl<'x> Src<'x> {
         ev: &Evaluator<'_, '_>,
         scope: &Scope<'_>,
     ) -> Result<Option<Vec<Row>>, XqError> {
+        // Cooperative governor check once per pull: every operator funnels
+        // through here, so deadlines/budgets are observed at (sub-)batch
+        // granularity on every pipeline shape.
+        ev.ctx.governor_check()?;
         match self {
             Src::Root { emitted, info } => {
                 if *emitted {
@@ -707,6 +740,12 @@ impl<'x> Src<'x> {
                                 let Some(res) = result.as_ref() else {
                                     return Err(EvalError::TpmResultMissing.into());
                                 };
+                                // The expansion stack is where a fused
+                                // multi-`for` τ does its combinatorial work;
+                                // check per frame so a deadline interrupts
+                                // mid-expansion, and account the stacked
+                                // partial rows against the memory budget.
+                                ev.ctx.governor_check_mem(work.len() as u64)?;
                                 expand_tpm_layer(
                                     ev, pattern, vars, anchors, res, layer, &row, work,
                                 );
@@ -807,7 +846,9 @@ pub fn execute(
         let n = batch.len();
         for row in batch {
             let s = row_scope(scope, &row);
+            let before = out.len();
             out.extend(ev.eval(expr, &s)?);
+            ev.ctx.governor_note_rows((out.len() - before) as u64)?;
         }
         info.record(ev, n);
     }

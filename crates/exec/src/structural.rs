@@ -153,6 +153,13 @@ fn index_probe(
     None
 }
 
+/// How many descendant-side iterations may pass between governor polls in
+/// the semi-join loops. The join functions return plain `Vec`s (their
+/// signatures are shared with the parallel sweep workers), so a trip is
+/// observed by bailing out early; the caller's next fallible governor check
+/// raises the typed error.
+const GOVERNOR_POLL_EVERY: u32 = 256;
+
 fn rel_ok(a: &Interval, d: &Interval, rel: PRel) -> bool {
     match rel {
         PRel::Descendant => a.contains(d),
@@ -173,7 +180,15 @@ pub fn semijoin_keep_desc(
     let mut out = Vec::new();
     let mut stack: Vec<Interval> = Vec::new();
     let mut ai = 0;
+    let mut since_poll: u32 = 0;
     for d in desc {
+        since_poll += 1;
+        if since_poll >= GOVERNOR_POLL_EVERY {
+            since_poll = 0;
+            if ctx.governor_should_stop() {
+                break;
+            }
+        }
         while ai < anc.len() && anc[ai].start < d.start {
             while let Some(top) = stack.last() {
                 if top.end < anc[ai].start {
@@ -216,7 +231,15 @@ pub fn semijoin_keep_anc(
     let mut alive = vec![false; anc.len()];
     let mut stack: Vec<usize> = Vec::new();
     let mut ai = 0;
+    let mut since_poll: u32 = 0;
     for d in desc {
+        since_poll += 1;
+        if since_poll >= GOVERNOR_POLL_EVERY {
+            since_poll = 0;
+            if ctx.governor_should_stop() {
+                break;
+            }
+        }
         while ai < anc.len() && anc[ai].start < d.start {
             while let Some(&top) = stack.last() {
                 if anc[top].end < anc[ai].start {

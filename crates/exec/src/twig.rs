@@ -27,6 +27,9 @@ use xqp_xpath::{PRel, PatternGraph};
 /// side first (the synthetic root is omitted).
 type PathSolution = Vec<(usize, SNodeId)>;
 
+/// How many inner-loop iterations may pass between governor polls.
+const GOVERNOR_POLL_EVERY: u32 = 256;
+
 /// Evaluate a single-output pattern holistically. `context` restricts the
 /// match to a subtree.
 pub fn eval_pattern_holistic(
@@ -115,7 +118,19 @@ pub fn holistic_sweep(
     let mut solutions: HashMap<usize, Vec<PathSolution>> =
         mandatory_leaf.iter().map(|&l| (l, Vec::new())).collect();
 
+    // The sweep's signature is shared with the parallel workers
+    // (plain fn pointer, no Result), so governor trips are observed by
+    // polling: bail out early and let the caller's next fallible check
+    // point raise the typed error.
+    let mut since_poll: u32 = 0;
     for (start, v, iv) in events {
+        since_poll += 1;
+        if since_poll >= GOVERNOR_POLL_EVERY {
+            since_poll = 0;
+            if ctx.governor_should_stop() {
+                return Vec::new();
+            }
+        }
         // Pop closed entries everywhere (start positions only grow).
         for s in stacks.iter_mut() {
             while let Some((top, _)) = s.last() {
@@ -150,6 +165,14 @@ pub fn holistic_sweep(
         let paths = &solutions[leaf];
         let mut next: Vec<HashMap<usize, SNodeId>> = Vec::new();
         for partial in &merged {
+            // Phase 2 can explode combinatorially; poll per partial match.
+            since_poll += 1;
+            if since_poll >= GOVERNOR_POLL_EVERY {
+                since_poll = 0;
+                if ctx.governor_should_stop() {
+                    return Vec::new();
+                }
+            }
             for path in paths {
                 if path.iter().all(|(v, node)| partial.get(v).is_none_or(|have| have == node)) {
                     let mut m = partial.clone();

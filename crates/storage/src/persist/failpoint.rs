@@ -1,0 +1,264 @@
+//! Thread-local I/O failpoints for torture-testing the persist layer.
+//!
+//! Every file operation the durable store performs (`create`, `open`,
+//! `read`, `write`, `fsync`, `rename`, `truncate`, `seek`) routes through
+//! [`check`] (or the [`write_all`] helper, which can also simulate short
+//! writes). In production the check is one thread-local `Cell` read —
+//! negligible next to the syscall it guards. Under a torture run the policy
+//! can:
+//!
+//! * **count** the reachable I/O points of a scenario ([`arm_count`] +
+//!   [`ops_seen`]), then
+//! * **fail the Nth operation** ([`arm_fail_nth`]) with a chosen
+//!   [`FaultKind`], in one of two flavors:
+//!   - *soft*: only the Nth operation fails; subsequent I/O succeeds. The
+//!     process lives on and error-path cleanup runs — this models a
+//!     transient fault (EIO, disk-full) the caller must absorb.
+//!   - *crash*: the Nth operation fails and **every operation after it**
+//!     fails too (the policy parks in `Dead` until [`disarm`]) — this models
+//!     a power cut: nothing after the fault reaches the disk, including
+//!     cleanup writes.
+//!
+//! State is **thread-local**, not process-global: all persist I/O is
+//! synchronous on the caller's thread, so per-thread arming keeps parallel
+//! test binaries (`cargo test`'s default) from injecting faults into each
+//! other's stores.
+
+use std::cell::Cell;
+use std::fs::File;
+use std::io::{self, Write as _};
+
+/// The persist-layer operations a failpoint can intercept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// File or directory creation (`File::create`, `create_dir_all`,
+    /// truncating `OpenOptions` opens).
+    Create,
+    /// Opening an existing file.
+    Open,
+    /// Whole-file or streaming reads.
+    Read,
+    /// Data writes (see [`write_all`] for short-write simulation).
+    Write,
+    /// `sync_all` durability barriers.
+    Fsync,
+    /// Atomic `rename` publication.
+    Rename,
+    /// `set_len` truncation.
+    Truncate,
+    /// Cursor repositioning.
+    Seek,
+}
+
+impl IoOp {
+    /// Human-readable operation name (for injected error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            IoOp::Create => "create",
+            IoOp::Open => "open",
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+            IoOp::Fsync => "fsync",
+            IoOp::Rename => "rename",
+            IoOp::Truncate => "truncate",
+            IoOp::Seek => "seek",
+        }
+    }
+}
+
+/// What the armed failpoint injects when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A generic I/O error (`EIO`-like).
+    Error,
+    /// "No space left on device".
+    DiskFull,
+    /// A short write: half the buffer reaches the file, then the operation
+    /// errors. Only [`write_all`] can realize the partial data; at a plain
+    /// [`check`] site this degrades to [`FaultKind::Error`].
+    ShortWrite,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Production: every operation passes.
+    Disarmed,
+    /// Count operations without failing any.
+    Counting,
+    /// Fail the operation once `remaining` hits zero.
+    Armed { remaining: u64, kind: FaultKind, crash: bool },
+    /// Post-crash: every operation fails until [`disarm`].
+    Dead,
+}
+
+thread_local! {
+    static MODE: Cell<Mode> = const { Cell::new(Mode::Disarmed) };
+    static OPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Return to production behavior (and reset the op counter).
+pub fn disarm() {
+    MODE.with(|m| m.set(Mode::Disarmed));
+    OPS.with(|o| o.set(0));
+}
+
+/// Count reachable operations without failing any; read with [`ops_seen`].
+pub fn arm_count() {
+    MODE.with(|m| m.set(Mode::Counting));
+    OPS.with(|o| o.set(0));
+}
+
+/// Fail the `n`-th operation (0-based) from now with `kind`. With
+/// `crash = true` every later operation fails as well, simulating a power
+/// cut with no cleanup I/O.
+pub fn arm_fail_nth(n: u64, kind: FaultKind, crash: bool) {
+    MODE.with(|m| m.set(Mode::Armed { remaining: n, kind, crash }));
+    OPS.with(|o| o.set(0));
+}
+
+/// Operations observed since the last arm/disarm.
+pub fn ops_seen() -> u64 {
+    OPS.with(Cell::get)
+}
+
+/// Is this thread currently in the post-crash `Dead` state?
+pub fn is_dead() -> bool {
+    MODE.with(|m| matches!(m.get(), Mode::Dead))
+}
+
+/// Is a fault still pending (armed but not yet fired)? After the armed
+/// operation trips, this flips to `false` (soft faults park in `Disarmed`,
+/// crashes in `Dead`) — torture harnesses use the transition to learn
+/// *which* logical operation absorbed the fault.
+pub fn is_armed() -> bool {
+    MODE.with(|m| matches!(m.get(), Mode::Armed { .. }))
+}
+
+fn injected(op: IoOp, kind: FaultKind) -> io::Error {
+    match kind {
+        FaultKind::DiskFull => io::Error::other(format!(
+            "injected fault: {} failed, no space left on device",
+            op.name()
+        )),
+        _ => io::Error::other(format!("injected fault: {} failed", op.name())),
+    }
+}
+
+/// One decision: pass, or trip with a kind.
+fn consume(_op: IoOp) -> Result<(), FaultKind> {
+    OPS.with(|o| o.set(o.get() + 1));
+    MODE.with(|m| match m.get() {
+        Mode::Disarmed | Mode::Counting => Ok(()),
+        Mode::Dead => Err(FaultKind::Error),
+        Mode::Armed { remaining: 0, kind, crash } => {
+            m.set(if crash { Mode::Dead } else { Mode::Disarmed });
+            Err(kind)
+        }
+        Mode::Armed { remaining, kind, crash } => {
+            m.set(Mode::Armed { remaining: remaining - 1, kind, crash });
+            Ok(())
+        }
+    })
+}
+
+/// Gate one operation: `Ok(())` to proceed, or the injected error.
+pub fn check(op: IoOp) -> io::Result<()> {
+    match consume(op) {
+        Ok(()) => Ok(()),
+        Err(kind) => Err(injected(op, kind)),
+    }
+}
+
+/// Failpoint-aware `write_all`: under [`FaultKind::ShortWrite`] half the
+/// buffer reaches the file before the error, modeling a write torn by the
+/// fault. Other kinds fail before any byte is written.
+pub fn write_all(f: &mut File, buf: &[u8]) -> io::Result<()> {
+    match consume(IoOp::Write) {
+        Ok(()) => f.write_all(buf),
+        Err(FaultKind::ShortWrite) => {
+            let _ = f.write_all(&buf[..buf.len() / 2]);
+            Err(injected(IoOp::Write, FaultKind::ShortWrite))
+        }
+        Err(kind) => Err(injected(IoOp::Write, kind)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::io::Read as _;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("xqp-failpoint-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn disarmed_passes_everything() {
+        disarm();
+        for op in [IoOp::Create, IoOp::Write, IoOp::Fsync, IoOp::Rename] {
+            assert!(check(op).is_ok());
+        }
+    }
+
+    #[test]
+    fn counting_counts_without_failing() {
+        arm_count();
+        for _ in 0..5 {
+            assert!(check(IoOp::Write).is_ok());
+        }
+        assert_eq!(ops_seen(), 5);
+        disarm();
+    }
+
+    #[test]
+    fn soft_fault_fails_nth_then_recovers() {
+        arm_fail_nth(2, FaultKind::Error, false);
+        assert!(check(IoOp::Write).is_ok());
+        assert!(check(IoOp::Fsync).is_ok());
+        assert!(check(IoOp::Write).is_err());
+        // Soft flavor: subsequent operations succeed again.
+        assert!(check(IoOp::Write).is_ok());
+        disarm();
+    }
+
+    #[test]
+    fn crash_fault_kills_all_later_io() {
+        arm_fail_nth(1, FaultKind::DiskFull, true);
+        assert!(check(IoOp::Write).is_ok());
+        assert!(check(IoOp::Fsync).is_err());
+        assert!(is_dead());
+        assert!(check(IoOp::Rename).is_err());
+        assert!(check(IoOp::Open).is_err());
+        disarm();
+        assert!(check(IoOp::Open).is_ok());
+    }
+
+    #[test]
+    fn short_write_leaves_half_the_bytes() {
+        let dir = tmp("short");
+        let path = dir.join("f");
+        let mut f = File::create(&path).unwrap();
+        arm_fail_nth(0, FaultKind::ShortWrite, false);
+        let err = write_all(&mut f, b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        disarm();
+        drop(f);
+        let mut got = String::new();
+        File::open(&path).unwrap().read_to_string(&mut got).unwrap();
+        assert_eq!(got, "01234");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn state_is_thread_local() {
+        arm_fail_nth(0, FaultKind::Error, true);
+        let other = std::thread::spawn(|| check(IoOp::Write).is_ok()).join().unwrap();
+        assert!(other, "a fresh thread must start disarmed");
+        assert!(check(IoOp::Write).is_err());
+        disarm();
+    }
+}

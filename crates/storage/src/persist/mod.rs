@@ -18,16 +18,23 @@
 //!   reset the log. A generation stamp shared by both file headers closes
 //!   the crash window between those two steps.
 //! * [`format`] — the shared framing/CRC primitives and [`PersistError`].
+//! * [`failpoint`] — a thread-local I/O fault-injection layer every file
+//!   operation in this module routes through; the torture harness arms it
+//!   to simulate errors, short writes, disk-full and power cuts at each
+//!   reachable I/O point. Disarmed (the default) it costs one thread-local
+//!   read per operation.
 //!
 //! No serde, no external codecs: the container is offline and the formats
 //! are small enough that hand-rolled framing is both simpler and exactly
 //! specified (see `DESIGN.md` § Persistence for the byte layouts).
 
+pub mod failpoint;
 pub mod format;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
+pub use failpoint::{FaultKind, IoOp};
 pub use format::{crc32, PersistError, Reader};
 pub use snapshot::{
     decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, SNAPSHOT_MAGIC,

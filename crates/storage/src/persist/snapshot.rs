@@ -28,13 +28,13 @@
 //! match the node count, tag ids resolve, parentheses balance) before
 //! handing out a document, so a corrupt snapshot fails closed.
 
+use super::failpoint::{self, IoOp};
 use super::format::{crc32, put_str, put_u32, put_u64, PersistError, Reader, Result};
 use crate::bitvec::BitVec;
 use crate::content::ContentStore;
 use crate::succinct::SuccinctDoc;
 use crate::tags::{TagId, TagTable};
 use std::fs;
-use std::io::Write;
 use std::path::Path;
 
 /// First 8 bytes of every snapshot file.
@@ -216,16 +216,22 @@ pub fn write_snapshot(path: &Path, doc: &SuccinctDoc, generation: u64) -> Result
     let bytes = encode_snapshot(doc, generation);
     let tmp = path.with_extension("tmp");
     {
+        failpoint::check(IoOp::Create)?;
         let mut f = fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
+        failpoint::write_all(&mut f, &bytes)?;
+        failpoint::check(IoOp::Fsync)?;
         f.sync_all()?;
     }
+    failpoint::check(IoOp::Rename)?;
     fs::rename(&tmp, path)?;
     if let Some(dir) = path.parent() {
         // Directory fsync can fail on exotic filesystems; the rename itself
-        // already happened, so treat failure as best-effort.
-        if let Ok(d) = fs::File::open(dir) {
-            let _ = d.sync_all();
+        // already happened, so treat failure as best-effort (the failpoint
+        // still counts it as a reachable — and harmlessly injectable — op).
+        if failpoint::check(IoOp::Fsync).is_ok() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
         }
     }
     Ok(bytes.len() as u64)
@@ -233,6 +239,7 @@ pub fn write_snapshot(path: &Path, doc: &SuccinctDoc, generation: u64) -> Result
 
 /// Read and decode the snapshot at `path`.
 pub fn read_snapshot(path: &Path) -> Result<(SuccinctDoc, u64)> {
+    failpoint::check(IoOp::Read)?;
     let bytes = fs::read(path)?;
     decode_snapshot(&bytes)
 }

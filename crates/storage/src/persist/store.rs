@@ -24,6 +24,7 @@
 //!    crash instant can leave a generation-matching header over
 //!    pre-compaction records — see [`super::wal::Wal::reset`].
 
+use super::failpoint::{self, IoOp};
 use super::format::Result;
 use super::snapshot::{read_snapshot, write_snapshot};
 use super::wal::{ReplayReport, Wal, WalOp};
@@ -62,6 +63,7 @@ impl DocStore {
     /// creating the directory if needed. Any previous store there is
     /// replaced.
     pub fn create(dir: &Path, doc: &SuccinctDoc) -> Result<DocStore> {
+        failpoint::check(IoOp::Create)?;
         fs::create_dir_all(dir)?;
         let written = write_snapshot(&dir.join(SNAPSHOT_FILE), doc, 0)?;
         let wal = Wal::create(&dir.join(WAL_FILE), 0)?;

@@ -25,11 +25,12 @@
 //! rename and its WAL reset — and replaying it would double-apply folded
 //! updates, so [`Wal::open_replay`] discards it instead.
 
+use super::failpoint::{self, IoOp};
 use super::format::{crc32, put_str, put_u32, put_u64, put_u8, PersistError, Reader, Result};
 use crate::succinct::{SNodeId, SuccinctDoc};
 use crate::update;
 use std::fs::{File, OpenOptions};
-use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::io::{Read as _, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
 /// First 8 bytes of every WAL file.
@@ -153,19 +154,22 @@ impl Wal {
     /// and replay them against a snapshot that already contains their
     /// effects.
     pub fn create(path: &Path, generation: u64) -> Result<Wal> {
+        failpoint::check(IoOp::Create)?;
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         // Barrier 1: persist the truncation alone. A crash from here until
         // the header fsync completes leaves a file shorter than a header
         // (or an empty log at worst) — open_replay starts those fresh, and
         // no stale record can survive past this point.
+        failpoint::check(IoOp::Fsync)?;
         file.sync_all()?;
         // Barrier 2: the header.
         let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
         header.extend_from_slice(WAL_MAGIC);
         put_u32(&mut header, WAL_VERSION);
         put_u64(&mut header, generation);
-        file.write_all(&header)?;
+        failpoint::write_all(&mut file, &header)?;
+        failpoint::check(IoOp::Fsync)?;
         file.sync_all()?;
         Ok(Wal { file, path: path.to_path_buf(), generation, next_seq: 0, len: WAL_HEADER_LEN })
     }
@@ -181,7 +185,9 @@ impl Wal {
         snapshot_generation: u64,
         mut doc: SuccinctDoc,
     ) -> Result<(Wal, SuccinctDoc, ReplayReport)> {
+        failpoint::check(IoOp::Open)?;
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        failpoint::check(IoOp::Read)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
         if bytes.len() < WAL_HEADER_LEN as usize {
@@ -252,9 +258,12 @@ impl Wal {
 
         report.bytes_truncated = (bytes.len() - good_end) as u64;
         if report.bytes_truncated > 0 {
+            failpoint::check(IoOp::Truncate)?;
             file.set_len(good_end as u64)?;
+            failpoint::check(IoOp::Fsync)?;
             file.sync_all()?;
         }
+        failpoint::check(IoOp::Seek)?;
         file.seek(SeekFrom::Start(good_end as u64))?;
         Ok((
             Wal {
@@ -273,7 +282,8 @@ impl Wal {
     /// the number of bytes appended.
     pub fn append(&mut self, op: &WalOp) -> Result<u64> {
         let rec = encode_record(self.next_seq, op);
-        self.file.write_all(&rec)?;
+        failpoint::write_all(&mut self.file, &rec)?;
+        failpoint::check(IoOp::Fsync)?;
         self.file.sync_all()?;
         self.next_seq += 1;
         self.len += rec.len() as u64;
@@ -296,15 +306,19 @@ impl Wal {
     pub fn reset(&mut self, generation: u64) -> Result<()> {
         // Barrier 1: durably drop the folded records, keeping the old
         // generation in the header.
+        failpoint::check(IoOp::Truncate)?;
         self.file.set_len(WAL_HEADER_LEN)?;
+        failpoint::check(IoOp::Fsync)?;
         self.file.sync_all()?;
         // Barrier 2: stamp the new generation on the now-empty log.
         let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
         header.extend_from_slice(WAL_MAGIC);
         put_u32(&mut header, WAL_VERSION);
         put_u64(&mut header, generation);
+        failpoint::check(IoOp::Seek)?;
         self.file.seek(SeekFrom::Start(0))?;
-        self.file.write_all(&header)?;
+        failpoint::write_all(&mut self.file, &header)?;
+        failpoint::check(IoOp::Fsync)?;
         self.file.sync_all()?;
         self.generation = generation;
         self.next_seq = 0;

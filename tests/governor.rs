@@ -1,0 +1,203 @@
+//! Resource-governor acceptance tests: every engine configuration must
+//! honor deadlines, memory budgets, row caps, and cooperative cancellation
+//! by failing with a typed `resource governor` error — never by panicking,
+//! hanging, or silently truncating — and the engine must stay fully usable
+//! after every kind of abort.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xqp::{Database, QueryLimits};
+use xqp_exec::differential::{full_matrix, run_config_limited, Outcome};
+use xqp_exec::engine::Executor;
+use xqp_exec::{CancelToken, ResourceGovernor};
+use xqp_storage::SuccinctDoc;
+
+/// A document wide enough that the nested-FLWOR cross product below is
+/// pathological: `width²` result rows through every pipeline.
+fn wide_doc(width: usize) -> String {
+    let items: String = (0..width).map(|i| format!("<x><y>{i}</y></x>")).collect();
+    format!("<r>{items}</r>")
+}
+
+const CROSS: &str = "for $a in doc()/r/x for $b in doc()/r/x/y return $b";
+
+fn assert_limit_error(outcome: &Outcome, what: &str, label: &str) {
+    match outcome {
+        Outcome::Error(e) => assert!(
+            e.contains("resource governor"),
+            "{label}: expected a governor error for {what}, got: {e}"
+        ),
+        other => panic!("{label}: expected a governor error for {what}, got {other}"),
+    }
+}
+
+/// An already-expired deadline trips deterministically in all 12
+/// Strategy × EvalMode configurations.
+#[test]
+fn expired_deadline_trips_in_every_config() {
+    let doc = SuccinctDoc::parse(&wide_doc(8)).unwrap();
+    let limits = QueryLimits::none().with_timeout(Duration::ZERO);
+    for cfg in full_matrix() {
+        let out = run_config_limited(&doc, CROSS, cfg, limits);
+        assert_limit_error(&out, "an expired deadline", &cfg.label());
+        if let Outcome::Error(e) = &out {
+            assert!(e.contains("deadline"), "{}: wrong trip class: {e}", cfg.label());
+        }
+    }
+}
+
+/// The headline acceptance case: a 50 ms deadline on a pathological
+/// cross product returns `DeadlineExceeded` in bounded time under every
+/// configuration — no config runs the query to completion or hangs.
+#[test]
+fn fifty_ms_deadline_bounds_pathological_cross_product() {
+    // 300² = 90 000 rows: far past 50 ms in every engine (debug builds
+    // included), so the deadline always fires.
+    let doc = SuccinctDoc::parse(&wide_doc(300)).unwrap();
+    let limits = QueryLimits::none().with_timeout(Duration::from_millis(50));
+    for cfg in full_matrix() {
+        let t = Instant::now();
+        let out = run_config_limited(&doc, CROSS, cfg, limits);
+        let dt = t.elapsed();
+        assert_limit_error(&out, "the 50 ms deadline", &cfg.label());
+        // "Bounded" leaves slack for debug-build check granularity, but a
+        // config that ran the whole cross product would blow well past it.
+        assert!(dt < Duration::from_secs(10), "{}: took {dt:.2?} to trip", cfg.label());
+    }
+}
+
+/// Memory budgets and row caps trip as governor errors in every config.
+#[test]
+fn memory_and_row_budgets_trip_in_every_config() {
+    let doc = SuccinctDoc::parse(&wide_doc(40)).unwrap();
+    for (limits, what) in [
+        (QueryLimits::none().with_max_rows(3), "a 3-row cap"),
+        (QueryLimits::none().with_max_memory(8), "an 8-cell memory budget"),
+    ] {
+        for cfg in full_matrix() {
+            let out = run_config_limited(&doc, CROSS, cfg, limits);
+            assert_limit_error(&out, what, &cfg.label());
+        }
+    }
+}
+
+/// A cancelled token aborts the query with the `Cancelled` class.
+#[test]
+fn cancellation_aborts_with_typed_error() {
+    let doc = SuccinctDoc::parse(&wide_doc(20)).unwrap();
+    let token = CancelToken::new();
+    let governor = Arc::new(ResourceGovernor::with_cancel(QueryLimits::none(), token.clone()));
+    token.cancel();
+    let err = Executor::new(&doc).with_governor(governor).query(CROSS).unwrap_err();
+    assert!(err.is_resource_limit(), "not a limit class: {err}");
+    assert!(err.to_string().contains("cancelled"), "wrong class: {err}");
+}
+
+/// Governor errors carry the query text and elapsed time for diagnostics.
+#[test]
+fn governor_errors_are_decorated_with_query_context() {
+    let doc = SuccinctDoc::parse(&wide_doc(10)).unwrap();
+    let governor =
+        Arc::new(ResourceGovernor::new(QueryLimits::none().with_timeout(Duration::ZERO)));
+    let err = Executor::new(&doc).with_governor(governor).query(CROSS).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("resource governor: deadline exceeded"), "{msg}");
+    assert!(msg.contains("for $a in doc()/r/x"), "query text missing: {msg}");
+    assert!(msg.contains(" ms)"), "elapsed time missing: {msg}");
+}
+
+/// Post-abort reuse (satellite): after each limit variant trips, the same
+/// `Database` answers the same query correctly once limits are lifted, and
+/// its plan cache matches a fresh engine's — an aborted execution must not
+/// poison cached plans or document state.
+#[test]
+fn database_is_reusable_after_every_limit_variant() {
+    let xml = wide_doc(12);
+    let q = CROSS;
+
+    let mut fresh = Database::new();
+    fresh.load_str("doc", &xml).unwrap();
+    let want = fresh.query("doc", q).unwrap();
+    let fresh_stats = fresh.plan_cache_stats("doc").unwrap();
+
+    let variants: Vec<(QueryLimits, &str)> = vec![
+        (QueryLimits::none().with_timeout(Duration::ZERO), "deadline"),
+        (QueryLimits::none().with_max_memory(4), "memory"),
+        (QueryLimits::none().with_max_rows(1), "rows"),
+    ];
+    for (limits, what) in variants {
+        let mut db = Database::new();
+        db.load_str("doc", &xml).unwrap();
+        db.set_limits(limits);
+        let err = db.query("doc", q).unwrap_err().to_string();
+        assert!(err.contains("resource governor"), "{what}: {err}");
+
+        db.set_limits(QueryLimits::none());
+        assert_eq!(db.query("doc", q).unwrap(), want, "{what}: wrong value after abort");
+
+        // The aborted run compiled the plan once; the successful re-run
+        // hits the cache. Same number of misses as a fresh engine that ran
+        // twice — aborts must not evict or poison entries.
+        let (hits, misses, evictions) = db.plan_cache_stats("doc").unwrap();
+        assert_eq!(misses, fresh_stats.1, "{what}: plan recompiled after abort");
+        assert!(hits >= 1, "{what}: successful re-run missed the cache");
+        assert_eq!(evictions, 0, "{what}: abort evicted cache entries");
+    }
+
+    // Cancellation, via a per-query override on a shared database.
+    let mut db = Database::new();
+    db.load_str("doc", &xml).unwrap();
+    let err = db
+        .query_with_limits("doc", q, QueryLimits::none().with_timeout(Duration::ZERO))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("resource governor"), "{err}");
+    assert_eq!(db.query("doc", q).unwrap(), want, "override: wrong value after abort");
+}
+
+/// Per-query overrides replace the database-wide default in both
+/// directions: tightening an unlimited database and lifting a limited one.
+#[test]
+fn per_query_overrides_replace_defaults() {
+    let mut db = Database::new();
+    db.load_str("doc", &wide_doc(12)).unwrap();
+
+    // Unlimited database, tight override: trips.
+    let err = db
+        .query_with_limits("doc", CROSS, QueryLimits::none().with_max_rows(1))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("result limit"), "{err}");
+
+    // Limited database, unlimited override: runs to completion.
+    db.set_limits(QueryLimits::none().with_max_rows(1));
+    assert!(db.query("doc", CROSS).is_err());
+    let full = db.query_with_limits("doc", CROSS, QueryLimits::none()).unwrap();
+    assert!(full.contains("<y>0</y>"), "{full}");
+}
+
+/// Statistics and explain survive an abort: the governor's trip shows up
+/// in the counters, and the document's cost statistics match a fresh
+/// engine's (aborts must not leave half-built statistics behind).
+#[test]
+fn statistics_match_fresh_engine_after_abort() {
+    let xml = wide_doc(12);
+    let mut db = Database::new();
+    db.load_str("doc", &xml).unwrap();
+    db.set_limits(QueryLimits::none().with_max_rows(1));
+    let _ = db.query("doc", CROSS).unwrap_err();
+    db.set_limits(QueryLimits::none());
+
+    let mut fresh = Database::new();
+    fresh.load_str("doc", &xml).unwrap();
+
+    let a = db.statistics("doc").unwrap();
+    let b = fresh.statistics("doc").unwrap();
+    assert_eq!(a.node_count, b.node_count, "node count diverged after abort");
+    assert_eq!(a.element_count, b.element_count, "element count diverged after abort");
+    assert_eq!(a.max_depth, b.max_depth, "max depth diverged after abort");
+    assert_eq!(a.tag_counts, b.tag_counts, "tag counts diverged after abort");
+
+    let (plan, _) = db.explain("doc", CROSS).unwrap();
+    assert!(plan.contains("-- governor:"), "explain lost the governor line:\n{plan}");
+}

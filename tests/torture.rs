@@ -1,0 +1,26 @@
+//! Fault-injection smoke: a bounded torture run (see `xqp::torture`) must
+//! recover cleanly from every injected I/O fault. The CI pipeline runs a
+//! larger commit-seeded sweep through the `xqp torture` binary; this keeps
+//! the harness itself exercised by every `cargo test`.
+
+use xqp::torture::{torture, TortureConfig};
+
+#[test]
+fn bounded_torture_run_recovers_from_every_fault() {
+    let report = torture(&TortureConfig { seed: 0xf00d, iters: 80 });
+    assert!(report.fault_points >= 80, "only {} fault point(s) ran", report.fault_points);
+    assert!(
+        report.is_clean(),
+        "recovery invariant violations:\n{}",
+        report.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn torture_reports_are_deterministic() {
+    let a = torture(&TortureConfig { seed: 11, iters: 30 });
+    let b = torture(&TortureConfig { seed: 11, iters: 30 });
+    assert_eq!(a.scenarios, b.scenarios);
+    assert_eq!(a.fault_points, b.fault_points);
+    assert_eq!(a.violations.len(), b.violations.len());
+}
