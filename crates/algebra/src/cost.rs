@@ -230,6 +230,47 @@ impl<'a> CostModel<'a> {
         idx
     }
 
+    /// Enumerate probe orders for an isolated join graph (R12): every
+    /// permutation of the sides (≤ 6 sides, so ≤ 720 orders) is costed by
+    /// summed intermediate cardinalities, where placing a side connected by
+    /// an edge to an already-placed side applies the equality selectivity.
+    /// Returns the cheapest permutation. FLWOR output order is fixed by the
+    /// sides' source order, so this informs the physical build/probe
+    /// strategy and the explain audit trail, not the result order.
+    pub fn choose_join_graph_order(&self, cards: &[f64], edges: &[(usize, usize)]) -> Vec<usize> {
+        let n = cards.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n > 6 {
+            // Too many sides to enumerate: R4-style ascending fallback.
+            return self.choose_join_order(cards);
+        }
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut perm: Vec<usize> = (0..n).collect();
+        permute(&mut perm, 0, &mut |p| {
+            let mut placed: Vec<usize> = Vec::with_capacity(n);
+            let mut inter = 1.0f64;
+            let mut cost = 0.0f64;
+            for &s in p {
+                inter *= cards[s].max(1e-9);
+                let connecting = edges
+                    .iter()
+                    .filter(|(a, b)| {
+                        (*a == s && placed.contains(b)) || (*b == s && placed.contains(a))
+                    })
+                    .count();
+                inter *= SEL_VALUE_EQ.powi(connecting as i32);
+                placed.push(s);
+                cost += inter;
+            }
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                best = Some((cost, p.to_vec()));
+            }
+        });
+        best.map_or_else(|| (0..n).collect(), |(_, p)| p)
+    }
+
     /// Cost of evaluating `g` with a specific access method. The binary
     /// pipeline is costed in its R4 join order.
     pub fn access_cost(&self, g: &PatternGraph, access: TpmAccess) -> f64 {
@@ -337,6 +378,19 @@ impl<'a> CostModel<'a> {
                         access: Some((access, acc_cost)),
                     }
                 }
+                LogicalPlan::JoinGraph { sides, edges, .. } => {
+                    let cards: Vec<f64> =
+                        sides.iter().map(|s| self.expr_cardinality(&s.source).max(0.0)).collect();
+                    let cross: f64 = cards.iter().product();
+                    // Each equi-edge prunes the cross product like an
+                    // equality constraint.
+                    let sel = SEL_VALUE_EQ.powi(edges.len() as i32);
+                    let out = rows * cross * sel;
+                    // Hash join: evaluate each side once per upstream row,
+                    // build + probe linear in the inputs, emit the output.
+                    let side_work: f64 = cards.iter().sum();
+                    ClauseEstimate { rows: out, cost: rows * side_work + out, access: None }
+                }
                 LogicalPlan::ReturnClause { .. } => {
                     ClauseEstimate { rows, cost: rows, access: None }
                 }
@@ -346,6 +400,19 @@ impl<'a> CostModel<'a> {
         }
         let total_cost = clauses.iter().map(|c| c.cost).sum();
         PlanCostReport { clauses, out_rows: rows, total_cost }
+    }
+}
+
+/// Visit every permutation of `items` (recursive swap enumeration).
+fn permute(items: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        f(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, f);
+        items.swap(k, i);
     }
 }
 

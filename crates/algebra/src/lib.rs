@@ -30,13 +30,15 @@ pub mod env;
 pub mod expr;
 pub mod plan;
 pub mod rewrite;
+pub mod rules;
 pub mod schema;
 pub mod value;
 
 pub use cost::{ClauseEstimate, CostModel, DocStatistics, PlanCostReport, TpmAccess};
 pub use env::Env;
 pub use expr::Expr;
-pub use plan::{JoinSide, LogicalPlan, OrderKey, PathOp, TpmVar};
-pub use rewrite::{optimize, optimize_expr, optimize_path, RewriteReport, RuleSet};
+pub use plan::{JoinEdge, JoinSide, JoinSideDef, LogicalPlan, OrderKey, PathOp, TpmVar};
+pub use rewrite::{optimize, optimize_expr, optimize_path, RewriteReport, RuleSet, RuleTrace};
+pub use rules::{default_rules, ApplyOrder, LogicalOptimizerRule, REWRITE_BUDGET};
 pub use schema::{SchemaNode, SchemaTree};
 pub use value::{Item, Nested, Sequence};

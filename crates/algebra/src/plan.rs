@@ -50,6 +50,66 @@ pub struct TpmVar {
     pub one_to_many: bool,
 }
 
+/// One side of a [`LogicalPlan::JoinGraph`]: a `for` binding whose source
+/// is independent of the other sides (a ⋈v input in Table-1 terms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSideDef {
+    /// Variable name (without `$`).
+    pub var: String,
+    /// Binding sequence; must not reference any other side's variable.
+    pub source: Expr,
+}
+
+/// One equi-join edge of a [`LogicalPlan::JoinGraph`], connecting two sides
+/// by general-comparison equality of `side.key` values. A `None` key
+/// compares the binding itself (`$v = …`); `Some(path)` compares
+/// `$v/path = …` with a relative path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinEdge {
+    /// Index of the left side in [`LogicalPlan::JoinGraph::sides`].
+    pub left: usize,
+    /// Index of the right side.
+    pub right: usize,
+    /// Relative path applied to the left binding (`None` = the binding).
+    pub left_key: Option<PathExpr>,
+    /// Relative path applied to the right binding.
+    pub right_key: Option<PathExpr>,
+}
+
+impl JoinEdge {
+    /// Render one side of the edge for EXPLAIN.
+    fn render_side(var: &str, key: &Option<PathExpr>) -> String {
+        match key {
+            Some(p) => format!("${var}/{p}"),
+            None => format!("${var}"),
+        }
+    }
+
+    /// Render the whole edge for EXPLAIN: `$a/p = $b/q`.
+    pub fn render(&self, sides: &[JoinSideDef]) -> String {
+        format!(
+            "{} = {}",
+            JoinEdge::render_side(&sides[self.left].var, &self.left_key),
+            JoinEdge::render_side(&sides[self.right].var, &self.right_key)
+        )
+    }
+
+    /// The edge as a comparison expression over the side variables — the
+    /// nested-loop reference form of the join predicate, which any faster
+    /// physical join must match byte-for-byte.
+    pub fn as_expr(&self, sides: &[JoinSideDef]) -> Expr {
+        let end = |idx: usize, key: &Option<PathExpr>| match key {
+            Some(p) => Expr::var_path(sides[idx].var.clone(), p.clone()),
+            None => Expr::var(sides[idx].var.clone()),
+        };
+        Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs: Box::new(end(self.left, &self.left_key)),
+            rhs: Box::new(end(self.right, &self.right_key)),
+        }
+    }
+}
+
 /// A path-evaluation operator tree (the Table-1 operators).
 #[derive(Debug, Clone, PartialEq)]
 pub enum PathOp {
@@ -239,6 +299,21 @@ pub enum LogicalPlan {
         /// Returned expression.
         expr: Expr,
     },
+    /// An isolated value-join graph (rewrite R12, after Grust et al.'s
+    /// "XQuery Join Graph Isolation"): a run of independent `for` bindings
+    /// whose `where` clause equated values across them. Each side binds its
+    /// variable per upstream binding; edges prune the cross product by
+    /// general-comparison equality. Sides stay in source order — FLWOR
+    /// tuple order is observable — so join-order enumeration informs the
+    /// physical probe strategy, not the output order.
+    JoinGraph {
+        /// Upstream plan.
+        input: Box<LogicalPlan>,
+        /// The `for` bindings joined, in source order.
+        sides: Vec<JoinSideDef>,
+        /// Equi-join edges between sides.
+        edges: Vec<JoinEdge>,
+    },
     /// Several for/let bindings evaluated by a **single tree-pattern scan**
     /// (rewrite R5): each `(var, vertex)` pair binds the variable to that
     /// pattern vertex's match in each embedding.
@@ -262,6 +337,7 @@ impl LogicalPlan {
             | LogicalPlan::Where { input, .. }
             | LogicalPlan::OrderBy { input, .. }
             | LogicalPlan::ReturnClause { input, .. }
+            | LogicalPlan::JoinGraph { input, .. }
             | LogicalPlan::TpmBind { input, .. } => Some(input),
         }
     }
@@ -305,6 +381,13 @@ impl LogicalPlan {
                 input.collect_free_inner(out, bound);
                 expr.collect_free(out, bound);
             }
+            LogicalPlan::JoinGraph { input, sides, .. } => {
+                input.collect_free_inner(out, bound);
+                for s in sides {
+                    s.source.collect_free(out, bound);
+                    bound.push(s.var.clone());
+                }
+            }
             LogicalPlan::TpmBind { input, vars, .. } => {
                 input.collect_free_inner(out, bound);
                 for v in vars {
@@ -337,6 +420,14 @@ impl LogicalPlan {
             LogicalPlan::ReturnClause { input, expr } => {
                 LogicalPlan::ReturnClause { input: Box::new(input.map_exprs(f)), expr: f(expr) }
             }
+            LogicalPlan::JoinGraph { input, sides, edges } => LogicalPlan::JoinGraph {
+                input: Box::new(input.map_exprs(f)),
+                sides: sides
+                    .into_iter()
+                    .map(|s| JoinSideDef { var: s.var, source: f(s.source) })
+                    .collect(),
+                edges,
+            },
             LogicalPlan::TpmBind { input, pattern, vars } => {
                 LogicalPlan::TpmBind { input: Box::new(input.map_exprs(f)), pattern, vars }
             }
@@ -394,6 +485,15 @@ impl LogicalPlan {
                 format!("order by {}", ks.join(", "))
             }
             LogicalPlan::ReturnClause { expr, .. } => format!("return {expr}"),
+            LogicalPlan::JoinGraph { sides, edges, .. } => {
+                let es: Vec<String> = edges.iter().map(|e| e.render(sides)).collect();
+                format!(
+                    "join-graph [{}] ({} sides, {} edges)",
+                    es.join(", "),
+                    sides.len(),
+                    edges.len()
+                )
+            }
             LogicalPlan::TpmBind { vars, pattern, .. } => {
                 let vs: Vec<String> =
                     vars.iter().map(|v| format!("${}←v{}", v.var, v.vertex)).collect();

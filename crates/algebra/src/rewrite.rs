@@ -9,17 +9,25 @@
 //! | R7 | dead-binding elimination | `let` bindings never referenced downstream are removed |
 //! | R8 | constant folding | literal-only subexpressions are evaluated at plan time (a `where` folded to false empties the whole FLWOR) |
 //! | R9 | where-pushdown | conjuncts of a `where` clause that compare a path from a fused `for` variable against a literal become constraints inside the TPM pattern |
+//! | R10 | predicate pushdown | total `where` conjuncts hoist past earlier for/let bindings they don't depend on, filtering before expansion |
+//! | R11 | projection pushdown | total `let` bindings sink below `where` clauses that don't use them, so filtered-out rows never compute the binding |
+//! | R12 | join-graph isolation | ⋈v equi-joins hidden in nested for/where become an explicit [`LogicalPlan::JoinGraph`] the cost model can order and the executor hash-joins (Grust et al., "XQuery Join Graph Isolation") |
 //!
 //! R3 (NoK partitioning) and R4 (structural-join ordering) are *physical*
 //! choices made by the executor's planner; [`RuleSet`] carries their flags so
 //! one switch block drives the whole ablation experiment (E11).
+//!
+//! The passes here are driven to a fixpoint by the composable
+//! [`crate::rules`] framework — each pass is wrapped in a named
+//! [`crate::rules::LogicalOptimizerRule`] that is individually toggleable
+//! and unit-testable.
 
 use crate::expr::Expr;
-use crate::plan::{LogicalPlan, OrderKey, PathOp, TpmVar};
+use crate::plan::{JoinEdge, JoinSideDef, LogicalPlan, OrderKey, PathOp, TpmVar};
 use crate::value::effective_boolean;
 use std::collections::HashSet;
 use xqp_xml::Atomic;
-use xqp_xpath::{PathExpr, PatternGraph, PredOperand, Predicate};
+use xqp_xpath::{CmpOp, PathExpr, PatternGraph, PredOperand, Predicate};
 
 /// Which rewrite rules are enabled. `Default` enables everything.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +50,12 @@ pub struct RuleSet {
     pub const_fold: bool,
     /// R9: push where-clause conjuncts into fused TPM patterns.
     pub where_pushdown: bool,
+    /// R10: hoist total where-conjuncts past independent bindings.
+    pub predicate_pushdown: bool,
+    /// R11: sink total `let` bindings below independent `where` clauses.
+    pub projection_pushdown: bool,
+    /// R12: isolate ⋈v equi-joins into an explicit join-graph node.
+    pub join_isolation: bool,
 }
 
 impl RuleSet {
@@ -57,6 +71,9 @@ impl RuleSet {
             dead_let: true,
             const_fold: true,
             where_pushdown: true,
+            predicate_pushdown: true,
+            projection_pushdown: true,
+            join_isolation: true,
         }
     }
 
@@ -72,10 +89,13 @@ impl RuleSet {
             dead_let: false,
             const_fold: false,
             where_pushdown: false,
+            predicate_pushdown: false,
+            projection_pushdown: false,
+            join_isolation: false,
         }
     }
 
-    /// All rules except one (ablation helper); `rule` is the R-number (1–8).
+    /// All rules except one (ablation helper); `rule` is the R-number (1–12).
     pub fn all_except(rule: u8) -> Self {
         let mut r = RuleSet::all();
         match rule {
@@ -88,6 +108,9 @@ impl RuleSet {
             7 => r.dead_let = false,
             8 => r.const_fold = false,
             9 => r.where_pushdown = false,
+            10 => r.predicate_pushdown = false,
+            11 => r.projection_pushdown = false,
+            12 => r.join_isolation = false,
             _ => {}
         }
         r
@@ -100,11 +123,28 @@ impl Default for RuleSet {
     }
 }
 
+/// One attempted optimizer pass: which named rule ran, whether it changed
+/// the plan, and a line diff of the change (for `explain`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleTrace {
+    /// Rule name, e.g. `"predicate-pushdown"`.
+    pub rule: &'static str,
+    /// Did this pass change the plan?
+    pub fired: bool,
+    /// Plan diff when fired: `-`/`+` lines for rewritten clauses, `·` lines
+    /// listing the new clause order for pure moves.
+    pub diff: Vec<String>,
+}
+
 /// Which rules fired, in application order (duplicates = multiple firings).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RewriteReport {
     /// Rule tags such as `"R1"`, `"R5"`.
     pub applied: Vec<&'static str>,
+    /// Per-pass traces from the top-level rule pipeline (one entry per
+    /// enabled rule per fixpoint sweep; nested-FLWOR sub-pipelines only
+    /// contribute tags, not traces).
+    pub passes: Vec<RuleTrace>,
 }
 
 impl RewriteReport {
@@ -118,7 +158,7 @@ impl RewriteReport {
 /// are optimized recursively).
 pub fn optimize(plan: LogicalPlan, rules: &RuleSet) -> (LogicalPlan, RewriteReport) {
     let mut report = RewriteReport::default();
-    let plan = optimize_plan(plan, rules, &mut report);
+    let plan = crate::rules::run_pipeline(plan, rules, &mut report, true);
     (plan, report)
 }
 
@@ -126,6 +166,13 @@ pub fn optimize(plan: LogicalPlan, rules: &RuleSet) -> (LogicalPlan, RewriteRepo
 /// expression is wrapped in a trivial `return` clause, optimized, and
 /// unwrapped.
 pub fn optimize_expr(expr: Expr, rules: &RuleSet) -> (Expr, RewriteReport) {
+    // A FLWOR body runs the pipeline directly — and *traced*. Wrapping it
+    // in a trivial return would route it through the untraced nested-FLWOR
+    // recursion and leave `report.passes` empty for every real query.
+    if let Expr::Flwor(plan) = expr {
+        let (plan, report) = optimize(*plan, rules);
+        return (Expr::Flwor(Box::new(plan)), report);
+    }
     let plan = LogicalPlan::ReturnClause { input: Box::new(LogicalPlan::EnvRoot), expr };
     let (plan, report) = optimize(plan, rules);
     match plan {
@@ -134,22 +181,29 @@ pub fn optimize_expr(expr: Expr, rules: &RuleSet) -> (Expr, RewriteReport) {
     }
 }
 
+/// Optimize a nested-FLWOR plan with the same pipeline, but without
+/// recording per-pass traces (the top-level trace stays readable).
 fn optimize_plan(plan: LogicalPlan, rules: &RuleSet, report: &mut RewriteReport) -> LogicalPlan {
-    let mut plan = plan;
-    if rules.const_fold {
-        plan = plan.map_exprs(&mut |e| fold_expr(e, report));
-        plan = short_circuit_false_where(plan, report);
-    }
-    if rules.dead_let {
-        plan = prune_pass(plan, &HashSet::new(), rules, report);
-    }
-    if rules.flwor_to_tpm {
-        plan = flwor_to_tpm(plan, rules, report);
-    }
-    if rules.prune_outputs {
-        plan = prune_pass(plan, &HashSet::new(), rules, report);
-    }
-    compile_paths_in_plan(plan, rules, report)
+    crate::rules::run_pipeline(plan, rules, report, false)
+}
+
+/// R8 as one pass: fold constants in every expression, then short-circuit
+/// a constant-false `where`.
+pub(crate) fn const_fold_pass(plan: LogicalPlan, report: &mut RewriteReport) -> LogicalPlan {
+    let plan = plan.map_exprs(&mut |e| fold_expr(e, report));
+    short_circuit_false_where(plan, report)
+}
+
+/// R7 as one pass (R6 gated off so firings attribute cleanly).
+pub(crate) fn prune_dead_pass(plan: LogicalPlan, report: &mut RewriteReport) -> LogicalPlan {
+    let rules = RuleSet { prune_outputs: false, ..RuleSet::all() };
+    prune_pass(plan, &HashSet::new(), &rules, report)
+}
+
+/// R6 as one pass (R7 gated off).
+pub(crate) fn prune_outputs_pass(plan: LogicalPlan, report: &mut RewriteReport) -> LogicalPlan {
+    let rules = RuleSet { dead_let: false, ..RuleSet::all() };
+    prune_pass(plan, &HashSet::new(), &rules, report)
 }
 
 /// Optimize a standalone path expression into a [`PathOp`] tree (R1/R2 for
@@ -325,6 +379,22 @@ fn prune_pass(
                 source,
             }
         }
+        LogicalPlan::JoinGraph { input, sides, edges } => {
+            // Sides are for-style bindings: they shape the cross product, so
+            // none can be pruned even when unreferenced.
+            let mut needed = needed_above.clone();
+            for s in &sides {
+                needed.remove(&s.var);
+            }
+            for s in &sides {
+                needed.extend(s.source.free_vars());
+            }
+            LogicalPlan::JoinGraph {
+                input: Box::new(prune_pass(*input, &needed, rules, report)),
+                sides,
+                edges,
+            }
+        }
         LogicalPlan::TpmBind { input, pattern, vars } => {
             let mut pattern = pattern;
             let vars: Vec<TpmVar> = vars
@@ -364,6 +434,7 @@ enum Clause {
     OrderByC(Vec<OrderKey>),
     ReturnC(Expr),
     TpmC(PatternGraph, Vec<TpmVar>),
+    JoinGraphC(Vec<JoinSideDef>, Vec<JoinEdge>),
 }
 
 fn to_clauses(plan: LogicalPlan, out: &mut Vec<Clause>) {
@@ -393,6 +464,10 @@ fn to_clauses(plan: LogicalPlan, out: &mut Vec<Clause>) {
             to_clauses(*input, out);
             out.push(Clause::TpmC(pattern, vars));
         }
+        LogicalPlan::JoinGraph { input, sides, edges } => {
+            to_clauses(*input, out);
+            out.push(Clause::JoinGraphC(sides, edges));
+        }
     }
 }
 
@@ -407,6 +482,9 @@ fn from_clauses(clauses: Vec<Clause>) -> LogicalPlan {
             Clause::ReturnC(expr) => LogicalPlan::ReturnClause { input: Box::new(plan), expr },
             Clause::TpmC(pattern, vars) => {
                 LogicalPlan::TpmBind { input: Box::new(plan), pattern, vars }
+            }
+            Clause::JoinGraphC(sides, edges) => {
+                LogicalPlan::JoinGraph { input: Box::new(plan), sides, edges }
             }
         };
     }
@@ -438,7 +516,11 @@ fn tpm_compatible(path: &PathExpr, rules: &RuleSet) -> bool {
 
 /// Fuse the leading run of for/let clauses over connected downward paths
 /// into one `TpmBind` (≥ 2 clauses required to be worth it).
-fn flwor_to_tpm(plan: LogicalPlan, rules: &RuleSet, report: &mut RewriteReport) -> LogicalPlan {
+pub(crate) fn flwor_to_tpm(
+    plan: LogicalPlan,
+    rules: &RuleSet,
+    report: &mut RewriteReport,
+) -> LogicalPlan {
     let mut clauses = Vec::new();
     to_clauses(plan, &mut clauses);
 
@@ -595,9 +677,300 @@ fn push_conjunct(
     }
 }
 
+// ---- totality analysis (gates R10–R12) -----------------------------------------
+
+/// Built-in functions whose naive evaluation never raises a dynamic error.
+/// Arithmetic-performing functions (`sum`, `avg`) and anything that can
+/// type-error are deliberately absent.
+const TOTAL_FNS: &[&str] = &[
+    "count",
+    "empty",
+    "exists",
+    "boolean",
+    "not",
+    "string",
+    "number",
+    "concat",
+    "contains",
+    "starts-with",
+    "ends-with",
+    "string-length",
+    "normalize-space",
+    "string-join",
+    "substring",
+    "min",
+    "max",
+    "distinct-values",
+];
+
+/// Conservative totality: `true` means evaluating the expression can never
+/// raise a dynamic error (governor trips aside), so a rewrite may evaluate
+/// it on more or fewer bindings without changing observable behavior.
+/// Arithmetic (division by zero, type errors), constructors and nested
+/// FLWORs are conservatively non-total.
+pub(crate) fn is_total(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) | Expr::Var(_) | Expr::ContextDoc => true,
+        Expr::Path { base, .. } | Expr::CompiledPath { base, .. } => is_total(base),
+        Expr::Cmp { lhs, rhs, .. } => is_total(lhs) && is_total(rhs),
+        Expr::And(a, b) | Expr::Or(a, b) => is_total(a) && is_total(b),
+        Expr::Not(a) => is_total(a),
+        Expr::If { cond, then_branch, else_branch } => {
+            is_total(cond) && is_total(then_branch) && is_total(else_branch)
+        }
+        Expr::Call { name, args } => {
+            TOTAL_FNS.contains(&name.as_str()) && args.iter().all(is_total)
+        }
+        Expr::SequenceExpr(items) => items.iter().all(is_total),
+        Expr::Arith { .. } | Expr::Construct(_) | Expr::Flwor(_) => false,
+    }
+}
+
+// ---- R10/R11: predicate and projection pushdown --------------------------------
+
+/// May a (total) `conjunct` move from just after `clause` to just before
+/// it? Bindings require a total source (skipped evaluations must not hide
+/// errors) the conjunct doesn't reference; other `where`s require a total
+/// condition (evaluation-order swap). TPM/join/order-by/return clauses are
+/// barriers.
+fn conjunct_can_cross(clause: &Clause, conjunct: &Expr) -> bool {
+    match clause {
+        Clause::For(var, source) | Clause::Let(var, source) => {
+            is_total(source) && !conjunct.uses_var(var)
+        }
+        Clause::WhereC(cond) => is_total(cond),
+        Clause::OrderByC(_) | Clause::ReturnC(_) | Clause::TpmC(..) | Clause::JoinGraphC(..) => {
+            false
+        }
+    }
+}
+
+/// The earliest index `conjunct` may occupy in `out`, or `None` when no
+/// binding clause would be crossed (moving across only other `where`s is
+/// pointless churn).
+fn hoist_target(out: &[Clause], conjunct: &Expr) -> Option<usize> {
+    if !is_total(conjunct) {
+        return None;
+    }
+    let mut best = None;
+    let mut j = out.len();
+    while j > 0 && conjunct_can_cross(&out[j - 1], conjunct) {
+        j -= 1;
+        if matches!(out[j], Clause::For(..) | Clause::Let(..)) {
+            best = Some(j);
+        }
+    }
+    best
+}
+
+/// Fuse adjacent `where` clauses left behind by conjunct moves back into
+/// one conjunction (left-to-right evaluation order is preserved).
+fn merge_adjacent_wheres(clauses: Vec<Clause>) -> Vec<Clause> {
+    let mut out: Vec<Clause> = Vec::with_capacity(clauses.len());
+    for c in clauses {
+        match (out.pop(), c) {
+            (Some(Clause::WhereC(a)), Clause::WhereC(b)) => {
+                out.push(Clause::WhereC(Expr::And(Box::new(a), Box::new(b))));
+            }
+            (Some(prev), c) => {
+                out.push(prev);
+                out.push(c);
+            }
+            (None, c) => out.push(c),
+        }
+    }
+    out
+}
+
+/// R10: hoist each total `where` conjunct to the earliest position in the
+/// clause pipeline it may legally occupy, so filters run before the
+/// bindings they don't depend on expand the environment.
+pub(crate) fn predicate_pushdown_pass(
+    plan: LogicalPlan,
+    report: &mut RewriteReport,
+) -> LogicalPlan {
+    let mut clauses = Vec::new();
+    to_clauses(plan, &mut clauses);
+    let mut out: Vec<Clause> = Vec::with_capacity(clauses.len());
+    for clause in clauses {
+        let Clause::WhereC(cond) = clause else {
+            out.push(clause);
+            continue;
+        };
+        let conjuncts = split_conjuncts(cond.clone());
+        if conjuncts.iter().all(|c| hoist_target(&out, c).is_none()) {
+            // Nothing moves: keep the clause byte-identical (no
+            // re-association churn).
+            out.push(Clause::WhereC(cond));
+            continue;
+        }
+        let mut stay: Vec<Expr> = Vec::new();
+        for c in conjuncts {
+            match hoist_target(&out, &c) {
+                Some(pos) => {
+                    report.applied.push("R10");
+                    out.insert(pos, Clause::WhereC(c));
+                }
+                None => stay.push(c),
+            }
+        }
+        if let Some(residual) = rebuild_conjunction(stay) {
+            out.push(Clause::WhereC(residual));
+        }
+    }
+    from_clauses(merge_adjacent_wheres(out))
+}
+
+/// R11: sink a total `let` binding below an adjacent `where` that doesn't
+/// use it, so rows the filter drops never compute the binding. Catches the
+/// non-total-condition cases R10 must leave alone (the condition runs on
+/// exactly the same rows either way; only the total source is skipped).
+pub(crate) fn projection_pushdown_pass(
+    plan: LogicalPlan,
+    report: &mut RewriteReport,
+) -> LogicalPlan {
+    let mut clauses = Vec::new();
+    to_clauses(plan, &mut clauses);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..clauses.len().saturating_sub(1) {
+            let swap = matches!(
+                (&clauses[i], &clauses[i + 1]),
+                (Clause::Let(var, source), Clause::WhereC(cond))
+                    if is_total(source) && !cond.uses_var(var)
+            );
+            if swap {
+                clauses.swap(i, i + 1);
+                report.applied.push("R11");
+                changed = true;
+            }
+        }
+    }
+    from_clauses(clauses)
+}
+
+// ---- R12: join-graph isolation -------------------------------------------------
+
+/// One endpoint of an equi-join conjunct: `$v` (key = the binding itself)
+/// or `$v/rel-path` with a variable-free relative path.
+fn edge_endpoint(e: &Expr) -> Option<(&str, Option<&PathExpr>)> {
+    match e {
+        Expr::Var(v) => Some((v, None)),
+        Expr::Path { base, path } if !path.absolute => {
+            let mut vars = Vec::new();
+            path.referenced_vars(&mut vars);
+            match base.as_ref() {
+                Expr::Var(v) if vars.is_empty() => Some((v, Some(path))),
+                _ => None,
+            }
+        }
+        // Absolute var-paths re-root at the document — they compare a
+        // document-wide value, not a per-binding one, so they are residual
+        // filters, never join edges (cf. the PR 4 relative-path rooting
+        // bug class).
+        _ => None,
+    }
+}
+
+/// Classify one conjunct as a join edge between two *distinct* run
+/// variables, if it has the shape `$a[/p] = $b[/q]`.
+fn classify_edge(conjunct: &Expr, side_vars: &[String]) -> Option<JoinEdge> {
+    let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = conjunct else {
+        return None;
+    };
+    let (lv, lk) = edge_endpoint(lhs)?;
+    let (rv, rk) = edge_endpoint(rhs)?;
+    let left = side_vars.iter().position(|v| v == lv)?;
+    let right = side_vars.iter().position(|v| v == rv)?;
+    if left == right {
+        return None;
+    }
+    Some(JoinEdge { left, right, left_key: lk.cloned(), right_key: rk.cloned() })
+}
+
+/// The first `[start, end)` run of ≥ 2 consecutive document-rooted,
+/// mutually independent `for` clauses with `clauses[end]` a `where`.
+fn find_join_run(clauses: &[Clause]) -> Option<(usize, usize)> {
+    let mut start = 0;
+    while start < clauses.len() {
+        let mut vars: Vec<&str> = Vec::new();
+        let mut end = start;
+        while let Some(Clause::For(var, source)) = clauses.get(end) {
+            let doc_rooted = matches!(
+                source,
+                Expr::Path { base, .. } if matches!(base.as_ref(), Expr::ContextDoc)
+            );
+            let independent = doc_rooted
+                && !vars.contains(&var.as_str())
+                && source.free_vars().iter().all(|f| !vars.contains(&f.as_str()));
+            if !independent {
+                break;
+            }
+            vars.push(var);
+            end += 1;
+        }
+        if end - start >= 2 && matches!(clauses.get(end), Some(Clause::WhereC(_))) {
+            return Some((start, end));
+        }
+        start = if end > start { end } else { start + 1 };
+    }
+    None
+}
+
+/// R12: isolate the ⋈v equi-joins hidden in a nested for/where into an
+/// explicit [`LogicalPlan::JoinGraph`]. Sides stay in source order (FLWOR
+/// tuple order is observable); the executor's hash join exploits the
+/// edges, and any non-edge conjuncts survive as a residual `where` — but
+/// only if they are all total, since the join evaluates edges first.
+pub(crate) fn join_isolation_pass(plan: LogicalPlan, report: &mut RewriteReport) -> LogicalPlan {
+    let mut clauses = Vec::new();
+    to_clauses(plan, &mut clauses);
+    let Some((start, end)) = find_join_run(&clauses) else {
+        return from_clauses(clauses);
+    };
+    let Clause::WhereC(cond) = &clauses[end] else { unreachable!("find_join_run") };
+    let side_vars: Vec<String> = clauses[start..end]
+        .iter()
+        .map(|c| match c {
+            Clause::For(v, _) => v.clone(),
+            _ => unreachable!("find_join_run"),
+        })
+        .collect();
+
+    let mut edges: Vec<JoinEdge> = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    for conjunct in split_conjuncts(cond.clone()) {
+        match classify_edge(&conjunct, &side_vars) {
+            Some(edge) => edges.push(edge),
+            None => residual.push(conjunct),
+        }
+    }
+    if edges.is_empty() || !residual.iter().all(is_total) {
+        return from_clauses(clauses);
+    }
+    report.applied.push("R12");
+    let sides: Vec<JoinSideDef> = clauses[start..end]
+        .iter()
+        .map(|c| match c {
+            Clause::For(v, s) => JoinSideDef { var: v.clone(), source: s.clone() },
+            _ => unreachable!("find_join_run"),
+        })
+        .collect();
+    let mut rebuilt: Vec<Clause> = Vec::with_capacity(clauses.len());
+    let tail: Vec<Clause> = clauses.drain(start..).collect();
+    rebuilt.extend(clauses);
+    rebuilt.push(Clause::JoinGraphC(sides, edges));
+    if let Some(rcond) = rebuild_conjunction(residual) {
+        rebuilt.push(Clause::WhereC(rcond));
+    }
+    rebuilt.extend(tail.into_iter().skip(end - start + 1));
+    from_clauses(rebuilt)
+}
+
 // ---- R1/R2: path compilation ----------------------------------------------------
 
-fn compile_paths_in_plan(
+pub(crate) fn compile_paths_in_plan(
     plan: LogicalPlan,
     rules: &RuleSet,
     report: &mut RewriteReport,

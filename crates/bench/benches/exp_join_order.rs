@@ -1,14 +1,24 @@
-//! E8 — structural-join order selection (rewrite R4 / Wu et al. [5]).
+//! E8 / T18 — join-order selection and the join-isolation pipeline.
 //!
-//! On a linear path whose middle tag is rare, joining the rare pair first
-//! (the cost model's ascending-cardinality order) shrinks intermediates;
-//! the worst order keeps the two huge streams alive.
+//! Two experiments share this bench:
+//!
+//! * **E8** (structural joins, rewrite R4 / Wu et al. [5]): on a linear
+//!   path whose middle tag is rare, joining the rare pair first (the cost
+//!   model's ascending-cardinality order) shrinks intermediates; the worst
+//!   order keeps the two huge streams alive.
+//! * **T18** (value joins, rewrites R10–R12): XMark join queries run under
+//!   three optimizer configurations — all rules (join-graph isolation +
+//!   hash join), `join_isolation` off (pushdowns only, nested-loop `where`)
+//!   and no rules at all (bare nested loop). All three produce
+//!   byte-identical output (asserted here and pinned by the differential
+//!   suite); the table records what the O(n·m) → O(n+m) hash-join rewrite
+//!   buys. Medians land in `BENCH_join.json` at the repository root.
 
 use std::hint::black_box;
-use xqp_algebra::CostModel;
+use xqp_algebra::{CostModel, RuleSet};
 use xqp_bench::harness::{BenchmarkId, Criterion};
-use xqp_bench::{criterion_group, criterion_main};
-use xqp_exec::{structural, ExecContext};
+use xqp_bench::{criterion_group, criterion_main, median_time, xmark_at};
+use xqp_exec::{structural, ExecContext, Executor};
 use xqp_storage::SuccinctDoc;
 use xqp_xml::Document;
 
@@ -32,7 +42,46 @@ fn skewed_doc(n: usize) -> SuccinctDoc {
     SuccinctDoc::from_document(&doc)
 }
 
+/// The T18 query corpus: XMark value joins of increasing shape.
+const JOIN_QUERIES: [(&str, &str); 3] = [
+    // Classic item × category equi-join (XMark Q9 shape).
+    (
+        "item_category",
+        "for $i in doc()//item for $c in doc()//category \
+         where $i/incategory/@category = $c/@id \
+         return <hit>{$i/name}</hit>",
+    ),
+    // Person interests against categories: multi-valued keys per side.
+    (
+        "person_interest",
+        "for $p in doc()//person for $c in doc()//category \
+         where $p/profile/interest/@category = $c/@id \
+         return <match>{$p/name}</match>",
+    ),
+    // Three sides, two edges: auctions resolved to their item and seller.
+    (
+        "auction_item_seller",
+        "for $a in doc()//open_auction for $i in doc()//item for $p in doc()//person \
+         where $a/itemref/@item = $i/@id and $a/seller/@person = $p/@id \
+         return <deal>{$i/name}{$p/name}</deal>",
+    ),
+];
+
+/// The rule configurations T18 compares.
+fn join_configs() -> [(&'static str, RuleSet); 3] {
+    [
+        ("all_rules", RuleSet::all()),
+        ("no_join_isolation", RuleSet { join_isolation: false, ..RuleSet::all() }),
+        ("no_rules", RuleSet::none()),
+    ]
+}
+
+fn run_query(sdoc: &SuccinctDoc, rules: RuleSet, q: &str) -> String {
+    Executor::new(sdoc).with_rules(rules).query(q).expect("bench query evaluates")
+}
+
 fn bench(c: &mut Criterion) {
+    // ---- E8: structural-join order ----------------------------------------
     let sdoc = skewed_doc(4000);
     let ctx = ExecContext::new(&sdoc);
     let tags = ["a", "b", "c"];
@@ -56,6 +105,80 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(structural::eval_linear_pairs(&ctx, &tags, ord)))
     });
     g.finish();
+
+    // ---- T18: value-join rule ablations ------------------------------------
+    // 0.25 keeps the no-rules nested-loop baselines (O(n·m·p) on the
+    // three-side query) in the tens-of-seconds range; the asymmetry only
+    // grows with scale.
+    let xmark = xmark_at(0.25);
+
+    // Soundness gate before any timing: every configuration must agree
+    // byte-for-byte, or the speedup below is measuring a wrong answer.
+    for (name, q) in JOIN_QUERIES {
+        let reference = run_query(&xmark, RuleSet::all(), q);
+        for (cfg_name, rules) in join_configs() {
+            assert_eq!(
+                run_query(&xmark, rules, q),
+                reference,
+                "{name}: `{cfg_name}` diverged from all-rules"
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("T18_join_rules");
+    g.sample_size(3);
+    for (name, q) in JOIN_QUERIES {
+        for (cfg_name, rules) in join_configs() {
+            g.bench_with_input(BenchmarkId::new(cfg_name, name), &q, |b, q| {
+                let ex = Executor::new(&xmark).with_rules(rules);
+                b.iter(|| black_box(ex.query(q).expect("bench query evaluates").len()))
+            });
+        }
+    }
+    g.finish();
+
+    // Median table + trajectory file. Fresh executor per run: the plan
+    // cache would otherwise hide compile + optimize time differences.
+    println!("\n== T18 join-rule medians (xmark@0.25, median of 5) ==");
+    let mut rows = Vec::new();
+    for (name, q) in JOIN_QUERIES {
+        let mut medians = Vec::new();
+        for (cfg_name, rules) in join_configs() {
+            let t = median_time(5, || {
+                black_box(run_query(&xmark, rules, q).len());
+            });
+            medians.push((cfg_name, t.as_secs_f64() * 1e3));
+        }
+        let all_ms = medians[0].1;
+        let bare_ms = medians[2].1;
+        println!(
+            "{name}: all {:.2}ms, no-join-isolation {:.2}ms, no-rules {:.2}ms ({:.1}x)",
+            medians[0].1,
+            medians[1].1,
+            bare_ms,
+            bare_ms / all_ms.max(1e-9),
+        );
+        rows.push(format!(
+            "    {{\"query\": \"{name}\", \"all_rules_ms\": {:.3}, \
+             \"no_join_isolation_ms\": {:.3}, \"no_rules_ms\": {:.3}, \
+             \"speedup_vs_no_rules\": {:.2}}}",
+            medians[0].1,
+            medians[1].1,
+            bare_ms,
+            bare_ms / all_ms.max(1e-9),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"T18_join_rules\",\n  \"doc\": \"xmark@0.25\",\n  \
+         \"configs\": [\"all_rules\", \"no_join_isolation\", \"no_rules\"],\n  \
+         \"queries\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("-- T18 trajectory written to BENCH_join.json"),
+        Err(e) => eprintln!("-- T18 trajectory not written: {e}"),
+    }
 }
 
 criterion_group!(benches, bench);

@@ -51,6 +51,9 @@ struct Cli {
     /// Exact case seed to replay (`fuzz --replay`), bypassing the master
     /// PRNG entirely.
     replay: Option<u64>,
+    /// Join mode for `fuzz`: join-shaped cases plus the optimizer-rule
+    /// ablation leg.
+    joins: bool,
     /// Resource limits applied to query commands (none by default).
     limits: QueryLimits,
 }
@@ -64,6 +67,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut seed = 1u64;
     let mut iters = 100u64;
     let mut replay = None;
+    let mut joins = false;
     let mut limits = QueryLimits::none();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -88,6 +92,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let v = it.next().ok_or("--replay needs a case seed")?;
                 replay = Some(v.parse().map_err(|_| format!("bad case seed `{v}`"))?);
             }
+            "--joins" => joins = true,
             "--timeout-ms" => {
                 let v = it.next().ok_or("--timeout-ms needs a value")?;
                 let ms: u64 = v.parse().map_err(|_| format!("bad timeout `{v}`"))?;
@@ -140,6 +145,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         seed,
         iters,
         replay,
+        joins,
         limits,
     })
 }
@@ -155,13 +161,17 @@ USAGE:
   xqp race    <file.xml> <path>
   xqp save    <file.xml> <dir>
   xqp open    <dir> <xquery>
-  xqp fuzz    [--seed N] [--iters K] [--replay CASE_SEED]
+  xqp fuzz    [--seed N] [--iters K] [--joins] [--replay CASE_SEED]
   xqp torture [--seed N] [--iters K]
 
   `fuzz` cross-checks K random FLWOR workloads across every strategy ×
   evaluation mode (and a save/open round trip), shrinking any divergence
   or panic to a minimal repro; exits non-zero when one is found.
-  `--replay` re-runs one case seed from a failure report.
+  `--joins` switches to join-shaped cases and additionally cross-checks
+  every optimizer-rule ablation (all rules, none, each join rewrite
+  knocked out) against the all-rules reference.
+  `--replay` re-runs one case seed from a failure report (join seeds
+  need `--joins` here too — the two generators share a seed space).
 
   `torture` replays K injected I/O faults (soft + simulated power cut)
   against durable-store update workloads, asserting that every fault
@@ -356,7 +366,7 @@ fn run_fuzz(cli: &Cli) -> Result<(), String> {
     // report) — distinct from `--seed`, which seeds the master PRNG that
     // case seeds are drawn from.
     if let Some(case_seed) = cli.replay {
-        let cfg = FuzzConfig::default();
+        let cfg = FuzzConfig { joins: cli.joins, ..FuzzConfig::default() };
         eprintln!("-- fuzz: replaying case seed {case_seed}");
         return match with_quiet_panics(|| run_seed(case_seed, &cfg)) {
             None => {
@@ -369,8 +379,14 @@ fn run_fuzz(cli: &Cli) -> Result<(), String> {
             }
         };
     }
-    let cfg = FuzzConfig { seed: cli.seed, iters: cli.iters, ..FuzzConfig::default() };
-    eprintln!("-- fuzz: {} iteration(s) from master seed {}", cfg.iters, cfg.seed);
+    let cfg =
+        FuzzConfig { seed: cli.seed, iters: cli.iters, joins: cli.joins, ..FuzzConfig::default() };
+    eprintln!(
+        "-- fuzz: {} {}iteration(s) from master seed {}",
+        cfg.iters,
+        if cfg.joins { "join-shaped " } else { "" },
+        cfg.seed
+    );
     let t = Instant::now();
     let summary = fuzz(&cfg);
     let dt = t.elapsed();
@@ -505,6 +521,8 @@ mod tests {
         let cli = parse_args(&sv(&["fuzz", "--seed", "42", "--iters", "5000"])).unwrap();
         assert_eq!(cli.seed, 42);
         assert_eq!(cli.iters, 5000);
+        assert!(!cli.joins);
+        assert!(parse_args(&sv(&["fuzz", "--joins"])).unwrap().joins);
         assert!(parse_args(&sv(&["fuzz", "--seed", "not-a-number"])).is_err());
         assert!(parse_args(&sv(&["fuzz", "--iters"])).is_err());
         // Stray positionals after `fuzz` are rejected.

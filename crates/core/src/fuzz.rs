@@ -17,8 +17,10 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use xqp_exec::differential::{check_budget_matrix, check_matrix, check_select_matrix, Outcome};
-use xqp_gen::qgen::{gen_case, GenCase};
+use xqp_exec::differential::{
+    check_budget_matrix, check_matrix, check_rules_matrix, check_select_matrix, Outcome,
+};
+use xqp_gen::qgen::{gen_case, gen_join_case, GenCase};
 use xqp_gen::Prng;
 use xqp_storage::SuccinctDoc;
 
@@ -35,6 +37,11 @@ pub struct FuzzConfig {
     pub max_shrink_steps: usize,
     /// Stop after this many distinct failures.
     pub max_failures: usize,
+    /// Join mode: derive join-shaped cases ([`gen_join_case`]) and push
+    /// each through the optimizer-rule ablation leg as well — every rule
+    /// set (all, none, each new rule knocked out) must agree across the
+    /// full engine matrix.
+    pub joins: bool,
 }
 
 impl Default for FuzzConfig {
@@ -45,6 +52,7 @@ impl Default for FuzzConfig {
             check_persistence: true,
             max_shrink_steps: 160,
             max_failures: 5,
+            joins: false,
         }
     }
 }
@@ -213,7 +221,7 @@ fn outcome_of(res: Result<String, crate::Error>) -> Outcome {
 
 /// Generate, check, and (on failure) shrink the case for one seed.
 pub fn run_seed(case_seed: u64, cfg: &FuzzConfig) -> Option<FuzzFailure> {
-    let case = gen_case(case_seed);
+    let case = if cfg.joins { gen_join_case(case_seed) } else { gen_case(case_seed) };
     let report = check_one(&case, cfg)?;
     let (min_case, min_report) = shrink(case, report, cfg);
     Some(FuzzFailure {
@@ -230,12 +238,28 @@ fn check_one(case: &GenCase, cfg: &FuzzConfig) -> Option<String> {
     if let Err(report) = check_case(&xml, &case.query_text(), cfg.check_persistence) {
         return Some(report);
     }
+    if cfg.joins {
+        if let Err(report) = check_rules(&xml, &case.query_text()) {
+            return Some(report);
+        }
+    }
     if let Some(probe) = &case.probe {
         if let Err(report) = check_path(&xml, &probe.render()) {
             return Some(report);
         }
     }
     None
+}
+
+/// Check one (document, query) pair across the optimizer-rule ablation
+/// matrix: the all-rules reference versus each named ablation under every
+/// engine configuration. `Err` carries a human-readable divergence report.
+pub fn check_rules(xml: &str, query: &str) -> Result<(), String> {
+    let doc = match SuccinctDoc::parse(xml) {
+        Ok(d) => d,
+        Err(e) => return Err(format!("document failed to parse: {e}")),
+    };
+    check_rules_matrix(&doc, query).map_err(|report| format!("optimizer rule leg:\n{report}"))
 }
 
 /// Greedy shrink: keep the first candidate that still fails, iterate to a

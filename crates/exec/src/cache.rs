@@ -169,6 +169,9 @@ fn rules_fingerprint(r: &RuleSet) -> u32 {
         r.dead_let,
         r.const_fold,
         r.where_pushdown,
+        r.predicate_pushdown,
+        r.projection_pushdown,
+        r.join_isolation,
     ]
     .iter()
     .enumerate()

@@ -23,6 +23,7 @@ use crate::XqError;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use xqp_algebra::RuleSet;
 use xqp_storage::SuccinctDoc;
 
 /// One engine configuration of the differential matrix.
@@ -206,6 +207,73 @@ pub fn check_budget_matrix(doc: &SuccinctDoc, query: &str) -> Result<(), Diverge
         Ok(())
     } else {
         Err(Divergence { reference: (ref_cfg, want), disagreements })
+    }
+}
+
+/// Run `query` under one configuration with an explicit optimizer rule
+/// set, capturing panics. This is [`run_config`] with the rule axis
+/// exposed: the ablation leg of the oracle uses it to check that every
+/// rewrite is semantics-preserving under every engine configuration.
+pub fn run_config_rules(
+    doc: &SuccinctDoc,
+    query: &str,
+    cfg: EngineConfig,
+    rules: RuleSet,
+) -> Outcome {
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        Executor::new(doc)
+            .with_strategy(cfg.strategy)
+            .with_eval_mode(cfg.mode)
+            .with_rules(rules)
+            .query(query)
+    }));
+    match res {
+        Ok(Ok(v)) => Outcome::Value(v),
+        Ok(Err(e)) => Outcome::Error(e.to_string()),
+        Err(payload) => Outcome::Panic(panic_message(payload)),
+    }
+}
+
+/// The named rule ablations of the optimizer leg: everything off (the
+/// un-rewritten plan is the semantic baseline), plus each high-level
+/// rewrite knocked out of the full set one at a time. Any rewrite that
+/// changes a result shows up as a disagreement between an ablation and
+/// the all-rules reference.
+pub fn rule_ablations() -> Vec<(&'static str, RuleSet)> {
+    vec![
+        ("rules:none", RuleSet::none()),
+        ("no-flwor-to-tpm", RuleSet { flwor_to_tpm: false, ..RuleSet::all() }),
+        ("no-predicate-pushdown", RuleSet { predicate_pushdown: false, ..RuleSet::all() }),
+        ("no-projection-pushdown", RuleSet { projection_pushdown: false, ..RuleSet::all() }),
+        ("no-join-isolation", RuleSet { join_isolation: false, ..RuleSet::all() }),
+    ]
+}
+
+/// Optimizer-rule leg of the differential oracle: the all-rules reference
+/// configuration versus every [`rule_ablations`] entry under the full
+/// `Strategy × EvalMode` matrix. Values must be byte-identical and errors
+/// must agree as a class across rule sets — an optimizer rewrite may never
+/// change what a query *means*, only how it runs. `Err` carries a
+/// human-readable report naming the ablation and configuration.
+pub fn check_rules_matrix(doc: &SuccinctDoc, query: &str) -> Result<(), String> {
+    let ref_cfg = reference();
+    let want = run_config(doc, query, ref_cfg);
+    if matches!(want, Outcome::Panic(_)) {
+        return Err(format!("reference {ref_cfg} [rules:all]: {want}"));
+    }
+    let mut report = String::new();
+    for (name, rules) in rule_ablations() {
+        for cfg in full_matrix() {
+            let got = run_config_rules(doc, query, cfg, rules);
+            if !got.agrees_with(&want) {
+                report.push_str(&format!("  {cfg} [{name}]: {got}\n"));
+            }
+        }
+    }
+    if report.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("reference {ref_cfg} [rules:all]: {want}\n{report}"))
     }
 }
 
@@ -404,6 +472,34 @@ mod tests {
             QueryLimits::none().with_max_rows(1000).with_max_memory(100_000),
         );
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rules_matrix_agrees_on_join_query() {
+        let d = SuccinctDoc::parse(
+            "<r><a k=\"1\">x</a><a k=\"2\">y</a><b k=\"2\">z</b><b k=\"1\">w</b></r>",
+        )
+        .unwrap();
+        let q = "for $x in doc()/r/a for $y in doc()/r/b \
+                 where $x/@k = $y/@k return <p>{$x}{$y}</p>";
+        check_rules_matrix(&d, q).unwrap_or_else(|report| panic!("rule leg diverged:\n{report}"));
+    }
+
+    #[test]
+    fn rules_matrix_agrees_when_reference_errors() {
+        let d = sdoc();
+        // Errors agree as a class across rule sets too.
+        check_rules_matrix(&d, "for $x in doc()/a let $y := 1 div 0 return $y").unwrap();
+    }
+
+    #[test]
+    fn rule_ablations_cover_the_new_rules() {
+        let names: Vec<&str> = rule_ablations().iter().map(|(n, _)| *n).collect();
+        for needle in
+            ["rules:none", "no-predicate-pushdown", "no-projection-pushdown", "no-join-isolation"]
+        {
+            assert!(names.contains(&needle), "{names:?} misses {needle}");
+        }
     }
 
     #[test]

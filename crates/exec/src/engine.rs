@@ -199,6 +199,7 @@ impl<'a> Executor<'a> {
         if !rendering.ends_with('\n') {
             rendering.push('\n');
         }
+        rendering.push_str(&render_optimizer(&plan.report));
         if let Some(phys) = &plan.physical {
             rendering.push_str(&phys.render(self.mode));
         }
@@ -295,6 +296,29 @@ fn decorate_error(e: XqError, query: &str, started: Instant) -> XqError {
         q.push('…');
     }
     XqError::new(format!("{} (query `{q}`, after {elapsed} ms)", e.0))
+}
+
+/// Render the optimizer trace: one line per attempted rule pass in pipeline
+/// order, with the plan diff of every firing indented beneath it. Empty for
+/// non-FLWOR queries (no pipeline ran).
+fn render_optimizer(report: &RewriteReport) -> String {
+    if report.passes.is_empty() {
+        return String::new();
+    }
+    let fired = report.passes.iter().filter(|p| p.fired).count();
+    let mut out = format!(
+        "-- optimizer: {} passes, {} fired (budget {})\n",
+        report.passes.len(),
+        fired,
+        xqp_algebra::REWRITE_BUDGET,
+    );
+    for p in &report.passes {
+        out.push_str(&format!("   {}: {}\n", p.rule, if p.fired { "fired" } else { "no match" }));
+        for d in &p.diff {
+            out.push_str(&format!("     {d}\n"));
+        }
+    }
+    out
 }
 
 /// The first FLWOR pipeline embedded in a constructor's schema tree — the

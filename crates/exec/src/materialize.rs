@@ -19,9 +19,18 @@ use crate::planner;
 use std::cell::RefCell;
 use xqp_algebra::env::{Bindings, Env};
 use xqp_algebra::plan::TpmVar;
-use xqp_algebra::{Expr, Item, LogicalPlan};
+use xqp_algebra::{Expr, Item, JoinEdge, JoinSideDef, LogicalPlan};
 use xqp_storage::SNodeId;
 use xqp_xpath::PatternGraph;
+
+/// The conjunction of a join graph's edges as one boolean expression
+/// (`None` when there are no edges — a bare cross product).
+pub(crate) fn join_edge_condition(sides: &[JoinSideDef], edges: &[JoinEdge]) -> Option<Expr> {
+    edges
+        .iter()
+        .map(|e| e.as_expr(sides))
+        .reduce(|acc, next| Expr::And(Box::new(acc), Box::new(next)))
+}
 
 impl Evaluator<'_, '_> {
     /// Evaluate a FLWOR plan to its result sequence by materializing the
@@ -110,6 +119,32 @@ impl Evaluator<'_, '_> {
             LogicalPlan::TpmBind { input, pattern, vars } => {
                 let mut env = self.build_env(input, scope)?;
                 self.tpm_bind(&mut env, pattern, vars)?;
+                env
+            }
+            LogicalPlan::JoinGraph { input, sides, edges } => {
+                // Reference semantics for the hash join: the plain nested
+                // loop — one for-layer per side, then filter by the edge
+                // conjunction.
+                let mut env = self.build_env(input, scope)?;
+                for s in sides {
+                    self.extend(&mut env, &s.var, &s.source, scope, true)?;
+                }
+                if let Some(cond) = join_edge_condition(sides, edges) {
+                    let err: RefCell<Option<XqError>> = RefCell::new(None);
+                    env.filter(|b| {
+                        let s = scope_from_bindings(scope, b);
+                        match self.eval(&cond, &s) {
+                            Ok(v) => naive::ebv(&v),
+                            Err(e) => {
+                                err.borrow_mut().get_or_insert(e);
+                                false
+                            }
+                        }
+                    });
+                    if let Some(e) = err.into_inner() {
+                        return Err(e);
+                    }
+                }
                 env
             }
             LogicalPlan::ReturnClause { .. } => {

@@ -36,13 +36,13 @@ use crate::eval::{Evaluator, Scope};
 use crate::naive;
 use crate::nok;
 use crate::planner::{self, Strategy};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use xqp_algebra::plan::{OrderKey, TpmVar};
-use xqp_algebra::{CostModel, Expr, Item, LogicalPlan, PathOp, TpmAccess};
+use xqp_algebra::{CostModel, Expr, Item, JoinEdge, JoinSideDef, LogicalPlan, PathOp, TpmAccess};
 use xqp_storage::SNodeId;
-use xqp_xpath::PatternGraph;
+use xqp_xpath::{PathExpr, PatternGraph};
 
 /// Soft cap on rows per batch. Small enough to keep intermediate bindings
 /// bounded (experiment E16), large enough to amortize per-batch dispatch.
@@ -286,6 +286,24 @@ pub enum PhysNode {
         /// Estimate/actuals annotation.
         info: OpInfo,
     },
+    /// An isolated ⋈v join graph (rewrite R12): per input row, evaluates
+    /// each side's sequence once, builds a string-keyed hash table per edge
+    /// and probes in side order — replacing the nested-loop cross product
+    /// while emitting rows in exactly its (lexicographic) order.
+    HashJoin {
+        /// Upstream operator.
+        input: Box<PhysNode>,
+        /// Join sides, in FLWOR source order.
+        sides: Vec<JoinSideDef>,
+        /// Equi-join edges between sides.
+        edges: Vec<JoinEdge>,
+        /// The cost model's preferred build order — an enumeration audit
+        /// trail only; execution keeps source order, which FLWOR tuple
+        /// order makes observable.
+        order: Vec<usize>,
+        /// Estimate/actuals annotation.
+        info: OpInfo,
+    },
     /// `return expr` — evaluates the return expression once per row and
     /// concatenates (γ when the expression is a constructor).
     Construct {
@@ -308,6 +326,7 @@ impl PhysNode {
             | PhysNode::Filter { input, .. }
             | PhysNode::Sort { input, .. }
             | PhysNode::TpmScan { input, .. }
+            | PhysNode::HashJoin { input, .. }
             | PhysNode::Construct { input, .. } => Some(input),
         }
     }
@@ -321,6 +340,7 @@ impl PhysNode {
             | PhysNode::Filter { info, .. }
             | PhysNode::Sort { info, .. }
             | PhysNode::TpmScan { info, .. }
+            | PhysNode::HashJoin { info, .. }
             | PhysNode::Construct { info, .. } => info,
         }
     }
@@ -360,6 +380,17 @@ impl PhysNode {
                     fmt_est(*n),
                     fmt_est(*t),
                     fmt_est(*b),
+                )
+            }
+            PhysNode::HashJoin { sides, edges, order, .. } => {
+                let vs: Vec<String> = sides.iter().map(|s| format!("${}", s.var)).collect();
+                let es: Vec<String> = edges.iter().map(|e| e.render(sides)).collect();
+                let os: Vec<String> = order.iter().map(|i| format!("${}", sides[*i].var)).collect();
+                format!(
+                    "hash-join [{}] on [{}] cost-order=[{}]",
+                    vs.join(" ⋈ "),
+                    es.join(", "),
+                    os.join(", "),
                 )
             }
             PhysNode::Construct { expr, .. } => format!("construct {expr}"),
@@ -511,6 +542,18 @@ pub fn lower(
                 ),
                 info,
             },
+            LogicalPlan::JoinGraph { sides, edges, .. } => {
+                let cards: Vec<f64> =
+                    sides.iter().map(|s| cm.expr_cardinality(&s.source)).collect();
+                let pairs: Vec<(usize, usize)> = edges.iter().map(|e| (e.left, e.right)).collect();
+                PhysNode::HashJoin {
+                    input: boxed(node)?,
+                    sides: sides.clone(),
+                    edges: edges.clone(),
+                    order: cm.choose_join_graph_order(&cards, &pairs),
+                    info,
+                }
+            }
             LogicalPlan::ReturnClause { expr, .. } => {
                 PhysNode::Construct { input: boxed(node)?, expr: expr.clone(), info }
             }
@@ -574,6 +617,15 @@ enum Src<'x> {
         done: bool,
         info: &'x OpInfo,
     },
+    Join {
+        input: Box<Src<'x>>,
+        sides: &'x [JoinSideDef],
+        edges: &'x [JoinEdge],
+        /// Fully joined rows awaiting emission (live-counted while queued).
+        out: VecDeque<Row>,
+        done: bool,
+        info: &'x OpInfo,
+    },
 }
 
 /// Scope for evaluating expressions under one row's bindings.
@@ -610,6 +662,14 @@ impl<'x> Src<'x> {
                 result: None,
                 queue: VecDeque::new(),
                 work: Vec::new(),
+                done: false,
+                info,
+            },
+            PhysNode::HashJoin { input, sides, edges, info, .. } => Src::Join {
+                input: Box::new(Src::build(input)?),
+                sides,
+                edges,
+                out: VecDeque::new(),
                 done: false,
                 info,
             },
@@ -775,8 +835,215 @@ impl<'x> Src<'x> {
                 info.record(ev, out.len());
                 Ok(Some(out))
             }
+            Src::Join { input, sides, edges, out, done, info } => {
+                let mut batch = Vec::new();
+                loop {
+                    while batch.len() < BATCH_SIZE {
+                        let Some(row) = out.pop_front() else { break };
+                        ev.ctx.bindings_dead(1);
+                        batch.push(row);
+                    }
+                    if batch.len() >= BATCH_SIZE || *done {
+                        break;
+                    }
+                    match input.next_batch(ev, scope)? {
+                        Some(rows) => {
+                            for row in rows {
+                                expand_join_row(ev, scope, sides, edges, &row, out)?;
+                            }
+                        }
+                        None => *done = true,
+                    }
+                }
+                if batch.is_empty() {
+                    return Ok(None);
+                }
+                info.record(ev, batch.len());
+                Ok(Some(batch))
+            }
         }
     }
+}
+
+/// String hash keys for every item of one join side under an optional
+/// relative key path: the atomizations of the key expression's result.
+/// `Ok(None)` when any key value atomizes outside the string domain —
+/// impossible for R12-isolated joins (sides are node sequences, and node
+/// atomization always yields an untyped string), but a hand-built plan
+/// could do it, and hash equality is only exact for strings; that edge
+/// then degrades to evaluating its reference predicate per candidate.
+fn side_key_sets(
+    ev: &Evaluator<'_, '_>,
+    scope: &Scope<'_>,
+    base: &Row,
+    var: &str,
+    key: &Option<PathExpr>,
+    seq: &Val,
+) -> Result<Option<Vec<Vec<String>>>, XqError> {
+    let key_expr = key.as_ref().map(|p| Expr::var_path(var, p.clone()));
+    let mut out = Vec::with_capacity(seq.len());
+    for item in seq {
+        let val: Val = match &key_expr {
+            None => vec![item.clone()],
+            Some(e) => {
+                let bound = base.bind(var, vec![item.clone()]);
+                let s = row_scope(scope, &bound);
+                ev.eval(e, &s)?
+            }
+        };
+        let mut keys = Vec::with_capacity(val.len());
+        for atom in ev.ctx.atomize(&val) {
+            match atom {
+                xqp_xml::Atomic::Str(s) => keys.push(s),
+                _ => return Ok(None),
+            }
+        }
+        out.push(keys);
+    }
+    Ok(Some(out))
+}
+
+/// Per-item string key sets for one side of an edge.
+type KeySets = Vec<Vec<String>>;
+/// Hash table from key to the later side's ascending item indexes.
+type KeyIndex = HashMap<String, Vec<usize>>;
+
+/// One edge, prepared for probing: the earlier side's per-item key sets
+/// plus a hash table over the later side's items (`aid`), or — when the
+/// keys left the string domain — just the reference predicate.
+struct EdgeProbe {
+    lo: usize,
+    hi: usize,
+    aid: Option<(KeySets, KeyIndex)>,
+    pred: Expr,
+}
+
+/// Ascending-sorted intersection of two ascending index lists.
+fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Expand one upstream row through the join graph: evaluate each side's
+/// sequence (stopping at the first empty side, exactly like the nested
+/// loop, which never reaches a later `for` source once an earlier one
+/// produced nothing), build one hash table per edge, then probe stage by
+/// stage in side order. Candidates stay in ascending item order at every
+/// stage, so rows come out in exactly the nested-loop order.
+fn expand_join_row(
+    ev: &Evaluator<'_, '_>,
+    scope: &Scope<'_>,
+    sides: &[JoinSideDef],
+    edges: &[JoinEdge],
+    base: &Row,
+    out: &mut VecDeque<Row>,
+) -> Result<(), XqError> {
+    let mut seqs: Vec<Val> = Vec::with_capacity(sides.len());
+    for side in sides {
+        let s = row_scope(scope, base);
+        let seq = ev.eval(&side.source, &s)?;
+        let empty = seq.is_empty();
+        seqs.push(seq);
+        // The build side is held in full; charge it against the memory
+        // budget as it accumulates, before any probing starts.
+        ev.ctx.governor_check_mem(seqs.iter().map(|q| q.len() as u64).sum())?;
+        if empty {
+            return Ok(());
+        }
+    }
+    let mut probes: Vec<EdgeProbe> = Vec::with_capacity(edges.len());
+    for e in edges {
+        // Normalize so the probe always runs at the *later* stage, where
+        // the earlier side's item is already chosen.
+        let (lo, lo_key, hi, hi_key) = if e.left < e.right {
+            (e.left, &e.left_key, e.right, &e.right_key)
+        } else {
+            (e.right, &e.right_key, e.left, &e.left_key)
+        };
+        let lo_keys = side_key_sets(ev, scope, base, &sides[lo].var, lo_key, &seqs[lo])?;
+        let hi_keys = side_key_sets(ev, scope, base, &sides[hi].var, hi_key, &seqs[hi])?;
+        let aid = match (lo_keys, hi_keys) {
+            (Some(lo_keys), Some(hi_keys)) => {
+                let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+                for (idx, keys) in hi_keys.into_iter().enumerate() {
+                    for k in keys {
+                        let slot = table.entry(k).or_default();
+                        // An item may carry duplicate keys; index it once.
+                        if slot.last() != Some(&idx) {
+                            slot.push(idx);
+                        }
+                    }
+                }
+                Some((lo_keys, table))
+            }
+            _ => None,
+        };
+        probes.push(EdgeProbe { lo, hi, aid, pred: e.as_expr(sides) });
+    }
+    join_probe(ev, scope, sides, &seqs, &probes, 0, &mut Vec::new(), base, out)
+}
+
+/// Probe one stage of the join: intersect the hash hits of every edge
+/// landing on this stage (full scan when none), bind each surviving item
+/// and recurse; a finished combination is pushed as an output row.
+#[allow(clippy::too_many_arguments)]
+fn join_probe(
+    ev: &Evaluator<'_, '_>,
+    scope: &Scope<'_>,
+    sides: &[JoinSideDef],
+    seqs: &[Val],
+    probes: &[EdgeProbe],
+    stage: usize,
+    chosen: &mut Vec<usize>,
+    row: &Row,
+    out: &mut VecDeque<Row>,
+) -> Result<(), XqError> {
+    if stage == sides.len() {
+        out.push_back(row.clone());
+        ev.ctx.bindings_live(1);
+        ev.ctx.governor_check()?;
+        return Ok(());
+    }
+    let mut cand: Option<Vec<usize>> = None;
+    for p in probes.iter().filter(|p| p.hi == stage) {
+        let Some((lo_keys, table)) = &p.aid else { continue };
+        let mut hits: Vec<usize> = lo_keys[chosen[p.lo]]
+            .iter()
+            .flat_map(|k| table.get(k).into_iter().flatten().copied())
+            .collect();
+        hits.sort_unstable();
+        hits.dedup();
+        cand = Some(match cand {
+            None => hits,
+            Some(prev) => intersect_sorted(&prev, &hits),
+        });
+    }
+    let cand = cand.unwrap_or_else(|| (0..seqs[stage].len()).collect());
+    'next: for idx in cand {
+        let next = row.bind(&sides[stage].var, vec![seqs[stage][idx].clone()]);
+        for p in probes.iter().filter(|p| p.hi == stage && p.aid.is_none()) {
+            let s = row_scope(scope, &next);
+            if !naive::ebv(&ev.eval(&p.pred, &s)?) {
+                continue 'next;
+            }
+        }
+        chosen.push(idx);
+        join_probe(ev, scope, sides, seqs, probes, stage + 1, chosen, &next, out)?;
+        chosen.pop();
+    }
+    Ok(())
 }
 
 /// Expand one depth-first frame: bind `vars[layer]` for `row` through the

@@ -1205,6 +1205,120 @@ pub fn gen_case(seed: u64) -> GenCase {
     GenCase { doc, query, probe }
 }
 
+// ---- join-shaped generation ----------------------------------------------
+
+/// Tag families of the join document; keys collide across families so
+/// equi-edges produce real matches (and real misses) instead of joining
+/// nothing.
+const JOIN_TAGS: &[&str] = &["a", "b", "c"];
+
+fn one_step_path(sep: &'static str, test: &str) -> QPath {
+    QPath { steps: vec![QStep { sep, test: test.to_string(), pred: None }] }
+}
+
+/// A key endpoint for one join side: mostly `$v/@k` (the canonical
+/// equi-edge shape), sometimes the keyed child element or the bare
+/// variable (string-value keys).
+fn join_key(rng: &mut Prng, v: u32) -> QExpr {
+    match rng.gen_range(0..10u32) {
+        0..=5 => QExpr::VarPath(v, one_step_path("/", "@k")),
+        6 | 7 => QExpr::VarPath(v, one_step_path("/", "d")),
+        _ => QExpr::Var(v),
+    }
+}
+
+/// Generate a *join-shaped* case for `seed`: two or three `for` clauses
+/// over doc-rooted paths against a flat keyed forest, with a `where` that
+/// always carries at least one cross-binding comparison. Mostly `=`
+/// equi-edges over independent bindings — the exact shape the
+/// join-isolation rewrite extracts and the hash join executes — but with
+/// occasional non-equi operators, dependent bindings, and residual
+/// conjuncts so the rewrite's must-not-fire boundaries sit inside the
+/// differential oracle too. Deterministic like [`gen_case`], but drawn
+/// from a decorrelated stream: the same seed yields unrelated plain and
+/// join cases.
+pub fn gen_join_case(seed: u64) -> GenCase {
+    let mut rng = Prng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+
+    // Document: a flat forest of keyed elements. Keys draw from a domain
+    // of four values, so every join has collisions, duplicates, and misses.
+    let mut root = GenNode::leaf("r");
+    let n = 4 + rng.gen_range(0..10usize);
+    for _ in 0..n {
+        let mut node = GenNode::leaf(rng.pick(JOIN_TAGS));
+        node.attrs.push(("k", rng.gen_range(0i64..4)));
+        if rng.gen_bool(0.5) {
+            node.text = Some(Payload::Int(rng.gen_range(0i64..4)));
+        }
+        if rng.gen_bool(0.4) {
+            let mut child = GenNode::leaf("d");
+            child.text = Some(Payload::Int(rng.gen_range(0i64..4)));
+            node.children.push(child);
+        }
+        root.children.push(node);
+    }
+
+    // Sides: independent doc-rooted `for` clauses, with the occasional
+    // dependent binding (whose run the isolation rule must refuse to cut).
+    let nsides = 2 + rng.gen_range(0..2usize) as u32;
+    let mut binds = Vec::with_capacity(nsides as usize);
+    for v in 0..nsides {
+        let tag = rng.pick(JOIN_TAGS);
+        let dependent = v > 0 && rng.gen_bool(0.15);
+        let src = if dependent {
+            QExpr::VarPath(v - 1, one_step_path("/", "d"))
+        } else if rng.gen_bool(0.6) {
+            QExpr::DocPath(QPath {
+                steps: vec![
+                    QStep { sep: "/", test: "r".to_string(), pred: None },
+                    QStep { sep: "/", test: tag.to_string(), pred: None },
+                ],
+            })
+        } else {
+            QExpr::DocPath(one_step_path("//", tag))
+        };
+        binds.push(QBind::For(v, src));
+    }
+
+    // Edges: one per side past the first, each back to an earlier side.
+    // `=` dominates; non-equi operators keep nested-loop-only shapes in
+    // the corpus.
+    let mut wher: Option<QExpr> = None;
+    for i in 1..nsides {
+        let j = rng.gen_range(0..i);
+        let op = if rng.gen_bool(0.8) { "=" } else { rng.pick(&["!=", "<", ">="]) };
+        let edge = QExpr::Cmp(op, Box::new(join_key(&mut rng, j)), Box::new(join_key(&mut rng, i)));
+        wher = Some(match wher {
+            None => edge,
+            Some(w) => QExpr::Logic("and", Box::new(w), Box::new(edge)),
+        });
+    }
+    if rng.gen_bool(0.4) {
+        let side = rng.gen_range(0..nsides);
+        let residual = QExpr::Cmp(
+            rng.pick(CMP_OPS),
+            Box::new(QExpr::VarPath(side, one_step_path("/", "@k"))),
+            Box::new(QExpr::Int(rng.gen_range(0i64..4))),
+        );
+        wher = Some(QExpr::Logic("and", Box::new(wher.take().unwrap()), Box::new(residual)));
+    }
+
+    let order = if rng.gen_bool(0.3) {
+        let v = rng.gen_range(0..nsides);
+        vec![(QExpr::VarPath(v, one_step_path("/", "@k")), rng.gen_bool(0.3))]
+    } else {
+        vec![]
+    };
+
+    // Returns reuse the general generator so joins feed constructors,
+    // aggregates, and nested FLWORs — not just bare variables.
+    let scope: Vec<u32> = (0..nsides).collect();
+    let mut g = Gen { rng: &mut rng, vocab: TREE_VOCAB, next_var: nsides };
+    let ret = g.ret(&scope, 1);
+
+    GenCase { doc: GenDoc::Tree(root), query: QFlwor { binds, wher, order, ret }, probe: None }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1275,6 +1389,36 @@ mod tests {
             let probe = c.probe.as_ref().unwrap_or_else(|| panic!("seed {seed}: no probe"));
             assert!(!probe.render().is_empty(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn join_cases_are_deterministic_and_join_shaped() {
+        for seed in 0..100 {
+            let a = gen_join_case(seed);
+            let b = gen_join_case(seed);
+            assert_eq!(a, b, "seed {seed}");
+            // Always at least two bindings and a cross-binding where.
+            assert!(a.query.binds.len() >= 2, "seed {seed}");
+            let q = a.query_text();
+            assert!(q.contains("where"), "seed {seed}: {q}");
+            assert!(q.contains("$v0") && q.contains("$v1"), "seed {seed}: {q}");
+            xqp_xml::parse_document(&a.doc_xml()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn join_cases_mostly_carry_equi_edges_and_shrink() {
+        let mut equi = 0;
+        for seed in 0..100 {
+            let c = gen_join_case(seed);
+            if c.query_text().contains(" = ") {
+                equi += 1;
+            }
+            for cand in c.shrink_candidates() {
+                assert_ne!(cand, c, "seed {seed} produced an identical shrink candidate");
+            }
+        }
+        assert!(equi >= 60, "only {equi}/100 join cases had an equi-edge");
     }
 
     #[test]

@@ -33,6 +33,12 @@ echo "== differential fuzz smoke: 200 fresh cases across the engine matrix =="
 FUZZ_SEED=$((16#$(git rev-parse --short=8 HEAD 2>/dev/null || echo 1)))
 ./target/release/xqp fuzz --seed "$FUZZ_SEED" --iters 200
 
+echo "== optimizer-rule fuzz smoke: 200 join-shaped cases across every rule ablation =="
+# Join-shaped generator + the rule leg: every case is additionally checked
+# with all rules / no rules / each of R10-R12 disabled against the
+# all-rules reference, under all 12 Strategy x EvalMode configurations.
+./target/release/xqp fuzz --joins --seed "$FUZZ_SEED" --iters 200
+
 echo "== fault-injection torture smoke: 300 seeded I/O fault points =="
 # Same commit-derived seed: reproducible from the log, different slice of
 # the fault space per commit. Any recovery-invariant violation fails CI.

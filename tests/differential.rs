@@ -269,6 +269,38 @@ fn seed_index_probe_string_range() {
     assert_seed_clean(13317283848084137822);
 }
 
+/// Replay a *join-shaped* fuzz case seed: the generated case runs through
+/// the engine matrix, the governor budget leg, the persistence round trip,
+/// **and** the optimizer-rule ablation leg (all rules vs. none vs. each
+/// join rewrite knocked out, under all 12 configurations).
+fn assert_join_seed_clean(case_seed: u64) {
+    let cfg = FuzzConfig { joins: true, ..FuzzConfig::default() };
+    if let Some(failure) = xqp::fuzz::with_quiet_panics(|| run_seed(case_seed, &cfg)) {
+        panic!("join regression seed {case_seed} failed again:\n{failure}");
+    }
+}
+
+/// Join-corpus pins covering the shapes the join-isolation rewrite and
+/// hash join must get right — harvested from `xqp fuzz --joins` runs
+/// (clean at 1300+ iterations when pinned). Each seed names its shape:
+///
+/// * `2`  — the canonical 2-side `@k = @k` equi-join with order-by;
+/// * `3`  — 3 independent sides chained by two equi-edges;
+/// * `4`  — a *dependent* middle binding (isolation must not fire across
+///   it) mixed with a non-equi edge;
+/// * `5`  — pure non-equi comparison (nested-loop-only shape);
+/// * `13` — 3 sides, equi + non-equi edges, residual conjunct, descending
+///   order-by;
+/// * `16` — join feeding a nested FLWOR return (6 `for`s total);
+/// * `21` — chained dependent bindings `$v0 → $v1 → $v2`;
+/// * `38` — self-join on `@k` with a residual range conjunct.
+#[test]
+fn seed_join_shapes_agree_across_rule_ablations() {
+    for seed in [2, 3, 4, 5, 13, 16, 21, 38] {
+        assert_join_seed_clean(seed);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Bounded smoke run
 // ---------------------------------------------------------------------------
@@ -283,6 +315,22 @@ fn fuzz_smoke_run_is_clean() {
     assert!(
         summary.ok(),
         "fuzz smoke run found {} failure(s):\n{}",
+        summary.failures.len(),
+        summary.failures.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+/// The join-mode counterpart: a short deterministic `--joins` run keeps
+/// the join generator and the rule-ablation leg wired into every
+/// `cargo test`.
+#[test]
+fn join_fuzz_smoke_run_is_clean() {
+    let cfg = FuzzConfig { seed: 0x10B5, iters: 25, joins: true, ..FuzzConfig::default() };
+    let summary = fuzz(&cfg);
+    assert_eq!(summary.iters_run, 25);
+    assert!(
+        summary.ok(),
+        "join fuzz smoke run found {} failure(s):\n{}",
         summary.failures.len(),
         summary.failures.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
     );

@@ -125,6 +125,71 @@ fn actual_rows_accumulate_after_execution() {
 }
 
 #[test]
+fn optimizer_section_traces_every_enabled_rule() {
+    let db = db();
+    let q = "for $i in doc()//item let $p := $i/price return $p";
+    let plan = explain_contains(
+        &db,
+        q,
+        &[
+            "-- optimizer:",
+            "fired (budget 32)",
+            "flwor-to-tpm: fired",
+            "const-fold: no match",
+            "compile-paths: no match", // fusion already swallowed every path
+        ],
+    );
+    // When paths survive fusion (the filter and sort keys here), the
+    // lowering pass is the one that rewrites them — and says so.
+    explain_contains(
+        &db,
+        "for $i in doc()/store/inventory/item where $i/price >= 10 \
+         order by $i/name return $i/name",
+        &["compile-paths: fired"],
+    );
+    // A fired pass carries its plan diff, indented beneath the rule line
+    // with -/+ (or · for a pure reorder) markers.
+    let lines: Vec<&str> = plan.lines().collect();
+    let idx = lines.iter().position(|l| l.trim_start().starts_with("flwor-to-tpm: fired")).unwrap();
+    let marker = lines[idx + 1].trim_start().chars().next().unwrap();
+    assert!(matches!(marker, '-' | '+' | '·'), "no diff under the firing:\n{plan}");
+}
+
+#[test]
+fn optimizer_section_skips_disabled_rules_silently() {
+    let mut d = db();
+    d.set_rules(xqp::RuleSet { flwor_to_tpm: false, join_isolation: false, ..xqp::RuleSet::all() });
+    let (plan, _) = d.explain("doc", "for $i in doc()//item return $i/name").unwrap();
+    assert!(plan.contains("-- optimizer:"), "{plan}");
+    assert!(!plan.contains("flwor-to-tpm"), "disabled rule traced:\n{plan}");
+    assert!(!plan.contains("join-graph-isolation"), "disabled rule traced:\n{plan}");
+}
+
+#[test]
+fn hash_join_operator_renders_edges_and_cost_order() {
+    let db = db();
+    // A self-join on @sku: two independent doc-rooted sides + one equi-edge.
+    let q = "for $a in doc()//item for $b in doc()//item \
+             where $a/@sku = $b/@sku return $a/name";
+    let plan = explain_contains(
+        &db,
+        q,
+        &[
+            "join-graph [$a/@sku = $b/@sku] (2 sides, 1 edges)",
+            "hash-join [$a ⋈ $b] on [$a/@sku = $b/@sku] cost-order=[",
+            "join-graph-isolation: fired",
+        ],
+    );
+    let ops = physical_ops(&plan);
+    assert!(ops.iter().any(|l| l.starts_with("hash-join")), "{plan}");
+    // Each sku is unique, so the join pairs every item with itself.
+    assert_eq!(db.query("doc", q).unwrap(), "<name>bolt</name><name>gear</name>");
+    let plan = explain_contains(&db, q, &["hash-join"]);
+    let hj = physical_ops(&plan).into_iter().find(|l| l.starts_with("hash-join")).unwrap();
+    assert!(hj.contains("actual 2 rows"), "{hj}");
+}
+
+#[test]
 fn materializing_mode_is_labelled_in_the_header() {
     let mut d = db();
     d.set_eval_mode(EvalMode::Materializing);

@@ -81,6 +81,38 @@ fn memory_and_row_budgets_trip_in_every_config() {
     }
 }
 
+/// The hash join charges its build-side sequences against the memory
+/// budget: an equi-join whose sides outgrow `max_memory` trips with a
+/// governor error in every configuration, and never silently truncates.
+#[test]
+fn hash_join_build_respects_memory_budget() {
+    let doc = SuccinctDoc::parse(&wide_doc(40)).unwrap();
+    let join = "for $a in doc()/r/x/y for $b in doc()/r/x/y where $a = $b return $b";
+
+    // The join plan really is the hash join (not a nested-loop fallback):
+    // the isolation rule fired and the physical tree carries the operator.
+    let mut db = Database::new();
+    db.load_str("doc", &wide_doc(40)).unwrap();
+    let (plan, _) = db.explain("doc", join).unwrap();
+    assert!(plan.contains("hash-join"), "join not lowered to hash-join:\n{plan}");
+    assert!(plan.contains("join-graph-isolation: fired"), "{plan}");
+
+    // Unlimited, the self-join matches each of the 40 distinct keys once.
+    let full = db.query("doc", join).unwrap();
+    assert_eq!(full.matches("<y>").count(), 40, "{full}");
+
+    // An 8-cell budget is smaller than either 40-item side: the build
+    // trips before any row is emitted, in all 12 configurations.
+    let limits = QueryLimits::none().with_max_memory(8);
+    for cfg in full_matrix() {
+        let out = run_config_limited(&doc, join, cfg, limits);
+        assert_limit_error(&out, "the hash-join build budget", &cfg.label());
+        if let Outcome::Error(e) = &out {
+            assert!(e.contains("memory"), "{}: wrong trip class: {e}", cfg.label());
+        }
+    }
+}
+
 /// A cancelled token aborts the query with the `Cancelled` class.
 #[test]
 fn cancellation_aborts_with_typed_error() {
