@@ -1,0 +1,173 @@
+//! E19 — concurrent serving throughput: sustained QPS with N clients
+//! while a writer streams structural updates.
+//!
+//! The serving subsystem's claim is architectural: reads run against
+//! snapshot-isolated MVCC versions, so adding a concurrent writer must
+//! not collapse reader throughput (readers never wait on the writer
+//! mutex), and adding readers must scale until the cores run out. This
+//! experiment measures both axes on an XMark instance behind the real
+//! server — real sockets, real framing, real sessions:
+//!
+//! * clients ∈ {1, 4, 8}, each session issuing queries back-to-back for a
+//!   fixed window;
+//! * writer off / writer on (a dedicated session streaming insert+delete
+//!   rounds for the whole window, each round installing two generations).
+//!
+//! Before any timing, a soundness gate asserts the served answer is
+//! byte-identical to the in-process engine's. Medians land in
+//! `BENCH_serve.json` at the repository root and the table is tracked as
+//! T19 in EXPERIMENTS.md.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use xqp::Database;
+use xqp_bench::harness::Criterion;
+use xqp_bench::{criterion_group, criterion_main};
+use xqp_gen::{gen_xmark, XmarkConfig};
+use xqp_serve::{Client, Server, ServerConfig};
+
+/// The read workload: a real navigational query with a small result, so
+/// throughput measures engine + protocol, not result serialization.
+const READ_QUERY: &str = "for $p in doc()//person where $p/@id = \"person0\" return $p/name";
+
+/// One writer round: grow then shrink, two generation installs.
+const WRITE_FRAGMENT: &str = "<bench-marker><pad>x</pad></bench-marker>";
+
+const WINDOW: Duration = Duration::from_millis(400);
+
+fn fresh_server() -> Server {
+    let db = Database::new();
+    let xml = xqp_xml::serialize(&gen_xmark(&XmarkConfig::scale(0.1)));
+    db.load_str("xmark", &xml).unwrap();
+    Server::start(Arc::new(db), "127.0.0.1:0", ServerConfig::default()).expect("bind bench server")
+}
+
+struct RunResult {
+    reads: u64,
+    elapsed: Duration,
+    p50: Duration,
+    generations: u64,
+}
+
+/// Run one configuration: `clients` reader sessions for `WINDOW`, plus an
+/// optional writer session streaming updates the whole time.
+fn run_config(server: &Server, clients: usize, writer: bool) -> RunResult {
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(clients + 1));
+
+    let readers: Vec<_> = (0..clients)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("reader connect");
+                // Warm the session (and the shared plan cache) outside the
+                // timed window.
+                c.query("xmark", READ_QUERY).expect("warmup query");
+                start.wait();
+                let mut lat = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    c.query("xmark", READ_QUERY).expect("bench query");
+                    lat.push(t.elapsed());
+                }
+                let _ = c.close();
+                lat
+            })
+        })
+        .collect();
+
+    let writer_thread = writer.then(|| {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut w = Client::connect(addr).expect("writer connect");
+            let mut rounds = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                w.insert("xmark", "/site", WRITE_FRAGMENT).expect("writer insert");
+                w.delete("xmark", "//bench-marker").expect("writer delete");
+                rounds += 1;
+            }
+            let _ = w.close();
+            rounds
+        })
+    });
+
+    let gen_before = server.database().generation("xmark").unwrap();
+    start.wait();
+    let t0 = Instant::now();
+    std::thread::sleep(WINDOW);
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies: Vec<Duration> =
+        readers.into_iter().flat_map(|h| h.join().expect("reader died")).collect();
+    let elapsed = t0.elapsed();
+    if let Some(w) = writer_thread {
+        let rounds = w.join().expect("writer died");
+        assert!(rounds > 0, "writer made no progress: readers are blocking it");
+    }
+    let gen_after = server.database().generation("xmark").unwrap();
+
+    latencies.sort();
+    RunResult {
+        reads: latencies.len() as u64,
+        elapsed,
+        p50: latencies[latencies.len() / 2],
+        generations: gen_after - gen_before,
+    }
+}
+
+fn bench(_c: &mut Criterion) {
+    let server = fresh_server();
+
+    // Soundness gate: the served answer must be byte-identical to the
+    // in-process engine's before any throughput claim.
+    let reference = server.database().query("xmark", READ_QUERY).expect("in-process reference");
+    let mut probe = Client::connect(server.addr()).unwrap();
+    let (_, served) = probe.query("xmark", READ_QUERY).expect("served answer");
+    assert_eq!(served, reference, "served answer diverges from the in-process engine");
+    probe.close().unwrap();
+
+    println!("\n== E19 concurrent serving: sustained QPS over {WINDOW:?} windows ==");
+    let mut rows = Vec::new();
+    for writer in [false, true] {
+        for clients in [1usize, 4, 8] {
+            let r = run_config(&server, clients, writer);
+            let qps = r.reads as f64 / r.elapsed.as_secs_f64();
+            println!(
+                "clients={clients} writer={writer}: {:.0} QPS, p50 {:.0} µs, {} reads, {} \
+                 generation(s) installed",
+                qps,
+                r.p50.as_secs_f64() * 1e6,
+                r.reads,
+                r.generations
+            );
+            rows.push(format!(
+                "    {{ \"clients\": {clients}, \"writer\": {writer}, \"qps\": {:.1}, \
+                 \"p50_us\": {:.1}, \"reads\": {}, \"generations\": {} }}",
+                qps,
+                r.p50.as_secs_f64() * 1e6,
+                r.reads,
+                r.generations
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"T19_concurrent_serving\",\n  \"doc\": \"xmark@0.1\",\n  \
+         \"query\": \"{}\",\n  \"window_ms\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        READ_QUERY.replace('"', "\\\""),
+        WINDOW.as_millis(),
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("-- E19 results written to BENCH_serve.json"),
+        Err(e) => eprintln!("-- E19 results not written: {e}"),
+    }
+    server.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

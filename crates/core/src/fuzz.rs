@@ -184,7 +184,7 @@ fn persistence_outcomes(xml: &str, query: &str) -> Result<Vec<(&'static str, Out
             })
             .map_err(Outcome::Error);
         match reopened {
-            Ok(mut db) => {
+            Ok(db) => {
                 out.push(("persist:reopened", outcome_of(db.query("doc", query))));
                 let indexed = db
                     .create_index("doc")

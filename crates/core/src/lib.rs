@@ -9,7 +9,7 @@
 //! ```
 //! use xqp::Database;
 //!
-//! let mut db = Database::new();
+//! let db = Database::new();
 //! db.load_str("bib", "<bib><book year=\"1994\"><title>TCP/IP</title></book></bib>")
 //!     .unwrap();
 //! let titles = db.query("bib", "/bib/book[@year = 1994]/title").unwrap();
@@ -53,8 +53,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, OnceLock};
-use xqp_exec::{Executor, PlanCache, ResourceGovernor};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use xqp_exec::{DocVersion, Executor, PlanCache, ResourceGovernor, VersionedDoc};
 use xqp_storage::persist::format::{crc32, put_str, put_u32, Reader};
 use xqp_storage::persist::{failpoint, DocStore, IoOp};
 use xqp_xml::Document;
@@ -112,53 +112,53 @@ impl From<PersistError> for Error {
     }
 }
 
-/// One stored document plus its optional content indexes, its
-/// compiled-plan cache (shared by every executor built for the document;
-/// invalidated whenever the document is updated) and, when the database is
-/// durable, the [`DocStore`] that logs every update.
-struct Stored {
-    sdoc: SuccinctDoc,
-    index: Option<ValueIndex>,
-    suffix: Option<SuffixIndex>,
-    cache: Arc<PlanCache>,
-    /// Planner statistics, computed once per document generation and shared
-    /// with every executor; cleared by [`Stored::after_update`] so the
-    /// planner never costs against stale tag counts.
-    stats: OnceLock<Arc<DocStatistics>>,
+/// One stored document: its MVCC version chain (structure + indexes +
+/// statistics + plan cache, see [`xqp_exec::mvcc`]) plus the writer-side
+/// state — the durable [`DocStore`], when attached — behind a mutex that
+/// serializes updates per document. Readers never take the writer mutex:
+/// they snapshot the version chain and run lock-free.
+struct DocHandle {
+    /// Process-unique handle id. Folded into shared-plan-cache scopes so a
+    /// document *replaced* under the same name (fresh handle, generation
+    /// back at 0) can never match plans compiled against its predecessor.
+    uid: u64,
+    versions: VersionedDoc,
+    writer: Mutex<WriterState>,
+}
+
+/// State only the (single, per-document) writer touches.
+struct WriterState {
     store: Option<DocStore>,
 }
 
-impl Stored {
-    fn new(sdoc: SuccinctDoc) -> Self {
-        Stored {
-            sdoc,
-            index: None,
-            suffix: None,
-            cache: Arc::new(PlanCache::default()),
-            stats: OnceLock::new(),
-            store: None,
+impl DocHandle {
+    fn new(sdoc: SuccinctDoc, store: Option<DocStore>) -> Self {
+        static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        DocHandle {
+            uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            versions: VersionedDoc::new(sdoc),
+            writer: Mutex::new(WriterState { store }),
         }
     }
 
-    /// The document's cost-model statistics, derived on first use.
-    fn statistics(&self) -> Arc<DocStatistics> {
-        Arc::clone(
-            self.stats.get_or_init(|| Arc::new(xqp_exec::context::statistics_of(&self.sdoc))),
-        )
+    /// Lock the writer state, recovering from poison: a panicking update
+    /// thread must not wedge the document for every later session (the
+    /// version chain itself is only ever advanced by whole, committed
+    /// installs, so the data stays valid).
+    fn lock_writer(&self) -> MutexGuard<'_, WriterState> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Rebuild derived state after the document changed: content indexes
-    /// follow the new ranks, planner statistics are recomputed on next use,
-    /// and every cached plan is invalidated.
-    fn after_update(&mut self) {
-        if let Some(idx) = &mut self.index {
-            *idx = ValueIndex::build(&self.sdoc);
-        }
-        if let Some(sfx) = &mut self.suffix {
-            *sfx = SuffixIndex::build(&self.sdoc);
-        }
-        self.stats = OnceLock::new();
-        self.cache.invalidate();
+    /// Persistence counters without blocking behind an in-flight update:
+    /// query paths must not wait on writers, so a busy writer just means
+    /// "no persistence line in this explain".
+    fn persist_counters(&self) -> Option<StoreCounters> {
+        let w = match self.writer.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        w.store.as_ref().map(|st| st.counters())
     }
 }
 
@@ -245,14 +245,43 @@ fn read_manifest(root: &Path) -> Result<Vec<(String, String)>, Error> {
 
 /// A collection of named documents with query, update and index management,
 /// optionally durable ([`Database::open`] / [`Database::persist_to`]).
+///
+/// `Send + Sync`, and every query *and* update path takes `&self`: a
+/// serving process shares one `Database` across all connection threads.
+/// Reads are snapshot-isolated (MVCC, see [`xqp_exec::mvcc`]) — a query
+/// captures the document version current when it starts and never blocks
+/// behind, or observes a half-applied, update. Updates serialize per
+/// document behind a writer mutex and publish their result as one atomic
+/// version install. Configuration setters (`set_strategy`, `set_rules`, …)
+/// and [`Database::persist_to`] keep `&mut self`: they reconfigure the
+/// whole database and are meant for set-up, not for the serving hot path.
 pub struct Database {
-    docs: BTreeMap<String, Stored>,
+    docs: RwLock<BTreeMap<String, Arc<DocHandle>>>,
     strategy: Strategy,
     rules: RuleSet,
     mode: EvalMode,
     limits: QueryLimits,
     root: Option<PathBuf>,
     compact_threshold: u64,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+};
+
+/// Per-session execution options for [`Database::query_session`]: the
+/// session's resource limits, an optional externally held cancel token
+/// (the server trips it when the client disconnects) and an optional
+/// process-wide plan cache shared across documents and sessions.
+#[derive(Clone, Default)]
+pub struct SessionOptions {
+    /// Resource limits for this query (deadline clock starts per query).
+    pub limits: QueryLimits,
+    /// Cancellation handle owned by the caller; `None` for uncancellable.
+    pub cancel: Option<CancelToken>,
+    /// Shared plan cache; `None` uses the document's own cache.
+    pub cache: Option<Arc<PlanCache>>,
 }
 
 impl Default for Database {
@@ -265,7 +294,7 @@ impl Database {
     /// An empty, in-memory database (auto strategy, all rewrite rules on).
     pub fn new() -> Self {
         Database {
-            docs: BTreeMap::new(),
+            docs: RwLock::new(BTreeMap::new()),
             strategy: Strategy::Auto,
             rules: RuleSet::all(),
             mode: EvalMode::default(),
@@ -273,6 +302,26 @@ impl Database {
             root: None,
             compact_threshold: DEFAULT_COMPACT_THRESHOLD,
         }
+    }
+
+    /// Read the catalog, recovering from poison (see
+    /// [`DocHandle::lock_writer`] for the rationale).
+    fn read_docs(&self) -> RwLockReadGuard<'_, BTreeMap<String, Arc<DocHandle>>> {
+        self.docs.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Write-lock the catalog, recovering from poison.
+    fn write_docs(&self) -> RwLockWriteGuard<'_, BTreeMap<String, Arc<DocHandle>>> {
+        self.docs.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The handle for `name`, cloned out of the catalog so the catalog lock
+    /// is released before any per-document work starts.
+    fn handle(&self, name: &str) -> Result<Arc<DocHandle>, Error> {
+        self.read_docs()
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| Error::UnknownDocument(name.to_string()))
     }
 
     /// Set the physical strategy for subsequent queries.
@@ -307,8 +356,11 @@ impl Database {
     /// Parse and store a document under `name` (replacing any previous
     /// one). On a durable database the newcomer gets its own slot
     /// (snapshot + WAL) and a manifest entry, so it survives
-    /// [`Database::open`] like every other document.
-    pub fn load_str(&mut self, name: &str, xml: &str) -> Result<(), Error> {
+    /// [`Database::open`] like every other document. Replacement is
+    /// wholesale: the new document starts a fresh version chain (and plan
+    /// cache) at generation 0; sessions still reading the old chain finish
+    /// against it undisturbed.
+    pub fn load_str(&self, name: &str, xml: &str) -> Result<(), Error> {
         let sdoc = SuccinctDoc::parse(xml)?;
         self.insert_stored(name, sdoc)
     }
@@ -316,25 +368,30 @@ impl Database {
     /// Store an already-built DOM under `name`. Durable like
     /// [`Database::load_str`]; the `Err` case can only occur on a durable
     /// database (slot creation or manifest write failing).
-    pub fn load_document(&mut self, name: &str, doc: &Document) -> Result<(), Error> {
+    pub fn load_document(&self, name: &str, doc: &Document) -> Result<(), Error> {
         self.insert_stored(name, SuccinctDoc::from_document(doc))
     }
 
     /// Store `sdoc` under `name`; on a durable database, attach a
     /// `DocStore` (reusing the replaced document's slot when there is one)
-    /// and rewrite the manifest before acknowledging.
-    fn insert_stored(&mut self, name: &str, sdoc: SuccinctDoc) -> Result<(), Error> {
-        let mut stored = Stored::new(sdoc);
+    /// and rewrite the manifest before acknowledging. Catalog changes hold
+    /// the catalog write lock end-to-end so the manifest always describes
+    /// a consistent name → slot mapping.
+    fn insert_stored(&self, name: &str, sdoc: SuccinctDoc) -> Result<(), Error> {
         if let Some(root) = self.root.clone() {
-            let slot_dir = match self.docs.get(name).and_then(|old| old.store.as_ref()) {
-                Some(st) => st.dir().to_path_buf(),
-                None => root.join(Self::fresh_slot(&root)),
-            };
-            stored.store = Some(DocStore::create(&slot_dir, &stored.sdoc)?);
-            self.docs.insert(name.to_string(), stored);
-            self.rewrite_manifest()?;
+            let mut docs = self.write_docs();
+            let slot_dir = docs
+                .get(name)
+                .and_then(|old| {
+                    let w = old.lock_writer();
+                    w.store.as_ref().map(|st| st.dir().to_path_buf())
+                })
+                .unwrap_or_else(|| root.join(Self::fresh_slot(&root)));
+            let store = DocStore::create(&slot_dir, &sdoc)?;
+            docs.insert(name.to_string(), Arc::new(DocHandle::new(sdoc, Some(store))));
+            rewrite_manifest(&root, &docs)?;
         } else {
-            self.docs.insert(name.to_string(), stored);
+            self.write_docs().insert(name.to_string(), Arc::new(DocHandle::new(sdoc, None)));
         }
         Ok(())
     }
@@ -347,37 +404,27 @@ impl Database {
             .expect("u32 slot space exhausted")
     }
 
-    /// Re-derive the manifest from the in-memory name → slot mapping and
-    /// write it atomically. No-op on an in-memory database.
-    fn rewrite_manifest(&self) -> Result<(), Error> {
-        let Some(root) = &self.root else { return Ok(()) };
-        let mut entries = Vec::new();
-        for (name, s) in &self.docs {
-            if let Some(st) = &s.store {
-                let slot = st
-                    .dir()
-                    .file_name()
-                    .map(|f| f.to_string_lossy().into_owned())
-                    .ok_or_else(|| Error::Persist("slot directory has no name".into()))?;
-                entries.push((name.clone(), slot));
-            }
-        }
-        write_manifest(root, &entries)
-    }
-
     /// Names of loaded documents, sorted.
-    pub fn document_names(&self) -> Vec<&str> {
-        self.docs.keys().map(String::as_str).collect()
+    pub fn document_names(&self) -> Vec<String> {
+        self.read_docs().keys().cloned().collect()
     }
 
     /// Remove a document (and, on a durable database, its manifest entry
     /// and slot directory, so it does not reappear on reopen). Returns
-    /// whether a document with that name existed.
-    pub fn drop_document(&mut self, name: &str) -> Result<bool, Error> {
-        let Some(old) = self.docs.remove(name) else { return Ok(false) };
-        if let Some(st) = &old.store {
-            let dir = st.dir().to_path_buf();
-            self.rewrite_manifest()?;
+    /// whether a document with that name existed. Sessions still holding a
+    /// snapshot finish against it; the version chain is freed when the
+    /// last of them drops.
+    pub fn drop_document(&self, name: &str) -> Result<bool, Error> {
+        let mut docs = self.write_docs();
+        let Some(old) = docs.remove(name) else { return Ok(false) };
+        let dir = {
+            let w = old.lock_writer();
+            w.store.as_ref().map(|st| st.dir().to_path_buf())
+        };
+        if let Some(dir) = dir {
+            if let Some(root) = &self.root {
+                rewrite_manifest(root, &docs)?;
+            }
             // The manifest no longer references the slot; removing the
             // files is cleanup, not correctness.
             let _ = fs::remove_dir_all(dir);
@@ -385,46 +432,61 @@ impl Database {
         Ok(true)
     }
 
-    /// Access the stored form of a document.
-    pub fn document(&self, name: &str) -> Result<&SuccinctDoc, Error> {
-        self.docs.get(name).map(|s| &s.sdoc).ok_or_else(|| Error::UnknownDocument(name.to_string()))
+    /// A read snapshot of a document: the current MVCC version, navigable
+    /// like the raw succinct doc (it `Deref`s to [`SuccinctDoc`]). The
+    /// snapshot stays valid — and byte-identical — however many updates
+    /// commit after it was taken.
+    pub fn document(&self, name: &str) -> Result<Arc<DocVersion>, Error> {
+        Ok(self.handle(name)?.versions.snapshot())
     }
 
-    fn stored(&self, name: &str) -> Result<&Stored, Error> {
-        self.docs.get(name).ok_or_else(|| Error::UnknownDocument(name.to_string()))
+    /// The current MVCC generation of `doc` (0 after load, +1 per
+    /// committed update or index toggle).
+    pub fn generation(&self, doc: &str) -> Result<u64, Error> {
+        Ok(self.handle(doc)?.versions.generation())
+    }
+
+    /// Document versions still reachable for `doc`: the current one plus
+    /// any retired versions pinned by live reader snapshots. 1 at rest.
+    pub fn live_versions(&self, doc: &str) -> Result<usize, Error> {
+        Ok(self.handle(doc)?.versions.live_versions())
     }
 
     /// Build (or rebuild) the content index for `name`.
-    pub fn create_index(&mut self, name: &str) -> Result<(), Error> {
-        let s = self.docs.get_mut(name).ok_or_else(|| Error::UnknownDocument(name.to_string()))?;
-        s.index = Some(ValueIndex::build(&s.sdoc));
+    pub fn create_index(&self, name: &str) -> Result<(), Error> {
+        let h = self.handle(name)?;
+        let _w = h.lock_writer(); // index toggles serialize with updates
+        h.versions.set_value_index(true);
         Ok(())
     }
 
     /// Drop the content index for `name`.
-    pub fn drop_index(&mut self, name: &str) -> Result<(), Error> {
-        let s = self.docs.get_mut(name).ok_or_else(|| Error::UnknownDocument(name.to_string()))?;
-        s.index = None;
+    pub fn drop_index(&self, name: &str) -> Result<(), Error> {
+        let h = self.handle(name)?;
+        let _w = h.lock_writer();
+        h.versions.set_value_index(false);
         Ok(())
     }
 
     /// Build (or rebuild) the substring (suffix-array) index for `name`.
-    pub fn create_suffix_index(&mut self, name: &str) -> Result<(), Error> {
-        let s = self.docs.get_mut(name).ok_or_else(|| Error::UnknownDocument(name.to_string()))?;
-        s.suffix = Some(SuffixIndex::build(&s.sdoc));
+    pub fn create_suffix_index(&self, name: &str) -> Result<(), Error> {
+        let h = self.handle(name)?;
+        let _w = h.lock_writer();
+        h.versions.set_suffix_index(true);
         Ok(())
     }
 
     /// Content-bearing nodes whose content contains `needle` (suffix index
     /// when built, content-store scan otherwise), in document order.
     pub fn contains_search(&self, doc: &str, needle: &str) -> Result<Vec<SNodeId>, Error> {
-        let s = self.stored(doc)?;
-        if let Some(idx) = &s.suffix {
-            return Ok(idx.find(&s.sdoc, needle));
+        let snap = self.document(doc)?;
+        if let Some(idx) = snap.suffix_index() {
+            return Ok(idx.find(snap.sdoc(), needle));
         }
-        let mut out: Vec<SNodeId> = (0..s.sdoc.node_count() as u32)
+        let sdoc = snap.sdoc();
+        let mut out: Vec<SNodeId> = (0..sdoc.node_count() as u32)
             .map(SNodeId)
-            .filter(|&n| s.sdoc.content(n).is_some_and(|c| c.contains(needle)))
+            .filter(|&n| sdoc.content(n).is_some_and(|c| c.contains(needle)))
             .collect();
         out.sort_unstable();
         Ok(out)
@@ -433,56 +495,73 @@ impl Database {
     /// Elements whose string value contains `needle` (requires the suffix
     /// index for sub-linear search; falls back to a scan).
     pub fn contains_elements(&self, doc: &str, needle: &str) -> Result<Vec<SNodeId>, Error> {
-        let s = self.stored(doc)?;
-        if let Some(idx) = &s.suffix {
-            return Ok(idx.find_elements(&s.sdoc, needle));
+        let snap = self.document(doc)?;
+        if let Some(idx) = snap.suffix_index() {
+            return Ok(idx.find_elements(snap.sdoc(), needle));
         }
-        let mut out: Vec<SNodeId> = (0..s.sdoc.node_count() as u32)
+        let sdoc = snap.sdoc();
+        let mut out: Vec<SNodeId> = (0..sdoc.node_count() as u32)
             .map(SNodeId)
-            .filter(|&n| s.sdoc.is_element(n) && s.sdoc.string_value(n).contains(needle))
+            .filter(|&n| sdoc.is_element(n) && sdoc.string_value(n).contains(needle))
             .collect();
         out.sort_unstable();
         Ok(out)
     }
 
-    fn executor<'a>(&'a self, s: &'a Stored) -> Executor<'a> {
-        self.executor_with_limits(s, self.limits)
-    }
-
-    fn executor_with_limits<'a>(&'a self, s: &'a Stored, limits: QueryLimits) -> Executor<'a> {
-        let mut ex = Executor::new(&s.sdoc)
-            .with_strategy(self.strategy)
-            .with_rules(self.rules)
-            .with_eval_mode(self.mode)
-            .with_statistics(s.statistics())
-            .with_plan_cache(Arc::clone(&s.cache));
-        if let Some(idx) = &s.index {
-            ex = ex.with_index(idx);
+    /// An executor over `snap` with the database's configuration and
+    /// per-session `opts` layered on: the session's cache (scoped by
+    /// document name + generation) or the document's own (scoped by
+    /// generation), a governor when limits or a cancel token call for one,
+    /// and persistence counters when the writer side is idle enough to
+    /// share them.
+    fn session_executor<'a>(
+        &'a self,
+        handle: &'a DocHandle,
+        name: &str,
+        snap: &'a DocVersion,
+        opts: &SessionOptions,
+    ) -> Executor<'a> {
+        let mut ex = match &opts.cache {
+            Some(cache) => snap.executor_with_cache(
+                Arc::clone(cache),
+                format!("{name}.{}@g{}", handle.uid, snap.generation()),
+            ),
+            None => snap.executor(),
+        };
+        ex = ex.with_strategy(self.strategy).with_rules(self.rules).with_eval_mode(self.mode);
+        if let Some(counters) = handle.persist_counters() {
+            ex = ex.with_persist_stats(counters);
         }
-        if let Some(st) = &s.store {
-            ex = ex.with_persist_stats(st.counters());
-        }
-        if !limits.is_unlimited() {
-            ex = ex.with_governor(Arc::new(ResourceGovernor::new(limits)));
+        if !opts.limits.is_unlimited() || opts.cancel.is_some() {
+            let gov = match &opts.cancel {
+                Some(tok) => ResourceGovernor::with_cancel(opts.limits, tok.clone()),
+                None => ResourceGovernor::new(opts.limits),
+            };
+            ex = ex.with_governor(Arc::new(gov));
         }
         ex
+    }
+
+    fn default_opts(&self) -> SessionOptions {
+        SessionOptions { limits: self.limits, cancel: None, cache: None }
     }
 
     /// Cost-model statistics the planner sees for `doc` (cached per
     /// document generation; recomputed after updates).
     pub fn statistics(&self, doc: &str) -> Result<Arc<DocStatistics>, Error> {
-        Ok(self.stored(doc)?.statistics())
+        Ok(self.document(doc)?.statistics())
     }
 
-    /// Plan-cache traffic for `doc`: (hits, misses, evictions).
+    /// Plan-cache traffic for `doc`: (hits, misses, evictions). The cache
+    /// is shared across the document's versions, so counters accumulate
+    /// over updates.
     pub fn plan_cache_stats(&self, doc: &str) -> Result<(u64, u64, u64), Error> {
-        Ok(self.stored(doc)?.cache.stats())
+        Ok(self.document(doc)?.plan_cache().stats())
     }
 
     /// Run an XQuery (or bare path) against `doc`, returning serialized XML.
     pub fn query(&self, doc: &str, query: &str) -> Result<String, Error> {
-        let s = self.stored(doc)?;
-        Ok(self.executor(s).query(query)?)
+        self.query_session(doc, query, &self.default_opts()).map(|(_, out)| out)
     }
 
     /// Run an XQuery against `doc` under per-query resource `limits`,
@@ -494,76 +573,126 @@ impl Database {
         query: &str,
         limits: QueryLimits,
     ) -> Result<String, Error> {
-        let s = self.stored(doc)?;
-        Ok(self.executor_with_limits(s, limits).query(query)?)
+        self.query_session(doc, query, &SessionOptions { limits, ..SessionOptions::default() })
+            .map(|(_, out)| out)
+    }
+
+    /// Run an XQuery against the *current* snapshot of `doc` under full
+    /// session options (limits, cancellation, shared plan cache). Returns
+    /// the generation the query ran at alongside the serialized result —
+    /// the server reports it to clients so they can correlate reads with
+    /// the writer's commits.
+    pub fn query_session(
+        &self,
+        doc: &str,
+        query: &str,
+        opts: &SessionOptions,
+    ) -> Result<(u64, String), Error> {
+        let handle = self.handle(doc)?;
+        let snap = handle.versions.snapshot();
+        let out = self.session_executor(&handle, doc, &snap, opts).query(query)?;
+        Ok((snap.generation(), out))
     }
 
     /// Evaluate a bare path to node ids.
     pub fn select(&self, doc: &str, path: &str) -> Result<Vec<SNodeId>, Error> {
-        let s = self.stored(doc)?;
-        Ok(self.executor(s).eval_path_str(path)?)
+        self.select_session(doc, path, &self.default_opts()).map(|(_, hits)| hits)
+    }
+
+    /// [`Database::select`] under full session options, returning the
+    /// generation alongside the node ids (which are only meaningful
+    /// against that generation's snapshot).
+    pub fn select_session(
+        &self,
+        doc: &str,
+        path: &str,
+        opts: &SessionOptions,
+    ) -> Result<(u64, Vec<SNodeId>), Error> {
+        let handle = self.handle(doc)?;
+        let snap = handle.versions.snapshot();
+        let hits = self.session_executor(&handle, doc, &snap, opts).eval_path_str(path)?;
+        Ok((snap.generation(), hits))
     }
 
     /// Show the optimized plan and the rules that fired.
     pub fn explain(&self, doc: &str, query: &str) -> Result<(String, RewriteReport), Error> {
-        let s = self.stored(doc)?;
-        Ok(self.executor(s).explain(query)?)
+        let handle = self.handle(doc)?;
+        let snap = handle.versions.snapshot();
+        Ok(self.session_executor(&handle, doc, &snap, &self.default_opts()).explain(query)?)
     }
 
     /// Storage-size report for a document (succinct vs. DOM vs. intervals).
     pub fn storage_stats(&self, doc: &str) -> Result<StorageStats, Error> {
-        let s = self.stored(doc)?;
-        let dom = s.sdoc.to_document();
-        Ok(StorageStats::measure(&dom, &s.sdoc))
+        let snap = self.document(doc)?;
+        let dom = snap.sdoc().to_document();
+        Ok(StorageStats::measure(&dom, snap.sdoc()))
     }
 
     // ---- updates (local splices on the succinct store) -----------------------
+    //
+    // Updates take `&self`: they serialize per document behind the writer
+    // mutex, build the successor document on scratch copies, and publish
+    // the final state as ONE atomic version install. Readers that started
+    // before the install keep their snapshot; readers that start after see
+    // the whole update. Mid-loop errors (e.g. DeleteRoot behind applied
+    // deletions) keep the paper's partial-application semantics — the
+    // splices that committed to the WAL are installed, then the error is
+    // returned — but concurrent readers still never see an intermediate
+    // splice, only pre-update or final state.
 
     /// Delete every subtree matched by `path`. Returns how many were
     /// removed. The root element cannot be deleted.
-    pub fn delete_matching(&mut self, doc: &str, path: &str) -> Result<usize, Error> {
-        let hits = self.select(doc, path)?;
-        let s = self.docs.get_mut(doc).ok_or_else(|| Error::UnknownDocument(doc.to_string()))?;
+    pub fn delete_matching(&self, doc: &str, path: &str) -> Result<usize, Error> {
+        let handle = self.handle(doc)?;
+        let mut w = handle.lock_writer();
+        let snap = handle.versions.snapshot();
+        let hits =
+            self.session_executor(&handle, doc, &snap, &self.default_opts()).eval_path_str(path)?;
         // Descending rank order keeps earlier ranks stable across splices;
         // nested matches vanish with their ancestors (subtree_size guards).
         let mut removed = 0usize;
         let mut failed: Option<Error> = None;
+        let mut scratch: Option<SuccinctDoc> = None;
         let mut targets: Vec<SNodeId> = hits;
         targets.sort_unstable_by(|a, b| b.cmp(a));
         for t in targets {
-            if t.index() != 0 && t.index() >= s.sdoc.node_count() {
+            let cur: &SuccinctDoc = scratch.as_ref().unwrap_or_else(|| snap.sdoc());
+            if t.index() != 0 && t.index() >= cur.node_count() {
                 continue; // vanished inside a previously deleted subtree
             }
-            // Splice into a scratch copy and log *before* committing in
-            // memory: a failed log must not leave the in-memory document
-            // ahead of the durable log (acknowledged state == replay state).
-            let next = match xqp_storage::update::delete_subtree(&s.sdoc, t) {
+            // Splice into a scratch copy and log *before* adopting it: a
+            // failed log must not leave the acknowledged state ahead of
+            // the durable log (acknowledged state == replay state).
+            let next = match xqp_storage::update::delete_subtree(cur, t) {
                 Ok(d) => d,
                 Err(e) => {
                     failed = Some(e.into());
                     break;
                 }
             };
-            if let Some(st) = &mut s.store {
+            if let Some(st) = &mut w.store {
                 if let Err(e) = st.log(&WalOp::Delete { node: t.0 }) {
                     failed = Some(e.into());
                     break;
                 }
             }
-            s.sdoc = next;
+            scratch = Some(next);
             removed += 1;
         }
-        // Rebuild derived state even when the loop failed part-way (e.g.
-        // the root sorted last behind already-applied deletions): stale
-        // indexes and cached plans would serve wrong answers afterwards.
+        // Install even when the loop failed part-way: the WAL already
+        // holds the applied splices, so the published state must match
+        // what replay will reconstruct. Indexes rebuild and plans
+        // recompile with the new generation.
         if removed > 0 {
-            s.after_update();
+            handle
+                .versions
+                .install_document(scratch.take().expect("removed > 0 implies a scratch doc"));
         }
         if let Some(e) = failed {
             return Err(e);
         }
         if removed > 0 {
-            self.maybe_compact(doc)?;
+            self.maybe_compact(&handle, &mut w)?;
         }
         Ok(removed)
     }
@@ -571,31 +700,36 @@ impl Database {
     /// Insert `fragment` (an XML string with one root element) as the last
     /// child of every element matched by `path`. Returns the number of
     /// insertions.
-    pub fn insert_into(&mut self, doc: &str, path: &str, fragment: &str) -> Result<usize, Error> {
+    pub fn insert_into(&self, doc: &str, path: &str, fragment: &str) -> Result<usize, Error> {
         let frag = xqp_xml::parse_document(fragment)?;
         // Canonical fragment text for the WAL: replay re-parses exactly this.
         let frag_xml = xqp_xml::serialize(&frag);
-        let hits = self.select(doc, path)?;
-        let s = self.docs.get_mut(doc).ok_or_else(|| Error::UnknownDocument(doc.to_string()))?;
+        let handle = self.handle(doc)?;
+        let mut w = handle.lock_writer();
+        let snap = handle.versions.snapshot();
+        let hits =
+            self.session_executor(&handle, doc, &snap, &self.default_opts()).eval_path_str(path)?;
         // Descending order keeps earlier target ranks valid.
         let mut targets = hits;
         targets.sort_unstable_by(|a, b| b.cmp(a));
         let mut inserted = 0usize;
         let mut failed: Option<Error> = None;
+        let mut scratch: Option<SuccinctDoc> = None;
         for t in &targets {
-            if !s.sdoc.is_element(*t) {
+            let cur: &SuccinctDoc = scratch.as_ref().unwrap_or_else(|| snap.sdoc());
+            if !cur.is_element(*t) {
                 continue;
             }
             // Same commit discipline as delete_matching: splice scratch,
-            // log durably, only then publish to memory.
-            let next = match xqp_storage::update::insert_subtree(&s.sdoc, *t, &frag) {
+            // log durably, only then adopt.
+            let next = match xqp_storage::update::insert_subtree(cur, *t, &frag) {
                 Ok(d) => d,
                 Err(e) => {
                     failed = Some(e.into());
                     break;
                 }
             };
-            if let Some(st) = &mut s.store {
+            if let Some(st) = &mut w.store {
                 if let Err(e) =
                     st.log(&WalOp::Insert { parent: t.0, fragment_xml: frag_xml.clone() })
                 {
@@ -603,17 +737,19 @@ impl Database {
                     break;
                 }
             }
-            s.sdoc = next;
+            scratch = Some(next);
             inserted += 1;
         }
         if inserted > 0 {
-            s.after_update();
+            handle
+                .versions
+                .install_document(scratch.take().expect("inserted > 0 implies a scratch doc"));
         }
         if let Some(e) = failed {
             return Err(e);
         }
         if inserted > 0 {
-            self.maybe_compact(doc)?;
+            self.maybe_compact(&handle, &mut w)?;
         }
         Ok(inserted)
     }
@@ -635,15 +771,14 @@ impl Database {
                     path.display()
                 )));
             }
-            let (store, sdoc, report) = DocStore::open(&slot_dir)?;
-            let mut stored = Stored::new(sdoc);
-            // Replayed updates invalidate any compiled plans (the cache is
-            // fresh here, but the invariant is cheap to state and keep).
-            if report.records_applied > 0 {
-                stored.cache.invalidate();
-            }
-            stored.store = Some(store);
-            db.docs.insert(name, stored);
+            // The replay report is informational here: the handle starts a
+            // fresh version chain (and plan cache) at generation 0 either
+            // way, so no stale compiled plan can survive a reopen.
+            let (store, sdoc, _report) = DocStore::open(&slot_dir)?;
+            db.docs
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(name, Arc::new(DocHandle::new(sdoc, Some(store))));
         }
         db.root = Some(path.to_path_buf());
         Ok(db)
@@ -658,10 +793,12 @@ impl Database {
         fs::create_dir_all(path)
             .map_err(|e| Error::Persist(format!("cannot create {}: {e}", path.display())))?;
         let mut entries = Vec::new();
-        for (i, (name, s)) in self.docs.iter_mut().enumerate() {
+        let docs = self.docs.get_mut().unwrap_or_else(|e| e.into_inner());
+        for (i, (name, h)) in docs.iter().enumerate() {
             let slot = format!("d{i:03}");
-            let store = DocStore::create(&path.join(&slot), &s.sdoc)?;
-            s.store = Some(store);
+            let snap = h.versions.snapshot();
+            let store = DocStore::create(&path.join(&slot), snap.sdoc())?;
+            h.lock_writer().store = Some(store);
             entries.push((name.clone(), slot));
         }
         write_manifest(path, &entries)?;
@@ -676,17 +813,23 @@ impl Database {
 
     /// Whether `doc` has a durable store attached.
     pub fn is_durable(&self, doc: &str) -> Result<bool, Error> {
-        Ok(self.stored(doc)?.store.is_some())
+        Ok(self.handle(doc)?.lock_writer().store.is_some())
     }
 
     /// Persistence-traffic counters for `doc` (zeros when not durable).
     pub fn persist_stats(&self, doc: &str) -> Result<StoreCounters, Error> {
-        Ok(self.stored(doc)?.store.as_ref().map(|st| st.counters()).unwrap_or_default())
+        Ok(self
+            .handle(doc)?
+            .lock_writer()
+            .store
+            .as_ref()
+            .map(|st| st.counters())
+            .unwrap_or_default())
     }
 
     /// WAL records pending since the last compaction (0 when not durable).
     pub fn wal_records(&self, doc: &str) -> Result<u64, Error> {
-        Ok(self.stored(doc)?.store.as_ref().map(|st| st.wal_records()).unwrap_or(0))
+        Ok(self.handle(doc)?.lock_writer().store.as_ref().map(|st| st.wal_records()).unwrap_or(0))
     }
 
     /// Updates between compactions: once a document's WAL holds this many
@@ -696,22 +839,23 @@ impl Database {
     }
 
     /// Fold `doc`'s WAL into a fresh snapshot now. No-op when not durable.
-    pub fn compact(&mut self, doc: &str) -> Result<(), Error> {
-        let s = self.docs.get_mut(doc).ok_or_else(|| Error::UnknownDocument(doc.to_string()))?;
-        if let Some(st) = &mut s.store {
-            st.compact(&s.sdoc)?;
+    pub fn compact(&self, doc: &str) -> Result<(), Error> {
+        let handle = self.handle(doc)?;
+        let mut w = handle.lock_writer();
+        if let Some(st) = &mut w.store {
+            let snap = handle.versions.snapshot();
+            st.compact(snap.sdoc())?;
         }
         Ok(())
     }
 
-    /// Compact when the WAL has grown past the threshold.
-    fn maybe_compact(&mut self, doc: &str) -> Result<(), Error> {
-        let threshold = self.compact_threshold;
-        if let Some(s) = self.docs.get_mut(doc) {
-            if let Some(st) = &mut s.store {
-                if st.wal_records() >= threshold {
-                    st.compact(&s.sdoc)?;
-                }
+    /// Compact when the WAL has grown past the threshold. Caller holds the
+    /// writer lock, so the current snapshot is exactly the WAL's state.
+    fn maybe_compact(&self, handle: &DocHandle, w: &mut WriterState) -> Result<(), Error> {
+        if let Some(st) = &mut w.store {
+            if st.wal_records() >= self.compact_threshold {
+                let snap = handle.versions.snapshot();
+                st.compact(snap.sdoc())?;
             }
         }
         Ok(())
@@ -719,9 +863,27 @@ impl Database {
 
     /// Serialize a whole document back to XML.
     pub fn serialize(&self, doc: &str) -> Result<String, Error> {
-        let s = self.stored(doc)?;
-        Ok(xqp_xml::serialize(&s.sdoc.to_document()))
+        let snap = self.document(doc)?;
+        Ok(xqp_xml::serialize(&snap.sdoc().to_document()))
     }
+}
+
+/// Re-derive the manifest from a (locked) catalog view and write it
+/// atomically. Lock order is catalog → writer, matching every other path.
+fn rewrite_manifest(root: &Path, docs: &BTreeMap<String, Arc<DocHandle>>) -> Result<(), Error> {
+    let mut entries = Vec::new();
+    for (name, h) in docs {
+        let w = h.lock_writer();
+        if let Some(st) = &w.store {
+            let slot = st
+                .dir()
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .ok_or_else(|| Error::Persist("slot directory has no name".into()))?;
+            entries.push((name.clone(), slot));
+        }
+    }
+    write_manifest(root, &entries)
 }
 
 #[cfg(test)]
@@ -734,7 +896,7 @@ mod tests {
         </bib>";
 
     fn db() -> Database {
-        let mut d = Database::new();
+        let d = Database::new();
         d.load_str("bib", BIB).unwrap();
         d
     }
@@ -769,7 +931,7 @@ mod tests {
 
     #[test]
     fn index_lifecycle() {
-        let mut d = db();
+        let d = db();
         d.create_index("bib").unwrap();
         assert_eq!(d.query("bib", "/bib/book[price > 50]/title").unwrap(), "<title>TCP</title>");
         d.drop_index("bib").unwrap();
@@ -778,7 +940,7 @@ mod tests {
 
     #[test]
     fn delete_matching_updates_document() {
-        let mut d = db();
+        let d = db();
         let removed = d.delete_matching("bib", "/bib/book[@year = 1994]").unwrap();
         assert_eq!(removed, 1);
         assert_eq!(d.select("bib", "//book").unwrap().len(), 1);
@@ -790,7 +952,7 @@ mod tests {
 
     #[test]
     fn delete_nested_matches_is_safe() {
-        let mut d = Database::new();
+        let d = Database::new();
         d.load_str("x", "<r><a><a/></a><a/></r>").unwrap();
         let removed = d.delete_matching("x", "//a").unwrap();
         // Outer deletions swallow inner ones; at least the two top-level
@@ -802,7 +964,7 @@ mod tests {
 
     #[test]
     fn insert_into_appends_fragments() {
-        let mut d = db();
+        let d = db();
         let n = d.insert_into("bib", "/bib/book", "<tag>new</tag>").unwrap();
         assert_eq!(n, 2);
         assert_eq!(d.select("bib", "//tag").unwrap().len(), 2);
@@ -822,7 +984,7 @@ mod tests {
 
     #[test]
     fn statistics_refresh_after_updates() {
-        let mut d = db();
+        let d = db();
         assert_eq!(d.statistics("bib").unwrap().tag_count("book"), 2);
         d.insert_into("bib", "/bib", "<book><title>New</title></book>").unwrap();
         assert_eq!(d.statistics("bib").unwrap().tag_count("book"), 3);
@@ -860,7 +1022,7 @@ mod tests {
 
     #[test]
     fn substring_search_with_and_without_suffix_index() {
-        let mut d = db();
+        let d = db();
         let plain = d.contains_search("bib", "TCP").unwrap();
         assert_eq!(plain.len(), 1);
         d.create_suffix_index("bib").unwrap();
@@ -875,7 +1037,7 @@ mod tests {
 
     #[test]
     fn drop_document() {
-        let mut d = db();
+        let d = db();
         assert!(d.drop_document("bib").unwrap());
         assert!(!d.drop_document("bib").unwrap());
         assert!(d.document("bib").is_err());
@@ -883,7 +1045,7 @@ mod tests {
 
     #[test]
     fn root_delete_rejected() {
-        let mut d = db();
+        let d = db();
         let err = d.delete_matching("bib", "/bib").unwrap_err();
         assert_eq!(err, Error::Update(UpdateError::DeleteRoot));
     }
@@ -931,7 +1093,7 @@ mod tests {
         // `//*` matches the root too; descending rank order deletes the
         // children first, then hits DeleteRoot. The error must not leave
         // the indexes describing the pre-delete ranks.
-        let mut d = Database::new();
+        let d = Database::new();
         d.load_str("x", "<r><a>alpha</a><b>beta</b></r>").unwrap();
         d.create_index("x").unwrap();
         d.create_suffix_index("x").unwrap();

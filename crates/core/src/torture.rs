@@ -176,7 +176,7 @@ fn apply_op(db: &mut Database, dir: &Path, op: &TortureOp) -> Result<(), Error> 
 /// the serialized state after the base load and after each op. `states[i]`
 /// is the state *before* `ops[i]`; `states[ops.len()]` is the final state.
 fn model_states(sc: &Scenario) -> Result<Vec<String>, Error> {
-    let mut db = Database::new();
+    let db = Database::new();
     db.load_str(DOC, &sc.base_xml)?;
     let mut states = Vec::with_capacity(sc.ops.len() + 1);
     states.push(state(&db)?);

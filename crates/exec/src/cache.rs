@@ -18,7 +18,7 @@
 use crate::physical::PhysicalPlan;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use xqp_algebra::{Expr, RewriteReport, RuleSet};
 
 /// A fully front-ended query: the optimized body, the rewrite report (which
@@ -57,6 +57,12 @@ pub struct PlanCache {
     evictions: AtomicU64,
 }
 
+// A serving process shares one cache across every connection thread.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PlanCache>();
+};
+
 impl Default for PlanCache {
     fn default() -> Self {
         PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
@@ -76,6 +82,21 @@ impl PlanCache {
         }
     }
 
+    /// Read the map, recovering from poison. A panicking query thread (e.g.
+    /// a worker unwinding mid-evaluation in a serving process) must not
+    /// poison the shared cache for every other session: the map's entries
+    /// are only ever whole, committed plans — insertion is a single
+    /// `HashMap::insert` after compilation finished — so the data is valid
+    /// even if some thread died while holding the guard.
+    fn read_map(&self) -> RwLockReadGuard<'_, HashMap<String, Entry>> {
+        self.map.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Write-lock the map, recovering from poison (see [`Self::read_map`]).
+    fn write_map(&self) -> RwLockWriteGuard<'_, HashMap<String, Entry>> {
+        self.map.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Look up the plan for `query` under `rules` and the planning
     /// `variant` (the executor's strategy tag — lowered physical plans
     /// embed strategy-dependent access annotations, so different strategies
@@ -92,7 +113,7 @@ impl PlanCache {
     ) -> Result<CompiledPlan, E> {
         let key = cache_key(query, variant, rules);
         {
-            let map = self.map.read().expect("plan cache poisoned");
+            let map = self.read_map();
             if let Some(entry) = map.get(&key) {
                 let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
                 entry.last_used.store(now, Ordering::Relaxed);
@@ -102,7 +123,7 @@ impl PlanCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = compile()?;
-        let mut map = self.map.write().expect("plan cache poisoned");
+        let mut map = self.write_map();
         if !map.contains_key(&key) && map.len() >= self.capacity {
             // Evict the stalest entry. O(n) over a small, capped map.
             if let Some(victim) = map
@@ -124,12 +145,12 @@ impl PlanCache {
     /// keeping stale entries would charge hits against the wrong document
     /// generation).
     pub fn invalidate(&self) {
-        self.map.write().expect("plan cache poisoned").clear();
+        self.write_map().clear();
     }
 
     /// Number of plans currently cached.
     pub fn len(&self) -> usize {
-        self.map.read().expect("plan cache poisoned").len()
+        self.read_map().len()
     }
 
     /// True if no plans are cached.

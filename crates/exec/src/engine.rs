@@ -24,6 +24,7 @@ pub struct Executor<'a> {
     rules: RuleSet,
     mode: EvalMode,
     plan_cache: Arc<PlanCache>,
+    cache_scope: Option<String>,
     persist: Option<StoreCounters>,
 }
 
@@ -42,6 +43,7 @@ impl<'a> Executor<'a> {
             rules: RuleSet::all(),
             mode: EvalMode::default(),
             plan_cache: Arc::new(PlanCache::default()),
+            cache_scope: None,
             persist: None,
         }
     }
@@ -92,6 +94,20 @@ impl<'a> Executor<'a> {
         &self.plan_cache
     }
 
+    /// Scope the plan-cache keys this executor produces. MVCC snapshots
+    /// share one cache per document across versions and fold the snapshot's
+    /// generation (and, in the server, the document name) into the scope:
+    /// installing a new version *logically* invalidates every cached plan —
+    /// old-generation entries stop matching and age out via LRU — without
+    /// clearing the cache, so a slow reader still holding the old snapshot
+    /// can keep inserting plans under its own generation's keys without
+    /// racing fresh entries. Counters (hits/misses/evictions) accumulate
+    /// across scopes, preserving cache-traffic continuity over updates.
+    pub fn with_cache_scope(mut self, scope: impl Into<String>) -> Self {
+        self.cache_scope = Some(scope.into());
+        self
+    }
+
     /// Attach a per-query resource governor (deadline, memory budget, row
     /// cap, cancellation). The governor's deadline clock starts when the
     /// governor was created, so build it just before running the query.
@@ -135,11 +151,16 @@ impl<'a> Executor<'a> {
     }
 
     /// The plan-cache variant tag: the strategy, with the worker count kept
-    /// for `Parallel` since it changes the lowered plan's annotations.
+    /// for `Parallel` since it changes the lowered plan's annotations, and
+    /// the cache scope (document generation under MVCC) prefixed when set.
     fn variant(&self) -> String {
-        match self.strategy {
+        let base = match self.strategy {
             Strategy::Parallel { threads } => format!("parallel:{threads}"),
             s => s.name().to_string(),
+        };
+        match &self.cache_scope {
+            Some(scope) => format!("{scope}#{base}"),
+            None => base,
         }
     }
 

@@ -40,6 +40,7 @@ pub mod engine;
 pub mod eval;
 pub mod governor;
 pub mod materialize;
+pub mod mvcc;
 pub mod naive;
 pub mod nok;
 pub mod parallel;
@@ -53,5 +54,6 @@ pub use cache::{CompiledPlan, PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use context::{ExecContext, ExecCounters, NodeRef, Val, XqError};
 pub use engine::Executor;
 pub use governor::{CancelToken, GovernorStats, QueryLimits, ResourceGovernor};
+pub use mvcc::{DocVersion, VersionedDoc};
 pub use physical::{EvalError, EvalMode, PhysicalPlan, BATCH_SIZE};
 pub use planner::Strategy;

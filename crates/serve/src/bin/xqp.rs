@@ -11,7 +11,18 @@
 //! xqp open   <dir> <xquery>                 # query a durable store
 //! xqp fuzz   [--seed N] [--iters K] [--replay CASE_SEED]   # differential fuzzing
 //! xqp torture [--seed N] [--iters K]         # I/O fault-injection torture
+//! xqp serve  <file.xml|store-dir> [--addr H:P] [--max-inflight N]   # query server
+//! xqp client <addr> <verb> [args…]           # talk to a running server
 //! ```
+//!
+//! `serve` loads the file (or opens the durable store) and serves it to
+//! concurrent clients over TCP until stdin reaches EOF — reads run
+//! against snapshot-isolated MVCC versions, so clients keep querying at
+//! full speed while others stream updates. `client` verbs: `ping`,
+//! `query <doc> <xquery>`, `select <doc> <path>`, `insert <doc> <path>
+//! <fragment>`, `delete <doc> <path>`, `docs`; resource-limit flags apply
+//! to the session. `fuzz --server` runs the differential loopback leg: a
+//! real client session must agree with the in-process engine.
 //!
 //! `fuzz` cross-checks random FLWOR workloads over every strategy ×
 //! evaluation-mode combination (persistence round trip included) and
@@ -56,6 +67,14 @@ struct Cli {
     joins: bool,
     /// Resource limits applied to query commands (none by default).
     limits: QueryLimits,
+    /// Positional arguments beyond `arg` (only `client` accepts them).
+    extra: Vec<String>,
+    /// Listen address for `serve`.
+    addr: String,
+    /// Session admission bound for `serve`.
+    max_inflight: u32,
+    /// `fuzz --server`: run the differential loopback leg instead.
+    server: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -69,6 +88,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut replay = None;
     let mut joins = false;
     let mut limits = QueryLimits::none();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut max_inflight = 64u32;
+    let mut server = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -93,6 +115,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 replay = Some(v.parse().map_err(|_| format!("bad case seed `{v}`"))?);
             }
             "--joins" => joins = true,
+            "--server" => server = true,
+            "--addr" => {
+                addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "--max-inflight" => {
+                let v = it.next().ok_or("--max-inflight needs a value")?;
+                max_inflight = v.parse().map_err(|_| format!("bad session bound `{v}`"))?;
+            }
             "--timeout-ms" => {
                 let v = it.next().ok_or("--timeout-ms needs a value")?;
                 let ms: u64 = v.parse().map_err(|_| format!("bad timeout `{v}`"))?;
@@ -129,9 +159,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         };
         (Some((*file).clone()), rest)
     };
-    let arg = match rest {
-        [] => None,
-        [one] => Some((*one).clone()),
+    // `client <addr> <verb> [args…]` is the one command with an open
+    // positional tail (insert takes three trailing arguments).
+    let (arg, extra) = match rest {
+        [] => (None, Vec::new()),
+        [one] => (Some((*one).clone()), Vec::new()),
+        [one, more @ ..] if *command == "client" => {
+            (Some((*one).clone()), more.iter().map(|s| (*s).clone()).collect())
+        }
         _ => return Err("too many positional arguments".into()),
     };
     Ok(Cli {
@@ -147,6 +182,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         replay,
         joins,
         limits,
+        extra,
+        addr,
+        max_inflight,
+        server,
     })
 }
 
@@ -161,12 +200,33 @@ USAGE:
   xqp race    <file.xml> <path>
   xqp save    <file.xml> <dir>
   xqp open    <dir> <xquery>
-  xqp fuzz    [--seed N] [--iters K] [--joins] [--replay CASE_SEED]
+  xqp fuzz    [--seed N] [--iters K] [--joins] [--replay CASE_SEED] [--server]
   xqp torture [--seed N] [--iters K]
+  xqp serve   <file.xml|store-dir> [--addr HOST:PORT] [--max-inflight N]
+  xqp client  <addr> ping
+  xqp client  <addr> query  <doc> <xquery>   [limit flags]
+  xqp client  <addr> select <doc> <path>     [limit flags]
+  xqp client  <addr> insert <doc> <path> <fragment>
+  xqp client  <addr> delete <doc> <path>
+  xqp client  <addr> docs
+
+  `serve` loads the XML file (or opens the durable store directory) and
+  serves it to concurrent TCP clients until stdin reaches EOF. Reads run
+  against snapshot-isolated MVCC document versions: they never block
+  behind writers and never observe a half-applied update. Strategy /
+  rules / mode / limit flags set the server-side defaults.
+
+  `client` opens one session against a running server. Limit flags apply
+  to the session (the server enforces them); `query` and `select` print
+  the MVCC generation they read at on stderr.
 
   `fuzz` cross-checks K random FLWOR workloads across every strategy ×
   evaluation mode (and a save/open round trip), shrinking any divergence
   or panic to a minimal repro; exits non-zero when one is found.
+  `--server` switches to the differential loopback leg: every case is
+  also run through a real client session over a real socket (framing,
+  session limits, error mapping and all), which must agree with the
+  in-process engine — including resource-limit trips as a class.
   `--joins` switches to join-shaped cases and additionally cross-checks
   every optimizer-rule ablation (all rules, none, each join rewrite
   knocked out) against the all-rules reference.
@@ -210,6 +270,12 @@ fn run(args: &[String]) -> Result<(), String> {
     if cli.command == "torture" {
         return run_torture(&cli);
     }
+    if cli.command == "serve" {
+        return run_serve(&cli);
+    }
+    if cli.command == "client" {
+        return run_client(&cli);
+    }
     let file = cli.file.as_deref().ok_or("missing file argument")?;
     // `open` takes a store directory, not an XML file; everything else
     // parses the XML up front.
@@ -227,7 +293,7 @@ fn run(args: &[String]) -> Result<(), String> {
         db
     } else {
         let xml = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-        let mut db = Database::new();
+        let db = Database::new();
         db.load_str("doc", &xml).map_err(|e| e.to_string())?;
         db
     };
@@ -267,7 +333,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let dt = t.elapsed();
             let sdoc = db.document("doc").map_err(|e| e.to_string())?;
             for n in &hits {
-                println!("{n}\t{}", xqp::exec::engine::serialize_stored(sdoc, *n));
+                println!("{n}\t{}", xqp::exec::engine::serialize_stored(&sdoc, *n));
             }
             eprintln!("-- {} node(s) in {dt:.2?} ({})", hits.len(), cli.strategy.name());
             Ok(())
@@ -359,9 +425,130 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `xqp serve`: load the file (or open the store) and serve it over TCP
+/// until stdin reaches EOF — so `some-supervisor | xqp serve …` and the
+/// CI smoke (`sleep N | xqp serve …`) both get a deterministic, clean
+/// shutdown without signal handling.
+fn run_serve(cli: &Cli) -> Result<(), String> {
+    use std::io::Read as _;
+
+    let file = cli.file.as_deref().ok_or("`serve` needs an XML file or store directory")?;
+    let path = std::path::Path::new(file);
+    let mut db = if path.is_dir() {
+        Database::open(path).map_err(|e| e.to_string())?
+    } else {
+        let xml = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let db = Database::new();
+        db.load_str("doc", &xml).map_err(|e| e.to_string())?;
+        db
+    };
+    db.set_strategy(cli.strategy);
+    db.set_rules(cli.rules);
+    db.set_eval_mode(cli.mode);
+    let cfg = xqp_serve::ServerConfig {
+        max_inflight: cli.max_inflight,
+        default_limits: cli.limits,
+        ..Default::default()
+    };
+    let server = xqp_serve::Server::start(std::sync::Arc::new(db), cli.addr.as_str(), cfg)
+        .map_err(|e| e.to_string())?;
+    // The bound address on stdout is the contract scripts rely on (port 0
+    // resolves to an ephemeral port only knowable here).
+    println!("{}", server.addr());
+    eprintln!(
+        "-- serving {} document(s) on {} (max {} session(s); EOF on stdin stops the server)",
+        server.database().document_names().len(),
+        server.addr(),
+        cli.max_inflight,
+    );
+    // Park until the supervisor closes our stdin.
+    let mut sink = [0u8; 4096];
+    let mut stdin = std::io::stdin().lock();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+    let stats = server.stats();
+    eprintln!(
+        "-- shutting down: {} connection(s), {} request(s), {} busy, {} protocol error(s), {} \
+         cancelled",
+        stats.accepted.load(std::sync::atomic::Ordering::Relaxed),
+        stats.requests.load(std::sync::atomic::Ordering::Relaxed),
+        stats.busy_rejections.load(std::sync::atomic::Ordering::Relaxed),
+        stats.protocol_errors.load(std::sync::atomic::Ordering::Relaxed),
+        stats.cancelled.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    server.shutdown();
+    Ok(())
+}
+
+/// `xqp client`: one session against a running server.
+fn run_client(cli: &Cli) -> Result<(), String> {
+    let addr = cli.file.as_deref().ok_or("`client` needs a server address")?;
+    let verb = cli.arg.as_deref().ok_or("`client` needs a verb (see --help)")?;
+    let mut client =
+        xqp_serve::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if !cli.limits.is_unlimited() {
+        client.set_limits(&cli.limits).map_err(|e| e.to_string())?;
+    }
+    let need = |n: usize, what: &str| -> Result<&str, String> {
+        cli.extra.get(n).map(|s| s.as_str()).ok_or_else(|| format!("`{verb}` needs {what}"))
+    };
+    let t = Instant::now();
+    match verb {
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            eprintln!("-- pong in {:.2?}", t.elapsed());
+        }
+        "query" => {
+            let doc = need(0, "a document name")?;
+            let q = need(1, "an XQuery expression")?;
+            let (generation, out) = client.query(doc, q).map_err(|e| e.to_string())?;
+            if cli.pretty {
+                match xqp::xml::parse_document(&out) {
+                    Ok(d) => print!("{}", xqp::xml::serialize_pretty(&d, 2)),
+                    Err(_) => println!("{out}"),
+                }
+            } else {
+                println!("{out}");
+            }
+            eprintln!("-- {:.2?} at generation {generation}", t.elapsed());
+        }
+        "select" => {
+            let doc = need(0, "a document name")?;
+            let p = need(1, "a path expression")?;
+            let (generation, ids) = client.select(doc, p).map_err(|e| e.to_string())?;
+            for id in &ids {
+                println!("{id}");
+            }
+            eprintln!("-- {} node(s) in {:.2?} at generation {generation}", ids.len(), t.elapsed());
+        }
+        "insert" => {
+            let doc = need(0, "a document name")?;
+            let p = need(1, "a path expression")?;
+            let frag = need(2, "an XML fragment")?;
+            let n = client.insert(doc, p, frag).map_err(|e| e.to_string())?;
+            eprintln!("-- inserted under {n} node(s) in {:.2?}", t.elapsed());
+        }
+        "delete" => {
+            let doc = need(0, "a document name")?;
+            let p = need(1, "a path expression")?;
+            let n = client.delete(doc, p).map_err(|e| e.to_string())?;
+            eprintln!("-- deleted {n} node(s) in {:.2?}", t.elapsed());
+        }
+        "docs" => {
+            for name in client.list_docs().map_err(|e| e.to_string())? {
+                println!("{name}");
+            }
+        }
+        other => return Err(format!("unknown client verb `{other}` (see --help)")),
+    }
+    client.close().map_err(|e| e.to_string())
+}
+
 /// `xqp fuzz`: run the differential fuzzer and report minimized repros.
 fn run_fuzz(cli: &Cli) -> Result<(), String> {
     use xqp::fuzz::{fuzz, run_seed, with_quiet_panics, FuzzConfig};
+    if cli.server {
+        return run_fuzz_server(cli);
+    }
     // `--replay N` re-runs exactly one *case* seed (as printed in a failure
     // report) — distinct from `--seed`, which seeds the master PRNG that
     // case seeds are drawn from.
@@ -403,6 +590,36 @@ fn run_fuzz(cli: &Cli) -> Result<(), String> {
         Err(format!(
             "fuzz: {} failure(s) in {} iteration(s); replay one with `xqp fuzz --replay <case \
              seed>` after fixing",
+            summary.failures.len(),
+            summary.iters_run
+        ))
+    }
+}
+
+/// `xqp fuzz --server`: the differential loopback leg — a real client
+/// session over a real socket must agree with the in-process engine.
+fn run_fuzz_server(cli: &Cli) -> Result<(), String> {
+    use xqp_serve::fuzz::{fuzz_server, ServerFuzzConfig};
+    let cfg = ServerFuzzConfig { seed: cli.seed, iters: cli.iters, ..Default::default() };
+    eprintln!(
+        "-- fuzz --server: {} loopback iteration(s) from master seed {}",
+        cfg.iters, cfg.seed
+    );
+    let t = Instant::now();
+    let summary = fuzz_server(&cfg);
+    let dt = t.elapsed();
+    for failure in &summary.failures {
+        println!("{failure}");
+    }
+    if summary.ok() {
+        eprintln!(
+            "-- fuzz --server: all {} iteration(s) agreed with the in-process engine in {dt:.2?}",
+            summary.iters_run
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "fuzz --server: {} divergence(s) in {} iteration(s)",
             summary.failures.len(),
             summary.iters_run
         ))
@@ -564,6 +781,38 @@ mod tests {
         assert_eq!(cli.seed, 9);
         assert_eq!(cli.iters, 500);
         assert!(parse_args(&sv(&["torture", "f.xml"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_command() {
+        let cli = parse_args(&sv(&["serve", "f.xml", "--addr", "0.0.0.0:9999"])).unwrap();
+        assert_eq!(cli.command, "serve");
+        assert_eq!(cli.file.as_deref(), Some("f.xml"));
+        assert_eq!(cli.addr, "0.0.0.0:9999");
+        assert_eq!(cli.max_inflight, 64);
+        let cli = parse_args(&sv(&["serve", "dir", "--max-inflight", "4"])).unwrap();
+        assert_eq!(cli.max_inflight, 4);
+        assert!(parse_args(&sv(&["serve", "f.xml", "--max-inflight", "many"])).is_err());
+        assert!(parse_args(&sv(&["serve", "f.xml", "--addr"])).is_err());
+    }
+
+    #[test]
+    fn parses_client_positional_tail() {
+        let cli =
+            parse_args(&sv(&["client", "127.0.0.1:7878", "insert", "doc", "/a", "<x/>"])).unwrap();
+        assert_eq!(cli.file.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(cli.arg.as_deref(), Some("insert"));
+        assert_eq!(cli.extra, vec!["doc".to_string(), "/a".to_string(), "<x/>".to_string()]);
+        // Other commands still reject long tails.
+        assert!(parse_args(&sv(&["query", "f.xml", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz_server_flag() {
+        let cli = parse_args(&sv(&["fuzz", "--server", "--iters", "8"])).unwrap();
+        assert!(cli.server);
+        assert_eq!(cli.iters, 8);
+        assert!(!parse_args(&sv(&["fuzz"])).unwrap().server);
     }
 
     #[test]

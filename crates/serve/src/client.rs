@@ -1,0 +1,117 @@
+//! Blocking client for the query server — the driver library the CLI
+//! (`xqp client …`), the loopback fuzzer leg, and the E19 benchmark all
+//! share.
+//!
+//! One [`Client`] is one session: requests are synchronous (send one
+//! frame, read one response). Server-side failures surface as
+//! [`ServeError::Remote`] carrying the typed [`ErrorClass`], admission
+//! refusals as [`ServeError::ServerBusy`] — callers never have to parse
+//! message text to branch.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use xqp::QueryLimits;
+
+use crate::protocol::{
+    limits_to_wire, read_frame, write_frame, Request, Response, ServeError, MAX_FRAME,
+};
+
+/// A connected session.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream, max_frame: MAX_FRAME })
+    }
+
+    /// Send one request and read its response. Converts the typed failure
+    /// responses ([`Response::Error`], [`Response::Busy`]) into `Err`.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream, self.max_frame)?;
+        match Response::decode(&payload)? {
+            Response::Error { class, message } => Err(ServeError::Remote { class, message }),
+            Response::Busy { in_flight, max } => Err(ServeError::ServerBusy { in_flight, max }),
+            resp => Ok(resp),
+        }
+    }
+
+    fn unexpected<T>(resp: Response) -> Result<T, ServeError> {
+        Err(ServeError::Protocol(format!("unexpected response kind: {resp:?}")))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Run an XQuery; returns the MVCC generation the snapshot carried and
+    /// the serialized result.
+    pub fn query(&mut self, doc: &str, query: &str) -> Result<(u64, String), ServeError> {
+        match self.request(&Request::Query { doc: doc.into(), query: query.into() })? {
+            Response::Value { generation, body } => Ok((generation, body)),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Evaluate a bare path to node ids (meaningful only against the
+    /// returned generation).
+    pub fn select(&mut self, doc: &str, path: &str) -> Result<(u64, Vec<u64>), ServeError> {
+        match self.request(&Request::Select { doc: doc.into(), path: path.into() })? {
+            Response::NodeIds { generation, ids } => Ok((generation, ids)),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Splice `fragment` under every node `path` selects; returns the
+    /// number of insertion points.
+    pub fn insert(&mut self, doc: &str, path: &str, fragment: &str) -> Result<u64, ServeError> {
+        let req = Request::Insert { doc: doc.into(), path: path.into(), fragment: fragment.into() };
+        match self.request(&req)? {
+            Response::Count { n } => Ok(n),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Delete every subtree `path` selects; returns the number deleted.
+    pub fn delete(&mut self, doc: &str, path: &str) -> Result<u64, ServeError> {
+        match self.request(&Request::Delete { doc: doc.into(), path: path.into() })? {
+            Response::Count { n } => Ok(n),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Replace this session's resource limits.
+    pub fn set_limits(&mut self, limits: &QueryLimits) -> Result<(), ServeError> {
+        let (timeout_ms, max_memory, max_rows) = limits_to_wire(limits);
+        match self.request(&Request::SetLimits { timeout_ms, max_memory, max_rows })? {
+            Response::Pong => Ok(()),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// List the documents the server holds.
+    pub fn list_docs(&mut self) -> Result<Vec<String>, ServeError> {
+        match self.request(&Request::ListDocs)? {
+            Response::Docs { names } => Ok(names),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// End the session cleanly (`Close` → `Bye`).
+    pub fn close(mut self) -> Result<(), ServeError> {
+        match self.request(&Request::Close)? {
+            Response::Bye => Ok(()),
+            other => Self::unexpected(other),
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Differential loopback fuzzing: the served engine must agree with the
+//! in-process engine.
+//!
+//! The in-process fuzzer (`xqp::fuzz`) already checks every engine
+//! configuration against the naive reference. This leg extends the chain
+//! one hop further: a *real client session over a real socket* — framing,
+//! admission, session limits, error mapping and all — must produce the
+//! same outcome as calling [`xqp::Database::query`] directly:
+//!
+//! * value outcomes must be byte-identical (the response body is the same
+//!   serializer's output);
+//! * error outcomes must map to a typed error class, never a hang or a
+//!   dropped connection;
+//! * under deliberately tight resource limits, the session must either
+//!   return the full correct value or trip as
+//!   [`ErrorClass::ResourceLimit`] — a silently truncated result is a
+//!   divergence (the same "limits are sound" contract the in-process
+//!   budget leg pins);
+//! * engine panics surface as [`ErrorClass::Internal`] and the session
+//!   *stays connected* for the next case.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use xqp::exec::differential::Outcome;
+use xqp::fuzz::with_quiet_panics;
+use xqp::{Database, QueryLimits};
+use xqp_gen::{gen_case, Prng};
+
+use crate::protocol::{ErrorClass, ServeError};
+use crate::server::{Server, ServerConfig};
+use crate::Client;
+
+/// Knobs of a loopback fuzz run.
+#[derive(Debug, Clone)]
+pub struct ServerFuzzConfig {
+    /// Master seed; case seeds derive from it deterministically.
+    pub seed: u64,
+    /// Number of generated cases.
+    pub iters: u64,
+    /// Stop after this many failures.
+    pub max_failures: usize,
+}
+
+impl Default for ServerFuzzConfig {
+    fn default() -> Self {
+        ServerFuzzConfig { seed: 0x5E12_F00D, iters: 64, max_failures: 5 }
+    }
+}
+
+/// One divergence between the loopback session and the in-process engine.
+#[derive(Debug, Clone)]
+pub struct ServerFuzzFailure {
+    /// Seed that regenerates the case.
+    pub case_seed: u64,
+    /// The document XML.
+    pub doc: String,
+    /// The query text.
+    pub query: String,
+    /// Human-readable description of the disagreement.
+    pub report: String,
+}
+
+impl fmt::Display for ServerFuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "case seed {:#x}", self.case_seed)?;
+        writeln!(f, "  doc:   {}", self.doc)?;
+        writeln!(f, "  query: {}", self.query)?;
+        write!(f, "  {}", self.report)
+    }
+}
+
+/// Result of a loopback fuzz run.
+#[derive(Debug, Default)]
+pub struct ServerFuzzSummary {
+    /// Cases attempted.
+    pub iters_run: u64,
+    /// Divergences found.
+    pub failures: Vec<ServerFuzzFailure>,
+}
+
+impl ServerFuzzSummary {
+    /// True when the session agreed with the in-process engine everywhere.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Deliberately tight limits for the limit-soundness leg: small enough to
+/// trip on any non-trivial case, honest enough to let trivial ones finish.
+fn tight_limits() -> QueryLimits {
+    QueryLimits::none().with_timeout(Duration::from_millis(50)).with_max_rows(64)
+}
+
+fn loopback_outcome(res: Result<(u64, String), ServeError>) -> Result<Outcome, String> {
+    match res {
+        Ok((_generation, body)) => Ok(Outcome::Value(body)),
+        Err(ServeError::Remote { class: ErrorClass::Internal, message }) => {
+            Ok(Outcome::Panic(message))
+        }
+        Err(ServeError::Remote { message, .. }) => Ok(Outcome::Error(message)),
+        // Transport-level failures are never acceptable on loopback.
+        Err(e) => Err(format!("transport failure: {e}")),
+    }
+}
+
+fn reference_outcome(db: &Database, doc: &str, query: &str) -> Outcome {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| db.query(doc, query))) {
+        Ok(Ok(v)) => Outcome::Value(v),
+        Ok(Err(e)) => Outcome::Error(e.to_string()),
+        Err(payload) => Outcome::Panic(xqp::exec::differential::panic_message(payload)),
+    }
+}
+
+/// Run the loopback differential fuzzer: one shared server + one client
+/// session carry every generated case; the in-process engine (a separate
+/// [`Database`]) is the reference.
+pub fn fuzz_server(cfg: &ServerFuzzConfig) -> ServerFuzzSummary {
+    with_quiet_panics(|| {
+        let served = Arc::new(Database::new());
+        let server = Server::start(Arc::clone(&served), "127.0.0.1:0", ServerConfig::default())
+            .expect("bind loopback listener");
+        let mut client = Client::connect(server.addr()).expect("connect loopback client");
+        let reference = Database::new();
+
+        let mut master = Prng::seed_from_u64(cfg.seed);
+        let mut summary = ServerFuzzSummary::default();
+        for _ in 0..cfg.iters {
+            let case_seed = master.next_u64();
+            summary.iters_run += 1;
+            let case = gen_case(case_seed);
+            let xml = case.doc_xml();
+            let query = case.query_text();
+            match run_case(&served, &reference, &mut client, &xml, &query) {
+                Ok(()) => {}
+                Err(report) => {
+                    summary.failures.push(ServerFuzzFailure { case_seed, doc: xml, query, report });
+                    if summary.failures.len() >= cfg.max_failures {
+                        break;
+                    }
+                }
+            }
+        }
+        // Keep the teardown on the happy path so thread leaks would show
+        // up as a hang here, not as flakiness elsewhere.
+        let _ = client.close();
+        server.shutdown();
+        summary
+    })
+}
+
+fn run_case(
+    served: &Database,
+    reference: &Database,
+    client: &mut Client,
+    xml: &str,
+    query: &str,
+) -> Result<(), String> {
+    // Both sides may reject the document (the generator occasionally
+    // produces unparsable XML on purpose); they must agree on that too.
+    let served_load = served.load_str("fuzz", xml);
+    let reference_load = reference.load_str("fuzz", xml);
+    match (&served_load, &reference_load) {
+        (Ok(()), Ok(())) => {}
+        (Err(_), Err(_)) => return Ok(()),
+        _ => {
+            return Err(format!(
+                "load disagreement: served {served_load:?}, in-process {reference_load:?}"
+            ))
+        }
+    }
+
+    let want = reference_outcome(reference, "fuzz", query);
+    let got = loopback_outcome(client.query("fuzz", query))?;
+    // A panic on the reference side is caught as Internal on the server:
+    // the pair (Panic, Panic) is agreement here even though the strict
+    // in-process matrix treats panics as failures (that matrix's job).
+    let agree = match (&want, &got) {
+        (Outcome::Panic(_), Outcome::Panic(_)) => true,
+        (w, g) => g.agrees_with(w),
+    };
+    if !agree {
+        return Err(format!("plain leg: in-process {want}, loopback {got}"));
+    }
+
+    // Limit-soundness leg: under tight limits the session must return the
+    // full value or trip as the resource-limit class.
+    client.set_limits(&tight_limits()).map_err(|e| format!("set_limits failed: {e}"))?;
+    let limited = client.query("fuzz", query);
+    client.set_limits(&QueryLimits::none()).map_err(|e| format!("reset limits failed: {e}"))?;
+    match (want, limited) {
+        (Outcome::Value(full), Ok((_gen, body))) => {
+            if body != full {
+                return Err(format!(
+                    "limits leg: truncated/diverged value under limits: {body:?} vs {full:?}"
+                ));
+            }
+        }
+        (_, Err(ServeError::Remote { class: ErrorClass::ResourceLimit, .. })) => {}
+        // The engine reached its own error/panic before any limit tripped.
+        (Outcome::Error(_), Err(ServeError::Remote { class: ErrorClass::Query, .. })) => {}
+        (Outcome::Panic(_), Err(ServeError::Remote { class: ErrorClass::Internal, .. })) => {}
+        (Outcome::Panic(_), Ok(_)) | (Outcome::Error(_), Ok(_)) => {
+            // Tight limits can mask a deep error by stopping earlier with
+            // a value; only possible when evaluation order differs — but
+            // the engine is deterministic, so treat it as a divergence.
+            return Err("limits leg: value under limits but error without".into());
+        }
+        (want, got) => {
+            return Err(format!("limits leg: in-process {want}, loopback {got:?}"));
+        }
+    }
+    Ok(())
+}

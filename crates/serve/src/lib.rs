@@ -1,0 +1,33 @@
+//! # xqp-serve — the concurrent serving subsystem
+//!
+//! Multi-client query serving on top of the engine's MVCC read path
+//! (`xqp_exec::mvcc`): every connection is a session whose reads run
+//! against an immutable snapshot of the target document, so N clients can
+//! query at full speed while a writer streams structural updates — readers
+//! never block writers, writers never block readers, and no reader ever
+//! observes a half-applied update.
+//!
+//! The stack, bottom-up:
+//!
+//! * [`protocol`] — length-prefixed, CRC-framed request/response wire
+//!   format over TCP, reusing the storage layer's little-endian framing
+//!   primitives. Zero external dependencies.
+//! * [`server`] — hand-rolled `std::net` thread-per-connection server:
+//!   admission control (bounded sessions, typed busy refusal),
+//!   per-session resource limits, cooperative cancellation when a client
+//!   disconnects mid-query, a process-wide shared plan cache scoped by
+//!   (document, generation), and panic containment per request.
+//! * [`client`] — the blocking driver library the CLI, the benchmarks,
+//!   and the fuzzer all use.
+//! * [`fuzz`] — the differential loopback leg: a real client session over
+//!   a real socket must agree with the in-process engine on every
+//!   generated case, including resource-limit trips as a class.
+
+pub mod client;
+pub mod fuzz;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{ErrorClass, Request, Response, ServeError};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};

@@ -1,0 +1,550 @@
+//! Wire protocol of the query server.
+//!
+//! Framing follows the on-disk idiom of `xqp_storage::persist::format`:
+//! everything is explicit little-endian, variable-length fields carry a
+//! `u32` length prefix, and integrity is a CRC-32 placed *after* the bytes
+//! it covers. A frame on the socket is
+//!
+//! ```text
+//! [u32 payload_len][payload bytes][u32 crc32(payload)]
+//! ```
+//!
+//! so a truncated connection and a corrupted frame are detected the same
+//! way — the checksum fails — and both produce a typed error, never a
+//! panic. The payload itself is a tagged union: one leading `u8`
+//! discriminant followed by the variant's fields.
+//!
+//! The protocol is deliberately request/response-synchronous per
+//! connection: a session sends one request and reads one response.
+//! Concurrency comes from opening multiple connections, which the server
+//! maps to snapshot-isolated MVCC reads (see `xqp_exec::mvcc`).
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use xqp::QueryLimits;
+use xqp_storage::persist::format::{crc32, put_str, put_u32, put_u64, put_u8, Reader};
+
+/// Hard ceiling on a frame the peer may send, unless the server/client is
+/// configured lower. 64 MiB comfortably holds any benchmark document while
+/// keeping a hostile length prefix from allocating unbounded memory.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Everything that can go wrong on the wire or in the session layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (connect/read/write/shutdown).
+    Io(std::io::Error),
+    /// The bytes do not parse as a frame of the protocol.
+    Frame(String),
+    /// The peer announced a frame larger than the configured ceiling.
+    TooLarge { len: u32, max: u32 },
+    /// The frame arrived whole but its checksum does not match.
+    Crc { expected: u32, found: u32 },
+    /// The frame decoded but violates the protocol (unknown tag, wrong
+    /// response kind, trailing bytes…).
+    Protocol(String),
+    /// The server refused admission: too many sessions in flight.
+    ServerBusy { in_flight: u32, max: u32 },
+    /// The peer closed the connection (clean EOF).
+    Closed,
+    /// The server reported a typed error for this request.
+    Remote { class: ErrorClass, message: String },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+            ServeError::Frame(m) => write!(f, "bad frame: {m}"),
+            ServeError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            ServeError::Crc { expected, found } => {
+                write!(f, "frame checksum mismatch: expected {expected:#010x}, found {found:#010x}")
+            }
+            ServeError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ServeError::ServerBusy { in_flight, max } => {
+                write!(f, "server busy: {in_flight} sessions in flight (max {max})")
+            }
+            ServeError::Closed => write!(f, "connection closed by peer"),
+            ServeError::Remote { class, message } => write!(f, "server error [{class}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Classification of a server-side failure, stable across the wire so
+/// clients can react programmatically (retry, surface, give up) without
+/// parsing message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Query parsing or evaluation failed.
+    Query,
+    /// No document with that name is loaded.
+    UnknownDocument,
+    /// A structural update was rejected.
+    Update,
+    /// The durable store failed.
+    Persist,
+    /// The resource governor tripped a limit (timeout / memory / rows).
+    ResourceLimit,
+    /// The request violated the protocol.
+    Protocol,
+    /// The engine panicked; the server caught it and the session survives.
+    Internal,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+impl ErrorClass {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorClass::Query => 0,
+            ErrorClass::UnknownDocument => 1,
+            ErrorClass::Update => 2,
+            ErrorClass::Persist => 3,
+            ErrorClass::ResourceLimit => 4,
+            ErrorClass::Protocol => 5,
+            ErrorClass::Internal => 6,
+            ErrorClass::Shutdown => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ErrorClass, ServeError> {
+        Ok(match v {
+            0 => ErrorClass::Query,
+            1 => ErrorClass::UnknownDocument,
+            2 => ErrorClass::Update,
+            3 => ErrorClass::Persist,
+            4 => ErrorClass::ResourceLimit,
+            5 => ErrorClass::Protocol,
+            6 => ErrorClass::Internal,
+            7 => ErrorClass::Shutdown,
+            other => return Err(ServeError::Protocol(format!("unknown error class {other}"))),
+        })
+    }
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorClass::Query => "query",
+            ErrorClass::UnknownDocument => "unknown-document",
+            ErrorClass::Update => "update",
+            ErrorClass::Persist => "persist",
+            ErrorClass::ResourceLimit => "resource-limit",
+            ErrorClass::Protocol => "protocol",
+            ErrorClass::Internal => "internal",
+            ErrorClass::Shutdown => "shutdown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Run an XQuery against the current snapshot of `doc`.
+    Query { doc: String, query: String },
+    /// Evaluate a bare path to node ids against the current snapshot.
+    Select { doc: String, path: String },
+    /// Splice `fragment` under every node `path` selects.
+    Insert { doc: String, path: String, fragment: String },
+    /// Delete every subtree `path` selects.
+    Delete { doc: String, path: String },
+    /// Replace this session's resource limits (0 = unlimited per field).
+    SetLimits { timeout_ms: u64, max_memory: u64, max_rows: u64 },
+    /// List the documents the server is holding.
+    ListDocs,
+    /// End the session; answered with [`Response::Bye`].
+    Close,
+}
+
+impl Request {
+    /// Encode into a payload (no framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => put_u8(&mut out, 0),
+            Request::Query { doc, query } => {
+                put_u8(&mut out, 1);
+                put_str(&mut out, doc);
+                put_str(&mut out, query);
+            }
+            Request::Select { doc, path } => {
+                put_u8(&mut out, 2);
+                put_str(&mut out, doc);
+                put_str(&mut out, path);
+            }
+            Request::Insert { doc, path, fragment } => {
+                put_u8(&mut out, 3);
+                put_str(&mut out, doc);
+                put_str(&mut out, path);
+                put_str(&mut out, fragment);
+            }
+            Request::Delete { doc, path } => {
+                put_u8(&mut out, 4);
+                put_str(&mut out, doc);
+                put_str(&mut out, path);
+            }
+            Request::SetLimits { timeout_ms, max_memory, max_rows } => {
+                put_u8(&mut out, 5);
+                put_u64(&mut out, *timeout_ms);
+                put_u64(&mut out, *max_memory);
+                put_u64(&mut out, *max_rows);
+            }
+            Request::ListDocs => put_u8(&mut out, 6),
+            Request::Close => put_u8(&mut out, 7),
+        }
+        out
+    }
+
+    /// Decode from a payload; rejects trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, ServeError> {
+        let mut r = Reader::new(payload);
+        let tag = fr(r.u8("request tag"))?;
+        let req = match tag {
+            0 => Request::Ping,
+            1 => Request::Query {
+                doc: fr(r.len_str("doc"))?.to_string(),
+                query: fr(r.len_str("query"))?.to_string(),
+            },
+            2 => Request::Select {
+                doc: fr(r.len_str("doc"))?.to_string(),
+                path: fr(r.len_str("path"))?.to_string(),
+            },
+            3 => Request::Insert {
+                doc: fr(r.len_str("doc"))?.to_string(),
+                path: fr(r.len_str("path"))?.to_string(),
+                fragment: fr(r.len_str("fragment"))?.to_string(),
+            },
+            4 => Request::Delete {
+                doc: fr(r.len_str("doc"))?.to_string(),
+                path: fr(r.len_str("path"))?.to_string(),
+            },
+            5 => Request::SetLimits {
+                timeout_ms: fr(r.u64("timeout"))?,
+                max_memory: fr(r.u64("max_memory"))?,
+                max_rows: fr(r.u64("max_rows"))?,
+            },
+            6 => Request::ListDocs,
+            7 => Request::Close,
+            other => return Err(ServeError::Protocol(format!("unknown request tag {other}"))),
+        };
+        expect_drained(&r)?;
+        Ok(req)
+    }
+}
+
+/// Decode the wire form of [`Request::SetLimits`] (0 = unlimited).
+pub fn limits_from_wire(timeout_ms: u64, max_memory: u64, max_rows: u64) -> QueryLimits {
+    let mut l = QueryLimits::none();
+    if timeout_ms > 0 {
+        l = l.with_timeout(Duration::from_millis(timeout_ms));
+    }
+    if max_memory > 0 {
+        l = l.with_max_memory(max_memory);
+    }
+    if max_rows > 0 {
+        l = l.with_max_rows(max_rows);
+    }
+    l
+}
+
+/// Encode [`QueryLimits`] for the wire (0 = unlimited).
+pub fn limits_to_wire(l: &QueryLimits) -> (u64, u64, u64) {
+    (
+        l.timeout.map(|d| d.as_millis() as u64).unwrap_or(0),
+        l.max_memory.unwrap_or(0),
+        l.max_rows.unwrap_or(0),
+    )
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Serialized query result, tagged with the MVCC generation the
+    /// snapshot carried so clients can correlate reads with commits.
+    Value { generation: u64, body: String },
+    /// Node ids from a select, meaningful only against `generation`.
+    NodeIds { generation: u64, ids: Vec<u64> },
+    /// Number of nodes an update touched.
+    Count { n: u64 },
+    /// Documents currently loaded.
+    Docs { names: Vec<String> },
+    /// Typed failure; the session stays open unless the class is
+    /// [`ErrorClass::Protocol`] or [`ErrorClass::Shutdown`].
+    Error { class: ErrorClass, message: String },
+    /// Admission control refused the session.
+    Busy { in_flight: u32, max: u32 },
+    /// Answer to [`Request::Close`]; the server closes after sending it.
+    Bye,
+}
+
+impl Response {
+    /// Encode into a payload (no framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong => put_u8(&mut out, 0),
+            Response::Value { generation, body } => {
+                put_u8(&mut out, 1);
+                put_u64(&mut out, *generation);
+                put_str(&mut out, body);
+            }
+            Response::NodeIds { generation, ids } => {
+                put_u8(&mut out, 2);
+                put_u64(&mut out, *generation);
+                put_u32(&mut out, ids.len() as u32);
+                for id in ids {
+                    put_u64(&mut out, *id);
+                }
+            }
+            Response::Count { n } => {
+                put_u8(&mut out, 3);
+                put_u64(&mut out, *n);
+            }
+            Response::Docs { names } => {
+                put_u8(&mut out, 4);
+                put_u32(&mut out, names.len() as u32);
+                for n in names {
+                    put_str(&mut out, n);
+                }
+            }
+            Response::Error { class, message } => {
+                put_u8(&mut out, 5);
+                put_u8(&mut out, class.to_u8());
+                put_str(&mut out, message);
+            }
+            Response::Busy { in_flight, max } => {
+                put_u8(&mut out, 6);
+                put_u32(&mut out, *in_flight);
+                put_u32(&mut out, *max);
+            }
+            Response::Bye => put_u8(&mut out, 7),
+        }
+        out
+    }
+
+    /// Decode from a payload; rejects trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Response, ServeError> {
+        let mut r = Reader::new(payload);
+        let tag = fr(r.u8("response tag"))?;
+        let resp = match tag {
+            0 => Response::Pong,
+            1 => Response::Value {
+                generation: fr(r.u64("generation"))?,
+                body: fr(r.len_str("body"))?.to_string(),
+            },
+            2 => {
+                let generation = fr(r.u64("generation"))?;
+                let n = fr(r.u32("id count"))? as usize;
+                let mut ids = Vec::new();
+                for _ in 0..n {
+                    ids.push(fr(r.u64("node id"))?);
+                }
+                Response::NodeIds { generation, ids }
+            }
+            3 => Response::Count { n: fr(r.u64("count"))? },
+            4 => {
+                let n = fr(r.u32("doc count"))? as usize;
+                let mut names = Vec::new();
+                for _ in 0..n {
+                    names.push(fr(r.len_str("doc name"))?.to_string());
+                }
+                Response::Docs { names }
+            }
+            5 => Response::Error {
+                class: ErrorClass::from_u8(fr(r.u8("error class"))?)?,
+                message: fr(r.len_str("message"))?.to_string(),
+            },
+            6 => Response::Busy { in_flight: fr(r.u32("in_flight"))?, max: fr(r.u32("max"))? },
+            7 => Response::Bye,
+            other => return Err(ServeError::Protocol(format!("unknown response tag {other}"))),
+        };
+        expect_drained(&r)?;
+        Ok(resp)
+    }
+}
+
+fn fr<T>(r: Result<T, xqp_storage::PersistError>) -> Result<T, ServeError> {
+    r.map_err(|e| ServeError::Frame(e.to_string()))
+}
+
+fn expect_drained(r: &Reader<'_>) -> Result<(), ServeError> {
+    if r.remaining() > 0 {
+        return Err(ServeError::Protocol(format!(
+            "{} trailing bytes after message",
+            r.remaining()
+        )));
+    }
+    Ok(())
+}
+
+// ---- framing over a stream --------------------------------------------------
+
+/// Write `payload` as one frame: `[u32 len][payload][u32 crc]`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError> {
+    let mut buf = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut buf, payload.len() as u32);
+    buf.extend_from_slice(payload);
+    put_u32(&mut buf, crc32(payload));
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame, enforcing `max_frame` on the announced length and
+/// verifying the checksum. A clean EOF before the first length byte maps
+/// to [`ServeError::Closed`]; EOF mid-frame is a framing error.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Vec<u8>, ServeError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "peer hung up between frames" from "frame cut short".
+    let mut got = 0;
+    while got < 4 {
+        let n = r.read(&mut len_buf[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Err(ServeError::Closed);
+            }
+            return Err(ServeError::Frame("connection closed inside length prefix".into()));
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > max_frame {
+        return Err(ServeError::TooLarge { len, max: max_frame });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| ServeError::Frame(format!("connection closed inside payload: {e}")))?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)
+        .map_err(|e| ServeError::Frame(format!("connection closed inside checksum: {e}")))?;
+    let expected = u32::from_le_bytes(crc_buf);
+    let found = crc32(&payload);
+    if expected != found {
+        return Err(ServeError::Crc { expected, found });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let payload = req.encode();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let payload = resp.encode();
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Query { doc: "bib".into(), query: "//book".into() });
+        round_trip_request(Request::Select { doc: "d".into(), path: "/a/b".into() });
+        round_trip_request(Request::Insert {
+            doc: "d".into(),
+            path: "/a".into(),
+            fragment: "<x/>".into(),
+        });
+        round_trip_request(Request::Delete { doc: "d".into(), path: "//x".into() });
+        round_trip_request(Request::SetLimits { timeout_ms: 250, max_memory: 0, max_rows: 10 });
+        round_trip_request(Request::ListDocs);
+        round_trip_request(Request::Close);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::Value { generation: 7, body: "<r/>".into() });
+        round_trip_response(Response::NodeIds { generation: 3, ids: vec![1, 5, 9] });
+        round_trip_response(Response::Count { n: 4 });
+        round_trip_response(Response::Docs { names: vec!["a".into(), "b".into()] });
+        round_trip_response(Response::Error {
+            class: ErrorClass::ResourceLimit,
+            message: "rows".into(),
+        });
+        round_trip_response(Response::Busy { in_flight: 8, max: 8 });
+        round_trip_response(Response::Bye);
+    }
+
+    #[test]
+    fn trailing_bytes_are_a_protocol_error() {
+        let mut payload = Request::Ping.encode();
+        payload.push(0xFF);
+        assert!(matches!(Request::decode(&payload), Err(ServeError::Protocol(_))));
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(matches!(Request::decode(&[42]), Err(ServeError::Protocol(_))));
+        assert!(matches!(Response::decode(&[42]), Err(ServeError::Protocol(_))));
+        assert!(matches!(Response::decode(&[5, 99, 0, 0, 0, 0]), Err(ServeError::Protocol(_))));
+    }
+
+    #[test]
+    fn truncated_payloads_are_framing_errors() {
+        let full = Request::Query { doc: "bib".into(), query: "//book".into() }.encode();
+        for cut in 1..full.len() {
+            match Request::decode(&full[..cut]) {
+                Err(ServeError::Frame(_)) | Err(ServeError::Protocol(_)) => {}
+                other => panic!("cut at {cut}: expected frame error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_detect_corruption() {
+        let payload = Response::Value { generation: 1, body: "x".repeat(300) }.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let got = read_frame(&mut buf.as_slice(), MAX_FRAME).unwrap();
+        assert_eq!(got, payload);
+
+        // Flip one payload byte: the checksum must catch it.
+        let mut bad = buf.clone();
+        bad[10] ^= 0x40;
+        assert!(matches!(read_frame(&mut bad.as_slice(), MAX_FRAME), Err(ServeError::Crc { .. })));
+
+        // Oversized announced length is refused before allocation.
+        let mut huge = Vec::new();
+        put_u32(&mut huge, MAX_FRAME + 1);
+        assert!(matches!(
+            read_frame(&mut huge.as_slice(), MAX_FRAME),
+            Err(ServeError::TooLarge { .. })
+        ));
+
+        // Clean EOF between frames is `Closed`, EOF mid-frame is `Frame`.
+        assert!(matches!(read_frame(&mut [].as_slice(), MAX_FRAME), Err(ServeError::Closed)));
+        assert!(matches!(read_frame(&mut buf[..6].as_ref(), MAX_FRAME), Err(ServeError::Frame(_))));
+    }
+
+    #[test]
+    fn limits_wire_round_trip() {
+        let l = limits_from_wire(250, 0, 10);
+        assert_eq!(l.timeout, Some(Duration::from_millis(250)));
+        assert_eq!(l.max_memory, None);
+        assert_eq!(l.max_rows, Some(10));
+        assert_eq!(limits_to_wire(&l), (250, 0, 10));
+        assert!(limits_from_wire(0, 0, 0).is_unlimited());
+    }
+}

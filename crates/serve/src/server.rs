@@ -1,0 +1,495 @@
+//! The concurrent query server: thread-per-connection over `std::net`.
+//!
+//! Each accepted connection is a *session*: it carries its own resource
+//! limits (settable over the wire), a fresh [`CancelToken`] per request,
+//! and runs every read against a snapshot-isolated MVCC version of the
+//! target document ([`xqp_exec::mvcc`]). Readers therefore never block
+//! behind the writer mutex and never observe a half-applied update; the
+//! generation each response carries tells the client exactly which commit
+//! it read.
+//!
+//! Robustness properties the tests pin:
+//!
+//! * admission control — at most `max_inflight` sessions run at once;
+//!   excess connections get a typed [`Response::Busy`] and a clean close,
+//!   never a hang;
+//! * malformed, corrupt, or oversized frames produce a typed
+//!   [`ErrorClass::Protocol`] response followed by a clean close — no
+//!   panic, no half-written reply, and the server keeps serving others;
+//! * a client that disconnects mid-query has its query cancelled
+//!   cooperatively (a watcher thread trips the session's token), so an
+//!   abandoned expensive query cannot pin a core;
+//! * engine panics are caught per request ([`ErrorClass::Internal`]); the
+//!   session and the server both survive;
+//! * shutdown joins every thread — accept loop, sessions, watchers.
+
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use xqp::exec::differential::panic_message;
+use xqp::{CancelToken, Database, Error, QueryLimits, SessionOptions};
+use xqp_exec::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
+
+use crate::protocol::{
+    limits_from_wire, read_frame, write_frame, ErrorClass, Request, Response, ServeError, MAX_FRAME,
+};
+
+/// Tunables of a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum sessions running at once; further connections get
+    /// [`Response::Busy`].
+    pub max_inflight: u32,
+    /// Largest frame a client may send.
+    pub max_frame: u32,
+    /// Limits a session starts with (it may lower/replace them via
+    /// [`Request::SetLimits`]).
+    pub default_limits: QueryLimits,
+    /// Capacity of the process-wide shared plan cache.
+    pub cache_capacity: usize,
+    /// Poll granularity for shutdown checks and disconnect watching.
+    pub tick: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_inflight: 64,
+            max_frame: MAX_FRAME,
+            default_limits: QueryLimits::none(),
+            cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            tick: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Monotonic counters the server maintains; readable at any time through
+/// [`ServerHandle::stats`].
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted (including ones later refused admission).
+    pub accepted: AtomicU64,
+    /// Requests decoded and dispatched.
+    pub requests: AtomicU64,
+    /// Sessions refused by admission control.
+    pub busy_rejections: AtomicU64,
+    /// Frames that failed to parse / verify (each also closes its session).
+    pub protocol_errors: AtomicU64,
+    /// Queries whose cancel token was tripped (disconnect or shutdown).
+    pub cancelled: AtomicU64,
+    /// Engine panics caught and converted to [`ErrorClass::Internal`].
+    pub panics_caught: AtomicU64,
+}
+
+impl ServerStats {
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct Shared {
+    db: Arc<Database>,
+    cfg: ServerConfig,
+    cache: Arc<PlanCache>,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    in_flight: AtomicU32,
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::shutdown`])
+/// stops the accept loop, cancels in-flight queries, and joins every
+/// thread.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Alias kept for readability at call sites: what [`Server::start`] hands
+/// back is a handle, the listening machinery lives on its threads.
+pub type ServerHandle = Server;
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `db` on background threads. The returned handle reports the
+    /// bound address and owns the lifecycle.
+    pub fn start(
+        db: Arc<Database>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: Arc::new(PlanCache::new(cfg.cache_capacity)),
+            db,
+            cfg,
+            stats: ServerStats::default(),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicU32::new(0),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("xqp-serve-accept".into())
+                .spawn(move || accept_loop(listener, shared, conns))
+                .map_err(ServeError::Io)?
+        };
+        Ok(Server { addr, shared, accept: Some(accept), conns })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The database being served.
+    pub fn database(&self) -> Arc<Database> {
+        Arc::clone(&self.shared.db)
+    }
+
+    /// Live server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Hit/miss/insert counters of the process-wide shared plan cache.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        self.shared.cache.stats()
+    }
+
+    /// Stop accepting, cancel in-flight work, join every thread. Idempotent.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(accept) = self.accept.take() else { return };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept()`; a throwaway connection
+        // wakes it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        let handles = {
+            let mut guard = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        ServerStats::bump(&shared.stats.accepted);
+        let handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("xqp-serve-conn".into())
+                .spawn(move || serve_connection(shared, stream))
+        };
+        let mut guard = conns.lock().unwrap_or_else(|e| e.into_inner());
+        // Reap finished sessions so the handle list stays bounded on
+        // long-running servers.
+        guard.retain(|h: &JoinHandle<()>| !h.is_finished());
+        if let Ok(h) = handle {
+            guard.push(h);
+        }
+    }
+}
+
+/// RAII decrement of the admission counter.
+struct AdmissionGuard<'a>(&'a Shared);
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// `Read` adapter over a non-blocking-ish socket: retries timeout wakeups
+/// until data arrives or shutdown is requested, so a blocked session can
+/// still observe server shutdown.
+struct TickingStream<'a> {
+    stream: &'a TcpStream,
+    shutdown: &'a AtomicBool,
+}
+
+impl Read for TickingStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match (&mut &*self.stream).read(buf) {
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return Err(io::Error::new(io::ErrorKind::Interrupted, "server shutdown"));
+                    }
+                }
+                r => return r,
+            }
+        }
+    }
+}
+
+fn send(stream: &TcpStream, resp: &Response) -> Result<(), ServeError> {
+    write_frame(&mut &*stream, &resp.encode())
+}
+
+fn serve_connection(shared: Arc<Shared>, stream: TcpStream) {
+    // Admission control: bounded sessions in flight. Refusal is a typed
+    // response, not a silent close, so clients can back off knowingly.
+    let prev = shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    let _guard = AdmissionGuard(&shared);
+    if prev >= shared.cfg.max_inflight {
+        ServerStats::bump(&shared.stats.busy_rejections);
+        let _ = send(&stream, &Response::Busy { in_flight: prev, max: shared.cfg.max_inflight });
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(shared.cfg.tick)).is_err() {
+        return;
+    }
+
+    // Disconnect watcher: while a query runs, the session thread is not
+    // reading the socket, so only this thread notices the peer hanging up.
+    // It trips the *current* request's cancel token; between requests the
+    // slot is empty and EOF is handled by the main read loop instead.
+    let current_cancel: Arc<Mutex<Option<CancelToken>>> = Arc::new(Mutex::new(None));
+    let conn_done = Arc::new(AtomicBool::new(false));
+    let watcher = stream.try_clone().ok().and_then(|peek_stream| {
+        let cancel = Arc::clone(&current_cancel);
+        let done = Arc::clone(&conn_done);
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("xqp-serve-watch".into())
+            .spawn(move || {
+                let mut probe = [0u8; 1];
+                let _ = peek_stream.set_read_timeout(Some(shared.cfg.tick));
+                while !done.load(Ordering::SeqCst) {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match peek_stream.peek(&mut probe) {
+                        // No traffic this tick: keep watching.
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                            ) =>
+                        {
+                            continue;
+                        }
+                        // Bytes pending: the session thread will read them.
+                        // Peek returns immediately here, so pace ourselves.
+                        Ok(n) if n > 0 => {
+                            std::thread::sleep(shared.cfg.tick);
+                            continue;
+                        }
+                        // EOF or a hard socket error: the peer is gone;
+                        // abandon whatever query it was waiting on.
+                        Ok(_) | Err(_) => {
+                            if let Some(tok) =
+                                cancel.lock().unwrap_or_else(|e| e.into_inner()).as_ref()
+                            {
+                                tok.cancel();
+                            }
+                            break;
+                        }
+                    }
+                }
+                // Shutdown also cancels whatever is running.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    if let Some(tok) = cancel.lock().unwrap_or_else(|e| e.into_inner()).as_ref() {
+                        tok.cancel();
+                    }
+                }
+            })
+            .ok()
+    });
+
+    session_loop(&shared, &stream, &current_cancel);
+
+    conn_done.store(true, Ordering::SeqCst);
+    let _ = stream.shutdown(Shutdown::Both);
+    if let Some(w) = watcher {
+        let _ = w.join();
+    }
+}
+
+fn session_loop(
+    shared: &Shared,
+    stream: &TcpStream,
+    current_cancel: &Arc<Mutex<Option<CancelToken>>>,
+) {
+    let mut limits = shared.cfg.default_limits;
+    loop {
+        let mut ticking = TickingStream { stream, shutdown: &shared.shutdown };
+        let payload = match read_frame(&mut ticking, shared.cfg.max_frame) {
+            Ok(p) => p,
+            Err(ServeError::Closed) => return,
+            Err(ServeError::Io(e)) if e.kind() == io::ErrorKind::Interrupted => {
+                let _ = send(
+                    stream,
+                    &Response::Error {
+                        class: ErrorClass::Shutdown,
+                        message: "server shutting down".into(),
+                    },
+                );
+                return;
+            }
+            Err(e @ (ServeError::TooLarge { .. } | ServeError::Crc { .. })) => {
+                ServerStats::bump(&shared.stats.protocol_errors);
+                let _ = send(
+                    stream,
+                    &Response::Error { class: ErrorClass::Protocol, message: e.to_string() },
+                );
+                return;
+            }
+            Err(_) => return,
+        };
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                ServerStats::bump(&shared.stats.protocol_errors);
+                let _ = send(
+                    stream,
+                    &Response::Error { class: ErrorClass::Protocol, message: e.to_string() },
+                );
+                return;
+            }
+        };
+        ServerStats::bump(&shared.stats.requests);
+        let resp = match req {
+            Request::Ping => Response::Pong,
+            Request::Close => {
+                let _ = send(stream, &Response::Bye);
+                return;
+            }
+            Request::SetLimits { timeout_ms, max_memory, max_rows } => {
+                limits = limits_from_wire(timeout_ms, max_memory, max_rows);
+                Response::Pong
+            }
+            Request::ListDocs => Response::Docs { names: shared.db.document_names() },
+            Request::Query { doc, query } => {
+                run_cancellable(shared, current_cancel, limits, |opts| {
+                    shared
+                        .db
+                        .query_session(&doc, &query, opts)
+                        .map(|(generation, body)| Response::Value { generation, body })
+                })
+            }
+            Request::Select { doc, path } => {
+                run_cancellable(shared, current_cancel, limits, |opts| {
+                    shared.db.select_session(&doc, &path, opts).map(|(generation, ids)| {
+                        Response::NodeIds {
+                            generation,
+                            ids: ids.into_iter().map(|id| id.0 as u64).collect(),
+                        }
+                    })
+                })
+            }
+            Request::Insert { doc, path, fragment } => run_update(shared, || {
+                shared
+                    .db
+                    .insert_into(&doc, &path, &fragment)
+                    .map(|n| Response::Count { n: n as u64 })
+            }),
+            Request::Delete { doc, path } => run_update(shared, || {
+                shared.db.delete_matching(&doc, &path).map(|n| Response::Count { n: n as u64 })
+            }),
+        };
+        if send(stream, &resp).is_err() {
+            // Peer vanished mid-reply; nothing left to do for this session.
+            return;
+        }
+    }
+}
+
+/// Run a read with a fresh cancel token parked where the disconnect
+/// watcher can reach it; catch engine panics so one bad query cannot take
+/// down the session thread.
+fn run_cancellable(
+    shared: &Shared,
+    current_cancel: &Arc<Mutex<Option<CancelToken>>>,
+    limits: QueryLimits,
+    f: impl FnOnce(&SessionOptions) -> Result<Response, Error>,
+) -> Response {
+    let tok = CancelToken::new();
+    *current_cancel.lock().unwrap_or_else(|e| e.into_inner()) = Some(tok.clone());
+    let opts = SessionOptions {
+        limits,
+        cancel: Some(tok.clone()),
+        cache: Some(Arc::clone(&shared.cache)),
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| f(&opts)));
+    *current_cancel.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    match outcome {
+        Ok(Ok(resp)) => resp,
+        Ok(Err(e)) => {
+            if tok.is_cancelled() {
+                ServerStats::bump(&shared.stats.cancelled);
+            }
+            Response::Error { class: classify(&e), message: e.to_string() }
+        }
+        Err(payload) => {
+            ServerStats::bump(&shared.stats.panics_caught);
+            Response::Error { class: ErrorClass::Internal, message: panic_message(payload) }
+        }
+    }
+}
+
+/// Updates go through the writer path (serialized per document by the
+/// writer mutex); they are not cancellable mid-splice — the WAL must stay
+/// ahead of acknowledged state — but panics are still contained.
+fn run_update(shared: &Shared, f: impl FnOnce() -> Result<Response, Error>) -> Response {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(resp)) => resp,
+        Ok(Err(e)) => Response::Error { class: classify(&e), message: e.to_string() },
+        Err(payload) => {
+            ServerStats::bump(&shared.stats.panics_caught);
+            Response::Error { class: ErrorClass::Internal, message: panic_message(payload) }
+        }
+    }
+}
+
+/// Map the engine's error type onto wire classes. The resource governor
+/// reports through `Error::Query`, distinguishable by its stable message
+/// marker (the same one `XqError::is_resource_limit` keys on).
+fn classify(e: &Error) -> ErrorClass {
+    match e {
+        Error::Query(m) if m.contains("resource governor") => ErrorClass::ResourceLimit,
+        Error::Query(_) | Error::Xml(_) => ErrorClass::Query,
+        Error::UnknownDocument(_) => ErrorClass::UnknownDocument,
+        Error::Update(_) => ErrorClass::Update,
+        Error::Persist(_) => ErrorClass::Persist,
+    }
+}

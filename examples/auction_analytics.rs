@@ -24,7 +24,7 @@ fn main() {
         cfg.open_auctions
     );
 
-    let mut db = Database::new();
+    let db = Database::new();
     db.load_document("site", &doc).unwrap();
     db.create_index("site").unwrap();
 

@@ -12,7 +12,7 @@ use xqp::Database;
 use xqp_gen::gen_bib;
 
 fn main() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.load_document("bib", &gen_bib(12, 7)).unwrap();
     db.create_index("bib").unwrap();
 

@@ -8,7 +8,7 @@
 use xqp::Database;
 
 fn main() {
-    let mut db = Database::new();
+    let db = Database::new();
 
     // The four-book sample from the W3C XQuery Use Cases (paper Fig. 1).
     let bib = xqp_gen::bib_sample();

@@ -22,7 +22,7 @@ echo "== crash-recovery suite =="
 cargo test --offline --test recovery --test persistence
 
 echo "== release CLI builds =="
-cargo build --release --offline -p xqp --bin xqp
+cargo build --release --offline -p xqp-serve --bin xqp
 
 echo "== differential regression corpus =="
 cargo test --offline --test differential -q
@@ -38,6 +38,12 @@ echo "== optimizer-rule fuzz smoke: 200 join-shaped cases across every rule abla
 # with all rules / no rules / each of R10-R12 disabled against the
 # all-rules reference, under all 12 Strategy x EvalMode configurations.
 ./target/release/xqp fuzz --joins --seed "$FUZZ_SEED" --iters 200
+
+echo "== loopback fuzz smoke: 100 cases through a real client session =="
+# The serving leg: every case runs through a TCP client session against a
+# live server AND in-process; values must be byte-identical, errors
+# class-compatible, and governor trips must agree as a class.
+./target/release/xqp fuzz --server --seed "$FUZZ_SEED" --iters 100
 
 echo "== fault-injection torture smoke: 300 seeded I/O fault points =="
 # Same commit-derived seed: reproducible from the log, different slice of
@@ -56,6 +62,41 @@ grep -q "resource governor" /tmp/xqp-ci-gov-err \
   || { echo "governor smoke FAILED: error not governor-classed" >&2; exit 1; }
 rm -f "$GOV_DOC" /tmp/xqp-ci-gov-err
 
+echo "== server smoke: concurrent clients, mid-flight disconnect, writer, clean shutdown =="
+SRV_DOC=$(mktemp /tmp/xqp-ci-srv-XXXXXX.xml)
+printf '<bib>%s</bib>' "$(printf '<book year="1990"><title>t</title></book>%.0s' {1..200})" > "$SRV_DOC"
+SRV_OUT=$(mktemp /tmp/xqp-ci-srv-out-XXXXXX)
+SRV_IN=$(mktemp -u /tmp/xqp-ci-srv-in-XXXXXX); mkfifo "$SRV_IN"
+./target/release/xqp serve "$SRV_DOC" --addr 127.0.0.1:0 > "$SRV_OUT" 2>/dev/null < "$SRV_IN" &
+SRV_PID=$!
+exec 9>"$SRV_IN"   # hold the server's stdin open; closing fd 9 stops it
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(head -n1 "$SRV_OUT"); [ -n "$ADDR" ] && break; sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server smoke FAILED: no bound address on stdout" >&2; exit 1; }
+CLI="./target/release/xqp client $ADDR"
+# Concurrent reader sessions racing a writer session.
+READERS=()
+for _ in 1 2 3 4; do
+  (for _ in $(seq 1 5); do $CLI query doc 'count(//book)' >/dev/null 2>&1 || exit 1; done) &
+  READERS+=($!)
+done
+$CLI insert doc /bib '<book year="2024"><title>new</title></book>' 2>/dev/null
+$CLI delete doc '//book[@year="2024"]' 2>/dev/null
+# A client killed mid-query must not wedge the server: the disconnect
+# watcher cancels the abandoned query server-side.
+timeout -s KILL 1 $CLI query doc \
+  'for $a in //book for $b in //book for $c in //book return <p/>' >/dev/null 2>&1 || true
+for pid in "${READERS[@]}"; do
+  wait "$pid" || { echo "server smoke FAILED: a reader session errored" >&2; exit 1; }
+done
+$CLI query doc 'count(//book)' 2>/dev/null | grep -qx '200' \
+  || { echo "server smoke FAILED: final count wrong after insert+delete" >&2; exit 1; }
+exec 9>&-   # EOF on the server's stdin: deterministic clean shutdown
+wait "$SRV_PID" || { echo "server smoke FAILED: unclean server exit" >&2; exit 1; }
+rm -f "$SRV_DOC" "$SRV_OUT" "$SRV_IN"
+
 echo "== benches compile (std harness, no criterion) =="
 cargo build --offline --benches -p xqp-bench
 
@@ -66,5 +107,11 @@ echo "== T17 smoke: governor overhead on E16 workloads (release) =="
 # Overhead numbers land in the log; the ≤5% acceptance bar is tracked in
 # EXPERIMENTS.md (in-container runs are too noisy for a hard CI gate).
 cargo bench --offline -p xqp-bench --bench exp_governor
+
+echo "== T19 smoke: concurrent serving QPS under a streaming writer (release) =="
+# Gates on served-equals-in-process soundness before timing; QPS medians
+# land in BENCH_serve.json (single-core containers: flat scaling expected,
+# see EXPERIMENTS.md T19).
+cargo bench --offline -p xqp-bench --bench exp_serve
 
 echo "CI gate passed."

@@ -19,7 +19,7 @@ const STORE: &str = r#"<store>
 </store>"#;
 
 fn db() -> Database {
-    let mut d = Database::new();
+    let d = Database::new();
     // Strip pretty-printing whitespace for stable expectations.
     let compact: String = STORE.lines().collect();
     d.load_str("store", &compact).unwrap();
@@ -152,7 +152,7 @@ fn string_processing() {
 
 #[test]
 fn order_by_multiple_keys() {
-    let mut d = Database::new();
+    let d = Database::new();
     d.load_str(
         "x",
         "<r><p a=\"2\" b=\"1\"/><p a=\"1\" b=\"2\"/><p a=\"2\" b=\"0\"/><p a=\"1\" b=\"1\"/></r>",

@@ -16,7 +16,7 @@ const STORE: &str = "<store><inventory>\
     </inventory></store>";
 
 fn db() -> Database {
-    let mut d = Database::new();
+    let d = Database::new();
     d.load_str("doc", STORE).unwrap();
     d
 }

@@ -13,7 +13,7 @@ const FIG1_QUERY: &str = r#"
 "#;
 
 fn db() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.load_document("bib", &xqp_gen::bib_sample()).unwrap();
     db
 }

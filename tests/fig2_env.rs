@@ -35,7 +35,7 @@ const EXAMPLE1: &str = "for $a in doc()/r/a \
 
 #[test]
 fn example1_environment_yields_13_total_bindings() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.load_str("fig2", &fig2_doc()).unwrap();
     // E6 (the return) is evaluated once per total binding and concatenated:
     // the paper counts 13 root-to-leaf paths.
@@ -45,7 +45,7 @@ fn example1_environment_yields_13_total_bindings() {
 
 #[test]
 fn bindings_follow_nested_loop_order() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.load_str("fig2", &fig2_doc()).unwrap();
     let out = db
         .query("fig2", "for $a in doc()/r/a for $b in $a/b for $e in $b/e return concat($e, \";\")")
@@ -62,7 +62,7 @@ fn bindings_follow_nested_loop_order() {
 
 #[test]
 fn let_layers_are_one_to_one() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.load_str("fig2", &fig2_doc()).unwrap();
     // $c and $d never multiply bindings: binding count is driven by the
     // for-clauses alone (3 a's × their b's = 6 before $e).
@@ -80,7 +80,7 @@ fn let_layers_are_one_to_one() {
 
 #[test]
 fn where_is_a_boolean_layer() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.load_str("fig2", &fig2_doc()).unwrap();
     // Keep only bindings whose $b has 3 e-children: b11 and b32 ⇒ 6 paths.
     let out = db
@@ -96,7 +96,7 @@ fn where_is_a_boolean_layer() {
 #[test]
 fn fused_and_unfused_plans_agree_on_example1() {
     use xqp::{RuleSet, Strategy};
-    let mut a = Database::new();
+    let a = Database::new();
     a.load_str("fig2", &fig2_doc()).unwrap();
     let reference = a.query("fig2", EXAMPLE1).unwrap();
     let mut b = Database::new();

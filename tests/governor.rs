@@ -91,7 +91,7 @@ fn hash_join_build_respects_memory_budget() {
 
     // The join plan really is the hash join (not a nested-loop fallback):
     // the isolation rule fired and the physical tree carries the operator.
-    let mut db = Database::new();
+    let db = Database::new();
     db.load_str("doc", &wide_doc(40)).unwrap();
     let (plan, _) = db.explain("doc", join).unwrap();
     assert!(plan.contains("hash-join"), "join not lowered to hash-join:\n{plan}");
@@ -147,7 +147,7 @@ fn database_is_reusable_after_every_limit_variant() {
     let xml = wide_doc(12);
     let q = CROSS;
 
-    let mut fresh = Database::new();
+    let fresh = Database::new();
     fresh.load_str("doc", &xml).unwrap();
     let want = fresh.query("doc", q).unwrap();
     let fresh_stats = fresh.plan_cache_stats("doc").unwrap();
@@ -177,7 +177,7 @@ fn database_is_reusable_after_every_limit_variant() {
     }
 
     // Cancellation, via a per-query override on a shared database.
-    let mut db = Database::new();
+    let db = Database::new();
     db.load_str("doc", &xml).unwrap();
     let err = db
         .query_with_limits("doc", q, QueryLimits::none().with_timeout(Duration::ZERO))
@@ -220,7 +220,7 @@ fn statistics_match_fresh_engine_after_abort() {
     let _ = db.query("doc", CROSS).unwrap_err();
     db.set_limits(QueryLimits::none());
 
-    let mut fresh = Database::new();
+    let fresh = Database::new();
     fresh.load_str("doc", &xml).unwrap();
 
     let a = db.statistics("doc").unwrap();

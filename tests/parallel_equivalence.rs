@@ -140,7 +140,7 @@ fn doc_xml(name: &str) -> String {
 }
 
 fn db() -> Database {
-    let mut d = Database::new();
+    let d = Database::new();
     d.load_str("store", &doc_xml("store")).unwrap();
     d.load_str("x", MULTI).unwrap();
     d

@@ -12,7 +12,7 @@ const BIB: &str = "<bib>\
     </bib>";
 
 fn db() -> Database {
-    let mut d = Database::new();
+    let d = Database::new();
     d.load_str("bib", BIB).unwrap();
     d
 }
@@ -43,7 +43,7 @@ fn whitespace_variants_share_a_slot() {
 
 #[test]
 fn distinct_documents_have_distinct_caches() {
-    let mut d = db();
+    let d = db();
     d.load_str("other", "<r><x>1</x></r>").unwrap();
     d.query("bib", "count(doc()//book)").unwrap();
     d.query("other", "count(doc()//x)").unwrap();
@@ -70,7 +70,7 @@ fn lru_eviction_at_capacity() {
 
 #[test]
 fn delete_invalidates_the_cache() {
-    let mut d = db();
+    let d = db();
     let q = "for $b in doc()/bib/book return $b/title";
     assert_eq!(d.query("bib", q).unwrap(), "<title>TCP</title><title>Data</title>");
     d.query("bib", q).unwrap(); // 1 miss, 1 hit
@@ -86,7 +86,7 @@ fn delete_invalidates_the_cache() {
 
 #[test]
 fn insert_invalidates_the_cache() {
-    let mut d = db();
+    let d = db();
     let q = "count(doc()//book)";
     assert_eq!(d.query("bib", q).unwrap(), "2");
     let n = d.insert_into("bib", "/bib", "<book><title>New</title></book>").unwrap();
@@ -99,7 +99,7 @@ fn insert_invalidates_the_cache() {
 
 #[test]
 fn failed_updates_keep_the_cache_warm() {
-    let mut d = db();
+    let d = db();
     let q = "count(doc()//book)";
     d.query("bib", q).unwrap();
     // A delete that matches nothing must not invalidate.
@@ -111,7 +111,7 @@ fn failed_updates_keep_the_cache_warm() {
 
 #[test]
 fn reload_resets_the_cache() {
-    let mut d = db();
+    let d = db();
     d.query("bib", "count(doc()//book)").unwrap();
     // Re-loading a document replaces the Stored entry wholesale — stats
     // start over with it.

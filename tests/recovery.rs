@@ -128,7 +128,7 @@ fn recovered_store_accepts_new_updates_durably() {
     let (dir, wal, len_a, full, _, _) = two_record_store("continue");
     // Tear the last record, recover, then keep writing.
     fs::write(&wal, &full[..full.len() - 3]).unwrap();
-    let mut back = Database::open(&dir).unwrap();
+    let back = Database::open(&dir).unwrap();
     assert_eq!(fs::metadata(&wal).unwrap().len(), len_a);
     back.insert_into("store", "/store/orders", "<order id=\"o2\" sku=\"A2\"/>").unwrap();
     let live = back.serialize("store").unwrap();

@@ -75,7 +75,7 @@ fn join_s_structural() {
 /// ⋈v — value-based join: the FLWOR join on values.
 #[test]
 fn join_v_value_based() {
-    let mut db = xqp::Database::new();
+    let db = xqp::Database::new();
     db.load_str("x", "<r><l><k>1</k><k>2</k></l><rt><k>2</k><k>3</k></rt></r>").unwrap();
     let out = db
         .query(
@@ -131,7 +131,7 @@ fn tau_produces_nested_lists() {
 /// γ — tree construction: NestedList × SchemaTree → Tree.
 #[test]
 fn gamma_constructs_labeled_trees() {
-    let mut db = xqp::Database::new();
+    let db = xqp::Database::new();
     db.load_str("bib", DOC).unwrap();
     let out = db
         .query(
@@ -150,7 +150,7 @@ fn gamma_constructs_labeled_trees() {
 /// τ at the bottom, γ at the top: the plan shape of §3.2.
 #[test]
 fn plan_shape_tau_bottom_gamma_top() {
-    let mut db = xqp::Database::new();
+    let db = xqp::Database::new();
     db.load_str("bib", DOC).unwrap();
     let (plan, report) = db
         .explain("bib", "for $b in doc()/bib/book let $t := $b/title return <r>{$t}</r>")

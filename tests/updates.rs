@@ -41,7 +41,7 @@ fn many_inserts_then_deletes_roundtrip() {
 
 #[test]
 fn queries_see_updates_immediately() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.load_document("bib", &gen_bib(10, 1)).unwrap();
     let before: usize = db.query("bib", "count(/bib/book)").unwrap().parse().unwrap();
     db.insert_into("bib", "/bib", "<book year=\"2024\"><title>New</title><price>1</price></book>")
@@ -56,7 +56,7 @@ fn queries_see_updates_immediately() {
 
 #[test]
 fn index_rebuilt_after_updates() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.load_document("bib", &gen_bib(10, 2)).unwrap();
     db.create_index("bib").unwrap();
     db.insert_into(
