@@ -1,0 +1,113 @@
+//! T20 — paged storage behind the pinning buffer pool: query latency as
+//! the pool shrinks from "whole document resident" to a sliver of it.
+//!
+//! The experiment sizes the pool at 10%, 50% and 100% of the document's
+//! paged footprint (plus the unpooled resident engine as the baseline) and
+//! measures median latency of the T5 XMark path suite over each. The
+//! claim under test: paged navigation costs a modest constant at 100%
+//! residency, degrades gracefully — not cliff-like — as the pool starves,
+//! and the pool cap genuinely bounds resident pages (verified from the
+//! pool counters, which are also emitted). Results land in
+//! `BENCH_paged.json` at the repository root; the table is tracked in
+//! EXPERIMENTS.md §T20.
+
+use std::hint::black_box;
+use xqp::Database;
+use xqp_bench::harness::Criterion;
+use xqp_bench::{criterion_group, criterion_main, median_time};
+use xqp_gen::{gen_xmark, xmark_queries, XmarkConfig};
+use xqp_storage::persist::{write_paged_snapshot, FRAME_BYTES};
+use xqp_storage::SuccinctDoc;
+use xqp_xml::serialize;
+
+const SCALE: f64 = 0.2;
+const ITERS: usize = 7;
+
+/// The document's paged footprint in pages (meta frame included).
+fn paged_pages(sdoc: &SuccinctDoc) -> u64 {
+    let path =
+        std::env::temp_dir().join(format!("xqp-bench-paged-size-{}.xqp", std::process::id()));
+    write_paged_snapshot(&path, sdoc, 0).expect("paged snapshot write");
+    let bytes = std::fs::metadata(&path).expect("paged snapshot stat").len();
+    let _ = std::fs::remove_file(&path);
+    bytes / FRAME_BYTES as u64
+}
+
+fn bench(_c: &mut Criterion) {
+    let dom = gen_xmark(&XmarkConfig::scale(SCALE));
+    let xml = serialize(&dom);
+    let sdoc = SuccinctDoc::from_document(&dom);
+    let doc_pages = paged_pages(&sdoc);
+
+    let resident = Database::new();
+    resident.load_str("doc", &xml).unwrap();
+
+    println!(
+        "\n== T20 paged storage: xmark@{SCALE}, {doc_pages} pages ({} KiB paged) ==",
+        doc_pages * FRAME_BYTES as u64 / 1024
+    );
+    let mut rows = Vec::new();
+    for pct in [10u64, 50, 100] {
+        let pool_pages = (doc_pages * pct / 100).max(2) as usize;
+        let mut db = Database::new();
+        db.set_buffer_pool(pool_pages);
+        db.load_str("doc", &xml).unwrap();
+
+        for q in xmark_queries() {
+            // Correctness gates the timing: the paged answer must match the
+            // resident engine's before its latency means anything.
+            let want = resident.select("doc", q.path).unwrap();
+            let got = db.select("doc", q.path).unwrap();
+            assert_eq!(got, want, "{} diverged at pool={pct}%", q.id);
+
+            let t_resident = median_time(ITERS, || {
+                black_box(resident.select("doc", q.path).unwrap());
+            });
+            let t_paged = median_time(ITERS, || {
+                black_box(db.select("doc", q.path).unwrap());
+            });
+            let stats = db.buffer_stats().unwrap();
+            assert!(
+                stats.resident <= stats.capacity,
+                "pool cap violated at pool={pct}%: {stats:?}"
+            );
+            println!(
+                "{} pool={pct:>3}% ({pool_pages} pages): paged {:>9.2?}  resident {:>9.2?}  \
+                 ({:.2}x, {} hits, {} misses, {} evictions)",
+                q.id,
+                t_paged,
+                t_resident,
+                t_paged.as_secs_f64() / t_resident.as_secs_f64().max(1e-9),
+                stats.hits,
+                stats.misses,
+                stats.evictions
+            );
+            rows.push(format!(
+                "    {{ \"query\": \"{}\", \"pool_pct\": {pct}, \"pool_pages\": {pool_pages}, \
+                 \"paged_us\": {:.1}, \"resident_us\": {:.1}, \"hits\": {}, \"misses\": {}, \
+                 \"evictions\": {}, \"resident_peak\": {} }}",
+                q.id,
+                t_paged.as_secs_f64() * 1e6,
+                t_resident.as_secs_f64() * 1e6,
+                stats.hits,
+                stats.misses,
+                stats.evictions,
+                stats.resident_peak
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"T20_paged_storage\",\n  \"doc\": \"xmark@{SCALE}\",\n  \
+         \"doc_pages\": {doc_pages},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_paged.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("-- T20 results written to BENCH_paged.json"),
+        Err(e) => eprintln!("-- T20 results not written: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

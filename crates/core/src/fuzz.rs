@@ -22,7 +22,8 @@ use xqp_exec::differential::{
 };
 use xqp_gen::qgen::{gen_case, gen_join_case, GenCase};
 use xqp_gen::Prng;
-use xqp_storage::SuccinctDoc;
+use xqp_storage::persist::spill_paged;
+use xqp_storage::{BufferPool, SuccinctDoc};
 
 /// Fuzzer configuration.
 #[derive(Debug, Clone)]
@@ -42,6 +43,13 @@ pub struct FuzzConfig {
     /// set (all, none, each new rule knocked out) must agree across the
     /// full engine matrix.
     pub joins: bool,
+    /// Paged mode (`xqp fuzz --tiny-pool`): spill each case's document to
+    /// a paged file behind a buffer pool of this many pages and re-run the
+    /// full strategy × mode matrix over the paged document; the durable
+    /// legs also open their stores behind the same-sized pool. A tiny
+    /// value (the CLI uses 4) forces constant eviction, so every page is
+    /// faulted, dropped and re-faulted mid-query.
+    pub buffer_pages: Option<usize>,
 }
 
 impl Default for FuzzConfig {
@@ -53,6 +61,7 @@ impl Default for FuzzConfig {
             max_shrink_steps: 160,
             max_failures: 5,
             joins: false,
+            buffer_pages: None,
         }
     }
 }
@@ -107,6 +116,20 @@ impl FuzzSummary {
 /// plus (optionally) the durable-store round trip. `Err` carries a
 /// human-readable divergence report.
 pub fn check_case(xml: &str, query: &str, persistence: bool) -> Result<(), String> {
+    check_case_pooled(xml, query, persistence, None)
+}
+
+/// [`check_case`] with an optional buffer pool: when `buffer_pages` is set
+/// the document is additionally spilled to a paged file behind a pool of
+/// that many pages and the full strategy × mode matrix re-runs over the
+/// paged document (which must agree with the resident reference), and the
+/// durable-store legs open their stores behind the same-sized pool.
+pub fn check_case_pooled(
+    xml: &str,
+    query: &str,
+    persistence: bool,
+    buffer_pages: Option<usize>,
+) -> Result<(), String> {
     let doc = match SuccinctDoc::parse(xml) {
         Ok(d) => d,
         Err(e) => return Err(format!("document failed to parse: {e}")),
@@ -121,8 +144,32 @@ pub fn check_case(xml: &str, query: &str, persistence: bool) -> Result<(), Strin
     if let Err(divergence) = check_budget_matrix(&doc, query) {
         return Err(format!("governor budget leg:\n{divergence}"));
     }
+    if let Some(pages) = buffer_pages {
+        // Paged leg: the same matrix over the document served from pages
+        // behind a deliberately starved pool. Every navigation primitive
+        // now faults pages in (and evicts them mid-query), so a paged
+        // rank/select or content-access bug shows up as a divergence here.
+        let pool = BufferPool::new(pages);
+        let path = fresh_tmp_dir().with_extension("paged.xqp");
+        let spilled = catch_unwind(AssertUnwindSafe(|| {
+            spill_paged(&path, &doc, &pool).map_err(|e| format!("paged spill failed: {e}"))
+        }))
+        .map_err(|p| {
+            format!("paged leg panicked: {}", xqp_exec::differential::panic_message(p))
+        })??;
+        match check_matrix(&spilled, query) {
+            Ok(got) if got.agrees_with(&want) => {}
+            Ok(got) => {
+                return Err(format!(
+                    "paged leg ({pages}-page pool) diverged from the resident reference:\n  \
+                     resident: {want}\n  paged:    {got}"
+                ));
+            }
+            Err(divergence) => return Err(format!("paged leg ({pages}-page pool):\n{divergence}")),
+        }
+    }
     if persistence {
-        let legs = persistence_outcomes(xml, query)?;
+        let legs = persistence_outcomes(xml, query, buffer_pages)?;
         let mut report = String::new();
         for (label, got) in &legs {
             if !got.agrees_with(&want) {
@@ -160,12 +207,21 @@ fn fresh_tmp_dir() -> PathBuf {
 
 /// Run `query` through the `Database` layer three ways: freshly loaded,
 /// after a save/open round trip, and with value + suffix indexes built.
-/// `Err` reports a panic (panics inside the legs are caught).
-fn persistence_outcomes(xml: &str, query: &str) -> Result<Vec<(&'static str, Outcome)>, String> {
+/// With `buffer_pages` set, every database in the chain runs behind a
+/// buffer pool of that many pages (paged store format, spilled non-durable
+/// documents). `Err` reports a panic (panics inside the legs are caught).
+fn persistence_outcomes(
+    xml: &str,
+    query: &str,
+    buffer_pages: Option<usize>,
+) -> Result<Vec<(&'static str, Outcome)>, String> {
     let dir = fresh_tmp_dir();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut out = Vec::new();
         let mut db = Database::new();
+        if let Some(pages) = buffer_pages {
+            db.set_buffer_pool(pages);
+        }
         if let Err(e) = db.load_str("doc", xml) {
             let err = Outcome::Error(e.to_string());
             return vec![
@@ -180,7 +236,11 @@ fn persistence_outcomes(xml: &str, query: &str) -> Result<Vec<(&'static str, Out
             .map_err(|e| e.to_string())
             .and_then(|()| {
                 drop(db);
-                Database::open(&dir).map_err(|e| e.to_string())
+                match buffer_pages {
+                    Some(pages) => Database::open_with_buffer(&dir, pages),
+                    None => Database::open(&dir),
+                }
+                .map_err(|e| e.to_string())
             })
             .map_err(Outcome::Error);
         match reopened {
@@ -235,7 +295,9 @@ pub fn run_seed(case_seed: u64, cfg: &FuzzConfig) -> Option<FuzzFailure> {
 
 fn check_one(case: &GenCase, cfg: &FuzzConfig) -> Option<String> {
     let xml = case.doc_xml();
-    if let Err(report) = check_case(&xml, &case.query_text(), cfg.check_persistence) {
+    if let Err(report) =
+        check_case_pooled(&xml, &case.query_text(), cfg.check_persistence, cfg.buffer_pages)
+    {
         return Some(report);
     }
     if cfg.joins {
@@ -346,6 +408,18 @@ mod tests {
     fn check_case_reports_unparseable_documents() {
         let err = check_case("<r>", "for $v0 in doc()/a return $v0", false).unwrap_err();
         assert!(err.contains("parse"), "{err}");
+    }
+
+    #[test]
+    fn tiny_pool_leg_agrees() {
+        // A 2-page pool (the minimum) under the full matrix: every paged
+        // navigation faults and evicts constantly, and must still agree
+        // with the resident reference.
+        let xml = "<r><a>alpha</a><b><a>beta</a></b><a>gamma</a></r>";
+        let q = "for $v0 in doc()//a return $v0";
+        if let Err(report) = check_case_pooled(xml, q, true, Some(2)) {
+            panic!("paged legs diverged:\n{report}");
+        }
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub use xqp_exec::{
     CancelToken, EvalMode, ExecCounters, PlanCache as ExecPlanCache, QueryLimits, Strategy,
 };
 pub use xqp_storage::{
-    PersistError, ReplayReport, SNodeId, StorageStats, StoreCounters, SuccinctDoc, SuffixIndex,
-    UpdateError, ValueIndex, WalOp,
+    BufferPool, BufferStats, PersistError, ReplayReport, SNodeId, StorageStats, StoreCounters,
+    SuccinctDoc, SuffixIndex, UpdateError, ValueIndex, WalOp,
 };
 
 use std::collections::BTreeMap;
@@ -56,7 +56,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use xqp_exec::{DocVersion, Executor, PlanCache, ResourceGovernor, VersionedDoc};
 use xqp_storage::persist::format::{crc32, put_str, put_u32, Reader};
-use xqp_storage::persist::{failpoint, DocStore, IoOp};
+use xqp_storage::persist::{failpoint, spill_paged, DocStore, IoOp};
 use xqp_xml::Document;
 
 /// Unified error type of the public API.
@@ -263,6 +263,9 @@ pub struct Database {
     limits: QueryLimits,
     root: Option<PathBuf>,
     compact_threshold: u64,
+    /// Page buffer pool all paged documents read through; `None` serves
+    /// everything resident.
+    pool: Option<Arc<BufferPool>>,
 }
 
 const _: () = {
@@ -301,7 +304,30 @@ impl Database {
             limits: QueryLimits::none(),
             root: None,
             compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+            pool: None,
         }
+    }
+
+    /// Serve documents through a bounded page buffer pool of `pages`
+    /// frames (4 KiB each, minimum 2). Documents stored *after* this call
+    /// go to disk in the paged format and read through the pool — resident
+    /// memory for their raw structure/tags/content stays capped at the
+    /// pool size however large the document is. Non-durable documents are
+    /// spilled to unlink-on-drop temp files so they too serve through the
+    /// pool. Already-loaded documents are unaffected until re-stored.
+    pub fn set_buffer_pool(&mut self, pages: usize) {
+        self.pool = Some(BufferPool::new(pages));
+    }
+
+    /// The configured page buffer pool, if any.
+    pub fn buffer_pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Buffer-pool traffic counters (hits, misses, evictions, resident and
+    /// pinned peaks); `None` when no pool is configured.
+    pub fn buffer_stats(&self) -> Option<BufferStats> {
+        self.pool.as_ref().map(|p| p.stats())
     }
 
     /// Read the catalog, recovering from poison (see
@@ -387,13 +413,32 @@ impl Database {
                     w.store.as_ref().map(|st| st.dir().to_path_buf())
                 })
                 .unwrap_or_else(|| root.join(Self::fresh_slot(&root)));
-            let store = DocStore::create(&slot_dir, &sdoc)?;
-            docs.insert(name.to_string(), Arc::new(DocHandle::new(sdoc, Some(store))));
+            // With a pool the slot is written page-granular and the handle
+            // serves the pool-backed document; the parsed resident copy is
+            // dropped here.
+            let (store, served) = match &self.pool {
+                Some(pool) => DocStore::create_paged(&slot_dir, &sdoc, pool)?,
+                None => (DocStore::create(&slot_dir, &sdoc)?, sdoc),
+            };
+            docs.insert(name.to_string(), Arc::new(DocHandle::new(served, Some(store))));
             rewrite_manifest(&root, &docs)?;
         } else {
-            self.write_docs().insert(name.to_string(), Arc::new(DocHandle::new(sdoc, None)));
+            // Non-durable documents spill to an unlink-on-drop temp file so
+            // a pool-configured database stays memory-bounded for them too.
+            let served = match &self.pool {
+                Some(pool) => spill_paged(&Self::fresh_spill_path(), &sdoc, pool)?,
+                None => sdoc,
+            };
+            self.write_docs().insert(name.to_string(), Arc::new(DocHandle::new(served, None)));
         }
         Ok(())
+    }
+
+    /// A process-unique path for one non-durable document's page spill.
+    fn fresh_spill_path() -> PathBuf {
+        static NEXT_SPILL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = NEXT_SPILL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("xqp-spill-{}-{seq}.xqp", std::process::id()))
     }
 
     /// First `dNNN` slot name with no directory under `root` yet.
@@ -532,6 +577,9 @@ impl Database {
         if let Some(counters) = handle.persist_counters() {
             ex = ex.with_persist_stats(counters);
         }
+        if let Some(pool) = &self.pool {
+            ex = ex.with_buffer_stats(pool.stats());
+        }
         if !opts.limits.is_unlimited() || opts.cancel.is_some() {
             let gov = match &opts.cancel {
                 Some(tok) => ResourceGovernor::with_cancel(opts.limits, tok.clone()),
@@ -653,6 +701,7 @@ impl Database {
         let mut removed = 0usize;
         let mut failed: Option<Error> = None;
         let mut scratch: Option<SuccinctDoc> = None;
+        let mut ops: Vec<WalOp> = Vec::new();
         let mut targets: Vec<SNodeId> = hits;
         targets.sort_unstable_by(|a, b| b.cmp(a));
         for t in targets {
@@ -660,9 +709,6 @@ impl Database {
             if t.index() != 0 && t.index() >= cur.node_count() {
                 continue; // vanished inside a previously deleted subtree
             }
-            // Splice into a scratch copy and log *before* adopting it: a
-            // failed log must not leave the acknowledged state ahead of
-            // the durable log (acknowledged state == replay state).
             let next = match xqp_storage::update::delete_subtree(cur, t) {
                 Ok(d) => d,
                 Err(e) => {
@@ -670,24 +716,19 @@ impl Database {
                     break;
                 }
             };
-            if let Some(st) = &mut w.store {
-                if let Err(e) = st.log(&WalOp::Delete { node: t.0 }) {
-                    failed = Some(e.into());
-                    break;
-                }
-            }
+            ops.push(WalOp::Delete { node: t.0 });
             scratch = Some(next);
             removed += 1;
         }
-        // Install even when the loop failed part-way: the WAL already
-        // holds the applied splices, so the published state must match
-        // what replay will reconstruct. Indexes rebuild and plans
-        // recompile with the new generation.
-        if removed > 0 {
-            handle
-                .versions
-                .install_document(scratch.take().expect("removed > 0 implies a scratch doc"));
-        }
+        // Group-commit the applied splices (one write, one fsync), then
+        // install: the acknowledged state must equal replay state, so
+        // nothing becomes visible before it is durable. The batch is
+        // all-or-nothing — on a log failure the WAL is back at its
+        // pre-batch length and the pre-update state stays published, in
+        // memory and on disk alike. A mid-loop splice error (e.g.
+        // DeleteRoot) still keeps the paper's partial-application
+        // semantics: the splices before it commit and install.
+        self.commit_batch(&handle, &mut w, ops, scratch)?;
         if let Some(e) = failed {
             return Err(e);
         }
@@ -695,6 +736,23 @@ impl Database {
             self.maybe_compact(&handle, &mut w)?;
         }
         Ok(removed)
+    }
+
+    /// Commit one update batch: durably group-commit `ops` (when the
+    /// document has a store), then publish `scratch` as the new version.
+    fn commit_batch(
+        &self,
+        handle: &DocHandle,
+        w: &mut WriterState,
+        ops: Vec<WalOp>,
+        scratch: Option<SuccinctDoc>,
+    ) -> Result<(), Error> {
+        let Some(scratch) = scratch else { return Ok(()) };
+        if let Some(st) = &mut w.store {
+            st.log_batch(&ops)?;
+        }
+        handle.versions.install_document(scratch);
+        Ok(())
     }
 
     /// Insert `fragment` (an XML string with one root element) as the last
@@ -715,13 +773,12 @@ impl Database {
         let mut inserted = 0usize;
         let mut failed: Option<Error> = None;
         let mut scratch: Option<SuccinctDoc> = None;
+        let mut ops: Vec<WalOp> = Vec::new();
         for t in &targets {
             let cur: &SuccinctDoc = scratch.as_ref().unwrap_or_else(|| snap.sdoc());
             if !cur.is_element(*t) {
                 continue;
             }
-            // Same commit discipline as delete_matching: splice scratch,
-            // log durably, only then adopt.
             let next = match xqp_storage::update::insert_subtree(cur, *t, &frag) {
                 Ok(d) => d,
                 Err(e) => {
@@ -729,22 +786,13 @@ impl Database {
                     break;
                 }
             };
-            if let Some(st) = &mut w.store {
-                if let Err(e) =
-                    st.log(&WalOp::Insert { parent: t.0, fragment_xml: frag_xml.clone() })
-                {
-                    failed = Some(e.into());
-                    break;
-                }
-            }
+            ops.push(WalOp::Insert { parent: t.0, fragment_xml: frag_xml.clone() });
             scratch = Some(next);
             inserted += 1;
         }
-        if inserted > 0 {
-            handle
-                .versions
-                .install_document(scratch.take().expect("inserted > 0 implies a scratch doc"));
-        }
+        // Same commit discipline as delete_matching: group-commit the
+        // batch durably, only then publish.
+        self.commit_batch(&handle, &mut w, ops, scratch)?;
         if let Some(e) = failed {
             return Err(e);
         }
@@ -761,7 +809,22 @@ impl Database {
     /// WAL replayed (recovering from a torn tail), and the handle stays
     /// attached: subsequent updates are logged durably before returning.
     pub fn open(path: &Path) -> Result<Database, Error> {
+        Self::open_with_pool(path, None)
+    }
+
+    /// [`Database::open`] behind a page buffer pool of `pages` frames:
+    /// paged documents stay on disk and fault in through the pool, so a
+    /// database holding documents far larger than memory opens (and
+    /// serves) with resident memory bounded by the pool. Snapshot-backed
+    /// documents still load resident but convert to the paged format at
+    /// their next compaction.
+    pub fn open_with_buffer(path: &Path, pages: usize) -> Result<Database, Error> {
+        Self::open_with_pool(path, Some(BufferPool::new(pages)))
+    }
+
+    fn open_with_pool(path: &Path, pool: Option<Arc<BufferPool>>) -> Result<Database, Error> {
         let mut db = Database::new();
+        db.pool = pool;
         for (name, slot) in read_manifest(path)? {
             let slot_dir = path.join(&slot);
             if !slot_dir.is_dir() {
@@ -774,7 +837,10 @@ impl Database {
             // The replay report is informational here: the handle starts a
             // fresh version chain (and plan cache) at generation 0 either
             // way, so no stale compiled plan can survive a reopen.
-            let (store, sdoc, _report) = DocStore::open(&slot_dir)?;
+            let (store, sdoc, _report) = match &db.pool {
+                Some(pool) => DocStore::open_with_pool(&slot_dir, pool)?,
+                None => DocStore::open(&slot_dir)?,
+            };
             db.docs
                 .get_mut()
                 .unwrap_or_else(|e| e.into_inner())
@@ -797,7 +863,17 @@ impl Database {
         for (i, (name, h)) in docs.iter().enumerate() {
             let slot = format!("d{i:03}");
             let snap = h.versions.snapshot();
-            let store = DocStore::create(&path.join(&slot), snap.sdoc())?;
+            let store = match &self.pool {
+                Some(pool) => {
+                    let (store, paged) =
+                        DocStore::create_paged(&path.join(&slot), snap.sdoc(), pool)?;
+                    // Swap serving over to the pool-backed copy; readers
+                    // still on the resident snapshot finish against it.
+                    h.versions.install_document(paged);
+                    store
+                }
+                None => DocStore::create(&path.join(&slot), snap.sdoc())?,
+            };
             h.lock_writer().store = Some(store);
             entries.push((name.clone(), slot));
         }
@@ -839,23 +915,34 @@ impl Database {
     }
 
     /// Fold `doc`'s WAL into a fresh snapshot now. No-op when not durable.
+    /// On a pool-backed paged store the freshly compacted state is
+    /// reopened through the pool and installed as the served version (one
+    /// extra generation bump), so updated documents return to bounded
+    /// resident memory instead of serving the update's in-memory copy.
     pub fn compact(&self, doc: &str) -> Result<(), Error> {
         let handle = self.handle(doc)?;
         let mut w = handle.lock_writer();
-        if let Some(st) = &mut w.store {
-            let snap = handle.versions.snapshot();
-            st.compact(snap.sdoc())?;
-        }
-        Ok(())
+        Self::compact_now(&handle, &mut w)
     }
 
     /// Compact when the WAL has grown past the threshold. Caller holds the
     /// writer lock, so the current snapshot is exactly the WAL's state.
     fn maybe_compact(&self, handle: &DocHandle, w: &mut WriterState) -> Result<(), Error> {
+        match &w.store {
+            Some(st) if st.wal_records() >= self.compact_threshold => Self::compact_now(handle, w),
+            _ => Ok(()),
+        }
+    }
+
+    /// Compact under the writer lock, swapping serving over to the
+    /// pool-backed reopened state when the store is paged (see
+    /// [`Database::compact`]).
+    fn compact_now(handle: &DocHandle, w: &mut WriterState) -> Result<(), Error> {
         if let Some(st) = &mut w.store {
-            if st.wal_records() >= self.compact_threshold {
-                let snap = handle.versions.snapshot();
-                st.compact(snap.sdoc())?;
+            let snap = handle.versions.snapshot();
+            st.compact(snap.sdoc())?;
+            if let Some(paged) = st.reopen_paged()? {
+                handle.versions.install_document(paged);
             }
         }
         Ok(())

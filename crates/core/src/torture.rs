@@ -39,11 +39,17 @@ pub struct TortureConfig {
     /// finishes the scenario in flight, so slightly more points than this
     /// may execute.
     pub iters: u64,
+    /// Run every durable database in the harness behind a buffer pool of
+    /// this many pages (`xqp torture --buffer-pages N`). Stores then use
+    /// the paged format, so the injected faults land on page writes,
+    /// paged opens and the format-conversion paths instead of the
+    /// monolithic snapshot. The in-memory model stays unpooled.
+    pub buffer_pages: Option<usize>,
 }
 
 impl Default for TortureConfig {
     fn default() -> Self {
-        TortureConfig { seed: 1, iters: 500 }
+        TortureConfig { seed: 1, iters: 500, buffer_pages: None }
     }
 }
 
@@ -152,8 +158,21 @@ fn state(db: &Database) -> Result<String, Error> {
     db.query(DOC, "/db")
 }
 
+/// Open the durable store, behind a pool when the run is paged.
+fn open_db(dir: &Path, pages: Option<usize>) -> Result<Database, Error> {
+    match pages {
+        Some(n) => Database::open_with_buffer(dir, n),
+        None => Database::open(dir),
+    }
+}
+
 /// Apply one op to a live durable database. `Reopen` replaces the handle.
-fn apply_op(db: &mut Database, dir: &Path, op: &TortureOp) -> Result<(), Error> {
+fn apply_op(
+    db: &mut Database,
+    dir: &Path,
+    op: &TortureOp,
+    pages: Option<usize>,
+) -> Result<(), Error> {
     match op {
         TortureOp::Insert { path, fragment } => {
             db.insert_into(DOC, path, fragment)?;
@@ -165,7 +184,7 @@ fn apply_op(db: &mut Database, dir: &Path, op: &TortureOp) -> Result<(), Error> 
         TortureOp::Reopen => {
             // Replace the handle via a fresh recovery; on error the caller
             // re-opens after disarming, so a half-dead handle is never used.
-            let fresh = Database::open(dir)?;
+            let fresh = open_db(dir, pages)?;
             *db = fresh;
         }
     }
@@ -197,8 +216,11 @@ fn model_states(sc: &Scenario) -> Result<Vec<String>, Error> {
 }
 
 /// Create a fresh durable store for the scenario, fault-free.
-fn setup(sc: &Scenario, dir: &Path) -> Result<Database, Error> {
+fn setup(sc: &Scenario, dir: &Path, pages: Option<usize>) -> Result<Database, Error> {
     let mut db = Database::new();
+    if let Some(n) = pages {
+        db.set_buffer_pool(n);
+    }
     db.load_str(DOC, &sc.base_xml)?;
     db.persist_to(dir)?;
     Ok(db)
@@ -206,12 +228,12 @@ fn setup(sc: &Scenario, dir: &Path) -> Result<Database, Error> {
 
 /// Count the I/O points reachable while replaying the scenario's ops
 /// (setup excluded — faults target the update/compact/reopen paths).
-fn count_io_points(sc: &Scenario) -> Result<u64, Error> {
+fn count_io_points(sc: &Scenario, pages: Option<usize>) -> Result<u64, Error> {
     let dir = fresh_dir("count");
-    let mut db = setup(sc, &dir)?;
+    let mut db = setup(sc, &dir, pages)?;
     failpoint::arm_count();
     for op in &sc.ops {
-        apply_op(&mut db, &dir, op)?;
+        apply_op(&mut db, &dir, op, pages)?;
     }
     let n = failpoint::ops_seen();
     failpoint::disarm();
@@ -228,15 +250,16 @@ fn run_fault_point(
     f: u64,
     kind: FaultKind,
     crash: bool,
+    pages: Option<usize>,
 ) -> Result<(), String> {
     let dir = fresh_dir("run");
     let result = (|| {
-        let mut db = setup(sc, &dir).map_err(|e| format!("fault-free setup failed: {e}"))?;
+        let mut db = setup(sc, &dir, pages).map_err(|e| format!("fault-free setup failed: {e}"))?;
         failpoint::arm_fail_nth(f, kind, crash);
 
         let mut resume_from = sc.ops.len();
         for (i, op) in sc.ops.iter().enumerate() {
-            let r = apply_op(&mut db, &dir, op);
+            let r = apply_op(&mut db, &dir, op, pages);
             if failpoint::is_armed() {
                 // Fault not reached yet: the op must have succeeded.
                 if let Err(e) = r {
@@ -251,7 +274,7 @@ fn run_fault_point(
             // disk, and check the atomicity invariant.
             failpoint::disarm();
             drop(db);
-            db = Database::open(&dir)
+            db = open_db(&dir, pages)
                 .map_err(|e| format!("reopen after fault in op {i} failed: {e}"))?;
             let got = state(&db).map_err(|e| format!("query after recovery failed: {e}"))?;
             let (before, after) = (&states[i], &states[i + 1]);
@@ -279,7 +302,7 @@ fn run_fault_point(
         // Convergence: finish the remaining ops fault-free and land on the
         // model's final state.
         for (i, op) in sc.ops.iter().enumerate().skip(resume_from) {
-            apply_op(&mut db, &dir, op)
+            apply_op(&mut db, &dir, op, pages)
                 .map_err(|e| format!("op {i} failed during fault-free resume: {e}"))?;
         }
         let final_got = state(&db).map_err(|e| format!("final query after resume failed: {e}"))?;
@@ -292,7 +315,7 @@ fn run_fault_point(
 
         // The durable image must agree with the live handle, too.
         drop(db);
-        let db = Database::open(&dir).map_err(|e| format!("final reopen failed: {e}"))?;
+        let db = open_db(&dir, pages).map_err(|e| format!("final reopen failed: {e}"))?;
         let reopened = state(&db).map_err(|e| format!("final reopened query failed: {e}"))?;
         if &reopened != final_want {
             return Err(format!(
@@ -310,7 +333,7 @@ const KINDS: [FaultKind; 3] = [FaultKind::Error, FaultKind::DiskFull, FaultKind:
 
 /// Torture one scenario: every reachable I/O point × {soft, crash}.
 /// Returns (fault points executed, violations).
-fn torture_scenario(sc: &Scenario) -> (u64, Vec<TortureViolation>) {
+fn torture_scenario(sc: &Scenario, pages: Option<usize>) -> (u64, Vec<TortureViolation>) {
     let mut violations = Vec::new();
     let states = match model_states(sc) {
         Ok(s) => s,
@@ -324,7 +347,7 @@ fn torture_scenario(sc: &Scenario) -> (u64, Vec<TortureViolation>) {
             return (0, violations);
         }
     };
-    let total = match count_io_points(sc) {
+    let total = match count_io_points(sc, pages) {
         Ok(n) => n,
         Err(e) => {
             violations.push(TortureViolation {
@@ -341,7 +364,7 @@ fn torture_scenario(sc: &Scenario) -> (u64, Vec<TortureViolation>) {
         for crash in [false, true] {
             points += 1;
             let kind = KINDS[(f % 3) as usize];
-            if let Err(detail) = run_fault_point(sc, &states, f, kind, crash) {
+            if let Err(detail) = run_fault_point(sc, &states, f, kind, crash, pages) {
                 violations.push(TortureViolation {
                     scenario_seed: sc.seed,
                     fault_point: f,
@@ -362,7 +385,7 @@ pub fn torture(config: &TortureConfig) -> TortureReport {
     while report.fault_points < config.iters {
         let scenario_seed = master.next_u64();
         let sc = gen_scenario(scenario_seed);
-        let (points, violations) = torture_scenario(&sc);
+        let (points, violations) = torture_scenario(&sc, config.buffer_pages);
         report.scenarios += 1;
         report.fault_points += points;
         report.violations.extend(violations);
@@ -400,7 +423,7 @@ mod tests {
     #[test]
     fn counting_pass_sees_io() {
         let sc = gen_scenario(3);
-        let n = count_io_points(&sc).unwrap();
+        let n = count_io_points(&sc, None).unwrap();
         // Every scenario has >= 3 ops, each touching the WAL (or the
         // snapshot, for compaction) — there must be plenty of I/O points.
         assert!(n >= 3, "only {n} I/O points counted");
@@ -408,9 +431,23 @@ mod tests {
 
     #[test]
     fn small_torture_run_is_clean() {
-        let report = torture(&TortureConfig { seed: 0xdecaf, iters: 60 });
+        let report = torture(&TortureConfig { seed: 0xdecaf, iters: 60, buffer_pages: None });
         assert!(report.fault_points >= 60);
         assert!(report.scenarios >= 1);
+        assert!(
+            report.is_clean(),
+            "violations:\n{}",
+            report.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+
+    #[test]
+    fn paged_torture_run_is_clean() {
+        // Same invariants over the paged store format: every database in
+        // the harness runs behind a 4-page pool, so faults land on page
+        // writes, paged opens and the snapshot→paged conversion paths.
+        let report = torture(&TortureConfig { seed: 0xbeef, iters: 40, buffer_pages: Some(4) });
+        assert!(report.fault_points >= 40);
         assert!(
             report.is_clean(),
             "violations:\n{}",

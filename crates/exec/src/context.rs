@@ -78,6 +78,21 @@ pub struct ExecCounters {
     pub persist_records_replayed: u64,
     /// Log compactions performed by the durable store.
     pub persist_compactions: u64,
+    /// WAL group commits (batched-fsync `log_batch` calls).
+    pub persist_group_commits: u64,
+    /// WAL records written through group commits.
+    pub persist_group_records: u64,
+    /// Largest single group-commit batch.
+    pub persist_group_max_batch: u64,
+    /// Buffer-pool fetches served from a resident page frame; zero unless
+    /// the database serves paged documents through a pool.
+    pub buffer_hits: u64,
+    /// Buffer-pool fetches that had to read the page from disk.
+    pub buffer_misses: u64,
+    /// Page frames dropped by the pool's clock sweep.
+    pub buffer_evictions: u64,
+    /// High-water mark of simultaneously pinned page frames.
+    pub buffer_pinned_peak: u64,
     /// Rows (total bindings) emitted by physical operators.
     pub phys_rows: u64,
     /// Batches pulled through the physical pipeline.

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use xqp_algebra::{optimize_expr, Expr, Item, LogicalPlan, RewriteReport, RuleSet};
 use xqp_algebra::{SchemaNode, SchemaTree};
-use xqp_storage::{SKind, SNodeId, StoreCounters, SuccinctDoc, ValueIndex};
+use xqp_storage::{BufferStats, SKind, SNodeId, StoreCounters, SuccinctDoc, ValueIndex};
 use xqp_xml::serialize::{escape_attr, escape_text};
 
 /// A configured query executor over one stored document.
@@ -26,6 +26,7 @@ pub struct Executor<'a> {
     plan_cache: Arc<PlanCache>,
     cache_scope: Option<String>,
     persist: Option<StoreCounters>,
+    buffer: Option<BufferStats>,
 }
 
 const _: () = {
@@ -45,6 +46,7 @@ impl<'a> Executor<'a> {
             plan_cache: Arc::new(PlanCache::default()),
             cache_scope: None,
             persist: None,
+            buffer: None,
         }
     }
 
@@ -124,6 +126,14 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Attach buffer-pool statistics (from the database's page pool) so
+    /// they surface through [`Executor::counters`] and the `explain`
+    /// rendering next to the persistence line.
+    pub fn with_buffer_stats(mut self, stats: BufferStats) -> Self {
+        self.buffer = Some(stats);
+        self
+    }
+
     /// The execution context (counters, statistics).
     pub fn context(&self) -> &ExecContext<'a> {
         &self.ctx
@@ -141,6 +151,15 @@ impl<'a> Executor<'a> {
             c.persist_bytes_written = p.bytes_written;
             c.persist_records_replayed = p.records_replayed;
             c.persist_compactions = p.compactions;
+            c.persist_group_commits = p.group_commits;
+            c.persist_group_records = p.group_records;
+            c.persist_group_max_batch = p.group_max_batch;
+        }
+        if let Some(b) = self.buffer {
+            c.buffer_hits = b.hits;
+            c.buffer_misses = b.misses;
+            c.buffer_evictions = b.evictions;
+            c.buffer_pinned_peak = b.pinned_peak;
         }
         c
     }
@@ -237,8 +256,21 @@ impl<'a> Executor<'a> {
         ));
         if let Some(p) = self.persist {
             rendering.push_str(&format!(
-                "-- persistence: bytes_written={} records_replayed={} compactions={}\n",
-                p.bytes_written, p.records_replayed, p.compactions,
+                "-- persistence: bytes_written={} records_replayed={} compactions={} \
+                 group_commits={} group_records={} group_max_batch={}\n",
+                p.bytes_written,
+                p.records_replayed,
+                p.compactions,
+                p.group_commits,
+                p.group_records,
+                p.group_max_batch,
+            ));
+        }
+        if let Some(b) = self.buffer {
+            rendering.push_str(&format!(
+                "-- buffer pool: capacity={} resident={} hits={} misses={} evictions={} \
+                 pinned_peak={} overcommits={}\n",
+                b.capacity, b.resident, b.hits, b.misses, b.evictions, b.pinned_peak, b.overcommits,
             ));
         }
         Ok((rendering, plan.report))
@@ -398,12 +430,12 @@ pub fn serialize_stored(sdoc: &SuccinctDoc, n: SNodeId) -> String {
 
 fn write_stored(sdoc: &SuccinctDoc, n: SNodeId, out: &mut String) {
     match sdoc.kind(n) {
-        SKind::Text => out.push_str(&escape_text(sdoc.content(n).unwrap_or_default())),
+        SKind::Text => out.push_str(&escape_text(sdoc.content(n).as_deref().unwrap_or_default())),
         SKind::Attribute => {
             // A bare attribute serializes as name="value".
             out.push_str(sdoc.name(n));
             out.push_str("=\"");
-            out.push_str(&escape_attr(sdoc.content(n).unwrap_or_default()));
+            out.push_str(&escape_attr(sdoc.content(n).as_deref().unwrap_or_default()));
             out.push('"');
         }
         SKind::Element => {
@@ -416,7 +448,7 @@ fn write_stored(sdoc: &SuccinctDoc, n: SNodeId, out: &mut String) {
                     out.push(' ');
                     out.push_str(sdoc.name(c));
                     out.push_str("=\"");
-                    out.push_str(&escape_attr(sdoc.content(c).unwrap_or_default()));
+                    out.push_str(&escape_attr(sdoc.content(c).as_deref().unwrap_or_default()));
                     out.push('"');
                 } else {
                     has_children = true;

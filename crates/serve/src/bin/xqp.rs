@@ -9,8 +9,8 @@
 //! xqp race   <file.xml> <path>              # time all four strategies
 //! xqp save   <file.xml> <dir>               # persist to a durable store
 //! xqp open   <dir> <xquery>                 # query a durable store
-//! xqp fuzz   [--seed N] [--iters K] [--replay CASE_SEED]   # differential fuzzing
-//! xqp torture [--seed N] [--iters K]         # I/O fault-injection torture
+//! xqp fuzz   [--seed N] [--iters K] [--replay CASE_SEED] [--tiny-pool]  # differential fuzzing
+//! xqp torture [--seed N] [--iters K] [--buffer-pages N]   # I/O fault-injection torture
 //! xqp serve  <file.xml|store-dir> [--addr H:P] [--max-inflight N]   # query server
 //! xqp client <addr> <verb> [args…]           # talk to a running server
 //! ```
@@ -38,6 +38,10 @@
 //! Query commands accept resource limits: `--timeout-ms N`, `--max-memory N`
 //! (live binding cells), `--max-rows N`. A query over budget fails with a
 //! `resource governor` error instead of running away.
+//!
+//! `--buffer-pages N` (or `XQP_BUFFER_PAGES`) serves documents from paged
+//! storage through a pinning buffer pool capped at N 4 KiB pages —
+//! documents bigger than RAM stay queryable with bounded resident memory.
 //!
 //! `S` ∈ auto | nok | twigstack | binaryjoin | naive | parallel[:N]
 //! (default: auto; `parallel` alone sizes itself to the hardware).
@@ -75,6 +79,12 @@ struct Cli {
     max_inflight: u32,
     /// `fuzz --server`: run the differential loopback leg instead.
     server: bool,
+    /// Buffer-pool capacity in 4 KiB pages (`--buffer-pages N`, or the
+    /// `XQP_BUFFER_PAGES` environment variable). Documents are then served
+    /// from paged storage with at most N pages resident at once.
+    buffer_pages: Option<usize>,
+    /// `fuzz --tiny-pool`: run the paged legs behind a starved 4-page pool.
+    tiny_pool: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -91,6 +101,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut max_inflight = 64u32;
     let mut server = false;
+    let mut buffer_pages = None;
+    let mut tiny_pool = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -116,6 +128,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--joins" => joins = true,
             "--server" => server = true,
+            "--tiny-pool" => tiny_pool = true,
+            "--buffer-pages" => {
+                let v = it.next().ok_or("--buffer-pages needs a page count")?;
+                buffer_pages = Some(v.parse().map_err(|_| format!("bad page count `{v}`"))?);
+            }
             "--addr" => {
                 addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
             }
@@ -141,6 +158,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 return Err(format!("unknown flag `{flag}`"));
             }
             _ => pos.push(a),
+        }
+    }
+    // The flag wins over the environment; the env var lets wrappers and CI
+    // bound every xqp invocation without threading a flag through.
+    if buffer_pages.is_none() {
+        if let Ok(v) = std::env::var("XQP_BUFFER_PAGES") {
+            buffer_pages =
+                Some(v.parse().map_err(|_| format!("bad XQP_BUFFER_PAGES page count `{v}`"))?);
         }
     }
     let [command, rest @ ..] = pos.as_slice() else {
@@ -186,6 +211,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         addr,
         max_inflight,
         server,
+        buffer_pages,
+        tiny_pool,
     })
 }
 
@@ -200,8 +227,8 @@ USAGE:
   xqp race    <file.xml> <path>
   xqp save    <file.xml> <dir>
   xqp open    <dir> <xquery>
-  xqp fuzz    [--seed N] [--iters K] [--joins] [--replay CASE_SEED] [--server]
-  xqp torture [--seed N] [--iters K]
+  xqp fuzz    [--seed N] [--iters K] [--joins] [--replay CASE_SEED] [--server] [--tiny-pool]
+  xqp torture [--seed N] [--iters K] [--buffer-pages N]
   xqp serve   <file.xml|store-dir> [--addr HOST:PORT] [--max-inflight N]
   xqp client  <addr> ping
   xqp client  <addr> query  <doc> <xquery>   [limit flags]
@@ -243,6 +270,15 @@ USAGE:
     --max-memory N    live FLWOR binding-cell budget
     --max-rows N      result-row cap
 
+  Every command that loads or opens documents accepts `--buffer-pages N`
+  (or the XQP_BUFFER_PAGES environment variable; the flag wins): documents
+  are then served from paged storage through a pinning buffer pool capped
+  at N 4 KiB pages, so a store bigger than RAM stays queryable with
+  bounded resident memory. Pool counters are reported on stderr (and in
+  `explain` output). `fuzz --tiny-pool` re-runs every case's full engine
+  matrix over a deliberately starved 4-page pool; `torture
+  --buffer-pages N` injects its faults into the paged store format.
+
   S = auto | nok | twigstack | binaryjoin | naive | parallel[:N]
       (parallel:N runs the join-based sweep on N worker threads; bare
        parallel uses one worker per hardware thread)";
@@ -260,6 +296,15 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Open a durable store, behind a buffer pool when one is requested.
+fn open_database(path: &std::path::Path, pages: Option<usize>) -> Result<Database, String> {
+    match pages {
+        Some(n) => Database::open_with_buffer(path, n),
+        None => Database::open(path),
+    }
+    .map_err(|e| e.to_string())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -281,7 +326,7 @@ fn run(args: &[String]) -> Result<(), String> {
     // parses the XML up front.
     let mut db = if cli.command == "open" {
         let t = Instant::now();
-        let db = Database::open(std::path::Path::new(file)).map_err(|e| e.to_string())?;
+        let db = open_database(std::path::Path::new(file), cli.buffer_pages)?;
         let stats =
             db.document_names().first().and_then(|n| db.persist_stats(n).ok()).unwrap_or_default();
         eprintln!(
@@ -293,7 +338,10 @@ fn run(args: &[String]) -> Result<(), String> {
         db
     } else {
         let xml = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-        let db = Database::new();
+        let mut db = Database::new();
+        if let Some(pages) = cli.buffer_pages {
+            db.set_buffer_pool(pages);
+        }
         db.load_str("doc", &xml).map_err(|e| e.to_string())?;
         db
     };
@@ -308,7 +356,7 @@ fn run(args: &[String]) -> Result<(), String> {
         cli.arg.as_ref().ok_or_else(|| format!("`{}` needs {what}", cli.command))
     };
 
-    match cli.command.as_str() {
+    let result = match cli.command.as_str() {
         "query" => {
             let q = need("an XQuery expression")?;
             let t = Instant::now();
@@ -422,7 +470,22 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    if result.is_ok() {
+        if let Some(stats) = db.buffer_stats() {
+            eprintln!(
+                "-- buffer pool: {}/{} page(s) resident (peak {}), {} hit(s), {} miss(es), {} \
+                 eviction(s)",
+                stats.resident,
+                stats.capacity,
+                stats.resident_peak,
+                stats.hits,
+                stats.misses,
+                stats.evictions
+            );
+        }
     }
+    result
 }
 
 /// `xqp serve`: load the file (or open the store) and serve it over TCP
@@ -435,10 +498,13 @@ fn run_serve(cli: &Cli) -> Result<(), String> {
     let file = cli.file.as_deref().ok_or("`serve` needs an XML file or store directory")?;
     let path = std::path::Path::new(file);
     let mut db = if path.is_dir() {
-        Database::open(path).map_err(|e| e.to_string())?
+        open_database(path, cli.buffer_pages)?
     } else {
         let xml = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-        let db = Database::new();
+        let mut db = Database::new();
+        if let Some(pages) = cli.buffer_pages {
+            db.set_buffer_pool(pages);
+        }
         db.load_str("doc", &xml).map_err(|e| e.to_string())?;
         db
     };
@@ -552,8 +618,11 @@ fn run_fuzz(cli: &Cli) -> Result<(), String> {
     // `--replay N` re-runs exactly one *case* seed (as printed in a failure
     // report) — distinct from `--seed`, which seeds the master PRNG that
     // case seeds are drawn from.
+    // `--tiny-pool` pins the paged legs to a starved 4-page pool; an
+    // explicit `--buffer-pages` (or the env var) sizes them directly.
+    let buffer_pages = cli.buffer_pages.or(if cli.tiny_pool { Some(4) } else { None });
     if let Some(case_seed) = cli.replay {
-        let cfg = FuzzConfig { joins: cli.joins, ..FuzzConfig::default() };
+        let cfg = FuzzConfig { joins: cli.joins, buffer_pages, ..FuzzConfig::default() };
         eprintln!("-- fuzz: replaying case seed {case_seed}");
         return match with_quiet_panics(|| run_seed(case_seed, &cfg)) {
             None => {
@@ -566,13 +635,22 @@ fn run_fuzz(cli: &Cli) -> Result<(), String> {
             }
         };
     }
-    let cfg =
-        FuzzConfig { seed: cli.seed, iters: cli.iters, joins: cli.joins, ..FuzzConfig::default() };
+    let cfg = FuzzConfig {
+        seed: cli.seed,
+        iters: cli.iters,
+        joins: cli.joins,
+        buffer_pages,
+        ..FuzzConfig::default()
+    };
     eprintln!(
-        "-- fuzz: {} {}iteration(s) from master seed {}",
+        "-- fuzz: {} {}iteration(s) from master seed {}{}",
         cfg.iters,
         if cfg.joins { "join-shaped " } else { "" },
-        cfg.seed
+        cfg.seed,
+        match cfg.buffer_pages {
+            Some(p) => format!(" (paged legs behind a {p}-page pool)"),
+            None => String::new(),
+        }
     );
     let t = Instant::now();
     let summary = fuzz(&cfg);
@@ -630,8 +708,16 @@ fn run_fuzz_server(cli: &Cli) -> Result<(), String> {
 /// verify recovery.
 fn run_torture(cli: &Cli) -> Result<(), String> {
     use xqp::torture::{torture, TortureConfig};
-    let cfg = TortureConfig { seed: cli.seed, iters: cli.iters };
-    eprintln!("-- torture: >= {} fault point(s) from master seed {}", cfg.iters, cfg.seed);
+    let cfg = TortureConfig { seed: cli.seed, iters: cli.iters, buffer_pages: cli.buffer_pages };
+    eprintln!(
+        "-- torture: >= {} fault point(s) from master seed {}{}",
+        cfg.iters,
+        cfg.seed,
+        match cfg.buffer_pages {
+            Some(p) => format!(" (paged stores behind a {p}-page pool)"),
+            None => String::new(),
+        }
+    );
     let t = Instant::now();
     let report = torture(&cfg);
     let dt = t.elapsed();
@@ -813,6 +899,23 @@ mod tests {
         assert!(cli.server);
         assert_eq!(cli.iters, 8);
         assert!(!parse_args(&sv(&["fuzz"])).unwrap().server);
+    }
+
+    #[test]
+    fn parses_buffer_pages() {
+        let cli = parse_args(&sv(&["open", "store", "//x", "--buffer-pages", "64"])).unwrap();
+        assert_eq!(cli.buffer_pages, Some(64));
+        assert!(parse_args(&sv(&["open", "store", "//x", "--buffer-pages"])).is_err());
+        assert!(parse_args(&sv(&["open", "store", "//x", "--buffer-pages", "lots"])).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz_tiny_pool() {
+        assert!(parse_args(&sv(&["fuzz", "--tiny-pool"])).unwrap().tiny_pool);
+        assert!(!parse_args(&sv(&["fuzz"])).unwrap().tiny_pool);
+        // An explicit pool size rides along with --tiny-pool and wins.
+        let cli = parse_args(&sv(&["fuzz", "--tiny-pool", "--buffer-pages", "2"])).unwrap();
+        assert_eq!(cli.buffer_pages, Some(2));
     }
 
     #[test]

@@ -6,23 +6,138 @@
 //! the ≤8-word scan; `select` binary-searches superblocks then scans — O(log
 //! n). Space overhead is ~12.5% over the raw bits, keeping the structure
 //! "succinct" in the paper's sense.
+//!
+//! The raw words live either in memory ([`Words::Resident`]) or in a paged
+//! snapshot behind a [`BufferPool`] ([`Words::Paged`]); the rank directory is
+//! always resident. A 512-bit superblock never straddles a page (512 | 32768
+//! bits per page), so every rank/select resolves by pinning at most one
+//! page. Paged vectors are immutable — mutation belongs to the resident
+//! scratch copies the update path builds (see [`BitVec::append_range`]).
+
+use crate::buffer::{BufferPool, PageRef, PAGE_BYTES};
+use crate::persist::page::PageFile;
+use std::sync::Arc;
 
 /// Number of bits per directory superblock.
 const SUPER_BITS: usize = 512;
 /// Words per superblock.
 const SUPER_WORDS: usize = SUPER_BITS / 64;
+/// 64-bit words per page frame.
+const WORDS_PER_PAGE: usize = PAGE_BYTES / 8;
+
+/// Where the raw words live.
+#[derive(Debug, Clone)]
+enum Words {
+    Resident(Vec<u64>),
+    Paged {
+        pool: Arc<BufferPool>,
+        file: Arc<PageFile>,
+        /// First frame of the word section (words are page-aligned).
+        first_page: u64,
+    },
+}
+
+impl Default for Words {
+    fn default() -> Self {
+        Words::Resident(Vec::new())
+    }
+}
 
 /// An append-only bit vector with O(1) rank and O(log n) select.
 ///
 /// The directory is built lazily: after appending, call [`BitVec::finish`]
 /// (or use [`BitVec::from_bits`]) before issuing rank/select queries.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct BitVec {
-    words: Vec<u64>,
+    words: Words,
     len: usize,
     /// `super_ranks[i]` = number of 1s strictly before superblock `i`.
     super_ranks: Vec<u64>,
     ones: usize,
+}
+
+impl PartialEq for BitVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter_words().eq(other.iter_words())
+    }
+}
+
+impl Eq for BitVec {}
+
+/// Sequential word reader that pins at most one page at a time; the cheap
+/// way to walk a (possibly paged) vector without a pool round-trip per word.
+pub(crate) struct WordCursor<'a> {
+    bv: &'a BitVec,
+    cached: Option<(u64, PageRef)>,
+}
+
+impl WordCursor<'_> {
+    /// Word `wi` (must exist).
+    #[inline]
+    pub(crate) fn word(&mut self, wi: usize) -> u64 {
+        match &self.bv.words {
+            Words::Resident(words) => words[wi],
+            Words::Paged { pool, file, first_page } => {
+                let page = first_page + (wi / WORDS_PER_PAGE) as u64;
+                match &self.cached {
+                    Some((p, guard)) if *p == page => word_in_page(guard, wi % WORDS_PER_PAGE),
+                    _ => {
+                        let guard = pool.fetch(file, page);
+                        let w = word_in_page(&guard, wi % WORDS_PER_PAGE);
+                        self.cached = Some((page, guard));
+                        w
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bit `i` (must exist), through the cached page.
+    #[inline]
+    pub(crate) fn get(&mut self, i: usize) -> bool {
+        (self.word(i / 64) >> (i % 64)) & 1 == 1
+    }
+}
+
+#[inline]
+fn word_in_page(page: &[u8], idx: usize) -> u64 {
+    let o = idx * 8;
+    u64::from_le_bytes(page[o..o + 8].try_into().unwrap())
+}
+
+/// Builds the superblock directory from a streamed word sequence — the
+/// paged-open path, which must produce exactly what [`BitVec::finish`]
+/// would without materializing the words.
+pub(crate) struct DirectoryBuilder {
+    super_ranks: Vec<u64>,
+    acc: u64,
+    wi: usize,
+}
+
+impl DirectoryBuilder {
+    pub(crate) fn new(len_bits: usize) -> Self {
+        DirectoryBuilder {
+            super_ranks: Vec::with_capacity(len_bits.div_ceil(SUPER_BITS) + 1),
+            acc: 0,
+            wi: 0,
+        }
+    }
+
+    /// Feed the next word (`bits` = how many of its low bits are in range;
+    /// higher bits must already be masked to zero).
+    pub(crate) fn push_word(&mut self, w: u64, _bits: usize) {
+        if self.wi.is_multiple_of(SUPER_WORDS) {
+            self.super_ranks.push(self.acc);
+        }
+        self.acc += w.count_ones() as u64;
+        self.wi += 1;
+    }
+
+    /// `(super_ranks, total ones)`.
+    pub(crate) fn finish(mut self) -> (Vec<u64>, u64) {
+        self.super_ranks.push(self.acc);
+        (self.super_ranks, self.acc)
+    }
 }
 
 impl BitVec {
@@ -52,22 +167,109 @@ impl BitVec {
                 *last &= (1u64 << (len % 64)) - 1;
             }
         }
-        let mut v = BitVec { words, len, super_ranks: Vec::new(), ones: 0 };
+        let mut v = BitVec { words: Words::Resident(words), len, super_ranks: Vec::new(), ones: 0 };
         v.finish();
         v
+    }
+
+    /// Assemble a paged vector whose words stay on disk behind `pool`. The
+    /// directory (`super_ranks`, `ones`) comes from the caller's validated
+    /// streaming pass over the same words (see [`DirectoryBuilder`]).
+    pub(crate) fn from_paged_parts(
+        pool: Arc<BufferPool>,
+        file: Arc<PageFile>,
+        first_page: u64,
+        len: usize,
+        super_ranks: Vec<u64>,
+        ones: u64,
+    ) -> Self {
+        BitVec {
+            words: Words::Paged { pool, file, first_page },
+            len,
+            super_ranks,
+            ones: ones as usize,
+        }
+    }
+
+    /// True if the raw words live behind a buffer pool.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.words, Words::Paged { .. })
+    }
+
+    fn resident_words_mut(&mut self) -> &mut Vec<u64> {
+        match &mut self.words {
+            Words::Resident(w) => w,
+            Words::Paged { .. } => panic!("paged bit vectors are immutable"),
+        }
+    }
+
+    /// Sequential reader over the words; pins one page at a time.
+    pub(crate) fn cursor(&self) -> WordCursor<'_> {
+        WordCursor { bv: self, cached: None }
+    }
+
+    /// Number of 64-bit words backing the vector.
+    pub fn n_words(&self) -> usize {
+        self.len.div_ceil(64)
+    }
+
+    /// Iterate the backing words in order (resident or paged).
+    pub fn iter_words(&self) -> impl Iterator<Item = u64> + '_ {
+        let mut cur = self.cursor();
+        (0..self.n_words()).map(move |wi| cur.word(wi))
     }
 
     /// Append one bit. Invalidates the directory until [`BitVec::finish`].
     pub fn push(&mut self, bit: bool) {
         let word = self.len / 64;
         let off = self.len % 64;
-        if word == self.words.len() {
-            self.words.push(0);
+        let words = self.resident_words_mut();
+        if word == words.len() {
+            words.push(0);
         }
         if bit {
-            self.words[word] |= 1u64 << off;
+            words[word] |= 1u64 << off;
         }
         self.len += 1;
+    }
+
+    /// Append the low `n` bits of `chunk` (`1..=64`; higher bits of `chunk`
+    /// must be zero). The word-wise building block behind
+    /// [`BitVec::append_range`].
+    fn push_bits(&mut self, chunk: u64, n: usize) {
+        debug_assert!((1..=64).contains(&n));
+        debug_assert!(n == 64 || chunk >> n == 0);
+        let off = self.len % 64;
+        let words = self.resident_words_mut();
+        if off == 0 {
+            words.push(chunk);
+        } else {
+            let last = words.len() - 1;
+            words[last] |= chunk << off;
+            if off + n > 64 {
+                words.push(chunk >> (64 - off));
+            }
+        }
+        self.len += n;
+    }
+
+    /// Append bits `[start, end)` of `src` — word-wise, so a paged source is
+    /// walked one pinned page at a time instead of bit-by-bit. This is the
+    /// page-aware primitive the update splice paths build on.
+    pub fn append_range(&mut self, src: &BitVec, start: usize, end: usize) {
+        assert!(start <= end && end <= src.len, "append_range out of bounds");
+        let mut cur = src.cursor();
+        let mut i = start;
+        while i < end {
+            let off = i % 64;
+            let take = (64 - off).min(end - i);
+            let mut chunk = cur.word(i / 64) >> off;
+            if take < 64 {
+                chunk &= (1u64 << take) - 1;
+            }
+            self.push_bits(chunk, take);
+            i += take;
+        }
     }
 
     /// Number of bits.
@@ -87,7 +289,7 @@ impl BitVec {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        (self.words[i / 64] >> (i % 64)) & 1 == 1
+        self.cursor().get(i)
     }
 
     /// Overwrite bit `i` (used by the update path). Invalidates the
@@ -95,28 +297,32 @@ impl BitVec {
     pub fn set(&mut self, i: usize, bit: bool) {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         let mask = 1u64 << (i % 64);
+        let wi = i / 64;
+        let words = self.resident_words_mut();
         if bit {
-            self.words[i / 64] |= mask;
+            words[wi] |= mask;
         } else {
-            self.words[i / 64] &= !mask;
+            words[wi] &= !mask;
         }
     }
 
-    /// (Re)build the rank directory. Idempotent.
+    /// (Re)build the rank directory. Idempotent. Paged vectors carry their
+    /// directory from open, so this is a no-op for them.
     pub fn finish(&mut self) {
-        let n_super = self.words.len().div_ceil(SUPER_WORDS);
-        self.super_ranks.clear();
-        self.super_ranks.reserve(n_super + 1);
+        let Words::Resident(words) = &self.words else { return };
+        let n_super = words.len().div_ceil(SUPER_WORDS);
+        let mut super_ranks = Vec::with_capacity(n_super + 1);
         let mut acc = 0u64;
         for s in 0..n_super {
-            self.super_ranks.push(acc);
+            super_ranks.push(acc);
             let start = s * SUPER_WORDS;
-            let end = (start + SUPER_WORDS).min(self.words.len());
-            for w in &self.words[start..end] {
+            let end = (start + SUPER_WORDS).min(words.len());
+            for w in &words[start..end] {
                 acc += w.count_ones() as u64;
             }
         }
-        self.super_ranks.push(acc);
+        super_ranks.push(acc);
+        self.super_ranks = super_ranks;
         self.ones = acc as usize;
     }
 
@@ -134,14 +340,14 @@ impl BitVec {
         debug_assert!(!self.super_ranks.is_empty(), "finish() not called");
         let sb = i / SUPER_BITS;
         let mut r = self.super_ranks[sb] as usize;
-        let word_start = sb * SUPER_WORDS;
         let word_end = i / 64;
-        for w in &self.words[word_start..word_end] {
-            r += w.count_ones() as usize;
+        let mut cur = self.cursor();
+        for wi in sb * SUPER_WORDS..word_end {
+            r += cur.word(wi).count_ones() as usize;
         }
         let rem = i % 64;
-        if rem > 0 && word_end < self.words.len() {
-            r += (self.words[word_end] & ((1u64 << rem) - 1)).count_ones() as usize;
+        if rem > 0 && word_end < self.n_words() {
+            r += (cur.word(word_end) & ((1u64 << rem) - 1)).count_ones() as usize;
         }
         r
     }
@@ -171,11 +377,13 @@ impl BitVec {
         }
         let mut remaining = target - self.super_ranks[lo];
         let word_start = lo * SUPER_WORDS;
-        let word_end = (word_start + SUPER_WORDS).min(self.words.len());
+        let word_end = (word_start + SUPER_WORDS).min(self.n_words());
+        let mut cur = self.cursor();
         for wi in word_start..word_end {
-            let pc = self.words[wi].count_ones() as u64;
+            let w = cur.word(wi);
+            let pc = w.count_ones() as u64;
             if pc >= remaining {
-                return Some(wi * 64 + select_in_word(self.words[wi], remaining as u32));
+                return Some(wi * 64 + select_in_word(w, remaining as u32));
             }
             remaining -= pc;
         }
@@ -186,7 +394,9 @@ impl BitVec {
     /// tests and tooling, not on hot paths.
     pub fn select0(&self, k: usize) -> Option<usize> {
         let mut remaining = (k + 1) as u64;
-        for (wi, w) in self.words.iter().enumerate() {
+        let mut cur = self.cursor();
+        for wi in 0..self.n_words() {
+            let w = cur.word(wi);
             let bits_here = (self.len - wi * 64).min(64);
             let inv = !w & if bits_here == 64 { u64::MAX } else { (1u64 << bits_here) - 1 };
             let pc = inv.count_ones() as u64;
@@ -198,37 +408,31 @@ impl BitVec {
         None
     }
 
-    /// The underlying words (read-only), for size accounting.
-    pub fn words(&self) -> &[u64] {
-        &self.words
-    }
-
-    /// Total heap bytes used, including the directory.
+    /// Total heap bytes used, including the directory. Paged words live in
+    /// the buffer pool, not this struct's heap, so only the resident
+    /// directory counts for them.
     pub fn heap_bytes(&self) -> usize {
-        self.words.len() * 8 + self.super_ranks.len() * 8
+        let words = match &self.words {
+            Words::Resident(w) => w.len() * 8,
+            Words::Paged { .. } => 0,
+        };
+        words + self.super_ranks.len() * 8
     }
 
     /// Remove bits `[start, start+count)` and insert `bits` at `start`.
     /// This is the primitive behind local subtree updates. The caller must
-    /// call [`BitVec::finish`] afterwards.
+    /// call [`BitVec::finish`] afterwards. Works on paged vectors too (the
+    /// result is resident): both halves are copied word-wise through
+    /// [`BitVec::append_range`], never bit-by-bit.
     pub fn splice(&mut self, start: usize, count: usize, bits: &[bool]) {
         assert!(start + count <= self.len, "splice range out of bounds");
-        // Straightforward re-materialization of the affected suffix. The
-        // prefix [0, start) is untouched — this is the "local substring"
-        // property; the suffix copy is unavoidable in a flat array.
-        let mut tail: Vec<bool> = (start + count..self.len).map(|i| self.get(i)).collect();
-        self.len = start;
-        self.words.truncate(start.div_ceil(64));
-        if !start.is_multiple_of(64) {
-            let last = self.words.len() - 1;
-            self.words[last] &= (1u64 << (start % 64)) - 1;
-        }
+        let mut out = BitVec::new();
+        out.append_range(self, 0, start);
         for &b in bits {
-            self.push(b);
+            out.push(b);
         }
-        for b in tail.drain(..) {
-            self.push(b);
-        }
+        out.append_range(self, start + count, self.len);
+        *self = out;
     }
 }
 
@@ -360,6 +564,24 @@ mod tests {
         v.splice(0, 3, &[]);
         v.finish();
         assert_eq!((0..2).map(|i| v.get(i)).collect::<Vec<_>>(), [false, true]);
+    }
+
+    #[test]
+    fn append_range_matches_bitwise_copy() {
+        let bits: Vec<bool> = (0..700).map(|i| (i * 13 + 5) % 7 < 3).collect();
+        let src = BitVec::from_bits(bits.iter().copied());
+        for (start, end) in [(0, 700), (1, 700), (63, 130), (64, 128), (5, 6), (100, 100)] {
+            let mut v = BitVec::new();
+            // Unaligned destination start.
+            v.push(true);
+            v.push(false);
+            v.append_range(&src, start, end);
+            v.finish();
+            assert_eq!(v.len(), 2 + end - start, "[{start}, {end})");
+            for (i, &bit) in bits.iter().enumerate().take(end).skip(start) {
+                assert_eq!(v.get(2 + i - start), bit, "bit {i} of [{start}, {end})");
+            }
+        }
     }
 
     #[test]

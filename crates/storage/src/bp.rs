@@ -6,24 +6,36 @@
 //! **range-min-max tree** over fixed-size blocks of the excess sequence, the
 //! standard succinct-tree machinery (Navarro & Sadakane): `find_close`,
 //! `find_open` and `enclose` run in O(log n) worst case and O(1) when the
-//! answer falls in the same 256-bit block, which for the local (NoK) axes is
-//! the common case.
+//! answer falls in the same block, which for the local (NoK) axes is the
+//! common case.
+//!
+//! The block size is a build parameter: resident sequences use
+//! [`BLOCK_BITS`] (256) for the tightest scans; paged sequences use
+//! [`PAGED_BLOCK_BITS`] (1024), which divides the page size so one block
+//! scan pins exactly one page. The min-max tree itself is always resident —
+//! it is the per-block excess/min-excess *directory*; only the raw
+//! parentheses live behind the pool. All block scans are word-wise through a
+//! [`WordCursor`], so a paged scan costs one pool fetch per page, not per
+//! bit.
 //!
 //! Tree-shape operations are derived from the primitives:
 //! `first_child(p) = p+1` (if open), `next_sibling(p) = find_close(p)+1`
 //! (if open), `parent(p) = enclose(p)` — exactly the next-of-kin
 //! relationships the NoK evaluator navigates.
 
-use crate::bitvec::BitVec;
+use crate::bitvec::{BitVec, WordCursor};
 
-/// Bits per range-min-max block.
+/// Bits per range-min-max block for resident sequences.
 const BLOCK_BITS: usize = 256;
+/// Bits per range-min-max block for paged sequences: divides the 32768-bit
+/// page exactly, so no block straddles two pages.
+pub(crate) const PAGED_BLOCK_BITS: usize = 1024;
 
 /// Aggregate of one block (or subtree of blocks) of the excess sequence.
 /// `min`/`max` are relative to the excess at the block's start; `total` is
 /// the block's net excess change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Agg {
+pub(crate) struct Agg {
     total: i32,
     min: i32,
     max: i32,
@@ -49,6 +61,65 @@ impl Agg {
     }
 }
 
+/// Builds per-block [`Agg`] leaves from a streamed word sequence — shared by
+/// the resident build and the paged-open directory scan, so both produce
+/// identical leaves without materializing bits.
+pub(crate) struct AggBuilder {
+    block_words: usize,
+    leaves: Vec<Agg>,
+    e: i32,
+    mn: i32,
+    mx: i32,
+    words_in_block: usize,
+    bits_in_block: usize,
+}
+
+impl AggBuilder {
+    pub(crate) fn new(block_bits: usize, len_bits: usize) -> Self {
+        assert!(block_bits.is_multiple_of(64), "block size must be whole words");
+        AggBuilder {
+            block_words: block_bits / 64,
+            leaves: Vec::with_capacity(len_bits.div_ceil(block_bits)),
+            e: 0,
+            mn: i32::MAX,
+            mx: i32::MIN,
+            words_in_block: 0,
+            bits_in_block: 0,
+        }
+    }
+
+    fn flush_block(&mut self) {
+        self.leaves.push(Agg { total: self.e, min: self.mn, max: self.mx });
+        self.e = 0;
+        self.mn = i32::MAX;
+        self.mx = i32::MIN;
+        self.words_in_block = 0;
+        self.bits_in_block = 0;
+    }
+
+    /// Feed the next word; `bits_here` is how many of its low bits are in
+    /// range (64 except possibly the last word).
+    pub(crate) fn push_word(&mut self, w: u64, bits_here: usize) {
+        for i in 0..bits_here {
+            self.e += if (w >> i) & 1 == 1 { 1 } else { -1 };
+            self.mn = self.mn.min(self.e);
+            self.mx = self.mx.max(self.e);
+        }
+        self.bits_in_block += bits_here;
+        self.words_in_block += 1;
+        if self.words_in_block == self.block_words {
+            self.flush_block();
+        }
+    }
+
+    pub(crate) fn finish(mut self) -> Vec<Agg> {
+        if self.bits_in_block > 0 {
+            self.flush_block();
+        }
+        self.leaves
+    }
+}
+
 /// A balanced-parentheses tree encoding with rank/select and range-min-max
 /// navigation.
 #[derive(Debug, Clone)]
@@ -59,31 +130,37 @@ pub struct Bp {
     tree: Vec<Agg>,
     leaf_base: usize,
     n_blocks: usize,
+    block_bits: usize,
 }
 
 impl Bp {
     /// Build from a finished parentheses bit sequence (must be balanced —
     /// checked in debug builds).
     pub fn new(bits: BitVec) -> Self {
+        let leaves = Self::build_leaves(&bits, BLOCK_BITS);
+        Bp::from_built_parts(bits, leaves, BLOCK_BITS)
+    }
+
+    fn build_leaves(bits: &BitVec, block_bits: usize) -> Vec<Agg> {
+        let mut b = AggBuilder::new(block_bits, bits.len());
+        let mut cur = bits.cursor();
+        for wi in 0..bits.n_words() {
+            let bits_here = (bits.len() - wi * 64).min(64);
+            b.push_word(cur.word(wi), bits_here);
+        }
+        b.finish()
+    }
+
+    /// Assemble from a bit sequence and its already-computed block leaves
+    /// (the paged-open path streams the leaves while validating balance; the
+    /// resident path computes them via [`Bp::build_leaves`]).
+    pub(crate) fn from_built_parts(bits: BitVec, leaves: Vec<Agg>, block_bits: usize) -> Self {
         debug_assert_eq!(bits.len() % 2, 0, "parentheses sequence has odd length");
-        let n_blocks = bits.len().div_ceil(BLOCK_BITS).max(1);
+        debug_assert_eq!(leaves.len(), bits.len().div_ceil(block_bits));
+        let n_blocks = bits.len().div_ceil(block_bits).max(1);
         let leaf_base = n_blocks.next_power_of_two();
         let mut tree = vec![Agg::NEUTRAL; 2 * leaf_base];
-        for b in 0..n_blocks {
-            let start = b * BLOCK_BITS;
-            let end = (start + BLOCK_BITS).min(bits.len());
-            let mut e = 0i32;
-            let mut mn = i32::MAX;
-            let mut mx = i32::MIN;
-            for i in start..end {
-                e += if bits.get(i) { 1 } else { -1 };
-                mn = mn.min(e);
-                mx = mx.max(e);
-            }
-            if start < end {
-                tree[leaf_base + b] = Agg { total: e, min: mn, max: mx };
-            }
-        }
+        tree[leaf_base..leaf_base + leaves.len()].copy_from_slice(&leaves);
         for v in (1..leaf_base).rev() {
             tree[v] = Agg::merge(tree[2 * v], tree[2 * v + 1]);
         }
@@ -92,7 +169,7 @@ impl Bp {
             "parentheses sequence is unbalanced (net excess {})",
             tree[1].total
         );
-        Bp { bits, tree, leaf_base, n_blocks }
+        Bp { bits, tree, leaf_base, n_blocks, block_bits }
     }
 
     /// Build directly from a boolean iterator (open = true).
@@ -230,21 +307,71 @@ impl Bp {
 
     // ---- excess searches ----------------------------------------------------
 
+    /// Scan bits `[from, end)` forward for the first `j` with running excess
+    /// `e == target` after consuming bit `j`. Returns `Ok(j)` or `Err(e)`
+    /// with the excess after the scan. Word-wise: one cursor fetch per word.
+    fn scan_fwd(
+        cur: &mut WordCursor<'_>,
+        from: usize,
+        end: usize,
+        mut e: i64,
+        target: i64,
+    ) -> Result<usize, i64> {
+        let mut j = from;
+        while j < end {
+            let take = (64 - j % 64).min(end - j);
+            let w = cur.word(j / 64) >> (j % 64);
+            for i in 0..take {
+                e += if (w >> i) & 1 == 1 { 1 } else { -1 };
+                if e == target {
+                    return Ok(j + i);
+                }
+            }
+            j += take;
+        }
+        Err(e)
+    }
+
+    /// Scan bits `[start, before)` backward for the largest `j` with excess
+    /// `e == target` after consuming bit `j` — `e` on entry is the excess
+    /// after bit `before - 1`. Returns `Ok(j)` or `Err(e)` with the excess
+    /// at the start of the range.
+    fn scan_bwd(
+        cur: &mut WordCursor<'_>,
+        start: usize,
+        before: usize,
+        mut e: i64,
+        target: i64,
+    ) -> Result<usize, i64> {
+        let mut j = before;
+        while j > start {
+            let word_start = (j - 1) / 64 * 64;
+            let low = word_start.max(start);
+            let w = cur.word(word_start / 64);
+            for pos in (low..j).rev() {
+                if e == target {
+                    return Ok(pos);
+                }
+                e -= if (w >> (pos - word_start)) & 1 == 1 { 1 } else { -1 };
+            }
+            j = low;
+        }
+        Err(e)
+    }
+
     /// Smallest `j >= from` with `excess(j+1) == target`.
     fn fwd_search(&self, from: usize, target: i64) -> Option<usize> {
         if from >= self.len() {
             return None;
         }
-        let block = from / BLOCK_BITS;
-        let block_end = ((block + 1) * BLOCK_BITS).min(self.len());
+        let mut cur = self.bits.cursor();
+        let block = from / self.block_bits;
+        let block_end = ((block + 1) * self.block_bits).min(self.len());
         // Scan the rest of the starting block.
-        let mut e = self.excess(from);
-        for j in from..block_end {
-            e += if self.bits.get(j) { 1 } else { -1 };
-            if e == target {
-                return Some(j);
-            }
-        }
+        let mut e = match Self::scan_fwd(&mut cur, from, block_end, self.excess(from), target) {
+            Ok(j) => return Some(j),
+            Err(e) => e,
+        };
         // Climb the range-min-max tree looking right.
         let mut v = self.leaf_base + block;
         loop {
@@ -274,15 +401,12 @@ impl Bp {
                     }
                 }
                 let b = v - self.leaf_base;
-                let start = b * BLOCK_BITS;
-                let end = (start + BLOCK_BITS).min(self.len());
-                for j in start..end {
-                    e += if self.bits.get(j) { 1 } else { -1 };
-                    if e == target {
-                        return Some(j);
-                    }
-                }
-                unreachable!("range-min-max tree said the block contains the target");
+                let start = b * self.block_bits;
+                let end = (start + self.block_bits).min(self.len());
+                return match Self::scan_fwd(&mut cur, start, end, e, target) {
+                    Ok(j) => Some(j),
+                    Err(_) => unreachable!("range-min-max tree said the block contains the target"),
+                };
             } else if a.min != i32::MAX {
                 e += a.total as i64;
             }
@@ -295,16 +419,16 @@ impl Bp {
         if before == 0 {
             return None;
         }
-        let block = (before - 1) / BLOCK_BITS;
-        let block_start = block * BLOCK_BITS;
-        // Scan leftwards through the starting block.
-        let mut e = self.excess(before); // excess after position before-1
-        for j in (block_start..before).rev() {
-            if e == target {
-                return Some(j);
-            }
-            e -= if self.bits.get(j) { 1 } else { -1 };
-        }
+        let mut cur = self.bits.cursor();
+        let block = (before - 1) / self.block_bits;
+        let block_start = block * self.block_bits;
+        // Scan leftwards through the starting block; excess(before) is the
+        // excess after position before-1.
+        let mut e = match Self::scan_bwd(&mut cur, block_start, before, self.excess(before), target)
+        {
+            Ok(j) => return Some(j),
+            Err(e) => e,
+        };
         // e is now the excess at the start of `block`.
         let mut v = self.leaf_base + block;
         loop {
@@ -340,15 +464,14 @@ impl Bp {
                         v *= 2;
                     }
                     let b = v - self.leaf_base;
-                    let start = b * BLOCK_BITS;
-                    let end = (start + BLOCK_BITS).min(self.len());
-                    for j in (start..end).rev() {
-                        if e == target {
-                            return Some(j);
+                    let start = b * self.block_bits;
+                    let end = (start + self.block_bits).min(self.len());
+                    return match Self::scan_bwd(&mut cur, start, end, e, target) {
+                        Ok(j) => Some(j),
+                        Err(_) => {
+                            unreachable!("range-min-max tree said the block contains the target")
                         }
-                        e -= if self.bits.get(j) { 1 } else { -1 };
-                    }
-                    unreachable!("range-min-max tree said the block contains the target");
+                    };
                 }
                 // Not in this subtree: rewind the excess past it and keep
                 // climbing leftwards.
@@ -426,9 +549,8 @@ mod tests {
         bits
     }
 
-    fn check_against_naive(bits: Vec<bool>) {
-        let naive = Naive { bits: bits.clone() };
-        let bp = Bp::from_bits(bits.iter().copied());
+    fn check_bp_against_naive(bp: &Bp, bits: &[bool]) {
+        let naive = Naive { bits: bits.to_vec() };
         for (p, &bit) in bits.iter().enumerate() {
             if bit {
                 let c = bp.find_close(p);
@@ -437,6 +559,16 @@ mod tests {
                 assert_eq!(bp.enclose(p), naive.enclose(p), "enclose({p})");
             }
         }
+    }
+
+    fn check_against_naive(bits: Vec<bool>) {
+        let bp = Bp::from_bits(bits.iter().copied());
+        check_bp_against_naive(&bp, &bits);
+        // The paged block size must navigate identically on the same bits.
+        let v = BitVec::from_bits(bits.iter().copied());
+        let leaves = Bp::build_leaves(&v, PAGED_BLOCK_BITS);
+        let paged_blocks = Bp::from_built_parts(v, leaves, PAGED_BLOCK_BITS);
+        check_bp_against_naive(&paged_blocks, &bits);
     }
 
     #[test]

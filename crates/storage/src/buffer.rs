@@ -1,0 +1,353 @@
+//! Pinning buffer pool with clock (second-chance) eviction.
+//!
+//! The paged storage layer (see `persist::page`) splits a document's raw
+//! byte sequences — parentheses words, tag ids, content arena — into fixed
+//! [`PAGE_BYTES`] frames on disk. A [`BufferPool`] caps how many of those
+//! frames are resident at once: every read goes through [`BufferPool::fetch`],
+//! which returns a [`PageRef`] pin guard. While a guard is alive the frame
+//! cannot be evicted; when the pool is over capacity a clock hand sweeps
+//! unpinned frames, giving each a second chance via its reference bit, the
+//! classic CLOCK approximation of LRU (the bustub `buffer/` idiom).
+//!
+//! Frames are keyed by `(file_uid, page_index)` where `file_uid` is unique
+//! per *open file object*, never reused for the lifetime of the process.
+//! That is what keeps MVCC snapshots safe: when a compaction renames a new
+//! generation over `pages.xqp`, readers of the old generation still hold the
+//! old [`PageFile`](crate::persist::page::PageFile) (and therefore the old
+//! POSIX inode) — an evicted old-generation page is re-fetched from the old
+//! file object under the old uid, never from the newer generation's bytes.
+//!
+//! The pool never blocks on pins: if every frame is pinned it temporarily
+//! overcommits (and counts that in [`BufferStats::overcommits`]) rather than
+//! deadlock. Page reads happen *outside* the pool lock, so a slow disk does
+//! not serialize unrelated fetches.
+
+use crate::persist::page::PageFile;
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Payload bytes per page; frames on disk add a 4-byte CRC (see
+/// [`crate::persist::page::FRAME_BYTES`]).
+pub const PAGE_BYTES: usize = 4096;
+
+/// A resident copy of one on-disk page.
+struct Frame {
+    data: Vec<u8>,
+    /// Number of live [`PageRef`] guards; only unpinned frames are evictable.
+    pins: AtomicU64,
+    /// Second-chance bit: set on every hit, cleared by the clock hand.
+    referenced: AtomicBool,
+}
+
+/// Live counters shared between the pool and its pin guards.
+#[derive(Default)]
+struct PoolCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    resident_peak: AtomicU64,
+    pinned_now: AtomicU64,
+    pinned_peak: AtomicU64,
+    overcommits: AtomicU64,
+}
+
+struct PoolInner {
+    frames: HashMap<(u64, u64), Arc<Frame>>,
+    /// Clock order; entries are lazily dropped when their frame is gone.
+    clock: Vec<(u64, u64)>,
+    hand: usize,
+}
+
+/// Snapshot of the pool's counters, surfaced through
+/// `Database::buffer_stats()` and the executor's `explain` footer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Configured frame capacity.
+    pub capacity: u64,
+    /// Frames resident right now.
+    pub resident: u64,
+    /// Fetches served from a resident frame.
+    pub hits: u64,
+    /// Fetches that had to read the page from disk.
+    pub misses: u64,
+    /// Frames dropped by the clock sweep.
+    pub evictions: u64,
+    /// High-water mark of resident frames (overcommit shows up here).
+    pub resident_peak: u64,
+    /// High-water mark of simultaneously pinned frames.
+    pub pinned_peak: u64,
+    /// Times the sweep found every frame pinned and grew past capacity
+    /// instead of blocking.
+    pub overcommits: u64,
+}
+
+/// Pin guard over one resident page. Derefs to the page's payload bytes;
+/// dropping it unpins the frame, making it evictable again.
+pub struct PageRef {
+    frame: Arc<Frame>,
+    counters: Arc<PoolCounters>,
+}
+
+impl Deref for PageRef {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.frame.data
+    }
+}
+
+impl Drop for PageRef {
+    fn drop(&mut self) {
+        self.frame.pins.fetch_sub(1, Ordering::Release);
+        self.counters.pinned_now.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Shared, thread-safe pool of page frames. See the module docs.
+pub struct BufferPool {
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+    counters: Arc<PoolCounters>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(f, "BufferPool({s:?})")
+    }
+}
+
+impl BufferPool {
+    /// A pool holding at most `pages` frames (minimum 2 — a single frame
+    /// cannot serve a fetch that straddles two pages).
+    pub fn new(pages: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool {
+            capacity: pages.max(2),
+            inner: Mutex::new(PoolInner { frames: HashMap::new(), clock: Vec::new(), hand: 0 }),
+            counters: Arc::new(PoolCounters::default()),
+        })
+    }
+
+    /// Configured capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        // A panic while holding the pool lock leaves only counters/frames in
+        // a consistent-enough state; recover rather than poison every reader.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn pin(&self, frame: &Arc<Frame>) {
+        frame.pins.fetch_add(1, Ordering::Acquire);
+        frame.referenced.store(true, Ordering::Relaxed);
+        let now = self.counters.pinned_now.fetch_add(1, Ordering::Relaxed) + 1;
+        self.counters.pinned_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Fetch `page` of `file`, pinning it for the lifetime of the returned
+    /// guard. Panics if the page cannot be read or fails its CRC — paged
+    /// navigation APIs are infallible, so detected on-disk corruption of a
+    /// sealed page is treated as fatal (see `PageFile::read_page_trusted`).
+    pub fn fetch(&self, file: &PageFile, page: u64) -> PageRef {
+        let key = (file.uid(), page);
+        if let Some(frame) = self.lock().frames.get(&key).cloned() {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            self.pin(&frame);
+            return PageRef { frame, counters: Arc::clone(&self.counters) };
+        }
+        // Miss: read outside the lock so disk latency never serializes the
+        // pool. Two racing readers of the same page both read; one insert
+        // wins and the duplicate copy is dropped.
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let data = file.read_page_trusted(page);
+        let mut inner = self.lock();
+        let frame = match inner.frames.get(&key) {
+            Some(f) => Arc::clone(f),
+            None => {
+                let f = Arc::new(Frame {
+                    data,
+                    pins: AtomicU64::new(0),
+                    referenced: AtomicBool::new(true),
+                });
+                inner.frames.insert(key, Arc::clone(&f));
+                inner.clock.push(key);
+                f
+            }
+        };
+        self.pin(&frame);
+        self.evict_to_capacity(&mut inner);
+        self.counters.resident_peak.fetch_max(inner.frames.len() as u64, Ordering::Relaxed);
+        drop(inner);
+        PageRef { frame, counters: Arc::clone(&self.counters) }
+    }
+
+    /// Clock sweep: evict unpinned frames (second chance via the reference
+    /// bit) until at or under capacity. If a full double sweep finds nothing
+    /// evictable, give up and overcommit rather than deadlock on pins.
+    fn evict_to_capacity(&self, inner: &mut PoolInner) {
+        let mut budget = inner.clock.len().saturating_mul(2);
+        while inner.frames.len() > self.capacity {
+            if budget == 0 {
+                self.counters.overcommits.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            budget -= 1;
+            if inner.clock.is_empty() {
+                break;
+            }
+            let pos = inner.hand % inner.clock.len();
+            let key = inner.clock[pos];
+            let Some(frame) = inner.frames.get(&key) else {
+                // Stale clock entry (purged file); drop it in place.
+                inner.clock.swap_remove(pos);
+                continue;
+            };
+            if frame.pins.load(Ordering::Acquire) > 0 {
+                inner.hand = pos + 1;
+                continue;
+            }
+            if frame.referenced.swap(false, Ordering::Relaxed) {
+                inner.hand = pos + 1;
+                continue;
+            }
+            inner.frames.remove(&key);
+            inner.clock.swap_remove(pos);
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every resident frame of `file_uid`. Called when a [`PageFile`]
+    /// is dropped so dead generations do not squat in the pool.
+    pub(crate) fn purge(&self, file_uid: u64) {
+        let mut inner = self.lock();
+        inner.frames.retain(|k, _| k.0 != file_uid);
+        inner.clock.retain(|k| k.0 != file_uid);
+        inner.hand = 0;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BufferStats {
+        let resident = self.lock().frames.len() as u64;
+        let c = &self.counters;
+        BufferStats {
+            capacity: self.capacity as u64,
+            resident,
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            resident_peak: c.resident_peak.load(Ordering::Relaxed),
+            pinned_peak: c.pinned_peak.load(Ordering::Relaxed),
+            overcommits: c.overcommits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::page::{write_paged_snapshot, PageFile};
+    use crate::succinct::SuccinctDoc;
+
+    fn paged_file(dir: &std::path::Path, items: usize) -> Arc<PageFile> {
+        let mut xml = String::from("<r>");
+        for i in 0..items {
+            xml.push_str(&format!("<item id=\"{i}\"><v>value-{i}-padding-padding</v></item>"));
+        }
+        xml.push_str("</r>");
+        let doc = SuccinctDoc::parse(&xml).unwrap();
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join("pages.xqp");
+        write_paged_snapshot(&path, &doc, 0).unwrap();
+        Arc::new(PageFile::open(&path).unwrap())
+    }
+
+    #[test]
+    fn hits_misses_and_cap_respected() {
+        let dir = tempdir();
+        let file = paged_file(&dir, 400);
+        let pool = BufferPool::new(4);
+        let n = file.page_count();
+        assert!(n > 8, "want >8 pages, got {n}");
+        for round in 0..3 {
+            for p in 0..n {
+                let g = pool.fetch(&file, p);
+                assert_eq!(g.len(), PAGE_BYTES);
+                drop(g);
+                let s = pool.stats();
+                assert!(s.resident <= s.capacity, "round {round}: {s:?}");
+            }
+        }
+        let s = pool.stats();
+        assert!(s.misses >= n, "{s:?}");
+        assert!(s.evictions > 0, "{s:?}");
+        assert!(s.resident_peak <= s.capacity, "{s:?}");
+        // Repeated full scans over a tiny pool mostly miss; a pool big
+        // enough to hold everything mostly hits.
+        let big = BufferPool::new(n as usize + 1);
+        for _ in 0..3 {
+            for p in 0..n {
+                drop(big.fetch(&file, p));
+            }
+        }
+        let sb = big.stats();
+        assert_eq!(sb.misses, n, "{sb:?}");
+        assert_eq!(sb.hits, 2 * n, "{sb:?}");
+        assert_eq!(sb.evictions, 0, "{sb:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pins_block_eviction_and_overcommit_counts() {
+        let dir = tempdir();
+        let file = paged_file(&dir, 400);
+        let pool = BufferPool::new(2);
+        let n = file.page_count();
+        assert!(n >= 6);
+        // Pin 4 pages at once in a pool of 2: the pool must overcommit, and
+        // no pinned page may be evicted (the guards must stay readable).
+        let guards: Vec<PageRef> = (0..4).map(|p| pool.fetch(&file, p)).collect();
+        let s = pool.stats();
+        assert!(s.resident >= 4, "{s:?}");
+        assert!(s.overcommits > 0, "{s:?}");
+        assert!(s.pinned_peak >= 4, "{s:?}");
+        for g in &guards {
+            assert_eq!(g.len(), PAGE_BYTES);
+        }
+        drop(guards);
+        // With pins released the next fetch sweeps back under capacity.
+        drop(pool.fetch(&file, 5));
+        let s = pool.stats();
+        assert!(s.resident <= s.capacity, "{s:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn purge_removes_only_that_file() {
+        let dir = tempdir();
+        let f1 = paged_file(&dir.join("a"), 100);
+        let f2 = paged_file(&dir.join("b"), 100);
+        let pool = BufferPool::new(64);
+        drop(pool.fetch(&f1, 0));
+        drop(pool.fetch(&f2, 0));
+        assert_eq!(pool.stats().resident, 2);
+        pool.purge(f1.uid());
+        assert_eq!(pool.stats().resident, 1);
+        // f2's frame is still a hit.
+        drop(pool.fetch(&f2, 0));
+        assert_eq!(pool.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn tempdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "xqp-buffer-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+}

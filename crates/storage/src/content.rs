@@ -5,11 +5,35 @@
 //! structure is what lets the engine scan structure without touching
 //! variable-length data, and lets content indexes (B+-trees) be built over
 //! this store alone (§4.2).
+//!
+//! The arena is either resident (one `String`) or paged — raw UTF-8 bytes
+//! fetched on demand from a [`PageFile`](crate::persist::page::PageFile)
+//! section through the buffer pool. The span table is always resident (8
+//! bytes per content string). [`ContentStore::get`] therefore returns a
+//! [`Cow`]: borrowed from the resident arena, assembled across page frames
+//! otherwise.
+
+use crate::buffer::{BufferPool, PAGE_BYTES};
+use crate::persist::page::PageFile;
+use std::borrow::Cow;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Arena {
+    Resident(String),
+    Paged { pool: Arc<BufferPool>, file: Arc<PageFile>, first_page: u64, byte_len: usize },
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena::Resident(String::new())
+    }
+}
 
 /// Append-only string arena addressed by content rank.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ContentStore {
-    arena: String,
+    arena: Arena,
     spans: Vec<(u32, u32)>,
 }
 
@@ -19,21 +43,82 @@ impl ContentStore {
         Self::default()
     }
 
+    /// Wrap an already-assembled arena and span table (the paged read path
+    /// validates spans and UTF-8 before calling this).
+    pub(crate) fn from_arena_spans(arena: String, spans: Vec<(u32, u32)>) -> Self {
+        ContentStore { arena: Arena::Resident(arena), spans }
+    }
+
+    /// A store whose arena bytes live in `file` starting at `first_page`,
+    /// fetched through `pool`. Spans must already be validated against
+    /// `byte_len`.
+    pub(crate) fn paged(
+        pool: Arc<BufferPool>,
+        file: Arc<PageFile>,
+        first_page: u64,
+        byte_len: usize,
+        spans: Vec<(u32, u32)>,
+    ) -> Self {
+        ContentStore { arena: Arena::Paged { pool, file, first_page, byte_len }, spans }
+    }
+
+    /// True if the arena lives behind the buffer pool.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.arena, Arena::Paged { .. })
+    }
+
     /// Append one content string; returns its content rank.
+    ///
+    /// # Panics
+    /// Panics on a paged store — paged arenas are immutable; updates splice
+    /// into a fresh resident store.
     pub fn push(&mut self, s: &str) -> usize {
-        let off = self.arena.len() as u32;
-        self.arena.push_str(s);
+        let Arena::Resident(arena) = &mut self.arena else {
+            panic!("push on a paged content store");
+        };
+        let off = arena.len() as u32;
+        arena.push_str(s);
         self.spans.push((off, s.len() as u32));
         self.spans.len() - 1
     }
 
-    /// The content string at `rank`.
+    /// The content string at `rank`: borrowed when resident, assembled from
+    /// page frames when paged.
     ///
     /// # Panics
-    /// Panics if `rank` is out of bounds.
-    pub fn get(&self, rank: usize) -> &str {
+    /// Panics if `rank` is out of bounds, or (paged) if the stored bytes are
+    /// not valid UTF-8 — the writer only emits valid UTF-8 and every frame
+    /// is CRC-sealed, so that indicates corruption the CRC missed.
+    pub fn get(&self, rank: usize) -> Cow<'_, str> {
         let (off, len) = self.spans[rank];
-        &self.arena[off as usize..(off + len) as usize]
+        match &self.arena {
+            Arena::Resident(arena) => Cow::Borrowed(&arena[off as usize..(off + len) as usize]),
+            Arena::Paged { .. } => {
+                let mut bytes = Vec::with_capacity(len as usize);
+                self.arena_bytes(off as usize, len as usize, &mut |chunk| {
+                    bytes.extend_from_slice(chunk)
+                });
+                Cow::Owned(String::from_utf8(bytes).expect("paged content span is not valid UTF-8"))
+            }
+        }
+    }
+
+    /// Walk `len` arena bytes starting at `off`, chunk by chunk.
+    fn arena_bytes(&self, off: usize, len: usize, f: &mut impl FnMut(&[u8])) {
+        let Arena::Paged { pool, file, first_page, byte_len } = &self.arena else {
+            unreachable!("arena_bytes is only called on paged stores");
+        };
+        assert!(off + len <= *byte_len, "arena range escapes the section");
+        let mut pos = off;
+        let end = off + len;
+        while pos < end {
+            let page = first_page + (pos / PAGE_BYTES) as u64;
+            let in_page = pos % PAGE_BYTES;
+            let take = (PAGE_BYTES - in_page).min(end - pos);
+            let guard = pool.fetch(file, page);
+            f(&guard[in_page..in_page + take]);
+            pos += take;
+        }
     }
 
     /// Number of stored strings.
@@ -46,33 +131,86 @@ impl ContentStore {
         self.spans.is_empty()
     }
 
+    /// Total arena bytes (meaningful bytes, not page-padded).
+    pub fn arena_len(&self) -> usize {
+        match &self.arena {
+            Arena::Resident(arena) => arena.len(),
+            Arena::Paged { byte_len, .. } => *byte_len,
+        }
+    }
+
+    /// The `(offset, len)` span table, in rank order.
+    pub fn spans(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.spans.iter().copied()
+    }
+
+    /// Stream the raw arena bytes through `f` in order, one chunk at a time
+    /// (at most a page per chunk when paged; one chunk when resident) — the
+    /// serialization path, which must not materialize a paged arena whole.
+    pub fn for_each_arena_chunk<E>(
+        &self,
+        f: &mut impl FnMut(&[u8]) -> Result<(), E>,
+    ) -> Result<(), E> {
+        match &self.arena {
+            Arena::Resident(arena) => {
+                if !arena.is_empty() {
+                    f(arena.as_bytes())?;
+                }
+                Ok(())
+            }
+            Arena::Paged { byte_len, .. } => {
+                let mut pending = Ok(());
+                self.arena_bytes(0, *byte_len, &mut |chunk| {
+                    if pending.is_ok() {
+                        pending = f(chunk);
+                    }
+                });
+                pending
+            }
+        }
+    }
+
     /// Iterate `(rank, text)`.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Cow<'_, str>)> {
         (0..self.spans.len()).map(move |r| (r, self.get(r)))
     }
 
     /// Rebuild the store keeping only ranks where `keep(rank)` is true and
     /// splicing `inserted` strings at `at` (in rank space). Returns the store
     /// used by subtree updates: content is re-packed so spans stay compact.
+    /// Always produces a resident store, even from a paged source.
     pub fn splice(&self, at: usize, removed: usize, inserted: &[&str]) -> ContentStore {
         let mut out = ContentStore::new();
         for r in 0..at {
-            out.push(self.get(r));
+            out.push(&self.get(r));
         }
         for s in inserted {
             out.push(s);
         }
         for r in at + removed..self.len() {
-            out.push(self.get(r));
+            out.push(&self.get(r));
         }
         out
     }
 
-    /// Heap bytes used (arena + spans).
+    /// Heap bytes held resident (arena + spans; a paged arena keeps only
+    /// its spans resident).
     pub fn heap_bytes(&self) -> usize {
-        self.arena.len() + self.spans.len() * 8
+        let arena = match &self.arena {
+            Arena::Resident(a) => a.len(),
+            Arena::Paged { .. } => 0,
+        };
+        arena + self.spans.len() * 8
     }
 }
+
+impl PartialEq for ContentStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for ContentStore {}
 
 #[cfg(test)]
 mod tests {
@@ -88,6 +226,7 @@ mod tests {
         assert_eq!(c.get(b), "");
         assert_eq!(c.get(d), "wörld");
         assert_eq!(c.len(), 3);
+        assert_eq!(c.arena_len(), "hello".len() + "wörld".len());
     }
 
     #[test]
@@ -95,8 +234,8 @@ mod tests {
         let mut c = ContentStore::new();
         c.push("a");
         c.push("b");
-        let v: Vec<(usize, &str)> = c.iter().collect();
-        assert_eq!(v, [(0, "a"), (1, "b")]);
+        let v: Vec<(usize, Cow<'_, str>)> = c.iter().collect();
+        assert_eq!(v, [(0, Cow::Borrowed("a")), (1, Cow::Borrowed("b"))]);
     }
 
     #[test]
@@ -106,7 +245,7 @@ mod tests {
             c.push(s);
         }
         let out = c.splice(1, 2, &["X", "Y", "Z"]);
-        let v: Vec<&str> = out.iter().map(|(_, s)| s).collect();
+        let v: Vec<String> = out.iter().map(|(_, s)| s.into_owned()).collect();
         assert_eq!(v, ["a", "X", "Y", "Z", "d"]);
     }
 
@@ -115,11 +254,25 @@ mod tests {
         let mut c = ContentStore::new();
         c.push("m");
         let front = c.splice(0, 0, &["f"]);
-        assert_eq!(front.iter().map(|(_, s)| s).collect::<Vec<_>>(), ["f", "m"]);
+        assert_eq!(front.iter().map(|(_, s)| s.into_owned()).collect::<Vec<_>>(), ["f", "m"]);
         let back = c.splice(1, 0, &["b"]);
-        assert_eq!(back.iter().map(|(_, s)| s).collect::<Vec<_>>(), ["m", "b"]);
+        assert_eq!(back.iter().map(|(_, s)| s.into_owned()).collect::<Vec<_>>(), ["m", "b"]);
         let gone = c.splice(0, 1, &[]);
         assert!(gone.is_empty());
+    }
+
+    #[test]
+    fn arena_streams_in_one_resident_chunk() {
+        let mut c = ContentStore::new();
+        c.push("ab");
+        c.push("cd");
+        let mut seen = Vec::new();
+        c.for_each_arena_chunk::<()>(&mut |chunk| {
+            seen.extend_from_slice(chunk);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, b"abcd");
     }
 
     #[test]

@@ -53,7 +53,9 @@ impl ValueIndex {
         let mut entries = 0usize;
         for n in (0..doc.node_count() as u32).map(SNodeId) {
             let (tag, value): (TagId, String) = match doc.kind(n) {
-                SKind::Attribute => (doc.tag(n), doc.content(n).unwrap_or_default().to_string()),
+                SKind::Attribute => {
+                    (doc.tag(n), doc.content(n).map(|c| c.into_owned()).unwrap_or_default())
+                }
                 SKind::Element => (doc.tag(n), doc.string_value(n)),
                 SKind::Text => continue,
             };

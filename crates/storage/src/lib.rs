@@ -28,6 +28,7 @@
 pub mod bitvec;
 pub mod bp;
 pub mod btree;
+pub mod buffer;
 pub mod content;
 pub mod index;
 pub mod interval;
@@ -41,6 +42,7 @@ pub mod update;
 pub use bitvec::BitVec;
 pub use bp::Bp;
 pub use btree::BPlusTree;
+pub use buffer::{BufferPool, BufferStats, PageRef, PAGE_BYTES};
 pub use index::ValueIndex;
 pub use interval::{Interval, TagStreams};
 pub use persist::{DocStore, PersistError, ReplayReport, StoreCounters, WalOp};

@@ -17,6 +17,10 @@
 //!   and implements compaction: fold the WAL into a fresh snapshot, then
 //!   reset the log. A generation stamp shared by both file headers closes
 //!   the crash window between those two steps.
+//! * [`page`] — the paged alternative to [`snapshot`]: the document laid out
+//!   in fixed 4 KiB pages, each sealed with a position-bound CRC, so a
+//!   [`BufferPool`](crate::buffer::BufferPool) can fault in only the pages
+//!   navigation touches and documents larger than RAM stay queryable.
 //! * [`format`] — the shared framing/CRC primitives and [`PersistError`].
 //! * [`failpoint`] — a thread-local I/O fault-injection layer every file
 //!   operation in this module routes through; the torture harness arms it
@@ -30,15 +34,20 @@
 
 pub mod failpoint;
 pub mod format;
+pub mod page;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use failpoint::{FaultKind, IoOp};
 pub use format::{crc32, PersistError, Reader};
-pub use snapshot::{
-    decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, SNAPSHOT_MAGIC,
-    SNAPSHOT_VERSION,
+pub use page::{
+    open_paged, paged_generation, read_paged_resident, spill_paged, write_paged_snapshot, PageFile,
+    PageMeta, FRAME_BYTES, PAGED_MAGIC, PAGED_VERSION,
 };
-pub use store::{DocStore, StoreCounters, SNAPSHOT_FILE, WAL_FILE};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, read_snapshot, snapshot_generation, write_snapshot,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+pub use store::{DocStore, StoreCounters, PAGED_FILE, SNAPSHOT_FILE, WAL_FILE};
 pub use wal::{apply_op, ReplayReport, Wal, WalOp, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION};

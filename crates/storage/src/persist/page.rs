@@ -1,0 +1,835 @@
+//! Page-granular snapshot format: fixed-size CRC-sealed frames.
+//!
+//! The monolithic [`snapshot`](super::snapshot) format serializes a whole
+//! document as one CRC-sealed blob — reading any of it means reading all of
+//! it. This module stores the same logical content as fixed [`PAGE_BYTES`]
+//! frames so a [`BufferPool`](crate::buffer::BufferPool) can keep only a
+//! bounded working set resident (ROADMAP item 2: documents bigger than RAM).
+//!
+//! ## File layout
+//!
+//! ```text
+//! frame k at byte offset k * FRAME_BYTES, FRAME_BYTES = PAGE_BYTES + 4
+//! frame  = payload[PAGE_BYTES] ++ crc32(payload ++ k as u64 LE)
+//! ```
+//!
+//! The CRC covers the page *index* as well as the payload, so a frame that
+//! is byte-identical but lands at the wrong offset (misdirected write) fails
+//! verification. Frame 0 is the meta page:
+//!
+//! ```text
+//! magic "XQPPAGE1" | version u32 | generation u64 | page_count u64
+//! node_count u64   | structure_bits u64 | content_count u64
+//! 7 x section { first_page u64, byte_len u64 }
+//! ```
+//!
+//! Sections (parentheses words, is-attr words, has-content words, tag ids,
+//! content arena bytes, content spans, tag table) are page-aligned, so a
+//! u64 word or u32 tag id never straddles a frame. The file is written to a
+//! temp sibling, fsynced, then renamed into place — same atomic-publish
+//! discipline as the monolithic snapshot, same failpoint instrumentation.
+//!
+//! ## Fault injection scope
+//!
+//! Writing and *opening* a page file route every I/O through
+//! [`failpoint`](super::failpoint) and return typed errors. Steady-state
+//! page fetches through the buffer pool use [`PageFile::read_page_trusted`],
+//! which skips fault injection (navigation APIs are infallible) but still
+//! verifies the CRC: corruption of a sealed page is detected and fatal.
+
+use super::failpoint::{self, IoOp};
+use super::format::{self, PersistError, Reader, Result};
+use crate::bitvec::{BitVec, DirectoryBuilder};
+use crate::bp::{AggBuilder, Bp, PAGED_BLOCK_BITS};
+use crate::buffer::{BufferPool, PAGE_BYTES};
+use crate::content::ContentStore;
+use crate::succinct::SuccinctDoc;
+use crate::tags::{TagId, TagTable, TagVec};
+use std::fs::{self, File};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Magic for the paged snapshot format.
+pub const PAGED_MAGIC: [u8; 8] = *b"XQPPAGE1";
+/// Format version.
+pub const PAGED_VERSION: u32 = 1;
+/// On-disk frame size: payload plus trailing CRC.
+pub const FRAME_BYTES: usize = PAGE_BYTES + 4;
+
+/// Section indexes into [`PageMeta::sections`].
+pub const SEC_STRUCTURE: usize = 0;
+pub const SEC_IS_ATTR: usize = 1;
+pub const SEC_HAS_CONTENT: usize = 2;
+pub const SEC_TAGS: usize = 3;
+pub const SEC_ARENA: usize = 4;
+pub const SEC_SPANS: usize = 5;
+pub const SEC_TAG_TABLE: usize = 6;
+const SECTION_COUNT: usize = 7;
+
+/// Where one logical section lives in the file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Section {
+    /// First frame of the section (sections are page-aligned).
+    pub first_page: u64,
+    /// Meaningful bytes; the last frame is zero-padded past this.
+    pub byte_len: u64,
+}
+
+/// Decoded meta page (frame 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageMeta {
+    pub generation: u64,
+    pub page_count: u64,
+    pub node_count: u64,
+    pub structure_bits: u64,
+    pub content_count: u64,
+    pub sections: [Section; SECTION_COUNT],
+}
+
+static NEXT_FILE_UID: AtomicU64 = AtomicU64::new(1);
+
+/// An open paged snapshot. Holds the file descriptor for the generation it
+/// was opened against: even after a newer generation is renamed over the
+/// same path, reads through this object keep seeing the old inode (POSIX),
+/// which is what makes eviction safe for pinned MVCC snapshots.
+pub struct PageFile {
+    file: File,
+    path: PathBuf,
+    uid: u64,
+    meta: PageMeta,
+    unlink_on_drop: AtomicBool,
+    pool: Mutex<Weak<BufferPool>>,
+}
+
+impl std::fmt::Debug for PageFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageFile({:?}, uid={}, pages={})", self.path, self.uid, self.meta.page_count)
+    }
+}
+
+impl PageFile {
+    /// Open `path`, read and verify the meta frame. Fault-injected.
+    pub fn open(path: &Path) -> Result<PageFile> {
+        failpoint::check(IoOp::Open)?;
+        let file = File::open(path)?;
+        let flen = file.metadata()?.len();
+        if flen % FRAME_BYTES as u64 != 0 {
+            return Err(PersistError::Format(format!(
+                "page file length {flen} is not a whole number of {FRAME_BYTES}-byte frames"
+            )));
+        }
+        let mut pf = PageFile {
+            file,
+            path: path.to_path_buf(),
+            uid: NEXT_FILE_UID.fetch_add(1, Ordering::Relaxed),
+            meta: PageMeta {
+                generation: 0,
+                page_count: flen / FRAME_BYTES as u64,
+                node_count: 0,
+                structure_bits: 0,
+                content_count: 0,
+                sections: [Section::default(); SECTION_COUNT],
+            },
+            unlink_on_drop: AtomicBool::new(false),
+            pool: Mutex::new(Weak::new()),
+        };
+        if pf.meta.page_count == 0 {
+            return Err(PersistError::Format("page file has no meta frame".into()));
+        }
+        let meta_payload = pf.read_page_checked(0)?;
+        let meta = decode_meta(&meta_payload)?;
+        if meta.page_count != flen / FRAME_BYTES as u64 {
+            return Err(PersistError::Format(format!(
+                "meta page says {} frames but the file holds {}",
+                meta.page_count,
+                flen / FRAME_BYTES as u64
+            )));
+        }
+        pf.meta = meta;
+        Ok(pf)
+    }
+
+    /// Process-unique identity of this open file object; the buffer pool's
+    /// frame key. Never reused, so frames of a closed generation can never
+    /// be mistaken for frames of a newer one.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Decoded meta page.
+    pub fn meta(&self) -> &PageMeta {
+        &self.meta
+    }
+
+    /// Total frames including the meta frame.
+    pub fn page_count(&self) -> u64 {
+        self.meta.page_count
+    }
+
+    /// Register the pool whose frames should be purged when this file
+    /// object drops (dead generations must not squat in the pool).
+    pub fn attach_pool(&self, pool: &Arc<BufferPool>) {
+        *self.pool.lock().unwrap_or_else(|e| e.into_inner()) = Arc::downgrade(pool);
+    }
+
+    /// Delete the underlying file when the last reference drops — used for
+    /// spill files backing in-memory paged documents.
+    pub fn set_unlink_on_drop(&self) {
+        self.unlink_on_drop.store(true, Ordering::Relaxed);
+    }
+
+    fn read_frame(&self, page: u64) -> Result<Vec<u8>> {
+        if page >= self.meta.page_count {
+            return Err(PersistError::Format(format!(
+                "page {page} out of range (file has {})",
+                self.meta.page_count
+            )));
+        }
+        let mut frame = vec![0u8; FRAME_BYTES];
+        self.file.read_exact_at(&mut frame, page * FRAME_BYTES as u64)?;
+        let stored = u32::from_le_bytes(frame[PAGE_BYTES..].try_into().unwrap());
+        let mut sealed = Vec::with_capacity(PAGE_BYTES + 8);
+        sealed.extend_from_slice(&frame[..PAGE_BYTES]);
+        sealed.extend_from_slice(&page.to_le_bytes());
+        if format::crc32(&sealed) != stored {
+            return Err(PersistError::Format(format!(
+                "page {page} of {:?} failed its CRC",
+                self.path
+            )));
+        }
+        frame.truncate(PAGE_BYTES);
+        Ok(frame)
+    }
+
+    /// Read one page's payload with fault injection — the open/validate
+    /// path, where callers can surface a typed error.
+    pub(crate) fn read_page_checked(&self, page: u64) -> Result<Vec<u8>> {
+        failpoint::check(IoOp::Read)?;
+        self.read_frame(page)
+    }
+
+    /// Read one page's payload for the buffer pool. Not fault-injected
+    /// (steady-state navigation is infallible by API); CRC is still
+    /// verified and a bad page is a panic, not silent corruption.
+    pub(crate) fn read_page_trusted(&self, page: u64) -> Vec<u8> {
+        self.read_frame(page).unwrap_or_else(|e| {
+            panic!("paged storage: unreadable page {page} in {:?}: {e}", self.path)
+        })
+    }
+}
+
+impl Drop for PageFile {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).upgrade() {
+            pool.purge(self.uid);
+        }
+        if self.unlink_on_drop.load(Ordering::Relaxed) {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+fn decode_meta(payload: &[u8]) -> Result<PageMeta> {
+    let mut r = Reader::new(payload);
+    r.expect_magic(&PAGED_MAGIC)?;
+    let version = r.u32("paged version")?;
+    if version != PAGED_VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported paged snapshot version {version} (expected {PAGED_VERSION})"
+        )));
+    }
+    let generation = r.u64("generation")?;
+    let page_count = r.u64("page count")?;
+    let node_count = r.u64("node count")?;
+    let structure_bits = r.u64("structure bits")?;
+    let content_count = r.u64("content count")?;
+    let mut sections = [Section::default(); SECTION_COUNT];
+    for (i, s) in sections.iter_mut().enumerate() {
+        s.first_page = r.u64(&format!("section {i} first page"))?;
+        s.byte_len = r.u64(&format!("section {i} byte length"))?;
+        let pages = s.byte_len.div_ceil(PAGE_BYTES as u64);
+        if s.byte_len > 0 && (s.first_page == 0 || s.first_page + pages > page_count) {
+            return Err(PersistError::Format(format!(
+                "section {i} [{}..+{} pages] escapes the file ({page_count} frames)",
+                s.first_page, pages
+            )));
+        }
+    }
+    Ok(PageMeta { generation, page_count, node_count, structure_bits, content_count, sections })
+}
+
+fn encode_meta(meta: &PageMeta) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    out.extend_from_slice(&PAGED_MAGIC);
+    format::put_u32(&mut out, PAGED_VERSION);
+    format::put_u64(&mut out, meta.generation);
+    format::put_u64(&mut out, meta.page_count);
+    format::put_u64(&mut out, meta.node_count);
+    format::put_u64(&mut out, meta.structure_bits);
+    format::put_u64(&mut out, meta.content_count);
+    for s in &meta.sections {
+        format::put_u64(&mut out, s.first_page);
+        format::put_u64(&mut out, s.byte_len);
+    }
+    out
+}
+
+// ---- writing ----------------------------------------------------------------
+
+/// Accumulates section bytes and flushes full CRC-sealed frames.
+struct FrameSink {
+    file: File,
+    buf: Vec<u8>,
+    next_page: u64,
+}
+
+impl FrameSink {
+    fn flush_frame(&mut self) -> Result<()> {
+        debug_assert!(self.buf.len() >= PAGE_BYTES);
+        let mut frame = Vec::with_capacity(FRAME_BYTES);
+        frame.extend_from_slice(&self.buf[..PAGE_BYTES]);
+        let mut sealed = frame.clone();
+        sealed.extend_from_slice(&self.next_page.to_le_bytes());
+        frame.extend_from_slice(&format::crc32(&sealed).to_le_bytes());
+        failpoint::write_all(&mut self.file, &frame)?;
+        self.buf.drain(..PAGE_BYTES);
+        self.next_page += 1;
+        Ok(())
+    }
+
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        self.buf.extend_from_slice(bytes);
+        while self.buf.len() >= PAGE_BYTES {
+            self.flush_frame()?;
+        }
+        Ok(())
+    }
+
+    /// Zero-pad to the next page boundary (sections are page-aligned).
+    fn pad_section(&mut self) -> Result<()> {
+        if !self.buf.is_empty() {
+            self.buf.resize(PAGE_BYTES, 0);
+            self.flush_frame()?;
+        }
+        Ok(())
+    }
+}
+
+fn section_pages(byte_len: u64) -> u64 {
+    byte_len.div_ceil(PAGE_BYTES as u64)
+}
+
+fn words_bytes(bits: usize) -> u64 {
+    (bits.div_ceil(64) * 8) as u64
+}
+
+fn tag_table_bytes(table: &TagTable) -> u64 {
+    4 + table.names().map(|name| 4 + name.len() as u64).sum::<u64>()
+}
+
+/// Serialize `doc` into a paged snapshot at `path`, atomically (temp file,
+/// fsync, rename, directory fsync). Works for resident *and* paged source
+/// documents — sections are streamed, never materialized whole. Returns the
+/// bytes written.
+pub fn write_paged_snapshot(path: &Path, doc: &SuccinctDoc, generation: u64) -> Result<u64> {
+    let bits = doc.bp().bits();
+    let node_count = doc.node_count();
+    let content = doc.content_store();
+    let table = doc.tag_table();
+
+    let byte_lens: [u64; SECTION_COUNT] = [
+        words_bytes(bits.len()),
+        words_bytes(node_count),
+        words_bytes(node_count),
+        (node_count * 4) as u64,
+        content.arena_len() as u64,
+        (content.len() * 8) as u64,
+        tag_table_bytes(table),
+    ];
+    let mut sections = [Section::default(); SECTION_COUNT];
+    let mut next = 1u64;
+    for (i, &len) in byte_lens.iter().enumerate() {
+        sections[i] = Section { first_page: next, byte_len: len };
+        next += section_pages(len);
+    }
+    let meta = PageMeta {
+        generation,
+        page_count: next,
+        node_count: node_count as u64,
+        structure_bits: bits.len() as u64,
+        content_count: content.len() as u64,
+        sections,
+    };
+
+    let tmp = path.with_extension("xqp.tmp");
+    failpoint::check(IoOp::Create)?;
+    let file = File::create(&tmp)?;
+    let mut sink = FrameSink { file, buf: Vec::with_capacity(2 * PAGE_BYTES), next_page: 0 };
+
+    // Frame 0: meta.
+    sink.push(&encode_meta(&meta))?;
+    sink.pad_section()?;
+    // Structure, is-attr, has-content words.
+    for w in bits.iter_words() {
+        sink.push(&w.to_le_bytes())?;
+    }
+    sink.pad_section()?;
+    for w in doc.raw_is_attr().iter_words() {
+        sink.push(&w.to_le_bytes())?;
+    }
+    sink.pad_section()?;
+    for w in doc.raw_has_content().iter_words() {
+        sink.push(&w.to_le_bytes())?;
+    }
+    sink.pad_section()?;
+    // Tag ids.
+    for t in doc.raw_tags().iter() {
+        sink.push(&t.0.to_le_bytes())?;
+    }
+    sink.pad_section()?;
+    // Content arena + spans.
+    content.for_each_arena_chunk(&mut |chunk| sink.push(chunk))?;
+    sink.pad_section()?;
+    for (off, len) in content.spans() {
+        sink.push(&off.to_le_bytes())?;
+        sink.push(&len.to_le_bytes())?;
+    }
+    sink.pad_section()?;
+    // Tag table, in id order.
+    let mut tt = Vec::new();
+    format::put_u32(&mut tt, table.len() as u32);
+    for name in table.names() {
+        format::put_str(&mut tt, name);
+    }
+    sink.push(&tt)?;
+    sink.pad_section()?;
+    debug_assert!(sink.buf.is_empty());
+    debug_assert_eq!(sink.next_page, meta.page_count);
+
+    failpoint::check(IoOp::Fsync)?;
+    sink.file.sync_all()?;
+    drop(sink);
+    failpoint::check(IoOp::Rename)?;
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(meta.page_count * FRAME_BYTES as u64)
+}
+
+// ---- reading ----------------------------------------------------------------
+
+/// Stream a section's meaningful bytes through `f`, one page-sized chunk at
+/// a time. Fault-injected (open path).
+fn stream_section(
+    file: &PageFile,
+    sec: usize,
+    f: &mut dyn FnMut(&[u8]) -> Result<()>,
+) -> Result<()> {
+    let s = file.meta().sections[sec];
+    let mut remaining = s.byte_len as usize;
+    let mut page = s.first_page;
+    while remaining > 0 {
+        let data = file.read_page_checked(page)?;
+        let take = remaining.min(PAGE_BYTES);
+        f(&data[..take])?;
+        remaining -= take;
+        page += 1;
+    }
+    Ok(())
+}
+
+fn collect_section(file: &PageFile, sec: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(file.meta().sections[sec].byte_len as usize);
+    stream_section(file, sec, &mut |chunk| {
+        out.extend_from_slice(chunk);
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+fn le_words(bytes: &[u8]) -> impl Iterator<Item = u64> + '_ {
+    bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+}
+
+/// Shared validation + directory build over the structure section. Returns
+/// `(super_ranks, ones, leaf aggregates)` for the requested block size.
+fn scan_structure(
+    file: &PageFile,
+    block_bits: usize,
+) -> Result<(Vec<u64>, u64, Vec<crate::bp::Agg>)> {
+    let len = file.meta().structure_bits as usize;
+    let mut dir = DirectoryBuilder::new(len);
+    let mut aggs = AggBuilder::new(block_bits, len);
+    let mut excess: i64 = 0;
+    let mut seen: usize = 0;
+    stream_section(file, SEC_STRUCTURE, &mut |chunk| {
+        for w in le_words(chunk) {
+            let bits_here = (len - seen).min(64);
+            if bits_here == 0 {
+                break;
+            }
+            // The writer masks unused tail bits to zero; mask again so a
+            // hand-corrupted tail cannot inflate rank counts.
+            let w = if bits_here == 64 { w } else { w & ((1u64 << bits_here) - 1) };
+            for b in 0..bits_here {
+                if w >> b & 1 == 1 {
+                    excess += 1;
+                } else {
+                    excess -= 1;
+                }
+                if excess < 0 {
+                    return Err(PersistError::Format(format!(
+                        "structure bit {}: close parenthesis before open",
+                        seen + b
+                    )));
+                }
+                if excess == 0 && seen + b + 1 != len {
+                    return Err(PersistError::Format(format!(
+                        "structure bit {}: parentheses close early (not a single tree)",
+                        seen + b
+                    )));
+                }
+            }
+            dir.push_word(w, bits_here);
+            aggs.push_word(w, bits_here);
+            seen += bits_here;
+        }
+        Ok(())
+    })?;
+    if seen != len {
+        return Err(PersistError::Format(format!(
+            "structure section holds {seen} bits, meta says {len}"
+        )));
+    }
+    if len > 0 && excess != 0 {
+        return Err(PersistError::Format(format!(
+            "structure parentheses are unbalanced (final excess {excess})"
+        )));
+    }
+    let (super_ranks, ones) = dir.finish();
+    Ok((super_ranks, ones, aggs.finish()))
+}
+
+fn decode_tag_table(bytes: &[u8]) -> Result<TagTable> {
+    let mut r = Reader::new(bytes);
+    let count = r.u32("tag table count")? as usize;
+    let mut table = TagTable::new();
+    for i in 0..count {
+        let name = r.len_str("tag name")?;
+        let id = table.intern(name);
+        if id.0 as usize != i {
+            return Err(PersistError::Format(format!(
+                "tag table entry {i} ({name:?}) is out of order or duplicated"
+            )));
+        }
+    }
+    if r.remaining() != 0 {
+        return Err(PersistError::Format(format!(
+            "{} trailing bytes after the tag table",
+            r.remaining()
+        )));
+    }
+    Ok(table)
+}
+
+fn decode_spans(bytes: &[u8], count: usize, arena_len: u64) -> Result<Vec<(u32, u32)>> {
+    if bytes.len() != count * 8 {
+        return Err(PersistError::Format(format!(
+            "span section holds {} bytes, expected {} for {count} contents",
+            bytes.len(),
+            count * 8
+        )));
+    }
+    let mut spans = Vec::with_capacity(count);
+    for (i, pair) in bytes.chunks_exact(8).enumerate() {
+        let off = u32::from_le_bytes(pair[..4].try_into().unwrap());
+        let len = u32::from_le_bytes(pair[4..].try_into().unwrap());
+        if off as u64 + len as u64 > arena_len {
+            return Err(PersistError::Format(format!(
+                "content span {i} [{off}..+{len}] escapes the {arena_len}-byte arena"
+            )));
+        }
+        spans.push((off, len));
+    }
+    Ok(spans)
+}
+
+/// Everything both read paths share after the meta page: small resident
+/// sections, decoded and validated.
+struct CommonParts {
+    is_attr: BitVec,
+    has_content: BitVec,
+    spans: Vec<(u32, u32)>,
+    table: TagTable,
+}
+
+fn read_common(file: &PageFile) -> Result<CommonParts> {
+    let meta = file.meta();
+    let n = meta.node_count as usize;
+    if meta.structure_bits != 2 * meta.node_count {
+        return Err(PersistError::Format(format!(
+            "meta: {} structure bits for {} nodes (expected exactly 2 per node)",
+            meta.structure_bits, meta.node_count
+        )));
+    }
+    let is_attr_bytes = collect_section(file, SEC_IS_ATTR)?;
+    if is_attr_bytes.len() as u64 != words_bytes(n) {
+        return Err(PersistError::Format("is-attr section has the wrong length".into()));
+    }
+    let is_attr = BitVec::from_words(le_words(&is_attr_bytes).collect(), n);
+    let has_bytes = collect_section(file, SEC_HAS_CONTENT)?;
+    if has_bytes.len() as u64 != words_bytes(n) {
+        return Err(PersistError::Format("has-content section has the wrong length".into()));
+    }
+    let has_content = BitVec::from_words(le_words(&has_bytes).collect(), n);
+    if has_content.count_ones() as u64 != meta.content_count {
+        return Err(PersistError::Format(format!(
+            "meta says {} contents but the has-content bits mark {}",
+            meta.content_count,
+            has_content.count_ones()
+        )));
+    }
+    let table = decode_tag_table(&collect_section(file, SEC_TAG_TABLE)?)?;
+    let spans = decode_spans(
+        &collect_section(file, SEC_SPANS)?,
+        meta.content_count as usize,
+        meta.sections[SEC_ARENA].byte_len,
+    )?;
+    Ok(CommonParts { is_attr, has_content, spans, table })
+}
+
+/// Validate the tag-id section against the table, streaming.
+fn check_tags(file: &PageFile, table_len: usize) -> Result<()> {
+    let n = file.meta().node_count as usize;
+    let bytes_expected = (n * 4) as u64;
+    if file.meta().sections[SEC_TAGS].byte_len != bytes_expected {
+        return Err(PersistError::Format("tag-id section has the wrong length".into()));
+    }
+    let mut i = 0usize;
+    stream_section(file, SEC_TAGS, &mut |chunk| {
+        for c in chunk.chunks_exact(4) {
+            let id = u32::from_le_bytes(c.try_into().unwrap());
+            if id as usize >= table_len {
+                return Err(PersistError::Format(format!(
+                    "node {i} has tag id {id}, table holds {table_len}"
+                )));
+            }
+            i += 1;
+        }
+        Ok(())
+    })
+}
+
+/// Open a paged snapshot *behind the pool*: raw parentheses words, tag ids
+/// and the content arena stay on disk and are pulled through `pool` on
+/// demand; only the rank/select and excess directories, spans, flags and
+/// tag table are materialized. Returns the document and its generation.
+pub fn open_paged(path: &Path, pool: &Arc<BufferPool>) -> Result<(SuccinctDoc, u64)> {
+    let (doc, _file, generation) = open_paged_parts(path, pool)?;
+    Ok((doc, generation))
+}
+
+/// Spill `doc` to `path` as page frames and reopen it behind `pool`, with
+/// the file marked unlink-on-drop: once the last component of the returned
+/// document releases the backing [`PageFile`], the spill file is removed
+/// from disk (and its frames purged from the pool). This is how the
+/// database layer serves *non-durable* documents through a bounded pool
+/// without keeping them resident.
+pub fn spill_paged(path: &Path, doc: &SuccinctDoc, pool: &Arc<BufferPool>) -> Result<SuccinctDoc> {
+    write_paged_snapshot(path, doc, 0)?;
+    let (spilled, file, _generation) = open_paged_parts(path, pool)?;
+    file.set_unlink_on_drop();
+    Ok(spilled)
+}
+
+fn open_paged_parts(
+    path: &Path,
+    pool: &Arc<BufferPool>,
+) -> Result<(SuccinctDoc, Arc<PageFile>, u64)> {
+    let pf = PageFile::open(path)?;
+    pf.attach_pool(pool);
+    let file = Arc::new(pf);
+    let meta = file.meta().clone();
+    let common = read_common(&file)?;
+    check_tags(&file, common.table.len())?;
+    let (super_ranks, ones, leaf_aggs) = scan_structure(&file, PAGED_BLOCK_BITS)?;
+    let bits = BitVec::from_paged_parts(
+        Arc::clone(pool),
+        Arc::clone(&file),
+        meta.sections[SEC_STRUCTURE].first_page,
+        meta.structure_bits as usize,
+        super_ranks,
+        ones,
+    );
+    let bp = Bp::from_built_parts(bits, leaf_aggs, PAGED_BLOCK_BITS);
+    let tags = TagVec::paged(
+        Arc::clone(pool),
+        Arc::clone(&file),
+        meta.sections[SEC_TAGS].first_page,
+        meta.node_count as usize,
+    );
+    let content = ContentStore::paged(
+        Arc::clone(pool),
+        Arc::clone(&file),
+        meta.sections[SEC_ARENA].first_page,
+        meta.sections[SEC_ARENA].byte_len as usize,
+        common.spans,
+    );
+    let doc = SuccinctDoc::from_paged_parts(
+        bp,
+        tags,
+        common.is_attr,
+        common.has_content,
+        content,
+        common.table,
+    );
+    Ok((doc, file, meta.generation))
+}
+
+/// Read a paged snapshot fully into memory — the no-pool path. Same
+/// validation as [`open_paged`] plus a whole-arena UTF-8 check.
+pub fn read_paged_resident(path: &Path) -> Result<(SuccinctDoc, u64)> {
+    let file = PageFile::open(path)?;
+    let meta = file.meta().clone();
+    let common = read_common(&file)?;
+    check_tags(&file, common.table.len())?;
+    // Balance / single-tree validation rides along with the directory scan;
+    // the directories themselves are rebuilt by `from_parts` below.
+    scan_structure(&file, PAGED_BLOCK_BITS)?;
+    let words = le_words(&collect_section(&file, SEC_STRUCTURE)?).collect::<Vec<_>>();
+    let bits = BitVec::from_words(words, meta.structure_bits as usize);
+    let mut tags = Vec::with_capacity(meta.node_count as usize);
+    for c in collect_section(&file, SEC_TAGS)?.chunks_exact(4) {
+        tags.push(TagId(u32::from_le_bytes(c.try_into().unwrap())));
+    }
+    let arena = String::from_utf8(collect_section(&file, SEC_ARENA)?)
+        .map_err(|e| PersistError::Format(format!("content arena is not UTF-8: {e}")))?;
+    for (i, &(off, len)) in common.spans.iter().enumerate() {
+        if !arena.is_char_boundary(off as usize) || !arena.is_char_boundary((off + len) as usize) {
+            return Err(PersistError::Format(format!("content span {i} splits a UTF-8 character")));
+        }
+    }
+    let content = ContentStore::from_arena_spans(arena, common.spans);
+    let doc = SuccinctDoc::from_parts(
+        bits,
+        tags,
+        common.is_attr,
+        common.has_content,
+        content,
+        common.table,
+    );
+    Ok((doc, meta.generation))
+}
+
+/// Read just the generation stamp of a paged snapshot.
+pub fn paged_generation(path: &Path) -> Result<u64> {
+    Ok(PageFile::open(path)?.meta().generation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqp_xml::serialize;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "xqp-page-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn big_doc() -> SuccinctDoc {
+        let mut xml = String::from("<db>");
+        for i in 0..300 {
+            xml.push_str(&format!(
+                "<item key=\"k{i}\"><name>item number {i}</name><note>pad pad pad {i}</note></item>"
+            ));
+        }
+        xml.push_str("</db>");
+        SuccinctDoc::parse(&xml).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_resident() {
+        let dir = tempdir("resident");
+        let doc = big_doc();
+        let path = dir.join("pages.xqp");
+        write_paged_snapshot(&path, &doc, 7).unwrap();
+        let (back, generation) = read_paged_resident(&path).unwrap();
+        assert_eq!(generation, 7);
+        assert_eq!(back.node_count(), doc.node_count());
+        assert_eq!(serialize(&back.to_document()), serialize(&doc.to_document()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn roundtrip_paged_matches_resident() {
+        let dir = tempdir("paged");
+        let doc = big_doc();
+        let path = dir.join("pages.xqp");
+        write_paged_snapshot(&path, &doc, 3).unwrap();
+        let pool = BufferPool::new(4);
+        let (paged, generation) = open_paged(&path, &pool).unwrap();
+        assert_eq!(generation, 3);
+        assert!(paged.is_paged());
+        assert_eq!(paged.node_count(), doc.node_count());
+        // Full serialization exercises navigation, tags and contents
+        // through the pool with heavy eviction (4-frame pool).
+        assert_eq!(serialize(&paged.to_document()), serialize(&doc.to_document()));
+        let stats = pool.stats();
+        assert!(stats.evictions > 0, "expected thrash, got {stats:?}");
+        assert!(stats.resident <= stats.capacity, "{stats:?}");
+        // A paged doc can be re-serialized into a fresh paged snapshot
+        // (streaming compaction path).
+        let path2 = dir.join("pages2.xqp");
+        write_paged_snapshot(&path2, &paged, 4).unwrap();
+        let (back, _) = read_paged_resident(&path2).unwrap();
+        assert_eq!(serialize(&back.to_document()), serialize(&doc.to_document()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tempdir("corrupt");
+        let doc = big_doc();
+        let path = dir.join("pages.xqp");
+        write_paged_snapshot(&path, &doc, 1).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte in frame 2's payload.
+        bytes[2 * FRAME_BYTES + 100] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_paged_resident(&path).unwrap_err();
+        assert!(err.to_string().contains("CRC"), "{err}");
+        // Truncation is caught by the frame-size check.
+        bytes.truncate(bytes.len() - 10);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(PageFile::open(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn swapped_frames_fail_the_position_bound_crc() {
+        let dir = tempdir("swap");
+        let doc = big_doc();
+        let path = dir.join("pages.xqp");
+        write_paged_snapshot(&path, &doc, 1).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let (a, b) = (1usize, 2usize);
+        let frame_a = bytes[a * FRAME_BYTES..(a + 1) * FRAME_BYTES].to_vec();
+        let frame_b = bytes[b * FRAME_BYTES..(b + 1) * FRAME_BYTES].to_vec();
+        bytes[a * FRAME_BYTES..(a + 1) * FRAME_BYTES].copy_from_slice(&frame_b);
+        bytes[b * FRAME_BYTES..(b + 1) * FRAME_BYTES].copy_from_slice(&frame_a);
+        std::fs::write(&path, &bytes).unwrap();
+        // Each frame's CRC still matches its payload, but not its position.
+        assert!(read_paged_resident(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -44,8 +44,8 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 
 fn put_bitvec(out: &mut Vec<u8>, v: &BitVec) {
     put_u64(out, v.len() as u64);
-    put_u64(out, v.words().len() as u64);
-    for &w in v.words() {
+    put_u64(out, v.n_words() as u64);
+    for w in v.iter_words() {
         put_u64(out, w);
     }
 }
@@ -74,7 +74,7 @@ pub fn encode_snapshot(doc: &SuccinctDoc, generation: u64) -> Vec<u8> {
     put_u64(&mut out, generation);
     put_u32(&mut out, doc.node_count() as u32);
     put_bitvec(&mut out, doc.bp().bits());
-    for &t in doc.raw_tags() {
+    for t in doc.raw_tags().iter() {
         put_u32(&mut out, t.0);
     }
     put_bitvec(&mut out, doc.raw_is_attr());
@@ -82,7 +82,7 @@ pub fn encode_snapshot(doc: &SuccinctDoc, generation: u64) -> Vec<u8> {
     let content = doc.content_store();
     put_u32(&mut out, content.len() as u32);
     for (_, s) in content.iter() {
-        put_str(&mut out, s);
+        put_str(&mut out, &s);
     }
     let table = doc.tag_table();
     put_u32(&mut out, table.len() as u32);
@@ -242,6 +242,21 @@ pub fn read_snapshot(path: &Path) -> Result<(SuccinctDoc, u64)> {
     failpoint::check(IoOp::Read)?;
     let bytes = fs::read(path)?;
     decode_snapshot(&bytes)
+}
+
+/// Peek a snapshot's generation from its fixed-offset header without
+/// decoding (or checksumming) the body. Used to pick the newer of two
+/// on-disk state files; the winner is still fully validated when read.
+pub fn snapshot_generation(path: &Path) -> Result<u64> {
+    failpoint::check(IoOp::Read)?;
+    let bytes = fs::read(path)?;
+    if bytes.len() < 20 {
+        return Err(PersistError::Format("snapshot shorter than its header".into()));
+    }
+    let mut r = Reader::new(&bytes[..20]);
+    r.expect_magic(SNAPSHOT_MAGIC)?;
+    let _version = r.u32("snapshot version")?;
+    r.u64("snapshot generation")
 }
 
 #[cfg(test)]

@@ -1,39 +1,60 @@
-//! `DocStore` — one document's durable home: a snapshot plus a WAL.
+//! `DocStore` — one document's durable home: a state file plus a WAL.
 //!
 //! Directory layout:
 //!
 //! ```text
-//! <dir>/snapshot.xqp   — last compacted state (see [`super::snapshot`])
-//! <dir>/wal.xqp        — logical updates since that snapshot ([`super::wal`])
+//! <dir>/snapshot.xqp   — last compacted state (see [`super::snapshot`]), or
+//! <dir>/pages.xqp      — the same state in page-granular frames
+//!                        ([`super::page`]) when the store is paged
+//! <dir>/wal.xqp        — logical updates since that state ([`super::wal`])
 //! ```
+//!
+//! A store is either **snapshot-backed** (the whole document re-encoded as
+//! one checksummed blob) or **paged** (fixed-size CRC-sealed frames a
+//! [`BufferPool`] can fault in on demand, so opening does not require the
+//! document to fit in memory). Exactly one state file exists at rest;
+//! `open` auto-detects which, and if a crash mid-conversion left both, the
+//! one with the **higher generation stamp** wins (ties go to the paged
+//! file — conversion writes it at the same generation before removing the
+//! snapshot).
 //!
 //! Invariants the store maintains:
 //!
-//! 1. **Recovery equation**: on-disk state = `replay(wal, snapshot)`. Every
-//!    acknowledged [`DocStore::log`] is fsynced, so the equation holds after
-//!    a crash at any instant (modulo a torn tail, which replay truncates).
+//! 1. **Recovery equation**: on-disk state = `replay(wal, state file)`.
+//!    Every acknowledged [`DocStore::log`] / [`DocStore::log_batch`] is
+//!    fsynced, so the equation holds after a crash at any instant (modulo
+//!    a torn tail, which replay truncates).
 //! 2. **Atomic compaction**: [`DocStore::compact`] writes the folded
-//!    snapshot (generation G+1) to a temp file, renames it over
-//!    `snapshot.xqp`, and only then resets the WAL to G+1. A crash
-//!    between the two steps leaves a G+1 snapshot next to a generation-G
+//!    state (generation G+1) to a temp file, renames it over the state
+//!    file, and only then resets the WAL to G+1. A crash
+//!    between the two steps leaves a G+1 state next to a generation-G
 //!    WAL whose records are already folded in; replaying them would
 //!    double-apply. The generation stamp in both headers detects exactly
-//!    this: on open, a WAL whose generation differs from the snapshot's is
-//!    discarded, never replayed. The reset itself is two fsync barriers
+//!    this: on open, a WAL whose generation differs from the state file's
+//!    is discarded, never replayed. The reset itself is two fsync barriers
 //!    (truncate under the old generation, then stamp the new one), so no
 //!    crash instant can leave a generation-matching header over
 //!    pre-compaction records — see [`super::wal::Wal::reset`].
+//! 3. **Group commit**: [`DocStore::log_batch`] makes a batch of updates
+//!    durable with one write and one fsync. The batch is all-or-nothing:
+//!    on failure the WAL rolls back to its pre-batch length, so the caller
+//!    never has to guess how much of a batch survived.
 
 use super::failpoint::{self, IoOp};
 use super::format::Result;
-use super::snapshot::{read_snapshot, write_snapshot};
+use super::page::{open_paged, paged_generation, read_paged_resident, write_paged_snapshot};
+use super::snapshot::{read_snapshot, snapshot_generation, write_snapshot};
 use super::wal::{ReplayReport, Wal, WalOp};
+use crate::buffer::BufferPool;
 use crate::succinct::SuccinctDoc;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Snapshot file name inside a store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.xqp";
+/// Paged state file name inside a store directory.
+pub const PAGED_FILE: &str = "pages.xqp";
 /// WAL file name inside a store directory.
 pub const WAL_FILE: &str = "wal.xqp";
 
@@ -47,6 +68,12 @@ pub struct StoreCounters {
     pub records_replayed: u64,
     /// Compactions performed by this handle.
     pub compactions: u64,
+    /// Group commits ([`DocStore::log_batch`] calls that reached the disk).
+    pub group_commits: u64,
+    /// WAL records written through group commits.
+    pub group_records: u64,
+    /// Largest single group-commit batch.
+    pub group_max_batch: u64,
 }
 
 /// A durable store for one document.
@@ -56,6 +83,20 @@ pub struct DocStore {
     wal: Wal,
     generation: u64,
     counters: StoreCounters,
+    /// Compactions write page frames instead of a monolithic snapshot.
+    paged: bool,
+    /// Pool paged reads go through; `None` for snapshot-backed stores and
+    /// for paged stores that were opened fully resident.
+    pool: Option<Arc<BufferPool>>,
+}
+
+/// Remove a stale state file, treating "already gone" as success.
+fn remove_stale(path: &Path) -> Result<()> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
 }
 
 impl DocStore {
@@ -66,18 +107,100 @@ impl DocStore {
         failpoint::check(IoOp::Create)?;
         fs::create_dir_all(dir)?;
         let written = write_snapshot(&dir.join(SNAPSHOT_FILE), doc, 0)?;
+        // A leftover paged file from a replaced store must not outlive the
+        // new state (its generation stamp could out-rank ours on open).
+        remove_stale(&dir.join(PAGED_FILE))?;
         let wal = Wal::create(&dir.join(WAL_FILE), 0)?;
         let counters =
             StoreCounters { bytes_written: written + wal.len_bytes(), ..StoreCounters::default() };
-        Ok(DocStore { dir: dir.to_path_buf(), wal, generation: 0, counters })
+        Ok(DocStore {
+            dir: dir.to_path_buf(),
+            wal,
+            generation: 0,
+            counters,
+            paged: false,
+            pool: None,
+        })
     }
 
-    /// Open the store at `dir`: read the snapshot, replay the WAL
-    /// (truncating a torn/corrupt tail), and return the recovered document
-    /// with the positioned store. A store saved with no WAL file (e.g. a
-    /// snapshot copied from elsewhere) gets a fresh, empty log.
+    /// Initialize `dir` as a **paged** store: write `doc` as page frames
+    /// and reopen it behind `pool`, returning the store together with the
+    /// pool-backed document (structure, tags and content fault in on
+    /// demand). Any previous store there is replaced.
+    pub fn create_paged(
+        dir: &Path,
+        doc: &SuccinctDoc,
+        pool: &Arc<BufferPool>,
+    ) -> Result<(DocStore, SuccinctDoc)> {
+        failpoint::check(IoOp::Create)?;
+        fs::create_dir_all(dir)?;
+        let path = dir.join(PAGED_FILE);
+        let written = write_paged_snapshot(&path, doc, 0)?;
+        remove_stale(&dir.join(SNAPSHOT_FILE))?;
+        let (paged_doc, _generation) = open_paged(&path, pool)?;
+        let wal = Wal::create(&dir.join(WAL_FILE), 0)?;
+        let counters =
+            StoreCounters { bytes_written: written + wal.len_bytes(), ..StoreCounters::default() };
+        let store = DocStore {
+            dir: dir.to_path_buf(),
+            wal,
+            generation: 0,
+            counters,
+            paged: true,
+            pool: Some(Arc::clone(pool)),
+        };
+        Ok((store, paged_doc))
+    }
+
+    /// Open the store at `dir`: read the state file (snapshot or paged,
+    /// auto-detected), replay the WAL (truncating a torn/corrupt tail),
+    /// and return the recovered document with the positioned store. A
+    /// store saved with no WAL file (e.g. a snapshot copied from
+    /// elsewhere) gets a fresh, empty log. Paged state is loaded fully
+    /// resident — use [`DocStore::open_with_pool`] to serve it through a
+    /// buffer pool instead.
     pub fn open(dir: &Path) -> Result<(DocStore, SuccinctDoc, ReplayReport)> {
-        let (doc, generation) = read_snapshot(&dir.join(SNAPSHOT_FILE))?;
+        Self::open_impl(dir, None)
+    }
+
+    /// [`DocStore::open`], but paged state stays on disk and is served
+    /// through `pool` (documents larger than memory open fine). A
+    /// snapshot-backed store still loads resident, but flips to the paged
+    /// format at its next compaction.
+    pub fn open_with_pool(
+        dir: &Path,
+        pool: &Arc<BufferPool>,
+    ) -> Result<(DocStore, SuccinctDoc, ReplayReport)> {
+        Self::open_impl(dir, Some(pool))
+    }
+
+    fn open_impl(
+        dir: &Path,
+        pool: Option<&Arc<BufferPool>>,
+    ) -> Result<(DocStore, SuccinctDoc, ReplayReport)> {
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let paged_path = dir.join(PAGED_FILE);
+        // Pick the state file. Both existing means a crash interrupted a
+        // format conversion: the higher generation is the newer state
+        // (ties go to the paged file — conversion writes it at the same
+        // generation before removing the snapshot).
+        let use_paged = match (snap_path.exists(), paged_path.exists()) {
+            (true, true) => paged_generation(&paged_path)? >= snapshot_generation(&snap_path)?,
+            (_, paged) => paged,
+        };
+        let (doc, generation) = if use_paged {
+            match pool {
+                Some(pool) => open_paged(&paged_path, pool)?,
+                None => read_paged_resident(&paged_path)?,
+            }
+        } else {
+            read_snapshot(&snap_path)?
+        };
+        // Finish an interrupted conversion: the loser's records are folded
+        // into (or superseded by) the winner.
+        if snap_path.exists() && paged_path.exists() {
+            let _ = fs::remove_file(if use_paged { &snap_path } else { &paged_path });
+        }
         let wal_path = dir.join(WAL_FILE);
         let (wal, doc, report) = if wal_path.exists() {
             Wal::open_replay(&wal_path, generation, doc)?
@@ -86,7 +209,15 @@ impl DocStore {
         };
         let counters =
             StoreCounters { records_replayed: report.records_applied, ..StoreCounters::default() };
-        Ok((DocStore { dir: dir.to_path_buf(), wal, generation, counters }, doc, report))
+        let store = DocStore {
+            dir: dir.to_path_buf(),
+            wal,
+            generation,
+            counters,
+            paged: use_paged || pool.is_some(),
+            pool: pool.map(Arc::clone),
+        };
+        Ok((store, doc, report))
     }
 
     /// Durably log one update (the caller has already applied it in
@@ -97,21 +228,73 @@ impl DocStore {
         Ok(())
     }
 
-    /// Fold the WAL into a fresh snapshot of `doc` (the current in-memory
-    /// state), advancing the generation. Ordering: the generation-G+1
-    /// snapshot lands atomically first (write-temp-then-rename); only then
-    /// is the WAL reset to G+1. A crash between the two leaves a stale
-    /// generation-G WAL beside the G+1 snapshot — `open` detects the
-    /// mismatch and discards the log rather than double-applying records
-    /// the snapshot already contains.
+    /// Group-commit a batch of updates: every record in `ops` becomes
+    /// durable with **one** write and **one** fsync (see
+    /// [`super::wal::Wal::append_batch`]). All-or-nothing: on error none
+    /// of the batch is durable and the WAL is back at its pre-batch
+    /// length. An empty batch is a no-op, not an fsync.
+    pub fn log_batch(&mut self, ops: &[WalOp]) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let written = self.wal.append_batch(ops)?;
+        self.counters.bytes_written += written;
+        self.counters.group_commits += 1;
+        self.counters.group_records += ops.len() as u64;
+        self.counters.group_max_batch = self.counters.group_max_batch.max(ops.len() as u64);
+        Ok(())
+    }
+
+    /// Fold the WAL into a fresh state file for `doc` (the current
+    /// in-memory state), advancing the generation. Ordering: the
+    /// generation-G+1 state lands atomically first
+    /// (write-temp-then-rename); only then is the WAL reset to G+1. A
+    /// crash between the two leaves a stale generation-G WAL beside the
+    /// G+1 state — `open` detects the mismatch and discards the log rather
+    /// than double-applying records the state already contains. Paged
+    /// stores write page frames (streaming — `doc` may itself be paged);
+    /// a snapshot-backed store that was opened with a pool converts to the
+    /// paged format here.
     pub fn compact(&mut self, doc: &SuccinctDoc) -> Result<()> {
         let next = self.generation + 1;
-        let written = write_snapshot(&self.dir.join(SNAPSHOT_FILE), doc, next)?;
+        let written = if self.paged {
+            let written = write_paged_snapshot(&self.dir.join(PAGED_FILE), doc, next)?;
+            // Completes a snapshot→paged conversion; the paged file
+            // out-ranks the stale snapshot on open either way.
+            remove_stale(&self.dir.join(SNAPSHOT_FILE))?;
+            written
+        } else {
+            write_snapshot(&self.dir.join(SNAPSHOT_FILE), doc, next)?
+        };
         self.wal.reset(next)?;
         self.generation = next;
         self.counters.bytes_written += written;
         self.counters.compactions += 1;
         Ok(())
+    }
+
+    /// Reopen the current paged state file behind the store's pool: the
+    /// returned document reads through the pool instead of whatever the
+    /// caller currently holds resident. `None` for snapshot-backed stores,
+    /// stores without a pool, and paged stores whose WAL holds records
+    /// (the state file alone is then behind the acknowledged state).
+    pub fn reopen_paged(&self) -> Result<Option<SuccinctDoc>> {
+        let Some(pool) = &self.pool else { return Ok(None) };
+        if !self.paged || self.wal.next_seq() != 0 {
+            return Ok(None);
+        }
+        let (doc, _generation) = open_paged(&self.dir.join(PAGED_FILE), pool)?;
+        Ok(Some(doc))
+    }
+
+    /// Whether compactions write the paged format.
+    pub fn is_paged(&self) -> bool {
+        self.paged
+    }
+
+    /// The buffer pool paged reads go through, if any.
+    pub fn pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref()
     }
 
     /// The store's compaction generation (0 until the first compaction).
@@ -241,6 +424,147 @@ mod tests {
         let dir = tmp("missing");
         fs::create_dir_all(&dir).unwrap();
         assert!(DocStore::open(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn log_batch_counts_group_commits() {
+        let dir = tmp("batch");
+        let base = SuccinctDoc::parse("<db/>").unwrap();
+        let mut store = DocStore::create(&dir, &base).unwrap();
+        let ops: Vec<WalOp> = (0..3)
+            .map(|i| WalOp::Insert { parent: 0, fragment_xml: format!("<r i=\"{i}\"/>") })
+            .collect();
+        let mut live = base;
+        for op in &ops {
+            live = super::super::wal::apply_op(&live, op).unwrap();
+        }
+        store.log_batch(&ops).unwrap();
+        store.log_batch(&[]).unwrap(); // no-op, not a commit
+        store.log_batch(&ops[..1]).unwrap();
+        live = super::super::wal::apply_op(&live, &ops[0]).unwrap();
+        let c = store.counters();
+        assert_eq!(c.group_commits, 2);
+        assert_eq!(c.group_records, 4);
+        assert_eq!(c.group_max_batch, 3);
+        assert_eq!(store.wal_records(), 4);
+        drop(store);
+
+        let (_, doc, report) = DocStore::open(&dir).unwrap();
+        assert_eq!(report.records_applied, 4);
+        assert_eq!(as_xml(&doc), as_xml(&live));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paged_create_log_open_roundtrip() {
+        let dir = tmp("paged-roundtrip");
+        let pool = crate::buffer::BufferPool::new(4);
+        let base = SuccinctDoc::parse("<db><u id=\"1\">alpha</u></db>").unwrap();
+        let (mut store, served) = DocStore::create_paged(&dir, &base, &pool).unwrap();
+        assert!(store.is_paged());
+        assert!(served.is_paged());
+        assert_eq!(as_xml(&served), as_xml(&base));
+        assert!(dir.join(PAGED_FILE).exists());
+        assert!(!dir.join(SNAPSHOT_FILE).exists());
+
+        let op = WalOp::Insert { parent: 0, fragment_xml: "<u id=\"2\"/>".into() };
+        let live = super::super::wal::apply_op(&base, &op).unwrap();
+        store.log(&op).unwrap();
+        drop(store);
+
+        // Reopen behind a pool: the paged file is detected, the WAL replays.
+        let (store, doc, report) = DocStore::open_with_pool(&dir, &pool).unwrap();
+        assert!(store.is_paged());
+        assert_eq!(report.records_applied, 1);
+        assert_eq!(as_xml(&doc), as_xml(&live));
+
+        // Reopen without a pool: same state, fully resident.
+        let (store, doc, _) = DocStore::open(&dir).unwrap();
+        assert!(store.is_paged(), "paged stores keep their format without a pool");
+        assert!(!doc.is_paged());
+        assert_eq!(as_xml(&doc), as_xml(&live));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paged_compaction_keeps_the_paged_format() {
+        let dir = tmp("paged-compact");
+        let pool = crate::buffer::BufferPool::new(4);
+        let base = SuccinctDoc::parse("<db/>").unwrap();
+        let (mut store, _served) = DocStore::create_paged(&dir, &base, &pool).unwrap();
+        let mut live = base;
+        for i in 0..5 {
+            let op = WalOp::Insert { parent: 0, fragment_xml: format!("<r i=\"{i}\"/>") };
+            live = super::super::wal::apply_op(&live, &op).unwrap();
+            store.log(&op).unwrap();
+        }
+        store.compact(&live).unwrap();
+        assert_eq!(store.wal_records(), 0);
+        assert_eq!(store.generation(), 1);
+        assert!(!dir.join(SNAPSHOT_FILE).exists());
+        // With an empty WAL the state file alone is current: reopen paged.
+        let reloaded = store.reopen_paged().unwrap().expect("paged store with empty WAL");
+        assert!(reloaded.is_paged());
+        assert_eq!(as_xml(&reloaded), as_xml(&live));
+        drop(store);
+
+        let (store, doc, report) = DocStore::open_with_pool(&dir, &pool).unwrap();
+        assert_eq!(report.records_applied, 0);
+        assert_eq!(store.generation(), 1);
+        assert!(doc.is_paged());
+        assert_eq!(as_xml(&doc), as_xml(&live));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_store_opened_with_pool_converts_on_compaction() {
+        let dir = tmp("convert");
+        let base = SuccinctDoc::parse("<db><a/></db>").unwrap();
+        DocStore::create(&dir, &base).unwrap();
+
+        let pool = crate::buffer::BufferPool::new(4);
+        let (mut store, doc, _) = DocStore::open_with_pool(&dir, &pool).unwrap();
+        assert!(store.is_paged(), "a pool opts the store into the paged format");
+        assert!(!doc.is_paged(), "…but the existing snapshot loads resident");
+        store.compact(&doc).unwrap();
+        assert!(dir.join(PAGED_FILE).exists());
+        assert!(!dir.join(SNAPSHOT_FILE).exists());
+        drop(store);
+
+        let (_, back, _) = DocStore::open_with_pool(&dir, &pool).unwrap();
+        assert!(back.is_paged());
+        assert_eq!(as_xml(&back), as_xml(&base));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_conversion_prefers_the_higher_generation() {
+        let dir = tmp("both-files");
+        let pool = crate::buffer::BufferPool::new(4);
+        let old = SuccinctDoc::parse("<old/>").unwrap();
+        let new = SuccinctDoc::parse("<new/>").unwrap();
+
+        // Paged gen 2 beside snapshot gen 1: paged wins.
+        fs::create_dir_all(&dir).unwrap();
+        write_snapshot(&dir.join(SNAPSHOT_FILE), &old, 1).unwrap();
+        write_paged_snapshot(&dir.join(PAGED_FILE), &new, 2).unwrap();
+        let (store, doc, _) = DocStore::open_with_pool(&dir, &pool).unwrap();
+        assert_eq!(store.generation(), 2);
+        assert_eq!(as_xml(&doc), "<new/>");
+        assert!(!dir.join(SNAPSHOT_FILE).exists(), "loser is cleaned up");
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+
+        // Snapshot gen 3 beside paged gen 2: the snapshot wins.
+        fs::create_dir_all(&dir).unwrap();
+        write_paged_snapshot(&dir.join(PAGED_FILE), &old, 2).unwrap();
+        write_snapshot(&dir.join(SNAPSHOT_FILE), &new, 3).unwrap();
+        let (store, doc, _) = DocStore::open(&dir).unwrap();
+        assert_eq!(store.generation(), 3);
+        assert_eq!(as_xml(&doc), "<new/>");
+        assert!(!dir.join(PAGED_FILE).exists(), "loser is cleaned up");
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -281,13 +281,44 @@ impl Wal {
     /// Append one operation; flushed and fsynced before returning. Returns
     /// the number of bytes appended.
     pub fn append(&mut self, op: &WalOp) -> Result<u64> {
-        let rec = encode_record(self.next_seq, op);
-        failpoint::write_all(&mut self.file, &rec)?;
-        failpoint::check(IoOp::Fsync)?;
-        self.file.sync_all()?;
-        self.next_seq += 1;
-        self.len += rec.len() as u64;
-        Ok(rec.len() as u64)
+        self.append_batch(std::slice::from_ref(op))
+    }
+
+    /// Group commit: append every operation in `ops` as consecutive
+    /// records with **one** write and **one** fsync, amortizing the sync
+    /// cost across the batch. Returns the number of bytes appended.
+    ///
+    /// Durability is all-or-nothing at the fsync barrier. If the write or
+    /// the fsync fails, the log is rolled back (best effort) to its
+    /// pre-batch length so a torn partial batch cannot sit under records a
+    /// later successful append writes — the caller sees an error and must
+    /// treat the whole batch as not durable.
+    pub fn append_batch(&mut self, ops: &[WalOp]) -> Result<u64> {
+        if ops.is_empty() {
+            return Ok(0);
+        }
+        let mut buf = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            buf.extend_from_slice(&encode_record(self.next_seq + i as u64, op));
+        }
+        let commit = (|| -> Result<()> {
+            failpoint::write_all(&mut self.file, &buf)?;
+            failpoint::check(IoOp::Fsync)?;
+            self.file.sync_all()?;
+            Ok(())
+        })();
+        if let Err(e) = commit {
+            // Roll back a possibly-torn batch. Ignoring rollback errors is
+            // safe: replay truncates any torn tail, and the caller already
+            // treats the batch as failed either way.
+            let _ = self.file.set_len(self.len);
+            let _ = self.file.sync_all();
+            let _ = self.file.seek(SeekFrom::Start(self.len));
+            return Err(e);
+        }
+        self.next_seq += ops.len() as u64;
+        self.len += buf.len() as u64;
+        Ok(buf.len() as u64)
     }
 
     /// Reset to an empty log for snapshot `generation` (after compaction
@@ -430,6 +461,72 @@ mod tests {
         let (_, doc, report) = Wal::open_replay(&path, 0, base).unwrap();
         assert_eq!(report.records_applied, 2);
         assert_eq!(as_xml(&doc), "<log><a/><c/></log>");
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn batch_append_replays_like_individual_appends() {
+        let path = tmp("batch");
+        let base = SuccinctDoc::parse("<log/>").unwrap();
+        let ops: Vec<WalOp> = (0..4)
+            .map(|i| WalOp::Insert { parent: 0, fragment_xml: format!("<e n=\"{i}\"/>") })
+            .collect();
+        let mut live = base.clone();
+        for op in &ops {
+            live = apply_op(&live, op).unwrap();
+        }
+        {
+            let mut wal = Wal::create(&path, 0).unwrap();
+            let written = wal.append_batch(&ops).unwrap();
+            assert!(written > 0);
+            assert_eq!(wal.next_seq(), 4);
+            assert_eq!(wal.len_bytes(), WAL_HEADER_LEN + written);
+            // An empty batch is a no-op, not an fsync.
+            assert_eq!(wal.append_batch(&[]).unwrap(), 0);
+            // Sequence numbers keep running across batch boundaries.
+            let tail = WalOp::Delete { node: live.node_count() as u32 - 2 };
+            live = apply_op(&live, &tail).unwrap();
+            wal.append(&tail).unwrap();
+        }
+        let (wal, recovered, report) = Wal::open_replay(&path, 0, base).unwrap();
+        assert_eq!(report.records_applied, 5);
+        assert_eq!(report.bytes_truncated, 0);
+        assert_eq!(as_xml(&recovered), as_xml(&live));
+        assert_eq!(wal.next_seq(), 5);
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn failed_batch_rolls_the_log_back() {
+        let path = tmp("batch-rollback");
+        let base = SuccinctDoc::parse("<log/>").unwrap();
+        let mut wal = Wal::create(&path, 0).unwrap();
+        wal.append(&WalOp::Insert { parent: 0, fragment_xml: "<a/>".into() }).unwrap();
+        let before_len = wal.len_bytes();
+        let before_seq = wal.next_seq();
+
+        // Fail the batch's fsync (op 0 is the write, op 1 the fsync): the
+        // records were written, so rollback must truncate them away before
+        // the error surfaces.
+        failpoint::arm_fail_nth(1, failpoint::FaultKind::Error, false);
+        let err = wal
+            .append_batch(&[
+                WalOp::Insert { parent: 0, fragment_xml: "<b/>".into() },
+                WalOp::Insert { parent: 0, fragment_xml: "<c/>".into() },
+            ])
+            .unwrap_err();
+        failpoint::disarm();
+        assert!(matches!(err, PersistError::Io(_)), "{err}");
+        assert_eq!(wal.len_bytes(), before_len);
+        assert_eq!(wal.next_seq(), before_seq);
+        assert_eq!(fs::metadata(&path).unwrap().len(), before_len);
+
+        // The log is still usable and replay sees only durable records.
+        wal.append(&WalOp::Insert { parent: 0, fragment_xml: "<d/>".into() }).unwrap();
+        drop(wal);
+        let (_, doc, report) = Wal::open_replay(&path, 0, base).unwrap();
+        assert_eq!(report.records_applied, 2);
+        assert_eq!(as_xml(&doc), "<log><a/><d/></log>");
         fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 

@@ -21,7 +21,8 @@
 use crate::bitvec::BitVec;
 use crate::bp::Bp;
 use crate::content::ContentStore;
-use crate::tags::{TagId, TagTable};
+use crate::tags::{TagId, TagTable, TagVec};
+use std::borrow::Cow;
 use std::fmt;
 use xqp_xml::{Atomic, Document, Event, NodeId, NodeKind};
 
@@ -58,7 +59,7 @@ pub enum SKind {
 pub struct SuccinctDoc {
     bp: Bp,
     /// Per-node tag; `TagId::TEXT` for text nodes.
-    tags: Vec<TagId>,
+    tags: TagVec,
     /// Bit per node: is this an attribute node?
     is_attr: BitVec,
     /// Bit per node: does this node carry content (text or attribute)?
@@ -104,7 +105,33 @@ impl SuccinctDoc {
         content: ContentStore,
         tag_table: TagTable,
     ) -> Self {
-        SuccinctDoc { bp: Bp::new(bits), tags, is_attr, has_content, content, tag_table }
+        SuccinctDoc {
+            bp: Bp::new(bits),
+            tags: TagVec::resident(tags),
+            is_attr,
+            has_content,
+            content,
+            tag_table,
+        }
+    }
+
+    /// Assemble from parts whose heavy components (structure bits, tag ids,
+    /// content arena) live behind the buffer pool. The [`Bp`] arrives
+    /// pre-built: its directories were computed by the streaming open scan.
+    pub(crate) fn from_paged_parts(
+        bp: Bp,
+        tags: TagVec,
+        is_attr: BitVec,
+        has_content: BitVec,
+        content: ContentStore,
+        tag_table: TagTable,
+    ) -> Self {
+        SuccinctDoc { bp, tags, is_attr, has_content, content, tag_table }
+    }
+
+    /// True if any component is backed by the buffer pool rather than RAM.
+    pub fn is_paged(&self) -> bool {
+        self.bp.bits().is_paged() || self.tags.is_paged() || self.content.is_paged()
     }
 
     // ---- basic accessors ----------------------------------------------------
@@ -139,7 +166,7 @@ impl SuccinctDoc {
         &self.content
     }
 
-    pub(crate) fn raw_tags(&self) -> &[TagId] {
+    pub(crate) fn raw_tags(&self) -> &TagVec {
         &self.tags
     }
 
@@ -153,7 +180,7 @@ impl SuccinctDoc {
 
     /// Kind of node `n`.
     pub fn kind(&self, n: SNodeId) -> SKind {
-        if self.tags[n.index()] == TagId::TEXT {
+        if self.tags.get(n.index()) == TagId::TEXT {
             SKind::Text
         } else if self.is_attr.get(n.index()) {
             SKind::Attribute
@@ -164,12 +191,12 @@ impl SuccinctDoc {
 
     /// Tag id of node `n` (`TagId::TEXT` for text nodes).
     pub fn tag(&self, n: SNodeId) -> TagId {
-        self.tags[n.index()]
+        self.tags.get(n.index())
     }
 
     /// Tag name of node `n`.
     pub fn name(&self, n: SNodeId) -> &str {
-        self.tag_table.name(self.tags[n.index()])
+        self.tag_table.name(self.tags.get(n.index()))
     }
 
     /// True if `n` is an element.
@@ -179,7 +206,7 @@ impl SuccinctDoc {
 
     /// True if `n` is a text node.
     pub fn is_text(&self, n: SNodeId) -> bool {
-        self.tags[n.index()] == TagId::TEXT
+        self.tags.get(n.index()) == TagId::TEXT
     }
 
     /// True if `n` is an attribute node.
@@ -193,8 +220,10 @@ impl SuccinctDoc {
         self.has_content.select1(r).map(|i| SNodeId(i as u32))
     }
 
-    /// Content of a text or attribute node; `None` for elements.
-    pub fn content(&self, n: SNodeId) -> Option<&str> {
+    /// Content of a text or attribute node; `None` for elements. Borrowed
+    /// when the content arena is resident, assembled from page frames when
+    /// it is paged.
+    pub fn content(&self, n: SNodeId) -> Option<Cow<'_, str>> {
         if self.has_content.get(n.index()) {
             Some(self.content.get(self.has_content.rank1(n.index())))
         } else {
@@ -268,7 +297,7 @@ impl SuccinctDoc {
     }
 
     /// Attribute value by name test.
-    pub fn attribute(&self, n: SNodeId, name: &str) -> Option<&str> {
+    pub fn attribute(&self, n: SNodeId, name: &str) -> Option<Cow<'_, str>> {
         // Collect first to drop the iterator borrow before calling content().
         let hit = self.attributes(n).find(|&a| name == "*" || self.name(a) == name)?;
         self.content(hit)
@@ -282,7 +311,7 @@ impl SuccinctDoc {
     /// All nodes with the given tag, in document order (a per-tag scan; the
     /// indexed variant lives in [`crate::interval::TagStreams`]).
     pub fn nodes_with_tag(&self, tag: TagId) -> impl Iterator<Item = SNodeId> + '_ {
-        (0..self.node_count() as u32).map(SNodeId).filter(move |&n| self.tags[n.index()] == tag)
+        (0..self.node_count() as u32).map(SNodeId).filter(move |&n| self.tags.get(n.index()) == tag)
     }
 
     // ---- values --------------------------------------------------------------
@@ -291,12 +320,16 @@ impl SuccinctDoc {
     /// content for text/attribute nodes.
     pub fn string_value(&self, n: SNodeId) -> String {
         match self.kind(n) {
-            SKind::Text | SKind::Attribute => self.content(n).unwrap_or_default().to_string(),
+            SKind::Text | SKind::Attribute => {
+                self.content(n).map(Cow::into_owned).unwrap_or_default()
+            }
             SKind::Element => {
                 let mut out = String::new();
                 for d in self.subtree(n) {
                     if self.is_text(d) {
-                        out.push_str(self.content(d).unwrap_or_default());
+                        if let Some(c) = self.content(d) {
+                            out.push_str(&c);
+                        }
                     }
                 }
                 out
@@ -337,7 +370,7 @@ impl SuccinctDoc {
                     match self.kind(c) {
                         SKind::Attribute => {
                             let name = self.name(c).to_string();
-                            let value = self.content(c).unwrap_or_default().to_string();
+                            let value = self.content(c).map(Cow::into_owned).unwrap_or_default();
                             doc.set_attribute(el, name, value);
                         }
                         _ => self.rebuild(c, el, doc),
@@ -345,7 +378,7 @@ impl SuccinctDoc {
                 }
             }
             SKind::Text => {
-                doc.append_text(parent, self.content(n).unwrap_or_default());
+                doc.append_text(parent, self.content(n).as_deref().unwrap_or_default());
             }
             SKind::Attribute => {
                 unreachable!("attributes handled by their element");
@@ -354,9 +387,10 @@ impl SuccinctDoc {
     }
 
     /// Heap bytes of every component (structure, tags, flags, content, table).
+    /// Paged components count only their resident side (directories, spans).
     pub fn heap_bytes(&self) -> usize {
         self.bp.heap_bytes()
-            + self.tags.len() * std::mem::size_of::<TagId>()
+            + self.tags.heap_bytes()
             + self.is_attr.heap_bytes()
             + self.has_content.heap_bytes()
             + self.content.heap_bytes()
@@ -474,7 +508,7 @@ impl Builder {
         self.has_content.finish();
         SuccinctDoc {
             bp: Bp::new(self.bits),
-            tags: self.tags,
+            tags: TagVec::resident(self.tags),
             is_attr: self.is_attr,
             has_content: self.has_content,
             content: self.content,
@@ -547,8 +581,8 @@ mod tests {
         assert!(d.is_attribute(kids[0]));
         assert!(d.is_attribute(kids[1]));
         assert!(d.is_element(kids[2]));
-        assert_eq!(d.attribute(a, "x"), Some("1"));
-        assert_eq!(d.attribute(a, "y"), Some("2"));
+        assert_eq!(d.attribute(a, "x").as_deref(), Some("1"));
+        assert_eq!(d.attribute(a, "y").as_deref(), Some("2"));
         assert_eq!(d.attribute(a, "z"), None);
         assert_eq!(d.attributes(a).count(), 2);
     }
@@ -642,10 +676,10 @@ mod tests {
     fn content_by_rank_lookup() {
         let d = sdoc("<a x=\"v1\">t1<b>t2</b></a>");
         // In pre-order: a(elem), x(attr,v1), text(t1), b(elem), text(t2)
-        assert_eq!(d.content(SNodeId(1)), Some("v1"));
-        assert_eq!(d.content(SNodeId(2)), Some("t1"));
+        assert_eq!(d.content(SNodeId(1)).as_deref(), Some("v1"));
+        assert_eq!(d.content(SNodeId(2)).as_deref(), Some("t1"));
         assert_eq!(d.content(SNodeId(0)), None);
-        assert_eq!(d.content(SNodeId(4)), Some("t2"));
+        assert_eq!(d.content(SNodeId(4)).as_deref(), Some("t2"));
     }
 
     #[test]

@@ -34,9 +34,9 @@ impl SuffixIndex {
             }
         }
         suffixes.sort_by(|&(ra, oa), &(rb, ob)| {
-            let sa = &store.get(ra as usize)[oa as usize..];
-            let sb = &store.get(rb as usize)[ob as usize..];
-            sa.cmp(sb)
+            let ca = store.get(ra as usize);
+            let cb = store.get(rb as usize);
+            ca[oa as usize..].cmp(&cb[ob as usize..])
         });
         SuffixIndex { suffixes }
     }
@@ -51,9 +51,12 @@ impl SuffixIndex {
         self.suffixes.is_empty()
     }
 
-    fn suffix_at<'d>(&self, doc: &'d SuccinctDoc, i: usize) -> &'d str {
+    /// Run `f` on the text of suffix `i`. The content may be assembled from
+    /// page frames (paged stores), so the text is only valid for the call.
+    fn with_suffix<R>(&self, doc: &SuccinctDoc, i: usize, f: impl FnOnce(&str) -> R) -> R {
         let (rank, off) = self.suffixes[i];
-        &doc.content_store().get(rank as usize)[off as usize..]
+        let c = doc.content_store().get(rank as usize);
+        f(&c[off as usize..])
     }
 
     /// Content-bearing nodes (text and attribute nodes) whose content
@@ -104,7 +107,7 @@ impl SuffixIndex {
         let mut hi = self.suffixes.len();
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if below(self.suffix_at(doc, mid)) {
+            if self.with_suffix(doc, mid, &mut below) {
                 lo = mid + 1;
             } else {
                 hi = mid;

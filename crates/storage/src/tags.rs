@@ -5,8 +5,20 @@
 //! [`TagTable`]; the structure then stores one dense [`TagId`] per node, so
 //! tag-name selection (σs) is an integer comparison and per-tag streams for
 //! the join baselines are cheap to build.
+//!
+//! The per-node id sequence lives in a [`TagVec`], which is either resident
+//! (a plain `Vec<TagId>`) or paged — ids fetched on demand from a
+//! [`PageFile`](crate::persist::page::PageFile) section through the buffer
+//! pool, 1024 ids per 4 KiB page. The symbol table itself is always
+//! resident: it is tiny (one entry per distinct tag name).
 
+use crate::buffer::{BufferPool, PageRef, PAGE_BYTES};
+use crate::persist::page::PageFile;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Tag ids per page of the paged backing (4 bytes each).
+const IDS_PER_PAGE: usize = PAGE_BYTES / 4;
 
 /// Dense id of an interned tag name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -21,6 +33,153 @@ impl TagId {
         self.0 as usize
     }
 }
+
+/// The per-node tag-id sequence: resident or paged behind a buffer pool.
+#[derive(Debug, Clone)]
+pub struct TagVec {
+    backing: TagBacking,
+}
+
+#[derive(Debug, Clone)]
+enum TagBacking {
+    Resident(Vec<TagId>),
+    Paged { pool: Arc<BufferPool>, file: Arc<PageFile>, first_page: u64, len: usize },
+}
+
+impl Default for TagVec {
+    fn default() -> Self {
+        TagVec::resident(Vec::new())
+    }
+}
+
+impl From<Vec<TagId>> for TagVec {
+    fn from(v: Vec<TagId>) -> Self {
+        TagVec::resident(v)
+    }
+}
+
+impl TagVec {
+    /// Wrap an in-memory id sequence.
+    pub fn resident(ids: Vec<TagId>) -> Self {
+        TagVec { backing: TagBacking::Resident(ids) }
+    }
+
+    /// A sequence of `len` ids stored 1024-per-page starting at `first_page`
+    /// of `file`, fetched through `pool`.
+    pub(crate) fn paged(
+        pool: Arc<BufferPool>,
+        file: Arc<PageFile>,
+        first_page: u64,
+        len: usize,
+    ) -> Self {
+        TagVec { backing: TagBacking::Paged { pool, file, first_page, len } }
+    }
+
+    /// True if the ids live behind the buffer pool.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.backing, TagBacking::Paged { .. })
+    }
+
+    /// Number of ids.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            TagBacking::Resident(v) => v.len(),
+            TagBacking::Paged { len, .. } => *len,
+        }
+    }
+
+    /// True if no ids are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The id at `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> TagId {
+        match &self.backing {
+            TagBacking::Resident(v) => v[i],
+            TagBacking::Paged { pool, file, first_page, len } => {
+                assert!(i < *len, "tag index {i} out of range ({len})");
+                let page = pool.fetch(file, first_page + (i / IDS_PER_PAGE) as u64);
+                id_in_page(&page, i % IDS_PER_PAGE)
+            }
+        }
+    }
+
+    /// Iterate the ids in order. Paged backings hold one pinned page at a
+    /// time, so a full scan costs one pool fetch per 1024 ids.
+    pub fn iter(&self) -> TagIter<'_> {
+        TagIter { tags: self, next: 0, cached: None }
+    }
+
+    /// Materialize into a `Vec` (the update path splices resident copies).
+    pub fn to_vec(&self) -> Vec<TagId> {
+        match &self.backing {
+            TagBacking::Resident(v) => v.clone(),
+            TagBacking::Paged { .. } => self.iter().collect(),
+        }
+    }
+
+    /// Heap bytes held resident (a paged backing keeps nothing resident).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.backing {
+            TagBacking::Resident(v) => v.len() * std::mem::size_of::<TagId>(),
+            TagBacking::Paged { .. } => 0,
+        }
+    }
+}
+
+impl PartialEq for TagVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for TagVec {}
+
+fn id_in_page(page: &PageRef, idx: usize) -> TagId {
+    let b = &page[idx * 4..idx * 4 + 4];
+    TagId(u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+/// Iterator over a [`TagVec`], caching the current page across steps.
+pub struct TagIter<'a> {
+    tags: &'a TagVec,
+    next: usize,
+    cached: Option<(u64, PageRef)>,
+}
+
+impl Iterator for TagIter<'_> {
+    type Item = TagId;
+
+    fn next(&mut self) -> Option<TagId> {
+        if self.next >= self.tags.len() {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        match &self.tags.backing {
+            TagBacking::Resident(v) => Some(v[i]),
+            TagBacking::Paged { pool, file, first_page, .. } => {
+                let page = first_page + (i / IDS_PER_PAGE) as u64;
+                if self.cached.as_ref().map(|(p, _)| *p) != Some(page) {
+                    self.cached = Some((page, pool.fetch(file, page)));
+                }
+                let (_, guard) = self.cached.as_ref().unwrap();
+                Some(id_in_page(guard, i % IDS_PER_PAGE))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.tags.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TagIter<'_> {}
 
 /// Interns tag names to dense [`TagId`]s. Id 0 is reserved for text nodes.
 #[derive(Debug, Clone)]
@@ -81,6 +240,11 @@ impl TagTable {
     /// Iterate over `(TagId, name)` pairs, skipping the reserved text id.
     pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
         self.names.iter().enumerate().skip(1).map(|(i, n)| (TagId(i as u32), n.as_str()))
+    }
+
+    /// Every name in id order, `#text` included — the serialization order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
     }
 
     /// Heap bytes used by the table.

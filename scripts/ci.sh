@@ -50,6 +50,32 @@ echo "== fault-injection torture smoke: 300 seeded I/O fault points =="
 # the fault space per commit. Any recovery-invariant violation fails CI.
 ./target/release/xqp torture --seed "$FUZZ_SEED" --iters 300
 
+echo "== tiny-pool fuzz smoke: 100 cases with every paged leg behind a 4-page pool =="
+# Each case's full engine matrix re-runs over the document spilled to paged
+# storage behind a starved pool, plus pooled durable round trips — paged
+# rank/select and content access must agree byte-for-byte while evicting.
+./target/release/xqp fuzz --tiny-pool --seed "$FUZZ_SEED" --iters 100
+
+echo "== paged torture smoke: 200 seeded I/O fault points over the paged store format =="
+# The same recovery invariants with every database behind an 8-page pool:
+# faults now land on page writes, paged opens, group-committed WAL batches
+# and the snapshot->paged conversion paths.
+./target/release/xqp torture --buffer-pages 8 --seed "$FUZZ_SEED" --iters 200
+
+echo "== buffer-pool smoke: XMark-shaped doc through an 8-page pool on the CLI =="
+POOL_DOC=$(mktemp /tmp/xqp-ci-pool-XXXXXX.xml)
+printf '<site><regions><africa>%s</africa></regions></site>' \
+  "$(printf '<item id="i%d"><name>widget</name><payload>some moderately long padding text to spread the arena over many pages</payload></item>' {1..400})" > "$POOL_DOC"
+./target/release/xqp query "$POOL_DOC" 'count(//item)' --buffer-pages 8 \
+  2>/tmp/xqp-ci-pool-err | grep -qx '400' \
+  || { echo "buffer-pool smoke FAILED: wrong count through the pool" >&2; exit 1; }
+grep -q "buffer pool: " /tmp/xqp-ci-pool-err \
+  || { echo "buffer-pool smoke FAILED: no pool counters on stderr" >&2; exit 1; }
+XQP_BUFFER_PAGES=8 ./target/release/xqp query "$POOL_DOC" 'count(//item)' \
+  2>/dev/null | grep -qx '400' \
+  || { echo "buffer-pool smoke FAILED: XQP_BUFFER_PAGES env path broken" >&2; exit 1; }
+rm -f "$POOL_DOC" /tmp/xqp-ci-pool-err
+
 echo "== governor smoke: limits trip as typed errors on the CLI =="
 GOV_DOC=$(mktemp /tmp/xqp-ci-gov-XXXXXX.xml)
 printf '<r>%s</r>' "$(printf '<x><y>1</y></x>%.0s' {1..50})" > "$GOV_DOC"
@@ -113,5 +139,10 @@ echo "== T19 smoke: concurrent serving QPS under a streaming writer (release) ==
 # land in BENCH_serve.json (single-core containers: flat scaling expected,
 # see EXPERIMENTS.md T19).
 cargo bench --offline -p xqp-bench --bench exp_serve
+
+echo "== T20 smoke: paged-storage latency at 10%/50%/100% pool residency (release) =="
+# Gates on paged-equals-resident answers before timing; medians land in
+# BENCH_paged.json and the table is tracked in EXPERIMENTS.md T20.
+cargo bench --offline -p xqp-bench --bench exp_paged
 
 echo "CI gate passed."

@@ -1,0 +1,185 @@
+//! Paged storage behind the pinning buffer pool, end to end: an XMark
+//! document many times the pool's size must answer the T5 path suite and
+//! the T16 FLWOR legs exactly like its fully-resident twin while the pool
+//! cap bounds resident memory; MVCC reader snapshots pinned across
+//! commits and compactions must stay byte-identical under a pool small
+//! enough to evict constantly; and the durable paged format must survive
+//! save → open → update → reopen round trips with and without a pool.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use xqp::{Database, EvalMode};
+use xqp_gen::{gen_xmark, xmark_queries, XmarkConfig};
+use xqp_xml::serialize;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xqp-paged-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn xmark_xml(scale: f64) -> String {
+    serialize(&gen_xmark(&XmarkConfig::scale(scale)))
+}
+
+/// The T16 experiment's query shape: a FLWOR with a predicate, run in both
+/// evaluation modes (materializing `Env` and the streaming pipeline).
+const FLWOR: &str = "for $a in doc()//open_auction where $a/bidder/increase > 20 \
+                     return $a/reserve";
+
+#[test]
+fn xmark_many_times_the_pool_answers_the_query_suite() {
+    const POOL_PAGES: usize = 8;
+    let xml = xmark_xml(0.5);
+
+    // Reference: the same document fully resident, no pool.
+    let mut reference = Database::new();
+    reference.load_str("doc", &xml).unwrap();
+
+    let mut paged = Database::new();
+    paged.set_buffer_pool(POOL_PAGES);
+    paged.load_str("doc", &xml).unwrap();
+
+    // The acceptance bar: the document dwarfs the pool by >= 10x, so
+    // answering anything forces sustained eviction traffic.
+    let stats = reference.storage_stats("doc").unwrap();
+    assert!(
+        stats.succinct_total() >= 10 * POOL_PAGES * 4096,
+        "document too small to stress the pool: {} B resident vs a {} B pool",
+        stats.succinct_total(),
+        POOL_PAGES * 4096
+    );
+
+    // T5: the six XMark path queries, node-for-node.
+    for q in xmark_queries() {
+        let want = reference.select("doc", q.path).unwrap();
+        let got = paged.select("doc", q.path).unwrap();
+        assert_eq!(got, want, "{} diverged on the paged document", q.id);
+        assert!(!want.is_empty(), "{} selected nothing — not a real check", q.id);
+    }
+
+    // T16: the FLWOR legs, in both evaluation modes.
+    for mode in [EvalMode::Streaming, EvalMode::Materializing] {
+        reference.set_eval_mode(mode);
+        paged.set_eval_mode(mode);
+        let want = reference.query("doc", FLWOR).unwrap();
+        let got = paged.query("doc", FLWOR).unwrap();
+        assert_eq!(got, want, "FLWOR diverged on the paged document in {mode:?} mode");
+        assert!(!want.is_empty());
+    }
+
+    // Bounded residency: the pool never held more than its cap and never
+    // had to overcommit, while the document cycled through it many times.
+    let pool = paged.buffer_stats().unwrap();
+    assert_eq!(pool.capacity, POOL_PAGES as u64);
+    assert!(pool.resident <= pool.capacity, "{pool:?}");
+    assert!(pool.resident_peak <= pool.capacity, "{pool:?}");
+    assert_eq!(pool.overcommits, 0, "{pool:?}");
+    assert!(
+        pool.evictions >= 10 * pool.capacity,
+        "pool never thrashed — evictions {} with capacity {}",
+        pool.evictions,
+        pool.capacity
+    );
+    assert!(pool.misses > pool.capacity, "{pool:?}");
+}
+
+#[test]
+fn pinned_snapshots_survive_eviction_across_commits_and_compactions() {
+    const POOL_PAGES: usize = 4;
+    let dir = tmp("mvcc");
+    let mut db = Database::new();
+    db.set_buffer_pool(POOL_PAGES);
+    db.load_str("doc", &xmark_xml(0.05)).unwrap();
+    db.persist_to(&dir).unwrap();
+    let db = Arc::new(db);
+
+    // Pin a snapshot of generation 0 and remember its serialization.
+    let pinned = db.document("doc").unwrap();
+    let root = pinned.sdoc().root().unwrap();
+    let frozen = xqp::exec::engine::serialize_stored(&pinned, root);
+
+    // Readers hammer the pinned snapshot while the writer commits updates
+    // and compacts — each compaction rewrites pages.xqp under a NEW
+    // generation and swaps the serving document, so the pool is juggling
+    // two generations' pages through 4 frames the whole time.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let snap = Arc::clone(&pinned);
+            let frozen = frozen.clone();
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                let root = snap.sdoc().root().unwrap();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let now = xqp::exec::engine::serialize_stored(&snap, root);
+                    assert_eq!(now, frozen, "pinned snapshot changed under eviction");
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    for round in 0..6 {
+        db.insert_into(
+            "doc",
+            "/site/regions/africa",
+            &format!("<item id=\"r{round}\"><name>round {round}</name></item>"),
+        )
+        .unwrap();
+        db.delete_matching("doc", "/site/regions/africa/item[1]").unwrap();
+        db.compact("doc").unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for r in readers {
+        let reads = r.join().unwrap();
+        assert!(reads > 0, "reader never got a look in");
+    }
+
+    // The pinned snapshot still reads back identically after everything
+    // it referenced has been evicted and its generation retired...
+    let after = xqp::exec::engine::serialize_stored(&pinned, root);
+    assert_eq!(after, frozen);
+    drop(pinned);
+
+    // ...and the live document reflects all six rounds, both in memory and
+    // after a fresh paged recovery.
+    let live = db.query("doc", "/site/regions/africa").unwrap();
+    assert!(live.contains("round 5"));
+    drop(db);
+    let reopened = Database::open_with_buffer(&dir, POOL_PAGES).unwrap();
+    assert_eq!(reopened.query("doc", "/site/regions/africa").unwrap(), live);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_paged_store_round_trips_with_and_without_a_pool() {
+    let dir = tmp("roundtrip");
+    let xml = xmark_xml(0.05);
+
+    let mut db = Database::new();
+    db.set_buffer_pool(16);
+    db.load_str("doc", &xml).unwrap();
+    db.persist_to(&dir).unwrap();
+    let want_keywords = db.select("doc", "//keyword").unwrap();
+    db.insert_into("doc", "/site", "<extra><keyword>paged</keyword></extra>").unwrap();
+    let want_after = db.select("doc", "//keyword").unwrap();
+    assert_eq!(want_after.len(), want_keywords.len() + 1);
+    let want_serialized = db.serialize("doc").unwrap();
+    drop(db);
+
+    // Reopen behind a pool: WAL replays over the paged snapshot.
+    let pooled = Database::open_with_buffer(&dir, 16).unwrap();
+    assert!(pooled.is_durable("doc").unwrap());
+    assert_eq!(pooled.serialize("doc").unwrap(), want_serialized);
+    assert_eq!(pooled.select("doc", "//keyword").unwrap().len(), want_after.len());
+    drop(pooled);
+
+    // Reopen without a pool: the same paged file read fully resident.
+    let resident = Database::open(&dir).unwrap();
+    assert_eq!(resident.serialize("doc").unwrap(), want_serialized);
+    drop(resident);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -104,7 +104,7 @@ fn navigation_agrees_with_dom() {
         for &aid in doc.attributes(dn) {
             if let xqp_xml::NodeKind::Attribute { name, value } = &doc.node(aid).kind {
                 assert_eq!(
-                    sdoc.attribute(sn, &name.as_lexical()),
+                    sdoc.attribute(sn, &name.as_lexical()).as_deref(),
                     Some(value.as_str()),
                     "case {case}"
                 );

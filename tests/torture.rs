@@ -7,7 +7,7 @@ use xqp::torture::{torture, TortureConfig};
 
 #[test]
 fn bounded_torture_run_recovers_from_every_fault() {
-    let report = torture(&TortureConfig { seed: 0xf00d, iters: 80 });
+    let report = torture(&TortureConfig { seed: 0xf00d, iters: 80, ..TortureConfig::default() });
     assert!(report.fault_points >= 80, "only {} fault point(s) ran", report.fault_points);
     assert!(
         report.is_clean(),
@@ -18,8 +18,8 @@ fn bounded_torture_run_recovers_from_every_fault() {
 
 #[test]
 fn torture_reports_are_deterministic() {
-    let a = torture(&TortureConfig { seed: 11, iters: 30 });
-    let b = torture(&TortureConfig { seed: 11, iters: 30 });
+    let a = torture(&TortureConfig { seed: 11, iters: 30, ..TortureConfig::default() });
+    let b = torture(&TortureConfig { seed: 11, iters: 30, ..TortureConfig::default() });
     assert_eq!(a.scenarios, b.scenarios);
     assert_eq!(a.fault_points, b.fault_points);
     assert_eq!(a.violations.len(), b.violations.len());
