@@ -330,6 +330,10 @@ impl<'a> CostModel<'a> {
                 self.expr_cardinality(then_branch).max(self.expr_cardinality(else_branch))
             }
             Expr::Flwor(plan) => self.cost_plan(plan).out_rows,
+            // Aggregate calls and quantifiers reduce their argument to a
+            // single item — the cardinality of the streaming fold's output,
+            // however large the folded input estimate was.
+            Expr::Call { .. } | Expr::Quantified { .. } => 1.0,
             _ => 1.0,
         }
     }

@@ -123,6 +123,19 @@ pub enum Expr {
         /// Arguments.
         args: Vec<Expr>,
     },
+    /// Quantified expression `some $var in source satisfies cond` /
+    /// `every $var in source satisfies cond`. Multi-clause forms are
+    /// desugared by the parser into right-nested single-clause quantifiers.
+    Quantified {
+        /// `true` for `every`, `false` for `some`.
+        every: bool,
+        /// Range variable name (without `$`), bound in `cond` only.
+        var: String,
+        /// Range sequence.
+        source: Box<Expr>,
+        /// Per-item test (effective boolean value).
+        cond: Box<Expr>,
+    },
     /// Sequence construction `(e1, e2, …)`.
     SequenceExpr(Vec<Expr>),
     /// An element constructor — the SchemaTree the γ operator labels its
@@ -204,6 +217,12 @@ impl Expr {
                     a.collect_free(out, bound);
                 }
             }
+            Expr::Quantified { var, source, cond, .. } => {
+                source.collect_free(out, bound);
+                bound.push(var.clone());
+                cond.collect_free(out, bound);
+                bound.pop();
+            }
             Expr::SequenceExpr(items) => {
                 for i in items {
                     i.collect_free(out, bound);
@@ -238,6 +257,12 @@ impl Expr {
             Expr::Call { name, args } => {
                 Expr::Call { name, args: args.into_iter().map(f).collect() }
             }
+            Expr::Quantified { every, var, source, cond } => Expr::Quantified {
+                every,
+                var,
+                source: Box::new(f(*source)),
+                cond: Box::new(f(*cond)),
+            },
             Expr::SequenceExpr(items) => Expr::SequenceExpr(items.into_iter().map(f).collect()),
             Expr::Construct(mut tree) => {
                 tree.map_exprs(f);
@@ -251,6 +276,36 @@ impl Expr {
     /// True if the expression is a literal.
     pub fn is_literal(&self) -> bool {
         matches!(self, Expr::Literal(_))
+    }
+
+    /// True if the expression calls `position()` or `last()` anywhere,
+    /// including inside nested FLWORs and constructor trees. Plans whose
+    /// expressions use the focus must preserve per-`for` enumeration order,
+    /// so focus-sensitive plans opt out of binding-restructuring rewrites.
+    pub fn uses_focus(&self) -> bool {
+        match self {
+            Expr::Call { name, args } => {
+                name == "position" || name == "last" || args.iter().any(Expr::uses_focus)
+            }
+            Expr::Literal(_) | Expr::Var(_) | Expr::ContextDoc => false,
+            Expr::Path { base, .. } | Expr::CompiledPath { base, .. } => base.uses_focus(),
+            Expr::Arith { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+                lhs.uses_focus() || rhs.uses_focus()
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => a.uses_focus() || b.uses_focus(),
+            Expr::Not(a) => a.uses_focus(),
+            Expr::If { cond, then_branch, else_branch } => {
+                cond.uses_focus() || then_branch.uses_focus() || else_branch.uses_focus()
+            }
+            Expr::Quantified { source, cond, .. } => source.uses_focus() || cond.uses_focus(),
+            Expr::SequenceExpr(items) => items.iter().any(Expr::uses_focus),
+            Expr::Construct(tree) => {
+                let mut found = false;
+                tree.visit_exprs(&mut |e| found |= e.uses_focus());
+                found
+            }
+            Expr::Flwor(plan) => plan.uses_focus(),
+        }
     }
 }
 
@@ -286,6 +341,10 @@ impl fmt::Display for Expr {
                     write!(f, "{a}")?;
                 }
                 write!(f, ")")
+            }
+            Expr::Quantified { every, var, source, cond } => {
+                let kw = if *every { "every" } else { "some" };
+                write!(f, "({kw} ${var} in {source} satisfies {cond})")
             }
             Expr::SequenceExpr(items) => {
                 write!(f, "(")?;

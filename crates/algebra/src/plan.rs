@@ -397,6 +397,24 @@ impl LogicalPlan {
         }
     }
 
+    /// True if any clause expression calls `position()`/`last()`. A
+    /// focus-sensitive plan must keep its `for` layers intact (so the
+    /// enumeration the focus is defined over survives lowering); rewrites
+    /// that restructure bindings (R5, R12) check this and stand down.
+    pub fn uses_focus(&self) -> bool {
+        let clause_uses = match self {
+            LogicalPlan::EnvRoot | LogicalPlan::TpmBind { .. } => false,
+            LogicalPlan::ForBind { source, .. } | LogicalPlan::LetBind { source, .. } => {
+                source.uses_focus()
+            }
+            LogicalPlan::Where { cond, .. } => cond.uses_focus(),
+            LogicalPlan::OrderBy { keys, .. } => keys.iter().any(|k| k.expr.uses_focus()),
+            LogicalPlan::ReturnClause { expr, .. } => expr.uses_focus(),
+            LogicalPlan::JoinGraph { sides, .. } => sides.iter().any(|s| s.source.uses_focus()),
+        };
+        clause_uses || self.input().is_some_and(LogicalPlan::uses_focus)
+    }
+
     /// Rewrite every embedded expression bottom-up.
     pub fn map_exprs(self, f: &mut impl FnMut(Expr) -> Expr) -> LogicalPlan {
         match self {

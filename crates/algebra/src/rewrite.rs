@@ -56,6 +56,9 @@ pub struct RuleSet {
     pub projection_pushdown: bool,
     /// R12: isolate ⋈v equi-joins into an explicit join-graph node.
     pub join_isolation: bool,
+    /// R13: drop `order by` under order-insensitive aggregates
+    /// (`count`/`exists`/`empty` over a sole FLWOR argument).
+    pub agg_orderby_prune: bool,
 }
 
 impl RuleSet {
@@ -74,6 +77,7 @@ impl RuleSet {
             predicate_pushdown: true,
             projection_pushdown: true,
             join_isolation: true,
+            agg_orderby_prune: true,
         }
     }
 
@@ -92,10 +96,11 @@ impl RuleSet {
             predicate_pushdown: false,
             projection_pushdown: false,
             join_isolation: false,
+            agg_orderby_prune: false,
         }
     }
 
-    /// All rules except one (ablation helper); `rule` is the R-number (1–12).
+    /// All rules except one (ablation helper); `rule` is the R-number (1–13).
     pub fn all_except(rule: u8) -> Self {
         let mut r = RuleSet::all();
         match rule {
@@ -111,6 +116,7 @@ impl RuleSet {
             10 => r.predicate_pushdown = false,
             11 => r.projection_pushdown = false,
             12 => r.join_isolation = false,
+            13 => r.agg_orderby_prune = false,
             _ => {}
         }
         r
@@ -521,6 +527,12 @@ pub(crate) fn flwor_to_tpm(
     rules: &RuleSet,
     report: &mut RewriteReport,
 ) -> LogicalPlan {
+    // position()/last() are defined over per-`for` enumeration; a TpmBind
+    // replaces those layers with match-set expansion, so focus-sensitive
+    // plans keep their binding structure.
+    if plan.uses_focus() {
+        return plan;
+    }
     let mut clauses = Vec::new();
     to_clauses(plan, &mut clauses);
 
@@ -680,16 +692,16 @@ fn push_conjunct(
 // ---- totality analysis (gates R10–R12) -----------------------------------------
 
 /// Built-in functions whose naive evaluation never raises a dynamic error.
-/// Arithmetic-performing functions (`sum`, `avg`) and anything that can
-/// type-error are deliberately absent.
+/// Arithmetic-performing functions (`sum`, `avg`), anything that can
+/// type-error (`string`/`number` on multi-item sequences, `min`/`max` on
+/// mixed-type sequences) and the focus functions (`position`/`last` error
+/// outside a `for`) are deliberately absent.
 const TOTAL_FNS: &[&str] = &[
     "count",
     "empty",
     "exists",
     "boolean",
     "not",
-    "string",
-    "number",
     "concat",
     "contains",
     "starts-with",
@@ -698,8 +710,6 @@ const TOTAL_FNS: &[&str] = &[
     "normalize-space",
     "string-join",
     "substring",
-    "min",
-    "max",
     "distinct-values",
 ];
 
@@ -722,7 +732,10 @@ pub(crate) fn is_total(e: &Expr) -> bool {
             TOTAL_FNS.contains(&name.as_str()) && args.iter().all(is_total)
         }
         Expr::SequenceExpr(items) => items.iter().all(is_total),
-        Expr::Arith { .. } | Expr::Construct(_) | Expr::Flwor(_) => false,
+        // Quantifiers range a fresh variable over an arbitrary source and
+        // evaluate the condition per item — conservatively non-total, like
+        // nested FLWORs.
+        Expr::Arith { .. } | Expr::Construct(_) | Expr::Flwor(_) | Expr::Quantified { .. } => false,
     }
 }
 
@@ -924,6 +937,12 @@ fn find_join_run(clauses: &[Clause]) -> Option<(usize, usize)> {
 /// edges, and any non-edge conjuncts survive as a residual `where` — but
 /// only if they are all total, since the join evaluates edges first.
 pub(crate) fn join_isolation_pass(plan: LogicalPlan, report: &mut RewriteReport) -> LogicalPlan {
+    // A join graph replaces its `for` runs with probe expansion, which
+    // does not thread the hidden focus bindings — stand down when the plan
+    // calls position()/last().
+    if plan.uses_focus() {
+        return plan;
+    }
     let mut clauses = Vec::new();
     to_clauses(plan, &mut clauses);
     let Some((start, end)) = find_join_run(&clauses) else {
@@ -966,6 +985,59 @@ pub(crate) fn join_isolation_pass(plan: LogicalPlan, report: &mut RewriteReport)
     }
     rebuilt.extend(tail.into_iter().skip(end - start + 1));
     from_clauses(rebuilt)
+}
+
+// ---- R13: aggregate order-by pruning --------------------------------------------
+
+/// Aggregates whose value is independent of input order *and* of any
+/// per-item arithmetic — `sum`/`avg`/`min`/`max` are excluded because their
+/// accumulator behavior (overflow promotion, error trapping order) is
+/// observable through error classes.
+const ORDER_INSENSITIVE_AGGS: &[&str] = &["count", "exists", "empty"];
+
+/// R13: drop an `order by` whose only consumer is an order-insensitive
+/// aggregate — `count(for … order by $k … return e)` sorts total bindings
+/// only to count them, wasting the sort's O(n log n) work *and* its
+/// pipeline-breaking materialization. The keys must all be total, since a
+/// dropped sort must not hide a key-evaluation error.
+pub(crate) fn agg_orderby_prune_pass(plan: LogicalPlan, report: &mut RewriteReport) -> LogicalPlan {
+    let mut fired = false;
+    let plan = plan.map_exprs(&mut |e| prune_agg_orderby(e, &mut fired));
+    if fired {
+        report.applied.push("R13");
+    }
+    plan
+}
+
+fn prune_agg_orderby(e: Expr, fired: &mut bool) -> Expr {
+    let e = e.map_children(&mut |c| prune_agg_orderby(c, fired));
+    match e {
+        Expr::Call { name, mut args }
+            if ORDER_INSENSITIVE_AGGS.contains(&name.as_str()) && args.len() == 1 =>
+        {
+            if let Expr::Flwor(plan) = &mut args[0] {
+                let inner = std::mem::replace(plan.as_mut(), LogicalPlan::EnvRoot);
+                let (inner, removed) = strip_total_orderby(inner);
+                *plan.as_mut() = inner;
+                *fired |= removed;
+            }
+            Expr::Call { name, args }
+        }
+        other => other,
+    }
+}
+
+/// Remove every `OrderBy` layer whose keys are all total from a pipeline.
+fn strip_total_orderby(plan: LogicalPlan) -> (LogicalPlan, bool) {
+    let mut clauses = Vec::new();
+    to_clauses(plan, &mut clauses);
+    let before = clauses.len();
+    clauses.retain(|c| match c {
+        Clause::OrderByC(keys) => !keys.iter().all(|k| is_total(&k.expr)),
+        _ => true,
+    });
+    let removed = clauses.len() != before;
+    (from_clauses(clauses), removed)
 }
 
 // ---- R1/R2: path compilation ----------------------------------------------------

@@ -18,14 +18,16 @@
 //! 5. `prune-outputs` (R6) — drop unused TPM outputs the fusion created.
 //! 6. `predicate-pushdown` (R10) — hoist residual filters past bindings.
 //! 7. `projection-pushdown` (R11) — sink `let`s below remaining filters.
-//! 8. `compile-paths` (R1/R2) — last, so every rule above sees surface
+//! 8. `agg-orderby-prune` (R13) — drop sorts feeding order-insensitive
+//!    aggregates, before lowering fixes the pipeline shape.
+//! 9. `compile-paths` (R1/R2) — last, so every rule above sees surface
 //!    paths, and nested FLWORs get the whole pipeline recursively.
 
 use crate::plan::LogicalPlan;
 use crate::rewrite::{
-    compile_paths_in_plan, const_fold_pass, flwor_to_tpm, join_isolation_pass,
-    predicate_pushdown_pass, projection_pushdown_pass, prune_dead_pass, prune_outputs_pass,
-    RewriteReport, RuleSet, RuleTrace,
+    agg_orderby_prune_pass, compile_paths_in_plan, const_fold_pass, flwor_to_tpm,
+    join_isolation_pass, predicate_pushdown_pass, projection_pushdown_pass, prune_dead_pass,
+    prune_outputs_pass, RewriteReport, RuleSet, RuleTrace,
 };
 
 /// Traversal direction a rule's pass uses over the plan.
@@ -152,6 +154,15 @@ define_rule!(
 );
 
 define_rule!(
+    /// R13: drop `order by` under order-insensitive aggregates.
+    AggOrderbyPrune,
+    "agg-orderby-prune",
+    BottomUp,
+    |r| r.agg_orderby_prune,
+    |p, _, rep| agg_orderby_prune_pass(p, rep)
+);
+
+define_rule!(
     /// R1/R2: compile surface paths into τ operator trees (always on —
     /// with R1 off it still lowers paths to the naive navigation cascade).
     CompilePaths,
@@ -172,6 +183,7 @@ pub fn default_rules() -> Vec<Box<dyn LogicalOptimizerRule>> {
         Box::new(PruneOutputs),
         Box::new(PredicatePushdown),
         Box::new(ProjectionPushdown),
+        Box::new(AggOrderbyPrune),
         Box::new(CompilePaths),
     ]
 }
@@ -275,6 +287,7 @@ mod tests {
                 "prune-outputs",
                 "predicate-pushdown",
                 "projection-pushdown",
+                "agg-orderby-prune",
                 "compile-paths",
             ]
         );

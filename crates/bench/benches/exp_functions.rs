@@ -1,0 +1,134 @@
+//! T21 — streaming aggregate folds vs materializing evaluation.
+//!
+//! Each workload wraps a FLWOR in an aggregate (`count`, `sum`, `min`,
+//! `exists`) whose registry entry carries a [`Fold`]: under the streaming
+//! mode the pipeline pushes tuples straight into a constant-space
+//! accumulator and never materializes the aggregated sequence, while the
+//! materializing interpreter builds the full binding table — the
+//! unfiltered cross product for the nested shapes — before reducing it.
+//! Both answers are byte-identical (the equivalence suite pins that); the
+//! bench reports wall time per mode plus the peak simultaneously-live
+//! binding count from [`xqp_exec::ExecCounters::peak_bindings`], and
+//! writes both to `BENCH_functions.json` at the repo root.
+//!
+//! `sum_flat` is the control: a single `for` over one evaluated sequence
+//! enqueues that sequence either way, so the fold can only tie on peak
+//! bindings there. The bounded-memory win comes from *nesting*, where the
+//! materialized table is a product of clause cardinalities.
+
+use std::hint::black_box;
+use xqp_bench::harness::{BenchmarkId, Criterion};
+use xqp_bench::{criterion_group, criterion_main, median_time, xmark_at};
+use xqp_exec::{EvalMode, Executor};
+use xqp_gen::gen_bib;
+use xqp_storage::SuccinctDoc;
+
+/// Quadratic book × author product reduced to a single count — the
+/// streaming fold never holds more than one batch of pairs.
+const COUNT_NESTED: &str = "count(for $b in doc()/bib/book \
+     for $a in doc()/bib/book/author \
+     return 1)";
+
+/// Same product shape, but the fold accumulates a checked-i64 sum over a
+/// price expression instead of a constant.
+const SUM_NESTED: &str = "sum(for $b in doc()/bib/book \
+     for $a in doc()/bib/book/author \
+     where $b/price >= 1 \
+     return $b/price)";
+
+/// XMark value join under `min` — the join rewrite bounds the binding
+/// table in both modes here, so the fold's win is wall time, not peak.
+const MIN_JOIN: &str = "min(for $i in doc()//item \
+     for $c in doc()//category \
+     where $i/incategory/@category = $c/@id \
+     return 1 + count($i/name))";
+
+/// `exists` over the same join: the fold is done after the first tuple,
+/// the materializing interpreter still reduces the whole result.
+const EXISTS_JOIN: &str = "exists(for $i in doc()//item \
+     for $c in doc()//category \
+     where $i/incategory/@category = $c/@id \
+     return $i)";
+
+/// Flat control: one binding stream, no nesting — peaks tie by design.
+const SUM_FLAT: &str = "sum(for $k in doc()//keyword \
+     return count($k))";
+
+const MODES: [EvalMode; 2] = [EvalMode::Streaming, EvalMode::Materializing];
+const ITERS: usize = 15;
+
+fn peak_bindings(sdoc: &SuccinctDoc, mode: EvalMode, q: &str) -> u64 {
+    let ex = Executor::new(sdoc).with_eval_mode(mode);
+    ex.query(q).expect("bench query evaluates");
+    ex.counters().peak_bindings
+}
+
+fn bench(c: &mut Criterion) {
+    let bib = SuccinctDoc::from_document(&gen_bib(120, 42));
+    let xmark = xmark_at(0.4);
+    let cases: [(&str, &SuccinctDoc, &str); 5] = [
+        ("count_nested", &bib, COUNT_NESTED),
+        ("sum_nested", &bib, SUM_NESTED),
+        ("min_join", &xmark, MIN_JOIN),
+        ("exists_join", &xmark, EXISTS_JOIN),
+        ("sum_flat", &xmark, SUM_FLAT),
+    ];
+
+    let mut g = c.benchmark_group("T21_functions");
+    g.sample_size(10);
+    for (name, sdoc, q) in cases {
+        for mode in MODES {
+            g.bench_with_input(BenchmarkId::new(mode.name(), name), &q, |b, q| {
+                let ex = Executor::new(sdoc).with_eval_mode(mode);
+                b.iter(|| black_box(ex.query(q).expect("bench query evaluates").len()))
+            });
+        }
+    }
+    g.finish();
+
+    println!("\n== T21 aggregate folds: peak intermediate bindings ==");
+    let mut rows = Vec::new();
+    for (name, sdoc, q) in cases {
+        // Correctness gates the numbers: both modes must agree first.
+        let stream_ex = Executor::new(sdoc).with_eval_mode(EvalMode::Streaming);
+        let mat_ex = Executor::new(sdoc).with_eval_mode(EvalMode::Materializing);
+        let want = mat_ex.query(q).expect("materializing evaluates");
+        let got = stream_ex.query(q).expect("streaming evaluates");
+        assert_eq!(got, want, "{name} diverged between modes");
+
+        let stream_peak = peak_bindings(sdoc, EvalMode::Streaming, q);
+        let mat_peak = peak_bindings(sdoc, EvalMode::Materializing, q);
+        let t_stream = median_time(ITERS, || {
+            black_box(stream_ex.query(q).expect("streaming evaluates").len());
+        });
+        let t_mat = median_time(ITERS, || {
+            black_box(mat_ex.query(q).expect("materializing evaluates").len());
+        });
+        println!(
+            "{name}: streaming {stream_peak} peak / {t_stream:>9.2?}, \
+             materializing {mat_peak} peak / {t_mat:>9.2?} ({:.1}x peak reduction)",
+            mat_peak as f64 / stream_peak.max(1) as f64
+        );
+        rows.push(format!(
+            "    {{ \"workload\": \"{name}\", \"streaming_peak_bindings\": {stream_peak}, \
+             \"materializing_peak_bindings\": {mat_peak}, \"streaming_us\": {:.1}, \
+             \"materializing_us\": {:.1} }}",
+            t_stream.as_secs_f64() * 1e6,
+            t_mat.as_secs_f64() * 1e6
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"T21_streaming_aggregate_folds\",\n  \
+         \"docs\": \"bib(120 books), xmark@0.4\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_functions.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("-- T21 results written to BENCH_functions.json"),
+        Err(e) => eprintln!("-- T21 results not written: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use xqp_exec::differential::{
     check_budget_matrix, check_matrix, check_rules_matrix, check_select_matrix, Outcome,
 };
-use xqp_gen::qgen::{gen_case, gen_join_case, GenCase};
+use xqp_gen::qgen::{gen_case, gen_fn_case, gen_join_case, GenCase};
 use xqp_gen::Prng;
 use xqp_storage::persist::spill_paged;
 use xqp_storage::{BufferPool, SuccinctDoc};
@@ -43,6 +43,11 @@ pub struct FuzzConfig {
     /// set (all, none, each new rule knocked out) must agree across the
     /// full engine matrix.
     pub joins: bool,
+    /// Function mode: derive function-surface cases ([`gen_fn_case`] —
+    /// aggregates over nested FLWORs, positional predicates, quantifiers,
+    /// typed-error hazards) and push each through the rule-ablation leg,
+    /// so the aggregate order-by prune sits inside the oracle.
+    pub functions: bool,
     /// Paged mode (`xqp fuzz --tiny-pool`): spill each case's document to
     /// a paged file behind a buffer pool of this many pages and re-run the
     /// full strategy × mode matrix over the paged document; the durable
@@ -61,6 +66,7 @@ impl Default for FuzzConfig {
             max_shrink_steps: 160,
             max_failures: 5,
             joins: false,
+            functions: false,
             buffer_pages: None,
         }
     }
@@ -281,7 +287,13 @@ fn outcome_of(res: Result<String, crate::Error>) -> Outcome {
 
 /// Generate, check, and (on failure) shrink the case for one seed.
 pub fn run_seed(case_seed: u64, cfg: &FuzzConfig) -> Option<FuzzFailure> {
-    let case = if cfg.joins { gen_join_case(case_seed) } else { gen_case(case_seed) };
+    let case = if cfg.joins {
+        gen_join_case(case_seed)
+    } else if cfg.functions {
+        gen_fn_case(case_seed)
+    } else {
+        gen_case(case_seed)
+    };
     let report = check_one(&case, cfg)?;
     let (min_case, min_report) = shrink(case, report, cfg);
     Some(FuzzFailure {
@@ -300,7 +312,7 @@ fn check_one(case: &GenCase, cfg: &FuzzConfig) -> Option<String> {
     {
         return Some(report);
     }
-    if cfg.joins {
+    if cfg.joins || cfg.functions {
         if let Err(report) = check_rules(&xml, &case.query_text()) {
             return Some(report);
         }

@@ -246,6 +246,7 @@ pub fn rule_ablations() -> Vec<(&'static str, RuleSet)> {
         ("no-predicate-pushdown", RuleSet { predicate_pushdown: false, ..RuleSet::all() }),
         ("no-projection-pushdown", RuleSet { projection_pushdown: false, ..RuleSet::all() }),
         ("no-join-isolation", RuleSet { join_isolation: false, ..RuleSet::all() }),
+        ("no-agg-orderby-prune", RuleSet { agg_orderby_prune: false, ..RuleSet::all() }),
     ]
 }
 
@@ -495,9 +496,13 @@ mod tests {
     #[test]
     fn rule_ablations_cover_the_new_rules() {
         let names: Vec<&str> = rule_ablations().iter().map(|(n, _)| *n).collect();
-        for needle in
-            ["rules:none", "no-predicate-pushdown", "no-projection-pushdown", "no-join-isolation"]
-        {
+        for needle in [
+            "rules:none",
+            "no-predicate-pushdown",
+            "no-projection-pushdown",
+            "no-join-isolation",
+            "no-agg-orderby-prune",
+        ] {
             assert!(names.contains(&needle), "{names:?} misses {needle}");
         }
     }

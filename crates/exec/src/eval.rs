@@ -11,6 +11,7 @@
 
 use crate::construct;
 use crate::context::{ExecContext, NodeRef, Val, XqError};
+use crate::functions;
 use crate::naive;
 use crate::nok;
 use crate::physical::{EvalMode, PhysicalPlan};
@@ -152,11 +153,40 @@ impl<'c, 'a> Evaluator<'c, 'a> {
                 }
             }
             Expr::Call { name, args } => {
+                let entry = functions::lookup(name)
+                    .ok_or_else(|| XqError::new(format!("unknown function `{name}()`")))?;
+                functions::check_arity(entry, args.len())?;
+                // A streaming-capable aggregate over a sole FLWOR argument
+                // lowers to a fold over the physical pipeline: the FLWOR's
+                // rows are consumed as they stream instead of materializing
+                // the whole argument sequence first.
+                if matches!(self.mode, EvalMode::Streaming) && args.len() == 1 {
+                    if let (Some(mk), Expr::Flwor(plan)) = (entry.fold, &args[0]) {
+                        return self.fold_plan_streaming(plan, mk(), scope);
+                    }
+                }
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     vals.push(self.eval(a, scope)?);
                 }
-                self.call(name, &vals)
+                (entry.eval)(self, scope, &vals)
+            }
+            Expr::Quantified { every, var, source, cond } => {
+                // One shared implementation for both evaluation modes: the
+                // source is produced in full, the condition short-circuits
+                // the moment the verdict is decided. Determinism across the
+                // whole engine matrix is what lets the short-circuit skip
+                // later (possibly erroring) condition evaluations.
+                let seq = self.eval(source, scope)?;
+                let mut verdict = *every;
+                for item in seq {
+                    let s = scope.child(vec![(var.clone(), vec![item])]);
+                    if naive::ebv(&self.eval(cond, &s)?) != *every {
+                        verdict = !*every;
+                        break;
+                    }
+                }
+                Ok(vec![Item::Atom(Atomic::Boolean(verdict))])
             }
             Expr::SequenceExpr(items) => {
                 let mut out = Vec::new();
@@ -271,165 +301,6 @@ impl<'c, 'a> Evaluator<'c, 'a> {
         match op.apply(lv, rv) {
             Some(v) => Ok(vec![Item::Atom(v)]),
             None => Err(XqError::new(format!("cannot compute {lv} {} {rv}", op.symbol()))),
-        }
-    }
-
-    fn call(&self, name: &str, args: &[Val]) -> Result<Val, XqError> {
-        let atom = |a: Atomic| Ok(vec![Item::Atom(a)]);
-        let arg = |i: usize| -> &Val { args.get(i).map(|v| v as &Val).unwrap_or(EMPTY) };
-        static EMPTY_VEC: Vec<Item<NodeRef>> = Vec::new();
-        const EMPTY: &Vec<Item<NodeRef>> = &EMPTY_VEC;
-        let str0 = |s: &Self, i: usize| -> String {
-            s.ctx.atomize(arg(i)).first().map(|a| a.as_string()).unwrap_or_default()
-        };
-        match name {
-            "count" => atom(Atomic::Integer(arg(0).len() as i64)),
-            "empty" => atom(Atomic::Boolean(arg(0).is_empty())),
-            "exists" => atom(Atomic::Boolean(!arg(0).is_empty())),
-            "boolean" => atom(Atomic::Boolean(naive::ebv(arg(0)))),
-            "sum" => {
-                let mut total = 0.0;
-                let mut all_int = true;
-                for a in self.ctx.atomize(arg(0)) {
-                    let n = a
-                        .as_number()
-                        .ok_or_else(|| XqError::new(format!("sum over non-number `{a}`")))?;
-                    if !matches!(a, Atomic::Integer(_)) {
-                        all_int = false;
-                    }
-                    total += n;
-                }
-                if all_int && total.fract() == 0.0 {
-                    atom(Atomic::Integer(total as i64))
-                } else {
-                    atom(Atomic::Double(total))
-                }
-            }
-            "avg" => {
-                let atoms = self.ctx.atomize(arg(0));
-                if atoms.is_empty() {
-                    return Ok(Vec::new());
-                }
-                let mut total = 0.0;
-                for a in &atoms {
-                    total += a
-                        .as_number()
-                        .ok_or_else(|| XqError::new(format!("avg over non-number `{a}`")))?;
-                }
-                atom(Atomic::Double(total / atoms.len() as f64))
-            }
-            "min" | "max" => {
-                let mut atoms = self.ctx.atomize(arg(0));
-                if atoms.is_empty() {
-                    return Ok(Vec::new());
-                }
-                atoms.sort_by(|a, b| a.order_key_cmp(b));
-                let chosen = if name == "min" {
-                    atoms.into_iter().next()
-                } else {
-                    atoms.into_iter().next_back()
-                };
-                atom(chosen.expect("non-empty"))
-            }
-            "string" => atom(Atomic::Str(str0(self, 0))),
-            "number" => {
-                let n = self
-                    .ctx
-                    .atomize(arg(0))
-                    .first()
-                    .and_then(Atomic::as_number)
-                    .unwrap_or(f64::NAN);
-                atom(Atomic::Double(n))
-            }
-            "data" => Ok(self.ctx.atomize(arg(0)).into_iter().map(Item::Atom).collect()),
-            "concat" => {
-                let mut s = String::new();
-                for v in args {
-                    for a in self.ctx.atomize(v) {
-                        s.push_str(&a.as_string());
-                    }
-                }
-                atom(Atomic::Str(s))
-            }
-            "string-join" => {
-                let sep = str0(self, 1);
-                let parts: Vec<String> =
-                    self.ctx.atomize(arg(0)).iter().map(|a| a.as_string()).collect();
-                atom(Atomic::Str(parts.join(&sep)))
-            }
-            "contains" => atom(Atomic::Boolean(str0(self, 0).contains(&str0(self, 1)))),
-            "starts-with" => atom(Atomic::Boolean(str0(self, 0).starts_with(&str0(self, 1)))),
-            "ends-with" => atom(Atomic::Boolean(str0(self, 0).ends_with(&str0(self, 1)))),
-            "string-length" => atom(Atomic::Integer(str0(self, 0).chars().count() as i64)),
-            "normalize-space" => {
-                let s = str0(self, 0);
-                atom(Atomic::Str(s.split_whitespace().collect::<Vec<_>>().join(" ")))
-            }
-            "substring" => {
-                let s = str0(self, 0);
-                let chars: Vec<char> = s.chars().collect();
-                let start = self
-                    .ctx
-                    .atomize(arg(1))
-                    .first()
-                    .and_then(Atomic::as_number)
-                    .unwrap_or(1.0)
-                    .round() as i64;
-                let len = if args.len() > 2 {
-                    self.ctx
-                        .atomize(arg(2))
-                        .first()
-                        .and_then(Atomic::as_number)
-                        .unwrap_or(0.0)
-                        .round() as i64
-                } else {
-                    chars.len() as i64
-                };
-                let from = (start - 1).max(0) as usize;
-                let to = ((start - 1 + len).max(0) as usize).min(chars.len());
-                let out: String = chars.get(from..to.max(from)).unwrap_or(&[]).iter().collect();
-                atom(Atomic::Str(out))
-            }
-            "name" | "local-name" => {
-                let n = arg(0)
-                    .first()
-                    .and_then(|i| i.as_node())
-                    .and_then(|&n| self.ctx.name_of(n))
-                    .unwrap_or_default();
-                let n = if name == "local-name" {
-                    n.rsplit(':').next().unwrap_or("").to_string()
-                } else {
-                    n
-                };
-                atom(Atomic::Str(n))
-            }
-            "distinct-values" => {
-                let mut atoms = self.ctx.atomize(arg(0));
-                atoms.sort_by(|a, b| a.order_key_cmp(b));
-                atoms.dedup_by(|a, b| a.order_key_cmp(b) == Ordering::Equal);
-                Ok(atoms.into_iter().map(Item::Atom).collect())
-            }
-            "round" | "floor" | "ceiling" | "abs" => {
-                let Some(a) = self.ctx.atomize(arg(0)).into_iter().next() else {
-                    return Ok(Vec::new());
-                };
-                let n = a
-                    .as_number()
-                    .ok_or_else(|| XqError::new(format!("{name} of non-number `{a}`")))?;
-                let r = match name {
-                    "round" => n.round(),
-                    "floor" => n.floor(),
-                    "ceiling" => n.ceil(),
-                    _ => n.abs(),
-                };
-                if matches!(a, Atomic::Integer(_)) {
-                    atom(Atomic::Integer(r as i64))
-                } else {
-                    atom(Atomic::Double(r))
-                }
-            }
-            "not" => atom(Atomic::Boolean(!naive::ebv(arg(0)))),
-            other => Err(XqError::new(format!("unknown function `{other}()`"))),
         }
     }
 }
@@ -677,5 +548,120 @@ mod tests {
         let fused = run_with(xml, q, &RuleSet::all(), Strategy::NoK);
         assert_eq!(fused, ["1", "0"]);
         assert_eq!(fused, run_with(xml, q, &RuleSet::none(), Strategy::Naive));
+    }
+
+    /// Evaluate under both modes, expecting the same error from each.
+    fn run_err(xml: &str, query: &str) -> XqError {
+        let sdoc = SuccinctDoc::parse(xml).unwrap();
+        let ctx = ExecContext::new(&sdoc);
+        let body = xqp_xquery::parse_query(query).unwrap().body;
+        let (body, _) = optimize_expr(body, &RuleSet::all());
+        let streaming =
+            Evaluator::new(&ctx, Strategy::Auto).eval(&body, &Scope::root()).unwrap_err();
+        let materializing = Evaluator::new(&ctx, Strategy::Auto)
+            .with_mode(crate::physical::EvalMode::Materializing)
+            .eval(&body, &Scope::root())
+            .unwrap_err();
+        assert_eq!(streaming, materializing, "modes must report the same error for `{query}`");
+        streaming
+    }
+
+    /// Regression: `sum()` used to accumulate in an f64 from the first
+    /// item, silently rounding integers past the 2^53 mantissa. It now
+    /// accumulates in checked i64 and stays exact.
+    #[test]
+    fn sum_is_exact_past_the_double_mantissa() {
+        assert_eq!(run(BIB, "sum((9007199254740993, 1))"), ["9007199254740994"]);
+        assert_eq!(run(BIB, "sum((9007199254740993, 0 - 9007199254740993))"), ["0"]);
+    }
+
+    /// On genuine i64 overflow the accumulator promotes to Double instead
+    /// of erroring (and instead of wrapping).
+    #[test]
+    fn sum_overflow_promotes_to_double() {
+        assert_eq!(run(BIB, "sum((9223372036854775807, 1))"), ["9223372036854776000"]);
+        assert_eq!(
+            run(BIB, "sum((0 - 9223372036854775807, 0 - 9223372036854775807))"),
+            ["-18446744073709552000"]
+        );
+        // A double anywhere in the input switches to float accumulation.
+        assert_eq!(run(BIB, "sum((1.5, 2))"), ["3.5"]);
+    }
+
+    /// Regression: `string()`/`number()` over a multi-item sequence used to
+    /// silently pick the first item; the registry's cardinality check makes
+    /// it a typed error in both modes.
+    #[test]
+    fn string_and_number_reject_multi_item_sequences() {
+        let err = run_err(BIB, "string(doc()//author)");
+        assert!(err.0.contains("type error"), "{err}");
+        assert!(err.0.contains("sequence of 3 items"), "{err}");
+        let err = run_err(BIB, "number(doc()/bib/book/price)");
+        assert!(err.0.contains("type error"), "{err}");
+        // Empty and singleton stay fine.
+        assert_eq!(run(BIB, "string(doc()//zzz)"), [""]);
+        assert_eq!(run(BIB, "string(doc()/bib/book[1]/title)"), ["TCP"]);
+    }
+
+    /// Regression: mixed numeric/string input to `min()`/`max()` used to
+    /// compare through NaN-poisoned promotion (picking an arbitrary
+    /// winner); it is now a typed error in both modes.
+    #[test]
+    fn min_max_reject_mixed_type_sequences() {
+        // Node text atomizes as (untyped) strings, so a numeric literal in
+        // the same sequence crosses the type-rank boundary too.
+        for q in ["min((1, \"a\"))", "max((\"a\", 1))", "max((doc()//price, 1))"] {
+            let err = run_err(BIB, q);
+            assert!(err.0.contains("mixed types"), "`{q}`: {err}");
+        }
+        // Homogeneous inputs of either kind still aggregate.
+        assert_eq!(run(BIB, "min((3, 1, 2))"), ["1"]);
+        assert_eq!(run(BIB, "max((\"a\", \"c\", \"b\"))"), ["c"]);
+        assert_eq!(run(BIB, "min(doc()//zzz)"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn position_and_last_see_the_innermost_for() {
+        assert_eq!(run(BIB, "for $b in doc()/bib/book return position()"), ["1", "2"]);
+        assert_eq!(run(BIB, "for $b in doc()/bib/book return last()"), ["2", "2"]);
+        // The inner `for` shadows the outer focus; `last()` follows suit.
+        assert_eq!(
+            run(
+                BIB,
+                "for $b in doc()/bib/book for $a in $b/author \
+                 return concat(position(), \"/\", last())"
+            ),
+            ["1/1", "1/2", "2/2"]
+        );
+        // Positional windows in `where` agree with path predicates.
+        assert_eq!(
+            run(BIB, "for $b in doc()/bib/book where position() = last() return $b/title"),
+            ["Data"]
+        );
+    }
+
+    #[test]
+    fn focus_outside_a_for_clause_errors() {
+        let err = run_err(BIB, "position()");
+        assert!(err.0.contains("outside a for clause"), "{err}");
+        let err = run_err(BIB, "let $x := 1 return last()");
+        assert!(err.0.contains("outside a for clause"), "{err}");
+    }
+
+    #[test]
+    fn quantifiers_short_circuit_and_agree() {
+        assert_eq!(run(BIB, "some $x in doc()//price satisfies $x > 50"), ["true"]);
+        assert_eq!(run(BIB, "every $x in doc()//price satisfies $x > 50"), ["false"]);
+        assert_eq!(run(BIB, "some $x in doc()//zzz satisfies $x = 1"), ["false"]);
+        assert_eq!(run(BIB, "every $x in doc()//zzz satisfies $x = 1"), ["true"]);
+        // Multi-clause quantifiers desugar to nested single-variable ones.
+        assert_eq!(
+            run(BIB, "some $b in doc()/bib/book, $a in $b/author satisfies $a = \"Buneman\""),
+            ["true"]
+        );
+        assert_eq!(
+            run(BIB, "every $b in doc()/bib/book, $a in $b/author satisfies $a = \"Stevens\""),
+            ["false"]
+        );
     }
 }

@@ -1,0 +1,624 @@
+//! Extensible built-in function registry and streaming fold aggregates.
+//!
+//! Every built-in the evaluator dispatches lives in one static [`registry`]
+//! of [`FnEntry`] rows: name, arity bounds, an eager implementation, and —
+//! for the aggregates — a [`Fold`] constructor that gives the function a
+//! *streaming* physical form. The streaming pipeline feeds a fold one row's
+//! items at a time ([`crate::physical::fold_execute`]) instead of
+//! materializing the aggregate's whole input sequence; the eager path
+//! constructs the same fold, pushes the full argument once and finishes it,
+//! so both evaluation modes share one semantics by construction.
+//!
+//! **Error discipline.** [`Fold::push`] is infallible: a fold that observes
+//! a type error (sum over a non-number, min/max over mixed types) stores it
+//! and reports itself saturated, and the driver keeps draining rows so
+//! per-row evaluation effects and governor accounting stay identical to the
+//! eager path. [`Fold::finish`] surfaces the stored error — byte-identical
+//! in both modes, which the 12-config differential oracle depends on.
+
+use crate::context::{ExecContext, Val, XqError};
+use crate::eval::{Evaluator, Scope};
+use crate::naive;
+use crate::physical::EvalError;
+use std::cmp::Ordering;
+use xqp_algebra::Item;
+use xqp_xml::Atomic;
+
+/// Hidden binding carrying the 1-based position of the innermost `for`
+/// binding in scope. The `#` prefix is unreachable from query syntax.
+pub const FOCUS_POS: &str = "#pos";
+/// Hidden binding carrying the size of the innermost `for` sequence.
+pub const FOCUS_LAST: &str = "#last";
+
+/// Eager implementation of one built-in: fully evaluated arguments in, one
+/// result sequence out. The scope is threaded for the focus functions
+/// (`position()`/`last()`), which read hidden bindings rather than
+/// arguments.
+pub type FnEval = fn(&Evaluator<'_, '_>, &Scope<'_>, &[Val]) -> Result<Val, XqError>;
+
+/// One registered built-in.
+pub struct FnEntry {
+    /// Surface name, as written in queries.
+    pub name: &'static str,
+    /// Minimum argument count.
+    pub min_args: usize,
+    /// Maximum argument count; `None` means variadic.
+    pub max_args: Option<usize>,
+    /// Streaming-capable: a constructor for the function's fold operator.
+    /// `Some` marks the aggregates whose sole-FLWOR-argument calls lower to
+    /// [`crate::physical::fold_execute`] instead of materializing.
+    pub fold: Option<fn() -> Box<dyn Fold>>,
+    /// The eager implementation.
+    pub eval: FnEval,
+}
+
+/// A streaming aggregate: consumes one row's items at a time.
+pub trait Fold {
+    /// Feed one row's items. Returns `false` once the fold is saturated
+    /// (short-circuited or errored) and further input cannot change its
+    /// outcome; the driver then stops feeding it but keeps draining rows.
+    /// Must not fail — observed errors are stored and surfaced by
+    /// [`Fold::finish`], keeping streaming errors identical to eager ones.
+    fn push(&mut self, ctx: &ExecContext<'_>, items: &Val) -> bool;
+    /// Produce the aggregate value, or the first stored error.
+    fn finish(self: Box<Self>, ctx: &ExecContext<'_>) -> Result<Val, XqError>;
+}
+
+/// The full registry, in stable order (conformance tests iterate it).
+pub fn registry() -> &'static [FnEntry] {
+    REGISTRY
+}
+
+/// Look up a built-in by surface name.
+pub fn lookup(name: &str) -> Option<&'static FnEntry> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// Enforce an entry's arity bounds against an actual argument count.
+pub fn check_arity(entry: &FnEntry, given: usize) -> Result<(), XqError> {
+    let ok = given >= entry.min_args && entry.max_args.is_none_or(|m| given <= m);
+    if ok {
+        return Ok(());
+    }
+    let expected = match entry.max_args {
+        Some(m) if m == entry.min_args => format!("exactly {m}"),
+        Some(m) => format!("between {} and {m}", entry.min_args),
+        None => format!("at least {}", entry.min_args),
+    };
+    Err(XqError::new(format!(
+        "wrong number of arguments to {}(): expected {expected}, got {given}",
+        entry.name
+    )))
+}
+
+static REGISTRY: &[FnEntry] = &[
+    FnEntry { name: "count", min_args: 1, max_args: Some(1), fold: Some(mk_count), eval: fn_count },
+    FnEntry { name: "sum", min_args: 1, max_args: Some(1), fold: Some(mk_sum), eval: fn_sum },
+    FnEntry { name: "avg", min_args: 1, max_args: Some(1), fold: Some(mk_avg), eval: fn_avg },
+    FnEntry { name: "min", min_args: 1, max_args: Some(1), fold: Some(mk_min), eval: fn_min },
+    FnEntry { name: "max", min_args: 1, max_args: Some(1), fold: Some(mk_max), eval: fn_max },
+    FnEntry {
+        name: "exists",
+        min_args: 1,
+        max_args: Some(1),
+        fold: Some(mk_exists),
+        eval: fn_exists,
+    },
+    FnEntry { name: "empty", min_args: 1, max_args: Some(1), fold: Some(mk_empty), eval: fn_empty },
+    FnEntry { name: "boolean", min_args: 1, max_args: Some(1), fold: None, eval: fn_boolean },
+    FnEntry { name: "not", min_args: 1, max_args: Some(1), fold: None, eval: fn_not },
+    FnEntry { name: "string", min_args: 1, max_args: Some(1), fold: None, eval: fn_string },
+    FnEntry { name: "number", min_args: 1, max_args: Some(1), fold: None, eval: fn_number },
+    FnEntry { name: "data", min_args: 1, max_args: Some(1), fold: None, eval: fn_data },
+    FnEntry { name: "concat", min_args: 2, max_args: None, fold: None, eval: fn_concat },
+    FnEntry {
+        name: "string-join",
+        min_args: 2,
+        max_args: Some(2),
+        fold: None,
+        eval: fn_string_join,
+    },
+    FnEntry { name: "contains", min_args: 2, max_args: Some(2), fold: None, eval: fn_contains },
+    FnEntry {
+        name: "starts-with",
+        min_args: 2,
+        max_args: Some(2),
+        fold: None,
+        eval: fn_starts_with,
+    },
+    FnEntry { name: "ends-with", min_args: 2, max_args: Some(2), fold: None, eval: fn_ends_with },
+    FnEntry {
+        name: "string-length",
+        min_args: 1,
+        max_args: Some(1),
+        fold: None,
+        eval: fn_string_length,
+    },
+    FnEntry {
+        name: "normalize-space",
+        min_args: 1,
+        max_args: Some(1),
+        fold: None,
+        eval: fn_normalize_space,
+    },
+    FnEntry { name: "substring", min_args: 2, max_args: Some(3), fold: None, eval: fn_substring },
+    FnEntry { name: "name", min_args: 1, max_args: Some(1), fold: None, eval: fn_name },
+    FnEntry { name: "local-name", min_args: 1, max_args: Some(1), fold: None, eval: fn_local_name },
+    FnEntry {
+        name: "distinct-values",
+        min_args: 1,
+        max_args: Some(1),
+        fold: None,
+        eval: fn_distinct_values,
+    },
+    FnEntry { name: "round", min_args: 1, max_args: Some(1), fold: None, eval: fn_round },
+    FnEntry { name: "floor", min_args: 1, max_args: Some(1), fold: None, eval: fn_floor },
+    FnEntry { name: "ceiling", min_args: 1, max_args: Some(1), fold: None, eval: fn_ceiling },
+    FnEntry { name: "abs", min_args: 1, max_args: Some(1), fold: None, eval: fn_abs },
+    FnEntry { name: "position", min_args: 0, max_args: Some(0), fold: None, eval: fn_position },
+    FnEntry { name: "last", min_args: 0, max_args: Some(0), fold: None, eval: fn_last },
+];
+
+// ---- folds -----------------------------------------------------------------
+
+fn mk_count() -> Box<dyn Fold> {
+    Box::new(CountFold { n: 0 })
+}
+fn mk_sum() -> Box<dyn Fold> {
+    Box::new(SumFold { acc: NumAcc::Int(0), err: None })
+}
+fn mk_avg() -> Box<dyn Fold> {
+    Box::new(AvgFold { total: 0.0, n: 0, err: None })
+}
+fn mk_min() -> Box<dyn Fold> {
+    Box::new(MinMaxFold { min: true, best: None, err: None })
+}
+fn mk_max() -> Box<dyn Fold> {
+    Box::new(MinMaxFold { min: false, best: None, err: None })
+}
+fn mk_exists() -> Box<dyn Fold> {
+    Box::new(AnyFold { negate: false, seen: false })
+}
+fn mk_empty() -> Box<dyn Fold> {
+    Box::new(AnyFold { negate: true, seen: false })
+}
+
+fn atom_val(a: Atomic) -> Val {
+    vec![Item::Atom(a)]
+}
+
+struct CountFold {
+    n: i64,
+}
+
+impl Fold for CountFold {
+    fn push(&mut self, _ctx: &ExecContext<'_>, items: &Val) -> bool {
+        self.n += items.len() as i64;
+        true
+    }
+    fn finish(self: Box<Self>, _ctx: &ExecContext<'_>) -> Result<Val, XqError> {
+        Ok(atom_val(Atomic::Integer(self.n)))
+    }
+}
+
+/// The `sum()` accumulator: exact `i64` while every atom is an integer and
+/// no addition overflows, explicitly promoted to `f64` otherwise. This is
+/// the `sum()` precision bugfix — the old accumulator was always `f64`, so
+/// integer sums beyond 2^53 silently lost precision and the final
+/// `total as i64` truncated.
+enum NumAcc {
+    /// All-integer so far, exact.
+    Int(i64),
+    /// Promoted: a non-integer atom appeared or an addition overflowed.
+    Dbl(f64),
+}
+
+impl NumAcc {
+    fn add(&mut self, a: &Atomic, n: f64) {
+        match (&mut *self, a) {
+            (NumAcc::Int(t), Atomic::Integer(i)) => match t.checked_add(*i) {
+                Some(s) => *t = s,
+                None => *self = NumAcc::Dbl(*t as f64 + *i as f64),
+            },
+            (NumAcc::Int(t), _) => *self = NumAcc::Dbl(*t as f64 + n),
+            (NumAcc::Dbl(d), _) => *d += n,
+        }
+    }
+}
+
+struct SumFold {
+    acc: NumAcc,
+    err: Option<XqError>,
+}
+
+impl Fold for SumFold {
+    fn push(&mut self, ctx: &ExecContext<'_>, items: &Val) -> bool {
+        for a in ctx.atomize(items) {
+            let Some(n) = a.as_number() else {
+                self.err = Some(XqError::new(format!("sum over non-number `{a}`")));
+                return false;
+            };
+            self.acc.add(&a, n);
+        }
+        true
+    }
+    fn finish(self: Box<Self>, _ctx: &ExecContext<'_>) -> Result<Val, XqError> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        Ok(atom_val(match self.acc {
+            NumAcc::Int(t) => Atomic::Integer(t),
+            NumAcc::Dbl(d) => Atomic::Double(d),
+        }))
+    }
+}
+
+struct AvgFold {
+    total: f64,
+    n: u64,
+    err: Option<XqError>,
+}
+
+impl Fold for AvgFold {
+    fn push(&mut self, ctx: &ExecContext<'_>, items: &Val) -> bool {
+        for a in ctx.atomize(items) {
+            let Some(n) = a.as_number() else {
+                self.err = Some(XqError::new(format!("avg over non-number `{a}`")));
+                return false;
+            };
+            self.total += n;
+            self.n += 1;
+        }
+        true
+    }
+    fn finish(self: Box<Self>, _ctx: &ExecContext<'_>) -> Result<Val, XqError> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        if self.n == 0 {
+            return Ok(Vec::new());
+        }
+        Ok(atom_val(Atomic::Double(self.total / self.n as f64)))
+    }
+}
+
+/// The type-rank classes of [`Atomic::order_key_cmp`]: values in different
+/// classes have no spec-defined order, so `min()`/`max()` across them is a
+/// type error (the mixed-type bugfix) instead of a silent rank comparison.
+fn type_rank(a: &Atomic) -> u8 {
+    match a {
+        Atomic::Boolean(_) => 0,
+        Atomic::Integer(_) | Atomic::Double(_) => 1,
+        Atomic::Str(_) => 2,
+    }
+}
+
+struct MinMaxFold {
+    min: bool,
+    best: Option<Atomic>,
+    err: Option<XqError>,
+}
+
+impl Fold for MinMaxFold {
+    fn push(&mut self, ctx: &ExecContext<'_>, items: &Val) -> bool {
+        for a in ctx.atomize(items) {
+            match &self.best {
+                None => self.best = Some(a),
+                Some(b) => {
+                    if type_rank(&a) != type_rank(b) {
+                        self.err = Some(EvalError::MixedTypeAggregate.into());
+                        return false;
+                    }
+                    // Ties keep the first atom for min and take the latest
+                    // for max, matching a stable ascending sort read from
+                    // its first/last element.
+                    let take = match a.order_key_cmp(b) {
+                        Ordering::Less => self.min,
+                        Ordering::Greater => !self.min,
+                        Ordering::Equal => !self.min,
+                    };
+                    if take {
+                        self.best = Some(a);
+                    }
+                }
+            }
+        }
+        true
+    }
+    fn finish(self: Box<Self>, _ctx: &ExecContext<'_>) -> Result<Val, XqError> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        Ok(self.best.map(atom_val).unwrap_or_default())
+    }
+}
+
+/// `exists()` (and, negated, `empty()`): saturates on the first item.
+struct AnyFold {
+    negate: bool,
+    seen: bool,
+}
+
+impl Fold for AnyFold {
+    fn push(&mut self, _ctx: &ExecContext<'_>, items: &Val) -> bool {
+        if !items.is_empty() {
+            self.seen = true;
+            return false;
+        }
+        true
+    }
+    fn finish(self: Box<Self>, _ctx: &ExecContext<'_>) -> Result<Val, XqError> {
+        Ok(atom_val(Atomic::Boolean(self.seen != self.negate)))
+    }
+}
+
+/// Run a fold eagerly over one fully-evaluated argument — the shared
+/// implementation behind every aggregate's [`FnEntry::eval`].
+fn fold_eager(
+    mk: fn() -> Box<dyn Fold>,
+    ev: &Evaluator<'_, '_>,
+    arg: &Val,
+) -> Result<Val, XqError> {
+    let mut f = mk();
+    f.push(ev.ctx, arg);
+    f.finish(ev.ctx)
+}
+
+// ---- eager implementations -------------------------------------------------
+
+/// First atomized item as a string; empty string for an empty sequence.
+/// Deliberately permissive (first item) — only `string()`/`number()` have
+/// the strict single-item contract, via [`single_atom`].
+fn str_arg(ev: &Evaluator<'_, '_>, arg: &Val) -> String {
+    ev.ctx.atomize(arg).first().map(|a| a.as_string()).unwrap_or_default()
+}
+
+/// Atomize an argument that must hold at most one item — the
+/// `string()`/`number()` sequence bugfix: more than one item is a type
+/// error, not a silent first-item pick.
+fn single_atom(ev: &Evaluator<'_, '_>, name: &str, arg: &Val) -> Result<Option<Atomic>, XqError> {
+    let atoms = ev.ctx.atomize(arg);
+    if atoms.len() > 1 {
+        return Err(XqError::new(format!(
+            "type error: {name}() applied to a sequence of {} items",
+            atoms.len()
+        )));
+    }
+    Ok(atoms.into_iter().next())
+}
+
+fn fn_count(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    fold_eager(mk_count, ev, &args[0])
+}
+
+fn fn_sum(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    fold_eager(mk_sum, ev, &args[0])
+}
+
+fn fn_avg(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    fold_eager(mk_avg, ev, &args[0])
+}
+
+fn fn_min(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    fold_eager(mk_min, ev, &args[0])
+}
+
+fn fn_max(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    fold_eager(mk_max, ev, &args[0])
+}
+
+fn fn_exists(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    fold_eager(mk_exists, ev, &args[0])
+}
+
+fn fn_empty(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    fold_eager(mk_empty, ev, &args[0])
+}
+
+fn fn_boolean(_ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    Ok(atom_val(Atomic::Boolean(naive::ebv(&args[0]))))
+}
+
+fn fn_not(_ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    Ok(atom_val(Atomic::Boolean(!naive::ebv(&args[0]))))
+}
+
+fn fn_string(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    let s = single_atom(ev, "string", &args[0])?.map(|a| a.as_string()).unwrap_or_default();
+    Ok(atom_val(Atomic::Str(s)))
+}
+
+fn fn_number(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    let n = single_atom(ev, "number", &args[0])?.and_then(|a| a.as_number()).unwrap_or(f64::NAN);
+    Ok(atom_val(Atomic::Double(n)))
+}
+
+fn fn_data(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    Ok(ev.ctx.atomize(&args[0]).into_iter().map(Item::Atom).collect())
+}
+
+fn fn_concat(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    let mut s = String::new();
+    for v in args {
+        for a in ev.ctx.atomize(v) {
+            s.push_str(&a.as_string());
+        }
+    }
+    Ok(atom_val(Atomic::Str(s)))
+}
+
+fn fn_string_join(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    let sep = str_arg(ev, &args[1]);
+    let parts: Vec<String> = ev.ctx.atomize(&args[0]).iter().map(|a| a.as_string()).collect();
+    Ok(atom_val(Atomic::Str(parts.join(&sep))))
+}
+
+fn fn_contains(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    Ok(atom_val(Atomic::Boolean(str_arg(ev, &args[0]).contains(&str_arg(ev, &args[1])))))
+}
+
+fn fn_starts_with(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    Ok(atom_val(Atomic::Boolean(str_arg(ev, &args[0]).starts_with(&str_arg(ev, &args[1])))))
+}
+
+fn fn_ends_with(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    Ok(atom_val(Atomic::Boolean(str_arg(ev, &args[0]).ends_with(&str_arg(ev, &args[1])))))
+}
+
+fn fn_string_length(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    Ok(atom_val(Atomic::Integer(str_arg(ev, &args[0]).chars().count() as i64)))
+}
+
+fn fn_normalize_space(
+    ev: &Evaluator<'_, '_>,
+    _s: &Scope<'_>,
+    args: &[Val],
+) -> Result<Val, XqError> {
+    let s = str_arg(ev, &args[0]);
+    Ok(atom_val(Atomic::Str(s.split_whitespace().collect::<Vec<_>>().join(" "))))
+}
+
+fn fn_substring(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    let s = str_arg(ev, &args[0]);
+    let chars: Vec<char> = s.chars().collect();
+    let num = |v: &Val, default: f64| -> i64 {
+        ev.ctx.atomize(v).first().and_then(Atomic::as_number).unwrap_or(default).round() as i64
+    };
+    let start = num(&args[1], 1.0);
+    let len = match args.get(2) {
+        Some(v) => num(v, 0.0),
+        None => chars.len() as i64,
+    };
+    let from = (start - 1).max(0) as usize;
+    let to = ((start - 1 + len).max(0) as usize).min(chars.len());
+    let out: String = chars.get(from..to.max(from)).unwrap_or(&[]).iter().collect();
+    Ok(atom_val(Atomic::Str(out)))
+}
+
+fn node_name(ev: &Evaluator<'_, '_>, args: &[Val]) -> String {
+    args[0].first().and_then(|i| i.as_node()).and_then(|&n| ev.ctx.name_of(n)).unwrap_or_default()
+}
+
+fn fn_name(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    Ok(atom_val(Atomic::Str(node_name(ev, args))))
+}
+
+fn fn_local_name(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    let n = node_name(ev, args);
+    Ok(atom_val(Atomic::Str(n.rsplit(':').next().unwrap_or("").to_string())))
+}
+
+fn fn_distinct_values(
+    ev: &Evaluator<'_, '_>,
+    _s: &Scope<'_>,
+    args: &[Val],
+) -> Result<Val, XqError> {
+    let mut atoms = ev.ctx.atomize(&args[0]);
+    atoms.sort_by(|a, b| a.order_key_cmp(b));
+    atoms.dedup_by(|a, b| a.order_key_cmp(b) == Ordering::Equal);
+    Ok(atoms.into_iter().map(Item::Atom).collect())
+}
+
+fn rounding(
+    ev: &Evaluator<'_, '_>,
+    name: &str,
+    args: &[Val],
+    f: fn(f64) -> f64,
+) -> Result<Val, XqError> {
+    let Some(a) = ev.ctx.atomize(&args[0]).into_iter().next() else {
+        return Ok(Vec::new());
+    };
+    let n = a.as_number().ok_or_else(|| XqError::new(format!("{name} of non-number `{a}`")))?;
+    let r = f(n);
+    Ok(atom_val(if matches!(a, Atomic::Integer(_)) {
+        Atomic::Integer(r as i64)
+    } else {
+        Atomic::Double(r)
+    }))
+}
+
+fn fn_round(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    rounding(ev, "round", args, f64::round)
+}
+
+fn fn_floor(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    rounding(ev, "floor", args, f64::floor)
+}
+
+fn fn_ceiling(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    rounding(ev, "ceiling", args, f64::ceil)
+}
+
+fn fn_abs(ev: &Evaluator<'_, '_>, _s: &Scope<'_>, args: &[Val]) -> Result<Val, XqError> {
+    rounding(ev, "abs", args, f64::abs)
+}
+
+fn focus_lookup(scope: &Scope<'_>, binding: &str, name: &str) -> Result<Val, XqError> {
+    scope
+        .lookup(binding)
+        .cloned()
+        .ok_or_else(|| XqError::new(format!("{name}() used outside a for clause")))
+}
+
+fn fn_position(_ev: &Evaluator<'_, '_>, s: &Scope<'_>, _args: &[Val]) -> Result<Val, XqError> {
+    focus_lookup(s, FOCUS_POS, "position")
+}
+
+fn fn_last(_ev: &Evaluator<'_, '_>, s: &Scope<'_>, _args: &[Val]) -> Result<Val, XqError> {
+    focus_lookup(s, FOCUS_LAST, "last")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_looked_up() {
+        let mut names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate registry entries");
+        assert!(lookup("count").is_some());
+        assert!(lookup("frobnicate").is_none());
+    }
+
+    #[test]
+    fn arity_errors_render_each_shape() {
+        let exact = lookup("count").unwrap();
+        let err = check_arity(exact, 0).unwrap_err();
+        assert!(err.0.contains("expected exactly 1, got 0"), "{err:?}");
+        let variadic = lookup("concat").unwrap();
+        let err = check_arity(variadic, 1).unwrap_err();
+        assert!(err.0.contains("expected at least 2, got 1"), "{err:?}");
+        let range = lookup("substring").unwrap();
+        let err = check_arity(range, 4).unwrap_err();
+        assert!(err.0.contains("expected between 2 and 3, got 4"), "{err:?}");
+        assert!(check_arity(range, 2).is_ok());
+        assert!(check_arity(range, 3).is_ok());
+    }
+
+    #[test]
+    fn sum_accumulator_promotes_on_overflow() {
+        let mut acc = NumAcc::Int(i64::MAX);
+        acc.add(&Atomic::Integer(1), 1.0);
+        assert!(matches!(acc, NumAcc::Dbl(_)));
+        let mut acc = NumAcc::Int(5);
+        acc.add(&Atomic::Integer(7), 7.0);
+        assert!(matches!(acc, NumAcc::Int(12)));
+        // A non-Integer atom promotes even when its value is integral.
+        let mut acc = NumAcc::Int(5);
+        acc.add(&Atomic::Double(2.0), 2.0);
+        assert!(matches!(acc, NumAcc::Dbl(d) if d == 7.0));
+    }
+
+    #[test]
+    fn aggregates_are_streaming_capable() {
+        for name in ["count", "sum", "avg", "min", "max", "exists", "empty"] {
+            assert!(lookup(name).unwrap().fold.is_some(), "{name} should carry a fold");
+        }
+        for name in ["string", "concat", "position"] {
+            assert!(lookup(name).unwrap().fold.is_none(), "{name} should not carry a fold");
+        }
+    }
+}

@@ -124,7 +124,9 @@ fn trip_code(e: EvalError) -> u8 {
         EvalError::ResultLimitExceeded => TRIP_ROWS,
         EvalError::Cancelled => TRIP_CANCELLED,
         // Non-limit variants never trip a governor.
-        EvalError::SortBufferMissing | EvalError::TpmResultMissing => TRIP_NONE,
+        EvalError::SortBufferMissing
+        | EvalError::TpmResultMissing
+        | EvalError::MixedTypeAggregate => TRIP_NONE,
     }
 }
 

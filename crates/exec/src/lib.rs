@@ -24,6 +24,9 @@
 //! * [`construct`] — the γ operator: SchemaTree + bindings → output tree.
 //! * [`eval`] — the scalar expression evaluator (paths, arithmetic,
 //!   functions, constructors), invoked per binding by either FLWOR backend.
+//! * [`functions`] — the extensible built-in registry: name + arity +
+//!   streaming-capable flag per entry, with fold operators giving the
+//!   aggregates a streaming physical form (§14).
 //! * [`physical`] — the **streaming physical pipeline** for FLWOR plans:
 //!   `LogicalPlan` clauses lower to pull-based operators that stream total
 //!   bindings batch-at-a-time, annotated by the whole-plan cost model.
@@ -38,6 +41,7 @@ pub mod context;
 pub mod differential;
 pub mod engine;
 pub mod eval;
+pub mod functions;
 pub mod governor;
 pub mod materialize;
 pub mod mvcc;
@@ -53,6 +57,7 @@ pub mod twig;
 pub use cache::{CompiledPlan, PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use context::{ExecContext, ExecCounters, NodeRef, Val, XqError};
 pub use engine::Executor;
+pub use functions::{FnEntry, Fold};
 pub use governor::{CancelToken, GovernorStats, QueryLimits, ResourceGovernor};
 pub use mvcc::{DocVersion, VersionedDoc};
 pub use physical::{EvalError, EvalMode, PhysicalPlan, BATCH_SIZE};

@@ -37,9 +37,12 @@ impl Evaluator<'_, '_> {
     /// full environment, then mapping the return clause over its total
     /// bindings.
     pub fn eval_plan(&self, plan: &LogicalPlan, scope: &Scope<'_>) -> Result<Val, XqError> {
+        // Mirror of the streaming pipeline's focus decision: one whole-plan
+        // check, and every `for` layer threads the hidden bindings when set.
+        let focus = plan.uses_focus();
         match plan {
             LogicalPlan::ReturnClause { input, expr } => {
-                let env = self.build_env(input, scope)?;
+                let env = self.build_env(input, scope, focus)?;
                 let err: RefCell<Option<XqError>> = RefCell::new(None);
                 let results: Vec<Val> = env.map_bindings(|b| {
                     let s = scope_from_bindings(scope, b);
@@ -66,22 +69,29 @@ impl Evaluator<'_, '_> {
         }
     }
 
-    /// Build the environment for the clause pipeline below a return.
-    fn build_env(&self, plan: &LogicalPlan, scope: &Scope<'_>) -> Result<Env<NodeRef>, XqError> {
+    /// Build the environment for the clause pipeline below a return. With
+    /// `focus` set, every `for` layer also binds the hidden `#pos`/`#last`
+    /// variables per emitted item.
+    fn build_env(
+        &self,
+        plan: &LogicalPlan,
+        scope: &Scope<'_>,
+        focus: bool,
+    ) -> Result<Env<NodeRef>, XqError> {
         let env = match plan {
             LogicalPlan::EnvRoot => Env::new(),
             LogicalPlan::ForBind { input, var, source } => {
-                let mut env = self.build_env(input, scope)?;
-                self.extend(&mut env, var, source, scope, true)?;
+                let mut env = self.build_env(input, scope, focus)?;
+                self.extend(&mut env, var, source, scope, true, focus)?;
                 env
             }
             LogicalPlan::LetBind { input, var, source } => {
-                let mut env = self.build_env(input, scope)?;
-                self.extend(&mut env, var, source, scope, false)?;
+                let mut env = self.build_env(input, scope, focus)?;
+                self.extend(&mut env, var, source, scope, false, focus)?;
                 env
             }
             LogicalPlan::Where { input, cond } => {
-                let mut env = self.build_env(input, scope)?;
+                let mut env = self.build_env(input, scope, focus)?;
                 let err: RefCell<Option<XqError>> = RefCell::new(None);
                 env.filter(|b| {
                     let s = scope_from_bindings(scope, b);
@@ -99,7 +109,7 @@ impl Evaluator<'_, '_> {
                 env
             }
             LogicalPlan::OrderBy { input, keys } => {
-                let mut env = self.build_env(input, scope)?;
+                let mut env = self.build_env(input, scope, focus)?;
                 let err: RefCell<Option<XqError>> = RefCell::new(None);
                 env.sort_bindings_by(|b| {
                     let s = scope_from_bindings(scope, b);
@@ -117,17 +127,18 @@ impl Evaluator<'_, '_> {
                 env
             }
             LogicalPlan::TpmBind { input, pattern, vars } => {
-                let mut env = self.build_env(input, scope)?;
+                let mut env = self.build_env(input, scope, focus)?;
                 self.tpm_bind(&mut env, pattern, vars)?;
                 env
             }
             LogicalPlan::JoinGraph { input, sides, edges } => {
                 // Reference semantics for the hash join: the plain nested
                 // loop — one for-layer per side, then filter by the edge
-                // conjunction.
-                let mut env = self.build_env(input, scope)?;
+                // conjunction. Join graphs never carry focus (R12 stands
+                // down on focus plans), so the sides bind without it.
+                let mut env = self.build_env(input, scope, focus)?;
                 for s in sides {
-                    self.extend(&mut env, &s.var, &s.source, scope, true)?;
+                    self.extend(&mut env, &s.var, &s.source, scope, true, false)?;
                 }
                 if let Some(cond) = join_edge_condition(sides, edges) {
                     let err: RefCell<Option<XqError>> = RefCell::new(None);
@@ -166,12 +177,25 @@ impl Evaluator<'_, '_> {
         source: &Expr,
         scope: &Scope<'_>,
         one_to_many: bool,
+        focus: bool,
     ) -> Result<(), XqError> {
         let err: RefCell<Option<XqError>> = RefCell::new(None);
+        // (position, size) per emitted item, in frontier order — collected
+        // during the `for` extension and replayed as hidden `let` layers.
+        let pairs: RefCell<Vec<(i64, i64)>> = RefCell::new(Vec::new());
         let eval_source = |b: &Bindings<'_, NodeRef>| {
             let s = scope_from_bindings(scope, b);
             match self.eval(source, &s) {
-                Ok(v) => v,
+                Ok(v) => {
+                    if one_to_many && focus {
+                        let n = v.len() as i64;
+                        let mut p = pairs.borrow_mut();
+                        for i in 0..n {
+                            p.push((i + 1, n));
+                        }
+                    }
+                    v
+                }
                 Err(e) => {
                     err.borrow_mut().get_or_insert(e);
                     Vec::new()
@@ -185,6 +209,24 @@ impl Evaluator<'_, '_> {
         }
         if let Some(e) = err.into_inner() {
             return Err(e);
+        }
+        if one_to_many && focus {
+            // extend_let visits the frontier in exactly the order extend_for
+            // emitted it, so draining the pair list index-wise lines each
+            // leaf up with its own (position, size).
+            let pairs = pairs.into_inner();
+            let mut i = 0;
+            env.extend_let(crate::functions::FOCUS_POS, |_| {
+                let p = pairs[i].0;
+                i += 1;
+                vec![Item::Atom(xqp_xml::Atomic::Integer(p))]
+            });
+            let mut i = 0;
+            env.extend_let(crate::functions::FOCUS_LAST, |_| {
+                let n = pairs[i].1;
+                i += 1;
+                vec![Item::Atom(xqp_xml::Atomic::Integer(n))]
+            });
         }
         Ok(())
     }

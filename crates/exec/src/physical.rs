@@ -84,6 +84,10 @@ pub enum EvalError {
     SortBufferMissing,
     /// A τ expansion frame was queued without a pattern-match result.
     TpmResultMissing,
+    /// `min()`/`max()` applied to a sequence mixing incomparable type
+    /// classes (boolean vs numeric vs string) — a type error under the
+    /// spec, not a silent resolution through the internal rank order.
+    MixedTypeAggregate,
     /// The query's wall-clock deadline passed.
     DeadlineExceeded,
     /// Live bindings exceeded the query's memory budget.
@@ -101,6 +105,9 @@ impl EvalError {
             EvalError::SortBufferMissing => "physical pipeline: sort buffer missing after fill",
             EvalError::TpmResultMissing => {
                 "physical pipeline: τ expansion frame without a pattern-match result"
+            }
+            EvalError::MixedTypeAggregate => {
+                "type error: min()/max() over a sequence of mixed types"
             }
             EvalError::DeadlineExceeded => "resource governor: deadline exceeded",
             EvalError::MemoryBudgetExceeded => "resource governor: memory budget exceeded",
@@ -233,6 +240,9 @@ pub enum PhysNode {
         source: Expr,
         /// Access method of an embedded compiled τ, if the source is one.
         tau: Option<(&'static str, f64)>,
+        /// Bind the hidden focus variables (`#pos`/`#last`) alongside the
+        /// item — set when the plan calls `position()`/`last()`.
+        focus: bool,
         /// Estimate/actuals annotation.
         info: OpInfo,
     },
@@ -492,6 +502,10 @@ pub fn lower(
     let stats = ctx.stats();
     let cm = CostModel::new(stats);
     let report = cm.cost_plan(plan);
+    // Focus is a whole-plan property: any position()/last() call anywhere
+    // in the pipeline makes every for-scan thread the hidden bindings, so
+    // the innermost enclosing `for` wins by Row shadowing.
+    let focus = plan.uses_focus();
     let clauses = plan.clauses();
     let mut node: Option<PhysNode> = None;
     let boxed = |n: Option<PhysNode>| -> Result<Box<PhysNode>, XqError> {
@@ -515,6 +529,7 @@ pub fn lower(
                 var: var.clone(),
                 source: source.clone(),
                 tau: expr_tau(&cm, strategy, source),
+                focus,
                 info,
             },
             LogicalPlan::LetBind { var, source, .. } => PhysNode::LetEval {
@@ -579,6 +594,7 @@ enum Src<'x> {
         input: Box<Src<'x>>,
         var: &'x str,
         source: &'x Expr,
+        focus: bool,
         queue: VecDeque<Row>,
         done: bool,
         info: &'x OpInfo,
@@ -637,10 +653,11 @@ impl<'x> Src<'x> {
     fn build(node: &'x PhysNode) -> Result<Src<'x>, XqError> {
         Ok(match node {
             PhysNode::EnvRoot { info } => Src::Root { emitted: false, info },
-            PhysNode::ForScan { input, var, source, info, .. } => Src::For {
+            PhysNode::ForScan { input, var, source, focus, info, .. } => Src::For {
                 input: Box::new(Src::build(input)?),
                 var,
                 source,
+                focus: *focus,
                 queue: VecDeque::new(),
                 done: false,
                 info,
@@ -699,15 +716,32 @@ impl<'x> Src<'x> {
                 info.record(ev, out.len());
                 Ok(Some(out))
             }
-            Src::For { input, var, source, queue, done, info } => {
+            Src::For { input, var, source, focus, queue, done, info } => {
                 let mut out = Vec::new();
                 loop {
                     while out.len() < BATCH_SIZE {
                         let Some(row) = queue.pop_front() else { break };
                         ev.ctx.bindings_dead(1);
                         let s = row_scope(scope, &row);
-                        for item in ev.eval(source, &s)? {
-                            out.push(row.bind(var, vec![item]));
+                        let seq = ev.eval(source, &s)?;
+                        let n = seq.len() as i64;
+                        for (i, item) in seq.into_iter().enumerate() {
+                            let mut next = row.bind(var, vec![item]);
+                            if *focus {
+                                // The hidden focus bindings: position is
+                                // 1-based, and inner for-scans shadow outer
+                                // ones exactly like ordinary variables.
+                                next = next
+                                    .bind(
+                                        crate::functions::FOCUS_POS,
+                                        vec![Item::Atom(xqp_xml::Atomic::Integer(i as i64 + 1))],
+                                    )
+                                    .bind(
+                                        crate::functions::FOCUS_LAST,
+                                        vec![Item::Atom(xqp_xml::Atomic::Integer(n))],
+                                    );
+                            }
+                            out.push(next);
                         }
                     }
                     if out.len() >= BATCH_SIZE || *done {
@@ -1122,6 +1156,39 @@ pub fn execute(
     Ok(out)
 }
 
+/// Drive a physical plan into an aggregate fold instead of a materialized
+/// result: each row's return value is pushed into the fold and dropped, so
+/// the aggregate's working set is the fold's accumulator plus one batch —
+/// never the whole input sequence. Rows keep flowing after the fold
+/// saturates (or traps an error) so per-row governor accounting matches the
+/// materializing evaluation exactly; `finish` then surfaces the value or
+/// the first trapped error.
+pub fn fold_execute(
+    plan: &PhysicalPlan,
+    ev: &Evaluator<'_, '_>,
+    scope: &Scope<'_>,
+    mut fold: Box<dyn crate::functions::Fold>,
+) -> Result<Val, XqError> {
+    let PhysNode::Construct { input, expr, info } = &plan.root else {
+        return Err(XqError::new("physical plan must be rooted in a construct operator"));
+    };
+    let mut src = Src::build(input)?;
+    let mut active = true;
+    while let Some(batch) = src.next_batch(ev, scope)? {
+        let n = batch.len();
+        for row in batch {
+            let s = row_scope(scope, &row);
+            let items = ev.eval(expr, &s)?;
+            ev.ctx.governor_note_rows(items.len() as u64)?;
+            if active {
+                active = fold.push(ev.ctx, &items);
+            }
+        }
+        info.record(ev, n);
+    }
+    fold.finish(ev.ctx)
+}
+
 impl Evaluator<'_, '_> {
     /// Run a FLWOR plan through the streaming pipeline. Reuses the cached
     /// pre-lowered plan when it matches (so its shared operator stats
@@ -1140,6 +1207,24 @@ impl Evaluator<'_, '_> {
         }
         let phys = lower(plan, self.ctx, self.strategy)?;
         execute(&phys, self, scope)
+    }
+
+    /// Run a FLWOR plan through the streaming pipeline *into a fold* — the
+    /// streaming physical form of `agg(flwor)`. Same plan-cache reuse as
+    /// [`Evaluator::eval_plan_streaming`].
+    pub(crate) fn fold_plan_streaming(
+        &self,
+        plan: &LogicalPlan,
+        fold: Box<dyn crate::functions::Fold>,
+        scope: &Scope<'_>,
+    ) -> Result<Val, XqError> {
+        if let Some(phys) = &self.physical {
+            if phys.source == *plan {
+                return fold_execute(phys, self, scope, fold);
+            }
+        }
+        let phys = lower(plan, self.ctx, self.strategy)?;
+        fold_execute(&phys, self, scope, fold)
     }
 }
 
@@ -1277,6 +1362,40 @@ mod tests {
         assert!(
             stream_peak < mat_peak,
             "streaming peak {stream_peak} must stay below materializing {mat_peak}"
+        );
+    }
+
+    #[test]
+    fn streaming_fold_keeps_peak_bindings_bounded() {
+        // The same cross-product nest, but consumed by an aggregate: the
+        // streaming path lowers `count(...)` to a fold that drains the
+        // pipeline row by row, so its peak stays at batch granularity while
+        // the materializing reference still builds the full Env product.
+        let wide: String = {
+            let items: String = (0..50).map(|i| format!("<x><y>{i}</y></x>")).collect();
+            format!("<r>{items}</r>")
+        };
+        let q = "count(for $a in doc()/r/x for $b in doc()/r/x/y return 1)";
+        let sdoc = SuccinctDoc::parse(&wide).unwrap();
+        let body = xqp_xquery::parse_query(q).unwrap().body;
+        let (body, _) = optimize_expr(body, &RuleSet::none());
+
+        let ctx = ExecContext::new(&sdoc);
+        let mat = Evaluator::new(&ctx, Strategy::Auto)
+            .with_mode(EvalMode::Materializing)
+            .eval(&body, &Scope::root())
+            .unwrap();
+        let mat_peak = ctx.counters().peak_bindings;
+
+        let ctx = ExecContext::new(&sdoc);
+        let stream = Evaluator::new(&ctx, Strategy::Auto).eval(&body, &Scope::root()).unwrap();
+        let stream_peak = ctx.counters().peak_bindings;
+
+        assert_eq!(stream, mat, "fold result must match the materializing aggregate");
+        assert!(mat_peak >= 2500, "materializing peak {mat_peak} covers the cross product");
+        assert!(
+            stream_peak < mat_peak,
+            "fold peak {stream_peak} must stay below materializing {mat_peak}"
         );
     }
 

@@ -270,6 +270,9 @@ pub enum QExpr {
     Elem(QElem),
     /// Nested FLWOR.
     Flwor(Box<QFlwor>),
+    /// Quantified expression `some|every $vN in source satisfies cond`
+    /// (`true` = every).
+    Quantified(bool, u32, Box<QExpr>, Box<QExpr>),
 }
 
 /// A generated element constructor.
@@ -320,7 +323,12 @@ impl QExpr {
     fn compound(&self) -> bool {
         matches!(
             self,
-            QExpr::Cmp(..) | QExpr::Arith(..) | QExpr::Logic(..) | QExpr::If(..) | QExpr::Flwor(..)
+            QExpr::Cmp(..)
+                | QExpr::Arith(..)
+                | QExpr::Logic(..)
+                | QExpr::If(..)
+                | QExpr::Flwor(..)
+                | QExpr::Quantified(..)
         ) || matches!(self, QExpr::Int(i) if *i < 0)
     }
 
@@ -394,6 +402,13 @@ impl QExpr {
             }
             QExpr::Elem(el) => el.render(out),
             QExpr::Flwor(f) => f.render(out),
+            QExpr::Quantified(every, v, src, cond) => {
+                let kw = if *every { "every" } else { "some" };
+                let _ = write!(out, "{kw} $v{v} in ");
+                src.render_operand(out);
+                out.push_str(" satisfies ");
+                cond.render_operand(out);
+            }
         }
     }
 }
@@ -474,7 +489,7 @@ impl QExpr {
     /// Render bare unless the expression would swallow following clause
     /// keywords (`order`, `return`) — i.e. a nested FLWOR or conditional.
     fn render_operand_keep_simple(&self, out: &mut String) {
-        if matches!(self, QExpr::Flwor(..) | QExpr::If(..)) {
+        if matches!(self, QExpr::Flwor(..) | QExpr::If(..) | QExpr::Quantified(..)) {
             out.push('(');
             self.render(out);
             out.push(')');
@@ -696,6 +711,7 @@ fn ret_simplifications(ret: &QExpr) -> Vec<QExpr> {
             vec![(**l).clone(), (**r).clone()]
         }
         QExpr::Flwor(f) => vec![f.ret.clone()],
+        QExpr::Quantified(_, _, src, cond) => vec![(**src).clone(), (**cond).clone()],
         _ => vec![],
     }
 }
@@ -798,6 +814,10 @@ fn visit_paths_expr(e: &mut QExpr, f: &mut impl FnMut(&mut QPath)) {
             }
         }
         QExpr::Flwor(inner) => visit_paths_flwor(inner, f),
+        QExpr::Quantified(_, _, src, cond) => {
+            visit_paths_expr(src, f);
+            visit_paths_expr(cond, f);
+        }
         QExpr::Int(_) | QExpr::Str(_) | QExpr::Var(_) => {}
     }
 }
@@ -1319,6 +1339,161 @@ pub fn gen_join_case(seed: u64) -> GenCase {
     GenCase { doc: GenDoc::Tree(root), query: QFlwor { binds, wher, order, ret }, probe: None }
 }
 
+// ---- function-surface generation -----------------------------------------
+
+/// Single-argument built-ins the function stream aims at sequences. All of
+/// them are registry entries with aggregate or cast semantics: `sum` hits
+/// the checked-overflow accumulator, `min`/`max` the mixed-type check,
+/// `string`/`number` the singleton-cardinality check.
+const FN_AGGS: &[&str] = &["count", "sum", "min", "max", "string", "number", "exists", "empty"];
+
+/// Generate a *function-surface* case for `seed`: an outer `for` over a
+/// crowd of keyed elements whose text mixes numbers with words, with
+/// positional predicates (`position()`/`last()`), quantifiers
+/// (`some`/`every … satisfies`) and aggregates over nested FLWORs — the
+/// exact shapes the function registry, the streaming fold operators and
+/// the focus threading execute. Numeric-vs-word payloads steer cases into
+/// the typed error paths (mixed-type `min`/`max`, multi-item `string`/
+/// `number`), which must agree across the matrix *as a class*.
+/// Deterministic like [`gen_case`], drawn from its own decorrelated
+/// stream: the same seed yields unrelated plain, join and function cases.
+pub fn gen_fn_case(seed: u64) -> GenCase {
+    let mut rng = Prng::seed_from_u64(seed ^ 0xa076_1d64_78bd_642f);
+
+    // Document: a flat forest over two tags. Mostly numeric text (so sums
+    // and minima are non-trivial), with occasional word payloads and `c`
+    // children for quantifiers to range over.
+    let mut root = GenNode::leaf("r");
+    let n = 3 + rng.gen_range(0..10usize);
+    for _ in 0..n {
+        let mut node = GenNode::leaf(rng.pick(&["a", "b"]));
+        if rng.gen_bool(0.85) {
+            node.text = Some(if rng.gen_bool(0.8) {
+                Payload::Int(rng.gen_range(-4i64..60))
+            } else {
+                Payload::Word(rng.pick(WORDS))
+            });
+        }
+        if rng.gen_bool(0.3) {
+            node.attrs.push(("k", rng.gen_range(0i64..5)));
+        }
+        if rng.gen_bool(0.35) {
+            let mut child = GenNode::leaf("c");
+            child.text = Some(Payload::Int(rng.gen_range(0i64..9)));
+            node.children.push(child);
+        }
+        root.children.push(node);
+    }
+
+    // One outer `for` over the crowd, so position()/last() are in scope.
+    let tag = rng.pick(&["a", "b"]);
+    let src = if rng.gen_bool(0.6) {
+        QExpr::DocPath(QPath {
+            steps: vec![
+                QStep { sep: "/", test: "r".to_string(), pred: None },
+                QStep { sep: "/", test: tag.to_string(), pred: None },
+            ],
+        })
+    } else {
+        QExpr::DocPath(one_step_path("//", tag))
+    };
+    let binds = vec![QBind::For(0, src)];
+
+    // A quantifier over the binding's children (or a literal window).
+    let quantifier = |rng: &mut Prng, v: u32| {
+        let range = if rng.gen_bool(0.7) {
+            QExpr::VarPath(0, one_step_path("/", "c"))
+        } else {
+            QExpr::Seq((0..2).map(|_| QExpr::Int(rng.gen_range(0i64..9))).collect())
+        };
+        let cond = QExpr::Cmp(
+            rng.pick(CMP_OPS),
+            Box::new(QExpr::Var(v)),
+            Box::new(QExpr::Int(rng.gen_range(0i64..9))),
+        );
+        QExpr::Quantified(rng.gen_bool(0.5), v, Box::new(range), Box::new(cond))
+    };
+
+    // Positional windows dominate the `where`: they only exist inside a
+    // `for`, and both evaluation modes must agree on every slice.
+    let wher = match rng.gen_range(0..10u32) {
+        0..=3 => Some(QExpr::Cmp(
+            rng.pick(CMP_OPS),
+            Box::new(QExpr::Call("position", vec![])),
+            Box::new(QExpr::Int(1 + rng.gen_range(0..6i64))),
+        )),
+        4 => Some(QExpr::Cmp(
+            rng.pick(&["=", "!=", "<"]),
+            Box::new(QExpr::Call("position", vec![])),
+            Box::new(QExpr::Call("last", vec![])),
+        )),
+        5 | 6 => Some(quantifier(&mut rng, 1)),
+        7 => Some(QExpr::Cmp(
+            rng.pick(CMP_OPS),
+            Box::new(QExpr::VarPath(0, one_step_path("/", "@k"))),
+            Box::new(QExpr::Int(rng.gen_range(0i64..5))),
+        )),
+        _ => None,
+    };
+
+    // `order by` under an aggregate return is what R13 prunes — keep some
+    // around so the ablation leg has something to disagree about.
+    let order = if rng.gen_bool(0.3) {
+        vec![(QExpr::VarPath(0, one_step_path("/", "text()")), rng.gen_bool(0.4))]
+    } else {
+        vec![]
+    };
+
+    let agg = rng.pick(FN_AGGS);
+    let ret = match rng.gen_range(0..10u32) {
+        // Aggregate over a nested FLWOR: the streaming-fold shape.
+        0..=2 => {
+            let inner_tag = rng.pick(&["a", "b"]);
+            let inner_ret = if rng.gen_bool(0.6) {
+                QExpr::VarPath(1, one_step_path("/", "text()"))
+            } else {
+                QExpr::Arith(
+                    "+",
+                    Box::new(QExpr::Var(1)),
+                    Box::new(QExpr::Int(rng.gen_range(0i64..4))),
+                )
+            };
+            QExpr::Call(
+                agg,
+                vec![QExpr::Flwor(Box::new(QFlwor {
+                    binds: vec![QBind::For(1, QExpr::DocPath(one_step_path("//", inner_tag)))],
+                    wher: None,
+                    order: vec![],
+                    ret: inner_ret,
+                }))],
+            )
+        }
+        // Aggregate straight over the binding (text, attribute, or child).
+        3..=5 => {
+            let arg = match rng.gen_range(0..3u32) {
+                0 => QExpr::VarPath(0, one_step_path("/", "text()")),
+                1 => QExpr::VarPath(0, one_step_path("/", "@k")),
+                _ => QExpr::Var(0),
+            };
+            QExpr::Call(agg, vec![arg])
+        }
+        // position()/last() in the output.
+        6 | 7 => QExpr::Elem(QElem {
+            name: "out",
+            attrs: vec![("p", QExpr::Call("position", vec![]))],
+            children: vec![if rng.gen_bool(0.5) {
+                QExpr::Call("last", vec![])
+            } else {
+                QExpr::Call(agg, vec![QExpr::VarPath(0, one_step_path("/", "c"))])
+            }],
+        }),
+        // Quantifier as the returned value.
+        _ => quantifier(&mut rng, 2),
+    };
+
+    GenCase { doc: GenDoc::Tree(root), query: QFlwor { binds, wher, order, ret }, probe: None }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1419,6 +1594,49 @@ mod tests {
             }
         }
         assert!(equi >= 60, "only {equi}/100 join cases had an equi-edge");
+    }
+
+    #[test]
+    fn fn_cases_are_deterministic_and_function_shaped() {
+        let (mut positional, mut quantified, mut aggregated) = (0, 0, 0);
+        for seed in 0..200 {
+            let a = gen_fn_case(seed);
+            assert_eq!(a, gen_fn_case(seed), "seed {seed}");
+            xqp_xml::parse_document(&a.doc_xml()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let q = a.query_text();
+            if q.contains("position()") || q.contains("last()") {
+                positional += 1;
+            }
+            if q.contains("satisfies") {
+                quantified += 1;
+            }
+            if FN_AGGS.iter().any(|f| q.contains(&format!("{f}("))) {
+                aggregated += 1;
+            }
+            for cand in a.shrink_candidates() {
+                assert_ne!(cand, a, "seed {seed} produced an identical shrink candidate");
+            }
+        }
+        assert!(positional >= 60, "only {positional}/200 cases used position()/last()");
+        assert!(quantified >= 20, "only {quantified}/200 cases used a quantifier");
+        assert!(aggregated >= 100, "only {aggregated}/200 cases called an aggregate");
+    }
+
+    #[test]
+    fn quantified_renders_parseably() {
+        let q = QExpr::Quantified(
+            true,
+            1,
+            Box::new(QExpr::VarPath(0, one_step_path("/", "c"))),
+            Box::new(QExpr::Cmp("<", Box::new(QExpr::Var(1)), Box::new(QExpr::Int(5)))),
+        );
+        let mut out = String::new();
+        q.render(&mut out);
+        assert_eq!(out, "every $v1 in $v0/c satisfies ($v1 < 5)");
+        // In operand position the whole quantifier is parenthesized.
+        let mut op = String::new();
+        q.render_operand(&mut op);
+        assert_eq!(op, "(every $v1 in $v0/c satisfies ($v1 < 5))");
     }
 
     #[test]

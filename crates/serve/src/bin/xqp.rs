@@ -69,6 +69,9 @@ struct Cli {
     /// Join mode for `fuzz`: join-shaped cases plus the optimizer-rule
     /// ablation leg.
     joins: bool,
+    /// Function mode for `fuzz`: function-surface cases (aggregates,
+    /// positional predicates, quantifiers) plus the rule-ablation leg.
+    functions: bool,
     /// Resource limits applied to query commands (none by default).
     limits: QueryLimits,
     /// Positional arguments beyond `arg` (only `client` accepts them).
@@ -97,6 +100,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut iters = 100u64;
     let mut replay = None;
     let mut joins = false;
+    let mut functions = false;
     let mut limits = QueryLimits::none();
     let mut addr = "127.0.0.1:7878".to_string();
     let mut max_inflight = 64u32;
@@ -127,6 +131,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 replay = Some(v.parse().map_err(|_| format!("bad case seed `{v}`"))?);
             }
             "--joins" => joins = true,
+            "--functions" => functions = true,
             "--server" => server = true,
             "--tiny-pool" => tiny_pool = true,
             "--buffer-pages" => {
@@ -206,6 +211,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         iters,
         replay,
         joins,
+        functions,
         limits,
         extra,
         addr,
@@ -227,7 +233,7 @@ USAGE:
   xqp race    <file.xml> <path>
   xqp save    <file.xml> <dir>
   xqp open    <dir> <xquery>
-  xqp fuzz    [--seed N] [--iters K] [--joins] [--replay CASE_SEED] [--server] [--tiny-pool]
+  xqp fuzz    [--seed N] [--iters K] [--joins] [--functions] [--replay CASE_SEED] [--server] [--tiny-pool]
   xqp torture [--seed N] [--iters K] [--buffer-pages N]
   xqp serve   <file.xml|store-dir> [--addr HOST:PORT] [--max-inflight N]
   xqp client  <addr> ping
@@ -257,8 +263,12 @@ USAGE:
   `--joins` switches to join-shaped cases and additionally cross-checks
   every optimizer-rule ablation (all rules, none, each join rewrite
   knocked out) against the all-rules reference.
-  `--replay` re-runs one case seed from a failure report (join seeds
-  need `--joins` here too — the two generators share a seed space).
+  `--functions` switches to function-surface cases — aggregates over
+  nested FLWORs, position()/last() windows, some/every quantifiers,
+  typed-error hazards — with the same rule-ablation leg.
+  `--replay` re-runs one case seed from a failure report (join and
+  function seeds need `--joins`/`--functions` here too — the three
+  generators share a seed space).
 
   `torture` replays K injected I/O faults (soft + simulated power cut)
   against durable-store update workloads, asserting that every fault
@@ -622,7 +632,12 @@ fn run_fuzz(cli: &Cli) -> Result<(), String> {
     // explicit `--buffer-pages` (or the env var) sizes them directly.
     let buffer_pages = cli.buffer_pages.or(if cli.tiny_pool { Some(4) } else { None });
     if let Some(case_seed) = cli.replay {
-        let cfg = FuzzConfig { joins: cli.joins, buffer_pages, ..FuzzConfig::default() };
+        let cfg = FuzzConfig {
+            joins: cli.joins,
+            functions: cli.functions,
+            buffer_pages,
+            ..FuzzConfig::default()
+        };
         eprintln!("-- fuzz: replaying case seed {case_seed}");
         return match with_quiet_panics(|| run_seed(case_seed, &cfg)) {
             None => {
@@ -639,13 +654,20 @@ fn run_fuzz(cli: &Cli) -> Result<(), String> {
         seed: cli.seed,
         iters: cli.iters,
         joins: cli.joins,
+        functions: cli.functions,
         buffer_pages,
         ..FuzzConfig::default()
     };
     eprintln!(
         "-- fuzz: {} {}iteration(s) from master seed {}{}",
         cfg.iters,
-        if cfg.joins { "join-shaped " } else { "" },
+        if cfg.joins {
+            "join-shaped "
+        } else if cfg.functions {
+            "function-surface "
+        } else {
+            ""
+        },
         cfg.seed,
         match cfg.buffer_pages {
             Some(p) => format!(" (paged legs behind a {p}-page pool)"),
@@ -825,7 +847,9 @@ mod tests {
         assert_eq!(cli.seed, 42);
         assert_eq!(cli.iters, 5000);
         assert!(!cli.joins);
+        assert!(!cli.functions);
         assert!(parse_args(&sv(&["fuzz", "--joins"])).unwrap().joins);
+        assert!(parse_args(&sv(&["fuzz", "--functions"])).unwrap().functions);
         assert!(parse_args(&sv(&["fuzz", "--seed", "not-a-number"])).is_err());
         assert!(parse_args(&sv(&["fuzz", "--iters"])).is_err());
         // Stray positionals after `fuzz` are rejected.

@@ -5,7 +5,9 @@
 //!
 //! ```text
 //! query      := expr
-//! expr       := flwor | ifExpr | orExpr
+//! expr       := flwor | ifExpr | quantified | orExpr
+//! quantified := ("some" | "every") "$" NAME "in" expr
+//!               ("," "$" NAME "in" expr)* "satisfies" expr
 //! flwor      := (forClause | letClause)+ ("where" expr)?
 //!               ("order" "by" orderKey ("," orderKey)*)? "return" expr
 //! forClause  := "for" "$" NAME "in" expr ("," "$" NAME "in" expr)*
@@ -188,7 +190,44 @@ impl<'a> Q<'a> {
         if self.peek_keyword("if") {
             return self.if_expr();
         }
+        if self.peek_keyword("some") || self.peek_keyword("every") {
+            return self.quantified();
+        }
         self.or_expr()
+    }
+
+    /// `some $x in e1 (, $y in e2)* satisfies cond` / `every …`. Multi-
+    /// clause forms desugar into right-nested single-clause quantifiers
+    /// (equivalent by the standard rewriting, including the short-circuit
+    /// order).
+    fn quantified(&mut self) -> Result<Expr, ParseError> {
+        let every = if self.keyword("every") {
+            true
+        } else {
+            self.keyword("some");
+            false
+        };
+        let mut clauses = Vec::new();
+        loop {
+            let var = self.var_name()?;
+            if !self.keyword("in") {
+                return Err(self.err("expected `in` in quantified expression"));
+            }
+            let source = self.expr()?;
+            clauses.push((var, source));
+            self.skip_ws();
+            if !self.eat(",") {
+                break;
+            }
+        }
+        if !self.keyword("satisfies") {
+            return Err(self.err("expected `satisfies` in quantified expression"));
+        }
+        let mut body = self.expr()?;
+        for (var, source) in clauses.into_iter().rev() {
+            body = Expr::Quantified { every, var, source: Box::new(source), cond: Box::new(body) };
+        }
+        Ok(body)
     }
 
     fn flwor(&mut self) -> Result<Expr, ParseError> {

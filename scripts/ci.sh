@@ -39,6 +39,12 @@ echo "== optimizer-rule fuzz smoke: 200 join-shaped cases across every rule abla
 # all-rules reference, under all 12 Strategy x EvalMode configurations.
 ./target/release/xqp fuzz --joins --seed "$FUZZ_SEED" --iters 200
 
+echo "== function-surface fuzz smoke: 200 cases over aggregates, focus and quantifiers =="
+# Function-shaped generator + the same rule-ablation leg: aggregates over
+# nested FLWORs, position()/last() windows, some/every quantifiers and
+# typed-error hazards (multi-item string(), mixed-type min/max).
+./target/release/xqp fuzz --functions --seed "$FUZZ_SEED" --iters 200
+
 echo "== loopback fuzz smoke: 100 cases through a real client session =="
 # The serving leg: every case runs through a TCP client session against a
 # live server AND in-process; values must be byte-identical, errors
@@ -144,5 +150,10 @@ echo "== T20 smoke: paged-storage latency at 10%/50%/100% pool residency (releas
 # Gates on paged-equals-resident answers before timing; medians land in
 # BENCH_paged.json and the table is tracked in EXPERIMENTS.md T20.
 cargo bench --offline -p xqp-bench --bench exp_paged
+
+echo "== T21 smoke: streaming aggregate folds vs materializing (release) =="
+# Gates on mode-equivalent answers before timing; peak-bindings and medians
+# land in BENCH_functions.json and the table is tracked in EXPERIMENTS.md T21.
+cargo bench --offline -p xqp-bench --bench exp_functions
 
 echo "CI gate passed."

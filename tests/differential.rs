@@ -226,6 +226,67 @@ fn string_literal_inequalities_agree_under_value_index() {
     }
 }
 
+/// Function-semantics repros pinning this round's aggregate bugfixes, all
+/// checked across the full matrix (typed errors must agree as a class):
+///
+/// * `sum()` accumulates in checked i64 and promotes to Double only on
+///   overflow — `sum((9007199254740993, 1))` stays exact at `2^53 + 2`,
+///   which a double-from-the-start accumulator rounds to `2^53`;
+/// * `string()`/`number()` over a multi-item sequence is a *type error*,
+///   not a silent first-item pick;
+/// * `min()`/`max()` over mixed numeric/string input is a type error, not
+///   a NaN-poisoned comparison.
+#[test]
+fn aggregate_semantics_agree() {
+    for q in [
+        // Exact i64 accumulation past the double mantissa.
+        "sum((9007199254740993, 1))",
+        "sum((9223372036854775807, 1))",
+        "sum((9223372036854775807, 0 - 9223372036854775807))",
+        "sum(doc()//b)",
+        "sum(doc()//zzz)",
+        // Cardinality checks: 0 and 1 items fine, 2+ a typed error.
+        "string(doc()//b)",
+        "number(doc()//b)",
+        "string(doc()//zzz)",
+        "for $v0 in doc()/r/a return string($v0/b)",
+        // Mixed-type aggregates: numbers vs. words.
+        "min((1, \"a\"))",
+        "max((\"a\", 1))",
+        "min(doc()//b)",
+        "max((1, 2, 3))",
+        "min((\"a\", \"b\"))",
+    ] {
+        assert_all_engines_agree(TREE, q);
+    }
+}
+
+/// Positional context and quantifiers: `position()`/`last()` must see the
+/// innermost `for` in both evaluation modes, survive `where`/`order by`
+/// reshuffling, and error (as a class) outside any `for`.
+#[test]
+fn focus_and_quantifiers_agree() {
+    for q in [
+        "for $v0 in doc()//b return position()",
+        "for $v0 in doc()//b return last()",
+        "for $v0 in doc()//b where position() > 1 return $v0",
+        "for $v0 in doc()//b where position() = last() return $v0",
+        "for $v0 in doc()/r/a for $v1 in $v0/b return <o p=\"{position()}\" n=\"{last()}\"/>",
+        "for $v0 in doc()//b order by $v0 descending return position()",
+        "position()",
+        "last()",
+        "let $v0 := doc()//b return position()",
+        "some $v0 in doc()//b satisfies $v0 = \"x\"",
+        "every $v0 in doc()//b satisfies $v0 = \"x\"",
+        "some $v0 in doc()//zzz satisfies $v0 = 1",
+        "every $v0 in doc()//zzz satisfies $v0 = 1",
+        "for $v0 in doc()/r/a where some $v1 in $v0/b satisfies $v1 = \"z\" return $v0/@k",
+        "some $v0 in doc()/r/a, $v1 in $v0/b satisfies $v1 = \"y\"",
+    ] {
+        assert_all_engines_agree(TREE, q);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Fuzz-found regression seeds
 // ---------------------------------------------------------------------------
@@ -301,6 +362,39 @@ fn seed_join_shapes_agree_across_rule_ablations() {
     }
 }
 
+/// Replay a *function-surface* fuzz case seed: engine matrix, budget leg,
+/// persistence round trip, and the rule-ablation leg (which includes the
+/// `no-agg-orderby-prune` knockout).
+fn assert_fn_seed_clean(case_seed: u64) {
+    let cfg = FuzzConfig { functions: true, ..FuzzConfig::default() };
+    if let Some(failure) = xqp::fuzz::with_quiet_panics(|| run_seed(case_seed, &cfg)) {
+        panic!("function regression seed {case_seed} failed again:\n{failure}");
+    }
+}
+
+/// Function-corpus pins covering the shapes the registry, the fold
+/// operators and the focus threading must get right — each seed names the
+/// bug class it would re-catch on an unfixed engine (the pre-registry
+/// evaluator picked the first item in `string()`, NaN-poisoned mixed
+/// `min`/`max`, and accumulated `sum` in a double):
+///
+/// * `2`, `58` — `string()` over a multi-item nested FLWOR (singleton
+///   cardinality check), under a `position()` window;
+/// * `24`, `38` — `max()` over word-and-number text (mixed-type check);
+/// * `6`  — `min()` over a nested-FLWOR fold with `position() = 3`;
+/// * `39` — `sum()` over untyped text (checked-i64 accumulator path);
+/// * `11`, `41` — `position()`/`last()` in constructor output;
+/// * `16` — `position() < last()` window with a descending sort and a
+///   quantifier return;
+/// * `8`  — quantifier `where`, sort under `number()` keys;
+/// * `52` — `max()` over element nodes (atomization first).
+#[test]
+fn seed_function_shapes_agree_across_rule_ablations() {
+    for seed in [2, 6, 8, 11, 16, 24, 38, 39, 41, 52, 58] {
+        assert_fn_seed_clean(seed);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Bounded smoke run
 // ---------------------------------------------------------------------------
@@ -331,6 +425,22 @@ fn join_fuzz_smoke_run_is_clean() {
     assert!(
         summary.ok(),
         "join fuzz smoke run found {} failure(s):\n{}",
+        summary.failures.len(),
+        summary.failures.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+/// The function-mode counterpart: a short deterministic `--functions` run
+/// keeps the function-surface generator and its ablation leg wired into
+/// every `cargo test`.
+#[test]
+fn function_fuzz_smoke_run_is_clean() {
+    let cfg = FuzzConfig { seed: 0xF12C, iters: 25, functions: true, ..FuzzConfig::default() };
+    let summary = fuzz(&cfg);
+    assert_eq!(summary.iters_run, 25);
+    assert!(
+        summary.ok(),
+        "function fuzz smoke run found {} failure(s):\n{}",
         summary.failures.len(),
         summary.failures.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
     );

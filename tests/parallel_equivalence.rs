@@ -16,7 +16,7 @@
 //! parallel strategy at 1, 8, and hardware-sized thread counts.
 
 use xqp::fuzz::{assert_all_engines_agree, assert_all_strategies_select};
-use xqp::{Database, Strategy};
+use xqp::{Database, EvalMode, Strategy};
 
 const STORE: &str = r#"<store>
 <inventory>
@@ -213,6 +213,85 @@ fn error_queries_fail_under_every_strategy_and_mode() {
     // errored would be a divergence.
     for (doc, q) in ERROR_QUERIES {
         assert_all_engines_agree(&doc_xml(doc), q);
+    }
+}
+
+/// Every registry built-in × every argument cardinality shape. The first
+/// argument cycles through {empty, singleton, multi-item, mixed-type}
+/// sequences; remaining required arguments are filled with a string
+/// literal. Many cells are typed errors by design (multi-item `string()`,
+/// mixed-type `min()`, a string where `substring` wants a number) — the
+/// oracle requires those to agree across the matrix *as a class*, so a
+/// strategy or mode that silently succeeds where the reference errors is a
+/// failure, and vice versa.
+#[test]
+fn function_conformance_table() {
+    const SHAPES: &[(&str, &str)] = &[
+        ("empty", "doc()//zzz"),
+        ("singleton", "doc()//name[1]"),
+        ("multi-item", "doc()//name"),
+        ("mixed-type", "(1, \"a\")"),
+    ];
+    let xml = doc_xml("store");
+    for entry in xqp::exec::functions::registry() {
+        if entry.max_args == Some(0) {
+            // Nullary focus functions: exercised inside (valid) and
+            // outside (typed error) a `for` clause.
+            for q in [
+                format!("for $v0 in doc()//name return {}()", entry.name),
+                format!("{}()", entry.name),
+            ] {
+                assert_all_engines_agree(&xml, &q);
+            }
+            continue;
+        }
+        for (shape, arg) in SHAPES {
+            let mut args = vec![(*arg).to_string()];
+            while args.len() < entry.min_args {
+                args.push("\"x\"".to_string());
+            }
+            let q = format!("{}({})", entry.name, args.join(", "));
+            // The assertion message from the oracle carries the query; the
+            // shape label is implicit in the argument text.
+            let _ = shape;
+            assert_all_engines_agree(&xml, &q);
+        }
+    }
+}
+
+/// Queries from this round's language surface — streaming aggregate folds,
+/// positional windows, quantifiers — compared *directly* between the two
+/// evaluation modes (and then through the full oracle, which also covers
+/// the strategy axis and the durable round trip).
+#[test]
+fn streaming_and_materializing_agree_on_function_surface() {
+    const FN_QUERIES: &[&str] = &[
+        "count(for $i in doc()/store/inventory/item return $i/price)",
+        "sum(for $i in doc()/store/inventory/item return $i/price * $i/qty)",
+        "min(for $i in doc()/store/inventory/item return $i/price)",
+        "max(for $o in doc()/store/orders/order return $o/@units)",
+        "exists(for $i in doc()//item where $i/qty < 10 return $i)",
+        "empty(for $i in doc()//item where $i/price > 500 return $i)",
+        "for $i in doc()/store/inventory/item where position() > 2 return $i/name",
+        "for $i in doc()/store/inventory/item where position() = last() return $i/@sku",
+        "for $i in doc()/store/inventory/item order by $i/price descending \
+         return <rank p=\"{position()}\" of=\"{last()}\">{$i/name}</rank>",
+        "some $i in doc()//item satisfies $i/price > 100",
+        "every $i in doc()//item satisfies $i/qty > 5",
+        "for $i in doc()//item \
+         where some $o in doc()//order satisfies $o/@sku = $i/@sku \
+         return $i/name",
+        "count(for $o in doc()//order for $i in doc()//item return 1)",
+    ];
+    let xml = doc_xml("store");
+    let streaming = db();
+    let mut materializing = db();
+    materializing.set_eval_mode(EvalMode::Materializing);
+    for q in FN_QUERIES {
+        let want = materializing.query("store", q).unwrap();
+        let got = streaming.query("store", q).unwrap();
+        assert_eq!(got, want, "streaming vs materializing on `{q}`");
+        assert_all_engines_agree(&xml, q);
     }
 }
 
