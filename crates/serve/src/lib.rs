@@ -19,15 +19,33 @@
 //!   (document, generation), and panic containment per request.
 //! * [`client`] — the blocking driver library the CLI, the benchmarks,
 //!   and the fuzzer all use.
+//! * [`netfault`] — the wire failpoint layer: deterministic fault
+//!   injection (errors, short reads/writes, truncation, delay,
+//!   disconnect) at every socket I/O point, the network mirror of the
+//!   PR 5 persist-layer failpoints.
+//! * [`retry`] — [`retry::ResilientClient`]: bounded exponential-backoff
+//!   retries with jitter, automatic reconnect + session-state replay, and
+//!   strict idempotency rules (never re-send an update after a response
+//!   byte arrived).
 //! * [`fuzz`] — the differential loopback leg: a real client session over
 //!   a real socket must agree with the in-process engine on every
 //!   generated case, including resource-limit trips as a class.
+//! * [`torture`] — the network torture harness behind `xqp torture
+//!   --net`: enumerate every wire I/O point a scenario touches, then
+//!   re-run the scenario failing each one, asserting the resilience
+//!   invariants (no panic, no slot leak, no wrong answer, convergence).
 
 pub mod client;
 pub mod fuzz;
+pub mod netfault;
 pub mod protocol;
+pub mod retry;
 pub mod server;
+pub mod torture;
 
 pub use client::Client;
+pub use netfault::{FaultPlan, FaultStream, WireFault, WireOp};
 pub use protocol::{ErrorClass, Request, Response, ServeError};
+pub use retry::{ResilientClient, RetryPolicy};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use torture::{NetTortureConfig, NetTortureReport};

@@ -1,0 +1,418 @@
+//! Wire failpoints: deterministic fault injection at every socket I/O
+//! point of the serving stack.
+//!
+//! This is the network twin of `xqp_storage::persist::failpoint` — the
+//! same discipline (count the reachable points of a workload, then replay
+//! it failing each point in turn) applied to the wire instead of the disk.
+//! One difference forces a different mechanism: persist I/O is synchronous
+//! on the caller's thread, so a thread-local policy suffices there; socket
+//! I/O is spread across the accept loop, session threads, watcher threads
+//! and the client, so the policy here is an explicitly *shared*
+//! [`FaultPlan`] handed to both ends of a loopback run (server via
+//! `ServerConfig::fault`, client via `Client::connect_with_fault`). With
+//! no plan attached, the check compiles down to an `Option` test — the
+//! production path pays one branch per socket operation.
+//!
+//! A plan decides *when* to inject ([`FaultPlan::check`], a global
+//! operation counter across all streams sharing the plan) and the
+//! [`FaultStream`] adapter realizes *what* is injected on its stream:
+//!
+//! * [`WireFault::Error`] — the operation fails with `ConnectionReset`;
+//! * [`WireFault::ShortRead`] — the read delivers a single byte (legal
+//!   TCP fragmentation the framing layer must reassemble);
+//! * [`WireFault::ShortWrite`] — half the buffer is written, then the
+//!   stream dies (the peer sees a cut frame);
+//! * [`WireFault::Truncate`] — the write delivers everything but the last
+//!   byte, then the stream dies (byte-level frame truncation);
+//! * [`WireFault::Delay`] — the operation succeeds after an artificial
+//!   stall (exercises timeout/deadline paths, never corrupts data);
+//! * [`WireFault::Disconnect`] — the stream dies mid-frame: reads see
+//!   EOF, writes see `BrokenPipe`.
+//!
+//! "Dies" is per-stream state: the injection *decision* is global to the
+//! plan (so the Nth socket operation of a whole run can be targeted), but
+//! the consequence latches on the one stream that drew the fault, exactly
+//! like a real connection loss.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The socket operations a wire failpoint can intercept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireOp {
+    /// A connection being accepted by the server.
+    Accept,
+    /// A socket read (either side).
+    Read,
+    /// A socket write (either side).
+    Write,
+    /// An explicit flush after a frame write.
+    Flush,
+    /// A deliberate shutdown/close of the stream.
+    Close,
+    /// A client `connect`.
+    Connect,
+}
+
+impl WireOp {
+    /// Human-readable operation name (for injected error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            WireOp::Accept => "accept",
+            WireOp::Read => "read",
+            WireOp::Write => "write",
+            WireOp::Flush => "flush",
+            WireOp::Close => "close",
+            WireOp::Connect => "connect",
+        }
+    }
+}
+
+/// What an armed wire failpoint injects when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// The operation fails with a `ConnectionReset` error.
+    Error,
+    /// A read delivers at most one byte (TCP fragmentation).
+    ShortRead,
+    /// A write delivers half the buffer, then the stream dies.
+    ShortWrite,
+    /// A write delivers all but the final byte, then the stream dies —
+    /// byte-level frame truncation.
+    Truncate,
+    /// The operation stalls for the given delay, then succeeds.
+    Delay(Duration),
+    /// The stream dies mid-frame: EOF on reads, `BrokenPipe` on writes.
+    Disconnect,
+}
+
+/// The six flavors cycled by sweeps (delay kept short so sweeps stay fast).
+pub const FLAVORS: [WireFault; 6] = [
+    WireFault::Error,
+    WireFault::ShortRead,
+    WireFault::ShortWrite,
+    WireFault::Truncate,
+    WireFault::Delay(Duration::from_millis(30)),
+    WireFault::Disconnect,
+];
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Count operations without failing any.
+    Counting,
+    /// Inject `fault` at the `nth` operation (0-based) seen by the plan.
+    Nth { nth: u64, fault: WireFault },
+    /// Inject a pseudo-random flavor at each operation with probability
+    /// `prob` (per-mille), from a deterministic xorshift stream.
+    Random { state: u64, prob_millis: u32 },
+}
+
+/// A shared wire-fault policy. Both ends of a loopback torture run hold
+/// the same `Arc<FaultPlan>`; every socket operation routed through it
+/// bumps one global counter, making "the Nth socket operation of this
+/// run" a meaningful, replayable coordinate.
+#[derive(Debug)]
+pub struct FaultPlan {
+    mode: Mutex<Mode>,
+    ops: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A counting plan: observes every operation, fails none.
+    pub fn counting() -> Arc<FaultPlan> {
+        Arc::new(FaultPlan {
+            mode: Mutex::new(Mode::Counting),
+            ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Inject `fault` at the `nth` socket operation (0-based) this plan
+    /// observes; all other operations pass.
+    pub fn nth(nth: u64, fault: WireFault) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan {
+            mode: Mutex::new(Mode::Nth { nth, fault }),
+            ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Inject a deterministically pseudo-random flavor at each operation
+    /// with probability `prob` (0.0–1.0), seeded by `seed`.
+    pub fn random(seed: u64, prob: f64) -> Arc<FaultPlan> {
+        let prob_millis = (prob.clamp(0.0, 1.0) * 1000.0).round() as u32;
+        Arc::new(FaultPlan {
+            mode: Mutex::new(Mode::Random { state: seed | 1, prob_millis }),
+            ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Stop injecting: switch the plan to pure counting mode. The torture
+    /// harness disarms a plan once its fault window closes, so that the
+    /// post-fault recovery checks (convergence, liveness, slot drain) run
+    /// deterministically fault-free even when operation numbering drifted
+    /// and the armed point was never reached inside the window.
+    pub fn disarm(&self) {
+        let mut mode = self.mode.lock().unwrap_or_else(|e| e.into_inner());
+        *mode = Mode::Counting;
+    }
+
+    /// Operations observed so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Faults actually injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Record one socket operation; returns the fault to inject, if any.
+    /// `Delay` faults never target `Accept`/`Connect`/`Close` (there is
+    /// nothing to stall there that the harness could observe).
+    pub fn check(&self, op: WireOp) -> Option<WireFault> {
+        let n = self.ops.fetch_add(1, Ordering::SeqCst);
+        let fault = {
+            let mut mode = self.mode.lock().unwrap_or_else(|e| e.into_inner());
+            match *mode {
+                Mode::Counting => None,
+                Mode::Nth { nth, fault } => (n == nth).then_some(fault),
+                Mode::Random { ref mut state, prob_millis } => {
+                    // xorshift64*: cheap, deterministic, good enough to
+                    // scatter faults across a stream of operations.
+                    let mut x = *state;
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    *state = x;
+                    if (x % 1000) < u64::from(prob_millis) {
+                        Some(FLAVORS[(x / 1000 % FLAVORS.len() as u64) as usize])
+                    } else {
+                        None
+                    }
+                }
+            }
+        };
+        let fault = match (fault, op) {
+            // Control points can't realize a stall the peer would observe;
+            // degrade to a plain error so the point still gets coverage.
+            (Some(WireFault::Delay(_)), WireOp::Accept | WireOp::Connect | WireOp::Close) => {
+                Some(WireFault::Error)
+            }
+            (f, _) => f,
+        };
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+        }
+        fault
+    }
+}
+
+fn reset_err(op: WireOp) -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionReset, format!("injected wire fault at {}", op.name()))
+}
+
+/// A `Read + Write` adapter injecting the plan's faults into one stream.
+/// The underlying stream is borrowed generically so both `TcpStream`
+/// references and in-memory test buffers work.
+#[derive(Debug)]
+pub struct FaultStream<S> {
+    inner: S,
+    plan: Option<Arc<FaultPlan>>,
+    /// Latched after a fatal injected fault: the stream is dead from this
+    /// side's point of view, like a real torn connection.
+    dead: bool,
+}
+
+impl<S> FaultStream<S> {
+    /// Wrap `inner`; with `plan = None` every operation passes straight
+    /// through (one branch of overhead).
+    pub fn new(inner: S, plan: Option<Arc<FaultPlan>>) -> FaultStream<S> {
+        FaultStream { inner, plan, dead: false }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    fn decide(&mut self, op: WireOp) -> Option<WireFault> {
+        self.plan.as_ref().and_then(|p| p.check(op))
+    }
+}
+
+impl<S: Read> Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.dead {
+            return Ok(0); // torn connection: EOF forever
+        }
+        match self.decide(WireOp::Read) {
+            None => self.inner.read(buf),
+            Some(WireFault::Error) => Err(reset_err(WireOp::Read)),
+            Some(WireFault::ShortRead) => {
+                let cap = buf.len().min(1);
+                self.inner.read(&mut buf[..cap])
+            }
+            Some(WireFault::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            // Write-flavored faults on a read point degrade to a torn
+            // connection — the read side observes the peer vanishing.
+            Some(WireFault::ShortWrite | WireFault::Truncate | WireFault::Disconnect) => {
+                self.dead = true;
+                Ok(0)
+            }
+        }
+    }
+}
+
+impl<S: Write> Write for FaultStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected torn connection"));
+        }
+        match self.decide(WireOp::Write) {
+            None => self.inner.write(buf),
+            Some(WireFault::Error) => Err(reset_err(WireOp::Write)),
+            Some(WireFault::ShortWrite) => {
+                let cut = (buf.len() / 2).max(1).min(buf.len());
+                let n = self.inner.write(&buf[..cut])?;
+                self.dead = true;
+                Ok(n)
+            }
+            Some(WireFault::Truncate) => {
+                let cut = buf.len().saturating_sub(1);
+                if cut > 0 {
+                    self.inner.write_all(&buf[..cut])?;
+                }
+                self.dead = true;
+                if cut > 0 {
+                    Ok(cut)
+                } else {
+                    Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected truncation"))
+                }
+            }
+            Some(WireFault::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            Some(WireFault::ShortRead) => self.inner.write(buf), // read flavor: no-op here
+            Some(WireFault::Disconnect) => {
+                self.dead = true;
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected disconnect"))
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected torn connection"));
+        }
+        match self.decide(WireOp::Flush) {
+            None | Some(WireFault::ShortRead) => self.inner.flush(),
+            Some(WireFault::Error) => Err(reset_err(WireOp::Flush)),
+            Some(WireFault::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.flush()
+            }
+            Some(WireFault::ShortWrite | WireFault::Truncate | WireFault::Disconnect) => {
+                self.dead = true;
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected disconnect"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_plan_counts_and_never_fires() {
+        let plan = FaultPlan::counting();
+        for op in [WireOp::Accept, WireOp::Read, WireOp::Write, WireOp::Flush, WireOp::Close] {
+            assert_eq!(plan.check(op), None);
+        }
+        assert_eq!(plan.ops_seen(), 5);
+        assert_eq!(plan.injected(), 0);
+    }
+
+    #[test]
+    fn nth_plan_fires_exactly_once() {
+        let plan = FaultPlan::nth(2, WireFault::Error);
+        assert_eq!(plan.check(WireOp::Read), None);
+        assert_eq!(plan.check(WireOp::Write), None);
+        assert_eq!(plan.check(WireOp::Read), Some(WireFault::Error));
+        assert_eq!(plan.check(WireOp::Read), None);
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_and_roughly_calibrated() {
+        let a = FaultPlan::random(7, 0.05);
+        let b = FaultPlan::random(7, 0.05);
+        let fire_a: Vec<_> = (0..2000).map(|_| a.check(WireOp::Read).is_some()).collect();
+        let fire_b: Vec<_> = (0..2000).map(|_| b.check(WireOp::Read).is_some()).collect();
+        assert_eq!(fire_a, fire_b, "same seed must give the same schedule");
+        let rate = a.injected() as f64 / a.ops_seen() as f64;
+        assert!((0.02..=0.10).contains(&rate), "5% plan fired at {rate}");
+        // 0% never fires.
+        let z = FaultPlan::random(7, 0.0);
+        for _ in 0..500 {
+            assert_eq!(z.check(WireOp::Write), None);
+        }
+    }
+
+    #[test]
+    fn delay_degrades_to_error_at_control_points() {
+        let plan = FaultPlan::nth(0, WireFault::Delay(Duration::from_secs(60)));
+        // Were this a real delay, the test would hang for a minute.
+        assert_eq!(plan.check(WireOp::Accept), Some(WireFault::Error));
+    }
+
+    #[test]
+    fn fault_stream_injects_and_latches() {
+        // Disconnect: EOF on read, then dead forever.
+        let data = [1u8, 2, 3, 4];
+        let mut s = FaultStream::new(&data[..], Some(FaultPlan::nth(0, WireFault::Disconnect)));
+        let mut buf = [0u8; 4];
+        assert_eq!(s.read(&mut buf).unwrap(), 0);
+        assert_eq!(s.read(&mut buf).unwrap(), 0, "dead stream stays dead");
+
+        // Short read: one byte at a time is legal, not an error.
+        let mut s = FaultStream::new(&data[..], Some(FaultPlan::nth(0, WireFault::ShortRead)));
+        assert_eq!(s.read(&mut buf).unwrap(), 1);
+        assert_eq!(buf[0], 1);
+        assert_eq!(s.read(&mut buf).unwrap(), 3, "later reads recover the rest");
+
+        // Truncate: all but the last byte lands, then the stream dies.
+        let mut out = Vec::new();
+        let mut s = FaultStream::new(&mut out, Some(FaultPlan::nth(0, WireFault::Truncate)));
+        assert_eq!(s.write(&[9, 9, 9, 9]).unwrap(), 3);
+        assert!(s.write(&[1]).is_err(), "dead after truncation");
+        drop(s);
+        assert_eq!(out, vec![9, 9, 9]);
+
+        // Error: typed io error, stream not latched dead.
+        let mut s = FaultStream::new(&data[..], Some(FaultPlan::nth(0, WireFault::Error)));
+        assert_eq!(s.read(&mut buf).unwrap_err().kind(), io::ErrorKind::ConnectionReset);
+        assert_eq!(s.read(&mut buf).unwrap(), 4, "soft error does not kill the stream");
+    }
+
+    #[test]
+    fn no_plan_is_transparent() {
+        let data = [7u8; 16];
+        let mut s = FaultStream::new(&data[..], None);
+        let mut buf = [0u8; 16];
+        assert_eq!(s.read(&mut buf).unwrap(), 16);
+        let mut out = Vec::new();
+        let mut w = FaultStream::new(&mut out, None);
+        assert_eq!(w.write(&buf).unwrap(), 16);
+        w.flush().unwrap();
+    }
+}

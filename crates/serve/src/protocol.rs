@@ -47,6 +47,16 @@ pub enum ServeError {
     Protocol(String),
     /// The server refused admission: too many sessions in flight.
     ServerBusy { in_flight: u32, max: u32 },
+    /// The admission queue is full or the request was shed as
+    /// deadline-doomed; `retry_after_ms` is the server's back-off hint.
+    Overloaded { queue_depth: u32, est_wait_ms: u64, retry_after_ms: u64 },
+    /// The server is draining: finishing in-flight work, taking no more.
+    Draining,
+    /// A non-idempotent request's connection died *after* a response byte
+    /// arrived: the update may or may not have been applied server-side.
+    /// The retry layer refuses to guess; the caller must reconcile (e.g.
+    /// re-read and compare). `cause` is the underlying transport error.
+    Ambiguous { verb: &'static str, cause: String },
     /// The peer closed the connection (clean EOF).
     Closed,
     /// The server reported a typed error for this request.
@@ -68,6 +78,19 @@ impl fmt::Display for ServeError {
             ServeError::ServerBusy { in_flight, max } => {
                 write!(f, "server busy: {in_flight} sessions in flight (max {max})")
             }
+            ServeError::Overloaded { queue_depth, est_wait_ms, retry_after_ms } => {
+                write!(
+                    f,
+                    "server overloaded: {queue_depth} request(s) queued, est wait {est_wait_ms} \
+                     ms (retry after {retry_after_ms} ms)"
+                )
+            }
+            ServeError::Draining => write!(f, "server draining: not accepting new work"),
+            ServeError::Ambiguous { verb, cause } => write!(
+                f,
+                "{verb} outcome ambiguous: connection lost mid-response ({cause}); \
+                 the update may have been applied — reconcile before retrying"
+            ),
             ServeError::Closed => write!(f, "connection closed by peer"),
             ServeError::Remote { class, message } => write!(f, "server error [{class}]: {message}"),
         }
@@ -153,8 +176,13 @@ impl fmt::Display for ErrorClass {
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// Liveness probe; answered with [`Response::Pong`].
-    Ping,
+    /// Liveness probe; answered with [`Response::Pong`]. `retries` is the
+    /// number of attempts the sender has already burned on the logical
+    /// operation this connection serves (0 = plain liveness check) — the
+    /// retry layer sends it when validating a reconnect, and the server
+    /// folds it into `ServerStats::retries_seen` so operators can watch
+    /// client-side retry pressure without client instrumentation.
+    Ping { retries: u32 },
     /// Run an XQuery against the current snapshot of `doc`.
     Query { doc: String, query: String },
     /// Evaluate a bare path to node ids against the current snapshot.
@@ -169,6 +197,18 @@ pub enum Request {
     ListDocs,
     /// End the session; answered with [`Response::Bye`].
     Close,
+    /// Snapshot the server's operational counters; answered with
+    /// [`Response::Stats`].
+    Stats,
+}
+
+impl Request {
+    /// May this request be safely re-sent after an ambiguous connection
+    /// loss? Reads and probes are; structural updates are not (the server
+    /// may have applied them before the wire died).
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Request::Insert { .. } | Request::Delete { .. })
+    }
 }
 
 impl Request {
@@ -176,7 +216,10 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Request::Ping => put_u8(&mut out, 0),
+            Request::Ping { retries } => {
+                put_u8(&mut out, 0);
+                put_u32(&mut out, *retries);
+            }
             Request::Query { doc, query } => {
                 put_u8(&mut out, 1);
                 put_str(&mut out, doc);
@@ -206,6 +249,7 @@ impl Request {
             }
             Request::ListDocs => put_u8(&mut out, 6),
             Request::Close => put_u8(&mut out, 7),
+            Request::Stats => put_u8(&mut out, 8),
         }
         out
     }
@@ -215,7 +259,7 @@ impl Request {
         let mut r = Reader::new(payload);
         let tag = fr(r.u8("request tag"))?;
         let req = match tag {
-            0 => Request::Ping,
+            0 => Request::Ping { retries: fr(r.u32("retries"))? },
             1 => Request::Query {
                 doc: fr(r.len_str("doc"))?.to_string(),
                 query: fr(r.len_str("query"))?.to_string(),
@@ -240,6 +284,7 @@ impl Request {
             },
             6 => Request::ListDocs,
             7 => Request::Close,
+            8 => Request::Stats,
             other => return Err(ServeError::Protocol(format!("unknown request tag {other}"))),
         };
         expect_drained(&r)?;
@@ -274,8 +319,13 @@ pub fn limits_to_wire(l: &QueryLimits) -> (u64, u64, u64) {
 /// A server response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
-    /// Answer to [`Request::Ping`].
-    Pong,
+    /// Answer to [`Request::Ping`] (and acknowledgement of
+    /// [`Request::SetLimits`]): the server's current MVCC generation
+    /// high-water mark and its uptime. The retry layer uses the pair to
+    /// validate a reconnect before replaying session state — a `Pong`
+    /// with a lower `uptime_ms` than the last one means the server
+    /// restarted and any cached generation correlation is void.
+    Pong { generation: u64, uptime_ms: u64 },
     /// Serialized query result, tagged with the MVCC generation the
     /// snapshot carried so clients can correlate reads with commits.
     Value { generation: u64, body: String },
@@ -288,10 +338,23 @@ pub enum Response {
     /// Typed failure; the session stays open unless the class is
     /// [`ErrorClass::Protocol`] or [`ErrorClass::Shutdown`].
     Error { class: ErrorClass, message: String },
-    /// Admission control refused the session.
+    /// Admission control refused the session (legacy hard refusal; the
+    /// server now queues and sheds with [`Response::Overloaded`], but the
+    /// variant stays decodable for older peers).
     Busy { in_flight: u32, max: u32 },
     /// Answer to [`Request::Close`]; the server closes after sending it.
     Bye,
+    /// The admission queue refused this request: either the queue is full
+    /// or the request's deadline budget cannot survive the estimated
+    /// wait. `retry_after_ms` is the server's back-off hint.
+    Overloaded { queue_depth: u32, est_wait_ms: u64, retry_after_ms: u64 },
+    /// The server is draining (operator-initiated shutdown): in-flight
+    /// work finishes, new work is refused. The session closes after this.
+    Draining,
+    /// Answer to [`Request::Stats`]: named monotonic counters. A pair
+    /// list, not a fixed struct, so counters can be added without a wire
+    /// break.
+    Stats { counters: Vec<(String, u64)> },
 }
 
 impl Response {
@@ -299,7 +362,11 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Response::Pong => put_u8(&mut out, 0),
+            Response::Pong { generation, uptime_ms } => {
+                put_u8(&mut out, 0);
+                put_u64(&mut out, *generation);
+                put_u64(&mut out, *uptime_ms);
+            }
             Response::Value { generation, body } => {
                 put_u8(&mut out, 1);
                 put_u64(&mut out, *generation);
@@ -335,6 +402,21 @@ impl Response {
                 put_u32(&mut out, *max);
             }
             Response::Bye => put_u8(&mut out, 7),
+            Response::Overloaded { queue_depth, est_wait_ms, retry_after_ms } => {
+                put_u8(&mut out, 8);
+                put_u32(&mut out, *queue_depth);
+                put_u64(&mut out, *est_wait_ms);
+                put_u64(&mut out, *retry_after_ms);
+            }
+            Response::Draining => put_u8(&mut out, 9),
+            Response::Stats { counters } => {
+                put_u8(&mut out, 10);
+                put_u32(&mut out, counters.len() as u32);
+                for (name, value) in counters {
+                    put_str(&mut out, name);
+                    put_u64(&mut out, *value);
+                }
+            }
         }
         out
     }
@@ -344,7 +426,10 @@ impl Response {
         let mut r = Reader::new(payload);
         let tag = fr(r.u8("response tag"))?;
         let resp = match tag {
-            0 => Response::Pong,
+            0 => Response::Pong {
+                generation: fr(r.u64("generation"))?,
+                uptime_ms: fr(r.u64("uptime_ms"))?,
+            },
             1 => Response::Value {
                 generation: fr(r.u64("generation"))?,
                 body: fr(r.len_str("body"))?.to_string(),
@@ -373,6 +458,22 @@ impl Response {
             },
             6 => Response::Busy { in_flight: fr(r.u32("in_flight"))?, max: fr(r.u32("max"))? },
             7 => Response::Bye,
+            8 => Response::Overloaded {
+                queue_depth: fr(r.u32("queue_depth"))?,
+                est_wait_ms: fr(r.u64("est_wait_ms"))?,
+                retry_after_ms: fr(r.u64("retry_after_ms"))?,
+            },
+            9 => Response::Draining,
+            10 => {
+                let n = fr(r.u32("counter count"))? as usize;
+                let mut counters = Vec::new();
+                for _ in 0..n {
+                    let name = fr(r.len_str("counter name"))?.to_string();
+                    let value = fr(r.u64("counter value"))?;
+                    counters.push((name, value));
+                }
+                Response::Stats { counters }
+            }
             other => return Err(ServeError::Protocol(format!("unknown response tag {other}"))),
         };
         expect_drained(&r)?;
@@ -458,7 +559,9 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        round_trip_request(Request::Ping);
+        round_trip_request(Request::Ping { retries: 0 });
+        round_trip_request(Request::Ping { retries: 3 });
+        round_trip_request(Request::Stats);
         round_trip_request(Request::Query { doc: "bib".into(), query: "//book".into() });
         round_trip_request(Request::Select { doc: "d".into(), path: "/a/b".into() });
         round_trip_request(Request::Insert {
@@ -474,7 +577,16 @@ mod tests {
 
     #[test]
     fn responses_round_trip() {
-        round_trip_response(Response::Pong);
+        round_trip_response(Response::Pong { generation: 12, uptime_ms: 34_567 });
+        round_trip_response(Response::Overloaded {
+            queue_depth: 9,
+            est_wait_ms: 120,
+            retry_after_ms: 60,
+        });
+        round_trip_response(Response::Draining);
+        round_trip_response(Response::Stats {
+            counters: vec![("requests".into(), 42), ("queue_shed".into(), 3)],
+        });
         round_trip_response(Response::Value { generation: 7, body: "<r/>".into() });
         round_trip_response(Response::NodeIds { generation: 3, ids: vec![1, 5, 9] });
         round_trip_response(Response::Count { n: 4 });
@@ -489,9 +601,23 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_a_protocol_error() {
-        let mut payload = Request::Ping.encode();
+        let mut payload = Request::Ping { retries: 0 }.encode();
         payload.push(0xFF);
         assert!(matches!(Request::decode(&payload), Err(ServeError::Protocol(_))));
+    }
+
+    #[test]
+    fn idempotency_classification() {
+        assert!(Request::Ping { retries: 1 }.is_idempotent());
+        assert!(Request::Query { doc: "d".into(), query: "//x".into() }.is_idempotent());
+        assert!(Request::Select { doc: "d".into(), path: "/a".into() }.is_idempotent());
+        assert!(Request::SetLimits { timeout_ms: 1, max_memory: 0, max_rows: 0 }.is_idempotent());
+        assert!(Request::ListDocs.is_idempotent());
+        assert!(Request::Stats.is_idempotent());
+        assert!(Request::Close.is_idempotent());
+        assert!(!Request::Insert { doc: "d".into(), path: "/a".into(), fragment: "<x/>".into() }
+            .is_idempotent());
+        assert!(!Request::Delete { doc: "d".into(), path: "//x".into() }.is_idempotent());
     }
 
     #[test]

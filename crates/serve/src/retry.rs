@@ -1,0 +1,580 @@
+//! The resilient client: bounded retries with exponential backoff and
+//! jitter, automatic reconnect with session-state replay, and strict
+//! idempotency discipline.
+//!
+//! ## What is retryable
+//!
+//! Three failure families are worth another attempt:
+//!
+//! * **typed refusals** — [`ServeError::Overloaded`] (honouring the
+//!   server's `retry_after_ms` hint), legacy [`ServeError::ServerBusy`],
+//!   and [`ServeError::Draining`] (another server instance may be behind
+//!   the same address; with a single server the budget runs out quickly);
+//! * **connection loss before any response byte** — `Io`, `Closed`, and
+//!   torn-frame errors (`Frame`, `Crc`, `TooLarge`) when
+//!   [`Client::response_started`] is false: the server provably never
+//!   answered, so even a non-idempotent verb is safe to re-send;
+//! * **connection loss after a response byte** — safe only for
+//!   *idempotent* verbs ([`Request::is_idempotent`]). For an `Insert` or
+//!   `Delete` the server may have applied the update and died sending the
+//!   acknowledgement; re-sending would double-apply. Those surface
+//!   [`ServeError::Ambiguous`] instead, and the caller decides.
+//!
+//! [`ServeError::Remote`] is never retried: the server answered; the
+//! answer was an error. Re-asking the same question gets the same answer.
+//!
+//! ## Deadline propagation
+//!
+//! A policy `deadline` is the budget for the *logical operation*, across
+//! every attempt. Each attempt computes the remaining budget, and the
+//! reconnect replay threads it into the server-side [`QueryLimits`]
+//! timeout (taking the minimum with any session timeout the caller set),
+//! so the client-side clock and the server-side governor deadline agree —
+//! the server never burns cycles on an answer the client has already
+//! abandoned.
+//!
+//! ## Reconnect protocol
+//!
+//! After a transport failure the client reconnects, *validates* the new
+//! connection with a [`Request::Ping`] carrying the number of attempts
+//! burned so far (landing in the server's `retries_seen` counter), then
+//! replays session state — one [`Request::SetLimits`] — before re-sending
+//! the original request. A reconnect that cannot even ping consumes an
+//! attempt like any other failure.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use xqp::QueryLimits;
+use xqp_gen::Prng;
+
+use crate::client::Client;
+use crate::protocol::{Request, Response, ServeError};
+
+/// Knobs of the retry loop. The defaults suit an interactive client: up
+/// to 4 attempts, 20 ms base backoff doubling per attempt, capped at
+/// 500 ms per sleep and 2 s of total sleep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Backoff before attempt 2.
+    pub base_delay: Duration,
+    /// Multiplier applied per further attempt (exponential backoff).
+    pub multiplier: f64,
+    /// Ceiling on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Ceiling on *cumulative* backoff sleep across the whole operation —
+    /// the retry budget. Exhausting it stops retrying even when attempts
+    /// remain.
+    pub retry_budget: Duration,
+    /// Seed for the jitter PRNG (deterministic given the seed, so torture
+    /// runs reproduce).
+    pub seed: u64,
+    /// Optional wall-clock budget for the logical operation across all
+    /// attempts; threaded into the server-side governor timeout.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(20),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(500),
+            retry_budget: Duration::from_secs(2),
+            seed: 0x5eed_cafe,
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts = 1`: the resilient client degrades to
+    /// the plain one (useful as a baseline in benchmarks and torture).
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+}
+
+/// Why the retry loop gave up (wrapped in [`ServeError`] variants where a
+/// typed class exists; surfaced through [`ResilientClient::last_outcome`]
+/// for diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GiveUp {
+    /// All attempts burned.
+    AttemptsExhausted,
+    /// The cumulative-sleep budget ran out.
+    BudgetExhausted,
+    /// The operation deadline passed.
+    DeadlineExceeded,
+    /// The failure class is not retryable (server answered, or ambiguous
+    /// non-idempotent loss).
+    NotRetryable,
+}
+
+/// A self-healing session: owns the address, the policy, and the session
+/// state (limits) needed to rebuild a connection from nothing.
+pub struct ResilientClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    prng: Prng,
+    conn: Option<Client>,
+    limits: Option<QueryLimits>,
+    /// Attempts burned across the lifetime of this client; reported to the
+    /// server on the next reconnect ping.
+    retries_total: u32,
+    last_outcome: Option<GiveUp>,
+}
+
+impl ResilientClient {
+    /// Resolve `addr` and connect (the initial connect itself is retried
+    /// under the policy).
+    pub fn connect(addr: impl ToSocketAddrs, policy: RetryPolicy) -> Result<Self, ServeError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ServeError::Protocol("address resolved to nothing".into()))?;
+        let prng = Prng::seed_from_u64(policy.seed);
+        let mut c = ResilientClient {
+            addr,
+            policy,
+            prng,
+            conn: None,
+            limits: None,
+            retries_total: 0,
+            last_outcome: None,
+        };
+        c.ensure_connected(&mut RetryClock::start(&c.policy))?;
+        Ok(c)
+    }
+
+    /// Why the most recent failed operation stopped retrying.
+    pub fn last_outcome(&self) -> Option<GiveUp> {
+        self.last_outcome
+    }
+
+    /// Total attempts burned on retries over this client's lifetime.
+    pub fn retries_total(&self) -> u32 {
+        self.retries_total
+    }
+
+    /// Set (and remember, for replay-after-reconnect) the session limits.
+    pub fn set_limits(&mut self, limits: &QueryLimits) -> Result<(), ServeError> {
+        self.limits = Some(*limits);
+        let req = {
+            let (timeout_ms, max_memory, max_rows) = crate::protocol::limits_to_wire(limits);
+            Request::SetLimits { timeout_ms, max_memory, max_rows }
+        };
+        self.request(&req).map(|_| ())
+    }
+
+    /// Run an XQuery with retries; returns `(generation, body)`.
+    pub fn query(&mut self, doc: &str, query: &str) -> Result<(u64, String), ServeError> {
+        match self.request(&Request::Query { doc: doc.into(), query: query.into() })? {
+            Response::Value { generation, body } => Ok((generation, body)),
+            other => Err(ServeError::Protocol(format!("unexpected response kind: {other:?}"))),
+        }
+    }
+
+    /// Evaluate a bare path to node ids, with retries.
+    pub fn select(&mut self, doc: &str, path: &str) -> Result<(u64, Vec<u64>), ServeError> {
+        match self.request(&Request::Select { doc: doc.into(), path: path.into() })? {
+            Response::NodeIds { generation, ids } => Ok((generation, ids)),
+            other => Err(ServeError::Protocol(format!("unexpected response kind: {other:?}"))),
+        }
+    }
+
+    /// Insert with retries *only* while provably undelivered (see module
+    /// docs); an ambiguous loss surfaces [`ServeError::Ambiguous`].
+    pub fn insert(&mut self, doc: &str, path: &str, fragment: &str) -> Result<u64, ServeError> {
+        let req = Request::Insert { doc: doc.into(), path: path.into(), fragment: fragment.into() };
+        match self.request(&req)? {
+            Response::Count { n } => Ok(n),
+            other => Err(ServeError::Protocol(format!("unexpected response kind: {other:?}"))),
+        }
+    }
+
+    /// Delete with the same ambiguity rules as [`ResilientClient::insert`].
+    pub fn delete(&mut self, doc: &str, path: &str) -> Result<u64, ServeError> {
+        match self.request(&Request::Delete { doc: doc.into(), path: path.into() })? {
+            Response::Count { n } => Ok(n),
+            other => Err(ServeError::Protocol(format!("unexpected response kind: {other:?}"))),
+        }
+    }
+
+    /// List documents, with retries.
+    pub fn list_docs(&mut self) -> Result<Vec<String>, ServeError> {
+        match self.request(&Request::ListDocs)? {
+            Response::Docs { names } => Ok(names),
+            other => Err(ServeError::Protocol(format!("unexpected response kind: {other:?}"))),
+        }
+    }
+
+    /// Liveness probe with retries; returns `(generation, uptime_ms)`.
+    pub fn ping(&mut self) -> Result<(u64, u64), ServeError> {
+        match self.request(&Request::Ping { retries: 0 })? {
+            Response::Pong { generation, uptime_ms } => Ok((generation, uptime_ms)),
+            other => Err(ServeError::Protocol(format!("unexpected response kind: {other:?}"))),
+        }
+    }
+
+    /// Server counters, with retries.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ServeError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { counters } => Ok(counters),
+            other => Err(ServeError::Protocol(format!("unexpected response kind: {other:?}"))),
+        }
+    }
+
+    /// End the session cleanly; best-effort (a dead connection is already
+    /// closed).
+    pub fn close(mut self) -> Result<(), ServeError> {
+        match self.conn.take() {
+            Some(c) => c.close(),
+            None => Ok(()),
+        }
+    }
+
+    /// The retry loop: attempt → classify → (maybe) backoff + reconnect →
+    /// re-attempt, under attempts / budget / deadline bounds.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let mut clock = RetryClock::start(&self.policy);
+        self.last_outcome = None;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            // Each attempt carries only the remaining deadline budget into
+            // the server-side governor, so both clocks agree.
+            if self.policy.deadline.is_some() && clock.remaining_deadline().is_none() {
+                self.last_outcome = Some(GiveUp::DeadlineExceeded);
+                return Err(ServeError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "operation deadline exceeded before attempt",
+                )));
+            }
+            let outcome =
+                self.ensure_connected(&mut clock).and_then(|()| self.attempt_once(req, &clock));
+            let err = match outcome {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            let (reconnect, hint) = match self.classify_failure(req, &err) {
+                FailureClass::Retry { reconnect, hint } => (reconnect, hint),
+                FailureClass::Fatal => {
+                    self.last_outcome = Some(GiveUp::NotRetryable);
+                    return Err(err);
+                }
+                FailureClass::Ambiguous => {
+                    self.conn = None;
+                    self.last_outcome = Some(GiveUp::NotRetryable);
+                    return Err(ServeError::Ambiguous {
+                        verb: verb_name(req),
+                        cause: err.to_string(),
+                    });
+                }
+            };
+            if reconnect {
+                self.conn = None;
+            }
+            if attempt >= self.policy.max_attempts {
+                self.last_outcome = Some(GiveUp::AttemptsExhausted);
+                return Err(err);
+            }
+            self.retries_total = self.retries_total.saturating_add(1);
+            let delay = self.backoff_delay(attempt, hint);
+            match clock.sleep(delay) {
+                SleepOutcome::Slept => {}
+                SleepOutcome::BudgetExhausted => {
+                    self.last_outcome = Some(GiveUp::BudgetExhausted);
+                    return Err(err);
+                }
+                SleepOutcome::DeadlineExceeded => {
+                    self.last_outcome = Some(GiveUp::DeadlineExceeded);
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    /// One wire attempt over the current connection.
+    fn attempt_once(&mut self, req: &Request, clock: &RetryClock) -> Result<Response, ServeError> {
+        // Non-idempotent verbs get a one-shot deadline check up front; once
+        // the bytes are on the wire, ambiguity rules take over.
+        let conn = self.conn.as_mut().expect("ensure_connected ran");
+        let _ = clock;
+        conn.request(req)
+    }
+
+    fn classify_failure(&self, req: &Request, err: &ServeError) -> FailureClass {
+        match err {
+            // Typed refusals: the connection is healthy (Overloaded) or
+            // closing (Draining); retry after the hinted backoff.
+            ServeError::Overloaded { retry_after_ms, .. } => FailureClass::Retry {
+                reconnect: false,
+                hint: Some(Duration::from_millis(*retry_after_ms)),
+            },
+            ServeError::ServerBusy { .. } => FailureClass::Retry { reconnect: true, hint: None },
+            ServeError::Draining => FailureClass::Retry { reconnect: true, hint: None },
+            // The server answered with a typed error: not a transport
+            // problem, retrying cannot change the answer.
+            ServeError::Remote { .. } => FailureClass::Fatal,
+            // Transport failures: always retryable before the first
+            // response byte; after it, only for idempotent verbs.
+            ServeError::Io(_)
+            | ServeError::Closed
+            | ServeError::Frame(_)
+            | ServeError::Crc { .. }
+            | ServeError::TooLarge { .. }
+            | ServeError::Protocol(_) => {
+                let started = self.conn.as_ref().map(|c| c.response_started()).unwrap_or(false);
+                if req.is_idempotent() || !started {
+                    FailureClass::Retry { reconnect: true, hint: None }
+                } else {
+                    FailureClass::Ambiguous
+                }
+            }
+            ServeError::Ambiguous { .. } => FailureClass::Fatal,
+        }
+    }
+
+    /// `min(max_delay, base * multiplier^(attempt-1))`, jittered into
+    /// `[0.5x, 1.0x]` so a thundering herd decorrelates; a server hint
+    /// overrides the computed floor.
+    fn backoff_delay(&mut self, attempt: u32, hint: Option<Duration>) -> Duration {
+        let exp = self.policy.multiplier.powi(attempt.saturating_sub(1) as i32);
+        let raw = self.policy.base_delay.as_secs_f64() * exp;
+        let capped = raw.min(self.policy.max_delay.as_secs_f64());
+        let jitter = 0.5 + 0.5 * self.prng.next_f64();
+        let computed = Duration::from_secs_f64(capped * jitter);
+        match hint {
+            Some(h) => computed.max(h).min(self.policy.max_delay),
+            None => computed,
+        }
+    }
+
+    /// Connect if needed, validate with a ping, replay session state. The
+    /// ping reports the attempts burned so far so the server's
+    /// `retries_seen` counter tracks real client-side retry pressure.
+    fn ensure_connected(&mut self, clock: &mut RetryClock) -> Result<(), ServeError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut conn = Client::connect(self.addr)?;
+        if self.retries_total > 0 {
+            conn.ping_with_retries(self.retries_total)?;
+        }
+        if let Some(limits) = self.limits {
+            let effective = clock.clamp_limits(&limits);
+            let (timeout_ms, max_memory, max_rows) = crate::protocol::limits_to_wire(&effective);
+            match conn.request(&Request::SetLimits { timeout_ms, max_memory, max_rows })? {
+                Response::Pong { .. } => {}
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "limits replay: unexpected response kind: {other:?}"
+                    )))
+                }
+            }
+        } else if let Some(remaining) = clock.remaining_deadline_opt() {
+            // No caller limits, but an operation deadline: still thread it
+            // into the governor so the server stops when we stop caring.
+            let effective = QueryLimits::none().with_timeout(remaining);
+            let (timeout_ms, max_memory, max_rows) = crate::protocol::limits_to_wire(&effective);
+            match conn.request(&Request::SetLimits { timeout_ms, max_memory, max_rows })? {
+                Response::Pong { .. } => {}
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "deadline replay: unexpected response kind: {other:?}"
+                    )))
+                }
+            }
+        }
+        self.conn = Some(conn);
+        Ok(())
+    }
+}
+
+/// How one failed attempt should be handled.
+enum FailureClass {
+    Retry { reconnect: bool, hint: Option<Duration> },
+    Fatal,
+    Ambiguous,
+}
+
+fn verb_name(req: &Request) -> &'static str {
+    match req {
+        Request::Ping { .. } => "ping",
+        Request::Query { .. } => "query",
+        Request::Select { .. } => "select",
+        Request::Insert { .. } => "insert",
+        Request::Delete { .. } => "delete",
+        Request::SetLimits { .. } => "set-limits",
+        Request::ListDocs => "list-docs",
+        Request::Close => "close",
+        Request::Stats => "stats",
+    }
+}
+
+/// Tracks the two budgets a retry loop spends: cumulative sleep (the
+/// retry budget) and wall clock (the operation deadline).
+struct RetryClock {
+    started: Instant,
+    slept: Duration,
+    budget: Duration,
+    deadline: Option<Duration>,
+}
+
+enum SleepOutcome {
+    Slept,
+    BudgetExhausted,
+    DeadlineExceeded,
+}
+
+impl RetryClock {
+    fn start(policy: &RetryPolicy) -> RetryClock {
+        RetryClock {
+            started: Instant::now(),
+            slept: Duration::ZERO,
+            budget: policy.retry_budget,
+            deadline: policy.deadline,
+        }
+    }
+
+    /// Remaining operation deadline; `None` when it has passed.
+    fn remaining_deadline(&self) -> Option<Duration> {
+        match self.deadline {
+            None => Some(Duration::MAX),
+            Some(d) => {
+                let elapsed = self.started.elapsed();
+                if elapsed >= d {
+                    None
+                } else {
+                    Some(d - elapsed)
+                }
+            }
+        }
+    }
+
+    /// Remaining operation deadline when one is configured (`None` = no
+    /// deadline configured — distinct from "expired").
+    fn remaining_deadline_opt(&self) -> Option<Duration> {
+        self.deadline.and_then(|_| self.remaining_deadline())
+    }
+
+    /// Clamp a session's limits to the remaining operation budget.
+    fn clamp_limits(&self, limits: &QueryLimits) -> QueryLimits {
+        match self.remaining_deadline_opt() {
+            None => *limits,
+            Some(remaining) => {
+                let mut l = *limits;
+                let timeout = match l.timeout {
+                    Some(t) => t.min(remaining),
+                    None => remaining,
+                };
+                l = l.with_timeout(timeout);
+                l
+            }
+        }
+    }
+
+    fn sleep(&mut self, want: Duration) -> SleepOutcome {
+        if self.slept + want > self.budget {
+            return SleepOutcome::BudgetExhausted;
+        }
+        if let Some(remaining) = self.remaining_deadline() {
+            if want >= remaining {
+                return SleepOutcome::DeadlineExceeded;
+            }
+        } else {
+            return SleepOutcome::DeadlineExceeded;
+        }
+        std::thread::sleep(want);
+        self.slept += want;
+        SleepOutcome::Slept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_and_jittered() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(80),
+            ..RetryPolicy::default()
+        };
+        let mut c = ResilientClient {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            policy: policy.clone(),
+            prng: Prng::seed_from_u64(7),
+            conn: None,
+            limits: None,
+            retries_total: 0,
+            last_outcome: None,
+        };
+        for attempt in 1..=8 {
+            let d = c.backoff_delay(attempt, None);
+            let ceiling = policy.max_delay;
+            assert!(d <= ceiling, "attempt {attempt}: {d:?} > {ceiling:?}");
+            let raw = policy.base_delay.as_secs_f64() * policy.multiplier.powi(attempt as i32 - 1);
+            let floor = Duration::from_secs_f64(raw.min(ceiling.as_secs_f64()) * 0.5);
+            assert!(d >= floor, "attempt {attempt}: {d:?} < floor {floor:?}");
+        }
+        // A server hint raises the floor.
+        let hinted = c.backoff_delay(1, Some(Duration::from_millis(60)));
+        assert!(hinted >= Duration::from_millis(60));
+        assert!(hinted <= policy.max_delay);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut c = ResilientClient {
+                addr: "127.0.0.1:1".parse().unwrap(),
+                policy: RetryPolicy { seed, ..RetryPolicy::default() },
+                prng: Prng::seed_from_u64(seed),
+                conn: None,
+                limits: None,
+                retries_total: 0,
+                last_outcome: None,
+            };
+            (0..6).map(|a| c.backoff_delay(a + 1, None)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(42), mk(42));
+        assert_ne!(mk(42), mk(43));
+    }
+
+    #[test]
+    fn retry_clock_budgets() {
+        let policy = RetryPolicy {
+            retry_budget: Duration::from_millis(5),
+            deadline: Some(Duration::from_secs(60)),
+            ..RetryPolicy::default()
+        };
+        let mut clock = RetryClock::start(&policy);
+        assert!(matches!(clock.sleep(Duration::from_millis(2)), SleepOutcome::Slept));
+        assert!(matches!(clock.sleep(Duration::from_millis(10)), SleepOutcome::BudgetExhausted));
+        // Deadline clamping: a 60 s deadline leaves ~60 s, so a session
+        // timeout of 10 ms wins the min.
+        let l = QueryLimits::none().with_timeout(Duration::from_millis(10));
+        let clamped = clock.clamp_limits(&l);
+        assert_eq!(clamped.timeout, Some(Duration::from_millis(10)));
+        // Without a session timeout the remaining deadline becomes the
+        // governor timeout.
+        let open = clock.clamp_limits(&QueryLimits::none());
+        assert!(open.timeout.is_some());
+        assert!(open.timeout.unwrap() <= Duration::from_secs(60));
+    }
+
+    #[test]
+    fn expired_deadline_stops_sleeping() {
+        let policy = RetryPolicy { deadline: Some(Duration::ZERO), ..RetryPolicy::default() };
+        let mut clock = RetryClock::start(&policy);
+        assert!(matches!(clock.sleep(Duration::from_millis(1)), SleepOutcome::DeadlineExceeded));
+        assert!(clock.remaining_deadline().is_none());
+    }
+}

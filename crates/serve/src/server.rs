@@ -10,9 +10,11 @@
 //!
 //! Robustness properties the tests pin:
 //!
-//! * admission control — at most `max_inflight` sessions run at once;
-//!   excess connections get a typed [`Response::Busy`] and a clean close,
-//!   never a hang;
+//! * overload control — at most `max_inflight` requests *execute* at
+//!   once; excess requests wait in a bounded FIFO queue, and requests
+//!   whose deadline budget cannot survive the estimated wait are shed
+//!   immediately with a typed [`Response::Overloaded`] carrying a
+//!   retry-after hint — a doomed request never burns a queue slot;
 //! * malformed, corrupt, or oversized frames produce a typed
 //!   [`ErrorClass::Protocol`] response followed by a clean close — no
 //!   panic, no half-written reply, and the server keeps serving others;
@@ -21,20 +23,27 @@
 //!   abandoned expensive query cannot pin a core;
 //! * engine panics are caught per request ([`ErrorClass::Internal`]); the
 //!   session and the server both survive;
-//! * shutdown joins every thread — accept loop, sessions, watchers.
+//! * graceful drain ([`Server::drain`]) — stop taking new work, let
+//!   in-flight queries finish under a deadline, cancel stragglers via
+//!   their cancel tokens, reply [`Response::Draining`] to late arrivals;
+//! * shutdown joins every thread — accept loop, sessions, watchers;
+//! * every socket I/O point can host an injected wire fault
+//!   ([`crate::netfault`]); the tallies are visible in the
+//!   [`Request::Stats`] verb alongside the server's own counters.
 
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use xqp::exec::differential::panic_message;
 use xqp::{CancelToken, Database, Error, QueryLimits, SessionOptions};
 use xqp_exec::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 
+use crate::netfault::{FaultPlan, FaultStream, WireOp};
 use crate::protocol::{
     limits_from_wire, read_frame, write_frame, ErrorClass, Request, Response, ServeError, MAX_FRAME,
 };
@@ -42,9 +51,14 @@ use crate::protocol::{
 /// Tunables of a server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Maximum sessions running at once; further connections get
-    /// [`Response::Busy`].
+    /// Maximum requests *executing* at once; excess requests queue.
     pub max_inflight: u32,
+    /// Maximum requests waiting in the admission queue; beyond this the
+    /// server sheds with [`Response::Overloaded`].
+    pub max_queue: u32,
+    /// Hard cap on concurrent sessions (threads); beyond this a new
+    /// connection is refused with [`Response::Overloaded`] outright.
+    pub max_sessions: u32,
     /// Largest frame a client may send.
     pub max_frame: u32,
     /// Limits a session starts with (it may lower/replace them via
@@ -52,38 +66,71 @@ pub struct ServerConfig {
     pub default_limits: QueryLimits,
     /// Capacity of the process-wide shared plan cache.
     pub cache_capacity: usize,
-    /// Poll granularity for shutdown checks and disconnect watching.
+    /// Poll granularity for shutdown checks, queue waits and disconnect
+    /// watching.
     pub tick: Duration,
+    /// Ceiling on how long a request without a deadline of its own may
+    /// wait in the admission queue before being shed.
+    pub max_queue_wait: Duration,
+    /// Wire-fault injection plan (torture/bench harnesses only; `None` in
+    /// production costs one branch per socket operation).
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Log the first ignored send failure of each session to stderr
+    /// (counters always tally every one; see
+    /// [`ServerStats::send_failures`]). Torture runs switch this off.
+    pub log_send_failures: bool,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             max_inflight: 64,
+            max_queue: 128,
+            max_sessions: 1024,
             max_frame: MAX_FRAME,
             default_limits: QueryLimits::none(),
             cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             tick: Duration::from_millis(25),
+            max_queue_wait: Duration::from_secs(10),
+            fault: None,
+            log_send_failures: true,
         }
     }
 }
 
 /// Monotonic counters the server maintains; readable at any time through
-/// [`ServerHandle::stats`].
+/// [`ServerHandle::stats`] and over the wire via [`Request::Stats`].
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Connections accepted (including ones later refused admission).
     pub accepted: AtomicU64,
     /// Requests decoded and dispatched.
     pub requests: AtomicU64,
-    /// Sessions refused by admission control.
-    pub busy_rejections: AtomicU64,
+    /// Requests (or connections) refused because a bound was exhausted —
+    /// the queue or the session cap.
+    pub overload_rejections: AtomicU64,
+    /// Requests shed *before* queueing because their deadline budget could
+    /// not survive the estimated wait (deadline-doomed shed).
+    pub queue_shed: AtomicU64,
+    /// Requests that waited in the admission queue before executing.
+    pub queued_total: AtomicU64,
     /// Frames that failed to parse / verify (each also closes its session).
     pub protocol_errors: AtomicU64,
     /// Queries whose cancel token was tripped (disconnect or shutdown).
     pub cancelled: AtomicU64,
     /// Engine panics caught and converted to [`ErrorClass::Internal`].
     pub panics_caught: AtomicU64,
+    /// Response sends that failed and were deliberately not surfaced
+    /// (peer already gone). Each is counted; at most one per session is
+    /// logged.
+    pub send_failures: AtomicU64,
+    /// Client retry attempts reported via [`Request::Ping`]'s `retries`
+    /// field — the server-side view of client-side retry pressure.
+    pub retries_seen: AtomicU64,
+    /// In-flight queries cancelled because the drain deadline expired.
+    pub drain_cancelled: AtomicU64,
+    /// Requests/connections answered with [`Response::Draining`].
+    pub drain_refused: AtomicU64,
 }
 
 impl ServerStats {
@@ -92,13 +139,80 @@ impl ServerStats {
     }
 }
 
+/// Admission-queue state behind `Shared::runq`.
+#[derive(Debug)]
+struct RunQueue {
+    /// Requests currently executing (holding a permit).
+    running: u32,
+    /// Requests waiting for a permit.
+    queued: u32,
+    /// Exponentially weighted moving average of request service time, in
+    /// milliseconds — the basis of the `est_wait_ms` hint.
+    ewma_ms: f64,
+}
+
 struct Shared {
     db: Arc<Database>,
     cfg: ServerConfig,
     cache: Arc<PlanCache>,
     stats: ServerStats,
     shutdown: AtomicBool,
+    draining: AtomicBool,
     in_flight: AtomicU32,
+    started: Instant,
+    runq: Mutex<RunQueue>,
+    runq_cv: Condvar,
+    /// Per-session cancel slots, registered at connection start, so the
+    /// drain path can trip stragglers without enumerating threads.
+    cancel_slots: Mutex<Vec<Weak<Mutex<Option<CancelToken>>>>>,
+}
+
+impl Shared {
+    /// MVCC generation high-water mark across every served document.
+    fn generation_high_water(&self) -> u64 {
+        self.db
+            .document_names()
+            .iter()
+            .filter_map(|n| self.db.generation(n).ok())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn pong(&self) -> Response {
+        Response::Pong { generation: self.generation_high_water(), uptime_ms: self.uptime_ms() }
+    }
+
+    /// The counter pairs the [`Request::Stats`] verb reports. Includes
+    /// the injected-wire-fault tally when a fault plan is attached so
+    /// torture runs can audit coverage over the same wire they abuse.
+    fn stats_pairs(&self) -> Vec<(String, u64)> {
+        let s = &self.stats;
+        let ld = |f: &AtomicU64| f.load(Ordering::Relaxed);
+        let mut pairs = vec![
+            ("accepted".to_string(), ld(&s.accepted)),
+            ("requests".to_string(), ld(&s.requests)),
+            ("overload_rejections".to_string(), ld(&s.overload_rejections)),
+            ("queue_shed".to_string(), ld(&s.queue_shed)),
+            ("queued_total".to_string(), ld(&s.queued_total)),
+            ("protocol_errors".to_string(), ld(&s.protocol_errors)),
+            ("cancelled".to_string(), ld(&s.cancelled)),
+            ("panics_caught".to_string(), ld(&s.panics_caught)),
+            ("send_failures".to_string(), ld(&s.send_failures)),
+            ("retries_seen".to_string(), ld(&s.retries_seen)),
+            ("drain_cancelled".to_string(), ld(&s.drain_cancelled)),
+            ("drain_refused".to_string(), ld(&s.drain_refused)),
+            ("in_flight_sessions".to_string(), u64::from(self.in_flight.load(Ordering::SeqCst))),
+            ("uptime_ms".to_string(), self.uptime_ms()),
+        ];
+        if let Some(plan) = &self.cfg.fault {
+            pairs.push(("faults_injected".to_string(), plan.injected()));
+        }
+        pairs
+    }
 }
 
 /// A running server; dropping it (or calling [`ServerHandle::shutdown`])
@@ -132,7 +246,12 @@ impl Server {
             cfg,
             stats: ServerStats::default(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             in_flight: AtomicU32::new(0),
+            started: Instant::now(),
+            runq: Mutex::new(RunQueue { running: 0, queued: 0, ewma_ms: 1.0 }),
+            runq_cv: Condvar::new(),
+            cancel_slots: Mutex::new(Vec::new()),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -161,9 +280,66 @@ impl Server {
         &self.shared.stats
     }
 
+    /// The counter pairs the [`Request::Stats`] verb reports.
+    pub fn stats_pairs(&self) -> Vec<(String, u64)> {
+        self.shared.stats_pairs()
+    }
+
+    /// Sessions currently holding an admission slot. Zero once every
+    /// connection has wound down — the session-slot-leak invariant the
+    /// torture harness pins.
+    pub fn sessions_in_flight(&self) -> u32 {
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
     /// Hit/miss/insert counters of the process-wide shared plan cache.
     pub fn cache_stats(&self) -> (u64, u64, u64) {
         self.shared.cache.stats()
+    }
+
+    /// Graceful drain: stop taking new work, let in-flight queries finish
+    /// for up to `deadline`, then cancel stragglers via their cancel
+    /// tokens. Late arrivals (new connections and new requests on parked
+    /// sessions) get a typed [`Response::Draining`]. Returns the number
+    /// of stragglers cancelled. Call [`Server::shutdown`] afterwards to
+    /// join the threads; `drain` itself leaves them running so sessions
+    /// can flush their final replies.
+    pub fn drain(&self, deadline: Duration) -> u64 {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Wake queued waiters so they observe the drain and bail out.
+        self.shared.runq_cv.notify_all();
+        let end = Instant::now() + deadline;
+        loop {
+            let running = {
+                let q = self.shared.runq.lock().unwrap_or_else(|e| e.into_inner());
+                q.running
+            };
+            if running == 0 {
+                return 0;
+            }
+            if Instant::now() >= end {
+                break;
+            }
+            std::thread::sleep(self.shared.cfg.tick.min(Duration::from_millis(5)));
+        }
+        // Deadline expired: trip every live cancel slot. Queries notice at
+        // their next governor check and unwind with a typed error.
+        let mut cancelled = 0;
+        let slots = {
+            let mut guard = self.shared.cancel_slots.lock().unwrap_or_else(|e| e.into_inner());
+            guard.retain(|w| w.strong_count() > 0);
+            guard.clone()
+        };
+        for weak in slots {
+            if let Some(slot) = weak.upgrade() {
+                if let Some(tok) = slot.lock().unwrap_or_else(|e| e.into_inner()).as_ref() {
+                    tok.cancel();
+                    cancelled += 1;
+                    ServerStats::bump(&self.shared.stats.drain_cancelled);
+                }
+            }
+        }
+        cancelled
     }
 
     /// Stop accepting, cancel in-flight work, join every thread. Idempotent.
@@ -174,6 +350,7 @@ impl Server {
     fn stop(&mut self) {
         let Some(accept) = self.accept.take() else { return };
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.runq_cv.notify_all();
         // The accept loop blocks in `accept()`; a throwaway connection
         // wakes it so it can observe the flag and exit.
         let _ = TcpStream::connect(self.addr);
@@ -208,7 +385,24 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
+        // Wire failpoint: the accept itself can die (reset before the
+        // session starts). The client sees a vanished connection.
+        if let Some(plan) = &shared.cfg.fault {
+            if plan.check(WireOp::Accept).is_some() {
+                let _ = stream.shutdown(Shutdown::Both);
+                continue;
+            }
+        }
         ServerStats::bump(&shared.stats.accepted);
+        if shared.draining.load(Ordering::SeqCst) {
+            // Late arrival during drain: typed refusal, clean close, no
+            // session thread.
+            ServerStats::bump(&shared.stats.drain_refused);
+            let mut io = conn_io(&shared, &stream);
+            let _ = write_frame(&mut io, &Response::Draining.encode());
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
         let handle = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -234,15 +428,101 @@ impl Drop for AdmissionGuard<'_> {
     }
 }
 
-/// `Read` adapter over a non-blocking-ish socket: retries timeout wakeups
-/// until data arrives or shutdown is requested, so a blocked session can
-/// still observe server shutdown.
-struct TickingStream<'a> {
+/// RAII release of one execution permit; records the service time into
+/// the EWMA the `est_wait_ms` hint is computed from.
+struct RunPermit<'a> {
+    shared: &'a Shared,
+    started: Instant,
+}
+
+impl Drop for RunPermit<'_> {
+    fn drop(&mut self) {
+        let elapsed_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        let mut q = self.shared.runq.lock().unwrap_or_else(|e| e.into_inner());
+        q.running -= 1;
+        // EWMA with a 1/8 step: smooth enough to damp one outlier, fresh
+        // enough to track a workload shift within a few requests.
+        q.ewma_ms += (elapsed_ms - q.ewma_ms) / 8.0;
+        drop(q);
+        self.shared.runq_cv.notify_one();
+    }
+}
+
+/// Estimated queue wait for a newcomer: everyone ahead of it, served at
+/// `max_inflight`-way parallelism, each costing the moving average.
+fn est_wait_ms(q: &RunQueue, max_inflight: u32) -> u64 {
+    let ahead = f64::from(q.queued) + 1.0;
+    (q.ewma_ms * ahead / f64::from(max_inflight.max(1))).ceil() as u64
+}
+
+/// Acquire an execution permit, queueing when the server is saturated.
+/// Deadline-doomed requests (estimated wait exceeding the session's
+/// remaining budget) are shed immediately — that is the cheapest possible
+/// outcome for a request that could only ever time out inside the engine.
+fn acquire_run_permit<'a>(
+    shared: &'a Shared,
+    limits: &QueryLimits,
+) -> Result<RunPermit<'a>, Response> {
+    let cfg = &shared.cfg;
+    let mut q = shared.runq.lock().unwrap_or_else(|e| e.into_inner());
+    if q.running < cfg.max_inflight {
+        q.running += 1;
+        return Ok(RunPermit { shared, started: Instant::now() });
+    }
+    let est = est_wait_ms(&q, cfg.max_inflight);
+    let overloaded = |queue_depth: u32| Response::Overloaded {
+        queue_depth,
+        est_wait_ms: est,
+        retry_after_ms: est.max(1),
+    };
+    if q.queued >= cfg.max_queue {
+        ServerStats::bump(&shared.stats.overload_rejections);
+        return Err(overloaded(q.queued));
+    }
+    let budget = limits.timeout.unwrap_or(cfg.max_queue_wait).min(cfg.max_queue_wait);
+    if Duration::from_millis(est) > budget {
+        ServerStats::bump(&shared.stats.queue_shed);
+        return Err(overloaded(q.queued));
+    }
+    q.queued += 1;
+    ServerStats::bump(&shared.stats.queued_total);
+    let wait_end = Instant::now() + budget;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
+            q.queued -= 1;
+            return Err(Response::Draining);
+        }
+        if q.running < cfg.max_inflight {
+            q.queued -= 1;
+            q.running += 1;
+            return Ok(RunPermit { shared, started: Instant::now() });
+        }
+        let now = Instant::now();
+        if now >= wait_end {
+            q.queued -= 1;
+            ServerStats::bump(&shared.stats.queue_shed);
+            let est = est_wait_ms(&q, cfg.max_inflight);
+            return Err(Response::Overloaded {
+                queue_depth: q.queued,
+                est_wait_ms: est,
+                retry_after_ms: est.max(1),
+            });
+        }
+        let wait = (wait_end - now).min(cfg.tick);
+        let (guard, _) = shared.runq_cv.wait_timeout(q, wait).unwrap_or_else(|e| e.into_inner());
+        q = guard;
+    }
+}
+
+/// The per-session socket endpoint: ticking reads (so a parked session
+/// still observes shutdown), plain writes, one shared wire-fault latch
+/// for both directions — a torn connection is torn for good.
+struct SessionIo<'a> {
     stream: &'a TcpStream,
     shutdown: &'a AtomicBool,
 }
 
-impl Read for TickingStream<'_> {
+impl Read for SessionIo<'_> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         loop {
             match (&mut &*self.stream).read(buf) {
@@ -259,18 +539,58 @@ impl Read for TickingStream<'_> {
     }
 }
 
-fn send(stream: &TcpStream, resp: &Response) -> Result<(), ServeError> {
-    write_frame(&mut &*stream, &resp.encode())
+impl Write for SessionIo<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        (&mut &*self.stream).write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&mut &*self.stream).flush()
+    }
+}
+
+type ConnIo<'a> = FaultStream<SessionIo<'a>>;
+
+fn conn_io<'a>(shared: &'a Shared, stream: &'a TcpStream) -> ConnIo<'a> {
+    FaultStream::new(SessionIo { stream, shutdown: &shared.shutdown }, shared.cfg.fault.clone())
+}
+
+/// Send a response, auditing (not hiding) failures: the peer being gone
+/// mid-reply is normal server life, but it must be *visible* — every
+/// failure counts into [`ServerStats::send_failures`] and the first one
+/// per session is logged.
+fn send_audited(shared: &Shared, io: &mut ConnIo<'_>, resp: &Response, logged: &mut bool) {
+    if let Err(e) = write_frame(io, &resp.encode()) {
+        ServerStats::bump(&shared.stats.send_failures);
+        if !*logged {
+            *logged = true;
+            if shared.cfg.log_send_failures {
+                eprintln!("xqp-serve: dropping reply, peer gone: {e}");
+            }
+        }
+    }
 }
 
 fn serve_connection(shared: Arc<Shared>, stream: TcpStream) {
-    // Admission control: bounded sessions in flight. Refusal is a typed
-    // response, not a silent close, so clients can back off knowingly.
+    // Session cap: a hard bound on concurrent session threads. Refusal is
+    // a typed response, not a silent close, so clients can back off
+    // knowingly.
     let prev = shared.in_flight.fetch_add(1, Ordering::SeqCst);
     let _guard = AdmissionGuard(&shared);
-    if prev >= shared.cfg.max_inflight {
-        ServerStats::bump(&shared.stats.busy_rejections);
-        let _ = send(&stream, &Response::Busy { in_flight: prev, max: shared.cfg.max_inflight });
+    let mut logged = false;
+    if prev >= shared.cfg.max_sessions {
+        ServerStats::bump(&shared.stats.overload_rejections);
+        let (queue_depth, est) = {
+            let q = shared.runq.lock().unwrap_or_else(|e| e.into_inner());
+            (q.queued, est_wait_ms(&q, shared.cfg.max_inflight))
+        };
+        let mut io = conn_io(&shared, &stream);
+        send_audited(
+            &shared,
+            &mut io,
+            &Response::Overloaded { queue_depth, est_wait_ms: est, retry_after_ms: est.max(1) },
+            &mut logged,
+        );
         let _ = stream.shutdown(Shutdown::Both);
         return;
     }
@@ -284,6 +604,13 @@ fn serve_connection(shared: Arc<Shared>, stream: TcpStream) {
     // It trips the *current* request's cancel token; between requests the
     // slot is empty and EOF is handled by the main read loop instead.
     let current_cancel: Arc<Mutex<Option<CancelToken>>> = Arc::new(Mutex::new(None));
+    {
+        // Register the slot for the drain path; dead weak refs are pruned
+        // opportunistically so the list stays bounded.
+        let mut slots = shared.cancel_slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots.retain(|w| w.strong_count() > 0);
+        slots.push(Arc::downgrade(&current_cancel));
+    }
     let conn_done = Arc::new(AtomicBool::new(false));
     let watcher = stream.try_clone().ok().and_then(|peek_stream| {
         let cancel = Arc::clone(&current_cancel);
@@ -336,9 +663,16 @@ fn serve_connection(shared: Arc<Shared>, stream: TcpStream) {
             .ok()
     });
 
-    session_loop(&shared, &stream, &current_cancel);
+    let mut io = conn_io(&shared, &stream);
+    session_loop(&shared, &mut io, &current_cancel, &mut logged);
 
     conn_done.store(true, Ordering::SeqCst);
+    if let Some(plan) = &shared.cfg.fault {
+        // Close is an I/O point too: a fault here models the final FIN
+        // getting lost. Nothing to do but note it — the shutdown below is
+        // best-effort either way.
+        let _ = plan.check(WireOp::Close);
+    }
     let _ = stream.shutdown(Shutdown::Both);
     if let Some(w) = watcher {
         let _ = w.join();
@@ -347,30 +681,34 @@ fn serve_connection(shared: Arc<Shared>, stream: TcpStream) {
 
 fn session_loop(
     shared: &Shared,
-    stream: &TcpStream,
+    io: &mut ConnIo<'_>,
     current_cancel: &Arc<Mutex<Option<CancelToken>>>,
+    logged: &mut bool,
 ) {
     let mut limits = shared.cfg.default_limits;
     loop {
-        let mut ticking = TickingStream { stream, shutdown: &shared.shutdown };
-        let payload = match read_frame(&mut ticking, shared.cfg.max_frame) {
+        let payload = match read_frame(io, shared.cfg.max_frame) {
             Ok(p) => p,
             Err(ServeError::Closed) => return,
             Err(ServeError::Io(e)) if e.kind() == io::ErrorKind::Interrupted => {
-                let _ = send(
-                    stream,
+                send_audited(
+                    shared,
+                    io,
                     &Response::Error {
                         class: ErrorClass::Shutdown,
                         message: "server shutting down".into(),
                     },
+                    logged,
                 );
                 return;
             }
             Err(e @ (ServeError::TooLarge { .. } | ServeError::Crc { .. })) => {
                 ServerStats::bump(&shared.stats.protocol_errors);
-                let _ = send(
-                    stream,
+                send_audited(
+                    shared,
+                    io,
                     &Response::Error { class: ErrorClass::Protocol, message: e.to_string() },
+                    logged,
                 );
                 return;
             }
@@ -380,55 +718,92 @@ fn session_loop(
             Ok(r) => r,
             Err(e) => {
                 ServerStats::bump(&shared.stats.protocol_errors);
-                let _ = send(
-                    stream,
+                send_audited(
+                    shared,
+                    io,
                     &Response::Error { class: ErrorClass::Protocol, message: e.to_string() },
+                    logged,
                 );
                 return;
             }
         };
         ServerStats::bump(&shared.stats.requests);
+        // Draining: finish nothing new. Stats and Close still answer (an
+        // operator watching the drain, a client leaving cleanly); all
+        // other verbs get the typed refusal and the session ends.
+        if shared.draining.load(Ordering::SeqCst) && !matches!(req, Request::Stats | Request::Close)
+        {
+            ServerStats::bump(&shared.stats.drain_refused);
+            send_audited(shared, io, &Response::Draining, logged);
+            return;
+        }
         let resp = match req {
-            Request::Ping => Response::Pong,
+            Request::Ping { retries } => {
+                if retries > 0 {
+                    shared.stats.retries_seen.fetch_add(u64::from(retries), Ordering::Relaxed);
+                }
+                shared.pong()
+            }
             Request::Close => {
-                let _ = send(stream, &Response::Bye);
+                send_audited(shared, io, &Response::Bye, logged);
                 return;
             }
+            Request::Stats => Response::Stats { counters: shared.stats_pairs() },
             Request::SetLimits { timeout_ms, max_memory, max_rows } => {
                 limits = limits_from_wire(timeout_ms, max_memory, max_rows);
-                Response::Pong
+                shared.pong()
             }
             Request::ListDocs => Response::Docs { names: shared.db.document_names() },
-            Request::Query { doc, query } => {
-                run_cancellable(shared, current_cancel, limits, |opts| {
+            Request::Query { doc, query } => match acquire_run_permit(shared, &limits) {
+                Err(refusal) => refusal,
+                Ok(_permit) => run_cancellable(shared, current_cancel, limits, |opts| {
                     shared
                         .db
                         .query_session(&doc, &query, opts)
                         .map(|(generation, body)| Response::Value { generation, body })
-                })
-            }
-            Request::Select { doc, path } => {
-                run_cancellable(shared, current_cancel, limits, |opts| {
+                }),
+            },
+            Request::Select { doc, path } => match acquire_run_permit(shared, &limits) {
+                Err(refusal) => refusal,
+                Ok(_permit) => run_cancellable(shared, current_cancel, limits, |opts| {
                     shared.db.select_session(&doc, &path, opts).map(|(generation, ids)| {
                         Response::NodeIds {
                             generation,
                             ids: ids.into_iter().map(|id| id.0 as u64).collect(),
                         }
                     })
-                })
-            }
-            Request::Insert { doc, path, fragment } => run_update(shared, || {
-                shared
-                    .db
-                    .insert_into(&doc, &path, &fragment)
-                    .map(|n| Response::Count { n: n as u64 })
-            }),
-            Request::Delete { doc, path } => run_update(shared, || {
-                shared.db.delete_matching(&doc, &path).map(|n| Response::Count { n: n as u64 })
-            }),
+                }),
+            },
+            Request::Insert { doc, path, fragment } => match acquire_run_permit(shared, &limits) {
+                Err(refusal) => refusal,
+                Ok(_permit) => run_update(shared, || {
+                    shared
+                        .db
+                        .insert_into(&doc, &path, &fragment)
+                        .map(|n| Response::Count { n: n as u64 })
+                }),
+            },
+            Request::Delete { doc, path } => match acquire_run_permit(shared, &limits) {
+                Err(refusal) => refusal,
+                Ok(_permit) => run_update(shared, || {
+                    shared.db.delete_matching(&doc, &path).map(|n| Response::Count { n: n as u64 })
+                }),
+            },
         };
-        if send(stream, &resp).is_err() {
-            // Peer vanished mid-reply; nothing left to do for this session.
+        let ends_session = matches!(resp, Response::Draining);
+        if write_frame(io, &resp.encode()).is_err() {
+            // Peer vanished mid-reply; nothing left to do for this session
+            // — but the drop is audited, never silent.
+            ServerStats::bump(&shared.stats.send_failures);
+            if !*logged {
+                *logged = true;
+                if shared.cfg.log_send_failures {
+                    eprintln!("xqp-serve: reply send failed, peer gone mid-response");
+                }
+            }
+            return;
+        }
+        if ends_session {
             return;
         }
     }

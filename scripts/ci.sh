@@ -68,6 +68,13 @@ echo "== paged torture smoke: 200 seeded I/O fault points over the paged store f
 # and the snapshot->paged conversion paths.
 ./target/release/xqp torture --buffer-pages 8 --seed "$FUZZ_SEED" --iters 200
 
+echo "== network torture smoke: 200 seeded wire fault points over a live server =="
+# The wire twin of the disk sweep: one fault (error, short read/write,
+# truncation, delay, mid-frame disconnect) per replay at every socket I/O
+# point, asserting no panic, no slot leak, no wrong answer, convergence on
+# retry. Commit-seeded like the rest; reproducible from the log line.
+./target/release/xqp torture --net --seed "$FUZZ_SEED" --iters 200
+
 echo "== buffer-pool smoke: XMark-shaped doc through an 8-page pool on the CLI =="
 POOL_DOC=$(mktemp /tmp/xqp-ci-pool-XXXXXX.xml)
 printf '<site><regions><africa>%s</africa></regions></site>' \
@@ -129,6 +136,41 @@ exec 9>&-   # EOF on the server's stdin: deterministic clean shutdown
 wait "$SRV_PID" || { echo "server smoke FAILED: unclean server exit" >&2; exit 1; }
 rm -f "$SRV_DOC" "$SRV_OUT" "$SRV_IN"
 
+echo "== drain smoke: SIGTERM under client load drains and exits clean =="
+DRN_DOC=$(mktemp /tmp/xqp-ci-drn-XXXXXX.xml)
+printf '<bib>%s</bib>' "$(printf '<book year="1990"><title>t</title></book>%.0s' {1..200})" > "$DRN_DOC"
+DRN_OUT=$(mktemp /tmp/xqp-ci-drn-out-XXXXXX)
+DRN_ERR=$(mktemp /tmp/xqp-ci-drn-err-XXXXXX)
+DRN_IN=$(mktemp -u /tmp/xqp-ci-drn-in-XXXXXX); mkfifo "$DRN_IN"
+./target/release/xqp serve "$DRN_DOC" --addr 127.0.0.1:0 --drain-ms 2000 \
+  > "$DRN_OUT" 2>"$DRN_ERR" < "$DRN_IN" &
+DRN_PID=$!
+exec 8>"$DRN_IN"
+DADDR=""
+for _ in $(seq 1 100); do
+  DADDR=$(head -n1 "$DRN_OUT"); [ -n "$DADDR" ] && break; sleep 0.1
+done
+[ -n "$DADDR" ] || { echo "drain smoke FAILED: no bound address" >&2; exit 1; }
+# Clients hammering the server (with retries) when the SIGTERM lands.
+# Sessions caught by the drain get a typed Draining refusal — an expected
+# outcome here, not a failure.
+for _ in 1 2 3; do
+  (for _ in $(seq 1 40); do
+     ./target/release/xqp client "$DADDR" query doc 'count(//book)' --retry 3 \
+       >/dev/null 2>&1 || exit 0
+   done) &
+done
+sleep 0.3
+kill -TERM "$DRN_PID"
+wait "$DRN_PID" || { echo "drain smoke FAILED: unclean exit after SIGTERM" >&2; exit 1; }
+wait
+grep -q -- "-- draining" "$DRN_ERR" \
+  || { echo "drain smoke FAILED: no drain announcement on stderr" >&2; exit 1; }
+grep -q -- "-- shutting down" "$DRN_ERR" \
+  || { echo "drain smoke FAILED: no final stats line (orphan sessions?)" >&2; exit 1; }
+exec 8>&-
+rm -f "$DRN_DOC" "$DRN_OUT" "$DRN_ERR" "$DRN_IN"
+
 echo "== benches compile (std harness, no criterion) =="
 cargo build --offline --benches -p xqp-bench
 
@@ -155,5 +197,11 @@ echo "== T21 smoke: streaming aggregate folds vs materializing (release) =="
 # Gates on mode-equivalent answers before timing; peak-bindings and medians
 # land in BENCH_functions.json and the table is tracked in EXPERIMENTS.md T21.
 cargo bench --offline -p xqp-bench --bench exp_functions
+
+echo "== T22 smoke: serving resilience under injected wire faults (release) =="
+# Gates on served-equals-in-process soundness, zero lost requests for the
+# retrying client at 0%/1%/5% fault rates, and ≤5% retry-layer overhead on
+# the clean path; medians land in BENCH_resilience.json (EXPERIMENTS.md T22).
+cargo bench --offline -p xqp-bench --bench exp_resilience
 
 echo "CI gate passed."

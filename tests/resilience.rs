@@ -1,0 +1,673 @@
+//! Integration tests of the resilience stack: protocol truncation
+//! robustness, the retry layer's idempotency discipline, queue-based
+//! overload control, graceful drain, health-check plumbing, and the
+//! network torture harness.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xqp::{Database, QueryLimits};
+use xqp_serve::netfault::FaultPlan;
+use xqp_serve::protocol::{read_frame, write_frame, MAX_FRAME};
+use xqp_serve::{
+    Client, ErrorClass, Request, ResilientClient, Response, RetryPolicy, ServeError, Server,
+    ServerConfig,
+};
+
+const BIB: &str = concat!(
+    r#"<bib><book year="1994"><title>TCP/IP Illustrated</title></book>"#,
+    r#"<book year="2000"><title>Data on the Web</title></book></bib>"#,
+);
+
+fn bib_server(cfg: ServerConfig) -> Server {
+    let db = Database::new();
+    db.load_str("bib", BIB).unwrap();
+    Server::start(Arc::new(db), "127.0.0.1:0", cfg).expect("bind loopback server")
+}
+
+fn quick_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(20),
+        retry_budget: Duration::from_secs(1),
+        ..RetryPolicy::default()
+    }
+}
+
+// ---- protocol truncation sweeps --------------------------------------------
+
+fn all_requests() -> Vec<Request> {
+    vec![
+        Request::Ping { retries: 3 },
+        Request::Query { doc: "bib".into(), query: "//book/title".into() },
+        Request::Select { doc: "bib".into(), path: "//book".into() },
+        Request::Insert { doc: "bib".into(), path: "/bib".into(), fragment: "<x/>".into() },
+        Request::Delete { doc: "bib".into(), path: "//x".into() },
+        Request::SetLimits { timeout_ms: 250, max_memory: 4096, max_rows: 10 },
+        Request::ListDocs,
+        Request::Close,
+        Request::Stats,
+    ]
+}
+
+fn all_responses() -> Vec<Response> {
+    vec![
+        Response::Pong { generation: 7, uptime_ms: 123_456 },
+        Response::Value { generation: 3, body: "<title>Data on the Web</title>".into() },
+        Response::NodeIds { generation: 2, ids: vec![1, 99, 4242] },
+        Response::Count { n: 11 },
+        Response::Docs { names: vec!["bib".into(), "aux".into()] },
+        Response::Error { class: ErrorClass::ResourceLimit, message: "resource governor".into() },
+        Response::Busy { in_flight: 8, max: 8 },
+        Response::Bye,
+        Response::Overloaded { queue_depth: 5, est_wait_ms: 80, retry_after_ms: 40 },
+        Response::Draining,
+        Response::Stats { counters: vec![("requests".into(), 42), ("queue_shed".into(), 1)] },
+    ]
+}
+
+/// The wire twin of the PR 2 torn-tail WAL sweep: cut one encoded frame of
+/// every message variant at every byte offset; each cut must produce a
+/// typed error — never a panic, never a silent mis-decode.
+#[test]
+fn every_byte_offset_truncation_is_a_typed_error() {
+    // (kind, debug name, payload, framed bytes); kind selects which
+    // decoder the payload sweep runs against — requests and responses
+    // travel opposite directions and are never decoded as each other.
+    let mut frames: Vec<(bool, String, Vec<u8>, Vec<u8>)> = Vec::new();
+    for req in all_requests() {
+        let payload = req.encode();
+        assert_eq!(Request::decode(&payload).unwrap(), req, "round-trip baseline");
+        frames.push((true, format!("{req:?}"), payload, Vec::new()));
+    }
+    for resp in all_responses() {
+        let payload = resp.encode();
+        assert_eq!(Response::decode(&payload).unwrap(), resp, "round-trip baseline");
+        frames.push((false, format!("{resp:?}"), payload, Vec::new()));
+    }
+    for entry in &mut frames {
+        write_frame(&mut entry.3, &entry.2).unwrap();
+    }
+    for (is_request, name, payload, framed) in &frames {
+        // Frame-level sweep: every proper prefix of the framed bytes.
+        for cut in 0..framed.len() {
+            match read_frame(&mut &framed[..cut], MAX_FRAME) {
+                Err(ServeError::Closed)
+                | Err(ServeError::Frame(_))
+                | Err(ServeError::Crc { .. })
+                | Err(ServeError::TooLarge { .. }) => {}
+                other => panic!("{name}: frame cut at {cut}/{} gave {other:?}", framed.len()),
+            }
+        }
+        // Payload-level sweep: no proper prefix of a message may decode as
+        // a message of the same kind (no encoding is a prefix of another's
+        // — what makes a torn payload detectable, not re-interpretable).
+        for cut in 0..payload.len() {
+            let accepted = if *is_request {
+                Request::decode(&payload[..cut]).is_ok()
+            } else {
+                Response::decode(&payload[..cut]).is_ok()
+            };
+            if accepted {
+                panic!("{name}: decode accepted a {cut}-byte prefix");
+            }
+        }
+    }
+}
+
+// ---- fake servers for exact retry-path control ------------------------------
+
+/// A hand-scripted server: each accepted connection is handled by the next
+/// closure in the script; the accept counter is observable.
+fn scripted_server(
+    script: Vec<Box<dyn FnOnce(TcpStream) + Send>>,
+) -> (SocketAddr, Arc<AtomicU32>, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let accepted = Arc::new(AtomicU32::new(0));
+    let counter = Arc::clone(&accepted);
+    let handle = std::thread::spawn(move || {
+        for step in script {
+            let (stream, _) = match listener.accept() {
+                Ok(s) => s,
+                Err(_) => return,
+            };
+            counter.fetch_add(1, Ordering::SeqCst);
+            step(stream);
+        }
+    });
+    (addr, accepted, handle)
+}
+
+/// A well-behaved scripted connection: answers pings, inserts, queries and
+/// close like the real server would.
+fn obedient(mut stream: TcpStream) {
+    loop {
+        let payload = match read_frame(&mut stream, MAX_FRAME) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        let resp = match Request::decode(&payload) {
+            Ok(Request::Ping { .. }) => Response::Pong { generation: 0, uptime_ms: 1 },
+            Ok(Request::SetLimits { .. }) => Response::Pong { generation: 0, uptime_ms: 1 },
+            Ok(Request::Insert { .. }) => Response::Count { n: 1 },
+            Ok(Request::Query { .. }) => Response::Value { generation: 0, body: "<ok/>".into() },
+            Ok(Request::Close) => {
+                let _ = write_frame(&mut stream, &Response::Bye.encode());
+                return;
+            }
+            _ => return,
+        };
+        if write_frame(&mut stream, &resp.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+#[test]
+fn pre_response_loss_retries_even_non_idempotent_verbs() {
+    // Connection 1 swallows the insert and dies before any response byte:
+    // the server provably never answered, so re-sending is safe and the
+    // retry layer must do it — after validating the reconnect with a ping.
+    let script: Vec<Box<dyn FnOnce(TcpStream) + Send>> = vec![
+        Box::new(|mut stream: TcpStream| {
+            let _ = read_frame(&mut stream, MAX_FRAME);
+            // Drop without responding.
+        }),
+        Box::new(obedient),
+    ];
+    let (addr, accepted, handle) = scripted_server(script);
+    let mut client = ResilientClient::connect(addr, quick_policy()).unwrap();
+    assert_eq!(client.insert("bib", "/bib", "<x/>").unwrap(), 1);
+    assert_eq!(client.retries_total(), 1, "exactly one retry should have been burned");
+    assert_eq!(accepted.load(Ordering::SeqCst), 2, "retry must reconnect");
+    let _ = client.close();
+    handle.join().unwrap();
+}
+
+#[test]
+fn mid_response_loss_on_update_is_ambiguous_not_retried() {
+    // Connection 1 sends *part* of the response, then dies: the insert may
+    // have been applied. Re-sending could double-apply; the typed
+    // Ambiguous error puts the decision where it belongs — the caller.
+    let script: Vec<Box<dyn FnOnce(TcpStream) + Send>> = vec![Box::new(|mut stream: TcpStream| {
+        let _ = read_frame(&mut stream, MAX_FRAME);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &Response::Count { n: 1 }.encode()).unwrap();
+        let _ = stream.write_all(&framed[..3]);
+        // Drop mid-frame.
+    })];
+    let (addr, accepted, handle) = scripted_server(script);
+    let mut client = ResilientClient::connect(addr, quick_policy()).unwrap();
+    match client.insert("bib", "/bib", "<x/>") {
+        Err(ServeError::Ambiguous { verb: "insert", .. }) => {}
+        other => panic!("expected Ambiguous, got {other:?}"),
+    }
+    assert_eq!(client.retries_total(), 0, "an ambiguous update must never be re-sent");
+    assert_eq!(accepted.load(Ordering::SeqCst), 1, "no reconnect for an ambiguous update");
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn mid_response_loss_on_read_retries_and_replays_session_state() {
+    // Reads are idempotent: a mid-response loss is retryable. The
+    // reconnect must replay SetLimits before re-sending the query.
+    let seen_limits = Arc::new(AtomicU32::new(0));
+    let seen = Arc::clone(&seen_limits);
+    let script: Vec<Box<dyn FnOnce(TcpStream) + Send>> = vec![
+        Box::new(|mut stream: TcpStream| {
+            // Session 1: ack the SetLimits, then tear the query response.
+            let payload = read_frame(&mut stream, MAX_FRAME).unwrap();
+            assert!(matches!(Request::decode(&payload), Ok(Request::SetLimits { .. })));
+            write_frame(&mut stream, &Response::Pong { generation: 0, uptime_ms: 1 }.encode())
+                .unwrap();
+            let _ = read_frame(&mut stream, MAX_FRAME); // the query
+            let mut framed = Vec::new();
+            write_frame(
+                &mut framed,
+                &Response::Value { generation: 0, body: "<ok/>".into() }.encode(),
+            )
+            .unwrap();
+            let _ = stream.write_all(&framed[..5]);
+        }),
+        Box::new(move |mut stream: TcpStream| {
+            // Session 2 (the retry): ping validation, limits replay, query.
+            loop {
+                let payload = match read_frame(&mut stream, MAX_FRAME) {
+                    Ok(p) => p,
+                    Err(_) => return,
+                };
+                let resp = match Request::decode(&payload) {
+                    Ok(Request::Ping { retries }) => {
+                        assert!(retries >= 1, "reconnect ping must report burned attempts");
+                        Response::Pong { generation: 0, uptime_ms: 2 }
+                    }
+                    Ok(Request::SetLimits { max_rows, .. }) => {
+                        assert_eq!(max_rows, 7, "session limits must be replayed");
+                        seen.fetch_add(1, Ordering::SeqCst);
+                        Response::Pong { generation: 0, uptime_ms: 2 }
+                    }
+                    Ok(Request::Query { .. }) => {
+                        Response::Value { generation: 0, body: "<ok/>".into() }
+                    }
+                    Ok(Request::Close) => {
+                        let _ = write_frame(&mut stream, &Response::Bye.encode());
+                        return;
+                    }
+                    other => panic!("unexpected request on retry session: {other:?}"),
+                };
+                if write_frame(&mut stream, &resp.encode()).is_err() {
+                    return;
+                }
+            }
+        }),
+    ];
+    let (addr, accepted, handle) = scripted_server(script);
+    let mut client = ResilientClient::connect(addr, quick_policy()).unwrap();
+    client.set_limits(&QueryLimits::none().with_max_rows(7)).unwrap();
+    let (_, body) = client.query("bib", "//book").unwrap();
+    assert_eq!(body, "<ok/>");
+    assert_eq!(accepted.load(Ordering::SeqCst), 2);
+    assert_eq!(seen_limits.load(Ordering::SeqCst), 1, "limits replayed exactly once");
+    let _ = client.close();
+    handle.join().unwrap();
+}
+
+#[test]
+fn remote_errors_are_not_retried() {
+    // The server answered; the answer was an error. Retrying cannot change
+    // it and must not burn attempts.
+    let server = bib_server(ServerConfig::default());
+    let mut client = ResilientClient::connect(server.addr(), quick_policy()).unwrap();
+    match client.query("nope", "//x") {
+        Err(ServeError::Remote { class: ErrorClass::UnknownDocument, .. }) => {}
+        other => panic!("expected UnknownDocument, got {other:?}"),
+    }
+    assert_eq!(client.retries_total(), 0);
+    let _ = client.close();
+    server.shutdown();
+}
+
+// ---- the acceptance criterion: retry vs baseline under 5% wire faults ------
+
+#[test]
+fn retry_client_converges_under_faults_while_baseline_loses_requests() {
+    const STREAM: usize = 40;
+    let queries: Vec<String> = (0..STREAM)
+        .map(|i| match i % 3 {
+            0 => "//book/title".to_string(),
+            1 => "count(//book)".to_string(),
+            _ => format!("//book[@year=\"{}\"]/title", if i % 2 == 0 { 1994 } else { 2000 }),
+        })
+        .collect();
+
+    // Ground truth from a fault-free server.
+    let clean = bib_server(ServerConfig::default());
+    let mut c = Client::connect(clean.addr()).unwrap();
+    let truth: Vec<String> = queries.iter().map(|q| c.query("bib", q).unwrap().1).collect();
+    c.close().unwrap();
+    clean.shutdown();
+
+    // Faulted server: 5% of socket operations draw a random fault flavor.
+    let plan = FaultPlan::random(0xBEEF, 0.05);
+    let server = bib_server(ServerConfig {
+        fault: Some(plan.clone()),
+        log_send_failures: false,
+        tick: Duration::from_millis(5),
+        ..ServerConfig::default()
+    });
+
+    // Resilient client: must complete the stream byte-identical to truth.
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(20),
+        retry_budget: Duration::from_secs(5),
+        seed: 0xBEEF,
+        deadline: None,
+        ..RetryPolicy::default()
+    };
+    let mut resilient = None;
+    for _ in 0..10 {
+        match ResilientClient::connect(server.addr(), policy.clone()) {
+            Ok(c) => {
+                resilient = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    let mut resilient = resilient.expect("resilient client never connected");
+    let mut got = Vec::with_capacity(STREAM);
+    for q in &queries {
+        let (_, body) = resilient
+            .query("bib", q)
+            .unwrap_or_else(|e| panic!("resilient stream lost {q:?}: {e}"));
+        got.push(body);
+    }
+    assert_eq!(got, truth, "resilient stream must be byte-identical to the fault-free run");
+    assert!(
+        resilient.retries_total() > 0,
+        "a 5% fault rate over {STREAM} queries should have forced at least one retry"
+    );
+    let _ = resilient.close();
+
+    // Baseline: no retries, reconnect-on-error only. It must observably
+    // lose requests under the same fault pressure.
+    let mut lost = 0usize;
+    let mut baseline: Option<Client> = None;
+    for q in &queries {
+        if baseline.is_none() {
+            baseline = Client::connect(server.addr()).ok();
+        }
+        match baseline.as_mut() {
+            None => {
+                lost += 1;
+                continue;
+            }
+            Some(cl) => match cl.query("bib", q) {
+                Ok(_) => {}
+                Err(_) => {
+                    lost += 1;
+                    baseline = None; // dead session; reconnect for the next one
+                }
+            },
+        }
+    }
+    assert!(lost > 0, "the no-retry baseline should lose requests at a 5% wire-fault rate");
+    assert!(plan.injected() > 0, "the plan must actually have injected faults");
+    server.shutdown();
+}
+
+// ---- overload control -------------------------------------------------------
+
+#[test]
+fn full_queue_is_a_typed_overloaded_with_a_retry_hint() {
+    // Zero queue slots and one permit: while a long query holds the
+    // permit, the next request must bounce immediately with Overloaded.
+    let db = Database::new();
+    let mut doc = String::from("<r>");
+    for i in 0..400 {
+        doc.push_str(&format!("<x>{i}</x>"));
+    }
+    doc.push_str("</r>");
+    db.load_str("wide", &doc).unwrap();
+    let server = Server::start(
+        Arc::new(db),
+        "127.0.0.1:0",
+        ServerConfig { max_inflight: 1, max_queue: 0, ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let hog = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        // Unbounded-ish: cancelled at shutdown; any outcome is fine.
+        let _ = c.query("wide", "for $a in //x for $b in //x for $c in //x return <p/>");
+    });
+    // Wait until the hog's query is executing (holding the permit).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().requests.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "hog query never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut probe = Client::connect(addr).unwrap();
+    match probe.query("wide", "count(//x)") {
+        Err(ServeError::Overloaded { retry_after_ms, .. }) => {
+            assert!(retry_after_ms >= 1, "hint must be a usable backoff");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert!(server.stats().overload_rejections.load(Ordering::Relaxed) >= 1);
+    // The session survives the refusal — it is the request that bounced.
+    probe.ping().unwrap();
+    let _ = probe.close();
+    server.shutdown();
+    let _ = hog.join();
+}
+
+#[test]
+fn deadline_doomed_requests_are_shed_from_the_queue() {
+    // One permit held by a long query; a queued request whose session
+    // timeout cannot survive the wait is shed with Overloaded instead of
+    // being left to time out inside the engine.
+    let db = Database::new();
+    let mut doc = String::from("<r>");
+    for i in 0..400 {
+        doc.push_str(&format!("<x>{i}</x>"));
+    }
+    doc.push_str("</r>");
+    db.load_str("wide", &doc).unwrap();
+    let server = Server::start(
+        Arc::new(db),
+        "127.0.0.1:0",
+        ServerConfig { max_inflight: 1, ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let hog = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let _ = c.query("wide", "for $a in //x for $b in //x for $c in //x return <p/>");
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().requests.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "hog query never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut doomed = Client::connect(addr).unwrap();
+    doomed.set_limits(&QueryLimits::none().with_timeout(Duration::from_millis(30))).unwrap();
+    match doomed.query("wide", "count(//x)") {
+        Err(ServeError::Overloaded { .. }) => {}
+        other => panic!("expected a deadline-doomed shed, got {other:?}"),
+    }
+    assert!(
+        server.stats().queue_shed.load(Ordering::Relaxed) >= 1,
+        "the shed counter must record it"
+    );
+    let _ = doomed.close();
+    server.shutdown();
+    let _ = hog.join();
+}
+
+// ---- graceful drain ---------------------------------------------------------
+
+#[test]
+fn drain_finishes_inflight_work_and_refuses_late_arrivals() {
+    let server = bib_server(ServerConfig::default());
+    let addr = server.addr();
+
+    // An in-flight query (moderate size, finishes well inside the drain
+    // deadline).
+    let inflight = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.query("bib", "count(for $a in //book for $b in //book return $b)")
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().requests.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "in-flight query never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let cancelled = server.drain(Duration::from_secs(5));
+    assert_eq!(cancelled, 0, "nothing should need cancelling inside the deadline");
+    let (_, count) = inflight.join().unwrap().expect("in-flight query must finish its answer");
+    assert_eq!(count, "4");
+
+    // New connections during/after drain get a typed Draining refusal.
+    let mut late = Client::connect(addr).unwrap();
+    match late.ping() {
+        Err(ServeError::Draining) => {}
+        other => panic!("late arrival expected Draining, got {other:?}"),
+    }
+    assert!(server.stats().drain_refused.load(Ordering::Relaxed) >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn drain_deadline_cancels_stragglers() {
+    let db = Database::new();
+    let mut doc = String::from("<r>");
+    for i in 0..500 {
+        doc.push_str(&format!("<x>{i}</x>"));
+    }
+    doc.push_str("</r>");
+    db.load_str("wide", &doc).unwrap();
+    let server = Server::start(Arc::new(db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Effectively unbounded query: only cancellation ends it.
+    let straggler = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.query("wide", "for $a in //x for $b in //x for $c in //x return <p/>")
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().requests.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "straggler query never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let cancelled = server.drain(Duration::from_millis(80));
+    assert!(cancelled >= 1, "the drain deadline must cancel the straggler");
+    assert!(server.stats().drain_cancelled.load(Ordering::Relaxed) >= 1);
+    assert!(
+        straggler.join().unwrap().is_err(),
+        "a cancelled straggler gets a typed error, not an answer"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn draining_sessions_refuse_new_requests_but_stats_still_answers() {
+    let server = bib_server(ServerConfig::default());
+    let mut parked = Client::connect(server.addr()).unwrap();
+    parked.ping().unwrap();
+
+    server.drain(Duration::from_millis(100));
+
+    // Stats stays available mid-drain (an operator watching the drain).
+    let mut counters = parked.stats().unwrap();
+    counters.retain(|(name, _)| name == "drain_refused");
+    assert_eq!(counters.len(), 1);
+
+    // But new work on the parked session is refused and the session ends.
+    let mut parked2 = parked; // same session, next request
+    match parked2.query("bib", "//book") {
+        Err(ServeError::Draining) => {}
+        other => panic!("expected Draining on a parked session, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+// ---- health check and counters ---------------------------------------------
+
+#[test]
+fn ping_reports_generation_and_uptime() {
+    let server = bib_server(ServerConfig::default());
+    let mut c = Client::connect(server.addr()).unwrap();
+    let (g0, up0) = c.ping().unwrap();
+    assert_eq!(g0, 0, "fresh server starts at generation 0");
+    c.insert("bib", "/bib", "<book year=\"2024\"/>").unwrap();
+    let (g1, up1) = c.ping().unwrap();
+    assert_eq!(g1, 1, "ping must expose the MVCC generation high-water mark");
+    assert!(up1 >= up0, "uptime is monotonic within one server life");
+    c.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn stats_verb_reports_counters_and_retry_pressure() {
+    let server = bib_server(ServerConfig::default());
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.query("bib", "//book").unwrap();
+    // A reconnecting retry layer reports its burned attempts.
+    c.ping_with_retries(3).unwrap();
+    let counters = c.stats().unwrap();
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("counter {name} missing from Stats"))
+            .1
+    };
+    assert!(get("requests") >= 2);
+    assert_eq!(get("retries_seen"), 3);
+    assert_eq!(get("panics_caught"), 0);
+    // The full counter surface is present (operators script against it).
+    for name in [
+        "accepted",
+        "overload_rejections",
+        "queue_shed",
+        "queued_total",
+        "protocol_errors",
+        "cancelled",
+        "send_failures",
+        "drain_cancelled",
+        "drain_refused",
+        "in_flight_sessions",
+        "uptime_ms",
+    ] {
+        let _ = get(name);
+    }
+    c.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn ignored_send_failures_are_counted_not_silent() {
+    // Under sustained injected faults, some response sends fail with the
+    // peer gone; every one must land in the send_failures counter rather
+    // than vanishing into `let _ =`. (The schedule is seeded; across 120
+    // sessions a server-side write fault is statistically certain.)
+    let plan = FaultPlan::random(0x5EED, 0.25);
+    let server = bib_server(ServerConfig {
+        fault: Some(plan.clone()),
+        log_send_failures: false,
+        tick: Duration::from_millis(5),
+        ..ServerConfig::default()
+    });
+    for _ in 0..120 {
+        if let Ok(mut c) = Client::connect(server.addr()) {
+            let _ = c.query("bib", "//book/title");
+            let _ = c.close();
+        }
+        if server.stats().send_failures.load(Ordering::Relaxed) > 0 {
+            break;
+        }
+    }
+    assert!(
+        server.stats().send_failures.load(Ordering::Relaxed) > 0,
+        "injected write faults never surfaced in send_failures \
+         ({} faults injected)",
+        plan.injected()
+    );
+    server.shutdown();
+}
+
+// ---- the torture harness itself --------------------------------------------
+
+#[test]
+fn net_torture_smoke_holds_every_invariant() {
+    let report = xqp_serve::torture::torture(xqp_serve::torture::NetTortureConfig {
+        seed: 0xD15EA5E,
+        iters: 36,
+        random_prob: 0.05,
+        verbose: false,
+    });
+    assert!(report.points_per_scenario > 10);
+    assert!(report.faults_injected >= 30, "sweep must actually inject faults");
+    assert!(
+        report.clean(),
+        "violations: {:#?}",
+        report.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+    );
+}

@@ -98,7 +98,7 @@ fn malformed_frames_get_an_error_and_a_clean_close() {
     // Corrupt checksum: a valid request frame with one payload byte flipped.
     let mut s = TcpStream::connect(server.addr()).unwrap();
     let mut framed = Vec::new();
-    write_frame(&mut framed, &Request::Ping.encode()).unwrap();
+    write_frame(&mut framed, &Request::Ping { retries: 0 }.encode()).unwrap();
     framed[4] ^= 0xFF;
     s.write_all(&framed).unwrap();
     let resp = Response::decode(&read_frame(&mut s, MAX_FRAME).unwrap()).unwrap();
@@ -133,16 +133,16 @@ fn malformed_frames_get_an_error_and_a_clean_close() {
 }
 
 #[test]
-fn admission_control_refuses_excess_sessions_with_a_typed_busy() {
-    let server = bib_server(ServerConfig { max_inflight: 1, ..Default::default() });
+fn session_cap_refuses_excess_sessions_with_a_typed_overloaded() {
+    let server = bib_server(ServerConfig { max_sessions: 1, ..Default::default() });
 
     let mut first = Client::connect(server.addr()).unwrap();
     first.ping().unwrap(); // session established and counted
 
     let mut second = Client::connect(server.addr()).unwrap();
     match second.ping() {
-        Err(ServeError::ServerBusy { max: 1, .. }) => {}
-        other => panic!("expected ServerBusy, got {other:?}"),
+        Err(ServeError::Overloaded { .. }) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
     }
 
     // Releasing the first session frees the slot.
@@ -151,17 +151,64 @@ fn admission_control_refuses_excess_sessions_with_a_typed_busy() {
     loop {
         let mut retry = Client::connect(server.addr()).unwrap();
         match retry.ping() {
-            Ok(()) => {
+            Ok(_) => {
                 retry.close().unwrap();
                 break;
             }
-            Err(ServeError::ServerBusy { .. }) if Instant::now() < deadline => {
+            Err(ServeError::Overloaded { .. }) if Instant::now() < deadline => {
                 std::thread::sleep(Duration::from_millis(10));
             }
             other => panic!("slot never freed: {other:?}"),
         }
     }
-    assert!(server.stats().busy_rejections.load(Ordering::Relaxed) >= 1);
+    assert!(server.stats().overload_rejections.load(Ordering::Relaxed) >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn saturated_server_queues_instead_of_refusing() {
+    // One execution permit, a real queue: concurrent queries must ALL
+    // succeed — the latecomers wait for the permit instead of bouncing
+    // with a hard refusal, which is the whole point of queue-based
+    // overload control. The query is made deliberately non-trivial so the
+    // four requests genuinely overlap.
+    let db = Database::new();
+    let mut doc = String::from("<r>");
+    for i in 0..200 {
+        doc.push_str(&format!("<x>{i}</x>"));
+    }
+    doc.push_str("</r>");
+    db.load_str("wide", &doc).unwrap();
+    let server = Server::start(
+        Arc::new(db),
+        "127.0.0.1:0",
+        ServerConfig { max_inflight: 1, ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let barrier = Arc::new(std::sync::Barrier::new(4));
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                barrier.wait(); // all four race for the single permit at once
+                let (_, count) = c
+                    .query("wide", "count(for $a in //x for $b in //x return $b)")
+                    .expect("queued query");
+                let _ = c.close();
+                count
+            })
+        })
+        .collect();
+    for w in workers {
+        assert_eq!(w.join().expect("worker died"), "40000");
+    }
+    assert!(
+        server.stats().queued_total.load(Ordering::Relaxed) >= 1,
+        "at least one request should have waited in the admission queue"
+    );
+    assert_eq!(server.stats().overload_rejections.load(Ordering::Relaxed), 0);
     server.shutdown();
 }
 
